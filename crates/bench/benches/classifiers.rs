@@ -1,0 +1,53 @@
+//! Criterion bench: fit + full-predict throughput of representative
+//! registry algorithms on a 300-row mixed dataset. Backs the UDR
+//! cheap-vs-expensive evaluation split (the paper's GA/BO rule) with
+//! measured per-algorithm costs.
+
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_ml::Registry;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_classifiers(c: &mut Criterion) {
+    let data = SynthSpec::new("bench", 300, 5, 2, 3, SynthFamily::Mixed, 7).generate();
+    let train: Vec<usize> = (0..240).collect();
+    let test: Vec<usize> = (240..300).collect();
+    let registry = Registry::full();
+
+    let mut group = c.benchmark_group("classifiers/fit_predict_300rows");
+    group.sample_size(10);
+    for name in [
+        "ZeroR",
+        "OneR",
+        "NaiveBayes",
+        "IBk",
+        "J48",
+        "REPTree",
+        "Logistic",
+        "SMO",
+        "RandomForest",
+        "AdaBoostM1",
+        "LogitBoost",
+        "BayesNet",
+        "VFI",
+        "HyperPipes",
+    ] {
+        let spec = registry.get(name).expect("registered").clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = spec.build(&spec.default_config(), 1);
+                model.fit(&data, &train).unwrap();
+                let mut correct = 0usize;
+                for &r in &test {
+                    if model.predict(&data, r) == data.label(r) {
+                        correct += 1;
+                    }
+                }
+                correct
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

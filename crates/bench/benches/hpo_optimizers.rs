@@ -1,0 +1,83 @@
+//! Criterion bench: optimizer overhead and solution quality on standard
+//! continuous test functions (fixed 60-evaluation budget). Measures the
+//! *analysis* cost the paper discusses in §II — BO's per-iteration surrogate
+//! fit vs GA's near-free generation step.
+
+use automodel_hpo::testfns::{branin, rastrigin};
+use automodel_hpo::{
+    BayesianOptimization, Budget, Domain, FnObjective, GeneticAlgorithm, Optimizer, RandomSearch,
+    SearchSpace, SmacLite,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn branin_space() -> SearchSpace {
+    SearchSpace::builder()
+        .add("x", Domain::float(-5.0, 10.0))
+        .add("y", Domain::float(0.0, 15.0))
+        .build()
+        .unwrap()
+}
+
+fn rastrigin_space(dim: usize) -> SearchSpace {
+    let mut b = SearchSpace::builder();
+    for i in 0..dim {
+        b = b.add(&format!("x{i}"), Domain::float(-5.12, 5.12));
+    }
+    b.build().unwrap()
+}
+
+fn branin_obj() -> FnObjective<impl FnMut(&automodel_hpo::Config) -> f64> {
+    FnObjective(|cfg: &automodel_hpo::Config| {
+        -branin(cfg.float_or("x", 0.0), cfg.float_or("y", 0.0))
+    })
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hpo/branin_60evals");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut obj = branin_obj();
+            RandomSearch::new(1).optimize(&branin_space(), &mut obj, &Budget::evals(60))
+        })
+    });
+    group.bench_function("ga", |b| {
+        b.iter(|| {
+            let mut obj = branin_obj();
+            GeneticAlgorithm::new(1).optimize(&branin_space(), &mut obj, &Budget::evals(60))
+        })
+    });
+    group.bench_function("bo", |b| {
+        b.iter(|| {
+            let mut obj = branin_obj();
+            BayesianOptimization::new(1).optimize(&branin_space(), &mut obj, &Budget::evals(60))
+        })
+    });
+    group.bench_function("smac", |b| {
+        b.iter(|| {
+            let mut obj = branin_obj();
+            SmacLite::new(1).optimize(&branin_space(), &mut obj, &Budget::evals(60))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("hpo/rastrigin4d_ga");
+    group.sample_size(10);
+    for evals in [100usize, 400] {
+        group.bench_function(format!("{evals}evals"), |b| {
+            let space = rastrigin_space(4);
+            b.iter(|| {
+                let mut obj = FnObjective(|cfg: &automodel_hpo::Config| {
+                    let x: Vec<f64> =
+                        (0..4).map(|i| cfg.float_or(&format!("x{i}"), 0.0)).collect();
+                    -rastrigin(&x)
+                });
+                GeneticAlgorithm::new(2).optimize(&space, &mut obj, &Budget::evals(evals))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

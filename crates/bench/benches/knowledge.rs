@@ -1,0 +1,56 @@
+//! Criterion bench: Algorithm 1 scaling. DMD's complexity analysis in the
+//! paper is `O(p² + pm + g)` in the number of experience tuples `p`; this
+//! bench measures knowledge acquisition across corpus sizes.
+
+use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, CorpusSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+
+fn corpus(n_instances: usize, n_papers: usize) -> automodel_knowledge::Corpus {
+    const ALGOS: [&str; 12] = [
+        "RandomForest",
+        "J48",
+        "NaiveBayes",
+        "IBk",
+        "Logistic",
+        "SMO",
+        "REPTree",
+        "OneR",
+        "BayesNet",
+        "ZeroR",
+        "LibSVM",
+        "PART",
+    ];
+    let mut rankings = BTreeMap::new();
+    for i in 0..n_instances {
+        let mut order: Vec<String> = ALGOS.iter().map(|s| s.to_string()).collect();
+        order.rotate_left(i % ALGOS.len());
+        rankings.insert(format!("ds{i:03}"), order);
+    }
+    let mut spec = CorpusSpec::new(rankings, 5);
+    spec.n_papers = n_papers;
+    spec.noise = 0.25;
+    spec.build()
+}
+
+fn bench_knowledge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge/acquisition");
+    group.sample_size(10);
+    for (instances, papers) in [(10usize, 10usize), (30, 20), (69, 20), (69, 60)] {
+        let corpus = corpus(instances, papers);
+        let label = format!("{instances}datasets_{papers}papers_{}tuples", corpus.experiences.len());
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                knowledge_acquisition(
+                    &corpus.experiences,
+                    &corpus.papers,
+                    &AcquisitionOptions { min_algorithms: 5 },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knowledge);
+criterion_main!(benches);

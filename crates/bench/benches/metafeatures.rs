@@ -1,0 +1,32 @@
+//! Criterion bench: Table III meta-feature extraction cost (UDR's
+//! `O(k·d²)` feature step) across dataset shapes — the online cost every
+//! user query pays before `SNA` fires.
+
+use automodel_data::{meta_features, SynthFamily, SynthSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_metafeatures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metafeatures/table3");
+    for (label, rows, numeric, categorical, classes) in [
+        ("small_108x13", 108usize, 3usize, 10usize, 3usize), // D1's shape
+        ("wide_606x101", 606, 100, 1, 2),                    // D9 Hill-Valley
+        ("tall_12960x8", 12960, 0, 8, 3),                    // D16 Nursery
+        ("big_30000x24", 30000, 14, 10, 2),                  // D20 credit default
+    ] {
+        let data = SynthSpec::new(
+            label,
+            rows,
+            numeric,
+            categorical,
+            classes,
+            SynthFamily::Mixed,
+            11,
+        )
+        .generate();
+        group.bench_function(label, |b| b.iter(|| meta_features(&data)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_metafeatures);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! Table X: Auto-Model vs Auto-Weka on the CASH-Weka problem.
+//!
+//! For each Table XI test dataset and each of two **wall-clock** budgets
+//! (the paper's 30 s and 5 min, scaled but keeping the 1:10 ratio), run
+//! both CASH solvers `repetitions` times and report the average `f(T, D)`
+//! — the CV accuracy of the returned (algorithm, hyperparameter) solution,
+//! re-measured with an independent fold seed. Wall-clock budgets matter:
+//! the paper's mechanism is Auto-Weka *wasting time* on expensive
+//! inappropriate algorithms, which only shows up under time accounting.
+//! Cells where a method cannot finish (the paper's `-1` entries for
+//! D17/D20 at 5 min) would appear as `-1`.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_cash_comparison
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::{fmt_score, Table};
+use automodel_bench::{PipelineCache, Scale};
+use automodel_core::udr::UdrConfig;
+use automodel_core::AutoWekaConfig;
+use automodel_hpo::Budget;
+use automodel_ml::{cross_val_accuracy, Registry};
+use std::time::Duration;
+
+/// Re-measure a solution with an independent fold seed (the paper's f(T,D)).
+fn f_t_d(
+    registry: &Registry,
+    solution: &automodel_core::udr::Solution,
+    data: &automodel_data::Dataset,
+    folds: usize,
+) -> Option<f64> {
+    let spec = registry.get(&solution.algorithm)?;
+    cross_val_accuracy(|| spec.build(&solution.config, 4242), data, folds, 4242).ok()
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("[exp_cash_comparison] scale = {scale:?}");
+
+    let pipeline = PipelineCache::new(Registry::full(), scale);
+    eprintln!("[1/3] building knowledge base...");
+    let kb = pipeline.build_knowledge_base();
+    eprintln!("[2/3] running DMD...");
+    let dmd = pipeline.run_dmd(&kb).expect("DMD must produce a model");
+
+    eprintln!("[3/3] comparing CASH solvers on the test suite...");
+    let suite = pipeline.test_suite();
+    let (small_budget, large_budget) = scale.cash_budgets();
+    let reps = scale.repetitions();
+    let folds = scale.cash_folds();
+
+    let budget_label = |b: &Budget| match (b.max_time, b.max_evals) {
+        (Some(t), _) => format!("{} ms", t.as_millis()),
+        (None, Some(n)) => format!("{n} evals"),
+        _ => "unbounded".to_string(),
+    };
+    let mut table = Table::new(
+        "Table X — average f(T, D), Auto-Model vs Auto-Weka",
+        &["budget", "method", "dataset", "f(T,D)", "algorithm"],
+    );
+    let mut summary: Vec<(String, String, f64, usize)> = Vec::new(); // (budget, method, sum, wins)
+
+    for (budget_name, budget) in [("small", &small_budget), ("large", &large_budget)] {
+        // One independent cell per dataset — run them on worker threads.
+        let queue: parking_lot::Mutex<Vec<usize>> =
+            parking_lot::Mutex::new((0..suite.len()).rev().collect());
+        type Cell = (f64, f64, String, String); // (am_avg, aw_avg, am_alg, aw_alg)
+        let cells: parking_lot::Mutex<Vec<Option<Cell>>> =
+            parking_lot::Mutex::new(vec![None; suite.len()]);
+        let registry = &pipeline.ctx.registry;
+        let dmd_ref = &dmd;
+        let suite_ref = &suite;
+        crossbeam::scope(|scope| {
+            for _ in 0..scale.threads().min(suite.len()) {
+                scope.spawn(|_| loop {
+                    let Some(idx) = queue.lock().pop() else { break };
+                    let (symbol, data) = &suite_ref[idx];
+                    let mut am_avg = 0.0;
+                    let mut aw_avg = 0.0;
+                    let mut am_alg = String::new();
+                    let mut aw_alg = String::new();
+                    for rep in 0..reps {
+                        // Auto-Model: UDR with the given tuning budget.
+                        let udr = UdrConfig {
+                            tuning_budget: budget.clone(),
+                            probe_rows: 120,
+                            eval_time_threshold: Duration::from_millis(400),
+                            cv_folds: folds,
+                            seed: 1000 + rep as u64,
+                        };
+                        if let Ok(am) = udr.solve(dmd_ref, data) {
+                            am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
+                            am_alg = am.algorithm;
+                        }
+                        // Auto-Weka: SMAC over the hierarchical CASH space.
+                        let aw = AutoWekaConfig {
+                            budget: budget.clone(),
+                            cv_folds: folds,
+                            seed: 2000 + rep as u64,
+                        }
+                        .solve(registry, data);
+                        if let Ok(aw) = aw {
+                            aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
+                            aw_alg = aw.algorithm;
+                        }
+                    }
+                    am_avg /= reps as f64;
+                    aw_avg /= reps as f64;
+                    eprintln!("  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3}");
+                    cells.lock()[idx] = Some((am_avg, aw_avg, am_alg, aw_alg));
+                });
+            }
+        })
+        .expect("comparison worker panicked");
+
+        let mut am_scores = Vec::new();
+        let mut aw_scores = Vec::new();
+        let mut am_wins = 0usize;
+        for (idx, cell) in cells.into_inner().into_iter().enumerate() {
+            let (am_avg, aw_avg, am_alg, aw_alg) = cell.expect("every dataset processed");
+            let symbol = &suite[idx].0;
+            table.row(vec![
+                budget_label(budget),
+                "Auto-Model".into(),
+                symbol.clone(),
+                fmt_score(Some(am_avg)),
+                am_alg,
+            ]);
+            table.row(vec![
+                budget_label(budget),
+                "Auto-Weka".into(),
+                symbol.clone(),
+                fmt_score(Some(aw_avg)),
+                aw_alg,
+            ]);
+            am_scores.push(am_avg);
+            aw_scores.push(aw_avg);
+            if am_avg >= aw_avg {
+                am_wins += 1;
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        summary.push((
+            budget_label(budget),
+            "Auto-Model".into(),
+            avg(&am_scores),
+            am_wins,
+        ));
+        summary.push((
+            budget_label(budget),
+            "Auto-Weka".into(),
+            avg(&aw_scores),
+            suite.len() - am_wins,
+        ));
+    }
+    table.print();
+
+    let mut sum_table = Table::new(
+        "Table X summary — averages over the suite",
+        &["budget", "method", "avg f(T,D)", "wins-or-ties"],
+    );
+    for (budget, method, avg, wins) in &summary {
+        sum_table.row(vec![
+            budget.clone(),
+            method.clone(),
+            format!("{avg:.3}"),
+            wins.to_string(),
+        ]);
+    }
+    sum_table.print();
+
+    if json {
+        let out = serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "table10": table.to_json(),
+            "summary": sum_table.to_json(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -1,0 +1,130 @@
+//! Table VIII, Fig. 3 and Table IX: the quality of the acquired knowledge.
+//!
+//! * Table VIII — average `PORatio(CRelations(D), D)` over all knowledge
+//!   datasets, next to the top-3 single algorithms by average PORatio.
+//! * Fig. 3 — the distribution of those PORatios over the five ranges.
+//! * Table IX — average `P(CRelations(D), D)` next to the top-3 single
+//!   algorithms by average performance.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_crelations_quality
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::{histogram5, top_k, Table};
+use automodel_bench::{PipelineCache, Scale};
+use automodel_core::poratio::po_ratio;
+use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions};
+use automodel_ml::Registry;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("[exp_crelations_quality] scale = {scale:?}");
+
+    let pipeline = PipelineCache::new(Registry::full(), scale);
+    eprintln!("[1/3] building knowledge base (sweeping {} datasets)...", scale.knowledge_datasets());
+    let kb = pipeline.build_knowledge_base();
+
+    eprintln!("[2/3] running Algorithm 1 on the corpus...");
+    let pairs = knowledge_acquisition(
+        &kb.corpus.experiences,
+        &kb.corpus.papers,
+        &AcquisitionOptions { min_algorithms: 3 },
+    );
+
+    eprintln!("[3/3] scoring CRelations with PORatio / P...");
+    // PORatio and P of CRelations(D) per dataset.
+    let mut ratios = Vec::new();
+    let mut perfs = Vec::new();
+    let mut agreement = 0usize;
+    for pair in &pairs {
+        let Some(sweep) = kb.performances.get(&pair.instance) else { continue };
+        if let Some(r) = po_ratio(sweep, &pair.best_algorithm) {
+            ratios.push(r);
+        }
+        if let Some(p) = sweep
+            .iter()
+            .find(|(n, _)| n == &pair.best_algorithm)
+            .and_then(|(_, p)| *p)
+        {
+            perfs.push(p);
+        }
+        if kb.measured_best(&pair.instance) == Some(pair.best_algorithm.as_str()) {
+            agreement += 1;
+        }
+    }
+
+    // Per-algorithm averages over the knowledge datasets (for the top-3).
+    let mut by_alg_ratio: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut by_alg_perf: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for sweep in kb.performances.values() {
+        for (name, p) in sweep {
+            if p.is_some() {
+                if let Some(r) = po_ratio(sweep, name) {
+                    by_alg_ratio.entry(name.clone()).or_default().push(r);
+                }
+                by_alg_perf.entry(name.clone()).or_default().push(p.unwrap());
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    // Only rank algorithms measurable on most datasets (see the note in
+    // exp_sna_effectiveness: rarely-applicable algorithms would otherwise
+    // dominate with perfect averages on their one easy dataset).
+    let min_coverage = (kb.performances.len() * 4).div_ceil(5);
+    let alg_ratios: Vec<(String, f64)> = by_alg_ratio
+        .iter()
+        .filter(|(_, v)| v.len() >= min_coverage)
+        .map(|(n, v)| (n.clone(), avg(v)))
+        .collect();
+    let alg_perfs: Vec<(String, f64)> = by_alg_perf
+        .iter()
+        .filter(|(_, v)| v.len() >= min_coverage)
+        .map(|(n, v)| (n.clone(), avg(v)))
+        .collect();
+
+    // ---- Table VIII.
+    let mut t8 = Table::new(
+        "Table VIII — average PORatio over knowledge datasets",
+        &["entry", "avg PORatio"],
+    );
+    t8.row(vec!["CRelations(D)".into(), format!("{:.2}", avg(&ratios))]);
+    for (i, (name, r)) in top_k(&alg_ratios, 3).into_iter().enumerate() {
+        t8.row(vec![format!("Top{}-{}", i + 1, name), format!("{r:.2}")]);
+    }
+    t8.print();
+
+    // ---- Fig. 3.
+    let fig3 = histogram5(&ratios);
+    fig3.print();
+
+    // ---- Table IX.
+    let mut t9 = Table::new(
+        "Table IX — average performance P over knowledge datasets",
+        &["entry", "avg P"],
+    );
+    t9.row(vec!["CRelations(D)".into(), format!("{:.2}", avg(&perfs))]);
+    for (i, (name, p)) in top_k(&alg_perfs, 3).into_iter().enumerate() {
+        t9.row(vec![format!("Top{}-{}", i + 1, name), format!("{p:.2}")]);
+    }
+    t9.print();
+
+    println!(
+        "CRelations pairs: {} / {} datasets; agreement with measured best: {:.0}%",
+        pairs.len(),
+        kb.datasets.len(),
+        100.0 * agreement as f64 / pairs.len().max(1) as f64
+    );
+
+    if json {
+        let out = serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "table8": t8.to_json(),
+            "fig3": fig3.to_json(),
+            "table9": t9.to_json(),
+            "pairs": pairs.len(),
+            "agreement": agreement,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -1,0 +1,112 @@
+//! DESIGN.md ablation: the §II claim that GA suits cheap evaluations and BO
+//! suits expensive ones.
+//!
+//! Two tuning problems over the same registry:
+//!
+//! * **cheap** — tune `IBk` (fast fits) under a *large* evaluation budget;
+//! * **expensive** — tune `RandomForest` under a *tiny* evaluation budget
+//!   (standing in for "each evaluation costs minutes, so only a few are
+//!   affordable").
+//!
+//! Grid Search and Random Search run as the history-blind baselines. The
+//! expected shape: GA leads when evaluations are plentiful; BO leads (or
+//! ties) when only a handful of evaluations is affordable.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_hpo_choice
+//! [--scale tiny|small|paper]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_hpo::{
+    BayesianOptimization, Budget, FnObjective, GeneticAlgorithm, GridSearch, Optimizer,
+    RandomSearch,
+};
+use automodel_ml::{cross_val_accuracy, Registry};
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_hpo_choice] scale = {scale:?}");
+    let registry = Registry::full();
+    let folds = scale.cv_folds();
+
+    let data = SynthSpec::new(
+        "hpo-bench",
+        match scale {
+            Scale::Tiny => 150,
+            Scale::Small => 250,
+            Scale::Paper => 500,
+        },
+        5,
+        1,
+        3,
+        SynthFamily::GaussianBlobs { spread: 1.4 },
+        99,
+    )
+    .with_label_noise(0.1)
+    .generate();
+
+    let (cheap_budget, expensive_budget) = match scale {
+        Scale::Tiny => (40, 10),
+        Scale::Small => (120, 16),
+        Scale::Paper => (600, 30),
+    };
+
+    let mut table = Table::new(
+        "HPO-technique choice (GA vs BO, §II)",
+        &["problem", "budget", "optimizer", "best CV accuracy", "evals"],
+    );
+
+    for (problem, algorithm, evals) in [
+        ("cheap (IBk)", "IBk", cheap_budget),
+        ("expensive (RandomForest)", "RandomForest", expensive_budget),
+    ] {
+        let spec = registry.get(algorithm).unwrap();
+        let space = spec.param_space();
+        let seeds = match scale {
+            Scale::Tiny => 1,
+            _ => 3,
+        };
+        let mut run = |name: &str, mk: &dyn Fn(u64) -> Box<dyn Optimizer>| {
+            let mut best_sum = 0.0;
+            let mut trials = 0usize;
+            for seed in 0..seeds {
+                let mut objective = FnObjective(|config: &automodel_hpo::Config| {
+                    cross_val_accuracy(|| spec.build(config, seed), &data, folds, seed)
+                        .unwrap_or(0.0)
+                });
+                let mut optimizer = mk(seed);
+                if let Some(out) =
+                    optimizer.optimize(&space, &mut objective, &Budget::evals(evals))
+                {
+                    best_sum += out.best_score;
+                    trials = out.trials.len();
+                }
+            }
+            table.row(vec![
+                problem.to_string(),
+                evals.to_string(),
+                name.to_string(),
+                format!("{:.3}", best_sum / seeds as f64),
+                trials.to_string(),
+            ]);
+        };
+        run("grid-search", &|_s| Box::new(GridSearch::new(4)));
+        run("random-search", &|s| Box::new(RandomSearch::new(s)));
+        run("genetic-algorithm", &|s| {
+            Box::new(GeneticAlgorithm::with_config(
+                s,
+                automodel_hpo::GaConfig {
+                    population: 10,
+                    generations: 1000,
+                    ..automodel_hpo::GaConfig::default()
+                },
+            ))
+        });
+        run("bayesian-optimization", &|s| {
+            Box::new(BayesianOptimization::new(s))
+        });
+        eprintln!("  finished {problem}");
+    }
+    table.print();
+}

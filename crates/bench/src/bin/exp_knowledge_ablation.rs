@@ -1,0 +1,128 @@
+//! DESIGN.md ablation: is Algorithm 1's machinery (reliability ranking,
+//! transitive closure, conflict resolution) actually doing work?
+//!
+//! Across corpus noise levels, extraction accuracy against the planted
+//! ground truth for three extractors:
+//!
+//! * **Algorithm 1** — the full pipeline;
+//! * **majority vote** — most frequently reported best algorithm, no
+//!   reliability, no graph;
+//! * **most-reliable paper** — trust the single most reliable paper that
+//!   mentioned the instance.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_knowledge_ablation
+//! [--scale tiny|small|paper]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_knowledge::paper::rank_papers;
+use automodel_knowledge::{
+    knowledge_acquisition, AcquisitionOptions, Corpus, CorpusSpec,
+};
+use std::collections::BTreeMap;
+
+/// Majority-vote extractor.
+fn majority_vote(corpus: &Corpus) -> BTreeMap<String, String> {
+    let mut votes: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    for e in &corpus.experiences {
+        *votes
+            .entry(e.instance.clone())
+            .or_default()
+            .entry(e.best.clone())
+            .or_insert(0) += 1;
+    }
+    votes
+        .into_iter()
+        .map(|(instance, counts)| {
+            let best = counts
+                .into_iter()
+                .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+                .map(|(a, _)| a)
+                .unwrap_or_default();
+            (instance, best)
+        })
+        .collect()
+}
+
+/// Most-reliable-paper extractor.
+fn most_reliable(corpus: &Corpus) -> BTreeMap<String, String> {
+    let ranks: BTreeMap<String, usize> = rank_papers(&corpus.papers).into_iter().collect();
+    let mut best: BTreeMap<String, (usize, String)> = BTreeMap::new();
+    for e in &corpus.experiences {
+        let rel = ranks.get(&e.paper).copied().unwrap_or(0);
+        let entry = best
+            .entry(e.instance.clone())
+            .or_insert((rel, e.best.clone()));
+        if rel >= entry.0 {
+            *entry = (rel, e.best.clone());
+        }
+    }
+    best.into_iter().map(|(i, (_, a))| (i, a)).collect()
+}
+
+fn accuracy(corpus: &Corpus, extracted: &BTreeMap<String, String>) -> (usize, usize) {
+    let mut correct = 0;
+    let mut total = 0;
+    for (instance, algorithm) in extracted {
+        if let Some(truth) = corpus.true_best(instance) {
+            total += 1;
+            if truth == algorithm {
+                correct += 1;
+            }
+        }
+    }
+    (correct, total)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    eprintln!("[exp_knowledge_ablation] scale = {scale:?}");
+    let seeds: u64 = match scale {
+        Scale::Tiny => 2,
+        Scale::Small => 5,
+        Scale::Paper => 20,
+    };
+
+    let mut table = Table::new(
+        "Knowledge-extraction ablation (accuracy vs planted truth)",
+        &["noise", "Algorithm 1", "majority vote", "most-reliable paper", "pairs"],
+    );
+
+    for noise in [0.0, 0.15, 0.3, 0.45, 0.6] {
+        let mut acc = [0.0f64; 3];
+        let mut pairs_total = 0usize;
+        for seed in 0..seeds {
+            let mut spec = CorpusSpec::small();
+            spec.noise = noise;
+            spec.n_papers = 24;
+            spec.seed = 1000 + seed;
+            let corpus = spec.build();
+
+            // Algorithm 1.
+            let alg1: BTreeMap<String, String> = knowledge_acquisition(
+                &corpus.experiences,
+                &corpus.papers,
+                &AcquisitionOptions { min_algorithms: 3 },
+            )
+            .into_iter()
+            .map(|p| (p.instance, p.best_algorithm))
+            .collect();
+            let (c1, t1) = accuracy(&corpus, &alg1);
+            let (c2, t2) = accuracy(&corpus, &majority_vote(&corpus));
+            let (c3, t3) = accuracy(&corpus, &most_reliable(&corpus));
+            acc[0] += c1 as f64 / t1.max(1) as f64;
+            acc[1] += c2 as f64 / t2.max(1) as f64;
+            acc[2] += c3 as f64 / t3.max(1) as f64;
+            pairs_total += t1;
+        }
+        table.row(vec![
+            format!("{noise:.2}"),
+            format!("{:.2}", acc[0] / seeds as f64),
+            format!("{:.2}", acc[1] / seeds as f64),
+            format!("{:.2}", acc[2] / seeds as f64),
+            (pairs_total / seeds as usize).to_string(),
+        ]);
+        eprintln!("  noise {noise:.2} done");
+    }
+    table.print();
+}

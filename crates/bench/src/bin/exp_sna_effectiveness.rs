@@ -1,0 +1,187 @@
+//! Tables VI, VII, XII and XIII: effectiveness of the decision model `SNA`.
+//!
+//! For each Table XI test dataset `D`: the selected algorithm `SNA(D)`,
+//! `PORatio(SNA, D)`, `P(SNA(D), D)`, `Pmax(D)` and `Pavg(D)` (Tables VI &
+//! VII), then the averages and top-3 single algorithms over the test suite
+//! (Tables XII & XIII).
+//!
+//! Ablations (DESIGN.md §8):
+//! * `--ablate-features` — replace the Algorithm 2 mask with all 23 features;
+//! * `--ablate-arch` — replace the Algorithm 3 architecture with the default
+//!   MLP point.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_sna_effectiveness
+//! [--scale tiny|small|paper] [--ablate-features] [--ablate-arch] [--json]`
+
+use automodel_bench::report::{top_k, Table};
+use automodel_bench::{PipelineCache, Scale};
+use automodel_core::poratio::{po_ratio, EvalContext};
+use automodel_ml::Registry;
+use std::collections::BTreeMap;
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let ablate_features = std::env::args().any(|a| a == "--ablate-features");
+    let ablate_arch = std::env::args().any(|a| a == "--ablate-arch");
+    eprintln!(
+        "[exp_sna_effectiveness] scale = {scale:?} ablate_features = {ablate_features} ablate_arch = {ablate_arch}"
+    );
+
+    let pipeline = PipelineCache::new(Registry::full(), scale);
+    eprintln!("[1/4] building knowledge base...");
+    let kb = pipeline.build_knowledge_base();
+    eprintln!("[2/4] running DMD (Algorithms 1-4)...");
+    let dmd = if ablate_features || ablate_arch {
+        // Ablations replace a searched component with its trivial default:
+        // all 23 features (no Algorithm 2) / the default MLP point
+        // (no Algorithm 3).
+        let input = automodel_core::dmd::DmdInput {
+            experiences: kb.corpus.experiences.clone(),
+            papers: kb.corpus.papers.clone(),
+            datasets: kb.datasets.clone(),
+        };
+        let (fs_pop, fs_gen, arch_pop, arch_gen) = scale.dmd_scale();
+        let config = automodel_core::dmd::DmdConfig {
+            registry: pipeline.ctx.registry.clone(),
+            min_algorithms: 3,
+            fs_population: fs_pop,
+            fs_generations: fs_gen,
+            arch_population: arch_pop,
+            arch_generations: arch_gen,
+            precision: 0.0015,
+            meta_cv_folds: 3,
+            mlp_iter_cap: 200,
+            feature_mask_override: ablate_features.then_some([true; 23]),
+            architecture_override: ablate_arch
+                .then(automodel_core::table2::default_mlp_point),
+            seed: 17,
+        };
+        config.run(&input).expect("ablated DMD")
+    } else {
+        pipeline.run_dmd(&kb).expect("DMD must produce a model")
+    };
+
+    eprintln!("[3/4] sweeping the {} test datasets...", scale.test_datasets());
+    let suite = pipeline.test_suite();
+    let mut rows = Vec::new();
+    let mut sweeps: BTreeMap<String, Vec<(String, Option<f64>)>> = BTreeMap::new();
+    for (symbol, data) in &suite {
+        let sweep = pipeline.sweep(data);
+        sweeps.insert(symbol.clone(), sweep);
+    }
+
+    eprintln!("[4/4] scoring SNA selections...");
+    let mut t67 = Table::new(
+        "Tables VI & VII — SNA effectiveness per test dataset",
+        &["D", "SNA(D)", "PORatio", "P(SNA,D)", "Pmax", "Pavg"],
+    );
+    let mut ratios = Vec::new();
+    let mut sel_perfs = Vec::new();
+    let mut beats_avg = 0usize;
+    for (symbol, data) in &suite {
+        let sweep = &sweeps[symbol];
+        let selected = match dmd.select_algorithm(data) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("  {symbol}: selection failed: {e}");
+                continue;
+            }
+        };
+        let ratio = po_ratio(sweep, &selected);
+        let p_sel = sweep
+            .iter()
+            .find(|(n, _)| n == &selected)
+            .and_then(|(_, p)| *p);
+        let p_max = EvalContext::p_max(sweep);
+        let p_avg = EvalContext::p_avg(sweep);
+        if let Some(r) = ratio {
+            ratios.push(r);
+        }
+        if let Some(p) = p_sel {
+            sel_perfs.push(p);
+            if p_avg.is_some_and(|a| p >= a) {
+                beats_avg += 1;
+            }
+        }
+        t67.row(vec![
+            symbol.clone(),
+            selected.clone(),
+            ratio.map_or("-".into(), |r| format!("{r:.2}")),
+            p_sel.map_or("-".into(), |p| format!("{p:.2}")),
+            p_max.map_or("-".into(), |p| format!("{p:.2}")),
+            p_avg.map_or("-".into(), |p| format!("{p:.2}")),
+        ]);
+        rows.push((symbol.clone(), selected, ratio, p_sel, p_max, p_avg));
+    }
+    t67.print();
+
+    // Tables XII & XIII: averages + top-3 single algorithms on the suite.
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let mut by_alg_ratio: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    let mut by_alg_perf: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for sweep in sweeps.values() {
+        for (name, p) in sweep {
+            if let Some(p) = p {
+                if let Some(r) = po_ratio(sweep, name) {
+                    by_alg_ratio.entry(name.clone()).or_default().push(r);
+                }
+                by_alg_perf.entry(name.clone()).or_default().push(*p);
+            }
+        }
+    }
+    // Only rank algorithms measurable on most of the suite: an algorithm
+    // applicable on one easy dataset would otherwise "win" with a perfect
+    // average (e.g. Id3 on the single all-nominal dataset).
+    let min_coverage = (sweeps.len() * 4).div_ceil(5);
+    let alg_ratios: Vec<(String, f64)> = by_alg_ratio
+        .iter()
+        .filter(|(_, v)| v.len() >= min_coverage)
+        .map(|(n, v)| (n.clone(), avg(v)))
+        .collect();
+    let alg_perfs: Vec<(String, f64)> = by_alg_perf
+        .iter()
+        .filter(|(_, v)| v.len() >= min_coverage)
+        .map(|(n, v)| (n.clone(), avg(v)))
+        .collect();
+
+    let mut t12 = Table::new(
+        "Table XII — average PORatio over the test suite",
+        &["entry", "avg PORatio"],
+    );
+    t12.row(vec!["SNA".into(), format!("{:.2}", avg(&ratios))]);
+    for (i, (name, r)) in top_k(&alg_ratios, 3).into_iter().enumerate() {
+        t12.row(vec![format!("Top{}-{}", i + 1, name), format!("{r:.2}")]);
+    }
+    t12.print();
+
+    let mut t13 = Table::new(
+        "Table XIII — average performance P over the test suite",
+        &["entry", "avg P"],
+    );
+    t13.row(vec!["SNA(D)".into(), format!("{:.2}", avg(&sel_perfs))]);
+    for (i, (name, p)) in top_k(&alg_perfs, 3).into_iter().enumerate() {
+        t13.row(vec![format!("Top{}-{}", i + 1, name), format!("{p:.2}")]);
+    }
+    t13.print();
+
+    println!(
+        "key features selected: {} of 23; P(SNA,D) >= Pavg on {}/{} datasets",
+        dmd.n_key_features(),
+        beats_avg,
+        rows.len()
+    );
+
+    if json {
+        let out = serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "ablate_features": ablate_features,
+            "ablate_arch": ablate_arch,
+            "tables67": t67.to_json(),
+            "table12": t12.to_json(),
+            "table13": t13.to_json(),
+            "key_features": dmd.n_key_features(),
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -1,0 +1,28 @@
+//! # automodel-bench
+//!
+//! Experiment harness for the Auto-Model reproduction: one binary per paper
+//! table/figure (see DESIGN.md §4 and EXPERIMENTS.md), plus criterion
+//! micro-benchmarks.
+//!
+//! Binaries (all accept `--scale tiny|small|paper`):
+//!
+//! * `exp_crelations_quality` — Table VIII (average PORatio of
+//!   `CRelations(D)` + top-3 single algorithms), Fig. 3 (PORatio
+//!   distribution histogram), Table IX (average `P` + top-3).
+//! * `exp_sna_effectiveness` — Tables VI & VII (per-test-dataset `SNA(D)`,
+//!   PORatio, `P`, `Pmax`, `Pavg`), Tables XII & XIII (averages + top-3),
+//!   with `--ablate-features` / `--ablate-arch` ablations.
+//! * `exp_cash_comparison` — Table X (`f(T, D)` for Auto-Model vs Auto-Weka
+//!   under a small and a large budget, averaged over repetitions).
+//! * `exp_hpo_choice` — the §II GA-vs-BO claim on cheap vs expensive tuning
+//!   problems (DESIGN.md ablation).
+//! * `exp_knowledge_ablation` — Algorithm 1 vs naive extraction baselines
+//!   across corpus noise levels (DESIGN.md ablation).
+
+pub mod pipeline;
+pub mod report;
+pub mod scale;
+
+pub use pipeline::{KnowledgeBase, PipelineCache};
+pub use report::Table;
+pub use scale::Scale;

@@ -1,0 +1,175 @@
+//! Plain-text table rendering for the experiment binaries, mirroring the
+//! row/column structure of the paper's tables, plus a JSON dump so results
+//! can be post-processed.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (panics if the width disagrees with the header).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Render with padded columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+
+    /// JSON object `{title, header, rows}`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "title": self.title,
+            "header": self.header,
+            "rows": self.rows,
+        })
+    }
+}
+
+/// Format an optional score like the paper's tables (−1 for "did not run",
+/// as in Table X's D17/D20 cells).
+pub fn fmt_score(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.2}"),
+        None => "-1".to_string(),
+    }
+}
+
+/// An ASCII histogram over `[0, 1]` with five buckets, mirroring Fig. 3's
+/// PORatio ranges.
+pub fn histogram5(values: &[f64]) -> Table {
+    let mut counts = [0usize; 5];
+    for &v in values {
+        let bucket = ((v * 5.0).floor() as usize).min(4);
+        counts[bucket] += 1;
+    }
+    let total = values.len().max(1) as f64;
+    let mut table = Table::new(
+        "Fig. 3 — PORatio distribution",
+        &["range", "count", "percent", "bar"],
+    );
+    let labels = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"];
+    for (label, &count) in labels.iter().zip(&counts) {
+        let pct = count as f64 / total * 100.0;
+        table.row(vec![
+            label.to_string(),
+            count.to_string(),
+            format!("{pct:.1}%"),
+            "#".repeat((pct / 2.0).round() as usize),
+        ]);
+    }
+    table
+}
+
+/// The top-`k` (name, value) pairs by value, descending.
+pub fn top_k(values: &[(String, f64)], k: usize) -> Vec<(String, f64)> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    sorted.truncate(k);
+    sorted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("t", &["a", "long_header"]);
+        t.row(vec!["xxxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].starts_with("a      long_header"));
+        assert!(lines[3].starts_with("xxxxx  1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_is_enforced() {
+        let mut t = Table::new("t", &["a", "b"]);
+        t.row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn histogram_buckets_match_fig3_ranges() {
+        let t = histogram5(&[0.1, 0.85, 0.9, 1.0, 0.5]);
+        assert_eq!(t.rows[0][1], "1"); // [0,0.2)
+        assert_eq!(t.rows[2][1], "1"); // [0.4,0.6)
+        assert_eq!(t.rows[4][1], "3"); // [0.8,1.0] — 1.0 included
+    }
+
+    #[test]
+    fn top_k_sorts_descending_with_stable_ties() {
+        let v = vec![
+            ("b".to_string(), 0.5),
+            ("a".to_string(), 0.5),
+            ("c".to_string(), 0.9),
+        ];
+        let top = top_k(&v, 2);
+        assert_eq!(top[0].0, "c");
+        assert_eq!(top[1].0, "a");
+    }
+
+    #[test]
+    fn fmt_score_uses_minus_one_for_missing() {
+        assert_eq!(fmt_score(Some(0.876)), "0.88");
+        assert_eq!(fmt_score(None), "-1");
+    }
+
+    #[test]
+    fn json_roundtrip_has_all_fields() {
+        let mut t = Table::new("x", &["h"]);
+        t.row(vec!["v".into()]);
+        let j = t.to_json();
+        assert_eq!(j["title"], "x");
+        assert_eq!(j["rows"][0][0], "v");
+    }
+}

@@ -1,0 +1,153 @@
+//! Persisting the trained decision model.
+//!
+//! Training DMD is the expensive offline phase; deployments want to train
+//! once and ship the model. A [`DmdArtifact`] is the serializable part of a
+//! [`Dmd`] — key-feature mask, standardizer, trained `SNA`, winning
+//! architecture, CRelations provenance — everything except the registry,
+//! which is code. Loading re-attaches a registry and checks that its
+//! algorithm list matches the one the artifact was trained against
+//! (the OneHot' coordinates must line up).
+
+use crate::dmd::{Dmd, KnowledgeRecord};
+use crate::error::CoreError;
+use automodel_data::encoding::VecStandardizer;
+use automodel_data::features::FEATURE_COUNT;
+use automodel_ml::Registry;
+use automodel_nn::MlpRegressor;
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a trained DMD.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DmdArtifact {
+    /// Registry algorithm names at training time, in OneHot' order.
+    pub algorithms: Vec<String>,
+    pub key_features: Vec<bool>,
+    pub standardizer: VecStandardizer,
+    pub sna: MlpRegressor,
+    pub architecture: automodel_hpo::Config,
+    /// `(instance, algorithm)` provenance of the training knowledge.
+    pub crelations: Vec<(String, String)>,
+}
+
+impl Dmd {
+    /// Snapshot this model for persistence.
+    pub fn to_artifact(&self) -> DmdArtifact {
+        DmdArtifact {
+            algorithms: self.registry.names().iter().map(|s| s.to_string()).collect(),
+            key_features: self.key_features.to_vec(),
+            standardizer: self.standardizer_clone(),
+            sna: self.sna.clone(),
+            architecture: self.architecture.clone(),
+            crelations: self
+                .records
+                .iter()
+                .map(|r| (r.instance.clone(), r.algorithm.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl DmdArtifact {
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> serde_json::Result<String> {
+        serde_json::to_string(self)
+    }
+
+    /// Deserialize from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<DmdArtifact> {
+        serde_json::from_str(s)
+    }
+
+    /// Re-attach a registry. Fails unless the registry's algorithm list is
+    /// exactly the one the model was trained against (names and order).
+    pub fn into_dmd(self, registry: Registry) -> Result<Dmd, CoreError> {
+        let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+        if names != self.algorithms {
+            let missing = self
+                .algorithms
+                .iter()
+                .find(|a| !names.contains(a))
+                .cloned()
+                .unwrap_or_else(|| "registry order changed".to_string());
+            return Err(CoreError::UnknownAlgorithm(missing));
+        }
+        if self.key_features.len() != FEATURE_COUNT {
+            return Err(CoreError::NoKnowledge);
+        }
+        let mut key_features = [false; FEATURE_COUNT];
+        key_features.copy_from_slice(&self.key_features);
+        // Reconstruct minimal records (features/targets are not persisted —
+        // they are training intermediates, not needed for inference).
+        let records: Vec<KnowledgeRecord> = self
+            .crelations
+            .iter()
+            .filter_map(|(instance, algorithm)| {
+                registry.index_of(algorithm).map(|algorithm_index| KnowledgeRecord {
+                    instance: instance.clone(),
+                    algorithm: algorithm.clone(),
+                    algorithm_index,
+                    features: [0.0; FEATURE_COUNT],
+                    target: Vec::new(),
+                })
+            })
+            .collect();
+        Ok(Dmd::from_parts(
+            registry,
+            key_features,
+            self.sna,
+            self.standardizer,
+            records,
+            self.architecture,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dmd::{DmdConfig, DmdInput};
+    use automodel_data::{SynthFamily, SynthSpec};
+    use automodel_knowledge::CorpusSpec;
+
+    fn trained() -> Dmd {
+        let corpus = CorpusSpec::small().build();
+        let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+        DmdConfig::fast().run(&input).unwrap()
+    }
+
+    #[test]
+    fn artifact_roundtrips_through_json_and_predicts_identically() {
+        let dmd = trained();
+        let json = dmd.to_artifact().to_json().unwrap();
+        let restored = DmdArtifact::from_json(&json)
+            .unwrap()
+            .into_dmd(Registry::fast())
+            .unwrap();
+        let data = SynthSpec::new("check", 120, 4, 1, 3, SynthFamily::Mixed, 71).generate();
+        // JSON float text rounds at the last ulp; compare with tolerance.
+        for (a, b) in dmd.scores(&data).iter().zip(restored.scores(&data)) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        assert_eq!(
+            dmd.select_algorithm(&data).unwrap(),
+            restored.select_algorithm(&data).unwrap()
+        );
+    }
+
+    #[test]
+    fn artifact_rejects_mismatched_registries() {
+        let dmd = trained(); // trained against Registry::fast()
+        let artifact = dmd.to_artifact();
+        let err = artifact.into_dmd(Registry::full()).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownAlgorithm(_)));
+    }
+
+    #[test]
+    fn artifact_preserves_crelations_provenance() {
+        let dmd = trained();
+        let artifact = dmd.to_artifact();
+        assert_eq!(artifact.crelations.len(), dmd.records.len());
+        let restored = artifact.into_dmd(Registry::fast()).unwrap();
+        assert_eq!(restored.records.len(), dmd.records.len());
+    }
+}

@@ -1,0 +1,217 @@
+//! The Auto-Weka baseline (Thornton et al. 2013, the paper's comparator).
+//!
+//! Auto-Weka "transforms the CASH problem into a single hierarchical
+//! hyperparameter optimization problem, in which even the choice of
+//! algorithm itself is considered as a hyperparameter", then solves it with
+//! SMAC. [`AutoWekaConfig::cash_space`] builds exactly that hierarchical
+//! space over our registry — a root categorical `algorithm` parameter
+//! gating each algorithm's (prefixed) subspace — and
+//! [`AutoWekaConfig::solve`] searches it with SMAC-lite.
+
+use crate::error::CoreError;
+use crate::udr::Solution;
+use automodel_data::Dataset;
+use automodel_hpo::{Budget, Config, FnObjective, Optimizer, ParamSpec, SearchSpace, SmacLite};
+use automodel_ml::{cross_val_accuracy, Registry};
+
+/// Baseline knobs.
+#[derive(Debug, Clone)]
+pub struct AutoWekaConfig {
+    pub budget: Budget,
+    pub cv_folds: usize,
+    pub seed: u64,
+}
+
+impl AutoWekaConfig {
+    pub fn new(budget: Budget) -> AutoWekaConfig {
+        AutoWekaConfig {
+            budget,
+            cv_folds: 10,
+            seed: 0,
+        }
+    }
+
+    /// Scaled-down defaults matching [`crate::udr::UdrConfig::fast`].
+    pub fn fast() -> AutoWekaConfig {
+        AutoWekaConfig {
+            budget: Budget::evals(40),
+            cv_folds: 3,
+            seed: 0,
+        }
+    }
+
+    /// The hierarchical CASH space: `algorithm ∈ {applicable names}`, and
+    /// for each algorithm `A` every parameter `p` of `A`'s space appears as
+    /// `A.p`, active only when `algorithm = A`. (Conditions *within* an
+    /// algorithm's own space are preserved by prefixing their parents too.)
+    pub fn cash_space(registry: &Registry, data: &Dataset) -> Result<SearchSpace, CoreError> {
+        let applicable: Vec<&str> = registry
+            .iter()
+            .filter(|s| s.check_applicable(data).is_ok())
+            .map(|s| s.name())
+            .collect();
+        if applicable.is_empty() {
+            return Err(CoreError::NothingApplicable(data.name().to_string()));
+        }
+        let mut params = vec![ParamSpec {
+            name: "algorithm".into(),
+            domain: automodel_hpo::Domain::Cat {
+                options: applicable.iter().map(|s| s.to_string()).collect(),
+            },
+            condition: None,
+        }];
+        for (idx, name) in applicable.iter().enumerate() {
+            let spec = registry.get(name).expect("applicable name is registered");
+            for p in spec.param_space().params() {
+                let condition = match &p.condition {
+                    // Inner condition: re-point at the prefixed parent. Both
+                    // the root gate and the inner gate must hold; since the
+                    // prefixed parent is itself gated on the root, the inner
+                    // condition subsumes the root one.
+                    Some(c) => automodel_hpo::Condition {
+                        parent: format!("{name}.{}", c.parent),
+                        values: c.values.clone(),
+                    },
+                    None => automodel_hpo::Condition::cat_eq("algorithm", idx),
+                };
+                params.push(ParamSpec {
+                    name: format!("{name}.{}", p.name),
+                    domain: p.domain.clone(),
+                    condition: Some(condition),
+                });
+            }
+        }
+        SearchSpace::new(params).map_err(|e| {
+            // Static registry spaces are valid; a failure here is a bug.
+            panic!("CASH space construction failed: {e}")
+        })
+    }
+
+    /// Extract algorithm name + de-prefixed sub-config from a CASH config.
+    pub fn split_config(
+        registry: &Registry,
+        data: &Dataset,
+        config: &Config,
+    ) -> Option<(String, Config)> {
+        let applicable: Vec<&str> = registry
+            .iter()
+            .filter(|s| s.check_applicable(data).is_ok())
+            .map(|s| s.name())
+            .collect();
+        let idx = config.cat_or("algorithm", usize::MAX);
+        let name = applicable.get(idx)?.to_string();
+        let prefix = format!("{name}.");
+        let mut sub = Config::new();
+        for (key, value) in config.iter() {
+            if let Some(stripped) = key.strip_prefix(&prefix) {
+                sub.set(stripped.to_string(), value.clone());
+            }
+        }
+        Some((name, sub))
+    }
+
+    /// Solve the CASH problem over the full registry with SMAC-lite.
+    pub fn solve(&self, registry: &Registry, data: &Dataset) -> Result<Solution, CoreError> {
+        let space = Self::cash_space(registry, data)?;
+        let folds = self.cv_folds;
+        let seed = self.seed;
+        let mut objective = FnObjective(|config: &Config| {
+            let Some((name, sub)) = Self::split_config(registry, data, config) else {
+                return 0.0;
+            };
+            let Some(spec) = registry.get(&name) else { return 0.0 };
+            cross_val_accuracy(|| spec.build(&sub, seed), data, folds, seed).unwrap_or(0.0)
+        });
+        let mut smac = SmacLite::new(self.seed);
+        let outcome = smac
+            .optimize(&space, &mut objective, &self.budget)
+            .ok_or(CoreError::EmptySearch)?;
+        let (algorithm, sub) = Self::split_config(registry, data, &outcome.best_config)
+            .expect("best config came from the CASH space");
+        Ok(Solution {
+            algorithm,
+            config: sub,
+            score: outcome.best_score,
+            technique: "smac-lite".into(),
+            trials: outcome.trials.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    #[test]
+    fn cash_space_has_root_plus_prefixed_params() {
+        let registry = Registry::fast();
+        let data = SynthSpec::new("d", 80, 3, 1, 2, SynthFamily::Mixed, 1).generate();
+        let space = AutoWekaConfig::cash_space(&registry, &data).unwrap();
+        assert_eq!(space.params()[0].name, "algorithm");
+        // Every non-root parameter is prefixed and conditional.
+        for p in &space.params()[1..] {
+            assert!(p.name.contains('.'), "{}", p.name);
+            assert!(p.condition.is_some(), "{}", p.name);
+        }
+        // Sampling always yields exactly one algorithm's params.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        use rand::SeedableRng;
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+            let (name, _) = AutoWekaConfig::split_config(&registry, &data, &c).unwrap();
+            for (key, _) in c.iter() {
+                if key != "algorithm" {
+                    assert!(
+                        key.starts_with(&format!("{name}.")),
+                        "foreign param {key} active under {name}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cash_space_excludes_inapplicable_algorithms() {
+        let registry = Registry::full();
+        let numeric = SynthSpec::new("n", 60, 3, 0, 2, SynthFamily::Hyperplane, 3).generate();
+        let space = AutoWekaConfig::cash_space(&registry, &numeric).unwrap();
+        let root = &space.params()[0];
+        if let automodel_hpo::Domain::Cat { options } = &root.domain {
+            assert!(!options.contains(&"Id3".to_string()), "Id3 is nominal-only");
+            assert!(options.contains(&"J48".to_string()));
+        } else {
+            panic!("root must be categorical");
+        }
+    }
+
+    #[test]
+    fn autoweka_solves_a_small_cash_problem() {
+        let registry = Registry::fast();
+        let data = SynthSpec::new("d", 120, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.8 }, 5)
+            .generate();
+        let solution = AutoWekaConfig::fast().solve(&registry, &data).unwrap();
+        assert!(registry.get(&solution.algorithm).is_some());
+        assert!(solution.score > 0.6, "score = {}", solution.score);
+        assert_eq!(solution.technique, "smac-lite");
+        // The returned sub-config round-trips into the algorithm's space.
+        let spec = registry.get(&solution.algorithm).unwrap();
+        spec.param_space().validate(&solution.config).unwrap();
+    }
+
+    #[test]
+    fn split_config_strips_prefixes() {
+        let registry = Registry::fast();
+        let data = SynthSpec::new("d", 50, 2, 0, 2, SynthFamily::Hyperplane, 7).generate();
+        let space = AutoWekaConfig::cash_space(&registry, &data).unwrap();
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let c = space.sample(&mut rng);
+        let (name, sub) = AutoWekaConfig::split_config(&registry, &data, &c).unwrap();
+        for (key, _) in sub.iter() {
+            assert!(!key.contains('.'), "prefix not stripped from {key}");
+        }
+        assert!(registry.get(&name).is_some());
+    }
+}

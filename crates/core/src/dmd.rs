@@ -1,0 +1,656 @@
+//! The Decision-Making Model Designer (§III-C, Algorithms 1–4).
+//!
+//! `AutoModelDMD` (Algorithm 4) chains:
+//!
+//! 1. **Knowledge acquisition** (Algorithm 1, in `automodel-knowledge`) —
+//!    experiences → `CRelations = {(instance, optimal algorithm)}`;
+//! 2. **Instance feature selection** (Algorithm 2) — a GA over boolean
+//!    masks of the 23 Table III features; fitness is the k-fold CV accuracy
+//!    of a default-architecture MLP classifier predicting the optimal
+//!    algorithm from the masked features;
+//! 3. **Architecture search** (Algorithm 3) — a GA over the Table II space;
+//!    fitness is `−MSE` of an MLP *regressor* predicting the OneHot' target
+//!    (one-hot over the registry with −1 at algorithms that cannot process
+//!    the instance); the search stops as soon as the MSE beats `precision`
+//!    (the paper's default: 0.0015);
+//! 4. training the final decision model `SNA` on all pairs.
+
+use crate::error::CoreError;
+use crate::table2::{default_mlp_point, mlp_config_from, mlp_space};
+use automodel_data::encoding::VecStandardizer;
+use automodel_data::features::{meta_features, select_features, FEATURE_COUNT};
+use automodel_data::{Dataset, SynthFamily, SynthSpec};
+use automodel_hpo::{
+    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, SearchSpace,
+};
+use automodel_knowledge::{
+    knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper,
+};
+use automodel_ml::Registry;
+use automodel_nn::{MlpClassifier, MlpRegressor};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Everything DMD consumes: the paper corpus plus the datasets behind the
+/// task instances the corpus talks about.
+#[derive(Debug, Clone)]
+pub struct DmdInput {
+    pub experiences: Vec<Experience>,
+    pub papers: Vec<Paper>,
+    pub datasets: BTreeMap<String, Dataset>,
+}
+
+impl DmdInput {
+    /// Attach synthetic datasets (deterministic per instance name) to a
+    /// corpus whose instances have no real data — convenient for examples
+    /// and doc tests. Real pipelines attach the actual datasets instead.
+    pub fn synthetic_from_corpus(corpus: &Corpus, rows: usize, seed: u64) -> DmdInput {
+        let mut datasets = BTreeMap::new();
+        for (i, instance) in corpus.true_rankings.keys().enumerate() {
+            let family = match i % 4 {
+                0 => SynthFamily::GaussianBlobs { spread: 1.0 },
+                1 => SynthFamily::Hyperplane,
+                2 => SynthFamily::RuleBased { depth: 3 },
+                _ => SynthFamily::Mixed,
+            };
+            let spec = SynthSpec::new(
+                instance.clone(),
+                rows.max(40),
+                2 + i % 6,
+                i % 4,
+                2 + i % 3,
+                family,
+                seed ^ (i as u64) << 8,
+            );
+            datasets.insert(instance.clone(), spec.generate());
+        }
+        DmdInput {
+            experiences: corpus.experiences.clone(),
+            papers: corpus.papers.clone(),
+            datasets,
+        }
+    }
+}
+
+/// One CRelations entry enriched with the instance's dataset features —
+/// the training rows of the decision model.
+#[derive(Debug, Clone)]
+pub struct KnowledgeRecord {
+    pub instance: String,
+    pub algorithm: String,
+    /// Registry index of `algorithm` (the OneHot' coordinate).
+    pub algorithm_index: usize,
+    /// Full 23-feature Table III vector.
+    pub features: [f64; FEATURE_COUNT],
+    /// OneHot' target over the registry.
+    pub target: Vec<f64>,
+}
+
+/// DMD tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DmdConfig {
+    pub registry: Registry,
+    /// Algorithm 1's line-6 threshold.
+    pub min_algorithms: usize,
+    /// Feature-selection GA (Algorithm 2; paper: 50 × 100).
+    pub fs_population: usize,
+    pub fs_generations: usize,
+    /// Architecture-search GA (Algorithm 3; paper: population 50).
+    pub arch_population: usize,
+    pub arch_generations: usize,
+    /// Stop architecture search when CV MSE < `precision`
+    /// (paper default −0.0015, i.e. |MSE| < 0.0015).
+    pub precision: f64,
+    /// Folds for the meta-level cross-validations.
+    pub meta_cv_folds: usize,
+    /// Cap on MLP training iterations during the meta searches.
+    pub mlp_iter_cap: usize,
+    /// Ablation: skip Algorithm 2 and use this fixed feature mask
+    /// (e.g. all-true = "no feature selection").
+    pub feature_mask_override: Option<[bool; FEATURE_COUNT]>,
+    /// Ablation: skip Algorithm 3 and use this fixed Table II point
+    /// (e.g. [`crate::table2::default_mlp_point`] = "no architecture search").
+    pub architecture_override: Option<automodel_hpo::Config>,
+    pub seed: u64,
+}
+
+impl DmdConfig {
+    /// Paper-scale settings (slow: thousands of MLP trainings).
+    pub fn paper(registry: Registry) -> DmdConfig {
+        DmdConfig {
+            registry,
+            min_algorithms: 5,
+            fs_population: 50,
+            fs_generations: 100,
+            arch_population: 50,
+            arch_generations: 100,
+            precision: 0.0015,
+            meta_cv_folds: 5,
+            mlp_iter_cap: 500,
+            feature_mask_override: None,
+            architecture_override: None,
+            seed: 0,
+        }
+    }
+
+    /// Scaled-down settings that finish in seconds (used by tests, examples
+    /// and the default experiment harness; EXPERIMENTS.md records the scale).
+    pub fn fast() -> DmdConfig {
+        DmdConfig {
+            registry: Registry::fast(),
+            min_algorithms: 3,
+            fs_population: 8,
+            fs_generations: 4,
+            arch_population: 6,
+            arch_generations: 3,
+            precision: 0.0015,
+            meta_cv_folds: 3,
+            mlp_iter_cap: 120,
+            feature_mask_override: None,
+            architecture_override: None,
+            seed: 0,
+        }
+    }
+
+    /// Same scale as [`DmdConfig::fast`] but over a caller-chosen registry.
+    pub fn fast_with(registry: Registry) -> DmdConfig {
+        DmdConfig {
+            registry,
+            ..DmdConfig::fast()
+        }
+    }
+
+    /// Run Algorithm 4 end to end.
+    pub fn run(&self, input: &DmdInput) -> Result<Dmd, CoreError> {
+        // ---- Step 1: knowledge acquisition (Algorithm 1).
+        let pairs = knowledge_acquisition(
+            &input.experiences,
+            &input.papers,
+            &AcquisitionOptions {
+                min_algorithms: self.min_algorithms,
+            },
+        );
+        let mut records = Vec::new();
+        for pair in &pairs {
+            let Some(dataset) = input.datasets.get(&pair.instance) else {
+                return Err(CoreError::MissingDataset(pair.instance.clone()));
+            };
+            let Some(algorithm_index) = self.registry.index_of(&pair.best_algorithm) else {
+                // Knowledge about unimplemented algorithms is simply unusable
+                // (the paper's UDR would ask the user to implement them).
+                continue;
+            };
+            let features = meta_features(dataset);
+            let target = onehot_prime(&self.registry, dataset, algorithm_index);
+            records.push(KnowledgeRecord {
+                instance: pair.instance.clone(),
+                algorithm: pair.best_algorithm.clone(),
+                algorithm_index,
+                features,
+                target,
+            });
+        }
+        if records.len() < 2 {
+            return Err(CoreError::NoKnowledge);
+        }
+
+        // ---- Step 2: instance feature selection (Algorithm 2).
+        let key_features = match self.feature_mask_override {
+            Some(mask) if mask.iter().any(|&b| b) => mask,
+            Some(_) => [true; FEATURE_COUNT],
+            None => self.select_features(&records),
+        };
+
+        // ---- Step 3: architecture search (Algorithm 3).
+        let (xs, standardizer) = selected_matrix(&records, &key_features);
+        let targets: Vec<Vec<f64>> = records.iter().map(|r| r.target.clone()).collect();
+        let arch = match &self.architecture_override {
+            Some(point) => point.clone(),
+            None => self.search_architecture(&xs, &targets),
+        };
+
+        // ---- Step 4: train the final SNA on all pairs (Algorithm 4, line 5).
+        // The paper's GA keeps searching until the CV MSE beats `Precision`;
+        // scaled-down searches may stop earlier, so guard the *final* model:
+        // if the searched architecture fails to fit CRelations, retrain with
+        // a strong interpolating configuration (L-BFGS, tanh) and keep the
+        // better of the two.
+        let mut sna = MlpRegressor::new(mlp_config_from(&arch, self.seed, 500));
+        sna.fit(&xs, &targets);
+        let searched_mse = sna.mse(&xs, &targets);
+        if searched_mse > self.precision * 20.0 {
+            let strong = automodel_nn::MlpConfig {
+                hidden_layers: 2,
+                hidden_size: 48,
+                activation: automodel_nn::Activation::Tanh,
+                solver: automodel_nn::Solver::Lbfgs,
+                max_iter: 400,
+                validation_fraction: 0.0,
+                alpha: 1e-5,
+                seed: self.seed,
+                ..automodel_nn::MlpConfig::default()
+            };
+            let mut fallback = MlpRegressor::new(strong);
+            fallback.fit(&xs, &targets);
+            if fallback.mse(&xs, &targets) < searched_mse {
+                sna = fallback;
+            }
+        }
+
+        Ok(Dmd {
+            registry: self.registry.clone(),
+            key_features,
+            sna,
+            standardizer,
+            records,
+            architecture: arch,
+        })
+    }
+
+    /// Algorithm 2: GA over boolean feature masks.
+    fn select_features(&self, records: &[KnowledgeRecord]) -> [bool; FEATURE_COUNT] {
+        let space = {
+            let mut b = SearchSpace::builder();
+            for name in automodel_data::FEATURE_NAMES {
+                b = b.add(name, Domain::Bool);
+            }
+            b.build().expect("static feature space")
+        };
+        let labels: Vec<usize> = records.iter().map(|r| r.algorithm_index).collect();
+        let full: Vec<[f64; FEATURE_COUNT]> = records.iter().map(|r| r.features).collect();
+        let n_classes = self.registry.len().max(2);
+        let folds = meta_folds(labels.len(), self.meta_cv_folds, self.seed);
+        let mut cache: BTreeMap<Vec<bool>, f64> = BTreeMap::new();
+
+        let mut objective = FnObjective(|config: &automodel_hpo::Config| {
+            let mask: Vec<bool> = automodel_data::FEATURE_NAMES
+                .iter()
+                .map(|name| config.bool_or(name, false))
+                .collect();
+            if !mask.iter().any(|&b| b) {
+                return 0.0; // the empty mask cannot discriminate anything
+            }
+            if let Some(&score) = cache.get(&mask) {
+                return score;
+            }
+            let rows: Vec<Vec<f64>> = full
+                .iter()
+                .map(|f| select_features(f, &mask))
+                .collect();
+            let std = VecStandardizer::fit(&rows);
+            let rows: Vec<Vec<f64>> = rows.iter().map(|r| std.transform(r)).collect();
+            let score =
+                meta_cv_accuracy(&rows, &labels, n_classes, &folds, self.seed, self.mlp_iter_cap);
+            cache.insert(mask, score);
+            score
+        });
+
+        let budget = Budget::evals(self.fs_population * (self.fs_generations + 1));
+        let mut ga = GeneticAlgorithm::with_config(
+            self.seed ^ 0xF5,
+            GaConfig {
+                population: self.fs_population,
+                generations: self.fs_generations,
+                ..GaConfig::default()
+            },
+        );
+        let outcome = ga
+            .optimize(&space, &mut objective, &budget)
+            .expect("nonzero GA budget");
+        let mut mask = [false; FEATURE_COUNT];
+        for (i, name) in automodel_data::FEATURE_NAMES.iter().enumerate() {
+            mask[i] = outcome.best_config.bool_or(name, false);
+        }
+        if !mask.iter().any(|&b| b) {
+            mask = [true; FEATURE_COUNT]; // degenerate search: keep everything
+        }
+        mask
+    }
+
+    /// Algorithm 3: GA over the Table II space, stopping at `precision`.
+    fn search_architecture(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+    ) -> automodel_hpo::Config {
+        let space = mlp_space();
+        let folds = meta_folds(xs.len(), self.meta_cv_folds, self.seed ^ 0xA2);
+        let mut objective = FnObjective(|config: &automodel_hpo::Config| {
+            let mlp_config = mlp_config_from(config, self.seed, self.mlp_iter_cap);
+            let mut total = 0.0;
+            let mut n = 0usize;
+            for (train, test) in &folds {
+                if train.is_empty() || test.is_empty() {
+                    continue;
+                }
+                let train_x: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
+                let train_y: Vec<Vec<f64>> = train.iter().map(|&i| targets[i].clone()).collect();
+                let test_x: Vec<Vec<f64>> = test.iter().map(|&i| xs[i].clone()).collect();
+                let test_y: Vec<Vec<f64>> = test.iter().map(|&i| targets[i].clone()).collect();
+                let mut reg = MlpRegressor::new(mlp_config.clone());
+                reg.fit(&train_x, &train_y);
+                total += reg.mse(&test_x, &test_y) * test.len() as f64;
+                n += test.len();
+            }
+            if n == 0 {
+                return f64::NEG_INFINITY;
+            }
+            -(total / n as f64) // maximize −MSE
+        });
+        let budget = Budget::evals(self.arch_population * (self.arch_generations + 1))
+            .with_target(-self.precision);
+        let mut ga = GeneticAlgorithm::with_config(
+            self.seed ^ 0xAC,
+            GaConfig {
+                population: self.arch_population,
+                generations: self.arch_generations,
+                ..GaConfig::default()
+            },
+        );
+        ga.optimize(&space, &mut objective, &budget)
+            .map(|o| o.best_config)
+            .unwrap_or_else(default_mlp_point)
+    }
+}
+
+/// The trained decision-making model plus everything UDR needs.
+#[derive(Debug, Clone)]
+pub struct Dmd {
+    pub registry: Registry,
+    /// The Algorithm 2 output: which of the 23 Table III features feed `SNA`.
+    pub key_features: [bool; FEATURE_COUNT],
+    /// The Algorithm 3 output, trained on all CRelations pairs.
+    pub sna: MlpRegressor,
+    standardizer: VecStandardizer,
+    /// The enriched CRelations (diagnostics and experiment input).
+    pub records: Vec<KnowledgeRecord>,
+    /// The winning Table II configuration.
+    pub architecture: automodel_hpo::Config,
+}
+
+impl Dmd {
+    /// Reassemble a model from persisted parts (see [`crate::artifact`]).
+    pub(crate) fn from_parts(
+        registry: Registry,
+        key_features: [bool; FEATURE_COUNT],
+        sna: MlpRegressor,
+        standardizer: VecStandardizer,
+        records: Vec<KnowledgeRecord>,
+        architecture: automodel_hpo::Config,
+    ) -> Dmd {
+        Dmd {
+            registry,
+            key_features,
+            sna,
+            standardizer,
+            records,
+            architecture,
+        }
+    }
+
+    /// Clone of the internal feature standardizer (for persistence).
+    pub(crate) fn standardizer_clone(&self) -> VecStandardizer {
+        self.standardizer.clone()
+    }
+
+    /// `SNA(KFs(I))`: per-algorithm scores for a dataset, in registry order.
+    pub fn scores(&self, data: &Dataset) -> Vec<f64> {
+        let features = meta_features(data);
+        let selected = select_features(&features, &self.key_features);
+        let x = self.standardizer.transform(&selected);
+        self.sna.predict(&x)
+    }
+
+    /// Algorithm 5, line 1: the selected algorithm — highest score among
+    /// the algorithms that can actually process the dataset.
+    pub fn select_algorithm(&self, data: &Dataset) -> Result<String, CoreError> {
+        let scores = self.scores(data);
+        let mut best: Option<(f64, &str)> = None;
+        for (spec, &score) in self.registry.iter().zip(&scores) {
+            if spec.check_applicable(data).is_err() {
+                continue;
+            }
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, spec.name()));
+            }
+        }
+        best.map(|(_, name)| name.to_string())
+            .ok_or_else(|| CoreError::NothingApplicable(data.name().to_string()))
+    }
+
+    /// Number of selected key features.
+    pub fn n_key_features(&self) -> usize {
+        self.key_features.iter().filter(|&&b| b).count()
+    }
+
+    /// Names of the selected key features (the paper reports its run's as
+    /// `{f1, f3, f5, f7, f9, f10, f13, f14, f15, f16, f19}`).
+    pub fn key_feature_names(&self) -> Vec<&'static str> {
+        automodel_data::FEATURE_NAMES
+            .iter()
+            .zip(&self.key_features)
+            .filter_map(|(&name, &keep)| keep.then_some(name))
+            .collect()
+    }
+
+    /// Ranked `(algorithm, score)` list for a dataset — `SNA`'s full view,
+    /// applicable algorithms only, best first.
+    pub fn ranked_algorithms(&self, data: &Dataset) -> Vec<(String, f64)> {
+        let scores = self.scores(data);
+        let mut out: Vec<(String, f64)> = self
+            .registry
+            .iter()
+            .zip(scores)
+            .filter(|(spec, _)| spec.check_applicable(data).is_ok())
+            .map(|(spec, s)| (spec.name().to_string(), s))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// OneHot'(OA): +1 at the optimal algorithm, −1 at algorithms that cannot
+/// process the instance, 0 elsewhere (Algorithm 3's footnote).
+pub fn onehot_prime(registry: &Registry, data: &Dataset, best_index: usize) -> Vec<f64> {
+    registry
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            if i == best_index {
+                1.0
+            } else if spec.check_applicable(data).is_err() {
+                -1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Standardized selected-feature matrix over the records.
+fn selected_matrix(
+    records: &[KnowledgeRecord],
+    mask: &[bool; FEATURE_COUNT],
+) -> (Vec<Vec<f64>>, VecStandardizer) {
+    let raw: Vec<Vec<f64>> = records
+        .iter()
+        .map(|r| select_features(&r.features, mask))
+        .collect();
+    let std = VecStandardizer::fit(&raw);
+    let xs = raw.iter().map(|r| std.transform(r)).collect();
+    (xs, std)
+}
+
+/// Simple k-fold plan over `n` meta-rows (the meta-dataset is small and its
+/// label distribution ragged, so plain shuffled folds are used).
+fn meta_folds(n: usize, k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let k = k.clamp(2, n.max(2));
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &row) in order.iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    (0..k)
+        .map(|i| {
+            let test = folds[i].clone();
+            let train = (0..k)
+                .filter(|&j| j != i)
+                .flat_map(|j| folds[j].iter().copied())
+                .collect();
+            (train, test)
+        })
+        .collect()
+}
+
+/// CV accuracy of the default-architecture MLP classifier on a meta-dataset
+/// (Algorithm 2's fitness).
+fn meta_cv_accuracy(
+    xs: &[Vec<f64>],
+    labels: &[usize],
+    n_classes: usize,
+    folds: &[(Vec<usize>, Vec<usize>)],
+    seed: u64,
+    iter_cap: usize,
+) -> f64 {
+    let config = mlp_config_from(&default_mlp_point(), seed, iter_cap);
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (train, test) in folds {
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let train_x: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
+        let train_y: Vec<usize> = train.iter().map(|&i| labels[i]).collect();
+        let mut clf = MlpClassifier::new(config.clone());
+        clf.fit(&train_x, &train_y, n_classes);
+        for &i in test {
+            if clf.predict(&xs[i]) == labels[i] {
+                correct += 1;
+            }
+            total += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_knowledge::CorpusSpec;
+
+    fn fast_dmd() -> (Dmd, DmdInput) {
+        let corpus = CorpusSpec::small().build();
+        let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+        let dmd = DmdConfig::fast().run(&input).unwrap();
+        (dmd, input)
+    }
+
+    #[test]
+    fn dmd_pipeline_produces_a_usable_model() {
+        let (dmd, input) = fast_dmd();
+        assert!(!dmd.records.is_empty());
+        assert!(dmd.n_key_features() >= 1);
+        // SNA scores every registry algorithm for a fresh dataset.
+        let any = input.datasets.values().next().unwrap();
+        let scores = dmd.scores(any);
+        assert_eq!(scores.len(), dmd.registry.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+        // And selects an applicable algorithm.
+        let selected = dmd.select_algorithm(any).unwrap();
+        assert!(dmd.registry.get(&selected).is_some());
+    }
+
+    #[test]
+    fn onehot_prime_marks_inapplicable_with_minus_one() {
+        let registry = Registry::full();
+        // Numeric dataset: Id3 (nominal-only) must get −1.
+        let d = SynthSpec::new("n", 50, 3, 0, 2, SynthFamily::Hyperplane, 1).generate();
+        let best = registry.index_of("J48").unwrap();
+        let target = onehot_prime(&registry, &d, best);
+        assert_eq!(target[best], 1.0);
+        let id3 = registry.index_of("Id3").unwrap();
+        assert_eq!(target[id3], -1.0);
+        // Everything else is 0 or −1, exactly one +1.
+        assert_eq!(target.iter().filter(|&&v| v == 1.0).count(), 1);
+    }
+
+    #[test]
+    fn dmd_errors_on_missing_datasets() {
+        let corpus = CorpusSpec::small().build();
+        let input = DmdInput {
+            experiences: corpus.experiences.clone(),
+            papers: corpus.papers.clone(),
+            datasets: BTreeMap::new(),
+        };
+        let err = DmdConfig::fast().run(&input).unwrap_err();
+        assert!(matches!(err, CoreError::MissingDataset(_)));
+    }
+
+    #[test]
+    fn dmd_errors_when_knowledge_is_empty() {
+        let input = DmdInput {
+            experiences: Vec::new(),
+            papers: Vec::new(),
+            datasets: BTreeMap::new(),
+        };
+        let err = DmdConfig::fast().run(&input).unwrap_err();
+        assert_eq!(err, CoreError::NoKnowledge);
+    }
+
+    #[test]
+    fn meta_folds_partition_rows() {
+        let folds = meta_folds(17, 4, 3);
+        assert_eq!(folds.len(), 4);
+        let mut seen = vec![false; 17];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 17);
+            for &t in test {
+                assert!(!seen[t]);
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn key_feature_names_match_mask() {
+        let (dmd, _) = fast_dmd();
+        let names = dmd.key_feature_names();
+        assert_eq!(names.len(), dmd.n_key_features());
+        for name in &names {
+            assert!(automodel_data::FEATURE_NAMES.contains(name));
+        }
+    }
+
+    #[test]
+    fn ranked_algorithms_are_sorted_and_applicable() {
+        let (dmd, input) = fast_dmd();
+        let data = input.datasets.values().next().unwrap();
+        let ranked = dmd.ranked_algorithms(data);
+        assert!(!ranked.is_empty());
+        for pair in ranked.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        // The UDR selection is exactly the head of the ranking.
+        assert_eq!(dmd.select_algorithm(data).unwrap(), ranked[0].0);
+    }
+
+    #[test]
+    fn dmd_is_deterministic_in_seed() {
+        let corpus = CorpusSpec::small().build();
+        let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+        let a = DmdConfig::fast().run(&input).unwrap();
+        let b = DmdConfig::fast().run(&input).unwrap();
+        assert_eq!(a.key_features, b.key_features);
+        let d = input.datasets.values().next().unwrap();
+        assert_eq!(a.select_algorithm(d).unwrap(), b.select_algorithm(d).unwrap());
+    }
+}

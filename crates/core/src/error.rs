@@ -1,0 +1,58 @@
+//! Error type for the Auto-Model pipeline.
+
+use std::fmt;
+
+/// Errors raised by DMD, UDR or the baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The knowledge corpus produced no usable CRelations.
+    NoKnowledge,
+    /// A knowledge pair references an instance with no dataset attached.
+    MissingDataset(String),
+    /// A knowledge pair references an algorithm missing from the registry.
+    UnknownAlgorithm(String),
+    /// No registered algorithm can process the given dataset.
+    NothingApplicable(String),
+    /// The optimizer returned no trials (zero budget).
+    EmptySearch,
+    /// Wrapped classification-substrate error.
+    Ml(automodel_ml::MlError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoKnowledge => write!(f, "knowledge acquisition produced no CRelations"),
+            CoreError::MissingDataset(i) => write!(f, "no dataset registered for instance '{i}'"),
+            CoreError::UnknownAlgorithm(a) => {
+                write!(f, "knowledge references unregistered algorithm '{a}'")
+            }
+            CoreError::NothingApplicable(d) => {
+                write!(f, "no registered algorithm can process dataset '{d}'")
+            }
+            CoreError::EmptySearch => write!(f, "optimizer returned no trials (budget too small?)"),
+            CoreError::Ml(e) => write!(f, "classification substrate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<automodel_ml::MlError> for CoreError {
+    fn from(e: automodel_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<automodel_data::DataError> for CoreError {
+    fn from(e: automodel_data::DataError) -> Self {
+        CoreError::Ml(automodel_ml::MlError::Data(e))
+    }
+}

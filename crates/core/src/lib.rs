@@ -1,0 +1,38 @@
+//! # automodel-core
+//!
+//! The paper's contribution: the Auto-Model CASH solver.
+//!
+//! * [`table2`] — the 10-hyperparameter MLP architecture space of Table II
+//!   and its mapping onto [`automodel_nn::MlpConfig`].
+//! * [`dmd`] — the Decision-Making Model Designer (§III-C, Algorithms 1–4):
+//!   knowledge acquisition → instance-feature selection (GA over boolean
+//!   masks, Algorithm 2) → MLP architecture search (GA over Table II with a
+//!   `Precision` stopping target, Algorithm 3) → the trained decision model
+//!   `SNA`.
+//! * [`udr`] — the User Demand Responser (§III-D, Algorithm 5): select the
+//!   algorithm with `SNA`, probe the cost of one evaluation on a small
+//!   sample, tune with GA (cheap evaluations) or BO (expensive ones).
+//! * [`autoweka`] — the Auto-Weka baseline: the CASH problem as one
+//!   hierarchical space (`algorithm` gating every subspace) searched by
+//!   SMAC-lite.
+//! * [`artifact`] — persistence of a trained decision model
+//!   (train once offline, ship the JSON artifact, re-attach the registry).
+//! * [`poratio`] — the §IV evaluation metrics: `P(A, D)` (GA-tuned 10-fold
+//!   CV accuracy), `Pmax`, `Pavg` and Definition 1's PORatio, with a shared
+//!   evaluation cache and a crossbeam-parallel sweep over the registry.
+
+pub mod artifact;
+pub mod autoweka;
+pub mod dmd;
+pub mod error;
+pub mod poratio;
+pub mod table2;
+pub mod udr;
+
+pub use artifact::DmdArtifact;
+pub use autoweka::AutoWekaConfig;
+pub use dmd::{Dmd, DmdConfig, DmdInput};
+pub use error::CoreError;
+pub use poratio::{po_ratio, EvalContext};
+pub use table2::{mlp_config_from, mlp_space};
+pub use udr::{Solution, UdrConfig};

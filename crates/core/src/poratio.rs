@@ -1,0 +1,237 @@
+//! The §IV evaluation metrics.
+//!
+//! * `P(A, D)` — "We utilize GA algorithm to obtain the optimal
+//!   hyperparameter setting λ of A, use the 10-fold cross-validation
+//!   accuracy to calculate f(λ, A, D) and consider it as P(A, D)"
+//!   (Table V). [`EvalContext::performance`] implements exactly that, with
+//!   a configurable tuning budget (the paper uses a 10³-second GA limit; the
+//!   scaled experiments use evaluation counts) and a process-wide cache so
+//!   Tables VI–XIII can share measurements.
+//! * `Pmax(D)`, `Pavg(D)` — best / average performance over the registry
+//!   (average over the algorithms that *can* process `D`).
+//! * `PORatio(A, D)` (Definition 1) — the fraction of registry algorithms
+//!   not more effective than `A` on `D`. Algorithms that cannot process `D`
+//!   count as "not more effective" and stay in the denominator.
+
+use automodel_data::Dataset;
+use automodel_hpo::{Budget, FnObjective, GaConfig, GeneticAlgorithm, Optimizer};
+use automodel_ml::{cross_val_accuracy, Registry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Shared measurement context for the experiment suite.
+pub struct EvalContext {
+    pub registry: Registry,
+    /// Folds of `f(λ, A, D)`.
+    pub cv_folds: usize,
+    /// GA tuning budget per `(A, D)` pair.
+    pub tuning_budget: Budget,
+    /// GA population for tuning.
+    pub population: usize,
+    pub seed: u64,
+    cache: Mutex<HashMap<(String, String), Option<f64>>>,
+}
+
+impl EvalContext {
+    pub fn new(registry: Registry, cv_folds: usize, tuning_budget: Budget) -> EvalContext {
+        EvalContext {
+            registry,
+            cv_folds,
+            tuning_budget,
+            population: 10,
+            seed: 0,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Scaled-down defaults used by the experiment harness.
+    pub fn fast(registry: Registry) -> EvalContext {
+        EvalContext::new(registry, 3, Budget::evals(12))
+    }
+
+    /// `P(A, D)`: GA-tuned CV accuracy; `None` when `A` cannot process `D`.
+    /// Cached by `(dataset name, algorithm)` — dataset names must therefore
+    /// be unique within one context.
+    pub fn performance(&self, data: &Dataset, algorithm: &str) -> Option<f64> {
+        let key = (data.name().to_string(), algorithm.to_string());
+        if let Some(&cached) = self.cache.lock().get(&key) {
+            return cached;
+        }
+        let value = self.measure(data, algorithm);
+        self.cache.lock().insert(key, value);
+        value
+    }
+
+    fn measure(&self, data: &Dataset, algorithm: &str) -> Option<f64> {
+        let spec = self.registry.get(algorithm)?;
+        if spec.check_applicable(data).is_err() {
+            return None;
+        }
+        let space = spec.param_space();
+        let seed = self.seed;
+        let folds = self.cv_folds;
+        if space.is_empty() {
+            return cross_val_accuracy(|| spec.build(&spec.default_config(), seed), data, folds, seed)
+                .ok();
+        }
+        let mut objective = FnObjective(|config: &automodel_hpo::Config| {
+            cross_val_accuracy(|| spec.build(config, seed), data, folds, seed).unwrap_or(0.0)
+        });
+        let mut ga = GeneticAlgorithm::with_config(
+            seed ^ 0x6A,
+            GaConfig {
+                population: self.population,
+                generations: 1000, // bounded by the budget
+                ..GaConfig::default()
+            },
+        );
+        ga.optimize(&space, &mut objective, &self.tuning_budget)
+            .map(|o| o.best_score)
+    }
+
+    /// `P(A, D)` for every registry algorithm, in registry order, computed
+    /// on `threads` worker threads (crossbeam scoped).
+    pub fn all_performances(&self, data: &Dataset, threads: usize) -> Vec<(String, Option<f64>)> {
+        let names: Vec<String> = self.registry.names().iter().map(|s| s.to_string()).collect();
+        if threads <= 1 || names.len() <= 1 {
+            return names
+                .into_iter()
+                .map(|n| {
+                    let p = self.performance(data, &n);
+                    (n, p)
+                })
+                .collect();
+        }
+        let queue: Mutex<Vec<usize>> = Mutex::new((0..names.len()).rev().collect());
+        let results: Mutex<Vec<Option<Option<f64>>>> = Mutex::new(vec![None; names.len()]);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads.min(names.len()) {
+                scope.spawn(|_| loop {
+                    let Some(idx) = queue.lock().pop() else { break };
+                    let p = self.performance(data, &names[idx]);
+                    results.lock()[idx] = Some(p);
+                });
+            }
+        })
+        .expect("worker panicked during performance sweep");
+        let results = results.into_inner();
+        names
+            .into_iter()
+            .zip(results)
+            .map(|(n, p)| (n, p.expect("every index processed")))
+            .collect()
+    }
+
+    /// `Pmax(D)` over precomputed performances.
+    pub fn p_max(performances: &[(String, Option<f64>)]) -> Option<f64> {
+        performances
+            .iter()
+            .filter_map(|(_, p)| *p)
+            .max_by(f64::total_cmp)
+    }
+
+    /// `Pavg(D)`: mean over the algorithms that can process `D`.
+    pub fn p_avg(performances: &[(String, Option<f64>)]) -> Option<f64> {
+        let values: Vec<f64> = performances.iter().filter_map(|(_, p)| *p).collect();
+        if values.is_empty() {
+            None
+        } else {
+            Some(values.iter().sum::<f64>() / values.len() as f64)
+        }
+    }
+}
+
+/// Definition 1: `PORatio(A, D) = |{A_i : P(A_i, D) ≤ P(A, D)}| / |CAList|`.
+/// Returns `None` when `A` itself cannot process `D`. Algorithms that cannot
+/// process `D` count toward the numerator (they certainly aren't *more*
+/// effective) and the denominator (they are in `CAList`).
+pub fn po_ratio(performances: &[(String, Option<f64>)], algorithm: &str) -> Option<f64> {
+    let own = performances
+        .iter()
+        .find(|(n, _)| n == algorithm)
+        .and_then(|(_, p)| *p)?;
+    let not_better = performances
+        .iter()
+        .filter(|(_, p)| match p {
+            Some(v) => *v <= own,
+            None => true,
+        })
+        .count();
+    Some(not_better as f64 / performances.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn ctx() -> EvalContext {
+        EvalContext::fast(Registry::fast())
+    }
+
+    fn blobs() -> Dataset {
+        SynthSpec::new("b", 120, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.8 }, 61)
+            .generate()
+    }
+
+    #[test]
+    fn performance_is_cached_and_deterministic() {
+        let ctx = ctx();
+        let d = blobs();
+        let a = ctx.performance(&d, "J48");
+        let b = ctx.performance(&d, "J48");
+        assert_eq!(a, b);
+        assert!(a.unwrap() > 0.5);
+    }
+
+    #[test]
+    fn inapplicable_algorithms_yield_none() {
+        let ctx = EvalContext::fast(Registry::full());
+        let numeric = SynthSpec::new("n", 60, 3, 0, 2, SynthFamily::Hyperplane, 3).generate();
+        assert_eq!(ctx.performance(&numeric, "Id3"), None);
+    }
+
+    #[test]
+    fn sweep_is_ordered_and_parallel_matches_serial() {
+        let ctx = ctx();
+        let d = blobs();
+        let serial = ctx.all_performances(&d, 1);
+        let ctx2 = EvalContext::fast(Registry::fast());
+        let parallel = ctx2.all_performances(&d, 4);
+        assert_eq!(serial.len(), ctx.registry.len());
+        for ((n1, p1), (n2, p2)) in serial.iter().zip(&parallel) {
+            assert_eq!(n1, n2);
+            assert_eq!(p1, p2, "{n1}");
+        }
+    }
+
+    #[test]
+    fn po_ratio_matches_definition() {
+        let perf = vec![
+            ("A".to_string(), Some(0.9)),
+            ("B".to_string(), Some(0.7)),
+            ("C".to_string(), Some(0.8)),
+            ("D".to_string(), None),
+        ];
+        // A dominates everything: 4/4.
+        assert_eq!(po_ratio(&perf, "A"), Some(1.0));
+        // B: itself + the inapplicable D ⇒ 2/4.
+        assert_eq!(po_ratio(&perf, "B"), Some(0.5));
+        // C: C, B, D ⇒ 3/4.
+        assert_eq!(po_ratio(&perf, "C"), Some(0.75));
+        // D cannot process the dataset.
+        assert_eq!(po_ratio(&perf, "D"), None);
+    }
+
+    #[test]
+    fn p_max_and_p_avg_skip_inapplicable() {
+        let perf = vec![
+            ("A".to_string(), Some(0.9)),
+            ("B".to_string(), Some(0.5)),
+            ("C".to_string(), None),
+        ];
+        assert_eq!(EvalContext::p_max(&perf), Some(0.9));
+        assert!((EvalContext::p_avg(&perf).unwrap() - 0.7).abs() < 1e-12);
+        assert_eq!(EvalContext::p_max(&[]), None);
+    }
+}

@@ -1,0 +1,176 @@
+//! The MLP architecture space of Table II.
+//!
+//! Ten hyperparameters, reproduced verbatim (name → domain):
+//!
+//! | Table II            | here                  | domain                               |
+//! |---------------------|-----------------------|--------------------------------------|
+//! | hidden layer        | `hidden_layers`       | int 1–20                             |
+//! | hidden layer size   | `hidden_size`         | int 5–100                            |
+//! | activation          | `activation`          | relu / tanh / logistic / identity    |
+//! | solver              | `solver`              | lbfgs / sgd / adam                   |
+//! | learning rate       | `learning_rate`       | constant / invscaling / adaptive, *sgd only* |
+//! | max iter            | `max_iter`            | int 100–500                          |
+//! | momentum            | `momentum`            | float 0.01–0.99, *sgd only*          |
+//! | validation fraction | `validation_fraction` | float 0.01–0.99                      |
+//! | beta 1              | `beta_1`              | float 0.01–0.99                      |
+//! | beta 2              | `beta_2`              | float 0.01–0.99                      |
+//!
+//! The two "*sgd only*" rows become conditional parameters, which is exactly
+//! the hierarchical-space feature of `automodel-hpo`.
+
+use automodel_hpo::{Condition, Config, Domain, ParamValue, SearchSpace};
+use automodel_nn::{Activation, LearningRateSchedule, MlpConfig, Solver};
+
+/// Index of `sgd` in the solver option list (Table II order).
+const SOLVER_SGD: usize = 1;
+
+/// Build the Table II search space.
+pub fn mlp_space() -> SearchSpace {
+    SearchSpace::builder()
+        .add("hidden_layers", Domain::int(1, 20))
+        .add("hidden_size", Domain::int(5, 100))
+        .add(
+            "activation",
+            Domain::cat(&["relu", "tanh", "logistic", "identity"]),
+        )
+        .add("solver", Domain::cat(&["lbfgs", "sgd", "adam"]))
+        .add_if(
+            "learning_rate",
+            Domain::cat(&["constant", "invscaling", "adaptive"]),
+            Condition::cat_eq("solver", SOLVER_SGD),
+        )
+        .add("max_iter", Domain::int(100, 500))
+        .add_if(
+            "momentum",
+            Domain::float(0.01, 0.99),
+            Condition::cat_eq("solver", SOLVER_SGD),
+        )
+        .add("validation_fraction", Domain::float(0.01, 0.99))
+        .add("beta_1", Domain::float(0.01, 0.99))
+        .add("beta_2", Domain::float(0.01, 0.99))
+        .build()
+        .expect("Table II space is statically valid")
+}
+
+/// Map a Table II configuration onto a trainable [`MlpConfig`].
+/// `max_iter_cap` lets scaled-down experiments bound training cost without
+/// changing the searched space.
+pub fn mlp_config_from(config: &Config, seed: u64, max_iter_cap: usize) -> MlpConfig {
+    let activation = match config.cat_or("activation", 0) {
+        0 => Activation::Relu,
+        1 => Activation::Tanh,
+        2 => Activation::Logistic,
+        _ => Activation::Identity,
+    };
+    let solver = match config.cat_or("solver", 2) {
+        0 => Solver::Lbfgs,
+        1 => Solver::Sgd,
+        _ => Solver::Adam,
+    };
+    let lr_schedule = match config.cat_or("learning_rate", 0) {
+        1 => LearningRateSchedule::InvScaling,
+        2 => LearningRateSchedule::Adaptive,
+        _ => LearningRateSchedule::Constant,
+    };
+    MlpConfig {
+        hidden_layers: config.int_or("hidden_layers", 1).clamp(1, 20) as usize,
+        hidden_size: config.int_or("hidden_size", 16).clamp(5, 100) as usize,
+        activation,
+        solver,
+        lr_schedule,
+        max_iter: (config.int_or("max_iter", 200).clamp(100, 500) as usize).min(max_iter_cap),
+        momentum: config.float_or("momentum", 0.9).clamp(0.01, 0.99),
+        validation_fraction: config
+            .float_or("validation_fraction", 0.1)
+            .clamp(0.01, 0.99),
+        beta1: config.float_or("beta_1", 0.9).clamp(0.01, 0.99),
+        beta2: config.float_or("beta_2", 0.999).clamp(0.01, 0.99),
+        seed,
+        ..MlpConfig::default()
+    }
+}
+
+/// A sensible default Table II configuration (adam, one hidden layer) —
+/// used as the "default architecture" MLP of Algorithm 2.
+pub fn default_mlp_point() -> Config {
+    Config::new()
+        .with("hidden_layers", ParamValue::Int(1))
+        .with("hidden_size", ParamValue::Int(32))
+        .with("activation", ParamValue::Cat(0))
+        .with("solver", ParamValue::Cat(2))
+        .with("max_iter", ParamValue::Int(200))
+        .with("validation_fraction", ParamValue::Float(0.1))
+        .with("beta_1", ParamValue::Float(0.9))
+        .with("beta_2", ParamValue::Float(0.99))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_has_the_ten_table_ii_parameters() {
+        let space = mlp_space();
+        assert_eq!(space.len(), 10);
+        let names: Vec<&str> = space.params().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "hidden_layers",
+                "hidden_size",
+                "activation",
+                "solver",
+                "learning_rate",
+                "max_iter",
+                "momentum",
+                "validation_fraction",
+                "beta_1",
+                "beta_2"
+            ]
+        );
+    }
+
+    #[test]
+    fn sgd_only_params_are_conditional() {
+        let space = mlp_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+            let is_sgd = c.cat_or("solver", 9) == SOLVER_SGD;
+            assert_eq!(c.get("momentum").is_some(), is_sgd);
+            assert_eq!(c.get("learning_rate").is_some(), is_sgd);
+            // betas are unconditional, exactly as printed in Table II.
+            assert!(c.get("beta_1").is_some());
+            assert!(c.get("beta_2").is_some());
+        }
+    }
+
+    #[test]
+    fn mapping_produces_trainable_configs() {
+        let space = mlp_space();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            let mc = mlp_config_from(&c, 7, 500);
+            assert!((1..=20).contains(&mc.hidden_layers));
+            assert!((5..=100).contains(&mc.hidden_size));
+            assert!((100..=500).contains(&mc.max_iter));
+            assert!(mc.momentum >= 0.01 && mc.momentum <= 0.99);
+        }
+    }
+
+    #[test]
+    fn max_iter_cap_applies() {
+        let c = default_mlp_point().with("max_iter", ParamValue::Int(500));
+        let mc = mlp_config_from(&c, 0, 50);
+        assert_eq!(mc.max_iter, 50);
+    }
+
+    #[test]
+    fn default_point_validates() {
+        mlp_space().validate(&default_mlp_point()).unwrap();
+    }
+}

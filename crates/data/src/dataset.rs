@@ -1,0 +1,493 @@
+//! Columnar classification dataset.
+//!
+//! A [`Dataset`] stores *common attributes* (the paper's terminology for
+//! non-target attributes) as typed columns plus a categorical [`Target`].
+//! Missing numeric values are `NaN`; missing categorical values use the
+//! [`MISSING_CATEGORY`] sentinel. Classifiers access rows by index so that
+//! cross-validation never copies data.
+
+use crate::error::DataError;
+use serde::{Deserialize, Serialize};
+
+/// Class label index into [`Target::classes`].
+pub type ClassId = usize;
+
+/// Sentinel for a missing categorical cell.
+pub const MISSING_CATEGORY: u32 = u32::MAX;
+
+/// A single attribute column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Column {
+    /// Numeric ("numeral" in the paper) attribute; `NaN` encodes missing.
+    Numeric { name: String, values: Vec<f64> },
+    /// Categorical (nominal) attribute; `MISSING_CATEGORY` encodes missing.
+    Categorical {
+        name: String,
+        values: Vec<u32>,
+        categories: Vec<String>,
+    },
+}
+
+impl Column {
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        match self {
+            Column::Numeric { name, .. } | Column::Categorical { name, .. } => name,
+        }
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Numeric { values, .. } => values.len(),
+            Column::Categorical { values, .. } => values.len(),
+        }
+    }
+
+    /// True when the column stores no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True for numeric columns.
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Column::Numeric { .. })
+    }
+
+    /// True for categorical columns.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, Column::Categorical { .. })
+    }
+
+    /// Numeric value at `row` (possibly `NaN`), or `None` for categorical columns.
+    pub fn numeric_at(&self, row: usize) -> Option<f64> {
+        match self {
+            Column::Numeric { values, .. } => values.get(row).copied(),
+            Column::Categorical { .. } => None,
+        }
+    }
+
+    /// Categorical value at `row`; `None` for numeric columns or a missing cell.
+    pub fn category_at(&self, row: usize) -> Option<u32> {
+        match self {
+            Column::Categorical { values, .. } => values
+                .get(row)
+                .copied()
+                .filter(|&v| v != MISSING_CATEGORY),
+            Column::Numeric { .. } => None,
+        }
+    }
+
+    /// Number of distinct categories a categorical column can take
+    /// (0 for numeric columns).
+    pub fn n_categories(&self) -> usize {
+        match self {
+            Column::Categorical { categories, .. } => categories.len(),
+            Column::Numeric { .. } => 0,
+        }
+    }
+
+    /// True when the cell at `row` is missing.
+    pub fn is_missing(&self, row: usize) -> bool {
+        match self {
+            Column::Numeric { values, .. } => values.get(row).is_none_or(|v| v.is_nan()),
+            Column::Categorical { values, .. } => {
+                values.get(row).is_none_or(|&v| v == MISSING_CATEGORY)
+            }
+        }
+    }
+
+    fn subset(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Numeric { name, values } => Column::Numeric {
+                name: name.clone(),
+                values: rows.iter().map(|&r| values[r]).collect(),
+            },
+            Column::Categorical {
+                name,
+                values,
+                categories,
+            } => Column::Categorical {
+                name: name.clone(),
+                values: rows.iter().map(|&r| values[r]).collect(),
+                categories: categories.clone(),
+            },
+        }
+    }
+}
+
+/// The class (target) attribute. Labels are dense indices into `classes`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Target {
+    pub name: String,
+    pub labels: Vec<ClassId>,
+    pub classes: Vec<String>,
+}
+
+impl Target {
+    /// Per-class record counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes.len()];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+/// A classification dataset: named columns plus a class target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    columns: Vec<Column>,
+    target: Target,
+    n_rows: usize,
+}
+
+impl Dataset {
+    /// Start building a dataset.
+    pub fn builder(name: impl Into<String>) -> DatasetBuilder {
+        DatasetBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+        }
+    }
+
+    /// Dataset name (the paper's task-instance identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of records `m`.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of common attributes `n`.
+    pub fn n_attrs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of target classes.
+    pub fn n_classes(&self) -> usize {
+        self.target.classes.len()
+    }
+
+    /// All common-attribute columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column by index.
+    pub fn column(&self, i: usize) -> Result<&Column, DataError> {
+        self.columns.get(i).ok_or(DataError::ColumnOutOfBounds {
+            column: i,
+            n_columns: self.columns.len(),
+        })
+    }
+
+    /// The class target.
+    pub fn target(&self) -> &Target {
+        &self.target
+    }
+
+    /// Class label of `row`.
+    pub fn label(&self, row: usize) -> ClassId {
+        self.target.labels[row]
+    }
+
+    /// Indices of numeric columns.
+    pub fn numeric_columns(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|&i| self.columns[i].is_numeric())
+            .collect()
+    }
+
+    /// Indices of categorical columns.
+    pub fn categorical_columns(&self) -> Vec<usize> {
+        (0..self.columns.len())
+            .filter(|&i| self.columns[i].is_categorical())
+            .collect()
+    }
+
+    /// Per-class record counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        self.target.class_counts()
+    }
+
+    /// Fraction of cells (over all columns) that are missing.
+    pub fn missing_rate(&self) -> f64 {
+        if self.n_rows == 0 || self.columns.is_empty() {
+            return 0.0;
+        }
+        let mut missing = 0usize;
+        for col in &self.columns {
+            for row in 0..self.n_rows {
+                if col.is_missing(row) {
+                    missing += 1;
+                }
+            }
+        }
+        missing as f64 / (self.n_rows * self.columns.len()) as f64
+    }
+
+    /// Materialize a row-subset as a new dataset (categories and classes are
+    /// preserved verbatim so label indices stay comparable).
+    pub fn subset(&self, rows: &[usize]) -> Result<Dataset, DataError> {
+        for &r in rows {
+            if r >= self.n_rows {
+                return Err(DataError::RowOutOfBounds {
+                    row: r,
+                    n_rows: self.n_rows,
+                });
+            }
+        }
+        Ok(Dataset {
+            name: self.name.clone(),
+            columns: self.columns.iter().map(|c| c.subset(rows)).collect(),
+            target: Target {
+                name: self.target.name.clone(),
+                labels: rows.iter().map(|&r| self.target.labels[r]).collect(),
+                classes: self.target.classes.clone(),
+            },
+            n_rows: rows.len(),
+        })
+    }
+
+    /// Sample without replacement at most `n` rows, stratified by class where
+    /// possible, using the supplied RNG. Used to cap the cost of meta-feature
+    /// extraction and evaluation-time probes on very large datasets.
+    pub fn sample_rows<R: rand::Rng>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        use rand::seq::SliceRandom;
+        if n >= self.n_rows {
+            return (0..self.n_rows).collect();
+        }
+        // Stratified: keep each class's share, at least one row per observed class.
+        let counts = self.class_counts();
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes()];
+        for row in 0..self.n_rows {
+            per_class[self.label(row)].push(row);
+        }
+        let mut picked = Vec::with_capacity(n);
+        for (c, rows) in per_class.iter_mut().enumerate() {
+            if rows.is_empty() {
+                continue;
+            }
+            let share =
+                ((counts[c] as f64 / self.n_rows as f64) * n as f64).round().max(1.0) as usize;
+            rows.shuffle(rng);
+            picked.extend(rows.iter().take(share.min(rows.len())).copied());
+        }
+        picked.shuffle(rng);
+        picked.truncate(n);
+        picked.sort_unstable();
+        picked
+    }
+}
+
+/// Builder that validates column lengths and class indices.
+pub struct DatasetBuilder {
+    name: String,
+    columns: Vec<Column>,
+}
+
+impl DatasetBuilder {
+    /// Add a numeric column (`NaN` = missing).
+    pub fn numeric(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        self.columns.push(Column::Numeric {
+            name: name.into(),
+            values,
+        });
+        self
+    }
+
+    /// Add a categorical column (`MISSING_CATEGORY` = missing).
+    pub fn categorical(
+        mut self,
+        name: impl Into<String>,
+        values: Vec<u32>,
+        categories: Vec<String>,
+    ) -> Self {
+        self.columns.push(Column::Categorical {
+            name: name.into(),
+            values,
+            categories,
+        });
+        self
+    }
+
+    /// Finish with the given target. Validates all lengths and indices.
+    pub fn target(
+        self,
+        name: impl Into<String>,
+        labels: Vec<ClassId>,
+        classes: Vec<String>,
+    ) -> Result<Dataset, DataError> {
+        let n_rows = labels.len();
+        if classes.is_empty() {
+            return Err(DataError::Empty("no classes".into()));
+        }
+        for col in &self.columns {
+            if col.len() != n_rows {
+                return Err(DataError::LengthMismatch {
+                    column: col.name().to_string(),
+                    expected: n_rows,
+                    actual: col.len(),
+                });
+            }
+            if let Column::Categorical {
+                name,
+                values,
+                categories,
+            } = col
+            {
+                for &v in values {
+                    if v != MISSING_CATEGORY && v as usize >= categories.len() {
+                        return Err(DataError::BadCategory {
+                            column: name.clone(),
+                            index: v,
+                        });
+                    }
+                }
+            }
+        }
+        for &l in &labels {
+            if l >= classes.len() {
+                return Err(DataError::BadClass {
+                    index: l,
+                    n_classes: classes.len(),
+                });
+            }
+        }
+        Ok(Dataset {
+            name: self.name,
+            columns: self.columns,
+            target: Target {
+                name: name.into(),
+                labels,
+                classes,
+            },
+            n_rows,
+        })
+    }
+}
+
+/// Convenience: generic class names `c0..c{n-1}`.
+pub fn default_class_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("c{i}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset::builder("tiny")
+            .numeric("x", vec![1.0, 2.0, f64::NAN, 4.0])
+            .categorical(
+                "color",
+                vec![0, 1, MISSING_CATEGORY, 0],
+                vec!["red".into(), "blue".into()],
+            )
+            .target("y", vec![0, 1, 0, 1], default_class_names(2))
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_validates_lengths() {
+        let err = Dataset::builder("bad")
+            .numeric("x", vec![1.0, 2.0])
+            .target("y", vec![0, 1, 0], default_class_names(2))
+            .unwrap_err();
+        assert!(matches!(err, DataError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn builder_validates_class_indices() {
+        let err = Dataset::builder("bad")
+            .target("y", vec![0, 2], default_class_names(2))
+            .unwrap_err();
+        assert!(matches!(err, DataError::BadClass { index: 2, .. }));
+    }
+
+    #[test]
+    fn builder_validates_category_indices() {
+        let err = Dataset::builder("bad")
+            .categorical("c", vec![0, 5], vec!["a".into()])
+            .target("y", vec![0, 1], default_class_names(2))
+            .unwrap_err();
+        assert!(matches!(err, DataError::BadCategory { index: 5, .. }));
+    }
+
+    #[test]
+    fn accessors_report_shape() {
+        let d = tiny();
+        assert_eq!(d.n_rows(), 4);
+        assert_eq!(d.n_attrs(), 2);
+        assert_eq!(d.n_classes(), 2);
+        assert_eq!(d.numeric_columns(), vec![0]);
+        assert_eq!(d.categorical_columns(), vec![1]);
+        assert_eq!(d.class_counts(), vec![2, 2]);
+    }
+
+    #[test]
+    fn missing_cells_are_detected() {
+        let d = tiny();
+        assert!(!d.column(0).unwrap().is_missing(0));
+        assert!(d.column(0).unwrap().is_missing(2));
+        assert!(d.column(1).unwrap().is_missing(2));
+        assert!((d.missing_rate() - 2.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn category_at_hides_missing() {
+        let d = tiny();
+        assert_eq!(d.column(1).unwrap().category_at(0), Some(0));
+        assert_eq!(d.column(1).unwrap().category_at(2), None);
+    }
+
+    #[test]
+    fn subset_preserves_classes_and_categories() {
+        let d = tiny();
+        let s = d.subset(&[3, 0]).unwrap();
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.label(0), 1);
+        assert_eq!(s.label(1), 0);
+        assert_eq!(s.n_classes(), 2);
+        assert_eq!(s.column(1).unwrap().n_categories(), 2);
+        assert_eq!(s.column(0).unwrap().numeric_at(0), Some(4.0));
+    }
+
+    #[test]
+    fn subset_rejects_out_of_bounds() {
+        let err = tiny().subset(&[9]).unwrap_err();
+        assert!(matches!(err, DataError::RowOutOfBounds { row: 9, .. }));
+    }
+
+    #[test]
+    fn sample_rows_is_stratified_and_bounded() {
+        use rand::SeedableRng;
+        let mut labels = vec![0usize; 90];
+        labels.extend(vec![1usize; 10]);
+        let d = Dataset::builder("skew")
+            .numeric("x", (0..100).map(|i| i as f64).collect())
+            .target("y", labels, default_class_names(2))
+            .unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let rows = d.sample_rows(20, &mut rng);
+        assert!(rows.len() <= 20);
+        // Minority class must survive sampling.
+        assert!(rows.iter().any(|&r| d.label(r) == 1));
+        // Sorted, unique, in range.
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        assert!(rows.iter().all(|&r| r < 100));
+    }
+
+    #[test]
+    fn sample_rows_returns_everything_when_small() {
+        use rand::SeedableRng;
+        let d = tiny();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(d.sample_rows(10, &mut rng), vec![0, 1, 2, 3]);
+    }
+}

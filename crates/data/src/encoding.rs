@@ -1,0 +1,260 @@
+//! Dense numeric encoding of mixed-type rows.
+//!
+//! The function-family classifiers (logistic regression, SVMs, MLPs, RBF
+//! networks) and distance-based learners need dense `f64` vectors. A
+//! [`NumericEncoder`] is *fit on training rows only* (mean/std per numeric
+//! column, category table per categorical column) and then encodes any row:
+//!
+//! * numeric column → standardized value, missing imputed with the train mean;
+//! * categorical column → one-hot block, missing (or unseen) → all zeros.
+
+use crate::dataset::{Column, Dataset};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum ColumnEncoder {
+    Numeric { mean: f64, std: f64 },
+    Categorical { n_categories: usize },
+}
+
+/// Fitted row encoder. See the module docs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NumericEncoder {
+    columns: Vec<ColumnEncoder>,
+    width: usize,
+    standardize: bool,
+}
+
+impl NumericEncoder {
+    /// Fit on the given training rows. `standardize = false` keeps raw
+    /// numeric values (used by tree wrappers that only need imputation).
+    pub fn fit(data: &Dataset, rows: &[usize], standardize: bool) -> NumericEncoder {
+        let mut columns = Vec::with_capacity(data.n_attrs());
+        let mut width = 0usize;
+        for col in data.columns() {
+            match col {
+                Column::Numeric { .. } => {
+                    let mut sum = 0.0;
+                    let mut count = 0usize;
+                    for &r in rows {
+                        if let Some(v) = col.numeric_at(r) {
+                            if !v.is_nan() {
+                                sum += v;
+                                count += 1;
+                            }
+                        }
+                    }
+                    let mean = if count > 0 { sum / count as f64 } else { 0.0 };
+                    let mut var = 0.0;
+                    if count > 0 {
+                        for &r in rows {
+                            if let Some(v) = col.numeric_at(r) {
+                                if !v.is_nan() {
+                                    var += (v - mean) * (v - mean);
+                                }
+                            }
+                        }
+                        var /= count as f64;
+                    }
+                    let std = var.sqrt();
+                    columns.push(ColumnEncoder::Numeric {
+                        mean,
+                        std: if std > 1e-12 { std } else { 1.0 },
+                    });
+                    width += 1;
+                }
+                Column::Categorical { categories, .. } => {
+                    columns.push(ColumnEncoder::Categorical {
+                        n_categories: categories.len(),
+                    });
+                    width += categories.len();
+                }
+            }
+        }
+        NumericEncoder {
+            columns,
+            width,
+            standardize,
+        }
+    }
+
+    /// Width of an encoded row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Encode row `row` of `data` into `out` (cleared first).
+    pub fn encode_into(&self, data: &Dataset, row: usize, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.width);
+        for (col, enc) in data.columns().iter().zip(&self.columns) {
+            match enc {
+                ColumnEncoder::Numeric { mean, std } => {
+                    let v = col.numeric_at(row).unwrap_or(f64::NAN);
+                    let v = if v.is_nan() { *mean } else { v };
+                    out.push(if self.standardize {
+                        (v - mean) / std
+                    } else {
+                        v
+                    });
+                }
+                ColumnEncoder::Categorical { n_categories } => {
+                    let start = out.len();
+                    out.resize(start + n_categories, 0.0);
+                    if let Some(c) = col.category_at(row) {
+                        if (c as usize) < *n_categories {
+                            out[start + c as usize] = 1.0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Encode row `row` into a fresh vector.
+    pub fn encode(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.encode_into(data, row, &mut out);
+        out
+    }
+
+    /// Encode a batch of rows as a dense row-major matrix.
+    pub fn encode_matrix(&self, data: &Dataset, rows: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter().map(|&r| self.encode(data, r)).collect()
+    }
+}
+
+/// Standardizer for plain feature matrices (used on meta-feature vectors,
+/// which never pass through a [`Dataset`]). Columns with zero variance map
+/// to zero.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VecStandardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl VecStandardizer {
+    /// Fit per-column mean/std on `rows` (all rows must share a width).
+    pub fn fit(rows: &[Vec<f64>]) -> VecStandardizer {
+        let width = rows.first().map_or(0, |r| r.len());
+        let n = rows.len().max(1) as f64;
+        let mut means = vec![0.0; width];
+        for r in rows {
+            for (m, &v) in means.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut stds = vec![0.0; width];
+        for r in rows {
+            for ((s, &v), m) in stds.iter_mut().zip(r).zip(&means) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut stds {
+            *s = (*s / n).sqrt();
+            if *s <= 1e-12 {
+                *s = 1.0;
+            }
+        }
+        VecStandardizer { means, stds }
+    }
+
+    /// Standardize one vector in place.
+    pub fn apply(&self, row: &mut [f64]) {
+        for ((v, m), s) in row.iter_mut().zip(&self.means).zip(&self.stds) {
+            *v = (*v - m) / s;
+        }
+    }
+
+    /// Standardized copy of `row`.
+    pub fn transform(&self, row: &[f64]) -> Vec<f64> {
+        let mut out = row.to_vec();
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{default_class_names, Dataset, MISSING_CATEGORY};
+
+    fn data() -> Dataset {
+        Dataset::builder("enc")
+            .numeric("a", vec![0.0, 2.0, 4.0, f64::NAN])
+            .categorical(
+                "c",
+                vec![0, 1, MISSING_CATEGORY, 2],
+                vec!["x".into(), "y".into(), "z".into()],
+            )
+            .target("y", vec![0, 0, 1, 1], default_class_names(2))
+            .unwrap()
+    }
+
+    #[test]
+    fn width_counts_onehot_blocks() {
+        let d = data();
+        let enc = NumericEncoder::fit(&d, &[0, 1, 2, 3], true);
+        assert_eq!(enc.width(), 1 + 3);
+    }
+
+    #[test]
+    fn standardization_uses_train_statistics_only() {
+        let d = data();
+        // Train on rows 0,1 → mean 1, std 1.
+        let enc = NumericEncoder::fit(&d, &[0, 1], true);
+        let r0 = enc.encode(&d, 0);
+        let r2 = enc.encode(&d, 2);
+        assert!((r0[0] - (-1.0)).abs() < 1e-12);
+        assert!((r2[0] - 3.0).abs() < 1e-12); // (4-1)/1 — out-of-train value scales fine
+    }
+
+    #[test]
+    fn missing_numeric_imputes_train_mean() {
+        let d = data();
+        let enc = NumericEncoder::fit(&d, &[0, 1, 2], true);
+        let r3 = enc.encode(&d, 3);
+        assert!(r3[0].abs() < 1e-12, "imputed mean standardizes to 0");
+    }
+
+    #[test]
+    fn missing_category_encodes_all_zeros() {
+        let d = data();
+        let enc = NumericEncoder::fit(&d, &[0, 1, 2, 3], false);
+        let r2 = enc.encode(&d, 2);
+        assert_eq!(&r2[1..], &[0.0, 0.0, 0.0]);
+        let r1 = enc.encode(&d, 1);
+        assert_eq!(&r1[1..], &[0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn non_standardizing_encoder_keeps_raw_values() {
+        let d = data();
+        let enc = NumericEncoder::fit(&d, &[0, 1, 2], false);
+        assert_eq!(enc.encode(&d, 1)[0], 2.0);
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let d = Dataset::builder("const")
+            .numeric("a", vec![5.0, 5.0, 5.0])
+            .target("y", vec![0, 1, 0], default_class_names(2))
+            .unwrap();
+        let enc = NumericEncoder::fit(&d, &[0, 1, 2], true);
+        let r = enc.encode(&d, 0);
+        assert!(r[0].is_finite());
+        assert_eq!(r[0], 0.0);
+    }
+
+    #[test]
+    fn vec_standardizer_roundtrip() {
+        let rows = vec![vec![0.0, 10.0], vec![2.0, 10.0], vec![4.0, 10.0]];
+        let s = VecStandardizer::fit(&rows);
+        let t = s.transform(&rows[0]);
+        assert!((t[0] + 1.224744871391589).abs() < 1e-9);
+        assert_eq!(t[1], 0.0); // zero-variance column maps to 0
+    }
+}

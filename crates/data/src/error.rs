@@ -1,0 +1,66 @@
+//! Error type for the data substrate.
+
+use std::fmt;
+
+/// Errors produced while building, loading, or slicing datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// Column lengths disagree with the dataset's row count.
+    LengthMismatch {
+        column: String,
+        expected: usize,
+        actual: usize,
+    },
+    /// A categorical cell references a category index that does not exist.
+    BadCategory { column: String, index: u32 },
+    /// A class label index is out of range for the target.
+    BadClass { index: usize, n_classes: usize },
+    /// The dataset has no rows or no classes where at least one is required.
+    Empty(String),
+    /// A row index is out of bounds.
+    RowOutOfBounds { row: usize, n_rows: usize },
+    /// A column index is out of bounds.
+    ColumnOutOfBounds { column: usize, n_columns: usize },
+    /// CSV parsing failed.
+    Parse { line: usize, message: String },
+    /// Underlying I/O failure (message only, to keep the error cloneable).
+    Io(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column '{column}' has {actual} values but the dataset has {expected} rows"
+            ),
+            DataError::BadCategory { column, index } => {
+                write!(f, "column '{column}' references unknown category {index}")
+            }
+            DataError::BadClass { index, n_classes } => {
+                write!(f, "class index {index} out of range (dataset has {n_classes} classes)")
+            }
+            DataError::Empty(what) => write!(f, "dataset is empty: {what}"),
+            DataError::RowOutOfBounds { row, n_rows } => {
+                write!(f, "row {row} out of bounds (n_rows = {n_rows})")
+            }
+            DataError::ColumnOutOfBounds { column, n_columns } => {
+                write!(f, "column {column} out of bounds (n_columns = {n_columns})")
+            }
+            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}

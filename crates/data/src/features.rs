@@ -1,0 +1,339 @@
+//! The 23 task-instance features of the paper's Table III.
+//!
+//! A task instance (classification dataset) `D` with `m` records, `n` common
+//! attributes and a target `A_T` is summarized by the feature vector
+//! `f1..f23`. `ANList`/`ACList` are the numeric/categorical common attributes.
+//! Datasets with no categorical common attributes have `f10..f17 = 0`;
+//! datasets with no numeric attributes have `f18..f23 = 0` (the paper's
+//! OneHot' masking handles algorithms that cannot cope with either case).
+//! Missing cells are skipped by every statistic.
+
+use crate::dataset::{Column, Dataset};
+
+/// Number of meta-features (Table III).
+pub const FEATURE_COUNT: usize = 23;
+
+/// Human-readable names `f1..f23`, aligned with Table III.
+pub const FEATURE_NAMES: [&str; FEATURE_COUNT] = [
+    "f1_target_class_count",
+    "f2_target_entropy",
+    "f3_target_max_class_proportion",
+    "f4_target_min_class_proportion",
+    "f5_numeric_attr_count",
+    "f6_categorical_attr_count",
+    "f7_numeric_attr_proportion",
+    "f8_attr_count",
+    "f9_record_count",
+    "f10_min_categories",
+    "f11_min_categories_entropy",
+    "f12_min_categories_max_proportion",
+    "f13_min_categories_min_proportion",
+    "f14_max_categories",
+    "f15_max_categories_entropy",
+    "f16_max_categories_max_proportion",
+    "f17_max_categories_min_proportion",
+    "f18_min_numeric_mean",
+    "f19_max_numeric_mean",
+    "f20_min_numeric_variance",
+    "f21_max_numeric_variance",
+    "f22_variance_of_numeric_means",
+    "f23_variance_of_numeric_variances",
+];
+
+/// A dense Table III feature vector.
+pub type FeatureVector = [f64; FEATURE_COUNT];
+
+/// Shannon entropy (nats) of a count histogram; empty histograms yield 0.
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Population variance; fewer than one observation yields 0.
+fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n
+}
+
+/// Per-category counts of a categorical column, ignoring missing cells.
+fn category_counts(col: &Column, n_rows: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; col.n_categories()];
+    for row in 0..n_rows {
+        if let Some(c) = col.category_at(row) {
+            counts[c as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Count of categories that actually occur (the paper's `A_i[n]`).
+fn observed_categories(counts: &[usize]) -> usize {
+    counts.iter().filter(|&&c| c > 0).count()
+}
+
+/// Summary statistics of one categorical attribute.
+struct CatSummary {
+    observed: usize,
+    entropy: f64,
+    max_prop: f64,
+    min_prop: f64,
+}
+
+fn summarize_categorical(col: &Column, n_rows: usize) -> CatSummary {
+    let counts = category_counts(col, n_rows);
+    let observed = observed_categories(&counts);
+    let m = n_rows as f64;
+    let nonzero: Vec<usize> = counts.iter().copied().filter(|&c| c > 0).collect();
+    CatSummary {
+        observed,
+        entropy: entropy(&counts),
+        max_prop: nonzero.iter().copied().max().unwrap_or(0) as f64 / m.max(1.0),
+        min_prop: nonzero.iter().copied().min().unwrap_or(0) as f64 / m.max(1.0),
+    }
+}
+
+/// Mean and variance of a numeric column, skipping missing cells.
+fn numeric_stats(col: &Column, n_rows: usize) -> (f64, f64) {
+    let mut vals = Vec::with_capacity(n_rows);
+    for row in 0..n_rows {
+        if let Some(v) = col.numeric_at(row) {
+            if !v.is_nan() {
+                vals.push(v);
+            }
+        }
+    }
+    if vals.is_empty() {
+        (0.0, 0.0)
+    } else {
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        (mean, variance(&vals))
+    }
+}
+
+/// Compute the full Table III feature vector for a dataset.
+pub fn meta_features(data: &Dataset) -> FeatureVector {
+    let m = data.n_rows();
+    let n = data.n_attrs();
+    let mut f = [0.0f64; FEATURE_COUNT];
+
+    // Target features f1..f4.
+    let class_counts = data.class_counts();
+    let observed_classes: Vec<usize> = class_counts.iter().copied().filter(|&c| c > 0).collect();
+    f[0] = observed_classes.len() as f64;
+    f[1] = entropy(&class_counts);
+    if m > 0 && !observed_classes.is_empty() {
+        f[2] = *observed_classes.iter().max().unwrap() as f64 / m as f64;
+        f[3] = *observed_classes.iter().min().unwrap() as f64 / m as f64;
+    }
+
+    // Shape features f5..f9.
+    let numeric = data.numeric_columns();
+    let categorical = data.categorical_columns();
+    f[4] = numeric.len() as f64;
+    f[5] = categorical.len() as f64;
+    f[6] = if n > 0 {
+        numeric.len() as f64 / n as f64
+    } else {
+        0.0
+    };
+    f[7] = n as f64;
+    f[8] = m as f64;
+
+    // Categorical extremes f10..f17 (A# = fewest classes, A? = most classes).
+    if !categorical.is_empty() {
+        let summaries: Vec<CatSummary> = categorical
+            .iter()
+            .map(|&i| summarize_categorical(&data.columns()[i], m))
+            .collect();
+        let (min_idx, _) = summaries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| s.observed)
+            .unwrap();
+        let (max_idx, _) = summaries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.observed)
+            .unwrap();
+        f[9] = summaries[min_idx].observed as f64;
+        f[10] = summaries[min_idx].entropy;
+        f[11] = summaries[min_idx].max_prop;
+        f[12] = summaries[min_idx].min_prop;
+        f[13] = summaries[max_idx].observed as f64;
+        f[14] = summaries[max_idx].entropy;
+        f[15] = summaries[max_idx].max_prop;
+        f[16] = summaries[max_idx].min_prop;
+    }
+
+    // Numeric extremes f18..f23.
+    if !numeric.is_empty() {
+        let stats: Vec<(f64, f64)> = numeric
+            .iter()
+            .map(|&i| numeric_stats(&data.columns()[i], m))
+            .collect();
+        let means: Vec<f64> = stats.iter().map(|s| s.0).collect();
+        let vars: Vec<f64> = stats.iter().map(|s| s.1).collect();
+        f[17] = means.iter().copied().fold(f64::INFINITY, f64::min);
+        f[18] = means.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        f[19] = vars.iter().copied().fold(f64::INFINITY, f64::min);
+        f[20] = vars.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        f[21] = variance(&means);
+        f[22] = variance(&vars);
+    }
+
+    f
+}
+
+/// Apply a boolean mask (the DMD feature-selection output) to a feature
+/// vector, keeping only the selected features, in order.
+pub fn select_features(full: &FeatureVector, mask: &[bool]) -> Vec<f64> {
+    assert_eq!(mask.len(), FEATURE_COUNT, "mask must cover all 23 features");
+    full.iter()
+        .zip(mask)
+        .filter_map(|(&v, &keep)| keep.then_some(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{default_class_names, Dataset, MISSING_CATEGORY};
+
+    fn mixed() -> Dataset {
+        Dataset::builder("mixed")
+            .numeric("a", vec![1.0, 2.0, 3.0, 4.0])
+            .numeric("b", vec![10.0, 10.0, 10.0, 10.0])
+            .categorical(
+                "c2",
+                vec![0, 0, 1, 1],
+                vec!["x".into(), "y".into()],
+            )
+            .categorical(
+                "c3",
+                vec![0, 1, 2, 0],
+                vec!["p".into(), "q".into(), "r".into()],
+            )
+            .target("y", vec![0, 0, 0, 1], default_class_names(2))
+            .unwrap()
+    }
+
+    #[test]
+    fn target_features_match_hand_computation() {
+        let f = meta_features(&mixed());
+        assert_eq!(f[0], 2.0); // f1: two classes
+        let expected_entropy = -(0.75f64.ln() * 0.75 + 0.25f64.ln() * 0.25);
+        assert!((f[1] - expected_entropy).abs() < 1e-12); // f2
+        assert!((f[2] - 0.75).abs() < 1e-12); // f3
+        assert!((f[3] - 0.25).abs() < 1e-12); // f4
+    }
+
+    #[test]
+    fn shape_features_match_hand_computation() {
+        let f = meta_features(&mixed());
+        assert_eq!(f[4], 2.0); // numeric count
+        assert_eq!(f[5], 2.0); // categorical count
+        assert!((f[6] - 0.5).abs() < 1e-12); // proportion
+        assert_eq!(f[7], 4.0); // n
+        assert_eq!(f[8], 4.0); // m
+    }
+
+    #[test]
+    fn categorical_extremes_pick_fewest_and_most_classes() {
+        let f = meta_features(&mixed());
+        assert_eq!(f[9], 2.0); // A# = c2 with 2 observed categories
+        assert_eq!(f[13], 3.0); // A? = c3 with 3
+        // c2 is balanced 2/2.
+        assert!((f[11] - 0.5).abs() < 1e-12);
+        assert!((f[12] - 0.5).abs() < 1e-12);
+        // c3 proportions: p=2/4, q=1/4, r=1/4.
+        assert!((f[15] - 0.5).abs() < 1e-12);
+        assert!((f[16] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_extremes_match_hand_computation() {
+        let f = meta_features(&mixed());
+        // means: a=2.5, b=10 → min 2.5 max 10.
+        assert!((f[17] - 2.5).abs() < 1e-12);
+        assert!((f[18] - 10.0).abs() < 1e-12);
+        // variances: a=1.25 (population), b=0.
+        assert!((f[19] - 0.0).abs() < 1e-12);
+        assert!((f[20] - 1.25).abs() < 1e-12);
+        // f22 = Var({2.5, 10}) = ((2.5-6.25)^2 + (10-6.25)^2)/2 = 14.0625
+        assert!((f[21] - 14.0625).abs() < 1e-12);
+        // f23 = Var({1.25, 0}) = 0.390625
+        assert!((f[22] - 0.390625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_numeric_dataset_zeroes_categorical_features() {
+        let d = Dataset::builder("num")
+            .numeric("a", vec![1.0, 2.0])
+            .target("y", vec![0, 1], default_class_names(2))
+            .unwrap();
+        let f = meta_features(&d);
+        for i in 9..17 {
+            assert_eq!(f[i], 0.0, "f{} should be 0", i + 1);
+        }
+    }
+
+    #[test]
+    fn all_categorical_dataset_zeroes_numeric_features() {
+        let d = Dataset::builder("cat")
+            .categorical("c", vec![0, 1], vec!["a".into(), "b".into()])
+            .target("y", vec![0, 1], default_class_names(2))
+            .unwrap();
+        let f = meta_features(&d);
+        for i in 17..23 {
+            assert_eq!(f[i], 0.0, "f{} should be 0", i + 1);
+        }
+    }
+
+    #[test]
+    fn missing_cells_are_ignored_by_statistics() {
+        let d = Dataset::builder("miss")
+            .numeric("a", vec![1.0, f64::NAN, 3.0])
+            .categorical(
+                "c",
+                vec![0, MISSING_CATEGORY, 1],
+                vec!["x".into(), "y".into()],
+            )
+            .target("y", vec![0, 1, 0], default_class_names(2))
+            .unwrap();
+        let f = meta_features(&d);
+        assert!((f[17] - 2.0).abs() < 1e-12); // mean of {1,3}
+        assert_eq!(f[9], 2.0); // both categories observed
+    }
+
+    #[test]
+    fn select_features_applies_mask_in_order() {
+        let full: FeatureVector = std::array::from_fn(|i| i as f64);
+        let mut mask = [false; FEATURE_COUNT];
+        mask[0] = true;
+        mask[4] = true;
+        mask[22] = true;
+        assert_eq!(select_features(&full, &mask), vec![0.0, 4.0, 22.0]);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_k() {
+        assert!((entropy(&[5, 5, 5, 5]) - 4f64.ln()).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[7]), 0.0);
+    }
+}

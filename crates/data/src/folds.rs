@@ -1,0 +1,205 @@
+//! Stratified cross-validation and train/test splitting.
+//!
+//! Every experiment in the paper scores configurations by k-fold
+//! cross-validation accuracy (`f(λ, A, D)` with 10 folds in §IV). Folds are
+//! produced as index lists so the dataset is never copied.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A cross-validation plan: `folds[i]` are the *test* rows of fold `i`.
+#[derive(Debug, Clone)]
+pub struct FoldPlan {
+    folds: Vec<Vec<usize>>,
+    n_rows: usize,
+}
+
+impl FoldPlan {
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.folds.len()
+    }
+
+    /// Test rows of fold `i`.
+    pub fn test(&self, i: usize) -> &[usize] {
+        &self.folds[i]
+    }
+
+    /// Train rows of fold `i` (everything not in the test fold).
+    pub fn train(&self, i: usize) -> Vec<usize> {
+        let mut in_test = vec![false; self.n_rows];
+        for &r in &self.folds[i] {
+            in_test[r] = true;
+        }
+        (0..self.n_rows).filter(|&r| !in_test[r]).collect()
+    }
+
+    /// Iterate `(train, test)` pairs.
+    pub fn splits(&self) -> impl Iterator<Item = (Vec<usize>, &[usize])> + '_ {
+        (0..self.k()).map(|i| (self.train(i), self.test(i)))
+    }
+}
+
+/// Build a stratified k-fold plan: each fold's class distribution mirrors the
+/// dataset's. `k` is clamped to `[2, n_rows]`. Rows of each class are
+/// shuffled, then dealt round-robin so fold sizes differ by at most one per
+/// class.
+pub fn stratified_kfold<R: Rng>(data: &Dataset, k: usize, rng: &mut R) -> FoldPlan {
+    let n = data.n_rows();
+    let k = k.clamp(2, n.max(2));
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for row in 0..n {
+        per_class[data.label(row)].push(row);
+    }
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    // Offset each class's deal so small classes don't pile into fold 0.
+    let mut next_fold = 0usize;
+    for rows in per_class.iter_mut() {
+        rows.shuffle(rng);
+        for &row in rows.iter() {
+            folds[next_fold].push(row);
+            next_fold = (next_fold + 1) % k;
+        }
+    }
+    for f in &mut folds {
+        f.sort_unstable();
+    }
+    FoldPlan { folds, n_rows: n }
+}
+
+/// Stratified train/test split; `test_fraction` in `(0, 1)`. Returns
+/// `(train_rows, test_rows)`. Each observed class contributes at least one
+/// row to the training set when it has any rows at all.
+pub fn train_test_split<R: Rng>(
+    data: &Dataset,
+    test_fraction: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test_fraction must be in (0,1), got {test_fraction}"
+    );
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for row in 0..data.n_rows() {
+        per_class[data.label(row)].push(row);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for rows in per_class.iter_mut() {
+        if rows.is_empty() {
+            continue;
+        }
+        rows.shuffle(rng);
+        let mut n_test = (rows.len() as f64 * test_fraction).round() as usize;
+        // Keep at least one training row per class.
+        if n_test >= rows.len() {
+            n_test = rows.len() - 1;
+        }
+        test.extend(rows.iter().take(n_test).copied());
+        train.extend(rows.iter().skip(n_test).copied());
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{default_class_names, Dataset};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn labeled(counts: &[usize]) -> Dataset {
+        let mut labels = Vec::new();
+        for (c, &n) in counts.iter().enumerate() {
+            labels.extend(std::iter::repeat(c).take(n));
+        }
+        let m = labels.len();
+        Dataset::builder("d")
+            .numeric("x", (0..m).map(|i| i as f64).collect())
+            .target("y", labels, default_class_names(counts.len()))
+            .unwrap()
+    }
+
+    #[test]
+    fn folds_partition_all_rows() {
+        let d = labeled(&[30, 20, 10]);
+        let mut rng = StdRng::seed_from_u64(42);
+        let plan = stratified_kfold(&d, 5, &mut rng);
+        let mut seen = vec![false; d.n_rows()];
+        for i in 0..plan.k() {
+            for &r in plan.test(i) {
+                assert!(!seen[r], "row {r} appears in two folds");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every row must be in some test fold");
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let d = labeled(&[50, 50]);
+        let mut rng = StdRng::seed_from_u64(7);
+        let plan = stratified_kfold(&d, 5, &mut rng);
+        for i in 0..plan.k() {
+            let c0 = plan.test(i).iter().filter(|&&r| d.label(r) == 0).count();
+            let c1 = plan.test(i).len() - c0;
+            assert!(
+                (c0 as i64 - c1 as i64).abs() <= 1,
+                "fold {i} not stratified: {c0} vs {c1}"
+            );
+        }
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        let d = labeled(&[12, 8]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let plan = stratified_kfold(&d, 4, &mut rng);
+        for (train, test) in plan.splits() {
+            assert_eq!(train.len() + test.len(), d.n_rows());
+            let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+            all.sort_unstable();
+            all.dedup();
+            assert_eq!(all.len(), d.n_rows());
+        }
+    }
+
+    #[test]
+    fn k_is_clamped_to_row_count() {
+        let d = labeled(&[2, 1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let plan = stratified_kfold(&d, 10, &mut rng);
+        assert!(plan.k() <= 3);
+        assert!(plan.k() >= 2);
+    }
+
+    #[test]
+    fn split_respects_fraction_and_strata() {
+        let d = labeled(&[80, 20]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let (train, test) = train_test_split(&d, 0.25, &mut rng);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 25);
+        let minority_test = test.iter().filter(|&&r| d.label(r) == 1).count();
+        assert_eq!(minority_test, 5);
+    }
+
+    #[test]
+    fn split_keeps_one_training_row_per_class() {
+        let d = labeled(&[1, 99]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (train, _test) = train_test_split(&d, 0.9, &mut rng);
+        assert!(train.iter().any(|&r| d.label(r) == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "test_fraction")]
+    fn split_rejects_bad_fraction() {
+        let d = labeled(&[4]);
+        let mut rng = StdRng::seed_from_u64(5);
+        train_test_split(&d, 1.5, &mut rng);
+    }
+}

@@ -1,0 +1,35 @@
+//! # automodel-data
+//!
+//! Tabular dataset substrate for the Auto-Model reproduction.
+//!
+//! The paper assumes Weka's ARFF data stack: classification datasets with a
+//! mix of numeric and categorical ("nominal") attributes, possibly missing
+//! values, and a categorical target. This crate provides:
+//!
+//! * [`Dataset`] — a columnar in-memory dataset with numeric and categorical
+//!   columns and a class target ([`dataset`]).
+//! * The 23 task-instance meta-features of the paper's Table III
+//!   ([`features`]).
+//! * Stratified k-fold cross-validation and train/test splitting ([`folds`]).
+//! * Synthetic dataset generators ([`synth`]) and the paper's dataset suites
+//!   ([`suites`]) — the 21 test datasets of Table XI cloned by *shape*
+//!   (records, numeric/categorical attribute counts, classes) plus the
+//!   69-dataset knowledge suite.
+//! * Dense numeric encoding (standardization + one-hot) shared by the
+//!   function-family and neural classifiers ([`encoding`]).
+//! * A minimal typed CSV reader/writer ([`csv`]).
+
+pub mod csv;
+pub mod dataset;
+pub mod encoding;
+pub mod error;
+pub mod features;
+pub mod folds;
+pub mod suites;
+pub mod synth;
+
+pub use dataset::{ClassId, Column, Dataset, DatasetBuilder, Target};
+pub use error::DataError;
+pub use features::{meta_features, FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
+pub use folds::{stratified_kfold, train_test_split, FoldPlan};
+pub use synth::{SynthFamily, SynthSpec};

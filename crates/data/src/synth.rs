@@ -1,0 +1,544 @@
+//! Synthetic classification dataset generators.
+//!
+//! The paper evaluates on UCI datasets that are not fetchable in this
+//! environment, so the suites clone each dataset's *shape* (records,
+//! numeric/categorical attribute counts, classes — Table XI) and draw
+//! contents from parameterized families. The families are chosen so that
+//! *different algorithms win on different datasets* — the property the CASH
+//! problem, the PORatio metric and the knowledge network all rely on:
+//!
+//! * [`SynthFamily::GaussianBlobs`] — generative Gaussian clusters (favors
+//!   naive Bayes / LDA-like learners and k-NN at low spread).
+//! * [`SynthFamily::Hyperplane`] — argmax of random linear scores (favors
+//!   logistic regression / linear SVM).
+//! * [`SynthFamily::RuleBased`] — a planted decision tree over the attributes
+//!   (favors tree and rule learners).
+//! * [`SynthFamily::Ring`] — radial shells (favors kernel/neighbor methods).
+//! * [`SynthFamily::Xor`] — sign-parity labels (defeats linear models; favors
+//!   trees, ensembles, MLPs).
+//! * [`SynthFamily::Mixed`] — blobs with a rule-based override on the
+//!   categorical part.
+
+use crate::dataset::{default_class_names, Dataset, MISSING_CATEGORY};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Content family of a synthetic dataset. See the module docs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SynthFamily {
+    GaussianBlobs { spread: f64 },
+    Hyperplane,
+    RuleBased { depth: usize },
+    Ring,
+    Xor { dims: usize },
+    Mixed,
+}
+
+/// Specification of a synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthSpec {
+    pub name: String,
+    pub rows: usize,
+    pub numeric: usize,
+    pub categorical: usize,
+    pub classes: usize,
+    pub family: SynthFamily,
+    /// Probability a row's label is replaced by a uniformly random class.
+    pub label_noise: f64,
+    /// Class-skew exponent: class `i` has weight `(i+1)^-imbalance`. 0 = balanced.
+    pub imbalance: f64,
+    /// Probability an attribute cell is missing.
+    pub missing_rate: f64,
+    pub seed: u64,
+}
+
+impl SynthSpec {
+    /// Balanced, noise-free spec with the given shape.
+    pub fn new(
+        name: impl Into<String>,
+        rows: usize,
+        numeric: usize,
+        categorical: usize,
+        classes: usize,
+        family: SynthFamily,
+        seed: u64,
+    ) -> SynthSpec {
+        SynthSpec {
+            name: name.into(),
+            rows,
+            numeric,
+            categorical,
+            classes,
+            family,
+            label_noise: 0.0,
+            imbalance: 0.0,
+            missing_rate: 0.0,
+            seed,
+        }
+    }
+
+    /// Set label noise.
+    pub fn with_label_noise(mut self, p: f64) -> Self {
+        self.label_noise = p;
+        self
+    }
+
+    /// Set class imbalance exponent.
+    pub fn with_imbalance(mut self, a: f64) -> Self {
+        self.imbalance = a;
+        self
+    }
+
+    /// Set missing-cell rate.
+    pub fn with_missing(mut self, p: f64) -> Self {
+        self.missing_rate = p;
+        self
+    }
+
+    /// Generate the dataset. Deterministic in the spec (including `seed`).
+    pub fn generate(&self) -> Dataset {
+        assert!(self.classes >= 2, "need at least two classes");
+        assert!(self.rows >= self.classes, "need at least one row per class");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let gen = Generator::new(self, &mut rng);
+        gen.run(self, &mut rng)
+    }
+}
+
+/// Class-sampling weights under the imbalance exponent.
+fn class_weights(classes: usize, imbalance: f64) -> Vec<f64> {
+    let raw: Vec<f64> = (0..classes)
+        .map(|i| ((i + 1) as f64).powf(-imbalance))
+        .collect();
+    let total: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / total).collect()
+}
+
+fn sample_weighted<R: Rng>(weights: &[f64], rng: &mut R) -> usize {
+    let mut u: f64 = rng.gen();
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Standard normal via Box-Muller (keeps us off extra dependencies).
+fn gauss<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Planted structure reused across all rows of one dataset.
+struct Generator {
+    /// Per-class centers for numeric attributes (blobs/mixed).
+    centers: Vec<Vec<f64>>,
+    /// Per-class linear score weights (hyperplane).
+    weights: Vec<Vec<f64>>,
+    /// Per-categorical-attribute: number of categories and per-class
+    /// preferred category (class-correlated attributes) or `None` (noise).
+    cat_schema: Vec<CatAttr>,
+    /// Planted tree for RuleBased (list of (attr, threshold-or-category) tests
+    /// hashed into a class).
+    rule_salt: u64,
+    rule_depth: usize,
+    spread: f64,
+}
+
+struct CatAttr {
+    n_categories: usize,
+    /// For class-correlated attributes: the category each class prefers.
+    preferred: Option<Vec<u32>>,
+    /// Probability mass on the preferred category.
+    fidelity: f64,
+}
+
+impl Generator {
+    fn new(spec: &SynthSpec, rng: &mut StdRng) -> Generator {
+        let centers = (0..spec.classes)
+            .map(|_| (0..spec.numeric).map(|_| rng.gen_range(-3.0..3.0)).collect())
+            .collect();
+        let weights = (0..spec.classes)
+            .map(|_| {
+                (0..spec.numeric.max(1))
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect()
+            })
+            .collect();
+        let cat_schema = (0..spec.categorical)
+            .map(|i| {
+                let n_categories = rng.gen_range(2..=6usize);
+                // Roughly 60% of categorical attributes carry class signal.
+                let correlated = i % 5 < 3;
+                let preferred = correlated.then(|| {
+                    (0..spec.classes)
+                        .map(|_| rng.gen_range(0..n_categories as u32))
+                        .collect()
+                });
+                CatAttr {
+                    n_categories,
+                    preferred,
+                    fidelity: rng.gen_range(0.55..0.9),
+                }
+            })
+            .collect();
+        let (rule_depth, spread) = match spec.family {
+            SynthFamily::RuleBased { depth } => (depth.max(1), 1.0),
+            SynthFamily::GaussianBlobs { spread } => (2, spread),
+            _ => (2, 1.0),
+        };
+        Generator {
+            centers,
+            weights,
+            cat_schema,
+            rule_salt: rng.gen(),
+            rule_depth,
+            spread,
+        }
+    }
+
+    fn run(&self, spec: &SynthSpec, rng: &mut StdRng) -> Dataset {
+        let weights = class_weights(spec.classes, spec.imbalance);
+        let mut numeric: Vec<Vec<f64>> = vec![Vec::with_capacity(spec.rows); spec.numeric];
+        let mut categorical: Vec<Vec<u32>> = vec![Vec::with_capacity(spec.rows); spec.categorical];
+        let mut labels = Vec::with_capacity(spec.rows);
+
+        for row in 0..spec.rows {
+            // Guarantee every class appears at least once: the first
+            // `classes` rows cycle through the classes.
+            let forced = (row < spec.classes).then_some(row % spec.classes);
+            let (label, nums, cats) = self.generate_row(spec, forced, &weights, rng);
+            let label = if rng.gen::<f64>() < spec.label_noise {
+                rng.gen_range(0..spec.classes)
+            } else {
+                label
+            };
+            labels.push(label);
+            for (col, v) in numeric.iter_mut().zip(&nums) {
+                let v = if rng.gen::<f64>() < spec.missing_rate {
+                    f64::NAN
+                } else {
+                    *v
+                };
+                col.push(v);
+            }
+            for (col, v) in categorical.iter_mut().zip(&cats) {
+                let v = if rng.gen::<f64>() < spec.missing_rate {
+                    MISSING_CATEGORY
+                } else {
+                    *v
+                };
+                col.push(v);
+            }
+        }
+
+        // Attribute-first families (hyperplane, xor, rule-based) derive labels
+        // from the attributes, so a class can end up empty; patch coverage by
+        // relabeling a random row per missing class (equivalent to a trace of
+        // label noise).
+        let mut counts = vec![0usize; spec.classes];
+        for &l in &labels {
+            counts[l] += 1;
+        }
+        for c in 0..spec.classes {
+            if counts[c] == 0 {
+                let victim = loop {
+                    let r = rng.gen_range(0..spec.rows);
+                    if counts[labels[r]] > 1 {
+                        break r;
+                    }
+                };
+                counts[labels[victim]] -= 1;
+                labels[victim] = c;
+                counts[c] += 1;
+            }
+        }
+
+        let mut builder = Dataset::builder(spec.name.clone());
+        for (i, values) in numeric.into_iter().enumerate() {
+            builder = builder.numeric(format!("n{i}"), values);
+        }
+        for (i, values) in categorical.into_iter().enumerate() {
+            let cats = (0..self.cat_schema[i].n_categories)
+                .map(|c| format!("a{i}v{c}"))
+                .collect();
+            builder = builder.categorical(format!("c{i}"), values, cats);
+        }
+        builder
+            .target("class", labels, default_class_names(spec.classes))
+            .expect("generator produces consistent shapes")
+    }
+
+    /// Produce one `(label, numeric values, categorical values)` row.
+    fn generate_row(
+        &self,
+        spec: &SynthSpec,
+        forced_class: Option<usize>,
+        class_weights: &[f64],
+        rng: &mut StdRng,
+    ) -> (usize, Vec<f64>, Vec<u32>) {
+        match spec.family {
+            SynthFamily::GaussianBlobs { .. } => {
+                let label = forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng));
+                let nums = (0..spec.numeric)
+                    .map(|d| self.centers[label][d] + gauss(rng) * self.spread)
+                    .collect();
+                let cats = self.class_conditioned_cats(label, rng);
+                (label, nums, cats)
+            }
+            SynthFamily::Hyperplane => {
+                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                let label = if spec.numeric == 0 {
+                    forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng))
+                } else {
+                    self.argmax_linear(&nums)
+                };
+                let cats = self.class_conditioned_cats(label, rng);
+                (label, nums, cats)
+            }
+            SynthFamily::Ring => {
+                let label = forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng));
+                // Radius band selects the class; remaining dims are noise.
+                let radius = 1.0 + label as f64 + rng.gen_range(-0.35..0.35);
+                let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+                let mut nums: Vec<f64> = (0..spec.numeric).map(|_| gauss(rng) * 0.6).collect();
+                if spec.numeric >= 1 {
+                    nums[0] = radius * angle.cos();
+                }
+                if spec.numeric >= 2 {
+                    nums[1] = radius * angle.sin();
+                }
+                let cats = self.noise_cats(rng);
+                (label, nums, cats)
+            }
+            SynthFamily::Xor { dims } => {
+                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let dims = dims.clamp(1, spec.numeric.max(1));
+                let parity = nums
+                    .iter()
+                    .take(dims)
+                    .filter(|&&v| v > 0.0)
+                    .count();
+                let label = if spec.numeric == 0 {
+                    forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng))
+                } else {
+                    parity % spec.classes
+                };
+                let cats = self.noise_cats(rng);
+                (label, nums, cats)
+            }
+            SynthFamily::RuleBased { .. } => {
+                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                let cats = self.noise_cats(rng);
+                let label = self.rule_label(spec, &nums, &cats);
+                (label, nums, cats)
+            }
+            SynthFamily::Mixed => {
+                let label = forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng));
+                let nums = (0..spec.numeric)
+                    .map(|d| self.centers[label][d] + gauss(rng) * 1.2)
+                    .collect();
+                let cats = self.class_conditioned_cats(label, rng);
+                (label, nums, cats)
+            }
+        }
+    }
+
+    fn class_conditioned_cats(&self, label: usize, rng: &mut StdRng) -> Vec<u32> {
+        self.cat_schema
+            .iter()
+            .map(|attr| match &attr.preferred {
+                Some(pref) if rng.gen::<f64>() < attr.fidelity => pref[label],
+                _ => rng.gen_range(0..attr.n_categories as u32),
+            })
+            .collect()
+    }
+
+    fn noise_cats(&self, rng: &mut StdRng) -> Vec<u32> {
+        self.cat_schema
+            .iter()
+            .map(|attr| rng.gen_range(0..attr.n_categories as u32))
+            .collect()
+    }
+
+    fn argmax_linear(&self, nums: &[f64]) -> usize {
+        let mut best = 0usize;
+        let mut best_score = f64::NEG_INFINITY;
+        for (c, w) in self.weights.iter().enumerate() {
+            let score: f64 = w.iter().zip(nums).map(|(wi, xi)| wi * xi).sum();
+            if score > best_score {
+                best_score = score;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Deterministic planted decision tree evaluated by hashing the path of
+    /// test outcomes. Tests alternate over attributes; thresholds at 0 for
+    /// numeric, median category for categorical.
+    fn rule_label(&self, spec: &SynthSpec, nums: &[f64], cats: &[u32]) -> usize {
+        let mut path = self.rule_salt;
+        let total = spec.numeric + spec.categorical;
+        if total == 0 {
+            return 0;
+        }
+        for level in 0..self.rule_depth {
+            let attr = (self
+                .rule_salt
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(level as u64)
+                >> 7) as usize
+                % total;
+            let bit = if attr < spec.numeric {
+                nums[attr] > 0.0
+            } else {
+                let a = attr - spec.numeric;
+                u64::from(cats[a]) * 2 >= self.cat_schema[a].n_categories as u64
+            };
+            path = path
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(level as u64 * 2 + bit as u64);
+        }
+        (path >> 33) as usize % spec.classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(family: SynthFamily) -> SynthSpec {
+        SynthSpec::new("t", 200, 4, 3, 3, family, 42)
+    }
+
+    #[test]
+    fn shapes_match_spec_for_every_family() {
+        for family in [
+            SynthFamily::GaussianBlobs { spread: 1.0 },
+            SynthFamily::Hyperplane,
+            SynthFamily::RuleBased { depth: 3 },
+            SynthFamily::Ring,
+            SynthFamily::Xor { dims: 2 },
+            SynthFamily::Mixed,
+        ] {
+            let d = spec(family).generate();
+            assert_eq!(d.n_rows(), 200);
+            assert_eq!(d.numeric_columns().len(), 4);
+            assert_eq!(d.categorical_columns().len(), 3);
+            assert_eq!(d.n_classes(), 3);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_seed() {
+        let a = spec(SynthFamily::Mixed).generate();
+        let b = spec(SynthFamily::Mixed).generate();
+        assert_eq!(a, b);
+        let mut other = spec(SynthFamily::Mixed);
+        other.seed = 43;
+        assert_ne!(a, other.generate());
+    }
+
+    #[test]
+    fn every_class_appears() {
+        for family in [
+            SynthFamily::GaussianBlobs { spread: 1.0 },
+            SynthFamily::Ring,
+            SynthFamily::Mixed,
+        ] {
+            let mut s = spec(family);
+            s.imbalance = 2.0;
+            let d = s.generate();
+            assert!(d.class_counts().iter().all(|&c| c > 0), "{family:?}");
+        }
+    }
+
+    #[test]
+    fn imbalance_skews_class_counts() {
+        let mut s = spec(SynthFamily::GaussianBlobs { spread: 1.0 });
+        s.rows = 2000;
+        s.imbalance = 1.5;
+        let counts = s.generate().class_counts();
+        assert!(counts[0] > counts[2] * 2, "counts: {counts:?}");
+    }
+
+    #[test]
+    fn missing_rate_injects_missing_cells() {
+        let mut s = spec(SynthFamily::Mixed);
+        s.missing_rate = 0.3;
+        let d = s.generate();
+        let rate = d.missing_rate();
+        assert!(rate > 0.2 && rate < 0.4, "rate: {rate}");
+    }
+
+    #[test]
+    fn zero_numeric_or_zero_categorical_are_supported() {
+        let d = SynthSpec::new("nocat", 100, 5, 0, 2, SynthFamily::Hyperplane, 1).generate();
+        assert_eq!(d.categorical_columns().len(), 0);
+        let d = SynthSpec::new("nonum", 100, 0, 5, 2, SynthFamily::RuleBased { depth: 2 }, 1)
+            .generate();
+        assert_eq!(d.numeric_columns().len(), 0);
+        assert!(d.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn blobs_are_roughly_separable_at_low_spread() {
+        // Nearest-center classification on the planted centers should beat
+        // chance comfortably — sanity check that the labels carry signal.
+        let s = SynthSpec::new("sep", 300, 3, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 9);
+        let d = s.generate();
+        // Recover per-class means and classify by nearest mean.
+        let mut sums = vec![vec![0.0; 3]; 3];
+        let mut counts = vec![0usize; 3];
+        for r in 0..d.n_rows() {
+            let l = d.label(r);
+            counts[l] += 1;
+            for (j, s) in sums[l].iter_mut().enumerate() {
+                *s += d.column(j).unwrap().numeric_at(r).unwrap();
+            }
+        }
+        for (s, &c) in sums.iter_mut().zip(&counts) {
+            for v in s.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let mut correct = 0usize;
+        for r in 0..d.n_rows() {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (c, mean) in sums.iter().enumerate() {
+                let dist: f64 = (0..3)
+                    .map(|j| {
+                        let v = d.column(j).unwrap().numeric_at(r).unwrap();
+                        (v - mean[j]) * (v - mean[j])
+                    })
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = c;
+                }
+            }
+            if best == d.label(r) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.n_rows() as f64;
+        assert!(acc > 0.7, "nearest-center accuracy too low: {acc}");
+    }
+
+    #[test]
+    fn label_noise_reduces_signal() {
+        let clean = SynthSpec::new("c", 500, 2, 0, 2, SynthFamily::Hyperplane, 5).generate();
+        let noisy = SynthSpec::new("c", 500, 2, 0, 2, SynthFamily::Hyperplane, 5)
+            .with_label_noise(0.5)
+            .generate();
+        // With 50% noise the labels should disagree with the clean ones often.
+        let disagreements = (0..500).filter(|&r| clean.label(r) != noisy.label(r)).count();
+        assert!(disagreements > 50, "only {disagreements} disagreements");
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests: dataset, fold and meta-feature invariants across
+//! arbitrary synthetic dataset shapes.
+
+use automodel_data::features::{meta_features, FEATURE_COUNT};
+use automodel_data::{stratified_kfold, train_test_split, SynthFamily, SynthSpec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn family_strategy() -> impl Strategy<Value = SynthFamily> {
+    prop_oneof![
+        (0.3f64..2.5).prop_map(|s| SynthFamily::GaussianBlobs { spread: s }),
+        Just(SynthFamily::Hyperplane),
+        (1usize..5).prop_map(|d| SynthFamily::RuleBased { depth: d }),
+        Just(SynthFamily::Ring),
+        (1usize..4).prop_map(|d| SynthFamily::Xor { dims: d }),
+        Just(SynthFamily::Mixed),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
+    (
+        family_strategy(),
+        20usize..200,   // rows
+        0usize..8,      // numeric
+        0usize..6,      // categorical
+        2usize..5,      // classes
+        0.0f64..0.4,    // label noise
+        0.0f64..1.5,    // imbalance
+        0.0f64..0.3,    // missing
+        0u64..10_000,   // seed
+    )
+        .prop_map(
+            |(family, rows, numeric, categorical, classes, noise, imbalance, missing, seed)| {
+                // At least one attribute, and rows ≥ classes.
+                let numeric = if numeric + categorical == 0 { 2 } else { numeric };
+                SynthSpec::new("prop", rows.max(classes * 4), numeric, categorical, classes, family, seed)
+                    .with_label_noise(noise)
+                    .with_imbalance(imbalance)
+                    .with_missing(missing)
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generated_datasets_match_their_spec(spec in spec_strategy()) {
+        let d = spec.generate();
+        prop_assert_eq!(d.n_rows(), spec.rows);
+        prop_assert_eq!(d.numeric_columns().len(), spec.numeric);
+        prop_assert_eq!(d.categorical_columns().len(), spec.categorical);
+        prop_assert_eq!(d.n_classes(), spec.classes);
+        // Every class has at least one row.
+        prop_assert!(d.class_counts().iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn meta_features_are_always_finite(spec in spec_strategy()) {
+        let d = spec.generate();
+        let f = meta_features(&d);
+        prop_assert_eq!(f.len(), FEATURE_COUNT);
+        prop_assert!(f.iter().all(|v| v.is_finite()), "features: {:?}", f);
+        // Structural facts Table III guarantees.
+        prop_assert_eq!(f[4] as usize, spec.numeric);   // f5
+        prop_assert_eq!(f[5] as usize, spec.categorical); // f6
+        prop_assert_eq!(f[8] as usize, spec.rows);      // f9
+        prop_assert!(f[2] >= f[3]);                      // max ≥ min class prop
+        prop_assert!(f[2] <= 1.0 && f[3] >= 0.0);
+    }
+
+    #[test]
+    fn kfold_partitions_exactly(spec in spec_strategy(), k in 2usize..8, seed in 0u64..1000) {
+        let d = spec.generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = stratified_kfold(&d, k, &mut rng);
+        let mut seen = vec![0usize; d.n_rows()];
+        for i in 0..plan.k() {
+            for &r in plan.test(i) {
+                seen[r] += 1;
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "rows must appear exactly once");
+        for (train, test) in plan.splits() {
+            prop_assert_eq!(train.len() + test.len(), d.n_rows());
+        }
+    }
+
+    #[test]
+    fn split_is_a_partition(spec in spec_strategy(), frac in 0.1f64..0.9, seed in 0u64..1000) {
+        let d = spec.generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = train_test_split(&d, frac, &mut rng);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), d.n_rows());
+        // Every class observed in the data keeps a training row.
+        for class in 0..d.n_classes() {
+            let has_rows = (0..d.n_rows()).any(|r| d.label(r) == class);
+            if has_rows {
+                prop_assert!(train.iter().any(|&r| d.label(r) == class));
+            }
+        }
+    }
+
+    #[test]
+    fn subset_then_features_is_consistent(spec in spec_strategy(), seed in 0u64..1000) {
+        let d = spec.generate();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = d.sample_rows(d.n_rows() / 2 + 1, &mut rng);
+        let sub = d.subset(&rows).unwrap();
+        prop_assert_eq!(sub.n_rows(), rows.len());
+        prop_assert_eq!(sub.n_classes(), d.n_classes());
+        let f = meta_features(&sub);
+        prop_assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless_on_labels(spec in spec_strategy()) {
+        let d = spec.generate();
+        let mut buf = Vec::new();
+        automodel_data::csv::write_csv(&d, &mut buf).unwrap();
+        let back = automodel_data::csv::read_csv("rt", std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() {
+            prop_assert_eq!(
+                &d.target().classes[d.label(r)],
+                &back.target().classes[back.label(r)]
+            );
+        }
+    }
+}

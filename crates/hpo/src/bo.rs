@@ -1,0 +1,399 @@
+//! Bayesian Optimization (§II-A).
+//!
+//! "BO works by fitting a probabilistic surrogate model to all observations
+//! of the target black box function made so far, and then using the
+//! predictive distribution of the probabilistic model, to decide which point
+//! to evaluate next."
+//!
+//! Surrogate: a Gaussian process over the space's dense encoding
+//! ([`crate::space::SearchSpace::encode`]) with an RBF kernel; the length
+//! scale is refit each iteration by maximizing the log marginal likelihood
+//! over a small candidate ladder. Acquisition: expected improvement,
+//! maximized over a pool of random samples plus local perturbations of the
+//! incumbent. Proposals are decoded and repaired, so BO never emits an
+//! invalid configuration even on conditional spaces.
+
+use crate::budget::Budget;
+use crate::linalg::{cholesky, sq_dist, Cholesky, SquareMatrix};
+use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::space::{Config, SearchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GP-based Bayesian optimizer.
+#[derive(Debug, Clone)]
+pub struct BayesianOptimization {
+    seed: u64,
+    /// Random initial-design size before the model kicks in.
+    pub init_design: usize,
+    /// Acquisition candidate pool: random samples per iteration.
+    pub random_candidates: usize,
+    /// Acquisition candidate pool: perturbations of the incumbent.
+    pub local_candidates: usize,
+    /// Observation-noise variance of the GP.
+    pub noise: f64,
+    /// Cap on observations used to fit the GP (best + most recent survive).
+    pub max_gp_points: usize,
+}
+
+impl BayesianOptimization {
+    pub fn new(seed: u64) -> BayesianOptimization {
+        BayesianOptimization {
+            seed,
+            init_design: 8,
+            random_candidates: 256,
+            local_candidates: 64,
+            noise: 1e-6,
+            max_gp_points: 200,
+        }
+    }
+}
+
+/// Fitted GP posterior over encoded configs.
+struct Gp {
+    xs: Vec<Vec<f64>>,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+    length_scale: f64,
+    y_mean: f64,
+    y_std: f64,
+}
+
+fn rbf(a: &[f64], b: &[f64], length_scale: f64) -> f64 {
+    (-0.5 * sq_dist(a, b) / (length_scale * length_scale)).exp()
+}
+
+impl Gp {
+    /// Fit with the given length scale; returns the log marginal likelihood
+    /// alongside the model.
+    fn fit(xs: &[Vec<f64>], ys: &[f64], length_scale: f64, noise: f64) -> Option<(Gp, f64)> {
+        let n = xs.len();
+        let y_mean = ys.iter().sum::<f64>() / n as f64;
+        let var = ys.iter().map(|y| (y - y_mean) * (y - y_mean)).sum::<f64>() / n as f64;
+        let y_std = var.sqrt().max(1e-9);
+        let yn: Vec<f64> = ys.iter().map(|y| (y - y_mean) / y_std).collect();
+
+        let mut k = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v = rbf(&xs[i], &xs[j], length_scale) + if i == j { noise } else { 0.0 };
+                k.set(i, j, v);
+                k.set(j, i, v);
+            }
+        }
+        let chol = cholesky(&k)?;
+        let alpha = chol.solve(&yn);
+        // log p(y) = -0.5 yᵀ α − 0.5 log|K| − n/2 log 2π
+        let lml = -0.5 * crate::linalg::dot(&yn, &alpha)
+            - 0.5 * chol.log_det()
+            - 0.5 * n as f64 * (std::f64::consts::TAU).ln();
+        Some((
+            Gp {
+                xs: xs.to_vec(),
+                chol,
+                alpha,
+                length_scale,
+                y_mean,
+                y_std,
+            },
+            lml,
+        ))
+    }
+
+    /// Fit over a ladder of length scales, keeping the most likely.
+    fn fit_best(xs: &[Vec<f64>], ys: &[f64], noise: f64) -> Option<Gp> {
+        const LADDER: [f64; 6] = [0.05, 0.1, 0.25, 0.5, 1.0, 2.0];
+        let mut best: Option<(Gp, f64)> = None;
+        for &ls in &LADDER {
+            if let Some((gp, lml)) = Gp::fit(xs, ys, ls, noise) {
+                if best.as_ref().is_none_or(|(_, b)| lml > *b) {
+                    best = Some((gp, lml));
+                }
+            }
+        }
+        best.map(|(gp, _)| gp)
+    }
+
+    /// Posterior mean and standard deviation at `x` (de-standardized).
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self
+            .xs
+            .iter()
+            .map(|xi| rbf(x, xi, self.length_scale))
+            .collect();
+        let mean_n = crate::linalg::dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let var_n = (1.0 - crate::linalg::dot(&v, &v)).max(1e-12);
+        (
+            mean_n * self.y_std + self.y_mean,
+            var_n.sqrt() * self.y_std,
+        )
+    }
+}
+
+/// Standard normal pdf/cdf for EI.
+fn phi(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt()
+}
+
+fn big_phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Abramowitz–Stegun 7.1.26 rational approximation of erf (|ε| < 1.5e-7).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Expected improvement of mean/std over the incumbent `best`.
+fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / std;
+    (mean - best) * big_phi(z) + std * phi(z)
+}
+
+impl Optimizer for BayesianOptimization {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = budget.start();
+        let mut trials: Vec<Trial> = Vec::new();
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+
+        let evaluate = |config: Config,
+                            trials: &mut Vec<Trial>,
+                            xs: &mut Vec<Vec<f64>>,
+                            ys: &mut Vec<f64>,
+                            tracker: &mut crate::budget::BudgetTracker,
+                            objective: &mut dyn Objective| {
+            let score = objective.evaluate(&config);
+            tracker.record(score);
+            xs.push(space.encode(&config));
+            ys.push(score);
+            trials.push(Trial {
+                config,
+                score,
+                index: trials.len(),
+            });
+        };
+
+        // Initial design.
+        for _ in 0..self.init_design.max(2) {
+            if tracker.exhausted() {
+                break;
+            }
+            let c = space.sample(&mut rng);
+            evaluate(c, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+        }
+
+        while !tracker.exhausted() {
+            // Trim the GP training set if it outgrew the cap: keep the best
+            // quarter plus the most recent.
+            let (fit_xs, fit_ys): (Vec<Vec<f64>>, Vec<f64>) = if xs.len() > self.max_gp_points {
+                let mut order: Vec<usize> = (0..xs.len()).collect();
+                order.sort_by(|&a, &b| ys[b].total_cmp(&ys[a]));
+                let keep_best = self.max_gp_points / 4;
+                let mut keep: Vec<usize> = order[..keep_best].to_vec();
+                let recent_from = xs.len() - (self.max_gp_points - keep_best);
+                keep.extend(recent_from..xs.len());
+                keep.sort_unstable();
+                keep.dedup();
+                (
+                    keep.iter().map(|&i| xs[i].clone()).collect(),
+                    keep.iter().map(|&i| ys[i]).collect(),
+                )
+            } else {
+                (xs.clone(), ys.clone())
+            };
+
+            let gp = Gp::fit_best(&fit_xs, &fit_ys, self.noise);
+            let best_y = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let incumbent_idx = ys
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap();
+            let incumbent = trials[incumbent_idx].config.clone();
+
+            let next = match gp {
+                Some(gp) => {
+                    let mut best_cand: Option<(Config, f64)> = None;
+                    let consider = |c: Config, gp: &Gp, best_cand: &mut Option<(Config, f64)>| {
+                        let x = space.encode(&c);
+                        let (m, s) = gp.predict(&x);
+                        let ei = expected_improvement(m, s, best_y);
+                        if best_cand.as_ref().is_none_or(|(_, b)| ei > *b) {
+                            *best_cand = Some((c, ei));
+                        }
+                    };
+                    for _ in 0..self.random_candidates {
+                        consider(space.sample(&mut rng), &gp, &mut best_cand);
+                    }
+                    for _ in 0..self.local_candidates {
+                        consider(
+                            space.neighbor(&incumbent, 0.4, 0.15, &mut rng),
+                            &gp,
+                            &mut best_cand,
+                        );
+                    }
+                    match best_cand {
+                        // EI ≈ 0 everywhere ⇒ the model is saturated; explore.
+                        Some((_, ei)) if ei <= 1e-12 => space.sample(&mut rng),
+                        Some((c, _)) => c,
+                        None => space.sample(&mut rng),
+                    }
+                }
+                // Degenerate kernel matrix ⇒ fall back to random proposal.
+                None => space.sample(&mut rng),
+            };
+            evaluate(next, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+        }
+        OptOutcome::from_trials(trials)
+    }
+
+    fn name(&self) -> &'static str {
+        "bayesian-optimization"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::random::RandomSearch;
+    use crate::space::{Condition, Domain};
+    use crate::testfns::branin;
+
+    fn branin_space() -> SearchSpace {
+        SearchSpace::builder()
+            .add("x", Domain::float(-5.0, 10.0))
+            .add("y", Domain::float(0.0, 15.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn erf_matches_reference_points() {
+        // A&S 7.1.26 carries ≈1.5e-7 max error.
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427007929).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.8427007929).abs() < 1e-6);
+        assert!((erf(3.0) - 0.9999779095).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ei_is_zero_when_certain_and_worse() {
+        assert_eq!(expected_improvement(0.0, 0.0, 1.0), 0.0);
+        assert!(expected_improvement(2.0, 0.0, 1.0) > 0.9);
+        // Uncertainty adds value even below the incumbent.
+        assert!(expected_improvement(0.5, 1.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn gp_interpolates_training_points() {
+        let xs = vec![vec![0.0], vec![0.5], vec![1.0]];
+        let ys = vec![0.0, 1.0, 0.0];
+        let (gp, _) = Gp::fit(&xs, &ys, 0.25, 1e-8).unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let (m, s) = gp.predict(x);
+            assert!((m - y).abs() < 1e-3, "mean {m} vs {y}");
+            assert!(s < 0.05, "std too large at a training point: {s}");
+        }
+        // Far away the posterior reverts toward the mean with the prior's
+        // full standard deviation (y_std of the training targets ≈ 0.471).
+        let (_, s) = gp.predict(&[5.0]);
+        assert!(s > 0.45, "far-field std = {s}");
+    }
+
+    #[test]
+    fn bo_beats_random_search_on_branin() {
+        let budget = Budget::evals(60);
+        let mut bo_obj = FnObjective(|c: &Config| {
+            -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
+        });
+        let bo = BayesianOptimization::new(3)
+            .optimize(&branin_space(), &mut bo_obj, &budget)
+            .unwrap();
+        // Average random search over a few seeds for a fair comparison.
+        let mut rs_scores = Vec::new();
+        for seed in 0..5 {
+            let mut rs_obj = FnObjective(|c: &Config| {
+                -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
+            });
+            rs_scores.push(
+                RandomSearch::new(seed)
+                    .optimize(&branin_space(), &mut rs_obj, &budget)
+                    .unwrap()
+                    .best_score,
+            );
+        }
+        let rs_mean = rs_scores.iter().sum::<f64>() / rs_scores.len() as f64;
+        assert!(
+            bo.best_score >= rs_mean,
+            "BO {} should beat mean RS {}",
+            bo.best_score,
+            rs_mean
+        );
+        // Branin's optimum is ≈ −0.3979; BO with 60 evals should get close.
+        assert!(bo.best_score > -1.5, "bo best = {}", bo.best_score);
+    }
+
+    #[test]
+    fn bo_emits_only_valid_configs_on_conditional_space() {
+        let space = SearchSpace::builder()
+            .add("mode", Domain::cat(&["a", "b"]))
+            .add_if("k", Domain::float(0.0, 1.0), Condition::cat_eq("mode", 1))
+            .build()
+            .unwrap();
+        let mut obj = FnObjective(|c: &Config| c.float_or("k", 0.2));
+        let out = BayesianOptimization::new(1)
+            .optimize(&space, &mut obj, &Budget::evals(40))
+            .unwrap();
+        for t in &out.trials {
+            space.validate(&t.config).unwrap();
+        }
+        assert!(out.best_score > 0.8);
+    }
+
+    #[test]
+    fn bo_respects_eval_budget() {
+        let mut n = 0usize;
+        let mut obj = FnObjective(|_c: &Config| {
+            n += 1;
+            0.0
+        });
+        BayesianOptimization::new(2).optimize(&branin_space(), &mut obj, &Budget::evals(15));
+        drop(obj);
+        assert_eq!(n, 15);
+    }
+
+    #[test]
+    fn bo_is_deterministic_under_seed() {
+        let run = |seed| {
+            let mut obj = FnObjective(|c: &Config| {
+                -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
+            });
+            BayesianOptimization::new(seed)
+                .optimize(&branin_space(), &mut obj, &Budget::evals(25))
+                .unwrap()
+                .best_score
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

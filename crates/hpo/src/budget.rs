@@ -1,0 +1,164 @@
+//! Optimization budgets.
+//!
+//! The paper bounds searches three ways: evaluation counts (GA generations ×
+//! population), wall-clock limits ("GA time limit = 10³ s", "30 s / 5 min"
+//! CASH budgets), and target scores (architecture search stops when CV MSE
+//! beats `Precision`). [`Budget`] combines all three; an optimizer stops at
+//! whichever trips first.
+
+use std::time::{Duration, Instant};
+
+/// Combined stopping criterion. A `None` component never trips.
+#[derive(Debug, Clone, Default)]
+pub struct Budget {
+    pub max_evals: Option<usize>,
+    pub max_time: Option<Duration>,
+    /// Stop as soon as a score ≥ `target` is observed (scores are maximized).
+    pub target: Option<f64>,
+}
+
+impl Budget {
+    /// Only an evaluation-count limit.
+    pub fn evals(n: usize) -> Budget {
+        Budget {
+            max_evals: Some(n),
+            ..Budget::default()
+        }
+    }
+
+    /// Only a wall-clock limit.
+    pub fn time(d: Duration) -> Budget {
+        Budget {
+            max_time: Some(d),
+            ..Budget::default()
+        }
+    }
+
+    /// Add a wall-clock limit.
+    pub fn with_time(mut self, d: Duration) -> Budget {
+        self.max_time = Some(d);
+        self
+    }
+
+    /// Add a target score.
+    pub fn with_target(mut self, t: f64) -> Budget {
+        self.target = Some(t);
+        self
+    }
+
+    /// Start tracking this budget.
+    pub fn start(&self) -> BudgetTracker {
+        BudgetTracker {
+            budget: self.clone(),
+            started: Instant::now(),
+            evals: 0,
+            best: f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Live budget state carried through an optimization run.
+#[derive(Debug, Clone)]
+pub struct BudgetTracker {
+    budget: Budget,
+    started: Instant,
+    evals: usize,
+    best: f64,
+}
+
+impl BudgetTracker {
+    /// Record one evaluation with its score.
+    pub fn record(&mut self, score: f64) {
+        self.evals += 1;
+        if score > self.best {
+            self.best = score;
+        }
+    }
+
+    /// Evaluations recorded so far.
+    pub fn evals(&self) -> usize {
+        self.evals
+    }
+
+    /// Best score recorded so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+
+    /// Elapsed wall clock since [`Budget::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// True when any component of the budget has tripped.
+    pub fn exhausted(&self) -> bool {
+        if let Some(n) = self.budget.max_evals {
+            if self.evals >= n {
+                return true;
+            }
+        }
+        if let Some(t) = self.budget.max_time {
+            if self.started.elapsed() >= t {
+                return true;
+            }
+        }
+        if let Some(target) = self.budget.target {
+            if self.best >= target {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Evaluations remaining before the count limit (∞ ⇒ `usize::MAX`).
+    pub fn remaining_evals(&self) -> usize {
+        self.budget
+            .max_evals
+            .map_or(usize::MAX, |n| n.saturating_sub(self.evals))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_budget_trips_at_count() {
+        let mut t = Budget::evals(3).start();
+        assert!(!t.exhausted());
+        t.record(0.1);
+        t.record(0.2);
+        assert!(!t.exhausted());
+        t.record(0.3);
+        assert!(t.exhausted());
+        assert_eq!(t.evals(), 3);
+        assert_eq!(t.remaining_evals(), 0);
+    }
+
+    #[test]
+    fn target_budget_trips_on_good_score() {
+        let mut t = Budget::evals(100).with_target(0.9).start();
+        t.record(0.5);
+        assert!(!t.exhausted());
+        t.record(0.95);
+        assert!(t.exhausted());
+        assert_eq!(t.best(), 0.95);
+    }
+
+    #[test]
+    fn time_budget_trips_after_deadline() {
+        let t = Budget::time(Duration::from_millis(1)).start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(t.exhausted());
+    }
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut t = Budget::default().start();
+        for _ in 0..10_000 {
+            t.record(1.0);
+        }
+        assert!(!t.exhausted());
+        assert_eq!(t.remaining_evals(), usize::MAX);
+    }
+}

@@ -1,0 +1,305 @@
+//! Genetic Algorithm (§II-A).
+//!
+//! "GA works by encoding hyperparameters and initializing population, and
+//! then iteratively produces the next generation through selection, crossover
+//! and mutation steps." The paper uses GA with population 50 for cheap
+//! evaluations (feature selection, architecture search, tuning fast
+//! algorithms). This implementation uses tournament selection, uniform
+//! parameter-wise crossover (repaired against the space so conditional
+//! structure survives), bounded mutation, and elitism.
+
+use crate::budget::Budget;
+use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::space::{Config, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// GA hyperparameters (the meta-kind).
+#[derive(Debug, Clone)]
+pub struct GaConfig {
+    /// Population size ("group size" in the paper; default 50).
+    pub population: usize,
+    /// Maximum generations ("evolutional epochs"; default 100).
+    pub generations: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-parameter crossover swap probability.
+    pub crossover_rate: f64,
+    /// Per-parameter mutation probability.
+    pub mutation_rate: f64,
+    /// Relative mutation step size.
+    pub mutation_strength: f64,
+    /// Individuals copied unchanged into the next generation.
+    pub elitism: usize,
+}
+
+impl Default for GaConfig {
+    fn default() -> GaConfig {
+        GaConfig {
+            population: 50,
+            generations: 100,
+            tournament: 3,
+            crossover_rate: 0.5,
+            mutation_rate: 0.15,
+            mutation_strength: 0.25,
+            elitism: 2,
+        }
+    }
+}
+
+/// Genetic-algorithm optimizer.
+#[derive(Debug, Clone)]
+pub struct GeneticAlgorithm {
+    pub config: GaConfig,
+    seed: u64,
+}
+
+impl GeneticAlgorithm {
+    pub fn new(seed: u64) -> GeneticAlgorithm {
+        GeneticAlgorithm {
+            config: GaConfig::default(),
+            seed,
+        }
+    }
+
+    pub fn with_config(seed: u64, config: GaConfig) -> GeneticAlgorithm {
+        GeneticAlgorithm { config, seed }
+    }
+
+    /// Small-budget preset used throughout the scaled-down experiments.
+    pub fn small(seed: u64) -> GeneticAlgorithm {
+        GeneticAlgorithm::with_config(
+            seed,
+            GaConfig {
+                population: 12,
+                generations: 10,
+                ..GaConfig::default()
+            },
+        )
+    }
+
+    fn tournament_pick<'a, R: Rng>(
+        &self,
+        scored: &'a [(Config, f64)],
+        rng: &mut R,
+    ) -> &'a Config {
+        let mut best: Option<&(Config, f64)> = None;
+        for _ in 0..self.config.tournament.max(1) {
+            let cand = &scored[rng.gen_range(0..scored.len())];
+            if best.is_none_or(|b| cand.1 > b.1) {
+                best = Some(cand);
+            }
+        }
+        &best.unwrap().0
+    }
+
+    /// Uniform crossover: per parameter (union of both parents' keys), take
+    /// parent A's value with probability `1 - crossover_rate`. The raw child
+    /// is repaired so conditional activity is re-resolved.
+    fn crossover<R: Rng>(
+        &self,
+        space: &SearchSpace,
+        a: &Config,
+        b: &Config,
+        rng: &mut R,
+    ) -> Config {
+        let mut raw = Config::new();
+        for spec in space.params() {
+            let (first, second) = if rng.gen::<f64>() < self.config.crossover_rate {
+                (b, a)
+            } else {
+                (a, b)
+            };
+            if let Some(v) = first.get(&spec.name).or_else(|| second.get(&spec.name)) {
+                raw.set(spec.name.clone(), v.clone());
+            }
+        }
+        space.repair(&raw, rng)
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = budget.start();
+        let mut trials: Vec<Trial> = Vec::new();
+
+        let evaluate = |config: Config,
+                            trials: &mut Vec<Trial>,
+                            tracker: &mut crate::budget::BudgetTracker,
+                            objective: &mut dyn Objective|
+         -> f64 {
+            let score = objective.evaluate(&config);
+            tracker.record(score);
+            trials.push(Trial {
+                config,
+                score,
+                index: trials.len(),
+            });
+            score
+        };
+
+        // Initial population.
+        let pop_size = self.config.population.max(2);
+        let mut population: Vec<(Config, f64)> = Vec::with_capacity(pop_size);
+        for _ in 0..pop_size {
+            if tracker.exhausted() {
+                break;
+            }
+            let c = space.sample(&mut rng);
+            let s = evaluate(c.clone(), &mut trials, &mut tracker, objective);
+            population.push((c, s));
+        }
+        if population.is_empty() {
+            return OptOutcome::from_trials(trials);
+        }
+
+        for _generation in 0..self.config.generations {
+            if tracker.exhausted() {
+                break;
+            }
+            // Elites survive unchanged (no re-evaluation).
+            let mut next: Vec<(Config, f64)> = Vec::with_capacity(pop_size);
+            let mut sorted: Vec<&(Config, f64)> = population.iter().collect();
+            sorted.sort_by(|a, b| b.1.total_cmp(&a.1));
+            for elite in sorted.iter().take(self.config.elitism.min(pop_size)) {
+                next.push((*elite).clone());
+            }
+            while next.len() < pop_size && !tracker.exhausted() {
+                let a = self.tournament_pick(&population, &mut rng).clone();
+                let b = self.tournament_pick(&population, &mut rng).clone();
+                let child = self.crossover(space, &a, &b, &mut rng);
+                let child = space.neighbor(
+                    &child,
+                    self.config.mutation_rate,
+                    self.config.mutation_strength,
+                    &mut rng,
+                );
+                let s = evaluate(child.clone(), &mut trials, &mut tracker, objective);
+                next.push((child, s));
+            }
+            if next.is_empty() {
+                break;
+            }
+            population = next;
+        }
+        OptOutcome::from_trials(trials)
+    }
+
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::space::{Condition, Domain};
+    use crate::testfns::{rastrigin, sphere};
+
+    fn float_space(dim: usize) -> SearchSpace {
+        let mut b = SearchSpace::builder();
+        for i in 0..dim {
+            b = b.add(&format!("x{i}"), Domain::float(-5.12, 5.12));
+        }
+        b.build().unwrap()
+    }
+
+    fn values(c: &Config, dim: usize) -> Vec<f64> {
+        (0..dim).map(|i| c.float_or(&format!("x{i}"), 0.0)).collect()
+    }
+
+    #[test]
+    fn ga_optimizes_sphere_better_than_random_init() {
+        let space = float_space(3);
+        let mut obj = FnObjective(|c: &Config| -sphere(&values(c, 3)));
+        let out = GeneticAlgorithm::new(3)
+            .optimize(&space, &mut obj, &Budget::evals(1500))
+            .unwrap();
+        // Initial population best is rarely better than -1; GA should get close to 0.
+        assert!(out.best_score > -0.05, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn ga_makes_progress_on_rastrigin() {
+        let space = float_space(2);
+        let mut obj = FnObjective(|c: &Config| -rastrigin(&values(c, 2)));
+        let out = GeneticAlgorithm::new(11)
+            .optimize(&space, &mut obj, &Budget::evals(2500))
+            .unwrap();
+        assert!(out.best_score > -2.0, "best = {}", out.best_score);
+        // The incumbent curve must be monotone nondecreasing.
+        let curve = out.incumbent_curve();
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn all_trials_are_valid_configs_even_with_conditionals() {
+        let space = SearchSpace::builder()
+            .add("solver", Domain::cat(&["a", "b"]))
+            .add_if("knob", Domain::float(0.0, 1.0), Condition::cat_eq("solver", 1))
+            .add("depth", Domain::int(1, 8))
+            .build()
+            .unwrap();
+        let mut obj = FnObjective(|c: &Config| c.float_or("knob", 0.3) + c.int_or("depth", 0) as f64 / 8.0);
+        let out = GeneticAlgorithm::small(5)
+            .optimize(&space, &mut obj, &Budget::evals(200))
+            .unwrap();
+        for t in &out.trials {
+            space.validate(&t.config).unwrap();
+        }
+        // Optimum: solver=b, knob→1, depth→8 ⇒ score 2. GA should find ≥ 1.5.
+        assert!(out.best_score > 1.5, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = float_space(2);
+        let run = |seed| {
+            let mut obj = FnObjective(|c: &Config| -sphere(&values(c, 2)));
+            GeneticAlgorithm::new(seed)
+                .optimize(&space, &mut obj, &Budget::evals(300))
+                .unwrap()
+                .best_score
+        };
+        assert_eq!(run(9), run(9));
+    }
+
+    #[test]
+    fn respects_eval_budget_exactly() {
+        let space = float_space(1);
+        let mut n = 0usize;
+        let mut obj = FnObjective(|_c: &Config| {
+            n += 1;
+            0.0
+        });
+        GeneticAlgorithm::new(1).optimize(&space, &mut obj, &Budget::evals(77));
+        drop(obj);
+        assert_eq!(n, 77);
+    }
+
+    #[test]
+    fn elitism_preserves_the_best_individual() {
+        let space = float_space(1);
+        let mut obj = FnObjective(|c: &Config| -(c.float_or("x0", 0.0).abs()));
+        let out = GeneticAlgorithm::with_config(
+            2,
+            GaConfig {
+                population: 8,
+                generations: 20,
+                elitism: 2,
+                ..GaConfig::default()
+            },
+        )
+        .optimize(&space, &mut obj, &Budget::evals(200))
+        .unwrap();
+        let curve = out.incumbent_curve();
+        assert!(curve.last().unwrap() >= curve.first().unwrap());
+    }
+}

@@ -1,0 +1,56 @@
+//! # automodel-hpo
+//!
+//! Hyperparameter-optimization substrate for the Auto-Model reproduction.
+//!
+//! The paper (§II) relies on four classical HPO techniques — Grid Search,
+//! Random Search, Bayesian Optimization and Genetic Algorithms — and on the
+//! observation that GA suits cheap evaluations while BO suits expensive ones.
+//! The Auto-Weka baseline additionally needs a *hierarchical* space (the
+//! choice of algorithm is itself a hyperparameter that gates every
+//! algorithm-specific subspace) and a SMAC-style model-based optimizer.
+//!
+//! This crate provides:
+//!
+//! * [`space`] — typed [`SearchSpace`]s with int/float/categorical/bool
+//!   parameters, log scales, and conditional activation (`momentum` is only
+//!   active when `solver = sgd`, `J48.*` only when `algorithm = J48`).
+//! * [`budget`] — evaluation-count / wall-clock / target-score budgets.
+//! * Optimizers — [`GridSearch`], [`RandomSearch`], [`GeneticAlgorithm`]
+//!   (tournament selection, uniform crossover, mutation, elitism),
+//!   [`BayesianOptimization`] (GP surrogate, RBF kernel, expected
+//!   improvement) and [`SmacLite`] (random-forest surrogate with random
+//!   interleaving).
+//! * [`testfns`] — standard continuous test functions used by unit tests and
+//!   the `hpo_optimizers` criterion bench.
+//!
+//! All optimizers *maximize* the objective and never propose configurations
+//! outside the space (property-tested).
+
+pub mod bo;
+pub mod budget;
+pub mod ga;
+pub mod grid;
+pub mod linalg;
+pub mod objective;
+pub mod random;
+pub mod smac;
+pub mod space;
+pub mod testfns;
+
+pub use bo::BayesianOptimization;
+pub use budget::Budget;
+pub use ga::{GaConfig, GeneticAlgorithm};
+pub use grid::GridSearch;
+pub use objective::{FnObjective, Objective, OptOutcome, Optimizer, Trial};
+pub use random::RandomSearch;
+pub use smac::SmacLite;
+pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
+
+/// Optimizers re-exported as a module for qualified use.
+pub mod optimizers {
+    pub use crate::bo::BayesianOptimization;
+    pub use crate::ga::GeneticAlgorithm;
+    pub use crate::grid::GridSearch;
+    pub use crate::random::RandomSearch;
+    pub use crate::smac::SmacLite;
+}

@@ -1,0 +1,201 @@
+//! Minimal dense linear algebra for the GP surrogate.
+//!
+//! Implements just what Bayesian optimization needs: a Cholesky
+//! factorization with jitter, triangular solves, and a log-determinant.
+//! Matrices are row-major `Vec<f64>` with explicit dimension; sizes here are
+//! small (≤ a few hundred observations), so no blocking or SIMD is needed.
+
+/// Row-major square matrix view helpers.
+#[derive(Debug, Clone)]
+pub struct SquareMatrix {
+    pub n: usize,
+    pub data: Vec<f64>,
+}
+
+impl SquareMatrix {
+    pub fn zeros(n: usize) -> SquareMatrix {
+        SquareMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+    }
+}
+
+/// Lower-triangular Cholesky factor `L` with `L Lᵀ = A`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    pub l: SquareMatrix,
+}
+
+/// Factor a symmetric positive-definite matrix, adding growing diagonal
+/// jitter on failure. Returns `None` only if the matrix stays indefinite
+/// even with large jitter (surrogate callers then fall back to random
+/// proposals).
+pub fn cholesky(a: &SquareMatrix) -> Option<Cholesky> {
+    let n = a.n;
+    let mut jitter = 0.0f64;
+    'attempt: for attempt in 0..8 {
+        if attempt > 0 {
+            jitter = if jitter == 0.0 { 1e-10 } else { jitter * 100.0 };
+        }
+        let mut l = SquareMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a.get(i, j) + if i == j { jitter } else { 0.0 };
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 || !sum.is_finite() {
+                        continue 'attempt;
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        return Some(Cholesky { l });
+    }
+    None
+}
+
+impl Cholesky {
+    /// Solve `L y = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.l.n;
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l.get(i, k) * y[k];
+            }
+            y[i] = sum / self.l.get(i, i);
+        }
+        y
+    }
+
+    /// Solve `Lᵀ x = y` (backward substitution).
+    pub fn solve_upper(&self, y: &[f64]) -> Vec<f64> {
+        let n = self.l.n;
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in i + 1..n {
+                sum -= self.l.get(k, i) * x[k];
+            }
+            x[i] = sum / self.l.get(i, i);
+        }
+        x
+    }
+
+    /// Solve `A x = b` via the factor.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        self.solve_upper(&self.solve_lower(b))
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.n).map(|i| self.l.get(i, i).ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd3() -> SquareMatrix {
+        // A = M Mᵀ + I for a fixed M — strictly positive definite.
+        let m = [[1.0, 2.0, 0.0], [0.0, 1.0, 1.0], [1.0, 0.0, 3.0]];
+        let mut a = SquareMatrix::zeros(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..3 {
+                    s += m[i][k] * m[j][k];
+                }
+                a.set(i, j, s);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn cholesky_reconstructs_matrix() {
+        let a = spd3();
+        let ch = cholesky(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut s = 0.0;
+                for k in 0..3 {
+                    s += ch.l.get(i, k) * ch.l.get(j, k);
+                }
+                assert!((s - a.get(i, j)).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_linear_system() {
+        let a = spd3();
+        let ch = cholesky(&a).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x = ch.solve(&b);
+        for i in 0..3 {
+            let mut ax = 0.0;
+            for j in 0..3 {
+                ax += a.get(i, j) * x[j];
+            }
+            assert!((ax - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_identity() {
+        let mut a = SquareMatrix::zeros(4);
+        for i in 0..4 {
+            a.set(i, i, 2.0);
+        }
+        let ch = cholesky(&a).unwrap();
+        assert!((ch.log_det() - 4.0 * 2.0f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn jitter_rescues_near_singular() {
+        // Rank-1 matrix: needs jitter.
+        let mut a = SquareMatrix::zeros(2);
+        a.set(0, 0, 1.0);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 1, 1.0);
+        assert!(cholesky(&a).is_some());
+    }
+
+    #[test]
+    fn helpers_compute_expected_values() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Objective and optimizer interfaces.
+//!
+//! All optimizers in this crate **maximize** `f(λ)` over a [`SearchSpace`]
+//! (equation (1) in the paper). Objectives may be stochastic and expensive;
+//! the optimizer records every trial so callers can inspect the history
+//! (anytime behaviour: the paper's UDR lets users stop at any moment and take
+//! the best configuration found so far).
+
+use crate::budget::Budget;
+use crate::space::{Config, SearchSpace};
+
+/// A black-box objective to maximize.
+pub trait Objective {
+    /// Evaluate one configuration. Higher is better. Implementations may be
+    /// stochastic; optimizers never assume determinism.
+    fn evaluate(&mut self, config: &Config) -> f64;
+}
+
+/// Wrap a closure as an [`Objective`].
+pub struct FnObjective<F: FnMut(&Config) -> f64>(pub F);
+
+impl<F: FnMut(&Config) -> f64> Objective for FnObjective<F> {
+    fn evaluate(&mut self, config: &Config) -> f64 {
+        (self.0)(config)
+    }
+}
+
+/// One recorded evaluation.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    pub config: Config,
+    pub score: f64,
+    /// 0-based evaluation index.
+    pub index: usize,
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    pub best_config: Config,
+    pub best_score: f64,
+    pub trials: Vec<Trial>,
+}
+
+impl OptOutcome {
+    /// Assemble an outcome from a trial history (best by score; earliest wins
+    /// ties so reruns are stable).
+    pub fn from_trials(trials: Vec<Trial>) -> Option<OptOutcome> {
+        let best = trials
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| a.score.total_cmp(&b.score).then(ib.cmp(ia)))
+            .map(|(i, _)| i)?;
+        Some(OptOutcome {
+            best_config: trials[best].config.clone(),
+            best_score: trials[best].score,
+            trials,
+        })
+    }
+
+    /// Running best score after each evaluation (for convergence plots).
+    pub fn incumbent_curve(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.trials
+            .iter()
+            .map(|t| {
+                if t.score > best {
+                    best = t.score;
+                }
+                best
+            })
+            .collect()
+    }
+}
+
+/// Common optimizer interface.
+pub trait Optimizer {
+    /// Run until the budget is exhausted; `None` if the budget allowed no
+    /// evaluations at all.
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome>;
+
+    /// Short human-readable name (used in experiment reports).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::ParamValue;
+
+    fn trial(score: f64, index: usize) -> Trial {
+        Trial {
+            config: Config::new().with("x", ParamValue::Float(score)),
+            score,
+            index,
+        }
+    }
+
+    #[test]
+    fn from_trials_picks_best_and_breaks_ties_earliest() {
+        let out = OptOutcome::from_trials(vec![trial(0.3, 0), trial(0.9, 1), trial(0.9, 2)])
+            .unwrap();
+        assert_eq!(out.best_score, 0.9);
+        assert_eq!(out.best_config.float_or("x", 0.0), 0.9);
+        assert_eq!(out.trials.len(), 3);
+        // Earliest of the tied trials is index 1; check via incumbent curve.
+        assert_eq!(out.incumbent_curve(), vec![0.3, 0.9, 0.9]);
+    }
+
+    #[test]
+    fn from_trials_empty_is_none() {
+        assert!(OptOutcome::from_trials(vec![]).is_none());
+    }
+
+    #[test]
+    fn fn_objective_delegates() {
+        let mut calls = 0usize;
+        let mut obj = FnObjective(|c: &Config| {
+            calls += 1;
+            c.float_or("x", 0.0) * 2.0
+        });
+        let c = Config::new().with("x", ParamValue::Float(1.5));
+        assert_eq!(obj.evaluate(&c), 3.0);
+        drop(obj);
+        assert_eq!(calls, 1);
+    }
+}

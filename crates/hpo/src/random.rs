@@ -1,0 +1,124 @@
+//! Random Search (§II-A): sample uniformly until the budget is exhausted.
+//!
+//! The paper uses RS as the canonical "ignores history" baseline; it is also
+//! the interleave component of [`crate::smac::SmacLite`].
+
+use crate::budget::Budget;
+use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::space::SearchSpace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Uniform random search.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    seed: u64,
+}
+
+impl RandomSearch {
+    pub fn new(seed: u64) -> RandomSearch {
+        RandomSearch { seed }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = budget.start();
+        let mut trials = Vec::new();
+        while !tracker.exhausted() {
+            let config = space.sample(&mut rng);
+            let score = objective.evaluate(&config);
+            tracker.record(score);
+            trials.push(Trial {
+                config,
+                score,
+                index: trials.len(),
+            });
+        }
+        OptOutcome::from_trials(trials)
+    }
+
+    fn name(&self) -> &'static str {
+        "random-search"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::space::{Config, Domain};
+    use crate::testfns::sphere;
+
+    fn space1d() -> SearchSpace {
+        SearchSpace::builder()
+            .add("x", Domain::float(-5.0, 5.0))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn respects_eval_budget() {
+        let space = space1d();
+        let mut n = 0usize;
+        let mut obj = FnObjective(|_c: &Config| {
+            n += 1;
+            0.0
+        });
+        let out = RandomSearch::new(1)
+            .optimize(&space, &mut obj, &Budget::evals(25))
+            .unwrap();
+        assert_eq!(out.trials.len(), 25);
+        drop(obj);
+        assert_eq!(n, 25);
+    }
+
+    #[test]
+    fn finds_decent_sphere_optimum() {
+        let space = space1d();
+        let mut obj = FnObjective(|c: &Config| -sphere(&[c.float_or("x", 0.0)]));
+        let out = RandomSearch::new(7)
+            .optimize(&space, &mut obj, &Budget::evals(200))
+            .unwrap();
+        assert!(out.best_score > -0.1, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = space1d();
+        let run = |seed| {
+            let mut obj = FnObjective(|c: &Config| -sphere(&[c.float_or("x", 0.0)]));
+            RandomSearch::new(seed)
+                .optimize(&space, &mut obj, &Budget::evals(30))
+                .unwrap()
+                .best_score
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn zero_budget_yields_none() {
+        let space = space1d();
+        let mut obj = FnObjective(|_c: &Config| 0.0);
+        assert!(RandomSearch::new(1)
+            .optimize(&space, &mut obj, &Budget::evals(0))
+            .is_none());
+    }
+
+    #[test]
+    fn target_budget_stops_early() {
+        let space = space1d();
+        let mut obj = FnObjective(|_c: &Config| 1.0);
+        let out = RandomSearch::new(1)
+            .optimize(&space, &mut obj, &Budget::evals(100).with_target(0.5))
+            .unwrap();
+        assert_eq!(out.trials.len(), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! SMAC-lite: random-forest-surrogate model-based optimization.
+//!
+//! Auto-Weka's optimizer (SMAC, Hutter et al. 2011 — reference 6 of the
+//! paper) uses a random-forest surrogate because, unlike a GP, it copes
+//! natively with conditional/categorical CASH spaces. This is a compact
+//! reimplementation of its core loop:
+//!
+//! 1. fit a regression forest on all `(encoded config, score)` observations;
+//! 2. propose the candidate maximizing expected improvement, where the
+//!    predictive mean/variance come from the across-tree distribution;
+//! 3. *interleave*: every other proposal is uniformly random, preserving
+//!    global exploration guarantees.
+//!
+//! Used as the search engine of the Auto-Weka baseline in `automodel-core`.
+
+use crate::budget::Budget;
+use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::space::{Config, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Regression tree node over dense encoded vectors.
+enum Node {
+    Leaf {
+        mean: f64,
+    },
+    Split {
+        dim: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { mean } => *mean,
+            Node::Split {
+                dim,
+                threshold,
+                left,
+                right,
+            } => {
+                if x[*dim] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+}
+
+fn mean(ys: &[f64]) -> f64 {
+    if ys.is_empty() {
+        0.0
+    } else {
+        ys.iter().sum::<f64>() / ys.len() as f64
+    }
+}
+
+fn sse(ys: &[f64]) -> f64 {
+    let m = mean(ys);
+    ys.iter().map(|y| (y - m) * (y - m)).sum()
+}
+
+/// Grow one regression tree on the index set `rows`.
+fn grow_tree<R: Rng>(
+    xs: &[Vec<f64>],
+    ys: &[f64],
+    rows: &[usize],
+    min_leaf: usize,
+    depth: usize,
+    rng: &mut R,
+) -> Node {
+    let y_here: Vec<f64> = rows.iter().map(|&r| ys[r]).collect();
+    if rows.len() < 2 * min_leaf || depth == 0 || sse(&y_here) < 1e-12 {
+        return Node::Leaf {
+            mean: mean(&y_here),
+        };
+    }
+    let dims = xs[0].len();
+    let n_try = ((dims as f64).sqrt().ceil() as usize).max(1);
+    let mut best: Option<(usize, f64, f64)> = None; // (dim, threshold, gain)
+    let parent_sse = sse(&y_here);
+    for _ in 0..n_try {
+        let dim = rng.gen_range(0..dims);
+        let mut vals: Vec<f64> = rows.iter().map(|&r| xs[r][dim]).collect();
+        vals.sort_by(f64::total_cmp);
+        vals.dedup();
+        if vals.len() < 2 {
+            continue;
+        }
+        // A handful of candidate thresholds between distinct values.
+        for _ in 0..4 {
+            let i = rng.gen_range(0..vals.len() - 1);
+            let threshold = (vals[i] + vals[i + 1]) / 2.0;
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &r in rows {
+                if xs[r][dim] <= threshold {
+                    left.push(ys[r]);
+                } else {
+                    right.push(ys[r]);
+                }
+            }
+            if left.len() < min_leaf || right.len() < min_leaf {
+                continue;
+            }
+            let gain = parent_sse - sse(&left) - sse(&right);
+            if best.is_none_or(|(_, _, g)| gain > g) {
+                best = Some((dim, threshold, gain));
+            }
+        }
+    }
+    match best {
+        Some((dim, threshold, gain)) if gain > 1e-12 => {
+            let (mut left_rows, mut right_rows) = (Vec::new(), Vec::new());
+            for &r in rows {
+                if xs[r][dim] <= threshold {
+                    left_rows.push(r);
+                } else {
+                    right_rows.push(r);
+                }
+            }
+            Node::Split {
+                dim,
+                threshold,
+                left: Box::new(grow_tree(xs, ys, &left_rows, min_leaf, depth - 1, rng)),
+                right: Box::new(grow_tree(xs, ys, &right_rows, min_leaf, depth - 1, rng)),
+            }
+        }
+        _ => Node::Leaf {
+            mean: mean(&y_here),
+        },
+    }
+}
+
+/// Regression forest with across-tree predictive variance.
+struct Forest {
+    trees: Vec<Node>,
+}
+
+impl Forest {
+    fn fit<R: Rng>(xs: &[Vec<f64>], ys: &[f64], n_trees: usize, rng: &mut R) -> Forest {
+        let n = xs.len();
+        let trees = (0..n_trees)
+            .map(|_| {
+                let rows: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+                grow_tree(xs, ys, &rows, 2, 16, rng)
+            })
+            .collect();
+        Forest { trees }
+    }
+
+    fn predict(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let m = mean(&preds);
+        let var = preds.iter().map(|p| (p - m) * (p - m)).sum::<f64>() / preds.len() as f64;
+        (m, var.sqrt())
+    }
+}
+
+/// SMAC-lite optimizer.
+#[derive(Debug, Clone)]
+pub struct SmacLite {
+    seed: u64,
+    /// Random initial design size.
+    pub init_design: usize,
+    /// Trees in the surrogate forest.
+    pub n_trees: usize,
+    /// Candidate pool per model-guided proposal.
+    pub candidates: usize,
+    /// Local perturbations of the incumbent added to the pool.
+    pub local_candidates: usize,
+}
+
+impl SmacLite {
+    pub fn new(seed: u64) -> SmacLite {
+        SmacLite {
+            seed,
+            init_design: 8,
+            n_trees: 24,
+            candidates: 256,
+            local_candidates: 64,
+        }
+    }
+}
+
+/// Reuse BO's analytic EI through the module-private helpers there is not
+/// possible; replicate the tiny formula locally.
+fn expected_improvement(mean: f64, std: f64, best: f64) -> f64 {
+    if std <= 1e-12 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / std;
+    // Φ and φ via erf as in the BO module.
+    let phi = (-0.5 * z * z).exp() / (std::f64::consts::TAU).sqrt();
+    let big_phi = 0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2));
+    (mean - best) * big_phi + std * phi
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+impl Optimizer for SmacLite {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut tracker = budget.start();
+        let mut trials: Vec<Trial> = Vec::new();
+        let mut xs: Vec<Vec<f64>> = Vec::new();
+        let mut ys: Vec<f64> = Vec::new();
+
+        let evaluate = |config: Config,
+                            trials: &mut Vec<Trial>,
+                            xs: &mut Vec<Vec<f64>>,
+                            ys: &mut Vec<f64>,
+                            tracker: &mut crate::budget::BudgetTracker,
+                            objective: &mut dyn Objective| {
+            let score = objective.evaluate(&config);
+            tracker.record(score);
+            xs.push(space.encode(&config));
+            ys.push(score);
+            trials.push(Trial {
+                config,
+                score,
+                index: trials.len(),
+            });
+        };
+
+        for _ in 0..self.init_design.max(2) {
+            if tracker.exhausted() {
+                break;
+            }
+            let c = space.sample(&mut rng);
+            evaluate(c, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+        }
+
+        let mut model_turn = true;
+        while !tracker.exhausted() {
+            let next = if model_turn && xs.len() >= 4 {
+                let forest = Forest::fit(&xs, &ys, self.n_trees, &mut rng);
+                let best_y = ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let incumbent_idx = ys
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap();
+                let incumbent = trials[incumbent_idx].config.clone();
+                let mut best_cand: Option<(Config, f64)> = None;
+                let consider = |c: Config, best_cand: &mut Option<(Config, f64)>| {
+                    let (m, s) = forest.predict(&space.encode(&c));
+                    let ei = expected_improvement(m, s, best_y);
+                    if best_cand.as_ref().is_none_or(|(_, b)| ei > *b) {
+                        *best_cand = Some((c, ei));
+                    }
+                };
+                for _ in 0..self.candidates {
+                    consider(space.sample(&mut rng), &mut best_cand);
+                }
+                for _ in 0..self.local_candidates {
+                    consider(space.neighbor(&incumbent, 0.4, 0.2, &mut rng), &mut best_cand);
+                }
+                match best_cand {
+                    Some((c, ei)) if ei > 1e-12 => c,
+                    _ => space.sample(&mut rng),
+                }
+            } else {
+                space.sample(&mut rng)
+            };
+            model_turn = !model_turn;
+            evaluate(next, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+        }
+        OptOutcome::from_trials(trials)
+    }
+
+    fn name(&self) -> &'static str {
+        "smac-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnObjective;
+    use crate::space::{Condition, Domain};
+    use crate::testfns::sphere;
+
+    #[test]
+    fn forest_fits_a_step_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let forest = Forest::fit(&xs, &ys, 16, &mut rng);
+        let (lo, _) = forest.predict(&[0.1]);
+        let (hi, _) = forest.predict(&[0.9]);
+        assert!(lo < 0.25, "lo = {lo}");
+        assert!(hi > 0.75, "hi = {hi}");
+    }
+
+    #[test]
+    fn forest_variance_is_low_in_dense_regions() {
+        let xs: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 100) as f64 / 100.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0]).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let forest = Forest::fit(&xs, &ys, 24, &mut rng);
+        let (_, s) = forest.predict(&[0.5]);
+        assert!(s < 0.2, "std = {s}");
+    }
+
+    #[test]
+    fn smac_optimizes_quadratic_on_mixed_space() {
+        let space = SearchSpace::builder()
+            .add("x", Domain::float(-4.0, 4.0))
+            .add("flavor", Domain::cat(&["bad", "good"]))
+            .build()
+            .unwrap();
+        let mut obj = FnObjective(|c: &Config| {
+            let bonus = if c.cat_or("flavor", 0) == 1 { 1.0 } else { 0.0 };
+            bonus - sphere(&[c.float_or("x", 0.0)])
+        });
+        let out = SmacLite::new(5)
+            .optimize(&space, &mut obj, &Budget::evals(120))
+            .unwrap();
+        assert!(out.best_score > 0.6, "best = {}", out.best_score);
+        assert_eq!(out.best_config.cat_or("flavor", 0), 1);
+    }
+
+    #[test]
+    fn smac_handles_hierarchical_spaces() {
+        // CASH-shaped space: root algorithm choice gating two subspaces.
+        let space = SearchSpace::builder()
+            .add("algorithm", Domain::cat(&["linear", "tree"]))
+            .add_if("lr", Domain::float_log(1e-4, 1.0), Condition::cat_eq("algorithm", 0))
+            .add_if("depth", Domain::int(1, 12), Condition::cat_eq("algorithm", 1))
+            .build()
+            .unwrap();
+        let mut obj = FnObjective(|c: &Config| match c.cat_or("algorithm", 0) {
+            0 => 0.5 - (c.float_or("lr", 1.0).ln() - (0.01f64).ln()).abs() / 10.0,
+            _ => 0.9 - (c.int_or("depth", 1) - 7).abs() as f64 / 10.0,
+        });
+        let out = SmacLite::new(6)
+            .optimize(&space, &mut obj, &Budget::evals(150))
+            .unwrap();
+        for t in &out.trials {
+            space.validate(&t.config).unwrap();
+        }
+        // The tree branch dominates; SMAC should land there near depth 7.
+        assert_eq!(out.best_config.cat_or("algorithm", 9), 1);
+        assert!(out.best_score > 0.8, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn smac_respects_budget_and_seed() {
+        let space = SearchSpace::builder()
+            .add("x", Domain::float(0.0, 1.0))
+            .build()
+            .unwrap();
+        let run = |seed| {
+            let mut n = 0usize;
+            let mut obj = FnObjective(|c: &Config| {
+                n += 1;
+                c.float_or("x", 0.0)
+            });
+            let out = SmacLite::new(seed)
+                .optimize(&space, &mut obj, &Budget::evals(40))
+                .unwrap();
+            drop(obj);
+            assert_eq!(n, 40);
+            out.best_score
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

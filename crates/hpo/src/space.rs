@@ -1,0 +1,814 @@
+//! Typed hyperparameter search spaces with conditional activation.
+//!
+//! A [`SearchSpace`] is an ordered list of [`ParamSpec`]s. A parameter may
+//! carry a [`Condition`]: it is *active* only when its parent parameter takes
+//! one of the listed values. Parents must be declared before children, so
+//! activity can be resolved in one forward pass. A [`Config`] assigns a
+//! [`ParamValue`] to every *active* parameter and nothing else.
+//!
+//! The same machinery serves three users:
+//! * flat spaces for single-algorithm tuning (UDR, Algorithm 5);
+//! * the MLP architecture space of Table II (`momentum` gated on
+//!   `solver = sgd`);
+//! * the hierarchical Auto-Weka CASH space (everything gated on the root
+//!   `algorithm` parameter).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Value domain of one hyperparameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Domain {
+    /// Integer range, inclusive. `log` samples on a log scale (requires lo ≥ 1).
+    Int { lo: i64, hi: i64, log: bool },
+    /// Float range, inclusive. `log` samples on a log scale (requires lo > 0).
+    Float { lo: f64, hi: f64, log: bool },
+    /// Categorical options, stored by index.
+    Cat { options: Vec<String> },
+    /// Boolean flag.
+    Bool,
+}
+
+impl Domain {
+    /// Convenience constructors.
+    pub fn int(lo: i64, hi: i64) -> Domain {
+        Domain::Int { lo, hi, log: false }
+    }
+    pub fn int_log(lo: i64, hi: i64) -> Domain {
+        Domain::Int { lo, hi, log: true }
+    }
+    pub fn float(lo: f64, hi: f64) -> Domain {
+        Domain::Float { lo, hi, log: false }
+    }
+    pub fn float_log(lo: f64, hi: f64) -> Domain {
+        Domain::Float { lo, hi, log: true }
+    }
+    pub fn cat(options: &[&str]) -> Domain {
+        Domain::Cat {
+            options: options.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of encoding dimensions this domain occupies.
+    fn encoded_width(&self) -> usize {
+        match self {
+            Domain::Cat { options } => options.len(),
+            _ => 1,
+        }
+    }
+
+    /// True when `value`'s type and range match the domain.
+    pub fn contains(&self, value: &ParamValue) -> bool {
+        match (self, value) {
+            (Domain::Int { lo, hi, .. }, ParamValue::Int(v)) => v >= lo && v <= hi,
+            (Domain::Float { lo, hi, .. }, ParamValue::Float(v)) => {
+                v.is_finite() && *v >= *lo && *v <= *hi
+            }
+            (Domain::Cat { options }, ParamValue::Cat(i)) => *i < options.len(),
+            (Domain::Bool, ParamValue::Bool(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Sample a uniform value from the domain.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> ParamValue {
+        match self {
+            Domain::Int { lo, hi, log: false } => ParamValue::Int(rng.gen_range(*lo..=*hi)),
+            Domain::Int { lo, hi, log: true } => {
+                let (llo, lhi) = ((*lo as f64).ln(), (*hi as f64).ln());
+                let v = rng.gen_range(llo..=lhi).exp().round() as i64;
+                ParamValue::Int(v.clamp(*lo, *hi))
+            }
+            Domain::Float { lo, hi, log: false } => ParamValue::Float(rng.gen_range(*lo..=*hi)),
+            Domain::Float { lo, hi, log: true } => {
+                let (llo, lhi) = (lo.ln(), hi.ln());
+                ParamValue::Float(rng.gen_range(llo..=lhi).exp().clamp(*lo, *hi))
+            }
+            Domain::Cat { options } => ParamValue::Cat(rng.gen_range(0..options.len())),
+            Domain::Bool => ParamValue::Bool(rng.gen()),
+        }
+    }
+
+    /// Mutate `value` locally: numeric values take a bounded step of relative
+    /// size `strength` ∈ (0, 1]; categorical/bool resample.
+    pub fn mutate<R: Rng>(&self, value: &ParamValue, strength: f64, rng: &mut R) -> ParamValue {
+        match (self, value) {
+            (Domain::Int { lo, hi, .. }, ParamValue::Int(v)) => {
+                let span = ((hi - lo) as f64 * strength).max(1.0);
+                let step = rng.gen_range(-span..=span).round() as i64;
+                ParamValue::Int((v + step).clamp(*lo, *hi))
+            }
+            (Domain::Float { lo, hi, log }, ParamValue::Float(v)) => {
+                if *log {
+                    let (llo, lhi) = (lo.ln(), hi.ln());
+                    let span = (lhi - llo) * strength;
+                    let nv = (v.ln() + rng.gen_range(-span..=span)).exp();
+                    ParamValue::Float(nv.clamp(*lo, *hi))
+                } else {
+                    let span = (hi - lo) * strength;
+                    ParamValue::Float((v + rng.gen_range(-span..=span)).clamp(*lo, *hi))
+                }
+            }
+            _ => self.sample(rng),
+        }
+    }
+
+    /// `levels` grid points covering the domain (categorical/bool enumerate
+    /// all options regardless of `levels`).
+    pub fn grid(&self, levels: usize) -> Vec<ParamValue> {
+        let levels = levels.max(1);
+        match self {
+            Domain::Int { lo, hi, .. } => {
+                let count = ((hi - lo + 1) as usize).min(levels);
+                if count <= 1 {
+                    return vec![ParamValue::Int(*lo)];
+                }
+                (0..count)
+                    .map(|i| {
+                        let t = i as f64 / (count - 1) as f64;
+                        ParamValue::Int(((*lo as f64) + t * (hi - lo) as f64).round() as i64)
+                    })
+                    .collect()
+            }
+            Domain::Float { lo, hi, log } => {
+                if levels == 1 {
+                    return vec![ParamValue::Float((lo + hi) / 2.0)];
+                }
+                (0..levels)
+                    .map(|i| {
+                        let t = i as f64 / (levels - 1) as f64;
+                        let v = if *log {
+                            (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+                        } else {
+                            lo + t * (hi - lo)
+                        };
+                        ParamValue::Float(v)
+                    })
+                    .collect()
+            }
+            Domain::Cat { options } => (0..options.len()).map(ParamValue::Cat).collect(),
+            Domain::Bool => vec![ParamValue::Bool(false), ParamValue::Bool(true)],
+        }
+    }
+}
+
+/// A concrete hyperparameter value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    Int(i64),
+    Float(f64),
+    /// Index into the categorical domain's `options`.
+    Cat(usize),
+    Bool(bool),
+}
+
+impl ParamValue {
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            ParamValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            ParamValue::Float(v) => Some(*v),
+            ParamValue::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+    pub fn as_cat(&self) -> Option<usize> {
+        match self {
+            ParamValue::Cat(v) => Some(*v),
+            _ => None,
+        }
+    }
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            ParamValue::Bool(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Activation condition: the parameter is active iff `parent` is active and
+/// its value is in `values`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    pub parent: String,
+    pub values: Vec<ParamValue>,
+}
+
+impl Condition {
+    /// Active when `parent` equals the categorical option `option`.
+    pub fn cat_eq(parent: &str, option_index: usize) -> Condition {
+        Condition {
+            parent: parent.to_string(),
+            values: vec![ParamValue::Cat(option_index)],
+        }
+    }
+}
+
+/// One hyperparameter: name, domain, optional activation condition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    pub name: String,
+    pub domain: Domain,
+    pub condition: Option<Condition>,
+}
+
+/// A configuration: values for every *active* parameter.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Config(pub BTreeMap<String, ParamValue>);
+
+impl Config {
+    pub fn new() -> Config {
+        Config(BTreeMap::new())
+    }
+    pub fn get(&self, name: &str) -> Option<&ParamValue> {
+        self.0.get(name)
+    }
+    pub fn set(&mut self, name: impl Into<String>, value: ParamValue) {
+        self.0.insert(name.into(), value);
+    }
+    pub fn with(mut self, name: impl Into<String>, value: ParamValue) -> Config {
+        self.set(name, value);
+        self
+    }
+    /// Typed accessors with a default (classifiers use these so that a
+    /// partially-specified config still builds).
+    pub fn int_or(&self, name: &str, default: i64) -> i64 {
+        self.get(name).and_then(ParamValue::as_int).unwrap_or(default)
+    }
+    pub fn float_or(&self, name: &str, default: f64) -> f64 {
+        self.get(name).and_then(ParamValue::as_float).unwrap_or(default)
+    }
+    pub fn cat_or(&self, name: &str, default: usize) -> usize {
+        self.get(name).and_then(ParamValue::as_cat).unwrap_or(default)
+    }
+    pub fn bool_or(&self, name: &str, default: bool) -> bool {
+        self.get(name).and_then(ParamValue::as_bool).unwrap_or(default)
+    }
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &ParamValue)> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        write!(f, "{{")?;
+        for (k, v) in &self.0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            first = false;
+            match v {
+                ParamValue::Int(i) => write!(f, "{k}={i}")?,
+                ParamValue::Float(x) => write!(f, "{k}={x:.4}")?,
+                ParamValue::Cat(c) => write!(f, "{k}=#{c}")?,
+                ParamValue::Bool(b) => write!(f, "{k}={b}")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Errors raised while building or validating against a space.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    DuplicateParam(String),
+    UnknownParent { param: String, parent: String },
+    ParentAfterChild { param: String, parent: String },
+    MissingActive(String),
+    UnexpectedInactive(String),
+    UnknownParam(String),
+    OutOfDomain(String),
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::DuplicateParam(p) => write!(f, "duplicate parameter '{p}'"),
+            SpaceError::UnknownParent { param, parent } => {
+                write!(f, "parameter '{param}' conditions on unknown parent '{parent}'")
+            }
+            SpaceError::ParentAfterChild { param, parent } => {
+                write!(f, "parameter '{param}' conditions on later parent '{parent}'")
+            }
+            SpaceError::MissingActive(p) => write!(f, "active parameter '{p}' missing from config"),
+            SpaceError::UnexpectedInactive(p) => {
+                write!(f, "inactive parameter '{p}' present in config")
+            }
+            SpaceError::UnknownParam(p) => write!(f, "config has unknown parameter '{p}'"),
+            SpaceError::OutOfDomain(p) => write!(f, "value of '{p}' outside its domain"),
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// An ordered, validated set of parameter specs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    params: Vec<ParamSpec>,
+    /// Total encoding width (numeric dims + one-hot blocks).
+    encoded_width: usize,
+}
+
+impl SearchSpace {
+    /// Build a space, checking name uniqueness and parent ordering.
+    pub fn new(params: Vec<ParamSpec>) -> Result<SearchSpace, SpaceError> {
+        let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+        for (i, p) in params.iter().enumerate() {
+            if seen.contains_key(p.name.as_str()) {
+                return Err(SpaceError::DuplicateParam(p.name.clone()));
+            }
+            if let Some(cond) = &p.condition {
+                match seen.get(cond.parent.as_str()) {
+                    None => {
+                        // Parent may appear later — that's an error, or
+                        // genuinely unknown.
+                        if params.iter().any(|q| q.name == cond.parent) {
+                            return Err(SpaceError::ParentAfterChild {
+                                param: p.name.clone(),
+                                parent: cond.parent.clone(),
+                            });
+                        }
+                        return Err(SpaceError::UnknownParent {
+                            param: p.name.clone(),
+                            parent: cond.parent.clone(),
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+            seen.insert(p.name.as_str(), i);
+        }
+        let encoded_width = params.iter().map(|p| p.domain.encoded_width()).sum();
+        Ok(SearchSpace {
+            params,
+            encoded_width,
+        })
+    }
+
+    /// Builder-style constructor for unconditional params.
+    pub fn builder() -> SpaceBuilder {
+        SpaceBuilder { params: Vec::new() }
+    }
+
+    pub fn params(&self) -> &[ParamSpec] {
+        &self.params
+    }
+
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Look up a parameter spec by name.
+    pub fn param(&self, name: &str) -> Option<&ParamSpec> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Is `spec` active under `config`? (Parents are earlier, so any fully
+    /// forward-built config resolves this correctly.)
+    pub fn is_active(&self, spec: &ParamSpec, config: &Config) -> bool {
+        match &spec.condition {
+            None => true,
+            Some(cond) => config
+                .get(&cond.parent)
+                .map(|v| cond.values.contains(v))
+                .unwrap_or(false),
+        }
+    }
+
+    /// Sample a uniform random configuration (active params only).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Config {
+        let mut config = Config::new();
+        for spec in &self.params {
+            if self.is_active(spec, &config) {
+                config.set(spec.name.clone(), spec.domain.sample(rng));
+            }
+        }
+        config
+    }
+
+    /// Validate `config`: exactly the active params, all in range.
+    pub fn validate(&self, config: &Config) -> Result<(), SpaceError> {
+        let mut expected = 0usize;
+        for spec in &self.params {
+            if self.is_active(spec, config) {
+                expected += 1;
+                match config.get(&spec.name) {
+                    None => return Err(SpaceError::MissingActive(spec.name.clone())),
+                    Some(v) if !spec.domain.contains(v) => {
+                        return Err(SpaceError::OutOfDomain(spec.name.clone()))
+                    }
+                    Some(_) => {}
+                }
+            } else if config.get(&spec.name).is_some() {
+                return Err(SpaceError::UnexpectedInactive(spec.name.clone()));
+            }
+        }
+        if config.len() != expected {
+            for name in config.0.keys() {
+                if self.param(name).is_none() {
+                    return Err(SpaceError::UnknownParam(name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair a raw assignment into a valid config: walk forward, keep
+    /// provided in-range values for active params, sample anything missing
+    /// or broken, drop inactive leftovers. Used after GA crossover and BO
+    /// acquisition rounding.
+    pub fn repair<R: Rng>(&self, raw: &Config, rng: &mut R) -> Config {
+        let mut config = Config::new();
+        for spec in &self.params {
+            if self.is_active(spec, &config) {
+                let value = match raw.get(&spec.name) {
+                    Some(v) if spec.domain.contains(v) => v.clone(),
+                    _ => spec.domain.sample(rng),
+                };
+                config.set(spec.name.clone(), value);
+            }
+        }
+        config
+    }
+
+    /// Encoding width (for surrogate models).
+    pub fn encoded_width(&self) -> usize {
+        self.encoded_width
+    }
+
+    /// Encode a config as a dense `[0,1]`-ish vector. Numeric params map to
+    /// their normalized position (log-scaled when the domain is log);
+    /// categorical params one-hot; bool 0/1; *inactive* numeric dims encode
+    /// 0.5 and inactive one-hot blocks all zeros, so inactive regions are
+    /// neutral for distance-based surrogates.
+    pub fn encode(&self, config: &Config) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.encoded_width);
+        for spec in &self.params {
+            let active_value = config.get(&spec.name);
+            match &spec.domain {
+                Domain::Int { lo, hi, log } => {
+                    let v = active_value.and_then(ParamValue::as_int);
+                    out.push(match v {
+                        Some(v) if hi > lo => {
+                            if *log {
+                                ((v as f64).ln() - (*lo as f64).ln())
+                                    / ((*hi as f64).ln() - (*lo as f64).ln())
+                            } else {
+                                (v - lo) as f64 / (hi - lo) as f64
+                            }
+                        }
+                        Some(_) => 0.0,
+                        None => 0.5,
+                    });
+                }
+                Domain::Float { lo, hi, log } => {
+                    let v = active_value.and_then(ParamValue::as_float);
+                    out.push(match v {
+                        Some(v) if hi > lo => {
+                            if *log {
+                                (v.ln() - lo.ln()) / (hi.ln() - lo.ln())
+                            } else {
+                                (v - lo) / (hi - lo)
+                            }
+                        }
+                        Some(_) => 0.0,
+                        None => 0.5,
+                    });
+                }
+                Domain::Cat { options } => {
+                    let start = out.len();
+                    out.resize(start + options.len(), 0.0);
+                    if let Some(i) = active_value.and_then(ParamValue::as_cat) {
+                        if i < options.len() {
+                            out[start + i] = 1.0;
+                        }
+                    }
+                }
+                Domain::Bool => {
+                    out.push(match active_value.and_then(ParamValue::as_bool) {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => 0.5,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Decode a dense vector back into the nearest valid config (inverse of
+    /// [`SearchSpace::encode`], resolving conditionals forward).
+    pub fn decode(&self, vector: &[f64]) -> Config {
+        let mut config = Config::new();
+        let mut offset = 0usize;
+        for spec in &self.params {
+            let width = spec.domain.encoded_width();
+            let slice = &vector[offset..offset + width];
+            offset += width;
+            if !self.is_active(spec, &config) {
+                continue;
+            }
+            let value = match &spec.domain {
+                Domain::Int { lo, hi, log } => {
+                    let t = slice[0].clamp(0.0, 1.0);
+                    let v = if *log {
+                        ((*lo as f64).ln() + t * ((*hi as f64).ln() - (*lo as f64).ln())).exp()
+                    } else {
+                        *lo as f64 + t * (hi - lo) as f64
+                    };
+                    ParamValue::Int((v.round() as i64).clamp(*lo, *hi))
+                }
+                Domain::Float { lo, hi, log } => {
+                    let t = slice[0].clamp(0.0, 1.0);
+                    let v = if *log {
+                        (lo.ln() + t * (hi.ln() - lo.ln())).exp()
+                    } else {
+                        lo + t * (hi - lo)
+                    };
+                    ParamValue::Float(v.clamp(*lo, *hi))
+                }
+                Domain::Cat { options } => {
+                    let best = slice
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    ParamValue::Cat(best.min(options.len() - 1))
+                }
+                Domain::Bool => ParamValue::Bool(slice[0] >= 0.5),
+            };
+            config.set(spec.name.clone(), value);
+        }
+        config
+    }
+
+    /// Perturb one configuration: each active param mutates with probability
+    /// `rate`; conditional structure is re-resolved afterwards.
+    pub fn neighbor<R: Rng>(&self, config: &Config, rate: f64, strength: f64, rng: &mut R) -> Config {
+        let mut raw = config.clone();
+        for spec in &self.params {
+            if let Some(v) = config.get(&spec.name) {
+                if rng.gen::<f64>() < rate {
+                    raw.set(spec.name.clone(), spec.domain.mutate(v, strength, rng));
+                }
+            }
+        }
+        self.repair(&raw, rng)
+    }
+
+    /// Total grid size with `levels` points per numeric param (used to guard
+    /// against grid explosions before enumerating).
+    pub fn grid_size(&self, levels: usize) -> usize {
+        self.params
+            .iter()
+            .map(|p| p.domain.grid(levels).len())
+            .product()
+    }
+}
+
+/// Fluent builder for spaces.
+pub struct SpaceBuilder {
+    params: Vec<ParamSpec>,
+}
+
+impl SpaceBuilder {
+    pub fn add(mut self, name: &str, domain: Domain) -> Self {
+        self.params.push(ParamSpec {
+            name: name.to_string(),
+            domain,
+            condition: None,
+        });
+        self
+    }
+
+    pub fn add_if(mut self, name: &str, domain: Domain, condition: Condition) -> Self {
+        self.params.push(ParamSpec {
+            name: name.to_string(),
+            domain,
+            condition: Some(condition),
+        });
+        self
+    }
+
+    pub fn build(self) -> Result<SearchSpace, SpaceError> {
+        SearchSpace::new(self.params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn conditional_space() -> SearchSpace {
+        SearchSpace::builder()
+            .add("solver", Domain::cat(&["lbfgs", "sgd", "adam"]))
+            .add_if(
+                "momentum",
+                Domain::float(0.01, 0.99),
+                Condition::cat_eq("solver", 1),
+            )
+            .add("layers", Domain::int(1, 20))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn sample_respects_conditions() {
+        let space = conditional_space();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut saw_active = false;
+        let mut saw_inactive = false;
+        for _ in 0..100 {
+            let c = space.sample(&mut rng);
+            space.validate(&c).unwrap();
+            let is_sgd = c.cat_or("solver", 9) == 1;
+            assert_eq!(c.get("momentum").is_some(), is_sgd);
+            saw_active |= is_sgd;
+            saw_inactive |= !is_sgd;
+        }
+        assert!(saw_active && saw_inactive);
+    }
+
+    #[test]
+    fn validate_rejects_missing_and_extra() {
+        let space = conditional_space();
+        let c = Config::new()
+            .with("solver", ParamValue::Cat(1))
+            .with("layers", ParamValue::Int(3));
+        assert_eq!(
+            space.validate(&c),
+            Err(SpaceError::MissingActive("momentum".into()))
+        );
+        let c = Config::new()
+            .with("solver", ParamValue::Cat(0))
+            .with("momentum", ParamValue::Float(0.5))
+            .with("layers", ParamValue::Int(3));
+        assert_eq!(
+            space.validate(&c),
+            Err(SpaceError::UnexpectedInactive("momentum".into()))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_out_of_domain() {
+        let space = conditional_space();
+        let c = Config::new()
+            .with("solver", ParamValue::Cat(0))
+            .with("layers", ParamValue::Int(99));
+        assert_eq!(space.validate(&c), Err(SpaceError::OutOfDomain("layers".into())));
+    }
+
+    #[test]
+    fn repair_fixes_crossover_wreckage() {
+        let space = conditional_space();
+        let mut rng = StdRng::seed_from_u64(2);
+        // momentum present though solver is lbfgs; layers out of range.
+        let raw = Config::new()
+            .with("solver", ParamValue::Cat(0))
+            .with("momentum", ParamValue::Float(0.5))
+            .with("layers", ParamValue::Int(500));
+        let fixed = space.repair(&raw, &mut rng);
+        space.validate(&fixed).unwrap();
+        assert!(fixed.get("momentum").is_none());
+    }
+
+    #[test]
+    fn space_rejects_duplicate_and_bad_parents() {
+        let err = SearchSpace::builder()
+            .add("a", Domain::int(0, 1))
+            .add("a", Domain::int(0, 1))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, SpaceError::DuplicateParam("a".into()));
+        let err = SearchSpace::builder()
+            .add_if("b", Domain::int(0, 1), Condition::cat_eq("missing", 0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SpaceError::UnknownParent { .. }));
+        let err = SearchSpace::new(vec![
+            ParamSpec {
+                name: "child".into(),
+                domain: Domain::Bool,
+                condition: Some(Condition::cat_eq("parent", 0)),
+            },
+            ParamSpec {
+                name: "parent".into(),
+                domain: Domain::cat(&["x"]),
+                condition: None,
+            },
+        ])
+        .unwrap_err();
+        assert!(matches!(err, SpaceError::ParentAfterChild { .. }));
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_on_flat_space() {
+        let space = SearchSpace::builder()
+            .add("i", Domain::int(0, 10))
+            .add("f", Domain::float(-1.0, 1.0))
+            .add("c", Domain::cat(&["a", "b", "c"]))
+            .add("b", Domain::Bool)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let c = space.sample(&mut rng);
+            let v = space.encode(&c);
+            assert_eq!(v.len(), space.encoded_width());
+            let back = space.decode(&v);
+            assert_eq!(back.get("i"), c.get("i"));
+            assert_eq!(back.get("c"), c.get("c"));
+            assert_eq!(back.get("b"), c.get("b"));
+            let f0 = c.float_or("f", 9.0);
+            let f1 = back.float_or("f", -9.0);
+            assert!((f0 - f1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_domains_sample_in_range_and_skew_low() {
+        let d = Domain::float_log(1e-4, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut below = 0;
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng).as_float().unwrap();
+            assert!((1e-4..=1.0).contains(&v));
+            if v < 1e-2 {
+                below += 1;
+            }
+        }
+        // Log-uniform puts half the mass below the geometric midpoint 1e-2.
+        assert!(below > 350, "only {below} of 1000 below 1e-2");
+    }
+
+    #[test]
+    fn mutate_stays_in_domain() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = Domain::int(0, 5);
+        for _ in 0..200 {
+            let v = d.sample(&mut rng);
+            let m = d.mutate(&v, 0.5, &mut rng);
+            assert!(d.contains(&m));
+        }
+    }
+
+    #[test]
+    fn grid_covers_endpoints() {
+        let d = Domain::float(0.0, 1.0);
+        let g = d.grid(3);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g[0].as_float(), Some(0.0));
+        assert_eq!(g[2].as_float(), Some(1.0));
+        let d = Domain::int(1, 2);
+        assert_eq!(d.grid(5).len(), 2);
+        assert_eq!(Domain::Bool.grid(7).len(), 2);
+    }
+
+    #[test]
+    fn grid_size_multiplies() {
+        let space = conditional_space();
+        // 3 (cat) * momentum grid * layers grid — conditionals count fully,
+        // this is an upper bound used only as an explosion guard.
+        assert_eq!(space.grid_size(2), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn neighbor_output_is_always_valid() {
+        let space = conditional_space();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut c = space.sample(&mut rng);
+        for _ in 0..100 {
+            c = space.neighbor(&c, 0.7, 0.3, &mut rng);
+            space.validate(&c).unwrap();
+        }
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let c = Config::new()
+            .with("a", ParamValue::Int(3))
+            .with("b", ParamValue::Float(0.25));
+        assert_eq!(format!("{c}"), "{a=3, b=0.2500}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Standard continuous test functions (all formulated for *minimization*;
+//! optimizer tests negate them). Used by unit tests and the
+//! `hpo_optimizers` criterion bench.
+
+/// Sphere: `Σ x_i²`, global minimum 0 at the origin.
+pub fn sphere(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum()
+}
+
+/// Rastrigin: `10 n + Σ (x_i² − 10 cos 2π x_i)`, highly multimodal, global
+/// minimum 0 at the origin; domain conventionally `[-5.12, 5.12]`.
+pub fn rastrigin(x: &[f64]) -> f64 {
+    10.0 * x.len() as f64
+        + x.iter()
+            .map(|v| v * v - 10.0 * (std::f64::consts::TAU * v).cos())
+            .sum::<f64>()
+}
+
+/// Branin (2-D): three global minima with value ≈ 0.397887; domain
+/// `x ∈ [-5, 10], y ∈ [0, 15]`.
+pub fn branin(x: f64, y: f64) -> f64 {
+    let a = 1.0;
+    let b = 5.1 / (4.0 * std::f64::consts::PI * std::f64::consts::PI);
+    let c = 5.0 / std::f64::consts::PI;
+    let r = 6.0;
+    let s = 10.0;
+    let t = 1.0 / (8.0 * std::f64::consts::PI);
+    a * (y - b * x * x + c * x - r).powi(2) + s * (1.0 - t) * x.cos() + s
+}
+
+/// Rosenbrock: `Σ 100 (x_{i+1} − x_i²)² + (1 − x_i)²`, narrow curved valley,
+/// global minimum 0 at `(1, …, 1)`.
+pub fn rosenbrock(x: &[f64]) -> f64 {
+    x.windows(2)
+        .map(|w| 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minima_are_where_the_textbooks_say() {
+        assert_eq!(sphere(&[0.0, 0.0, 0.0]), 0.0);
+        assert!(rastrigin(&[0.0, 0.0]).abs() < 1e-12);
+        assert_eq!(rosenbrock(&[1.0, 1.0, 1.0]), 0.0);
+        assert!((branin(std::f64::consts::PI, 2.275) - 0.397887).abs() < 1e-4);
+    }
+
+    #[test]
+    fn functions_grow_away_from_minima() {
+        assert!(sphere(&[1.0]) > sphere(&[0.5]));
+        assert!(rosenbrock(&[0.0, 0.0]) > 0.0);
+        assert!(rastrigin(&[2.5, 2.5]) > rastrigin(&[0.0, 0.0]));
+    }
+}

@@ -1,0 +1,237 @@
+//! Algorithm 1: `KnowledgeAcquisition`.
+//!
+//! From all usable experience `InfAll` and the paper corpus, derive
+//! `CRelations = {(instance, optimal algorithm)}`:
+//!
+//! 1. rank papers by Table I reliability (ascending; index = reliability);
+//! 2. per instance `I` with more than `min_algorithms` algorithms involved:
+//!    build the information network over the best-algorithm candidates,
+//!    close it transitively (weakest-link weights), resolve contradictions;
+//! 3. the optimal algorithm is an in-degree-0 candidate; ties are broken by
+//!    the *richest comparison experience* — the number of distinct
+//!    algorithms proved weaker via `RInf_I` and the closed graph.
+
+use crate::experience::{distinct_algorithms, instance_list, related_experiences, Experience};
+use crate::graph::InformationNetwork;
+use crate::paper::{rank_papers, Paper};
+use std::collections::{BTreeSet, HashMap};
+
+/// One acquired knowledge pair `(I, OA_I)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnowledgePair {
+    pub instance: String,
+    pub best_algorithm: String,
+    /// Candidates that survived to the in-degree-0 stage (diagnostics).
+    pub final_candidates: Vec<String>,
+    /// The comparison-experience score of the winner.
+    pub evidence: usize,
+}
+
+/// Options for Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct AcquisitionOptions {
+    /// Line 6: skip instances whose `RInf_I` involves no more than this many
+    /// algorithms (the paper uses 5: "involves > 5 algorithms").
+    pub min_algorithms: usize,
+}
+
+impl Default for AcquisitionOptions {
+    fn default() -> AcquisitionOptions {
+        AcquisitionOptions { min_algorithms: 5 }
+    }
+}
+
+/// Build the (closed, conflict-free) information network for one instance.
+/// Exposed so examples and the knowledge-quality experiments can inspect
+/// the intermediate graph.
+pub fn build_network(
+    rinf: &[&Experience],
+    reliability: &HashMap<String, usize>,
+) -> InformationNetwork {
+    // OACs: the best algorithms only (line 7).
+    let oacs: BTreeSet<&str> = rinf.iter().map(|e| e.best.as_str()).collect();
+    let mut graph = InformationNetwork::new();
+    for &cand in &oacs {
+        graph.add_node(cand);
+    }
+    // Line 8: edges best → other for others that are themselves candidates,
+    // weighted by the providing paper's reliability (max over papers).
+    for e in rinf {
+        let Some(&rel) = reliability.get(&e.paper) else { continue };
+        for other in &e.others {
+            if oacs.contains(other.as_str()) {
+                graph.add_edge(&e.best, other, rel);
+            }
+        }
+    }
+    // Lines 10–12.
+    graph.close_transitively();
+    graph.resolve_conflicts();
+    graph
+}
+
+/// Comparison-experience score (line 14): distinct algorithms proved weaker
+/// than `candidate` — the union of `others` over tuples whose best is
+/// reachable from the candidate (or is the candidate itself).
+pub fn comparison_experience(
+    candidate: &str,
+    rinf: &[&Experience],
+    graph: &InformationNetwork,
+) -> usize {
+    let mut reachable = graph.descendants(candidate);
+    reachable.insert(candidate.to_string());
+    let mut weaker: BTreeSet<String> = BTreeSet::new();
+    for e in rinf {
+        if reachable.contains(&e.best) {
+            for other in &e.others {
+                if other != candidate {
+                    weaker.insert(other.clone());
+                }
+            }
+        }
+    }
+    // Everything reachable in the graph is also proved weaker.
+    for node in graph.descendants(candidate) {
+        if node != candidate {
+            weaker.insert(node);
+        }
+    }
+    weaker.len()
+}
+
+/// Algorithm 1 in full.
+pub fn knowledge_acquisition(
+    infall: &[Experience],
+    papers: &[Paper],
+    options: &AcquisitionOptions,
+) -> Vec<KnowledgePair> {
+    let reliability: HashMap<String, usize> = rank_papers(papers).into_iter().collect();
+    let mut crelations = Vec::new();
+    for instance in instance_list(infall) {
+        let rinf = related_experiences(infall, &instance);
+        // Line 6: require enough algorithmic context.
+        if distinct_algorithms(&rinf).len() <= options.min_algorithms {
+            continue;
+        }
+        let graph = build_network(&rinf, &reliability);
+        let candidates = graph.sources();
+        if candidates.is_empty() {
+            // Fully cyclic conflicting evidence — no defensible answer.
+            continue;
+        }
+        let scored: Vec<(usize, &String)> = candidates
+            .iter()
+            .map(|c| (comparison_experience(c, &rinf, &graph), c))
+            .collect();
+        let (evidence, winner) = scored
+            .iter()
+            .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(a.1)))
+            .map(|&(s, c)| (s, c.clone()))
+            .expect("candidates nonempty");
+        crelations.push(KnowledgePair {
+            instance,
+            best_algorithm: winner,
+            final_candidates: candidates,
+            evidence,
+        });
+    }
+    crelations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{PaperLevel, VenueType};
+
+    fn papers() -> Vec<Paper> {
+        vec![
+            Paper::new("weak", PaperLevel::D, VenueType::Conference, 0.1, 1),
+            Paper::new("mid", PaperLevel::B, VenueType::Conference, 1.0, 10),
+            Paper::new("strong", PaperLevel::A, VenueType::Journal, 9.0, 500),
+        ]
+    }
+
+    /// Experiences naming ≥6 algorithms so line 6 passes.
+    fn rich_experience(paper: &str, best: &str, others: &[&str]) -> Experience {
+        Experience::new(paper, "wine", best, others)
+    }
+
+    #[test]
+    fn acquires_the_undominated_candidate() {
+        let infall = vec![
+            rich_experience("strong", "RandomForest", &["J48", "NaiveBayes", "OneR", "ZeroR", "IBk"]),
+            rich_experience("mid", "J48", &["OneR", "ZeroR"]),
+        ];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].best_algorithm, "RandomForest");
+    }
+
+    #[test]
+    fn skips_instances_with_too_few_algorithms() {
+        let infall = vec![rich_experience("strong", "A", &["B", "C"])];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert!(pairs.is_empty());
+        // With a relaxed threshold it is kept.
+        let pairs = knowledge_acquisition(
+            &infall,
+            &papers(),
+            &AcquisitionOptions { min_algorithms: 2 },
+        );
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn conflicts_resolve_toward_the_reliable_paper() {
+        // weak paper: J48 beats RandomForest; strong paper: RandomForest
+        // beats J48. Both are candidates (each is a best somewhere).
+        let infall = vec![
+            rich_experience("weak", "J48", &["RandomForest", "A", "B", "C", "D"]),
+            rich_experience("strong", "RandomForest", &["J48", "A", "B", "C", "D"]),
+        ];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert_eq!(pairs[0].best_algorithm, "RandomForest");
+    }
+
+    #[test]
+    fn tie_between_sources_broken_by_comparison_experience() {
+        // Two candidates never compared against each other; "Rich" has far
+        // more algorithms proved weaker.
+        let infall = vec![
+            rich_experience("mid", "Rich", &["A", "B", "C", "D", "E", "F"]),
+            rich_experience("strong", "Poor", &["A"]),
+        ];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert_eq!(pairs[0].best_algorithm, "Rich");
+        assert_eq!(pairs[0].final_candidates.len(), 2);
+        assert_eq!(pairs[0].evidence, 6);
+    }
+
+    #[test]
+    fn transitive_evidence_counts_toward_experience() {
+        // X beats Y (paper strong); Y is best elsewhere over {A..E}: X's
+        // comparison experience includes Y's victims via reachability.
+        let infall = vec![
+            rich_experience("strong", "X", &["Y", "q1", "q2", "q3", "q4"]),
+            rich_experience("mid", "Y", &["A", "B", "C", "D", "E"]),
+        ];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert_eq!(pairs[0].best_algorithm, "X");
+        // victims: Y, q1..q4 directly; A..E through Y ⇒ 10 distinct.
+        assert_eq!(pairs[0].evidence, 10);
+    }
+
+    #[test]
+    fn per_instance_isolation() {
+        let infall = vec![
+            Experience::new("strong", "wine", "A", &["B", "C", "D", "E", "F"]),
+            Experience::new("strong", "iris", "Z", &["Y", "X", "W", "V", "U"]),
+        ];
+        let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[0].instance, "wine");
+        assert_eq!(pairs[0].best_algorithm, "A");
+        assert_eq!(pairs[1].instance, "iris");
+        assert_eq!(pairs[1].best_algorithm, "Z");
+    }
+}

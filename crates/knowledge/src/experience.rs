@@ -1,0 +1,114 @@
+//! Experience quadruples.
+//!
+//! "The experience required in Auto-Model is a set of quadruples
+//! `(P, I, BestA_I^P, OtherAs_I^P)`": paper `P` analyzed instance `I`, found
+//! `best` strongest, and found every algorithm in `others` weaker.
+
+use serde::{Deserialize, Serialize};
+
+/// One piece of experience extracted from one paper about one task instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experience {
+    /// Paper id (`P`).
+    pub paper: String,
+    /// Task-instance (dataset) name (`I`).
+    pub instance: String,
+    /// The algorithm the paper found best on `I`.
+    pub best: String,
+    /// Algorithms the paper found weaker than `best` on `I`.
+    pub others: Vec<String>,
+}
+
+impl Experience {
+    pub fn new(
+        paper: impl Into<String>,
+        instance: impl Into<String>,
+        best: impl Into<String>,
+        others: &[&str],
+    ) -> Experience {
+        Experience {
+            paper: paper.into(),
+            instance: instance.into(),
+            best: best.into(),
+            others: others.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// All algorithms this experience mentions (best first).
+    pub fn algorithms(&self) -> impl Iterator<Item = &str> {
+        std::iter::once(self.best.as_str()).chain(self.others.iter().map(String::as_str))
+    }
+}
+
+/// Distinct instance names mentioned in `infall`, in first-seen order
+/// (Algorithm 1's `IList`).
+pub fn instance_list(infall: &[Experience]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for e in infall {
+        if seen.insert(e.instance.as_str()) {
+            out.push(e.instance.clone());
+        }
+    }
+    out
+}
+
+/// Experiences about one instance (Algorithm 1's `RInf_I`).
+pub fn related_experiences<'a>(infall: &'a [Experience], instance: &str) -> Vec<&'a Experience> {
+    infall.iter().filter(|e| e.instance == instance).collect()
+}
+
+/// Distinct algorithms mentioned across `experiences`.
+pub fn distinct_algorithms(experiences: &[&Experience]) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for e in experiences {
+        for a in e.algorithms() {
+            if seen.insert(a.to_string()) {
+                out.push(a.to_string());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infall() -> Vec<Experience> {
+        vec![
+            Experience::new("p1", "wine", "J48", &["ZeroR", "OneR"]),
+            Experience::new("p2", "wine", "BayesNet", &["J48"]),
+            Experience::new("p1", "iris", "IBk", &["ZeroR"]),
+        ]
+    }
+
+    #[test]
+    fn instance_list_preserves_first_seen_order() {
+        assert_eq!(instance_list(&infall()), vec!["wine", "iris"]);
+    }
+
+    #[test]
+    fn related_filters_by_instance() {
+        let all = infall();
+        let wine = related_experiences(&all, "wine");
+        assert_eq!(wine.len(), 2);
+        assert!(wine.iter().all(|e| e.instance == "wine"));
+    }
+
+    #[test]
+    fn distinct_algorithms_dedupes_across_experiences() {
+        let all = infall();
+        let wine = related_experiences(&all, "wine");
+        let algs = distinct_algorithms(&wine);
+        assert_eq!(algs, vec!["J48", "ZeroR", "OneR", "BayesNet"]);
+    }
+
+    #[test]
+    fn algorithms_iterates_best_first() {
+        let e = Experience::new("p", "i", "A", &["B", "C"]);
+        let v: Vec<&str> = e.algorithms().collect();
+        assert_eq!(v, vec!["A", "B", "C"]);
+    }
+}

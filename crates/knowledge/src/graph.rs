@@ -1,0 +1,252 @@
+//! The information network `DGraph`.
+//!
+//! A directed graph over optimal-algorithm candidates where an edge
+//! `A_i → A_j` with weight `w` means "some paper of reliability `w` showed
+//! `A_i` beats `A_j` on this instance". Algorithm 1 closes the graph under
+//! reachability — the reliability of a derived relation is the *minimum*
+//! weight along its path (weakest link). The paper derives these via BFS
+//! per node; we compute the equivalent *widest paths* (maximize the minimum
+//! edge weight) with a Floyd–Warshall-style pass, which is deterministic
+//! and path-order independent. Contradictory pairs (`A→B` and `B→A`) keep
+//! only the more reliable direction; exact ties drop both.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directed reliability-weighted graph over algorithm names.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InformationNetwork {
+    /// `edges[(from, to)] = reliability` (higher is more reliable).
+    edges: BTreeMap<(String, String), usize>,
+    nodes: BTreeSet<String>,
+}
+
+impl InformationNetwork {
+    pub fn new() -> InformationNetwork {
+        InformationNetwork::default()
+    }
+
+    /// Register a node without edges (candidates with no relations still
+    /// participate in the in-degree analysis).
+    pub fn add_node(&mut self, node: &str) {
+        self.nodes.insert(node.to_string());
+    }
+
+    /// Add (or strengthen) a directed relation `from beats to`. A repeated
+    /// relation keeps the maximum reliability (Algorithm 1, line 8:
+    /// `Rel_ij = max value in Base_ij`).
+    pub fn add_edge(&mut self, from: &str, to: &str, reliability: usize) {
+        if from == to {
+            return;
+        }
+        self.add_node(from);
+        self.add_node(to);
+        let key = (from.to_string(), to.to_string());
+        let entry = self.edges.entry(key).or_insert(reliability);
+        *entry = (*entry).max(reliability);
+    }
+
+    pub fn nodes(&self) -> impl Iterator<Item = &str> {
+        self.nodes.iter().map(String::as_str)
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn edge(&self, from: &str, to: &str) -> Option<usize> {
+        self.edges.get(&(from.to_string(), to.to_string())).copied()
+    }
+
+    pub fn edges(&self) -> impl Iterator<Item = (&str, &str, usize)> {
+        self.edges
+            .iter()
+            .map(|((f, t), &w)| (f.as_str(), t.as_str(), w))
+    }
+
+    /// Transitive closure where a derived edge's reliability is the widest
+    /// (max-min) path weight (Algorithm 1, lines 10–11).
+    pub fn close_transitively(&mut self) {
+        let nodes: Vec<String> = self.nodes.iter().cloned().collect();
+        for k in &nodes {
+            for i in &nodes {
+                if i == k {
+                    continue;
+                }
+                let Some(w_ik) = self.edge(i, k) else { continue };
+                for j in &nodes {
+                    if j == i || j == k {
+                        continue;
+                    }
+                    let Some(w_kj) = self.edge(k, j) else { continue };
+                    let through = w_ik.min(w_kj);
+                    let current = self.edge(i, j).unwrap_or(0);
+                    if through > current {
+                        self.edges
+                            .insert((i.clone(), j.clone()), through);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove contradictions (Algorithm 1, line 12): for mutual edges keep
+    /// the strictly more reliable one; equal weights drop both.
+    pub fn resolve_conflicts(&mut self) {
+        let pairs: Vec<(String, String)> = self
+            .edges
+            .keys()
+            .filter(|(f, t)| f < t && self.edges.contains_key(&(t.clone(), f.clone())))
+            .cloned()
+            .collect();
+        for (a, b) in pairs {
+            let w_ab = self.edges[&(a.clone(), b.clone())];
+            let w_ba = self.edges[&(b.clone(), a.clone())];
+            match w_ab.cmp(&w_ba) {
+                std::cmp::Ordering::Greater => {
+                    self.edges.remove(&(b.clone(), a.clone()));
+                }
+                std::cmp::Ordering::Less => {
+                    self.edges.remove(&(a.clone(), b.clone()));
+                }
+                std::cmp::Ordering::Equal => {
+                    self.edges.remove(&(a.clone(), b.clone()));
+                    self.edges.remove(&(b, a));
+                }
+            }
+        }
+    }
+
+    /// Nodes with no incoming edges (Algorithm 1, line 13: the provably
+    /// undominated candidates).
+    pub fn sources(&self) -> Vec<String> {
+        let mut has_incoming: BTreeSet<&str> = BTreeSet::new();
+        for (_, to) in self.edges.keys() {
+            has_incoming.insert(to);
+        }
+        self.nodes
+            .iter()
+            .filter(|n| !has_incoming.contains(n.as_str()))
+            .cloned()
+            .collect()
+    }
+
+    /// Nodes reachable from `start` (excluding `start` unless on a cycle).
+    pub fn descendants(&self, start: &str) -> BTreeSet<String> {
+        let mut visited = BTreeSet::new();
+        let mut queue = vec![start.to_string()];
+        while let Some(node) = queue.pop() {
+            for ((from, to), _) in self.edges.iter() {
+                if from == &node && !visited.contains(to) {
+                    visited.insert(to.clone());
+                    queue.push(to.clone());
+                }
+            }
+        }
+        visited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> InformationNetwork {
+        // a -5-> b -2-> c
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "b", 5);
+        g.add_edge("b", "c", 2);
+        g
+    }
+
+    #[test]
+    fn repeated_edges_keep_max_reliability() {
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "b", 1);
+        g.add_edge("a", "b", 7);
+        g.add_edge("a", "b", 3);
+        assert_eq!(g.edge("a", "b"), Some(7));
+        assert_eq!(g.n_edges(), 1);
+    }
+
+    #[test]
+    fn self_edges_are_ignored() {
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "a", 9);
+        assert_eq!(g.n_edges(), 0);
+    }
+
+    #[test]
+    fn closure_derives_weakest_link_weight() {
+        let mut g = chain();
+        g.close_transitively();
+        assert_eq!(g.edge("a", "c"), Some(2));
+    }
+
+    #[test]
+    fn closure_prefers_the_widest_path() {
+        // Two routes a→c: direct weight 1, through b with min 3.
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "c", 1);
+        g.add_edge("a", "b", 4);
+        g.add_edge("b", "c", 3);
+        g.close_transitively();
+        assert_eq!(g.edge("a", "c"), Some(3));
+    }
+
+    #[test]
+    fn conflicts_keep_the_more_reliable_direction() {
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "b", 5);
+        g.add_edge("b", "a", 2);
+        g.resolve_conflicts();
+        assert_eq!(g.edge("a", "b"), Some(5));
+        assert_eq!(g.edge("b", "a"), None);
+    }
+
+    #[test]
+    fn tied_conflicts_drop_both_directions() {
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "b", 3);
+        g.add_edge("b", "a", 3);
+        g.resolve_conflicts();
+        assert_eq!(g.edge("a", "b"), None);
+        assert_eq!(g.edge("b", "a"), None);
+        assert_eq!(g.n_nodes(), 2, "nodes survive conflict removal");
+    }
+
+    #[test]
+    fn sources_are_the_undominated_nodes() {
+        let mut g = chain();
+        g.add_node("isolated");
+        assert_eq!(g.sources(), vec!["a".to_string(), "isolated".to_string()]);
+    }
+
+    #[test]
+    fn closure_then_conflict_resolution_handles_cycles() {
+        // a→b (9), b→c (9), c→a (1): closure creates mutual edges; conflict
+        // resolution must break the cycle in favour of reliable directions.
+        let mut g = InformationNetwork::new();
+        g.add_edge("a", "b", 9);
+        g.add_edge("b", "c", 9);
+        g.add_edge("c", "a", 1);
+        g.close_transitively();
+        g.resolve_conflicts();
+        // a→b stays (9 vs derived b→a min(9,1)=1), same for b→c.
+        assert_eq!(g.edge("a", "b"), Some(9));
+        assert_eq!(g.edge("b", "c"), Some(9));
+        assert_eq!(g.edge("c", "a"), None, "weak contrary evidence removed");
+        assert_eq!(g.sources(), vec!["a".to_string()]);
+    }
+
+    #[test]
+    fn descendants_follow_directed_reachability() {
+        let g = chain();
+        let d = g.descendants("a");
+        assert!(d.contains("b") && d.contains("c"));
+        assert!(g.descendants("c").is_empty());
+    }
+}

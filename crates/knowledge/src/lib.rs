@@ -1,0 +1,29 @@
+//! # automodel-knowledge
+//!
+//! Paper-experience substrate: everything the paper's §III-C1 ("Knowledge
+//! Acquirement") needs.
+//!
+//! * [`paper`] — paper metadata and the Table I reliability ordering
+//!   (paper level > venue type > impact factor > average annual citations).
+//! * [`experience`] — the experience quadruples
+//!   `(P, I, BestA_I^P, OtherAs_I^P)` extracted from papers.
+//! * [`graph`] — the *information network* `DGraph`: a directed,
+//!   reliability-weighted graph over optimal-algorithm candidates, with
+//!   widest-path closure (the BFS step of Algorithm 1) and contradiction
+//!   resolution.
+//! * [`acquisition`] — Algorithm 1 (`KnowledgeAcquisition`): from raw
+//!   experiences to `CRelations = {(instance, best algorithm)}`.
+//! * [`corpus`] — synthetic corpus generation with planted ground truth and
+//!   reliability-dependent noise, plus the Fig. 2 Wine worked example.
+
+pub mod acquisition;
+pub mod corpus;
+pub mod experience;
+pub mod graph;
+pub mod paper;
+
+pub use acquisition::{knowledge_acquisition, AcquisitionOptions, KnowledgePair};
+pub use corpus::{Corpus, CorpusSpec};
+pub use experience::Experience;
+pub use graph::InformationNetwork;
+pub use paper::{Paper, PaperLevel, VenueType};

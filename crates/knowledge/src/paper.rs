@@ -1,0 +1,148 @@
+//! Paper metadata and the Table I reliability ordering.
+//!
+//! Table I ranks four bases by priority: paper level (A > B > C > D), paper
+//! type (Journal > Conference), influence (impact) factor (bigger is
+//! better), and average annual citation number (bigger is better). Papers
+//! are compared lexicographically in that priority order; Algorithm 1 then
+//! sorts ascending and uses each paper's *index* as its reliability value.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// CCF-style paper level; `A` is the most reliable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PaperLevel {
+    A,
+    B,
+    C,
+    D,
+}
+
+/// Venue type; journals outrank conferences in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VenueType {
+    Journal,
+    Conference,
+}
+
+/// One research paper in the corpus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Paper {
+    pub id: String,
+    pub level: PaperLevel,
+    pub venue: VenueType,
+    pub impact_factor: f64,
+    pub annual_citations: u32,
+}
+
+impl Paper {
+    pub fn new(
+        id: impl Into<String>,
+        level: PaperLevel,
+        venue: VenueType,
+        impact_factor: f64,
+        annual_citations: u32,
+    ) -> Paper {
+        Paper {
+            id: id.into(),
+            level,
+            venue,
+            impact_factor: impact_factor.max(0.0),
+            annual_citations,
+        }
+    }
+
+    /// Table I comparison: `Greater` means *more reliable*.
+    pub fn cmp_reliability(&self, other: &Paper) -> Ordering {
+        // Level: A > B > C > D — enum order is A < B < ..., so reverse.
+        other
+            .level
+            .cmp(&self.level)
+            .then_with(|| match (self.venue, other.venue) {
+                (VenueType::Journal, VenueType::Conference) => Ordering::Greater,
+                (VenueType::Conference, VenueType::Journal) => Ordering::Less,
+                _ => Ordering::Equal,
+            })
+            .then_with(|| self.impact_factor.total_cmp(&other.impact_factor))
+            .then_with(|| self.annual_citations.cmp(&other.annual_citations))
+            // Stable final tiebreak so ranks are deterministic.
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+/// Algorithm 1, line 2: rank papers ascending by reliability; a paper's
+/// reliability value is its index in this ranking. Returns
+/// `(sorted ids, id → reliability)` so both views are available.
+pub fn rank_papers(papers: &[Paper]) -> Vec<(String, usize)> {
+    let mut sorted: Vec<&Paper> = papers.iter().collect();
+    sorted.sort_by(|a, b| a.cmp_reliability(b));
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(rank, p)| (p.id.clone(), rank))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(id: &str, level: PaperLevel, venue: VenueType, imf: f64, cites: u32) -> Paper {
+        Paper::new(id, level, venue, imf, cites)
+    }
+
+    #[test]
+    fn level_dominates_everything() {
+        let a = paper("a", PaperLevel::A, VenueType::Conference, 0.1, 0);
+        let b = paper("b", PaperLevel::B, VenueType::Journal, 99.0, 99999);
+        assert_eq!(a.cmp_reliability(&b), Ordering::Greater);
+    }
+
+    #[test]
+    fn venue_breaks_level_ties() {
+        let j = paper("j", PaperLevel::B, VenueType::Journal, 0.5, 10);
+        let c = paper("c", PaperLevel::B, VenueType::Conference, 5.0, 1000);
+        assert_eq!(j.cmp_reliability(&c), Ordering::Greater);
+    }
+
+    #[test]
+    fn impact_factor_breaks_venue_ties() {
+        let hi = paper("hi", PaperLevel::C, VenueType::Journal, 3.0, 1);
+        let lo = paper("lo", PaperLevel::C, VenueType::Journal, 1.0, 1000);
+        assert_eq!(hi.cmp_reliability(&lo), Ordering::Greater);
+    }
+
+    #[test]
+    fn citations_are_the_last_resort() {
+        let hi = paper("hi", PaperLevel::C, VenueType::Journal, 1.0, 500);
+        let lo = paper("lo", PaperLevel::C, VenueType::Journal, 1.0, 100);
+        assert_eq!(hi.cmp_reliability(&lo), Ordering::Greater);
+    }
+
+    #[test]
+    fn ranking_is_ascending_with_index_as_reliability() {
+        let papers = vec![
+            paper("best", PaperLevel::A, VenueType::Journal, 10.0, 1000),
+            paper("worst", PaperLevel::D, VenueType::Conference, 0.1, 1),
+            paper("mid", PaperLevel::B, VenueType::Journal, 2.0, 50),
+        ];
+        let ranks = rank_papers(&papers);
+        let get = |id: &str| ranks.iter().find(|(i, _)| i == id).unwrap().1;
+        assert_eq!(get("worst"), 0);
+        assert_eq!(get("mid"), 1);
+        assert_eq!(get("best"), 2);
+    }
+
+    #[test]
+    fn ranking_is_deterministic_under_full_ties() {
+        let papers = vec![
+            paper("x", PaperLevel::C, VenueType::Journal, 1.0, 10),
+            paper("y", PaperLevel::C, VenueType::Journal, 1.0, 10),
+        ];
+        let r1 = rank_papers(&papers);
+        let r2 = rank_papers(&papers);
+        assert_eq!(r1, r2);
+        // Distinct ranks even when all four bases tie.
+        assert_ne!(r1[0].1, r1[1].1);
+    }
+}

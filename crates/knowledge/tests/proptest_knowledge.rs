@@ -1,0 +1,192 @@
+//! Property tests: Algorithm 1 invariants under arbitrary corpora.
+
+use automodel_knowledge::graph::InformationNetwork;
+use automodel_knowledge::{
+    knowledge_acquisition, AcquisitionOptions, CorpusSpec, Experience,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const ALGOS: [&str; 9] = ["A", "B", "C", "D", "E", "F", "G", "H", "I"];
+
+fn corpus_strategy() -> impl Strategy<Value = automodel_knowledge::Corpus> {
+    (
+        2usize..10,   // instances
+        3usize..25,   // papers
+        0.0f64..0.7,  // noise
+        0u64..10_000, // seed
+    )
+        .prop_map(|(instances, papers, noise, seed)| {
+            let mut rankings = BTreeMap::new();
+            for i in 0..instances {
+                let mut order: Vec<String> = ALGOS.iter().map(|s| s.to_string()).collect();
+                order.rotate_left(i % ALGOS.len());
+                rankings.insert(format!("ds{i}"), order);
+            }
+            let mut spec = CorpusSpec::new(rankings, seed);
+            spec.n_papers = papers;
+            spec.noise = noise;
+            spec.build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn acquisition_output_is_well_formed(corpus in corpus_strategy()) {
+        let pairs = knowledge_acquisition(
+            &corpus.experiences,
+            &corpus.papers,
+            &AcquisitionOptions { min_algorithms: 3 },
+        );
+        for pair in &pairs {
+            // The instance came from the corpus.
+            prop_assert!(corpus.true_rankings.contains_key(&pair.instance));
+            // The winner was reported as best by at least one paper.
+            prop_assert!(
+                corpus.experiences.iter().any(|e| {
+                    e.instance == pair.instance && e.best == pair.best_algorithm
+                }),
+                "{} won {} without any paper naming it best",
+                pair.best_algorithm,
+                pair.instance
+            );
+            // The winner is among the surviving candidates.
+            prop_assert!(pair.final_candidates.contains(&pair.best_algorithm));
+        }
+        // At most one pair per instance.
+        let mut instances: Vec<&str> = pairs.iter().map(|p| p.instance.as_str()).collect();
+        instances.sort_unstable();
+        let before = instances.len();
+        instances.dedup();
+        prop_assert_eq!(before, instances.len());
+    }
+
+    #[test]
+    fn acquisition_is_deterministic(corpus in corpus_strategy()) {
+        let opts = AcquisitionOptions { min_algorithms: 3 };
+        let a = knowledge_acquisition(&corpus.experiences, &corpus.papers, &opts);
+        let b = knowledge_acquisition(&corpus.experiences, &corpus.papers, &opts);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noise_free_acquisition_never_contradicts_planted_truth_ordering(
+        seed in 0u64..2000
+    ) {
+        // With zero noise every reported relation is truthful, so whatever
+        // Algorithm 1 picks must never be *worse in the planted ranking*
+        // than an algorithm it was compared against and beat.
+        let mut rankings = BTreeMap::new();
+        for i in 0..6 {
+            let mut order: Vec<String> = ALGOS.iter().map(|s| s.to_string()).collect();
+            order.rotate_left(i);
+            rankings.insert(format!("ds{i}"), order);
+        }
+        let mut spec = CorpusSpec::new(rankings, seed);
+        spec.noise = 0.0;
+        let corpus = spec.build();
+        let pairs = knowledge_acquisition(
+            &corpus.experiences,
+            &corpus.papers,
+            &AcquisitionOptions { min_algorithms: 3 },
+        );
+        for pair in &pairs {
+            let ranking = &corpus.true_rankings[&pair.instance];
+            let win_rank = ranking.iter().position(|a| a == &pair.best_algorithm).unwrap();
+            // No experience may show an algorithm with better planted rank
+            // beating the winner (that would mean Algorithm 1 kept a
+            // dominated node as a source).
+            for e in corpus.experiences.iter().filter(|e| e.instance == pair.instance) {
+                if e.others.contains(&pair.best_algorithm) {
+                    let best_rank = ranking.iter().position(|a| a == &e.best).unwrap();
+                    prop_assert!(
+                        best_rank < win_rank,
+                        "{}: winner {} was beaten by {} yet survived as source",
+                        pair.instance, pair.best_algorithm, e.best
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conflict_resolution_leaves_no_mutual_edges(
+        edges in prop::collection::vec((0usize..6, 0usize..6, 0usize..20), 1..40)
+    ) {
+        let mut g = InformationNetwork::new();
+        for (from, to, w) in edges {
+            g.add_edge(&format!("n{from}"), &format!("n{to}"), w);
+        }
+        g.close_transitively();
+        g.resolve_conflicts();
+        let all: Vec<(String, String)> = g
+            .edges()
+            .map(|(f, t, _)| (f.to_string(), t.to_string()))
+            .collect();
+        for (f, t) in &all {
+            prop_assert!(
+                !all.contains(&(t.clone(), f.clone())),
+                "mutual edge {f} <-> {t} survived"
+            );
+        }
+    }
+
+    #[test]
+    fn closure_never_decreases_reachability(
+        edges in prop::collection::vec((0usize..5, 0usize..5, 1usize..10), 1..20)
+    ) {
+        let mut g = InformationNetwork::new();
+        for (from, to, w) in &edges {
+            g.add_edge(&format!("n{from}"), &format!("n{to}"), *w);
+        }
+        let before: Vec<usize> = (0..5)
+            .map(|i| g.descendants(&format!("n{i}")).len())
+            .collect();
+        g.close_transitively();
+        let after: Vec<usize> = (0..5)
+            .map(|i| g.descendants(&format!("n{i}")).len())
+            .collect();
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn experiences_never_list_best_among_others(corpus in corpus_strategy()) {
+        for e in &corpus.experiences {
+            prop_assert!(!e.others.contains(&e.best));
+            prop_assert!(!e.others.is_empty());
+        }
+    }
+}
+
+/// Non-proptest regression: two papers whose four Table I bases all tie are
+/// still ranked deterministically (id tiebreak), so a head-to-head
+/// contradiction resolves to exactly one candidate — reproducibly.
+#[test]
+fn tied_papers_still_resolve_deterministically() {
+    use automodel_knowledge::paper::{Paper, PaperLevel, VenueType};
+    let papers = vec![
+        Paper::new("p1", PaperLevel::B, VenueType::Journal, 2.0, 10),
+        Paper::new("p2", PaperLevel::B, VenueType::Journal, 2.0, 10),
+    ];
+    let experiences = vec![
+        Experience::new("p1", "ds", "X", &["Y", "a", "b", "c"]),
+        Experience::new("p2", "ds", "Y", &["X", "a", "b", "c"]),
+    ];
+    let run = || {
+        knowledge_acquisition(
+            &experiences,
+            &papers,
+            &AcquisitionOptions { min_algorithms: 3 },
+        )
+    };
+    let pairs = run();
+    assert_eq!(pairs.len(), 1);
+    assert_eq!(pairs[0].final_candidates.len(), 1);
+    // The id tiebreak makes "p1" the more reliable paper, so X wins.
+    assert_eq!(pairs[0].best_algorithm, "X");
+    assert_eq!(run(), pairs);
+}

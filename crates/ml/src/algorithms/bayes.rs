@@ -1,0 +1,839 @@
+//! `weka.classifiers.bayes`: NaiveBayes, NaiveBayesMultinomial, BayesNet,
+//! AODE.
+//!
+//! `NaiveBayes` models numeric attributes with per-class Gaussians and
+//! categorical attributes with Laplace-smoothed multinomials, skipping
+//! missing cells. `BayesNet` is a tree-augmented naive Bayes (TAN) learned
+//! with Chow–Liu conditional mutual information over discretized
+//! attributes — Weka's default K2/TAN structure search restricted to the
+//! single-parent case. `AODE` averages one-dependence estimators over
+//! discretized attributes. `NaiveBayesMultinomial` requires non-negative
+//! numeric attributes (document-count semantics) and is otherwise marked
+//! inapplicable — one of the OneHot' `-1` cases.
+
+use super::dense::Discretizer;
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::registry::{AlgorithmSpec, Family};
+use automodel_data::{Column, Dataset};
+use automodel_hpo::{Config, Domain, ParamValue, SearchSpace};
+
+fn normalize_log(mut log_p: Vec<f64>) -> Vec<f64> {
+    let max = log_p.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in log_p.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in log_p.iter_mut() {
+            *v /= sum;
+        }
+    }
+    log_p
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------- NaiveBayes
+
+enum AttrModel {
+    Gaussian {
+        /// Per class: (mean, variance).
+        stats: Vec<(f64, f64)>,
+    },
+    Multinomial {
+        /// Per class: per-category log probability.
+        log_p: Vec<Vec<f64>>,
+    },
+}
+
+struct NaiveBayes {
+    laplace: f64,
+    log_prior: Vec<f64>,
+    attrs: Vec<AttrModel>,
+    fitted: bool,
+}
+
+impl NaiveBayes {
+    fn new(laplace: f64) -> NaiveBayes {
+        NaiveBayes {
+            laplace,
+            log_prior: Vec::new(),
+            attrs: Vec::new(),
+            fitted: false,
+        }
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let k = data.n_classes();
+        let mut counts = vec![self.laplace; k];
+        for &r in rows {
+            counts[data.label(r)] += 1.0;
+        }
+        let total: f64 = counts.iter().sum();
+        self.log_prior = counts.iter().map(|c| (c / total).ln()).collect();
+
+        self.attrs = data
+            .columns()
+            .iter()
+            .map(|col| match col {
+                Column::Numeric { .. } => {
+                    let mut sums = vec![0.0; k];
+                    let mut ns = vec![0.0; k];
+                    for &r in rows {
+                        if let Some(v) = col.numeric_at(r) {
+                            if !v.is_nan() {
+                                sums[data.label(r)] += v;
+                                ns[data.label(r)] += 1.0;
+                            }
+                        }
+                    }
+                    let means: Vec<f64> = sums
+                        .iter()
+                        .zip(&ns)
+                        .map(|(s, n)| if *n > 0.0 { s / n } else { 0.0 })
+                        .collect();
+                    let mut vars = vec![0.0; k];
+                    for &r in rows {
+                        if let Some(v) = col.numeric_at(r) {
+                            if !v.is_nan() {
+                                let c = data.label(r);
+                                vars[c] += (v - means[c]) * (v - means[c]);
+                            }
+                        }
+                    }
+                    let stats = means
+                        .iter()
+                        .zip(vars.iter().zip(&ns))
+                        .map(|(&m, (&v, &n))| {
+                            (m, if n > 1.0 { (v / n).max(1e-6) } else { 1.0 })
+                        })
+                        .collect();
+                    AttrModel::Gaussian { stats }
+                }
+                Column::Categorical { categories, .. } => {
+                    let arity = categories.len().max(1);
+                    let mut table = vec![vec![self.laplace; arity]; k];
+                    for &r in rows {
+                        if let Some(c) = col.category_at(r) {
+                            table[data.label(r)][c as usize] += 1.0;
+                        }
+                    }
+                    let log_p = table
+                        .into_iter()
+                        .map(|row| {
+                            let t: f64 = row.iter().sum();
+                            row.into_iter().map(|c| (c / t).ln()).collect()
+                        })
+                        .collect();
+                    AttrModel::Multinomial { log_p }
+                }
+            })
+            .collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        let k = self.log_prior.len();
+        let mut log_post = self.log_prior.clone();
+        for (col, model) in data.columns().iter().zip(&self.attrs) {
+            match model {
+                AttrModel::Gaussian { stats } => {
+                    if let Some(v) = col.numeric_at(row) {
+                        if !v.is_nan() {
+                            for c in 0..k {
+                                let (m, var) = stats[c];
+                                let d = v - m;
+                                log_post[c] += -0.5 * (d * d / var + var.ln());
+                            }
+                        }
+                    }
+                }
+                AttrModel::Multinomial { log_p } => {
+                    if let Some(cat) = col.category_at(row) {
+                        for c in 0..k {
+                            if let Some(lp) = log_p[c].get(cat as usize) {
+                                log_post[c] += lp;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        normalize_log(log_post)
+    }
+}
+
+pub struct NaiveBayesSpec;
+
+impl AlgorithmSpec for NaiveBayesSpec {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+    fn family(&self) -> Family {
+        Family::Bayes
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("laplace", Domain::float_log(0.01, 10.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("laplace", ParamValue::Float(1.0))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(NaiveBayes::new(config.float_or("laplace", 1.0).max(1e-4)))
+    }
+}
+
+// --------------------------------------------------- NaiveBayesMultinomial
+
+/// Multinomial NB over non-negative numeric attributes (count semantics):
+/// `p(x | c) ∝ Π θ_{c,j}^{x_j}` with Laplace-smoothed θ. Categorical
+/// attributes contribute their one-hot indicator as a count of 1.
+struct NaiveBayesMultinomial {
+    laplace: f64,
+    log_prior: Vec<f64>,
+    /// Per class, per feature (numeric cols then one-hot blocks): log θ.
+    log_theta: Vec<Vec<f64>>,
+    layout: Vec<(usize, usize)>, // (column index, width)
+    fitted: bool,
+}
+
+impl NaiveBayesMultinomial {
+    fn feature_counts(data: &Dataset, row: usize, layout: &[(usize, usize)], out: &mut Vec<f64>) {
+        out.clear();
+        for &(col, width) in layout {
+            match &data.columns()[col] {
+                Column::Numeric { .. } => {
+                    let v = data.columns()[col].numeric_at(row).unwrap_or(0.0);
+                    out.push(if v.is_nan() { 0.0 } else { v.max(0.0) });
+                }
+                Column::Categorical { .. } => {
+                    let start = out.len();
+                    out.resize(start + width, 0.0);
+                    if let Some(c) = data.columns()[col].category_at(row) {
+                        out[start + c as usize] = 1.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for NaiveBayesMultinomial {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.layout = data
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, col)| match col {
+                Column::Numeric { .. } => (i, 1),
+                Column::Categorical { categories, .. } => (i, categories.len()),
+            })
+            .collect();
+        let width: usize = self.layout.iter().map(|&(_, w)| w).sum();
+        let k = data.n_classes();
+        let mut prior = vec![self.laplace; k];
+        let mut theta = vec![vec![self.laplace; width]; k];
+        let mut buf = Vec::new();
+        for &r in rows {
+            let c = data.label(r);
+            prior[c] += 1.0;
+            Self::feature_counts(data, r, &self.layout, &mut buf);
+            for (t, v) in theta[c].iter_mut().zip(&buf) {
+                *t += v;
+            }
+        }
+        let total: f64 = prior.iter().sum();
+        self.log_prior = prior.iter().map(|p| (p / total).ln()).collect();
+        self.log_theta = theta
+            .into_iter()
+            .map(|row| {
+                let t: f64 = row.iter().sum();
+                row.into_iter().map(|v| (v / t).ln()).collect()
+            })
+            .collect();
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        let mut buf = Vec::new();
+        Self::feature_counts(data, row, &self.layout, &mut buf);
+        let log_post: Vec<f64> = self
+            .log_prior
+            .iter()
+            .zip(&self.log_theta)
+            .map(|(lp, theta)| lp + theta.iter().zip(&buf).map(|(t, x)| t * x).sum::<f64>())
+            .collect();
+        normalize_log(log_post)
+    }
+}
+
+pub struct NaiveBayesMultinomialSpec;
+
+impl AlgorithmSpec for NaiveBayesMultinomialSpec {
+    fn name(&self) -> &'static str {
+        "NaiveBayesMultinomial"
+    }
+    fn family(&self) -> Family {
+        Family::Bayes
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("laplace", Domain::float_log(0.01, 10.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("laplace", ParamValue::Float(1.0))
+    }
+    fn check_applicable(&self, data: &Dataset) -> Result<(), MlError> {
+        // Multinomial semantics require non-negative "counts".
+        for (i, col) in data.columns().iter().enumerate() {
+            if let Column::Numeric { values, .. } = col {
+                if values.iter().any(|v| !v.is_nan() && *v < 0.0) {
+                    return Err(MlError::NotApplicable {
+                        algorithm: self.name().into(),
+                        reason: format!("attribute {i} has negative values"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(NaiveBayesMultinomial {
+            laplace: config.float_or("laplace", 1.0).max(1e-4),
+            log_prior: Vec::new(),
+            log_theta: Vec::new(),
+            layout: Vec::new(),
+            fitted: false,
+        })
+    }
+}
+
+// ------------------------------------------------------------------ BayesNet
+
+/// Tree-augmented naive Bayes over discretized attributes: each attribute
+/// gets at most one attribute-parent, chosen by a maximum-spanning tree on
+/// conditional mutual information given the class (Chow–Liu / Friedman TAN).
+struct BayesNet {
+    bins: usize,
+    laplace: f64,
+    disc: Option<Discretizer>,
+    log_prior: Vec<f64>,
+    /// Per attribute: parent attribute (or None) and the CPT
+    /// `log p(value | class, parent_value)` indexed `[class][parent_val][value]`.
+    attrs: Vec<(Option<usize>, Vec<Vec<Vec<f64>>>)>,
+}
+
+impl BayesNet {
+    /// Conditional mutual information I(Xi; Xj | C) over discrete values.
+    fn cmi(
+        data: &Dataset,
+        rows: &[usize],
+        disc: &Discretizer,
+        i: usize,
+        j: usize,
+        k: usize,
+    ) -> f64 {
+        let ai = disc.arity(data, i).max(1);
+        let aj = disc.arity(data, j).max(1);
+        let mut joint = vec![0.0f64; k * ai * aj];
+        let mut ci = vec![0.0f64; k * ai];
+        let mut cj = vec![0.0f64; k * aj];
+        let mut cc = vec![0.0f64; k];
+        let mut n = 0.0;
+        for &r in rows {
+            let (Some(vi), Some(vj)) = (disc.value(data, r, i), disc.value(data, r, j)) else {
+                continue;
+            };
+            let c = data.label(r);
+            joint[(c * ai + vi) * aj + vj] += 1.0;
+            ci[c * ai + vi] += 1.0;
+            cj[c * aj + vj] += 1.0;
+            cc[c] += 1.0;
+            n += 1.0;
+        }
+        if n == 0.0 {
+            return 0.0;
+        }
+        let mut mi = 0.0;
+        for c in 0..k {
+            if cc[c] == 0.0 {
+                continue;
+            }
+            for vi in 0..ai {
+                for vj in 0..aj {
+                    let pxyz = joint[(c * ai + vi) * aj + vj] / n;
+                    if pxyz <= 0.0 {
+                        continue;
+                    }
+                    let pz = cc[c] / n;
+                    let pxz = ci[c * ai + vi] / n;
+                    let pyz = cj[c * aj + vj] / n;
+                    mi += pxyz * ((pxyz * pz) / (pxz * pyz)).ln();
+                }
+            }
+        }
+        mi
+    }
+}
+
+impl Classifier for BayesNet {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let k = data.n_classes();
+        let n_attrs = data.n_attrs();
+        let disc = Discretizer::fit(data, rows, self.bins);
+
+        // Priors.
+        let mut prior = vec![self.laplace; k];
+        for &r in rows {
+            prior[data.label(r)] += 1.0;
+        }
+        let total: f64 = prior.iter().sum();
+        self.log_prior = prior.iter().map(|p| (p / total).ln()).collect();
+
+        // Maximum spanning tree over CMI (Prim's): attribute 0 is the root.
+        let mut parent: Vec<Option<usize>> = vec![None; n_attrs];
+        if n_attrs > 1 {
+            let mut in_tree = vec![false; n_attrs];
+            in_tree[0] = true;
+            let mut best_edge: Vec<(f64, usize)> = (0..n_attrs)
+                .map(|j| {
+                    if j == 0 {
+                        (f64::NEG_INFINITY, 0)
+                    } else {
+                        (Self::cmi(data, rows, &disc, 0, j, k), 0)
+                    }
+                })
+                .collect();
+            for _ in 1..n_attrs {
+                let Some(next) = (0..n_attrs)
+                    .filter(|&j| !in_tree[j])
+                    .max_by(|&a, &b| best_edge[a].0.total_cmp(&best_edge[b].0))
+                else {
+                    break;
+                };
+                in_tree[next] = true;
+                parent[next] = Some(best_edge[next].1);
+                for j in 0..n_attrs {
+                    if !in_tree[j] {
+                        let w = Self::cmi(data, rows, &disc, next, j, k);
+                        if w > best_edge[j].0 {
+                            best_edge[j] = (w, next);
+                        }
+                    }
+                }
+            }
+        }
+
+        // CPTs: log p(v | class, parent value); parentless attrs use a
+        // single pseudo parent value.
+        self.attrs = (0..n_attrs)
+            .map(|i| {
+                let ai = disc.arity(data, i).max(1);
+                let ap = parent[i].map_or(1, |p| disc.arity(data, p).max(1));
+                let mut table = vec![vec![vec![self.laplace; ai]; ap]; k];
+                for &r in rows {
+                    let Some(vi) = disc.value(data, r, i) else { continue };
+                    let pv = match parent[i] {
+                        Some(p) => match disc.value(data, r, p) {
+                            Some(v) => v,
+                            None => continue,
+                        },
+                        None => 0,
+                    };
+                    table[data.label(r)][pv][vi] += 1.0;
+                }
+                for class_tab in table.iter_mut() {
+                    for row in class_tab.iter_mut() {
+                        let t: f64 = row.iter().sum();
+                        for v in row.iter_mut() {
+                            *v = (*v / t).ln();
+                        }
+                    }
+                }
+                (parent[i], table)
+            })
+            .collect();
+        self.disc = Some(disc);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let disc = self.disc.as_ref().expect("predict before fit");
+        let mut log_post = self.log_prior.clone();
+        for (i, (parent, table)) in self.attrs.iter().enumerate() {
+            let Some(vi) = disc.value(data, row, i) else { continue };
+            let pv = match parent {
+                Some(p) => match disc.value(data, row, *p) {
+                    Some(v) => v,
+                    None => continue,
+                },
+                None => 0,
+            };
+            for (c, lp) in log_post.iter_mut().enumerate() {
+                if let Some(v) = table[c].get(pv).and_then(|r| r.get(vi)) {
+                    *lp += v;
+                }
+            }
+        }
+        normalize_log(log_post)
+    }
+}
+
+pub struct BayesNetSpec;
+
+impl AlgorithmSpec for BayesNetSpec {
+    fn name(&self) -> &'static str {
+        "BayesNet"
+    }
+    fn family(&self) -> Family {
+        Family::Bayes
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("bins", Domain::int(2, 10))
+            .add("laplace", Domain::float_log(0.01, 10.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("bins", ParamValue::Int(5))
+            .with("laplace", ParamValue::Float(0.5))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(BayesNet {
+            bins: config.int_or("bins", 5).max(2) as usize,
+            laplace: config.float_or("laplace", 0.5).max(1e-4),
+            disc: None,
+            log_prior: Vec::new(),
+            attrs: Vec::new(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------- AODE
+
+/// Averaged one-dependence estimators over discretized attributes: for each
+/// "super-parent" attribute with enough support, build a model where every
+/// other attribute depends on (class, parent); average the joint estimates.
+struct Aode {
+    bins: usize,
+    laplace: f64,
+    min_support: f64,
+    disc: Option<Discretizer>,
+    n_classes: usize,
+    rows_cache: Vec<CachedRow>,
+}
+
+struct CachedRow {
+    label: usize,
+    values: Vec<Option<usize>>,
+}
+
+impl Classifier for Aode {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        // AODE is naturally a "lazy-ish" counter; cache discrete values.
+        let disc = Discretizer::fit(data, rows, self.bins);
+        self.n_classes = data.n_classes();
+        self.rows_cache = rows
+            .iter()
+            .map(|&r| CachedRow {
+                label: data.label(r),
+                values: (0..data.n_attrs()).map(|a| disc.value(data, r, a)).collect(),
+            })
+            .collect();
+        self.disc = Some(disc);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let disc = self.disc.as_ref().expect("predict before fit");
+        let n_attrs = data.n_attrs();
+        let k = self.n_classes;
+        let n = self.rows_cache.len() as f64;
+        let query: Vec<Option<usize>> =
+            (0..n_attrs).map(|a| disc.value(data, row, a)).collect();
+
+        let mut posterior = vec![0.0; k];
+        let mut used_parents = 0usize;
+        for p in 0..n_attrs {
+            let Some(pv) = query[p] else { continue };
+            // Support of the parent value.
+            let support = self
+                .rows_cache
+                .iter()
+                .filter(|r| r.values[p] == Some(pv))
+                .count() as f64;
+            if support < self.min_support {
+                continue;
+            }
+            used_parents += 1;
+            for (c, post) in posterior.iter_mut().enumerate() {
+                // p(c, xp) with smoothing.
+                let c_and_p = self
+                    .rows_cache
+                    .iter()
+                    .filter(|r| r.label == c && r.values[p] == Some(pv))
+                    .count() as f64;
+                let arity_p = disc.arity(data, p).max(1) as f64;
+                let mut log_joint =
+                    ((c_and_p + self.laplace) / (n + self.laplace * k as f64 * arity_p)).ln();
+                for a in 0..n_attrs {
+                    if a == p {
+                        continue;
+                    }
+                    let Some(av) = query[a] else { continue };
+                    let match_all = self
+                        .rows_cache
+                        .iter()
+                        .filter(|r| {
+                            r.label == c && r.values[p] == Some(pv) && r.values[a] == Some(av)
+                        })
+                        .count() as f64;
+                    let arity_a = disc.arity(data, a).max(1) as f64;
+                    log_joint += ((match_all + self.laplace)
+                        / (c_and_p + self.laplace * arity_a))
+                        .ln();
+                }
+                *post += log_joint.exp();
+            }
+        }
+        if used_parents == 0 {
+            // Fall back to class frequencies.
+            let mut counts = vec![self.laplace; k];
+            for r in &self.rows_cache {
+                counts[r.label] += 1.0;
+            }
+            let t: f64 = counts.iter().sum();
+            return counts.into_iter().map(|c| c / t).collect();
+        }
+        let total: f64 = posterior.iter().sum();
+        if total > 0.0 {
+            for p in posterior.iter_mut() {
+                *p /= total;
+            }
+        }
+        posterior
+    }
+}
+
+pub struct AodeSpec;
+
+impl AlgorithmSpec for AodeSpec {
+    fn name(&self) -> &'static str {
+        "AODE"
+    }
+    fn family(&self) -> Family {
+        Family::Bayes
+    }
+    fn check_applicable(&self, data: &Dataset) -> Result<(), MlError> {
+        // AODE's lazy counting is O(rows² · attrs²) at prediction time —
+        // impractical on wide data (Weka's AODE is likewise restricted to
+        // modest nominal spaces).
+        if data.n_attrs() > 25 {
+            return Err(MlError::NotApplicable {
+                algorithm: self.name().into(),
+                reason: format!("{} attributes (AODE is limited to 25)", data.n_attrs()),
+            });
+        }
+        Ok(())
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("bins", Domain::int(2, 8))
+            .add("min_support", Domain::int(1, 30))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("bins", ParamValue::Int(4))
+            .with("min_support", ParamValue::Int(5))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(Aode {
+            bins: config.int_or("bins", 4).max(2) as usize,
+            laplace: 1.0,
+            min_support: config.int_or("min_support", 5).max(1) as f64,
+            disc: None,
+            n_classes: 0,
+            rows_cache: Vec::new(),
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::dataset::default_class_names;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn mixed() -> Dataset {
+        SynthSpec::new("m", 240, 3, 3, 3, SynthFamily::Mixed, 7).generate()
+    }
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 0), d, 5, 1).unwrap()
+    }
+
+    #[test]
+    fn naive_bayes_beats_chance_on_mixed_data() {
+        let acc = cv(&NaiveBayesSpec, &mixed());
+        assert!(acc > 0.6, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn naive_bayes_gaussian_recovers_simple_means() {
+        // One numeric attribute with clearly separated class means.
+        let d = Dataset::builder("g")
+            .numeric(
+                "x",
+                (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect(),
+            )
+            .target(
+                "y",
+                (0..100).map(|i| i % 2).collect(),
+                default_class_names(2),
+            )
+            .unwrap();
+        let spec = NaiveBayesSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 0);
+        m.fit(&d, &(0..100).collect::<Vec<_>>()).unwrap();
+        assert_eq!(m.predict(&d, 0), 0);
+        assert_eq!(m.predict(&d, 1), 1);
+    }
+
+    #[test]
+    fn bayesnet_beats_naive_bayes_when_attributes_interact() {
+        // Label = XOR of two categorical attrs: NB is blind, TAN can link them.
+        let n = 400;
+        let a: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let b: Vec<u32> = (0..n).map(|i| ((i / 2) % 2) as u32).collect();
+        let labels: Vec<usize> = a.iter().zip(&b).map(|(&x, &y)| (x ^ y) as usize).collect();
+        let d = Dataset::builder("xorcat")
+            .categorical("a", a, vec!["0".into(), "1".into()])
+            .categorical("b", b, vec!["0".into(), "1".into()])
+            .target("y", labels, default_class_names(2))
+            .unwrap();
+        let nb = cv(&NaiveBayesSpec, &d);
+        let bn = cv(&BayesNetSpec, &d);
+        assert!(bn > 0.95, "TAN accuracy = {bn}");
+        assert!(nb < 0.7, "NB should fail categorical XOR, got {nb}");
+    }
+
+    #[test]
+    fn aode_beats_chance_on_mixed_data() {
+        let acc = cv(&AodeSpec, &mixed());
+        assert!(acc > 0.6, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn multinomial_rejects_negative_numerics() {
+        let d = Dataset::builder("neg")
+            .numeric("x", vec![-1.0, 2.0])
+            .target("y", vec![0, 1], default_class_names(2))
+            .unwrap();
+        assert!(NaiveBayesMultinomialSpec.check_applicable(&d).is_err());
+        let ok = Dataset::builder("pos")
+            .numeric("x", vec![1.0, 2.0])
+            .target("y", vec![0, 1], default_class_names(2))
+            .unwrap();
+        assert!(NaiveBayesMultinomialSpec.check_applicable(&ok).is_ok());
+    }
+
+    #[test]
+    fn multinomial_learns_count_data() {
+        // Class 0 heavy on attr 0, class 1 heavy on attr 1.
+        let mut x0 = Vec::new();
+        let mut x1 = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..80 {
+            if i % 2 == 0 {
+                x0.push(8.0);
+                x1.push(1.0);
+                labels.push(0);
+            } else {
+                x0.push(1.0);
+                x1.push(8.0);
+                labels.push(1);
+            }
+        }
+        let d = Dataset::builder("counts")
+            .numeric("w0", x0)
+            .numeric("w1", x1)
+            .target("y", labels, default_class_names(2))
+            .unwrap();
+        let acc = cv(&NaiveBayesMultinomialSpec, &d);
+        assert!(acc > 0.95, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_distributions() {
+        let d = mixed();
+        for spec in [&NaiveBayesSpec as &dyn AlgorithmSpec, &BayesNetSpec, &AodeSpec] {
+            let c = spec.default_config();
+            let mut m = spec.build(&c, 0);
+            m.fit(&d, &(0..200).collect::<Vec<_>>()).unwrap();
+            let p = m.predict_proba(&d, 210);
+            assert_eq!(p.len(), 3, "{}", spec.name());
+            assert!(
+                (p.iter().sum::<f64>() - 1.0).abs() < 1e-6,
+                "{}: {p:?}",
+                spec.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Shared helpers for algorithms that operate on dense encodings:
+//! fitted views, distances, k-means, and an equal-frequency discretizer.
+
+use automodel_data::encoding::NumericEncoder;
+use automodel_data::{Column, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A fitted dense view of the training rows: encoder + encoded matrix +
+/// labels. Shared by the lazy, function and clustering learners.
+#[derive(Debug, Clone)]
+pub struct DenseFit {
+    pub encoder: NumericEncoder,
+    pub xs: Vec<Vec<f64>>,
+    pub labels: Vec<usize>,
+    pub n_classes: usize,
+}
+
+impl DenseFit {
+    /// Encode `rows` of `data` (standardizing numerics).
+    pub fn fit(data: &Dataset, rows: &[usize]) -> DenseFit {
+        let encoder = NumericEncoder::fit(data, rows, true);
+        let xs = encoder.encode_matrix(data, rows);
+        let labels = rows.iter().map(|&r| data.label(r)).collect();
+        DenseFit {
+            encoder,
+            xs,
+            labels,
+            n_classes: data.n_classes(),
+        }
+    }
+
+    /// Encode one prediction-time row with the training-time encoder.
+    pub fn encode(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        self.encoder.encode(data, row)
+    }
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Indices of the `k` nearest training points to `query` (ties by index).
+pub fn k_nearest(xs: &[Vec<f64>], query: &[f64], k: usize) -> Vec<(usize, f64)> {
+    let mut dists: Vec<(usize, f64)> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| (i, sq_dist(x, query)))
+        .collect();
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    dists.truncate(k.max(1));
+    dists
+}
+
+/// Lloyd's k-means over dense rows. Returns centroids; empty clusters are
+/// reseeded from random points. Deterministic in `seed`.
+pub fn kmeans(xs: &[Vec<f64>], k: usize, max_iter: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(!xs.is_empty(), "kmeans on empty data");
+    let k = k.clamp(1, xs.len());
+    let dim = xs[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.shuffle(&mut rng);
+    let mut centroids: Vec<Vec<f64>> = order[..k].iter().map(|&i| xs[i].clone()).collect();
+    let mut assignment = vec![0usize; xs.len()];
+    for _ in 0..max_iter {
+        let mut changed = false;
+        for (i, x) in xs.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| sq_dist(a.1, x).total_cmp(&sq_dist(b.1, x)))
+                .map(|(c, _)| c)
+                .unwrap_or(0);
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, x) in xs.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, v) in sums[assignment[i]].iter_mut().zip(x) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                centroids[c] = xs[rng.gen_range(0..xs.len())].clone();
+                continue;
+            }
+            for (ctr, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                *ctr = s / counts[c] as f64;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    centroids
+}
+
+/// Cluster assignment under fixed centroids.
+pub fn assign(xs: &[Vec<f64>], centroids: &[Vec<f64>]) -> Vec<usize> {
+    xs.iter()
+        .map(|x| {
+            centroids
+                .iter()
+                .enumerate()
+                .min_by(|a, b| sq_dist(a.1, x).total_cmp(&sq_dist(b.1, x)))
+                .map(|(c, _)| c)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Equal-frequency discretizer for numeric columns, fit on training rows.
+/// Categorical columns pass through; numeric values map to bin indices.
+/// Used by the algorithms that only speak nominal attributes (BayesNet,
+/// AODE, OneR on numerics).
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    /// Per column: `None` for categorical (pass-through), `Some(cuts)` for
+    /// numeric with ascending cut points.
+    cuts: Vec<Option<Vec<f64>>>,
+}
+
+impl Discretizer {
+    /// Fit with at most `bins` bins per numeric column.
+    pub fn fit(data: &Dataset, rows: &[usize], bins: usize) -> Discretizer {
+        let bins = bins.max(2);
+        let cuts = data
+            .columns()
+            .iter()
+            .map(|col| match col {
+                Column::Categorical { .. } => None,
+                Column::Numeric { .. } => {
+                    let mut vals: Vec<f64> = rows
+                        .iter()
+                        .filter_map(|&r| col.numeric_at(r).filter(|v| !v.is_nan()))
+                        .collect();
+                    vals.sort_by(f64::total_cmp);
+                    let mut cuts = Vec::new();
+                    if !vals.is_empty() {
+                        for b in 1..bins {
+                            let idx = (vals.len() * b) / bins;
+                            let cut = vals[idx.min(vals.len() - 1)];
+                            if cuts.last().is_none_or(|&last| cut > last) {
+                                cuts.push(cut);
+                            }
+                        }
+                    }
+                    Some(cuts)
+                }
+            })
+            .collect();
+        Discretizer { cuts }
+    }
+
+    /// Number of discrete values column `col` can take (bins or category count).
+    pub fn arity(&self, data: &Dataset, col: usize) -> usize {
+        match &self.cuts[col] {
+            None => data.columns()[col].n_categories(),
+            Some(cuts) => cuts.len() + 1,
+        }
+    }
+
+    /// Discrete value of cell `(row, col)`, or `None` when missing.
+    pub fn value(&self, data: &Dataset, row: usize, col: usize) -> Option<usize> {
+        match &self.cuts[col] {
+            None => data.columns()[col].category_at(row).map(|c| c as usize),
+            Some(cuts) => {
+                let v = data.columns()[col].numeric_at(row)?;
+                if v.is_nan() {
+                    return None;
+                }
+                Some(cuts.iter().take_while(|&&c| v > c).count())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::dataset::default_class_names;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    #[test]
+    fn dense_fit_round_trips_shapes() {
+        let d = SynthSpec::new("d", 50, 3, 2, 2, SynthFamily::Mixed, 1).generate();
+        let rows: Vec<usize> = (0..30).collect();
+        let fit = DenseFit::fit(&d, &rows);
+        assert_eq!(fit.xs.len(), 30);
+        assert_eq!(fit.labels.len(), 30);
+        let enc = fit.encode(&d, 40);
+        assert_eq!(enc.len(), fit.xs[0].len());
+    }
+
+    #[test]
+    fn k_nearest_orders_by_distance() {
+        let xs = vec![vec![0.0], vec![10.0], vec![1.0]];
+        let nn = k_nearest(&xs, &[0.2], 2);
+        assert_eq!(nn[0].0, 0);
+        assert_eq!(nn[1].0, 2);
+    }
+
+    #[test]
+    fn kmeans_recovers_two_well_separated_clusters() {
+        let mut xs = Vec::new();
+        for i in 0..20 {
+            xs.push(vec![i as f64 * 0.01]);
+            xs.push(vec![100.0 + i as f64 * 0.01]);
+        }
+        let centroids = kmeans(&xs, 2, 50, 7);
+        let mut ms: Vec<f64> = centroids.iter().map(|c| c[0]).collect();
+        ms.sort_by(f64::total_cmp);
+        assert!(ms[0] < 1.0 && ms[1] > 99.0, "centroids: {ms:?}");
+    }
+
+    #[test]
+    fn kmeans_is_deterministic() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|i| vec![(i % 7) as f64]).collect();
+        assert_eq!(kmeans(&xs, 3, 20, 5), kmeans(&xs, 3, 20, 5));
+    }
+
+    #[test]
+    fn discretizer_buckets_numeric_and_passes_categorical() {
+        let d = Dataset::builder("disc")
+            .numeric("x", (0..100).map(|i| i as f64).collect())
+            .categorical(
+                "c",
+                (0..100).map(|i| (i % 3) as u32).collect(),
+                vec!["a".into(), "b".into(), "c".into()],
+            )
+            .target("y", vec![0; 100], default_class_names(1))
+            .unwrap();
+        let rows: Vec<usize> = (0..100).collect();
+        let disc = Discretizer::fit(&d, &rows, 4);
+        assert_eq!(disc.arity(&d, 0), 4);
+        assert_eq!(disc.arity(&d, 1), 3);
+        assert_eq!(disc.value(&d, 0, 0), Some(0));
+        assert_eq!(disc.value(&d, 99, 0), Some(3));
+        assert_eq!(disc.value(&d, 5, 1), Some(2));
+        // Monotone bucketing.
+        let mut last = 0;
+        for r in 0..100 {
+            let b = disc.value(&d, r, 0).unwrap();
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn discretizer_handles_constant_columns() {
+        let d = Dataset::builder("const")
+            .numeric("x", vec![5.0; 20])
+            .target("y", vec![0; 20], default_class_names(1))
+            .unwrap();
+        let rows: Vec<usize> = (0..20).collect();
+        let disc = Discretizer::fit(&d, &rows, 5);
+        // All cuts collapse; arity may be small but value stays in range.
+        for r in 0..20 {
+            let v = disc.value(&d, r, 0).unwrap();
+            assert!(v < disc.arity(&d, 0).max(1));
+        }
+    }
+}

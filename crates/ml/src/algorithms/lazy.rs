@@ -1,0 +1,385 @@
+//! `weka.classifiers.lazy`: IBk, IB1, KStar, LWL.
+//!
+//! All four defer work to prediction time over the standardized dense
+//! encoding. KStar uses an exponential-kernel similarity in place of Cleary
+//! & Trigg's full entropic transformation distance (the behaviourally
+//! relevant property — smooth distance-weighted voting with a tunable blend
+//! — is preserved); LWL trains a local naive-Bayes model on the query's
+//! neighborhood, matching Weka's "locally weighted learning with a simple
+//! base learner".
+
+use super::dense::{k_nearest, DenseFit};
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::registry::{AlgorithmSpec, Family};
+use automodel_data::Dataset;
+use automodel_hpo::{Config, Domain, ParamValue, SearchSpace};
+
+/// Shared k-NN engine.
+struct Knn {
+    k: usize,
+    /// 0 = equal votes, 1 = inverse-distance, 2 = 1 − distance (Weka's -I/-F).
+    weighting: usize,
+    fit: Option<DenseFit>,
+}
+
+impl Knn {
+    fn vote(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let fit = self.fit.as_ref().expect("predict before fit");
+        let query = fit.encode(data, row);
+        let neighbors = k_nearest(&fit.xs, &query, self.k);
+        let mut votes = vec![0.0; fit.n_classes];
+        for (i, d2) in neighbors {
+            let w = match self.weighting {
+                1 => 1.0 / (1.0 + d2.sqrt()),
+                2 => (1.0 - d2.sqrt()).max(1e-6),
+                _ => 1.0,
+            };
+            votes[fit.labels[i]] += w;
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in &mut votes {
+                *v /= total;
+            }
+        }
+        votes
+    }
+}
+
+impl Classifier for Knn {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.fit = Some(DenseFit::fit(data, rows));
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.vote(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        self.vote(data, row)
+    }
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// `IBk`: k-nearest neighbours with optional distance weighting.
+pub struct IBkSpec;
+
+impl AlgorithmSpec for IBkSpec {
+    fn name(&self) -> &'static str {
+        "IBk"
+    }
+    fn family(&self) -> Family {
+        Family::Lazy
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("k", Domain::int(1, 32))
+            .add("weighting", Domain::cat(&["none", "inverse", "similarity"]))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("k", ParamValue::Int(1))
+            .with("weighting", ParamValue::Cat(0))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(Knn {
+            k: config.int_or("k", 1).max(1) as usize,
+            weighting: config.cat_or("weighting", 0),
+            fit: None,
+        })
+    }
+}
+
+/// `IB1`: the classic single-nearest-neighbour special case.
+pub struct IB1Spec;
+
+impl AlgorithmSpec for IB1Spec {
+    fn name(&self) -> &'static str {
+        "IB1"
+    }
+    fn family(&self) -> Family {
+        Family::Lazy
+    }
+    fn param_space(&self) -> SearchSpace {
+        // IB1 has no hyperparameters in Weka.
+        SearchSpace::builder().build().expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+    }
+    fn build(&self, _config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(Knn {
+            k: 1,
+            weighting: 0,
+            fit: None,
+        })
+    }
+}
+
+/// `KStar`: similarity-weighted voting over *all* training points with an
+/// exponential kernel; `blend` interpolates the kernel bandwidth between the
+/// nearest-neighbour distance and the dataset diameter (standing in for
+/// K*'s global blend parameter).
+struct KStar {
+    blend: f64,
+    fit: Option<DenseFit>,
+}
+
+impl Classifier for KStar {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.fit = Some(DenseFit::fit(data, rows));
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let fit = self.fit.as_ref().expect("predict before fit");
+        let query = fit.encode(data, row);
+        let dists: Vec<f64> = fit.xs.iter().map(|x| super::dense::sq_dist(x, &query).sqrt()).collect();
+        let d_min = dists.iter().copied().fold(f64::INFINITY, f64::min);
+        let d_max = dists.iter().copied().fold(0.0f64, f64::max);
+        let bandwidth = (d_min + self.blend * (d_max - d_min)).max(1e-6);
+        let mut votes = vec![0.0; fit.n_classes];
+        for (d, &l) in dists.iter().zip(&fit.labels) {
+            votes[l] += (-d / bandwidth).exp();
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in &mut votes {
+                *v /= total;
+            }
+        }
+        votes
+    }
+}
+
+pub struct KStarSpec;
+
+impl AlgorithmSpec for KStarSpec {
+    fn name(&self) -> &'static str {
+        "KStar"
+    }
+    fn family(&self) -> Family {
+        Family::Lazy
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("blend", Domain::float(0.01, 1.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("blend", ParamValue::Float(0.2))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(KStar {
+            blend: config.float_or("blend", 0.2).clamp(0.01, 1.0),
+            fit: None,
+        })
+    }
+}
+
+/// `LWL`: locally weighted learning — fit a distance-weighted naive-Bayes
+/// model on the `k` training points nearest to each query.
+struct Lwl {
+    k: usize,
+    fit: Option<DenseFit>,
+}
+
+impl Classifier for Lwl {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.fit = Some(DenseFit::fit(data, rows));
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let fit = self.fit.as_ref().expect("predict before fit");
+        let query = fit.encode(data, row);
+        let neighbors = k_nearest(&fit.xs, &query, self.k.min(fit.xs.len()));
+        // Linear kernel weights over the neighborhood radius.
+        let radius = neighbors.last().map(|&(_, d)| d.sqrt()).unwrap_or(1.0).max(1e-9);
+        let dim = fit.xs[0].len();
+        let k = fit.n_classes;
+        // Weighted Gaussian naive Bayes over the encoded features.
+        let mut class_w = vec![1e-12; k];
+        let mut mean = vec![vec![0.0; dim]; k];
+        for &(i, d2) in &neighbors {
+            let w = (1.0 - d2.sqrt() / radius).max(0.05);
+            class_w[fit.labels[i]] += w;
+            for (m, x) in mean[fit.labels[i]].iter_mut().zip(&fit.xs[i]) {
+                *m += w * x;
+            }
+        }
+        for c in 0..k {
+            for m in mean[c].iter_mut() {
+                *m /= class_w[c];
+            }
+        }
+        let mut var = vec![vec![1e-6; dim]; k];
+        for &(i, d2) in &neighbors {
+            let w = (1.0 - d2.sqrt() / radius).max(0.05);
+            let c = fit.labels[i];
+            for j in 0..dim {
+                let d = fit.xs[i][j] - mean[c][j];
+                var[c][j] += w * d * d;
+            }
+        }
+        for c in 0..k {
+            for v in var[c].iter_mut() {
+                *v = (*v / class_w[c]).max(0.05);
+            }
+        }
+        let total_w: f64 = class_w.iter().sum();
+        let mut log_post: Vec<f64> = (0..k)
+            .map(|c| {
+                // A class absent from the neighborhood has meaningless
+                // Gaussian statistics — rule it out instead of letting its
+                // zero-mean density dominate near the origin.
+                if class_w[c] < 0.05 {
+                    return f64::NEG_INFINITY;
+                }
+                let mut lp = (class_w[c] / total_w).ln();
+                for j in 0..dim {
+                    let d = query[j] - mean[c][j];
+                    lp += -0.5 * (d * d / var[c][j] + var[c][j].ln());
+                }
+                lp
+            })
+            .collect();
+        let max = log_post.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for lp in log_post.iter_mut() {
+            *lp = (*lp - max).exp();
+            sum += *lp;
+        }
+        for lp in log_post.iter_mut() {
+            *lp /= sum;
+        }
+        log_post
+    }
+}
+
+pub struct LwlSpec;
+
+impl AlgorithmSpec for LwlSpec {
+    fn name(&self) -> &'static str {
+        "LWL"
+    }
+    fn family(&self) -> Family {
+        Family::Lazy
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("k", Domain::int(5, 100))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("k", ParamValue::Int(50))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(Lwl {
+            k: config.int_or("k", 50).max(2) as usize,
+            fit: None,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn blobs() -> Dataset {
+        SynthSpec::new("b", 200, 4, 1, 3, SynthFamily::GaussianBlobs { spread: 0.6 }, 3)
+            .generate()
+    }
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 0), d, 5, 1).unwrap()
+    }
+
+    #[test]
+    fn ibk_classifies_blobs() {
+        assert!(cv(&IBkSpec, &blobs()) > 0.85);
+    }
+
+    #[test]
+    fn ib1_classifies_blobs() {
+        assert!(cv(&IB1Spec, &blobs()) > 0.85);
+    }
+
+    #[test]
+    fn kstar_classifies_blobs() {
+        assert!(cv(&KStarSpec, &blobs()) > 0.8);
+    }
+
+    #[test]
+    fn lwl_classifies_blobs() {
+        assert!(cv(&LwlSpec, &blobs()) > 0.8);
+    }
+
+    #[test]
+    fn ibk_k_matters_on_noisy_data() {
+        let d = SynthSpec::new("n", 300, 3, 0, 2, SynthFamily::GaussianBlobs { spread: 1.6 }, 5)
+            .with_label_noise(0.2)
+            .generate();
+        let k1 = {
+            let c = Config::new()
+                .with("k", ParamValue::Int(1))
+                .with("weighting", ParamValue::Cat(0));
+            cross_val_accuracy(|| IBkSpec.build(&c, 0), &d, 5, 2).unwrap()
+        };
+        let k15 = {
+            let c = Config::new()
+                .with("k", ParamValue::Int(15))
+                .with("weighting", ParamValue::Cat(0));
+            cross_val_accuracy(|| IBkSpec.build(&c, 0), &d, 5, 2).unwrap()
+        };
+        assert!(k15 > k1, "k=15 ({k15}) should beat k=1 ({k1}) under noise");
+    }
+
+    #[test]
+    fn knn_probabilities_sum_to_one() {
+        let d = blobs();
+        let spec = IBkSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 0);
+        m.fit(&d, &(0..150).collect::<Vec<_>>()).unwrap();
+        let p = m.predict_proba(&d, 160);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

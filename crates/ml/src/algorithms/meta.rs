@@ -1,0 +1,1509 @@
+//! `weka.classifiers.meta`: AdaBoostM1, Bagging, LogitBoost,
+//! RandomSubSpace, RandomCommittee, RotationForest,
+//! ClassificationViaClustering, StackingC.
+//!
+//! Boosting uses weight-proportional *resampling* (one of Weka's two
+//! AdaBoostM1 modes) so any base learner works unchanged. RotationForest is
+//! simplified to attribute-subset + bootstrap diversity (the PCA rotation is
+//! replaced by the subspace projection — both decorrelate members, which is
+//! the property the ensemble needs); DESIGN.md records the substitution.
+
+use super::dense::{assign, kmeans, DenseFit};
+use crate::classifier::{majority_class, Classifier};
+use crate::error::MlError;
+use crate::registry::{AlgorithmSpec, Family};
+use automodel_data::Dataset;
+use automodel_hpo::{Config, Domain, ParamValue, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Base-learner menu shared by the ensemble methods.
+const BASE_LEARNERS: [&str; 4] = ["DecisionStump", "REPTree", "J48", "NaiveBayes"];
+
+fn build_base(name_index: usize, seed: u64) -> Box<dyn Classifier> {
+    match BASE_LEARNERS[name_index.min(BASE_LEARNERS.len() - 1)] {
+        "DecisionStump" => super::trees::DecisionStumpSpec
+            .build(&super::trees::DecisionStumpSpec.default_config(), seed),
+        "REPTree" => {
+            super::trees::RepTreeSpec.build(&super::trees::RepTreeSpec.default_config(), seed)
+        }
+        "J48" => super::trees::J48Spec.build(&super::trees::J48Spec.default_config(), seed),
+        _ => super::bayes::NaiveBayesSpec
+            .build(&super::bayes::NaiveBayesSpec.default_config(), seed),
+    }
+}
+
+/// Weight-proportional resample of `rows` (with replacement).
+fn weighted_resample<R: Rng>(rows: &[usize], weights: &[f64], rng: &mut R) -> Vec<usize> {
+    let total: f64 = weights.iter().sum();
+    (0..rows.len())
+        .map(|_| {
+            let mut u = rng.gen::<f64>() * total;
+            for (i, &w) in weights.iter().enumerate() {
+                if u < w {
+                    return rows[i];
+                }
+                u -= w;
+            }
+            rows[rows.len() - 1]
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------- AdaBoostM1
+
+struct AdaBoostM1 {
+    iterations: usize,
+    base: usize,
+    seed: u64,
+    models: Vec<(Box<dyn Classifier>, f64)>,
+    n_classes: usize,
+}
+
+impl Classifier for AdaBoostM1 {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = rows.len();
+        let mut weights = vec![1.0 / n as f64; n];
+        self.models.clear();
+        for it in 0..self.iterations {
+            let sample = weighted_resample(rows, &weights, &mut rng);
+            let mut model = build_base(self.base, self.seed ^ (it as u64) << 4);
+            model.fit(data, &sample)?;
+            let mut err = 0.0;
+            let misclassified: Vec<bool> = rows
+                .iter()
+                .enumerate()
+                .map(|(i, &r)| {
+                    let wrong = model.predict(data, r) != data.label(r);
+                    if wrong {
+                        err += weights[i];
+                    }
+                    wrong
+                })
+                .collect();
+            if err >= 0.5 {
+                // Worse than chance: discard and stop (Freund & Schapire).
+                if self.models.is_empty() {
+                    self.models.push((model, 1.0));
+                }
+                break;
+            }
+            let err_clamped = err.max(1e-10);
+            let beta = err_clamped / (1.0 - err_clamped);
+            let alpha = (1.0 / beta).ln();
+            for (w, &wrong) in weights.iter_mut().zip(&misclassified) {
+                if !wrong {
+                    *w *= beta;
+                }
+            }
+            let total: f64 = weights.iter().sum();
+            for w in weights.iter_mut() {
+                *w /= total;
+            }
+            self.models.push((model, alpha));
+            if err <= 1e-10 {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut votes = vec![0.0; self.n_classes];
+        for (model, alpha) in &self.models {
+            votes[model.predict(data, row)] += alpha;
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in votes.iter_mut() {
+                *v /= total;
+            }
+        }
+        votes
+    }
+}
+
+pub struct AdaBoostM1Spec;
+
+impl AlgorithmSpec for AdaBoostM1Spec {
+    fn name(&self) -> &'static str {
+        "AdaBoostM1"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("iterations", Domain::int(5, 80))
+            .add("base", Domain::cat(&BASE_LEARNERS))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("iterations", ParamValue::Int(20))
+            .with("base", ParamValue::Cat(0))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(AdaBoostM1 {
+            iterations: config.int_or("iterations", 20).max(1) as usize,
+            base: config.cat_or("base", 0),
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// -------------------------------------------------------------------- Bagging
+
+struct Bagging {
+    n_bags: usize,
+    bag_fraction: f64,
+    base: usize,
+    seed: u64,
+    models: Vec<Box<dyn Classifier>>,
+    n_classes: usize,
+}
+
+impl Classifier for Bagging {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let bag_size = ((rows.len() as f64 * self.bag_fraction).round() as usize).max(1);
+        self.models.clear();
+        for b in 0..self.n_bags {
+            let sample: Vec<usize> =
+                (0..bag_size).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            let mut model = build_base(self.base, self.seed ^ (b as u64) << 5);
+            model.fit(data, &sample)?;
+            self.models.push(model);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for model in &self.models {
+            for (a, p) in acc.iter_mut().zip(model.predict_proba(data, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        }
+        acc
+    }
+}
+
+pub struct BaggingSpec;
+
+impl AlgorithmSpec for BaggingSpec {
+    fn name(&self) -> &'static str {
+        "Bagging"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_bags", Domain::int(5, 60))
+            .add("bag_fraction", Domain::float(0.3, 1.0))
+            .add("base", Domain::cat(&BASE_LEARNERS))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("n_bags", ParamValue::Int(10))
+            .with("bag_fraction", ParamValue::Float(1.0))
+            .with("base", ParamValue::Cat(1))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(Bagging {
+            n_bags: config.int_or("n_bags", 10).max(1) as usize,
+            bag_fraction: config.float_or("bag_fraction", 1.0).clamp(0.05, 1.0),
+            base: config.cat_or("base", 1),
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// ----------------------------------------------------------------- LogitBoost
+
+/// Multiclass LogitBoost (Friedman et al.) with weighted regression stumps
+/// on the dense encoding.
+struct LogitBoost {
+    iterations: usize,
+    shrinkage: f64,
+    fit: Option<DenseFit>,
+    /// Per iteration, per class: a regression stump.
+    stumps: Vec<Vec<RegStump>>,
+}
+
+#[derive(Debug, Clone)]
+struct RegStump {
+    feature: usize,
+    threshold: f64,
+    left: f64,
+    right: f64,
+}
+
+impl RegStump {
+    fn predict(&self, x: &[f64]) -> f64 {
+        if x[self.feature] <= self.threshold {
+            self.left
+        } else {
+            self.right
+        }
+    }
+
+    /// Weighted least-squares stump on `(xs, z)` with weights `w`.
+    fn fit(xs: &[Vec<f64>], z: &[f64], w: &[f64]) -> RegStump {
+        let dim = xs[0].len();
+        let mut best: Option<(f64, RegStump)> = None;
+        for feature in 0..dim {
+            let mut order: Vec<usize> = (0..xs.len()).collect();
+            order.sort_by(|&a, &b| xs[a][feature].total_cmp(&xs[b][feature]));
+            // Prefix sums of w and w·z.
+            let (mut wl, mut wzl) = (0.0, 0.0);
+            let wt: f64 = w.iter().sum();
+            let wzt: f64 = w.iter().zip(z).map(|(a, b)| a * b).sum();
+            for i in 0..order.len() - 1 {
+                let idx = order[i];
+                wl += w[idx];
+                wzl += w[idx] * z[idx];
+                let (x0, x1) = (xs[order[i]][feature], xs[order[i + 1]][feature]);
+                if x0 == x1 || wl <= 0.0 || wt - wl <= 0.0 {
+                    continue;
+                }
+                let left = wzl / wl;
+                let right = (wzt - wzl) / (wt - wl);
+                // Weighted SSE decrease ∝ wl·left² + wr·right² (maximize).
+                let score = wl * left * left + (wt - wl) * right * right;
+                if best.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best = Some((
+                        score,
+                        RegStump {
+                            feature,
+                            threshold: (x0 + x1) / 2.0,
+                            left,
+                            right,
+                        },
+                    ));
+                }
+            }
+        }
+        best.map(|(_, s)| s).unwrap_or(RegStump {
+            feature: 0,
+            threshold: 0.0,
+            left: 0.0,
+            right: 0.0,
+        })
+    }
+}
+
+impl LogitBoost {
+    fn scores(&self, x: &[f64], k: usize) -> Vec<f64> {
+        let mut f = vec![0.0; k];
+        for round in &self.stumps {
+            for (fc, stump) in f.iter_mut().zip(round) {
+                *fc += self.shrinkage * stump.predict(x);
+            }
+        }
+        f
+    }
+}
+
+impl Classifier for LogitBoost {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let dense = DenseFit::fit(data, rows);
+        let n = dense.xs.len();
+        let k = dense.n_classes;
+        let mut f = vec![vec![0.0f64; k]; n];
+        self.stumps.clear();
+        for _ in 0..self.iterations {
+            // Current probabilities.
+            let probs: Vec<Vec<f64>> = f
+                .iter()
+                .map(|fi| {
+                    let max = fi.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    let exps: Vec<f64> = fi.iter().map(|v| (v - max).exp()).collect();
+                    let s: f64 = exps.iter().sum();
+                    exps.into_iter().map(|e| e / s).collect()
+                })
+                .collect();
+            let mut round = Vec::with_capacity(k);
+            for class in 0..k {
+                let mut z = vec![0.0; n];
+                let mut w = vec![0.0; n];
+                for i in 0..n {
+                    let y = if dense.labels[i] == class { 1.0 } else { 0.0 };
+                    let p = probs[i][class].clamp(1e-6, 1.0 - 1e-6);
+                    w[i] = p * (1.0 - p);
+                    z[i] = (y - p) / w[i];
+                    // Standard z clipping for stability.
+                    z[i] = z[i].clamp(-4.0, 4.0);
+                }
+                let stump = RegStump::fit(&dense.xs, &z, &w);
+                for i in 0..n {
+                    f[i][class] += self.shrinkage * stump.predict(&dense.xs[i]);
+                }
+                round.push(stump);
+            }
+            self.stumps.push(round);
+        }
+        self.fit = Some(dense);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let dense = self.fit.as_ref().expect("predict before fit");
+        let x = dense.encode(data, row);
+        let f = self.scores(&x, dense.n_classes);
+        let max = f.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let exps: Vec<f64> = f.iter().map(|v| (v - max).exp()).collect();
+        let s: f64 = exps.iter().sum();
+        exps.into_iter().map(|e| e / s).collect()
+    }
+}
+
+pub struct LogitBoostSpec;
+
+impl AlgorithmSpec for LogitBoostSpec {
+    fn name(&self) -> &'static str {
+        "LogitBoost"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("iterations", Domain::int(5, 100))
+            .add("shrinkage", Domain::float(0.1, 1.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("iterations", ParamValue::Int(30))
+            .with("shrinkage", ParamValue::Float(0.5))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(LogitBoost {
+            iterations: config.int_or("iterations", 30).max(1) as usize,
+            shrinkage: config.float_or("shrinkage", 0.5).clamp(0.01, 1.0),
+            fit: None,
+            stumps: Vec::new(),
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// ------------------------------------------------- subspace-style ensembles
+
+/// Ensemble over random attribute subsets, optionally bootstrapped
+/// (RandomSubSpace: no bootstrap; RotationForest-simplified: bootstrap).
+struct SubspaceEnsemble {
+    n_members: usize,
+    subset_fraction: f64,
+    bootstrap: bool,
+    seed: u64,
+    models: Vec<crate::tree::DecisionTree>,
+    n_classes: usize,
+}
+
+impl Classifier for SubspaceEnsemble {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_attrs = data.n_attrs().max(1);
+        let subset_size =
+            ((n_attrs as f64 * self.subset_fraction).round() as usize).clamp(1, n_attrs);
+        self.models.clear();
+        for m in 0..self.n_members {
+            use rand::seq::SliceRandom;
+            let mut attrs: Vec<usize> = (0..n_attrs).collect();
+            attrs.shuffle(&mut rng);
+            attrs.truncate(subset_size);
+            let sample: Vec<usize> = if self.bootstrap {
+                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect()
+            } else {
+                rows.to_vec()
+            };
+            let mut tree = crate::tree::DecisionTree::new(crate::tree::TreeParams {
+                criterion: crate::tree::Criterion::InfoGain,
+                allowed_attrs: Some(attrs),
+                seed: self.seed ^ (m as u64) << 6,
+                ..crate::tree::TreeParams::default()
+            });
+            tree.fit(data, &sample)?;
+            self.models.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for model in &self.models {
+            for (a, p) in acc.iter_mut().zip(model.predict_proba(data, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        }
+        acc
+    }
+}
+
+pub struct RandomSubSpaceSpec;
+
+impl AlgorithmSpec for RandomSubSpaceSpec {
+    fn name(&self) -> &'static str {
+        "RandomSubSpace"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_members", Domain::int(5, 50))
+            .add("subset_fraction", Domain::float(0.2, 0.9))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("n_members", ParamValue::Int(10))
+            .with("subset_fraction", ParamValue::Float(0.5))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(SubspaceEnsemble {
+            n_members: config.int_or("n_members", 10).max(1) as usize,
+            subset_fraction: config.float_or("subset_fraction", 0.5).clamp(0.05, 1.0),
+            bootstrap: false,
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+pub struct RotationForestSpec;
+
+impl AlgorithmSpec for RotationForestSpec {
+    fn name(&self) -> &'static str {
+        "RotationForest"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_members", Domain::int(5, 50))
+            .add("subset_fraction", Domain::float(0.3, 1.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("n_members", ParamValue::Int(10))
+            .with("subset_fraction", ParamValue::Float(0.75))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(SubspaceEnsemble {
+            n_members: config.int_or("n_members", 10).max(1) as usize,
+            subset_fraction: config.float_or("subset_fraction", 0.75).clamp(0.05, 1.0),
+            bootstrap: true,
+            seed: seed ^ 0xA07A,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// ------------------------------------------------------------ RandomCommittee
+
+struct RandomCommittee {
+    n_members: usize,
+    seed: u64,
+    models: Vec<Box<dyn Classifier>>,
+    n_classes: usize,
+}
+
+impl Classifier for RandomCommittee {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        self.models.clear();
+        let spec = super::trees::RandomTreeSpec;
+        let config = spec.default_config();
+        for m in 0..self.n_members {
+            let mut model = spec.build(&config, self.seed ^ (m as u64).wrapping_mul(0x5851));
+            model.fit(data, rows)?;
+            self.models.push(model);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; self.n_classes];
+        for model in &self.models {
+            for (a, p) in acc.iter_mut().zip(model.predict_proba(data, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        }
+        acc
+    }
+}
+
+pub struct RandomCommitteeSpec;
+
+impl AlgorithmSpec for RandomCommitteeSpec {
+    fn name(&self) -> &'static str {
+        "RandomCommittee"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_members", Domain::int(5, 50))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("n_members", ParamValue::Int(10))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(RandomCommittee {
+            n_members: config.int_or("n_members", 10).max(1) as usize,
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// ----------------------------------------------- ClassificationViaClustering
+
+struct ClassificationViaClustering {
+    k: usize,
+    seed: u64,
+    fit: Option<DenseFit>,
+    centroids: Vec<Vec<f64>>,
+    cluster_class: Vec<usize>,
+}
+
+impl Classifier for ClassificationViaClustering {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let dense = DenseFit::fit(data, rows);
+        let k = if self.k == 0 {
+            data.n_classes()
+        } else {
+            self.k
+        };
+        self.centroids = kmeans(&dense.xs, k, 50, self.seed);
+        let assignments = assign(&dense.xs, &self.centroids);
+        let default = majority_class(data, rows);
+        self.cluster_class = (0..self.centroids.len())
+            .map(|c| {
+                let members: Vec<usize> = assignments
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &a)| a == c)
+                    .map(|(i, _)| i)
+                    .collect();
+                if members.is_empty() {
+                    default
+                } else {
+                    let mut counts = vec![0usize; dense.n_classes];
+                    for &i in &members {
+                        counts[dense.labels[i]] += 1;
+                    }
+                    counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|(_, &n)| n)
+                        .map(|(i, _)| i)
+                        .unwrap_or(default)
+                }
+            })
+            .collect();
+        self.fit = Some(dense);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        let dense = self.fit.as_ref().expect("predict before fit");
+        let x = dense.encode(data, row);
+        let cluster = assign(std::slice::from_ref(&x), &self.centroids)[0];
+        self.cluster_class[cluster]
+    }
+}
+
+pub struct ClassificationViaClusteringSpec;
+
+impl AlgorithmSpec for ClassificationViaClusteringSpec {
+    fn name(&self) -> &'static str {
+        "ClassificationViaClustering"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("k", Domain::int(0, 32)) // 0 = one cluster per class
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("k", ParamValue::Int(0))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(ClassificationViaClustering {
+            k: config.int_or("k", 0).max(0) as usize,
+            seed,
+            fit: None,
+            centroids: Vec::new(),
+            cluster_class: Vec::new(),
+        })
+    }
+}
+
+// ------------------------------------------------------------------ StackingC
+
+/// Stacking with class-probability meta-features: level-0 = NaiveBayes +
+/// IBk + REPTree (out-of-fold predictions), level-1 = logistic regression.
+struct StackingC {
+    folds: usize,
+    seed: u64,
+    level0: Vec<Box<dyn Classifier>>,
+    level1: Option<automodel_nn::MlpClassifier>,
+    n_classes: usize,
+}
+
+impl StackingC {
+    fn level0_specs() -> Vec<Box<dyn AlgorithmSpec>> {
+        vec![
+            Box::new(super::bayes::NaiveBayesSpec),
+            Box::new(super::lazy::IBkSpec),
+            Box::new(super::trees::RepTreeSpec),
+        ]
+    }
+
+    fn meta_features(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.level0.len() * self.n_classes);
+        for model in &self.level0 {
+            out.extend(model.predict_proba(data, row));
+        }
+        out
+    }
+}
+
+impl Classifier for StackingC {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.len() < 2 * self.folds {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let specs = Self::level0_specs();
+        // Out-of-fold meta features.
+        let sub = data.subset(rows)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let plan = automodel_data::stratified_kfold(&sub, self.folds, &mut rng);
+        let mut meta_xs: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
+        let mut meta_labels: Vec<usize> = vec![0; rows.len()];
+        for (train, test) in plan.splits() {
+            let mut fold_models = Vec::new();
+            for spec in &specs {
+                let mut m = spec.build(&spec.default_config(), self.seed);
+                m.fit(&sub, &train)?;
+                fold_models.push(m);
+            }
+            for &r in test {
+                let mut features = Vec::new();
+                for m in &fold_models {
+                    features.extend(m.predict_proba(&sub, r));
+                }
+                meta_xs[r] = features;
+                meta_labels[r] = sub.label(r);
+            }
+        }
+        // Level-1 logistic on meta features.
+        let mut logistic = automodel_nn::MlpClassifier::new(automodel_nn::MlpConfig {
+            hidden_layers: 0,
+            solver: automodel_nn::Solver::Lbfgs,
+            max_iter: 120,
+            validation_fraction: 0.0,
+            seed: self.seed,
+            ..automodel_nn::MlpConfig::default()
+        });
+        logistic.fit(&meta_xs, &meta_labels, self.n_classes);
+        self.level1 = Some(logistic);
+        // Refit level-0 on everything for prediction time.
+        self.level0 = specs
+            .iter()
+            .map(|spec| {
+                let mut m = spec.build(&spec.default_config(), self.seed);
+                m.fit(data, rows).map(|_| m)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let features = self.meta_features(data, row);
+        self.level1
+            .as_ref()
+            .expect("predict before fit")
+            .predict_proba(&features)
+    }
+}
+
+pub struct StackingCSpec;
+
+impl AlgorithmSpec for StackingCSpec {
+    fn name(&self) -> &'static str {
+        "StackingC"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("folds", Domain::int(2, 10))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("folds", ParamValue::Int(3))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(StackingC {
+            folds: config.int_or("folds", 3).clamp(2, 10) as usize,
+            seed,
+            level0: Vec::new(),
+            level1: None,
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 5), d, 4, 1).unwrap()
+    }
+
+    fn noisy_linear() -> Dataset {
+        SynthSpec::new("n", 300, 5, 0, 2, SynthFamily::Hyperplane, 51)
+            .with_label_noise(0.1)
+            .generate()
+    }
+
+    #[test]
+    fn adaboost_boosts_stumps_past_a_single_stump() {
+        // Oblique boundary: one stump is weak (axis-aligned), boosting many
+        // stumps approximates the diagonal. (XOR would be the wrong test —
+        // boosted stumps form an *additive* model and cannot represent it.)
+        let d = SynthSpec::new("h", 300, 3, 0, 2, SynthFamily::Hyperplane, 53).generate();
+        let boosted = cv(&AdaBoostM1Spec, &d);
+        let stump = cv(&super::super::trees::DecisionStumpSpec, &d);
+        assert!(
+            boosted > stump + 0.02,
+            "boosted {boosted} vs stump {stump}"
+        );
+    }
+
+    #[test]
+    fn bagging_works_on_noisy_data() {
+        assert!(cv(&BaggingSpec, &noisy_linear()) > 0.75);
+    }
+
+    #[test]
+    fn logitboost_learns_oblique_boundaries() {
+        let d = SynthSpec::new("h", 300, 3, 0, 2, SynthFamily::Hyperplane, 55).generate();
+        let acc = cv(&LogitBoostSpec, &d);
+        assert!(acc > 0.85, "LogitBoost accuracy = {acc}");
+    }
+
+    #[test]
+    fn subspace_ensembles_work() {
+        let d = noisy_linear();
+        assert!(cv(&RandomSubSpaceSpec, &d) > 0.7, "RandomSubSpace");
+        assert!(cv(&RotationForestSpec, &d) > 0.7, "RotationForest");
+        assert!(cv(&RandomCommitteeSpec, &d) > 0.7, "RandomCommittee");
+    }
+
+    #[test]
+    fn clustering_classifier_recovers_blobs() {
+        let d = SynthSpec::new("b", 240, 3, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 57)
+            .generate();
+        let acc = cv(&ClassificationViaClusteringSpec, &d);
+        assert!(acc > 0.8, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn stacking_is_at_least_competitive_with_its_members() {
+        let d = SynthSpec::new("m", 260, 4, 1, 2, SynthFamily::Mixed, 59).generate();
+        let stack = cv(&StackingCSpec, &d);
+        assert!(stack > 0.7, "stacking accuracy = {stack}");
+    }
+
+    #[test]
+    fn adaboost_stops_cleanly_on_pure_noise() {
+        let d = SynthSpec::new("n", 120, 2, 0, 2, SynthFamily::Hyperplane, 61)
+            .with_label_noise(1.0)
+            .generate();
+        let spec = AdaBoostM1Spec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 1);
+        m.fit(&d, &(0..120).collect::<Vec<_>>()).unwrap();
+        // Must still predict within range.
+        let p = m.predict(&d, 0);
+        assert!(p < 2);
+    }
+}
+
+// --------------------------------------------- ClassificationViaRegression
+
+/// One regression tree per class on one-vs-rest indicator targets; predict
+/// by argmax of the per-class regressions (Weka's
+/// `ClassificationViaRegression` with an M5-style base).
+struct ClassificationViaRegression {
+    max_depth: usize,
+    min_leaf: usize,
+    seed: u64,
+    trees: Vec<crate::regression::RegressionTree>,
+}
+
+impl Classifier for ClassificationViaRegression {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.trees = (0..data.n_classes())
+            .map(|class| {
+                let mut tree = crate::regression::RegressionTree::new(
+                    crate::regression::RegTreeParams {
+                        max_depth: self.max_depth,
+                        min_leaf: self.min_leaf,
+                        min_split: 2 * self.min_leaf,
+                        feature_subset: None,
+                        seed: self.seed ^ class as u64,
+                    },
+                );
+                let target = |r: usize| if data.label(r) == class { 1.0 } else { 0.0 };
+                tree.fit(data, rows, &target).map(|_| tree)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut scores: Vec<f64> = self
+            .trees
+            .iter()
+            .map(|t| t.predict(data, row).clamp(0.0, 1.0))
+            .collect();
+        let total: f64 = scores.iter().sum();
+        if total > 1e-12 {
+            for s in scores.iter_mut() {
+                *s /= total;
+            }
+        } else if !scores.is_empty() {
+            let k = scores.len() as f64;
+            for s in scores.iter_mut() {
+                *s = 1.0 / k;
+            }
+        }
+        scores
+    }
+}
+
+pub struct ClassificationViaRegressionSpec;
+
+impl AlgorithmSpec for ClassificationViaRegressionSpec {
+    fn name(&self) -> &'static str {
+        "ClassificationViaRegression"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("max_depth", Domain::int(2, 16))
+            .add("min_leaf", Domain::int(1, 16))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("max_depth", ParamValue::Int(8))
+            .with("min_leaf", ParamValue::Int(4))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(ClassificationViaRegression {
+            max_depth: config.int_or("max_depth", 8).max(1) as usize,
+            min_leaf: config.int_or("min_leaf", 4).max(1) as usize,
+            seed,
+            trees: Vec::new(),
+        })
+    }
+}
+
+// -------------------------------------------------------------- MultiBoostAB
+
+/// MultiBoostAB (Webb 2000): AdaBoost inside "wagging" sub-committees —
+/// boosting weights reset at committee boundaries, combining boosting's
+/// bias reduction with bagging-style variance reduction.
+struct MultiBoostAB {
+    iterations: usize,
+    committees: usize,
+    base: usize,
+    seed: u64,
+    models: Vec<(Box<dyn Classifier>, f64)>,
+    n_classes: usize,
+}
+
+impl Classifier for MultiBoostAB {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let n = rows.len();
+        let per_committee = (self.iterations / self.committees.max(1)).max(1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.models.clear();
+        for committee in 0..self.committees.max(1) {
+            // Wagging restart: fresh near-uniform weights with exponential
+            // jitter.
+            let mut weights: Vec<f64> = (0..n)
+                .map(|_| -(rng.gen_range(f64::EPSILON..1.0f64)).ln())
+                .collect();
+            let total: f64 = weights.iter().sum();
+            for w in weights.iter_mut() {
+                *w /= total;
+            }
+            for it in 0..per_committee {
+                let sample = weighted_resample(rows, &weights, &mut rng);
+                let mut model =
+                    build_base(self.base, self.seed ^ ((committee * 131 + it) as u64) << 3);
+                model.fit(data, &sample)?;
+                let mut err = 0.0;
+                let misclassified: Vec<bool> = rows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &r)| {
+                        let wrong = model.predict(data, r) != data.label(r);
+                        if wrong {
+                            err += weights[i];
+                        }
+                        wrong
+                    })
+                    .collect();
+                if err >= 0.5 {
+                    break; // restart with the next committee
+                }
+                let err_clamped = err.max(1e-10);
+                let beta = err_clamped / (1.0 - err_clamped);
+                let alpha = (1.0 / beta).ln();
+                for (w, &wrong) in weights.iter_mut().zip(&misclassified) {
+                    if !wrong {
+                        *w *= beta;
+                    }
+                }
+                let total: f64 = weights.iter().sum();
+                for w in weights.iter_mut() {
+                    *w /= total;
+                }
+                self.models.push((model, alpha));
+                if err <= 1e-10 {
+                    break;
+                }
+            }
+        }
+        if self.models.is_empty() {
+            // Degenerate (base never beat chance): keep one plain model.
+            let mut model = build_base(self.base, self.seed);
+            model.fit(data, rows)?;
+            self.models.push((model, 1.0));
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut votes = vec![0.0; self.n_classes];
+        for (model, alpha) in &self.models {
+            votes[model.predict(data, row)] += alpha;
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in votes.iter_mut() {
+                *v /= total;
+            }
+        }
+        votes
+    }
+}
+
+pub struct MultiBoostABSpec;
+
+impl AlgorithmSpec for MultiBoostABSpec {
+    fn name(&self) -> &'static str {
+        "MultiBoostAB"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("iterations", Domain::int(6, 80))
+            .add("committees", Domain::int(2, 10))
+            .add("base", Domain::cat(&BASE_LEARNERS))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("iterations", ParamValue::Int(20))
+            .with("committees", ParamValue::Int(4))
+            .with("base", ParamValue::Cat(0))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(MultiBoostAB {
+            iterations: config.int_or("iterations", 20).max(2) as usize,
+            committees: config.int_or("committees", 4).max(1) as usize,
+            base: config.cat_or("base", 0),
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// ------------------------------------------------------------------ Decorate
+
+/// Decorate (Melville & Mooney 2003): grow an ensemble by training each new
+/// member on the data plus *artificial* examples labeled contrary to the
+/// current ensemble, keeping the member only if ensemble training error
+/// does not increase.
+struct Decorate {
+    n_members: usize,
+    artificial_fraction: f64,
+    max_attempts: usize,
+    seed: u64,
+    models: Vec<Box<dyn Classifier>>,
+    n_classes: usize,
+}
+
+impl Decorate {
+    fn ensemble_proba(models: &[Box<dyn Classifier>], data: &Dataset, row: usize, k: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; k];
+        for m in models {
+            for (a, p) in acc.iter_mut().zip(m.predict_proba(data, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    fn ensemble_error(models: &[Box<dyn Classifier>], data: &Dataset, rows: &[usize], k: usize) -> f64 {
+        if rows.is_empty() {
+            return 0.0;
+        }
+        let wrong = rows
+            .iter()
+            .filter(|&&r| {
+                argmax(&Self::ensemble_proba(models, data, r, k)) != data.label(r)
+            })
+            .count();
+        wrong as f64 / rows.len() as f64
+    }
+
+    /// Artificial dataset: bootstrap attribute values per column (sampling
+    /// each cell independently destroys attribute correlations — the
+    /// "hard diversity" data of the Decorate paper), labeled inversely to
+    /// the current ensemble's prediction confidence.
+    fn artificial_rows(
+        data: &Dataset,
+        rows: &[usize],
+        count: usize,
+        models: &[Box<dyn Classifier>],
+        k: usize,
+        rng: &mut StdRng,
+    ) -> (Dataset, Vec<usize>) {
+        use automodel_data::Column;
+        let mut builder = automodel_data::Dataset::builder("decorate-art");
+        for col in data.columns() {
+            match col {
+                Column::Numeric { name, .. } => {
+                    let values: Vec<f64> = (0..count)
+                        .map(|_| {
+                            let r = rows[rng.gen_range(0..rows.len())];
+                            col.numeric_at(r).unwrap_or(f64::NAN)
+                        })
+                        .collect();
+                    builder = builder.numeric(name.clone(), values);
+                }
+                Column::Categorical { name, categories, .. } => {
+                    let values: Vec<u32> = (0..count)
+                        .map(|_| {
+                            let r = rows[rng.gen_range(0..rows.len())];
+                            col.category_at(r)
+                                .unwrap_or(automodel_data::dataset::MISSING_CATEGORY)
+                        })
+                        .collect();
+                    builder = builder.categorical(name.clone(), values, categories.clone());
+                }
+            }
+        }
+        // Temporary labels: filled after the dataset exists (we need the
+        // ensemble's prediction on the artificial rows).
+        let tmp = builder
+            .target(
+                data.target().name.clone(),
+                vec![0; count],
+                data.target().classes.clone(),
+            )
+            .expect("artificial dataset construction");
+        let labels: Vec<usize> = (0..count)
+            .map(|r| {
+                let p = Self::ensemble_proba(models, &tmp, r, k);
+                // Sample inversely proportional to the ensemble's belief.
+                let inv: Vec<f64> = p.iter().map(|&v| 1.0 / (v + 1e-3)).collect();
+                let total: f64 = inv.iter().sum();
+                let mut u = rng.gen::<f64>() * total;
+                let mut label = k - 1;
+                for (c, &w) in inv.iter().enumerate() {
+                    if u < w {
+                        label = c;
+                        break;
+                    }
+                    u -= w;
+                }
+                label
+            })
+            .collect();
+        // Rebuild with the adversarial labels.
+        let mut builder = automodel_data::Dataset::builder("decorate-art");
+        for col in tmp.columns() {
+            match col {
+                Column::Numeric { name, values } => {
+                    builder = builder.numeric(name.clone(), values.clone());
+                }
+                Column::Categorical { name, values, categories } => {
+                    builder =
+                        builder.categorical(name.clone(), values.clone(), categories.clone());
+                }
+            }
+        }
+        let art = builder
+            .target(
+                data.target().name.clone(),
+                labels,
+                data.target().classes.clone(),
+            )
+            .expect("artificial dataset construction");
+        let art_rows = (0..count).collect();
+        (art, art_rows)
+    }
+}
+
+impl Classifier for Decorate {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let k = self.n_classes;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // First member trains on the real data alone.
+        let mut first = build_base(2, self.seed); // J48 — Decorate's default base
+        first.fit(data, rows)?;
+        self.models = vec![first];
+        let mut error = Self::ensemble_error(&self.models, data, rows, k);
+
+        let n_art = ((rows.len() as f64 * self.artificial_fraction).round() as usize).max(4);
+        let mut attempts = 0usize;
+        while self.models.len() < self.n_members && attempts < self.max_attempts {
+            attempts += 1;
+            let (art, art_rows) =
+                Self::artificial_rows(data, rows, n_art, &self.models, k, &mut rng);
+            // Train the candidate on real + artificial rows. Classifiers fit
+            // one dataset at a time, so train on the concatenation via a
+            // merged dataset: append artificial rows to a copy of the data.
+            let merged = concat_datasets(data, rows, &art, &art_rows)?;
+            let merged_rows: Vec<usize> = (0..merged.n_rows()).collect();
+            let mut candidate = build_base(2, self.seed ^ (attempts as u64) << 5);
+            candidate.fit(&merged, &merged_rows)?;
+            self.models.push(candidate);
+            let new_error = Self::ensemble_error(&self.models, data, rows, k);
+            if new_error <= error {
+                error = new_error;
+            } else {
+                self.models.pop();
+            }
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        Self::ensemble_proba(&self.models, data, row, self.n_classes)
+    }
+}
+
+/// Concatenate selected rows of two schema-identical datasets.
+fn concat_datasets(
+    a: &Dataset,
+    a_rows: &[usize],
+    b: &Dataset,
+    b_rows: &[usize],
+) -> Result<Dataset, MlError> {
+    use automodel_data::Column;
+    let mut builder = automodel_data::Dataset::builder("concat");
+    for (ca, cb) in a.columns().iter().zip(b.columns()) {
+        match (ca, cb) {
+            (Column::Numeric { name, values: va }, Column::Numeric { values: vb, .. }) => {
+                let mut values: Vec<f64> = a_rows.iter().map(|&r| va[r]).collect();
+                values.extend(b_rows.iter().map(|&r| vb[r]));
+                builder = builder.numeric(name.clone(), values);
+            }
+            (
+                Column::Categorical {
+                    name,
+                    values: va,
+                    categories,
+                },
+                Column::Categorical { values: vb, .. },
+            ) => {
+                let mut values: Vec<u32> = a_rows.iter().map(|&r| va[r]).collect();
+                values.extend(b_rows.iter().map(|&r| vb[r]));
+                builder = builder.categorical(name.clone(), values, categories.clone());
+            }
+            _ => {
+                return Err(MlError::TrainingFailed(
+                    "schema mismatch while concatenating datasets".into(),
+                ))
+            }
+        }
+    }
+    let mut labels: Vec<usize> = a_rows.iter().map(|&r| a.label(r)).collect();
+    labels.extend(b_rows.iter().map(|&r| b.label(r)));
+    builder
+        .target(
+            a.target().name.clone(),
+            labels,
+            a.target().classes.clone(),
+        )
+        .map_err(MlError::Data)
+}
+
+pub struct DecorateSpec;
+
+impl AlgorithmSpec for DecorateSpec {
+    fn name(&self) -> &'static str {
+        "Decorate"
+    }
+    fn family(&self) -> Family {
+        Family::Meta
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_members", Domain::int(3, 20))
+            .add("artificial_fraction", Domain::float(0.2, 1.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("n_members", ParamValue::Int(8))
+            .with("artificial_fraction", ParamValue::Float(0.5))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        let n_members = config.int_or("n_members", 8).max(1) as usize;
+        Box::new(Decorate {
+            n_members,
+            artificial_fraction: config.float_or("artificial_fraction", 0.5).clamp(0.05, 2.0),
+            max_attempts: n_members * 3,
+            seed,
+            models: Vec::new(),
+            n_classes: 0,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod extra_meta_tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 5), d, 4, 1).unwrap()
+    }
+
+    #[test]
+    fn classification_via_regression_learns_blobs() {
+        let d = SynthSpec::new("b", 240, 4, 1, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 63)
+            .generate();
+        let acc = cv(&ClassificationViaRegressionSpec, &d);
+        assert!(acc > 0.8, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn multiboost_beats_a_single_stump() {
+        let d = SynthSpec::new("h", 300, 3, 0, 2, SynthFamily::Hyperplane, 65).generate();
+        let boosted = cv(&MultiBoostABSpec, &d);
+        let stump = cv(&super::super::trees::DecisionStumpSpec, &d);
+        assert!(boosted > stump, "boosted {boosted} vs stump {stump}");
+    }
+
+    #[test]
+    fn decorate_works_on_mixed_data() {
+        let d = SynthSpec::new("m", 200, 3, 2, 2, SynthFamily::Mixed, 67).generate();
+        let acc = cv(&DecorateSpec, &d);
+        assert!(acc > 0.7, "accuracy = {acc}");
+    }
+
+    #[test]
+    fn decorate_ensemble_members_are_bounded() {
+        let d = SynthSpec::new("m", 120, 3, 1, 2, SynthFamily::Mixed, 69).generate();
+        let spec = DecorateSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 1);
+        m.fit(&d, &(0..100).collect::<Vec<_>>()).unwrap();
+        let p = m.predict_proba(&d, 110);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cvr_probabilities_are_distributions() {
+        let d = SynthSpec::new("p", 150, 3, 1, 3, SynthFamily::Mixed, 71).generate();
+        let spec = ClassificationViaRegressionSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 0);
+        m.fit(&d, &(0..120).collect::<Vec<_>>()).unwrap();
+        let p = m.predict_proba(&d, 130);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

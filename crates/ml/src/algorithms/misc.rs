@@ -1,0 +1,330 @@
+//! `weka.classifiers.misc`: HyperPipes, VFI.
+//!
+//! Both are interval-based voting learners: HyperPipes stores one
+//! attribute-range "pipe" per class and scores membership; VFI (voting
+//! feature intervals) histograms each attribute per class and lets every
+//! attribute cast a normalized vote.
+
+use super::dense::Discretizer;
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::registry::{AlgorithmSpec, Family};
+use automodel_data::{Column, Dataset};
+use automodel_hpo::{Config, Domain, ParamValue, SearchSpace};
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+// ----------------------------------------------------------------- HyperPipes
+
+enum PipeBound {
+    Numeric { min: f64, max: f64 },
+    Categorical { seen: Vec<bool> },
+}
+
+struct HyperPipes {
+    /// Per class, per attribute.
+    pipes: Vec<Vec<PipeBound>>,
+    fitted: bool,
+}
+
+impl Classifier for HyperPipes {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let k = data.n_classes();
+        self.pipes = (0..k)
+            .map(|_| {
+                data.columns()
+                    .iter()
+                    .map(|col| match col {
+                        Column::Numeric { .. } => PipeBound::Numeric {
+                            min: f64::INFINITY,
+                            max: f64::NEG_INFINITY,
+                        },
+                        Column::Categorical { categories, .. } => PipeBound::Categorical {
+                            seen: vec![false; categories.len()],
+                        },
+                    })
+                    .collect()
+            })
+            .collect();
+        for &r in rows {
+            let c = data.label(r);
+            for (attr, col) in data.columns().iter().enumerate() {
+                match (&mut self.pipes[c][attr], col) {
+                    (PipeBound::Numeric { min, max }, Column::Numeric { .. }) => {
+                        if let Some(v) = col.numeric_at(r) {
+                            if !v.is_nan() {
+                                *min = min.min(v);
+                                *max = max.max(v);
+                            }
+                        }
+                    }
+                    (PipeBound::Categorical { seen }, Column::Categorical { .. }) => {
+                        if let Some(cat) = col.category_at(r) {
+                            seen[cat as usize] = true;
+                        }
+                    }
+                    _ => unreachable!("pipe bound kind matches column kind"),
+                }
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        assert!(self.fitted, "predict before fit");
+        let mut scores: Vec<f64> = self
+            .pipes
+            .iter()
+            .map(|pipe| {
+                let mut inside = 0.0;
+                for (attr, col) in data.columns().iter().enumerate() {
+                    match (&pipe[attr], col) {
+                        (PipeBound::Numeric { min, max }, Column::Numeric { .. }) => {
+                            if let Some(v) = col.numeric_at(row) {
+                                if !v.is_nan() && v >= *min && v <= *max {
+                                    inside += 1.0;
+                                }
+                            } else {
+                                inside += 0.5;
+                            }
+                        }
+                        (PipeBound::Categorical { seen }, Column::Categorical { .. }) => {
+                            match col.category_at(row) {
+                                Some(cat) if seen.get(cat as usize).copied().unwrap_or(false) => {
+                                    inside += 1.0
+                                }
+                                Some(_) => {}
+                                None => inside += 0.5,
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                inside
+            })
+            .collect();
+        let total: f64 = scores.iter().sum();
+        if total > 0.0 {
+            for s in scores.iter_mut() {
+                *s /= total;
+            }
+        } else {
+            // The row fell outside every pipe (possible when all its cells
+            // are out of range): no evidence either way — uniform.
+            let k = scores.len().max(1) as f64;
+            for s in scores.iter_mut() {
+                *s = 1.0 / k;
+            }
+        }
+        scores
+    }
+}
+
+pub struct HyperPipesSpec;
+
+impl AlgorithmSpec for HyperPipesSpec {
+    fn name(&self) -> &'static str {
+        "HyperPipes"
+    }
+    fn family(&self) -> Family {
+        Family::Misc
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder().build().expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+    }
+    fn build(&self, _config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(HyperPipes {
+            pipes: Vec::new(),
+            fitted: false,
+        })
+    }
+}
+
+// ------------------------------------------------------------------------ VFI
+
+/// Voting feature intervals over discretized attributes; optional
+/// confidence weighting raises each vote by the interval's purity.
+struct Vfi {
+    bins: usize,
+    weighted: bool,
+    disc: Option<Discretizer>,
+    /// Per attribute, per discrete value: per-class vote shares.
+    votes: Vec<Vec<Vec<f64>>>,
+    n_classes: usize,
+}
+
+impl Classifier for Vfi {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let disc = Discretizer::fit(data, rows, self.bins);
+        self.n_classes = data.n_classes();
+        // Per-class record counts for normalization.
+        let mut class_counts = vec![0.0f64; self.n_classes];
+        for &r in rows {
+            class_counts[data.label(r)] += 1.0;
+        }
+        self.votes = (0..data.n_attrs())
+            .map(|attr| {
+                let arity = disc.arity(data, attr).max(1);
+                let mut table = vec![vec![0.0f64; self.n_classes]; arity];
+                for &r in rows {
+                    if let Some(v) = disc.value(data, r, attr) {
+                        table[v][data.label(r)] += 1.0;
+                    }
+                }
+                // Normalize by class frequency then to a distribution per value.
+                for row_votes in table.iter_mut() {
+                    for (v, cc) in row_votes.iter_mut().zip(&class_counts) {
+                        *v /= cc.max(1.0);
+                    }
+                    let total: f64 = row_votes.iter().sum();
+                    if total > 0.0 {
+                        for v in row_votes.iter_mut() {
+                            *v /= total;
+                        }
+                        if self.weighted {
+                            // Confidence weight: purity of the interval.
+                            let purity =
+                                row_votes.iter().copied().fold(0.0f64, f64::max);
+                            for v in row_votes.iter_mut() {
+                                *v *= purity;
+                            }
+                        }
+                    }
+                }
+                table
+            })
+            .collect();
+        self.disc = Some(disc);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let disc = self.disc.as_ref().expect("predict before fit");
+        let mut total_votes = vec![0.0f64; self.n_classes];
+        for (attr, table) in self.votes.iter().enumerate() {
+            if let Some(v) = disc.value(data, row, attr) {
+                if let Some(votes) = table.get(v) {
+                    for (t, v) in total_votes.iter_mut().zip(votes) {
+                        *t += v;
+                    }
+                }
+            }
+        }
+        let sum: f64 = total_votes.iter().sum();
+        if sum > 0.0 {
+            for t in total_votes.iter_mut() {
+                *t /= sum;
+            }
+        } else {
+            let k = self.n_classes as f64;
+            for t in total_votes.iter_mut() {
+                *t = 1.0 / k;
+            }
+        }
+        total_votes
+    }
+}
+
+pub struct VfiSpec;
+
+impl AlgorithmSpec for VfiSpec {
+    fn name(&self) -> &'static str {
+        "VFI"
+    }
+    fn family(&self) -> Family {
+        Family::Misc
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("bins", Domain::int(2, 12))
+            .add("weighted", Domain::Bool)
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("bins", ParamValue::Int(6))
+            .with("weighted", ParamValue::Bool(true))
+    }
+    fn build(&self, config: &Config, _seed: u64) -> Box<dyn Classifier> {
+        Box::new(Vfi {
+            bins: config.int_or("bins", 6).max(2) as usize,
+            weighted: config.bool_or("weighted", true),
+            disc: None,
+            votes: Vec::new(),
+            n_classes: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 0), d, 5, 1).unwrap()
+    }
+
+    #[test]
+    fn hyperpipes_separates_disjoint_ranges() {
+        let d = SynthSpec::new("b", 200, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 0.4 }, 41)
+            .generate();
+        let acc = cv(&HyperPipesSpec, &d);
+        assert!(acc > 0.5, "HyperPipes accuracy = {acc}");
+    }
+
+    #[test]
+    fn vfi_beats_chance_on_blobs() {
+        let d = SynthSpec::new("b", 250, 4, 2, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 43)
+            .generate();
+        let acc = cv(&VfiSpec, &d);
+        assert!(acc > 0.6, "VFI accuracy = {acc}");
+    }
+
+    #[test]
+    fn vfi_probabilities_are_distributions() {
+        let d = SynthSpec::new("p", 150, 3, 1, 2, SynthFamily::Mixed, 45).generate();
+        let spec = VfiSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 0);
+        m.fit(&d, &(0..100).collect::<Vec<_>>()).unwrap();
+        let p = m.predict_proba(&d, 120);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hyperpipes_handles_missing_cells() {
+        let d = SynthSpec::new("m", 200, 2, 2, 2, SynthFamily::Mixed, 47)
+            .with_missing(0.2)
+            .generate();
+        let acc = cv(&HyperPipesSpec, &d);
+        assert!(acc > 0.4, "accuracy = {acc}");
+    }
+}

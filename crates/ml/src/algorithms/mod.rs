@@ -1,0 +1,79 @@
+//! The algorithm library, organized by Weka package family.
+
+pub mod bayes;
+pub mod dense;
+pub mod functions;
+pub mod lazy;
+pub mod meta;
+pub mod misc;
+pub mod rules;
+pub mod trees;
+
+use crate::registry::Registry;
+use std::sync::Arc;
+
+/// Register the full mini-Weka pool (39 algorithms; see DESIGN.md §3 for the
+/// mapping onto Table IV and the omissions).
+pub fn register_all(r: &mut Registry) {
+    // lazy
+    r.register(Arc::new(lazy::IBkSpec));
+    r.register(Arc::new(lazy::IB1Spec));
+    r.register(Arc::new(lazy::KStarSpec));
+    r.register(Arc::new(lazy::LwlSpec));
+    // bayes
+    r.register(Arc::new(bayes::NaiveBayesSpec));
+    r.register(Arc::new(bayes::NaiveBayesMultinomialSpec));
+    r.register(Arc::new(bayes::BayesNetSpec));
+    r.register(Arc::new(bayes::AodeSpec));
+    // trees
+    r.register(Arc::new(trees::DecisionStumpSpec));
+    r.register(Arc::new(trees::Id3Spec));
+    r.register(Arc::new(trees::J48Spec));
+    r.register(Arc::new(trees::RepTreeSpec));
+    r.register(Arc::new(trees::RandomTreeSpec));
+    r.register(Arc::new(trees::SimpleCartSpec));
+    r.register(Arc::new(trees::NbTreeSpec));
+    r.register(Arc::new(trees::LmtSpec));
+    r.register(Arc::new(trees::RandomForestSpec));
+    // rules
+    r.register(Arc::new(rules::ZeroRSpec));
+    r.register(Arc::new(rules::OneRSpec));
+    r.register(Arc::new(rules::JRipSpec));
+    r.register(Arc::new(rules::PartSpec));
+    r.register(Arc::new(rules::RidorSpec));
+    // functions
+    r.register(Arc::new(functions::LogisticSpec));
+    r.register(Arc::new(functions::SimpleLogisticSpec));
+    r.register(Arc::new(functions::MultilayerPerceptronSpec));
+    r.register(Arc::new(functions::SmoSpec));
+    r.register(Arc::new(functions::LibSvmSpec));
+    r.register(Arc::new(functions::RbfNetworkSpec));
+    // misc
+    r.register(Arc::new(misc::HyperPipesSpec));
+    r.register(Arc::new(misc::VfiSpec));
+    // meta
+    r.register(Arc::new(meta::AdaBoostM1Spec));
+    r.register(Arc::new(meta::BaggingSpec));
+    r.register(Arc::new(meta::LogitBoostSpec));
+    r.register(Arc::new(meta::RandomSubSpaceSpec));
+    r.register(Arc::new(meta::RandomCommitteeSpec));
+    r.register(Arc::new(meta::RotationForestSpec));
+    r.register(Arc::new(meta::ClassificationViaClusteringSpec));
+    r.register(Arc::new(meta::StackingCSpec));
+    r.register(Arc::new(meta::ClassificationViaRegressionSpec));
+    r.register(Arc::new(meta::MultiBoostABSpec));
+    r.register(Arc::new(meta::DecorateSpec));
+}
+
+/// A small fast pool for tests and quick examples: one or two cheap
+/// representatives per family.
+pub fn register_fast(r: &mut Registry) {
+    r.register(Arc::new(lazy::IBkSpec));
+    r.register(Arc::new(bayes::NaiveBayesSpec));
+    r.register(Arc::new(trees::J48Spec));
+    r.register(Arc::new(trees::RepTreeSpec));
+    r.register(Arc::new(rules::OneRSpec));
+    r.register(Arc::new(functions::LogisticSpec));
+    r.register(Arc::new(misc::HyperPipesSpec));
+    r.register(Arc::new(meta::BaggingSpec));
+}

@@ -1,0 +1,662 @@
+//! `weka.classifiers.trees`: DecisionStump, Id3, J48, REPTree, RandomTree,
+//! SimpleCart, NBTree, LMT, RandomForest.
+//!
+//! All single trees are parameterizations of [`crate::tree::DecisionTree`];
+//! NBTree and LMT grow a shallow tree and fit a naive-Bayes / logistic model
+//! in each leaf; RandomForest bags seeded RandomTrees.
+
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use crate::registry::{AlgorithmSpec, Family};
+use crate::tree::{CatSplit, Criterion, DecisionTree, Pruning, TreeParams};
+use automodel_data::{Column, Dataset};
+use automodel_hpo::{Config, Domain, ParamValue, SearchSpace};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+// -------------------------------------------------------------- DecisionStump
+
+pub struct DecisionStumpSpec;
+
+impl AlgorithmSpec for DecisionStumpSpec {
+    fn name(&self) -> &'static str {
+        "DecisionStump"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("criterion", Domain::cat(&["infogain", "gini"]))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("criterion", ParamValue::Cat(0))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(TreeParams {
+            max_depth: 1,
+            criterion: if config.cat_or("criterion", 0) == 1 {
+                Criterion::Gini
+            } else {
+                Criterion::InfoGain
+            },
+            seed,
+            ..TreeParams::default()
+        }))
+    }
+}
+
+// ------------------------------------------------------------------------ Id3
+
+/// Classic Id3: categorical attributes only, information gain, no pruning —
+/// one of the paper's OneHot' `-1` algorithms on numeric datasets.
+pub struct Id3Spec;
+
+impl AlgorithmSpec for Id3Spec {
+    fn name(&self) -> &'static str {
+        "Id3"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("max_depth", Domain::int(1, 30))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new().with("max_depth", ParamValue::Int(30))
+    }
+    fn check_applicable(&self, data: &Dataset) -> Result<(), MlError> {
+        let numeric = data
+            .columns()
+            .iter()
+            .filter(|c| matches!(c, Column::Numeric { .. }))
+            .count();
+        if numeric > 0 {
+            return Err(MlError::NotApplicable {
+                algorithm: self.name().into(),
+                reason: format!("{numeric} numeric attributes (Id3 is nominal-only)"),
+            });
+        }
+        if data.n_attrs() == 0 {
+            return Err(MlError::NotApplicable {
+                algorithm: self.name().into(),
+                reason: "no attributes".into(),
+            });
+        }
+        Ok(())
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(TreeParams {
+            criterion: Criterion::InfoGain,
+            cat_split: CatSplit::Multiway,
+            max_depth: config.int_or("max_depth", 30).max(1) as usize,
+            pruning: Pruning::None,
+            seed,
+            ..TreeParams::default()
+        }))
+    }
+}
+
+// ------------------------------------------------------------------------ J48
+
+/// C4.5: gain ratio, multiway categorical splits, pessimistic pruning.
+pub struct J48Spec;
+
+impl AlgorithmSpec for J48Spec {
+    fn name(&self) -> &'static str {
+        "J48"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("min_leaf", Domain::int(1, 16)) // Weka's -M
+            .add("prune_penalty", Domain::float(0.1, 2.0)) // stands in for -C
+            .add("unpruned", Domain::Bool) // Weka's -U
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("min_leaf", ParamValue::Int(2))
+            .with("prune_penalty", ParamValue::Float(0.5))
+            .with("unpruned", ParamValue::Bool(false))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        let pruning = if config.bool_or("unpruned", false) {
+            Pruning::None
+        } else {
+            Pruning::Pessimistic {
+                penalty: config.float_or("prune_penalty", 0.5),
+            }
+        };
+        Box::new(DecisionTree::new(TreeParams {
+            criterion: Criterion::GainRatio,
+            cat_split: CatSplit::Multiway,
+            min_leaf: config.int_or("min_leaf", 2).max(1) as usize,
+            min_split: 2 * config.int_or("min_leaf", 2).max(1) as usize,
+            pruning,
+            seed,
+            ..TreeParams::default()
+        }))
+    }
+}
+
+// -------------------------------------------------------------------- REPTree
+
+pub struct RepTreeSpec;
+
+impl AlgorithmSpec for RepTreeSpec {
+    fn name(&self) -> &'static str {
+        "REPTree"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("max_depth", Domain::int(1, 30))
+            .add("min_leaf", Domain::int(1, 16))
+            .add("prune_fraction", Domain::float(0.1, 0.5))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("max_depth", ParamValue::Int(30))
+            .with("min_leaf", ParamValue::Int(2))
+            .with("prune_fraction", ParamValue::Float(0.33))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(TreeParams {
+            criterion: Criterion::InfoGain,
+            max_depth: config.int_or("max_depth", 30).max(1) as usize,
+            min_leaf: config.int_or("min_leaf", 2).max(1) as usize,
+            pruning: Pruning::ReducedError {
+                fraction: config.float_or("prune_fraction", 0.33),
+            },
+            seed,
+            ..TreeParams::default()
+        }))
+    }
+}
+
+// ----------------------------------------------------------------- RandomTree
+
+pub struct RandomTreeSpec;
+
+impl AlgorithmSpec for RandomTreeSpec {
+    fn name(&self) -> &'static str {
+        "RandomTree"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("k", Domain::int(0, 16)) // 0 = ceil(sqrt(n_attrs))
+            .add("max_depth", Domain::int(2, 30))
+            .add("min_leaf", Domain::int(1, 8))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("k", ParamValue::Int(0))
+            .with("max_depth", ParamValue::Int(30))
+            .with("min_leaf", ParamValue::Int(1))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(RandomTreeLike::new(config, seed))
+    }
+}
+
+/// RandomTree needs the attribute count to resolve `k = 0`, so the subset
+/// size is chosen at fit time.
+struct RandomTreeLike {
+    k: usize,
+    max_depth: usize,
+    min_leaf: usize,
+    seed: u64,
+    inner: Option<DecisionTree>,
+}
+
+impl RandomTreeLike {
+    fn new(config: &Config, seed: u64) -> RandomTreeLike {
+        RandomTreeLike {
+            k: config.int_or("k", 0).max(0) as usize,
+            max_depth: config.int_or("max_depth", 30).max(1) as usize,
+            min_leaf: config.int_or("min_leaf", 1).max(1) as usize,
+            seed,
+            inner: None,
+        }
+    }
+}
+
+impl Classifier for RandomTreeLike {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        let k = if self.k == 0 {
+            (data.n_attrs() as f64).sqrt().ceil() as usize
+        } else {
+            self.k
+        };
+        let mut tree = DecisionTree::new(TreeParams {
+            criterion: Criterion::InfoGain,
+            feature_subset: Some(k.max(1)),
+            max_depth: self.max_depth,
+            min_leaf: self.min_leaf,
+            pruning: Pruning::None,
+            seed: self.seed,
+            ..TreeParams::default()
+        });
+        tree.fit(data, rows)?;
+        self.inner = Some(tree);
+        Ok(())
+    }
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        self.inner.as_ref().expect("predict before fit").predict(data, row)
+    }
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        self.inner
+            .as_ref()
+            .expect("predict before fit")
+            .predict_proba(data, row)
+    }
+}
+
+// ----------------------------------------------------------------- SimpleCart
+
+pub struct SimpleCartSpec;
+
+impl AlgorithmSpec for SimpleCartSpec {
+    fn name(&self) -> &'static str {
+        "SimpleCart"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("min_leaf", Domain::int(1, 16))
+            .add("prune_penalty", Domain::float(0.1, 2.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("min_leaf", ParamValue::Int(2))
+            .with("prune_penalty", ParamValue::Float(0.5))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(TreeParams {
+            criterion: Criterion::Gini,
+            cat_split: CatSplit::Binary,
+            min_leaf: config.int_or("min_leaf", 2).max(1) as usize,
+            pruning: Pruning::Pessimistic {
+                penalty: config.float_or("prune_penalty", 0.5),
+            },
+            seed,
+            ..TreeParams::default()
+        }))
+    }
+}
+
+// ------------------------------------------------------- leaf-model trees
+
+/// Shallow tree with a trainable model in each leaf (shared by NBTree/LMT).
+struct LeafModelTree<F> {
+    depth: usize,
+    min_leaf_rows: usize,
+    seed: u64,
+    make_leaf_model: F,
+    tree: Option<DecisionTree>,
+    /// Leaf models keyed by the leaf's predicted-class path signature —
+    /// since [`DecisionTree`] doesn't expose leaf ids, we re-partition rows
+    /// by routing and store models per partition signature.
+    leaf_models: Vec<(Vec<f64>, Box<dyn Classifier>)>,
+    fallback: Option<Box<dyn Classifier>>,
+}
+
+impl<F: Fn(u64) -> Box<dyn Classifier> + Send> LeafModelTree<F> {
+    /// Signature of the leaf a row lands in: the leaf's class distribution
+    /// (unique per leaf in practice since distributions carry exact counts).
+    fn leaf_signature(tree: &DecisionTree, data: &Dataset, row: usize) -> Vec<f64> {
+        tree.predict_proba(data, row)
+    }
+
+    fn find_model(&self, sig: &[f64]) -> Option<&Box<dyn Classifier>> {
+        self.leaf_models
+            .iter()
+            .find(|(s, _)| {
+                s.len() == sig.len()
+                    && s.iter().zip(sig).all(|(a, b)| (a - b).abs() < 1e-12)
+            })
+            .map(|(_, m)| m)
+    }
+}
+
+impl<F: Fn(u64) -> Box<dyn Classifier> + Send> Classifier for LeafModelTree<F> {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut tree = DecisionTree::new(TreeParams {
+            criterion: Criterion::GainRatio,
+            max_depth: self.depth,
+            min_leaf: self.min_leaf_rows,
+            min_split: 2 * self.min_leaf_rows,
+            seed: self.seed,
+            ..TreeParams::default()
+        });
+        tree.fit(data, rows)?;
+
+        // Partition training rows by leaf signature.
+        let mut partitions: Vec<(Vec<f64>, Vec<usize>)> = Vec::new();
+        for &r in rows {
+            let sig = Self::leaf_signature(&tree, data, r);
+            match partitions.iter_mut().find(|(s, _)| {
+                s.len() == sig.len() && s.iter().zip(&sig).all(|(a, b)| (a - b).abs() < 1e-12)
+            }) {
+                Some((_, part)) => part.push(r),
+                None => partitions.push((sig, vec![r])),
+            }
+        }
+        self.leaf_models.clear();
+        for (i, (sig, part)) in partitions.into_iter().enumerate() {
+            let mut model = (self.make_leaf_model)(self.seed ^ (i as u64 + 1));
+            if part.len() >= 2 && model.fit(data, &part).is_ok() {
+                self.leaf_models.push((sig, model));
+            }
+        }
+        let mut fallback = (self.make_leaf_model)(self.seed);
+        fallback.fit(data, rows)?;
+        self.fallback = Some(fallback);
+        self.tree = Some(tree);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let tree = self.tree.as_ref().expect("predict before fit");
+        let sig = Self::leaf_signature(tree, data, row);
+        match self.find_model(&sig) {
+            Some(model) => model.predict_proba(data, row),
+            None => self
+                .fallback
+                .as_ref()
+                .expect("predict before fit")
+                .predict_proba(data, row),
+        }
+    }
+}
+
+/// NBTree: decision tree with naive-Bayes leaves.
+pub struct NbTreeSpec;
+
+impl AlgorithmSpec for NbTreeSpec {
+    fn name(&self) -> &'static str {
+        "NBTree"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("depth", Domain::int(1, 6))
+            .add("min_leaf", Domain::int(10, 60))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("depth", ParamValue::Int(3))
+            .with("min_leaf", ParamValue::Int(30))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(LeafModelTree {
+            depth: config.int_or("depth", 3).max(1) as usize,
+            min_leaf_rows: config.int_or("min_leaf", 30).max(2) as usize,
+            seed,
+            make_leaf_model: |_seed| {
+                super::bayes::NaiveBayesSpec
+                    .build(&super::bayes::NaiveBayesSpec.default_config(), 0)
+            },
+            tree: None,
+            leaf_models: Vec::new(),
+            fallback: None,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+/// LMT: logistic model tree (logistic-regression leaves).
+pub struct LmtSpec;
+
+impl AlgorithmSpec for LmtSpec {
+    fn name(&self) -> &'static str {
+        "LMT"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("depth", Domain::int(1, 5))
+            .add("min_leaf", Domain::int(15, 80))
+            .add("ridge", Domain::float_log(1e-6, 1.0))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("depth", ParamValue::Int(2))
+            .with("min_leaf", ParamValue::Int(40))
+            .with("ridge", ParamValue::Float(1e-4))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        let ridge = config.float_or("ridge", 1e-4);
+        Box::new(LeafModelTree {
+            depth: config.int_or("depth", 2).max(1) as usize,
+            min_leaf_rows: config.int_or("min_leaf", 40).max(2) as usize,
+            seed,
+            make_leaf_model: move |seed| {
+                let c = Config::new().with("ridge", ParamValue::Float(ridge));
+                super::functions::LogisticSpec.build(&c, seed)
+            },
+            tree: None,
+            leaf_models: Vec::new(),
+            fallback: None,
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+// --------------------------------------------------------------- RandomForest
+
+/// Bagged RandomTrees with majority (probability-averaged) voting.
+pub struct RandomForestSpec;
+
+struct RandomForest {
+    n_trees: usize,
+    k: usize,
+    max_depth: usize,
+    seed: u64,
+    trees: Vec<RandomTreeLike>,
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.trees.clear();
+        for t in 0..self.n_trees {
+            // Bootstrap sample.
+            let sample: Vec<usize> =
+                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            let config = Config::new()
+                .with("k", ParamValue::Int(self.k as i64))
+                .with("max_depth", ParamValue::Int(self.max_depth as i64))
+                .with("min_leaf", ParamValue::Int(1));
+            let mut tree = RandomTreeLike::new(&config, self.seed ^ (t as u64).wrapping_mul(0x9E37));
+            tree.fit(data, &sample)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(&self.predict_proba(data, row))
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; data.n_classes()];
+        for tree in &self.trees {
+            for (a, p) in acc.iter_mut().zip(tree.predict_proba(data, row)) {
+                *a += p;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+}
+
+impl AlgorithmSpec for RandomForestSpec {
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+    fn family(&self) -> Family {
+        Family::Trees
+    }
+    fn param_space(&self) -> SearchSpace {
+        SearchSpace::builder()
+            .add("n_trees", Domain::int(10, 120))
+            .add("k", Domain::int(0, 16))
+            .add("max_depth", Domain::int(4, 30))
+            .build()
+            .expect("static space")
+    }
+    fn default_config(&self) -> Config {
+        Config::new()
+            .with("n_trees", ParamValue::Int(40))
+            .with("k", ParamValue::Int(0))
+            .with("max_depth", ParamValue::Int(30))
+    }
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier> {
+        Box::new(RandomForest {
+            n_trees: config.int_or("n_trees", 40).max(1) as usize,
+            k: config.int_or("k", 0).max(0) as usize,
+            max_depth: config.int_or("max_depth", 30).max(1) as usize,
+            seed,
+            trees: Vec::new(),
+        })
+    }
+    fn expensive(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::cross_val_accuracy;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn cv(spec: &dyn AlgorithmSpec, d: &Dataset, seed: u64) -> f64 {
+        let config = spec.default_config();
+        cross_val_accuracy(|| spec.build(&config, 7), d, 5, seed).unwrap()
+    }
+
+    fn rule_data() -> Dataset {
+        SynthSpec::new("r", 400, 0, 6, 3, SynthFamily::RuleBased { depth: 3 }, 11).generate()
+    }
+
+    fn blob_data() -> Dataset {
+        SynthSpec::new("b", 300, 5, 1, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 13)
+            .generate()
+    }
+
+    #[test]
+    fn j48_learns_rules() {
+        assert!(cv(&J48Spec, &rule_data(), 1) > 0.85);
+    }
+
+    #[test]
+    fn id3_learns_categorical_rules_and_rejects_numeric() {
+        let d = rule_data();
+        assert!(Id3Spec.check_applicable(&d).is_ok());
+        assert!(cv(&Id3Spec, &d, 2) > 0.85);
+        assert!(Id3Spec.check_applicable(&blob_data()).is_err());
+    }
+
+    #[test]
+    fn reptree_and_cart_learn_blobs() {
+        assert!(cv(&RepTreeSpec, &blob_data(), 3) > 0.8);
+        assert!(cv(&SimpleCartSpec, &blob_data(), 3) > 0.8);
+    }
+
+    #[test]
+    fn random_forest_beats_single_random_tree_on_noisy_data() {
+        let d = SynthSpec::new("n", 350, 6, 0, 2, SynthFamily::Hyperplane, 17)
+            .with_label_noise(0.15)
+            .generate();
+        let forest = cv(&RandomForestSpec, &d, 4);
+        let single = cv(&RandomTreeSpec, &d, 4);
+        assert!(
+            forest >= single,
+            "forest {forest} should be at least single tree {single}"
+        );
+        assert!(forest > 0.75, "forest accuracy = {forest}");
+    }
+
+    #[test]
+    fn stump_is_weak_but_above_chance_on_blobs() {
+        let acc = cv(&DecisionStumpSpec, &blob_data(), 5);
+        assert!(acc > 0.4, "stump accuracy = {acc}");
+    }
+
+    #[test]
+    fn nbtree_and_lmt_work_on_mixed_data() {
+        let d = SynthSpec::new("m", 250, 3, 2, 2, SynthFamily::Mixed, 19).generate();
+        assert!(cv(&NbTreeSpec, &d, 6) > 0.7, "NBTree");
+        assert!(cv(&LmtSpec, &d, 6) > 0.7, "LMT");
+    }
+
+    #[test]
+    fn forest_probabilities_are_distributions() {
+        let d = blob_data();
+        let spec = RandomForestSpec;
+        let c = spec.default_config();
+        let mut m = spec.build(&c, 1);
+        m.fit(&d, &(0..200).collect::<Vec<_>>()).unwrap();
+        let p = m.predict_proba(&d, 250);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

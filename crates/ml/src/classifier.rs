@@ -1,0 +1,129 @@
+//! The common classifier interface.
+//!
+//! Classifiers fit on a [`Dataset`] restricted to a set of row indices (so
+//! cross-validation never copies data) and predict per row of the *same or a
+//! compatible* dataset (same columns/categories/classes — exactly what
+//! [`Dataset::subset`] and the fold plans guarantee).
+
+use crate::error::MlError;
+use automodel_data::Dataset;
+
+/// A trainable classification algorithm instance (algorithm +
+/// hyperparameter configuration).
+pub trait Classifier: Send {
+    /// Train on `data` restricted to `rows`.
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError>;
+
+    /// Predict the class of `data`'s row `row`. Must be called after a
+    /// successful [`Classifier::fit`].
+    fn predict(&self, data: &Dataset, row: usize) -> usize;
+
+    /// Class-probability estimates; the default is a point mass on
+    /// [`Classifier::predict`]. `n_classes` comes from the dataset.
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        let n = data.n_classes();
+        let mut p = vec![0.0; n];
+        let c = self.predict(data, row);
+        if c < n {
+            p[c] = 1.0;
+        }
+        p
+    }
+}
+
+/// Accuracy of a fitted classifier on `rows` of `data`.
+pub fn accuracy_on(model: &dyn Classifier, data: &Dataset, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    let correct = rows
+        .iter()
+        .filter(|&&r| model.predict(data, r) == data.label(r))
+        .count();
+    correct as f64 / rows.len() as f64
+}
+
+/// Majority class among `rows` (ties resolved to the lower class index, as
+/// Weka does). Shared fallback for degenerate leaves/rules.
+pub fn majority_class(data: &Dataset, rows: &[usize]) -> usize {
+    let mut counts = vec![0usize; data.n_classes()];
+    for &r in rows {
+        counts[data.label(r)] += 1;
+    }
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Class distribution (Laplace-smoothed) among `rows`.
+pub fn class_distribution(data: &Dataset, rows: &[usize], smoothing: f64) -> Vec<f64> {
+    let k = data.n_classes();
+    let mut counts = vec![smoothing; k];
+    for &r in rows {
+        counts[data.label(r)] += 1.0;
+    }
+    let total: f64 = counts.iter().sum();
+    if total > 0.0 {
+        for c in &mut counts {
+            *c /= total;
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::dataset::default_class_names;
+
+    struct Constant(usize);
+    impl Classifier for Constant {
+        fn fit(&mut self, _d: &Dataset, _rows: &[usize]) -> Result<(), MlError> {
+            Ok(())
+        }
+        fn predict(&self, _d: &Dataset, _row: usize) -> usize {
+            self.0
+        }
+    }
+
+    fn data() -> Dataset {
+        Dataset::builder("t")
+            .numeric("x", vec![0.0; 6])
+            .target("y", vec![0, 0, 0, 1, 1, 2], default_class_names(3))
+            .unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let d = data();
+        let m = Constant(0);
+        assert!((accuracy_on(&m, &d, &[0, 1, 2, 3]) - 0.75).abs() < 1e-12);
+        assert_eq!(accuracy_on(&m, &d, &[]), 0.0);
+    }
+
+    #[test]
+    fn default_proba_is_point_mass() {
+        let d = data();
+        let m = Constant(1);
+        assert_eq!(m.predict_proba(&d, 0), vec![0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn majority_breaks_ties_toward_lower_class() {
+        let d = data();
+        assert_eq!(majority_class(&d, &[0, 1, 2, 3, 4, 5]), 0);
+        assert_eq!(majority_class(&d, &[3, 4, 5]), 1);
+        assert_eq!(majority_class(&d, &[0, 3]), 0);
+    }
+
+    #[test]
+    fn distribution_sums_to_one_with_smoothing() {
+        let d = data();
+        let p = class_distribution(&d, &[0, 3], 1.0);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > 0.0, "smoothing must keep unseen classes positive");
+    }
+}

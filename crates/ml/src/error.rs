@@ -1,0 +1,56 @@
+//! Error type for the classification substrate.
+
+use std::fmt;
+
+/// Errors produced while fitting or applying classifiers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Training set was empty or otherwise unusable.
+    EmptyTrainingSet,
+    /// The algorithm cannot process this dataset (the paper's OneHot' case),
+    /// e.g. Id3 on numeric attributes.
+    NotApplicable { algorithm: String, reason: String },
+    /// Prediction requested before `fit`.
+    NotFitted,
+    /// A hyperparameter value was structurally unusable.
+    BadHyperparameter { name: String, message: String },
+    /// Wrapped dataset error.
+    Data(automodel_data::DataError),
+    /// Unknown algorithm name in the registry.
+    UnknownAlgorithm(String),
+    /// Training diverged or failed numerically.
+    TrainingFailed(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "empty training set"),
+            MlError::NotApplicable { algorithm, reason } => {
+                write!(f, "{algorithm} cannot process this dataset: {reason}")
+            }
+            MlError::NotFitted => write!(f, "classifier used before fit"),
+            MlError::BadHyperparameter { name, message } => {
+                write!(f, "bad hyperparameter '{name}': {message}")
+            }
+            MlError::Data(e) => write!(f, "data error: {e}"),
+            MlError::UnknownAlgorithm(name) => write!(f, "unknown algorithm '{name}'"),
+            MlError::TrainingFailed(m) => write!(f, "training failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<automodel_data::DataError> for MlError {
+    fn from(e: automodel_data::DataError) -> Self {
+        MlError::Data(e)
+    }
+}

@@ -1,0 +1,114 @@
+//! Cross-validation scoring — the paper's `f(λ, A, D)`.
+//!
+//! Every experiment in §IV scores a (algorithm, hyperparameter, dataset)
+//! triple by stratified k-fold cross-validation accuracy (k = 10 in the
+//! paper). The classifier factory is invoked once per fold so folds never
+//! share state.
+
+use crate::classifier::{accuracy_on, Classifier};
+use crate::error::MlError;
+use automodel_data::{stratified_kfold, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Stratified k-fold cross-validation accuracy. `factory` produces a fresh
+/// classifier per fold. A fold whose training fails propagates the error.
+pub fn cross_val_accuracy<F>(
+    factory: F,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+) -> Result<f64, MlError>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    if data.n_rows() < 2 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = stratified_kfold(data, k, &mut rng);
+    let mut weighted_correct = 0.0;
+    let mut total = 0usize;
+    for (train, test) in plan.splits() {
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let mut model = factory();
+        model.fit(data, &train)?;
+        let correct = test
+            .iter()
+            .filter(|&&r| model.predict(data, r) == data.label(r))
+            .count();
+        weighted_correct += correct as f64;
+        total += test.len();
+    }
+    if total == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    Ok(weighted_correct / total as f64)
+}
+
+/// Train on `train_rows`, score accuracy on `test_rows`.
+pub fn holdout_accuracy(
+    model: &mut dyn Classifier,
+    data: &Dataset,
+    train_rows: &[usize],
+    test_rows: &[usize],
+) -> Result<f64, MlError> {
+    model.fit(data, train_rows)?;
+    Ok(accuracy_on(model, data, test_rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{DecisionTree, TreeParams};
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn tree_factory() -> Box<dyn Classifier> {
+        Box::new(DecisionTree::new(TreeParams::default()))
+    }
+
+    #[test]
+    fn cv_accuracy_is_high_on_separable_data() {
+        let d = SynthSpec::new("s", 300, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 1)
+            .generate();
+        let acc = cross_val_accuracy(tree_factory, &d, 5, 42).unwrap();
+        assert!(acc > 0.85, "cv accuracy = {acc}");
+    }
+
+    #[test]
+    fn cv_accuracy_is_near_chance_on_noise() {
+        let d = SynthSpec::new("n", 300, 3, 0, 2, SynthFamily::Hyperplane, 2)
+            .with_label_noise(1.0)
+            .generate();
+        let acc = cross_val_accuracy(tree_factory, &d, 5, 42).unwrap();
+        assert!(acc < 0.65, "cv accuracy on pure noise = {acc}");
+    }
+
+    #[test]
+    fn cv_is_deterministic_in_seed() {
+        let d = SynthSpec::new("d", 200, 3, 0, 2, SynthFamily::Hyperplane, 3).generate();
+        let a = cross_val_accuracy(tree_factory, &d, 5, 9).unwrap();
+        let b = cross_val_accuracy(tree_factory, &d, 5, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn holdout_scores_only_test_rows() {
+        let d = SynthSpec::new("h", 100, 3, 0, 2, SynthFamily::Hyperplane, 4).generate();
+        let train: Vec<usize> = (0..80).collect();
+        let test: Vec<usize> = (80..100).collect();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        let acc = holdout_accuracy(&mut tree, &d, &train, &test).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn tiny_datasets_error() {
+        let d = SynthSpec::new("t", 2, 1, 0, 2, SynthFamily::Hyperplane, 5).generate();
+        // 2 rows → k clamps to 2; folds of 1 can still work, but 1 row fails.
+        let one = d.subset(&[0]).unwrap();
+        assert!(cross_val_accuracy(tree_factory, &one, 5, 1).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # automodel-ml
+//!
+//! Classification-algorithm substrate: a "mini-Weka".
+//!
+//! The paper treats Weka as a pool of ~50 tunable black-box classifiers
+//! (`CAList`, Table IV) spanning seven families. Weka itself is a JVM
+//! artifact unavailable here, so this crate implements the pool from
+//! scratch, preserving the interface every experiment needs:
+//!
+//! * a common [`Classifier`] trait (fit on row indices of a
+//!   [`automodel_data::Dataset`], predict per row, class probabilities);
+//! * a typed hyperparameter [`automodel_hpo::SearchSpace`] per algorithm;
+//! * a [`registry::Registry`] mapping Weka-style names
+//!   (`J48`, `IBk`, `RandomForest`, …) to factories, with per-dataset
+//!   applicability checks (the OneHot' `-1` mask of Algorithm 3);
+//! * k-fold cross-validation scoring ([`eval`]) — the paper's
+//!   `f(λ, A, D)`.
+//!
+//! Families and algorithms are organized exactly as Weka's packages:
+//! [`algorithms::lazy`], [`algorithms::bayes`], [`algorithms::trees`],
+//! [`algorithms::rules`], [`algorithms::functions`], [`algorithms::misc`],
+//! [`algorithms::meta`].
+
+pub mod algorithms;
+pub mod classifier;
+pub mod error;
+pub mod eval;
+pub mod registry;
+pub mod regression;
+pub mod tree;
+
+pub use classifier::Classifier;
+pub use error::MlError;
+pub use eval::{cross_val_accuracy, holdout_accuracy};
+pub use registry::{AlgorithmSpec, Family, Registry};

@@ -1,0 +1,222 @@
+//! The algorithm registry: the paper's `CAList`.
+//!
+//! Each entry couples a Weka-style name with its family, a typed
+//! hyperparameter space, a default configuration, an applicability predicate
+//! (the OneHot' `-1` mask — e.g. `Id3` cannot process numeric attributes)
+//! and a factory producing a fresh [`Classifier`].
+
+use crate::classifier::Classifier;
+use crate::error::MlError;
+use automodel_data::Dataset;
+use automodel_hpo::{Config, SearchSpace};
+use std::sync::Arc;
+
+/// Weka package family (Table IV's "Algorithm Type").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    Lazy,
+    Bayes,
+    Trees,
+    Rules,
+    Functions,
+    Misc,
+    Meta,
+}
+
+impl Family {
+    pub fn weka_package(self) -> &'static str {
+        match self {
+            Family::Lazy => "weka.classifiers.lazy",
+            Family::Bayes => "weka.classifiers.bayes",
+            Family::Trees => "weka.classifiers.trees",
+            Family::Rules => "weka.classifiers.rules",
+            Family::Functions => "weka.classifiers.functions",
+            Family::Misc => "weka.classifiers.misc",
+            Family::Meta => "weka.classifiers.meta",
+        }
+    }
+}
+
+/// One registered algorithm.
+pub trait AlgorithmSpec: Send + Sync {
+    /// Weka-style class name, e.g. `"J48"`.
+    fn name(&self) -> &'static str;
+
+    /// Weka package family.
+    fn family(&self) -> Family;
+
+    /// Typed hyperparameter space (tuned by UDR and by Auto-Weka).
+    fn param_space(&self) -> SearchSpace;
+
+    /// Default configuration (Weka-style defaults).
+    fn default_config(&self) -> Config;
+
+    /// Can this algorithm process `data` at all? `Err` explains why not
+    /// (the paper's OneHot' mask sets −1 exactly for these cases).
+    fn check_applicable(&self, data: &Dataset) -> Result<(), MlError> {
+        let _ = data;
+        Ok(())
+    }
+
+    /// Build a fresh classifier for `config`. `seed` controls any internal
+    /// randomness (bootstraps, initializations, tie-breaking).
+    fn build(&self, config: &Config, seed: u64) -> Box<dyn Classifier>;
+
+    /// Rough relative cost of one `fit` on a mid-sized dataset; UDR uses a
+    /// measured probe instead, but tests and docs reference this hint.
+    fn expensive(&self) -> bool {
+        false
+    }
+}
+
+/// The `CAList`: an ordered, name-addressable set of algorithms.
+#[derive(Clone)]
+pub struct Registry {
+    entries: Vec<Arc<dyn AlgorithmSpec>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Register one algorithm. Panics on duplicate names (a registry is
+    /// assembled once, at startup).
+    pub fn register(&mut self, spec: Arc<dyn AlgorithmSpec>) {
+        assert!(
+            self.get(spec.name()).is_none(),
+            "duplicate algorithm '{}'",
+            spec.name()
+        );
+        self.entries.push(spec);
+    }
+
+    /// All registered algorithms, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<dyn AlgorithmSpec>> {
+        self.entries.iter()
+    }
+
+    /// Number of algorithms.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up by name.
+    pub fn get(&self, name: &str) -> Option<&Arc<dyn AlgorithmSpec>> {
+        self.entries.iter().find(|s| s.name() == name)
+    }
+
+    /// Look up by name or error.
+    pub fn require(&self, name: &str) -> Result<&Arc<dyn AlgorithmSpec>, MlError> {
+        self.get(name)
+            .ok_or_else(|| MlError::UnknownAlgorithm(name.to_string()))
+    }
+
+    /// Index of a name in registration order (the OneHot' coordinate).
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.entries.iter().position(|s| s.name() == name)
+    }
+
+    /// Names in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+
+    /// Build a classifier by name with its default configuration.
+    pub fn build_default(&self, name: &str, seed: u64) -> Result<Box<dyn Classifier>, MlError> {
+        let spec = self.require(name)?;
+        Ok(spec.build(&spec.default_config(), seed))
+    }
+
+    /// The full mini-Weka registry (see `algorithms::register_all`).
+    pub fn full() -> Registry {
+        let mut r = Registry::new();
+        crate::algorithms::register_all(&mut r);
+        r
+    }
+
+    /// A small, fast subset used by tests and quick examples.
+    pub fn fast() -> Registry {
+        let mut r = Registry::new();
+        crate::algorithms::register_fast(&mut r);
+        r
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("algorithms", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_registry_spans_all_seven_families() {
+        let r = Registry::full();
+        assert!(r.len() >= 30, "registry has only {} algorithms", r.len());
+        for family in [
+            Family::Lazy,
+            Family::Bayes,
+            Family::Trees,
+            Family::Rules,
+            Family::Functions,
+            Family::Misc,
+            Family::Meta,
+        ] {
+            assert!(
+                r.iter().any(|s| s.family() == family),
+                "no algorithm in {family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_indexable() {
+        let r = Registry::full();
+        let names = r.names();
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        for (i, name) in names.iter().enumerate() {
+            assert_eq!(r.index_of(name), Some(i));
+        }
+    }
+
+    #[test]
+    fn default_configs_validate_against_their_spaces() {
+        let r = Registry::full();
+        for spec in r.iter() {
+            let space = spec.param_space();
+            let config = spec.default_config();
+            space
+                .validate(&config)
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        }
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let r = Registry::fast();
+        assert!(matches!(
+            r.require("NoSuchThing"),
+            Err(MlError::UnknownAlgorithm(_))
+        ));
+    }
+}

@@ -1,0 +1,410 @@
+//! Regression-tree substrate.
+//!
+//! A variance-reduction CART over the same mixed-type [`Dataset`] columns as
+//! the classification tree, but fitting a real-valued target supplied per
+//! row index. Needed by the meta-learners that reduce classification to
+//! regression (`ClassificationViaRegression`, Weka's M5/AdditiveRegression
+//! family) — exactly the substrate Weka provides via `M5P`/`REPTree`
+//! regression mode.
+//!
+//! Missing values follow the classification tree's policy: skipped while
+//! scoring, routed to the heavier child.
+
+use crate::error::MlError;
+use automodel_data::{Column, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Regression-tree configuration.
+#[derive(Debug, Clone)]
+pub struct RegTreeParams {
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    pub min_split: usize,
+    /// Random attribute subset per node (`None` = all).
+    pub feature_subset: Option<usize>,
+    pub seed: u64,
+}
+
+impl Default for RegTreeParams {
+    fn default() -> RegTreeParams {
+        RegTreeParams {
+            max_depth: 12,
+            min_leaf: 2,
+            min_split: 4,
+            feature_subset: None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Numeric {
+        col: usize,
+        threshold: f64,
+        missing_left: bool,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Categorical {
+        col: usize,
+        category: u32,
+        missing_left: bool,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, data: &Dataset, row: usize) -> f64 {
+        match self {
+            Node::Leaf { value } => *value,
+            Node::Numeric {
+                col,
+                threshold,
+                missing_left,
+                left,
+                right,
+            } => {
+                let v = data.columns()[*col].numeric_at(row).unwrap_or(f64::NAN);
+                let go_left = if v.is_nan() { *missing_left } else { v <= *threshold };
+                if go_left {
+                    left.predict(data, row)
+                } else {
+                    right.predict(data, row)
+                }
+            }
+            Node::Categorical {
+                col,
+                category,
+                missing_left,
+                left,
+                right,
+            } => {
+                let go_left = match data.columns()[*col].category_at(row) {
+                    Some(c) => c == *category,
+                    None => *missing_left,
+                };
+                if go_left {
+                    left.predict(data, row)
+                } else {
+                    right.predict(data, row)
+                }
+            }
+        }
+    }
+}
+
+fn mean_of(target: &dyn Fn(usize) -> f64, rows: &[usize]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|&r| target(r)).sum::<f64>() / rows.len() as f64
+}
+
+fn sse_of(target: &dyn Fn(usize) -> f64, rows: &[usize]) -> f64 {
+    let m = mean_of(target, rows);
+    rows.iter().map(|&r| (target(r) - m) * (target(r) - m)).sum()
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    pub params: RegTreeParams,
+    root: Option<Node>,
+}
+
+impl RegressionTree {
+    pub fn new(params: RegTreeParams) -> RegressionTree {
+        RegressionTree { params, root: None }
+    }
+
+    /// Fit on `rows` of `data` against `target(row)`.
+    pub fn fit(
+        &mut self,
+        data: &Dataset,
+        rows: &[usize],
+        target: &dyn Fn(usize) -> f64,
+    ) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        self.root = Some(self.build(data, rows, target, 0, &mut rng));
+        Ok(())
+    }
+
+    /// Predicted value for one row (0.0 before fit).
+    pub fn predict(&self, data: &Dataset, row: usize) -> f64 {
+        self.root.as_ref().map_or(0.0, |n| n.predict(data, row))
+    }
+
+    fn build(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        target: &dyn Fn(usize) -> f64,
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let leaf = || Node::Leaf {
+            value: mean_of(target, rows),
+        };
+        let parent_sse = sse_of(target, rows);
+        if depth >= self.params.max_depth
+            || rows.len() < self.params.min_split
+            || parent_sse < 1e-12
+        {
+            return leaf();
+        }
+
+        let n_attrs = data.n_attrs();
+        let mut attrs: Vec<usize> = (0..n_attrs).collect();
+        if let Some(k) = self.params.feature_subset {
+            attrs.shuffle(rng);
+            attrs.truncate(k.max(1).min(n_attrs));
+        }
+
+        // Best (gain, split description).
+        enum Split {
+            Num { col: usize, threshold: f64 },
+            Cat { col: usize, category: u32 },
+        }
+        let mut best: Option<(f64, Split)> = None;
+        for &col in &attrs {
+            match &data.columns()[col] {
+                Column::Numeric { .. } => {
+                    let mut pairs: Vec<(f64, f64)> = rows
+                        .iter()
+                        .filter_map(|&r| {
+                            data.columns()[col]
+                                .numeric_at(r)
+                                .filter(|v| !v.is_nan())
+                                .map(|v| (v, target(r)))
+                        })
+                        .collect();
+                    if pairs.len() < 2 * self.params.min_leaf {
+                        continue;
+                    }
+                    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    let total_sum: f64 = pairs.iter().map(|p| p.1).sum();
+                    let total_sq: f64 = pairs.iter().map(|p| p.1 * p.1).sum();
+                    let (mut lsum, mut lsq) = (0.0f64, 0.0f64);
+                    for i in 0..pairs.len() - 1 {
+                        lsum += pairs[i].1;
+                        lsq += pairs[i].1 * pairs[i].1;
+                        if pairs[i].0 == pairs[i + 1].0 {
+                            continue;
+                        }
+                        let nl = (i + 1) as f64;
+                        let nr = (pairs.len() - i - 1) as f64;
+                        if nl < self.params.min_leaf as f64 || nr < self.params.min_leaf as f64 {
+                            continue;
+                        }
+                        let sse_l = lsq - lsum * lsum / nl;
+                        let rsum = total_sum - lsum;
+                        let sse_r = (total_sq - lsq) - rsum * rsum / nr;
+                        let gain = parent_sse - sse_l - sse_r;
+                        if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                            best = Some((
+                                gain,
+                                Split::Num {
+                                    col,
+                                    threshold: (pairs[i].0 + pairs[i + 1].0) / 2.0,
+                                },
+                            ));
+                        }
+                    }
+                }
+                Column::Categorical { categories, .. } => {
+                    for cat in 0..categories.len() as u32 {
+                        let (mut left, mut right) = (Vec::new(), Vec::new());
+                        for &r in rows {
+                            match data.columns()[col].category_at(r) {
+                                Some(c) if c == cat => left.push(r),
+                                Some(_) => right.push(r),
+                                None => {}
+                            }
+                        }
+                        if left.len() < self.params.min_leaf
+                            || right.len() < self.params.min_leaf
+                        {
+                            continue;
+                        }
+                        let gain =
+                            parent_sse - sse_of(target, &left) - sse_of(target, &right);
+                        if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
+                            best = Some((gain, Split::Cat { col, category: cat }));
+                        }
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((_, Split::Num { col, threshold })) => {
+                let (mut left, mut right, mut miss) = (vec![], vec![], vec![]);
+                for &r in rows {
+                    match data.columns()[col].numeric_at(r) {
+                        Some(v) if !v.is_nan() => {
+                            if v <= threshold {
+                                left.push(r)
+                            } else {
+                                right.push(r)
+                            }
+                        }
+                        _ => miss.push(r),
+                    }
+                }
+                let missing_left = left.len() >= right.len();
+                if missing_left {
+                    left.extend(miss);
+                } else {
+                    right.extend(miss);
+                }
+                Node::Numeric {
+                    col,
+                    threshold,
+                    missing_left,
+                    left: Box::new(self.build(data, &left, target, depth + 1, rng)),
+                    right: Box::new(self.build(data, &right, target, depth + 1, rng)),
+                }
+            }
+            Some((_, Split::Cat { col, category })) => {
+                let (mut left, mut right, mut miss) = (vec![], vec![], vec![]);
+                for &r in rows {
+                    match data.columns()[col].category_at(r) {
+                        Some(c) if c == category => left.push(r),
+                        Some(_) => right.push(r),
+                        None => miss.push(r),
+                    }
+                }
+                let missing_left = left.len() >= right.len();
+                if missing_left {
+                    left.extend(miss);
+                } else {
+                    right.extend(miss);
+                }
+                Node::Categorical {
+                    col,
+                    category,
+                    missing_left,
+                    left: Box::new(self.build(data, &left, target, depth + 1, rng)),
+                    right: Box::new(self.build(data, &right, target, depth + 1, rng)),
+                }
+            }
+            None => leaf(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::dataset::default_class_names;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    #[test]
+    fn fits_a_step_function_exactly() {
+        let d = Dataset::builder("step")
+            .numeric("x", (0..50).map(|i| i as f64).collect())
+            .target("y", vec![0; 50], default_class_names(1))
+            .unwrap();
+        let rows: Vec<usize> = (0..50).collect();
+        let target = |r: usize| if r < 25 { -1.0 } else { 1.0 };
+        let mut tree = RegressionTree::new(RegTreeParams::default());
+        tree.fit(&d, &rows, &target).unwrap();
+        assert!((tree.predict(&d, 3) + 1.0).abs() < 1e-9);
+        assert!((tree.predict(&d, 40) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximates_a_smooth_function() {
+        let d = Dataset::builder("smooth")
+            .numeric("x", (0..200).map(|i| i as f64 / 100.0 - 1.0).collect())
+            .target("y", vec![0; 200], default_class_names(1))
+            .unwrap();
+        let rows: Vec<usize> = (0..200).collect();
+        let f = |r: usize| {
+            let x = r as f64 / 100.0 - 1.0;
+            x * x
+        };
+        let mut tree = RegressionTree::new(RegTreeParams::default());
+        tree.fit(&d, &rows, &f).unwrap();
+        let mse: f64 = rows
+            .iter()
+            .map(|&r| (tree.predict(&d, r) - f(r)).powi(2))
+            .sum::<f64>()
+            / 200.0;
+        assert!(mse < 0.01, "mse = {mse}");
+    }
+
+    #[test]
+    fn splits_on_categorical_attributes() {
+        let d = Dataset::builder("cat")
+            .categorical(
+                "c",
+                (0..60).map(|i| (i % 3) as u32).collect(),
+                vec!["a".into(), "b".into(), "c".into()],
+            )
+            .target("y", vec![0; 60], default_class_names(1))
+            .unwrap();
+        let rows: Vec<usize> = (0..60).collect();
+        let target = |r: usize| match r % 3 {
+            0 => 5.0,
+            1 => -5.0,
+            _ => 0.0,
+        };
+        let mut tree = RegressionTree::new(RegTreeParams::default());
+        tree.fit(&d, &rows, &target).unwrap();
+        assert!((tree.predict(&d, 0) - 5.0).abs() < 1e-9);
+        assert!((tree.predict(&d, 1) + 5.0).abs() < 1e-9);
+        assert!(tree.predict(&d, 2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_limit_bounds_complexity() {
+        let d = SynthSpec::new("m", 150, 3, 1, 2, SynthFamily::Mixed, 5).generate();
+        let rows: Vec<usize> = (0..150).collect();
+        let target = |r: usize| (r % 7) as f64;
+        let mut stump = RegressionTree::new(RegTreeParams {
+            max_depth: 1,
+            ..RegTreeParams::default()
+        });
+        stump.fit(&d, &rows, &target).unwrap();
+        // Depth-1 tree can emit at most two distinct values.
+        let mut outs: Vec<f64> = rows.iter().map(|&r| stump.predict(&d, r)).collect();
+        outs.sort_by(f64::total_cmp);
+        outs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+        assert!(outs.len() <= 2, "distinct outputs: {}", outs.len());
+    }
+
+    #[test]
+    fn empty_training_errors() {
+        let d = SynthSpec::new("e", 10, 2, 0, 2, SynthFamily::Hyperplane, 1).generate();
+        let mut tree = RegressionTree::new(RegTreeParams::default());
+        assert_eq!(
+            tree.fit(&d, &[], &|_r| 0.0).err(),
+            Some(MlError::EmptyTrainingSet)
+        );
+    }
+
+    #[test]
+    fn handles_missing_values() {
+        let d = SynthSpec::new("miss", 120, 3, 2, 2, SynthFamily::Mixed, 9)
+            .with_missing(0.25)
+            .generate();
+        let rows: Vec<usize> = (0..120).collect();
+        let target = |r: usize| d.label(r) as f64;
+        let mut tree = RegressionTree::new(RegTreeParams::default());
+        tree.fit(&d, &rows, &target).unwrap();
+        for &r in &rows {
+            assert!(tree.predict(&d, r).is_finite());
+        }
+    }
+}

@@ -1,0 +1,1078 @@
+//! Configurable decision-tree core.
+//!
+//! One recursive-partitioning engine serves the whole `trees` family plus
+//! the ensemble learners: J48 (gain ratio, multiway categorical splits,
+//! pessimistic pruning), SimpleCart (Gini, binary splits), REPTree
+//! (information gain, reduced-error pruning), RandomTree (per-node random
+//! feature subsets, no pruning), Id3 (categorical-only, no pruning) and
+//! DecisionStump (depth 1) are all parameterizations of [`DecisionTree`].
+//!
+//! Missing values are skipped while scoring splits and routed to the child
+//! that received the larger share of training rows. Row index lists may
+//! contain duplicates, which gives weighted training by resampling (used by
+//! the boosting meta-learners).
+
+use crate::classifier::{class_distribution, Classifier};
+use crate::error::MlError;
+use automodel_data::{Column, Dataset};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split-quality criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Criterion {
+    Gini,
+    InfoGain,
+    GainRatio,
+}
+
+/// Categorical attribute handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatSplit {
+    /// One child per category (C4.5 style).
+    Multiway,
+    /// Binary one-category-vs-rest split (CART style).
+    Binary,
+}
+
+/// Post-pruning strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Pruning {
+    None,
+    /// Hold out this fraction of the training rows and prune bottom-up
+    /// wherever a leaf does no worse on the holdout.
+    ReducedError { fraction: f64 },
+    /// C4.5-style pessimistic pruning on the training counts with a
+    /// continuity correction of `penalty` errors per leaf.
+    Pessimistic { penalty: f64 },
+}
+
+/// Full tree configuration.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    pub criterion: Criterion,
+    pub max_depth: usize,
+    pub min_leaf: usize,
+    /// Minimum rows required to attempt a split.
+    pub min_split: usize,
+    /// Number of randomly chosen candidate attributes per node
+    /// (`None` = all attributes).
+    pub feature_subset: Option<usize>,
+    /// Restrict splits to these attribute indices (`None` = all). Used by
+    /// the RandomSubSpace / RotationForest ensembles.
+    pub allowed_attrs: Option<Vec<usize>>,
+    pub cat_split: CatSplit,
+    pub pruning: Pruning,
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> TreeParams {
+        TreeParams {
+            criterion: Criterion::InfoGain,
+            max_depth: 30,
+            min_leaf: 1,
+            min_split: 2,
+            feature_subset: None,
+            allowed_attrs: None,
+            cat_split: CatSplit::Multiway,
+            pruning: Pruning::None,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        dist: Vec<f64>,
+    },
+    Numeric {
+        col: usize,
+        threshold: f64,
+        /// Where missing values go: true = left.
+        missing_left: bool,
+        left: Box<Node>,
+        right: Box<Node>,
+        /// Class distribution at this node (used when pruning to a leaf).
+        dist: Vec<f64>,
+    },
+    CatMulti {
+        col: usize,
+        children: Vec<Option<Box<Node>>>,
+        /// Child index for missing/unseen categories.
+        default_child: usize,
+        dist: Vec<f64>,
+    },
+    CatBinary {
+        col: usize,
+        category: u32,
+        missing_left: bool,
+        /// Left = "equals category".
+        left: Box<Node>,
+        right: Box<Node>,
+        dist: Vec<f64>,
+    },
+}
+
+impl Node {
+    fn dist(&self) -> &[f64] {
+        match self {
+            Node::Leaf { dist, .. }
+            | Node::Numeric { dist, .. }
+            | Node::CatMulti { dist, .. }
+            | Node::CatBinary { dist, .. } => dist,
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Numeric { left, right, .. } | Node::CatBinary { left, right, .. } => {
+                left.n_leaves() + right.n_leaves()
+            }
+            Node::CatMulti { children, .. } => children
+                .iter()
+                .flatten()
+                .map(|c| c.n_leaves())
+                .sum::<usize>()
+                .max(1),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Numeric { left, right, .. } | Node::CatBinary { left, right, .. } => {
+                1 + left.depth().max(right.depth())
+            }
+            Node::CatMulti { children, .. } => {
+                1 + children.iter().flatten().map(|c| c.depth()).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn route<'a>(&'a self, data: &Dataset, row: usize) -> &'a [f64] {
+        match self {
+            Node::Leaf { dist, .. } => dist,
+            Node::Numeric {
+                col,
+                threshold,
+                missing_left,
+                left,
+                right,
+                ..
+            } => {
+                let v = data.columns()[*col].numeric_at(row).unwrap_or(f64::NAN);
+                let go_left = if v.is_nan() { *missing_left } else { v <= *threshold };
+                if go_left {
+                    left.route(data, row)
+                } else {
+                    right.route(data, row)
+                }
+            }
+            Node::CatMulti {
+                col,
+                children,
+                default_child,
+                dist,
+            } => {
+                let idx = data.columns()[*col]
+                    .category_at(row)
+                    .map(|c| c as usize)
+                    .unwrap_or(*default_child);
+                match children.get(idx).and_then(|c| c.as_ref()) {
+                    Some(child) => child.route(data, row),
+                    None => match children.get(*default_child).and_then(|c| c.as_ref()) {
+                        Some(child) => child.route(data, row),
+                        None => dist,
+                    },
+                }
+            }
+            Node::CatBinary {
+                col,
+                category,
+                missing_left,
+                left,
+                right,
+                ..
+            } => {
+                let go_left = match data.columns()[*col].category_at(row) {
+                    Some(c) => c == *category,
+                    None => *missing_left,
+                };
+                if go_left {
+                    left.route(data, row)
+                } else {
+                    right.route(data, row)
+                }
+            }
+        }
+    }
+}
+
+/// Impurity of a class-count histogram.
+fn impurity(counts: &[f64], total: f64, criterion: Criterion) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    match criterion {
+        Criterion::Gini => {
+            1.0 - counts
+                .iter()
+                .map(|&c| {
+                    let p = c / total;
+                    p * p
+                })
+                .sum::<f64>()
+        }
+        Criterion::InfoGain | Criterion::GainRatio => counts
+            .iter()
+            .filter(|&&c| c > 0.0)
+            .map(|&c| {
+                let p = c / total;
+                -p * p.log2()
+            })
+            .sum(),
+    }
+}
+
+struct SplitCandidate {
+    score: f64,
+    kind: SplitKind,
+}
+
+enum SplitKind {
+    Numeric { col: usize, threshold: f64 },
+    CatMulti { col: usize },
+    CatBinary { col: usize, category: u32 },
+}
+
+/// The trained tree.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    pub params: TreeParams,
+    root: Option<Node>,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    pub fn new(params: TreeParams) -> DecisionTree {
+        DecisionTree {
+            params,
+            root: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Leaves of the trained tree (0 before fit).
+    pub fn n_leaves(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::n_leaves)
+    }
+
+    /// Depth of the trained tree (0 before fit or for a single leaf).
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map_or(0, Node::depth)
+    }
+
+    fn build(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> Node {
+        let dist = class_distribution(data, rows, 1e-9);
+        let leaf = || Node::Leaf {
+            dist: dist.clone(),
+        };
+        if depth >= self.params.max_depth
+            || rows.len() < self.params.min_split
+            || is_pure(data, rows)
+        {
+            return leaf();
+        }
+
+        // Candidate attributes: the allowed set (or all), optionally
+        // subsampled per node.
+        let n_attrs = data.n_attrs();
+        let mut attrs: Vec<usize> = match &self.params.allowed_attrs {
+            Some(allowed) => allowed.iter().copied().filter(|&a| a < n_attrs).collect(),
+            None => (0..n_attrs).collect(),
+        };
+        if let Some(k) = self.params.feature_subset {
+            attrs.shuffle(rng);
+            attrs.truncate(k.max(1).min(attrs.len().max(1)));
+        }
+
+        let mut best: Option<SplitCandidate> = None;
+        for &col in &attrs {
+            let cand = match &data.columns()[col] {
+                Column::Numeric { .. } => self.best_numeric_split(data, rows, col),
+                Column::Categorical { .. } => match self.params.cat_split {
+                    CatSplit::Multiway => self.score_cat_multiway(data, rows, col),
+                    CatSplit::Binary => self.best_cat_binary(data, rows, col),
+                },
+            };
+            if let Some(c) = cand {
+                if best.as_ref().is_none_or(|b| c.score > b.score) {
+                    best = Some(c);
+                }
+            }
+        }
+        let Some(best) = best else { return leaf() };
+        if best.score <= 1e-12 {
+            return leaf();
+        }
+
+        match best.kind {
+            SplitKind::Numeric { col, threshold } => {
+                let (mut left, mut right, mut miss) = (vec![], vec![], vec![]);
+                for &r in rows {
+                    match data.columns()[col].numeric_at(r) {
+                        Some(v) if !v.is_nan() => {
+                            if v <= threshold {
+                                left.push(r)
+                            } else {
+                                right.push(r)
+                            }
+                        }
+                        _ => miss.push(r),
+                    }
+                }
+                if left.len() < self.params.min_leaf || right.len() < self.params.min_leaf {
+                    return leaf();
+                }
+                let missing_left = left.len() >= right.len();
+                if missing_left {
+                    left.extend(miss);
+                } else {
+                    right.extend(miss);
+                }
+                Node::Numeric {
+                    col,
+                    threshold,
+                    missing_left,
+                    left: Box::new(self.build(data, &left, depth + 1, rng)),
+                    right: Box::new(self.build(data, &right, depth + 1, rng)),
+                    dist,
+                }
+            }
+            SplitKind::CatMulti { col } => {
+                let k = data.columns()[col].n_categories();
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+                let mut miss = Vec::new();
+                for &r in rows {
+                    match data.columns()[col].category_at(r) {
+                        Some(c) => buckets[c as usize].push(r),
+                        None => miss.push(r),
+                    }
+                }
+                let default_child = buckets
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.len())
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                buckets[default_child].extend(miss);
+                let children: Vec<Option<Box<Node>>> = buckets
+                    .iter()
+                    .map(|bucket| {
+                        if bucket.is_empty() {
+                            None
+                        } else {
+                            Some(Box::new(self.build(data, bucket, depth + 1, rng)))
+                        }
+                    })
+                    .collect();
+                Node::CatMulti {
+                    col,
+                    children,
+                    default_child,
+                    dist,
+                }
+            }
+            SplitKind::CatBinary { col, category } => {
+                let (mut left, mut right, mut miss) = (vec![], vec![], vec![]);
+                for &r in rows {
+                    match data.columns()[col].category_at(r) {
+                        Some(c) if c == category => left.push(r),
+                        Some(_) => right.push(r),
+                        None => miss.push(r),
+                    }
+                }
+                if left.len() < self.params.min_leaf || right.len() < self.params.min_leaf {
+                    return leaf();
+                }
+                let missing_left = left.len() >= right.len();
+                if missing_left {
+                    left.extend(miss);
+                } else {
+                    right.extend(miss);
+                }
+                Node::CatBinary {
+                    col,
+                    category,
+                    missing_left,
+                    left: Box::new(self.build(data, &left, depth + 1, rng)),
+                    right: Box::new(self.build(data, &right, depth + 1, rng)),
+                    dist,
+                }
+            }
+        }
+    }
+
+    /// Gain of splitting `rows` into the given per-branch class-count
+    /// histograms, under the configured criterion.
+    fn gain(&self, parent_counts: &[f64], branches: &[Vec<f64>]) -> f64 {
+        let total: f64 = parent_counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        let parent_imp = impurity(parent_counts, total, self.params.criterion);
+        let mut child_imp = 0.0;
+        let mut split_info = 0.0;
+        for counts in branches {
+            let bt: f64 = counts.iter().sum();
+            if bt <= 0.0 {
+                continue;
+            }
+            child_imp += bt / total * impurity(counts, bt, self.params.criterion);
+            let p = bt / total;
+            split_info -= p * p.log2();
+        }
+        let gain = parent_imp - child_imp;
+        match self.params.criterion {
+            Criterion::GainRatio => {
+                if split_info < 1e-9 {
+                    0.0
+                } else {
+                    gain / split_info
+                }
+            }
+            _ => gain,
+        }
+    }
+
+    fn best_numeric_split(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        col: usize,
+    ) -> Option<SplitCandidate> {
+        let column = &data.columns()[col];
+        let mut pairs: Vec<(f64, usize)> = rows
+            .iter()
+            .filter_map(|&r| {
+                column
+                    .numeric_at(r)
+                    .filter(|v| !v.is_nan())
+                    .map(|v| (v, data.label(r)))
+            })
+            .collect();
+        if pairs.len() < 2 * self.params.min_leaf {
+            return None;
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let parent = {
+            let mut c = vec![0.0; self.n_classes];
+            for &(_, l) in &pairs {
+                c[l] += 1.0;
+            }
+            c
+        };
+        let mut left = vec![0.0; self.n_classes];
+        let mut right = parent.clone();
+        let mut best: Option<(f64, f64)> = None; // (score, threshold)
+        for i in 0..pairs.len() - 1 {
+            left[pairs[i].1] += 1.0;
+            right[pairs[i].1] -= 1.0;
+            if pairs[i].0 == pairs[i + 1].0 {
+                continue;
+            }
+            if (i + 1) < self.params.min_leaf || (pairs.len() - i - 1) < self.params.min_leaf {
+                continue;
+            }
+            let score = self.gain(&parent, &[left.clone(), right.clone()]);
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, (pairs[i].0 + pairs[i + 1].0) / 2.0));
+            }
+        }
+        best.map(|(score, threshold)| SplitCandidate {
+            score,
+            kind: SplitKind::Numeric { col, threshold },
+        })
+    }
+
+    fn score_cat_multiway(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        col: usize,
+    ) -> Option<SplitCandidate> {
+        let column = &data.columns()[col];
+        let k = column.n_categories();
+        if k < 2 {
+            return None;
+        }
+        let mut branches = vec![vec![0.0; self.n_classes]; k];
+        let mut parent = vec![0.0; self.n_classes];
+        for &r in rows {
+            if let Some(c) = column.category_at(r) {
+                branches[c as usize][data.label(r)] += 1.0;
+                parent[data.label(r)] += 1.0;
+            }
+        }
+        let observed = branches.iter().filter(|b| b.iter().sum::<f64>() > 0.0).count();
+        if observed < 2 {
+            return None;
+        }
+        let score = self.gain(&parent, &branches);
+        Some(SplitCandidate {
+            score,
+            kind: SplitKind::CatMulti { col },
+        })
+    }
+
+    fn best_cat_binary(
+        &self,
+        data: &Dataset,
+        rows: &[usize],
+        col: usize,
+    ) -> Option<SplitCandidate> {
+        let column = &data.columns()[col];
+        let k = column.n_categories();
+        if k < 2 {
+            return None;
+        }
+        let mut per_cat = vec![vec![0.0; self.n_classes]; k];
+        let mut parent = vec![0.0; self.n_classes];
+        for &r in rows {
+            if let Some(c) = column.category_at(r) {
+                per_cat[c as usize][data.label(r)] += 1.0;
+                parent[data.label(r)] += 1.0;
+            }
+        }
+        let total: f64 = parent.iter().sum();
+        let mut best: Option<(f64, u32)> = None;
+        for (cat, counts) in per_cat.iter().enumerate() {
+            let in_total: f64 = counts.iter().sum();
+            if in_total < self.params.min_leaf as f64
+                || total - in_total < self.params.min_leaf as f64
+            {
+                continue;
+            }
+            let rest: Vec<f64> = parent.iter().zip(counts).map(|(p, c)| p - c).collect();
+            let score = self.gain(&parent, &[counts.clone(), rest]);
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, cat as u32));
+            }
+        }
+        best.map(|(score, category)| SplitCandidate {
+            score,
+            kind: SplitKind::CatBinary { col, category },
+        })
+    }
+
+    /// Bottom-up reduced-error pruning against `prune_rows`.
+    fn prune_reduced_error(node: Node, data: &Dataset, prune_rows: &[usize]) -> Node {
+        match node {
+            Node::Leaf { .. } => node,
+            _ => {
+                // Partition prune rows among children, recurse, then decide.
+                let node = match node {
+                    Node::Numeric {
+                        col,
+                        threshold,
+                        missing_left,
+                        left,
+                        right,
+                        dist,
+                    } => {
+                        let (mut lrows, mut rrows) = (vec![], vec![]);
+                        for &r in prune_rows {
+                            let v = data.columns()[col].numeric_at(r).unwrap_or(f64::NAN);
+                            let go_left = if v.is_nan() { missing_left } else { v <= threshold };
+                            if go_left {
+                                lrows.push(r)
+                            } else {
+                                rrows.push(r)
+                            }
+                        }
+                        Node::Numeric {
+                            col,
+                            threshold,
+                            missing_left,
+                            left: Box::new(Self::prune_reduced_error(*left, data, &lrows)),
+                            right: Box::new(Self::prune_reduced_error(*right, data, &rrows)),
+                            dist,
+                        }
+                    }
+                    Node::CatBinary {
+                        col,
+                        category,
+                        missing_left,
+                        left,
+                        right,
+                        dist,
+                    } => {
+                        let (mut lrows, mut rrows) = (vec![], vec![]);
+                        for &r in prune_rows {
+                            let go_left = match data.columns()[col].category_at(r) {
+                                Some(c) => c == category,
+                                None => missing_left,
+                            };
+                            if go_left {
+                                lrows.push(r)
+                            } else {
+                                rrows.push(r)
+                            }
+                        }
+                        Node::CatBinary {
+                            col,
+                            category,
+                            missing_left,
+                            left: Box::new(Self::prune_reduced_error(*left, data, &lrows)),
+                            right: Box::new(Self::prune_reduced_error(*right, data, &rrows)),
+                            dist,
+                        }
+                    }
+                    Node::CatMulti {
+                        col,
+                        children,
+                        default_child,
+                        dist,
+                    } => {
+                        let k = children.len();
+                        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+                        for &r in prune_rows {
+                            let idx = data.columns()[col]
+                                .category_at(r)
+                                .map(|c| c as usize)
+                                .unwrap_or(default_child);
+                            buckets[idx.min(k.saturating_sub(1))].push(r);
+                        }
+                        let children = children
+                            .into_iter()
+                            .zip(buckets.iter())
+                            .map(|(child, bucket)| {
+                                child.map(|c| {
+                                    Box::new(Self::prune_reduced_error(*c, data, bucket))
+                                })
+                            })
+                            .collect();
+                        Node::CatMulti {
+                            col,
+                            children,
+                            default_child,
+                            dist,
+                        }
+                    }
+                    leaf @ Node::Leaf { .. } => leaf,
+                };
+                // Compare subtree vs collapsed leaf on the prune rows.
+                if prune_rows.is_empty() {
+                    return node;
+                }
+                let subtree_errors = prune_rows
+                    .iter()
+                    .filter(|&&r| {
+                        let dist = node.route(data, r);
+                        argmax(dist) != data.label(r)
+                    })
+                    .count();
+                let dist = node.dist().to_vec();
+                let leaf_class = argmax(&dist);
+                let leaf_errors = prune_rows
+                    .iter()
+                    .filter(|&&r| data.label(r) != leaf_class)
+                    .count();
+                if leaf_errors <= subtree_errors {
+                    Node::Leaf { dist }
+                } else {
+                    node
+                }
+            }
+        }
+    }
+
+    /// C4.5-style pessimistic pruning on training counts: collapse a subtree
+    /// whenever `leaf_errors + penalty ≤ subtree_errors + penalty × leaves`.
+    fn prune_pessimistic(node: Node, data: &Dataset, rows: &[usize], penalty: f64) -> Node {
+        match node {
+            Node::Leaf { .. } => node,
+            _ => {
+                let node = match node {
+                    Node::Numeric {
+                        col,
+                        threshold,
+                        missing_left,
+                        left,
+                        right,
+                        dist,
+                    } => {
+                        let (mut lrows, mut rrows) = (vec![], vec![]);
+                        for &r in rows {
+                            let v = data.columns()[col].numeric_at(r).unwrap_or(f64::NAN);
+                            let go_left = if v.is_nan() { missing_left } else { v <= threshold };
+                            if go_left {
+                                lrows.push(r)
+                            } else {
+                                rrows.push(r)
+                            }
+                        }
+                        Node::Numeric {
+                            col,
+                            threshold,
+                            missing_left,
+                            left: Box::new(Self::prune_pessimistic(*left, data, &lrows, penalty)),
+                            right: Box::new(Self::prune_pessimistic(*right, data, &rrows, penalty)),
+                            dist,
+                        }
+                    }
+                    Node::CatBinary {
+                        col,
+                        category,
+                        missing_left,
+                        left,
+                        right,
+                        dist,
+                    } => {
+                        let (mut lrows, mut rrows) = (vec![], vec![]);
+                        for &r in rows {
+                            let go_left = match data.columns()[col].category_at(r) {
+                                Some(c) => c == category,
+                                None => missing_left,
+                            };
+                            if go_left {
+                                lrows.push(r)
+                            } else {
+                                rrows.push(r)
+                            }
+                        }
+                        Node::CatBinary {
+                            col,
+                            category,
+                            missing_left,
+                            left: Box::new(Self::prune_pessimistic(*left, data, &lrows, penalty)),
+                            right: Box::new(Self::prune_pessimistic(*right, data, &rrows, penalty)),
+                            dist,
+                        }
+                    }
+                    Node::CatMulti {
+                        col,
+                        children,
+                        default_child,
+                        dist,
+                    } => {
+                        let k = children.len();
+                        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); k];
+                        for &r in rows {
+                            let idx = data.columns()[col]
+                                .category_at(r)
+                                .map(|c| c as usize)
+                                .unwrap_or(default_child);
+                            buckets[idx.min(k.saturating_sub(1))].push(r);
+                        }
+                        let children = children
+                            .into_iter()
+                            .zip(buckets.iter())
+                            .map(|(child, bucket)| {
+                                child.map(|c| {
+                                    Box::new(Self::prune_pessimistic(*c, data, bucket, penalty))
+                                })
+                            })
+                            .collect();
+                        Node::CatMulti {
+                            col,
+                            children,
+                            default_child,
+                            dist,
+                        }
+                    }
+                    leaf @ Node::Leaf { .. } => leaf,
+                };
+                if rows.is_empty() {
+                    return node;
+                }
+                let subtree_errors = rows
+                    .iter()
+                    .filter(|&&r| argmax(node.route(data, r)) != data.label(r))
+                    .count() as f64;
+                let dist = node.dist().to_vec();
+                let leaf_class = argmax(&dist);
+                let leaf_errors =
+                    rows.iter().filter(|&&r| data.label(r) != leaf_class).count() as f64;
+                let n_leaves = node.n_leaves() as f64;
+                if leaf_errors + penalty <= subtree_errors + penalty * n_leaves {
+                    Node::Leaf { dist }
+                } else {
+                    node
+                }
+            }
+        }
+    }
+}
+
+fn is_pure(data: &Dataset, rows: &[usize]) -> bool {
+    let mut it = rows.iter();
+    let Some(&first) = it.next() else { return true };
+    let label = data.label(first);
+    it.all(|&r| data.label(r) == label)
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, data: &Dataset, rows: &[usize]) -> Result<(), MlError> {
+        if rows.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        self.n_classes = data.n_classes();
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let root = match self.params.pruning {
+            Pruning::ReducedError { fraction } if rows.len() >= 10 => {
+                let mut shuffled = rows.to_vec();
+                shuffled.shuffle(&mut rng);
+                let n_prune = ((rows.len() as f64 * fraction.clamp(0.05, 0.5)).round() as usize)
+                    .clamp(1, rows.len() - 1);
+                let (prune_rows, grow_rows) = shuffled.split_at(n_prune);
+                let grown = self.build(data, grow_rows, 0, &mut rng);
+                DecisionTree::prune_reduced_error(grown, data, prune_rows)
+            }
+            Pruning::Pessimistic { penalty } => {
+                let grown = self.build(data, rows, 0, &mut rng);
+                DecisionTree::prune_pessimistic(grown, data, rows, penalty.max(0.0))
+            }
+            _ => self.build(data, rows, 0, &mut rng),
+        };
+        self.root = Some(root);
+        Ok(())
+    }
+
+    fn predict(&self, data: &Dataset, row: usize) -> usize {
+        argmax(self.predict_proba(data, row).as_slice())
+    }
+
+    fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
+        match &self.root {
+            Some(root) => root.route(data, row).to_vec(),
+            None => vec![0.0; data.n_classes().max(1)],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::accuracy_on;
+    use automodel_data::dataset::default_class_names;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    fn all_rows(d: &Dataset) -> Vec<usize> {
+        (0..d.n_rows()).collect()
+    }
+
+    #[test]
+    fn fits_axis_aligned_numeric_boundary_perfectly() {
+        let d = Dataset::builder("t")
+            .numeric("x", (0..40).map(|i| i as f64).collect())
+            .target(
+                "y",
+                (0..40).map(|i| usize::from(i >= 20)).collect(),
+                default_class_names(2),
+            )
+            .unwrap();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        assert_eq!(accuracy_on(&tree, &d, &all_rows(&d)), 1.0);
+        assert_eq!(tree.depth(), 1);
+        assert_eq!(tree.n_leaves(), 2);
+    }
+
+    #[test]
+    fn multiway_categorical_split_separates_categories() {
+        let d = Dataset::builder("c")
+            .categorical(
+                "color",
+                vec![0, 0, 1, 1, 2, 2, 0, 1, 2],
+                vec!["r".into(), "g".into(), "b".into()],
+            )
+            .target("y", vec![0, 0, 1, 1, 2, 2, 0, 1, 2], default_class_names(3))
+            .unwrap();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        assert_eq!(accuracy_on(&tree, &d, &all_rows(&d)), 1.0);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn binary_cat_split_mode_also_separates() {
+        let d = Dataset::builder("c")
+            .categorical(
+                "color",
+                vec![0, 0, 1, 1, 2, 2],
+                vec!["r".into(), "g".into(), "b".into()],
+            )
+            .target("y", vec![0, 0, 1, 1, 1, 1], default_class_names(2))
+            .unwrap();
+        let mut tree = DecisionTree::new(TreeParams {
+            cat_split: CatSplit::Binary,
+            criterion: Criterion::Gini,
+            ..TreeParams::default()
+        });
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        assert_eq!(accuracy_on(&tree, &d, &all_rows(&d)), 1.0);
+    }
+
+    #[test]
+    fn max_depth_caps_growth() {
+        let spec = SynthSpec::new("x", 200, 5, 0, 2, SynthFamily::Xor { dims: 2 }, 3);
+        let d = spec.generate();
+        let mut tree = DecisionTree::new(TreeParams {
+            max_depth: 2,
+            ..TreeParams::default()
+        });
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        assert!(tree.depth() <= 2);
+    }
+
+    #[test]
+    fn solves_xor_which_defeats_stumps() {
+        let spec = SynthSpec::new("x", 400, 2, 0, 2, SynthFamily::Xor { dims: 2 }, 5);
+        let d = spec.generate();
+        let mut deep = DecisionTree::new(TreeParams::default());
+        deep.fit(&d, &all_rows(&d)).unwrap();
+        let deep_acc = accuracy_on(&deep, &d, &all_rows(&d));
+        assert!(deep_acc > 0.95, "deep tree accuracy = {deep_acc}");
+        let mut stump = DecisionTree::new(TreeParams {
+            max_depth: 1,
+            ..TreeParams::default()
+        });
+        stump.fit(&d, &all_rows(&d)).unwrap();
+        let stump_acc = accuracy_on(&stump, &d, &all_rows(&d));
+        assert!(stump_acc < 0.7, "stump should fail xor, got {stump_acc}");
+    }
+
+    #[test]
+    fn reduced_error_pruning_shrinks_noisy_trees() {
+        let spec = SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 7)
+            .with_label_noise(0.25);
+        let d = spec.generate();
+        let mut unpruned = DecisionTree::new(TreeParams::default());
+        unpruned.fit(&d, &all_rows(&d)).unwrap();
+        let mut pruned = DecisionTree::new(TreeParams {
+            pruning: Pruning::ReducedError { fraction: 0.3 },
+            ..TreeParams::default()
+        });
+        pruned.fit(&d, &all_rows(&d)).unwrap();
+        assert!(
+            pruned.n_leaves() < unpruned.n_leaves(),
+            "pruned {} vs unpruned {}",
+            pruned.n_leaves(),
+            unpruned.n_leaves()
+        );
+    }
+
+    #[test]
+    fn pessimistic_pruning_shrinks_noisy_trees() {
+        let spec = SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 9)
+            .with_label_noise(0.25);
+        let d = spec.generate();
+        let mut unpruned = DecisionTree::new(TreeParams::default());
+        unpruned.fit(&d, &all_rows(&d)).unwrap();
+        let mut pruned = DecisionTree::new(TreeParams {
+            pruning: Pruning::Pessimistic { penalty: 0.5 },
+            ..TreeParams::default()
+        });
+        pruned.fit(&d, &all_rows(&d)).unwrap();
+        assert!(pruned.n_leaves() < unpruned.n_leaves());
+    }
+
+    #[test]
+    fn handles_missing_values_at_fit_and_predict() {
+        let spec = SynthSpec::new("m", 300, 3, 2, 2, SynthFamily::Mixed, 11).with_missing(0.2);
+        let d = spec.generate();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        let acc = accuracy_on(&tree, &d, &all_rows(&d));
+        assert!(acc > 0.6, "accuracy with missing data = {acc}");
+    }
+
+    #[test]
+    fn duplicate_rows_act_as_weights() {
+        // Row 0 has label 1 among many label-0 rows; duplicating it should
+        // flip the majority at the root leaf of a stump trained on a
+        // constant attribute.
+        let d = Dataset::builder("w")
+            .numeric("x", vec![1.0; 5])
+            .target("y", vec![1, 0, 0, 0, 0], default_class_names(2))
+            .unwrap();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&d, &[0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(tree.predict(&d, 1), 0);
+        let mut tree = DecisionTree::new(TreeParams::default());
+        tree.fit(&d, &[0, 0, 0, 0, 0, 0, 1, 2, 3, 4]).unwrap();
+        assert_eq!(tree.predict(&d, 1), 1);
+    }
+
+    #[test]
+    fn empty_training_set_is_an_error() {
+        let d = SynthSpec::new("e", 10, 2, 0, 2, SynthFamily::Hyperplane, 1).generate();
+        let mut tree = DecisionTree::new(TreeParams::default());
+        assert_eq!(tree.fit(&d, &[]), Err(MlError::EmptyTrainingSet));
+    }
+
+    #[test]
+    fn feature_subset_trees_differ_across_seeds() {
+        let spec = SynthSpec::new("r", 300, 8, 0, 2, SynthFamily::Hyperplane, 13);
+        let d = spec.generate();
+        // Compare on held-out rows: on training rows both unpruned trees
+        // memorize the labels and agree trivially.
+        let train: Vec<usize> = (0..200).collect();
+        let preds = |seed: u64| -> Vec<usize> {
+            let mut tree = DecisionTree::new(TreeParams {
+                feature_subset: Some(2),
+                max_depth: 4,
+                seed,
+                ..TreeParams::default()
+            });
+            tree.fit(&d, &train).unwrap();
+            (200..d.n_rows()).map(|r| tree.predict(&d, r)).collect()
+        };
+        assert_ne!(preds(1), preds(2), "random trees should differ by seed");
+    }
+
+    #[test]
+    fn gain_ratio_discourages_high_arity_splits() {
+        // An id-like attribute (every row its own category) has maximal info
+        // gain but maximal split info; gain ratio must prefer the real signal.
+        let n = 24;
+        let id_values: Vec<u32> = (0..n as u32).collect();
+        let signal: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let d = Dataset::builder("gr")
+            .categorical("id", id_values, (0..n).map(|i| format!("i{i}")).collect())
+            .categorical("signal", signal, vec!["a".into(), "b".into()])
+            .target("y", labels, default_class_names(2))
+            .unwrap();
+        let mut tree = DecisionTree::new(TreeParams {
+            criterion: Criterion::GainRatio,
+            max_depth: 1,
+            ..TreeParams::default()
+        });
+        tree.fit(&d, &all_rows(&d)).unwrap();
+        // Splitting on `signal` classifies held-out-style rows correctly;
+        // verify by checking the tree is perfect (id split at depth 1 would
+        // also be perfect on train) AND that unseen categories fall back
+        // sanely — rely on leaf count: signal split has 2 leaves, id has 24.
+        assert_eq!(tree.n_leaves(), 2, "gain ratio should pick the binary attr");
+    }
+}

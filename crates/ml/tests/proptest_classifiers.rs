@@ -1,0 +1,104 @@
+//! Property tests: classifier contract across the fast registry and
+//! arbitrary dataset shapes — fit never panics on applicable data,
+//! predictions are in range, probability vectors are distributions.
+
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_ml::Registry;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
+    (
+        prop_oneof![
+            Just(SynthFamily::GaussianBlobs { spread: 1.0 }),
+            Just(SynthFamily::Hyperplane),
+            Just(SynthFamily::RuleBased { depth: 3 }),
+            Just(SynthFamily::Mixed),
+        ],
+        30usize..120,
+        0usize..5,
+        0usize..4,
+        2usize..4,
+        0.0f64..0.25, // missing rate
+        0u64..5_000,
+    )
+        .prop_map(|(family, rows, numeric, categorical, classes, missing, seed)| {
+            let numeric = if numeric + categorical == 0 { 2 } else { numeric };
+            SynthSpec::new("prop", rows.max(classes * 5), numeric, categorical, classes, family, seed)
+                .with_missing(missing)
+        })
+}
+
+proptest! {
+    // Each case fits 8 classifiers; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_fast_registry_classifier_upholds_the_contract(spec in spec_strategy()) {
+        let data = spec.generate();
+        let registry = Registry::fast();
+        let train: Vec<usize> = (0..data.n_rows() * 3 / 4).collect();
+        let test: Vec<usize> = (data.n_rows() * 3 / 4..data.n_rows()).collect();
+        for alg in registry.iter() {
+            if alg.check_applicable(&data).is_err() {
+                continue;
+            }
+            let mut model = alg.build(&alg.default_config(), 7);
+            model.fit(&data, &train).unwrap_or_else(|e| {
+                panic!("{} failed to fit: {e}", alg.name())
+            });
+            for &r in &test {
+                let pred = model.predict(&data, r);
+                prop_assert!(pred < data.n_classes(), "{}: class {} out of range", alg.name(), pred);
+                let proba = model.predict_proba(&data, r);
+                prop_assert_eq!(proba.len(), data.n_classes(), "{}", alg.name());
+                let sum: f64 = proba.iter().sum();
+                prop_assert!(
+                    (sum - 1.0).abs() < 1e-6,
+                    "{}: probabilities sum to {sum}",
+                    alg.name()
+                );
+                prop_assert!(
+                    proba.iter().all(|&p| (-1e-9..=1.0 + 1e-9).contains(&p)),
+                    "{}: probability out of [0,1]: {proba:?}",
+                    alg.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_configs_build_and_fit(seed in 0u64..2_000) {
+        // Sample one random configuration per algorithm: builders must
+        // accept anything the space can produce.
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let data = SynthSpec::new("cfg", 60, 3, 1, 2, SynthFamily::Mixed, seed).generate();
+        let registry = Registry::fast();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<usize> = (0..50).collect();
+        for alg in registry.iter() {
+            let config = alg.param_space().sample(&mut rng);
+            let mut model = alg.build(&config, seed);
+            model.fit(&data, &rows).unwrap_or_else(|e| {
+                panic!("{} with {config} failed: {e}", alg.name())
+            });
+            let pred = model.predict(&data, 55);
+            prop_assert!(pred < 2);
+        }
+    }
+
+    #[test]
+    fn cross_validation_is_within_bounds(spec in spec_strategy(), seed in 0u64..100) {
+        let data = spec.generate();
+        let registry = Registry::fast();
+        let alg = registry.get("NaiveBayes").unwrap();
+        let config = alg.default_config();
+        let acc = automodel_ml::cross_val_accuracy(
+            || alg.build(&config, seed),
+            &data,
+            3,
+            seed,
+        ).unwrap();
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+}

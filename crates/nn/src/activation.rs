@@ -1,0 +1,133 @@
+//! Hidden-layer activations of Table II: relu, tanh, logistic, identity.
+
+use serde::{Deserialize, Serialize};
+
+/// Hidden-layer activation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Logistic,
+    Identity,
+}
+
+impl Activation {
+    /// The Table II option list, in the paper's order.
+    pub const ALL: [Activation; 4] = [
+        Activation::Relu,
+        Activation::Tanh,
+        Activation::Logistic,
+        Activation::Identity,
+    ];
+
+    /// Apply the activation.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Logistic => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *activated* value `y = f(x)`
+    /// (all four functions permit this, which spares storing pre-activations).
+    #[inline]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Logistic => y * (1.0 - y),
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Parse the scikit-learn-style name used in Table II.
+    pub fn from_name(name: &str) -> Option<Activation> {
+        match name {
+            "relu" => Some(Activation::Relu),
+            "tanh" => Some(Activation::Tanh),
+            "logistic" => Some(Activation::Logistic),
+            "identity" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Logistic => "logistic",
+            Activation::Identity => "identity",
+        }
+    }
+}
+
+/// Numerically stable softmax in place.
+pub fn softmax(logits: &mut [f64]) {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in logits.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in logits.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_match_definitions() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert!((Activation::Tanh.apply(0.5) - 0.5f64.tanh()).abs() < 1e-15);
+        assert!((Activation::Logistic.apply(0.0) - 0.5).abs() < 1e-15);
+        assert_eq!(Activation::Identity.apply(1.25), 1.25);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-6;
+        for act in Activation::ALL {
+            for &x in &[-1.5, -0.3, 0.4, 2.0] {
+                let y = act.apply(x);
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let an = act.derivative_from_output(y);
+                assert!(
+                    (fd - an).abs() < 1e-5,
+                    "{act:?} at {x}: fd {fd} vs analytic {an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_is_stable() {
+        let mut v = vec![1000.0, 1001.0, 999.0];
+        softmax(&mut v);
+        assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(v.iter().all(|&p| p.is_finite() && p >= 0.0));
+        assert!(v[1] > v[0] && v[0] > v[2]);
+    }
+
+    #[test]
+    fn names_roundtrip() {
+        for act in Activation::ALL {
+            assert_eq!(Activation::from_name(act.name()), Some(act));
+        }
+        assert_eq!(Activation::from_name("swish"), None);
+    }
+}

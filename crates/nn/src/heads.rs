@@ -1,0 +1,253 @@
+//! High-level classifier and regressor wrappers.
+//!
+//! [`MlpClassifier`] is the CV-scored model of Algorithm 2 (feature
+//! selection); [`MlpRegressor`] is the decision-making model `SNA` of
+//! Algorithm 3, predicting the OneHot' vector over all algorithms at once.
+//! Both own their [`MlpConfig`] and a trained [`Network`].
+
+use crate::network::{Network, OutputKind};
+use crate::trainer::{train, MlpConfig, TrainReport};
+use serde::{Deserialize, Serialize};
+
+/// MLP classifier over dense feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpClassifier {
+    config: MlpConfig,
+    net: Option<Network>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    pub fn new(config: MlpConfig) -> MlpClassifier {
+        MlpClassifier {
+            config,
+            net: None,
+            n_classes: 0,
+        }
+    }
+
+    /// Train on `(xs, labels)` with `n_classes` classes.
+    pub fn fit(&mut self, xs: &[Vec<f64>], labels: &[usize], n_classes: usize) -> TrainReport {
+        assert_eq!(xs.len(), labels.len());
+        assert!(n_classes >= 2, "need at least two classes");
+        assert!(!xs.is_empty(), "cannot fit on empty data");
+        let input_dim = xs[0].len();
+        let mut net = Network::new(
+            input_dim,
+            self.config.hidden_layers,
+            self.config.hidden_size,
+            n_classes,
+            self.config.activation,
+            OutputKind::SoftmaxCrossEntropy,
+            self.config.seed,
+        );
+        let targets: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|&l| {
+                let mut t = vec![0.0; n_classes];
+                t[l] = 1.0;
+                t
+            })
+            .collect();
+        let report = train(&mut net, xs, &targets, &self.config);
+        self.net = Some(net);
+        self.n_classes = n_classes;
+        report
+    }
+
+    /// Class-probability vector for one input.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        self.net
+            .as_ref()
+            .expect("predict before fit")
+            .forward(x)
+    }
+
+    /// Most likely class for one input.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        self.predict_proba(x)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Fraction of `(xs, labels)` classified correctly.
+    pub fn accuracy(&self, xs: &[Vec<f64>], labels: &[usize]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let correct = xs
+            .iter()
+            .zip(labels)
+            .filter(|(x, &l)| self.predict(x) == l)
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+}
+
+/// Multi-output MLP regressor over dense feature vectors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpRegressor {
+    config: MlpConfig,
+    net: Option<Network>,
+}
+
+impl MlpRegressor {
+    pub fn new(config: MlpConfig) -> MlpRegressor {
+        MlpRegressor { config, net: None }
+    }
+
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Train on `(xs, targets)`; target vectors may have any fixed width.
+    pub fn fit(&mut self, xs: &[Vec<f64>], targets: &[Vec<f64>]) -> TrainReport {
+        assert_eq!(xs.len(), targets.len());
+        assert!(!xs.is_empty(), "cannot fit on empty data");
+        let input_dim = xs[0].len();
+        let output_dim = targets[0].len();
+        let mut net = Network::new(
+            input_dim,
+            self.config.hidden_layers,
+            self.config.hidden_size,
+            output_dim,
+            self.config.activation,
+            OutputKind::LinearMse,
+            self.config.seed,
+        );
+        let report = train(&mut net, xs, targets, &self.config);
+        self.net = Some(net);
+        report
+    }
+
+    /// Predicted output vector.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.net
+            .as_ref()
+            .expect("predict before fit")
+            .forward(x)
+    }
+
+    /// Mean squared error over a test set (averaged over outputs and rows).
+    pub fn mse(&self, xs: &[Vec<f64>], targets: &[Vec<f64>]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for (x, t) in xs.iter().zip(targets) {
+            let p = self.predict(x);
+            for (pi, ti) in p.iter().zip(t) {
+                total += (pi - ti) * (pi - ti);
+                count += 1;
+            }
+        }
+        total / count.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::trainer::Solver;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn blob_data(n: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(1);
+        let centers = [[-2.0, 0.0], [2.0, 0.0], [0.0, 2.5]];
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            xs.push(vec![
+                centers[c][0] + rng.gen_range(-0.7..0.7),
+                centers[c][1] + rng.gen_range(-0.7..0.7),
+            ]);
+            ys.push(c);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn classifier_learns_blobs() {
+        let (xs, ys) = blob_data(150);
+        let mut clf = MlpClassifier::new(MlpConfig {
+            solver: Solver::Lbfgs,
+            max_iter: 200,
+            hidden_layers: 1,
+            hidden_size: 16,
+            validation_fraction: 0.0,
+            ..MlpConfig::default()
+        });
+        clf.fit(&xs, &ys, 3);
+        assert!(clf.accuracy(&xs, &ys) > 0.95);
+    }
+
+    #[test]
+    fn predict_proba_is_a_distribution() {
+        let (xs, ys) = blob_data(60);
+        let mut clf = MlpClassifier::new(MlpConfig {
+            max_iter: 30,
+            ..MlpConfig::default()
+        });
+        clf.fit(&xs, &ys, 3);
+        let p = clf.predict_proba(&xs[0]);
+        assert_eq!(p.len(), 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regressor_learns_multi_output_map() {
+        let xs: Vec<Vec<f64>> = (0..120)
+            .map(|i| vec![(i as f64 / 60.0) - 1.0])
+            .collect();
+        let ys: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| vec![x[0] * x[0], 1.0 - x[0]])
+            .collect();
+        let mut reg = MlpRegressor::new(MlpConfig {
+            solver: Solver::Lbfgs,
+            hidden_layers: 2,
+            hidden_size: 16,
+            activation: Activation::Tanh,
+            max_iter: 400,
+            validation_fraction: 0.0,
+            ..MlpConfig::default()
+        });
+        reg.fit(&xs, &ys);
+        let mse = reg.mse(&xs, &ys);
+        assert!(mse < 1e-3, "mse = {mse}");
+        let p = reg.predict(&[0.0]);
+        assert!(p[0].abs() < 0.1 && (p[1] - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn regressor_handles_negative_targets_like_onehot_prime() {
+        // OneHot' targets contain −1 for inapplicable algorithms; the linear
+        // head must reach them.
+        let xs: Vec<Vec<f64>> = (0..60).map(|i| vec![i as f64 / 30.0 - 1.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|_| vec![-1.0, 1.0, 0.0]).collect();
+        let mut reg = MlpRegressor::new(MlpConfig {
+            solver: Solver::Lbfgs,
+            max_iter: 200,
+            validation_fraction: 0.0,
+            ..MlpConfig::default()
+        });
+        reg.fit(&xs, &ys);
+        let p = reg.predict(&[0.3]);
+        assert!((p[0] + 1.0).abs() < 0.05);
+        assert!((p[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let clf = MlpClassifier::new(MlpConfig::default());
+        clf.predict(&[0.0]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Limited-memory BFGS with backtracking line search.
+//!
+//! One of the three solvers of Table II. Operates on any smooth objective
+//! given as a `loss_and_grad` closure over a flat parameter vector — the
+//! network trainer passes the full-batch loss. Uses the standard two-loop
+//! recursion with curvature-pair history and an Armijo backtracking line
+//! search; non-descent directions fall back to steepest descent.
+
+/// Options for an L-BFGS run.
+#[derive(Debug, Clone)]
+pub struct LbfgsOptions {
+    /// Maximum outer iterations.
+    pub max_iter: usize,
+    /// History size `m`.
+    pub history: usize,
+    /// Stop when the gradient max-norm falls below this.
+    pub grad_tol: f64,
+    /// Stop when the loss improves by less than this between iterations.
+    pub loss_tol: f64,
+}
+
+impl Default for LbfgsOptions {
+    fn default() -> LbfgsOptions {
+        LbfgsOptions {
+            max_iter: 200,
+            history: 10,
+            grad_tol: 1e-6,
+            loss_tol: 1e-10,
+        }
+    }
+}
+
+/// Result of an L-BFGS run.
+#[derive(Debug, Clone)]
+pub struct LbfgsReport {
+    pub final_loss: f64,
+    pub iterations: usize,
+    pub converged: bool,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Minimize `f` starting from `x` (updated in place).
+pub fn minimize<F>(x: &mut [f64], mut f: F, opts: &LbfgsOptions) -> LbfgsReport
+where
+    F: FnMut(&[f64]) -> (f64, Vec<f64>),
+{
+    let n = x.len();
+    let (mut loss, mut grad) = f(x);
+    let mut s_hist: Vec<Vec<f64>> = Vec::new();
+    let mut y_hist: Vec<Vec<f64>> = Vec::new();
+    let mut rho_hist: Vec<f64> = Vec::new();
+    let mut flat_iters = 0usize;
+
+    for iter in 0..opts.max_iter {
+        let gmax = grad.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+        if gmax < opts.grad_tol {
+            return LbfgsReport {
+                final_loss: loss,
+                iterations: iter,
+                converged: true,
+            };
+        }
+
+        // Two-loop recursion for the search direction d = -H g.
+        let mut d: Vec<f64> = grad.iter().map(|g| -g).collect();
+        let k = s_hist.len();
+        let mut alphas = vec![0.0; k];
+        for i in (0..k).rev() {
+            alphas[i] = rho_hist[i] * dot(&s_hist[i], &d);
+            for (dj, yj) in d.iter_mut().zip(&y_hist[i]) {
+                *dj -= alphas[i] * yj;
+            }
+        }
+        if k > 0 {
+            let gamma = dot(&s_hist[k - 1], &y_hist[k - 1])
+                / dot(&y_hist[k - 1], &y_hist[k - 1]).max(1e-12);
+            for dj in d.iter_mut() {
+                *dj *= gamma.max(1e-8);
+            }
+        }
+        for i in 0..k {
+            let beta = rho_hist[i] * dot(&y_hist[i], &d);
+            for (dj, sj) in d.iter_mut().zip(&s_hist[i]) {
+                *dj += (alphas[i] - beta) * sj;
+            }
+        }
+
+        // Ensure descent; otherwise fall back to -g.
+        let mut dir_deriv = dot(&grad, &d);
+        if dir_deriv >= 0.0 {
+            for (dj, g) in d.iter_mut().zip(&grad) {
+                *dj = -g;
+            }
+            dir_deriv = -dot(&grad, &grad);
+        }
+
+        // Weak-Wolfe line search (Lewis–Overton bisection): the curvature
+        // condition keeps steps long enough that the `(s, y)` pairs capture
+        // real curvature — Armijo-only backtracking lets a single tiny first
+        // step poison the inverse-Hessian scaling for the whole run.
+        let c1 = 1e-4;
+        let c2 = 0.9;
+        let x_old = x.to_vec();
+        let mut step = 1.0f64;
+        let mut lo = 0.0f64;
+        let mut hi = f64::INFINITY;
+        let mut accepted = false;
+        let mut new_loss = loss;
+        let mut new_grad = grad.clone();
+        // Remember the best Armijo-satisfying point in case Wolfe never holds.
+        let mut fallback: Option<(f64, f64, Vec<f64>)> = None;
+        for _ in 0..40 {
+            for i in 0..n {
+                x[i] = x_old[i] + step * d[i];
+            }
+            let (l, g) = f(x);
+            if !l.is_finite() || l > loss + c1 * step * dir_deriv {
+                hi = step;
+                step = 0.5 * (lo + hi);
+            } else if dot(&g, &d) < c2 * dir_deriv {
+                if fallback.as_ref().is_none_or(|(_, fl, _)| l < *fl) {
+                    fallback = Some((step, l, g.clone()));
+                }
+                lo = step;
+                step = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * step };
+            } else {
+                new_loss = l;
+                new_grad = g;
+                accepted = true;
+                break;
+            }
+        }
+        if !accepted {
+            if let Some((fstep, fl, fg)) = fallback {
+                for i in 0..n {
+                    x[i] = x_old[i] + fstep * d[i];
+                }
+                new_loss = fl;
+                new_grad = fg;
+            } else {
+                x.copy_from_slice(&x_old);
+                return LbfgsReport {
+                    final_loss: loss,
+                    iterations: iter,
+                    converged: false,
+                };
+            }
+        }
+
+        // Update curvature history.
+        let s: Vec<f64> = x.iter().zip(&x_old).map(|(a, b)| a - b).collect();
+        let y: Vec<f64> = new_grad.iter().zip(&grad).map(|(a, b)| a - b).collect();
+        let sy = dot(&s, &y);
+        if sy > 1e-10 {
+            s_hist.push(s);
+            y_hist.push(y);
+            rho_hist.push(1.0 / sy);
+            if s_hist.len() > opts.history {
+                s_hist.remove(0);
+                y_hist.remove(0);
+                rho_hist.remove(0);
+            }
+        }
+
+        let improved = loss - new_loss;
+        loss = new_loss;
+        grad = new_grad;
+        // Rosenbrock-style valleys produce transiently tiny improvements;
+        // only stop after several consecutive flat iterations.
+        if improved.abs() < opts.loss_tol * (1.0 + loss.abs()) {
+            flat_iters += 1;
+            if flat_iters >= 3 {
+                return LbfgsReport {
+                    final_loss: loss,
+                    iterations: iter + 1,
+                    converged: true,
+                };
+            }
+        } else {
+            flat_iters = 0;
+        }
+    }
+    LbfgsReport {
+        final_loss: loss,
+        iterations: opts.max_iter,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic_exactly() {
+        // f(x) = Σ (x_i − i)²
+        let mut x = vec![0.0; 5];
+        let report = minimize(
+            &mut x,
+            |x| {
+                let loss: f64 = x.iter().enumerate().map(|(i, v)| (v - i as f64).powi(2)).sum();
+                let grad = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| 2.0 * (v - i as f64))
+                    .collect();
+                (loss, grad)
+            },
+            &LbfgsOptions::default(),
+        );
+        assert!(report.converged);
+        for (i, v) in x.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-5, "x[{i}] = {v}");
+        }
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_2d() {
+        let mut x = vec![-1.2, 1.0];
+        let report = minimize(
+            &mut x,
+            |x| {
+                let (a, b) = (x[0], x[1]);
+                let loss = 100.0 * (b - a * a).powi(2) + (1.0 - a).powi(2);
+                let grad = vec![
+                    -400.0 * a * (b - a * a) - 2.0 * (1.0 - a),
+                    200.0 * (b - a * a),
+                ];
+                (loss, grad)
+            },
+            &LbfgsOptions {
+                max_iter: 500,
+                ..LbfgsOptions::default()
+            },
+        );
+        assert!(report.final_loss < 1e-6, "loss = {}", report.final_loss);
+        assert!((x[0] - 1.0).abs() < 1e-3 && (x[1] - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stops_immediately_at_a_minimum() {
+        let mut x = vec![0.0];
+        let report = minimize(
+            &mut x,
+            |x| (x[0] * x[0], vec![2.0 * x[0]]),
+            &LbfgsOptions::default(),
+        );
+        assert!(report.converged);
+        assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn beats_fixed_iteration_gradient_descent() {
+        // Badly conditioned quadratic: f = x² + 100 y².
+        let f = |x: &[f64]| {
+            (
+                x[0] * x[0] + 100.0 * x[1] * x[1],
+                vec![2.0 * x[0], 200.0 * x[1]],
+            )
+        };
+        let mut x = vec![1.0, 1.0];
+        minimize(&mut x, f, &LbfgsOptions { max_iter: 50, ..Default::default() });
+        let lbfgs_loss = f(&x).0;
+        // 50 steps of lr-0.005 gradient descent.
+        let mut y = vec![1.0, 1.0];
+        for _ in 0..50 {
+            let (_, g) = f(&y);
+            for (yi, gi) in y.iter_mut().zip(&g) {
+                *yi -= 0.005 * gi;
+            }
+        }
+        let gd_loss = f(&y).0;
+        assert!(lbfgs_loss < gd_loss / 10.0, "lbfgs {lbfgs_loss} vs gd {gd_loss}");
+    }
+}

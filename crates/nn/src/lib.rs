@@ -1,0 +1,31 @@
+//! # automodel-nn
+//!
+//! Neural-network substrate for the Auto-Model reproduction.
+//!
+//! The paper's DMD component (§III-C) uses scikit-learn MLPs in two roles:
+//! an MLP *classifier* scores candidate feature subsets (Algorithm 2), and
+//! an MLP *regressor* with the 10-hyperparameter architecture space of
+//! Table II becomes the decision-making model `SNA` (Algorithm 3). The UDR
+//! registry also exposes `MultilayerPerceptron` as one of the Weka
+//! classifiers. This crate implements the full stack from scratch:
+//!
+//! * dense feed-forward networks with relu/tanh/logistic/identity hidden
+//!   activations ([`activation`], [`network`]);
+//! * the three solvers of Table II — SGD with momentum and
+//!   constant/invscaling/adaptive learning-rate schedules, Adam with
+//!   tunable β₁/β₂, and L-BFGS ([`trainer`], [`lbfgs`]);
+//! * early stopping on a held-out validation fraction;
+//! * classifier (softmax + cross-entropy) and multi-output regressor
+//!   (linear + MSE) heads ([`heads`]) — the regressor is multi-output
+//!   because `SNA` predicts the OneHot' vector over all algorithms at once.
+
+pub mod activation;
+pub mod heads;
+pub mod lbfgs;
+pub mod network;
+pub mod trainer;
+
+pub use activation::Activation;
+pub use heads::{MlpClassifier, MlpRegressor};
+pub use network::{Network, OutputKind};
+pub use trainer::{LearningRateSchedule, MlpConfig, Solver, TrainReport};

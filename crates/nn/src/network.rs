@@ -1,0 +1,356 @@
+//! Dense feed-forward network with backprop.
+//!
+//! Parameters live in one flat `Vec<f64>` so the solvers (SGD/Adam in the
+//! trainer, L-BFGS in [`crate::lbfgs`]) can treat the model as a plain
+//! vector-valued optimization variable. Layer views index into that vector.
+
+use crate::activation::{softmax, Activation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Output head: classification (softmax + cross-entropy) or multi-output
+/// regression (linear + 0.5·MSE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OutputKind {
+    SoftmaxCrossEntropy,
+    LinearMse,
+}
+
+/// Shape of one dense layer within the flat parameter vector.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LayerShape {
+    in_dim: usize,
+    out_dim: usize,
+    /// Offset of the weight block (row-major `out_dim × in_dim`).
+    w_off: usize,
+    /// Offset of the bias block (`out_dim`).
+    b_off: usize,
+}
+
+/// A dense feed-forward network.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Network {
+    shapes: Vec<LayerShape>,
+    pub params: Vec<f64>,
+    activation: Activation,
+    output: OutputKind,
+    input_dim: usize,
+    output_dim: usize,
+}
+
+/// Scratch buffers reused across forward/backward passes.
+#[derive(Debug, Default, Clone)]
+pub struct Workspace {
+    /// Activations per layer (index 0 = input copy).
+    acts: Vec<Vec<f64>>,
+    /// Backprop deltas per layer.
+    deltas: Vec<Vec<f64>>,
+}
+
+impl Network {
+    /// Build a network with `hidden` hidden layers of width `width`.
+    /// Weights use scaled uniform (Glorot-style) initialization.
+    pub fn new(
+        input_dim: usize,
+        hidden: usize,
+        width: usize,
+        output_dim: usize,
+        activation: Activation,
+        output: OutputKind,
+        seed: u64,
+    ) -> Network {
+        assert!(input_dim > 0 && output_dim > 0 && width > 0);
+        let mut dims = Vec::with_capacity(hidden + 2);
+        dims.push(input_dim);
+        for _ in 0..hidden {
+            dims.push(width);
+        }
+        dims.push(output_dim);
+
+        let mut shapes = Vec::with_capacity(dims.len() - 1);
+        let mut offset = 0usize;
+        for w in dims.windows(2) {
+            let (in_dim, out_dim) = (w[0], w[1]);
+            shapes.push(LayerShape {
+                in_dim,
+                out_dim,
+                w_off: offset,
+                b_off: offset + in_dim * out_dim,
+            });
+            offset += in_dim * out_dim + out_dim;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut params = vec![0.0; offset];
+        for shape in &shapes {
+            let bound = (6.0 / (shape.in_dim + shape.out_dim) as f64).sqrt();
+            for i in 0..shape.in_dim * shape.out_dim {
+                params[shape.w_off + i] = rng.gen_range(-bound..bound);
+            }
+        }
+        Network {
+            shapes,
+            params,
+            activation,
+            output,
+            input_dim,
+            output_dim,
+        }
+    }
+
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    pub fn n_params(&self) -> usize {
+        self.params.len()
+    }
+
+    pub fn output_kind(&self) -> OutputKind {
+        self.output
+    }
+
+    /// Forward pass for a single input; returns the output vector
+    /// (probabilities for the softmax head, raw values for regression).
+    pub fn forward(&self, input: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(input.len(), self.input_dim);
+        let mut current = input.to_vec();
+        for (li, shape) in self.shapes.iter().enumerate() {
+            let mut next = vec![0.0; shape.out_dim];
+            for (o, out) in next.iter_mut().enumerate() {
+                let row = &self.params[shape.w_off + o * shape.in_dim..]
+                    [..shape.in_dim];
+                let mut sum = self.params[shape.b_off + o];
+                for (w, x) in row.iter().zip(&current) {
+                    sum += w * x;
+                }
+                *out = sum;
+            }
+            let is_last = li == self.shapes.len() - 1;
+            if !is_last {
+                for v in &mut next {
+                    *v = self.activation.apply(*v);
+                }
+            } else if self.output == OutputKind::SoftmaxCrossEntropy {
+                softmax(&mut next);
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Loss of a batch plus its parameter gradient (flat, same layout as
+    /// `params`). `targets` for the softmax head are one-hot-like vectors
+    /// (any distribution works); for the MSE head they are raw target
+    /// vectors. `target_mask` optionally zeroes per-output residuals — the
+    /// OneHot' trick marks inapplicable algorithms with −1 but they still
+    /// participate; the mask exists for callers that want to ignore outputs.
+    /// `l2` is the ridge penalty coefficient (per-sample, sklearn-style).
+    pub fn loss_and_grad(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        l2: f64,
+        ws: &mut Workspace,
+    ) -> (f64, Vec<f64>) {
+        assert_eq!(inputs.len(), targets.len());
+        let n = inputs.len().max(1) as f64;
+        let n_layers = self.shapes.len();
+        let mut grad = vec![0.0; self.params.len()];
+        let mut loss = 0.0;
+
+        ws.acts.resize(n_layers + 1, Vec::new());
+        ws.deltas.resize(n_layers, Vec::new());
+
+        for (input, target) in inputs.iter().zip(targets) {
+            // Forward, caching activations.
+            ws.acts[0].clear();
+            ws.acts[0].extend_from_slice(input);
+            for (li, shape) in self.shapes.iter().enumerate() {
+                let (before, after) = ws.acts.split_at_mut(li + 1);
+                let current = &before[li];
+                let next = &mut after[0];
+                next.clear();
+                next.resize(shape.out_dim, 0.0);
+                for (o, out) in next.iter_mut().enumerate() {
+                    let row =
+                        &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    let mut sum = self.params[shape.b_off + o];
+                    for (w, x) in row.iter().zip(current.iter()) {
+                        sum += w * x;
+                    }
+                    *out = sum;
+                }
+                let is_last = li == n_layers - 1;
+                if !is_last {
+                    for v in next.iter_mut() {
+                        *v = self.activation.apply(*v);
+                    }
+                } else if self.output == OutputKind::SoftmaxCrossEntropy {
+                    softmax(next);
+                }
+            }
+
+            // Output delta; both heads reduce to (prediction − target) / n.
+            let out_act = &ws.acts[n_layers];
+            match self.output {
+                OutputKind::SoftmaxCrossEntropy => {
+                    for (p, t) in out_act.iter().zip(target) {
+                        if *t > 0.0 {
+                            loss -= t * p.max(1e-12).ln() / n;
+                        }
+                    }
+                }
+                OutputKind::LinearMse => {
+                    for (p, t) in out_act.iter().zip(target) {
+                        loss += 0.5 * (p - t) * (p - t) / n;
+                    }
+                }
+            }
+            let delta_out: Vec<f64> = out_act
+                .iter()
+                .zip(target)
+                .map(|(p, t)| (p - t) / n)
+                .collect();
+            ws.deltas[n_layers - 1] = delta_out;
+
+            // Backward.
+            for li in (0..n_layers).rev() {
+                let shape = &self.shapes[li];
+                // Accumulate weight/bias gradients.
+                for o in 0..shape.out_dim {
+                    let d = ws.deltas[li][o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let grad_row =
+                        &mut grad[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    for (g, x) in grad_row.iter_mut().zip(ws.acts[li].iter()) {
+                        *g += d * x;
+                    }
+                    grad[shape.b_off + o] += d;
+                }
+                if li == 0 {
+                    continue;
+                }
+                // Propagate delta to the previous (hidden) layer.
+                let prev_shape_out = self.shapes[li - 1].out_dim;
+                let mut prev_delta = vec![0.0; prev_shape_out];
+                for o in 0..shape.out_dim {
+                    let d = ws.deltas[li][o];
+                    if d == 0.0 {
+                        continue;
+                    }
+                    let row =
+                        &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    for (pd, w) in prev_delta.iter_mut().zip(row) {
+                        *pd += d * w;
+                    }
+                }
+                for (pd, y) in prev_delta.iter_mut().zip(ws.acts[li].iter()) {
+                    *pd *= self.activation.derivative_from_output(*y);
+                }
+                ws.deltas[li - 1] = prev_delta;
+            }
+        }
+
+        // Ridge penalty on weights only (biases excluded, as in sklearn).
+        if l2 > 0.0 {
+            for shape in &self.shapes {
+                for i in 0..shape.in_dim * shape.out_dim {
+                    let w = self.params[shape.w_off + i];
+                    loss += 0.5 * l2 * w * w / n;
+                    grad[shape.w_off + i] += l2 * w / n;
+                }
+            }
+        }
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(output: OutputKind) -> Network {
+        Network::new(2, 1, 3, 2, Activation::Tanh, output, 7)
+    }
+
+    #[test]
+    fn forward_softmax_outputs_distribution() {
+        let net = tiny_net(OutputKind::SoftmaxCrossEntropy);
+        let out = net.forward(&[0.3, -1.2]);
+        assert_eq!(out.len(), 2);
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(out.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_classifier() {
+        check_gradients(tiny_net(OutputKind::SoftmaxCrossEntropy), vec![1.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_regressor() {
+        check_gradients(tiny_net(OutputKind::LinearMse), vec![0.7, -1.0]);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences_all_activations() {
+        for act in Activation::ALL {
+            let net = Network::new(3, 2, 4, 2, act, OutputKind::LinearMse, 11);
+            check_gradients(net, vec![0.5, -0.25]);
+        }
+    }
+
+    fn check_gradients(mut net: Network, target: Vec<f64>) {
+        let inputs = vec![vec![0.4, -0.6, 0.9][..net.input_dim()].to_vec(), {
+            let mut v = vec![-1.1, 0.2, 0.3];
+            v.truncate(net.input_dim());
+            v
+        }];
+        let targets = vec![target.clone(), target];
+        let mut ws = Workspace::default();
+        let (_, grad) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+        let eps = 1e-6;
+        // Check a spread of parameter indices.
+        let indices: Vec<usize> = (0..net.n_params()).step_by(net.n_params() / 13 + 1).collect();
+        for &i in &indices {
+            let orig = net.params[i];
+            net.params[i] = orig + eps;
+            let (lp, _) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+            net.params[i] = orig - eps;
+            let (lm, _) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+            net.params[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - grad[i]).abs() < 1e-5 * (1.0 + fd.abs()),
+                "param {i}: fd {fd} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_networks_have_more_params() {
+        let shallow = Network::new(5, 1, 10, 3, Activation::Relu, OutputKind::LinearMse, 1);
+        let deep = Network::new(5, 4, 10, 3, Activation::Relu, OutputKind::LinearMse, 1);
+        assert!(deep.n_params() > shallow.n_params());
+        // Exact: (5*10+10) + (10*3+3) = 93; deep adds 3×(10*10+10).
+        assert_eq!(shallow.n_params(), 93);
+        assert_eq!(deep.n_params(), 93 + 3 * 110);
+    }
+
+    #[test]
+    fn initialization_is_seeded() {
+        let a = Network::new(4, 2, 8, 2, Activation::Relu, OutputKind::LinearMse, 42);
+        let b = Network::new(4, 2, 8, 2, Activation::Relu, OutputKind::LinearMse, 42);
+        assert_eq!(a.params, b.params);
+        let c = Network::new(4, 2, 8, 2, Activation::Relu, OutputKind::LinearMse, 43);
+        assert_ne!(a.params, c.params);
+    }
+}

@@ -1,0 +1,509 @@
+//! Training loop implementing the Table II hyperparameters.
+//!
+//! | Table II name        | field                 |
+//! |----------------------|-----------------------|
+//! | hidden layer         | `hidden_layers`       |
+//! | hidden layer size    | `hidden_size`         |
+//! | activation           | `activation`          |
+//! | solver               | `solver`              |
+//! | learning rate        | `lr_schedule`         |
+//! | max iter             | `max_iter`            |
+//! | momentum             | `momentum`            |
+//! | validation fraction  | `validation_fraction` |
+//! | beta 1               | `beta1`               |
+//! | beta 2               | `beta2`               |
+//!
+//! SGD/Adam run minibatched with early stopping on the validation split;
+//! L-BFGS runs full-batch (as in scikit-learn, where `learning_rate`,
+//! `momentum` and the betas are ignored for solvers that don't use them).
+
+use crate::activation::Activation;
+use crate::lbfgs::{self, LbfgsOptions};
+use crate::network::{Network, Workspace};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Optimizer choice of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Solver {
+    Lbfgs,
+    Sgd,
+    Adam,
+}
+
+impl Solver {
+    /// The Table II option list, in the paper's order.
+    pub const ALL: [Solver; 3] = [Solver::Lbfgs, Solver::Sgd, Solver::Adam];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Solver::Lbfgs => "lbfgs",
+            Solver::Sgd => "sgd",
+            Solver::Adam => "adam",
+        }
+    }
+}
+
+/// SGD learning-rate schedule of Table II ("only used when solver is sgd").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LearningRateSchedule {
+    Constant,
+    /// `lr_t = lr / t^0.5`
+    InvScaling,
+    /// Halve the rate whenever validation stops improving.
+    Adaptive,
+}
+
+impl LearningRateSchedule {
+    /// The Table II option list, in the paper's order.
+    pub const ALL: [LearningRateSchedule; 3] = [
+        LearningRateSchedule::Constant,
+        LearningRateSchedule::InvScaling,
+        LearningRateSchedule::Adaptive,
+    ];
+}
+
+/// Full MLP hyperparameter set (Table II plus the fixed sklearn-style
+/// defaults the paper inherits implicitly: initial learning rate, ridge
+/// penalty, batch size, convergence tolerance).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpConfig {
+    pub hidden_layers: usize,
+    pub hidden_size: usize,
+    pub activation: Activation,
+    pub solver: Solver,
+    pub lr_schedule: LearningRateSchedule,
+    pub max_iter: usize,
+    pub momentum: f64,
+    pub validation_fraction: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    /// Initial learning rate for SGD/Adam.
+    pub learning_rate_init: f64,
+    /// Ridge (L2) penalty.
+    pub alpha: f64,
+    /// Minibatch size; 0 = `min(200, n)`.
+    pub batch_size: usize,
+    /// Early-stopping patience (epochs without validation improvement).
+    pub patience: usize,
+    /// Minimum loss improvement that counts as progress (sklearn `tol`).
+    pub tol: f64,
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            hidden_layers: 1,
+            hidden_size: 100,
+            activation: Activation::Relu,
+            solver: Solver::Adam,
+            lr_schedule: LearningRateSchedule::Constant,
+            max_iter: 200,
+            momentum: 0.9,
+            validation_fraction: 0.1,
+            beta1: 0.9,
+            beta2: 0.999,
+            learning_rate_init: 1e-3,
+            alpha: 1e-4,
+            batch_size: 0,
+            patience: 10,
+            tol: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub final_loss: f64,
+    pub epochs: usize,
+    pub stopped_early: bool,
+}
+
+/// Train `net` in place on `(inputs, targets)` under `config`.
+pub fn train(
+    net: &mut Network,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    config: &MlpConfig,
+) -> TrainReport {
+    assert_eq!(inputs.len(), targets.len());
+    assert!(!inputs.is_empty(), "cannot train on an empty batch");
+    match config.solver {
+        Solver::Lbfgs => train_lbfgs(net, inputs, targets, config),
+        Solver::Sgd | Solver::Adam => train_first_order(net, inputs, targets, config),
+    }
+}
+
+fn train_lbfgs(
+    net: &mut Network,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    config: &MlpConfig,
+) -> TrainReport {
+    let mut ws = Workspace::default();
+    let mut probe = net.clone();
+    let mut params = net.params.clone();
+    let report = lbfgs::minimize(
+        &mut params,
+        |p| {
+            probe.params.copy_from_slice(p);
+            probe.loss_and_grad(inputs, targets, config.alpha, &mut ws)
+        },
+        &LbfgsOptions {
+            max_iter: config.max_iter,
+            ..LbfgsOptions::default()
+        },
+    );
+    net.params = params;
+    TrainReport {
+        final_loss: report.final_loss,
+        epochs: report.iterations,
+        stopped_early: report.converged,
+    }
+}
+
+fn train_first_order(
+    net: &mut Network,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    config: &MlpConfig,
+) -> TrainReport {
+    let n = inputs.len();
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x7EA1);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+
+    // Validation split (early stopping) — only when there is enough data.
+    let n_val = if config.validation_fraction > 0.0 && n >= 10 {
+        ((n as f64 * config.validation_fraction).round() as usize).clamp(1, n / 2)
+    } else {
+        0
+    };
+    let (val_idx, train_idx) = order.split_at(n_val);
+    let val_idx = val_idx.to_vec();
+    let mut train_idx = train_idx.to_vec();
+
+    let batch_size = if config.batch_size == 0 {
+        train_idx.len().min(200)
+    } else {
+        config.batch_size.min(train_idx.len())
+    }
+    .max(1);
+
+    let mut ws = Workspace::default();
+    let mut velocity = vec![0.0; net.n_params()];
+    let mut adam_m = vec![0.0; net.n_params()];
+    let mut adam_v = vec![0.0; net.n_params()];
+    let mut adam_t = 0usize;
+
+    let mut lr = config.learning_rate_init;
+    let mut best_val = f64::INFINITY;
+    let mut best_params: Option<Vec<f64>> = None;
+    let mut stale = 0usize;
+    // The adaptive schedule follows *training* loss (as in scikit-learn),
+    // independent of the validation-based early stopping.
+    let mut best_train = f64::INFINITY;
+    let mut lr_stale = 0usize;
+
+    let val_loss = |net: &Network, ws: &mut Workspace| -> f64 {
+        if val_idx.is_empty() {
+            return f64::NAN;
+        }
+        let vi: Vec<Vec<f64>> = val_idx.iter().map(|&i| inputs[i].clone()).collect();
+        let vt: Vec<Vec<f64>> = val_idx.iter().map(|&i| targets[i].clone()).collect();
+        net.loss_and_grad(&vi, &vt, 0.0, ws).0
+    };
+
+    let mut epochs_run = 0usize;
+    let mut stopped_early = false;
+    for epoch in 0..config.max_iter {
+        epochs_run = epoch + 1;
+        train_idx.shuffle(&mut rng);
+        let mut epoch_loss = 0.0;
+        let mut batches = 0usize;
+        for chunk in train_idx.chunks(batch_size) {
+            let bi: Vec<Vec<f64>> = chunk.iter().map(|&i| inputs[i].clone()).collect();
+            let bt: Vec<Vec<f64>> = chunk.iter().map(|&i| targets[i].clone()).collect();
+            let (loss, grad) = net.loss_and_grad(&bi, &bt, config.alpha, &mut ws);
+            epoch_loss += loss;
+            batches += 1;
+            match config.solver {
+                Solver::Sgd => {
+                    let effective_lr = match config.lr_schedule {
+                        LearningRateSchedule::Constant | LearningRateSchedule::Adaptive => lr,
+                        LearningRateSchedule::InvScaling => {
+                            config.learning_rate_init / ((epoch + 1) as f64).sqrt()
+                        }
+                    };
+                    for ((p, v), g) in net.params.iter_mut().zip(&mut velocity).zip(&grad) {
+                        *v = config.momentum * *v - effective_lr * g;
+                        *p += *v;
+                    }
+                }
+                Solver::Adam => {
+                    adam_t += 1;
+                    let b1 = config.beta1;
+                    let b2 = config.beta2;
+                    let bias1 = 1.0 - b1.powi(adam_t as i32);
+                    let bias2 = 1.0 - b2.powi(adam_t as i32);
+                    for (((p, m), v), g) in net
+                        .params
+                        .iter_mut()
+                        .zip(&mut adam_m)
+                        .zip(&mut adam_v)
+                        .zip(&grad)
+                    {
+                        *m = b1 * *m + (1.0 - b1) * g;
+                        *v = b2 * *v + (1.0 - b2) * g * g;
+                        let mh = *m / bias1;
+                        let vh = *v / bias2;
+                        *p -= lr * mh / (vh.sqrt() + 1e-8);
+                    }
+                }
+                Solver::Lbfgs => unreachable!(),
+            }
+        }
+        let epoch_loss = epoch_loss / batches.max(1) as f64;
+
+        // Adaptive learning-rate schedule: divide by 5 after `patience`
+        // consecutive epochs without `tol` training-loss improvement
+        // (sklearn semantics with its default n_iter_no_change).
+        if epoch_loss < best_train - config.tol {
+            best_train = epoch_loss;
+            lr_stale = 0;
+        } else {
+            lr_stale += 1;
+            if config.solver == Solver::Sgd
+                && config.lr_schedule == LearningRateSchedule::Adaptive
+                && lr_stale >= config.patience.max(2)
+            {
+                lr /= 5.0;
+                lr_stale = 0;
+            }
+        }
+
+        // Early stopping on the validation split.
+        if n_val > 0 {
+            let v = val_loss(net, &mut ws);
+            if v < best_val - config.tol {
+                best_val = v;
+                best_params = Some(net.params.clone());
+                stale = 0;
+            } else {
+                stale += 1;
+                if stale >= config.patience {
+                    stopped_early = true;
+                    break;
+                }
+            }
+        } else if lr_stale >= config.patience {
+            stopped_early = true;
+            break;
+        }
+    }
+    if let Some(best) = best_params {
+        net.params = best;
+    }
+    let final_loss = {
+        let (l, _) = net.loss_and_grad(inputs, targets, 0.0, &mut ws);
+        l
+    };
+    TrainReport {
+        final_loss,
+        epochs: epochs_run,
+        stopped_early,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::OutputKind;
+    use rand::Rng;
+
+    /// Two-moon-ish XOR data: label = sign parity of the two inputs.
+    fn xor_data(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a: f64 = rng.gen_range(-1.0..1.0);
+            let b: f64 = rng.gen_range(-1.0..1.0);
+            let label = ((a > 0.0) ^ (b > 0.0)) as usize;
+            xs.push(vec![a, b]);
+            let mut y = vec![0.0, 0.0];
+            y[label] = 1.0;
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    fn accuracy(net: &Network, xs: &[Vec<f64>], ys: &[Vec<f64>]) -> f64 {
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, y)| {
+                let out = net.forward(x);
+                let pred = out
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .unwrap()
+                    .0;
+                y[pred] == 1.0
+            })
+            .count();
+        correct as f64 / xs.len() as f64
+    }
+
+    fn solve_xor(solver: Solver, schedule: LearningRateSchedule) -> f64 {
+        let (xs, ys) = xor_data(300, 5);
+        let mut net = Network::new(
+            2,
+            2,
+            12,
+            2,
+            Activation::Tanh,
+            OutputKind::SoftmaxCrossEntropy,
+            3,
+        );
+        let config = MlpConfig {
+            hidden_layers: 2,
+            hidden_size: 12,
+            solver,
+            lr_schedule: schedule,
+            max_iter: 300,
+            learning_rate_init: match solver {
+                Solver::Sgd => 0.05,
+                _ => 1e-3,
+            },
+            validation_fraction: 0.1,
+            patience: 50,
+            ..MlpConfig::default()
+        };
+        train(&mut net, &xs, &ys, &config);
+        accuracy(&net, &xs, &ys)
+    }
+
+    #[test]
+    fn adam_solves_xor() {
+        let acc = solve_xor(Solver::Adam, LearningRateSchedule::Constant);
+        assert!(acc > 0.9, "adam accuracy = {acc}");
+    }
+
+    #[test]
+    fn sgd_with_momentum_solves_xor() {
+        let acc = solve_xor(Solver::Sgd, LearningRateSchedule::Constant);
+        assert!(acc > 0.85, "sgd accuracy = {acc}");
+    }
+
+    #[test]
+    fn sgd_adaptive_schedule_solves_xor() {
+        let acc = solve_xor(Solver::Sgd, LearningRateSchedule::Adaptive);
+        assert!(acc > 0.85, "sgd-adaptive accuracy = {acc}");
+    }
+
+    #[test]
+    fn lbfgs_solves_xor() {
+        let acc = solve_xor(Solver::Lbfgs, LearningRateSchedule::Constant);
+        assert!(acc > 0.9, "lbfgs accuracy = {acc}");
+    }
+
+    #[test]
+    fn regressor_fits_linear_function() {
+        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 50.0 - 1.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![2.0 * x[0] + 0.5, -x[0]]).collect();
+        let mut net = Network::new(1, 1, 8, 2, Activation::Identity, OutputKind::LinearMse, 2);
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &MlpConfig {
+                solver: Solver::Lbfgs,
+                max_iter: 300,
+                validation_fraction: 0.0,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(report.final_loss < 1e-4, "loss = {}", report.final_loss);
+        let out = net.forward(&[0.5]);
+        assert!((out[0] - 1.5).abs() < 0.05);
+        assert!((out[1] + 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn early_stopping_triggers_on_plateau() {
+        // Pure-noise targets: validation cannot improve for long.
+        let mut rng = StdRng::seed_from_u64(8);
+        let xs: Vec<Vec<f64>> = (0..80).map(|_| vec![rng.gen_range(-1.0..1.0)]).collect();
+        let ys: Vec<Vec<f64>> = (0..80)
+            .map(|_| {
+                let label = rng.gen_range(0..2usize);
+                let mut y = vec![0.0, 0.0];
+                y[label] = 1.0;
+                y
+            })
+            .collect();
+        let mut net = Network::new(
+            1,
+            1,
+            4,
+            2,
+            Activation::Relu,
+            OutputKind::SoftmaxCrossEntropy,
+            4,
+        );
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &MlpConfig {
+                max_iter: 500,
+                patience: 5,
+                validation_fraction: 0.2,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(report.epochs < 500, "should stop early, ran {}", report.epochs);
+    }
+
+    #[test]
+    fn training_is_deterministic_in_seed() {
+        let (xs, ys) = xor_data(100, 1);
+        let run = || {
+            let mut net = Network::new(
+                2,
+                1,
+                6,
+                2,
+                Activation::Tanh,
+                OutputKind::SoftmaxCrossEntropy,
+                9,
+            );
+            train(
+                &mut net,
+                &xs,
+                &ys,
+                &MlpConfig {
+                    max_iter: 20,
+                    seed: 33,
+                    ..MlpConfig::default()
+                },
+            );
+            net.params
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_batch_is_rejected() {
+        let mut net = Network::new(1, 1, 2, 2, Activation::Relu, OutputKind::LinearMse, 0);
+        train(&mut net, &[], &[], &MlpConfig::default());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests: network gradient correctness and trainer robustness
+//! across random architectures and data.
+
+use automodel_nn::network::{Network, OutputKind, Workspace};
+use automodel_nn::{Activation, MlpClassifier, MlpConfig, MlpRegressor, Solver};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn activation_strategy() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Relu),
+        Just(Activation::Tanh),
+        Just(Activation::Logistic),
+        Just(Activation::Identity),
+    ]
+}
+
+/// Smooth activations only: finite differences are invalid at ReLU kinks
+/// (a pre-activation near zero makes `f(x±ε)` straddle the kink), so the
+/// FD-vs-analytic property is restricted to C¹ activations. ReLU gradients
+/// are covered by the unit tests at hand-picked kink-free points.
+fn smooth_activation_strategy() -> impl Strategy<Value = Activation> {
+    prop_oneof![
+        Just(Activation::Tanh),
+        Just(Activation::Logistic),
+        Just(Activation::Identity),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn gradients_match_finite_differences(
+        act in smooth_activation_strategy(),
+        hidden in 0usize..3,
+        width in 2usize..8,
+        in_dim in 1usize..5,
+        out_dim in 1usize..4,
+        classifier in any::<bool>(),
+        seed in 0u64..10_000,
+    ) {
+        let kind = if classifier {
+            OutputKind::SoftmaxCrossEntropy
+        } else {
+            OutputKind::LinearMse
+        };
+        let mut net = Network::new(in_dim, hidden, width, out_dim, act, kind, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xF00D);
+        let inputs: Vec<Vec<f64>> = (0..3)
+            .map(|_| (0..in_dim).map(|_| rng.gen_range(-1.5..1.5)).collect())
+            .collect();
+        let targets: Vec<Vec<f64>> = (0..3)
+            .map(|_| {
+                if classifier {
+                    let mut t = vec![0.0; out_dim];
+                    t[rng.gen_range(0..out_dim)] = 1.0;
+                    t
+                } else {
+                    (0..out_dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+                }
+            })
+            .collect();
+        let mut ws = Workspace::default();
+        let (_, grad) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+        let eps = 1e-6;
+        // Spot-check a few parameters.
+        let step = (net.n_params() / 7).max(1);
+        for i in (0..net.n_params()).step_by(step) {
+            let orig = net.params[i];
+            net.params[i] = orig + eps;
+            let (lp, _) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+            net.params[i] = orig - eps;
+            let (lm, _) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
+            net.params[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            prop_assert!(
+                (fd - grad[i]).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {i} ({act:?}, hidden {hidden}): fd {fd} vs {g}",
+                g = grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn classifier_training_never_panics_and_probabilities_hold(
+        solver in prop_oneof![Just(Solver::Lbfgs), Just(Solver::Sgd), Just(Solver::Adam)],
+        act in activation_strategy(),
+        n in 12usize..60,
+        seed in 0u64..5_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
+            .collect();
+        let labels: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.0)).collect();
+        let mut clf = MlpClassifier::new(MlpConfig {
+            hidden_layers: 1,
+            hidden_size: 6,
+            activation: act,
+            solver,
+            max_iter: 25,
+            seed,
+            ..MlpConfig::default()
+        });
+        clf.fit(&xs, &labels, 2);
+        let p = clf.predict_proba(&xs[0]);
+        prop_assert_eq!(p.len(), 2);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(clf.predict(&xs[0]) < 2);
+    }
+
+    #[test]
+    fn regressor_outputs_are_finite(
+        act in activation_strategy(),
+        seed in 0u64..5_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let xs: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen_range(-2.0..2.0)]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * 0.5, -x[0]]).collect();
+        let mut reg = MlpRegressor::new(MlpConfig {
+            hidden_layers: 1,
+            hidden_size: 5,
+            activation: act,
+            solver: Solver::Adam,
+            max_iter: 20,
+            seed,
+            ..MlpConfig::default()
+        });
+        reg.fit(&xs, &ys);
+        let out = reg.predict(&[0.3]);
+        prop_assert_eq!(out.len(), 2);
+        prop_assert!(out.iter().all(|v| v.is_finite()));
+        prop_assert!(reg.mse(&xs, &ys).is_finite());
+    }
+}

@@ -1,0 +1,67 @@
+//! Auto-Model vs Auto-Weka on a handful of CASH problems — a miniature of
+//! the paper's Table X experiment.
+//!
+//! Both solvers get the same evaluation budget per dataset. Auto-Model
+//! spends it all on the single algorithm its decision model selects;
+//! Auto-Weka spreads it over the full hierarchical algorithm+hyperparameter
+//! space. Under small budgets the pruned search usually wins — the paper's
+//! central claim.
+//!
+//! Run: `cargo run --release --example cash_comparison`
+
+use auto_model::prelude::*;
+use auto_model::hpo::Budget;
+
+fn main() {
+    // Offline: train the decision model once.
+    println!("training the decision-making model...");
+    let corpus = CorpusSpec::small().build();
+    let input = DmdInput::synthetic_from_corpus(&corpus, 80, 5);
+    let dmd = DmdConfig::fast().run(&input).expect("DMD");
+
+    // Three user datasets with different winners.
+    let tasks = vec![
+        SynthSpec::new("blobs", 220, 5, 1, 3, SynthFamily::GaussianBlobs { spread: 0.9 }, 11)
+            .generate(),
+        SynthSpec::new("rules", 220, 0, 6, 2, SynthFamily::RuleBased { depth: 3 }, 13).generate(),
+        SynthSpec::new("ring", 220, 2, 0, 2, SynthFamily::Ring, 17).generate(),
+    ];
+
+    let budget = Budget::evals(25);
+    println!(
+        "\n{:<8} {:>22} {:>8} | {:>22} {:>8}",
+        "dataset", "Auto-Model picks", "f(T,D)", "Auto-Weka picks", "f(T,D)"
+    );
+    let mut am_total = 0.0;
+    let mut aw_total = 0.0;
+    for data in &tasks {
+        let mut udr = UdrConfig::fast();
+        udr.tuning_budget = budget.clone();
+        let am = udr.solve(&dmd, data).expect("Auto-Model");
+
+        let aw = AutoWekaConfig {
+            budget: budget.clone(),
+            cv_folds: 3,
+            seed: 1,
+        }
+        .solve(&dmd.registry, data)
+        .expect("Auto-Weka");
+
+        println!(
+            "{:<8} {:>22} {:>8.3} | {:>22} {:>8.3}",
+            data.name(),
+            am.algorithm,
+            am.score,
+            aw.algorithm,
+            aw.score
+        );
+        am_total += am.score;
+        aw_total += aw.score;
+    }
+    println!(
+        "\naverage f(T,D): Auto-Model {:.3} vs Auto-Weka {:.3} (budget: {} evaluations each)",
+        am_total / tasks.len() as f64,
+        aw_total / tasks.len() as f64,
+        budget.max_evals.unwrap()
+    );
+}

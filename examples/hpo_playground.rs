@@ -1,0 +1,62 @@
+//! The four HPO techniques of §II side by side: Grid Search, Random
+//! Search, Genetic Algorithm and Bayesian Optimization, on (a) a standard
+//! continuous test function and (b) a real hyperparameter-tuning problem
+//! from the registry.
+//!
+//! Run: `cargo run --release --example hpo_playground`
+
+use auto_model::data::{SynthFamily, SynthSpec};
+use auto_model::hpo::testfns::branin;
+use auto_model::hpo::{
+    BayesianOptimization, Budget, Config, Domain, FnObjective, GeneticAlgorithm, GridSearch,
+    Optimizer, RandomSearch, SearchSpace,
+};
+use auto_model::ml::{cross_val_accuracy, Registry};
+
+fn run_all(space: &SearchSpace, budget: &Budget, mut objective: impl FnMut(&Config) -> f64) {
+    let optimizers: Vec<Box<dyn Optimizer>> = vec![
+        Box::new(GridSearch::new(8)),
+        Box::new(RandomSearch::new(42)),
+        Box::new(GeneticAlgorithm::small(42)),
+        Box::new(BayesianOptimization::new(42)),
+    ];
+    for mut optimizer in optimizers {
+        let mut obj = FnObjective(&mut objective);
+        match optimizer.optimize(space, &mut obj, budget) {
+            Some(out) => println!(
+                "  {:<22} best = {:>8.4}  (evals: {}, config: {})",
+                optimizer.name(),
+                out.best_score,
+                out.trials.len(),
+                out.best_config
+            ),
+            None => println!("  {:<22} produced no trials", optimizer.name()),
+        }
+    }
+}
+
+fn main() {
+    // ---- (a) Branin: the classical BO testbed (minimum ≈ 0.3979).
+    println!("Branin (maximizing −branin; optimum ≈ −0.3979), 60 evaluations:");
+    let space = SearchSpace::builder()
+        .add("x", Domain::float(-5.0, 10.0))
+        .add("y", Domain::float(0.0, 15.0))
+        .build()
+        .unwrap();
+    run_all(&space, &Budget::evals(60), |c| {
+        -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
+    });
+
+    // ---- (b) Tuning IBk (k-NN) on a noisy dataset: the cheap-evaluation
+    // regime where the paper prescribes GA.
+    println!("\nTuning IBk on noisy blobs (3-fold CV accuracy), 60 evaluations:");
+    let data = SynthSpec::new("tune", 240, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 1.5 }, 3)
+        .with_label_noise(0.15)
+        .generate();
+    let registry = Registry::full();
+    let spec = registry.get("IBk").unwrap().clone();
+    let space = spec.param_space();
+    run_all(&space, &Budget::evals(60), move |c| {
+        cross_val_accuracy(|| spec.build(c, 0), &data, 3, 0).unwrap_or(0.0)
+    });
+}

@@ -1,0 +1,65 @@
+//! The paper's Fig. 2 worked example: acquiring one piece of knowledge for
+//! the Wine dataset.
+//!
+//! Five papers ([19]–[23] in the paper's bibliography) report different
+//! winners on Wine. The information network over the candidates
+//! {RandomForest, BayesNet, LDA, J48, LibSVM} is built, closed
+//! transitively, conflict-resolved, and the in-degree-0 stand-off between
+//! BayesNet and J48 is settled by comparison experience.
+//!
+//! Run: `cargo run --example knowledge_graph`
+
+use auto_model::knowledge::acquisition::{build_network, comparison_experience};
+use auto_model::knowledge::corpus::fig2_wine_example;
+use auto_model::knowledge::experience::related_experiences;
+use auto_model::knowledge::paper::rank_papers;
+use auto_model::knowledge::{knowledge_acquisition, AcquisitionOptions};
+use std::collections::HashMap;
+
+fn main() {
+    let (papers, experiences) = fig2_wine_example();
+
+    // (a) The experiences RInf_WineDataset.
+    println!("(a) RInf for the Wine Dataset:");
+    for e in &experiences {
+        println!("    [{}] best = {}, beats {:?}", e.paper, e.best, e.others);
+    }
+
+    // (b) Paper reliabilities under the Table I ordering.
+    println!("\n(b) paper reliabilities (Table I; higher = more reliable):");
+    let ranks = rank_papers(&papers);
+    for (id, rank) in &ranks {
+        let p = papers.iter().find(|p| &p.id == id).unwrap();
+        println!(
+            "    {:>14}: rank {} (level {:?}, {:?}, IF {:.1}, {} cites/yr)",
+            id, rank, p.level, p.venue, p.impact_factor, p.annual_citations
+        );
+    }
+
+    // (c) The information network over the candidates.
+    let reliability: HashMap<String, usize> = ranks.into_iter().collect();
+    let rinf = related_experiences(&experiences, "Wine Dataset");
+    let graph = build_network(&rinf, &reliability);
+    println!("\n(c) closed, conflict-free information network:");
+    for (from, to, w) in graph.edges() {
+        println!("    {from} → {to}  (reliability {w})");
+    }
+    println!("    undominated candidates: {:?}", graph.sources());
+
+    // (d) Resolution by comparison experience.
+    println!("\n(d) comparison experience of the finalists:");
+    for candidate in graph.sources() {
+        println!(
+            "    {candidate}: {} algorithms proved weaker",
+            comparison_experience(&candidate, &rinf, &graph)
+        );
+    }
+
+    let pairs = knowledge_acquisition(&experiences, &papers, &AcquisitionOptions::default());
+    let pair = &pairs[0];
+    println!(
+        "\n=> acquired knowledge: ({}, {})",
+        pair.instance, pair.best_algorithm
+    );
+    assert_eq!(pair.best_algorithm, "BayesNet");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: the full Auto-Model loop in under a minute.
+//!
+//! 1. Build a synthetic paper corpus (standing in for the 20 hand-read
+//!    papers of §IV) and attach datasets to its task instances.
+//! 2. Run DMD (Algorithms 1–4) to train the decision model `SNA`.
+//! 3. Ask UDR (Algorithm 5) to solve a fresh classification dataset:
+//!    it selects an algorithm with `SNA` and tunes its hyperparameters.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use auto_model::prelude::*;
+
+fn main() {
+    // ---- Offline phase: the Decision-Making Model Designer.
+    println!("building the paper corpus and knowledge datasets...");
+    let corpus = CorpusSpec::small().build();
+    println!(
+        "  corpus: {} papers, {} experiences over {} task instances",
+        corpus.papers.len(),
+        corpus.experiences.len(),
+        corpus.true_rankings.len()
+    );
+
+    let input = DmdInput::synthetic_from_corpus(&corpus, 80, 5);
+    println!("running DMD (knowledge acquisition → feature selection → architecture search)...");
+    let dmd = DmdConfig::fast().run(&input).expect("DMD pipeline");
+    println!(
+        "  CRelations: {} pairs; key features: {}/23 selected",
+        dmd.records.len(),
+        dmd.n_key_features()
+    );
+    for record in dmd.records.iter().take(5) {
+        println!("    {} -> {}", record.instance, record.algorithm);
+    }
+
+    // ---- Online phase: the User Demand Responser.
+    let dataset = SynthSpec::new(
+        "user-task",
+        300,
+        6,
+        2,
+        3,
+        SynthFamily::GaussianBlobs { spread: 1.0 },
+        7,
+    )
+    .with_label_noise(0.05)
+    .generate();
+    println!(
+        "\nsolving a user task instance: {} rows, {} attributes, {} classes",
+        dataset.n_rows(),
+        dataset.n_attrs(),
+        dataset.n_classes()
+    );
+
+    let solution = UdrConfig::fast().solve(&dmd, &dataset).expect("UDR");
+    println!("  selected algorithm : {}", solution.algorithm);
+    println!("  HPO technique      : {}", solution.technique);
+    println!("  tuned configuration: {}", solution.config);
+    println!("  CV accuracy        : {:.3}", solution.score);
+    println!("  evaluations used   : {}", solution.trials);
+}

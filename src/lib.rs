@@ -1,0 +1,53 @@
+//! # auto-model
+//!
+//! Facade crate for the Auto-Model reproduction (Wang et al., ICDE 2020,
+//! "Auto-Model: Utilizing Research Papers and HPO Techniques to Deal with the
+//! CASH problem").
+//!
+//! Auto-Model answers the *Combined Algorithm Selection and Hyperparameter
+//! optimization* (CASH) question — "which classifier, with which
+//! hyperparameters, for *this* dataset?" — by (1) mining best-algorithm
+//! knowledge from a corpus of research-paper experiences, (2) training a
+//! neural decision-making model on dataset meta-features, and (3) tuning only
+//! the selected algorithm's hyperparameters with GA or Bayesian optimization.
+//!
+//! ```no_run
+//! use auto_model::prelude::*;
+//!
+//! // Offline: design the decision-making model from a paper corpus
+//! // (synthetic datasets attached per corpus instance for this demo).
+//! let corpus = CorpusSpec::small().build();
+//! let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+//! let dmd = DmdConfig::fast().run(&input).unwrap();
+//!
+//! // Online: answer a user demand for a concrete dataset.
+//! let dataset = SynthSpec::new("demo", 300, 6, 2, 3,
+//!     SynthFamily::GaussianBlobs { spread: 1.0 }, 7).generate();
+//! let solution = UdrConfig::fast().solve(&dmd, &dataset).unwrap();
+//! println!("algorithm = {}, accuracy = {:.3}",
+//!          solution.algorithm, solution.score);
+//! ```
+//!
+//! See the individual crates for the substrates:
+//! [`automodel_data`], [`automodel_nn`], [`automodel_ml`], [`automodel_hpo`],
+//! [`automodel_knowledge`], and the contribution itself in [`automodel_core`].
+
+pub use automodel_core as core;
+pub use automodel_data as data;
+pub use automodel_hpo as hpo;
+pub use automodel_knowledge as knowledge;
+pub use automodel_ml as ml;
+pub use automodel_nn as nn;
+
+/// The most common imports for working with Auto-Model.
+pub mod prelude {
+    pub use automodel_core::autoweka::AutoWekaConfig;
+    pub use automodel_core::dmd::{Dmd, DmdConfig, DmdInput};
+    pub use automodel_core::poratio::{po_ratio, EvalContext};
+    pub use automodel_core::udr::{Solution, UdrConfig};
+    pub use automodel_data::suites::{knowledge_suite, paper_test_suite};
+    pub use automodel_data::{meta_features, Dataset, SynthFamily, SynthSpec};
+    pub use automodel_hpo::budget::Budget;
+    pub use automodel_knowledge::corpus::CorpusSpec;
+    pub use automodel_ml::registry::Registry;
+}

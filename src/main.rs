@@ -1,0 +1,175 @@
+//! `auto-model` — command-line interface to the Auto-Model CASH solver.
+//!
+//! ```text
+//! auto-model algorithms                      list the registry (Table IV)
+//! auto-model inspect   --csv data.csv        dataset shape + Table III features
+//! auto-model train-dmd --out dmd.json        train a decision model, save it
+//! auto-model solve     --csv data.csv        solve the CASH problem for a dataset
+//!                      [--artifact dmd.json] [--budget N] [--folds K]
+//! ```
+//!
+//! The CSV format is the typed one of `automodel_data::csv`: header cells
+//! are `num:<name>` / `cat:<name>`, the last column `class:<name>`; missing
+//! cells are empty strings.
+
+use auto_model::core::DmdArtifact;
+use auto_model::data::csv::read_csv;
+use auto_model::data::{meta_features, Dataset, FEATURE_NAMES};
+use auto_model::hpo::Budget;
+use auto_model::ml::Registry;
+use auto_model::prelude::*;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn load_csv(args: &[String]) -> Result<Dataset, String> {
+    let path = arg_value(args, "--csv").ok_or("missing --csv <file>")?;
+    let file = std::fs::File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+    let name = std::path::Path::new(&path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("dataset")
+        .to_string();
+    read_csv(&name, BufReader::new(file)).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn demo_dmd(registry: Registry) -> Result<Dmd, String> {
+    eprintln!("training a demo decision model (synthetic corpus)...");
+    let corpus = CorpusSpec::small().build();
+    let input = DmdInput::synthetic_from_corpus(&corpus, 80, 5);
+    DmdConfig::fast_with(registry)
+        .run(&input)
+        .map_err(|e| format!("DMD failed: {e}"))
+}
+
+fn cmd_algorithms() -> Result<(), String> {
+    let registry = Registry::full();
+    println!("{} algorithms registered:", registry.len());
+    for spec in registry.iter() {
+        let space = spec.param_space();
+        println!(
+            "  {:<28} {:<28} {} hyperparameter(s)",
+            spec.name(),
+            spec.family().weka_package(),
+            space.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_inspect(args: &[String]) -> Result<(), String> {
+    let data = load_csv(args)?;
+    println!(
+        "{}: {} rows, {} attributes ({} numeric, {} categorical), {} classes, {:.1}% missing",
+        data.name(),
+        data.n_rows(),
+        data.n_attrs(),
+        data.numeric_columns().len(),
+        data.categorical_columns().len(),
+        data.n_classes(),
+        data.missing_rate() * 100.0
+    );
+    println!("\nTable III meta-features:");
+    for (name, value) in FEATURE_NAMES.iter().zip(meta_features(&data)) {
+        println!("  {name:<36} {value:>12.4}");
+    }
+    let registry = Registry::full();
+    let inapplicable: Vec<&str> = registry
+        .iter()
+        .filter(|s| s.check_applicable(&data).is_err())
+        .map(|s| s.name())
+        .collect();
+    if !inapplicable.is_empty() {
+        println!("\nalgorithms that cannot process this dataset: {inapplicable:?}");
+    }
+    Ok(())
+}
+
+fn cmd_train_dmd(args: &[String]) -> Result<(), String> {
+    let out = arg_value(args, "--out").unwrap_or_else(|| "dmd.json".to_string());
+    let dmd = demo_dmd(Registry::full())?;
+    let json = dmd
+        .to_artifact()
+        .to_json()
+        .map_err(|e| format!("serialize: {e}"))?;
+    std::fs::write(&out, &json).map_err(|e| format!("write {out}: {e}"))?;
+    println!(
+        "saved {out} ({} bytes): {} CRelations pairs, {}/23 key features",
+        json.len(),
+        dmd.records.len(),
+        dmd.n_key_features()
+    );
+    Ok(())
+}
+
+fn cmd_solve(args: &[String]) -> Result<(), String> {
+    let data = load_csv(args)?;
+    let budget: usize = arg_value(args, "--budget")
+        .map(|v| v.parse().map_err(|e| format!("--budget: {e}")))
+        .transpose()?
+        .unwrap_or(40);
+    let folds: usize = arg_value(args, "--folds")
+        .map(|v| v.parse().map_err(|e| format!("--folds: {e}")))
+        .transpose()?
+        .unwrap_or(5);
+
+    let registry = Registry::full();
+    let dmd = match arg_value(args, "--artifact") {
+        Some(path) => {
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            DmdArtifact::from_json(&json)
+                .map_err(|e| format!("parse {path}: {e}"))?
+                .into_dmd(registry)
+                .map_err(|e| format!("load artifact: {e}"))?
+        }
+        None => demo_dmd(registry)?,
+    };
+
+    let mut udr = UdrConfig::fast();
+    udr.tuning_budget = Budget::evals(budget);
+    udr.cv_folds = folds;
+    let solution = udr.solve(&dmd, &data).map_err(|e| format!("solve: {e}"))?;
+    println!("algorithm      : {}", solution.algorithm);
+    println!("configuration  : {}", solution.config);
+    println!("CV accuracy    : {:.4} ({folds}-fold)", solution.score);
+    println!("HPO technique  : {}", solution.technique);
+    println!("evaluations    : {}", solution.trials);
+    Ok(())
+}
+
+fn usage() -> &'static str {
+    "usage: auto-model <command> [options]\n\
+     commands:\n\
+       algorithms                          list the registered classifiers\n\
+       inspect   --csv <file>              dataset shape + Table III features\n\
+       train-dmd [--out dmd.json]          train & save a decision model\n\
+       solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("algorithms") => cmd_algorithms(),
+        Some("inspect") => cmd_inspect(&args),
+        Some("train-dmd") => cmd_train_dmd(&args),
+        Some("solve") => cmd_solve(&args),
+        _ => {
+            eprintln!("{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! End-to-end integration tests: corpus → DMD → UDR → solution, plus the
+//! Auto-Weka baseline, exercising every crate through the public facade.
+
+use auto_model::hpo::Budget;
+use auto_model::prelude::*;
+
+fn trained_dmd() -> (Dmd, DmdInput) {
+    let corpus = CorpusSpec::small().build();
+    let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+    let dmd = DmdConfig::fast().run(&input).expect("DMD pipeline");
+    (dmd, input)
+}
+
+#[test]
+fn full_auto_model_loop_solves_a_fresh_task() {
+    let (dmd, _) = trained_dmd();
+    let dataset = SynthSpec::new("fresh", 180, 4, 1, 2, SynthFamily::Hyperplane, 31)
+        .with_label_noise(0.05)
+        .generate();
+    let solution = UdrConfig::fast().solve(&dmd, &dataset).expect("UDR");
+    assert!(dmd.registry.get(&solution.algorithm).is_some());
+    assert!(
+        solution.score > 0.6,
+        "tuned accuracy too low: {}",
+        solution.score
+    );
+    // The returned configuration must be valid for the returned algorithm.
+    let spec = dmd.registry.get(&solution.algorithm).unwrap();
+    spec.param_space().validate(&solution.config).unwrap();
+}
+
+#[test]
+fn auto_model_and_auto_weka_answer_the_same_cash_problem() {
+    let (dmd, _) = trained_dmd();
+    let dataset = SynthSpec::new("duel", 160, 3, 1, 2, SynthFamily::Mixed, 37).generate();
+    let budget = Budget::evals(20);
+
+    let mut udr = UdrConfig::fast();
+    udr.tuning_budget = budget.clone();
+    let am = udr.solve(&dmd, &dataset).expect("Auto-Model");
+
+    let aw = AutoWekaConfig {
+        budget,
+        cv_folds: 3,
+        seed: 2,
+    }
+    .solve(&dmd.registry, &dataset)
+    .expect("Auto-Weka");
+
+    for solution in [&am, &aw] {
+        assert!(solution.score > 0.5, "{}: {}", solution.algorithm, solution.score);
+        let spec = dmd.registry.get(&solution.algorithm).unwrap();
+        spec.param_space().validate(&solution.config).unwrap();
+        assert!(spec.check_applicable(&dataset).is_ok());
+    }
+}
+
+#[test]
+fn dmd_key_features_flow_into_sna_scoring() {
+    let (dmd, input) = trained_dmd();
+    // Every knowledge dataset must be scorable, and the score vector spans
+    // the registry.
+    for dataset in input.datasets.values() {
+        let scores = dmd.scores(dataset);
+        assert_eq!(scores.len(), dmd.registry.len());
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+    assert!(dmd.n_key_features() >= 1);
+    assert!(dmd.n_key_features() <= 23);
+}
+
+#[test]
+fn solutions_are_reproducible_under_fixed_seeds() {
+    let (dmd, _) = trained_dmd();
+    let dataset = SynthSpec::new("repro", 140, 3, 0, 2, SynthFamily::Hyperplane, 41).generate();
+    let a = UdrConfig::fast().solve(&dmd, &dataset).unwrap();
+    let b = UdrConfig::fast().solve(&dmd, &dataset).unwrap();
+    assert_eq!(a.algorithm, b.algorithm);
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.score, b.score);
+}
+
+#[test]
+fn udr_reports_technique_following_the_probe_rule() {
+    let (dmd, _) = trained_dmd();
+    let dataset = SynthSpec::new("probe", 150, 3, 0, 2, SynthFamily::Hyperplane, 43).generate();
+    // Forced-GA path: generous threshold.
+    let mut ga_udr = UdrConfig::fast();
+    ga_udr.eval_time_threshold = std::time::Duration::from_secs(3600);
+    let ga_solution = ga_udr.solve(&dmd, &dataset).unwrap();
+    assert_eq!(ga_solution.technique, "genetic-algorithm");
+    // Forced-BO path: zero threshold.
+    let mut bo_udr = UdrConfig::fast();
+    bo_udr.eval_time_threshold = std::time::Duration::from_nanos(1);
+    bo_udr.tuning_budget = Budget::evals(12);
+    let bo_solution = bo_udr.solve(&dmd, &dataset).unwrap();
+    assert_eq!(bo_solution.technique, "bayesian-optimization");
+}
+
+#[test]
+fn poratio_pipeline_works_through_the_facade() {
+    use auto_model::core::poratio::{po_ratio, EvalContext};
+    let registry = auto_model::ml::Registry::fast();
+    let ctx = EvalContext::fast(registry);
+    let dataset = SynthSpec::new("po", 130, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.9 }, 47)
+        .generate();
+    let sweep = ctx.all_performances(&dataset, 2);
+    assert_eq!(sweep.len(), ctx.registry.len());
+    let best = EvalContext::p_max(&sweep).unwrap();
+    let avg = EvalContext::p_avg(&sweep).unwrap();
+    assert!(best >= avg);
+    // The best algorithm's PORatio is 1 by definition.
+    let best_name = sweep
+        .iter()
+        .filter(|(_, p)| p.is_some())
+        .max_by(|a, b| a.1.unwrap().total_cmp(&b.1.unwrap()))
+        .map(|(n, _)| n.clone())
+        .unwrap();
+    assert_eq!(po_ratio(&sweep, &best_name), Some(1.0));
+}
