@@ -68,8 +68,9 @@ fn bench_optimizers(c: &mut Criterion) {
             let space = rastrigin_space(4);
             b.iter(|| {
                 let mut obj = FnObjective(|cfg: &automodel_hpo::Config| {
-                    let x: Vec<f64> =
-                        (0..4).map(|i| cfg.float_or(&format!("x{i}"), 0.0)).collect();
+                    let x: Vec<f64> = (0..4)
+                        .map(|i| cfg.float_or(&format!("x{i}"), 0.0))
+                        .collect();
                     -rastrigin(&x)
                 });
                 GeneticAlgorithm::new(2).optimize(&space, &mut obj, &Budget::evals(evals))

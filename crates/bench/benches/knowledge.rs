@@ -38,7 +38,10 @@ fn bench_knowledge(c: &mut Criterion) {
     group.sample_size(10);
     for (instances, papers) in [(10usize, 10usize), (30, 20), (69, 20), (69, 60)] {
         let corpus = corpus(instances, papers);
-        let label = format!("{instances}datasets_{papers}papers_{}tuples", corpus.experiences.len());
+        let label = format!(
+            "{instances}datasets_{papers}papers_{}tuples",
+            corpus.experiences.len()
+        );
         group.bench_function(label, |b| {
             b.iter(|| {
                 knowledge_acquisition(

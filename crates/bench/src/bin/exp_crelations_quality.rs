@@ -22,7 +22,10 @@ fn main() {
     eprintln!("[exp_crelations_quality] scale = {scale:?}");
 
     let pipeline = PipelineCache::new(Registry::full(), scale);
-    eprintln!("[1/3] building knowledge base (sweeping {} datasets)...", scale.knowledge_datasets());
+    eprintln!(
+        "[1/3] building knowledge base (sweeping {} datasets)...",
+        scale.knowledge_datasets()
+    );
     let kb = pipeline.build_knowledge_base();
 
     eprintln!("[2/3] running Algorithm 1 on the corpus...");
@@ -38,7 +41,9 @@ fn main() {
     let mut perfs = Vec::new();
     let mut agreement = 0usize;
     for pair in &pairs {
-        let Some(sweep) = kb.performances.get(&pair.instance) else { continue };
+        let Some(sweep) = kb.performances.get(&pair.instance) else {
+            continue;
+        };
         if let Some(r) = po_ratio(sweep, &pair.best_algorithm) {
             ratios.push(r);
         }
@@ -63,7 +68,10 @@ fn main() {
                 if let Some(r) = po_ratio(sweep, name) {
                     by_alg_ratio.entry(name.clone()).or_default().push(r);
                 }
-                by_alg_perf.entry(name.clone()).or_default().push(p.unwrap());
+                by_alg_perf
+                    .entry(name.clone())
+                    .or_default()
+                    .push(p.unwrap());
             }
         }
     }

@@ -54,7 +54,13 @@ fn main() {
 
     let mut table = Table::new(
         "HPO-technique choice (GA vs BO, §II)",
-        &["problem", "budget", "optimizer", "best CV accuracy", "evals"],
+        &[
+            "problem",
+            "budget",
+            "optimizer",
+            "best CV accuracy",
+            "evals",
+        ],
     );
 
     for (problem, algorithm, evals) in [
@@ -76,8 +82,7 @@ fn main() {
                         .unwrap_or(0.0)
                 });
                 let mut optimizer = mk(seed);
-                if let Some(out) =
-                    optimizer.optimize(&space, &mut objective, &Budget::evals(evals))
+                if let Some(out) = optimizer.optimize(&space, &mut objective, &Budget::evals(evals))
                 {
                     best_sum += out.best_score;
                     trials = out.trials.len();

@@ -16,9 +16,7 @@
 use automodel_bench::report::Table;
 use automodel_bench::Scale;
 use automodel_knowledge::paper::rank_papers;
-use automodel_knowledge::{
-    knowledge_acquisition, AcquisitionOptions, Corpus, CorpusSpec,
-};
+use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, CorpusSpec};
 use std::collections::BTreeMap;
 
 /// Majority-vote extractor.
@@ -85,7 +83,13 @@ fn main() {
 
     let mut table = Table::new(
         "Knowledge-extraction ablation (accuracy vs planted truth)",
-        &["noise", "Algorithm 1", "majority vote", "most-reliable paper", "pairs"],
+        &[
+            "noise",
+            "Algorithm 1",
+            "majority vote",
+            "most-reliable paper",
+            "pairs",
+        ],
     );
 
     for noise in [0.0, 0.15, 0.3, 0.45, 0.6] {

@@ -53,8 +53,7 @@ fn main() {
             meta_cv_folds: 3,
             mlp_iter_cap: 200,
             feature_mask_override: ablate_features.then_some([true; 23]),
-            architecture_override: ablate_arch
-                .then(automodel_core::table2::default_mlp_point),
+            architecture_override: ablate_arch.then(automodel_core::table2::default_mlp_point),
             seed: 17,
         };
         config.run(&input).expect("ablated DMD")
@@ -62,7 +61,10 @@ fn main() {
         pipeline.run_dmd(&kb).expect("DMD must produce a model")
     };
 
-    eprintln!("[3/4] sweeping the {} test datasets...", scale.test_datasets());
+    eprintln!(
+        "[3/4] sweeping the {} test datasets...",
+        scale.test_datasets()
+    );
     let suite = pipeline.test_suite();
     let mut rows = Vec::new();
     let mut sweeps: BTreeMap<String, Vec<(String, Option<f64>)>> = BTreeMap::new();

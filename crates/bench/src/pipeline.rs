@@ -39,7 +39,10 @@ pub struct KnowledgeBase {
 impl KnowledgeBase {
     /// The measured best algorithm for a knowledge dataset.
     pub fn measured_best(&self, instance: &str) -> Option<&str> {
-        self.rankings.get(instance).and_then(|r| r.first()).map(String::as_str)
+        self.rankings
+            .get(instance)
+            .and_then(|r| r.first())
+            .map(String::as_str)
     }
 }
 
@@ -165,7 +168,11 @@ mod tests {
     fn knowledge_base_builds_and_ranks() {
         let pipeline = tiny_pipeline();
         let kb = pipeline.build_knowledge_base();
-        assert!(kb.datasets.len() >= 8, "built {} datasets", kb.datasets.len());
+        assert!(
+            kb.datasets.len() >= 8,
+            "built {} datasets",
+            kb.datasets.len()
+        );
         for (name, ranking) in &kb.rankings {
             assert!(!ranking.is_empty(), "{name} has no ranking");
             // Rankings are consistent with the sweep scores.

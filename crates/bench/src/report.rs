@@ -96,7 +96,13 @@ pub fn histogram5(values: &[f64]) -> Table {
         "Fig. 3 — PORatio distribution",
         &["range", "count", "percent", "bar"],
     );
-    let labels = ["[0,0.2)", "[0.2,0.4)", "[0.4,0.6)", "[0.6,0.8)", "[0.8,1.0]"];
+    let labels = [
+        "[0,0.2)",
+        "[0.2,0.4)",
+        "[0.4,0.6)",
+        "[0.6,0.8)",
+        "[0.8,1.0]",
+    ];
     for (label, &count) in labels.iter().zip(&counts) {
         let pct = count as f64 / total * 100.0;
         table.row(vec![

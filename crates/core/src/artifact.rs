@@ -33,7 +33,12 @@ impl Dmd {
     /// Snapshot this model for persistence.
     pub fn to_artifact(&self) -> DmdArtifact {
         DmdArtifact {
-            algorithms: self.registry.names().iter().map(|s| s.to_string()).collect(),
+            algorithms: self
+                .registry
+                .names()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
             key_features: self.key_features.to_vec(),
             standardizer: self.standardizer_clone(),
             sna: self.sna.clone(),
@@ -82,13 +87,15 @@ impl DmdArtifact {
             .crelations
             .iter()
             .filter_map(|(instance, algorithm)| {
-                registry.index_of(algorithm).map(|algorithm_index| KnowledgeRecord {
-                    instance: instance.clone(),
-                    algorithm: algorithm.clone(),
-                    algorithm_index,
-                    features: [0.0; FEATURE_COUNT],
-                    target: Vec::new(),
-                })
+                registry
+                    .index_of(algorithm)
+                    .map(|algorithm_index| KnowledgeRecord {
+                        instance: instance.clone(),
+                        algorithm: algorithm.clone(),
+                        algorithm_index,
+                        features: [0.0; FEATURE_COUNT],
+                        target: Vec::new(),
+                    })
             })
             .collect();
         Ok(Dmd::from_parts(

@@ -61,6 +61,7 @@ impl AutoWekaConfig {
             condition: None,
         }];
         for (idx, name) in applicable.iter().enumerate() {
+            // lint:allow(no-panic-lib): `applicable` was filtered from this registry
             let spec = registry.get(name).expect("applicable name is registered");
             for p in spec.param_space().params() {
                 let condition = match &p.condition {
@@ -83,6 +84,7 @@ impl AutoWekaConfig {
         }
         SearchSpace::new(params).map_err(|e| {
             // Static registry spaces are valid; a failure here is a bug.
+            // lint:allow(no-panic-lib): registry spaces are static, failure is a bug
             panic!("CASH space construction failed: {e}")
         })
     }
@@ -119,7 +121,9 @@ impl AutoWekaConfig {
             let Some((name, sub)) = Self::split_config(registry, data, config) else {
                 return 0.0;
             };
-            let Some(spec) = registry.get(&name) else { return 0.0 };
+            let Some(spec) = registry.get(&name) else {
+                return 0.0;
+            };
             cross_val_accuracy(|| spec.build(&sub, seed), data, folds, seed).unwrap_or(0.0)
         });
         let mut smac = SmacLite::new(self.seed);
@@ -127,6 +131,7 @@ impl AutoWekaConfig {
             .optimize(&space, &mut objective, &self.budget)
             .ok_or(CoreError::EmptySearch)?;
         let (algorithm, sub) = Self::split_config(registry, data, &outcome.best_config)
+            // lint:allow(no-panic-lib): the optimizer only returns configs it sampled
             .expect("best config came from the CASH space");
         Ok(Solution {
             algorithm,
@@ -189,8 +194,16 @@ mod tests {
     #[test]
     fn autoweka_solves_a_small_cash_problem() {
         let registry = Registry::fast();
-        let data = SynthSpec::new("d", 120, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.8 }, 5)
-            .generate();
+        let data = SynthSpec::new(
+            "d",
+            120,
+            3,
+            1,
+            2,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            5,
+        )
+        .generate();
         let solution = AutoWekaConfig::fast().solve(&registry, &data).unwrap();
         assert!(registry.get(&solution.algorithm).is_some());
         assert!(solution.score > 0.6, "score = {}", solution.score);

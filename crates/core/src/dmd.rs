@@ -23,9 +23,8 @@ use automodel_data::{Dataset, SynthFamily, SynthSpec};
 use automodel_hpo::{
     Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, SearchSpace,
 };
-use automodel_knowledge::{
-    knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper,
-};
+use automodel_invariant::debug_invariant;
+use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper};
 use automodel_ml::Registry;
 use automodel_nn::{MlpClassifier, MlpRegressor};
 use rand::rngs::StdRng;
@@ -195,6 +194,24 @@ impl DmdConfig {
         if records.len() < 2 {
             return Err(CoreError::NoKnowledge);
         }
+        // CRelations invariants: one record per instance, and every OneHot'
+        // target spans the registry with entries in {−1, 0, +1} and exactly
+        // one +1 (the optimal algorithm).
+        debug_invariant!(
+            records
+                .iter()
+                .zip(records.iter().skip(1))
+                .all(|(a, b)| a.instance != b.instance),
+            "duplicate instance in CRelations"
+        );
+        debug_invariant!(
+            records.iter().all(|r| {
+                r.target.len() == self.registry.len()
+                    && r.target.iter().all(|&v| v == -1.0 || v == 0.0 || v == 1.0)
+                    && r.target.iter().filter(|&&v| v == 1.0).count() == 1
+            }),
+            "malformed OneHot' target in CRelations"
+        );
 
         // ---- Step 2: instance feature selection (Algorithm 2).
         let key_features = match self.feature_mask_override {
@@ -256,6 +273,7 @@ impl DmdConfig {
             for name in automodel_data::FEATURE_NAMES {
                 b = b.add(name, Domain::Bool);
             }
+            // lint:allow(no-panic-lib): space over FEATURE_NAMES is statically valid
             b.build().expect("static feature space")
         };
         let labels: Vec<usize> = records.iter().map(|r| r.algorithm_index).collect();
@@ -275,14 +293,17 @@ impl DmdConfig {
             if let Some(&score) = cache.get(&mask) {
                 return score;
             }
-            let rows: Vec<Vec<f64>> = full
-                .iter()
-                .map(|f| select_features(f, &mask))
-                .collect();
+            let rows: Vec<Vec<f64>> = full.iter().map(|f| select_features(f, &mask)).collect();
             let std = VecStandardizer::fit(&rows);
             let rows: Vec<Vec<f64>> = rows.iter().map(|r| std.transform(r)).collect();
-            let score =
-                meta_cv_accuracy(&rows, &labels, n_classes, &folds, self.seed, self.mlp_iter_cap);
+            let score = meta_cv_accuracy(
+                &rows,
+                &labels,
+                n_classes,
+                &folds,
+                self.seed,
+                self.mlp_iter_cap,
+            );
             cache.insert(mask, score);
             score
         });
@@ -298,6 +319,7 @@ impl DmdConfig {
         );
         let outcome = ga
             .optimize(&space, &mut objective, &budget)
+            // lint:allow(no-panic-lib): population ≥ 1 evals, so trials are never empty
             .expect("nonzero GA budget");
         let mut mask = [false; FEATURE_COUNT];
         for (i, name) in automodel_data::FEATURE_NAMES.iter().enumerate() {
@@ -306,15 +328,15 @@ impl DmdConfig {
         if !mask.iter().any(|&b| b) {
             mask = [true; FEATURE_COUNT]; // degenerate search: keep everything
         }
+        debug_invariant!(
+            mask.iter().any(|&b| b),
+            "feature selection produced an empty key-feature mask"
+        );
         mask
     }
 
     /// Algorithm 3: GA over the Table II space, stopping at `precision`.
-    fn search_architecture(
-        &self,
-        xs: &[Vec<f64>],
-        targets: &[Vec<f64>],
-    ) -> automodel_hpo::Config {
+    fn search_architecture(&self, xs: &[Vec<f64>], targets: &[Vec<f64>]) -> automodel_hpo::Config {
         let space = mlp_space();
         let folds = meta_folds(xs.len(), self.meta_cv_folds, self.seed ^ 0xA2);
         let mut objective = FnObjective(|config: &automodel_hpo::Config| {
@@ -400,7 +422,13 @@ impl Dmd {
         let features = meta_features(data);
         let selected = select_features(&features, &self.key_features);
         let x = self.standardizer.transform(&selected);
-        self.sna.predict(&x)
+        let scores = self.sna.predict(&x);
+        debug_invariant!(
+            automodel_invariant::all_finite(&scores),
+            "SNA produced a non-finite score for {}",
+            data.name()
+        );
+        scores
     }
 
     /// Algorithm 5, line 1: the selected algorithm — highest score among
@@ -609,7 +637,7 @@ mod tests {
     fn meta_folds_partition_rows() {
         let folds = meta_folds(17, 4, 3);
         assert_eq!(folds.len(), 4);
-        let mut seen = vec![false; 17];
+        let mut seen = [false; 17];
         for (train, test) in &folds {
             assert_eq!(train.len() + test.len(), 17);
             for &t in test {
@@ -651,6 +679,9 @@ mod tests {
         let b = DmdConfig::fast().run(&input).unwrap();
         assert_eq!(a.key_features, b.key_features);
         let d = input.datasets.values().next().unwrap();
-        assert_eq!(a.select_algorithm(d).unwrap(), b.select_algorithm(d).unwrap());
+        assert_eq!(
+            a.select_algorithm(d).unwrap(),
+            b.select_algorithm(d).unwrap()
+        );
     }
 }

@@ -71,8 +71,13 @@ impl EvalContext {
         let seed = self.seed;
         let folds = self.cv_folds;
         if space.is_empty() {
-            return cross_val_accuracy(|| spec.build(&spec.default_config(), seed), data, folds, seed)
-                .ok();
+            return cross_val_accuracy(
+                || spec.build(&spec.default_config(), seed),
+                data,
+                folds,
+                seed,
+            )
+            .ok();
         }
         let mut objective = FnObjective(|config: &automodel_hpo::Config| {
             cross_val_accuracy(|| spec.build(config, seed), data, folds, seed).unwrap_or(0.0)
@@ -92,7 +97,12 @@ impl EvalContext {
     /// `P(A, D)` for every registry algorithm, in registry order, computed
     /// on `threads` worker threads (crossbeam scoped).
     pub fn all_performances(&self, data: &Dataset, threads: usize) -> Vec<(String, Option<f64>)> {
-        let names: Vec<String> = self.registry.names().iter().map(|s| s.to_string()).collect();
+        let names: Vec<String> = self
+            .registry
+            .names()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         if threads <= 1 || names.len() <= 1 {
             return names
                 .into_iter()
@@ -113,11 +123,13 @@ impl EvalContext {
                 });
             }
         })
+        // lint:allow(no-panic-lib): re-raises a worker panic, never originates one
         .expect("worker panicked during performance sweep");
         let results = results.into_inner();
         names
             .into_iter()
             .zip(results)
+            // lint:allow(no-panic-lib): the queue is drained before scope exit
             .map(|(n, p)| (n, p.expect("every index processed")))
             .collect()
     }
@@ -170,8 +182,16 @@ mod tests {
     }
 
     fn blobs() -> Dataset {
-        SynthSpec::new("b", 120, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.8 }, 61)
-            .generate()
+        SynthSpec::new(
+            "b",
+            120,
+            3,
+            1,
+            2,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            61,
+        )
+        .generate()
     }
 
     #[test]

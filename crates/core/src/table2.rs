@@ -49,6 +49,7 @@ pub fn mlp_space() -> SearchSpace {
         .add("beta_1", Domain::float(0.01, 0.99))
         .add("beta_2", Domain::float(0.01, 0.99))
         .build()
+        // lint:allow(no-panic-lib): fixed literal space, validated by unit test
         .expect("Table II space is statically valid")
 }
 

@@ -9,11 +9,11 @@
 
 use crate::dmd::Dmd;
 use crate::error::CoreError;
+use automodel_data::Dataset;
 use automodel_hpo::{
-    Budget, BayesianOptimization, Config, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
+    BayesianOptimization, Budget, Config, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
-use automodel_data::Dataset;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::{Duration, Instant};
@@ -130,8 +130,7 @@ impl UdrConfig {
             // Degenerate: empty space or zero budget — fall back to defaults.
             if space.is_empty() {
                 let config = spec.default_config();
-                let score =
-                    cross_val_accuracy(|| spec.build(&config, seed), data, folds, seed)?;
+                let score = cross_val_accuracy(|| spec.build(&config, seed), data, folds, seed)?;
                 return Ok(Solution {
                     algorithm: algorithm.to_string(),
                     config,
@@ -187,19 +186,22 @@ mod tests {
     #[test]
     fn tuning_beats_or_matches_defaults() {
         let dmd = dmd();
-        let data = SynthSpec::new("t", 150, 3, 0, 2, SynthFamily::GaussianBlobs { spread: 1.5 }, 9)
-            .with_label_noise(0.1)
-            .generate();
+        let data = SynthSpec::new(
+            "t",
+            150,
+            3,
+            0,
+            2,
+            SynthFamily::GaussianBlobs { spread: 1.5 },
+            9,
+        )
+        .with_label_noise(0.1)
+        .generate();
         let udr = UdrConfig::fast();
         let solution = udr.tune(&dmd.registry, "IBk", &data).unwrap();
         let spec = dmd.registry.get("IBk").unwrap();
-        let default_score = cross_val_accuracy(
-            || spec.build(&spec.default_config(), 0),
-            &data,
-            3,
-            0,
-        )
-        .unwrap();
+        let default_score =
+            cross_val_accuracy(|| spec.build(&spec.default_config(), 0), &data, 3, 0).unwrap();
         assert!(
             solution.score >= default_score - 1e-9,
             "tuned {} vs default {default_score}",
@@ -213,7 +215,10 @@ mod tests {
         let numeric = SynthSpec::new("n", 80, 3, 0, 2, SynthFamily::Hyperplane, 3).generate();
         let udr = UdrConfig::fast();
         let err = udr.tune(&registry, "Id3", &numeric).unwrap_err();
-        assert!(matches!(err, CoreError::Ml(automodel_ml::MlError::NotApplicable { .. })));
+        assert!(matches!(
+            err,
+            CoreError::Ml(automodel_ml::MlError::NotApplicable { .. })
+        ));
     }
 
     #[test]

@@ -158,10 +158,12 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
             }
         }
         let label_cell = cells[n_cols];
-        let label = *class_lookup.entry(label_cell.to_string()).or_insert_with(|| {
-            classes.push(label_cell.to_string());
-            classes.len() - 1
-        });
+        let label = *class_lookup
+            .entry(label_cell.to_string())
+            .or_insert_with(|| {
+                classes.push(label_cell.to_string());
+                classes.len() - 1
+            });
         labels.push(label);
     }
 

@@ -70,10 +70,9 @@ impl Column {
     /// Categorical value at `row`; `None` for numeric columns or a missing cell.
     pub fn category_at(&self, row: usize) -> Option<u32> {
         match self {
-            Column::Categorical { values, .. } => values
-                .get(row)
-                .copied()
-                .filter(|&v| v != MISSING_CATEGORY),
+            Column::Categorical { values, .. } => {
+                values.get(row).copied().filter(|&v| v != MISSING_CATEGORY)
+            }
             Column::Numeric { .. } => None,
         }
     }
@@ -273,8 +272,9 @@ impl Dataset {
             if rows.is_empty() {
                 continue;
             }
-            let share =
-                ((counts[c] as f64 / self.n_rows as f64) * n as f64).round().max(1.0) as usize;
+            let share = ((counts[c] as f64 / self.n_rows as f64) * n as f64)
+                .round()
+                .max(1.0) as usize;
             rows.shuffle(rng);
             picked.extend(rows.iter().take(share.min(rows.len())).copied());
         }

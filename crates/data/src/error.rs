@@ -42,7 +42,10 @@ impl fmt::Display for DataError {
                 write!(f, "column '{column}' references unknown category {index}")
             }
             DataError::BadClass { index, n_classes } => {
-                write!(f, "class index {index} out of range (dataset has {n_classes} classes)")
+                write!(
+                    f,
+                    "class index {index} out of range (dataset has {n_classes} classes)"
+                )
             }
             DataError::Empty(what) => write!(f, "dataset is empty: {what}"),
             DataError::RowOutOfBounds { row, n_rows } => {
@@ -51,7 +54,9 @@ impl fmt::Display for DataError {
             DataError::ColumnOutOfBounds { column, n_columns } => {
                 write!(f, "column {column} out of bounds (n_columns = {n_columns})")
             }
-            DataError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            DataError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
             DataError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

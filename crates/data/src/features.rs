@@ -137,7 +137,9 @@ pub fn meta_features(data: &Dataset) -> FeatureVector {
     f[0] = observed_classes.len() as f64;
     f[1] = entropy(&class_counts);
     if m > 0 && !observed_classes.is_empty() {
+        // lint:allow(no-panic-lib): guarded by `!observed_classes.is_empty()`
         f[2] = *observed_classes.iter().max().unwrap() as f64 / m as f64;
+        // lint:allow(no-panic-lib): guarded by `!observed_classes.is_empty()`
         f[3] = *observed_classes.iter().min().unwrap() as f64 / m as f64;
     }
 
@@ -164,11 +166,13 @@ pub fn meta_features(data: &Dataset) -> FeatureVector {
             .iter()
             .enumerate()
             .min_by_key(|(_, s)| s.observed)
+            // lint:allow(no-panic-lib): one summary per categorical column, ≥ 1 here
             .unwrap();
         let (max_idx, _) = summaries
             .iter()
             .enumerate()
             .max_by_key(|(_, s)| s.observed)
+            // lint:allow(no-panic-lib): one summary per categorical column, ≥ 1 here
             .unwrap();
         f[9] = summaries[min_idx].observed as f64;
         f[10] = summaries[min_idx].entropy;
@@ -218,11 +222,7 @@ mod tests {
         Dataset::builder("mixed")
             .numeric("a", vec![1.0, 2.0, 3.0, 4.0])
             .numeric("b", vec![10.0, 10.0, 10.0, 10.0])
-            .categorical(
-                "c2",
-                vec![0, 0, 1, 1],
-                vec!["x".into(), "y".into()],
-            )
+            .categorical("c2", vec![0, 0, 1, 1], vec!["x".into(), "y".into()])
             .categorical(
                 "c3",
                 vec![0, 1, 2, 0],
@@ -257,7 +257,7 @@ mod tests {
         let f = meta_features(&mixed());
         assert_eq!(f[9], 2.0); // A# = c2 with 2 observed categories
         assert_eq!(f[13], 3.0); // A? = c3 with 3
-        // c2 is balanced 2/2.
+                                // c2 is balanced 2/2.
         assert!((f[11] - 0.5).abs() < 1e-12);
         assert!((f[12] - 0.5).abs() < 1e-12);
         // c3 proportions: p=2/4, q=1/4, r=1/4.
@@ -287,8 +287,8 @@ mod tests {
             .target("y", vec![0, 1], default_class_names(2))
             .unwrap();
         let f = meta_features(&d);
-        for i in 9..17 {
-            assert_eq!(f[i], 0.0, "f{} should be 0", i + 1);
+        for (i, &fi) in f.iter().enumerate().take(17).skip(9) {
+            assert_eq!(fi, 0.0, "f{} should be 0", i + 1);
         }
     }
 
@@ -299,8 +299,8 @@ mod tests {
             .target("y", vec![0, 1], default_class_names(2))
             .unwrap();
         let f = meta_features(&d);
-        for i in 17..23 {
-            assert_eq!(f[i], 0.0, "f{} should be 0", i + 1);
+        for (i, &fi) in f.iter().enumerate().take(23).skip(17) {
+            assert_eq!(fi, 0.0, "f{} should be 0", i + 1);
         }
     }
 

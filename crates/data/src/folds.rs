@@ -114,7 +114,7 @@ mod tests {
     fn labeled(counts: &[usize]) -> Dataset {
         let mut labels = Vec::new();
         for (c, &n) in counts.iter().enumerate() {
-            labels.extend(std::iter::repeat(c).take(n));
+            labels.extend(std::iter::repeat_n(c, n));
         }
         let m = labels.len();
         Dataset::builder("d")
@@ -135,7 +135,10 @@ mod tests {
                 seen[r] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "every row must be in some test fold");
+        assert!(
+            seen.iter().all(|&s| s),
+            "every row must be in some test fold"
+        );
     }
 
     #[test]

@@ -58,26 +58,26 @@ const TABLE_XI: [(&str, usize, usize, usize, usize); 21] = [
 /// Content family assigned to each Table XI row (see module docs).
 fn test_family(i: usize) -> SynthFamily {
     match i {
-        0 => SynthFamily::Mixed,                         // Bridges MATERIAL
-        1 => SynthFamily::RuleBased { depth: 4 },        // Bridges TYPE
-        2 => SynthFamily::Mixed,                         // Flags
-        3 => SynthFamily::GaussianBlobs { spread: 1.8 }, // Liver (hard, overlapping)
-        4 => SynthFamily::Hyperplane,                    // Vertebral
-        5 => SynthFamily::GaussianBlobs { spread: 2.5 }, // Planning Relax (near-chance)
-        6 => SynthFamily::RuleBased { depth: 3 },        // Mammographic
-        7 => SynthFamily::RuleBased { depth: 4 },        // Teaching Assistant
-        8 => SynthFamily::Ring,                          // Hill-Valley (shape problem)
-        9 => SynthFamily::Hyperplane,                    // Ozone
+        0 => SynthFamily::Mixed,                          // Bridges MATERIAL
+        1 => SynthFamily::RuleBased { depth: 4 },         // Bridges TYPE
+        2 => SynthFamily::Mixed,                          // Flags
+        3 => SynthFamily::GaussianBlobs { spread: 1.8 },  // Liver (hard, overlapping)
+        4 => SynthFamily::Hyperplane,                     // Vertebral
+        5 => SynthFamily::GaussianBlobs { spread: 2.5 },  // Planning Relax (near-chance)
+        6 => SynthFamily::RuleBased { depth: 3 },         // Mammographic
+        7 => SynthFamily::RuleBased { depth: 4 },         // Teaching Assistant
+        8 => SynthFamily::Ring,                           // Hill-Valley (shape problem)
+        9 => SynthFamily::Hyperplane,                     // Ozone
         10 => SynthFamily::GaussianBlobs { spread: 1.0 }, // Breast Tissue
-        11 => SynthFamily::Hyperplane,                   // banknote (well separated)
-        12 => SynthFamily::RuleBased { depth: 3 },       // Thoracic
+        11 => SynthFamily::Hyperplane,                    // banknote (well separated)
+        12 => SynthFamily::RuleBased { depth: 3 },        // Thoracic
         13 => SynthFamily::GaussianBlobs { spread: 0.9 }, // Leaf (30 classes)
-        14 => SynthFamily::Hyperplane,                   // Climate crashes
-        15 => SynthFamily::RuleBased { depth: 5 },       // Nursery (pure rules)
-        16 => SynthFamily::Mixed,                        // Avila
-        17 => SynthFamily::RuleBased { depth: 3 },       // Kidney (clean rules)
+        14 => SynthFamily::Hyperplane,                    // Climate crashes
+        15 => SynthFamily::RuleBased { depth: 5 },        // Nursery (pure rules)
+        16 => SynthFamily::Mixed,                         // Avila
+        17 => SynthFamily::RuleBased { depth: 3 },        // Kidney (clean rules)
         18 => SynthFamily::GaussianBlobs { spread: 1.1 }, // Crowdsourced Mapping
-        19 => SynthFamily::Xor { dims: 3 },              // credit default (interactions)
+        19 => SynthFamily::Xor { dims: 3 },               // credit default (interactions)
         20 => SynthFamily::GaussianBlobs { spread: 0.8 }, // Mice Protein
         _ => SynthFamily::Mixed,
     }
@@ -157,7 +157,7 @@ pub fn knowledge_suite(n: usize, seed: u64, max_rows: usize) -> Vec<SuiteEntry> 
                 4 => SynthFamily::Xor { dims: 2 },
                 _ => SynthFamily::Mixed,
             };
-            let classes = *[2usize, 2, 2, 3, 3, 4, 5, 6, 8, 12].get(i % 10).unwrap();
+            let classes = [2usize, 2, 2, 3, 3, 4, 5, 6, 8, 12][i % 10];
             let rows = rng.gen_range(100..=max_rows.max(120));
             // Shape coverage must span the test suite's range (Table XI goes
             // up to 100 numeric attributes): every fifth dataset is "wide".
@@ -173,7 +173,11 @@ pub fn knowledge_suite(n: usize, seed: u64, max_rows: usize) -> Vec<SuiteEntry> 
                 numeric.max(2)
             };
             let categorical = rng.gen_range(0..=10usize);
-            let categorical = if numeric == 0 { categorical.max(2) } else { categorical };
+            let categorical = if numeric == 0 {
+                categorical.max(2)
+            } else {
+                categorical
+            };
             let spec = SynthSpec::new(
                 format!("K{i}"),
                 rows,

@@ -160,7 +160,11 @@ struct CatAttr {
 impl Generator {
     fn new(spec: &SynthSpec, rng: &mut StdRng) -> Generator {
         let centers = (0..spec.classes)
-            .map(|_| (0..spec.numeric).map(|_| rng.gen_range(-3.0..3.0)).collect())
+            .map(|_| {
+                (0..spec.numeric)
+                    .map(|_| rng.gen_range(-3.0..3.0))
+                    .collect()
+            })
             .collect();
         let weights = (0..spec.classes)
             .map(|_| {
@@ -270,6 +274,7 @@ impl Generator {
         }
         builder
             .target("class", labels, default_class_names(spec.classes))
+            // lint:allow(no-panic-lib): every column above was built with `rows` entries
             .expect("generator produces consistent shapes")
     }
 
@@ -291,7 +296,9 @@ impl Generator {
                 (label, nums, cats)
             }
             SynthFamily::Hyperplane => {
-                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                let nums: Vec<f64> = (0..spec.numeric)
+                    .map(|_| rng.gen_range(-2.0..2.0))
+                    .collect();
                 let label = if spec.numeric == 0 {
                     forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng))
                 } else {
@@ -316,13 +323,11 @@ impl Generator {
                 (label, nums, cats)
             }
             SynthFamily::Xor { dims } => {
-                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let nums: Vec<f64> = (0..spec.numeric)
+                    .map(|_| rng.gen_range(-1.0..1.0))
+                    .collect();
                 let dims = dims.clamp(1, spec.numeric.max(1));
-                let parity = nums
-                    .iter()
-                    .take(dims)
-                    .filter(|&&v| v > 0.0)
-                    .count();
+                let parity = nums.iter().take(dims).filter(|&&v| v > 0.0).count();
                 let label = if spec.numeric == 0 {
                     forced_class.unwrap_or_else(|| sample_weighted(class_weights, rng))
                 } else {
@@ -332,7 +337,9 @@ impl Generator {
                 (label, nums, cats)
             }
             SynthFamily::RuleBased { .. } => {
-                let nums: Vec<f64> = (0..spec.numeric).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                let nums: Vec<f64> = (0..spec.numeric)
+                    .map(|_| rng.gen_range(-2.0..2.0))
+                    .collect();
                 let cats = self.noise_cats(rng);
                 let label = self.rule_label(spec, &nums, &cats);
                 (label, nums, cats)
@@ -480,8 +487,16 @@ mod tests {
     fn zero_numeric_or_zero_categorical_are_supported() {
         let d = SynthSpec::new("nocat", 100, 5, 0, 2, SynthFamily::Hyperplane, 1).generate();
         assert_eq!(d.categorical_columns().len(), 0);
-        let d = SynthSpec::new("nonum", 100, 0, 5, 2, SynthFamily::RuleBased { depth: 2 }, 1)
-            .generate();
+        let d = SynthSpec::new(
+            "nonum",
+            100,
+            0,
+            5,
+            2,
+            SynthFamily::RuleBased { depth: 2 },
+            1,
+        )
+        .generate();
         assert_eq!(d.numeric_columns().len(), 0);
         assert!(d.class_counts().iter().all(|&c| c > 0));
     }
@@ -490,7 +505,15 @@ mod tests {
     fn blobs_are_roughly_separable_at_low_spread() {
         // Nearest-center classification on the planted centers should beat
         // chance comfortably — sanity check that the labels carry signal.
-        let s = SynthSpec::new("sep", 300, 3, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 9);
+        let s = SynthSpec::new(
+            "sep",
+            300,
+            3,
+            0,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.5 },
+            9,
+        );
         let d = s.generate();
         // Recover per-class means and classify by nearest mean.
         let mut sums = vec![vec![0.0; 3]; 3];
@@ -538,7 +561,9 @@ mod tests {
             .with_label_noise(0.5)
             .generate();
         // With 50% noise the labels should disagree with the clean ones often.
-        let disagreements = (0..500).filter(|&r| clean.label(r) != noisy.label(r)).count();
+        let disagreements = (0..500)
+            .filter(|&r| clean.label(r) != noisy.label(r))
+            .count();
         assert!(disagreements > 50, "only {disagreements} disagreements");
     }
 }

@@ -1,79 +1,111 @@
-//! Property tests: dataset, fold and meta-feature invariants across
-//! arbitrary synthetic dataset shapes.
+//! Seeded property tests: dataset, fold and meta-feature invariants across
+//! arbitrary synthetic dataset shapes. Cases are generated from explicit
+//! seeds (no proptest: the build is offline, and deterministic replay is a
+//! workspace invariant).
 
 use automodel_data::features::{meta_features, FEATURE_COUNT};
 use automodel_data::{stratified_kfold, train_test_split, SynthFamily, SynthSpec};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-fn family_strategy() -> impl Strategy<Value = SynthFamily> {
-    prop_oneof![
-        (0.3f64..2.5).prop_map(|s| SynthFamily::GaussianBlobs { spread: s }),
-        Just(SynthFamily::Hyperplane),
-        (1usize..5).prop_map(|d| SynthFamily::RuleBased { depth: d }),
-        Just(SynthFamily::Ring),
-        (1usize..4).prop_map(|d| SynthFamily::Xor { dims: d }),
-        Just(SynthFamily::Mixed),
-    ]
-}
-
-fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
-    (
-        family_strategy(),
-        20usize..200,   // rows
-        0usize..8,      // numeric
-        0usize..6,      // categorical
-        2usize..5,      // classes
-        0.0f64..0.4,    // label noise
-        0.0f64..1.5,    // imbalance
-        0.0f64..0.3,    // missing
-        0u64..10_000,   // seed
-    )
-        .prop_map(
-            |(family, rows, numeric, categorical, classes, noise, imbalance, missing, seed)| {
-                // At least one attribute, and rows ≥ classes.
-                let numeric = if numeric + categorical == 0 { 2 } else { numeric };
-                SynthSpec::new("prop", rows.max(classes * 4), numeric, categorical, classes, family, seed)
-                    .with_label_noise(noise)
-                    .with_imbalance(imbalance)
-                    .with_missing(missing)
-            },
-        )
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn generated_datasets_match_their_spec(spec in spec_strategy()) {
-        let d = spec.generate();
-        prop_assert_eq!(d.n_rows(), spec.rows);
-        prop_assert_eq!(d.numeric_columns().len(), spec.numeric);
-        prop_assert_eq!(d.categorical_columns().len(), spec.categorical);
-        prop_assert_eq!(d.n_classes(), spec.classes);
-        // Every class has at least one row.
-        prop_assert!(d.class_counts().iter().all(|&c| c > 0));
+fn random_family(rng: &mut StdRng) -> SynthFamily {
+    match rng.gen_range(0..6usize) {
+        0 => SynthFamily::GaussianBlobs {
+            spread: rng.gen_range(0.3f64..2.5),
+        },
+        1 => SynthFamily::Hyperplane,
+        2 => SynthFamily::RuleBased {
+            depth: rng.gen_range(1usize..5),
+        },
+        3 => SynthFamily::Ring,
+        4 => SynthFamily::Xor {
+            dims: rng.gen_range(1usize..4),
+        },
+        _ => SynthFamily::Mixed,
     }
+}
 
-    #[test]
-    fn meta_features_are_always_finite(spec in spec_strategy()) {
+fn random_spec(rng: &mut StdRng) -> SynthSpec {
+    let family = random_family(rng);
+    let rows = rng.gen_range(20usize..200);
+    let numeric = rng.gen_range(0usize..8);
+    let categorical = rng.gen_range(0usize..6);
+    let classes = rng.gen_range(2usize..5);
+    let noise = rng.gen_range(0.0f64..0.4);
+    let imbalance = rng.gen_range(0.0f64..1.5);
+    let missing = rng.gen_range(0.0f64..0.3);
+    let seed = rng.gen_range(0u64..10_000);
+    // At least one attribute, and rows ≥ classes.
+    let numeric = if numeric + categorical == 0 {
+        2
+    } else {
+        numeric
+    };
+    SynthSpec::new(
+        "prop",
+        rows.max(classes * 4),
+        numeric,
+        categorical,
+        classes,
+        family,
+        seed,
+    )
+    .with_label_noise(noise)
+    .with_imbalance(imbalance)
+    .with_missing(missing)
+}
+
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
+
+#[test]
+fn generated_datasets_match_their_spec() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(11, case);
+        let spec = random_spec(&mut rng);
+        let d = spec.generate();
+        assert_eq!(d.n_rows(), spec.rows, "case {case}");
+        assert_eq!(d.numeric_columns().len(), spec.numeric, "case {case}");
+        assert_eq!(
+            d.categorical_columns().len(),
+            spec.categorical,
+            "case {case}"
+        );
+        assert_eq!(d.n_classes(), spec.classes, "case {case}");
+        // Every class has at least one row.
+        assert!(d.class_counts().iter().all(|&c| c > 0), "case {case}");
+    }
+}
+
+#[test]
+fn meta_features_are_always_finite() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(12, case);
+        let spec = random_spec(&mut rng);
         let d = spec.generate();
         let f = meta_features(&d);
-        prop_assert_eq!(f.len(), FEATURE_COUNT);
-        prop_assert!(f.iter().all(|v| v.is_finite()), "features: {:?}", f);
+        assert_eq!(f.len(), FEATURE_COUNT, "case {case}");
+        assert!(
+            f.iter().all(|v| v.is_finite()),
+            "case {case} features: {f:?}"
+        );
         // Structural facts Table III guarantees.
-        prop_assert_eq!(f[4] as usize, spec.numeric);   // f5
-        prop_assert_eq!(f[5] as usize, spec.categorical); // f6
-        prop_assert_eq!(f[8] as usize, spec.rows);      // f9
-        prop_assert!(f[2] >= f[3]);                      // max ≥ min class prop
-        prop_assert!(f[2] <= 1.0 && f[3] >= 0.0);
+        assert_eq!(f[4] as usize, spec.numeric, "case {case}"); // f5
+        assert_eq!(f[5] as usize, spec.categorical, "case {case}"); // f6
+        assert_eq!(f[8] as usize, spec.rows, "case {case}"); // f9
+        assert!(f[2] >= f[3], "case {case}"); // max ≥ min class prop
+        assert!(f[2] <= 1.0 && f[3] >= 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn kfold_partitions_exactly(spec in spec_strategy(), k in 2usize..8, seed in 0u64..1000) {
+#[test]
+fn kfold_partitions_exactly() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(13, case);
+        let spec = random_spec(&mut rng);
+        let k = rng.gen_range(2usize..8);
         let d = spec.generate();
-        let mut rng = StdRng::seed_from_u64(seed);
         let plan = stratified_kfold(&d, k, &mut rng);
         let mut seen = vec![0usize; d.n_rows()];
         for i in 0..plan.k() {
@@ -81,53 +113,71 @@ proptest! {
                 seen[r] += 1;
             }
         }
-        prop_assert!(seen.iter().all(|&c| c == 1), "rows must appear exactly once");
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "case {case}: rows must appear exactly once"
+        );
         for (train, test) in plan.splits() {
-            prop_assert_eq!(train.len() + test.len(), d.n_rows());
+            assert_eq!(train.len() + test.len(), d.n_rows(), "case {case}");
         }
     }
+}
 
-    #[test]
-    fn split_is_a_partition(spec in spec_strategy(), frac in 0.1f64..0.9, seed in 0u64..1000) {
+#[test]
+fn split_is_a_partition() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(14, case);
+        let spec = random_spec(&mut rng);
+        let frac = rng.gen_range(0.1f64..0.9);
         let d = spec.generate();
-        let mut rng = StdRng::seed_from_u64(seed);
         let (train, test) = train_test_split(&d, frac, &mut rng);
         let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
         all.sort_unstable();
         all.dedup();
-        prop_assert_eq!(all.len(), d.n_rows());
+        assert_eq!(all.len(), d.n_rows(), "case {case}");
         // Every class observed in the data keeps a training row.
         for class in 0..d.n_classes() {
             let has_rows = (0..d.n_rows()).any(|r| d.label(r) == class);
             if has_rows {
-                prop_assert!(train.iter().any(|&r| d.label(r) == class));
+                assert!(
+                    train.iter().any(|&r| d.label(r) == class),
+                    "case {case}: class {class} lost all training rows"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn subset_then_features_is_consistent(spec in spec_strategy(), seed in 0u64..1000) {
+#[test]
+fn subset_then_features_is_consistent() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(15, case);
+        let spec = random_spec(&mut rng);
         let d = spec.generate();
-        let mut rng = StdRng::seed_from_u64(seed);
         let rows = d.sample_rows(d.n_rows() / 2 + 1, &mut rng);
         let sub = d.subset(&rows).unwrap();
-        prop_assert_eq!(sub.n_rows(), rows.len());
-        prop_assert_eq!(sub.n_classes(), d.n_classes());
+        assert_eq!(sub.n_rows(), rows.len(), "case {case}");
+        assert_eq!(sub.n_classes(), d.n_classes(), "case {case}");
         let f = meta_features(&sub);
-        prop_assert!(f.iter().all(|v| v.is_finite()));
+        assert!(f.iter().all(|v| v.is_finite()), "case {case}");
     }
+}
 
-    #[test]
-    fn csv_roundtrip_is_lossless_on_labels(spec in spec_strategy()) {
+#[test]
+fn csv_roundtrip_is_lossless_on_labels() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(16, case);
+        let spec = random_spec(&mut rng);
         let d = spec.generate();
         let mut buf = Vec::new();
         automodel_data::csv::write_csv(&d, &mut buf).unwrap();
         let back = automodel_data::csv::read_csv("rt", std::io::Cursor::new(buf)).unwrap();
-        prop_assert_eq!(back.n_rows(), d.n_rows());
+        assert_eq!(back.n_rows(), d.n_rows(), "case {case}");
         for r in 0..d.n_rows() {
-            prop_assert_eq!(
+            assert_eq!(
                 &d.target().classes[d.label(r)],
-                &back.target().classes[back.label(r)]
+                &back.target().classes[back.label(r)],
+                "case {case} row {r}"
             );
         }
     }

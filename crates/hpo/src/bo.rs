@@ -124,10 +124,7 @@ impl Gp {
         let mean_n = crate::linalg::dot(&kstar, &self.alpha);
         let v = self.chol.solve_lower(&kstar);
         let var_n = (1.0 - crate::linalg::dot(&v, &v)).max(1e-12);
-        (
-            mean_n * self.y_std + self.y_mean,
-            var_n.sqrt() * self.y_std,
-        )
+        (mean_n * self.y_std + self.y_mean, var_n.sqrt() * self.y_std)
     }
 }
 
@@ -176,11 +173,11 @@ impl Optimizer for BayesianOptimization {
         let mut ys: Vec<f64> = Vec::new();
 
         let evaluate = |config: Config,
-                            trials: &mut Vec<Trial>,
-                            xs: &mut Vec<Vec<f64>>,
-                            ys: &mut Vec<f64>,
-                            tracker: &mut crate::budget::BudgetTracker,
-                            objective: &mut dyn Objective| {
+                        trials: &mut Vec<Trial>,
+                        xs: &mut Vec<Vec<f64>>,
+                        ys: &mut Vec<f64>,
+                        tracker: &mut crate::budget::BudgetTracker,
+                        objective: &mut dyn Objective| {
             let score = objective.evaluate(&config);
             tracker.record(score);
             xs.push(space.encode(&config));
@@ -228,6 +225,7 @@ impl Optimizer for BayesianOptimization {
                 .enumerate()
                 .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(i, _)| i)
+                // lint:allow(no-panic-lib): `ys` mirrors `trials`, checked nonempty above
                 .unwrap();
             let incumbent = trials[incumbent_idx].config.clone();
 
@@ -324,18 +322,16 @@ mod tests {
     #[test]
     fn bo_beats_random_search_on_branin() {
         let budget = Budget::evals(60);
-        let mut bo_obj = FnObjective(|c: &Config| {
-            -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
-        });
+        let mut bo_obj =
+            FnObjective(|c: &Config| -branin(c.float_or("x", 0.0), c.float_or("y", 0.0)));
         let bo = BayesianOptimization::new(3)
             .optimize(&branin_space(), &mut bo_obj, &budget)
             .unwrap();
         // Average random search over a few seeds for a fair comparison.
         let mut rs_scores = Vec::new();
         for seed in 0..5 {
-            let mut rs_obj = FnObjective(|c: &Config| {
-                -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
-            });
+            let mut rs_obj =
+                FnObjective(|c: &Config| -branin(c.float_or("x", 0.0), c.float_or("y", 0.0)));
             rs_scores.push(
                 RandomSearch::new(seed)
                     .optimize(&branin_space(), &mut rs_obj, &budget)
@@ -379,16 +375,14 @@ mod tests {
             0.0
         });
         BayesianOptimization::new(2).optimize(&branin_space(), &mut obj, &Budget::evals(15));
-        drop(obj);
         assert_eq!(n, 15);
     }
 
     #[test]
     fn bo_is_deterministic_under_seed() {
         let run = |seed| {
-            let mut obj = FnObjective(|c: &Config| {
-                -branin(c.float_or("x", 0.0), c.float_or("y", 0.0))
-            });
+            let mut obj =
+                FnObjective(|c: &Config| -branin(c.float_or("x", 0.0), c.float_or("y", 0.0)));
             BayesianOptimization::new(seed)
                 .optimize(&branin_space(), &mut obj, &Budget::evals(25))
                 .unwrap()

@@ -11,6 +11,7 @@
 use crate::budget::Budget;
 use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
 use crate::space::{Config, SearchSpace};
+use automodel_invariant::debug_invariant;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,19 +79,15 @@ impl GeneticAlgorithm {
         )
     }
 
-    fn tournament_pick<'a, R: Rng>(
-        &self,
-        scored: &'a [(Config, f64)],
-        rng: &mut R,
-    ) -> &'a Config {
-        let mut best: Option<&(Config, f64)> = None;
-        for _ in 0..self.config.tournament.max(1) {
+    fn tournament_pick<'a, R: Rng>(&self, scored: &'a [(Config, f64)], rng: &mut R) -> &'a Config {
+        let mut best = &scored[rng.gen_range(0..scored.len())];
+        for _ in 1..self.config.tournament.max(1) {
             let cand = &scored[rng.gen_range(0..scored.len())];
-            if best.is_none_or(|b| cand.1 > b.1) {
-                best = Some(cand);
+            if cand.1 > best.1 {
+                best = cand;
             }
         }
-        &best.unwrap().0
+        &best.0
     }
 
     /// Uniform crossover: per parameter (union of both parents' keys), take
@@ -130,9 +127,9 @@ impl Optimizer for GeneticAlgorithm {
         let mut trials: Vec<Trial> = Vec::new();
 
         let evaluate = |config: Config,
-                            trials: &mut Vec<Trial>,
-                            tracker: &mut crate::budget::BudgetTracker,
-                            objective: &mut dyn Objective|
+                        trials: &mut Vec<Trial>,
+                        tracker: &mut crate::budget::BudgetTracker,
+                        objective: &mut dyn Objective|
          -> f64 {
             let score = objective.evaluate(&config);
             tracker.record(score);
@@ -187,6 +184,24 @@ impl Optimizer for GeneticAlgorithm {
                 break;
             }
             population = next;
+            // Per-generation invariants: the population never outgrows the
+            // configured size, every fitness is finite (the paper's fitness
+            // is a CV accuracy / negated MSE — NaN means a broken
+            // objective), and every genome respects the search space (for
+            // the architecture search this is exactly the Table II bounds).
+            debug_invariant!(
+                population.len() <= pop_size,
+                "generation holds {} individuals, population size is {pop_size}",
+                population.len()
+            );
+            debug_invariant!(
+                population.iter().all(|(_, s)| s.is_finite()),
+                "non-finite fitness survived into the population"
+            );
+            debug_invariant!(
+                population.iter().all(|(c, _)| space.validate(c).is_ok()),
+                "a genome violates its search-space bounds"
+            );
         }
         OptOutcome::from_trials(trials)
     }
@@ -212,7 +227,9 @@ mod tests {
     }
 
     fn values(c: &Config, dim: usize) -> Vec<f64> {
-        (0..dim).map(|i| c.float_or(&format!("x{i}"), 0.0)).collect()
+        (0..dim)
+            .map(|i| c.float_or(&format!("x{i}"), 0.0))
+            .collect()
     }
 
     #[test]
@@ -243,11 +260,16 @@ mod tests {
     fn all_trials_are_valid_configs_even_with_conditionals() {
         let space = SearchSpace::builder()
             .add("solver", Domain::cat(&["a", "b"]))
-            .add_if("knob", Domain::float(0.0, 1.0), Condition::cat_eq("solver", 1))
+            .add_if(
+                "knob",
+                Domain::float(0.0, 1.0),
+                Condition::cat_eq("solver", 1),
+            )
             .add("depth", Domain::int(1, 8))
             .build()
             .unwrap();
-        let mut obj = FnObjective(|c: &Config| c.float_or("knob", 0.3) + c.int_or("depth", 0) as f64 / 8.0);
+        let mut obj =
+            FnObjective(|c: &Config| c.float_or("knob", 0.3) + c.int_or("depth", 0) as f64 / 8.0);
         let out = GeneticAlgorithm::small(5)
             .optimize(&space, &mut obj, &Budget::evals(200))
             .unwrap();
@@ -280,7 +302,6 @@ mod tests {
             0.0
         });
         GeneticAlgorithm::new(1).optimize(&space, &mut obj, &Budget::evals(77));
-        drop(obj);
         assert_eq!(n, 77);
     }
 

@@ -57,10 +57,8 @@ impl Optimizer for GridSearch {
                 break;
             }
             let mut raw = Config::new();
-            for (spec, (choice, values)) in space
-                .params()
-                .iter()
-                .zip(indices.iter().zip(&per_param))
+            for (spec, (choice, values)) in
+                space.params().iter().zip(indices.iter().zip(&per_param))
             {
                 raw.set(spec.name.clone(), values[*choice].clone());
             }
@@ -114,7 +112,6 @@ mod tests {
             .optimize(&space, &mut obj, &Budget::default())
             .unwrap();
         assert_eq!(out.trials.len(), 6);
-        drop(obj);
         assert_eq!(count, 6);
     }
 

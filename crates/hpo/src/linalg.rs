@@ -77,8 +77,8 @@ impl Cholesky {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut sum = b[i];
-            for k in 0..i {
-                sum -= self.l.get(i, k) * y[k];
+            for (k, &yk) in y.iter().enumerate().take(i) {
+                sum -= self.l.get(i, k) * yk;
             }
             y[i] = sum / self.l.get(i, i);
         }
@@ -91,8 +91,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut sum = y[i];
-            for k in i + 1..n {
-                sum -= self.l.get(k, i) * x[k];
+            for (k, &xk) in x.iter().enumerate().take(n).skip(i + 1) {
+                sum -= self.l.get(k, i) * xk;
             }
             x[i] = sum / self.l.get(i, i);
         }
@@ -132,11 +132,9 @@ mod tests {
         let mut a = SquareMatrix::zeros(3);
         for i in 0..3 {
             for j in 0..3 {
-                let mut s = if i == j { 1.0 } else { 0.0 };
-                for k in 0..3 {
-                    s += m[i][k] * m[j][k];
-                }
-                a.set(i, j, s);
+                let base = if i == j { 1.0 } else { 0.0 };
+                let dot: f64 = m[i].iter().zip(&m[j]).map(|(a, b)| a * b).sum();
+                a.set(i, j, base + dot);
             }
         }
         a
@@ -163,12 +161,12 @@ mod tests {
         let ch = cholesky(&a).unwrap();
         let b = [1.0, -2.0, 0.5];
         let x = ch.solve(&b);
-        for i in 0..3 {
+        for (i, &bi) in b.iter().enumerate() {
             let mut ax = 0.0;
-            for j in 0..3 {
-                ax += a.get(i, j) * x[j];
+            for (j, &xj) in x.iter().enumerate() {
+                ax += a.get(i, j) * xj;
             }
-            assert!((ax - b[i]).abs() < 1e-8);
+            assert!((ax - bi).abs() < 1e-8);
         }
     }
 

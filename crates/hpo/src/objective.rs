@@ -103,8 +103,8 @@ mod tests {
 
     #[test]
     fn from_trials_picks_best_and_breaks_ties_earliest() {
-        let out = OptOutcome::from_trials(vec![trial(0.3, 0), trial(0.9, 1), trial(0.9, 2)])
-            .unwrap();
+        let out =
+            OptOutcome::from_trials(vec![trial(0.3, 0), trial(0.9, 1), trial(0.9, 2)]).unwrap();
         assert_eq!(out.best_score, 0.9);
         assert_eq!(out.best_config.float_or("x", 0.0), 0.9);
         assert_eq!(out.trials.len(), 3);
@@ -126,7 +126,6 @@ mod tests {
         });
         let c = Config::new().with("x", ParamValue::Float(1.5));
         assert_eq!(obj.evaluate(&c), 3.0);
-        drop(obj);
         assert_eq!(calls, 1);
     }
 }

@@ -75,7 +75,6 @@ mod tests {
             .optimize(&space, &mut obj, &Budget::evals(25))
             .unwrap();
         assert_eq!(out.trials.len(), 25);
-        drop(obj);
         assert_eq!(n, 25);
     }
 

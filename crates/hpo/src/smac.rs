@@ -226,11 +226,11 @@ impl Optimizer for SmacLite {
         let mut ys: Vec<f64> = Vec::new();
 
         let evaluate = |config: Config,
-                            trials: &mut Vec<Trial>,
-                            xs: &mut Vec<Vec<f64>>,
-                            ys: &mut Vec<f64>,
-                            tracker: &mut crate::budget::BudgetTracker,
-                            objective: &mut dyn Objective| {
+                        trials: &mut Vec<Trial>,
+                        xs: &mut Vec<Vec<f64>>,
+                        ys: &mut Vec<f64>,
+                        tracker: &mut crate::budget::BudgetTracker,
+                        objective: &mut dyn Objective| {
             let score = objective.evaluate(&config);
             tracker.record(score);
             xs.push(space.encode(&config));
@@ -260,6 +260,7 @@ impl Optimizer for SmacLite {
                     .enumerate()
                     .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
+                    // lint:allow(no-panic-lib): `ys` mirrors `trials`, checked nonempty above
                     .unwrap();
                 let incumbent = trials[incumbent_idx].config.clone();
                 let mut best_cand: Option<(Config, f64)> = None;
@@ -274,7 +275,10 @@ impl Optimizer for SmacLite {
                     consider(space.sample(&mut rng), &mut best_cand);
                 }
                 for _ in 0..self.local_candidates {
-                    consider(space.neighbor(&incumbent, 0.4, 0.2, &mut rng), &mut best_cand);
+                    consider(
+                        space.neighbor(&incumbent, 0.4, 0.2, &mut rng),
+                        &mut best_cand,
+                    );
                 }
                 match best_cand {
                     Some((c, ei)) if ei > 1e-12 => c,
@@ -304,7 +308,10 @@ mod tests {
     #[test]
     fn forest_fits_a_step_function() {
         let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| if x[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| if x[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let mut rng = StdRng::seed_from_u64(1);
         let forest = Forest::fit(&xs, &ys, 16, &mut rng);
         let (lo, _) = forest.predict(&[0.1]);
@@ -346,8 +353,16 @@ mod tests {
         // CASH-shaped space: root algorithm choice gating two subspaces.
         let space = SearchSpace::builder()
             .add("algorithm", Domain::cat(&["linear", "tree"]))
-            .add_if("lr", Domain::float_log(1e-4, 1.0), Condition::cat_eq("algorithm", 0))
-            .add_if("depth", Domain::int(1, 12), Condition::cat_eq("algorithm", 1))
+            .add_if(
+                "lr",
+                Domain::float_log(1e-4, 1.0),
+                Condition::cat_eq("algorithm", 0),
+            )
+            .add_if(
+                "depth",
+                Domain::int(1, 12),
+                Condition::cat_eq("algorithm", 1),
+            )
             .build()
             .unwrap();
         let mut obj = FnObjective(|c: &Config| match c.cat_or("algorithm", 0) {
@@ -380,7 +395,6 @@ mod tests {
             let out = SmacLite::new(seed)
                 .optimize(&space, &mut obj, &Budget::evals(40))
                 .unwrap();
-            drop(obj);
             assert_eq!(n, 40);
             out.best_score
         };

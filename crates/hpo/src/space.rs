@@ -239,16 +239,24 @@ impl Config {
     /// Typed accessors with a default (classifiers use these so that a
     /// partially-specified config still builds).
     pub fn int_or(&self, name: &str, default: i64) -> i64 {
-        self.get(name).and_then(ParamValue::as_int).unwrap_or(default)
+        self.get(name)
+            .and_then(ParamValue::as_int)
+            .unwrap_or(default)
     }
     pub fn float_or(&self, name: &str, default: f64) -> f64 {
-        self.get(name).and_then(ParamValue::as_float).unwrap_or(default)
+        self.get(name)
+            .and_then(ParamValue::as_float)
+            .unwrap_or(default)
     }
     pub fn cat_or(&self, name: &str, default: usize) -> usize {
-        self.get(name).and_then(ParamValue::as_cat).unwrap_or(default)
+        self.get(name)
+            .and_then(ParamValue::as_cat)
+            .unwrap_or(default)
     }
     pub fn bool_or(&self, name: &str, default: bool) -> bool {
-        self.get(name).and_then(ParamValue::as_bool).unwrap_or(default)
+        self.get(name)
+            .and_then(ParamValue::as_bool)
+            .unwrap_or(default)
     }
     pub fn len(&self) -> usize {
         self.0.len()
@@ -298,10 +306,16 @@ impl fmt::Display for SpaceError {
         match self {
             SpaceError::DuplicateParam(p) => write!(f, "duplicate parameter '{p}'"),
             SpaceError::UnknownParent { param, parent } => {
-                write!(f, "parameter '{param}' conditions on unknown parent '{parent}'")
+                write!(
+                    f,
+                    "parameter '{param}' conditions on unknown parent '{parent}'"
+                )
             }
             SpaceError::ParentAfterChild { param, parent } => {
-                write!(f, "parameter '{param}' conditions on later parent '{parent}'")
+                write!(
+                    f,
+                    "parameter '{param}' conditions on later parent '{parent}'"
+                )
             }
             SpaceError::MissingActive(p) => write!(f, "active parameter '{p}' missing from config"),
             SpaceError::UnexpectedInactive(p) => {
@@ -332,22 +346,19 @@ impl SearchSpace {
                 return Err(SpaceError::DuplicateParam(p.name.clone()));
             }
             if let Some(cond) = &p.condition {
-                match seen.get(cond.parent.as_str()) {
-                    None => {
-                        // Parent may appear later — that's an error, or
-                        // genuinely unknown.
-                        if params.iter().any(|q| q.name == cond.parent) {
-                            return Err(SpaceError::ParentAfterChild {
-                                param: p.name.clone(),
-                                parent: cond.parent.clone(),
-                            });
-                        }
-                        return Err(SpaceError::UnknownParent {
+                if !seen.contains_key(cond.parent.as_str()) {
+                    // Parent may appear later — that's an error, or
+                    // genuinely unknown.
+                    if params.iter().any(|q| q.name == cond.parent) {
+                        return Err(SpaceError::ParentAfterChild {
                             param: p.name.clone(),
                             parent: cond.parent.clone(),
                         });
                     }
-                    Some(_) => {}
+                    return Err(SpaceError::UnknownParent {
+                        param: p.name.clone(),
+                        parent: cond.parent.clone(),
+                    });
                 }
             }
             seen.insert(p.name.as_str(), i);
@@ -563,7 +574,13 @@ impl SearchSpace {
 
     /// Perturb one configuration: each active param mutates with probability
     /// `rate`; conditional structure is re-resolved afterwards.
-    pub fn neighbor<R: Rng>(&self, config: &Config, rate: f64, strength: f64, rng: &mut R) -> Config {
+    pub fn neighbor<R: Rng>(
+        &self,
+        config: &Config,
+        rate: f64,
+        strength: f64,
+        rng: &mut R,
+    ) -> Config {
         let mut raw = config.clone();
         for spec in &self.params {
             if let Some(v) = config.get(&spec.name) {
@@ -676,7 +693,10 @@ mod tests {
         let c = Config::new()
             .with("solver", ParamValue::Cat(0))
             .with("layers", ParamValue::Int(99));
-        assert_eq!(space.validate(&c), Err(SpaceError::OutOfDomain("layers".into())));
+        assert_eq!(
+            space.validate(&c),
+            Err(SpaceError::OutOfDomain("layers".into()))
+        );
     }
 
     #[test]

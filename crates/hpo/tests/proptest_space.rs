@@ -1,110 +1,148 @@
-//! Property tests: search-space invariants.
+//! Seeded property tests: search-space invariants.
 //!
 //! Whatever the space shape, (1) sampling always yields a valid config,
 //! (2) repair always yields a valid config from arbitrary wreckage,
 //! (3) neighbor perturbation preserves validity, (4) encode produces a
 //! constant-width finite vector, and (5) every optimizer only ever
 //! evaluates valid configurations.
+//!
+//! Cases are generated from explicit seeds (no proptest: the build is
+//! offline, and deterministic replay is a workspace invariant — every
+//! failure reproduces from the printed case number).
 
 use automodel_hpo::{
     BayesianOptimization, Budget, Condition, Config, Domain, FnObjective, GeneticAlgorithm,
     GridSearch, Optimizer, ParamSpec, ParamValue, RandomSearch, SearchSpace, SmacLite,
 };
-use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: an arbitrary unconditional domain.
-fn domain_strategy() -> impl Strategy<Value = Domain> {
-    prop_oneof![
-        (-50i64..50, 1i64..50).prop_map(|(lo, span)| Domain::int(lo, lo + span)),
-        (1i64..20, 1i64..100).prop_map(|(lo, span)| Domain::int_log(lo, lo + span)),
-        (-10.0f64..10.0, 0.1f64..20.0).prop_map(|(lo, span)| Domain::float(lo, lo + span)),
-        (0.001f64..1.0, 1.1f64..100.0).prop_map(|(lo, mult)| Domain::float_log(lo, lo * mult)),
-        (2usize..6).prop_map(|n| Domain::Cat {
-            options: (0..n).map(|i| format!("opt{i}")).collect()
-        }),
-        Just(Domain::Bool),
-    ]
-}
-
-/// Strategy: a space of 1..8 params where each param after the first may be
-/// gated on the first when the first is categorical.
-fn space_strategy() -> impl Strategy<Value = SearchSpace> {
-    (
-        domain_strategy(),
-        prop::collection::vec((domain_strategy(), any::<bool>()), 0..7),
-    )
-        .prop_map(|(root, rest)| {
-            let root_is_cat = matches!(root, Domain::Cat { .. });
-            let mut params = vec![ParamSpec {
-                name: "p0".to_string(),
-                domain: root,
-                condition: None,
-            }];
-            for (i, (domain, conditional)) in rest.into_iter().enumerate() {
-                let condition = if conditional && root_is_cat {
-                    Some(Condition::cat_eq("p0", 0))
-                } else {
-                    None
-                };
-                params.push(ParamSpec {
-                    name: format!("p{}", i + 1),
-                    domain,
-                    condition,
-                });
+/// An arbitrary unconditional domain.
+fn random_domain(rng: &mut StdRng) -> Domain {
+    match rng.gen_range(0..6usize) {
+        0 => {
+            let lo = rng.gen_range(-50i64..50);
+            let span = rng.gen_range(1i64..50);
+            Domain::int(lo, lo + span)
+        }
+        1 => {
+            let lo = rng.gen_range(1i64..20);
+            let span = rng.gen_range(1i64..100);
+            Domain::int_log(lo, lo + span)
+        }
+        2 => {
+            let lo = rng.gen_range(-10.0f64..10.0);
+            let span = rng.gen_range(0.1f64..20.0);
+            Domain::float(lo, lo + span)
+        }
+        3 => {
+            let lo = rng.gen_range(0.001f64..1.0);
+            let mult = rng.gen_range(1.1f64..100.0);
+            Domain::float_log(lo, lo * mult)
+        }
+        4 => {
+            let n = rng.gen_range(2usize..6);
+            Domain::Cat {
+                options: (0..n).map(|i| format!("opt{i}")).collect(),
             }
-            SearchSpace::new(params).expect("generated space is structurally valid")
-        })
+        }
+        _ => Domain::Bool,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A space of 1..8 params where each param after the first may be gated on
+/// the first when the first is categorical.
+fn random_space(rng: &mut StdRng) -> SearchSpace {
+    let root = random_domain(rng);
+    let root_is_cat = matches!(root, Domain::Cat { .. });
+    let mut params = vec![ParamSpec {
+        name: "p0".to_string(),
+        domain: root,
+        condition: None,
+    }];
+    let extra = rng.gen_range(0usize..7);
+    for i in 0..extra {
+        let domain = random_domain(rng);
+        let conditional: bool = rng.gen();
+        let condition = if conditional && root_is_cat {
+            Some(Condition::cat_eq("p0", 0))
+        } else {
+            None
+        };
+        params.push(ParamSpec {
+            name: format!("p{}", i + 1),
+            domain,
+            condition,
+        });
+    }
+    SearchSpace::new(params).expect("generated space is structurally valid")
+}
 
-    #[test]
-    fn sampling_always_validates(space in space_strategy(), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+/// Derive a per-case rng: distinct streams per (test, case) pair.
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
+
+#[test]
+fn sampling_always_validates() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(1, case);
+        let space = random_space(&mut rng);
         for _ in 0..10 {
             let c = space.sample(&mut rng);
-            prop_assert!(space.validate(&c).is_ok());
+            assert!(space.validate(&c).is_ok(), "case {case}: {c}");
         }
     }
+}
 
-    #[test]
-    fn repair_always_validates(space in space_strategy(), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn repair_always_validates() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(2, case);
+        let space = random_space(&mut rng);
         // Wreckage: out-of-range values under wrong names.
         let mut raw = Config::new();
         raw.set("p0", ParamValue::Int(i64::MAX));
         raw.set("p1", ParamValue::Float(f64::MAX));
         raw.set("nonsense", ParamValue::Bool(true));
         let fixed = space.repair(&raw, &mut rng);
-        prop_assert!(space.validate(&fixed).is_ok());
+        assert!(space.validate(&fixed).is_ok(), "case {case}: {fixed}");
     }
+}
 
-    #[test]
-    fn neighbor_preserves_validity(space in space_strategy(), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn neighbor_preserves_validity() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(3, case);
+        let space = random_space(&mut rng);
         let mut c = space.sample(&mut rng);
         for _ in 0..8 {
             c = space.neighbor(&c, 0.6, 0.4, &mut rng);
-            prop_assert!(space.validate(&c).is_ok());
+            assert!(space.validate(&c).is_ok(), "case {case}: {c}");
         }
     }
+}
 
-    #[test]
-    fn encode_width_is_constant_and_finite(space in space_strategy(), seed in 0u64..1000) {
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn encode_width_is_constant_and_finite() {
+    for case in 0..64u64 {
+        let mut rng = case_rng(4, case);
+        let space = random_space(&mut rng);
         for _ in 0..5 {
             let c = space.sample(&mut rng);
             let v = space.encode(&c);
-            prop_assert_eq!(v.len(), space.encoded_width());
-            prop_assert!(v.iter().all(|x| x.is_finite()));
+            assert_eq!(v.len(), space.encoded_width(), "case {case}");
+            assert!(v.iter().all(|x| x.is_finite()), "case {case}: {v:?}");
         }
     }
+}
 
-    #[test]
-    fn optimizers_only_evaluate_valid_configs(space in space_strategy(), seed in 0u64..100) {
+#[test]
+fn optimizers_only_evaluate_valid_configs() {
+    for case in 0..16u64 {
+        let mut rng = case_rng(5, case);
+        let space = random_space(&mut rng);
+        let seed = case;
         let budget = Budget::evals(12);
         let optimizers: Vec<Box<dyn Optimizer>> = vec![
             Box::new(RandomSearch::new(seed)),
@@ -123,28 +161,33 @@ proptest! {
                 c.len() as f64
             });
             let _ = optimizer.optimize(&space, &mut obj, &budget);
-            drop(obj);
-            prop_assert!(valid, "{} evaluated an invalid config", optimizer.name());
+            assert!(
+                valid,
+                "case {case}: {} evaluated an invalid config",
+                optimizer.name()
+            );
         }
     }
+}
 
-    #[test]
-    fn decode_of_encode_is_identity_on_flat_spaces(seed in 0u64..1000) {
-        // Flat space (no conditionals): decode ∘ encode = id up to float noise.
-        let space = SearchSpace::builder()
-            .add("a", Domain::int(0, 9))
-            .add("b", Domain::float(-1.0, 1.0))
-            .add("c", Domain::cat(&["x", "y", "z"]))
-            .add("d", Domain::Bool)
-            .build()
-            .unwrap();
+#[test]
+fn decode_of_encode_is_identity_on_flat_spaces() {
+    // Flat space (no conditionals): decode ∘ encode = id up to float noise.
+    let space = SearchSpace::builder()
+        .add("a", Domain::int(0, 9))
+        .add("b", Domain::float(-1.0, 1.0))
+        .add("c", Domain::cat(&["x", "y", "z"]))
+        .add("d", Domain::Bool)
+        .build()
+        .unwrap();
+    for seed in 0..200u64 {
         let mut rng = StdRng::seed_from_u64(seed);
         let c = space.sample(&mut rng);
         let back = space.decode(&space.encode(&c));
-        prop_assert_eq!(back.get("a"), c.get("a"));
-        prop_assert_eq!(back.get("c"), c.get("c"));
-        prop_assert_eq!(back.get("d"), c.get("d"));
+        assert_eq!(back.get("a"), c.get("a"), "seed {seed}");
+        assert_eq!(back.get("c"), c.get("c"), "seed {seed}");
+        assert_eq!(back.get("d"), c.get("d"), "seed {seed}");
         let (f0, f1) = (c.float_or("b", 9.0), back.float_or("b", -9.0));
-        prop_assert!((f0 - f1).abs() < 1e-9);
+        assert!((f0 - f1).abs() < 1e-9, "seed {seed}: {f0} vs {f1}");
     }
 }

@@ -1,0 +1,140 @@
+//! Runtime invariant checks for the Auto-Model workspace.
+//!
+//! [`debug_invariant!`] is the sanctioned way for library code to assert
+//! algorithmic invariants: active in debug and test builds (where the whole
+//! test suite runs with `debug_assertions` on), compiled out of release
+//! binaries, and exempt from the `no-panic-lib` lint — the panic lives in
+//! this crate, behind an explicit, greppable name.
+//!
+//! The crate also hosts the NaN-safe ordering helpers that back lint rule
+//! L4 (`nan-ordering`): [`f64_key`] gives any float a total order usable as
+//! a sort key, so call sites never reach for `partial_cmp(..).unwrap()`.
+
+use std::cmp::Ordering;
+
+/// Assert an algorithmic invariant in debug/test builds.
+///
+/// ```
+/// use automodel_invariant::debug_invariant;
+/// let population = vec![1, 2, 3];
+/// debug_invariant!(!population.is_empty());
+/// debug_invariant!(population.len() <= 50, "population overflow: {}", population.len());
+/// ```
+///
+/// Release builds compile the check out entirely (the condition is not
+/// evaluated), exactly like `debug_assert!`, but with a message prefix that
+/// makes invariant failures greppable in CI logs.
+#[macro_export]
+macro_rules! debug_invariant {
+    ($cond:expr $(,)?) => {
+        if cfg!(debug_assertions) && !$cond {
+            ::std::panic!("invariant violated: {}", ::std::stringify!($cond));
+        }
+    };
+    ($cond:expr, $($msg:tt)+) => {
+        if cfg!(debug_assertions) && !$cond {
+            ::std::panic!(
+                "invariant violated: {}: {}",
+                ::std::stringify!($cond),
+                ::std::format_args!($($msg)+)
+            );
+        }
+    };
+}
+
+/// Total-order key for an `f64`: orders like [`f64::total_cmp`]
+/// (−NaN < −∞ < … < −0 < +0 < … < +∞ < +NaN), usable with
+/// `sort_by_key` / `max_by_key`.
+///
+/// ```
+/// use automodel_invariant::f64_key;
+/// let mut v = vec![2.0f64, f64::NAN, 1.0];
+/// v.sort_by_key(|x| f64_key(*x));
+/// assert_eq!(v[0], 1.0);
+/// assert_eq!(v[1], 2.0);
+/// assert!(v[2].is_nan());
+/// ```
+#[must_use]
+pub fn f64_key(x: f64) -> u64 {
+    let bits = x.to_bits();
+    // Flip all bits of negatives, only the sign bit of non-negatives:
+    // maps the IEEE-754 encoding onto an order-preserving unsigned key.
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
+    }
+}
+
+/// NaN-safe descending comparison (largest first, NaN sorts last).
+/// Convenient for ranking fitness/accuracy lists.
+#[must_use]
+pub fn cmp_desc(a: f64, b: f64) -> Ordering {
+    // Reversing the total order would rank +NaN (the largest key) first;
+    // pull NaNs out so they always lose.
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => f64_key(b).cmp(&f64_key(a)),
+    }
+}
+
+/// Are all values finite? The invariant every fitness vector must satisfy.
+#[must_use]
+pub fn all_finite(values: &[f64]) -> bool {
+    values.iter().all(|v| v.is_finite())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_invariant_is_silent() {
+        debug_invariant!(1 + 1 == 2);
+        debug_invariant!(true, "with message {}", 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violated")]
+    fn failing_invariant_panics_in_debug() {
+        debug_invariant!(1 > 2, "impossible arithmetic");
+    }
+
+    #[test]
+    fn f64_key_is_order_preserving() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -0.0,
+            0.0,
+            1e-300,
+            1.5,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(f64_key(w[0]) <= f64_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert!(f64_key(f64::NAN) > f64_key(f64::INFINITY));
+        assert_eq!(f64_key(2.0).cmp(&f64_key(1.0)), 2.0f64.total_cmp(&1.0));
+    }
+
+    #[test]
+    fn cmp_desc_ranks_largest_first_nan_last() {
+        let mut v = [0.3, f64::NAN, 0.9, 0.1];
+        v.sort_by(|a, b| cmp_desc(*a, *b));
+        assert_eq!(v[0], 0.9);
+        assert_eq!(v[1], 0.3);
+        assert_eq!(v[2], 0.1);
+        assert!(v[3].is_nan());
+    }
+
+    #[test]
+    fn all_finite_spots_the_rot() {
+        assert!(all_finite(&[0.0, -1.0, 1e308]));
+        assert!(!all_finite(&[0.0, f64::NAN]));
+        assert!(!all_finite(&[f64::INFINITY]));
+        assert!(all_finite(&[]));
+    }
+}

@@ -14,7 +14,7 @@
 use crate::experience::{distinct_algorithms, instance_list, related_experiences, Experience};
 use crate::graph::InformationNetwork;
 use crate::paper::{rank_papers, Paper};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One acquired knowledge pair `(I, OA_I)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -46,7 +46,7 @@ impl Default for AcquisitionOptions {
 /// the intermediate graph.
 pub fn build_network(
     rinf: &[&Experience],
-    reliability: &HashMap<String, usize>,
+    reliability: &BTreeMap<String, usize>,
 ) -> InformationNetwork {
     // OACs: the best algorithms only (line 7).
     let oacs: BTreeSet<&str> = rinf.iter().map(|e| e.best.as_str()).collect();
@@ -57,7 +57,9 @@ pub fn build_network(
     // Line 8: edges best → other for others that are themselves candidates,
     // weighted by the providing paper's reliability (max over papers).
     for e in rinf {
-        let Some(&rel) = reliability.get(&e.paper) else { continue };
+        let Some(&rel) = reliability.get(&e.paper) else {
+            continue;
+        };
         for other in &e.others {
             if oacs.contains(other.as_str()) {
                 graph.add_edge(&e.best, other, rel);
@@ -105,7 +107,7 @@ pub fn knowledge_acquisition(
     papers: &[Paper],
     options: &AcquisitionOptions,
 ) -> Vec<KnowledgePair> {
-    let reliability: HashMap<String, usize> = rank_papers(papers).into_iter().collect();
+    let reliability: BTreeMap<String, usize> = rank_papers(papers).into_iter().collect();
     let mut crelations = Vec::new();
     for instance in instance_list(infall) {
         let rinf = related_experiences(infall, &instance);
@@ -127,6 +129,7 @@ pub fn knowledge_acquisition(
             .iter()
             .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(a.1)))
             .map(|&(s, c)| (s, c.clone()))
+            // lint:allow(no-panic-lib): `candidates.is_empty()` returned above
             .expect("candidates nonempty");
         crelations.push(KnowledgePair {
             instance,
@@ -159,7 +162,11 @@ mod tests {
     #[test]
     fn acquires_the_undominated_candidate() {
         let infall = vec![
-            rich_experience("strong", "RandomForest", &["J48", "NaiveBayes", "OneR", "ZeroR", "IBk"]),
+            rich_experience(
+                "strong",
+                "RandomForest",
+                &["J48", "NaiveBayes", "OneR", "ZeroR", "IBk"],
+            ),
             rich_experience("mid", "J48", &["OneR", "ZeroR"]),
         ];
         let pairs = knowledge_acquisition(&infall, &papers(), &AcquisitionOptions::default());

@@ -286,9 +286,9 @@ mod tests {
             .filter(|e| {
                 let ranking = &corpus.true_rankings[&e.instance];
                 let best_rank = ranking.iter().position(|a| a == &e.best).unwrap();
-                e.others.iter().any(|o| {
-                    ranking.iter().position(|a| a == o).unwrap() < best_rank
-                })
+                e.others
+                    .iter()
+                    .any(|o| ranking.iter().position(|a| a == o).unwrap() < best_rank)
             })
             .count();
         assert!(misreports > 0, "expected at least one planted conflict");

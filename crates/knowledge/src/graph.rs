@@ -10,6 +10,7 @@
 //! and path-order independent. Contradictory pairs (`A→B` and `B→A`) keep
 //! only the more reliable direction; exact ties drop both.
 
+use automodel_invariant::debug_invariant;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Directed reliability-weighted graph over algorithm names.
@@ -70,25 +71,76 @@ impl InformationNetwork {
     /// Transitive closure where a derived edge's reliability is the widest
     /// (max-min) path weight (Algorithm 1, lines 10–11).
     pub fn close_transitively(&mut self) {
+        let original = if cfg!(debug_assertions) {
+            Some(self.edges.clone())
+        } else {
+            None
+        };
         let nodes: Vec<String> = self.nodes.iter().cloned().collect();
         for k in &nodes {
             for i in &nodes {
                 if i == k {
                     continue;
                 }
-                let Some(w_ik) = self.edge(i, k) else { continue };
+                let Some(w_ik) = self.edge(i, k) else {
+                    continue;
+                };
                 for j in &nodes {
                     if j == i || j == k {
                         continue;
                     }
-                    let Some(w_kj) = self.edge(k, j) else { continue };
+                    let Some(w_kj) = self.edge(k, j) else {
+                        continue;
+                    };
                     let through = w_ik.min(w_kj);
                     let current = self.edge(i, j).unwrap_or(0);
                     if through > current {
-                        self.edges
-                            .insert((i.clone(), j.clone()), through);
+                        self.edges.insert((i.clone(), j.clone()), through);
                     }
                 }
+            }
+        }
+        if let Some(original) = original {
+            self.check_closure_invariants(&original);
+        }
+    }
+
+    /// Debug-build check that `close_transitively` computed exactly the
+    /// widest (max-min) paths of the original graph: every derived edge's
+    /// reliability equals the best achievable weakest-link weight, computed
+    /// here independently by per-source relaxation (the paper's per-node
+    /// BFS formulation). Equality in both directions also proves the
+    /// closure is idempotent — a second pass would find nothing to widen.
+    fn check_closure_invariants(&self, original: &BTreeMap<(String, String), usize>) {
+        for source in &self.nodes {
+            // Widest-path weights from `source` over the original edges.
+            let mut best: BTreeMap<&str, usize> = BTreeMap::new();
+            let mut changed = true;
+            while changed {
+                changed = false;
+                for ((from, to), &w) in original {
+                    let via = if from == source {
+                        w
+                    } else {
+                        best.get(from.as_str()).copied().unwrap_or(0).min(w)
+                    };
+                    if via > best.get(to.as_str()).copied().unwrap_or(0) {
+                        best.insert(to, via);
+                        changed = true;
+                    }
+                }
+            }
+            for target in &self.nodes {
+                if target == source {
+                    continue;
+                }
+                let derived = self.edge(source, target).unwrap_or(0);
+                let widest = best.get(target.as_str()).copied().unwrap_or(0);
+                debug_invariant!(
+                    derived == widest,
+                    "closure edge {source}->{target} has reliability {derived}, \
+                     widest original path gives {widest}"
+                );
             }
         }
     }
@@ -118,6 +170,12 @@ impl InformationNetwork {
                 }
             }
         }
+        debug_invariant!(
+            self.edges
+                .keys()
+                .all(|(f, t)| !self.edges.contains_key(&(t.clone(), f.clone()))),
+            "a contradictory edge pair survived conflict resolution"
+        );
     }
 
     /// Nodes with no incoming edges (Algorithm 1, line 13: the provably

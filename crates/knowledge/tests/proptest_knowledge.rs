@@ -1,40 +1,41 @@
-//! Property tests: Algorithm 1 invariants under arbitrary corpora.
+//! Seeded property tests: Algorithm 1 invariants under arbitrary corpora.
+//! Cases are generated from explicit seeds (no proptest: the build is
+//! offline, and deterministic replay is a workspace invariant).
 
 use automodel_knowledge::graph::InformationNetwork;
-use automodel_knowledge::{
-    knowledge_acquisition, AcquisitionOptions, CorpusSpec, Experience,
-};
-use proptest::prelude::*;
+use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, CorpusSpec, Experience};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
 const ALGOS: [&str; 9] = ["A", "B", "C", "D", "E", "F", "G", "H", "I"];
 
-fn corpus_strategy() -> impl Strategy<Value = automodel_knowledge::Corpus> {
-    (
-        2usize..10,   // instances
-        3usize..25,   // papers
-        0.0f64..0.7,  // noise
-        0u64..10_000, // seed
-    )
-        .prop_map(|(instances, papers, noise, seed)| {
-            let mut rankings = BTreeMap::new();
-            for i in 0..instances {
-                let mut order: Vec<String> = ALGOS.iter().map(|s| s.to_string()).collect();
-                order.rotate_left(i % ALGOS.len());
-                rankings.insert(format!("ds{i}"), order);
-            }
-            let mut spec = CorpusSpec::new(rankings, seed);
-            spec.n_papers = papers;
-            spec.noise = noise;
-            spec.build()
-        })
+fn random_corpus(rng: &mut StdRng) -> automodel_knowledge::Corpus {
+    let instances = rng.gen_range(2usize..10);
+    let papers = rng.gen_range(3usize..25);
+    let noise = rng.gen_range(0.0f64..0.7);
+    let seed = rng.gen_range(0u64..10_000);
+    let mut rankings = BTreeMap::new();
+    for i in 0..instances {
+        let mut order: Vec<String> = ALGOS.iter().map(|s| s.to_string()).collect();
+        order.rotate_left(i % ALGOS.len());
+        rankings.insert(format!("ds{i}"), order);
+    }
+    let mut spec = CorpusSpec::new(rankings, seed);
+    spec.n_papers = papers;
+    spec.noise = noise;
+    spec.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
 
-    #[test]
-    fn acquisition_output_is_well_formed(corpus in corpus_strategy()) {
+#[test]
+fn acquisition_output_is_well_formed() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(41, case);
+        let corpus = random_corpus(&mut rng);
         let pairs = knowledge_acquisition(
             &corpus.experiences,
             &corpus.papers,
@@ -42,39 +43,50 @@ proptest! {
         );
         for pair in &pairs {
             // The instance came from the corpus.
-            prop_assert!(corpus.true_rankings.contains_key(&pair.instance));
+            assert!(
+                corpus.true_rankings.contains_key(&pair.instance),
+                "case {case}"
+            );
             // The winner was reported as best by at least one paper.
-            prop_assert!(
-                corpus.experiences.iter().any(|e| {
-                    e.instance == pair.instance && e.best == pair.best_algorithm
-                }),
-                "{} won {} without any paper naming it best",
+            assert!(
+                corpus
+                    .experiences
+                    .iter()
+                    .any(|e| e.instance == pair.instance && e.best == pair.best_algorithm),
+                "case {case}: {} won {} without any paper naming it best",
                 pair.best_algorithm,
                 pair.instance
             );
             // The winner is among the surviving candidates.
-            prop_assert!(pair.final_candidates.contains(&pair.best_algorithm));
+            assert!(
+                pair.final_candidates.contains(&pair.best_algorithm),
+                "case {case}"
+            );
         }
         // At most one pair per instance.
         let mut instances: Vec<&str> = pairs.iter().map(|p| p.instance.as_str()).collect();
         instances.sort_unstable();
         let before = instances.len();
         instances.dedup();
-        prop_assert_eq!(before, instances.len());
+        assert_eq!(before, instances.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn acquisition_is_deterministic(corpus in corpus_strategy()) {
+#[test]
+fn acquisition_is_deterministic() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(42, case);
+        let corpus = random_corpus(&mut rng);
         let opts = AcquisitionOptions { min_algorithms: 3 };
         let a = knowledge_acquisition(&corpus.experiences, &corpus.papers, &opts);
         let b = knowledge_acquisition(&corpus.experiences, &corpus.papers, &opts);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn noise_free_acquisition_never_contradicts_planted_truth_ordering(
-        seed in 0u64..2000
-    ) {
+#[test]
+fn noise_free_acquisition_never_contradicts_planted_truth_ordering() {
+    for seed in 0..48u64 {
         // With zero noise every reported relation is truthful, so whatever
         // Algorithm 1 picks must never be *worse in the planted ranking*
         // than an algorithm it was compared against and beat.
@@ -94,29 +106,43 @@ proptest! {
         );
         for pair in &pairs {
             let ranking = &corpus.true_rankings[&pair.instance];
-            let win_rank = ranking.iter().position(|a| a == &pair.best_algorithm).unwrap();
+            let win_rank = ranking
+                .iter()
+                .position(|a| a == &pair.best_algorithm)
+                .unwrap();
             // No experience may show an algorithm with better planted rank
             // beating the winner (that would mean Algorithm 1 kept a
             // dominated node as a source).
-            for e in corpus.experiences.iter().filter(|e| e.instance == pair.instance) {
+            for e in corpus
+                .experiences
+                .iter()
+                .filter(|e| e.instance == pair.instance)
+            {
                 if e.others.contains(&pair.best_algorithm) {
                     let best_rank = ranking.iter().position(|a| a == &e.best).unwrap();
-                    prop_assert!(
+                    assert!(
                         best_rank < win_rank,
-                        "{}: winner {} was beaten by {} yet survived as source",
-                        pair.instance, pair.best_algorithm, e.best
+                        "seed {seed} {}: winner {} was beaten by {} yet survived as source",
+                        pair.instance,
+                        pair.best_algorithm,
+                        e.best
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn conflict_resolution_leaves_no_mutual_edges(
-        edges in prop::collection::vec((0usize..6, 0usize..6, 0usize..20), 1..40)
-    ) {
+#[test]
+fn conflict_resolution_leaves_no_mutual_edges() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(44, case);
+        let n_edges = rng.gen_range(1usize..40);
         let mut g = InformationNetwork::new();
-        for (from, to, w) in edges {
+        for _ in 0..n_edges {
+            let from = rng.gen_range(0usize..6);
+            let to = rng.gen_range(0usize..6);
+            let w = rng.gen_range(0usize..20);
             g.add_edge(&format!("n{from}"), &format!("n{to}"), w);
         }
         g.close_transitively();
@@ -126,20 +152,25 @@ proptest! {
             .map(|(f, t, _)| (f.to_string(), t.to_string()))
             .collect();
         for (f, t) in &all {
-            prop_assert!(
+            assert!(
                 !all.contains(&(t.clone(), f.clone())),
-                "mutual edge {f} <-> {t} survived"
+                "case {case}: mutual edge {f} <-> {t} survived"
             );
         }
     }
+}
 
-    #[test]
-    fn closure_never_decreases_reachability(
-        edges in prop::collection::vec((0usize..5, 0usize..5, 1usize..10), 1..20)
-    ) {
+#[test]
+fn closure_never_decreases_reachability() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(45, case);
+        let n_edges = rng.gen_range(1usize..20);
         let mut g = InformationNetwork::new();
-        for (from, to, w) in &edges {
-            g.add_edge(&format!("n{from}"), &format!("n{to}"), *w);
+        for _ in 0..n_edges {
+            let from = rng.gen_range(0usize..5);
+            let to = rng.gen_range(0usize..5);
+            let w = rng.gen_range(1usize..10);
+            g.add_edge(&format!("n{from}"), &format!("n{to}"), w);
         }
         let before: Vec<usize> = (0..5)
             .map(|i| g.descendants(&format!("n{i}")).len())
@@ -149,22 +180,26 @@ proptest! {
             .map(|i| g.descendants(&format!("n{i}")).len())
             .collect();
         for (b, a) in before.iter().zip(&after) {
-            prop_assert!(a >= b);
-        }
-    }
-
-    #[test]
-    fn experiences_never_list_best_among_others(corpus in corpus_strategy()) {
-        for e in &corpus.experiences {
-            prop_assert!(!e.others.contains(&e.best));
-            prop_assert!(!e.others.is_empty());
+            assert!(a >= b, "case {case}: reachability shrank");
         }
     }
 }
 
-/// Non-proptest regression: two papers whose four Table I bases all tie are
-/// still ranked deterministically (id tiebreak), so a head-to-head
-/// contradiction resolves to exactly one candidate — reproducibly.
+#[test]
+fn experiences_never_list_best_among_others() {
+    for case in 0..48u64 {
+        let mut rng = case_rng(46, case);
+        let corpus = random_corpus(&mut rng);
+        for e in &corpus.experiences {
+            assert!(!e.others.contains(&e.best), "case {case}");
+            assert!(!e.others.is_empty(), "case {case}");
+        }
+    }
+}
+
+/// Regression: two papers whose four Table I bases all tie are still ranked
+/// deterministically (id tiebreak), so a head-to-head contradiction
+/// resolves to exactly one candidate — reproducibly.
 #[test]
 fn tied_papers_still_resolve_deterministically() {
     use automodel_knowledge::paper::{Paper, PaperLevel, VenueType};

@@ -117,9 +117,7 @@ impl Classifier for NaiveBayes {
                     let stats = means
                         .iter()
                         .zip(vars.iter().zip(&ns))
-                        .map(|(&m, (&v, &n))| {
-                            (m, if n > 1.0 { (v / n).max(1e-6) } else { 1.0 })
-                        })
+                        .map(|(&m, (&v, &n))| (m, if n > 1.0 { (v / n).max(1e-6) } else { 1.0 }))
                         .collect();
                     AttrModel::Gaussian { stats }
                 }
@@ -353,8 +351,12 @@ struct BayesNet {
     log_prior: Vec<f64>,
     /// Per attribute: parent attribute (or None) and the CPT
     /// `log p(value | class, parent_value)` indexed `[class][parent_val][value]`.
-    attrs: Vec<(Option<usize>, Vec<Vec<Vec<f64>>>)>,
+    attrs: Vec<AttrCpt>,
 }
+
+/// Parent attribute (or None) plus the conditional probability table
+/// indexed `[class][parent_value][value]`.
+type AttrCpt = (Option<usize>, Vec<Vec<Vec<f64>>>);
 
 impl BayesNet {
     /// Conditional mutual information I(Xi; Xj | C) over discrete values.
@@ -468,7 +470,9 @@ impl Classifier for BayesNet {
                 let ap = parent[i].map_or(1, |p| disc.arity(data, p).max(1));
                 let mut table = vec![vec![vec![self.laplace; ai]; ap]; k];
                 for &r in rows {
-                    let Some(vi) = disc.value(data, r, i) else { continue };
+                    let Some(vi) = disc.value(data, r, i) else {
+                        continue;
+                    };
                     let pv = match parent[i] {
                         Some(p) => match disc.value(data, r, p) {
                             Some(v) => v,
@@ -501,7 +505,9 @@ impl Classifier for BayesNet {
         let disc = self.disc.as_ref().expect("predict before fit");
         let mut log_post = self.log_prior.clone();
         for (i, (parent, table)) in self.attrs.iter().enumerate() {
-            let Some(vi) = disc.value(data, row, i) else { continue };
+            let Some(vi) = disc.value(data, row, i) else {
+                continue;
+            };
             let pv = match parent {
                 Some(p) => match disc.value(data, row, *p) {
                     Some(v) => v,
@@ -582,7 +588,9 @@ impl Classifier for Aode {
             .iter()
             .map(|&r| CachedRow {
                 label: data.label(r),
-                values: (0..data.n_attrs()).map(|a| disc.value(data, r, a)).collect(),
+                values: (0..data.n_attrs())
+                    .map(|a| disc.value(data, r, a))
+                    .collect(),
             })
             .collect();
         self.disc = Some(disc);
@@ -598,8 +606,7 @@ impl Classifier for Aode {
         let n_attrs = data.n_attrs();
         let k = self.n_classes;
         let n = self.rows_cache.len() as f64;
-        let query: Vec<Option<usize>> =
-            (0..n_attrs).map(|a| disc.value(data, row, a)).collect();
+        let query: Vec<Option<usize>> = (0..n_attrs).map(|a| disc.value(data, row, a)).collect();
 
         let mut posterior = vec![0.0; k];
         let mut used_parents = 0usize;
@@ -625,11 +632,11 @@ impl Classifier for Aode {
                 let arity_p = disc.arity(data, p).max(1) as f64;
                 let mut log_joint =
                     ((c_and_p + self.laplace) / (n + self.laplace * k as f64 * arity_p)).ln();
-                for a in 0..n_attrs {
+                for (a, qa) in query.iter().enumerate().take(n_attrs) {
                     if a == p {
                         continue;
                     }
-                    let Some(av) = query[a] else { continue };
+                    let Some(av) = *qa else { continue };
                     let match_all = self
                         .rows_cache
                         .iter()
@@ -638,9 +645,8 @@ impl Classifier for Aode {
                         })
                         .count() as f64;
                     let arity_a = disc.arity(data, a).max(1) as f64;
-                    log_joint += ((match_all + self.laplace)
-                        / (c_and_p + self.laplace * arity_a))
-                        .ln();
+                    log_joint +=
+                        ((match_all + self.laplace) / (c_and_p + self.laplace * arity_a)).ln();
                 }
                 *post += log_joint.exp();
             }
@@ -740,7 +746,9 @@ mod tests {
         let d = Dataset::builder("g")
             .numeric(
                 "x",
-                (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect(),
+                (0..100)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+                    .collect(),
             )
             .target(
                 "y",
@@ -823,7 +831,11 @@ mod tests {
     #[test]
     fn probabilities_are_distributions() {
         let d = mixed();
-        for spec in [&NaiveBayesSpec as &dyn AlgorithmSpec, &BayesNetSpec, &AodeSpec] {
+        for spec in [
+            &NaiveBayesSpec as &dyn AlgorithmSpec,
+            &BayesNetSpec,
+            &AodeSpec,
+        ] {
             let c = spec.default_config();
             let mut m = spec.build(&c, 0);
             m.fit(&d, &(0..200).collect::<Vec<_>>()).unwrap();

@@ -67,7 +67,10 @@ impl Classifier for Logistic {
     fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
         let dense = self.fit.as_ref().expect("predict before fit");
         let x = dense.encode(data, row);
-        self.model.as_ref().expect("predict before fit").predict_proba(&x)
+        self.model
+            .as_ref()
+            .expect("predict before fit")
+            .predict_proba(&x)
     }
 }
 
@@ -158,7 +161,10 @@ impl Classifier for Mlp {
     fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
         let dense = self.fit.as_ref().expect("predict before fit");
         let x = dense.encode(data, row);
-        self.model.as_ref().expect("predict before fit").predict_proba(&x)
+        self.model
+            .as_ref()
+            .expect("predict before fit")
+            .predict_proba(&x)
     }
 }
 
@@ -281,7 +287,13 @@ impl Classifier for LinearSvm {
                     .iter()
                     .map(|&l| if l == class { 1.0 } else { -1.0 })
                     .collect();
-                pegasos_binary(&dense.xs, &ys, self.c, self.epochs, self.seed ^ class as u64)
+                pegasos_binary(
+                    &dense.xs,
+                    &ys,
+                    self.c,
+                    self.epochs,
+                    self.seed ^ class as u64,
+                )
             })
             .collect();
         self.fit = Some(dense);
@@ -295,11 +307,7 @@ impl Classifier for LinearSvm {
     fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
         let dense = self.fit.as_ref().expect("predict before fit");
         let x = dense.encode(data, row);
-        let scores: Vec<f64> = self
-            .models
-            .iter()
-            .map(|(w, b)| dot(w, &x) + b)
-            .collect();
+        let scores: Vec<f64> = self.models.iter().map(|(w, b)| dot(w, &x) + b).collect();
         softmax_like(scores)
     }
 }

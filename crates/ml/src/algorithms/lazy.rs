@@ -155,7 +155,11 @@ impl Classifier for KStar {
     fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
         let fit = self.fit.as_ref().expect("predict before fit");
         let query = fit.encode(data, row);
-        let dists: Vec<f64> = fit.xs.iter().map(|x| super::dense::sq_dist(x, &query).sqrt()).collect();
+        let dists: Vec<f64> = fit
+            .xs
+            .iter()
+            .map(|x| super::dense::sq_dist(x, &query).sqrt())
+            .collect();
         let d_min = dists.iter().copied().fold(f64::INFINITY, f64::min);
         let d_max = dists.iter().copied().fold(0.0f64, f64::max);
         let bandwidth = (d_min + self.blend * (d_max - d_min)).max(1e-6);
@@ -224,7 +228,11 @@ impl Classifier for Lwl {
         let query = fit.encode(data, row);
         let neighbors = k_nearest(&fit.xs, &query, self.k.min(fit.xs.len()));
         // Linear kernel weights over the neighborhood radius.
-        let radius = neighbors.last().map(|&(_, d)| d.sqrt()).unwrap_or(1.0).max(1e-9);
+        let radius = neighbors
+            .last()
+            .map(|&(_, d)| d.sqrt())
+            .unwrap_or(1.0)
+            .max(1e-9);
         let dim = fit.xs[0].len();
         let k = fit.n_classes;
         // Weighted Gaussian naive Bayes over the encoded features.
@@ -322,8 +330,16 @@ mod tests {
     use automodel_data::{SynthFamily, SynthSpec};
 
     fn blobs() -> Dataset {
-        SynthSpec::new("b", 200, 4, 1, 3, SynthFamily::GaussianBlobs { spread: 0.6 }, 3)
-            .generate()
+        SynthSpec::new(
+            "b",
+            200,
+            4,
+            1,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.6 },
+            3,
+        )
+        .generate()
     }
 
     fn cv(spec: &dyn AlgorithmSpec, d: &Dataset) -> f64 {
@@ -353,9 +369,17 @@ mod tests {
 
     #[test]
     fn ibk_k_matters_on_noisy_data() {
-        let d = SynthSpec::new("n", 300, 3, 0, 2, SynthFamily::GaussianBlobs { spread: 1.6 }, 5)
-            .with_label_noise(0.2)
-            .generate();
+        let d = SynthSpec::new(
+            "n",
+            300,
+            3,
+            0,
+            2,
+            SynthFamily::GaussianBlobs { spread: 1.6 },
+            5,
+        )
+        .with_label_noise(0.2)
+        .generate();
         let k1 = {
             let c = Config::new()
                 .with("k", ParamValue::Int(1))

@@ -36,8 +36,9 @@ fn build_base(name_index: usize, seed: u64) -> Box<dyn Classifier> {
             super::trees::RepTreeSpec.build(&super::trees::RepTreeSpec.default_config(), seed)
         }
         "J48" => super::trees::J48Spec.build(&super::trees::J48Spec.default_config(), seed),
-        _ => super::bayes::NaiveBayesSpec
-            .build(&super::bayes::NaiveBayesSpec.default_config(), seed),
+        _ => {
+            super::bayes::NaiveBayesSpec.build(&super::bayes::NaiveBayesSpec.default_config(), seed)
+        }
     }
 }
 
@@ -196,8 +197,9 @@ impl Classifier for Bagging {
         let bag_size = ((rows.len() as f64 * self.bag_fraction).round() as usize).max(1);
         self.models.clear();
         for b in 0..self.n_bags {
-            let sample: Vec<usize> =
-                (0..bag_size).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            let sample: Vec<usize> = (0..bag_size)
+                .map(|_| rows[rng.gen_range(0..rows.len())])
+                .collect();
             let mut model = build_base(self.base, self.seed ^ (b as u64) << 5);
             model.fit(data, &sample)?;
             self.models.push(model);
@@ -384,8 +386,8 @@ impl Classifier for LogitBoost {
                     z[i] = z[i].clamp(-4.0, 4.0);
                 }
                 let stump = RegStump::fit(&dense.xs, &z, &w);
-                for i in 0..n {
-                    f[i][class] += self.shrinkage * stump.predict(&dense.xs[i]);
+                for (fi, x) in f.iter_mut().zip(&dense.xs) {
+                    fi[class] += self.shrinkage * stump.predict(x);
                 }
                 round.push(stump);
             }
@@ -474,7 +476,9 @@ impl Classifier for SubspaceEnsemble {
             attrs.shuffle(&mut rng);
             attrs.truncate(subset_size);
             let sample: Vec<usize> = if self.bootstrap {
-                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect()
+                (0..rows.len())
+                    .map(|_| rows[rng.gen_range(0..rows.len())])
+                    .collect()
             } else {
                 rows.to_vec()
             };
@@ -901,10 +905,7 @@ mod tests {
         let d = SynthSpec::new("h", 300, 3, 0, 2, SynthFamily::Hyperplane, 53).generate();
         let boosted = cv(&AdaBoostM1Spec, &d);
         let stump = cv(&super::super::trees::DecisionStumpSpec, &d);
-        assert!(
-            boosted > stump + 0.02,
-            "boosted {boosted} vs stump {stump}"
-        );
+        assert!(boosted > stump + 0.02, "boosted {boosted} vs stump {stump}");
     }
 
     #[test]
@@ -929,8 +930,16 @@ mod tests {
 
     #[test]
     fn clustering_classifier_recovers_blobs() {
-        let d = SynthSpec::new("b", 240, 3, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 57)
-            .generate();
+        let d = SynthSpec::new(
+            "b",
+            240,
+            3,
+            0,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.5 },
+            57,
+        )
+        .generate();
         let acc = cv(&ClassificationViaClusteringSpec, &d);
         assert!(acc > 0.8, "accuracy = {acc}");
     }
@@ -976,15 +985,14 @@ impl Classifier for ClassificationViaRegression {
         }
         self.trees = (0..data.n_classes())
             .map(|class| {
-                let mut tree = crate::regression::RegressionTree::new(
-                    crate::regression::RegTreeParams {
+                let mut tree =
+                    crate::regression::RegressionTree::new(crate::regression::RegTreeParams {
                         max_depth: self.max_depth,
                         min_leaf: self.min_leaf,
                         min_split: 2 * self.min_leaf,
                         feature_subset: None,
                         seed: self.seed ^ class as u64,
-                    },
-                );
+                    });
                 let target = |r: usize| if data.label(r) == class { 1.0 } else { 0.0 };
                 tree.fit(data, rows, &target).map(|_| tree)
             })
@@ -1202,7 +1210,12 @@ struct Decorate {
 }
 
 impl Decorate {
-    fn ensemble_proba(models: &[Box<dyn Classifier>], data: &Dataset, row: usize, k: usize) -> Vec<f64> {
+    fn ensemble_proba(
+        models: &[Box<dyn Classifier>],
+        data: &Dataset,
+        row: usize,
+        k: usize,
+    ) -> Vec<f64> {
         let mut acc = vec![0.0; k];
         for m in models {
             for (a, p) in acc.iter_mut().zip(m.predict_proba(data, row)) {
@@ -1218,15 +1231,18 @@ impl Decorate {
         acc
     }
 
-    fn ensemble_error(models: &[Box<dyn Classifier>], data: &Dataset, rows: &[usize], k: usize) -> f64 {
+    fn ensemble_error(
+        models: &[Box<dyn Classifier>],
+        data: &Dataset,
+        rows: &[usize],
+        k: usize,
+    ) -> f64 {
         if rows.is_empty() {
             return 0.0;
         }
         let wrong = rows
             .iter()
-            .filter(|&&r| {
-                argmax(&Self::ensemble_proba(models, data, r, k)) != data.label(r)
-            })
+            .filter(|&&r| argmax(&Self::ensemble_proba(models, data, r, k)) != data.label(r))
             .count();
         wrong as f64 / rows.len() as f64
     }
@@ -1256,7 +1272,9 @@ impl Decorate {
                         .collect();
                     builder = builder.numeric(name.clone(), values);
                 }
-                Column::Categorical { name, categories, .. } => {
+                Column::Categorical {
+                    name, categories, ..
+                } => {
                     let values: Vec<u32> = (0..count)
                         .map(|_| {
                             let r = rows[rng.gen_range(0..rows.len())];
@@ -1302,9 +1320,12 @@ impl Decorate {
                 Column::Numeric { name, values } => {
                     builder = builder.numeric(name.clone(), values.clone());
                 }
-                Column::Categorical { name, values, categories } => {
-                    builder =
-                        builder.categorical(name.clone(), values.clone(), categories.clone());
+                Column::Categorical {
+                    name,
+                    values,
+                    categories,
+                } => {
+                    builder = builder.categorical(name.clone(), values.clone(), categories.clone());
                 }
             }
         }
@@ -1405,11 +1426,7 @@ fn concat_datasets(
     let mut labels: Vec<usize> = a_rows.iter().map(|&r| a.label(r)).collect();
     labels.extend(b_rows.iter().map(|&r| b.label(r)));
     builder
-        .target(
-            a.target().name.clone(),
-            labels,
-            a.target().classes.clone(),
-        )
+        .target(a.target().name.clone(), labels, a.target().classes.clone())
         .map_err(MlError::Data)
 }
 
@@ -1463,8 +1480,16 @@ mod extra_meta_tests {
 
     #[test]
     fn classification_via_regression_learns_blobs() {
-        let d = SynthSpec::new("b", 240, 4, 1, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 63)
-            .generate();
+        let d = SynthSpec::new(
+            "b",
+            240,
+            4,
+            1,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            63,
+        )
+        .generate();
         let acc = cv(&ClassificationViaRegressionSpec, &d);
         assert!(acc > 0.8, "accuracy = {acc}");
     }

@@ -203,8 +203,7 @@ impl Classifier for Vfi {
                         }
                         if self.weighted {
                             // Confidence weight: purity of the interval.
-                            let purity =
-                                row_votes.iter().copied().fold(0.0f64, f64::max);
+                            let purity = row_votes.iter().copied().fold(0.0f64, f64::max);
                             for v in row_votes.iter_mut() {
                                 *v *= purity;
                             }
@@ -294,16 +293,32 @@ mod tests {
 
     #[test]
     fn hyperpipes_separates_disjoint_ranges() {
-        let d = SynthSpec::new("b", 200, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 0.4 }, 41)
-            .generate();
+        let d = SynthSpec::new(
+            "b",
+            200,
+            4,
+            0,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.4 },
+            41,
+        )
+        .generate();
         let acc = cv(&HyperPipesSpec, &d);
         assert!(acc > 0.5, "HyperPipes accuracy = {acc}");
     }
 
     #[test]
     fn vfi_beats_chance_on_blobs() {
-        let d = SynthSpec::new("b", 250, 4, 2, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 43)
-            .generate();
+        let d = SynthSpec::new(
+            "b",
+            250,
+            4,
+            2,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            43,
+        )
+        .generate();
         let acc = cv(&VfiSpec, &d);
         assert!(acc > 0.6, "VFI accuracy = {acc}");
     }

@@ -263,8 +263,7 @@ fn grow_rule(
                     continue;
                 }
                 // FOIL gain: p (log(p/t) − log(p0/n0)).
-                let gain = pos[v]
-                    * ((pos[v] / tot[v]).max(1e-12).ln() - (p0 / n0).max(1e-12).ln());
+                let gain = pos[v] * ((pos[v] / tot[v]).max(1e-12).ln() - (p0 / n0).max(1e-12).ln());
                 if gain > 0.0 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                     best = Some((gain, Condition { attr, value: v }));
                 }
@@ -275,9 +274,7 @@ fn grow_rule(
         conditions.push(cond);
     }
 
-    if conditions.is_empty()
-        || covered.len() < min_coverage
-        || precision(&covered) < min_precision
+    if conditions.is_empty() || covered.len() < min_coverage || precision(&covered) < min_precision
     {
         return None;
     }
@@ -322,8 +319,7 @@ impl Classifier for JRip {
         let mut rules = Vec::new();
         for &target in order.iter().take(self.n_classes.saturating_sub(1)) {
             loop {
-                let remaining_pos =
-                    pending.iter().filter(|&&r| data.label(r) == target).count();
+                let remaining_pos = pending.iter().filter(|&&r| data.label(r) == target).count();
                 if remaining_pos < self.min_coverage {
                     break;
                 }
@@ -529,14 +525,11 @@ impl Classifier for Ridor {
             if target == default {
                 continue;
             }
-            loop {
-                match grow_rule(data, &disc, &pending, target, self.min_coverage, 0.75, 3) {
-                    Some(rule) => {
-                        pending.retain(|&r| !rule.covers(&disc, data, r));
-                        rules.push(rule);
-                    }
-                    None => break,
-                }
+            while let Some(rule) =
+                grow_rule(data, &disc, &pending, target, self.min_coverage, 0.75, 3)
+            {
+                pending.retain(|&r| !rule.covers(&disc, data, r));
+                rules.push(rule);
             }
         }
         self.list = RuleList {
@@ -606,7 +599,11 @@ mod tests {
     fn zeror_predicts_majority_exactly() {
         let d = Dataset::builder("z")
             .numeric("x", vec![0.0; 10])
-            .target("y", vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1], default_class_names(2))
+            .target(
+                "y",
+                vec![0, 0, 0, 0, 0, 0, 0, 1, 1, 1],
+                default_class_names(2),
+            )
             .unwrap();
         let acc = cv(&ZeroRSpec, &d);
         assert!((acc - 0.7).abs() < 0.15, "zero-r accuracy = {acc}");
@@ -671,8 +668,8 @@ mod tests {
                 .copied()
                 .filter(|&r| rule.covers(&disc, &d, r))
                 .collect();
-            let precision = covered.iter().filter(|&&r| d.label(r) == 0).count() as f64
-                / covered.len() as f64;
+            let precision =
+                covered.iter().filter(|&&r| d.label(r) == 0).count() as f64 / covered.len() as f64;
             assert!(precision >= 0.8, "precision = {precision}");
             assert!(covered.len() >= 3);
         }

@@ -268,7 +268,10 @@ impl Classifier for RandomTreeLike {
         Ok(())
     }
     fn predict(&self, data: &Dataset, row: usize) -> usize {
-        self.inner.as_ref().expect("predict before fit").predict(data, row)
+        self.inner
+            .as_ref()
+            .expect("predict before fit")
+            .predict(data, row)
     }
     fn predict_proba(&self, data: &Dataset, row: usize) -> Vec<f64> {
         self.inner
@@ -338,14 +341,13 @@ impl<F: Fn(u64) -> Box<dyn Classifier> + Send> LeafModelTree<F> {
         tree.predict_proba(data, row)
     }
 
-    fn find_model(&self, sig: &[f64]) -> Option<&Box<dyn Classifier>> {
+    fn find_model(&self, sig: &[f64]) -> Option<&dyn Classifier> {
         self.leaf_models
             .iter()
             .find(|(s, _)| {
-                s.len() == sig.len()
-                    && s.iter().zip(sig).all(|(a, b)| (a - b).abs() < 1e-12)
+                s.len() == sig.len() && s.iter().zip(sig).all(|(a, b)| (a - b).abs() < 1e-12)
             })
-            .map(|(_, m)| m)
+            .map(|(_, m)| m.as_ref())
     }
 }
 
@@ -514,13 +516,15 @@ impl Classifier for RandomForest {
         self.trees.clear();
         for t in 0..self.n_trees {
             // Bootstrap sample.
-            let sample: Vec<usize> =
-                (0..rows.len()).map(|_| rows[rng.gen_range(0..rows.len())]).collect();
+            let sample: Vec<usize> = (0..rows.len())
+                .map(|_| rows[rng.gen_range(0..rows.len())])
+                .collect();
             let config = Config::new()
                 .with("k", ParamValue::Int(self.k as i64))
                 .with("max_depth", ParamValue::Int(self.max_depth as i64))
                 .with("min_leaf", ParamValue::Int(1));
-            let mut tree = RandomTreeLike::new(&config, self.seed ^ (t as u64).wrapping_mul(0x9E37));
+            let mut tree =
+                RandomTreeLike::new(&config, self.seed ^ (t as u64).wrapping_mul(0x9E37));
             tree.fit(data, &sample)?;
             self.trees.push(tree);
         }
@@ -599,8 +603,16 @@ mod tests {
     }
 
     fn blob_data() -> Dataset {
-        SynthSpec::new("b", 300, 5, 1, 3, SynthFamily::GaussianBlobs { spread: 0.8 }, 13)
-            .generate()
+        SynthSpec::new(
+            "b",
+            300,
+            5,
+            1,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            13,
+        )
+        .generate()
     }
 
     #[test]

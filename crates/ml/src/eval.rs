@@ -71,8 +71,16 @@ mod tests {
 
     #[test]
     fn cv_accuracy_is_high_on_separable_data() {
-        let d = SynthSpec::new("s", 300, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 0.5 }, 1)
-            .generate();
+        let d = SynthSpec::new(
+            "s",
+            300,
+            4,
+            0,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.5 },
+            1,
+        )
+        .generate();
         let acc = cross_val_accuracy(tree_factory, &d, 5, 42).unwrap();
         assert!(acc > 0.85, "cv accuracy = {acc}");
     }

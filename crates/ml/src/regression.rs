@@ -72,7 +72,11 @@ impl Node {
                 right,
             } => {
                 let v = data.columns()[*col].numeric_at(row).unwrap_or(f64::NAN);
-                let go_left = if v.is_nan() { *missing_left } else { v <= *threshold };
+                let go_left = if v.is_nan() {
+                    *missing_left
+                } else {
+                    v <= *threshold
+                };
                 if go_left {
                     left.predict(data, row)
                 } else {
@@ -109,7 +113,9 @@ fn mean_of(target: &dyn Fn(usize) -> f64, rows: &[usize]) -> f64 {
 
 fn sse_of(target: &dyn Fn(usize) -> f64, rows: &[usize]) -> f64 {
     let m = mean_of(target, rows);
-    rows.iter().map(|&r| (target(r) - m) * (target(r) - m)).sum()
+    rows.iter()
+        .map(|&r| (target(r) - m) * (target(r) - m))
+        .sum()
 }
 
 /// A fitted regression tree.
@@ -231,13 +237,10 @@ impl RegressionTree {
                                 None => {}
                             }
                         }
-                        if left.len() < self.params.min_leaf
-                            || right.len() < self.params.min_leaf
-                        {
+                        if left.len() < self.params.min_leaf || right.len() < self.params.min_leaf {
                             continue;
                         }
-                        let gain =
-                            parent_sse - sse_of(target, &left) - sse_of(target, &right);
+                        let gain = parent_sse - sse_of(target, &left) - sse_of(target, &right);
                         if gain > 1e-12 && best.as_ref().is_none_or(|(g, _)| gain > *g) {
                             best = Some((gain, Split::Cat { col, category: cat }));
                         }

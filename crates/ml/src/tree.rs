@@ -42,10 +42,14 @@ pub enum Pruning {
     None,
     /// Hold out this fraction of the training rows and prune bottom-up
     /// wherever a leaf does no worse on the holdout.
-    ReducedError { fraction: f64 },
+    ReducedError {
+        fraction: f64,
+    },
     /// C4.5-style pessimistic pruning on the training counts with a
     /// continuity correction of `penalty` errors per leaf.
-    Pessimistic { penalty: f64 },
+    Pessimistic {
+        penalty: f64,
+    },
 }
 
 /// Full tree configuration.
@@ -148,7 +152,12 @@ impl Node {
                 1 + left.depth().max(right.depth())
             }
             Node::CatMulti { children, .. } => {
-                1 + children.iter().flatten().map(|c| c.depth()).max().unwrap_or(0)
+                1 + children
+                    .iter()
+                    .flatten()
+                    .map(|c| c.depth())
+                    .max()
+                    .unwrap_or(0)
             }
         }
     }
@@ -165,7 +174,11 @@ impl Node {
                 ..
             } => {
                 let v = data.columns()[*col].numeric_at(row).unwrap_or(f64::NAN);
-                let go_left = if v.is_nan() { *missing_left } else { v <= *threshold };
+                let go_left = if v.is_nan() {
+                    *missing_left
+                } else {
+                    v <= *threshold
+                };
                 if go_left {
                     left.route(data, row)
                 } else {
@@ -276,17 +289,9 @@ impl DecisionTree {
         self.root.as_ref().map_or(0, Node::depth)
     }
 
-    fn build(
-        &self,
-        data: &Dataset,
-        rows: &[usize],
-        depth: usize,
-        rng: &mut StdRng,
-    ) -> Node {
+    fn build(&self, data: &Dataset, rows: &[usize], depth: usize, rng: &mut StdRng) -> Node {
         let dist = class_distribution(data, rows, 1e-9);
-        let leaf = || Node::Leaf {
-            dist: dist.clone(),
-        };
+        let leaf = || Node::Leaf { dist: dist.clone() };
         if depth >= self.params.max_depth
             || rows.len() < self.params.min_split
             || is_pure(data, rows)
@@ -524,7 +529,10 @@ impl DecisionTree {
                 parent[data.label(r)] += 1.0;
             }
         }
-        let observed = branches.iter().filter(|b| b.iter().sum::<f64>() > 0.0).count();
+        let observed = branches
+            .iter()
+            .filter(|b| b.iter().sum::<f64>() > 0.0)
+            .count();
         if observed < 2 {
             return None;
         }
@@ -593,7 +601,11 @@ impl DecisionTree {
                         let (mut lrows, mut rrows) = (vec![], vec![]);
                         for &r in prune_rows {
                             let v = data.columns()[col].numeric_at(r).unwrap_or(f64::NAN);
-                            let go_left = if v.is_nan() { missing_left } else { v <= threshold };
+                            let go_left = if v.is_nan() {
+                                missing_left
+                            } else {
+                                v <= threshold
+                            };
                             if go_left {
                                 lrows.push(r)
                             } else {
@@ -657,9 +669,7 @@ impl DecisionTree {
                             .into_iter()
                             .zip(buckets.iter())
                             .map(|(child, bucket)| {
-                                child.map(|c| {
-                                    Box::new(Self::prune_reduced_error(*c, data, bucket))
-                                })
+                                child.map(|c| Box::new(Self::prune_reduced_error(*c, data, bucket)))
                             })
                             .collect();
                         Node::CatMulti {
@@ -715,7 +725,11 @@ impl DecisionTree {
                         let (mut lrows, mut rrows) = (vec![], vec![]);
                         for &r in rows {
                             let v = data.columns()[col].numeric_at(r).unwrap_or(f64::NAN);
-                            let go_left = if v.is_nan() { missing_left } else { v <= threshold };
+                            let go_left = if v.is_nan() {
+                                missing_left
+                            } else {
+                                v <= threshold
+                            };
                             if go_left {
                                 lrows.push(r)
                             } else {
@@ -802,8 +816,10 @@ impl DecisionTree {
                     .count() as f64;
                 let dist = node.dist().to_vec();
                 let leaf_class = argmax(&dist);
-                let leaf_errors =
-                    rows.iter().filter(|&&r| data.label(r) != leaf_class).count() as f64;
+                let leaf_errors = rows
+                    .iter()
+                    .filter(|&&r| data.label(r) != leaf_class)
+                    .count() as f64;
                 let n_leaves = node.n_leaves() as f64;
                 if leaf_errors + penalty <= subtree_errors + penalty * n_leaves {
                     Node::Leaf { dist }
@@ -963,8 +979,8 @@ mod tests {
 
     #[test]
     fn reduced_error_pruning_shrinks_noisy_trees() {
-        let spec = SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 7)
-            .with_label_noise(0.25);
+        let spec =
+            SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 7).with_label_noise(0.25);
         let d = spec.generate();
         let mut unpruned = DecisionTree::new(TreeParams::default());
         unpruned.fit(&d, &all_rows(&d)).unwrap();
@@ -983,8 +999,8 @@ mod tests {
 
     #[test]
     fn pessimistic_pruning_shrinks_noisy_trees() {
-        let spec = SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 9)
-            .with_label_noise(0.25);
+        let spec =
+            SynthSpec::new("n", 400, 4, 0, 2, SynthFamily::Hyperplane, 9).with_label_noise(0.25);
         let d = spec.generate();
         let mut unpruned = DecisionTree::new(TreeParams::default());
         unpruned.fit(&d, &all_rows(&d)).unwrap();

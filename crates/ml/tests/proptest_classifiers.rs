@@ -1,39 +1,54 @@
-//! Property tests: classifier contract across the fast registry and
+//! Seeded property tests: classifier contract across the fast registry and
 //! arbitrary dataset shapes — fit never panics on applicable data,
 //! predictions are in range, probability vectors are distributions.
+//! Cases are generated from explicit seeds (no proptest: the build is
+//! offline, and deterministic replay is a workspace invariant).
 
 use automodel_data::{SynthFamily, SynthSpec};
 use automodel_ml::Registry;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn spec_strategy() -> impl Strategy<Value = SynthSpec> {
-    (
-        prop_oneof![
-            Just(SynthFamily::GaussianBlobs { spread: 1.0 }),
-            Just(SynthFamily::Hyperplane),
-            Just(SynthFamily::RuleBased { depth: 3 }),
-            Just(SynthFamily::Mixed),
-        ],
-        30usize..120,
-        0usize..5,
-        0usize..4,
-        2usize..4,
-        0.0f64..0.25, // missing rate
-        0u64..5_000,
+fn random_spec(rng: &mut StdRng) -> SynthSpec {
+    let family = match rng.gen_range(0..4usize) {
+        0 => SynthFamily::GaussianBlobs { spread: 1.0 },
+        1 => SynthFamily::Hyperplane,
+        2 => SynthFamily::RuleBased { depth: 3 },
+        _ => SynthFamily::Mixed,
+    };
+    let rows = rng.gen_range(30usize..120);
+    let numeric = rng.gen_range(0usize..5);
+    let categorical = rng.gen_range(0usize..4);
+    let classes = rng.gen_range(2usize..4);
+    let missing = rng.gen_range(0.0f64..0.25);
+    let seed = rng.gen_range(0u64..5_000);
+    let numeric = if numeric + categorical == 0 {
+        2
+    } else {
+        numeric
+    };
+    SynthSpec::new(
+        "prop",
+        rows.max(classes * 5),
+        numeric,
+        categorical,
+        classes,
+        family,
+        seed,
     )
-        .prop_map(|(family, rows, numeric, categorical, classes, missing, seed)| {
-            let numeric = if numeric + categorical == 0 { 2 } else { numeric };
-            SynthSpec::new("prop", rows.max(classes * 5), numeric, categorical, classes, family, seed)
-                .with_missing(missing)
-        })
+    .with_missing(missing)
 }
 
-proptest! {
-    // Each case fits 8 classifiers; keep the case count moderate.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
 
-    #[test]
-    fn every_fast_registry_classifier_upholds_the_contract(spec in spec_strategy()) {
+// Each case fits the whole fast registry; keep the case count moderate.
+#[test]
+fn every_fast_registry_classifier_upholds_the_contract() {
+    for case in 0..24u64 {
+        let mut rng = case_rng(31, case);
+        let spec = random_spec(&mut rng);
         let data = spec.generate();
         let registry = Registry::fast();
         let train: Vec<usize> = (0..data.n_rows() * 3 / 4).collect();
@@ -43,35 +58,40 @@ proptest! {
                 continue;
             }
             let mut model = alg.build(&alg.default_config(), 7);
-            model.fit(&data, &train).unwrap_or_else(|e| {
-                panic!("{} failed to fit: {e}", alg.name())
-            });
+            model
+                .fit(&data, &train)
+                .unwrap_or_else(|e| panic!("case {case}: {} failed to fit: {e}", alg.name()));
             for &r in &test {
                 let pred = model.predict(&data, r);
-                prop_assert!(pred < data.n_classes(), "{}: class {} out of range", alg.name(), pred);
+                assert!(
+                    pred < data.n_classes(),
+                    "case {case}: {}: class {} out of range",
+                    alg.name(),
+                    pred
+                );
                 let proba = model.predict_proba(&data, r);
-                prop_assert_eq!(proba.len(), data.n_classes(), "{}", alg.name());
+                assert_eq!(proba.len(), data.n_classes(), "case {case}: {}", alg.name());
                 let sum: f64 = proba.iter().sum();
-                prop_assert!(
+                assert!(
                     (sum - 1.0).abs() < 1e-6,
-                    "{}: probabilities sum to {sum}",
+                    "case {case}: {}: probabilities sum to {sum}",
                     alg.name()
                 );
-                prop_assert!(
+                assert!(
                     proba.iter().all(|&p| (-1e-9..=1.0 + 1e-9).contains(&p)),
-                    "{}: probability out of [0,1]: {proba:?}",
+                    "case {case}: {}: probability out of [0,1]: {proba:?}",
                     alg.name()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn random_configs_build_and_fit(seed in 0u64..2_000) {
-        // Sample one random configuration per algorithm: builders must
-        // accept anything the space can produce.
-        use rand::rngs::StdRng;
-        use rand::SeedableRng;
+#[test]
+fn random_configs_build_and_fit() {
+    // Sample one random configuration per algorithm: builders must accept
+    // anything the space can produce.
+    for seed in 0..24u64 {
         let data = SynthSpec::new("cfg", 60, 3, 1, 2, SynthFamily::Mixed, seed).generate();
         let registry = Registry::fast();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -79,26 +99,27 @@ proptest! {
         for alg in registry.iter() {
             let config = alg.param_space().sample(&mut rng);
             let mut model = alg.build(&config, seed);
-            model.fit(&data, &rows).unwrap_or_else(|e| {
-                panic!("{} with {config} failed: {e}", alg.name())
-            });
+            model
+                .fit(&data, &rows)
+                .unwrap_or_else(|e| panic!("{} with {config} failed: {e}", alg.name()));
             let pred = model.predict(&data, 55);
-            prop_assert!(pred < 2);
+            assert!(pred < 2, "seed {seed}: {}", alg.name());
         }
     }
+}
 
-    #[test]
-    fn cross_validation_is_within_bounds(spec in spec_strategy(), seed in 0u64..100) {
+#[test]
+fn cross_validation_is_within_bounds() {
+    for case in 0..12u64 {
+        let mut rng = case_rng(33, case);
+        let spec = random_spec(&mut rng);
+        let seed = rng.gen_range(0u64..100);
         let data = spec.generate();
         let registry = Registry::fast();
         let alg = registry.get("NaiveBayes").unwrap();
         let config = alg.default_config();
-        let acc = automodel_ml::cross_val_accuracy(
-            || alg.build(&config, seed),
-            &data,
-            3,
-            seed,
-        ).unwrap();
-        prop_assert!((0.0..=1.0).contains(&acc));
+        let acc =
+            automodel_ml::cross_val_accuracy(|| alg.build(&config, seed), &data, 3, seed).unwrap();
+        assert!((0.0..=1.0).contains(&acc), "case {case}: acc = {acc}");
     }
 }

@@ -59,6 +59,7 @@ impl MlpClassifier {
     pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
         self.net
             .as_ref()
+            // lint:allow(no-panic-lib): documented contract, has a should_panic test
             .expect("predict before fit")
             .forward(x)
     }
@@ -127,6 +128,7 @@ impl MlpRegressor {
     pub fn predict(&self, x: &[f64]) -> Vec<f64> {
         self.net
             .as_ref()
+            // lint:allow(no-panic-lib): documented contract, mirrors MlpClassifier
             .expect("predict before fit")
             .forward(x)
     }
@@ -203,13 +205,8 @@ mod tests {
 
     #[test]
     fn regressor_learns_multi_output_map() {
-        let xs: Vec<Vec<f64>> = (0..120)
-            .map(|i| vec![(i as f64 / 60.0) - 1.0])
-            .collect();
-        let ys: Vec<Vec<f64>> = xs
-            .iter()
-            .map(|x| vec![x[0] * x[0], 1.0 - x[0]])
-            .collect();
+        let xs: Vec<Vec<f64>> = (0..120).map(|i| vec![(i as f64 / 60.0) - 1.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * x[0], 1.0 - x[0]]).collect();
         let mut reg = MlpRegressor::new(MlpConfig {
             solver: Solver::Lbfgs,
             hidden_layers: 2,

@@ -125,7 +125,11 @@ where
                     fallback = Some((step, l, g.clone()));
                 }
                 lo = step;
-                step = if hi.is_finite() { 0.5 * (lo + hi) } else { 2.0 * step };
+                step = if hi.is_finite() {
+                    0.5 * (lo + hi)
+                } else {
+                    2.0 * step
+                };
             } else {
                 new_loss = l;
                 new_grad = g;
@@ -201,7 +205,11 @@ mod tests {
         let report = minimize(
             &mut x,
             |x| {
-                let loss: f64 = x.iter().enumerate().map(|(i, v)| (v - i as f64).powi(2)).sum();
+                let loss: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| (v - i as f64).powi(2))
+                    .sum();
                 let grad = x
                     .iter()
                     .enumerate()
@@ -262,7 +270,14 @@ mod tests {
             )
         };
         let mut x = vec![1.0, 1.0];
-        minimize(&mut x, f, &LbfgsOptions { max_iter: 50, ..Default::default() });
+        minimize(
+            &mut x,
+            f,
+            &LbfgsOptions {
+                max_iter: 50,
+                ..Default::default()
+            },
+        );
         let lbfgs_loss = f(&x).0;
         // 50 steps of lr-0.005 gradient descent.
         let mut y = vec![1.0, 1.0];
@@ -273,6 +288,9 @@ mod tests {
             }
         }
         let gd_loss = f(&y).0;
-        assert!(lbfgs_loss < gd_loss / 10.0, "lbfgs {lbfgs_loss} vs gd {gd_loss}");
+        assert!(
+            lbfgs_loss < gd_loss / 10.0,
+            "lbfgs {lbfgs_loss} vs gd {gd_loss}"
+        );
     }
 }

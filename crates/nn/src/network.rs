@@ -122,8 +122,7 @@ impl Network {
         for (li, shape) in self.shapes.iter().enumerate() {
             let mut next = vec![0.0; shape.out_dim];
             for (o, out) in next.iter_mut().enumerate() {
-                let row = &self.params[shape.w_off + o * shape.in_dim..]
-                    [..shape.in_dim];
+                let row = &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
                 let mut sum = self.params[shape.b_off + o];
                 for (w, x) in row.iter().zip(&current) {
                     sum += w * x;
@@ -177,8 +176,7 @@ impl Network {
                 next.clear();
                 next.resize(shape.out_dim, 0.0);
                 for (o, out) in next.iter_mut().enumerate() {
-                    let row =
-                        &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    let row = &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
                     let mut sum = self.params[shape.b_off + o];
                     for (w, x) in row.iter().zip(current.iter()) {
                         sum += w * x;
@@ -227,8 +225,7 @@ impl Network {
                     if d == 0.0 {
                         continue;
                     }
-                    let grad_row =
-                        &mut grad[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    let grad_row = &mut grad[shape.w_off + o * shape.in_dim..][..shape.in_dim];
                     for (g, x) in grad_row.iter_mut().zip(ws.acts[li].iter()) {
                         *g += d * x;
                     }
@@ -245,8 +242,7 @@ impl Network {
                     if d == 0.0 {
                         continue;
                     }
-                    let row =
-                        &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
+                    let row = &self.params[shape.w_off + o * shape.in_dim..][..shape.in_dim];
                     for (pd, w) in prev_delta.iter_mut().zip(row) {
                         *pd += d * w;
                     }
@@ -318,7 +314,9 @@ mod tests {
         let (_, grad) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
         let eps = 1e-6;
         // Check a spread of parameter indices.
-        let indices: Vec<usize> = (0..net.n_params()).step_by(net.n_params() / 13 + 1).collect();
+        let indices: Vec<usize> = (0..net.n_params())
+            .step_by(net.n_params() / 13 + 1)
+            .collect();
         for &i in &indices {
             let orig = net.params[i];
             net.params[i] = orig + eps;

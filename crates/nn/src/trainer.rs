@@ -265,6 +265,7 @@ fn train_first_order(
                         *p -= lr * mh / (vh.sqrt() + 1e-8);
                     }
                 }
+                // lint:allow(no-panic-lib): `train` dispatches Lbfgs to `train_lbfgs`
                 Solver::Lbfgs => unreachable!(),
             }
         }
@@ -469,7 +470,11 @@ mod tests {
                 ..MlpConfig::default()
             },
         );
-        assert!(report.epochs < 500, "should stop early, ran {}", report.epochs);
+        assert!(
+            report.epochs < 500,
+            "should stop early, ran {}",
+            report.epochs
+        );
     }
 
     #[test]

@@ -1,46 +1,43 @@
-//! Property tests: network gradient correctness and trainer robustness
-//! across random architectures and data.
+//! Seeded property tests: network gradient correctness and trainer
+//! robustness across random architectures and data. Cases are generated
+//! from explicit seeds (no proptest: the build is offline, and
+//! deterministic replay is a workspace invariant).
 
 use automodel_nn::network::{Network, OutputKind, Workspace};
 use automodel_nn::{Activation, MlpClassifier, MlpConfig, MlpRegressor, Solver};
-use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn activation_strategy() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Relu),
-        Just(Activation::Tanh),
-        Just(Activation::Logistic),
-        Just(Activation::Identity),
-    ]
-}
+const ACTIVATIONS: [Activation; 4] = [
+    Activation::Relu,
+    Activation::Tanh,
+    Activation::Logistic,
+    Activation::Identity,
+];
 
 /// Smooth activations only: finite differences are invalid at ReLU kinks
 /// (a pre-activation near zero makes `f(x±ε)` straddle the kink), so the
 /// FD-vs-analytic property is restricted to C¹ activations. ReLU gradients
 /// are covered by the unit tests at hand-picked kink-free points.
-fn smooth_activation_strategy() -> impl Strategy<Value = Activation> {
-    prop_oneof![
-        Just(Activation::Tanh),
-        Just(Activation::Logistic),
-        Just(Activation::Identity),
-    ]
+const SMOOTH_ACTIVATIONS: [Activation; 3] =
+    [Activation::Tanh, Activation::Logistic, Activation::Identity];
+
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn gradients_match_finite_differences() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(21, case);
+        let act = SMOOTH_ACTIVATIONS[rng.gen_range(0..SMOOTH_ACTIVATIONS.len())];
+        let hidden = rng.gen_range(0usize..3);
+        let width = rng.gen_range(2usize..8);
+        let in_dim = rng.gen_range(1usize..5);
+        let out_dim = rng.gen_range(1usize..4);
+        let classifier: bool = rng.gen();
+        let seed = rng.gen_range(0u64..10_000);
 
-    #[test]
-    fn gradients_match_finite_differences(
-        act in smooth_activation_strategy(),
-        hidden in 0usize..3,
-        width in 2usize..8,
-        in_dim in 1usize..5,
-        out_dim in 1usize..4,
-        classifier in any::<bool>(),
-        seed in 0u64..10_000,
-    ) {
         let kind = if classifier {
             OutputKind::SoftmaxCrossEntropy
         } else {
@@ -75,21 +72,25 @@ proptest! {
             let (lm, _) = net.loss_and_grad(&inputs, &targets, 0.01, &mut ws);
             net.params[i] = orig;
             let fd = (lp - lm) / (2.0 * eps);
-            prop_assert!(
+            assert!(
                 (fd - grad[i]).abs() < 1e-4 * (1.0 + fd.abs()),
-                "param {i} ({act:?}, hidden {hidden}): fd {fd} vs {g}",
+                "case {case} param {i} ({act:?}, hidden {hidden}): fd {fd} vs {g}",
                 g = grad[i]
             );
         }
     }
+}
 
-    #[test]
-    fn classifier_training_never_panics_and_probabilities_hold(
-        solver in prop_oneof![Just(Solver::Lbfgs), Just(Solver::Sgd), Just(Solver::Adam)],
-        act in activation_strategy(),
-        n in 12usize..60,
-        seed in 0u64..5_000,
-    ) {
+#[test]
+fn classifier_training_never_panics_and_probabilities_hold() {
+    const SOLVERS: [Solver; 3] = [Solver::Lbfgs, Solver::Sgd, Solver::Adam];
+    for case in 0..32u64 {
+        let mut rng = case_rng(22, case);
+        let solver = SOLVERS[rng.gen_range(0..SOLVERS.len())];
+        let act = ACTIVATIONS[rng.gen_range(0..ACTIVATIONS.len())];
+        let n = rng.gen_range(12usize..60);
+        let seed = rng.gen_range(0u64..5_000);
+
         let mut rng = StdRng::seed_from_u64(seed);
         let xs: Vec<Vec<f64>> = (0..n)
             .map(|_| vec![rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)])
@@ -106,16 +107,22 @@ proptest! {
         });
         clf.fit(&xs, &labels, 2);
         let p = clf.predict_proba(&xs[0]);
-        prop_assert_eq!(p.len(), 2);
-        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-        prop_assert!(clf.predict(&xs[0]) < 2);
+        assert_eq!(p.len(), 2, "case {case}");
+        assert!(
+            (p.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "case {case}: {p:?}"
+        );
+        assert!(clf.predict(&xs[0]) < 2, "case {case}");
     }
+}
 
-    #[test]
-    fn regressor_outputs_are_finite(
-        act in activation_strategy(),
-        seed in 0u64..5_000,
-    ) {
+#[test]
+fn regressor_outputs_are_finite() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(23, case);
+        let act = ACTIVATIONS[rng.gen_range(0..ACTIVATIONS.len())];
+        let seed = rng.gen_range(0u64..5_000);
+
         let mut rng = StdRng::seed_from_u64(seed);
         let xs: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen_range(-2.0..2.0)]).collect();
         let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] * 0.5, -x[0]]).collect();
@@ -130,8 +137,8 @@ proptest! {
         });
         reg.fit(&xs, &ys);
         let out = reg.predict(&[0.3]);
-        prop_assert_eq!(out.len(), 2);
-        prop_assert!(out.iter().all(|v| v.is_finite()));
-        prop_assert!(reg.mse(&xs, &ys).is_finite());
+        assert_eq!(out.len(), 2, "case {case}");
+        assert!(out.iter().all(|v| v.is_finite()), "case {case}: {out:?}");
+        assert!(reg.mse(&xs, &ys).is_finite(), "case {case}");
     }
 }

@@ -9,8 +9,8 @@
 //!
 //! Run: `cargo run --release --example cash_comparison`
 
-use auto_model::prelude::*;
 use auto_model::hpo::Budget;
+use auto_model::prelude::*;
 
 fn main() {
     // Offline: train the decision model once.
@@ -21,9 +21,26 @@ fn main() {
 
     // Three user datasets with different winners.
     let tasks = vec![
-        SynthSpec::new("blobs", 220, 5, 1, 3, SynthFamily::GaussianBlobs { spread: 0.9 }, 11)
-            .generate(),
-        SynthSpec::new("rules", 220, 0, 6, 2, SynthFamily::RuleBased { depth: 3 }, 13).generate(),
+        SynthSpec::new(
+            "blobs",
+            220,
+            5,
+            1,
+            3,
+            SynthFamily::GaussianBlobs { spread: 0.9 },
+            11,
+        )
+        .generate(),
+        SynthSpec::new(
+            "rules",
+            220,
+            0,
+            6,
+            2,
+            SynthFamily::RuleBased { depth: 3 },
+            13,
+        )
+        .generate(),
         SynthSpec::new("ring", 220, 2, 0, 2, SynthFamily::Ring, 17).generate(),
     ];
 

@@ -50,9 +50,17 @@ fn main() {
     // ---- (b) Tuning IBk (k-NN) on a noisy dataset: the cheap-evaluation
     // regime where the paper prescribes GA.
     println!("\nTuning IBk on noisy blobs (3-fold CV accuracy), 60 evaluations:");
-    let data = SynthSpec::new("tune", 240, 4, 0, 3, SynthFamily::GaussianBlobs { spread: 1.5 }, 3)
-        .with_label_noise(0.15)
-        .generate();
+    let data = SynthSpec::new(
+        "tune",
+        240,
+        4,
+        0,
+        3,
+        SynthFamily::GaussianBlobs { spread: 1.5 },
+        3,
+    )
+    .with_label_noise(0.15)
+    .generate();
     let registry = Registry::full();
     let spec = registry.get("IBk").unwrap().clone();
     let space = spec.param_space();

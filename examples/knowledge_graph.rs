@@ -14,7 +14,7 @@ use auto_model::knowledge::corpus::fig2_wine_example;
 use auto_model::knowledge::experience::related_experiences;
 use auto_model::knowledge::paper::rank_papers;
 use auto_model::knowledge::{knowledge_acquisition, AcquisitionOptions};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let (papers, experiences) = fig2_wine_example();
@@ -37,7 +37,7 @@ fn main() {
     }
 
     // (c) The information network over the candidates.
-    let reliability: HashMap<String, usize> = ranks.into_iter().collect();
+    let reliability: BTreeMap<String, usize> = ranks.into_iter().collect();
     let rinf = related_experiences(&experiences, "Wine Dataset");
     let graph = build_network(&rinf, &reliability);
     println!("\n(c) closed, conflict-free information network:");

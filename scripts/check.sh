@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, the workspace static-analysis suite,
+# clippy (warning-free by policy), and the tier-1 build + tests.
+# Everything here is what CI runs; a clean exit means the tree is
+# mergeable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo xtask lint"
+cargo xtask lint
+
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q
+
+echo "All checks passed."

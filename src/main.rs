@@ -122,8 +122,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let registry = Registry::full();
     let dmd = match arg_value(args, "--artifact") {
         Some(path) => {
-            let json =
-                std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+            let json = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
             DmdArtifact::from_json(&json)
                 .map_err(|e| format!("parse {path}: {e}"))?
                 .into_dmd(registry)

@@ -48,7 +48,12 @@ fn auto_model_and_auto_weka_answer_the_same_cash_problem() {
     .expect("Auto-Weka");
 
     for solution in [&am, &aw] {
-        assert!(solution.score > 0.5, "{}: {}", solution.algorithm, solution.score);
+        assert!(
+            solution.score > 0.5,
+            "{}: {}",
+            solution.algorithm,
+            solution.score
+        );
         let spec = dmd.registry.get(&solution.algorithm).unwrap();
         spec.param_space().validate(&solution.config).unwrap();
         assert!(spec.check_applicable(&dataset).is_ok());
@@ -102,8 +107,16 @@ fn poratio_pipeline_works_through_the_facade() {
     use auto_model::core::poratio::{po_ratio, EvalContext};
     let registry = auto_model::ml::Registry::fast();
     let ctx = EvalContext::fast(registry);
-    let dataset = SynthSpec::new("po", 130, 3, 1, 2, SynthFamily::GaussianBlobs { spread: 0.9 }, 47)
-        .generate();
+    let dataset = SynthSpec::new(
+        "po",
+        130,
+        3,
+        1,
+        2,
+        SynthFamily::GaussianBlobs { spread: 0.9 },
+        47,
+    )
+    .generate();
     let sweep = ctx.all_performances(&dataset, 2);
     assert_eq!(sweep.len(), ctx.registry.len());
     let best = EvalContext::p_max(&sweep).unwrap();

@@ -1,0 +1,89 @@
+//! Vendored, std-only shim for `crossbeam::scope`, the only crossbeam API
+//! this workspace uses. Implemented over `std::thread::scope` (stable since
+//! Rust 1.63), preserving crossbeam's call shape: the spawned closure
+//! receives the scope handle again (`scope.spawn(|_| …)`), and `scope`
+//! returns `Err` if any worker panicked instead of propagating the panic.
+
+use std::any::Any;
+
+/// Scope handle passed to [`scope`]'s closure and to each spawned closure.
+/// A lightweight `Copy` wrapper over `std::thread::Scope`.
+pub struct Scope<'scope, 'env> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped worker. The closure receives the scope handle, like
+    /// crossbeam's API shape (`scope.spawn(|_| …)`).
+    pub fn spawn<F, T>(self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = self;
+        self.inner.spawn(move || f(handle))
+    }
+}
+
+/// Run `f` with a thread scope; all spawned workers are joined before this
+/// returns. Returns `Err` with the panic payload if a worker panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_run_and_join() {
+        let counter = AtomicUsize::new(0);
+        let out = super::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+            7
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_handle() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|scope| {
+            scope.spawn(|inner| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn worker_panic_becomes_err() {
+        let result = super::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,459 @@
+//! Vendored, std-only shim for the subset of `serde` this workspace uses.
+//!
+//! The real serde drives a visitor-based data model; this shim collapses it
+//! to a concrete JSON-like [`value::Value`] tree, which is all the
+//! workspace needs (artifact persistence and experiment reports via
+//! `serde_json`). `#[derive(Serialize)]` / `#[derive(Deserialize)]` come
+//! from the companion `serde_derive` shim and target these traits.
+//!
+//! Determinism note: map serialization iterates `BTreeMap` (sorted) and
+//! sorts `HashMap` keys, so equal data always serializes to identical
+//! bytes — a property the workspace's reproducibility tests assert.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value {
+    /// A JSON-shaped value tree: the shim's entire data model.
+    ///
+    /// Objects preserve insertion order (serde_json's default behaviour).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        Null,
+        Bool(bool),
+        I64(i64),
+        U64(u64),
+        F64(f64),
+        String(String),
+        Array(Vec<Value>),
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        pub fn as_f64(&self) -> Option<f64> {
+            match *self {
+                Value::F64(x) => Some(x),
+                Value::I64(x) => Some(x as f64),
+                Value::U64(x) => Some(x as f64),
+                _ => None,
+            }
+        }
+
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::String(s) => Some(s),
+                _ => None,
+            }
+        }
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+
+        /// Panics if the key is absent or `self` is not an object
+        /// (serde_json instead returns `Null`; the stricter behaviour only
+        /// shows up in tests, where a loud failure is preferable).
+        fn index(&self, key: &str) -> &Value {
+            self.get(key)
+                .unwrap_or_else(|| panic!("no key `{key}` in value"))
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+
+        fn index(&self, i: usize) -> &Value {
+            match self {
+                Value::Array(items) => &items[i],
+                other => panic!("cannot index non-array value {other:?}"),
+            }
+        }
+    }
+
+    impl PartialEq<&str> for Value {
+        fn eq(&self, other: &&str) -> bool {
+            self.as_str() == Some(*other)
+        }
+    }
+
+    impl PartialEq<Value> for &str {
+        fn eq(&self, other: &Value) -> bool {
+            other.as_str() == Some(*self)
+        }
+    }
+
+    impl PartialEq<String> for Value {
+        fn eq(&self, other: &String) -> bool {
+            self.as_str() == Some(other.as_str())
+        }
+    }
+}
+
+use value::Value;
+
+/// Convert `self` into the shim's value tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the shim's value tree.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+pub mod de {
+    use super::value::Value;
+    use super::Deserialize;
+    use std::fmt;
+
+    /// Deserialization error: a message plus the offending context.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl Error {
+        pub fn custom(msg: impl Into<String>) -> Error {
+            Error { msg: msg.into() }
+        }
+
+        pub fn unknown_variant(variant: &str, ty: &str) -> Error {
+            Error::custom(format!("unknown variant `{variant}` for `{ty}`"))
+        }
+
+        pub fn invalid_type(expected: &str, got: &Value) -> Error {
+            let kind = match got {
+                Value::Null => "null",
+                Value::Bool(_) => "bool",
+                Value::I64(_) | Value::U64(_) => "integer",
+                Value::F64(_) => "float",
+                Value::String(_) => "string",
+                Value::Array(_) => "array",
+                Value::Object(_) => "object",
+            };
+            Error::custom(format!("invalid type: expected {expected}, found {kind}"))
+        }
+
+        pub fn missing_field(field: &str, ty: &str) -> Error {
+            Error::custom(format!("missing field `{field}` for `{ty}`"))
+        }
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Derive-support: view a value as an object's pair list.
+    pub fn as_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+        match v {
+            Value::Object(pairs) => Ok(pairs),
+            other => Err(Error::invalid_type(ty, other)),
+        }
+    }
+
+    /// Derive-support: view a value as an array of exactly `n` elements.
+    pub fn as_array_of_len<'v>(v: &'v Value, n: usize, ty: &str) -> Result<&'v [Value], Error> {
+        match v {
+            Value::Array(items) if items.len() == n => Ok(items),
+            Value::Array(items) => Err(Error::custom(format!(
+                "invalid length for `{ty}`: expected {n}, found {}",
+                items.len()
+            ))),
+            other => Err(Error::invalid_type(ty, other)),
+        }
+    }
+
+    /// Derive-support: extract and deserialize a named field.
+    pub fn field<T: Deserialize>(
+        obj: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, Error> {
+        let v = obj
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::missing_field(name, ty))?;
+        T::from_value(v).map_err(|e| Error::custom(format!("{ty}.{name}: {e}")))
+    }
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, de::Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(de::Error::invalid_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                let n = match *v {
+                    Value::I64(x) => x,
+                    Value::U64(x) => i64::try_from(x)
+                        .map_err(|_| de::Error::custom("integer out of range"))?,
+                    ref other => return Err(de::Error::invalid_type("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, de::Error> {
+                let n = match *v {
+                    Value::U64(x) => x,
+                    Value::I64(x) => u64::try_from(x)
+                        .map_err(|_| de::Error::custom("integer out of range"))?,
+                    ref other => return Err(de::Error::invalid_type("integer", other)),
+                };
+                <$t>::try_from(n).map_err(|_| de::Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, de::Error> {
+        // Null maps to NaN so artifacts containing non-finite scores (which
+        // JSON cannot express) round-trip without erroring.
+        match *v {
+            Value::F64(x) => Ok(x),
+            Value::I64(x) => Ok(x as f64),
+            Value::U64(x) => Ok(x as f64),
+            Value::Null => Ok(f64::NAN),
+            ref other => Err(de::Error::invalid_type("float", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, de::Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, de::Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(de::Error::invalid_type("string", other)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Composite impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, de::Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, de::Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(de::Error::invalid_type("array", other)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:literal => $($t:ident . $i:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<($($t,)+), de::Error> {
+                let items = de::as_array_of_len(v, $n, "tuple")?;
+                Ok(($($t::from_value(&items[$i])?,)+))
+            }
+        }
+    };
+}
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::invalid_type("object", other)),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sorted for deterministic output (HashMap iteration order is not).
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Object(pairs) => pairs
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(de::Error::invalid_type("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, de::Error> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,477 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the serde
+//! shim. Parses the item declaration directly from the token stream (no
+//! `syn`/`quote` — the build environment is offline) and emits impls of the
+//! shim's value-tree traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields
+//! - tuple structs (newtype serializes transparently, wider ones as arrays)
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation)
+//!
+//! Unsupported (emits a compile error): generics, unions, `#[serde(...)]`
+//! attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with `n` fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    /// Enum: (variant name, variant shape).
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => return compile_error(&msg),
+    };
+    let body = match (&shape, mode) {
+        (Shape::Struct(fields), Mode::Serialize) => ser_struct(&name, fields),
+        (Shape::Struct(fields), Mode::Deserialize) => de_struct(&name, fields),
+        (Shape::Tuple(n), Mode::Serialize) => ser_tuple(&name, *n),
+        (Shape::Tuple(n), Mode::Deserialize) => de_tuple(&name, *n),
+        (Shape::Unit, Mode::Serialize) => ser_unit(&name),
+        (Shape::Unit, Mode::Deserialize) => de_unit(&name),
+        (Shape::Enum(variants), Mode::Serialize) => ser_enum(&name, variants),
+        (Shape::Enum(variants), Mode::Deserialize) => de_enum(&name, variants),
+    };
+    body.parse()
+        .unwrap_or_else(|e| compile_error(&format!("serde shim derive produced invalid code: {e}")))
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg)
+        .parse()
+        .expect("literal")
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`, including doc comments) and
+    // visibility / auxiliary keywords until `struct` or `enum`.
+    let kind = loop {
+        match tokens.get(i) {
+            None => return Err("serde shim derive: expected `struct` or `enum`".into()),
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "struct" | "enum" => {
+                        i += 1;
+                        break word;
+                    }
+                    "union" => return Err("serde shim derive: unions are unsupported".into()),
+                    // `pub`, `pub(crate)` (the group is a separate tree), etc.
+                    _ => i += 1,
+                }
+            }
+            Some(_) => i += 1,
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: expected type name".into()),
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is unsupported"
+            ));
+        }
+    }
+
+    if kind == "enum" {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(g.stream())?;
+                Ok((name, Shape::Enum(variants)))
+            }
+            _ => Err("serde shim derive: expected enum body".into()),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                Ok((name, Shape::Struct(fields)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                Ok((name, Shape::Tuple(n)))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::Unit)),
+            None => Ok((name, Shape::Unit)),
+            _ => Err("serde shim derive: unrecognized struct body".into()),
+        }
+    }
+}
+
+/// Field names of a named-field struct body (attributes, visibility, and
+/// types skipped; commas inside `<...>` do not split fields).
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes.
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2;
+        }
+        // Skip visibility.
+        if matches!(&tokens[i..], [TokenTree::Ident(id), ..] if id.to_string() == "pub") {
+            i += 1;
+            if matches!(&tokens[i..], [TokenTree::Group(g), ..] if g.delimiter() == Delimiter::Parenthesis)
+            {
+                i += 1;
+            }
+        }
+        let Some(TokenTree::Ident(field)) = tokens.get(i) else {
+            return Err("serde shim derive: expected field name".into());
+        };
+        fields.push(field.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err("serde shim derive: expected `:` after field name".into()),
+        }
+        // Skip the type: advance to the comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Number of fields in a tuple-struct / tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    let mut saw_token_since_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                n += 1;
+                saw_token_since_comma = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token_since_comma = true;
+    }
+    if !saw_token_since_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, VariantShape)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while matches!(&tokens[i..], [TokenTree::Punct(p), ..] if p.as_char() == '#') {
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = tokens.get(i) else {
+            return Err("serde shim derive: expected variant name".into());
+        };
+        let name = name.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push((name, shape));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then reparsed)
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn ser_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n"
+    )
+}
+
+fn de_header(name: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{VALUE}) -> ::std::result::Result<Self, ::serde::de::Error> {{\n"
+    )
+}
+
+fn ser_struct(name: &str, fields: &[String]) -> String {
+    let mut out = ser_header(name);
+    out.push_str(&format!("{VALUE}::Object(::std::vec![\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),\n"
+        ));
+    }
+    out.push_str("])\n}\n}\n");
+    out
+}
+
+fn de_struct(name: &str, fields: &[String]) -> String {
+    let mut out = de_header(name);
+    out.push_str(&format!(
+        "let __obj = ::serde::de::as_object(__v, {name:?})?;\n"
+    ));
+    out.push_str(&format!("::std::result::Result::Ok({name} {{\n"));
+    for f in fields {
+        out.push_str(&format!(
+            "{f}: ::serde::de::field(__obj, {f:?}, {name:?})?,\n"
+        ));
+    }
+    out.push_str("})\n}\n}\n");
+    out
+}
+
+fn ser_tuple(name: &str, n: usize) -> String {
+    let mut out = ser_header(name);
+    if n == 1 {
+        out.push_str("::serde::Serialize::to_value(&self.0)\n");
+    } else {
+        out.push_str(&format!("{VALUE}::Array(::std::vec![\n"));
+        for i in 0..n {
+            out.push_str(&format!("::serde::Serialize::to_value(&self.{i}),\n"));
+        }
+        out.push_str("])\n");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn de_tuple(name: &str, n: usize) -> String {
+    let mut out = de_header(name);
+    if n == 1 {
+        out.push_str(&format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "let __arr = ::serde::de::as_array_of_len(__v, {n}, {name:?})?;\n"
+        ));
+        out.push_str(&format!("::std::result::Result::Ok({name}(\n"));
+        for i in 0..n {
+            out.push_str(&format!(
+                "::serde::Deserialize::from_value(&__arr[{i}])?,\n"
+            ));
+        }
+        out.push_str("))\n");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn ser_unit(name: &str) -> String {
+    let mut out = ser_header(name);
+    out.push_str(&format!("{VALUE}::Null\n}}\n}}\n"));
+    out
+}
+
+fn de_unit(name: &str) -> String {
+    let mut out = de_header(name);
+    out.push_str(&format!(
+        "let _ = __v;\n::std::result::Result::Ok({name})\n}}\n}}\n"
+    ));
+    out
+}
+
+fn ser_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let mut out = ser_header(name);
+    out.push_str("match self {\n");
+    for (v, shape) in variants {
+        match shape {
+            VariantShape::Unit => {
+                out.push_str(&format!(
+                    "{name}::{v} => {VALUE}::String(::std::string::String::from({v:?})),\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("{VALUE}::Array(::std::vec![{}])", items.join(", "))
+                };
+                out.push_str(&format!(
+                    "{name}::{v}({}) => {VALUE}::Object(::std::vec![(::std::string::String::from({v:?}), {inner})]),\n",
+                    binds.join(", ")
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let pairs: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{name}::{v} {{ {} }} => {VALUE}::Object(::std::vec![(::std::string::String::from({v:?}), {VALUE}::Object(::std::vec![{}]))]),\n",
+                    fields.join(", "),
+                    pairs.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("}\n}\n}\n");
+    out
+}
+
+fn de_enum(name: &str, variants: &[(String, VariantShape)]) -> String {
+    let unit: Vec<&String> = variants
+        .iter()
+        .filter(|(_, s)| matches!(s, VariantShape::Unit))
+        .map(|(v, _)| v)
+        .collect();
+    let data: Vec<&(String, VariantShape)> = variants
+        .iter()
+        .filter(|(_, s)| !matches!(s, VariantShape::Unit))
+        .collect();
+
+    let mut out = de_header(name);
+    out.push_str("match __v {\n");
+
+    out.push_str(&format!("{VALUE}::String(__s) => match __s.as_str() {{\n"));
+    for v in &unit {
+        out.push_str(&format!(
+            "{v:?} => ::std::result::Result::Ok({name}::{v}),\n"
+        ));
+    }
+    out.push_str(&format!(
+        "__other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(__other, {name:?})),\n}},\n"
+    ));
+
+    if !data.is_empty() {
+        out.push_str(&format!(
+            "{VALUE}::Object(__pairs) if __pairs.len() == 1 => {{\n\
+             let (__k, __inner) = &__pairs[0];\nmatch __k.as_str() {{\n"
+        ));
+        for (v, shape) in &data {
+            match shape {
+                VariantShape::Unit => unreachable!("filtered above"),
+                VariantShape::Tuple(n) => {
+                    if *n == 1 {
+                        out.push_str(&format!(
+                            "{v:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    } else {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__arr[{i}])?"))
+                            .collect();
+                        out.push_str(&format!(
+                            "{v:?} => {{ let __arr = ::serde::de::as_array_of_len(__inner, {n}, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{v}({})) }},\n",
+                            elems.join(", ")
+                        ));
+                    }
+                }
+                VariantShape::Struct(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de::field(__obj, {f:?}, {name:?})?"))
+                        .collect();
+                    out.push_str(&format!(
+                        "{v:?} => {{ let __obj = ::serde::de::as_object(__inner, {name:?})?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {} }}) }},\n",
+                        inits.join(", ")
+                    ));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "__other => ::std::result::Result::Err(::serde::de::Error::unknown_variant(__other, {name:?})),\n}}\n}},\n"
+        ));
+    }
+
+    out.push_str(&format!(
+        "__other => ::std::result::Result::Err(::serde::de::Error::invalid_type({name:?}, __other)),\n}}\n}}\n}}\n"
+    ));
+    out
+}

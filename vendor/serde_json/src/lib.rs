@@ -1,0 +1,498 @@
+//! Vendored, std-only JSON front-end for the serde shim: compact and pretty
+//! writers, a recursive-descent parser, and a `json!` macro covering the
+//! object/array/literal forms this workspace uses.
+//!
+//! Output is deterministic: struct fields serialize in declaration order,
+//! `BTreeMap`s in key order, and floats through Rust's shortest-round-trip
+//! formatter — equal inputs always produce identical bytes.
+
+use std::fmt;
+
+pub use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::de::Error> for Error {
+    fn from(e: serde::de::Error) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a 2-space-indented JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstruct a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(v: &Value) -> Result<T> {
+    Ok(T::from_value(v)?)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::I64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::U64(n) => {
+            out.push_str(&n.to_string());
+        }
+        Value::F64(x) => write_f64(out, *x),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            '[',
+            ']',
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+        ),
+        Value::Object(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            pairs.len(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |out, (k, v), indent, depth| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, depth);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one generic writer backs arrays and objects
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(step * depth));
+    }
+    out.push(close);
+}
+
+fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        // `{:?}` is Rust's shortest representation that round-trips; it
+        // always includes a `.` or exponent, so the value re-parses as a
+        // float (matching serde_json's ryu behaviour closely enough).
+        out.push_str(&format!("{x:?}"));
+    } else {
+        // JSON has no non-finite literals; serde_json writes null.
+        out.push_str("null");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON string into a `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let value = parse_value_str(s)?;
+    Ok(T::from_value(&value)?)
+}
+
+fn parse_value_str(s: &str) -> Result<Value> {
+    let bytes = s.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(Error::new(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\n' || b == b'\t' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            None => Err(Error::new("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            Some(b) => Err(Error::new(format!(
+                "unexpected byte `{}` at {}",
+                b as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::new("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::new("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs: only the BMP subset this
+                            // workspace emits is supported.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| Error::new("unsupported surrogate escape"))?;
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(Error::new(format!("invalid escape `\\{}`", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-scan from the byte we consumed to keep UTF-8 intact.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while let Some(&nb) = self.bytes.get(end) {
+                        if nb == b'"' || nb == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| Error::new("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `]` at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(pairs));
+                }
+                _ => return Err(Error::new(format!("expected `,` or `}}` at {}", self.pos))),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// json! macro
+// ---------------------------------------------------------------------------
+
+/// Build a [`Value`] from a JSON-shaped literal. Covers the forms used in
+/// this workspace: objects with string-literal keys, arrays, `null`, and
+/// arbitrary serializable expressions as values. (Nested object literals
+/// inside values should be written as explicit inner `json!` calls.)
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::to_value(&$value)) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string("hi\n").unwrap(), "\"hi\\n\"");
+        let x: f64 = from_str("1.0").unwrap();
+        assert_eq!(x, 1.0);
+        let n: i64 = from_str("-3").unwrap();
+        assert_eq!(n, -3);
+    }
+
+    #[test]
+    fn roundtrip_collections() {
+        let v = vec![vec![1u64, 2], vec![3]];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2],[3]]");
+        let back: Vec<Vec<u64>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("b".to_string(), 2.0f64);
+        m.insert("a".to_string(), 1.0f64);
+        assert_eq!(to_string(&m).unwrap(), "{\"a\":1.0,\"b\":2.0}");
+    }
+
+    #[test]
+    fn options_and_tuples() {
+        let v: Vec<Option<u32>> = vec![Some(1), None];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null]");
+        let back: Vec<Option<u32>> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+
+        let t = vec![("a".to_string(), 1.5f64)];
+        let s = to_string(&t).unwrap();
+        assert_eq!(s, "[[\"a\",1.5]]");
+        let back: Vec<(String, f64)> = from_str(&s).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn pretty_printing_is_stable() {
+        let empty: Vec<u32> = Vec::new();
+        let v = json!({ "name": "x", "vals": [1u32, 2u32], "empty": empty });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"name\": \"x\",\n  \"vals\": [\n    1,\n    2\n  ],\n  \"empty\": []\n}"
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_write_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parses_escapes_and_unicode() {
+        let s: String = from_str("\"a\\u0041\\n\\\"é\"").unwrap();
+        assert_eq!(s, "aA\n\"é");
+    }
+}

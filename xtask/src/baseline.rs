@@ -1,0 +1,133 @@
+//! Baseline ratchet for grandfathered violations.
+//!
+//! `xtask/lint-baseline.txt` records, per `(rule, file)`, how many
+//! violations existed when the rule landed. The lint run then enforces an
+//! exact match in both directions:
+//!
+//! * **more** violations than the baseline → the new ones are hard errors;
+//! * **fewer** violations → the fix is real progress, but the run still
+//!   fails with a "stale baseline" message until the file is regenerated
+//!   with `cargo xtask lint --update-baseline` — so burn-down is recorded
+//!   in the same commit, never silently re-grandfathered.
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+pub type Counts = BTreeMap<(String, String), usize>;
+
+/// Parse the baseline file format: `<rule> <file> <count>` per line,
+/// `#` comments and blank lines ignored.
+pub fn parse(text: &str) -> Result<Counts, String> {
+    let mut counts = Counts::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!(
+                "baseline line {}: expected `<rule> <file> <count>`",
+                i + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
+        counts.insert((rule.to_string(), file.to_string()), count);
+    }
+    Ok(counts)
+}
+
+/// Serialize counts back into the on-disk format.
+pub fn render(counts: &Counts) -> String {
+    let mut out = String::from(
+        "# cargo xtask lint — grandfathered violation counts.\n\
+         # Burn these down; regenerate with `cargo xtask lint --update-baseline`.\n\
+         # Format: <rule> <file> <count>\n",
+    );
+    for ((rule, file), count) in counts {
+        let _ = writeln!(out, "{rule} {file} {count}");
+    }
+    out
+}
+
+/// Tally diagnostics into per-(rule, file) counts.
+pub fn tally(diags: &[Diagnostic]) -> Counts {
+    let mut counts = Counts::new();
+    for d in diags {
+        *counts.entry(d.baseline_key()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Outcome of comparing a run against the baseline.
+#[derive(Debug, Default)]
+pub struct Verdict {
+    /// Buckets with more violations than allowed (rule, file, have, allowed).
+    pub regressed: Vec<(String, String, usize, usize)>,
+    /// Buckets that improved but whose baseline entry was not updated.
+    pub stale: Vec<(String, String, usize, usize)>,
+}
+
+impl Verdict {
+    pub fn is_clean(&self) -> bool {
+        self.regressed.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compare current counts against the baseline.
+pub fn compare(current: &Counts, baseline: &Counts) -> Verdict {
+    let mut v = Verdict::default();
+    for (key, &have) in current {
+        let allowed = baseline.get(key).copied().unwrap_or(0);
+        if have > allowed {
+            v.regressed
+                .push((key.0.clone(), key.1.clone(), have, allowed));
+        } else if have < allowed {
+            v.stale.push((key.0.clone(), key.1.clone(), have, allowed));
+        }
+    }
+    for (key, &allowed) in baseline {
+        if !current.contains_key(key) {
+            v.stale.push((key.0.clone(), key.1.clone(), 0, allowed));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(list: &[(&str, &str, usize)]) -> Counts {
+        list.iter()
+            .map(|(r, f, c)| ((r.to_string(), f.to_string()), *c))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = counts(&[("no-panic-lib", "crates/core/src/a.rs", 3)]);
+        assert_eq!(parse(&render(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn regression_and_staleness_are_both_failures() {
+        let base = counts(&[("r", "a.rs", 2), ("r", "b.rs", 1)]);
+        let now = counts(&[("r", "a.rs", 3)]);
+        let v = compare(&now, &base);
+        assert_eq!(v.regressed, vec![("r".into(), "a.rs".into(), 3, 2)]);
+        assert_eq!(v.stale, vec![("r".into(), "b.rs".into(), 0, 1)]);
+        assert!(!v.is_clean());
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let base = counts(&[("r", "a.rs", 2)]);
+        assert!(compare(&base, &base).is_clean());
+        assert!(compare(&Counts::new(), &Counts::new()).is_clean());
+    }
+}

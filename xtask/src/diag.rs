@@ -1,0 +1,90 @@
+//! Rustc-style diagnostic rendering for `cargo xtask lint`.
+//!
+//! Every finding carries a rule id, a workspace-relative location and the
+//! offending source line; [`Diagnostic::render`] formats it the way rustc
+//! does so editors and humans can jump straight to the site.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One lint finding at a concrete source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule id, e.g. `no-panic-lib`. Used by `// lint:allow(..)`
+    /// escapes and by the baseline file.
+    pub rule: &'static str,
+    /// Short code shown in the header, e.g. `L1`.
+    pub code: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// Width of the underline (length of the offending token).
+    pub len: usize,
+    /// One-line description of what was matched.
+    pub message: String,
+    /// Actionable suggestion appended as a `= help:` note.
+    pub help: &'static str,
+    /// The original (un-blanked) source line, for display.
+    pub snippet: String,
+}
+
+impl Diagnostic {
+    /// Format like rustc: header, arrow line, gutter, snippet, carets, help.
+    pub fn render(&self) -> String {
+        let line_no = self.line.to_string();
+        let gutter = " ".repeat(line_no.len());
+        let mut out = String::new();
+        let _ = writeln!(out, "error[{}/{}]: {}", self.code, self.rule, self.message);
+        let _ = writeln!(
+            out,
+            "{gutter}--> {}:{}:{}",
+            self.file.display(),
+            self.line,
+            self.col
+        );
+        let _ = writeln!(out, "{gutter} |");
+        let _ = writeln!(out, "{line_no} | {}", self.snippet.trim_end());
+        let _ = writeln!(
+            out,
+            "{gutter} | {}{}",
+            " ".repeat(self.col.saturating_sub(1)),
+            "^".repeat(self.len.max(1))
+        );
+        let _ = writeln!(out, "{gutter} = help: {}", self.help);
+        out
+    }
+
+    /// Key used by the baseline ratchet: one bucket per (rule, file).
+    pub fn baseline_key(&self) -> (String, String) {
+        (self.rule.to_string(), self.file.display().to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let d = Diagnostic {
+            rule: "no-panic-lib",
+            code: "L1",
+            file: PathBuf::from("crates/core/src/lib.rs"),
+            line: 42,
+            col: 9,
+            len: 9,
+            message: "`.unwrap()` in library code".to_string(),
+            help: "propagate the error instead",
+            snippet: "        x.unwrap();".to_string(),
+        };
+        let r = d.render();
+        assert!(r.contains("error[L1/no-panic-lib]"));
+        assert!(r.contains("--> crates/core/src/lib.rs:42:9"));
+        assert!(r.contains("42 |         x.unwrap();"));
+        assert!(r.contains("^^^^^^^^^"));
+        assert!(r.contains("= help:"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Workspace automation for `auto-model` (`cargo xtask <command>`).
+//!
+//! The only command so far is `lint`: a static-analysis suite with five
+//! rule families (see [`rules`] and [`manifest`]), rustc-style diagnostics
+//! ([`diag`]), inline `// lint:allow(..)` escapes ([`scan`]) and a
+//! burn-down baseline ([`baseline`]). Std-only by design — it must build
+//! in the offline environment before any vendored dependency does.
+
+pub mod baseline;
+pub mod diag;
+pub mod manifest;
+pub mod rules;
+pub mod scan;
+
+use diag::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Directories scanned for Rust sources, relative to the workspace root.
+/// `vendor/` is deliberately absent: the shims stand in for third-party
+/// crates and are not held to product-crate rules.
+pub const SOURCE_ROOTS: [&str; 3] = ["crates", "src", "xtask/src"];
+
+/// Recursively collect `.rs` files under `dir`, sorted for stable output.
+pub fn rust_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries {
+            let path = entry?.path();
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Member manifests subject to L5 (everything but `vendor/` and the
+/// workspace root itself).
+pub fn member_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for sub in ["crates", "xtask"] {
+        let dir = root.join(sub);
+        if sub == "xtask" {
+            out.push(dir.join("Cargo.toml"));
+            continue;
+        }
+        let mut crates: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path().join("Cargo.toml"))
+            .filter(|p| p.is_file())
+            .collect();
+        crates.sort();
+        out.append(&mut crates);
+    }
+    Ok(out)
+}
+
+/// The full lint pass: scan sources, check manifests, return every finding
+/// (pre-baseline).
+pub fn run_lint(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for sub in SOURCE_ROOTS {
+        let dir = root.join(sub);
+        if !dir.is_dir() {
+            continue;
+        }
+        for file in rust_files(&dir)? {
+            let source = scan::SourceFile::read(root, &file)?;
+            diags.extend(rules::check_file(&source));
+        }
+    }
+    let root_manifest = manifest::read(root, &root.join("Cargo.toml"))?;
+    let members: Vec<manifest::Manifest> = member_manifests(root)?
+        .iter()
+        .map(|p| manifest::read(root, p))
+        .collect::<Result<_, _>>()?;
+    diags.extend(manifest::check_workspace(&root_manifest, &members));
+    Ok(diags)
+}
+
+/// Workspace root: parent of the `xtask` crate.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level below the workspace root")
+        .to_path_buf()
+}

@@ -1,0 +1,107 @@
+//! `cargo xtask` — workspace automation entry point.
+//!
+//! ```text
+//! cargo xtask lint                     # run the static-analysis suite
+//! cargo xtask lint --update-baseline   # record current counts as the baseline
+//! ```
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+use std::process::ExitCode;
+use xtask::{baseline, run_lint, workspace_root};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args[1..].iter().any(|a| a == "--update-baseline")),
+        Some(other) => {
+            eprintln!("unknown xtask command `{other}`; available: lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+        None => {
+            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint(update_baseline: bool) -> ExitCode {
+    let root = workspace_root();
+    let baseline_path = root.join("xtask/lint-baseline.txt");
+
+    let diags = match run_lint(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("xtask lint: I/O error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let current = baseline::tally(&diags);
+
+    if update_baseline {
+        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&current)) {
+            eprintln!("xtask lint: cannot write baseline: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "baseline updated: {} grandfathered violation(s) across {} bucket(s)",
+            current.values().sum::<usize>(),
+            current.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let allowed = match std::fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(counts) => counts,
+            Err(e) => {
+                eprintln!("xtask lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        Err(_) => baseline::Counts::new(),
+    };
+    let verdict = baseline::compare(&current, &allowed);
+
+    // Print full diagnostics for every regressed bucket; grandfathered
+    // buckets stay quiet so the signal is always "what got worse".
+    let mut printed = 0usize;
+    for d in &diags {
+        let key = d.baseline_key();
+        if verdict
+            .regressed
+            .iter()
+            .any(|(r, f, ..)| *r == key.0 && *f == key.1)
+        {
+            print!("{}", d.render());
+            println!();
+            printed += 1;
+        }
+    }
+    for (rule, file, have, allowed) in &verdict.regressed {
+        eprintln!("error: {rule}: {file}: {have} violation(s), baseline allows {allowed}");
+    }
+    for (rule, file, have, allowed) in &verdict.stale {
+        eprintln!(
+            "error: stale baseline: {rule}: {file}: {have} violation(s) left of {allowed} \
+             — run `cargo xtask lint --update-baseline` to record the burn-down"
+        );
+    }
+
+    if verdict.is_clean() {
+        let grandfathered = current.values().sum::<usize>();
+        println!(
+            "xtask lint: clean ({} grandfathered violation(s) remaining in baseline)",
+            grandfathered
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "xtask lint: {} new diagnostic(s), {} regressed bucket(s), {} stale bucket(s)",
+            printed,
+            verdict.regressed.len(),
+            verdict.stale.len()
+        );
+        ExitCode::FAILURE
+    }
+}

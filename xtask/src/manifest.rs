@@ -1,0 +1,285 @@
+//! L5 — `manifest-hygiene`: workspace manifest checks.
+//!
+//! * every `[workspace.dependencies]` entry is consumed by at least one
+//!   member crate (no dead entries);
+//! * every dependency of a member crate resolves through the workspace
+//!   table (`dep.workspace = true`) or a workspace-internal `path` — never
+//!   an ad-hoc version string;
+//! * `[workspace.package]` pins `rust-version` (the MSRV) and a real
+//!   `repository` URL (no `example.com` placeholder);
+//! * every member inherits the MSRV (`rust-version.workspace = true`) and
+//!   opts into the shared lint wall (`[lints] workspace = true`).
+//!
+//! The `vendor/` shims are exempt: they stand in for third-party crates
+//! and deliberately keep self-contained metadata.
+//!
+//! Parsing is a deliberately small line-based TOML subset — sections,
+//! `key = value`, dotted keys and single-line inline tables — which covers
+//! every manifest in this workspace (and the fixtures in the tests).
+
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// One parsed manifest: section name → (key → raw value), in file order,
+/// with the source line of every key for diagnostics.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    pub path: PathBuf,
+    pub entries: Vec<Entry>,
+}
+
+#[derive(Debug)]
+pub struct Entry {
+    pub section: String,
+    pub key: String,
+    pub value: String,
+    /// 1-based source line.
+    pub line: usize,
+    pub snippet: String,
+}
+
+impl Manifest {
+    pub fn parse(path: impl Into<PathBuf>, text: &str) -> Manifest {
+        let mut entries = Vec::new();
+        let mut section = String::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') && line.ends_with(']') {
+                section = line.trim_matches(['[', ']']).to_string();
+                continue;
+            }
+            if let Some((key, value)) = line.split_once('=') {
+                entries.push(Entry {
+                    section: section.clone(),
+                    key: key.trim().to_string(),
+                    value: value.trim().to_string(),
+                    line: i + 1,
+                    snippet: raw.to_string(),
+                });
+            }
+        }
+        Manifest {
+            path: path.into(),
+            entries,
+        }
+    }
+
+    /// All `key = value` pairs of one section.
+    pub fn section(&self, name: &str) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.section == name).collect()
+    }
+
+    /// Value of `key` in `section`, if present.
+    pub fn get(&self, section: &str, key: &str) -> Option<&Entry> {
+        self.entries
+            .iter()
+            .find(|e| e.section == section && e.key == key)
+    }
+
+    /// Does any section exist with this exact name?
+    pub fn has_section(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.section == name)
+    }
+
+    fn diag(&self, line: usize, snippet: &str, message: String, help: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule: "manifest-hygiene",
+            code: "L5",
+            file: self.path.clone(),
+            line: line.max(1),
+            col: 1,
+            len: snippet.trim_end().len().max(1),
+            message,
+            help,
+            snippet: snippet.to_string(),
+        }
+    }
+}
+
+/// A dependency entry of one member manifest.
+#[derive(Debug, PartialEq)]
+enum DepKind {
+    /// `foo.workspace = true` or `foo = { workspace = true, .. }`
+    Workspace,
+    /// `foo = { path = ".." }` — workspace-internal
+    Path,
+    /// anything else (`foo = "1.0"`, git, registry, ..)
+    AdHoc,
+}
+
+fn dep_kind(key: &str, value: &str) -> Option<(String, DepKind)> {
+    // Dotted form: `serde.workspace = true`.
+    if let Some(name) = key.strip_suffix(".workspace") {
+        if value == "true" {
+            return Some((name.trim().to_string(), DepKind::Workspace));
+        }
+    }
+    if key.contains('.') {
+        // Some other dotted sub-key (`foo.features`, ..) — classified by the
+        // main entry, ignore here.
+        return None;
+    }
+    if value.starts_with('{') {
+        if value.contains("workspace = true") {
+            return Some((key.to_string(), DepKind::Workspace));
+        }
+        if value.contains("path =") {
+            return Some((key.to_string(), DepKind::Path));
+        }
+        return Some((key.to_string(), DepKind::AdHoc));
+    }
+    Some((key.to_string(), DepKind::AdHoc))
+}
+
+const DEP_SECTIONS: [&str; 3] = ["dependencies", "dev-dependencies", "build-dependencies"];
+
+/// Run the full L5 check over the workspace root manifest plus all member
+/// manifests (vendor shims excluded by the caller).
+pub fn check_workspace(root: &Manifest, members: &[Manifest]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // -- workspace.package metadata ------------------------------------
+    if root.get("workspace.package", "rust-version").is_none() {
+        out.push(root.diag(
+            1,
+            "[workspace.package]",
+            "workspace does not pin an MSRV".to_string(),
+            "add `rust-version = \"..\"` to [workspace.package]",
+        ));
+    }
+    match root.get("workspace.package", "repository") {
+        None => out.push(root.diag(
+            1,
+            "[workspace.package]",
+            "workspace does not declare a repository".to_string(),
+            "add `repository = \"..\"` to [workspace.package]",
+        )),
+        Some(e) if e.value.contains("example.com") => out.push(root.diag(
+            e.line,
+            &e.snippet,
+            "repository is a placeholder URL".to_string(),
+            "point `repository` at the canonical remote",
+        )),
+        Some(_) => {}
+    }
+
+    // -- workspace dependency table ------------------------------------
+    let table: BTreeMap<String, &Entry> = root
+        .section("workspace.dependencies")
+        .into_iter()
+        .filter_map(|e| dep_kind(&e.key, &e.value).map(|(name, _)| (name, e)))
+        .collect();
+    let mut consumed: BTreeSet<String> = BTreeSet::new();
+
+    // Member dep sections (the root manifest can itself be a package).
+    for m in members.iter().chain(std::iter::once(root)) {
+        for sec in DEP_SECTIONS {
+            for e in m.section(sec) {
+                let Some((name, kind)) = dep_kind(&e.key, &e.value) else {
+                    continue;
+                };
+                match kind {
+                    DepKind::Workspace => {
+                        consumed.insert(name.clone());
+                        if !table.contains_key(&name) {
+                            out.push(m.diag(
+                                e.line,
+                                &e.snippet,
+                                format!("`{name}` claims `workspace = true` but the workspace table has no such entry"),
+                                "add the dependency to [workspace.dependencies] in the root Cargo.toml",
+                            ));
+                        }
+                    }
+                    DepKind::Path => {}
+                    DepKind::AdHoc => out.push(m.diag(
+                        e.line,
+                        &e.snippet,
+                        format!("`{name}` bypasses the workspace dependency table"),
+                        "declare the version once in [workspace.dependencies] and use `{ workspace = true }` here",
+                    )),
+                }
+            }
+        }
+    }
+    for (name, e) in &table {
+        if !consumed.contains(name) {
+            out.push(root.diag(
+                e.line,
+                &e.snippet,
+                format!("workspace dependency `{name}` is consumed by no crate"),
+                "delete the dead entry or migrate a crate onto it",
+            ));
+        }
+    }
+
+    // -- member conformance --------------------------------------------
+    for m in members {
+        if m.get("package", "rust-version").map(|e| e.value.as_str()) != Some("true")
+            && m.get("package", "rust-version.workspace")
+                .map(|e| e.value.as_str())
+                != Some("true")
+        {
+            out.push(m.diag(
+                1,
+                "[package]",
+                "member does not inherit the workspace MSRV".to_string(),
+                "add `rust-version.workspace = true` to [package]",
+            ));
+        }
+        if m.get("lints", "workspace").map(|e| e.value.as_str()) != Some("true") {
+            out.push(m.diag(
+                1,
+                "[package]",
+                "member opts out of the workspace lint wall".to_string(),
+                "add `[lints]\\nworkspace = true`",
+            ));
+        }
+    }
+    out
+}
+
+/// Read and parse a manifest from disk, path stored workspace-relative.
+pub fn read(root_dir: &Path, abs: &Path) -> std::io::Result<Manifest> {
+    let text = std::fs::read_to_string(abs)?;
+    let rel = abs.strip_prefix(root_dir).unwrap_or(abs);
+    Ok(Manifest::parse(rel, &text))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dotted_workspace_dep_is_recognised() {
+        assert_eq!(
+            dep_kind("serde.workspace", "true"),
+            Some(("serde".to_string(), DepKind::Workspace))
+        );
+        assert_eq!(
+            dep_kind("serde", "{ workspace = true, features = [\"derive\"] }"),
+            Some(("serde".to_string(), DepKind::Workspace))
+        );
+        assert_eq!(
+            dep_kind("automodel-hpo", "{ path = \"../hpo\" }"),
+            Some(("automodel-hpo".to_string(), DepKind::Path))
+        );
+        assert_eq!(
+            dep_kind("rand", "\"0.8\""),
+            Some(("rand".to_string(), DepKind::AdHoc))
+        );
+    }
+
+    #[test]
+    fn sections_and_comments_parse() {
+        let m = Manifest::parse(
+            "Cargo.toml",
+            "# top\n[package]\nname = \"x\" # trailing\n\n[dependencies]\nrand.workspace = true\n",
+        );
+        assert_eq!(m.get("package", "name").unwrap().value, "\"x\"");
+        assert_eq!(m.section("dependencies").len(), 1);
+    }
+}

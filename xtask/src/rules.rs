@@ -1,0 +1,281 @@
+//! The source-level rule families of `cargo xtask lint`.
+//!
+//! | code | rule id             | scope                                   |
+//! |------|---------------------|-----------------------------------------|
+//! | L1   | `no-panic-lib`      | library code of the six product crates  |
+//! | L2   | `determinism`       | every workspace source file             |
+//! | L3   | `ordered-iteration` | the five ordering-sensitive modules     |
+//! | L4   | `nan-ordering`      | every workspace source file             |
+//!
+//! (L5, `manifest-hygiene`, lives in [`crate::manifest`] — it checks
+//! `Cargo.toml` files, not Rust sources.)
+//!
+//! All matching happens on blanked text (see [`crate::scan`]), so strings
+//! and comments can never trigger a rule. Each hit can be suppressed with
+//! `// lint:allow(rule-id): justification` on the same or preceding line.
+
+use crate::diag::Diagnostic;
+use crate::scan::SourceFile;
+
+/// Crates whose `src/` trees count as library code for `no-panic-lib`.
+pub const PANIC_FREE_CRATES: [&str; 6] = ["core", "knowledge", "hpo", "ml", "nn", "data"];
+
+/// Modules where iteration order is observable in outputs (serialized
+/// artifacts, reports, GA populations) and hash iteration is banned.
+pub const ORDER_SENSITIVE_MODULES: [&str; 5] = [
+    "crates/knowledge/src/graph.rs",
+    "crates/knowledge/src/acquisition.rs",
+    "crates/core/src/dmd.rs",
+    "crates/hpo/src/ga.rs",
+    "crates/bench/src/report.rs",
+];
+
+/// Run every source rule applicable to `file`.
+pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    no_panic_lib(file, &mut out);
+    determinism(file, &mut out);
+    ordered_iteration(file, &mut out);
+    nan_ordering(file, &mut out);
+    out
+}
+
+/// Byte offset → 1-based display column for a match in `line`; `span` is
+/// the `(byte offset, length)` pair produced by [`find_all`].
+fn diag(
+    file: &SourceFile,
+    idx: usize,
+    span: (usize, usize),
+    rule: &'static str,
+    code: &'static str,
+    message: String,
+    help: &'static str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        code,
+        file: file.path.clone(),
+        line: idx + 1,
+        col: span.0 + 1,
+        len: span.1,
+        message,
+        help,
+        snippet: file.raw.get(idx).cloned().unwrap_or_default(),
+    }
+}
+
+/// Every match of `needle` in `hay` as (byte offset, length).
+fn find_all(hay: &str, needle: &str) -> Vec<(usize, usize)> {
+    let mut hits = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        hits.push((from + p, needle.len()));
+        from += p + needle.len().max(1);
+    }
+    hits
+}
+
+/// Is the match at `pos` a standalone identifier (not a substring of a
+/// longer path segment like `MyHashMapWrapper`)?
+fn ident_boundary(hay: &str, pos: usize, len: usize) -> bool {
+    let before = hay[..pos].chars().next_back();
+    let after = hay[pos + len..].chars().next();
+    let is_ident = |c: Option<char>| c.is_some_and(|c| c.is_alphanumeric() || c == '_');
+    !is_ident(before) && !is_ident(after)
+}
+
+/// Does `file` live under `crates/<name>/src/` for one of the panic-free
+/// crates? (Integration tests, benches and bins are exempt.)
+fn is_panic_free_lib(file: &SourceFile) -> bool {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    PANIC_FREE_CRATES
+        .iter()
+        .any(|c| p.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// L1 — `no-panic-lib`: no `unwrap()` / `expect(..)` / `panic!` family in
+/// library code. Inline `#[cfg(test)]` modules are exempt.
+fn no_panic_lib(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !is_panic_free_lib(file) {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 6] = [
+        (".unwrap()", "`.unwrap()` in library code"),
+        (".expect(", "`.expect(..)` in library code"),
+        ("panic!(", "`panic!` in library code"),
+        ("unreachable!(", "`unreachable!` in library code"),
+        ("todo!(", "`todo!` in library code"),
+        ("unimplemented!(", "`unimplemented!` in library code"),
+    ];
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.in_test[idx] || file.is_allowed(idx, "no-panic-lib") {
+            continue;
+        }
+        for (pat, msg) in PATTERNS {
+            for (col, len) in find_all(line, pat) {
+                // `.expect(` must not match `.expect_err(`; the trailing
+                // `(` in the pattern already guarantees that. `panic!` must
+                // be its own token (not `core::panic!` — still a panic, so
+                // no boundary check on the left for macro patterns).
+                if pat == ".unwrap()" && !ident_boundary(line, col + 1, len - 3) {
+                    continue;
+                }
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "no-panic-lib",
+                    "L1",
+                    msg.to_string(),
+                    "return a Result (see each crate's error type), or append \
+                     `// lint:allow(no-panic-lib): <why it cannot fire>`",
+                ));
+            }
+        }
+    }
+}
+
+/// L2 — `determinism`: no ambient or time-derived randomness anywhere.
+/// All entropy must flow through a caller-provided seed.
+fn determinism(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    const BANNED: [(&str, &str); 4] = [
+        (
+            "thread_rng(",
+            "ambient RNG (`thread_rng`) breaks reproducibility",
+        ),
+        ("rand::random", "`rand::random` draws from ambient entropy"),
+        (
+            "from_entropy(",
+            "`from_entropy` seeds from the OS, not the caller",
+        ),
+        (
+            "RandomState",
+            "`RandomState` hashing is randomized per process",
+        ),
+    ];
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.is_allowed(idx, "determinism") {
+            continue;
+        }
+        for (pat, msg) in BANNED {
+            for (col, len) in find_all(line, pat) {
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "determinism",
+                    "L2",
+                    msg.to_string(),
+                    "thread an explicit `StdRng::seed_from_u64(seed)` through the call chain",
+                ));
+            }
+        }
+        // Time-derived seeds: a seeding call and a clock read on one line.
+        if line.contains("seed_from_u64(")
+            && (line.contains("now()") || line.contains("UNIX_EPOCH") || line.contains(".elapsed("))
+        {
+            let span = find_all(line, "seed_from_u64(")[0];
+            out.push(diag(
+                file,
+                idx,
+                span,
+                "determinism",
+                "L2",
+                "seed derived from the clock".to_string(),
+                "accept the seed as a parameter instead of reading a clock",
+            ));
+        }
+    }
+}
+
+/// L3 — `ordered-iteration`: the modules whose outputs are
+/// ordering-sensitive must not use `HashMap`/`HashSet` at all — iteration
+/// order would leak into serialized artifacts and reports. Use
+/// `BTreeMap`/`BTreeSet`, or sort explicitly and `lint:allow` the site.
+fn ordered_iteration(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if !ORDER_SENSITIVE_MODULES.iter().any(|m| p == *m) {
+        return;
+    }
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.is_allowed(idx, "ordered-iteration") {
+            continue;
+        }
+        for pat in ["HashMap", "HashSet"] {
+            for (col, len) in find_all(line, pat) {
+                if !ident_boundary(line, col, len) {
+                    continue;
+                }
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "ordered-iteration",
+                    "L3",
+                    format!("`{pat}` in an ordering-sensitive module"),
+                    "use BTreeMap/BTreeSet, or collect-and-sort before iterating and \
+                     `// lint:allow(ordered-iteration): <how order is restored>`",
+                ));
+            }
+        }
+    }
+}
+
+/// L4 — `nan-ordering`: `partial_cmp(..).unwrap()` panics on NaN; float
+/// orderings must go through `total_cmp` (or the shared `f64_key` helper).
+fn nan_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.is_allowed(idx, "nan-ordering") {
+            continue;
+        }
+        for (col, len) in find_all(line, "partial_cmp") {
+            let rest = &line[col + len..];
+            if rest.contains(".unwrap()") || rest.contains(".expect(") {
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "nan-ordering",
+                    "L4",
+                    "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
+                    "use `f64::total_cmp` (or `automodel_invariant::f64_key`) for a total order",
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> SourceFile {
+        SourceFile::parse("crates/core/src/x.rs", src)
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_flagged() {
+        let f = lib("let a = x.unwrap_or_else(|| 3);\nlet b = y.unwrap_or(4);\n");
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn expect_err_is_not_flagged() {
+        let f = lib("let a = r.expect_err(msg);\n");
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn bench_crate_may_unwrap() {
+        let f = SourceFile::parse("crates/bench/src/x.rs", "x.unwrap();\n");
+        assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn clock_seed_is_one_finding() {
+        let f = lib("let rng = StdRng::seed_from_u64(SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs());\n");
+        let d = check_file(&f);
+        // One determinism hit; the `.unwrap()` also trips L1 independently.
+        assert_eq!(d.iter().filter(|d| d.rule == "determinism").count(), 1);
+    }
+}

@@ -1,0 +1,393 @@
+//! Lexical model of one Rust source file, shared by every lint rule.
+//!
+//! Rules never look at raw text: they see *blanked* lines in which comment
+//! bodies and string/char literal contents have been replaced by spaces
+//! (line structure preserved). That makes naive substring matching sound —
+//! `"thread_rng"` inside a string literal or doc comment can never fire.
+//!
+//! The scanner also extracts:
+//! * `// lint:allow(rule-a, rule-b)` escapes — a directive suppresses the
+//!   named rules on its own line, or on the next source line when the
+//!   comment stands alone;
+//! * `#[cfg(test)]` item regions, so rules that only apply to library code
+//!   (e.g. `no-panic-lib`) can skip inline test modules.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A scanned source file ready for rule matching.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// Original lines, for diagnostics.
+    pub raw: Vec<String>,
+    /// Lines with comments and literal contents blanked to spaces.
+    pub clean: Vec<String>,
+    /// `in_test[i]` — line `i` (0-based) lies inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// `allow[i]` — rule ids suppressed on line `i` (0-based).
+    pub allow: Vec<BTreeSet<String>>,
+}
+
+impl SourceFile {
+    /// Scan `text` as the contents of `path` (workspace-relative).
+    pub fn parse(path: impl Into<PathBuf>, text: &str) -> SourceFile {
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let (clean_text, directives) = blank(text);
+        let clean: Vec<String> = clean_text.lines().map(str::to_string).collect();
+        let in_test = test_regions(&clean);
+        let allow = attach_directives(raw.len(), &clean, directives);
+        SourceFile {
+            path: path.into(),
+            raw,
+            clean,
+            in_test,
+            allow,
+        }
+    }
+
+    /// Scan a file on disk; `root` is the workspace root the stored path is
+    /// made relative to.
+    pub fn read(root: &Path, abs: &Path) -> std::io::Result<SourceFile> {
+        let text = std::fs::read_to_string(abs)?;
+        let rel = abs.strip_prefix(root).unwrap_or(abs);
+        Ok(SourceFile::parse(rel, &text))
+    }
+
+    /// Is `rule` suppressed on 0-based line `idx`?
+    pub fn is_allowed(&self, idx: usize, rule: &str) -> bool {
+        self.allow.get(idx).is_some_and(|set| set.contains(rule))
+    }
+}
+
+/// A `lint:allow` directive found during blanking.
+struct Directive {
+    /// 0-based line the comment sits on.
+    line: usize,
+    /// True when the whole line is just the comment (directive then applies
+    /// to the *next* source line).
+    standalone: bool,
+    rules: Vec<String>,
+}
+
+/// Replace comment bodies and literal contents with spaces, keeping line
+/// breaks, and harvest `lint:allow` directives from comments.
+fn blank(text: &str) -> (String, Vec<Directive>) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut directives = Vec::new();
+    let mut comment_buf = String::new();
+    let mut line = 0usize;
+    let mut line_had_code = false;
+    let mut state = State::Code;
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                harvest(&comment_buf, line, !line_had_code, &mut directives);
+                comment_buf.clear();
+                state = State::Code;
+            }
+            out.push('\n');
+            line += 1;
+            line_had_code = false;
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == 'r' && !prev_is_ident(&chars, i) {
+                    if let Some(hashes) = raw_str_open(&chars, i) {
+                        state = State::RawStr(hashes);
+                        out.push('r');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        out.push('"');
+                        line_had_code = true;
+                        i += 2 + hashes as usize;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    // Keep the delimiter so `("…")` still looks call-shaped.
+                    out.push('"');
+                    state = State::Str;
+                    line_had_code = true;
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Distinguish lifetimes (`'a`) from char literals (`'a'`).
+                    let is_lifetime = chars
+                        .get(i + 1)
+                        .is_some_and(|n| n.is_alphabetic() || *n == '_')
+                        && chars.get(i + 2) != Some(&'\'');
+                    if is_lifetime {
+                        out.push('\'');
+                        line_had_code = true;
+                        i += 1;
+                        continue;
+                    }
+                    out.push('\'');
+                    state = State::Char;
+                    line_had_code = true;
+                    i += 1;
+                    continue;
+                }
+                if !c.is_whitespace() {
+                    line_had_code = true;
+                }
+                out.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                comment_buf.push(c);
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    out.push_str("  ");
+                    i += 2;
+                    state = State::BlockComment(depth + 1);
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' && i + 1 < chars.len() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    out.push('"');
+                    for _ in 0..hashes {
+                        out.push('#');
+                    }
+                    i += 1 + hashes as usize;
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' && i + 1 < chars.len() {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    out.push('\'');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if state == State::LineComment {
+        harvest(&comment_buf, line, !line_had_code, &mut directives);
+    }
+    (out, directives)
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// At `chars[i] == 'r'`: `Some(n_hashes)` when a raw string literal opens.
+fn raw_str_open(chars: &[char], i: usize) -> Option<u32> {
+    let mut j = i + 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// At `chars[i] == '"'` inside a raw string with `hashes` hashes: does the
+/// literal close here?
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Parse `lint:allow(rule-a, rule-b): optional note` out of one comment.
+fn harvest(comment: &str, line: usize, standalone: bool, out: &mut Vec<Directive>) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        out.push(Directive {
+            line,
+            standalone,
+            rules,
+        });
+    }
+}
+
+/// Attach directives to the lines they govern: same line for trailing
+/// comments, next non-empty line for standalone comment lines.
+fn attach_directives(
+    n_lines: usize,
+    clean: &[String],
+    directives: Vec<Directive>,
+) -> Vec<BTreeSet<String>> {
+    let mut allow = vec![BTreeSet::new(); n_lines];
+    for d in directives {
+        let target = if d.standalone {
+            // First following line with any code on it.
+            (d.line + 1..n_lines)
+                .find(|&i| !clean[i].trim().is_empty())
+                .unwrap_or(d.line)
+        } else {
+            d.line
+        };
+        if let Some(set) = allow.get_mut(target) {
+            set.extend(d.rules);
+        }
+    }
+    allow
+}
+
+/// Mark every line inside a `#[cfg(test)]` item (typically `mod tests`).
+///
+/// Works on blanked text: find a `#[cfg(test)]` attribute, then mark lines
+/// until the brace opened by the attributed item closes again.
+fn test_regions(clean: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; clean.len()];
+    let mut i = 0;
+    while i < clean.len() {
+        if clean[i].trim_start().starts_with("#[cfg(test)]") {
+            // Scan forward for the opening brace of the attributed item.
+            let mut depth = 0i32;
+            let mut opened = false;
+            let mut j = i;
+            'outer: while j < clean.len() {
+                for ch in clean[j].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => {
+                            depth -= 1;
+                            if opened && depth == 0 {
+                                in_test[j] = true;
+                                break 'outer;
+                            }
+                        }
+                        ';' if !opened => {
+                            // `#[cfg(test)] mod tests;` — out-of-line module.
+                            in_test[j] = true;
+                            break 'outer;
+                        }
+                        _ => {}
+                    }
+                }
+                in_test[j] = true;
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse(
+            "crates/x/src/lib.rs",
+            "let a = \"thread_rng()\"; // unwrap() in a comment\nlet b = 1;\n",
+        );
+        assert!(!f.clean[0].contains("thread_rng"));
+        assert!(!f.clean[0].contains("unwrap"));
+        assert_eq!(f.clean[1], "let b = 1;");
+        // Line structure preserved.
+        assert_eq!(f.raw.len(), f.clean.len());
+    }
+
+    #[test]
+    fn raw_strings_and_chars_are_blanked() {
+        let f = SourceFile::parse(
+            "x.rs",
+            "let a = r#\"panic!(\"no\")\"#;\nlet c = '\\''; let lt: &'static str = \"\";\n",
+        );
+        assert!(!f.clean[0].contains("panic!"));
+        assert!(f.clean[1].contains("&'static str"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_detected() {
+        let src = "pub fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\npub fn more() {}\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert_eq!(f.in_test, vec![false, true, true, true, true, false],);
+    }
+
+    #[test]
+    fn allow_directive_applies_to_own_or_next_line() {
+        let src = "a.unwrap(); // lint:allow(no-panic-lib): provably non-empty\n// lint:allow(determinism)\nthread_rng();\n";
+        let f = SourceFile::parse("x.rs", src);
+        assert!(f.is_allowed(0, "no-panic-lib"));
+        assert!(!f.is_allowed(0, "determinism"));
+        assert!(f.is_allowed(2, "determinism"));
+    }
+}

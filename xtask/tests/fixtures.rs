@@ -1,0 +1,214 @@
+//! Fixture tests: one passing and one violating snippet per rule family,
+//! exercised through the same entry points the CLI uses.
+
+use xtask::manifest::{check_workspace, Manifest};
+use xtask::rules::check_file;
+use xtask::scan::SourceFile;
+
+/// Findings for `src` placed at `path`, filtered to `rule`.
+fn findings(path: &str, src: &str, rule: &str) -> Vec<(usize, usize)> {
+    let file = SourceFile::parse(path, src);
+    check_file(&file)
+        .into_iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| (d.line, d.col))
+        .collect()
+}
+
+// ---------------------------------------------------------------- L1 --
+
+#[test]
+fn l1_violation_unwrap_in_library_code() {
+    let hits = findings(
+        "crates/hpo/src/x.rs",
+        "pub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n",
+        "no-panic-lib",
+    );
+    assert_eq!(hits, vec![(2, 15)]);
+}
+
+#[test]
+fn l1_passing_result_test_module_and_allow() {
+    let src = "\
+pub fn f(v: &[u32]) -> Option<u32> {\n\
+    v.first().copied() // lint:allow in a comment is inert text\n\
+}\n\
+pub fn g() -> usize {\n\
+    // lint:allow(no-panic-lib): slice is non-empty by construction\n\
+    [1].iter().max().unwrap().to_owned() as usize\n\
+}\n\
+#[cfg(test)]\n\
+mod tests {\n\
+    #[test]\n\
+    fn t() {\n\
+        super::f(&[1]).unwrap();\n\
+        panic!(\"test code may panic\");\n\
+    }\n\
+}\n";
+    assert!(findings("crates/core/src/x.rs", src, "no-panic-lib").is_empty());
+}
+
+#[test]
+fn l1_only_applies_to_the_six_product_crates() {
+    let src = "pub fn f() { Vec::<u32>::new().first().unwrap(); }\n";
+    assert_eq!(findings("crates/nn/src/x.rs", src, "no-panic-lib").len(), 1);
+    // bench, xtask, vendor, integration tests: out of scope.
+    assert!(findings("crates/bench/src/x.rs", src, "no-panic-lib").is_empty());
+    assert!(findings("crates/nn/tests/x.rs", src, "no-panic-lib").is_empty());
+    assert!(findings("xtask/src/x.rs", src, "no-panic-lib").is_empty());
+}
+
+// ---------------------------------------------------------------- L2 --
+
+#[test]
+fn l2_violation_ambient_and_clock_randomness() {
+    let src = "\
+fn a() { let mut rng = rand::thread_rng(); }\n\
+fn b() -> u64 { rand::random() }\n\
+fn c() { let rng = StdRng::seed_from_u64(SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs()); }\n";
+    let hits = findings("crates/bench/src/x.rs", src, "determinism");
+    assert_eq!(hits.len(), 3, "{hits:?}");
+}
+
+#[test]
+fn l2_passing_seeded_rng_everywhere() {
+    let src = "\
+fn run(seed: u64) {\n\
+    let mut rng = StdRng::seed_from_u64(seed);\n\
+    let x: f64 = rng.gen_range(0.0..1.0);\n\
+    // Mentioning thread_rng() in a comment is fine.\n\
+    let s = \"thread_rng()\";\n\
+}\n";
+    assert!(findings("crates/hpo/src/x.rs", src, "determinism").is_empty());
+}
+
+// ---------------------------------------------------------------- L3 --
+
+#[test]
+fn l3_violation_hashmap_in_order_sensitive_module() {
+    let src = "use std::collections::HashMap;\npub fn f(m: &HashMap<String, u32>) {}\n";
+    let hits = findings("crates/knowledge/src/graph.rs", src, "ordered-iteration");
+    assert_eq!(hits.len(), 2);
+}
+
+#[test]
+fn l3_passing_btree_or_other_module_or_allowed() {
+    let btree = "use std::collections::BTreeMap;\npub fn f(m: &BTreeMap<String, u32>) {}\n";
+    assert!(findings("crates/knowledge/src/graph.rs", btree, "ordered-iteration").is_empty());
+    // Same hash code outside the sensitive list is fine.
+    let hash = "use std::collections::HashMap;\n";
+    assert!(findings("crates/ml/src/x.rs", hash, "ordered-iteration").is_empty());
+    // And an allowed site (order restored by sorting) passes.
+    let allowed = "// lint:allow(ordered-iteration): keys sorted before use\nuse std::collections::HashMap;\n";
+    assert!(findings("crates/hpo/src/ga.rs", allowed, "ordered-iteration").is_empty());
+}
+
+// ---------------------------------------------------------------- L4 --
+
+#[test]
+fn l4_violation_partial_cmp_unwrap() {
+    let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+    assert_eq!(findings("crates/ml/src/x.rs", src, "nan-ordering").len(), 1);
+    let expect =
+        "fn f(a: f64, b: f64) -> std::cmp::Ordering { a.partial_cmp(&b).expect(\"no NaN\") }\n";
+    assert_eq!(
+        findings("crates/ml/src/x.rs", expect, "nan-ordering").len(),
+        1
+    );
+}
+
+#[test]
+fn l4_passing_total_cmp() {
+    let src = "\
+fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n\
+fn g(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }\n";
+    assert!(findings("crates/ml/src/x.rs", src, "nan-ordering").is_empty());
+}
+
+// ---------------------------------------------------------------- L5 --
+
+const GOOD_ROOT: &str = "\
+[workspace.package]\n\
+rust-version = \"1.82\"\n\
+repository = \"https://github.com/paper-repo-growth/auto-model\"\n\
+[workspace.dependencies]\n\
+rand = { path = \"vendor/rand\" }\n";
+
+fn member(body: &str) -> Manifest {
+    Manifest::parse(
+        "crates/demo/Cargo.toml",
+        &format!(
+            "[package]\nname = \"demo\"\nrust-version.workspace = true\n[lints]\nworkspace = true\n{body}"
+        ),
+    )
+}
+
+#[test]
+fn l5_violation_adhoc_version_placeholder_repo_and_dead_entry() {
+    let root = Manifest::parse(
+        "Cargo.toml",
+        "[workspace.package]\nrepository = \"https://example.com/auto-model\"\n\
+         [workspace.dependencies]\nunused-dep = \"1.0\"\n",
+    );
+    let m = member("[dependencies]\nrand = \"0.8\"\n");
+    let msgs: Vec<String> = check_workspace(&root, &[m])
+        .into_iter()
+        .map(|d| d.message)
+        .collect();
+    assert!(msgs.iter().any(|m| m.contains("MSRV")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("placeholder")), "{msgs:?}");
+    assert!(msgs.iter().any(|m| m.contains("unused-dep")), "{msgs:?}");
+    assert!(
+        msgs.iter().any(|m| m.contains("bypasses the workspace")),
+        "{msgs:?}"
+    );
+}
+
+#[test]
+fn l5_passing_workspace_table_and_inherited_msrv() {
+    let root = Manifest::parse("Cargo.toml", GOOD_ROOT);
+    let m =
+        member("[dependencies]\nrand.workspace = true\nautomodel-hpo = { path = \"../hpo\" }\n");
+    let diags = check_workspace(&root, &[m]);
+    assert!(
+        diags.is_empty(),
+        "{:?}",
+        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn l5_violation_member_without_lint_wall() {
+    let root = Manifest::parse("Cargo.toml", GOOD_ROOT);
+    let m = Manifest::parse(
+        "crates/demo/Cargo.toml",
+        "[package]\nname = \"demo\"\nrust-version.workspace = true\n\
+         [dependencies]\nrand.workspace = true\n",
+    );
+    let msgs: Vec<String> = check_workspace(&root, &[m])
+        .into_iter()
+        .map(|d| d.message)
+        .collect();
+    assert!(msgs.iter().any(|m| m.contains("lint wall")), "{msgs:?}");
+}
+
+// ------------------------------------------------------- end-to-end --
+
+/// The repository's own tree must lint clean against its baseline — this is
+/// the same invariant CI (`scripts/check.sh`) enforces, kept here so plain
+/// `cargo test` catches violations too.
+#[test]
+fn workspace_lints_clean_against_baseline() {
+    let root = xtask::workspace_root();
+    let diags = xtask::run_lint(&root).expect("lint pass is infallible on a checked-out tree");
+    let current = xtask::baseline::tally(&diags);
+    let text = std::fs::read_to_string(root.join("xtask/lint-baseline.txt")).unwrap_or_default();
+    let allowed = xtask::baseline::parse(&text).expect("baseline parses");
+    let verdict = xtask::baseline::compare(&current, &allowed);
+    assert!(
+        verdict.is_clean(),
+        "regressed: {:?}\nstale: {:?}",
+        verdict.regressed,
+        verdict.stale
+    );
+}
