@@ -60,64 +60,56 @@ fn main() {
     );
     let mut summary: Vec<(String, String, f64, usize)> = Vec::new(); // (budget, method, sum, wins)
 
+    let executor = automodel_hpo::Executor::new(scale.threads());
     for (budget_name, budget) in [("small", &small_budget), ("large", &large_budget)] {
-        // One independent cell per dataset — run them on worker threads.
-        let queue: parking_lot::Mutex<Vec<usize>> =
-            parking_lot::Mutex::new((0..suite.len()).rev().collect());
-        type Cell = (f64, f64, String, String); // (am_avg, aw_avg, am_alg, aw_alg)
-        let cells: parking_lot::Mutex<Vec<Option<Cell>>> =
-            parking_lot::Mutex::new(vec![None; suite.len()]);
+        // One independent cell per dataset — fan them out on the executor;
+        // every solver call is seeded per-cell, so results are identical at
+        // any thread count.
         let registry = &pipeline.ctx.registry;
         let dmd_ref = &dmd;
         let suite_ref = &suite;
-        crossbeam::scope(|scope| {
-            for _ in 0..scale.threads().min(suite.len()) {
-                scope.spawn(|_| loop {
-                    let Some(idx) = queue.lock().pop() else { break };
-                    let (symbol, data) = &suite_ref[idx];
-                    let mut am_avg = 0.0;
-                    let mut aw_avg = 0.0;
-                    let mut am_alg = String::new();
-                    let mut aw_alg = String::new();
-                    for rep in 0..reps {
-                        // Auto-Model: UDR with the given tuning budget.
-                        let udr = UdrConfig {
-                            tuning_budget: budget.clone(),
-                            probe_rows: 120,
-                            eval_time_threshold: Duration::from_millis(400),
-                            cv_folds: folds,
-                            seed: 1000 + rep as u64,
-                        };
-                        if let Ok(am) = udr.solve(dmd_ref, data) {
-                            am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
-                            am_alg = am.algorithm;
-                        }
-                        // Auto-Weka: SMAC over the hierarchical CASH space.
-                        let aw = AutoWekaConfig {
-                            budget: budget.clone(),
-                            cv_folds: folds,
-                            seed: 2000 + rep as u64,
-                        }
-                        .solve(registry, data);
-                        if let Ok(aw) = aw {
-                            aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
-                            aw_alg = aw.algorithm;
-                        }
-                    }
-                    am_avg /= reps as f64;
-                    aw_avg /= reps as f64;
-                    eprintln!("  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3}");
-                    cells.lock()[idx] = Some((am_avg, aw_avg, am_alg, aw_alg));
-                });
+        // (am_avg, aw_avg, am_alg, aw_alg)
+        let cells: Vec<(f64, f64, String, String)> = executor.map(suite.len(), |idx| {
+            let (symbol, data) = &suite_ref[idx];
+            let mut am_avg = 0.0;
+            let mut aw_avg = 0.0;
+            let mut am_alg = String::new();
+            let mut aw_alg = String::new();
+            for rep in 0..reps {
+                // Auto-Model: UDR with the given tuning budget.
+                let udr = UdrConfig {
+                    tuning_budget: budget.clone(),
+                    probe_rows: 120,
+                    eval_time_threshold: Duration::from_millis(400),
+                    cv_folds: folds,
+                    seed: 1000 + rep as u64,
+                };
+                if let Ok(am) = udr.solve(dmd_ref, data) {
+                    am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
+                    am_alg = am.algorithm;
+                }
+                // Auto-Weka: SMAC over the hierarchical CASH space.
+                let aw = AutoWekaConfig {
+                    budget: budget.clone(),
+                    cv_folds: folds,
+                    seed: 2000 + rep as u64,
+                }
+                .solve(registry, data);
+                if let Ok(aw) = aw {
+                    aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
+                    aw_alg = aw.algorithm;
+                }
             }
-        })
-        .expect("comparison worker panicked");
+            am_avg /= reps as f64;
+            aw_avg /= reps as f64;
+            eprintln!("  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3}");
+            (am_avg, aw_avg, am_alg, aw_alg)
+        });
 
         let mut am_scores = Vec::new();
         let mut aw_scores = Vec::new();
         let mut am_wins = 0usize;
-        for (idx, cell) in cells.into_inner().into_iter().enumerate() {
-            let (am_avg, aw_avg, am_alg, aw_alg) = cell.expect("every dataset processed");
+        for (idx, (am_avg, aw_avg, am_alg, aw_alg)) in cells.into_iter().enumerate() {
             let symbol = &suite[idx].0;
             table.row(vec![
                 budget_label(budget),

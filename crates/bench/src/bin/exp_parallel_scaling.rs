@@ -1,0 +1,131 @@
+//! Parallel-evaluation scaling: GA population evaluation on the shared
+//! deterministic executor at increasing thread counts.
+//!
+//! One GA run per thread count, identical seed and budget, over a real
+//! objective (J48 cross-validation accuracy on a synthetic dataset). The
+//! executor contract says every run must return the *same* trial history —
+//! this experiment checks that fingerprint while measuring wall-clock
+//! speedup of the population evaluation.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_parallel_scaling
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome};
+use automodel_ml::{cross_val_accuracy, Registry};
+use std::time::Instant;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("[exp_parallel_scaling] scale = {scale:?}");
+
+    let (rows, evals) = match scale {
+        Scale::Tiny => (200, 60),
+        Scale::Small => (400, 200),
+        Scale::Paper => (1000, 600),
+    };
+    let data = SynthSpec::new(
+        "scaling",
+        rows,
+        5,
+        1,
+        3,
+        SynthFamily::GaussianBlobs { spread: 0.9 },
+        91,
+    )
+    .generate();
+
+    let registry = Registry::fast();
+    let spec = registry.get("J48").expect("fast registry carries J48");
+    let space = spec.param_space();
+    let objective =
+        |config: &Config| cross_val_accuracy(|| spec.build(config, 7), &data, 5, 7).unwrap_or(0.0);
+    let ga = GeneticAlgorithm::with_config(
+        42,
+        GaConfig {
+            population: 16,
+            generations: 1000, // bounded by the eval budget
+            ..GaConfig::default()
+        },
+    );
+    let budget = Budget::evals(evals);
+
+    let mut counts = vec![1usize, 2, 4, scale.threads()];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut table = Table::new(
+        "GA population evaluation — executor scaling",
+        &[
+            "threads",
+            "wall ms",
+            "speedup",
+            "best",
+            "trials",
+            "identical",
+        ],
+    );
+    let mut baseline_ms = 0.0f64;
+    let mut baseline_fp = String::new();
+    let mut rows_json = Vec::new();
+    for &threads in &counts {
+        let executor = Executor::new(threads);
+        let start = Instant::now();
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &executor)
+            .expect("eval budget > 0 always yields an outcome");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let fp = fingerprint(&out);
+        if threads == 1 {
+            baseline_ms = ms;
+            baseline_fp = fp.clone();
+        }
+        let identical = fp == baseline_fp;
+        assert!(
+            identical,
+            "determinism violation: {threads}-thread trial history diverged from serial"
+        );
+        let speedup = baseline_ms / ms.max(1e-9);
+        eprintln!(
+            "  {threads:>2} threads: {ms:8.1} ms  speedup {speedup:4.2}x  best {:.4}",
+            out.best_score
+        );
+        table.row(vec![
+            threads.to_string(),
+            format!("{ms:.1}"),
+            format!("{speedup:.2}"),
+            format!("{:.4}", out.best_score),
+            out.trials.len().to_string(),
+            identical.to_string(),
+        ]);
+        rows_json.push(serde_json::json!({
+            "threads": threads,
+            "wall_ms": ms,
+            "speedup": speedup,
+            "best": out.best_score,
+            "trials": out.trials.len(),
+        }));
+    }
+    table.print();
+
+    if json {
+        let out = serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "evals": evals,
+            "rows": rows_json,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -160,8 +160,17 @@ impl Scale {
         }
     }
 
-    /// Worker threads for the performance sweeps.
+    /// Worker threads for the performance sweeps. `AUTOMODEL_THREADS=N`
+    /// overrides the detected parallelism — `AUTOMODEL_THREADS=1` replays
+    /// any experiment serially for determinism debugging (the executors are
+    /// thread-count invariant, so the numbers must not change).
     pub fn threads(self) -> usize {
+        if let Some(n) = std::env::var("AUTOMODEL_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)

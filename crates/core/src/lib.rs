@@ -19,7 +19,7 @@
 //!   (train once offline, ship the JSON artifact, re-attach the registry).
 //! * [`poratio`] — the §IV evaluation metrics: `P(A, D)` (GA-tuned 10-fold
 //!   CV accuracy), `Pmax`, `Pavg` and Definition 1's PORatio, with a shared
-//!   evaluation cache and a crossbeam-parallel sweep over the registry.
+//!   evaluation cache and an executor-parallel sweep over the registry.
 
 pub mod artifact;
 pub mod autoweka;

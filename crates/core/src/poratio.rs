@@ -14,7 +14,7 @@
 //!   count as "not more effective" and stay in the denominator.
 
 use automodel_data::Dataset;
-use automodel_hpo::{Budget, FnObjective, GaConfig, GeneticAlgorithm, Optimizer};
+use automodel_hpo::{Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer};
 use automodel_ml::{cross_val_accuracy, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -95,7 +95,9 @@ impl EvalContext {
     }
 
     /// `P(A, D)` for every registry algorithm, in registry order, computed
-    /// on `threads` worker threads (crossbeam scoped).
+    /// on an [`Executor`] with `threads` workers. Each `(A, D)` measurement
+    /// is internally seeded, so the sweep is deterministic at any thread
+    /// count; a worker panic propagates to the caller.
     pub fn all_performances(&self, data: &Dataset, threads: usize) -> Vec<(String, Option<f64>)> {
         let names: Vec<String> = self
             .registry
@@ -103,35 +105,9 @@ impl EvalContext {
             .iter()
             .map(|s| s.to_string())
             .collect();
-        if threads <= 1 || names.len() <= 1 {
-            return names
-                .into_iter()
-                .map(|n| {
-                    let p = self.performance(data, &n);
-                    (n, p)
-                })
-                .collect();
-        }
-        let queue: Mutex<Vec<usize>> = Mutex::new((0..names.len()).rev().collect());
-        let results: Mutex<Vec<Option<Option<f64>>>> = Mutex::new(vec![None; names.len()]);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads.min(names.len()) {
-                scope.spawn(|_| loop {
-                    let Some(idx) = queue.lock().pop() else { break };
-                    let p = self.performance(data, &names[idx]);
-                    results.lock()[idx] = Some(p);
-                });
-            }
-        })
-        // lint:allow(no-panic-lib): re-raises a worker panic, never originates one
-        .expect("worker panicked during performance sweep");
-        let results = results.into_inner();
-        names
-            .into_iter()
-            .zip(results)
-            // lint:allow(no-panic-lib): the queue is drained before scope exit
-            .map(|(n, p)| (n, p.expect("every index processed")))
-            .collect()
+        let executor = Executor::new(threads);
+        let scores = executor.map(names.len(), |idx| self.performance(data, &names[idx]));
+        names.into_iter().zip(scores).collect()
     }
 
     /// `Pmax(D)` over precomputed performances.

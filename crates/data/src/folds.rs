@@ -5,6 +5,7 @@
 //! produced as index lists so the dataset is never copied.
 
 use crate::dataset::Dataset;
+use crate::error::DataError;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -42,12 +43,24 @@ impl FoldPlan {
 }
 
 /// Build a stratified k-fold plan: each fold's class distribution mirrors the
-/// dataset's. `k` is clamped to `[2, n_rows]`. Rows of each class are
+/// dataset's. `k` is clamped to `[2, n_rows]`, so every fold's test set is
+/// non-empty; a dataset with fewer than 2 rows cannot be split at all and is
+/// an error (previously `n = 1` produced a plan with an empty test fold,
+/// which let CV accuracy divide by zero downstream). Rows of each class are
 /// shuffled, then dealt round-robin so fold sizes differ by at most one per
 /// class.
-pub fn stratified_kfold<R: Rng>(data: &Dataset, k: usize, rng: &mut R) -> FoldPlan {
+pub fn stratified_kfold<R: Rng>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+) -> Result<FoldPlan, DataError> {
     let n = data.n_rows();
-    let k = k.clamp(2, n.max(2));
+    if n < 2 {
+        return Err(DataError::Empty(format!(
+            "stratified k-fold needs at least 2 rows, got {n}"
+        )));
+    }
+    let k = k.clamp(2, n);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
     for row in 0..n {
         per_class[data.label(row)].push(row);
@@ -65,7 +78,11 @@ pub fn stratified_kfold<R: Rng>(data: &Dataset, k: usize, rng: &mut R) -> FoldPl
     for f in &mut folds {
         f.sort_unstable();
     }
-    FoldPlan { folds, n_rows: n }
+    debug_assert!(
+        folds.iter().all(|f| !f.is_empty()),
+        "k ≤ n guarantees every fold a test row"
+    );
+    Ok(FoldPlan { folds, n_rows: n })
 }
 
 /// Stratified train/test split; `test_fraction` in `(0, 1)`. Returns
@@ -127,7 +144,7 @@ mod tests {
     fn folds_partition_all_rows() {
         let d = labeled(&[30, 20, 10]);
         let mut rng = StdRng::seed_from_u64(42);
-        let plan = stratified_kfold(&d, 5, &mut rng);
+        let plan = stratified_kfold(&d, 5, &mut rng).unwrap();
         let mut seen = vec![false; d.n_rows()];
         for i in 0..plan.k() {
             for &r in plan.test(i) {
@@ -145,7 +162,7 @@ mod tests {
     fn folds_are_stratified() {
         let d = labeled(&[50, 50]);
         let mut rng = StdRng::seed_from_u64(7);
-        let plan = stratified_kfold(&d, 5, &mut rng);
+        let plan = stratified_kfold(&d, 5, &mut rng).unwrap();
         for i in 0..plan.k() {
             let c0 = plan.test(i).iter().filter(|&&r| d.label(r) == 0).count();
             let c1 = plan.test(i).len() - c0;
@@ -160,7 +177,7 @@ mod tests {
     fn train_and_test_are_disjoint_and_complete() {
         let d = labeled(&[12, 8]);
         let mut rng = StdRng::seed_from_u64(3);
-        let plan = stratified_kfold(&d, 4, &mut rng);
+        let plan = stratified_kfold(&d, 4, &mut rng).unwrap();
         for (train, test) in plan.splits() {
             assert_eq!(train.len() + test.len(), d.n_rows());
             let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
@@ -174,9 +191,35 @@ mod tests {
     fn k_is_clamped_to_row_count() {
         let d = labeled(&[2, 1]);
         let mut rng = StdRng::seed_from_u64(0);
-        let plan = stratified_kfold(&d, 10, &mut rng);
+        let plan = stratified_kfold(&d, 10, &mut rng).unwrap();
         assert!(plan.k() <= 3);
         assert!(plan.k() >= 2);
+    }
+
+    #[test]
+    fn every_fold_has_a_nonempty_test_set_even_when_k_exceeds_rows() {
+        // With k clamped to n, no fold can end up with an empty test set —
+        // the n = 2, k = 10 case used to produce 8 empty folds under the
+        // old `clamp(2, n.max(2))` rule only by luck of the deal; the n = 1
+        // case produced a guaranteed-empty fold.
+        for counts in [&[2usize, 1][..], &[3], &[1, 1]] {
+            let d = labeled(counts);
+            let mut rng = StdRng::seed_from_u64(0);
+            let plan = stratified_kfold(&d, 10, &mut rng).unwrap();
+            assert_eq!(plan.k(), d.n_rows());
+            for i in 0..plan.k() {
+                assert!(!plan.test(i).is_empty(), "fold {i} has no test rows");
+                assert!(!plan.train(i).is_empty(), "fold {i} has no train rows");
+            }
+        }
+    }
+
+    #[test]
+    fn single_row_dataset_is_an_error_not_an_empty_fold() {
+        let d = labeled(&[1]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = stratified_kfold(&d, 5, &mut rng).unwrap_err();
+        assert!(matches!(err, DataError::Empty(_)), "got {err:?}");
     }
 
     #[test]

@@ -106,7 +106,7 @@ fn kfold_partitions_exactly() {
         let spec = random_spec(&mut rng);
         let k = rng.gen_range(2usize..8);
         let d = spec.generate();
-        let plan = stratified_kfold(&d, k, &mut rng);
+        let plan = stratified_kfold(&d, k, &mut rng).expect("specs generate ≥ 2 rows");
         let mut seen = vec![0usize; d.n_rows()];
         for i in 0..plan.k() {
             for &r in plan.test(i) {

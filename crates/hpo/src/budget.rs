@@ -5,8 +5,17 @@
 //! CASH budgets), and target scores (architecture search stops when CV MSE
 //! beats `Precision`). [`Budget`] combines all three; an optimizer stops at
 //! whichever trips first.
+//!
+//! Time is never read from `Instant::now()` directly: a [`Clock`] is
+//! injected (defaulting to [`MonotonicClock`]), so wall-clock budget tests
+//! run instantly against a [`ManualClock`](automodel_parallel::ManualClock)
+//! instead of sleeping. For parallel batches, a tracker bridges to the
+//! thread-safe [`SharedBudget`] via [`BudgetTracker::share`] /
+//! [`BudgetTracker::absorb`].
 
-use std::time::{Duration, Instant};
+use automodel_parallel::{BudgetSpec, Clock, MonotonicClock, SharedBudget};
+use std::sync::Arc;
+use std::time::Duration;
 
 /// Combined stopping criterion. A `None` component never trips.
 #[derive(Debug, Clone, Default)]
@@ -46,11 +55,19 @@ impl Budget {
         self
     }
 
-    /// Start tracking this budget.
+    /// Start tracking this budget on the real wall clock.
     pub fn start(&self) -> BudgetTracker {
+        self.start_with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// Start tracking this budget on an injected clock (tests use
+    /// `ManualClock` to make deadline behaviour deterministic).
+    pub fn start_with_clock(&self, clock: Arc<dyn Clock>) -> BudgetTracker {
+        let started = clock.now();
         BudgetTracker {
             budget: self.clone(),
-            started: Instant::now(),
+            clock,
+            started,
             evals: 0,
             best: f64::NEG_INFINITY,
         }
@@ -58,12 +75,23 @@ impl Budget {
 }
 
 /// Live budget state carried through an optimization run.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct BudgetTracker {
     budget: Budget,
-    started: Instant,
+    clock: Arc<dyn Clock>,
+    started: Duration,
     evals: usize,
     best: f64,
+}
+
+impl std::fmt::Debug for BudgetTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BudgetTracker")
+            .field("budget", &self.budget)
+            .field("evals", &self.evals)
+            .field("best", &self.best)
+            .finish()
+    }
 }
 
 impl BudgetTracker {
@@ -87,7 +115,7 @@ impl BudgetTracker {
 
     /// Elapsed wall clock since [`Budget::start`].
     pub fn elapsed(&self) -> Duration {
-        self.started.elapsed()
+        self.clock.now().saturating_sub(self.started)
     }
 
     /// True when any component of the budget has tripped.
@@ -98,7 +126,7 @@ impl BudgetTracker {
             }
         }
         if let Some(t) = self.budget.max_time {
-            if self.started.elapsed() >= t {
+            if self.elapsed() >= t {
                 return true;
             }
         }
@@ -116,11 +144,41 @@ impl BudgetTracker {
             .max_evals
             .map_or(usize::MAX, |n| n.saturating_sub(self.evals))
     }
+
+    /// Snapshot the *remaining* budget as a thread-safe [`SharedBudget`]
+    /// for one parallel batch. The shared view inherits this tracker's
+    /// clock, remaining evaluation count, remaining wall-clock allowance,
+    /// and target; fold the batch back in with
+    /// [`absorb`](BudgetTracker::absorb) when the batch completes.
+    pub fn share(&self) -> SharedBudget {
+        let spec = BudgetSpec {
+            max_evals: self.budget.max_evals.map(|_| self.remaining_evals()),
+            max_time: self
+                .budget
+                .max_time
+                .map(|t| t.saturating_sub(self.elapsed())),
+            target: self.budget.target,
+        };
+        let shared = SharedBudget::new(spec, self.clock.clone());
+        shared.seed_incumbent(self.best);
+        shared
+    }
+
+    /// Merge a completed [`share`](BudgetTracker::share) batch back into
+    /// this tracker: its evaluation count and incumbent advance ours.
+    pub fn absorb(&mut self, shared: &SharedBudget) {
+        self.evals += shared.evals();
+        let best = shared.best();
+        if best > self.best {
+            self.best = best;
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use automodel_parallel::ManualClock;
 
     #[test]
     fn eval_budget_trips_at_count() {
@@ -147,9 +205,14 @@ mod tests {
 
     #[test]
     fn time_budget_trips_after_deadline() {
-        let t = Budget::time(Duration::from_millis(1)).start();
-        std::thread::sleep(Duration::from_millis(5));
+        let clock = Arc::new(ManualClock::new());
+        let t = Budget::time(Duration::from_secs(30)).start_with_clock(clock.clone());
+        assert!(!t.exhausted());
+        clock.advance(Duration::from_secs(29));
+        assert!(!t.exhausted());
+        clock.advance(Duration::from_secs(1));
         assert!(t.exhausted());
+        assert_eq!(t.elapsed(), Duration::from_secs(30));
     }
 
     #[test]
@@ -160,5 +223,49 @@ mod tests {
         }
         assert!(!t.exhausted());
         assert_eq!(t.remaining_evals(), usize::MAX);
+    }
+
+    #[test]
+    fn share_snapshots_the_remaining_budget() {
+        let clock = Arc::new(ManualClock::new());
+        let mut t = Budget::evals(10)
+            .with_time(Duration::from_secs(60))
+            .with_target(0.9)
+            .start_with_clock(clock.clone());
+        t.record(0.1);
+        t.record(0.2);
+        clock.advance(Duration::from_secs(15));
+
+        let shared = t.share();
+        assert_eq!(shared.remaining_evals(), 8);
+        assert!(!shared.exhausted());
+        // The shared view's deadline is the *remaining* 45 s.
+        clock.advance(Duration::from_secs(44));
+        assert!(!shared.exhausted());
+        clock.advance(Duration::from_secs(1));
+        assert!(shared.exhausted());
+    }
+
+    #[test]
+    fn absorb_merges_counts_and_incumbent() {
+        let mut t = Budget::evals(10).start();
+        t.record(0.4);
+        let shared = t.share();
+        shared.record(0.3);
+        shared.record(0.8);
+        t.absorb(&shared);
+        assert_eq!(t.evals(), 3);
+        assert_eq!(t.best(), 0.8);
+        assert_eq!(t.remaining_evals(), 7);
+    }
+
+    #[test]
+    fn absorbing_a_target_hit_exhausts_the_tracker() {
+        let mut t = Budget::default().with_target(0.5).start();
+        let shared = t.share();
+        shared.record(0.7);
+        assert!(shared.exhausted());
+        t.absorb(&shared);
+        assert!(t.exhausted());
     }
 }

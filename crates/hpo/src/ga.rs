@@ -8,12 +8,43 @@
 //! parameter-wise crossover (repaired against the space so conditional
 //! structure survives), bounded mutation, and elitism.
 
-use crate::budget::Budget;
-use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::budget::{Budget, BudgetTracker};
+use crate::objective::{
+    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer, Trial,
+};
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// How one generation's candidates get scored: through the classic serial
+/// [`Objective`], or fanned out over an [`Executor`]. Candidate *breeding*
+/// stays serial on one RNG stream in both modes, so the proposal sequence —
+/// and therefore, under an evaluation-count budget, the entire trial
+/// history — is identical whichever arm runs, at any thread count.
+enum Evaluation<'a> {
+    Serial(&'a mut dyn Objective),
+    Parallel(&'a dyn BatchObjective, &'a Executor),
+}
+
+impl Evaluation<'_> {
+    fn eval_batch(
+        &mut self,
+        configs: Vec<Config>,
+        tracker: &mut BudgetTracker,
+        trials: &mut Vec<Trial>,
+    ) -> Vec<(Config, f64)> {
+        match self {
+            Evaluation::Serial(objective) => {
+                eval_batch_serial(configs, *objective, tracker, trials)
+            }
+            Evaluation::Parallel(objective, executor) => {
+                eval_batch_parallel(configs, *objective, executor, tracker, trials)
+            }
+        }
+    }
+}
 
 /// GA hyperparameters (the meta-kind).
 #[derive(Debug, Clone)]
@@ -113,45 +144,39 @@ impl GeneticAlgorithm {
         }
         space.repair(&raw, rng)
     }
-}
 
-impl Optimizer for GeneticAlgorithm {
-    fn optimize(
-        &mut self,
+    /// Parallel entry point: every generation's candidates are scored
+    /// concurrently on `executor`, per-evaluation budget checks included.
+    /// Under an evaluation-count budget the trial history is byte-identical
+    /// to the serial [`Optimizer::optimize`] path at any thread count;
+    /// wall-clock/target budgets may stop at a scheduling-dependent point
+    /// (but never beyond the in-flight tasks).
+    pub fn optimize_batch(
+        &self,
         space: &SearchSpace,
-        objective: &mut dyn Objective,
+        objective: &dyn BatchObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        self.run(space, Evaluation::Parallel(objective, executor), budget)
+    }
+
+    fn run(
+        &self,
+        space: &SearchSpace,
+        mut eval: Evaluation<'_>,
         budget: &Budget,
     ) -> Option<OptOutcome> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
 
-        let evaluate = |config: Config,
-                        trials: &mut Vec<Trial>,
-                        tracker: &mut crate::budget::BudgetTracker,
-                        objective: &mut dyn Objective|
-         -> f64 {
-            let score = objective.evaluate(&config);
-            tracker.record(score);
-            trials.push(Trial {
-                config,
-                score,
-                index: trials.len(),
-            });
-            score
-        };
-
-        // Initial population.
+        // Initial population: sample the whole generation first (the RNG
+        // stream never depends on evaluation progress), then score it as
+        // one batch.
         let pop_size = self.config.population.max(2);
-        let mut population: Vec<(Config, f64)> = Vec::with_capacity(pop_size);
-        for _ in 0..pop_size {
-            if tracker.exhausted() {
-                break;
-            }
-            let c = space.sample(&mut rng);
-            let s = evaluate(c.clone(), &mut trials, &mut tracker, objective);
-            population.push((c, s));
-        }
+        let candidates: Vec<Config> = (0..pop_size).map(|_| space.sample(&mut rng)).collect();
+        let mut population = eval.eval_batch(candidates, &mut tracker, &mut trials);
         if population.is_empty() {
             return OptOutcome::from_trials(trials);
         }
@@ -167,19 +192,23 @@ impl Optimizer for GeneticAlgorithm {
             for elite in sorted.iter().take(self.config.elitism.min(pop_size)) {
                 next.push((*elite).clone());
             }
-            while next.len() < pop_size && !tracker.exhausted() {
-                let a = self.tournament_pick(&population, &mut rng).clone();
-                let b = self.tournament_pick(&population, &mut rng).clone();
-                let child = self.crossover(space, &a, &b, &mut rng);
-                let child = space.neighbor(
-                    &child,
-                    self.config.mutation_rate,
-                    self.config.mutation_strength,
-                    &mut rng,
-                );
-                let s = evaluate(child.clone(), &mut trials, &mut tracker, objective);
-                next.push((child, s));
-            }
+            // Breed the full generation serially on the one RNG stream,
+            // then score it as a batch (the budget is still consulted
+            // before every single evaluation inside `eval_batch`).
+            let children: Vec<Config> = (next.len()..pop_size)
+                .map(|_| {
+                    let a = self.tournament_pick(&population, &mut rng).clone();
+                    let b = self.tournament_pick(&population, &mut rng).clone();
+                    let child = self.crossover(space, &a, &b, &mut rng);
+                    space.neighbor(
+                        &child,
+                        self.config.mutation_rate,
+                        self.config.mutation_strength,
+                        &mut rng,
+                    )
+                })
+                .collect();
+            next.extend(eval.eval_batch(children, &mut tracker, &mut trials));
             if next.is_empty() {
                 break;
             }
@@ -204,6 +233,17 @@ impl Optimizer for GeneticAlgorithm {
             );
         }
         OptOutcome::from_trials(trials)
+    }
+}
+
+impl Optimizer for GeneticAlgorithm {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        self.run(space, Evaluation::Serial(objective), budget)
     }
 
     fn name(&self) -> &'static str {
@@ -291,6 +331,52 @@ mod tests {
                 .best_score
         };
         assert_eq!(run(9), run(9));
+    }
+
+    /// Serialize a trial history so byte-identity is checkable.
+    fn fingerprint(out: &OptOutcome) -> String {
+        out.trials
+            .iter()
+            .map(|t| format!("{}|{}#{:016x}\n", t.index, t.config, t.score.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn optimize_batch_matches_serial_at_any_thread_count() {
+        let space = float_space(2);
+        let serial = {
+            let mut obj = FnObjective(|c: &Config| -sphere(&values(c, 2)));
+            GeneticAlgorithm::small(4)
+                .optimize(&space, &mut obj, &Budget::evals(150))
+                .unwrap()
+        };
+        let obj = |c: &Config| -sphere(&values(c, 2));
+        for threads in [1, 2, 8] {
+            let out = GeneticAlgorithm::small(4)
+                .optimize_batch(&space, &obj, &Budget::evals(150), &Executor::new(threads))
+                .unwrap();
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&serial),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimize_batch_respects_eval_budget_exactly() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let space = float_space(1);
+        let n = AtomicUsize::new(0);
+        let obj = |_c: &Config| {
+            n.fetch_add(1, Ordering::Relaxed);
+            0.0
+        };
+        let out = GeneticAlgorithm::new(1)
+            .optimize_batch(&space, &obj, &Budget::evals(77), &Executor::new(4))
+            .unwrap();
+        assert_eq!(n.load(Ordering::Relaxed), 77);
+        assert_eq!(out.trials.len(), 77);
     }
 
     #[test]

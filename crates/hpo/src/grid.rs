@@ -8,8 +8,11 @@
 //! parent-only configuration).
 
 use crate::budget::Budget;
-use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::objective::{
+    eval_batch_parallel, BatchObjective, Objective, OptOutcome, Optimizer, Trial,
+};
 use crate::space::{Config, SearchSpace};
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -30,6 +33,91 @@ impl GridSearch {
             max_points: 100_000,
         }
     }
+
+    /// Enumerate (and dedup) grid points in odometer order; `None` once the
+    /// enumeration is done. Shared by the serial and parallel paths so both
+    /// visit the identical point sequence.
+    fn enumeration(&self, space: &SearchSpace) -> GridEnumeration {
+        let per_param: Vec<Vec<crate::space::ParamValue>> = space
+            .params()
+            .iter()
+            .map(|p| p.domain.grid(self.levels))
+            .collect();
+        let total: usize = per_param.iter().map(Vec::len).product();
+        GridEnumeration {
+            indices: vec![0usize; per_param.len()],
+            per_param,
+            remaining: total.min(self.max_points),
+            seen: HashSet::new(),
+            // Repair only fills params sampled deterministically below.
+            rng: StdRng::seed_from_u64(0),
+        }
+    }
+
+    /// Parallel entry point: score batches of grid points concurrently on
+    /// `executor`. Points are enumerated in the same odometer order as the
+    /// serial path; under an evaluation-count budget the trial history is
+    /// byte-identical at any thread count.
+    pub fn optimize_batch(
+        &self,
+        space: &SearchSpace,
+        objective: &dyn BatchObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        let mut tracker = budget.start();
+        let mut trials = Vec::new();
+        let mut points = self.enumeration(space);
+        let batch = (executor.threads() * 8).max(8);
+        while !tracker.exhausted() {
+            let configs: Vec<Config> = (0..batch).map_while(|_| points.next_point(space)).collect();
+            if configs.is_empty() {
+                break;
+            }
+            eval_batch_parallel(configs, objective, executor, &mut tracker, &mut trials);
+        }
+        OptOutcome::from_trials(trials)
+    }
+}
+
+/// Odometer state for grid-point enumeration with conditional-duplicate
+/// collapsing.
+struct GridEnumeration {
+    per_param: Vec<Vec<crate::space::ParamValue>>,
+    indices: Vec<usize>,
+    remaining: usize,
+    seen: HashSet<String>,
+    rng: StdRng,
+}
+
+impl GridEnumeration {
+    fn next_point(&mut self, space: &SearchSpace) -> Option<Config> {
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let mut raw = Config::new();
+            for (spec, (choice, values)) in space
+                .params()
+                .iter()
+                .zip(self.indices.iter().zip(&self.per_param))
+            {
+                raw.set(spec.name.clone(), values[*choice].clone());
+            }
+            let config = space.repair(&raw, &mut self.rng);
+            // Odometer increment.
+            for (i, idx) in self.indices.iter_mut().enumerate() {
+                *idx += 1;
+                if *idx < self.per_param[i].len() {
+                    break;
+                }
+                *idx = 0;
+            }
+            let key = format!("{config}");
+            if self.seen.insert(key) {
+                return Some(config);
+            }
+        }
+        None
+    }
 }
 
 impl Optimizer for GridSearch {
@@ -39,48 +127,20 @@ impl Optimizer for GridSearch {
         objective: &mut dyn Objective,
         budget: &Budget,
     ) -> Option<OptOutcome> {
-        let mut rng = StdRng::seed_from_u64(0); // repair only fills params sampled deterministically below
-        let per_param: Vec<Vec<crate::space::ParamValue>> = space
-            .params()
-            .iter()
-            .map(|p| p.domain.grid(self.levels))
-            .collect();
-        let total: usize = per_param.iter().map(Vec::len).product();
-        let total = total.min(self.max_points);
-
         let mut tracker = budget.start();
         let mut trials = Vec::new();
-        let mut seen: HashSet<String> = HashSet::new();
-        let mut indices = vec![0usize; per_param.len()];
-        for _ in 0..total {
-            if tracker.exhausted() {
+        let mut points = self.enumeration(space);
+        while !tracker.exhausted() {
+            let Some(config) = points.next_point(space) else {
                 break;
-            }
-            let mut raw = Config::new();
-            for (spec, (choice, values)) in
-                space.params().iter().zip(indices.iter().zip(&per_param))
-            {
-                raw.set(spec.name.clone(), values[*choice].clone());
-            }
-            let config = space.repair(&raw, &mut rng);
-            let key = format!("{config}");
-            if seen.insert(key) {
-                let score = objective.evaluate(&config);
-                tracker.record(score);
-                trials.push(Trial {
-                    config,
-                    score,
-                    index: trials.len(),
-                });
-            }
-            // Odometer increment.
-            for (i, idx) in indices.iter_mut().enumerate() {
-                *idx += 1;
-                if *idx < per_param[i].len() {
-                    break;
-                }
-                *idx = 0;
-            }
+            };
+            let score = objective.evaluate(&config);
+            tracker.record(score);
+            trials.push(Trial {
+                config,
+                score,
+                index: trials.len(),
+            });
         }
         OptOutcome::from_trials(trials)
     }
@@ -142,6 +202,33 @@ mod tests {
             .unwrap();
         // plain (1 config, knob inactive) + fancy × 5 knob values = 6.
         assert_eq!(out.trials.len(), 6);
+    }
+
+    #[test]
+    fn optimize_batch_visits_the_same_points_as_serial() {
+        use automodel_parallel::Executor;
+        let space = SearchSpace::builder()
+            .add("a", Domain::int(0, 9))
+            .add("b", Domain::cat(&["x", "y", "z"]))
+            .build()
+            .unwrap();
+        let score = |c: &Config| c.int_or("a", 0) as f64 - c.cat_or("b", 0) as f64;
+        let serial = {
+            let mut obj = FnObjective(score);
+            GridSearch::new(5)
+                .optimize(&space, &mut obj, &Budget::evals(17))
+                .unwrap()
+        };
+        for threads in [1, 2, 8] {
+            let out = GridSearch::new(5)
+                .optimize_batch(&space, &score, &Budget::evals(17), &Executor::new(threads))
+                .unwrap();
+            assert_eq!(out.trials.len(), serial.trials.len());
+            for (a, b) in out.trials.iter().zip(&serial.trials) {
+                assert_eq!(format!("{}", a.config), format!("{}", b.config));
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -38,13 +38,17 @@ pub mod space;
 pub mod testfns;
 
 pub use bo::BayesianOptimization;
-pub use budget::Budget;
+pub use budget::{Budget, BudgetTracker};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;
-pub use objective::{FnObjective, Objective, OptOutcome, Optimizer, Trial};
+pub use objective::{BatchObjective, FnObjective, Objective, OptOutcome, Optimizer, Trial};
 pub use random::RandomSearch;
 pub use smac::SmacLite;
 pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
+
+// The executor the `optimize_batch` entry points run on, re-exported so
+// callers need not depend on `automodel-parallel` directly.
+pub use automodel_parallel::{seed_stream, Clock, Executor, ManualClock, MonotonicClock};
 
 /// Optimizers re-exported as a module for qualified use.
 pub mod optimizers {

@@ -6,8 +6,9 @@
 //! (anytime behaviour: the paper's UDR lets users stop at any moment and take
 //! the best configuration found so far).
 
-use crate::budget::Budget;
+use crate::budget::{Budget, BudgetTracker};
 use crate::space::{Config, SearchSpace};
+use automodel_parallel::Executor;
 
 /// A black-box objective to maximize.
 pub trait Objective {
@@ -23,6 +24,81 @@ impl<F: FnMut(&Config) -> f64> Objective for FnObjective<F> {
     fn evaluate(&mut self, config: &Config) -> f64 {
         (self.0)(config)
     }
+}
+
+/// A thread-safe objective for parallel batch evaluation.
+///
+/// Unlike [`Objective`], evaluation takes `&self`, so one instance is
+/// shared across all workers of an [`Executor`] batch. Any
+/// `Fn(&Config) -> f64 + Sync` closure implements it. Implementations must
+/// be deterministic per configuration (derive any internal randomness from
+/// the config or a fixed seed) for the `optimize_batch` entry points to be
+/// thread-count-invariant.
+pub trait BatchObjective: Sync {
+    fn evaluate(&self, config: &Config) -> f64;
+}
+
+impl<F: Fn(&Config) -> f64 + Sync> BatchObjective for F {
+    fn evaluate(&self, config: &Config) -> f64 {
+        self(config)
+    }
+}
+
+/// Evaluate `configs` one by one, recording each into `tracker` and
+/// `trials`, stopping as soon as the budget trips. Returns the evaluated
+/// `(config, score)` prefix.
+pub(crate) fn eval_batch_serial(
+    configs: Vec<Config>,
+    objective: &mut dyn Objective,
+    tracker: &mut BudgetTracker,
+    trials: &mut Vec<Trial>,
+) -> Vec<(Config, f64)> {
+    let mut out = Vec::with_capacity(configs.len());
+    for config in configs {
+        if tracker.exhausted() {
+            break;
+        }
+        let score = objective.evaluate(&config);
+        tracker.record(score);
+        trials.push(Trial {
+            config: config.clone(),
+            score,
+            index: trials.len(),
+        });
+        out.push((config, score));
+    }
+    out
+}
+
+/// Evaluate `configs` on `executor`, recording each into `tracker` and
+/// `trials`, with the budget consulted before every evaluation. Results
+/// (and the trial history) come back in proposal order regardless of
+/// thread count; under a pure evaluation-count budget the evaluated prefix
+/// is byte-identical to [`eval_batch_serial`].
+pub(crate) fn eval_batch_parallel(
+    configs: Vec<Config>,
+    objective: &dyn BatchObjective,
+    executor: &Executor,
+    tracker: &mut BudgetTracker,
+    trials: &mut Vec<Trial>,
+) -> Vec<(Config, f64)> {
+    let shared = tracker.share();
+    let scores = executor.map_budgeted(configs.len(), &shared, |i| {
+        let score = objective.evaluate(&configs[i]);
+        shared.record(score);
+        score
+    });
+    tracker.absorb(&shared);
+    let mut out = Vec::with_capacity(scores.len());
+    for (config, score) in configs.into_iter().zip(scores) {
+        trials.push(Trial {
+            config: config.clone(),
+            score,
+            index: trials.len(),
+        });
+        out.push((config, score));
+    }
+    out
 }
 
 /// One recorded evaluation.

@@ -794,7 +794,7 @@ impl Classifier for StackingC {
         // Out-of-fold meta features.
         let sub = data.subset(rows)?;
         let mut rng = StdRng::seed_from_u64(self.seed);
-        let plan = automodel_data::stratified_kfold(&sub, self.folds, &mut rng);
+        let plan = automodel_data::stratified_kfold(&sub, self.folds, &mut rng)?;
         let mut meta_xs: Vec<Vec<f64>> = vec![Vec::new(); rows.len()];
         let mut meta_labels: Vec<usize> = vec![0; rows.len()];
         for (train, test) in plan.splits() {

@@ -8,6 +8,7 @@
 use crate::classifier::{accuracy_on, Classifier};
 use crate::error::MlError;
 use automodel_data::{stratified_kfold, Dataset};
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -26,7 +27,7 @@ where
         return Err(MlError::EmptyTrainingSet);
     }
     let mut rng = StdRng::seed_from_u64(seed);
-    let plan = stratified_kfold(data, k, &mut rng);
+    let plan = stratified_kfold(data, k, &mut rng)?;
     let mut weighted_correct = 0.0;
     let mut total = 0usize;
     for (train, test) in plan.splits() {
@@ -41,6 +42,57 @@ where
             .count();
         weighted_correct += correct as f64;
         total += test.len();
+    }
+    if total == 0 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    Ok(weighted_correct / total as f64)
+}
+
+/// Like [`cross_val_accuracy`], but folds are trained and scored on
+/// `executor`. Fold results are reduced in fold order, so the accuracy is
+/// byte-identical to the serial path at any thread count (the fold plan
+/// depends only on `seed`, and `factory` builds an independent classifier
+/// per fold). An error in any fold propagates; when several folds fail, the
+/// earliest fold's error wins, again independent of scheduling.
+pub fn cross_val_accuracy_threaded<F>(
+    factory: F,
+    data: &Dataset,
+    k: usize,
+    seed: u64,
+    executor: &Executor,
+) -> Result<f64, MlError>
+where
+    F: Fn() -> Box<dyn Classifier> + Sync,
+{
+    if data.n_rows() < 2 {
+        return Err(MlError::EmptyTrainingSet);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let plan = stratified_kfold(data, k, &mut rng)?;
+    let folds: Vec<(Vec<usize>, Vec<usize>)> = plan
+        .splits()
+        .map(|(train, test)| (train, test.to_vec()))
+        .collect();
+    let per_fold = executor.map(folds.len(), |i| -> Result<(f64, usize), MlError> {
+        let (train, test) = &folds[i];
+        if train.is_empty() || test.is_empty() {
+            return Ok((0.0, 0));
+        }
+        let mut model = factory();
+        model.fit(data, train)?;
+        let correct = test
+            .iter()
+            .filter(|&&r| model.predict(data, r) == data.label(r))
+            .count();
+        Ok((correct as f64, test.len()))
+    });
+    let mut weighted_correct = 0.0;
+    let mut total = 0usize;
+    for fold in per_fold {
+        let (correct, tested) = fold?;
+        weighted_correct += correct;
+        total += tested;
     }
     if total == 0 {
         return Err(MlError::EmptyTrainingSet);
@@ -100,6 +152,29 @@ mod tests {
         let a = cross_val_accuracy(tree_factory, &d, 5, 9).unwrap();
         let b = cross_val_accuracy(tree_factory, &d, 5, 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threaded_cv_matches_serial_at_any_thread_count() {
+        let d = SynthSpec::new("p", 240, 4, 1, 3, SynthFamily::Mixed, 6).generate();
+        let serial = cross_val_accuracy(tree_factory, &d, 6, 17).unwrap();
+        for threads in [1, 2, 8] {
+            let ex = automodel_parallel::Executor::new(threads);
+            let par = cross_val_accuracy_threaded(tree_factory, &d, 6, 17, &ex).unwrap();
+            assert_eq!(
+                serial.to_bits(),
+                par.to_bits(),
+                "{threads} threads: {par} vs serial {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_cv_propagates_fold_errors() {
+        let d = SynthSpec::new("e", 40, 2, 0, 2, SynthFamily::Hyperplane, 8).generate();
+        let one = d.subset(&[0]).unwrap();
+        let ex = automodel_parallel::Executor::new(4);
+        assert!(cross_val_accuracy_threaded(tree_factory, &one, 5, 1, &ex).is_err());
     }
 
     #[test]

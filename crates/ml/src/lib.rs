@@ -31,5 +31,5 @@ pub mod tree;
 
 pub use classifier::Classifier;
 pub use error::MlError;
-pub use eval::{cross_val_accuracy, holdout_accuracy};
+pub use eval::{cross_val_accuracy, cross_val_accuracy_threaded, holdout_accuracy};
 pub use registry::{AlgorithmSpec, Family, Registry};

@@ -158,6 +158,59 @@ impl Network {
     ) -> (f64, Vec<f64>) {
         assert_eq!(inputs.len(), targets.len());
         let n = inputs.len().max(1) as f64;
+        let (mut loss, mut grad) = self.loss_and_grad_scaled(inputs, targets, n, ws);
+        self.add_ridge(l2, n, &mut loss, &mut grad);
+        (loss, grad)
+    }
+
+    /// Like [`loss_and_grad`](Network::loss_and_grad), but samples are split
+    /// into fixed-size chunks evaluated on `executor` and reduced in chunk
+    /// order. The chunking (and therefore every floating-point reduction)
+    /// depends only on the sample count, never on the thread count, so the
+    /// result is byte-identical at any parallelism — though it may differ
+    /// from the unchunked serial path in the last ulp.
+    pub fn loss_and_grad_threaded(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        l2: f64,
+        executor: &automodel_parallel::Executor,
+    ) -> (f64, Vec<f64>) {
+        // Large enough to amortize per-chunk workspace setup, small enough
+        // to spread a full-batch L-BFGS pass over all workers.
+        const CHUNK: usize = 256;
+        assert_eq!(inputs.len(), targets.len());
+        let n = inputs.len().max(1) as f64;
+        let n_chunks = inputs.len().div_ceil(CHUNK).max(1);
+        let parts = executor.map(n_chunks, |c| {
+            let lo = c * CHUNK;
+            let hi = (lo + CHUNK).min(inputs.len());
+            let mut ws = Workspace::default();
+            self.loss_and_grad_scaled(&inputs[lo..hi], &targets[lo..hi], n, &mut ws)
+        });
+        let mut loss = 0.0;
+        let mut grad = vec![0.0; self.params.len()];
+        for (part_loss, part_grad) in parts {
+            loss += part_loss;
+            for (g, p) in grad.iter_mut().zip(&part_grad) {
+                *g += p;
+            }
+        }
+        self.add_ridge(l2, n, &mut loss, &mut grad);
+        (loss, grad)
+    }
+
+    /// Batch loss + gradient with an explicit normalizer `n` (the full-batch
+    /// sample count, which may exceed `inputs.len()` when this is one chunk
+    /// of a larger batch). Excludes the ridge term — see
+    /// [`add_ridge`](Network::add_ridge).
+    fn loss_and_grad_scaled(
+        &self,
+        inputs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        n: f64,
+        ws: &mut Workspace,
+    ) -> (f64, Vec<f64>) {
         let n_layers = self.shapes.len();
         let mut grad = vec![0.0; self.params.len()];
         let mut loss = 0.0;
@@ -254,17 +307,21 @@ impl Network {
             }
         }
 
-        // Ridge penalty on weights only (biases excluded, as in sklearn).
+        (loss, grad)
+    }
+
+    /// Ridge penalty on weights only (biases excluded, as in sklearn),
+    /// applied once per full batch of `n` samples.
+    fn add_ridge(&self, l2: f64, n: f64, loss: &mut f64, grad: &mut [f64]) {
         if l2 > 0.0 {
             for shape in &self.shapes {
                 for i in 0..shape.in_dim * shape.out_dim {
                     let w = self.params[shape.w_off + i];
-                    loss += 0.5 * l2 * w * w / n;
+                    *loss += 0.5 * l2 * w * w / n;
                     grad[shape.w_off + i] += l2 * w / n;
                 }
             }
         }
-        (loss, grad)
     }
 }
 
@@ -300,6 +357,36 @@ mod tests {
         for act in Activation::ALL {
             let net = Network::new(3, 2, 4, 2, act, OutputKind::LinearMse, 11);
             check_gradients(net, vec![0.5, -0.25]);
+        }
+    }
+
+    #[test]
+    fn threaded_gradients_are_thread_count_invariant_and_match_serial() {
+        use automodel_parallel::Executor;
+        // > 256 samples so the batch spans several chunks.
+        let net = Network::new(3, 2, 8, 2, Activation::Tanh, OutputKind::LinearMse, 13);
+        let xs: Vec<Vec<f64>> = (0..600)
+            .map(|i| {
+                let t = i as f64 / 600.0;
+                vec![t, (7.0 * t).sin(), 1.0 - t]
+            })
+            .collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![x[0] + x[1], x[2]]).collect();
+        let l2 = 0.01;
+        let (l1, g1) = net.loss_and_grad_threaded(&xs, &ys, l2, &Executor::new(1));
+        let (l2t, g2) = net.loss_and_grad_threaded(&xs, &ys, l2, &Executor::new(2));
+        let (l8, g8) = net.loss_and_grad_threaded(&xs, &ys, l2, &Executor::new(8));
+        // Chunk layout is thread-independent → byte-identical results.
+        assert_eq!(l1.to_bits(), l2t.to_bits());
+        assert_eq!(l1.to_bits(), l8.to_bits());
+        assert_eq!(g1, g2);
+        assert_eq!(g1, g8);
+        // And the chunked sum agrees with the serial path up to rounding.
+        let mut ws = Workspace::default();
+        let (ls, gs) = net.loss_and_grad(&xs, &ys, l2, &mut ws);
+        assert!((l1 - ls).abs() <= 1e-9 * ls.abs().max(1.0), "{l1} vs {ls}");
+        for (a, b) in g1.iter().zip(&gs) {
+            assert!((a - b).abs() <= 1e-9 * b.abs().max(1.0), "{a} vs {b}");
         }
     }
 

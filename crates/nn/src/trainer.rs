@@ -20,6 +20,7 @@
 use crate::activation::Activation;
 use crate::lbfgs::{self, LbfgsOptions};
 use crate::network::{Network, Workspace};
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -134,7 +135,32 @@ pub fn train(
     assert_eq!(inputs.len(), targets.len());
     assert!(!inputs.is_empty(), "cannot train on an empty batch");
     match config.solver {
-        Solver::Lbfgs => train_lbfgs(net, inputs, targets, config),
+        Solver::Lbfgs => train_lbfgs(net, inputs, targets, config, None),
+        Solver::Sgd | Solver::Adam => train_first_order(net, inputs, targets, config),
+    }
+}
+
+/// Like [`train`], but full-batch gradient evaluations run on `executor`.
+///
+/// Only L-BFGS is full-batch, so only it parallelizes; SGD/Adam minibatches
+/// (≤ 200 rows by default) are smaller than one gradient chunk and take the
+/// serial path unchanged. The threaded L-BFGS path is byte-identical at any
+/// thread count (chunk layout depends only on the sample count — see
+/// [`Network::loss_and_grad_threaded`]) but may differ from [`train`] in the
+/// last ulp because the chunked reduction associates additions differently.
+/// The thread count is a call-site argument, not an [`MlpConfig`] field, so
+/// serialized configs stay portable across machines.
+pub fn train_threaded(
+    net: &mut Network,
+    inputs: &[Vec<f64>],
+    targets: &[Vec<f64>],
+    config: &MlpConfig,
+    executor: &Executor,
+) -> TrainReport {
+    assert_eq!(inputs.len(), targets.len());
+    assert!(!inputs.is_empty(), "cannot train on an empty batch");
+    match config.solver {
+        Solver::Lbfgs => train_lbfgs(net, inputs, targets, config, Some(executor)),
         Solver::Sgd | Solver::Adam => train_first_order(net, inputs, targets, config),
     }
 }
@@ -144,6 +170,7 @@ fn train_lbfgs(
     inputs: &[Vec<f64>],
     targets: &[Vec<f64>],
     config: &MlpConfig,
+    executor: Option<&Executor>,
 ) -> TrainReport {
     let mut ws = Workspace::default();
     let mut probe = net.clone();
@@ -152,7 +179,10 @@ fn train_lbfgs(
         &mut params,
         |p| {
             probe.params.copy_from_slice(p);
-            probe.loss_and_grad(inputs, targets, config.alpha, &mut ws)
+            match executor {
+                Some(ex) => probe.loss_and_grad_threaded(inputs, targets, config.alpha, ex),
+                None => probe.loss_and_grad(inputs, targets, config.alpha, &mut ws),
+            }
         },
         &LbfgsOptions {
             max_iter: config.max_iter,
@@ -413,6 +443,39 @@ mod tests {
     fn lbfgs_solves_xor() {
         let acc = solve_xor(Solver::Lbfgs, LearningRateSchedule::Constant);
         assert!(acc > 0.9, "lbfgs accuracy = {acc}");
+    }
+
+    #[test]
+    fn threaded_lbfgs_is_thread_count_invariant_and_solves_xor() {
+        let (xs, ys) = xor_data(300, 5);
+        let config = MlpConfig {
+            hidden_layers: 2,
+            hidden_size: 12,
+            solver: Solver::Lbfgs,
+            max_iter: 300,
+            patience: 50,
+            ..MlpConfig::default()
+        };
+        let run = |threads: usize| {
+            let mut net = Network::new(
+                2,
+                2,
+                12,
+                2,
+                Activation::Tanh,
+                OutputKind::SoftmaxCrossEntropy,
+                3,
+            );
+            train_threaded(&mut net, &xs, &ys, &config, &Executor::new(threads));
+            net
+        };
+        let n1 = run(1);
+        let n2 = run(2);
+        let n8 = run(8);
+        assert_eq!(n1.params, n2.params, "2 threads diverged from 1");
+        assert_eq!(n1.params, n8.params, "8 threads diverged from 1");
+        let acc = accuracy(&n1, &xs, &ys);
+        assert!(acc > 0.9, "threaded lbfgs accuracy = {acc}");
     }
 
     #[test]

@@ -18,7 +18,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test"
+echo "==> cargo test (default parallelism)"
 cargo test -q
+
+echo "==> cargo test (AUTOMODEL_THREADS=1 — serial determinism replay)"
+AUTOMODEL_THREADS=1 cargo test -q
 
 echo "All checks passed."

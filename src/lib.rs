@@ -38,6 +38,7 @@ pub use automodel_hpo as hpo;
 pub use automodel_knowledge as knowledge;
 pub use automodel_ml as ml;
 pub use automodel_nn as nn;
+pub use automodel_parallel as parallel;
 
 /// The most common imports for working with Auto-Model.
 pub mod prelude {
@@ -50,4 +51,5 @@ pub mod prelude {
     pub use automodel_hpo::budget::Budget;
     pub use automodel_knowledge::corpus::CorpusSpec;
     pub use automodel_ml::registry::Registry;
+    pub use automodel_parallel::Executor;
 }

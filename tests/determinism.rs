@@ -7,7 +7,8 @@
 //! `debug_invariant!` in the closure and GA paths fires here too.
 
 use auto_model::hpo::{
-    Budget, Config, Domain, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, SearchSpace,
+    Budget, Config, Domain, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
+    SearchSpace,
 };
 use auto_model::knowledge::acquisition::build_network;
 use auto_model::knowledge::experience::Experience;
@@ -119,4 +120,127 @@ fn one_ga_generation_is_byte_identical_under_the_same_seed() {
     let second = run(97);
     assert_eq!(first, second, "GA trials differ under the same seed");
     assert_ne!(first, run(98), "different seeds should explore differently");
+}
+
+// ---- parallel executor: thread count must never leak into outputs ----
+
+/// Canonical bytes for an optimization run: every trial's index, serialized
+/// config and exact score bits.
+fn trial_bytes(out: &auto_model::hpo::OptOutcome) -> String {
+    out.trials
+        .iter()
+        .map(|t| {
+            format!(
+                "{}|{}#{:016x}\n",
+                t.index,
+                serde_json::to_string(&t.config).expect("config serializes"),
+                t.score.to_bits()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn ga_batch_evaluation_is_byte_identical_at_1_2_and_8_threads() {
+    let space = SearchSpace::builder()
+        .add("lr", Domain::float(1e-4, 1.0))
+        .add("depth", Domain::int(1, 16))
+        .add("kernel", Domain::cat(&["rbf", "poly", "linear"]))
+        .build()
+        .unwrap();
+    let objective = |c: &Config| c.float_or("lr", 0.0) + c.int_or("depth", 0) as f64 / 16.0;
+    let ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100, // bounded by the budget
+            ..GaConfig::default()
+        },
+    );
+    let budget = Budget::evals(120);
+    let run = |threads: usize| -> String {
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        trial_bytes(&out)
+    };
+    let serial = {
+        let mut obj = FnObjective(objective);
+        let mut ga = GeneticAlgorithm::with_config(
+            97,
+            GaConfig {
+                population: 10,
+                generations: 100,
+                ..GaConfig::default()
+            },
+        );
+        trial_bytes(&ga.optimize(&space, &mut obj, &budget).expect("trials"))
+    };
+    let one = run(1);
+    assert_eq!(
+        serial, one,
+        "batch path diverged from the serial trait path"
+    );
+    assert_eq!(one, run(2), "2-thread GA diverged from 1-thread");
+    assert_eq!(one, run(8), "8-thread GA diverged from 1-thread");
+}
+
+#[test]
+fn cross_validation_is_byte_identical_at_1_2_and_8_threads() {
+    use auto_model::ml::{cross_val_accuracy, cross_val_accuracy_threaded};
+    let data = auto_model::data::SynthSpec::new(
+        "cv-det",
+        200,
+        4,
+        1,
+        3,
+        auto_model::data::SynthFamily::Mixed,
+        19,
+    )
+    .generate();
+    let registry = auto_model::ml::Registry::fast();
+    let spec = registry.get("J48").expect("fast registry carries J48");
+    let factory = || spec.build(&spec.default_config(), 5);
+    let serial = cross_val_accuracy(factory, &data, 5, 23).unwrap();
+    for threads in [1usize, 2, 8] {
+        let par =
+            cross_val_accuracy_threaded(factory, &data, 5, 23, &Executor::new(threads)).unwrap();
+        assert_eq!(
+            serial.to_bits(),
+            par.to_bits(),
+            "{threads}-thread CV accuracy diverged from serial"
+        );
+    }
+}
+
+#[test]
+fn registry_sweep_is_byte_identical_at_1_2_and_8_threads() {
+    use auto_model::prelude::{EvalContext, Registry, SynthFamily, SynthSpec};
+    let data = SynthSpec::new(
+        "sweep-det",
+        90,
+        3,
+        1,
+        2,
+        SynthFamily::GaussianBlobs { spread: 0.8 },
+        47,
+    )
+    .generate();
+    let sweep_bytes = |threads: usize| -> String {
+        // Fresh context per run: the per-context cache must not be what
+        // makes the outputs agree.
+        let ctx = EvalContext::fast(Registry::fast());
+        ctx.all_performances(&data, threads)
+            .into_iter()
+            .map(|(name, p)| {
+                format!(
+                    "{name}={}\n",
+                    p.map_or("-".to_string(), |v| format!("{:016x}", v.to_bits()))
+                )
+            })
+            .collect()
+    };
+    let one = sweep_bytes(1);
+    assert_eq!(one, sweep_bytes(2), "2-thread sweep diverged from 1-thread");
+    assert_eq!(one, sweep_bytes(8), "8-thread sweep diverged from 1-thread");
 }

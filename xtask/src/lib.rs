@@ -1,6 +1,6 @@
 //! Workspace automation for `auto-model` (`cargo xtask <command>`).
 //!
-//! The only command so far is `lint`: a static-analysis suite with five
+//! The only command so far is `lint`: a static-analysis suite with six
 //! rule families (see [`rules`] and [`manifest`]), rustc-style diagnostics
 //! ([`diag`]), inline `// lint:allow(..)` escapes ([`scan`]) and a
 //! burn-down baseline ([`baseline`]). Std-only by design — it must build

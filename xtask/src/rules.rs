@@ -1,11 +1,12 @@
 //! The source-level rule families of `cargo xtask lint`.
 //!
-//! | code | rule id             | scope                                   |
-//! |------|---------------------|-----------------------------------------|
-//! | L1   | `no-panic-lib`      | library code of the six product crates  |
-//! | L2   | `determinism`       | every workspace source file             |
-//! | L3   | `ordered-iteration` | the five ordering-sensitive modules     |
-//! | L4   | `nan-ordering`      | every workspace source file             |
+//! | code | rule id             | scope                                    |
+//! |------|---------------------|------------------------------------------|
+//! | L1   | `no-panic-lib`      | library code of the seven product crates |
+//! | L2   | `determinism`       | every workspace source file              |
+//! | L3   | `ordered-iteration` | the five ordering-sensitive modules      |
+//! | L4   | `nan-ordering`      | every workspace source file              |
+//! | L6   | `no-adhoc-threads`  | everything outside `crates/parallel/`    |
 //!
 //! (L5, `manifest-hygiene`, lives in [`crate::manifest`] — it checks
 //! `Cargo.toml` files, not Rust sources.)
@@ -18,7 +19,8 @@ use crate::diag::Diagnostic;
 use crate::scan::SourceFile;
 
 /// Crates whose `src/` trees count as library code for `no-panic-lib`.
-pub const PANIC_FREE_CRATES: [&str; 6] = ["core", "knowledge", "hpo", "ml", "nn", "data"];
+pub const PANIC_FREE_CRATES: [&str; 7] =
+    ["core", "knowledge", "hpo", "ml", "nn", "data", "parallel"];
 
 /// Modules where iteration order is observable in outputs (serialized
 /// artifacts, reports, GA populations) and hash iteration is banned.
@@ -37,6 +39,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     determinism(file, &mut out);
     ordered_iteration(file, &mut out);
     nan_ordering(file, &mut out);
+    no_adhoc_threads(file, &mut out);
     out
 }
 
@@ -239,6 +242,45 @@ fn nan_ordering(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     "L4",
                     "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
                     "use `f64::total_cmp` (or `automodel_invariant::f64_key`) for a total order",
+                ));
+            }
+        }
+    }
+}
+
+/// L6 — `no-adhoc-threads`: hand-rolled worker pools (`crossbeam::scope`,
+/// `std::thread::spawn`/`scope`) are banned outside `crates/parallel/` —
+/// every parallel evaluation must go through the shared deterministic
+/// `Executor`, whose index-ordered claims and ordered reduction keep results
+/// thread-count invariant. Inline `#[cfg(test)]` modules are exempt (a test
+/// may spawn a thread to exercise concurrency directly).
+fn no_adhoc_threads(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if p.starts_with("crates/parallel/") {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 4] = [
+        ("crossbeam::scope(", "ad-hoc `crossbeam::scope` worker pool"),
+        ("thread::spawn(", "ad-hoc `thread::spawn`"),
+        ("thread::scope(", "ad-hoc `thread::scope` worker pool"),
+        ("thread::Builder", "ad-hoc `thread::Builder` spawn"),
+    ];
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.in_test[idx] || file.is_allowed(idx, "no-adhoc-threads") {
+            continue;
+        }
+        for (pat, msg) in PATTERNS {
+            for (col, len) in find_all(line, pat) {
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "no-adhoc-threads",
+                    "L6",
+                    msg.to_string(),
+                    "use `automodel_parallel::Executor::map` (or `map_budgeted`) so results \
+                     stay deterministic at any thread count, or append \
+                     `// lint:allow(no-adhoc-threads): <why the executor cannot serve here>`",
                 ));
             }
         }

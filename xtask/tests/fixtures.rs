@@ -49,9 +49,13 @@ mod tests {\n\
 }
 
 #[test]
-fn l1_only_applies_to_the_six_product_crates() {
+fn l1_only_applies_to_the_seven_product_crates() {
     let src = "pub fn f() { Vec::<u32>::new().first().unwrap(); }\n";
     assert_eq!(findings("crates/nn/src/x.rs", src, "no-panic-lib").len(), 1);
+    assert_eq!(
+        findings("crates/parallel/src/x.rs", src, "no-panic-lib").len(),
+        1
+    );
     // bench, xtask, vendor, integration tests: out of scope.
     assert!(findings("crates/bench/src/x.rs", src, "no-panic-lib").is_empty());
     assert!(findings("crates/nn/tests/x.rs", src, "no-panic-lib").is_empty());
@@ -123,6 +127,38 @@ fn l4_passing_total_cmp() {
 fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n\
 fn g(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }\n";
     assert!(findings("crates/ml/src/x.rs", src, "nan-ordering").is_empty());
+}
+
+// ---------------------------------------------------------------- L6 --
+
+#[test]
+fn l6_violation_adhoc_pools_outside_the_executor_crate() {
+    let src = "\
+fn a() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n\
+fn b() { std::thread::spawn(|| {}); }\n\
+fn c() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
+    let hits = findings("crates/core/src/x.rs", src, "no-adhoc-threads");
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    // Bins and the bench harness are in scope too — determinism there is
+    // exactly what the executor exists to protect.
+    assert_eq!(
+        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-threads").len(),
+        3
+    );
+}
+
+#[test]
+fn l6_passing_executor_crate_tests_and_allowed_sites() {
+    let src = "fn a() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n";
+    // The executor crate itself owns the one sanctioned pool.
+    assert!(findings("crates/parallel/src/executor.rs", src, "no-adhoc-threads").is_empty());
+    // Inline test modules may spawn threads directly.
+    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+    assert!(findings("crates/core/src/x.rs", &test_mod, "no-adhoc-threads").is_empty());
+    // And an allowed site passes.
+    let allowed =
+        format!("// lint:allow(no-adhoc-threads): watchdog thread, no result ordering\n{src}");
+    assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-threads").is_empty());
 }
 
 // ---------------------------------------------------------------- L5 --
