@@ -68,13 +68,14 @@ fn main() {
         let registry = &pipeline.ctx.registry;
         let dmd_ref = &dmd;
         let suite_ref = &suite;
-        // (am_avg, aw_avg, am_alg, aw_alg)
-        let cells: Vec<(f64, f64, String, String)> = executor.map(suite.len(), |idx| {
+        // (am_avg, aw_avg, am_alg, aw_alg, quarantined)
+        let cells: Vec<(f64, f64, String, String, usize)> = executor.map(suite.len(), |idx| {
             let (symbol, data) = &suite_ref[idx];
             let mut am_avg = 0.0;
             let mut aw_avg = 0.0;
             let mut am_alg = String::new();
             let mut aw_alg = String::new();
+            let mut quarantined = 0usize;
             for rep in 0..reps {
                 // Auto-Model: UDR with the given tuning budget.
                 let udr = UdrConfig {
@@ -87,6 +88,7 @@ fn main() {
                 if let Ok(am) = udr.solve(dmd_ref, data) {
                     am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
                     am_alg = am.algorithm;
+                    quarantined += am.quarantined;
                 }
                 // Auto-Weka: SMAC over the hierarchical CASH space.
                 let aw = AutoWekaConfig {
@@ -98,18 +100,23 @@ fn main() {
                 if let Ok(aw) = aw {
                     aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
                     aw_alg = aw.algorithm;
+                    quarantined += aw.quarantined;
                 }
             }
             am_avg /= reps as f64;
             aw_avg /= reps as f64;
-            eprintln!("  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3}");
-            (am_avg, aw_avg, am_alg, aw_alg)
+            eprintln!(
+                "  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3} \
+                 ({quarantined} config(s) quarantined)"
+            );
+            (am_avg, aw_avg, am_alg, aw_alg, quarantined)
         });
 
         let mut am_scores = Vec::new();
         let mut aw_scores = Vec::new();
         let mut am_wins = 0usize;
-        for (idx, (am_avg, aw_avg, am_alg, aw_alg)) in cells.into_iter().enumerate() {
+        let mut total_quarantined = 0usize;
+        for (idx, (am_avg, aw_avg, am_alg, aw_alg, quarantined)) in cells.into_iter().enumerate() {
             let symbol = &suite[idx].0;
             table.row(vec![
                 budget_label(budget),
@@ -127,9 +134,16 @@ fn main() {
             ]);
             am_scores.push(am_avg);
             aw_scores.push(aw_avg);
+            total_quarantined += quarantined;
             if am_avg >= aw_avg {
                 am_wins += 1;
             }
+        }
+        if total_quarantined > 0 {
+            eprintln!(
+                "  [{budget_name}] {total_quarantined} config(s) quarantined across the suite \
+                 (searches degraded gracefully; see OptOutcome::quarantine)"
+            );
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         summary.push((

@@ -11,7 +11,10 @@
 use crate::error::CoreError;
 use crate::udr::Solution;
 use automodel_data::Dataset;
-use automodel_hpo::{Budget, Config, FnObjective, Optimizer, ParamSpec, SearchSpace, SmacLite};
+use automodel_hpo::{
+    Budget, Config, Objective, Optimizer, ParamSpec, SearchSpace, SmacLite, TrialOutcome,
+    TrialPolicy,
+};
 use automodel_ml::{cross_val_accuracy, Registry};
 
 /// Baseline knobs.
@@ -115,18 +118,13 @@ impl AutoWekaConfig {
     /// Solve the CASH problem over the full registry with SMAC-lite.
     pub fn solve(&self, registry: &Registry, data: &Dataset) -> Result<Solution, CoreError> {
         let space = Self::cash_space(registry, data)?;
-        let folds = self.cv_folds;
-        let seed = self.seed;
-        let mut objective = FnObjective(|config: &Config| {
-            let Some((name, sub)) = Self::split_config(registry, data, config) else {
-                return 0.0;
-            };
-            let Some(spec) = registry.get(&name) else {
-                return 0.0;
-            };
-            cross_val_accuracy(|| spec.build(&sub, seed), data, folds, seed).unwrap_or(0.0)
-        });
-        let mut smac = SmacLite::new(self.seed);
+        let mut objective = CashObjective {
+            registry,
+            data,
+            folds: self.cv_folds,
+            seed: self.seed,
+        };
+        let mut smac = SmacLite::new(self.seed).with_policy(TrialPolicy::from_env());
         let outcome = smac
             .optimize(&space, &mut objective, &self.budget)
             .ok_or(CoreError::EmptySearch)?;
@@ -139,7 +137,39 @@ impl AutoWekaConfig {
             score: outcome.best_score,
             technique: "smac-lite".into(),
             trials: outcome.trials.len(),
+            quarantined: outcome.quarantine.len(),
         })
+    }
+}
+
+/// The hierarchical CASH objective, reporting evaluation errors as failed
+/// trials so SMAC quarantines broken configurations instead of scoring
+/// them 0.
+struct CashObjective<'a> {
+    registry: &'a Registry,
+    data: &'a Dataset,
+    folds: usize,
+    seed: u64,
+}
+
+impl Objective for CashObjective<'_> {
+    fn evaluate(&mut self, config: &Config) -> f64 {
+        self.evaluate_outcome(config).score().unwrap_or(0.0)
+    }
+
+    fn evaluate_outcome(&mut self, config: &Config) -> TrialOutcome {
+        let Some((name, sub)) = AutoWekaConfig::split_config(self.registry, self.data, config)
+        else {
+            return TrialOutcome::Diverged("config names no applicable algorithm".into());
+        };
+        let Some(spec) = self.registry.get(&name) else {
+            return TrialOutcome::Diverged(format!("algorithm '{name}' is not registered"));
+        };
+        let seed = self.seed;
+        match cross_val_accuracy(|| spec.build(&sub, seed), self.data, self.folds, seed) {
+            Ok(score) => TrialOutcome::from_score(score),
+            Err(e) => TrialOutcome::Diverged(e.to_string()),
+        }
     }
 }
 

@@ -21,7 +21,8 @@ use automodel_data::encoding::VecStandardizer;
 use automodel_data::features::{meta_features, select_features, FEATURE_COUNT};
 use automodel_data::{Dataset, SynthFamily, SynthSpec};
 use automodel_hpo::{
-    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, SearchSpace,
+    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Objective, Optimizer, SearchSpace,
+    TrialOutcome, TrialPolicy,
 };
 use automodel_invariant::debug_invariant;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper};
@@ -316,14 +317,18 @@ impl DmdConfig {
                 generations: self.fs_generations,
                 ..GaConfig::default()
             },
-        );
-        let outcome = ga
-            .optimize(&space, &mut objective, &budget)
-            // lint:allow(no-panic-lib): population ≥ 1 evals, so trials are never empty
-            .expect("nonzero GA budget");
+        )
+        .with_policy(TrialPolicy::from_env());
         let mut mask = [false; FEATURE_COUNT];
-        for (i, name) in automodel_data::FEATURE_NAMES.iter().enumerate() {
-            mask[i] = outcome.best_config.bool_or(name, false);
+        match ga.optimize(&space, &mut objective, &budget) {
+            Some(outcome) => {
+                for (i, name) in automodel_data::FEATURE_NAMES.iter().enumerate() {
+                    mask[i] = outcome.best_config.bool_or(name, false);
+                }
+            }
+            // Every trial failed (possible only under fault injection):
+            // degrade to the full feature set rather than abort DMD.
+            None => mask = [true; FEATURE_COUNT],
         }
         if !mask.iter().any(|&b| b) {
             mask = [true; FEATURE_COUNT]; // degenerate search: keep everything
@@ -339,28 +344,13 @@ impl DmdConfig {
     fn search_architecture(&self, xs: &[Vec<f64>], targets: &[Vec<f64>]) -> automodel_hpo::Config {
         let space = mlp_space();
         let folds = meta_folds(xs.len(), self.meta_cv_folds, self.seed ^ 0xA2);
-        let mut objective = FnObjective(|config: &automodel_hpo::Config| {
-            let mlp_config = mlp_config_from(config, self.seed, self.mlp_iter_cap);
-            let mut total = 0.0;
-            let mut n = 0usize;
-            for (train, test) in &folds {
-                if train.is_empty() || test.is_empty() {
-                    continue;
-                }
-                let train_x: Vec<Vec<f64>> = train.iter().map(|&i| xs[i].clone()).collect();
-                let train_y: Vec<Vec<f64>> = train.iter().map(|&i| targets[i].clone()).collect();
-                let test_x: Vec<Vec<f64>> = test.iter().map(|&i| xs[i].clone()).collect();
-                let test_y: Vec<Vec<f64>> = test.iter().map(|&i| targets[i].clone()).collect();
-                let mut reg = MlpRegressor::new(mlp_config.clone());
-                reg.fit(&train_x, &train_y);
-                total += reg.mse(&test_x, &test_y) * test.len() as f64;
-                n += test.len();
-            }
-            if n == 0 {
-                return f64::NEG_INFINITY;
-            }
-            -(total / n as f64) // maximize −MSE
-        });
+        let mut objective = ArchObjective {
+            xs,
+            targets,
+            folds: &folds,
+            seed: self.seed,
+            iter_cap: self.mlp_iter_cap,
+        };
         let budget = Budget::evals(self.arch_population * (self.arch_generations + 1))
             .with_target(-self.precision);
         let mut ga = GeneticAlgorithm::with_config(
@@ -370,10 +360,59 @@ impl DmdConfig {
                 generations: self.arch_generations,
                 ..GaConfig::default()
             },
-        );
+        )
+        .with_policy(TrialPolicy::from_env());
         ga.optimize(&space, &mut objective, &budget)
             .map(|o| o.best_config)
             .unwrap_or_else(default_mlp_point)
+    }
+}
+
+/// Algorithm 3's fitness (`−MSE` of the OneHot' regressor under CV),
+/// reporting divergent trainings as failed trials. Previously a fold plan
+/// with no usable folds scored `−∞`, which leaked a non-finite value into
+/// the GA's fitness ranking; both cases are now contained failures that the
+/// optimizer maps to its finite penalty.
+struct ArchObjective<'a> {
+    xs: &'a [Vec<f64>],
+    targets: &'a [Vec<f64>],
+    folds: &'a [(Vec<usize>, Vec<usize>)],
+    seed: u64,
+    iter_cap: usize,
+}
+
+impl Objective for ArchObjective<'_> {
+    fn evaluate(&mut self, config: &automodel_hpo::Config) -> f64 {
+        self.evaluate_outcome(config).score().unwrap_or(-1.0e9)
+    }
+
+    fn evaluate_outcome(&mut self, config: &automodel_hpo::Config) -> TrialOutcome {
+        let mlp_config = mlp_config_from(config, self.seed, self.iter_cap);
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for (train, test) in self.folds {
+            if train.is_empty() || test.is_empty() {
+                continue;
+            }
+            let train_x: Vec<Vec<f64>> = train.iter().map(|&i| self.xs[i].clone()).collect();
+            let train_y: Vec<Vec<f64>> = train.iter().map(|&i| self.targets[i].clone()).collect();
+            let test_x: Vec<Vec<f64>> = test.iter().map(|&i| self.xs[i].clone()).collect();
+            let test_y: Vec<Vec<f64>> = test.iter().map(|&i| self.targets[i].clone()).collect();
+            let mut reg = MlpRegressor::new(mlp_config.clone());
+            let report = reg.fit(&train_x, &train_y);
+            if report.diverged {
+                return TrialOutcome::Diverged(format!(
+                    "regressor diverged after {} epochs",
+                    report.epochs
+                ));
+            }
+            total += reg.mse(&test_x, &test_y) * test.len() as f64;
+            n += test.len();
+        }
+        if n == 0 {
+            return TrialOutcome::NonFinite;
+        }
+        TrialOutcome::from_score(-(total / n as f64)) // maximize −MSE
     }
 }
 

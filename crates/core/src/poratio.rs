@@ -14,7 +14,9 @@
 //!   count as "not more effective" and stay in the denominator.
 
 use automodel_data::Dataset;
-use automodel_hpo::{Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer};
+use automodel_hpo::{
+    Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, TrialPolicy,
+};
 use automodel_ml::{cross_val_accuracy, Registry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -89,7 +91,8 @@ impl EvalContext {
                 generations: 1000, // bounded by the budget
                 ..GaConfig::default()
             },
-        );
+        )
+        .with_policy(TrialPolicy::from_env());
         ga.optimize(&space, &mut objective, &self.tuning_budget)
             .map(|o| o.best_score)
     }

@@ -11,11 +11,13 @@ use crate::dmd::Dmd;
 use crate::error::CoreError;
 use automodel_data::Dataset;
 use automodel_hpo::{
-    BayesianOptimization, Budget, Config, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
+    BayesianOptimization, Budget, Config, GaConfig, GeneticAlgorithm, Objective, Optimizer,
+    TrialFailure, TrialOutcome, TrialPolicy,
 };
-use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The CASH answer: algorithm + hyperparameter setting (+ provenance).
@@ -29,6 +31,39 @@ pub struct Solution {
     pub technique: String,
     /// Configurations evaluated.
     pub trials: usize,
+    /// Configurations quarantined after exhausting their trial retries.
+    pub quarantined: usize,
+}
+
+/// The tuning objective `f(λ, SA, I)` with trial-failure reporting: an
+/// evaluation error becomes a failed [`TrialOutcome`] (quarantined by the
+/// optimizer) instead of silently scoring 0, and the last failure is kept so
+/// an all-failed search can explain itself.
+struct CvObjective<'a> {
+    spec: &'a Arc<dyn AlgorithmSpec>,
+    data: &'a Dataset,
+    folds: usize,
+    seed: u64,
+    last_failure: Option<TrialFailure>,
+}
+
+impl Objective for CvObjective<'_> {
+    fn evaluate(&mut self, config: &Config) -> f64 {
+        self.evaluate_outcome(config).score().unwrap_or(0.0)
+    }
+
+    fn evaluate_outcome(&mut self, config: &Config) -> TrialOutcome {
+        let spec = self.spec;
+        let seed = self.seed;
+        match cross_val_accuracy(|| spec.build(config, seed), self.data, self.folds, seed) {
+            Ok(score) => TrialOutcome::from_score(score),
+            Err(e) => {
+                let outcome = TrialOutcome::Diverged(e.to_string());
+                self.last_failure = outcome.failure();
+                outcome
+            }
+        }
+    }
 }
 
 /// UDR knobs.
@@ -108,10 +143,15 @@ impl UdrConfig {
         let use_ga = probe_time < self.eval_time_threshold;
 
         let folds = self.cv_folds;
-        let mut objective = FnObjective(|config: &Config| {
-            cross_val_accuracy(|| spec.build(config, seed), data, folds, seed).unwrap_or(0.0)
-        });
+        let mut objective = CvObjective {
+            spec: &spec,
+            data,
+            folds,
+            seed,
+            last_failure: None,
+        };
 
+        let policy = TrialPolicy::from_env();
         let outcome = if use_ga {
             let mut ga = GeneticAlgorithm::with_config(
                 seed,
@@ -120,10 +160,11 @@ impl UdrConfig {
                     generations: 1000, // budget-bound, not generation-bound
                     ..GaConfig::default()
                 },
-            );
+            )
+            .with_policy(policy);
             ga.optimize(&space, &mut objective, &self.tuning_budget)
         } else {
-            let mut bo = BayesianOptimization::new(seed);
+            let mut bo = BayesianOptimization::new(seed).with_policy(policy);
             bo.optimize(&space, &mut objective, &self.tuning_budget)
         };
         let Some(outcome) = outcome else {
@@ -137,9 +178,15 @@ impl UdrConfig {
                     score,
                     technique: "default".into(),
                     trials: 1,
+                    quarantined: 0,
                 });
             }
-            return Err(CoreError::EmptySearch);
+            // Non-empty space: either no trial ran (zero budget) or every
+            // trial failed — surface the last failure in the latter case.
+            return Err(match objective.last_failure.take() {
+                Some(failure) => CoreError::Trial(failure),
+                None => CoreError::EmptySearch,
+            });
         };
         Ok(Solution {
             algorithm: algorithm.to_string(),
@@ -151,6 +198,7 @@ impl UdrConfig {
                 "bayesian-optimization".into()
             },
             trials: outcome.trials.len(),
+            quarantined: outcome.quarantine.len(),
         })
     }
 }

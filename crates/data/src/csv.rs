@@ -65,6 +65,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
     let mut lines = reader.lines().enumerate();
     let (_, header) = lines.next().ok_or_else(|| DataError::Parse {
         line: 1,
+        field: None,
         message: "empty file".into(),
     })?;
     let header = header?;
@@ -75,7 +76,8 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
     for (i, field) in fields.iter().enumerate() {
         let (kind, col_name) = field.split_once(':').ok_or_else(|| DataError::Parse {
             line: 1,
-            message: format!("header cell '{field}' missing type prefix"),
+            field: Some(field.to_string()),
+            message: "header cell missing type prefix".into(),
         })?;
         match kind {
             "num" => {
@@ -90,6 +92,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
                 if i != fields.len() - 1 {
                     return Err(DataError::Parse {
                         line: 1,
+                        field: Some(col_name.to_string()),
                         message: "class column must be last".into(),
                     });
                 }
@@ -98,6 +101,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
             other => {
                 return Err(DataError::Parse {
                     line: 1,
+                    field: Some(col_name.to_string()),
                     message: format!("unknown column kind '{other}'"),
                 })
             }
@@ -106,6 +110,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
     if class_name.is_empty() {
         return Err(DataError::Parse {
             line: 1,
+            field: None,
             message: "missing class column".into(),
         });
     }
@@ -128,6 +133,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
         if cells.len() != n_cols + 1 {
             return Err(DataError::Parse {
                 line: lineno + 1,
+                field: None,
                 message: format!("expected {} cells, found {}", n_cols + 1, cells.len()),
             });
         }
@@ -139,6 +145,7 @@ pub fn read_csv<R: BufRead>(name: &str, reader: R) -> Result<Dataset, DataError>
                     } else {
                         cell.parse::<f64>().map_err(|e| DataError::Parse {
                             line: lineno + 1,
+                            field: Some(names[j].clone()),
                             message: format!("bad number '{cell}': {e}"),
                         })?
                     };
@@ -240,6 +247,43 @@ mod tests {
     fn rejects_bad_numbers() {
         let err = read_csv("x", Cursor::new("num:a,class:y\nabc,pos\n")).unwrap_err();
         assert!(matches!(err, DataError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn bad_number_errors_name_line_and_field() {
+        // Two numeric columns; the bad cell is in the *second* one, on row 3
+        // of the file — the error must pinpoint both.
+        let err = read_csv(
+            "x",
+            Cursor::new("num:width,num:height,class:y\n1,2,p\n3,oops,q\n"),
+        )
+        .unwrap_err();
+        match &err {
+            DataError::Parse {
+                line,
+                field,
+                message,
+            } => {
+                assert_eq!(*line, 3);
+                assert_eq!(field.as_deref(), Some("height"));
+                assert!(message.contains("oops"), "{message}");
+            }
+            other => panic!("expected Parse, got {other:?}"),
+        }
+        let text = err.to_string();
+        assert!(text.contains("line 3"), "{text}");
+        assert!(text.contains("'height'"), "{text}");
+    }
+
+    #[test]
+    fn structural_errors_carry_no_field() {
+        let err = read_csv("x", Cursor::new("num:a,class:y\n1,2,3\n")).unwrap_err();
+        assert!(matches!(err, DataError::Parse { field: None, .. }));
+        let err = read_csv("x", Cursor::new("num:a,class:y,num:b\n")).unwrap_err();
+        assert!(
+            matches!(err, DataError::Parse { line: 1, field: Some(ref f), .. } if f == "y"),
+            "misplaced class column should name it"
+        );
     }
 
     #[test]

@@ -21,8 +21,14 @@ pub enum DataError {
     RowOutOfBounds { row: usize, n_rows: usize },
     /// A column index is out of bounds.
     ColumnOutOfBounds { column: usize, n_columns: usize },
-    /// CSV parsing failed.
-    Parse { line: usize, message: String },
+    /// CSV parsing failed at `line`; `field` names the offending column
+    /// when the failure is attributable to one (`None` for structural
+    /// errors like a ragged row or a malformed header).
+    Parse {
+        line: usize,
+        field: Option<String>,
+        message: String,
+    },
     /// Underlying I/O failure (message only, to keep the error cloneable).
     Io(String),
 }
@@ -54,9 +60,16 @@ impl fmt::Display for DataError {
             DataError::ColumnOutOfBounds { column, n_columns } => {
                 write!(f, "column {column} out of bounds (n_columns = {n_columns})")
             }
-            DataError::Parse { line, message } => {
-                write!(f, "parse error at line {line}: {message}")
-            }
+            DataError::Parse {
+                line,
+                field,
+                message,
+            } => match field {
+                Some(field) => {
+                    write!(f, "parse error at line {line}, field '{field}': {message}")
+                }
+                None => write!(f, "parse error at line {line}: {message}"),
+            },
             DataError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -15,8 +15,9 @@
 
 use crate::budget::Budget;
 use crate::linalg::{cholesky, sq_dist, Cholesky, SquareMatrix};
-use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::objective::{run_contained, Objective, OptOutcome, Optimizer, Quarantine, Trial};
 use crate::space::{Config, SearchSpace};
+use automodel_parallel::TrialPolicy;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +35,7 @@ pub struct BayesianOptimization {
     pub noise: f64,
     /// Cap on observations used to fit the GP (best + most recent survive).
     pub max_gp_points: usize,
+    policy: TrialPolicy,
 }
 
 impl BayesianOptimization {
@@ -45,7 +47,15 @@ impl BayesianOptimization {
             local_candidates: 64,
             noise: 1e-6,
             max_gp_points: 200,
+            policy: TrialPolicy::default(),
         }
+    }
+
+    /// Replace the trial fault-handling policy (retries, penalty, injected
+    /// faults).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> BayesianOptimization {
+        self.policy = policy;
+        self
     }
 }
 
@@ -169,23 +179,42 @@ impl Optimizer for BayesianOptimization {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
+        let mut quarantine = Quarantine::new();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
 
+        // Contained evaluation: failures score the finite penalty (keeping
+        // the GP's training targets finite) and repeat offenders are
+        // quarantined so the surrogate never revisits them.
+        let policy = self.policy.clone();
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
+                        quarantine: &mut Quarantine,
                         xs: &mut Vec<Vec<f64>>,
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let score = objective.evaluate(&config);
-            tracker.record(score);
+            let index = trials.len();
+            let ev = run_contained(&config, index, &policy, quarantine, &mut |c| {
+                objective.evaluate_outcome(c)
+            });
+            tracker.record(ev.score);
             xs.push(space.encode(&config));
-            ys.push(score);
+            ys.push(ev.score);
+            if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
+                quarantine.add(crate::objective::QuarantineRecord {
+                    key: config.to_string(),
+                    config: config.clone(),
+                    failure: failure.clone(),
+                    trial_index: index,
+                    attempts: ev.attempts,
+                });
+            }
             trials.push(Trial {
                 config,
-                score,
-                index: trials.len(),
+                score: ev.score,
+                index,
+                failure: ev.failure,
             });
         };
 
@@ -195,7 +224,15 @@ impl Optimizer for BayesianOptimization {
                 break;
             }
             let c = space.sample(&mut rng);
-            evaluate(c, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+            evaluate(
+                c,
+                &mut trials,
+                &mut quarantine,
+                &mut xs,
+                &mut ys,
+                &mut tracker,
+                objective,
+            );
         }
 
         while !tracker.exhausted() {
@@ -260,9 +297,17 @@ impl Optimizer for BayesianOptimization {
                 // Degenerate kernel matrix ⇒ fall back to random proposal.
                 None => space.sample(&mut rng),
             };
-            evaluate(next, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+            evaluate(
+                next,
+                &mut trials,
+                &mut quarantine,
+                &mut xs,
+                &mut ys,
+                &mut tracker,
+                objective,
+            );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 
     fn name(&self) -> &'static str {

@@ -10,11 +10,12 @@
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::objective::{
-    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer, Trial,
+    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
+    Quarantine, Trial,
 };
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
-use automodel_parallel::Executor;
+use automodel_parallel::{Executor, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -34,14 +35,16 @@ impl Evaluation<'_> {
         configs: Vec<Config>,
         tracker: &mut BudgetTracker,
         trials: &mut Vec<Trial>,
+        policy: &TrialPolicy,
+        quarantine: &mut Quarantine,
     ) -> Vec<(Config, f64)> {
         match self {
             Evaluation::Serial(objective) => {
-                eval_batch_serial(configs, *objective, tracker, trials)
+                eval_batch_serial(configs, *objective, tracker, trials, policy, quarantine)
             }
-            Evaluation::Parallel(objective, executor) => {
-                eval_batch_parallel(configs, *objective, executor, tracker, trials)
-            }
+            Evaluation::Parallel(objective, executor) => eval_batch_parallel(
+                configs, *objective, executor, tracker, trials, policy, quarantine,
+            ),
         }
     }
 }
@@ -84,6 +87,7 @@ impl Default for GaConfig {
 pub struct GeneticAlgorithm {
     pub config: GaConfig,
     seed: u64,
+    policy: TrialPolicy,
 }
 
 impl GeneticAlgorithm {
@@ -91,11 +95,23 @@ impl GeneticAlgorithm {
         GeneticAlgorithm {
             config: GaConfig::default(),
             seed,
+            policy: TrialPolicy::default(),
         }
     }
 
     pub fn with_config(seed: u64, config: GaConfig) -> GeneticAlgorithm {
-        GeneticAlgorithm { config, seed }
+        GeneticAlgorithm {
+            config,
+            seed,
+            policy: TrialPolicy::default(),
+        }
+    }
+
+    /// Replace the trial fault-handling policy (retries, penalty, injected
+    /// faults).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> GeneticAlgorithm {
+        self.policy = policy;
+        self
     }
 
     /// Small-budget preset used throughout the scaled-down experiments.
@@ -170,15 +186,23 @@ impl GeneticAlgorithm {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
+        let mut quarantine = Quarantine::new();
 
         // Initial population: sample the whole generation first (the RNG
         // stream never depends on evaluation progress), then score it as
         // one batch.
         let pop_size = self.config.population.max(2);
         let candidates: Vec<Config> = (0..pop_size).map(|_| space.sample(&mut rng)).collect();
-        let mut population = eval.eval_batch(candidates, &mut tracker, &mut trials);
+        let mut population = eval.eval_batch(
+            candidates,
+            &mut tracker,
+            &mut trials,
+            &self.policy,
+            &mut quarantine,
+        );
         if population.is_empty() {
-            return OptOutcome::from_trials(trials);
+            return OptOutcome::from_trials(trials)
+                .map(|o| o.with_quarantine(quarantine.into_records()));
         }
 
         for _generation in 0..self.config.generations {
@@ -208,7 +232,13 @@ impl GeneticAlgorithm {
                     )
                 })
                 .collect();
-            next.extend(eval.eval_batch(children, &mut tracker, &mut trials));
+            next.extend(eval.eval_batch(
+                children,
+                &mut tracker,
+                &mut trials,
+                &self.policy,
+                &mut quarantine,
+            ));
             if next.is_empty() {
                 break;
             }
@@ -232,7 +262,7 @@ impl GeneticAlgorithm {
                 "a genome violates its search-space bounds"
             );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 }
 
@@ -389,6 +419,153 @@ mod tests {
         });
         GeneticAlgorithm::new(1).optimize(&space, &mut obj, &Budget::evals(77));
         assert_eq!(n, 77);
+    }
+
+    #[test]
+    fn injected_faults_with_retries_leave_results_unchanged() {
+        // Faults fire on attempt 0 only; the default policy retries once,
+        // so every injected NaN recovers and the trial history must be
+        // byte-identical to a fault-free run.
+        use automodel_parallel::{FaultPlan, TrialPolicy};
+        let space = float_space(2);
+        let obj = |c: &Config| -sphere(&values(c, 2));
+        let budget = Budget::evals(120);
+        let clean = GeneticAlgorithm::small(4)
+            .optimize_batch(&space, &obj, &budget, &Executor::new(2))
+            .unwrap();
+        let faulted = GeneticAlgorithm::small(4)
+            .with_policy(
+                TrialPolicy::default().with_faults(FaultPlan::with_rates(3, 0.0, 0.15, 0.05)),
+            )
+            .optimize_batch(&space, &obj, &budget, &Executor::new(2))
+            .unwrap();
+        assert_eq!(fingerprint(&clean), fingerprint(&faulted));
+        assert!(
+            faulted.quarantine.is_empty(),
+            "recovered faults quarantined"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_quarantine_and_the_search_survives() {
+        use automodel_parallel::{FaultPlan, TrialPolicy};
+        // A single attempt means every injected NaN persists: the trial is
+        // penalized, the config quarantined, and the search keeps going.
+        let policy = TrialPolicy::default()
+            .with_max_attempts(1)
+            .with_faults(FaultPlan::with_rates(7, 0.0, 0.2, 0.0));
+        let space = float_space(2);
+        let budget = Budget::evals(120);
+        let obj = |c: &Config| -sphere(&values(c, 2));
+        let serial = {
+            let mut fobj = FnObjective(obj);
+            GeneticAlgorithm::small(4)
+                .with_policy(policy.clone())
+                .optimize(&space, &mut fobj, &budget)
+                .unwrap()
+        };
+        assert!(serial.best_score.is_finite());
+        assert!(!serial.quarantine.is_empty(), "no config was quarantined");
+        assert!(serial.failed_trials().count() >= serial.quarantine.len());
+        for t in serial.failed_trials() {
+            assert_eq!(t.score, policy.penalty);
+        }
+        // The quarantine log names the failed configs.
+        for rec in &serial.quarantine {
+            assert_eq!(rec.key, format!("{}", rec.config));
+        }
+        // And the whole faulted history is thread-count invariant.
+        for threads in [1, 2, 8] {
+            let out = GeneticAlgorithm::small(4)
+                .with_policy(policy.clone())
+                .optimize_batch(&space, &obj, &budget, &Executor::new(threads))
+                .unwrap();
+            assert_eq!(
+                fingerprint(&out),
+                fingerprint(&serial),
+                "threads = {threads}"
+            );
+            assert_eq!(out.quarantine.len(), serial.quarantine.len());
+        }
+    }
+
+    #[test]
+    fn search_errors_only_when_every_trial_fails() {
+        let space = float_space(1);
+        let mut obj = FnObjective(|_c: &Config| f64::NAN);
+        assert!(GeneticAlgorithm::small(4)
+            .optimize(&space, &mut obj, &Budget::evals(30))
+            .is_none());
+        // One good trial in a sea of failures is enough for an incumbent.
+        let mut good_once = 0usize;
+        let mut obj = FnObjective(|_c: &Config| {
+            good_once += 1;
+            if good_once == 5 {
+                0.25
+            } else {
+                f64::NAN
+            }
+        });
+        let out = GeneticAlgorithm::small(4)
+            .optimize(&space, &mut obj, &Budget::evals(30))
+            .unwrap();
+        assert_eq!(out.best_score, 0.25);
+    }
+
+    #[test]
+    fn quarantined_configs_are_not_re_evaluated() {
+        use crate::space::Domain;
+        use automodel_parallel::TrialPolicy;
+        use std::cell::RefCell;
+        // One point in a 2-point space always fails; after quarantine it
+        // must never reach the objective again.
+        let space = SearchSpace::builder()
+            .add("x", Domain::int(0, 1))
+            .build()
+            .unwrap();
+        let bad_calls = RefCell::new(0usize);
+        let mut obj = FnObjective(|c: &Config| {
+            if c.int_or("x", 0) == 1 {
+                *bad_calls.borrow_mut() += 1;
+                f64::NAN
+            } else {
+                1.0
+            }
+        });
+        let out = GeneticAlgorithm::small(9)
+            .with_policy(TrialPolicy::default().with_max_attempts(2))
+            .optimize(&space, &mut obj, &Budget::evals(60))
+            .unwrap();
+        assert_eq!(out.best_score, 1.0);
+        assert_eq!(out.quarantine.len(), 1);
+        // Quarantine lands at the first batch boundary: the bad config may
+        // be live-evaluated (with retries) only inside the initial
+        // population batch, never after. 60 evals with ~half the samples
+        // hitting the bad point would otherwise mean ~60 calls.
+        assert!(
+            *bad_calls.borrow() <= 2 * 12,
+            "bad config evaluated {} times",
+            bad_calls.borrow()
+        );
+        for t in out.trials.iter().skip(12) {
+            if let Some(f) = &t.failure {
+                assert!(
+                    f.message.starts_with("quarantined"),
+                    "trial {} was live-evaluated after quarantine: {f}",
+                    t.index
+                );
+            }
+        }
+        let skips = out
+            .trials
+            .iter()
+            .filter(|t| {
+                t.failure
+                    .as_ref()
+                    .is_some_and(|f| f.message.starts_with("quarantined"))
+            })
+            .count();
+        assert!(skips > 0, "no trial was served from quarantine");
     }
 
     #[test]

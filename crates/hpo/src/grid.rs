@@ -9,10 +9,11 @@
 
 use crate::budget::Budget;
 use crate::objective::{
-    eval_batch_parallel, BatchObjective, Objective, OptOutcome, Optimizer, Trial,
+    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
+    Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::Executor;
+use automodel_parallel::{Executor, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -24,6 +25,7 @@ pub struct GridSearch {
     pub levels: usize,
     /// Hard cap on enumerated points (explosion guard).
     pub max_points: usize,
+    policy: TrialPolicy,
 }
 
 impl GridSearch {
@@ -31,7 +33,15 @@ impl GridSearch {
         GridSearch {
             levels,
             max_points: 100_000,
+            policy: TrialPolicy::default(),
         }
+    }
+
+    /// Replace the trial fault-handling policy (retries, penalty, injected
+    /// faults).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> GridSearch {
+        self.policy = policy;
+        self
     }
 
     /// Enumerate (and dedup) grid points in odometer order; `None` once the
@@ -67,6 +77,7 @@ impl GridSearch {
     ) -> Option<OptOutcome> {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
         let mut points = self.enumeration(space);
         let batch = (executor.threads() * 8).max(8);
         while !tracker.exhausted() {
@@ -74,9 +85,17 @@ impl GridSearch {
             if configs.is_empty() {
                 break;
             }
-            eval_batch_parallel(configs, objective, executor, &mut tracker, &mut trials);
+            eval_batch_parallel(
+                configs,
+                objective,
+                executor,
+                &mut tracker,
+                &mut trials,
+                &self.policy,
+                &mut quarantine,
+            );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 }
 
@@ -129,20 +148,22 @@ impl Optimizer for GridSearch {
     ) -> Option<OptOutcome> {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
         let mut points = self.enumeration(space);
         while !tracker.exhausted() {
             let Some(config) = points.next_point(space) else {
                 break;
             };
-            let score = objective.evaluate(&config);
-            tracker.record(score);
-            trials.push(Trial {
-                config,
-                score,
-                index: trials.len(),
-            });
+            eval_batch_serial(
+                vec![config],
+                objective,
+                &mut tracker,
+                &mut trials,
+                &self.policy,
+                &mut quarantine,
+            );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 
     fn name(&self) -> &'static str {

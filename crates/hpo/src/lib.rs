@@ -41,14 +41,21 @@ pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;
-pub use objective::{BatchObjective, FnObjective, Objective, OptOutcome, Optimizer, Trial};
+pub use objective::{
+    BatchObjective, FnObjective, Objective, OptOutcome, Optimizer, Quarantine, QuarantineRecord,
+    Trial,
+};
 pub use random::RandomSearch;
 pub use smac::SmacLite;
 pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
 
-// The executor the `optimize_batch` entry points run on, re-exported so
+// The executor the `optimize_batch` entry points run on — and the
+// fault-containment vocabulary every optimizer speaks — re-exported so
 // callers need not depend on `automodel-parallel` directly.
-pub use automodel_parallel::{seed_stream, Clock, Executor, ManualClock, MonotonicClock};
+pub use automodel_parallel::{
+    seed_stream, Clock, Executor, FailureKind, FaultPlan, ManualClock, MonotonicClock,
+    TrialFailure, TrialOutcome, TrialPolicy,
+};
 
 /// Optimizers re-exported as a module for qualified use.
 pub mod optimizers {

@@ -5,16 +5,40 @@
 //! the optimizer records every trial so callers can inspect the history
 //! (anytime behaviour: the paper's UDR lets users stop at any moment and take
 //! the best configuration found so far).
+//!
+//! ## Fault containment
+//!
+//! Every evaluation — serial or parallel — flows through a contained trial
+//! runner ([`automodel_parallel::run_trial`]): panics are caught, non-finite
+//! scores are classified, failures are retried on decorrelated seed streams,
+//! and a configuration whose every attempt failed is **quarantined** (skipped
+//! for the rest of the search) and recorded with the policy's finite
+//! `penalty` score, so the optimizer keeps searching. An optimization only
+//! returns `None` when *no* trial produced a usable score.
+//!
+//! Quarantine updates are applied at batch boundaries (in trial-index
+//! order), never mid-batch, so the serial and parallel paths observe the
+//! identical quarantine state for every proposal and the trial history stays
+//! byte-identical at any thread count — even while faults fire.
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::Executor;
+use automodel_parallel::{run_trial, Executor, TrialFailure, TrialOutcome, TrialPolicy};
+use std::collections::BTreeMap;
 
 /// A black-box objective to maximize.
 pub trait Objective {
     /// Evaluate one configuration. Higher is better. Implementations may be
     /// stochastic; optimizers never assume determinism.
     fn evaluate(&mut self, config: &Config) -> f64;
+
+    /// Evaluate with an explicit outcome. The default classifies
+    /// [`evaluate`](Objective::evaluate)'s score by finiteness; objectives
+    /// that can observe richer failure signals (a diverged training run, a
+    /// timeout) override this to report them directly.
+    fn evaluate_outcome(&mut self, config: &Config) -> TrialOutcome {
+        TrialOutcome::from_score(self.evaluate(config))
+    }
 }
 
 /// Wrap a closure as an [`Objective`].
@@ -36,6 +60,11 @@ impl<F: FnMut(&Config) -> f64> Objective for FnObjective<F> {
 /// thread-count-invariant.
 pub trait BatchObjective: Sync {
     fn evaluate(&self, config: &Config) -> f64;
+
+    /// Outcome-aware twin of [`Objective::evaluate_outcome`].
+    fn evaluate_outcome(&self, config: &Config) -> TrialOutcome {
+        TrialOutcome::from_score(self.evaluate(config))
+    }
 }
 
 impl<F: Fn(&Config) -> f64 + Sync> BatchObjective for F {
@@ -44,61 +73,213 @@ impl<F: Fn(&Config) -> f64 + Sync> BatchObjective for F {
     }
 }
 
-/// Evaluate `configs` one by one, recording each into `tracker` and
-/// `trials`, stopping as soon as the budget trips. Returns the evaluated
-/// `(config, score)` prefix.
+/// One configuration barred from further evaluation after exhausting its
+/// retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineRecord {
+    /// Display form of the config (the quarantine key).
+    pub key: String,
+    pub config: Config,
+    /// The failure that exhausted the retries.
+    pub failure: TrialFailure,
+    /// Trial index at which the config was quarantined.
+    pub trial_index: usize,
+    /// Attempts spent before giving up.
+    pub attempts: usize,
+}
+
+/// The set of configurations a search refuses to evaluate again.
+///
+/// Keys are the configs' `Display` form (the same key `GridSearch` dedups
+/// on). Insertion order is preserved for reporting; the earliest failure
+/// of a config wins.
+#[derive(Debug, Clone, Default)]
+pub struct Quarantine {
+    records: Vec<QuarantineRecord>,
+    index: BTreeMap<String, usize>,
+}
+
+impl Quarantine {
+    pub fn new() -> Quarantine {
+        Quarantine::default()
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.index.contains_key(key)
+    }
+
+    pub fn get(&self, key: &str) -> Option<&QuarantineRecord> {
+        self.index.get(key).map(|&i| &self.records[i])
+    }
+
+    /// Add a record unless its key is already quarantined.
+    pub fn add(&mut self, record: QuarantineRecord) {
+        if !self.index.contains_key(&record.key) {
+            self.index.insert(record.key.clone(), self.records.len());
+            self.records.push(record);
+        }
+    }
+
+    pub fn records(&self) -> &[QuarantineRecord] {
+        &self.records
+    }
+
+    pub fn into_records(self) -> Vec<QuarantineRecord> {
+        self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Result of one contained trial: the recorded score (the objective's, or
+/// the policy penalty), the failure if any, and the attempts spent
+/// (`0` ⇒ the config was already quarantined and was skipped).
+#[derive(Debug, Clone)]
+pub(crate) struct TrialEval {
+    pub(crate) score: f64,
+    pub(crate) failure: Option<TrialFailure>,
+    pub(crate) attempts: usize,
+}
+
+/// Execute one trial under `policy` against a *snapshot* of the quarantine:
+/// quarantined configs are skipped straight to the penalty score; everything
+/// else runs through the contained, retried [`run_trial`]. Pure in
+/// `(config, index, policy, quarantine, eval)` — thread-count invariant.
+pub(crate) fn run_contained(
+    config: &Config,
+    index: usize,
+    policy: &TrialPolicy,
+    quarantine: &Quarantine,
+    eval: &mut dyn FnMut(&Config) -> TrialOutcome,
+) -> TrialEval {
+    let key = config.to_string();
+    if let Some(rec) = quarantine.get(&key) {
+        return TrialEval {
+            score: policy.penalty,
+            failure: Some(TrialFailure {
+                kind: rec.failure.kind,
+                message: format!("quarantined: {}", rec.failure.message),
+            }),
+            attempts: 0,
+        };
+    }
+    let report = run_trial(
+        policy,
+        policy.faults.seed,
+        index as u64,
+        |_seed, _attempt| eval(config),
+    );
+    match report.outcome.score() {
+        Some(score) => TrialEval {
+            score,
+            failure: None,
+            attempts: report.attempts,
+        },
+        None => TrialEval {
+            score: policy.penalty,
+            failure: report.outcome.failure(),
+            attempts: report.attempts,
+        },
+    }
+}
+
+/// Fold a batch of evaluations into the trial history and — in trial-index
+/// order, at the batch boundary — quarantine every config that exhausted
+/// its retries. Returns the `(config, score)` pairs for the evaluated
+/// prefix.
+fn record_batch(
+    configs: Vec<Config>,
+    evals: Vec<TrialEval>,
+    trials: &mut Vec<Trial>,
+    quarantine: &mut Quarantine,
+) -> Vec<(Config, f64)> {
+    let mut out = Vec::with_capacity(evals.len());
+    for (config, ev) in configs.into_iter().zip(evals) {
+        let index = trials.len();
+        if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
+            quarantine.add(QuarantineRecord {
+                key: config.to_string(),
+                config: config.clone(),
+                failure: failure.clone(),
+                trial_index: index,
+                attempts: ev.attempts,
+            });
+        }
+        trials.push(Trial {
+            config: config.clone(),
+            score: ev.score,
+            index,
+            failure: ev.failure,
+        });
+        out.push((config, ev.score));
+    }
+    out
+}
+
+/// Evaluate `configs` one by one under `policy`, recording each into
+/// `tracker` and `trials`, stopping as soon as the budget trips. Returns the
+/// evaluated `(config, score)` prefix. The quarantine is consulted as a
+/// batch-start snapshot and updated only at the batch end — the same
+/// discipline as [`eval_batch_parallel`], so the two paths always agree.
 pub(crate) fn eval_batch_serial(
     configs: Vec<Config>,
     objective: &mut dyn Objective,
     tracker: &mut BudgetTracker,
     trials: &mut Vec<Trial>,
+    policy: &TrialPolicy,
+    quarantine: &mut Quarantine,
 ) -> Vec<(Config, f64)> {
-    let mut out = Vec::with_capacity(configs.len());
-    for config in configs {
+    let base = trials.len();
+    let mut evals = Vec::with_capacity(configs.len());
+    for (i, config) in configs.iter().enumerate() {
         if tracker.exhausted() {
             break;
         }
-        let score = objective.evaluate(&config);
-        tracker.record(score);
-        trials.push(Trial {
-            config: config.clone(),
-            score,
-            index: trials.len(),
+        let ev = run_contained(config, base + i, policy, quarantine, &mut |c| {
+            objective.evaluate_outcome(c)
         });
-        out.push((config, score));
+        tracker.record(ev.score);
+        evals.push(ev);
     }
-    out
+    record_batch(configs, evals, trials, quarantine)
 }
 
-/// Evaluate `configs` on `executor`, recording each into `tracker` and
-/// `trials`, with the budget consulted before every evaluation. Results
-/// (and the trial history) come back in proposal order regardless of
-/// thread count; under a pure evaluation-count budget the evaluated prefix
-/// is byte-identical to [`eval_batch_serial`].
+/// Evaluate `configs` on `executor` under `policy`, recording each into
+/// `tracker` and `trials`, with the budget consulted before every
+/// evaluation. Containment (catch, classify, retry) runs inside the worker
+/// closure, so a panicking objective costs one trial, never the batch.
+/// Results (and the trial history) come back in proposal order regardless
+/// of thread count; under a pure evaluation-count budget the evaluated
+/// prefix is byte-identical to [`eval_batch_serial`].
 pub(crate) fn eval_batch_parallel(
     configs: Vec<Config>,
     objective: &dyn BatchObjective,
     executor: &Executor,
     tracker: &mut BudgetTracker,
     trials: &mut Vec<Trial>,
+    policy: &TrialPolicy,
+    quarantine: &mut Quarantine,
 ) -> Vec<(Config, f64)> {
+    let base = trials.len();
     let shared = tracker.share();
-    let scores = executor.map_budgeted(configs.len(), &shared, |i| {
-        let score = objective.evaluate(&configs[i]);
-        shared.record(score);
-        score
-    });
+    let evals = {
+        let snapshot: &Quarantine = quarantine;
+        executor.map_budgeted(configs.len(), &shared, |i| {
+            let ev = run_contained(&configs[i], base + i, policy, snapshot, &mut |c| {
+                objective.evaluate_outcome(c)
+            });
+            shared.record(ev.score);
+            ev
+        })
+    };
     tracker.absorb(&shared);
-    let mut out = Vec::with_capacity(scores.len());
-    for (config, score) in configs.into_iter().zip(scores) {
-        trials.push(Trial {
-            config: config.clone(),
-            score,
-            index: trials.len(),
-        });
-        out.push((config, score));
-    }
-    out
+    record_batch(configs, evals, trials, quarantine)
 }
 
 /// One recorded evaluation.
@@ -108,6 +289,16 @@ pub struct Trial {
     pub score: f64,
     /// 0-based evaluation index.
     pub index: usize,
+    /// Present when the trial failed; `score` is then the policy's finite
+    /// penalty, not an observation of the objective.
+    pub failure: Option<TrialFailure>,
+}
+
+impl Trial {
+    /// Did this trial produce a real, finite observation of the objective?
+    pub fn is_usable(&self) -> bool {
+        self.failure.is_none() && self.score.is_finite()
+    }
 }
 
 /// Result of an optimization run.
@@ -116,22 +307,41 @@ pub struct OptOutcome {
     pub best_config: Config,
     pub best_score: f64,
     pub trials: Vec<Trial>,
+    /// Configs quarantined during the search (every retry failed), in
+    /// quarantine order.
+    pub quarantine: Vec<QuarantineRecord>,
 }
 
 impl OptOutcome {
-    /// Assemble an outcome from a trial history (best by score; earliest wins
-    /// ties so reruns are stable).
+    /// Assemble an outcome from a trial history. The incumbent is the best
+    /// *usable* trial — failed trials and non-finite scores are never the
+    /// incumbent — and earliest wins ties so reruns are stable. `None` when
+    /// no trial is usable (the budget allowed nothing, or every trial
+    /// failed).
     pub fn from_trials(trials: Vec<Trial>) -> Option<OptOutcome> {
         let best = trials
             .iter()
             .enumerate()
+            .filter(|(_, t)| t.is_usable())
             .max_by(|(ia, a), (ib, b)| a.score.total_cmp(&b.score).then(ib.cmp(ia)))
             .map(|(i, _)| i)?;
         Some(OptOutcome {
             best_config: trials[best].config.clone(),
             best_score: trials[best].score,
             trials,
+            quarantine: Vec::new(),
         })
+    }
+
+    /// Attach the quarantine log accumulated during the search.
+    pub fn with_quarantine(mut self, quarantine: Vec<QuarantineRecord>) -> OptOutcome {
+        self.quarantine = quarantine;
+        self
+    }
+
+    /// Trials that failed (scored the penalty instead of the objective).
+    pub fn failed_trials(&self) -> impl Iterator<Item = &Trial> {
+        self.trials.iter().filter(|t| t.failure.is_some())
     }
 
     /// Running best score after each evaluation (for convergence plots).
@@ -152,7 +362,7 @@ impl OptOutcome {
 /// Common optimizer interface.
 pub trait Optimizer {
     /// Run until the budget is exhausted; `None` if the budget allowed no
-    /// evaluations at all.
+    /// evaluations at all — or every evaluated trial failed.
     fn optimize(
         &mut self,
         space: &SearchSpace,
@@ -168,12 +378,24 @@ pub trait Optimizer {
 mod tests {
     use super::*;
     use crate::space::ParamValue;
+    use automodel_parallel::FailureKind;
 
     fn trial(score: f64, index: usize) -> Trial {
         Trial {
             config: Config::new().with("x", ParamValue::Float(score)),
             score,
             index,
+            failure: None,
+        }
+    }
+
+    fn failed_trial(score: f64, index: usize) -> Trial {
+        Trial {
+            failure: Some(TrialFailure {
+                kind: FailureKind::Panicked,
+                message: "boom".into(),
+            }),
+            ..trial(score, index)
         }
     }
 
@@ -194,14 +416,81 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_scores_are_never_the_incumbent() {
+        // Regression: `total_cmp` ranks NaN above +∞, so a NaN trial used to
+        // win the incumbent slot outright.
+        let out = OptOutcome::from_trials(vec![
+            trial(f64::NAN, 0),
+            trial(0.2, 1),
+            trial(f64::INFINITY, 2),
+            trial(f64::NEG_INFINITY, 3),
+        ])
+        .unwrap();
+        assert_eq!(out.best_score, 0.2);
+        assert_eq!(out.best_config.float_or("x", 0.0), 0.2);
+    }
+
+    #[test]
+    fn failed_trials_are_never_the_incumbent() {
+        // A failed trial's penalty score can exceed a real observation;
+        // the incumbent must still be the real one.
+        let out = OptOutcome::from_trials(vec![failed_trial(0.9, 0), trial(-3.0, 1)]).unwrap();
+        assert_eq!(out.best_score, -3.0);
+        assert_eq!(out.failed_trials().count(), 1);
+    }
+
+    #[test]
+    fn all_failed_trials_yield_none() {
+        assert!(OptOutcome::from_trials(vec![trial(f64::NAN, 0), trial(f64::NAN, 1)]).is_none());
+        assert!(
+            OptOutcome::from_trials(vec![failed_trial(-1e9, 0), failed_trial(-1e9, 1)]).is_none()
+        );
+    }
+
+    #[test]
+    fn quarantine_dedups_and_preserves_order() {
+        let mut q = Quarantine::new();
+        let rec = |key: &str, idx: usize| QuarantineRecord {
+            key: key.to_string(),
+            config: Config::new(),
+            failure: TrialFailure {
+                kind: FailureKind::NonFinite,
+                message: "non-finite score".into(),
+            },
+            trial_index: idx,
+            attempts: 2,
+        };
+        q.add(rec("b", 0));
+        q.add(rec("a", 1));
+        q.add(rec("b", 5)); // duplicate key: first failure wins
+        assert_eq!(q.len(), 2);
+        assert!(q.contains("a") && q.contains("b"));
+        assert_eq!(q.get("b").unwrap().trial_index, 0);
+        let keys: Vec<&str> = q.records().iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, vec!["b", "a"]);
+    }
+
+    #[test]
     fn fn_objective_delegates() {
         let mut calls = 0usize;
-        let mut obj = FnObjective(|c: &Config| {
-            calls += 1;
-            c.float_or("x", 0.0) * 2.0
-        });
-        let c = Config::new().with("x", ParamValue::Float(1.5));
-        assert_eq!(obj.evaluate(&c), 3.0);
-        assert_eq!(calls, 1);
+        {
+            let mut obj = FnObjective(|c: &Config| {
+                calls += 1;
+                c.float_or("x", 0.0) * 2.0
+            });
+            let c = Config::new().with("x", ParamValue::Float(1.5));
+            assert_eq!(obj.evaluate(&c), 3.0);
+            assert_eq!(obj.evaluate_outcome(&c), TrialOutcome::Ok(3.0));
+        }
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    fn default_outcome_classifies_non_finite() {
+        let mut obj = FnObjective(|_c: &Config| f64::NAN);
+        assert_eq!(
+            obj.evaluate_outcome(&Config::new()),
+            TrialOutcome::NonFinite
+        );
     }
 }

@@ -5,10 +5,11 @@
 
 use crate::budget::Budget;
 use crate::objective::{
-    eval_batch_parallel, BatchObjective, Objective, OptOutcome, Optimizer, Trial,
+    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
+    Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{seed_stream, Executor};
+use automodel_parallel::{seed_stream, Executor, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -16,18 +17,29 @@ use rand::SeedableRng;
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
+    policy: TrialPolicy,
 }
 
 impl RandomSearch {
     pub fn new(seed: u64) -> RandomSearch {
-        RandomSearch { seed }
+        RandomSearch {
+            seed,
+            policy: TrialPolicy::default(),
+        }
+    }
+
+    /// Replace the trial fault-handling policy (retries, penalty, injected
+    /// faults).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> RandomSearch {
+        self.policy = policy;
+        self
     }
 
     /// Parallel entry point: propose batches of configurations and score
     /// them concurrently on `executor`.
     ///
     /// Proposal `i` (globally, across batches) is sampled from its own RNG
-    /// seeded with `seed_stream(self.seed, i)`, so the proposal stream
+    /// seeded with `seed_stream(self.seed, i, 0)`, so the proposal stream
     /// depends on neither the batch size nor the thread count. Under an
     /// evaluation-count budget the trial history is therefore byte-identical
     /// at any thread count; wall-clock/target budgets may stop at a
@@ -43,24 +55,32 @@ impl RandomSearch {
     ) -> Option<OptOutcome> {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
         let batch = (executor.threads() * 8).max(8);
         let mut proposed = 0u64;
         while !tracker.exhausted() {
             let configs: Vec<Config> = (0..batch)
                 .map(|k| {
                     let mut rng =
-                        StdRng::seed_from_u64(seed_stream(self.seed, proposed + k as u64));
+                        StdRng::seed_from_u64(seed_stream(self.seed, proposed + k as u64, 0));
                     space.sample(&mut rng)
                 })
                 .collect();
             proposed += batch as u64;
-            let scored =
-                eval_batch_parallel(configs, objective, executor, &mut tracker, &mut trials);
+            let scored = eval_batch_parallel(
+                configs,
+                objective,
+                executor,
+                &mut tracker,
+                &mut trials,
+                &self.policy,
+                &mut quarantine,
+            );
             if scored.is_empty() {
                 break;
             }
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 }
 
@@ -74,17 +94,19 @@ impl Optimizer for RandomSearch {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tracker = budget.start();
         let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
         while !tracker.exhausted() {
             let config = space.sample(&mut rng);
-            let score = objective.evaluate(&config);
-            tracker.record(score);
-            trials.push(Trial {
-                config,
-                score,
-                index: trials.len(),
-            });
+            eval_batch_serial(
+                vec![config],
+                objective,
+                &mut tracker,
+                &mut trials,
+                &self.policy,
+                &mut quarantine,
+            );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 
     fn name(&self) -> &'static str {

@@ -14,8 +14,9 @@
 //! Used as the search engine of the Auto-Weka baseline in `automodel-core`.
 
 use crate::budget::Budget;
-use crate::objective::{Objective, OptOutcome, Optimizer, Trial};
+use crate::objective::{run_contained, Objective, OptOutcome, Optimizer, Quarantine, Trial};
 use crate::space::{Config, SearchSpace};
+use automodel_parallel::TrialPolicy;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -173,6 +174,7 @@ pub struct SmacLite {
     pub candidates: usize,
     /// Local perturbations of the incumbent added to the pool.
     pub local_candidates: usize,
+    policy: TrialPolicy,
 }
 
 impl SmacLite {
@@ -183,7 +185,15 @@ impl SmacLite {
             n_trees: 24,
             candidates: 256,
             local_candidates: 64,
+            policy: TrialPolicy::default(),
         }
+    }
+
+    /// Replace the trial fault-handling policy (retries, penalty, injected
+    /// faults).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> SmacLite {
+        self.policy = policy;
+        self
     }
 }
 
@@ -222,23 +232,42 @@ impl Optimizer for SmacLite {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
+        let mut quarantine = Quarantine::new();
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
 
+        // Contained evaluation: failures score the finite penalty (keeping
+        // the forest's training targets finite) and repeat offenders are
+        // quarantined so the surrogate never revisits them.
+        let policy = self.policy.clone();
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
+                        quarantine: &mut Quarantine,
                         xs: &mut Vec<Vec<f64>>,
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let score = objective.evaluate(&config);
-            tracker.record(score);
+            let index = trials.len();
+            let ev = run_contained(&config, index, &policy, quarantine, &mut |c| {
+                objective.evaluate_outcome(c)
+            });
+            tracker.record(ev.score);
             xs.push(space.encode(&config));
-            ys.push(score);
+            ys.push(ev.score);
+            if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
+                quarantine.add(crate::objective::QuarantineRecord {
+                    key: config.to_string(),
+                    config: config.clone(),
+                    failure: failure.clone(),
+                    trial_index: index,
+                    attempts: ev.attempts,
+                });
+            }
             trials.push(Trial {
                 config,
-                score,
-                index: trials.len(),
+                score: ev.score,
+                index,
+                failure: ev.failure,
             });
         };
 
@@ -247,7 +276,15 @@ impl Optimizer for SmacLite {
                 break;
             }
             let c = space.sample(&mut rng);
-            evaluate(c, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+            evaluate(
+                c,
+                &mut trials,
+                &mut quarantine,
+                &mut xs,
+                &mut ys,
+                &mut tracker,
+                objective,
+            );
         }
 
         let mut model_turn = true;
@@ -288,9 +325,17 @@ impl Optimizer for SmacLite {
                 space.sample(&mut rng)
             };
             model_turn = !model_turn;
-            evaluate(next, &mut trials, &mut xs, &mut ys, &mut tracker, objective);
+            evaluate(
+                next,
+                &mut trials,
+                &mut quarantine,
+                &mut xs,
+                &mut ys,
+                &mut tracker,
+                objective,
+            );
         }
-        OptOutcome::from_trials(trials)
+        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
     }
 
     fn name(&self) -> &'static str {

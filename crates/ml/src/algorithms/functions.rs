@@ -54,7 +54,13 @@ impl Classifier for Logistic {
             seed: self.seed,
             ..MlpConfig::default()
         });
-        clf.fit(&dense.xs, &dense.labels, dense.n_classes);
+        let report = clf.fit(&dense.xs, &dense.labels, dense.n_classes);
+        if report.diverged {
+            return Err(MlError::TrainingFailed(format!(
+                "logistic training diverged after {} epochs",
+                report.epochs
+            )));
+        }
         self.model = Some(clf);
         self.fit = Some(dense);
         Ok(())
@@ -150,7 +156,13 @@ impl Classifier for Mlp {
         }
         let dense = DenseFit::fit(data, rows);
         let mut clf = MlpClassifier::new(self.config.clone());
-        clf.fit(&dense.xs, &dense.labels, dense.n_classes);
+        let report = clf.fit(&dense.xs, &dense.labels, dense.n_classes);
+        if report.diverged {
+            return Err(MlError::TrainingFailed(format!(
+                "MLP training diverged after {} epochs",
+                report.epochs
+            )));
+        }
         self.model = Some(clf);
         self.fit = Some(dense);
         Ok(())

@@ -822,7 +822,13 @@ impl Classifier for StackingC {
             seed: self.seed,
             ..automodel_nn::MlpConfig::default()
         });
-        logistic.fit(&meta_xs, &meta_labels, self.n_classes);
+        let report = logistic.fit(&meta_xs, &meta_labels, self.n_classes);
+        if report.diverged {
+            return Err(MlError::TrainingFailed(format!(
+                "stacking level-1 training diverged after {} epochs",
+                report.epochs
+            )));
+        }
         self.level1 = Some(logistic);
         // Refit level-0 on everything for prediction time.
         self.level0 = specs

@@ -36,6 +36,9 @@ pub struct LbfgsReport {
     pub final_loss: f64,
     pub iterations: usize,
     pub converged: bool,
+    /// The objective produced a non-finite loss or gradient; `x` holds the
+    /// last finite iterate, not a NaN-poisoned one.
+    pub diverged: bool,
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -49,6 +52,14 @@ where
 {
     let n = x.len();
     let (mut loss, mut grad) = f(x);
+    if !loss.is_finite() || grad.iter().any(|g| !g.is_finite()) {
+        return LbfgsReport {
+            final_loss: loss,
+            iterations: 0,
+            converged: false,
+            diverged: true,
+        };
+    }
     let mut s_hist: Vec<Vec<f64>> = Vec::new();
     let mut y_hist: Vec<Vec<f64>> = Vec::new();
     let mut rho_hist: Vec<f64> = Vec::new();
@@ -61,6 +72,7 @@ where
                 final_loss: loss,
                 iterations: iter,
                 converged: true,
+                diverged: false,
             };
         }
 
@@ -150,8 +162,22 @@ where
                     final_loss: loss,
                     iterations: iter,
                     converged: false,
+                    diverged: false,
                 };
             }
+        }
+
+        // Divergence guard: the line search only vets the *loss* for
+        // finiteness, so an accepted step can still carry a NaN/Inf gradient.
+        // Roll back to the last finite iterate instead of poisoning history.
+        if !new_loss.is_finite() || new_grad.iter().any(|g| !g.is_finite()) {
+            x.copy_from_slice(&x_old);
+            return LbfgsReport {
+                final_loss: loss,
+                iterations: iter,
+                converged: false,
+                diverged: true,
+            };
         }
 
         // Update curvature history.
@@ -181,6 +207,7 @@ where
                     final_loss: loss,
                     iterations: iter + 1,
                     converged: true,
+                    diverged: false,
                 };
             }
         } else {
@@ -191,6 +218,7 @@ where
         final_loss: loss,
         iterations: opts.max_iter,
         converged: false,
+        diverged: false,
     }
 }
 
@@ -258,6 +286,42 @@ mod tests {
         );
         assert!(report.converged);
         assert_eq!(report.iterations, 0);
+    }
+
+    #[test]
+    fn non_finite_start_reports_divergence() {
+        let mut x = vec![1.0, 2.0];
+        let report = minimize(
+            &mut x,
+            |_| (f64::NAN, vec![0.0, 0.0]),
+            &LbfgsOptions::default(),
+        );
+        assert!(report.diverged);
+        assert!(!report.converged);
+        assert_eq!(report.iterations, 0);
+        assert_eq!(x, vec![1.0, 2.0], "iterate must be left untouched");
+    }
+
+    #[test]
+    fn mid_run_gradient_blowup_restores_last_finite_iterate() {
+        // Finite loss everywhere, but the gradient turns NaN once the iterate
+        // crosses into |x| < 0.5 — the line search cannot see that.
+        let mut x = vec![1.0];
+        let report = minimize(
+            &mut x,
+            |x| {
+                let g = if x[0].abs() < 0.5 {
+                    f64::NAN
+                } else {
+                    2.0 * x[0]
+                };
+                (x[0] * x[0], vec![g])
+            },
+            &LbfgsOptions::default(),
+        );
+        assert!(report.diverged);
+        assert!(x[0].is_finite(), "x = {}", x[0]);
+        assert!(report.final_loss.is_finite());
     }
 
     #[test]

@@ -123,6 +123,9 @@ pub struct TrainReport {
     pub final_loss: f64,
     pub epochs: usize,
     pub stopped_early: bool,
+    /// Training hit a non-finite loss and aborted; the network holds the
+    /// last finite parameters, never NaN-poisoned ones.
+    pub diverged: bool,
 }
 
 /// Train `net` in place on `(inputs, targets)` under `config`.
@@ -194,6 +197,7 @@ fn train_lbfgs(
         final_loss: report.final_loss,
         epochs: report.iterations,
         stopped_early: report.converged,
+        diverged: report.diverged,
     }
 }
 
@@ -251,8 +255,12 @@ fn train_first_order(
 
     let mut epochs_run = 0usize;
     let mut stopped_early = false;
+    let mut diverged = false;
     for epoch in 0..config.max_iter {
         epochs_run = epoch + 1;
+        // Snapshot for the divergence guard below: if this epoch blows up,
+        // the mid-epoch updates are already poisoned and must be undone.
+        let epoch_start = net.params.clone();
         train_idx.shuffle(&mut rng);
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
@@ -301,6 +309,15 @@ fn train_first_order(
         }
         let epoch_loss = epoch_loss / batches.max(1) as f64;
 
+        // Divergence guard: a non-finite mean batch loss means the updates
+        // have left the representable region — roll back to the epoch-start
+        // parameters and abort instead of returning NaN weights.
+        if !epoch_loss.is_finite() {
+            net.params = epoch_start;
+            diverged = true;
+            break;
+        }
+
         // Adaptive learning-rate schedule: divide by 5 after `patience`
         // consecutive epochs without `tol` training-loss improvement
         // (sklearn semantics with its default n_iter_no_change).
@@ -348,6 +365,7 @@ fn train_first_order(
         final_loss,
         epochs: epochs_run,
         stopped_early,
+        diverged,
     }
 }
 
@@ -566,6 +584,57 @@ mod tests {
             net.params
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn exploding_sgd_reports_divergence_with_finite_params() {
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 20.0 - 1.0]).collect();
+        let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![3.0 * x[0]]).collect();
+        let mut net = Network::new(1, 1, 4, 1, Activation::Identity, OutputKind::LinearMse, 7);
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &MlpConfig {
+                solver: Solver::Sgd,
+                learning_rate_init: 1e40,
+                momentum: 0.0,
+                validation_fraction: 0.0,
+                max_iter: 50,
+                patience: 50,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(report.diverged, "1e40 learning rate must diverge");
+        assert!(
+            net.params.iter().all(|p| p.is_finite()),
+            "diverged training must leave finite params"
+        );
+    }
+
+    #[test]
+    fn healthy_training_does_not_report_divergence() {
+        let (xs, ys) = xor_data(100, 3);
+        let mut net = Network::new(
+            2,
+            1,
+            6,
+            2,
+            Activation::Tanh,
+            OutputKind::SoftmaxCrossEntropy,
+            1,
+        );
+        let report = train(
+            &mut net,
+            &xs,
+            &ys,
+            &MlpConfig {
+                max_iter: 20,
+                ..MlpConfig::default()
+            },
+        );
+        assert!(!report.diverged);
+        assert!(report.final_loss.is_finite());
     }
 
     #[test]

@@ -155,7 +155,7 @@ mod tests {
     fn map_is_identical_across_thread_counts() {
         let run = |threads| {
             Executor::new(threads).map(64, |i| {
-                let s = seed_stream(99, i as u64);
+                let s = seed_stream(99, i as u64, 0);
                 (i, s, (s as f64).sqrt())
             })
         };

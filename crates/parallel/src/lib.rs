@@ -22,6 +22,11 @@
 //!   runs byte-identical at any thread count.
 //! * **Panic propagation.** A panicking worker aborts the batch and the
 //!   panic is re-raised on the caller thread with its original payload.
+//! * **Trial-level fault containment.** [`fault`] wraps individual trial
+//!   evaluations in `catch_unwind` (the only legal site in the workspace),
+//!   classifies every ending into a [`TrialOutcome`], retries failures on
+//!   decorrelated seed streams, and can deterministically *inject* faults
+//!   ([`FaultPlan`]) so the containment machinery is provably exercised.
 //!
 //! The determinism contract, precisely: with an evaluation-count budget (or
 //! no budget), `Executor::new(t).map*(…)` returns the same bytes for every
@@ -32,9 +37,14 @@
 mod budget;
 mod clock;
 mod executor;
+pub mod fault;
 mod seed;
 
 pub use budget::{BudgetSpec, SharedBudget};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use executor::Executor;
+pub use fault::{
+    contain, run_trial, FailureKind, FaultPlan, TrialFailure, TrialOutcome, TrialPolicy,
+    TrialReport,
+};
 pub use seed::seed_stream;

@@ -1,17 +1,26 @@
 //! Per-task RNG seed streams.
 
-/// Derive an independent RNG seed for task `index` from `base`.
+/// Derive an independent RNG seed for attempt `attempt` of task `index`
+/// from `base`.
 ///
-/// This is a SplitMix64-style finalizer over `base ⊕ index·φ64` (the 64-bit
-/// golden-ratio constant). Properties that matter here:
+/// This is a SplitMix64-style finalizer over
+/// `base ⊕ index·φ64 ⊕ attempt·c` (φ64 is the 64-bit golden-ratio
+/// constant, `c` a second odd mixing constant). Properties that matter
+/// here:
 ///
-/// * deterministic in `(base, index)` — a task's randomness never depends
-///   on batching, scheduling, or thread count;
+/// * deterministic in `(base, index, attempt)` — a task's randomness never
+///   depends on batching, scheduling, or thread count;
 /// * distinct indices decorrelate fully — consecutive indices differ in
 ///   roughly half their output bits, so streams behave as independent seeds
-///   even though `xoshiro`-family generators are seeded from a single word.
-pub fn seed_stream(base: u64, index: u64) -> u64 {
-    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+///   even though `xoshiro`-family generators are seeded from a single word;
+/// * `attempt = 0` reproduces the historical two-argument stream exactly,
+///   so first attempts (the only attempts, absent faults) replay byte-for-
+///   byte against pre-retry artifacts, while each retry of a failed trial
+///   draws from a fresh, equally decorrelated stream.
+pub fn seed_stream(base: u64, index: u64, attempt: u64) -> u64 {
+    let mut z = base
+        ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xD6E8_FEB8_6659_FD93);
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -24,8 +33,8 @@ mod tests {
 
     #[test]
     fn streams_are_deterministic_and_distinct() {
-        let seeds: Vec<u64> = (0..1000).map(|i| seed_stream(42, i)).collect();
-        let again: Vec<u64> = (0..1000).map(|i| seed_stream(42, i)).collect();
+        let seeds: Vec<u64> = (0..1000).map(|i| seed_stream(42, i, 0)).collect();
+        let again: Vec<u64> = (0..1000).map(|i| seed_stream(42, i, 0)).collect();
         assert_eq!(seeds, again);
         let mut unique = seeds.clone();
         unique.sort_unstable();
@@ -35,16 +44,33 @@ mod tests {
 
     #[test]
     fn different_bases_give_different_streams() {
-        assert_ne!(seed_stream(1, 0), seed_stream(2, 0));
-        assert_ne!(seed_stream(0, 5), seed_stream(1, 5));
+        assert_ne!(seed_stream(1, 0, 0), seed_stream(2, 0, 0));
+        assert_ne!(seed_stream(0, 5, 0), seed_stream(1, 5, 0));
     }
 
     #[test]
     fn consecutive_indices_decorrelate() {
         // Avalanche sanity: adjacent indices should flip many output bits.
         for i in 0..64u64 {
-            let diff = (seed_stream(7, i) ^ seed_stream(7, i + 1)).count_ones();
+            let diff = (seed_stream(7, i, 0) ^ seed_stream(7, i + 1, 0)).count_ones();
             assert!(diff >= 10, "index {i}: only {diff} bits differ");
         }
+    }
+
+    #[test]
+    fn attempts_give_distinct_decorrelated_streams() {
+        // Retries must not replay the failed attempt's randomness.
+        for a in 0..8u64 {
+            let diff = (seed_stream(7, 3, a) ^ seed_stream(7, 3, a + 1)).count_ones();
+            assert!(diff >= 10, "attempt {a}: only {diff} bits differ");
+        }
+        // And attempt streams must not collide with index streams.
+        let seeds: Vec<u64> = (0..100)
+            .flat_map(|i| (0..4).map(move |a| seed_stream(11, i, a)))
+            .collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len(), "index/attempt seed collision");
     }
 }

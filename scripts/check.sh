@@ -24,4 +24,13 @@ cargo test -q
 echo "==> cargo test (AUTOMODEL_THREADS=1 — serial determinism replay)"
 AUTOMODEL_THREADS=1 cargo test -q
 
+echo "==> fault-injection suite (AUTOMODEL_FAULTS unset)"
+cargo test -q --test fault_injection
+
+echo "==> fault-injection drill (AUTOMODEL_FAULTS set — retries must absorb every fault)"
+# Faults fire on attempt 0 only, so the default retry policy recovers each
+# one and every search path must reproduce its clean results byte for byte.
+AUTOMODEL_FAULTS="seed=3,panic=0.1,nan=0.1,delay=0.05" cargo test -q --test fault_injection
+AUTOMODEL_FAULTS="seed=3,panic=0.1,nan=0.1,delay=0.05" cargo test -q --test determinism
+
 echo "All checks passed."

@@ -1,0 +1,293 @@
+//! Fault containment, end to end: with a seeded [`FaultPlan`] injecting
+//! panics and NaN losses into ~10% of trial indices, every search must
+//! still return a valid incumbent, quarantine the configs whose retries
+//! were exhausted, and stay byte-identical across thread counts. This is
+//! the runtime counterpart of the `no-adhoc-catch-unwind` (L7) rule: the
+//! single containment site in `crates/parallel` is what makes these
+//! guarantees provable.
+
+use auto_model::hpo::{
+    BayesianOptimization, Budget, Config, Domain, Executor, FaultPlan, FnObjective, GaConfig,
+    GeneticAlgorithm, OptOutcome, Optimizer, SearchSpace, SmacLite, TrialPolicy,
+};
+
+/// Injected panics run the panic hook before `contain` catches them, and
+/// executor workers print outside libtest's capture. Silence exactly the
+/// injected ones; real panics still report.
+fn quiet_injected_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let payload = info.payload();
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_default();
+            if !message.contains("injected fault") {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn space() -> SearchSpace {
+    SearchSpace::builder()
+        .add("lr", Domain::float(1e-4, 1.0))
+        .add("depth", Domain::int(1, 16))
+        .add("kernel", Domain::cat(&["rbf", "poly", "linear"]))
+        .build()
+        .expect("space builds")
+}
+
+fn fitness(c: &Config) -> f64 {
+    c.float_or("lr", 0.0) + c.int_or("depth", 0) as f64 / 16.0
+}
+
+/// ~10% of trial indices panic and ~10% score NaN, with no retry to
+/// absorb them — the worst case the acceptance criterion names.
+fn hostile_policy() -> TrialPolicy {
+    TrialPolicy::default()
+        .with_max_attempts(1)
+        .with_faults(FaultPlan::with_rates(5, 0.1, 0.1, 0.0))
+}
+
+/// Canonical bytes for a run: every trial's index, serialized config,
+/// exact score bits, and failure (if any). Any nondeterminism — including
+/// in *which* trials fail and how — changes these bytes.
+fn trial_bytes(out: &OptOutcome) -> String {
+    out.trials
+        .iter()
+        .map(|t| {
+            format!(
+                "{}|{}#{:016x}{}\n",
+                t.index,
+                serde_json::to_string(&t.config).expect("config serializes"),
+                t.score.to_bits(),
+                t.failure
+                    .as_ref()
+                    .map(|f| format!("!{f}"))
+                    .unwrap_or_default(),
+            )
+        })
+        .collect()
+}
+
+/// The acceptance checks shared by all three optimizers: a valid finite
+/// incumbent backed by a usable trial, and a quarantine log naming the
+/// configs that exhausted their retries.
+fn assert_contained(out: &OptOutcome, label: &str) {
+    assert!(
+        out.best_score.is_finite(),
+        "{label}: incumbent score must be finite"
+    );
+    assert!(
+        out.best_score > TrialPolicy::default().penalty,
+        "{label}: incumbent must beat the failure penalty"
+    );
+    assert!(
+        out.trials.iter().any(|t| t.is_usable()),
+        "{label}: at least one usable trial must back the incumbent"
+    );
+    assert!(
+        !out.quarantine.is_empty(),
+        "{label}: ~10% fault rates with no retries must quarantine configs"
+    );
+    for record in &out.quarantine {
+        assert!(
+            !record.key.is_empty(),
+            "{label}: quarantine records name the config"
+        );
+        let failure = record.failure.to_string();
+        assert!(
+            failure.contains("injected fault") || failure.contains("non-finite"),
+            "{label}: unexpected quarantined failure: {failure}"
+        );
+    }
+}
+
+#[test]
+fn ga_bo_and_smac_survive_ten_percent_panics_and_nans() {
+    quiet_injected_panics();
+    let space = space();
+    let budget = Budget::evals(60);
+
+    let mut ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100, // bounded by the budget
+            ..GaConfig::default()
+        },
+    )
+    .with_policy(hostile_policy());
+    let out = ga
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("GA finds a usable incumbent under faults");
+    assert_contained(&out, "GA");
+
+    let mut bo = BayesianOptimization::new(11).with_policy(hostile_policy());
+    let out = bo
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("BO finds a usable incumbent under faults");
+    assert_contained(&out, "BO");
+
+    let mut smac = SmacLite::new(23).with_policy(hostile_policy());
+    let out = smac
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("SMAC finds a usable incumbent under faults");
+    assert_contained(&out, "SMAC");
+}
+
+#[test]
+fn failed_trials_are_recorded_at_the_penalty_and_never_win() {
+    quiet_injected_panics();
+    let space = space();
+    let policy = hostile_policy();
+    let penalty = policy.penalty;
+    let mut ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100,
+            ..GaConfig::default()
+        },
+    )
+    .with_policy(policy);
+    let out = ga
+        .optimize(&space, &mut FnObjective(fitness), &Budget::evals(60))
+        .expect("trials recorded");
+    let failed: Vec<_> = out.trials.iter().filter(|t| t.failure.is_some()).collect();
+    assert!(!failed.is_empty(), "the plan must actually inject faults");
+    for t in &failed {
+        assert_eq!(
+            t.score.to_bits(),
+            penalty.to_bits(),
+            "failed trial {} must be recorded at the policy penalty",
+            t.index
+        );
+    }
+    // The incumbent is a usable trial, never a penalized one.
+    let best = out
+        .trials
+        .iter()
+        .filter(|t| t.is_usable())
+        .map(|t| t.score)
+        .max_by(f64::total_cmp)
+        .expect("a usable trial exists");
+    assert_eq!(out.best_score.to_bits(), best.to_bits());
+}
+
+#[test]
+fn ga_under_faults_is_byte_identical_at_1_2_and_8_threads() {
+    quiet_injected_panics();
+    let space = space();
+    let budget = Budget::evals(120);
+    // Panics + NaNs + scheduling delays: delays perturb worker timing and
+    // must not perturb results.
+    let policy = TrialPolicy::default()
+        .with_max_attempts(1)
+        .with_faults(FaultPlan::with_rates(5, 0.1, 0.1, 0.05));
+    let ga_config = GaConfig {
+        population: 10,
+        generations: 100,
+        ..GaConfig::default()
+    };
+    let serial = {
+        let mut ga =
+            GeneticAlgorithm::with_config(97, ga_config.clone()).with_policy(policy.clone());
+        trial_bytes(
+            &ga.optimize(&space, &mut FnObjective(fitness), &budget)
+                .expect("trials recorded"),
+        )
+    };
+    let ga = GeneticAlgorithm::with_config(97, ga_config).with_policy(policy);
+    let run = |threads: usize| -> String {
+        let out = ga
+            .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        trial_bytes(&out)
+    };
+    let one = run(1);
+    assert_eq!(
+        serial, one,
+        "faulted batch path diverged from the serial trait path"
+    );
+    assert_eq!(one, run(2), "2-thread faulted GA diverged from 1-thread");
+    assert_eq!(one, run(8), "8-thread faulted GA diverged from 1-thread");
+}
+
+#[test]
+fn default_retry_makes_fault_injection_invisible_in_results() {
+    quiet_injected_panics();
+    let space = space();
+    let budget = Budget::evals(80);
+    let ga_config = GaConfig {
+        population: 10,
+        generations: 100,
+        ..GaConfig::default()
+    };
+    let run = |policy: TrialPolicy| -> String {
+        let mut ga = GeneticAlgorithm::with_config(97, ga_config.clone()).with_policy(policy);
+        trial_bytes(
+            &ga.optimize(&space, &mut FnObjective(fitness), &budget)
+                .expect("trials recorded"),
+        )
+    };
+    // Faults fire on attempt 0 only; the default policy's one retry must
+    // therefore recover every injected fault and reproduce the clean run
+    // byte for byte — which is why CI can run the whole suite with
+    // AUTOMODEL_FAULTS set and expect identical results.
+    let clean = run(TrialPolicy::default());
+    let drilled = run(TrialPolicy::default().with_faults(FaultPlan::with_rates(5, 0.1, 0.1, 0.05)));
+    assert_eq!(
+        clean, drilled,
+        "retried fault injection must be invisible in serialized results"
+    );
+}
+
+#[test]
+fn automodel_faults_env_format_parses() {
+    let plan = FaultPlan::parse("seed=3,panic=0.1,nan=0.1,delay=0.05");
+    assert_eq!(plan, FaultPlan::with_rates(3, 0.1, 0.1, 0.05));
+    // Malformed pieces are ignored — a drill must never abort the run.
+    let sloppy = FaultPlan::parse(" seed=3 , panic=0.1, nan=oops, bogus=1, delay ");
+    assert_eq!(sloppy.seed, 3);
+    assert_eq!(sloppy.panic_rate, 0.1);
+    assert_eq!(sloppy.nan_rate, 0.0);
+    assert!(FaultPlan::parse("").is_empty());
+}
+
+#[test]
+fn explicit_fault_indices_quarantine_exactly_those_configs() {
+    quiet_injected_panics();
+    let space = space();
+    let mut plan = FaultPlan::none();
+    plan.panic_at = [3u64, 7].into_iter().collect();
+    plan.nan_at = [5u64].into_iter().collect();
+    let policy = TrialPolicy::default()
+        .with_max_attempts(1)
+        .with_faults(plan);
+    let mut ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100,
+            ..GaConfig::default()
+        },
+    )
+    .with_policy(policy);
+    let out = ga
+        .optimize(&space, &mut FnObjective(fitness), &Budget::evals(40))
+        .expect("trials recorded");
+    let failed: Vec<usize> = out
+        .trials
+        .iter()
+        .filter(|t| t.failure.is_some())
+        .map(|t| t.index)
+        .collect();
+    assert_eq!(failed, vec![3, 5, 7], "exactly the planned indices fail");
+    let quarantined: Vec<usize> = out.quarantine.iter().map(|r| r.trial_index).collect();
+    assert_eq!(quarantined, vec![3, 5, 7]);
+}

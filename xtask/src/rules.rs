@@ -7,6 +7,7 @@
 //! | L3   | `ordered-iteration` | the five ordering-sensitive modules      |
 //! | L4   | `nan-ordering`      | every workspace source file              |
 //! | L6   | `no-adhoc-threads`  | everything outside `crates/parallel/`    |
+//! | L7   | `no-adhoc-catch-unwind` | everything outside `crates/parallel/` |
 //!
 //! (L5, `manifest-hygiene`, lives in [`crate::manifest`] — it checks
 //! `Cargo.toml` files, not Rust sources.)
@@ -40,6 +41,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     ordered_iteration(file, &mut out);
     nan_ordering(file, &mut out);
     no_adhoc_threads(file, &mut out);
+    no_adhoc_catch_unwind(file, &mut out);
     out
 }
 
@@ -287,6 +289,47 @@ fn no_adhoc_threads(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L7 — `no-adhoc-catch-unwind`: `catch_unwind` outside `crates/parallel/`
+/// scatters panic handling across the codebase and loses the failure
+/// taxonomy. All panic containment must go through
+/// `automodel_parallel::contain`, which converts a panic into
+/// `TrialOutcome::Panicked` with the payload preserved and feeds the retry /
+/// quarantine machinery. Inline `#[cfg(test)]` modules are exempt (a test may
+/// assert on a panic directly).
+fn no_adhoc_catch_unwind(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if p.starts_with("crates/parallel/") {
+        return;
+    }
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.in_test[idx] || file.is_allowed(idx, "no-adhoc-catch-unwind") {
+            continue;
+        }
+        for (col, len) in find_all(line, "catch_unwind") {
+            // Identifier boundary: `no_adhoc_catch_unwind` (this rule's own
+            // name) must not match, only the function itself.
+            let preceded_by_ident = col > 0 && {
+                let b = line.as_bytes()[col - 1];
+                b.is_ascii_alphanumeric() || b == b'_'
+            };
+            if preceded_by_ident {
+                continue;
+            }
+            out.push(diag(
+                file,
+                idx,
+                (col, len),
+                "no-adhoc-catch-unwind",
+                "L7",
+                "ad-hoc `catch_unwind` outside the containment layer".to_string(),
+                "route the evaluation through `automodel_parallel::contain` (or `run_trial`) \
+                 so the panic joins the TrialOutcome taxonomy, or append \
+                 `// lint:allow(no-adhoc-catch-unwind): <why containment cannot serve here>`",
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +354,39 @@ mod tests {
     fn bench_crate_may_unwrap() {
         let f = SourceFile::parse("crates/bench/src/x.rs", "x.unwrap();\n");
         assert!(check_file(&f).is_empty());
+    }
+
+    #[test]
+    fn catch_unwind_is_flagged_outside_parallel() {
+        let f = lib("let r = std::panic::catch_unwind(|| eval());\n");
+        let d = check_file(&f);
+        assert_eq!(
+            d.iter()
+                .filter(|d| d.rule == "no-adhoc-catch-unwind")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn catch_unwind_is_legal_inside_parallel() {
+        let f = SourceFile::parse(
+            "crates/parallel/src/fault.rs",
+            "let r = catch_unwind(AssertUnwindSafe(f));\n",
+        );
+        assert!(check_file(&f)
+            .iter()
+            .all(|d| d.rule != "no-adhoc-catch-unwind"));
+    }
+
+    #[test]
+    fn catch_unwind_allow_escape_works() {
+        let f = lib(
+            "// lint:allow(no-adhoc-catch-unwind): ffi boundary\nlet r = std::panic::catch_unwind(g);\n",
+        );
+        assert!(check_file(&f)
+            .iter()
+            .all(|d| d.rule != "no-adhoc-catch-unwind"));
     }
 
     #[test]

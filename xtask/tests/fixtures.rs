@@ -161,6 +161,35 @@ fn l6_passing_executor_crate_tests_and_allowed_sites() {
     assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-threads").is_empty());
 }
 
+// ---------------------------------------------------------------- L7 --
+
+#[test]
+fn l7_violation_catch_unwind_outside_the_containment_crate() {
+    let src = "\
+fn a() { let _ = std::panic::catch_unwind(|| eval()); }\n\
+fn b() { let _ = panic::catch_unwind(AssertUnwindSafe(|| eval())); }\n";
+    let hits = findings("crates/hpo/src/x.rs", src, "no-adhoc-catch-unwind");
+    assert_eq!(hits.len(), 2, "{hits:?}");
+    // The bench harness and bins are in scope too.
+    assert_eq!(
+        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-catch-unwind").len(),
+        2
+    );
+}
+
+#[test]
+fn l7_passing_containment_crate_tests_and_allowed_sites() {
+    let src = "fn a() { let _ = std::panic::catch_unwind(|| eval()); }\n";
+    // The containment layer owns the one sanctioned catch_unwind.
+    assert!(findings("crates/parallel/src/fault.rs", src, "no-adhoc-catch-unwind").is_empty());
+    // Inline test modules may catch panics directly.
+    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+    assert!(findings("crates/core/src/x.rs", &test_mod, "no-adhoc-catch-unwind").is_empty());
+    // And an allowed site passes.
+    let allowed = format!("// lint:allow(no-adhoc-catch-unwind): ffi boundary\n{src}");
+    assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-catch-unwind").is_empty());
+}
+
 // ---------------------------------------------------------------- L5 --
 
 const GOOD_ROOT: &str = "\
