@@ -1,0 +1,222 @@
+//! Evaluation-cache effect: GA architecture search with heavy duplication,
+//! cache off vs on.
+//!
+//! The paper's DMD stage (Algorithm 3) runs a GA over the small discrete
+//! MLP architecture grid of Table II — pop 50 × 100 generations against a
+//! space with far fewer distinct points, so most fitness evaluations are
+//! re-visits of genomes already scored. This experiment reproduces that
+//! duplication profile in miniature: a GA over a 24-point architecture grid
+//! whose fitness trains a real `MlpRegressor`, run twice with the identical
+//! seed and budget — once with the trial cache disabled, once enabled. The
+//! cache contract says the trial history must be byte-identical either way;
+//! this binary asserts that fingerprint while measuring the wall-clock
+//! speedup, and records the result into `BENCH_cache.json`.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_cache_effect
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_hpo::{
+    Budget, Config, Domain, Executor, GaConfig, GeneticAlgorithm, OptOutcome, ParamSpec,
+    SearchSpace, TrialCache,
+};
+use automodel_nn::{Activation, MlpConfig, MlpRegressor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+/// The discrete architecture grid: 2 depths × 3 widths × 4 activations
+/// = 24 distinct genomes, so a few hundred GA evaluations revisit most
+/// points many times — the duplication profile of the paper's Algorithm 3.
+fn arch_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        ParamSpec {
+            name: "hidden_layers".into(),
+            domain: Domain::int(1, 2),
+            condition: None,
+        },
+        ParamSpec {
+            name: "hidden_size".into(),
+            domain: Domain::cat(&["8", "16", "32"]),
+            condition: None,
+        },
+        ParamSpec {
+            name: "activation".into(),
+            domain: Domain::cat(&["relu", "tanh", "logistic", "identity"]),
+            condition: None,
+        },
+    ])
+    .expect("static space is valid")
+}
+
+/// Seeded synthetic regression set: mildly nonlinear, 4 features.
+fn regression_data(rows: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(rows);
+    let mut ys = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let noise: f64 = rng.gen_range(-0.05..0.05);
+        let y = (1.5 * x[0] - x[1] + 0.5 * x[2] * x[3]).tanh() + noise;
+        xs.push(x);
+        ys.push(vec![y]);
+    }
+    (xs, ys)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    eprintln!("[exp_cache_effect] scale = {scale:?}");
+
+    let (rows, evals, max_iter) = match scale {
+        Scale::Tiny => (96, 120, 30),
+        Scale::Small => (160, 240, 40),
+        Scale::Paper => (240, 720, 60),
+    };
+    let (xs, ys) = regression_data(rows, 4051);
+    let split = rows * 3 / 4;
+    let (train_x, test_x) = xs.split_at(split);
+    let (train_y, test_y) = ys.split_at(split);
+
+    let space = arch_space();
+    // Fitness = −test MSE of an MLP trained with the genome's architecture;
+    // fully deterministic per config (fixed init + data seed), so cached
+    // replays are indistinguishable from live evaluations.
+    let objective = |config: &Config| {
+        let mlp = MlpConfig {
+            hidden_layers: config.int_or("hidden_layers", 1) as usize,
+            hidden_size: 8usize << config.cat_or("hidden_size", 0),
+            activation: Activation::ALL[config.cat_or("activation", 0)],
+            max_iter,
+            seed: 7,
+            ..MlpConfig::default()
+        };
+        let mut reg = MlpRegressor::new(mlp);
+        let report = reg.fit(train_x, train_y);
+        if report.diverged {
+            return -1.0e9;
+        }
+        let mse = reg.mse(test_x, test_y);
+        if mse.is_finite() {
+            -mse
+        } else {
+            -1.0e9
+        }
+    };
+
+    let ga_config = GaConfig {
+        population: 16,
+        generations: 1000, // bounded by the eval budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(evals);
+    let executor = Executor::new(1);
+
+    let run = |label: &str, cache: Arc<TrialCache>| {
+        let ga = GeneticAlgorithm::with_config(42, ga_config.clone()).with_cache(cache);
+        let start = Instant::now();
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &executor)
+            .expect("eval budget > 0 always yields an outcome");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        eprintln!(
+            "  cache {label}: {ms:8.1} ms  best {:.4}  {} hit(s) / {} miss(es)",
+            out.best_score, out.cache.hits, out.cache.misses
+        );
+        (out, ms)
+    };
+
+    let (off, off_ms) = run("off", Arc::new(TrialCache::disabled()));
+    let (on, on_ms) = run("on ", Arc::new(TrialCache::default()));
+
+    let off_fp = fingerprint(&off);
+    let identical = fingerprint(&on) == off_fp;
+    assert!(
+        identical,
+        "cache determinism violation: cached trial history diverged from uncached"
+    );
+    // The cache must also not disturb the multi-thread contract.
+    let executor2 = Executor::new(2);
+    let ga2 = GeneticAlgorithm::with_config(42, ga_config.clone())
+        .with_cache(Arc::new(TrialCache::default()));
+    let out2 = ga2
+        .optimize_batch(&space, &objective, &budget, &executor2)
+        .expect("eval budget > 0 always yields an outcome");
+    assert_eq!(
+        fingerprint(&out2),
+        off_fp,
+        "cache determinism violation: 2-thread cached history diverged"
+    );
+
+    let speedup = off_ms / on_ms.max(1e-9);
+    let lookups = on.cache.hits + on.cache.misses;
+    let hit_rate = if lookups > 0 {
+        on.cache.hits as f64 / lookups as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  speedup {speedup:.2}x  hit rate {:.1}%  ({} distinct of {} trials)",
+        100.0 * hit_rate,
+        on.cache.entries,
+        on.trials.len()
+    );
+
+    let mut table = Table::new(
+        "GA architecture search — evaluation cache effect",
+        &["cache", "wall ms", "hits", "misses", "best", "trials"],
+    );
+    table.row(vec![
+        "off".into(),
+        format!("{off_ms:.1}"),
+        off.cache.hits.to_string(),
+        off.cache.misses.to_string(),
+        format!("{:.4}", off.best_score),
+        off.trials.len().to_string(),
+    ]);
+    table.row(vec![
+        "on".into(),
+        format!("{on_ms:.1}"),
+        on.cache.hits.to_string(),
+        on.cache.misses.to_string(),
+        format!("{:.4}", on.best_score),
+        on.trials.len().to_string(),
+    ]);
+    table.print();
+
+    let report = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "evals": evals,
+        "distinct_points": 24,
+        "uncached_ms": off_ms,
+        "cached_ms": on_ms,
+        "speedup": speedup,
+        "hits": on.cache.hits,
+        "misses": on.cache.misses,
+        "hit_rate": hit_rate,
+        "entries": on.cache.entries,
+        "bytes": on.cache.bytes,
+        "identical_history": identical,
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    if let Err(e) = std::fs::write("BENCH_cache.json", &pretty) {
+        eprintln!("  warning: could not write BENCH_cache.json: {e}");
+    } else {
+        eprintln!("  wrote BENCH_cache.json");
+    }
+    if json {
+        println!("{pretty}");
+    }
+}

@@ -68,55 +68,75 @@ fn main() {
         let registry = &pipeline.ctx.registry;
         let dmd_ref = &dmd;
         let suite_ref = &suite;
-        // (am_avg, aw_avg, am_alg, aw_alg, quarantined)
-        let cells: Vec<(f64, f64, String, String, usize)> = executor.map(suite.len(), |idx| {
-            let (symbol, data) = &suite_ref[idx];
-            let mut am_avg = 0.0;
-            let mut aw_avg = 0.0;
-            let mut am_alg = String::new();
-            let mut aw_alg = String::new();
-            let mut quarantined = 0usize;
-            for rep in 0..reps {
-                // Auto-Model: UDR with the given tuning budget.
-                let udr = UdrConfig {
-                    tuning_budget: budget.clone(),
-                    probe_rows: 120,
-                    eval_time_threshold: Duration::from_millis(400),
-                    cv_folds: folds,
-                    seed: 1000 + rep as u64,
-                };
-                if let Ok(am) = udr.solve(dmd_ref, data) {
-                    am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
-                    am_alg = am.algorithm;
-                    quarantined += am.quarantined;
+        // (am_avg, aw_avg, am_alg, aw_alg, quarantined, cache_hits, cache_misses)
+        let cells: Vec<(f64, f64, String, String, usize, u64, u64)> =
+            executor.map(suite.len(), |idx| {
+                let (symbol, data) = &suite_ref[idx];
+                let mut am_avg = 0.0;
+                let mut aw_avg = 0.0;
+                let mut am_alg = String::new();
+                let mut aw_alg = String::new();
+                let mut quarantined = 0usize;
+                let mut cache_hits = 0u64;
+                let mut cache_misses = 0u64;
+                for rep in 0..reps {
+                    // Auto-Model: UDR with the given tuning budget.
+                    let udr = UdrConfig {
+                        tuning_budget: budget.clone(),
+                        eval_time_threshold: Duration::from_millis(400),
+                        cv_folds: folds,
+                        seed: 1000 + rep as u64,
+                        ..UdrConfig::fast()
+                    };
+                    if let Ok(am) = udr.solve(dmd_ref, data) {
+                        am_avg += f_t_d(registry, &am, data, folds).unwrap_or(0.0);
+                        am_alg = am.algorithm;
+                        quarantined += am.quarantined;
+                        cache_hits += am.cache_hits;
+                        cache_misses += am.cache_misses;
+                    }
+                    // Auto-Weka: SMAC over the hierarchical CASH space.
+                    let aw = AutoWekaConfig {
+                        budget: budget.clone(),
+                        cv_folds: folds,
+                        seed: 2000 + rep as u64,
+                    }
+                    .solve(registry, data);
+                    if let Ok(aw) = aw {
+                        aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
+                        aw_alg = aw.algorithm;
+                        quarantined += aw.quarantined;
+                        cache_hits += aw.cache_hits;
+                        cache_misses += aw.cache_misses;
+                    }
                 }
-                // Auto-Weka: SMAC over the hierarchical CASH space.
-                let aw = AutoWekaConfig {
-                    budget: budget.clone(),
-                    cv_folds: folds,
-                    seed: 2000 + rep as u64,
-                }
-                .solve(registry, data);
-                if let Ok(aw) = aw {
-                    aw_avg += f_t_d(registry, &aw, data, folds).unwrap_or(0.0);
-                    aw_alg = aw.algorithm;
-                    quarantined += aw.quarantined;
-                }
-            }
-            am_avg /= reps as f64;
-            aw_avg /= reps as f64;
-            eprintln!(
-                "  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3} \
-                 ({quarantined} config(s) quarantined)"
-            );
-            (am_avg, aw_avg, am_alg, aw_alg, quarantined)
-        });
+                am_avg /= reps as f64;
+                aw_avg /= reps as f64;
+                eprintln!(
+                    "  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3} \
+                     ({quarantined} config(s) quarantined, \
+                     cache {cache_hits} hit(s) / {cache_misses} miss(es))"
+                );
+                (
+                    am_avg,
+                    aw_avg,
+                    am_alg,
+                    aw_alg,
+                    quarantined,
+                    cache_hits,
+                    cache_misses,
+                )
+            });
 
         let mut am_scores = Vec::new();
         let mut aw_scores = Vec::new();
         let mut am_wins = 0usize;
         let mut total_quarantined = 0usize;
-        for (idx, (am_avg, aw_avg, am_alg, aw_alg, quarantined)) in cells.into_iter().enumerate() {
+        let mut total_hits = 0u64;
+        let mut total_misses = 0u64;
+        for (idx, (am_avg, aw_avg, am_alg, aw_alg, quarantined, hits, misses)) in
+            cells.into_iter().enumerate()
+        {
             let symbol = &suite[idx].0;
             table.row(vec![
                 budget_label(budget),
@@ -135,6 +155,8 @@ fn main() {
             am_scores.push(am_avg);
             aw_scores.push(aw_avg);
             total_quarantined += quarantined;
+            total_hits += hits;
+            total_misses += misses;
             if am_avg >= aw_avg {
                 am_wins += 1;
             }
@@ -144,6 +166,16 @@ fn main() {
                 "  [{budget_name}] {total_quarantined} config(s) quarantined across the suite \
                  (searches degraded gracefully; see OptOutcome::quarantine)"
             );
+        }
+        let lookups = total_hits + total_misses;
+        if lookups > 0 {
+            eprintln!(
+                "  [{budget_name}] evaluation cache: {total_hits} hit(s) / {total_misses} \
+                 miss(es) across the suite ({:.1}% hit rate)",
+                100.0 * total_hits as f64 / lookups as f64
+            );
+        } else {
+            eprintln!("  [{budget_name}] evaluation cache disabled (AUTOMODEL_CACHE=0)");
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         summary.push((

@@ -18,6 +18,12 @@
 //!   problems (DESIGN.md ablation).
 //! * `exp_knowledge_ablation` — Algorithm 1 vs naive extraction baselines
 //!   across corpus noise levels (DESIGN.md ablation).
+//! * `exp_parallel_scaling` — GA population evaluation on the shared
+//!   executor at 1/2/4/N threads: byte-identical trial histories plus
+//!   wall-clock speedup.
+//! * `exp_cache_effect` — GA architecture search with cache off vs on:
+//!   byte-identical trial histories plus the dedup speedup, recorded into
+//!   `BENCH_cache.json`.
 
 pub mod pipeline;
 pub mod report;

@@ -138,6 +138,8 @@ impl AutoWekaConfig {
             technique: "smac-lite".into(),
             trials: outcome.trials.len(),
             quarantined: outcome.quarantine.len(),
+            cache_hits: outcome.cache.hits,
+            cache_misses: outcome.cache.misses,
         })
     }
 }

@@ -11,14 +11,14 @@ use crate::dmd::Dmd;
 use crate::error::CoreError;
 use automodel_data::Dataset;
 use automodel_hpo::{
-    BayesianOptimization, Budget, Config, GaConfig, GeneticAlgorithm, Objective, Optimizer,
-    TrialFailure, TrialOutcome, TrialPolicy,
+    BayesianOptimization, Budget, Clock, Config, GaConfig, GeneticAlgorithm, MonotonicClock,
+    Objective, Optimizer, TrialFailure, TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The CASH answer: algorithm + hyperparameter setting (+ provenance).
 #[derive(Debug, Clone)]
@@ -33,6 +33,10 @@ pub struct Solution {
     pub trials: usize,
     /// Configurations quarantined after exhausting their trial retries.
     pub quarantined: usize,
+    /// Trials served from the evaluation cache (see `AUTOMODEL_CACHE`).
+    pub cache_hits: u64,
+    /// Cache lookups that fell through to a live evaluation.
+    pub cache_misses: u64,
 }
 
 /// The tuning objective `f(λ, SA, I)` with trial-failure reporting: an
@@ -67,7 +71,7 @@ impl Objective for CvObjective<'_> {
 }
 
 /// UDR knobs.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct UdrConfig {
     /// Budget for the hyperparameter search (Algorithm 5, line 4; the user
     /// "can stop HPOAlg at any time").
@@ -80,6 +84,23 @@ pub struct UdrConfig {
     /// Folds of the tuning objective `f(λ, SA, I)`.
     pub cv_folds: usize,
     pub seed: u64,
+    /// Time source for the evaluation-cost probe. Production uses the real
+    /// [`MonotonicClock`]; tests inject a
+    /// [`ManualClock`](automodel_parallel::ManualClock) so the GA-vs-BO
+    /// routing decision is deterministic instead of wall-clock-dependent.
+    pub probe_clock: Arc<dyn Clock>,
+}
+
+impl std::fmt::Debug for UdrConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdrConfig")
+            .field("tuning_budget", &self.tuning_budget)
+            .field("probe_rows", &self.probe_rows)
+            .field("eval_time_threshold", &self.eval_time_threshold)
+            .field("cv_folds", &self.cv_folds)
+            .field("seed", &self.seed)
+            .finish_non_exhaustive() // probe_clock: Arc<dyn Clock> is opaque
+    }
 }
 
 impl UdrConfig {
@@ -92,6 +113,7 @@ impl UdrConfig {
             eval_time_threshold: Duration::from_secs(600),
             cv_folds: 10,
             seed: 0,
+            probe_clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -104,6 +126,7 @@ impl UdrConfig {
             eval_time_threshold: Duration::from_millis(250),
             cv_folds: 3,
             seed: 0,
+            probe_clock: Arc::new(MonotonicClock::new()),
         }
     }
 
@@ -126,19 +149,20 @@ impl UdrConfig {
         let space = spec.param_space();
         let seed = self.seed;
 
-        // Probe: time one default-config evaluation on a small sample.
+        // Probe: time one default-config evaluation on a small sample. The
+        // clock is injectable so tests can pin the GA-vs-BO decision.
         let probe_time = {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9A0B);
             let rows = data.sample_rows(self.probe_rows, &mut rng);
             let sample = data.subset(&rows)?;
-            let start = Instant::now();
+            let start = self.probe_clock.now();
             let _ = cross_val_accuracy(
                 || spec.build(&spec.default_config(), seed),
                 &sample,
                 self.cv_folds.min(3),
                 seed,
             );
-            start.elapsed()
+            self.probe_clock.now().saturating_sub(start)
         };
         let use_ga = probe_time < self.eval_time_threshold;
 
@@ -179,6 +203,8 @@ impl UdrConfig {
                     technique: "default".into(),
                     trials: 1,
                     quarantined: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
                 });
             }
             // Non-empty space: either no trial ran (zero budget) or every
@@ -199,6 +225,8 @@ impl UdrConfig {
             },
             trials: outcome.trials.len(),
             quarantined: outcome.quarantine.len(),
+            cache_hits: outcome.cache.hits,
+            cache_misses: outcome.cache.misses,
         })
     }
 }
@@ -286,7 +314,11 @@ mod tests {
         let dmd = dmd();
         let data = SynthSpec::new("bo", 100, 3, 0, 2, SynthFamily::Hyperplane, 5).generate();
         let mut udr = UdrConfig::fast();
-        udr.eval_time_threshold = Duration::from_nanos(1); // everything is "expensive"
+        // A never-advancing clock reads the probe as 0 elapsed; with a zero
+        // threshold `0 < 0` fails, so BO is forced deterministically (no
+        // dependence on how fast the probe really ran).
+        udr.probe_clock = Arc::new(automodel_hpo::ManualClock::new());
+        udr.eval_time_threshold = Duration::ZERO;
         udr.tuning_budget = Budget::evals(15);
         let solution = udr.tune(&dmd.registry, "IBk", &data).unwrap();
         assert_eq!(solution.technique, "bayesian-optimization");

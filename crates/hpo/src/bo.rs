@@ -15,11 +15,12 @@
 
 use crate::budget::Budget;
 use crate::linalg::{cholesky, sq_dist, Cholesky, SquareMatrix};
-use crate::objective::{run_contained, Objective, OptOutcome, Optimizer, Quarantine, Trial};
+use crate::objective::{eval_batch_serial, Objective, OptOutcome, Optimizer, Quarantine, Trial};
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::TrialPolicy;
+use automodel_parallel::{TrialCache, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// GP-based Bayesian optimizer.
 #[derive(Debug, Clone)]
@@ -36,6 +37,7 @@ pub struct BayesianOptimization {
     /// Cap on observations used to fit the GP (best + most recent survive).
     pub max_gp_points: usize,
     policy: TrialPolicy,
+    cache: Arc<TrialCache>,
 }
 
 impl BayesianOptimization {
@@ -48,6 +50,7 @@ impl BayesianOptimization {
             noise: 1e-6,
             max_gp_points: 200,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -55,6 +58,12 @@ impl BayesianOptimization {
     /// faults).
     pub fn with_policy(mut self, policy: TrialPolicy) -> BayesianOptimization {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default: [`TrialCache::from_env`]).
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> BayesianOptimization {
+        self.cache = cache;
         self
     }
 }
@@ -183,10 +192,13 @@ impl Optimizer for BayesianOptimization {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
 
-        // Contained evaluation: failures score the finite penalty (keeping
-        // the GP's training targets finite) and repeat offenders are
-        // quarantined so the surrogate never revisits them.
+        // Contained evaluation through the shared batch path (quarantine,
+        // cache and trial recording all included): failures score the
+        // finite penalty (keeping the GP's training targets finite) and
+        // repeat offenders are quarantined so the surrogate never revisits
+        // them.
         let policy = self.policy.clone();
+        let cache = Arc::clone(&self.cache);
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -194,28 +206,19 @@ impl Optimizer for BayesianOptimization {
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let index = trials.len();
-            let ev = run_contained(&config, index, &policy, quarantine, &mut |c| {
-                objective.evaluate_outcome(c)
-            });
-            tracker.record(ev.score);
-            xs.push(space.encode(&config));
-            ys.push(ev.score);
-            if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
-                quarantine.add(crate::objective::QuarantineRecord {
-                    key: config.to_string(),
-                    config: config.clone(),
-                    failure: failure.clone(),
-                    trial_index: index,
-                    attempts: ev.attempts,
-                });
+            let scored = eval_batch_serial(
+                vec![config],
+                objective,
+                tracker,
+                trials,
+                &policy,
+                quarantine,
+                &cache,
+            );
+            for (config, score) in scored {
+                xs.push(space.encode(&config));
+                ys.push(score);
             }
-            trials.push(Trial {
-                config,
-                score: ev.score,
-                index,
-                failure: ev.failure,
-            });
         };
 
         // Initial design.
@@ -307,7 +310,10 @@ impl Optimizer for BayesianOptimization {
                 objective,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -419,7 +425,11 @@ mod tests {
             n += 1;
             0.0
         });
-        BayesianOptimization::new(2).optimize(&branin_space(), &mut obj, &Budget::evals(15));
+        // Counting live objective calls needs dedup off: the model may
+        // re-propose the exact incumbent, which the cache would serve.
+        BayesianOptimization::new(2)
+            .with_cache(Arc::new(TrialCache::disabled()))
+            .optimize(&branin_space(), &mut obj, &Budget::evals(15));
         assert_eq!(n, 15);
     }
 

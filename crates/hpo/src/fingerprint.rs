@@ -1,0 +1,240 @@
+//! Canonical [`Config`] fingerprints — the key encoding of the trial
+//! cache.
+//!
+//! A fingerprint must satisfy one law in both directions: **two configs
+//! map to the same key if and only if every evaluation path treats them as
+//! the same configuration.** Config equality is `BTreeMap` equality over
+//! typed values, with one float subtlety: `-0.0 == 0.0` under `PartialEq`,
+//! while `NaN != NaN`. The encoding therefore:
+//!
+//! * walks parameters in the `BTreeMap`'s stable name order;
+//! * length-prefixes every name, so no separator character a name might
+//!   contain can make two different configs concatenate identically;
+//! * tags every value with its type (an `Int(1)` never collides with a
+//!   `Cat(1)` or `Bool(true)`);
+//! * encodes floats by their canonical bit pattern
+//!   ([`canonical_f64_bits`]): every NaN payload collapses to one quiet
+//!   NaN and `-0.0` collapses to `+0.0`, so equal-comparing configs get
+//!   equal keys and the encoding never panics on any float;
+//! * prefixes the parameter count, so a config can never alias a prefix
+//!   of a larger one.
+//!
+//! [`SearchSpace::cache_key`] additionally normalizes away *inactive*
+//! conditional parameters (a `momentum` left over from a `solver=sgd`
+//! genome must not distinguish two configs that both run with
+//! `solver=adam`). Configs that reach evaluation are always
+//! repaired/validated and hold exactly their active parameters, so the
+//! optimizers use the cheaper [`Config::cache_key`]; the space-aware form
+//! is for callers fingerprinting raw, unrepaired configs.
+
+use crate::space::{Config, ParamValue, SearchSpace};
+use std::fmt::Write as _;
+
+/// The single bit pattern all NaNs collapse to (the standard quiet NaN).
+pub const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Canonical bit pattern of a float for keying: all NaNs become one quiet
+/// NaN, `-0.0` becomes `+0.0`, everything else keeps its exact bits. This
+/// makes bit-equality of keys coincide with `PartialEq` of values (modulo
+/// NaN, where any-NaN ⇒ one key — the useful choice for a cache: a config
+/// carrying NaN is the *same broken config* however the NaN is encoded).
+pub fn canonical_f64_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        CANONICAL_NAN_BITS
+    } else if v == 0.0 {
+        0 // collapses -0.0 onto +0.0, matching Config equality
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Append one typed value. Type tags keep the four variants disjoint; the
+/// fixed-width hex float encoding needs no terminator to stay injective.
+fn push_value(buf: &mut String, value: &ParamValue) {
+    match value {
+        ParamValue::Int(i) => {
+            let _ = write!(buf, "i{i}");
+        }
+        ParamValue::Float(x) => {
+            let _ = write!(buf, "f{:016x}", canonical_f64_bits(*x));
+        }
+        ParamValue::Cat(c) => {
+            let _ = write!(buf, "c{c}");
+        }
+        ParamValue::Bool(b) => {
+            let _ = write!(buf, "b{}", u8::from(*b));
+        }
+    }
+}
+
+/// Canonical key over exactly the entries of `config`, in stable name
+/// order. Injective: distinct configs (up to float canonicalization)
+/// produce distinct keys.
+fn encode(config: &Config) -> String {
+    // ≈ name + 17-char float + punctuation per param.
+    let mut buf = String::with_capacity(16 + config.len() * 32);
+    let _ = write!(buf, "v1;{};", config.len());
+    for (name, value) in config.iter() {
+        let _ = write!(buf, "{}:{}=", name.len(), name);
+        push_value(&mut buf, value);
+        buf.push(';');
+    }
+    buf
+}
+
+impl Config {
+    /// Canonical cache fingerprint of this configuration (see the module
+    /// docs for the encoding laws). Use [`SearchSpace::cache_key`] when
+    /// the config may carry values for *inactive* conditional parameters.
+    pub fn cache_key(&self) -> String {
+        encode(self)
+    }
+}
+
+impl SearchSpace {
+    /// Space-aware canonical fingerprint: like [`Config::cache_key`], but
+    /// only *active* parameters contribute. Activity is resolved in one
+    /// forward pass over the space (parents are declared before children),
+    /// so a stale value behind an inactive condition — or a parameter
+    /// unknown to the space — never distinguishes two behaviourally equal
+    /// configs.
+    pub fn cache_key(&self, config: &Config) -> String {
+        let mut active = Config::new();
+        for spec in self.params() {
+            if self.is_active(spec, &active) {
+                if let Some(value) = config.get(&spec.name) {
+                    active.set(spec.name.clone(), value.clone());
+                }
+            }
+        }
+        encode(&active)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{Condition, Domain};
+
+    fn config(pairs: &[(&str, ParamValue)]) -> Config {
+        let mut c = Config::new();
+        for (k, v) in pairs {
+            c.set(*k, v.clone());
+        }
+        c
+    }
+
+    #[test]
+    fn equal_configs_have_equal_keys() {
+        let a = config(&[
+            ("lr", ParamValue::Float(0.125)),
+            ("depth", ParamValue::Int(4)),
+            ("kernel", ParamValue::Cat(2)),
+            ("bagging", ParamValue::Bool(true)),
+        ]);
+        assert_eq!(a.cache_key(), a.clone().cache_key());
+        // Insertion order is irrelevant: the BTreeMap canonicalizes it.
+        let b = config(&[
+            ("bagging", ParamValue::Bool(true)),
+            ("kernel", ParamValue::Cat(2)),
+            ("depth", ParamValue::Int(4)),
+            ("lr", ParamValue::Float(0.125)),
+        ]);
+        assert_eq!(a, b);
+        assert_eq!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn type_tags_keep_numerically_equal_values_apart() {
+        let int1 = config(&[("x", ParamValue::Int(1))]);
+        let cat1 = config(&[("x", ParamValue::Cat(1))]);
+        let bool1 = config(&[("x", ParamValue::Bool(true))]);
+        let float1 = config(&[("x", ParamValue::Float(1.0))]);
+        let keys = [
+            int1.cache_key(),
+            cat1.cache_key(),
+            bool1.cache_key(),
+            float1.cache_key(),
+        ];
+        for i in 0..keys.len() {
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "{} vs {}", keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn length_prefixed_names_block_concatenation_aliases() {
+        // Without length prefixes, {"ab"=1} and {"a"=..,"b"=..} style pairs
+        // can concatenate to the same byte string.
+        let a = config(&[("a", ParamValue::Int(1)), ("b", ParamValue::Int(2))]);
+        let ab = config(&[("ab", ParamValue::Int(12))]);
+        assert_ne!(a.cache_key(), ab.cache_key());
+        // Nor may a config alias a prefix of a larger one.
+        let a_only = config(&[("a", ParamValue::Int(1))]);
+        assert!(!a.cache_key().starts_with(&a_only.cache_key()));
+    }
+
+    #[test]
+    fn nan_payloads_collapse_and_negative_zero_normalizes() {
+        let quiet = config(&[("x", ParamValue::Float(f64::NAN))]);
+        let payload = config(&[(
+            "x",
+            ParamValue::Float(f64::from_bits(0x7ff8_0000_0000_0001)),
+        )]);
+        let negated = config(&[("x", ParamValue::Float(-f64::NAN))]);
+        assert_eq!(quiet.cache_key(), payload.cache_key());
+        assert_eq!(quiet.cache_key(), negated.cache_key());
+
+        let pos = config(&[("x", ParamValue::Float(0.0))]);
+        let neg = config(&[("x", ParamValue::Float(-0.0))]);
+        assert_eq!(pos, neg, "Config PartialEq treats -0.0 == 0.0");
+        assert_eq!(pos.cache_key(), neg.cache_key());
+        // But a NaN config is not the zero config.
+        assert_ne!(quiet.cache_key(), pos.cache_key());
+    }
+
+    #[test]
+    fn space_key_ignores_inactive_and_unknown_params() {
+        let space = SearchSpace::builder()
+            .add("solver", Domain::cat(&["adam", "sgd"]))
+            .add_if(
+                "momentum",
+                Domain::float(0.0, 1.0),
+                Condition::cat_eq("solver", 1),
+            )
+            .build()
+            .unwrap();
+        // solver=adam ⇒ momentum is inactive; a stale value must not split
+        // the key, nor may a parameter the space does not know.
+        let clean = config(&[("solver", ParamValue::Cat(0))]);
+        let stale = config(&[
+            ("solver", ParamValue::Cat(0)),
+            ("momentum", ParamValue::Float(0.9)),
+            ("debris", ParamValue::Int(7)),
+        ]);
+        assert_eq!(space.cache_key(&clean), space.cache_key(&stale));
+        // With solver=sgd the momentum is active and must distinguish.
+        let sgd_a = config(&[
+            ("solver", ParamValue::Cat(1)),
+            ("momentum", ParamValue::Float(0.9)),
+        ]);
+        let sgd_b = config(&[
+            ("solver", ParamValue::Cat(1)),
+            ("momentum", ParamValue::Float(0.5)),
+        ]);
+        assert_ne!(space.cache_key(&sgd_a), space.cache_key(&sgd_b));
+        // On a fully-active config the two forms agree.
+        assert_eq!(space.cache_key(&sgd_a), sgd_a.cache_key());
+    }
+
+    #[test]
+    fn close_floats_do_not_collide_like_the_display_form_does() {
+        // Config's Display truncates floats to 4 decimals (fine for
+        // quarantine reporting); the cache key must keep full precision.
+        let a = config(&[("lr", ParamValue::Float(0.100_04))]);
+        let b = config(&[("lr", ParamValue::Float(0.100_044))]);
+        assert_eq!(a.to_string(), b.to_string(), "Display collides by design");
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+}

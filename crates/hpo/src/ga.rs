@@ -15,9 +15,10 @@ use crate::objective::{
 };
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
-use automodel_parallel::{Executor, TrialPolicy};
+use automodel_parallel::{Executor, TrialCache, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// How one generation's candidates get scored: through the classic serial
 /// [`Objective`], or fanned out over an [`Executor`]. Candidate *breeding*
@@ -37,13 +38,14 @@ impl Evaluation<'_> {
         trials: &mut Vec<Trial>,
         policy: &TrialPolicy,
         quarantine: &mut Quarantine,
+        cache: &TrialCache,
     ) -> Vec<(Config, f64)> {
         match self {
-            Evaluation::Serial(objective) => {
-                eval_batch_serial(configs, *objective, tracker, trials, policy, quarantine)
-            }
+            Evaluation::Serial(objective) => eval_batch_serial(
+                configs, *objective, tracker, trials, policy, quarantine, cache,
+            ),
             Evaluation::Parallel(objective, executor) => eval_batch_parallel(
-                configs, *objective, executor, tracker, trials, policy, quarantine,
+                configs, *objective, executor, tracker, trials, policy, quarantine, cache,
             ),
         }
     }
@@ -88,6 +90,7 @@ pub struct GeneticAlgorithm {
     pub config: GaConfig,
     seed: u64,
     policy: TrialPolicy,
+    cache: Arc<TrialCache>,
 }
 
 impl GeneticAlgorithm {
@@ -96,6 +99,7 @@ impl GeneticAlgorithm {
             config: GaConfig::default(),
             seed,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -104,6 +108,7 @@ impl GeneticAlgorithm {
             config,
             seed,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -111,6 +116,13 @@ impl GeneticAlgorithm {
     /// faults).
     pub fn with_policy(mut self, policy: TrialPolicy) -> GeneticAlgorithm {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default: [`TrialCache::from_env`]). Sharing
+    /// one `Arc` across runs lets later searches reuse earlier results.
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GeneticAlgorithm {
+        self.cache = cache;
         self
     }
 
@@ -199,10 +211,13 @@ impl GeneticAlgorithm {
             &mut trials,
             &self.policy,
             &mut quarantine,
+            &self.cache,
         );
         if population.is_empty() {
-            return OptOutcome::from_trials(trials)
-                .map(|o| o.with_quarantine(quarantine.into_records()));
+            return OptOutcome::from_trials(trials).map(|o| {
+                o.with_quarantine(quarantine.into_records())
+                    .with_cache_stats(self.cache.stats())
+            });
         }
 
         for _generation in 0..self.config.generations {
@@ -238,6 +253,7 @@ impl GeneticAlgorithm {
                 &mut trials,
                 &self.policy,
                 &mut quarantine,
+                &self.cache,
             ));
             if next.is_empty() {
                 break;
@@ -262,7 +278,10 @@ impl GeneticAlgorithm {
                 "a genome violates its search-space bounds"
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 }
 
@@ -402,7 +421,10 @@ mod tests {
             n.fetch_add(1, Ordering::Relaxed);
             0.0
         };
+        // Counting live objective calls needs dedup off: GA breeding
+        // produces exact duplicate genomes the cache would serve.
         let out = GeneticAlgorithm::new(1)
+            .with_cache(Arc::new(TrialCache::disabled()))
             .optimize_batch(&space, &obj, &Budget::evals(77), &Executor::new(4))
             .unwrap();
         assert_eq!(n.load(Ordering::Relaxed), 77);
@@ -417,8 +439,51 @@ mod tests {
             n += 1;
             0.0
         });
-        GeneticAlgorithm::new(1).optimize(&space, &mut obj, &Budget::evals(77));
+        GeneticAlgorithm::new(1)
+            .with_cache(Arc::new(TrialCache::disabled()))
+            .optimize(&space, &mut obj, &Budget::evals(77));
         assert_eq!(n, 77);
+    }
+
+    #[test]
+    fn cached_duplicates_skip_the_objective_without_changing_trials() {
+        // Same seed, cache off vs on: identical trial bytes, fewer live
+        // objective calls (GA re-breeds duplicate genomes), and the
+        // telemetry actually reports the hits.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let space = float_space(1);
+        let budget = Budget::evals(150);
+        let run = |cache: Arc<TrialCache>| {
+            let n = AtomicUsize::new(0);
+            let obj = |c: &Config| {
+                n.fetch_add(1, Ordering::Relaxed);
+                -sphere(&values(c, 1))
+            };
+            let out = GeneticAlgorithm::small(4)
+                .with_cache(cache)
+                .optimize_batch(&space, &obj, &budget, &Executor::new(2))
+                .unwrap();
+            let trials = out.trials.len();
+            (
+                fingerprint(&out),
+                n.load(Ordering::Relaxed),
+                out.cache,
+                trials,
+            )
+        };
+        let (off_bytes, off_calls, off_stats, off_trials) = run(Arc::new(TrialCache::disabled()));
+        let (on_bytes, on_calls, on_stats, _) = run(Arc::new(TrialCache::default()));
+        assert_eq!(off_bytes, on_bytes, "cache must not change trial bytes");
+        assert_eq!(off_calls, off_trials, "uncached: one live call per trial");
+        assert!(
+            on_calls < off_calls,
+            "no duplicate was served from cache ({on_calls} live calls)"
+        );
+        assert!(!off_stats.enabled);
+        assert!(on_stats.enabled);
+        assert_eq!(on_stats.hits as usize, off_calls - on_calls);
+        assert_eq!(on_stats.misses as usize, on_calls);
+        assert_eq!(on_stats.insertions as usize, on_stats.entries);
     }
 
     #[test]

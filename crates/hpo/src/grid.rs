@@ -13,10 +13,11 @@ use crate::objective::{
     Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{Executor, TrialPolicy};
+use automodel_parallel::{Executor, TrialCache, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Exhaustive grid search.
 #[derive(Debug, Clone)]
@@ -26,6 +27,7 @@ pub struct GridSearch {
     /// Hard cap on enumerated points (explosion guard).
     pub max_points: usize,
     policy: TrialPolicy,
+    cache: Arc<TrialCache>,
 }
 
 impl GridSearch {
@@ -34,6 +36,7 @@ impl GridSearch {
             levels,
             max_points: 100_000,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -41,6 +44,14 @@ impl GridSearch {
     /// faults).
     pub fn with_policy(mut self, policy: TrialPolicy) -> GridSearch {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default: [`TrialCache::from_env`]). The
+    /// enumeration already dedups within one run, so the cache only pays
+    /// off when an `Arc` is shared across runs.
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GridSearch {
+        self.cache = cache;
         self
     }
 
@@ -93,9 +104,13 @@ impl GridSearch {
                 &mut trials,
                 &self.policy,
                 &mut quarantine,
+                &self.cache,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 }
 
@@ -161,9 +176,13 @@ impl Optimizer for GridSearch {
                 &mut trials,
                 &self.policy,
                 &mut quarantine,
+                &self.cache,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 
     fn name(&self) -> &'static str {

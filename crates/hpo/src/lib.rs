@@ -15,6 +15,9 @@
 //!   parameters, log scales, and conditional activation (`momentum` is only
 //!   active when `solver = sgd`, `J48.*` only when `algorithm = J48`).
 //! * [`budget`] — evaluation-count / wall-clock / target-score budgets.
+//! * [`fingerprint`] — canonical [`Config`] fingerprints (stable ordering,
+//!   NaN-safe float bits, space-aware inactive-param normalization) keying
+//!   the deterministic trial cache in `automodel_parallel::cache`.
 //! * Optimizers — [`GridSearch`], [`RandomSearch`], [`GeneticAlgorithm`]
 //!   (tournament selection, uniform crossover, mutation, elitism),
 //!   [`BayesianOptimization`] (GP surrogate, RBF kernel, expected
@@ -28,6 +31,7 @@
 
 pub mod bo;
 pub mod budget;
+pub mod fingerprint;
 pub mod ga;
 pub mod grid;
 pub mod linalg;
@@ -39,6 +43,7 @@ pub mod testfns;
 
 pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
+pub use fingerprint::canonical_f64_bits;
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;
 pub use objective::{
@@ -53,8 +58,8 @@ pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
 // fault-containment vocabulary every optimizer speaks — re-exported so
 // callers need not depend on `automodel-parallel` directly.
 pub use automodel_parallel::{
-    seed_stream, Clock, Executor, FailureKind, FaultPlan, ManualClock, MonotonicClock,
-    TrialFailure, TrialOutcome, TrialPolicy,
+    seed_stream, CacheStats, CachedTrial, Clock, Executor, FailureKind, FaultPlan, ManualClock,
+    MonotonicClock, TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
 };
 
 /// Optimizers re-exported as a module for qualified use.

@@ -20,10 +20,28 @@
 //! order), never mid-batch, so the serial and parallel paths observe the
 //! identical quarantine state for every proposal and the trial history stays
 //! byte-identical at any thread count — even while faults fire.
+//!
+//! ## Evaluation cache
+//!
+//! Between the quarantine check and the live run sits the deterministic
+//! trial cache ([`automodel_parallel::TrialCache`], keyed by
+//! [`Config::cache_key`]): a configuration evaluated before — successfully
+//! *or not* — is replayed from its stored [`TrialOutcome`] instead of
+//! re-running the objective. The cache follows the exact discipline the
+//! quarantine does: workers read a batch-start snapshot, and insertions
+//! are committed at the batch boundary in trial-index order, so cache-on
+//! results are byte-identical to cache-off results at any thread count
+//! (objectives on the batch paths are deterministic per config by
+//! contract, so a replayed score *is* the recomputed score). Cached trials
+//! still consume budget and are still recorded in the history — only the
+//! objective call is skipped.
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{run_trial, Executor, TrialFailure, TrialOutcome, TrialPolicy};
+use automodel_parallel::{
+    run_trial, CacheStats, CachedTrial, Executor, TrialCache, TrialFailure, TrialOutcome,
+    TrialPolicy,
+};
 use std::collections::BTreeMap;
 
 /// A black-box objective to maximize.
@@ -138,24 +156,54 @@ impl Quarantine {
 }
 
 /// Result of one contained trial: the recorded score (the objective's, or
-/// the policy penalty), the failure if any, and the attempts spent
-/// (`0` ⇒ the config was already quarantined and was skipped).
+/// the policy penalty), the failure if any, the attempts spent
+/// (`0` ⇒ the config was already quarantined and was skipped), and — for a
+/// live evaluation with the cache enabled — the pending cache insertion to
+/// commit at the batch boundary.
 #[derive(Debug, Clone)]
 pub(crate) struct TrialEval {
     pub(crate) score: f64,
     pub(crate) failure: Option<TrialFailure>,
     pub(crate) attempts: usize,
+    /// `(canonical key, memoized trial)` awaiting its index-ordered commit
+    /// in [`record_batch`]; `None` on a cache hit or quarantine skip.
+    pub(crate) pending: Option<(String, CachedTrial)>,
 }
 
-/// Execute one trial under `policy` against a *snapshot* of the quarantine:
-/// quarantined configs are skipped straight to the penalty score; everything
-/// else runs through the contained, retried [`run_trial`]. Pure in
-/// `(config, index, policy, quarantine, eval)` — thread-count invariant.
+/// Replay a memoized trial: exactly what [`run_trial`] would return for
+/// this config (objectives on these paths are deterministic per config),
+/// so the recorded trial — and any quarantine decision derived from
+/// `attempts > 0` — is byte-identical to a live evaluation.
+fn replay_cached(hit: CachedTrial, policy: &TrialPolicy) -> TrialEval {
+    match hit.outcome.score() {
+        Some(score) => TrialEval {
+            score,
+            failure: None,
+            attempts: hit.attempts,
+            pending: None,
+        },
+        None => TrialEval {
+            score: policy.penalty,
+            failure: hit.outcome.failure(),
+            attempts: hit.attempts,
+            pending: None,
+        },
+    }
+}
+
+/// Execute one trial under `policy` against *snapshots* of the quarantine
+/// and the cache: quarantined configs are skipped straight to the penalty
+/// score, cached configs are replayed without touching the objective, and
+/// everything else runs through the contained, retried [`run_trial`] (its
+/// outcome becomes this eval's pending cache insertion). Pure in
+/// `(config, index, policy, quarantine, cache contents, eval)` —
+/// thread-count invariant.
 pub(crate) fn run_contained(
     config: &Config,
     index: usize,
     policy: &TrialPolicy,
     quarantine: &Quarantine,
+    cache: &TrialCache,
     eval: &mut dyn FnMut(&Config) -> TrialOutcome,
 ) -> TrialEval {
     let key = config.to_string();
@@ -167,7 +215,14 @@ pub(crate) fn run_contained(
                 message: format!("quarantined: {}", rec.failure.message),
             }),
             attempts: 0,
+            pending: None,
         };
+    }
+    let cache_key = cache.is_enabled().then(|| config.cache_key());
+    if let Some(key) = &cache_key {
+        if let Some(hit) = cache.get(key) {
+            return replay_cached(hit, policy);
+        }
     }
     let report = run_trial(
         policy,
@@ -175,29 +230,41 @@ pub(crate) fn run_contained(
         index as u64,
         |_seed, _attempt| eval(config),
     );
+    let pending = cache_key.map(|key| {
+        (
+            key,
+            CachedTrial {
+                outcome: report.outcome.clone(),
+                attempts: report.attempts,
+            },
+        )
+    });
     match report.outcome.score() {
         Some(score) => TrialEval {
             score,
             failure: None,
             attempts: report.attempts,
+            pending,
         },
         None => TrialEval {
             score: policy.penalty,
             failure: report.outcome.failure(),
             attempts: report.attempts,
+            pending,
         },
     }
 }
 
 /// Fold a batch of evaluations into the trial history and — in trial-index
 /// order, at the batch boundary — quarantine every config that exhausted
-/// its retries. Returns the `(config, score)` pairs for the evaluated
-/// prefix.
+/// its retries and commit every pending cache insertion. Returns the
+/// `(config, score)` pairs for the evaluated prefix.
 fn record_batch(
     configs: Vec<Config>,
     evals: Vec<TrialEval>,
     trials: &mut Vec<Trial>,
     quarantine: &mut Quarantine,
+    cache: &TrialCache,
 ) -> Vec<(Config, f64)> {
     let mut out = Vec::with_capacity(evals.len());
     for (config, ev) in configs.into_iter().zip(evals) {
@@ -210,6 +277,12 @@ fn record_batch(
                 trial_index: index,
                 attempts: ev.attempts,
             });
+        }
+        // Index-ordered insertion: the cache's FIFO (and therefore its
+        // eviction order) is a pure function of the trial history, never
+        // of worker completion order.
+        if let Some((key, value)) = ev.pending {
+            cache.insert(key, value);
         }
         trials.push(Trial {
             config: config.clone(),
@@ -234,6 +307,7 @@ pub(crate) fn eval_batch_serial(
     trials: &mut Vec<Trial>,
     policy: &TrialPolicy,
     quarantine: &mut Quarantine,
+    cache: &TrialCache,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
     let mut evals = Vec::with_capacity(configs.len());
@@ -241,13 +315,13 @@ pub(crate) fn eval_batch_serial(
         if tracker.exhausted() {
             break;
         }
-        let ev = run_contained(config, base + i, policy, quarantine, &mut |c| {
+        let ev = run_contained(config, base + i, policy, quarantine, cache, &mut |c| {
             objective.evaluate_outcome(c)
         });
         tracker.record(ev.score);
         evals.push(ev);
     }
-    record_batch(configs, evals, trials, quarantine)
+    record_batch(configs, evals, trials, quarantine, cache)
 }
 
 /// Evaluate `configs` on `executor` under `policy`, recording each into
@@ -257,6 +331,7 @@ pub(crate) fn eval_batch_serial(
 /// Results (and the trial history) come back in proposal order regardless
 /// of thread count; under a pure evaluation-count budget the evaluated
 /// prefix is byte-identical to [`eval_batch_serial`].
+#[allow(clippy::too_many_arguments)] // mirrors eval_batch_serial; bundling would obscure the shared signature
 pub(crate) fn eval_batch_parallel(
     configs: Vec<Config>,
     objective: &dyn BatchObjective,
@@ -265,13 +340,17 @@ pub(crate) fn eval_batch_parallel(
     trials: &mut Vec<Trial>,
     policy: &TrialPolicy,
     quarantine: &mut Quarantine,
+    cache: &TrialCache,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
     let shared = tracker.share();
     let evals = {
         let snapshot: &Quarantine = quarantine;
         executor.map_budgeted(configs.len(), &shared, |i| {
-            let ev = run_contained(&configs[i], base + i, policy, snapshot, &mut |c| {
+            // Workers read the cache as it stood at the batch start
+            // (inserts land in `record_batch` below), so which trials hit
+            // is independent of worker scheduling.
+            let ev = run_contained(&configs[i], base + i, policy, snapshot, cache, &mut |c| {
                 objective.evaluate_outcome(c)
             });
             shared.record(ev.score);
@@ -279,7 +358,7 @@ pub(crate) fn eval_batch_parallel(
         })
     };
     tracker.absorb(&shared);
-    record_batch(configs, evals, trials, quarantine)
+    record_batch(configs, evals, trials, quarantine, cache)
 }
 
 /// One recorded evaluation.
@@ -310,6 +389,9 @@ pub struct OptOutcome {
     /// Configs quarantined during the search (every retry failed), in
     /// quarantine order.
     pub quarantine: Vec<QuarantineRecord>,
+    /// Trial-cache telemetry for this run (all zeros when the cache was
+    /// disabled or the optimizer never attached stats).
+    pub cache: CacheStats,
 }
 
 impl OptOutcome {
@@ -330,12 +412,19 @@ impl OptOutcome {
             best_score: trials[best].score,
             trials,
             quarantine: Vec::new(),
+            cache: CacheStats::default(),
         })
     }
 
     /// Attach the quarantine log accumulated during the search.
     pub fn with_quarantine(mut self, quarantine: Vec<QuarantineRecord>) -> OptOutcome {
         self.quarantine = quarantine;
+        self
+    }
+
+    /// Attach the trial-cache counters observed at the end of the search.
+    pub fn with_cache_stats(mut self, stats: CacheStats) -> OptOutcome {
+        self.cache = stats;
         self
     }
 

@@ -9,15 +9,17 @@ use crate::objective::{
     Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{seed_stream, Executor, TrialPolicy};
+use automodel_parallel::{seed_stream, Executor, TrialCache, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// Uniform random search.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
     seed: u64,
     policy: TrialPolicy,
+    cache: Arc<TrialCache>,
 }
 
 impl RandomSearch {
@@ -25,6 +27,7 @@ impl RandomSearch {
         RandomSearch {
             seed,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -32,6 +35,12 @@ impl RandomSearch {
     /// faults).
     pub fn with_policy(mut self, policy: TrialPolicy) -> RandomSearch {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default: [`TrialCache::from_env`]).
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> RandomSearch {
+        self.cache = cache;
         self
     }
 
@@ -75,12 +84,16 @@ impl RandomSearch {
                 &mut trials,
                 &self.policy,
                 &mut quarantine,
+                &self.cache,
             );
             if scored.is_empty() {
                 break;
             }
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 }
 
@@ -104,9 +117,13 @@ impl Optimizer for RandomSearch {
                 &mut trials,
                 &self.policy,
                 &mut quarantine,
+                &self.cache,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 
     fn name(&self) -> &'static str {

@@ -14,11 +14,12 @@
 //! Used as the search engine of the Auto-Weka baseline in `automodel-core`.
 
 use crate::budget::Budget;
-use crate::objective::{run_contained, Objective, OptOutcome, Optimizer, Quarantine, Trial};
+use crate::objective::{eval_batch_serial, Objective, OptOutcome, Optimizer, Quarantine, Trial};
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::TrialPolicy;
+use automodel_parallel::{TrialCache, TrialPolicy};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Regression tree node over dense encoded vectors.
 enum Node {
@@ -175,6 +176,7 @@ pub struct SmacLite {
     /// Local perturbations of the incumbent added to the pool.
     pub local_candidates: usize,
     policy: TrialPolicy,
+    cache: Arc<TrialCache>,
 }
 
 impl SmacLite {
@@ -186,6 +188,7 @@ impl SmacLite {
             candidates: 256,
             local_candidates: 64,
             policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env()),
         }
     }
 
@@ -193,6 +196,12 @@ impl SmacLite {
     /// faults).
     pub fn with_policy(mut self, policy: TrialPolicy) -> SmacLite {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default: [`TrialCache::from_env`]).
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> SmacLite {
+        self.cache = cache;
         self
     }
 }
@@ -236,10 +245,13 @@ impl Optimizer for SmacLite {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
 
-        // Contained evaluation: failures score the finite penalty (keeping
-        // the forest's training targets finite) and repeat offenders are
-        // quarantined so the surrogate never revisits them.
+        // Contained evaluation through the shared batch path (quarantine,
+        // cache and trial recording all included): failures score the
+        // finite penalty (keeping the forest's training targets finite) and
+        // repeat offenders are quarantined so the surrogate never revisits
+        // them.
         let policy = self.policy.clone();
+        let cache = Arc::clone(&self.cache);
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -247,28 +259,19 @@ impl Optimizer for SmacLite {
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let index = trials.len();
-            let ev = run_contained(&config, index, &policy, quarantine, &mut |c| {
-                objective.evaluate_outcome(c)
-            });
-            tracker.record(ev.score);
-            xs.push(space.encode(&config));
-            ys.push(ev.score);
-            if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
-                quarantine.add(crate::objective::QuarantineRecord {
-                    key: config.to_string(),
-                    config: config.clone(),
-                    failure: failure.clone(),
-                    trial_index: index,
-                    attempts: ev.attempts,
-                });
+            let scored = eval_batch_serial(
+                vec![config],
+                objective,
+                tracker,
+                trials,
+                &policy,
+                quarantine,
+                &cache,
+            );
+            for (config, score) in scored {
+                xs.push(space.encode(&config));
+                ys.push(score);
             }
-            trials.push(Trial {
-                config,
-                score: ev.score,
-                index,
-                failure: ev.failure,
-            });
         };
 
         for _ in 0..self.init_design.max(2) {
@@ -335,7 +338,10 @@ impl Optimizer for SmacLite {
                 objective,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| o.with_quarantine(quarantine.into_records()))
+        OptOutcome::from_trials(trials).map(|o| {
+            o.with_quarantine(quarantine.into_records())
+                .with_cache_stats(self.cache.stats())
+        })
     }
 
     fn name(&self) -> &'static str {
@@ -437,7 +443,10 @@ mod tests {
                 n += 1;
                 c.float_or("x", 0.0)
             });
+            // Counting live objective calls needs dedup off: the model may
+            // re-propose the exact incumbent, which the cache would serve.
             let out = SmacLite::new(seed)
+                .with_cache(Arc::new(TrialCache::disabled()))
                 .optimize(&space, &mut obj, &Budget::evals(40))
                 .unwrap();
             assert_eq!(n, 40);

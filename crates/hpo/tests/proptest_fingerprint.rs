@@ -1,0 +1,210 @@
+//! Seeded property tests: canonical cache-fingerprint laws.
+//!
+//! Whatever the config shape, (1) equal configs produce equal keys,
+//! (2) perturbing any single parameter produces a different key,
+//! (3) key equality coincides with config equality (injectivity over
+//! random samples), and (4) the NaN / −0.0 / inactive-parameter edge
+//! cases neither collide nor panic.
+//!
+//! Cases are generated from explicit seeds (no proptest: the build is
+//! offline, and deterministic replay is a workspace invariant — every
+//! failure reproduces from the printed case number).
+
+use automodel_hpo::{
+    canonical_f64_bits, Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a per-case rng: distinct streams per (test, case) pair.
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
+
+/// An arbitrary typed value, including hostile floats.
+fn random_value(rng: &mut StdRng) -> ParamValue {
+    match rng.gen_range(0..5usize) {
+        0 => ParamValue::Int(rng.gen_range(-1_000i64..1_000)),
+        1 => ParamValue::Float(rng.gen_range(-100.0f64..100.0)),
+        2 => ParamValue::Cat(rng.gen_range(0usize..8)),
+        3 => ParamValue::Bool(rng.gen()),
+        // Hostile floats the key must survive: NaN payloads, ±0, infinities.
+        _ => ParamValue::Float(match rng.gen_range(0..5usize) {
+            0 => f64::NAN,
+            1 => -f64::NAN,
+            2 => -0.0,
+            3 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        }),
+    }
+}
+
+/// A config of 0..8 params with random names (some sharing prefixes, to
+/// probe the length-prefix law).
+fn random_config(rng: &mut StdRng) -> Config {
+    let mut c = Config::new();
+    let n = rng.gen_range(0usize..8);
+    for i in 0..n {
+        let name = match rng.gen_range(0..3usize) {
+            0 => format!("p{i}"),
+            1 => format!("p{i}x"), // prefix-aliasing sibling
+            _ => format!("param_{i}"),
+        };
+        let v = random_value(rng);
+        c.set(name, v);
+    }
+    c
+}
+
+/// Two values are key-equal iff `Config` equality treats them as equal
+/// (floats via canonical bits, so all NaNs are one value and −0.0 = +0.0).
+fn values_equal(a: &ParamValue, b: &ParamValue) -> bool {
+    match (a, b) {
+        (ParamValue::Float(x), ParamValue::Float(y)) => {
+            canonical_f64_bits(*x) == canonical_f64_bits(*y)
+        }
+        _ => a == b,
+    }
+}
+
+fn configs_equal(a: &Config, b: &Config) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .all(|(k, v)| b.get(k).is_some_and(|w| values_equal(v, w)))
+}
+
+#[test]
+fn equal_configs_always_produce_equal_keys() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(11, case);
+        let c = random_config(&mut rng);
+        // A clone keys identically.
+        assert_eq!(c.cache_key(), c.clone().cache_key(), "case {case}");
+        // Rebuilding in reverse insertion order keys identically too.
+        let mut rebuilt = Config::new();
+        let pairs: Vec<_> = c.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        for (k, v) in pairs.into_iter().rev() {
+            rebuilt.set(k, v);
+        }
+        assert_eq!(c.cache_key(), rebuilt.cache_key(), "case {case}");
+    }
+}
+
+#[test]
+fn any_single_param_perturbation_changes_the_key() {
+    for case in 0..256u64 {
+        let mut rng = case_rng(12, case);
+        let c = random_config(&mut rng);
+        let base = c.cache_key();
+        let names: Vec<String> = c.iter().map(|(k, _)| k.clone()).collect();
+        for name in &names {
+            let mut perturbed = c.clone();
+            // Replace with a value guaranteed key-distinct from the old one.
+            let old = c.get(name).cloned().expect("name came from the config");
+            let new = loop {
+                let v = random_value(&mut rng);
+                if !values_equal(&v, &old) {
+                    break v;
+                }
+            };
+            perturbed.set(name.clone(), new);
+            assert_ne!(perturbed.cache_key(), base, "case {case}: {name}");
+        }
+        // Dropping a parameter changes the key as well (count prefix).
+        if let Some(name) = names.first() {
+            let mut smaller = Config::new();
+            for (k, v) in c.iter().filter(|(k, _)| k != &name) {
+                smaller.set(k.clone(), v.clone());
+            }
+            assert_ne!(smaller.cache_key(), base, "case {case}: dropped {name}");
+        }
+    }
+}
+
+#[test]
+fn key_equality_coincides_with_config_equality() {
+    // Injectivity over a random sample: distinct configs (up to float
+    // canonicalization) never collide, equal ones never split.
+    for case in 0..64u64 {
+        let mut rng = case_rng(13, case);
+        let configs: Vec<Config> = (0..12).map(|_| random_config(&mut rng)).collect();
+        for a in &configs {
+            for b in &configs {
+                assert_eq!(
+                    a.cache_key() == b.cache_key(),
+                    configs_equal(a, b),
+                    "case {case}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn hostile_floats_never_panic_and_collapse_canonically() {
+    for case in 0..128u64 {
+        let mut rng = case_rng(14, case);
+        let mut c = random_config(&mut rng);
+        // Every NaN spelling keys identically; −0.0 keys as +0.0.
+        let payload = f64::from_bits(0x7ff8_0000_0000_0000 | rng.gen_range(1u64..0xFFFF));
+        c.set("hostile", ParamValue::Float(f64::NAN));
+        let quiet = c.cache_key();
+        c.set("hostile", ParamValue::Float(-f64::NAN));
+        assert_eq!(c.cache_key(), quiet, "case {case}: -NaN split the key");
+        c.set("hostile", ParamValue::Float(payload));
+        assert_eq!(c.cache_key(), quiet, "case {case}: payload split the key");
+        c.set("hostile", ParamValue::Float(-0.0));
+        let neg_zero = c.cache_key();
+        c.set("hostile", ParamValue::Float(0.0));
+        assert_eq!(c.cache_key(), neg_zero, "case {case}: -0.0 split the key");
+        // And NaN is not zero, nor any finite perturbation of it.
+        assert_ne!(quiet, neg_zero, "case {case}");
+    }
+}
+
+#[test]
+fn inactive_params_never_split_space_keys() {
+    for case in 0..128u64 {
+        let mut rng = case_rng(15, case);
+        // A gated space: `child` is active only under `root = 0`.
+        let n_options = rng.gen_range(2usize..5);
+        let space = SearchSpace::new(vec![
+            ParamSpec {
+                name: "root".into(),
+                domain: Domain::Cat {
+                    options: (0..n_options).map(|i| format!("o{i}")).collect(),
+                },
+                condition: None,
+            },
+            ParamSpec {
+                name: "child".into(),
+                domain: Domain::float(0.0, 1.0),
+                condition: Some(Condition::cat_eq("root", 0)),
+            },
+        ])
+        .expect("static space is valid");
+        // Pick a root that deactivates the child.
+        let inactive_root = rng.gen_range(1usize..n_options);
+        let mut clean = Config::new();
+        clean.set("root", ParamValue::Cat(inactive_root));
+        let mut stale = clean.clone();
+        stale.set("child", ParamValue::Float(rng.gen_range(0.0..1.0)));
+        stale.set("debris", random_value(&mut rng));
+        assert_eq!(
+            space.cache_key(&clean),
+            space.cache_key(&stale),
+            "case {case}: inactive params split the key"
+        );
+        // With the gate open, the child value must distinguish.
+        let mut active_a = Config::new();
+        active_a.set("root", ParamValue::Cat(0));
+        active_a.set("child", ParamValue::Float(0.25));
+        let mut active_b = active_a.clone();
+        active_b.set("child", ParamValue::Float(0.75));
+        assert_ne!(
+            space.cache_key(&active_a),
+            space.cache_key(&active_b),
+            "case {case}"
+        );
+    }
+}

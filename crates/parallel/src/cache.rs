@@ -1,0 +1,419 @@
+//! Deterministic trial-result cache with hit/miss telemetry.
+//!
+//! The DMD stage burns almost all of its budget on repeated trial
+//! evaluations: the paper's GA (population 50 × 100 generations,
+//! Algorithm 3) re-visits duplicate genomes every generation, and UDR's
+//! HPO loops re-propose near-identical configurations. Auto-WEKA and
+//! Auto-sklearn both lean on evaluation caching to make SMAC-style search
+//! tractable; this module is the workspace's single memoization point (the
+//! `no-adhoc-memo` lint, L8, bans trial memoization everywhere else).
+//!
+//! Three properties distinguish [`TrialCache`] from an ordinary map:
+//!
+//! * **Failures are first-class.** The cache stores whole
+//!   [`TrialOutcome`]s (plus the attempts spent reaching them), so a
+//!   panicking or NaN-scoring configuration is served from cache exactly
+//!   like a successful one — a cached failure is never re-run past the
+//!   retry policy, and replaying it re-derives the same penalty score and
+//!   quarantine decision the live run produced.
+//! * **Determinism by construction.** During a parallel batch, workers
+//!   only *read* the cache (a batch-start snapshot, like the quarantine);
+//!   insertions are committed at the batch boundary in trial-index order.
+//!   First-completion-wins races therefore cannot exist, FIFO eviction
+//!   order is a pure function of the trial history, and cache-on results
+//!   are byte-identical to cache-off results at any thread count.
+//! * **Telemetry.** Hits, misses, insertions, evictions and approximate
+//!   resident bytes are counted ([`CacheStats`]) and surfaced by the
+//!   Table X harness and the `exp_cache_effect` bench.
+//!
+//! Keys are canonical `Config` fingerprints built by the HPO layer (this
+//! crate is below the `Config` type, so it stores opaque strings); see
+//! `automodel_hpo::fingerprint` for the encoding rules. The cache is
+//! toggled and bounded by the `AUTOMODEL_CACHE` environment variable:
+//! `0`/`off`/`false` disables it, `1`/`on`/`true` (or unset) enables it at
+//! the default capacity, and a number ≥ 2 sets the capacity directly.
+
+use crate::fault::TrialOutcome;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default capacity (entries) when `AUTOMODEL_CACHE` enables the cache
+/// without naming a bound.
+pub const DEFAULT_CACHE_CAPACITY: usize = 65_536;
+
+/// Fixed per-entry overhead charged on top of the key and message bytes
+/// when approximating resident size (map node + FIFO slot + outcome enum).
+const ENTRY_OVERHEAD_BYTES: u64 = 96;
+
+/// One memoized trial: the full outcome (success *or* failure) and the
+/// attempts the live run spent producing it. Replaying a hit must be
+/// indistinguishable from re-running the trial, so both fields are needed:
+/// the outcome re-derives the score/failure, the attempt count re-derives
+/// the quarantine decision (`attempts > 0` ⇒ a real, retried failure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedTrial {
+    pub outcome: TrialOutcome,
+    pub attempts: usize,
+}
+
+impl CachedTrial {
+    /// Approximate resident bytes of this entry under `key`.
+    fn approx_bytes(&self, key: &str) -> u64 {
+        let payload = match &self.outcome {
+            TrialOutcome::Panicked(m) | TrialOutcome::Diverged(m) => m.len() as u64,
+            _ => 0,
+        };
+        key.len() as u64 + payload + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+/// A snapshot of the cache's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to a live evaluation.
+    pub misses: u64,
+    /// Distinct keys inserted.
+    pub insertions: u64,
+    /// Entries displaced by the capacity bound (FIFO order).
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Approximate resident bytes (keys + failure messages + overhead).
+    pub bytes: u64,
+    /// Was the cache enabled at all?
+    pub enabled: bool,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups; 0 when nothing was looked up.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (for per-cell telemetry sums;
+    /// `entries`/`bytes` add because the snapshots come from disjoint
+    /// caches).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.bytes += other.bytes;
+        self.enabled |= other.enabled;
+    }
+}
+
+/// Keyed store + FIFO insertion order, guarded by one lock so eviction
+/// decisions are atomic with insertions.
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: BTreeMap<String, CachedTrial>,
+    order: VecDeque<String>,
+    bytes: u64,
+}
+
+/// Thread-safe, deterministic trial-result cache.
+///
+/// Shared by reference (`&TrialCache` or `Arc<TrialCache>`): lookups take
+/// a read lock plus relaxed counter increments, so concurrent workers
+/// never serialize on each other for the common miss/hit path. See the
+/// module docs for the determinism discipline callers must follow
+/// (snapshot reads during a batch, index-ordered inserts at the boundary).
+#[derive(Debug)]
+pub struct TrialCache {
+    enabled: bool,
+    capacity: usize,
+    inner: RwLock<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for TrialCache {
+    fn default() -> TrialCache {
+        TrialCache::new(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl TrialCache {
+    /// An enabled cache bounded to `capacity` entries (at least 1).
+    pub fn new(capacity: usize) -> TrialCache {
+        TrialCache {
+            enabled: true,
+            capacity: capacity.max(1),
+            inner: RwLock::new(CacheInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that stores nothing and always misses (without counting):
+    /// the `AUTOMODEL_CACHE=0` configuration.
+    pub fn disabled() -> TrialCache {
+        TrialCache {
+            enabled: false,
+            ..TrialCache::new(1)
+        }
+    }
+
+    /// Build from the `AUTOMODEL_CACHE` environment variable; unset means
+    /// enabled at the default capacity.
+    pub fn from_env() -> TrialCache {
+        TrialCache::from_spec(std::env::var("AUTOMODEL_CACHE").ok().as_deref())
+    }
+
+    /// Parse an `AUTOMODEL_CACHE` value: `0`/`off`/`false` ⇒ disabled;
+    /// `1`/`on`/`true`/empty/`None` ⇒ enabled at the default capacity; a
+    /// number ≥ 2 ⇒ enabled at that capacity. Anything malformed falls
+    /// back to the enabled default (a cache toggle must never abort a
+    /// run).
+    pub fn from_spec(spec: Option<&str>) -> TrialCache {
+        let Some(spec) = spec else {
+            return TrialCache::default();
+        };
+        match spec.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "false" => TrialCache::disabled(),
+            "" | "1" | "on" | "true" => TrialCache::default(),
+            other => match other.parse::<usize>() {
+                Ok(n) => TrialCache::new(n),
+                Err(_) => TrialCache::default(),
+            },
+        }
+    }
+
+    /// Is this cache storing anything at all?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Maximum resident entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries right now.
+    pub fn len(&self) -> usize {
+        self.inner.read().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a canonical key. Counts a hit or a miss (disabled caches
+    /// return `None` without counting — there was no lookup to account).
+    pub fn get(&self, key: &str) -> Option<CachedTrial> {
+        if !self.enabled {
+            return None;
+        }
+        let found = self.inner.read().map.get(key).cloned();
+        match found {
+            Some(hit) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(hit)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a completed trial under its canonical key, evicting the
+    /// oldest entries past the capacity bound (FIFO — insertion order is
+    /// deterministic because callers commit inserts in trial-index order,
+    /// so eviction order is too). Re-inserting an existing key is a no-op:
+    /// under the determinism contract the value could only be identical.
+    pub fn insert(&self, key: String, value: CachedTrial) {
+        if !self.enabled {
+            return;
+        }
+        let mut inner = self.inner.write();
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        inner.bytes += value.approx_bytes(&key);
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, value);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&oldest) {
+                inner.bytes = inner.bytes.saturating_sub(evicted.approx_bytes(&oldest));
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.read();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: inner.map.len(),
+            bytes: inner.bytes,
+            enabled: self.enabled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(score: f64) -> CachedTrial {
+        CachedTrial {
+            outcome: TrialOutcome::Ok(score),
+            attempts: 1,
+        }
+    }
+
+    #[test]
+    fn get_after_insert_round_trips_successes_and_failures() {
+        let cache = TrialCache::new(8);
+        cache.insert("a".into(), ok(0.5));
+        cache.insert(
+            "b".into(),
+            CachedTrial {
+                outcome: TrialOutcome::Panicked("boom".into()),
+                attempts: 2,
+            },
+        );
+        assert_eq!(cache.get("a"), Some(ok(0.5)));
+        let b = cache.get("b").unwrap();
+        assert_eq!(b.outcome, TrialOutcome::Panicked("boom".into()));
+        assert_eq!(b.attempts, 2);
+        assert_eq!(cache.get("c"), None);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (2, 1, 2));
+        assert_eq!(stats.entries, 2);
+        assert!(stats.bytes > 0);
+        assert!(stats.enabled);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_the_capacity_bound() {
+        let cache = TrialCache::new(2);
+        cache.insert("k0".into(), ok(0.0));
+        cache.insert("k1".into(), ok(1.0));
+        cache.insert("k2".into(), ok(2.0));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("k0"), None, "oldest entry must be evicted");
+        assert!(cache.get("k1").is_some() && cache.get("k2").is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_is_a_noop() {
+        let cache = TrialCache::new(4);
+        cache.insert("k".into(), ok(1.0));
+        cache.insert("k".into(), ok(1.0)); // duplicate config in one batch
+        let stats = cache.stats();
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        assert_eq!(cache.get("k"), Some(ok(1.0)));
+    }
+
+    #[test]
+    fn disabled_cache_stores_and_counts_nothing() {
+        let cache = TrialCache::disabled();
+        cache.insert("k".into(), ok(1.0));
+        assert_eq!(cache.get("k"), None);
+        let stats = cache.stats();
+        assert_eq!(stats, CacheStats::default());
+        assert!(!stats.enabled);
+    }
+
+    #[test]
+    fn from_spec_parses_the_env_grammar() {
+        assert!(!TrialCache::from_spec(Some("0")).is_enabled());
+        assert!(!TrialCache::from_spec(Some("off")).is_enabled());
+        assert!(!TrialCache::from_spec(Some("FALSE")).is_enabled());
+        for spec in [None, Some(""), Some("1"), Some("on"), Some("true")] {
+            let cache = TrialCache::from_spec(spec);
+            assert!(cache.is_enabled(), "spec {spec:?}");
+            assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY, "spec {spec:?}");
+        }
+        let sized = TrialCache::from_spec(Some("128"));
+        assert!(sized.is_enabled());
+        assert_eq!(sized.capacity(), 128);
+        // Malformed values fall back to the enabled default, never abort.
+        let sloppy = TrialCache::from_spec(Some("plenty"));
+        assert!(sloppy.is_enabled());
+        assert_eq!(sloppy.capacity(), DEFAULT_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn eviction_accounting_never_underflows_bytes() {
+        let cache = TrialCache::new(1);
+        for i in 0..10 {
+            cache.insert(format!("key-{i}"), ok(i as f64));
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 1);
+        assert_eq!(stats.evictions, 9);
+        assert!(stats.bytes >= ENTRY_OVERHEAD_BYTES);
+        assert!(stats.bytes < 2 * (ENTRY_OVERHEAD_BYTES + 16));
+    }
+
+    #[test]
+    fn stats_absorb_sums_disjoint_caches() {
+        let a = TrialCache::new(4);
+        a.insert("x".into(), ok(0.0));
+        a.get("x");
+        let b = TrialCache::new(4);
+        b.get("y");
+        let mut total = a.stats();
+        total.absorb(&b.stats());
+        assert_eq!((total.hits, total.misses, total.insertions), (1, 1, 1));
+        assert!(total.enabled);
+    }
+
+    #[test]
+    fn concurrent_readers_agree_with_serial_counts() {
+        // 4 threads × 25 lookups each over a fixed key set: hit/miss totals
+        // must equal the serial expectation regardless of interleaving.
+        let cache = std::sync::Arc::new(TrialCache::new(64));
+        cache.insert("hit".into(), ok(1.0));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        if i % 5 == 0 {
+                            assert!(cache.get("hit").is_some());
+                        } else {
+                            assert!(cache.get("miss").is_none());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 4 * 5);
+        assert_eq!(stats.misses, 4 * 20);
+    }
+}

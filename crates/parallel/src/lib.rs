@@ -27,6 +27,11 @@
 //!   classifies every ending into a [`TrialOutcome`], retries failures on
 //!   decorrelated seed streams, and can deterministically *inject* faults
 //!   ([`FaultPlan`]) so the containment machinery is provably exercised.
+//! * **Deterministic trial-result caching.** [`cache`] memoizes whole
+//!   [`TrialOutcome`]s under canonical config fingerprints — failures
+//!   exactly like successes — with snapshot reads during a batch and
+//!   index-ordered inserts at the batch boundary, so dedup never perturbs
+//!   results (`AUTOMODEL_CACHE` toggles and bounds it).
 //!
 //! The determinism contract, precisely: with an evaluation-count budget (or
 //! no budget), `Executor::new(t).map*(…)` returns the same bytes for every
@@ -35,12 +40,14 @@
 //! index-ordered prefix, but the prefix length may vary.
 
 mod budget;
+pub mod cache;
 mod clock;
 mod executor;
 pub mod fault;
 mod seed;
 
 pub use budget::{BudgetSpec, SharedBudget};
+pub use cache::{CacheStats, CachedTrial, TrialCache};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use executor::Executor;
 pub use fault::{

@@ -33,4 +33,13 @@ echo "==> fault-injection drill (AUTOMODEL_FAULTS set — retries must absorb ev
 AUTOMODEL_FAULTS="seed=3,panic=0.1,nan=0.1,delay=0.05" cargo test -q --test fault_injection
 AUTOMODEL_FAULTS="seed=3,panic=0.1,nan=0.1,delay=0.05" cargo test -q --test determinism
 
+echo "==> cargo test (AUTOMODEL_CACHE=0 — evaluation cache disabled)"
+# The trial cache must be invisible in results: the whole suite passes with
+# it forced off and forced on, and the determinism/golden tests assert the
+# two modes byte-identical explicitly.
+AUTOMODEL_CACHE=0 cargo test -q
+
+echo "==> cargo test (AUTOMODEL_CACHE=1 — evaluation cache enabled)"
+AUTOMODEL_CACHE=1 cargo test -q
+
 echo "All checks passed."

@@ -6,9 +6,11 @@
 //! are replayable. Tests compile with `debug_assertions`, so every
 //! `debug_invariant!` in the closure and GA paths fires here too.
 
+mod common;
+
 use auto_model::hpo::{
-    Budget, Config, Domain, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
-    SearchSpace,
+    BayesianOptimization, Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
+    SmacLite, TrialCache,
 };
 use auto_model::knowledge::acquisition::build_network;
 use auto_model::knowledge::experience::Experience;
@@ -81,15 +83,9 @@ fn closure_is_idempotent_on_the_public_surface() {
 
 #[test]
 fn one_ga_generation_is_byte_identical_under_the_same_seed() {
-    let space = SearchSpace::builder()
-        .add("lr", Domain::float(1e-4, 1.0))
-        .add("depth", Domain::int(1, 16))
-        .add("kernel", Domain::cat(&["rbf", "poly", "linear"]))
-        .build()
-        .unwrap();
+    let space = space();
     let run = |seed: u64| -> String {
-        let mut obj =
-            FnObjective(|c: &Config| c.float_or("lr", 0.0) + c.int_or("depth", 0) as f64 / 16.0);
+        let mut obj = FnObjective(fitness);
         let mut ga = GeneticAlgorithm::with_config(
             seed,
             GaConfig {
@@ -124,31 +120,13 @@ fn one_ga_generation_is_byte_identical_under_the_same_seed() {
 
 // ---- parallel executor: thread count must never leak into outputs ----
 
-/// Canonical bytes for an optimization run: every trial's index, serialized
-/// config and exact score bits.
-fn trial_bytes(out: &auto_model::hpo::OptOutcome) -> String {
-    out.trials
-        .iter()
-        .map(|t| {
-            format!(
-                "{}|{}#{:016x}\n",
-                t.index,
-                serde_json::to_string(&t.config).expect("config serializes"),
-                t.score.to_bits()
-            )
-        })
-        .collect()
-}
+use common::{assert_matches_golden, fitness, space, trial_bytes};
+use std::sync::Arc;
 
 #[test]
 fn ga_batch_evaluation_is_byte_identical_at_1_2_and_8_threads() {
-    let space = SearchSpace::builder()
-        .add("lr", Domain::float(1e-4, 1.0))
-        .add("depth", Domain::int(1, 16))
-        .add("kernel", Domain::cat(&["rbf", "poly", "linear"]))
-        .build()
-        .unwrap();
-    let objective = |c: &Config| c.float_or("lr", 0.0) + c.int_or("depth", 0) as f64 / 16.0;
+    let space = space();
+    let objective = fitness;
     let ga = GeneticAlgorithm::with_config(
         97,
         GaConfig {
@@ -243,4 +221,116 @@ fn registry_sweep_is_byte_identical_at_1_2_and_8_threads() {
     let one = sweep_bytes(1);
     assert_eq!(one, sweep_bytes(2), "2-thread sweep diverged from 1-thread");
     assert_eq!(one, sweep_bytes(8), "8-thread sweep diverged from 1-thread");
+}
+
+// ---- evaluation cache: its presence must never leak into outputs ----
+
+#[test]
+fn ga_cache_on_is_byte_identical_to_cache_off_at_1_2_and_8_threads() {
+    let space = space();
+    let ga_config = GaConfig {
+        population: 10,
+        generations: 100, // bounded by the budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(120);
+    let run = |threads: usize, cache: Arc<TrialCache>| -> String {
+        let ga = GeneticAlgorithm::with_config(97, ga_config.clone()).with_cache(cache);
+        let out = ga
+            .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        trial_bytes(&out)
+    };
+    let baseline = run(1, Arc::new(TrialCache::disabled()));
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            run(threads, Arc::new(TrialCache::disabled())),
+            baseline,
+            "cache-off GA at {threads} threads diverged"
+        );
+        assert_eq!(
+            run(threads, Arc::new(TrialCache::default())),
+            baseline,
+            "cache-on GA at {threads} threads diverged from cache-off"
+        );
+    }
+}
+
+// ---- golden histories: two fixed seeds, three optimizers ----
+
+/// Golden serialization of a run: the incumbent (config + exact score
+/// bits) followed by the full trial history.
+fn golden_bytes(out: &auto_model::hpo::OptOutcome) -> String {
+    format!(
+        "best|{}#{:016x}\n{}",
+        serde_json::to_string(&out.best_config).expect("config serializes"),
+        out.best_score.to_bits(),
+        trial_bytes(out)
+    )
+}
+
+/// Run one optimizer under one cache mode and serialize it canonically.
+fn golden_run(kind: &str, seed: u64, cache: Arc<TrialCache>) -> String {
+    let space = space();
+    match kind {
+        "ga" => {
+            // The 2-thread batch path: the multi-thread contract is part of
+            // what the golden bytes pin down.
+            let ga = GeneticAlgorithm::with_config(
+                seed,
+                GaConfig {
+                    population: 10,
+                    generations: 100,
+                    ..GaConfig::default()
+                },
+            )
+            .with_cache(cache);
+            golden_bytes(
+                &ga.optimize_batch(&space, &fitness, &Budget::evals(60), &Executor::new(2))
+                    .expect("trials recorded"),
+            )
+        }
+        "bo" => {
+            let mut bo = BayesianOptimization::new(seed).with_cache(cache);
+            golden_bytes(
+                &bo.optimize(&space, &mut FnObjective(fitness), &Budget::evals(25))
+                    .expect("trials recorded"),
+            )
+        }
+        "smac" => {
+            let mut smac = SmacLite::new(seed).with_cache(cache);
+            golden_bytes(
+                &smac
+                    .optimize(&space, &mut FnObjective(fitness), &Budget::evals(30))
+                    .expect("trials recorded"),
+            )
+        }
+        other => panic!("unknown optimizer kind {other}"),
+    }
+}
+
+/// Every (optimizer, seed) run must be byte-identical with the cache on
+/// and off, and match the history checked into `tests/golden/` — so any
+/// change to sampling, breeding, surrogate fitting, containment, or the
+/// cache itself that alters results is caught as a diff, not silently.
+/// Regenerate deliberately with `AUTOMODEL_REGOLDEN=1`.
+#[test]
+fn golden_ga_bo_smac_histories_match_for_two_seeds_cache_on_and_off() {
+    for kind in ["ga", "bo", "smac"] {
+        for seed in [97u64, 4242] {
+            let off = golden_run(kind, seed, Arc::new(TrialCache::disabled()));
+            let on = golden_run(kind, seed, Arc::new(TrialCache::default()));
+            assert_eq!(
+                off, on,
+                "{kind} seed {seed}: cache-on history diverged from cache-off"
+            );
+            assert_matches_golden(&format!("{kind}_seed{seed}.txt"), &off);
+        }
+    }
+    // A regeneration run rewrote the files above instead of checking them;
+    // fail loudly so it can never be mistaken for a green suite.
+    assert!(
+        !common::regolden(),
+        "golden files regenerated; unset AUTOMODEL_REGOLDEN and re-run"
+    );
 }

@@ -87,16 +87,24 @@ fn solutions_are_reproducible_under_fixed_seeds() {
 
 #[test]
 fn udr_reports_technique_following_the_probe_rule() {
+    use auto_model::hpo::ManualClock;
+    use std::sync::Arc;
     let (dmd, _) = trained_dmd();
     let dataset = SynthSpec::new("probe", 150, 3, 0, 2, SynthFamily::Hyperplane, 43).generate();
-    // Forced-GA path: generous threshold.
+    // The probe reads the injected clock, which never advances: probe_time
+    // is exactly zero, so the routing decision depends only on the
+    // threshold — no wall-clock flake either way.
+    let clock = Arc::new(ManualClock::new());
+    // Forced-GA path: 0 < any positive threshold.
     let mut ga_udr = UdrConfig::fast();
+    ga_udr.probe_clock = clock.clone();
     ga_udr.eval_time_threshold = std::time::Duration::from_secs(3600);
     let ga_solution = ga_udr.solve(&dmd, &dataset).unwrap();
     assert_eq!(ga_solution.technique, "genetic-algorithm");
-    // Forced-BO path: zero threshold.
+    // Forced-BO path: 0 < 0 fails, so the probe counts as "expensive".
     let mut bo_udr = UdrConfig::fast();
-    bo_udr.eval_time_threshold = std::time::Duration::from_nanos(1);
+    bo_udr.probe_clock = clock;
+    bo_udr.eval_time_threshold = std::time::Duration::ZERO;
     bo_udr.tuning_budget = Budget::evals(12);
     let bo_solution = bo_udr.solve(&dmd, &dataset).unwrap();
     assert_eq!(bo_solution.technique, "bayesian-optimization");

@@ -4,108 +4,20 @@
 //! were exhausted, and stay byte-identical across thread counts. This is
 //! the runtime counterpart of the `no-adhoc-catch-unwind` (L7) rule: the
 //! single containment site in `crates/parallel` is what makes these
-//! guarantees provable.
+//! guarantees provable. The shared harness (space, fitness, serialization,
+//! containment assertions) lives in `tests/common/mod.rs`.
+
+mod common;
 
 use auto_model::hpo::{
-    BayesianOptimization, Budget, Config, Domain, Executor, FaultPlan, FnObjective, GaConfig,
-    GeneticAlgorithm, OptOutcome, Optimizer, SearchSpace, SmacLite, TrialPolicy,
+    BayesianOptimization, Budget, Config, Executor, FaultPlan, FnObjective, GaConfig,
+    GeneticAlgorithm, Optimizer, SmacLite, TrialCache, TrialPolicy,
 };
-
-/// Injected panics run the panic hook before `contain` catches them, and
-/// executor workers print outside libtest's capture. Silence exactly the
-/// injected ones; real panics still report.
-fn quiet_injected_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let previous = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            let payload = info.payload();
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_default();
-            if !message.contains("injected fault") {
-                previous(info);
-            }
-        }));
-    });
-}
-
-fn space() -> SearchSpace {
-    SearchSpace::builder()
-        .add("lr", Domain::float(1e-4, 1.0))
-        .add("depth", Domain::int(1, 16))
-        .add("kernel", Domain::cat(&["rbf", "poly", "linear"]))
-        .build()
-        .expect("space builds")
-}
-
-fn fitness(c: &Config) -> f64 {
-    c.float_or("lr", 0.0) + c.int_or("depth", 0) as f64 / 16.0
-}
-
-/// ~10% of trial indices panic and ~10% score NaN, with no retry to
-/// absorb them — the worst case the acceptance criterion names.
-fn hostile_policy() -> TrialPolicy {
-    TrialPolicy::default()
-        .with_max_attempts(1)
-        .with_faults(FaultPlan::with_rates(5, 0.1, 0.1, 0.0))
-}
-
-/// Canonical bytes for a run: every trial's index, serialized config,
-/// exact score bits, and failure (if any). Any nondeterminism — including
-/// in *which* trials fail and how — changes these bytes.
-fn trial_bytes(out: &OptOutcome) -> String {
-    out.trials
-        .iter()
-        .map(|t| {
-            format!(
-                "{}|{}#{:016x}{}\n",
-                t.index,
-                serde_json::to_string(&t.config).expect("config serializes"),
-                t.score.to_bits(),
-                t.failure
-                    .as_ref()
-                    .map(|f| format!("!{f}"))
-                    .unwrap_or_default(),
-            )
-        })
-        .collect()
-}
-
-/// The acceptance checks shared by all three optimizers: a valid finite
-/// incumbent backed by a usable trial, and a quarantine log naming the
-/// configs that exhausted their retries.
-fn assert_contained(out: &OptOutcome, label: &str) {
-    assert!(
-        out.best_score.is_finite(),
-        "{label}: incumbent score must be finite"
-    );
-    assert!(
-        out.best_score > TrialPolicy::default().penalty,
-        "{label}: incumbent must beat the failure penalty"
-    );
-    assert!(
-        out.trials.iter().any(|t| t.is_usable()),
-        "{label}: at least one usable trial must back the incumbent"
-    );
-    assert!(
-        !out.quarantine.is_empty(),
-        "{label}: ~10% fault rates with no retries must quarantine configs"
-    );
-    for record in &out.quarantine {
-        assert!(
-            !record.key.is_empty(),
-            "{label}: quarantine records name the config"
-        );
-        let failure = record.failure.to_string();
-        assert!(
-            failure.contains("injected fault") || failure.contains("non-finite"),
-            "{label}: unexpected quarantined failure: {failure}"
-        );
-    }
-}
+use common::{
+    assert_contained, fitness, hostile_policy, quiet_injected_panics, space, trial_bytes,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 #[test]
 fn ga_bo_and_smac_survive_ten_percent_panics_and_nans() {
@@ -202,8 +114,12 @@ fn ga_under_faults_is_byte_identical_at_1_2_and_8_threads() {
                 .expect("trials recorded"),
         )
     };
-    let ga = GeneticAlgorithm::with_config(97, ga_config).with_policy(policy);
+    // A fresh optimizer per thread count: the default evaluation cache is
+    // per-instance, and reusing one instance would warm it across runs —
+    // a warm cache suppresses later index-keyed fault draws on duplicate
+    // genomes, which is cross-*run* state, not a thread-count effect.
     let run = |threads: usize| -> String {
+        let ga = GeneticAlgorithm::with_config(97, ga_config.clone()).with_policy(policy.clone());
         let out = ga
             .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
             .expect("trials recorded");
@@ -290,4 +206,153 @@ fn explicit_fault_indices_quarantine_exactly_those_configs() {
     assert_eq!(failed, vec![3, 5, 7], "exactly the planned indices fail");
     let quarantined: Vec<usize> = out.quarantine.iter().map(|r| r.trial_index).collect();
     assert_eq!(quarantined, vec![3, 5, 7]);
+}
+
+// ---- evaluation cache × fault containment ----
+
+#[test]
+fn cached_failures_are_not_retried_and_quarantine_counts_match() {
+    // Config-deterministic failures (shallow genomes score NaN) with no
+    // retries: a failed outcome served from the cache must replay as the
+    // same failure — never re-invoking the objective, which would grant the
+    // config more attempts than the policy allows — and the quarantine log
+    // must match the uncached run's exactly.
+    let space = space();
+    let live_calls = AtomicUsize::new(0);
+    let objective = |c: &Config| {
+        live_calls.fetch_add(1, Ordering::Relaxed);
+        if c.int_or("depth", 0) <= 4 {
+            f64::NAN
+        } else {
+            fitness(c)
+        }
+    };
+    let policy = TrialPolicy::default().with_max_attempts(1);
+    let ga_config = GaConfig {
+        population: 10,
+        generations: 100, // bounded by the budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(60);
+    let executor = Executor::new(2);
+    let run = |cache: Arc<TrialCache>| {
+        let ga = GeneticAlgorithm::with_config(97, ga_config.clone())
+            .with_policy(policy.clone())
+            .with_cache(cache);
+        let before = live_calls.load(Ordering::Relaxed);
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &executor)
+            .expect("trials recorded");
+        let calls = live_calls.load(Ordering::Relaxed) - before;
+        let quarantined: Vec<String> = out.quarantine.iter().map(|r| r.key.clone()).collect();
+        (trial_bytes(&out), quarantined, calls)
+    };
+
+    let (bytes_off, quarantine_off, calls_off) = run(Arc::new(TrialCache::disabled()));
+    assert!(
+        !quarantine_off.is_empty(),
+        "shallow genomes must fail and quarantine"
+    );
+
+    // Cache on, cold: byte-identical, same quarantine log, never more live
+    // calls than uncached (duplicates are served from the cache).
+    let shared = Arc::new(TrialCache::default());
+    let (bytes_on, quarantine_on, calls_on) = run(shared.clone());
+    assert_eq!(bytes_on, bytes_off, "cache-on run diverged from cache-off");
+    assert_eq!(quarantine_on, quarantine_off, "quarantine logs diverged");
+    assert!(calls_on <= calls_off, "{calls_on} > {calls_off}");
+
+    // Cache on, warm (same shared cache, same seed): every outcome —
+    // including every failure — replays from the cache. Zero live calls
+    // proves no cached failure was retried past its exhausted policy.
+    let (bytes_replay, quarantine_replay, calls_replay) = run(shared);
+    assert_eq!(calls_replay, 0, "a cached outcome re-invoked the objective");
+    assert_eq!(bytes_replay, bytes_off, "replayed run diverged");
+    assert_eq!(
+        quarantine_replay, quarantine_off,
+        "replayed quarantine log diverged from the uncached run"
+    );
+}
+
+#[test]
+fn retried_fault_injection_is_invisible_with_the_cache_enabled() {
+    // The companion of `default_retry_makes_fault_injection_invisible_in_
+    // results`: with the cache enabled on top of an AUTOMODEL_FAULTS-style
+    // drill, the default policy's retry still absorbs every injected fault
+    // and the run stays byte-identical to a clean, uncached one. (Recovered
+    // outcomes are cached post-retry, so a replayed success never hides a
+    // quarantine decision — nothing is quarantined in either run.)
+    quiet_injected_panics();
+    let space = space();
+    let budget = Budget::evals(80);
+    let ga_config = GaConfig {
+        population: 10,
+        generations: 100,
+        ..GaConfig::default()
+    };
+    let run = |policy: TrialPolicy, cache: Arc<TrialCache>| {
+        let mut ga = GeneticAlgorithm::with_config(97, ga_config.clone())
+            .with_policy(policy)
+            .with_cache(cache);
+        let out = ga
+            .optimize(&space, &mut FnObjective(fitness), &budget)
+            .expect("trials recorded");
+        (trial_bytes(&out), out.quarantine.len())
+    };
+    let (clean, q_clean) = run(TrialPolicy::default(), Arc::new(TrialCache::disabled()));
+    let drilled_policy =
+        TrialPolicy::default().with_faults(FaultPlan::with_rates(5, 0.1, 0.1, 0.05));
+    let (drilled, q_drilled) = run(drilled_policy, Arc::new(TrialCache::default()));
+    assert_eq!(
+        clean, drilled,
+        "cached + retried fault injection must be invisible in serialized results"
+    );
+    assert_eq!(q_clean, 0);
+    assert_eq!(
+        q_drilled, 0,
+        "default retry must absorb every injected fault"
+    );
+}
+
+#[test]
+fn hostile_faults_with_cache_stay_contained_for_every_optimizer() {
+    // Under rate-based index-keyed faults with no retries the cached run is
+    // not required to equal the uncached one (a duplicate whose first
+    // occurrence succeeded replays that success instead of drawing the
+    // later index's fault) — but containment must still hold: finite
+    // incumbent, usable trials, named quarantine records.
+    quiet_injected_panics();
+    let space = space();
+    let budget = Budget::evals(60);
+
+    let mut ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100,
+            ..GaConfig::default()
+        },
+    )
+    .with_policy(hostile_policy())
+    .with_cache(Arc::new(TrialCache::default()));
+    let out = ga
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("GA finds a usable incumbent under faults");
+    assert_contained(&out, "GA+cache");
+
+    let mut bo = BayesianOptimization::new(11)
+        .with_policy(hostile_policy())
+        .with_cache(Arc::new(TrialCache::default()));
+    let out = bo
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("BO finds a usable incumbent under faults");
+    assert_contained(&out, "BO+cache");
+
+    let mut smac = SmacLite::new(23)
+        .with_policy(hostile_policy())
+        .with_cache(Arc::new(TrialCache::default()));
+    let out = smac
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("SMAC finds a usable incumbent under faults");
+    assert_contained(&out, "SMAC+cache");
 }

@@ -8,6 +8,7 @@
 //! | L4   | `nan-ordering`      | every workspace source file              |
 //! | L6   | `no-adhoc-threads`  | everything outside `crates/parallel/`    |
 //! | L7   | `no-adhoc-catch-unwind` | everything outside `crates/parallel/` |
+//! | L8   | `no-adhoc-memo`     | everything outside `crates/parallel/`    |
 //!
 //! (L5, `manifest-hygiene`, lives in [`crate::manifest`] — it checks
 //! `Cargo.toml` files, not Rust sources.)
@@ -42,6 +43,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     nan_ordering(file, &mut out);
     no_adhoc_threads(file, &mut out);
     no_adhoc_catch_unwind(file, &mut out);
+    no_adhoc_memo(file, &mut out);
     out
 }
 
@@ -330,6 +332,68 @@ fn no_adhoc_catch_unwind(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L8 — `no-adhoc-memo`: maps keyed on `Config` outside `crates/parallel/`
+/// are ad-hoc memoization — each one re-invents result caching with its own
+/// key normalization (usually none: `Config` floats make `Hash` impls
+/// NaN-hostile and `-0.0`-ambiguous) and escapes the hit/miss telemetry and
+/// capacity bound of the shared cache. All trial-result memoization must go
+/// through `automodel_parallel::TrialCache` keyed by the canonical
+/// fingerprint (`Config::cache_key` / `SearchSpace::cache_key`). Inline
+/// `#[cfg(test)]` modules are exempt (a test may build a map to assert on
+/// cache behavior directly).
+fn no_adhoc_memo(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    if p.starts_with("crates/parallel/") {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 4] = [
+        (
+            "HashMap<Config",
+            "ad-hoc memoization: `HashMap` keyed on `Config`",
+        ),
+        (
+            "HashMap<&Config",
+            "ad-hoc memoization: `HashMap` keyed on `&Config`",
+        ),
+        (
+            "BTreeMap<Config",
+            "ad-hoc memoization: `BTreeMap` keyed on `Config`",
+        ),
+        (
+            "BTreeMap<&Config",
+            "ad-hoc memoization: `BTreeMap` keyed on `&Config`",
+        ),
+    ];
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.in_test[idx] || file.is_allowed(idx, "no-adhoc-memo") {
+            continue;
+        }
+        for (pat, msg) in PATTERNS {
+            for (col, len) in find_all(line, pat) {
+                // `HashMap<ConfigId, ..>` and friends are not Config keys —
+                // require the key type to end exactly at `Config`.
+                let key_end = col + len;
+                let next = line[key_end..].chars().next();
+                if next.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    continue;
+                }
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "no-adhoc-memo",
+                    "L8",
+                    msg.to_string(),
+                    "route memoization through `automodel_parallel::TrialCache` keyed by \
+                     `Config::cache_key()` (canonical fingerprint, telemetry, capacity bound), \
+                     or append `// lint:allow(no-adhoc-memo): <why the shared cache cannot \
+                     serve here>`",
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -387,6 +451,40 @@ mod tests {
         assert!(check_file(&f)
             .iter()
             .all(|d| d.rule != "no-adhoc-catch-unwind"));
+    }
+
+    #[test]
+    fn config_keyed_map_is_flagged_outside_parallel() {
+        let f = lib("let memo: HashMap<Config, f64> = HashMap::new();\n");
+        let d = check_file(&f);
+        assert_eq!(d.iter().filter(|d| d.rule == "no-adhoc-memo").count(), 1);
+        let f = lib("let memo: BTreeMap<&Config, TrialOutcome> = BTreeMap::new();\n");
+        let d = check_file(&f);
+        assert_eq!(d.iter().filter(|d| d.rule == "no-adhoc-memo").count(), 1);
+    }
+
+    #[test]
+    fn config_prefixed_key_types_are_not_flagged() {
+        // `ConfigId` is a different type — the key must end exactly at Config.
+        let f = lib("let m: HashMap<ConfigId, f64> = HashMap::new();\n");
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-memo"));
+    }
+
+    #[test]
+    fn config_keyed_map_is_legal_inside_parallel() {
+        let f = SourceFile::parse(
+            "crates/parallel/src/cache.rs",
+            "let m: BTreeMap<Config, CachedTrial> = BTreeMap::new();\n",
+        );
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-memo"));
+    }
+
+    #[test]
+    fn adhoc_memo_allow_escape_works() {
+        let f = lib(
+            "// lint:allow(no-adhoc-memo): population bookkeeping, not a result cache\nlet m: HashMap<Config, usize> = HashMap::new();\n",
+        );
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-memo"));
     }
 
     #[test]

@@ -190,6 +190,41 @@ fn l7_passing_containment_crate_tests_and_allowed_sites() {
     assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-catch-unwind").is_empty());
 }
 
+// ---------------------------------------------------------------- L8 --
+
+#[test]
+fn l8_violation_config_keyed_maps_outside_the_cache_crate() {
+    let src = "\
+struct A { memo: HashMap<Config, f64> }\n\
+struct B { memo: BTreeMap<Config, TrialOutcome> }\n\
+fn c(m: &mut HashMap<&Config, f64>) {}\n";
+    let hits = findings("crates/hpo/src/x.rs", src, "no-adhoc-memo");
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    // The bench harness and bins are in scope too.
+    assert_eq!(
+        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-memo").len(),
+        3
+    );
+}
+
+#[test]
+fn l8_passing_cache_crate_other_keys_tests_and_allowed_sites() {
+    let src = "struct A { memo: HashMap<Config, f64> }\n";
+    // The cache module's own crate owns the sanctioned memoization.
+    assert!(findings("crates/parallel/src/cache.rs", src, "no-adhoc-memo").is_empty());
+    // Maps keyed on other types — including Config-prefixed names — pass.
+    let other = "\
+struct B { by_mask: HashMap<Vec<bool>, f64> }\n\
+struct C { by_id: BTreeMap<ConfigId, f64> }\n";
+    assert!(findings("crates/core/src/x.rs", other, "no-adhoc-memo").is_empty());
+    // Inline test modules may build Config-keyed maps to assert on caching.
+    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
+    assert!(findings("crates/hpo/src/x.rs", &test_mod, "no-adhoc-memo").is_empty());
+    // And an allowed site passes.
+    let allowed = format!("// lint:allow(no-adhoc-memo): dedup set, not a result cache\n{src}");
+    assert!(findings("crates/hpo/src/x.rs", &allowed, "no-adhoc-memo").is_empty());
+}
+
 // ---------------------------------------------------------------- L5 --
 
 const GOOD_ROOT: &str = "\
