@@ -22,6 +22,7 @@ use automodel_hpo::{
     SearchSpace, TrialCache,
 };
 use automodel_nn::{Activation, MlpConfig, MlpRegressor};
+use automodel_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -78,7 +79,8 @@ fn regression_data(rows: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    eprintln!("[exp_cache_effect] scale = {scale:?}");
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_cache_effect"));
+    tracer.emit(TraceEvent::stage_start(format!("cache effect ({scale:?})")));
 
     let (rows, evals, max_iter) = match scale {
         Scale::Tiny => (96, 120, 30),
@@ -125,21 +127,27 @@ fn main() {
     let executor = Executor::new(1);
 
     let run = |label: &str, cache: Arc<TrialCache>| {
-        let ga = GeneticAlgorithm::with_config(42, ga_config.clone()).with_cache(cache);
+        tracer.emit(TraceEvent::stage_start(format!("cache {label}")));
+        let ga = GeneticAlgorithm::with_config(42, ga_config.clone())
+            .with_cache(cache)
+            .with_tracer(Arc::clone(&tracer));
         let start = Instant::now();
         let out = ga
             .optimize_batch(&space, &objective, &budget, &executor)
             .expect("eval budget > 0 always yields an outcome");
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        eprintln!(
-            "  cache {label}: {ms:8.1} ms  best {:.4}  {} hit(s) / {} miss(es)",
-            out.best_score, out.cache.hits, out.cache.misses
-        );
+        tracer.emit(TraceEvent::stage_end(
+            format!("cache {label}"),
+            format!(
+                "{ms:.1} ms, best {:.4}, {} hit(s) / {} miss(es)",
+                out.best_score, out.cache.hits, out.cache.misses
+            ),
+        ));
         (out, ms)
     };
 
     let (off, off_ms) = run("off", Arc::new(TrialCache::disabled()));
-    let (on, on_ms) = run("on ", Arc::new(TrialCache::default()));
+    let (on, on_ms) = run("on", Arc::new(TrialCache::default()));
 
     let off_fp = fingerprint(&off);
     let identical = fingerprint(&on) == off_fp;
@@ -167,12 +175,15 @@ fn main() {
     } else {
         0.0
     };
-    eprintln!(
-        "  speedup {speedup:.2}x  hit rate {:.1}%  ({} distinct of {} trials)",
-        100.0 * hit_rate,
-        on.cache.entries,
-        on.trials.len()
-    );
+    tracer.emit(TraceEvent::stage_end(
+        format!("cache effect ({scale:?})"),
+        format!(
+            "speedup {speedup:.2}x, hit rate {:.1}%, {} distinct of {} trials",
+            100.0 * hit_rate,
+            on.cache.entries,
+            on.trials.len()
+        ),
+    ));
 
     let mut table = Table::new(
         "GA architecture search — evaluation cache effect",
@@ -211,10 +222,15 @@ fn main() {
         "identical_history": identical,
     });
     let pretty = serde_json::to_string_pretty(&report).unwrap();
-    if let Err(e) = std::fs::write("BENCH_cache.json", &pretty) {
-        eprintln!("  warning: could not write BENCH_cache.json: {e}");
-    } else {
-        eprintln!("  wrote BENCH_cache.json");
+    match std::fs::write("BENCH_cache.json", &pretty) {
+        Err(e) => tracer.emit(TraceEvent::stage_end(
+            "BENCH_cache.json",
+            format!("write failed: {e}"),
+        )),
+        Ok(()) => tracer.emit(TraceEvent::stage_end("BENCH_cache.json", "written")),
+    }
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
     }
     if json {
         println!("{pretty}");

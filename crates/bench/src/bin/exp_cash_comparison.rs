@@ -19,6 +19,8 @@ use automodel_core::udr::UdrConfig;
 use automodel_core::AutoWekaConfig;
 use automodel_hpo::Budget;
 use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::{TraceEvent, Tracer};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Re-measure a solution with an independent fold seed (the paper's f(T,D)).
@@ -35,15 +37,18 @@ fn f_t_d(
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    eprintln!("[exp_cash_comparison] scale = {scale:?}");
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_cash_comparison"));
 
-    let pipeline = PipelineCache::new(Registry::full(), scale);
-    eprintln!("[1/3] building knowledge base...");
+    let pipeline = PipelineCache::new(Registry::full(), scale).with_tracer(Arc::clone(&tracer));
+    tracer.emit(TraceEvent::stage_start("knowledge base"));
     let kb = pipeline.build_knowledge_base();
-    eprintln!("[2/3] running DMD...");
+    tracer.emit(TraceEvent::stage_end(
+        "knowledge base",
+        format!("{} dataset(s)", kb.datasets.len()),
+    ));
     let dmd = pipeline.run_dmd(&kb).expect("DMD must produce a model");
 
-    eprintln!("[3/3] comparing CASH solvers on the test suite...");
+    tracer.emit(TraceEvent::stage_start("CASH comparison"));
     let suite = pipeline.test_suite();
     let (small_budget, large_budget) = scale.cash_budgets();
     let reps = scale.repetitions();
@@ -100,6 +105,7 @@ fn main() {
                         budget: budget.clone(),
                         cv_folds: folds,
                         seed: 2000 + rep as u64,
+                        ..AutoWekaConfig::fast()
                     }
                     .solve(registry, data);
                     if let Ok(aw) = aw {
@@ -112,11 +118,16 @@ fn main() {
                 }
                 am_avg /= reps as f64;
                 aw_avg /= reps as f64;
-                eprintln!(
-                    "  [{budget_name}] {symbol}: AM {am_avg:.3} vs AW {aw_avg:.3} \
-                     ({quarantined} config(s) quarantined, \
-                     cache {cache_hits} hit(s) / {cache_misses} miss(es))"
-                );
+                // Cells complete in scheduling order, so these narration
+                // events interleave under a multi-threaded executor.
+                tracer.emit(TraceEvent::stage_end(
+                    format!("[{budget_name}] {symbol}"),
+                    format!(
+                        "AM {am_avg:.3} vs AW {aw_avg:.3} \
+                         ({quarantined} config(s) quarantined, \
+                         cache {cache_hits} hit(s) / {cache_misses} miss(es))"
+                    ),
+                ));
                 (
                     am_avg,
                     aw_avg,
@@ -161,22 +172,19 @@ fn main() {
                 am_wins += 1;
             }
         }
-        if total_quarantined > 0 {
-            eprintln!(
-                "  [{budget_name}] {total_quarantined} config(s) quarantined across the suite \
-                 (searches degraded gracefully; see OptOutcome::quarantine)"
-            );
-        }
         let lookups = total_hits + total_misses;
-        if lookups > 0 {
-            eprintln!(
-                "  [{budget_name}] evaluation cache: {total_hits} hit(s) / {total_misses} \
-                 miss(es) across the suite ({:.1}% hit rate)",
+        let cache_note = if lookups > 0 {
+            format!(
+                "cache {total_hits} hit(s) / {total_misses} miss(es) ({:.1}% hit rate)",
                 100.0 * total_hits as f64 / lookups as f64
-            );
+            )
         } else {
-            eprintln!("  [{budget_name}] evaluation cache disabled (AUTOMODEL_CACHE=0)");
-        }
+            "cache disabled (AUTOMODEL_CACHE=0)".to_string()
+        };
+        tracer.emit(TraceEvent::stage_end(
+            format!("[{budget_name}] suite"),
+            format!("{total_quarantined} config(s) quarantined, {cache_note}"),
+        ));
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
         summary.push((
             budget_label(budget),
@@ -191,7 +199,14 @@ fn main() {
             suite.len() - am_wins,
         ));
     }
+    tracer.emit(TraceEvent::stage_end(
+        "CASH comparison",
+        format!("{} dataset(s) x 2 budget(s)", suite.len()),
+    ));
     table.print();
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 
     let mut sum_table = Table::new(
         "Table X summary — averages over the suite",

@@ -14,28 +14,35 @@ use automodel_bench::{PipelineCache, Scale};
 use automodel_core::poratio::po_ratio;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions};
 use automodel_ml::Registry;
+use automodel_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    eprintln!("[exp_crelations_quality] scale = {scale:?}");
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_crelations_quality"));
 
     let pipeline = PipelineCache::new(Registry::full(), scale);
-    eprintln!(
-        "[1/3] building knowledge base (sweeping {} datasets)...",
-        scale.knowledge_datasets()
-    );
+    tracer.emit(TraceEvent::stage_start("knowledge base"));
     let kb = pipeline.build_knowledge_base();
+    tracer.emit(TraceEvent::stage_end(
+        "knowledge base",
+        format!("{} dataset(s) swept", scale.knowledge_datasets()),
+    ));
 
-    eprintln!("[2/3] running Algorithm 1 on the corpus...");
+    tracer.emit(TraceEvent::stage_start("algorithm 1"));
     let pairs = knowledge_acquisition(
         &kb.corpus.experiences,
         &kb.corpus.papers,
         &AcquisitionOptions { min_algorithms: 3 },
     );
+    tracer.emit(TraceEvent::stage_end(
+        "algorithm 1",
+        format!("{} CRelations pair(s)", pairs.len()),
+    ));
 
-    eprintln!("[3/3] scoring CRelations with PORatio / P...");
+    tracer.emit(TraceEvent::stage_start("score CRelations"));
     // PORatio and P of CRelations(D) per dataset.
     let mut ratios = Vec::new();
     let mut perfs = Vec::new();
@@ -58,6 +65,15 @@ fn main() {
             agreement += 1;
         }
     }
+
+    tracer.emit(TraceEvent::stage_end(
+        "score CRelations",
+        format!(
+            "{} PORatio(s), {} performance(s)",
+            ratios.len(),
+            perfs.len()
+        ),
+    ));
 
     // Per-algorithm averages over the knowledge datasets (for the top-3).
     let mut by_alg_ratio: BTreeMap<String, Vec<f64>> = BTreeMap::new();
@@ -123,6 +139,9 @@ fn main() {
         kb.datasets.len(),
         100.0 * agreement as f64 / pairs.len().max(1) as f64
     );
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 
     if json {
         let out = serde_json::json!({

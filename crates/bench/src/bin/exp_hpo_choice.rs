@@ -23,10 +23,13 @@ use automodel_hpo::{
     RandomSearch,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::{TraceEvent, Tracer};
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[exp_hpo_choice] scale = {scale:?}");
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_hpo_choice"));
+    tracer.emit(TraceEvent::stage_start(format!("hpo choice ({scale:?})")));
     let registry = Registry::full();
     let folds = scale.cv_folds();
 
@@ -67,6 +70,7 @@ fn main() {
         ("cheap (IBk)", "IBk", cheap_budget),
         ("expensive (RandomForest)", "RandomForest", expensive_budget),
     ] {
+        tracer.emit(TraceEvent::stage_start(problem));
         let spec = registry.get(algorithm).unwrap();
         let space = spec.param_space();
         let seeds = match scale {
@@ -111,7 +115,17 @@ fn main() {
         run("bayesian-optimization", &|s| {
             Box::new(BayesianOptimization::new(s))
         });
-        eprintln!("  finished {problem}");
+        tracer.emit(TraceEvent::stage_end(
+            problem,
+            format!("4 optimizers x {seeds} seed(s) at {evals} evals"),
+        ));
     }
+    tracer.emit(TraceEvent::stage_end(
+        format!("hpo choice ({scale:?})"),
+        "done".to_string(),
+    ));
     table.print();
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 }

@@ -17,7 +17,9 @@ use automodel_bench::report::Table;
 use automodel_bench::Scale;
 use automodel_knowledge::paper::rank_papers;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, CorpusSpec};
+use automodel_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Majority-vote extractor.
 fn majority_vote(corpus: &Corpus) -> BTreeMap<String, String> {
@@ -74,7 +76,10 @@ fn accuracy(corpus: &Corpus, extracted: &BTreeMap<String, String>) -> (usize, us
 
 fn main() {
     let scale = Scale::from_args();
-    eprintln!("[exp_knowledge_ablation] scale = {scale:?}");
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_knowledge_ablation"));
+    tracer.emit(TraceEvent::stage_start(format!(
+        "knowledge ablation ({scale:?})"
+    )));
     let seeds: u64 = match scale {
         Scale::Tiny => 2,
         Scale::Small => 5,
@@ -93,6 +98,7 @@ fn main() {
     );
 
     for noise in [0.0, 0.15, 0.3, 0.45, 0.6] {
+        tracer.emit(TraceEvent::stage_start(format!("noise {noise:.2}")));
         let mut acc = [0.0f64; 3];
         let mut pairs_total = 0usize;
         for seed in 0..seeds {
@@ -126,7 +132,20 @@ fn main() {
             format!("{:.2}", acc[2] / seeds as f64),
             (pairs_total / seeds as usize).to_string(),
         ]);
-        eprintln!("  noise {noise:.2} done");
+        tracer.emit(TraceEvent::stage_end(
+            format!("noise {noise:.2}"),
+            format!(
+                "{seeds} seed(s), alg1 accuracy {:.2}",
+                acc[0] / seeds as f64
+            ),
+        ));
     }
+    tracer.emit(TraceEvent::stage_end(
+        format!("knowledge ablation ({scale:?})"),
+        "5 noise level(s)".to_string(),
+    ));
     table.print();
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 }

@@ -15,6 +15,8 @@ use automodel_bench::Scale;
 use automodel_data::{SynthFamily, SynthSpec};
 use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome};
 use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::{TraceEvent, Tracer};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn fingerprint(out: &OptOutcome) -> String {
@@ -29,7 +31,10 @@ fn fingerprint(out: &OptOutcome) -> String {
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    eprintln!("[exp_parallel_scaling] scale = {scale:?}");
+    // Structured narration: stage/run lines on stderr, full JSONL to
+    // `AUTOMODEL_TRACE=<path>` when set.
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_parallel_scaling"));
+    tracer.emit(TraceEvent::stage_start(format!("scaling ({scale:?})")));
 
     let (rows, evals) = match scale {
         Scale::Tiny => (200, 60),
@@ -59,7 +64,8 @@ fn main() {
             generations: 1000, // bounded by the eval budget
             ..GaConfig::default()
         },
-    );
+    )
+    .with_tracer(Arc::clone(&tracer));
     let budget = Budget::evals(evals);
 
     let mut counts = vec![1usize, 2, 4, scale.threads()];
@@ -81,6 +87,7 @@ fn main() {
     let mut baseline_fp = String::new();
     let mut rows_json = Vec::new();
     for &threads in &counts {
+        tracer.emit(TraceEvent::stage_start(format!("{threads} thread(s)")));
         let executor = Executor::new(threads);
         let start = Instant::now();
         let out = ga
@@ -98,10 +105,13 @@ fn main() {
             "determinism violation: {threads}-thread trial history diverged from serial"
         );
         let speedup = baseline_ms / ms.max(1e-9);
-        eprintln!(
-            "  {threads:>2} threads: {ms:8.1} ms  speedup {speedup:4.2}x  best {:.4}",
-            out.best_score
-        );
+        tracer.emit(TraceEvent::stage_end(
+            format!("{threads} thread(s)"),
+            format!(
+                "{ms:.1} ms, speedup {speedup:.2}x, best {:.4}",
+                out.best_score
+            ),
+        ));
         table.row(vec![
             threads.to_string(),
             format!("{ms:.1}"),
@@ -118,7 +128,14 @@ fn main() {
             "trials": out.trials.len(),
         }));
     }
+    tracer.emit(TraceEvent::stage_end(
+        format!("scaling ({scale:?})"),
+        format!("{} thread count(s), all histories identical", counts.len()),
+    ));
     table.print();
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 
     if json {
         let out = serde_json::json!({

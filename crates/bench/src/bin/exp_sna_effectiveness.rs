@@ -17,21 +17,27 @@ use automodel_bench::report::{top_k, Table};
 use automodel_bench::{PipelineCache, Scale};
 use automodel_core::poratio::{po_ratio, EvalContext};
 use automodel_ml::Registry;
+use automodel_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
     let ablate_features = std::env::args().any(|a| a == "--ablate-features");
     let ablate_arch = std::env::args().any(|a| a == "--ablate-arch");
-    eprintln!(
-        "[exp_sna_effectiveness] scale = {scale:?} ablate_features = {ablate_features} ablate_arch = {ablate_arch}"
-    );
+    let tracer = Arc::new(Tracer::from_env().with_progress("exp_sna_effectiveness"));
 
-    let pipeline = PipelineCache::new(Registry::full(), scale);
-    eprintln!("[1/4] building knowledge base...");
+    let pipeline = PipelineCache::new(Registry::full(), scale).with_tracer(Arc::clone(&tracer));
+    tracer.emit(TraceEvent::stage_start("knowledge base"));
     let kb = pipeline.build_knowledge_base();
-    eprintln!("[2/4] running DMD (Algorithms 1-4)...");
+    tracer.emit(TraceEvent::stage_end(
+        "knowledge base",
+        format!(
+            "{} dataset(s), ablate_features = {ablate_features}, ablate_arch = {ablate_arch}",
+            kb.datasets.len()
+        ),
+    ));
     let dmd = if ablate_features || ablate_arch {
         // Ablations replace a searched component with its trivial default:
         // all 23 features (no Algorithm 2) / the default MLP point
@@ -55,16 +61,14 @@ fn main() {
             feature_mask_override: ablate_features.then_some([true; 23]),
             architecture_override: ablate_arch.then(automodel_core::table2::default_mlp_point),
             seed: 17,
+            tracer: Arc::clone(&tracer),
         };
         config.run(&input).expect("ablated DMD")
     } else {
         pipeline.run_dmd(&kb).expect("DMD must produce a model")
     };
 
-    eprintln!(
-        "[3/4] sweeping the {} test datasets...",
-        scale.test_datasets()
-    );
+    tracer.emit(TraceEvent::stage_start("test sweeps"));
     let suite = pipeline.test_suite();
     let mut rows = Vec::new();
     let mut sweeps: BTreeMap<String, Vec<(String, Option<f64>)>> = BTreeMap::new();
@@ -72,8 +76,12 @@ fn main() {
         let sweep = pipeline.sweep(data);
         sweeps.insert(symbol.clone(), sweep);
     }
+    tracer.emit(TraceEvent::stage_end(
+        "test sweeps",
+        format!("{} test dataset(s)", suite.len()),
+    ));
 
-    eprintln!("[4/4] scoring SNA selections...");
+    tracer.emit(TraceEvent::stage_start("score SNA"));
     let mut t67 = Table::new(
         "Tables VI & VII — SNA effectiveness per test dataset",
         &["D", "SNA(D)", "PORatio", "P(SNA,D)", "Pmax", "Pavg"],
@@ -86,7 +94,10 @@ fn main() {
         let selected = match dmd.select_algorithm(data) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("  {symbol}: selection failed: {e}");
+                tracer.emit(TraceEvent::stage_end(
+                    format!("select {symbol}"),
+                    format!("failed: {e}"),
+                ));
                 continue;
             }
         };
@@ -116,6 +127,10 @@ fn main() {
         ]);
         rows.push((symbol.clone(), selected, ratio, p_sel, p_max, p_avg));
     }
+    tracer.emit(TraceEvent::stage_end(
+        "score SNA",
+        format!("{} selection(s) scored", rows.len()),
+    ));
     t67.print();
 
     // Tables XII & XIII: averages + top-3 single algorithms on the suite.
@@ -173,6 +188,9 @@ fn main() {
         beats_avg,
         rows.len()
     );
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
 
     if json {
         let out = serde_json::json!({

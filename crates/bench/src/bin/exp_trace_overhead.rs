@@ -1,0 +1,195 @@
+//! Trace-overhead measurement plus the cross-thread trace byte-identity
+//! gate.
+//!
+//! One GA run per configuration, identical seed and budget, over a real
+//! objective (J48 cross-validation accuracy on a synthetic dataset):
+//!
+//! * **trace off** — the disabled tracer (the default everywhere);
+//! * **trace on** — an enabled in-memory tracer recording the full event
+//!   stream (plus JSONL to `AUTOMODEL_TRACE=<path>` when set).
+//!
+//! The tracer contract says enabling it must not change results and must
+//! cost almost nothing: this binary asserts the trial fingerprints are
+//! byte-identical, asserts the captured traces are byte-identical at
+//! 1/2/8 worker threads (or `AUTOMODEL_THREADS` when set), and reports
+//! the wall-clock overhead (EXPERIMENTS.md targets < 3%). `scripts/check.sh`
+//! runs it as the tracing determinism gate; any violation aborts.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_trace_overhead
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome, TrialCache};
+use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::{TraceEvent, Tracer};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let narrator = Arc::new(Tracer::from_env().with_progress("exp_trace_overhead"));
+
+    let (rows, evals, reps) = match scale {
+        Scale::Tiny => (200, 60, 3),
+        Scale::Small => (400, 200, 3),
+        Scale::Paper => (1000, 600, 5),
+    };
+    let data = SynthSpec::new(
+        "overhead",
+        rows,
+        5,
+        1,
+        3,
+        SynthFamily::GaussianBlobs { spread: 0.9 },
+        91,
+    )
+    .generate();
+
+    let registry = Registry::fast();
+    let spec = registry.get("J48").expect("fast registry carries J48");
+    let space = spec.param_space();
+    let objective =
+        |config: &Config| cross_val_accuracy(|| spec.build(config, 7), &data, 5, 7).unwrap_or(0.0);
+    let ga_config = GaConfig {
+        population: 16,
+        generations: 1000, // bounded by the eval budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(evals);
+
+    // ---- Overhead: best-of-`reps` wall clock, tracer off vs on, serial
+    // executor so the measurement is not scheduler noise.
+    let executor = Executor::new(1);
+    let timed = |tracer: Arc<Tracer>| {
+        // Cache disabled: a shared cache would make every repeat a free
+        // replay, leaving nothing but tracer cost in the measurement.
+        let ga = GeneticAlgorithm::with_config(42, ga_config.clone())
+            .with_cache(Arc::new(TrialCache::disabled()))
+            .with_tracer(tracer);
+        let mut best_ms = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let run = ga
+                .optimize_batch(&space, &objective, &budget, &executor)
+                .expect("eval budget > 0 always yields an outcome");
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            out = Some(run);
+        }
+        (out.expect("reps >= 1"), best_ms)
+    };
+
+    narrator.emit(TraceEvent::stage_start("overhead"));
+    let (off, off_ms) = timed(Arc::new(Tracer::disabled()));
+    let (on, on_ms) = {
+        let (tracer, handle) = Tracer::in_memory();
+        let (out, ms) = timed(Arc::new(tracer));
+        let events = handle.contents().lines().count();
+        narrator.emit(TraceEvent::stage_end(
+            "capture",
+            format!("{events} event(s) over {} trial(s)", out.trials.len()),
+        ));
+        (out, ms)
+    };
+    let overhead = (on_ms - off_ms) / off_ms.max(1e-9) * 100.0;
+    assert_eq!(
+        fingerprint(&off),
+        fingerprint(&on),
+        "tracing changed the trial history (trace-on must equal trace-off)"
+    );
+    narrator.emit(TraceEvent::stage_end(
+        "overhead",
+        format!("off {off_ms:.1} ms, on {on_ms:.1} ms, overhead {overhead:+.2}%"),
+    ));
+
+    // ---- Byte-identity: the captured trace must not depend on the thread
+    // count. `AUTOMODEL_THREADS=N` narrows the sweep to {1, N}.
+    let mut counts = vec![1usize, 2, 8];
+    if let Some(n) = std::env::var("AUTOMODEL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        counts = vec![1, n];
+    }
+    counts.sort_unstable();
+    counts.dedup();
+    narrator.emit(TraceEvent::stage_start("byte-identity"));
+    let mut baseline: Option<String> = None;
+    for &threads in &counts {
+        let (tracer, handle) = Tracer::in_memory();
+        let ga = GeneticAlgorithm::with_config(42, ga_config.clone()).with_tracer(Arc::new(tracer));
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &Executor::new(threads))
+            .expect("eval budget > 0 always yields an outcome");
+        assert_eq!(
+            fingerprint(&out),
+            fingerprint(&off),
+            "determinism violation: {threads}-thread trial history diverged"
+        );
+        let trace = handle.contents();
+        match &baseline {
+            None => baseline = Some(trace),
+            Some(b) => assert_eq!(
+                b, &trace,
+                "trace determinism violation: {threads}-thread trace bytes diverged"
+            ),
+        }
+    }
+    let trace_lines = baseline.as_deref().map_or(0, |b| b.lines().count());
+    narrator.emit(TraceEvent::stage_end(
+        "byte-identity",
+        format!(
+            "{} thread count(s), {trace_lines} line(s), byte-identical",
+            counts.len()
+        ),
+    ));
+
+    let mut table = Table::new(
+        "Structured tracing — overhead and determinism",
+        &["tracer", "wall ms", "overhead %", "best", "trials"],
+    );
+    table.row(vec![
+        "off".into(),
+        format!("{off_ms:.1}"),
+        "-".into(),
+        format!("{:.4}", off.best_score),
+        off.trials.len().to_string(),
+    ]);
+    table.row(vec![
+        "on".into(),
+        format!("{on_ms:.1}"),
+        format!("{overhead:+.2}"),
+        format!("{:.4}", on.best_score),
+        on.trials.len().to_string(),
+    ]);
+    table.print();
+    if let Some(summary) = narrator.summary() {
+        eprintln!("{}", summary.render());
+    }
+
+    if json {
+        let out = serde_json::json!({
+            "scale": format!("{scale:?}"),
+            "evals": evals,
+            "off_ms": off_ms,
+            "on_ms": on_ms,
+            "overhead_pct": overhead,
+            "trace_lines": trace_lines,
+            "thread_counts": counts,
+        });
+        println!("{}", serde_json::to_string_pretty(&out).unwrap());
+    }
+}

@@ -24,6 +24,9 @@
 //! * `exp_cache_effect` — GA architecture search with cache off vs on:
 //!   byte-identical trial histories plus the dedup speedup, recorded into
 //!   `BENCH_cache.json`.
+//! * `exp_trace_overhead` — structured tracing off vs on: identical trial
+//!   histories, byte-identical traces at 1/2/8 threads, and the wall-clock
+//!   overhead of tracing (EXPERIMENTS.md targets < 3%).
 
 pub mod pipeline;
 pub mod report;

@@ -21,7 +21,9 @@ use automodel_data::suites::{knowledge_suite, paper_test_suite};
 use automodel_data::Dataset;
 use automodel_knowledge::{Corpus, CorpusSpec};
 use automodel_ml::Registry;
+use automodel_trace::Tracer;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::scale::Scale;
 
@@ -51,6 +53,10 @@ pub struct PipelineCache {
     pub ctx: EvalContext,
     pub scale: Scale,
     pub seed: u64,
+    /// Structured tracer forwarded into DMD runs (default: disabled). The
+    /// `P(A, D)` sweeps stay untraced — they run on a multi-threaded
+    /// executor, so their streams would interleave in scheduling order.
+    pub tracer: Arc<Tracer>,
 }
 
 impl PipelineCache {
@@ -61,7 +67,14 @@ impl PipelineCache {
             ctx,
             scale,
             seed: 17,
+            tracer: Arc::new(Tracer::disabled()),
         }
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> PipelineCache {
+        self.tracer = tracer;
+        self
     }
 
     /// Sweep one dataset across the registry (cached, parallel).
@@ -138,6 +151,7 @@ impl PipelineCache {
             feature_mask_override: None,
             architecture_override: None,
             seed: self.seed,
+            tracer: Arc::clone(&self.tracer),
         };
         config.run(&DmdInput {
             experiences: kb.corpus.experiences.clone(),

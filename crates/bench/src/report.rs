@@ -60,7 +60,9 @@ impl Table {
 
     /// Print to stdout.
     pub fn print(&self) {
+        // lint:allow(no-adhoc-print): tables on stdout are this type's output
         print!("{}", self.render());
+        // lint:allow(no-adhoc-print): blank separator line after the table
         println!();
     }
 

@@ -16,6 +16,8 @@ use automodel_hpo::{
     TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::{TraceEvent, Tracer};
+use std::sync::Arc;
 
 /// Baseline knobs.
 #[derive(Debug, Clone)]
@@ -23,6 +25,9 @@ pub struct AutoWekaConfig {
     pub budget: Budget,
     pub cv_folds: usize,
     pub seed: u64,
+    /// Structured tracer: a stage span around the hierarchical search plus
+    /// the SMAC run's full event stream (default: disabled).
+    pub tracer: Arc<Tracer>,
 }
 
 impl AutoWekaConfig {
@@ -31,6 +36,7 @@ impl AutoWekaConfig {
             budget,
             cv_folds: 10,
             seed: 0,
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -40,7 +46,14 @@ impl AutoWekaConfig {
             budget: Budget::evals(40),
             cv_folds: 3,
             seed: 0,
+            tracer: Arc::new(Tracer::disabled()),
         }
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> AutoWekaConfig {
+        self.tracer = tracer;
+        self
     }
 
     /// The hierarchical CASH space: `algorithm ∈ {applicable names}`, and
@@ -124,10 +137,23 @@ impl AutoWekaConfig {
             folds: self.cv_folds,
             seed: self.seed,
         };
-        let mut smac = SmacLite::new(self.seed).with_policy(TrialPolicy::from_env());
-        let outcome = smac
-            .optimize(&space, &mut objective, &self.budget)
-            .ok_or(CoreError::EmptySearch)?;
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("autoweka.cash"));
+        }
+        let mut smac = SmacLite::new(self.seed)
+            .with_policy(TrialPolicy::from_env())
+            .with_tracer(Arc::clone(&self.tracer));
+        let outcome = smac.optimize(&space, &mut objective, &self.budget);
+        if traced {
+            let detail = match &outcome {
+                Some(o) => format!("{} trials over {} params", o.trials.len(), space.len()),
+                None => "search returned nothing".to_string(),
+            };
+            self.tracer
+                .emit(TraceEvent::stage_end("autoweka.cash", detail));
+        }
+        let outcome = outcome.ok_or(CoreError::EmptySearch)?;
         let (algorithm, sub) = Self::split_config(registry, data, &outcome.best_config)
             // lint:allow(no-panic-lib): the optimizer only returns configs it sampled
             .expect("best config came from the CASH space");

@@ -28,10 +28,12 @@ use automodel_invariant::debug_invariant;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper};
 use automodel_ml::Registry;
 use automodel_nn::{MlpClassifier, MlpRegressor};
+use automodel_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Everything DMD consumes: the paper corpus plus the datasets behind the
 /// task instances the corpus talks about.
@@ -114,6 +116,9 @@ pub struct DmdConfig {
     /// (e.g. [`crate::table2::default_mlp_point`] = "no architecture search").
     pub architecture_override: Option<automodel_hpo::Config>,
     pub seed: u64,
+    /// Structured tracer: stage spans around Algorithm 4's four steps, plus
+    /// the inner GA runs' full event streams (default: disabled).
+    pub tracer: Arc<Tracer>,
 }
 
 impl DmdConfig {
@@ -132,6 +137,7 @@ impl DmdConfig {
             feature_mask_override: None,
             architecture_override: None,
             seed: 0,
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -151,6 +157,7 @@ impl DmdConfig {
             feature_mask_override: None,
             architecture_override: None,
             seed: 0,
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -162,9 +169,21 @@ impl DmdConfig {
         }
     }
 
+    /// Attach a tracer (default: disabled). The tracer is forwarded to the
+    /// Algorithm 2/3 genetic algorithms, so a DMD trace contains both the
+    /// stage spans and the inner optimizer runs.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> DmdConfig {
+        self.tracer = tracer;
+        self
+    }
+
     /// Run Algorithm 4 end to end.
     pub fn run(&self, input: &DmdInput) -> Result<Dmd, CoreError> {
+        let traced = self.tracer.is_enabled();
         // ---- Step 1: knowledge acquisition (Algorithm 1).
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("dmd.knowledge"));
+        }
         let pairs = knowledge_acquisition(
             &input.experiences,
             &input.papers,
@@ -213,23 +232,53 @@ impl DmdConfig {
             }),
             "malformed OneHot' target in CRelations"
         );
+        if traced {
+            self.tracer.emit(TraceEvent::stage_end(
+                "dmd.knowledge",
+                format!("{} CRelations records", records.len()),
+            ));
+        }
 
         // ---- Step 2: instance feature selection (Algorithm 2).
+        if traced {
+            self.tracer
+                .emit(TraceEvent::stage_start("dmd.feature-selection"));
+        }
         let key_features = match self.feature_mask_override {
             Some(mask) if mask.iter().any(|&b| b) => mask,
             Some(_) => [true; FEATURE_COUNT],
             None => self.select_features(&records),
         };
+        if traced {
+            let kept = key_features.iter().filter(|&&b| b).count();
+            self.tracer.emit(TraceEvent::stage_end(
+                "dmd.feature-selection",
+                format!("{kept}/{FEATURE_COUNT} key features"),
+            ));
+        }
 
         // ---- Step 3: architecture search (Algorithm 3).
+        if traced {
+            self.tracer
+                .emit(TraceEvent::stage_start("dmd.architecture-search"));
+        }
         let (xs, standardizer) = selected_matrix(&records, &key_features);
         let targets: Vec<Vec<f64>> = records.iter().map(|r| r.target.clone()).collect();
         let arch = match &self.architecture_override {
             Some(point) => point.clone(),
             None => self.search_architecture(&xs, &targets),
         };
+        if traced {
+            self.tracer.emit(TraceEvent::stage_end(
+                "dmd.architecture-search",
+                format!("{arch}"),
+            ));
+        }
 
         // ---- Step 4: train the final SNA on all pairs (Algorithm 4, line 5).
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("dmd.train-sna"));
+        }
         // The paper's GA keeps searching until the CV MSE beats `Precision`;
         // scaled-down searches may stop earlier, so guard the *final* model:
         // if the searched architecture fails to fit CRelations, retrain with
@@ -255,6 +304,12 @@ impl DmdConfig {
             if fallback.mse(&xs, &targets) < searched_mse {
                 sna = fallback;
             }
+        }
+        if traced {
+            self.tracer.emit(TraceEvent::stage_end(
+                "dmd.train-sna",
+                format!("fit mse {:.6}", sna.mse(&xs, &targets)),
+            ));
         }
 
         Ok(Dmd {
@@ -318,7 +373,8 @@ impl DmdConfig {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env());
+        .with_policy(TrialPolicy::from_env())
+        .with_tracer(Arc::clone(&self.tracer));
         let mut mask = [false; FEATURE_COUNT];
         match ga.optimize(&space, &mut objective, &budget) {
             Some(outcome) => {
@@ -361,7 +417,8 @@ impl DmdConfig {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env());
+        .with_policy(TrialPolicy::from_env())
+        .with_tracer(Arc::clone(&self.tracer));
         ga.optimize(&space, &mut objective, &budget)
             .map(|o| o.best_config)
             .unwrap_or_else(default_mlp_point)

@@ -18,8 +18,10 @@ use automodel_hpo::{
     Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_trace::Tracer;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Shared measurement context for the experiment suite.
 pub struct EvalContext {
@@ -31,6 +33,12 @@ pub struct EvalContext {
     /// GA population for tuning.
     pub population: usize,
     pub seed: u64,
+    /// Structured tracer forwarded into each `P(A, D)` tuning run
+    /// (default: disabled). Note: [`EvalContext::all_performances`] runs
+    /// measurements concurrently, so a multi-threaded sweep interleaves the
+    /// per-run streams in scheduling order; trace single-threaded when the
+    /// bytes must be stable.
+    pub tracer: Arc<Tracer>,
     cache: Mutex<HashMap<(String, String), Option<f64>>>,
 }
 
@@ -42,6 +50,7 @@ impl EvalContext {
             tuning_budget,
             population: 10,
             seed: 0,
+            tracer: Arc::new(Tracer::disabled()),
             cache: Mutex::new(HashMap::new()),
         }
     }
@@ -49,6 +58,12 @@ impl EvalContext {
     /// Scaled-down defaults used by the experiment harness.
     pub fn fast(registry: Registry) -> EvalContext {
         EvalContext::new(registry, 3, Budget::evals(12))
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> EvalContext {
+        self.tracer = tracer;
+        self
     }
 
     /// `P(A, D)`: GA-tuned CV accuracy; `None` when `A` cannot process `D`.
@@ -92,7 +107,8 @@ impl EvalContext {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env());
+        .with_policy(TrialPolicy::from_env())
+        .with_tracer(Arc::clone(&self.tracer));
         ga.optimize(&space, &mut objective, &self.tuning_budget)
             .map(|o| o.best_score)
     }

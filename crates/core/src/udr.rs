@@ -15,6 +15,7 @@ use automodel_hpo::{
     Objective, Optimizer, TrialFailure, TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
+use automodel_trace::{TraceEvent, Tracer};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -89,6 +90,9 @@ pub struct UdrConfig {
     /// [`ManualClock`](automodel_parallel::ManualClock) so the GA-vs-BO
     /// routing decision is deterministic instead of wall-clock-dependent.
     pub probe_clock: Arc<dyn Clock>,
+    /// Structured tracer: stage spans around the probe and the tuning run,
+    /// plus the chosen optimizer's full event stream (default: disabled).
+    pub tracer: Arc<Tracer>,
 }
 
 impl std::fmt::Debug for UdrConfig {
@@ -114,6 +118,7 @@ impl UdrConfig {
             cv_folds: 10,
             seed: 0,
             probe_clock: Arc::new(MonotonicClock::new()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -127,7 +132,14 @@ impl UdrConfig {
             cv_folds: 3,
             seed: 0,
             probe_clock: Arc::new(MonotonicClock::new()),
+            tracer: Arc::new(Tracer::disabled()),
         }
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> UdrConfig {
+        self.tracer = tracer;
+        self
     }
 
     /// Algorithm 5 end to end.
@@ -149,8 +161,12 @@ impl UdrConfig {
         let space = spec.param_space();
         let seed = self.seed;
 
+        let traced = self.tracer.is_enabled();
         // Probe: time one default-config evaluation on a small sample. The
         // clock is injectable so tests can pin the GA-vs-BO decision.
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("udr.probe"));
+        }
         let probe_time = {
             let mut rng = StdRng::seed_from_u64(seed ^ 0x9A0B);
             let rows = data.sample_rows(self.probe_rows, &mut rng);
@@ -165,6 +181,19 @@ impl UdrConfig {
             self.probe_clock.now().saturating_sub(start)
         };
         let use_ga = probe_time < self.eval_time_threshold;
+        if traced {
+            self.tracer.emit(TraceEvent::stage_end(
+                "udr.probe",
+                format!(
+                    "{algorithm} routed to {}",
+                    if use_ga {
+                        "genetic-algorithm"
+                    } else {
+                        "bayesian-optimization"
+                    }
+                ),
+            ));
+        }
 
         let folds = self.cv_folds;
         let mut objective = CvObjective {
@@ -176,6 +205,9 @@ impl UdrConfig {
         };
 
         let policy = TrialPolicy::from_env();
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("udr.tune"));
+        }
         let outcome = if use_ga {
             let mut ga = GeneticAlgorithm::with_config(
                 seed,
@@ -185,12 +217,22 @@ impl UdrConfig {
                     ..GaConfig::default()
                 },
             )
-            .with_policy(policy);
+            .with_policy(policy)
+            .with_tracer(Arc::clone(&self.tracer));
             ga.optimize(&space, &mut objective, &self.tuning_budget)
         } else {
-            let mut bo = BayesianOptimization::new(seed).with_policy(policy);
+            let mut bo = BayesianOptimization::new(seed)
+                .with_policy(policy)
+                .with_tracer(Arc::clone(&self.tracer));
             bo.optimize(&space, &mut objective, &self.tuning_budget)
         };
+        if traced {
+            let detail = match &outcome {
+                Some(o) => format!("{algorithm} tuned over {} trials", o.trials.len()),
+                None => format!("{algorithm} search returned nothing"),
+            };
+            self.tracer.emit(TraceEvent::stage_end("udr.tune", detail));
+        }
         let Some(outcome) = outcome else {
             // Degenerate: empty space or zero budget — fall back to defaults.
             if space.is_empty() {

@@ -15,9 +15,13 @@
 
 use crate::budget::Budget;
 use crate::linalg::{cholesky, sq_dist, Cholesky, SquareMatrix};
-use crate::objective::{eval_batch_serial, Objective, OptOutcome, Optimizer, Quarantine, Trial};
+use crate::objective::{
+    eval_batch_serial, finish_run, trace_run_start, Objective, OptOutcome, Optimizer, Quarantine,
+    Trial,
+};
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{TrialCache, TrialPolicy};
+use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -38,6 +42,7 @@ pub struct BayesianOptimization {
     pub max_gp_points: usize,
     policy: TrialPolicy,
     cache: Arc<TrialCache>,
+    tracer: Arc<Tracer>,
 }
 
 impl BayesianOptimization {
@@ -51,6 +56,7 @@ impl BayesianOptimization {
             max_gp_points: 200,
             policy: TrialPolicy::default(),
             cache: Arc::new(TrialCache::from_env()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -64,6 +70,12 @@ impl BayesianOptimization {
     /// Replace the trial cache (default: [`TrialCache::from_env`]).
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> BayesianOptimization {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> BayesianOptimization {
+        self.tracer = tracer;
         self
     }
 }
@@ -197,8 +209,10 @@ impl Optimizer for BayesianOptimization {
         // finite penalty (keeping the GP's training targets finite) and
         // repeat offenders are quarantined so the surrogate never revisits
         // them.
+        trace_run_start(&self.tracer, "bayesian-optimization", self.seed);
         let policy = self.policy.clone();
         let cache = Arc::clone(&self.cache);
+        let tracer = Arc::clone(&self.tracer);
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -214,6 +228,7 @@ impl Optimizer for BayesianOptimization {
                 &policy,
                 quarantine,
                 &cache,
+                &tracer,
             );
             for (config, score) in scored {
                 xs.push(space.encode(&config));
@@ -310,10 +325,14 @@ impl Optimizer for BayesianOptimization {
                 objective,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "bayesian-optimization",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 
     fn name(&self) -> &'static str {

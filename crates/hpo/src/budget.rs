@@ -120,22 +120,29 @@ impl BudgetTracker {
 
     /// True when any component of the budget has tripped.
     pub fn exhausted(&self) -> bool {
+        self.exhausted_reason().is_some()
+    }
+
+    /// Which budget component tripped, checked in the fixed order
+    /// evaluations → time → target (the trace layer's `budget` event
+    /// reason). `None` while the budget still allows evaluations.
+    pub fn exhausted_reason(&self) -> Option<&'static str> {
         if let Some(n) = self.budget.max_evals {
             if self.evals >= n {
-                return true;
+                return Some("evals");
             }
         }
         if let Some(t) = self.budget.max_time {
             if self.elapsed() >= t {
-                return true;
+                return Some("time");
             }
         }
         if let Some(target) = self.budget.target {
             if self.best >= target {
-                return true;
+                return Some("target");
             }
         }
-        false
+        None
     }
 
     /// Evaluations remaining before the count limit (∞ ⇒ `usize::MAX`).
@@ -189,6 +196,7 @@ mod tests {
         assert!(!t.exhausted());
         t.record(0.3);
         assert!(t.exhausted());
+        assert_eq!(t.exhausted_reason(), Some("evals"));
         assert_eq!(t.evals(), 3);
         assert_eq!(t.remaining_evals(), 0);
     }
@@ -200,6 +208,7 @@ mod tests {
         assert!(!t.exhausted());
         t.record(0.95);
         assert!(t.exhausted());
+        assert_eq!(t.exhausted_reason(), Some("target"));
         assert_eq!(t.best(), 0.95);
     }
 
@@ -212,6 +221,7 @@ mod tests {
         assert!(!t.exhausted());
         clock.advance(Duration::from_secs(1));
         assert!(t.exhausted());
+        assert_eq!(t.exhausted_reason(), Some("time"));
         assert_eq!(t.elapsed(), Duration::from_secs(30));
     }
 

@@ -30,23 +30,10 @@
 use crate::space::{Config, ParamValue, SearchSpace};
 use std::fmt::Write as _;
 
-/// The single bit pattern all NaNs collapse to (the standard quiet NaN).
-pub const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
-
-/// Canonical bit pattern of a float for keying: all NaNs become one quiet
-/// NaN, `-0.0` becomes `+0.0`, everything else keeps its exact bits. This
-/// makes bit-equality of keys coincide with `PartialEq` of values (modulo
-/// NaN, where any-NaN ⇒ one key — the useful choice for a cache: a config
-/// carrying NaN is the *same broken config* however the NaN is encoded).
-pub fn canonical_f64_bits(v: f64) -> u64 {
-    if v.is_nan() {
-        CANONICAL_NAN_BITS
-    } else if v == 0.0 {
-        0 // collapses -0.0 onto +0.0, matching Config equality
-    } else {
-        v.to_bits()
-    }
-}
+// One canonicalization law for the whole workspace: the trial cache's
+// fingerprints and the trace codec's float wire form share the exact
+// definition, so a score read back from a trace keys the cache correctly.
+pub use automodel_trace::{canonical_f64_bits, CANONICAL_NAN_BITS};
 
 /// Append one typed value. Type tags keep the four variants disjoint; the
 /// fixed-width hex float encoding needs no terminator to stay injective.

@@ -10,12 +10,13 @@
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::objective::{
-    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
-    Quarantine, Trial,
+    eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
+    OptOutcome, Optimizer, Quarantine, Trial,
 };
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
 use automodel_parallel::{Executor, TrialCache, TrialPolicy};
+use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -31,6 +32,7 @@ enum Evaluation<'a> {
 }
 
 impl Evaluation<'_> {
+    #[allow(clippy::too_many_arguments)] // the shared eval_batch_* signature, dispatched
     fn eval_batch(
         &mut self,
         configs: Vec<Config>,
@@ -39,13 +41,14 @@ impl Evaluation<'_> {
         policy: &TrialPolicy,
         quarantine: &mut Quarantine,
         cache: &TrialCache,
+        tracer: &Tracer,
     ) -> Vec<(Config, f64)> {
         match self {
             Evaluation::Serial(objective) => eval_batch_serial(
-                configs, *objective, tracker, trials, policy, quarantine, cache,
+                configs, *objective, tracker, trials, policy, quarantine, cache, tracer,
             ),
             Evaluation::Parallel(objective, executor) => eval_batch_parallel(
-                configs, *objective, executor, tracker, trials, policy, quarantine, cache,
+                configs, *objective, executor, tracker, trials, policy, quarantine, cache, tracer,
             ),
         }
     }
@@ -91,6 +94,7 @@ pub struct GeneticAlgorithm {
     seed: u64,
     policy: TrialPolicy,
     cache: Arc<TrialCache>,
+    tracer: Arc<Tracer>,
 }
 
 impl GeneticAlgorithm {
@@ -100,15 +104,14 @@ impl GeneticAlgorithm {
             seed,
             policy: TrialPolicy::default(),
             cache: Arc::new(TrialCache::from_env()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
     pub fn with_config(seed: u64, config: GaConfig) -> GeneticAlgorithm {
         GeneticAlgorithm {
             config,
-            seed,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env()),
+            ..GeneticAlgorithm::new(seed)
         }
     }
 
@@ -123,6 +126,13 @@ impl GeneticAlgorithm {
     /// one `Arc` across runs lets later searches reuse earlier results.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GeneticAlgorithm {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a tracer (default: disabled). The run then narrates itself as
+    /// structured events without perturbing any result byte.
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> GeneticAlgorithm {
+        self.tracer = tracer;
         self
     }
 
@@ -199,6 +209,7 @@ impl GeneticAlgorithm {
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
         let mut quarantine = Quarantine::new();
+        trace_run_start(&self.tracer, "genetic-algorithm", self.seed);
 
         // Initial population: sample the whole generation first (the RNG
         // stream never depends on evaluation progress), then score it as
@@ -212,12 +223,17 @@ impl GeneticAlgorithm {
             &self.policy,
             &mut quarantine,
             &self.cache,
+            &self.tracer,
         );
         if population.is_empty() {
-            return OptOutcome::from_trials(trials).map(|o| {
-                o.with_quarantine(quarantine.into_records())
-                    .with_cache_stats(self.cache.stats())
-            });
+            return finish_run(
+                &self.tracer,
+                "genetic-algorithm",
+                &tracker,
+                trials,
+                quarantine,
+                &self.cache,
+            );
         }
 
         for _generation in 0..self.config.generations {
@@ -254,6 +270,7 @@ impl GeneticAlgorithm {
                 &self.policy,
                 &mut quarantine,
                 &self.cache,
+                &self.tracer,
             ));
             if next.is_empty() {
                 break;
@@ -278,10 +295,14 @@ impl GeneticAlgorithm {
                 "a genome violates its search-space bounds"
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "genetic-algorithm",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 }
 

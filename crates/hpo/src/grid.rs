@@ -9,11 +9,12 @@
 
 use crate::budget::Budget;
 use crate::objective::{
-    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
-    Quarantine,
+    eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
+    OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{Executor, TrialCache, TrialPolicy};
+use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
@@ -28,6 +29,7 @@ pub struct GridSearch {
     pub max_points: usize,
     policy: TrialPolicy,
     cache: Arc<TrialCache>,
+    tracer: Arc<Tracer>,
 }
 
 impl GridSearch {
@@ -37,6 +39,7 @@ impl GridSearch {
             max_points: 100_000,
             policy: TrialPolicy::default(),
             cache: Arc::new(TrialCache::from_env()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -52,6 +55,12 @@ impl GridSearch {
     /// off when an `Arc` is shared across runs.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GridSearch {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> GridSearch {
+        self.tracer = tracer;
         self
     }
 
@@ -89,6 +98,8 @@ impl GridSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
+        // Grid search is seedless; the run event records seed 0.
+        trace_run_start(&self.tracer, "grid-search", 0);
         let mut points = self.enumeration(space);
         let batch = (executor.threads() * 8).max(8);
         while !tracker.exhausted() {
@@ -105,12 +116,17 @@ impl GridSearch {
                 &self.policy,
                 &mut quarantine,
                 &self.cache,
+                &self.tracer,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "grid-search",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 }
 
@@ -164,6 +180,7 @@ impl Optimizer for GridSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
+        trace_run_start(&self.tracer, "grid-search", 0);
         let mut points = self.enumeration(space);
         while !tracker.exhausted() {
             let Some(config) = points.next_point(space) else {
@@ -177,12 +194,17 @@ impl Optimizer for GridSearch {
                 &self.policy,
                 &mut quarantine,
                 &self.cache,
+                &self.tracer,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "grid-search",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 
     fn name(&self) -> &'static str {

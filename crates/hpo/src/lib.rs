@@ -62,6 +62,14 @@ pub use automodel_parallel::{
     MonotonicClock, TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
 };
 
+// The structured-tracing vocabulary (see `automodel-trace`): every optimizer
+// accepts a `with_tracer(Arc<Tracer>)` and emits a deterministic event
+// stream. Re-exported so callers need not depend on `automodel-trace`
+// directly.
+pub use automodel_trace::{
+    decode, encode_line, MemoryHandle, TraceEvent, TraceRecord, TraceSummary, Tracer,
+};
+
 /// Optimizers re-exported as a module for qualified use.
 pub mod optimizers {
     pub use crate::bo::BayesianOptimization;

@@ -35,6 +35,17 @@
 //! contract, so a replayed score *is* the recomputed score). Cached trials
 //! still consume budget and are still recorded in the history — only the
 //! objective call is skipped.
+//!
+//! ## Tracing
+//!
+//! When a [`Tracer`] is enabled, every trial narrates itself as a typed
+//! event sequence (`trial_start`, cache hit/miss, per-attempt faults and
+//! retries, quarantine decisions, `trial_end`). Events are *built* inside
+//! the (possibly parallel) trial evaluation as plain values on
+//! [`TrialEval`] and *emitted* by [`record_batch`] at the batch boundary
+//! in trial-index order, so the trace byte stream — like the trial history
+//! it mirrors — is identical at any thread count, and a disabled tracer
+//! costs one branch per trial.
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::space::{Config, SearchSpace};
@@ -42,6 +53,7 @@ use automodel_parallel::{
     run_trial, CacheStats, CachedTrial, Executor, TrialCache, TrialFailure, TrialOutcome,
     TrialPolicy,
 };
+use automodel_trace::{TraceEvent, Tracer};
 use std::collections::BTreeMap;
 
 /// A black-box objective to maximize.
@@ -168,6 +180,10 @@ pub(crate) struct TrialEval {
     /// `(canonical key, memoized trial)` awaiting its index-ordered commit
     /// in [`record_batch`]; `None` on a cache hit or quarantine skip.
     pub(crate) pending: Option<(String, CachedTrial)>,
+    /// Trace events built during the evaluation (empty when tracing is
+    /// off); [`record_batch`] appends the terminal events and emits the
+    /// lot at the batch boundary in trial-index order.
+    pub(crate) events: Vec<TraceEvent>,
 }
 
 /// Replay a memoized trial: exactly what [`run_trial`] would return for
@@ -181,12 +197,14 @@ fn replay_cached(hit: CachedTrial, policy: &TrialPolicy) -> TrialEval {
             failure: None,
             attempts: hit.attempts,
             pending: None,
+            events: Vec::new(),
         },
         None => TrialEval {
             score: policy.penalty,
             failure: hit.outcome.failure(),
             attempts: hit.attempts,
             pending: None,
+            events: Vec::new(),
         },
     }
 }
@@ -204,10 +222,22 @@ pub(crate) fn run_contained(
     policy: &TrialPolicy,
     quarantine: &Quarantine,
     cache: &TrialCache,
+    traced: bool,
     eval: &mut dyn FnMut(&Config) -> TrialOutcome,
 ) -> TrialEval {
+    let trial = index as u64;
     let key = config.to_string();
+    let mut events = Vec::new();
+    if traced {
+        events.push(TraceEvent::TrialStart {
+            trial,
+            config: key.clone(),
+        });
+    }
     if let Some(rec) = quarantine.get(&key) {
+        if traced {
+            events.push(TraceEvent::QuarantineSkip { trial });
+        }
         return TrialEval {
             score: policy.penalty,
             failure: Some(TrialFailure {
@@ -216,13 +246,22 @@ pub(crate) fn run_contained(
             }),
             attempts: 0,
             pending: None,
+            events,
         };
     }
     let cache_key = cache.is_enabled().then(|| config.cache_key());
     if let Some(key) = &cache_key {
         if let Some(hit) = cache.get(key) {
-            return replay_cached(hit, policy);
+            let mut ev = replay_cached(hit, policy);
+            if traced {
+                events.push(TraceEvent::CacheHit { trial });
+                ev.events = events;
+            }
+            return ev;
         }
+    }
+    if traced && cache_key.is_some() {
+        events.push(TraceEvent::CacheMiss { trial });
     }
     let report = run_trial(
         policy,
@@ -230,6 +269,24 @@ pub(crate) fn run_contained(
         index as u64,
         |_seed, _attempt| eval(config),
     );
+    if traced {
+        // One fault event per failed attempt; a retry event for every
+        // attempt the policy granted after a failure.
+        for (attempt, failure) in report.failures.iter().enumerate() {
+            events.push(TraceEvent::Fault {
+                trial,
+                attempt: attempt as u64,
+                kind: failure.kind.to_string(),
+                message: failure.message.clone(),
+            });
+            if attempt + 1 < report.attempts {
+                events.push(TraceEvent::Retry {
+                    trial,
+                    attempt: (attempt + 1) as u64,
+                });
+            }
+        }
+    }
     let pending = cache_key.map(|key| {
         (
             key,
@@ -245,44 +302,77 @@ pub(crate) fn run_contained(
             failure: None,
             attempts: report.attempts,
             pending,
+            events,
         },
         None => TrialEval {
             score: policy.penalty,
             failure: report.outcome.failure(),
             attempts: report.attempts,
             pending,
+            events,
         },
     }
 }
 
 /// Fold a batch of evaluations into the trial history and — in trial-index
 /// order, at the batch boundary — quarantine every config that exhausted
-/// its retries and commit every pending cache insertion. Returns the
-/// `(config, score)` pairs for the evaluated prefix.
+/// its retries, commit every pending cache insertion, and emit each
+/// trial's trace events (closed with `quarantine`/`trial_end`) under one
+/// tracer lock. Returns the `(config, score)` pairs for the evaluated
+/// prefix.
 fn record_batch(
     configs: Vec<Config>,
     evals: Vec<TrialEval>,
     trials: &mut Vec<Trial>,
     quarantine: &mut Quarantine,
     cache: &TrialCache,
+    tracer: &Tracer,
 ) -> Vec<(Config, f64)> {
+    let traced = tracer.is_enabled();
     let mut out = Vec::with_capacity(evals.len());
-    for (config, ev) in configs.into_iter().zip(evals) {
+    let mut batch_events = Vec::new();
+    for (config, mut ev) in configs.into_iter().zip(evals) {
         let index = trials.len();
         if let (Some(failure), true) = (&ev.failure, ev.attempts > 0) {
+            let key = config.to_string();
+            let fresh = !quarantine.contains(&key);
             quarantine.add(QuarantineRecord {
-                key: config.to_string(),
+                key,
                 config: config.clone(),
                 failure: failure.clone(),
                 trial_index: index,
                 attempts: ev.attempts,
             });
+            // Emit only on actual insertion so quarantine events count
+            // exactly the records in `OptOutcome::quarantine`.
+            if traced && fresh {
+                ev.events.push(TraceEvent::Quarantine {
+                    trial: index as u64,
+                    config: config.to_string(),
+                });
+            }
         }
         // Index-ordered insertion: the cache's FIFO (and therefore its
         // eviction order) is a pure function of the trial history, never
         // of worker completion order.
         if let Some((key, value)) = ev.pending {
             cache.insert(key, value);
+        }
+        if traced {
+            let status = if ev.attempts == 0 {
+                "skipped"
+            } else if ev.failure.is_some() {
+                "failed"
+            } else {
+                "ok"
+            };
+            ev.events.push(TraceEvent::TrialEnd {
+                trial: index as u64,
+                score: ev.score,
+                attempts: ev.attempts as u64,
+                status: status.into(),
+            });
+            batch_events.append(&mut ev.events);
         }
         trials.push(Trial {
             config: config.clone(),
@@ -292,6 +382,9 @@ fn record_batch(
         });
         out.push((config, ev.score));
     }
+    if traced {
+        tracer.emit_all(batch_events);
+    }
     out
 }
 
@@ -300,6 +393,7 @@ fn record_batch(
 /// evaluated `(config, score)` prefix. The quarantine is consulted as a
 /// batch-start snapshot and updated only at the batch end — the same
 /// discipline as [`eval_batch_parallel`], so the two paths always agree.
+#[allow(clippy::too_many_arguments)] // mirrors eval_batch_parallel; bundling would obscure the shared signature
 pub(crate) fn eval_batch_serial(
     configs: Vec<Config>,
     objective: &mut dyn Objective,
@@ -308,20 +402,42 @@ pub(crate) fn eval_batch_serial(
     policy: &TrialPolicy,
     quarantine: &mut Quarantine,
     cache: &TrialCache,
+    tracer: &Tracer,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.emit(TraceEvent::BatchStart {
+            first_trial: base as u64,
+            size: configs.len() as u64,
+        });
+    }
     let mut evals = Vec::with_capacity(configs.len());
     for (i, config) in configs.iter().enumerate() {
         if tracker.exhausted() {
             break;
         }
-        let ev = run_contained(config, base + i, policy, quarantine, cache, &mut |c| {
-            objective.evaluate_outcome(c)
-        });
+        let ev = run_contained(
+            config,
+            base + i,
+            policy,
+            quarantine,
+            cache,
+            traced,
+            &mut |c| objective.evaluate_outcome(c),
+        );
         tracker.record(ev.score);
         evals.push(ev);
     }
-    record_batch(configs, evals, trials, quarantine, cache)
+    let evaluated = evals.len() as u64;
+    let out = record_batch(configs, evals, trials, quarantine, cache, tracer);
+    if traced {
+        tracer.emit(TraceEvent::BatchEnd {
+            first_trial: base as u64,
+            evaluated,
+        });
+    }
+    out
 }
 
 /// Evaluate `configs` on `executor` under `policy`, recording each into
@@ -341,24 +457,94 @@ pub(crate) fn eval_batch_parallel(
     policy: &TrialPolicy,
     quarantine: &mut Quarantine,
     cache: &TrialCache,
+    tracer: &Tracer,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
+    let traced = tracer.is_enabled();
+    if traced {
+        tracer.emit(TraceEvent::BatchStart {
+            first_trial: base as u64,
+            size: configs.len() as u64,
+        });
+    }
     let shared = tracker.share();
     let evals = {
         let snapshot: &Quarantine = quarantine;
         executor.map_budgeted(configs.len(), &shared, |i| {
             // Workers read the cache as it stood at the batch start
             // (inserts land in `record_batch` below), so which trials hit
-            // is independent of worker scheduling.
-            let ev = run_contained(&configs[i], base + i, policy, snapshot, cache, &mut |c| {
-                objective.evaluate_outcome(c)
-            });
+            // is independent of worker scheduling. Trace events are built
+            // here as values and emitted only at the batch boundary.
+            let ev = run_contained(
+                &configs[i],
+                base + i,
+                policy,
+                snapshot,
+                cache,
+                traced,
+                &mut |c| objective.evaluate_outcome(c),
+            );
             shared.record(ev.score);
             ev
         })
     };
     tracker.absorb(&shared);
-    record_batch(configs, evals, trials, quarantine, cache)
+    let evaluated = evals.len() as u64;
+    let out = record_batch(configs, evals, trials, quarantine, cache, tracer);
+    if traced {
+        tracer.emit(TraceEvent::BatchEnd {
+            first_trial: base as u64,
+            evaluated,
+        });
+    }
+    out
+}
+
+/// Emit a run-start event; a no-op (not even an allocation) when tracing
+/// is off.
+pub(crate) fn trace_run_start(tracer: &Tracer, name: &str, seed: u64) {
+    if tracer.is_enabled() {
+        tracer.emit(TraceEvent::RunStart {
+            optimizer: name.into(),
+            seed,
+        });
+    }
+}
+
+/// Close one optimizer run the way every optimizer in this crate does:
+/// emit the `budget` event if a budget component tripped, assemble the
+/// [`OptOutcome`] (quarantine log and cache telemetry attached), and emit
+/// the run-end event carrying the trial count and incumbent score.
+pub(crate) fn finish_run(
+    tracer: &Tracer,
+    name: &str,
+    tracker: &BudgetTracker,
+    trials: Vec<Trial>,
+    quarantine: Quarantine,
+    cache: &TrialCache,
+) -> Option<OptOutcome> {
+    let traced = tracer.is_enabled();
+    if traced {
+        if let Some(reason) = tracker.exhausted_reason() {
+            tracer.emit(TraceEvent::BudgetExhausted {
+                evals: tracker.evals() as u64,
+                reason: reason.into(),
+            });
+        }
+    }
+    let recorded = trials.len() as u64;
+    let out = OptOutcome::from_trials(trials).map(|o| {
+        o.with_quarantine(quarantine.into_records())
+            .with_cache_stats(cache.stats())
+    });
+    if traced {
+        tracer.emit(TraceEvent::RunEnd {
+            optimizer: name.into(),
+            trials: recorded,
+            best: out.as_ref().map(|o| o.best_score),
+        });
+    }
+    out
 }
 
 /// One recorded evaluation.

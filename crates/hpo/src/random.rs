@@ -5,11 +5,12 @@
 
 use crate::budget::Budget;
 use crate::objective::{
-    eval_batch_parallel, eval_batch_serial, BatchObjective, Objective, OptOutcome, Optimizer,
-    Quarantine,
+    eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
+    OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{seed_stream, Executor, TrialCache, TrialPolicy};
+use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -20,6 +21,7 @@ pub struct RandomSearch {
     seed: u64,
     policy: TrialPolicy,
     cache: Arc<TrialCache>,
+    tracer: Arc<Tracer>,
 }
 
 impl RandomSearch {
@@ -28,6 +30,7 @@ impl RandomSearch {
             seed,
             policy: TrialPolicy::default(),
             cache: Arc::new(TrialCache::from_env()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -41,6 +44,12 @@ impl RandomSearch {
     /// Replace the trial cache (default: [`TrialCache::from_env`]).
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> RandomSearch {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> RandomSearch {
+        self.tracer = tracer;
         self
     }
 
@@ -65,6 +74,7 @@ impl RandomSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
+        trace_run_start(&self.tracer, "random-search", self.seed);
         let batch = (executor.threads() * 8).max(8);
         let mut proposed = 0u64;
         while !tracker.exhausted() {
@@ -85,15 +95,20 @@ impl RandomSearch {
                 &self.policy,
                 &mut quarantine,
                 &self.cache,
+                &self.tracer,
             );
             if scored.is_empty() {
                 break;
             }
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "random-search",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 }
 
@@ -108,6 +123,7 @@ impl Optimizer for RandomSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
+        trace_run_start(&self.tracer, "random-search", self.seed);
         while !tracker.exhausted() {
             let config = space.sample(&mut rng);
             eval_batch_serial(
@@ -118,12 +134,17 @@ impl Optimizer for RandomSearch {
                 &self.policy,
                 &mut quarantine,
                 &self.cache,
+                &self.tracer,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "random-search",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 
     fn name(&self) -> &'static str {

@@ -14,9 +14,13 @@
 //! Used as the search engine of the Auto-Weka baseline in `automodel-core`.
 
 use crate::budget::Budget;
-use crate::objective::{eval_batch_serial, Objective, OptOutcome, Optimizer, Quarantine, Trial};
+use crate::objective::{
+    eval_batch_serial, finish_run, trace_run_start, Objective, OptOutcome, Optimizer, Quarantine,
+    Trial,
+};
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{TrialCache, TrialPolicy};
+use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -177,6 +181,7 @@ pub struct SmacLite {
     pub local_candidates: usize,
     policy: TrialPolicy,
     cache: Arc<TrialCache>,
+    tracer: Arc<Tracer>,
 }
 
 impl SmacLite {
@@ -189,6 +194,7 @@ impl SmacLite {
             local_candidates: 64,
             policy: TrialPolicy::default(),
             cache: Arc::new(TrialCache::from_env()),
+            tracer: Arc::new(Tracer::disabled()),
         }
     }
 
@@ -202,6 +208,12 @@ impl SmacLite {
     /// Replace the trial cache (default: [`TrialCache::from_env`]).
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> SmacLite {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a tracer (default: disabled).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> SmacLite {
+        self.tracer = tracer;
         self
     }
 }
@@ -250,8 +262,10 @@ impl Optimizer for SmacLite {
         // finite penalty (keeping the forest's training targets finite) and
         // repeat offenders are quarantined so the surrogate never revisits
         // them.
+        trace_run_start(&self.tracer, "smac-lite", self.seed);
         let policy = self.policy.clone();
         let cache = Arc::clone(&self.cache);
+        let tracer = Arc::clone(&self.tracer);
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -267,6 +281,7 @@ impl Optimizer for SmacLite {
                 &policy,
                 quarantine,
                 &cache,
+                &tracer,
             );
             for (config, score) in scored {
                 xs.push(space.encode(&config));
@@ -338,10 +353,14 @@ impl Optimizer for SmacLite {
                 objective,
             );
         }
-        OptOutcome::from_trials(trials).map(|o| {
-            o.with_quarantine(quarantine.into_records())
-                .with_cache_stats(self.cache.stats())
-        })
+        finish_run(
+            &self.tracer,
+            "smac-lite",
+            &tracker,
+            trials,
+            quarantine,
+            &self.cache,
+        )
     }
 
     fn name(&self) -> &'static str {

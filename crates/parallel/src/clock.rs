@@ -1,87 +1,6 @@
-//! Injectable monotonic time source.
-//!
-//! Budgets never read `Instant::now()` directly: they ask a [`Clock`].
-//! Production code uses [`MonotonicClock`]; tests inject [`ManualClock`]
-//! and advance it by hand, which makes wall-clock budget tests instant and
-//! deterministic instead of `thread::sleep`-flaky.
+//! Injectable monotonic time source — the canonical definitions live in
+//! `automodel-trace` so budgets and trace timestamps share one clock type
+//! (a budget test's `ManualClock` is the same object stamping the trace).
+//! This module re-exports them under the historical `crate::clock` path.
 
-use parking_lot::Mutex;
-use std::time::{Duration, Instant};
-
-/// A monotonic time source. `now()` is elapsed time since the clock's own
-/// epoch (construction for [`MonotonicClock`], zero for [`ManualClock`]).
-pub trait Clock: Send + Sync {
-    fn now(&self) -> Duration;
-}
-
-/// Real wall clock backed by [`Instant`].
-#[derive(Debug)]
-pub struct MonotonicClock {
-    origin: Instant,
-}
-
-impl MonotonicClock {
-    pub fn new() -> MonotonicClock {
-        MonotonicClock {
-            origin: Instant::now(),
-        }
-    }
-}
-
-impl Default for MonotonicClock {
-    fn default() -> MonotonicClock {
-        MonotonicClock::new()
-    }
-}
-
-impl Clock for MonotonicClock {
-    fn now(&self) -> Duration {
-        self.origin.elapsed()
-    }
-}
-
-/// Hand-advanced clock for deterministic tests. Wrap it in an `Arc` and
-/// keep a handle to [`advance`](ManualClock::advance) it mid-test.
-#[derive(Debug, Default)]
-pub struct ManualClock {
-    now: Mutex<Duration>,
-}
-
-impl ManualClock {
-    pub fn new() -> ManualClock {
-        ManualClock::default()
-    }
-
-    /// Move the clock forward by `by`.
-    pub fn advance(&self, by: Duration) {
-        *self.now.lock() += by;
-    }
-}
-
-impl Clock for ManualClock {
-    fn now(&self) -> Duration {
-        *self.now.lock()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn monotonic_clock_advances_on_its_own() {
-        let c = MonotonicClock::new();
-        let a = c.now();
-        let b = c.now();
-        assert!(b >= a);
-    }
-
-    #[test]
-    fn manual_clock_only_moves_when_told() {
-        let c = ManualClock::new();
-        assert_eq!(c.now(), Duration::ZERO);
-        c.advance(Duration::from_secs(3));
-        c.advance(Duration::from_millis(500));
-        assert_eq!(c.now(), Duration::from_millis(3500));
-    }
-}
+pub use automodel_trace::{Clock, ManualClock, MonotonicClock};

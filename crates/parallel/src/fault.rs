@@ -316,12 +316,16 @@ impl TrialPolicy {
     }
 }
 
-/// The result of [`run_trial`]: the final outcome plus how many attempts
-/// were spent reaching it.
+/// The result of [`run_trial`]: the final outcome, how many attempts were
+/// spent reaching it, and the failure of every attempt that did not
+/// succeed, in attempt order — the raw material for the trace layer's
+/// `fault`/`retry` events. `failures.len() == attempts - 1` when the trial
+/// eventually succeeded, `== attempts` when it never did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrialReport {
     pub outcome: TrialOutcome,
     pub attempts: usize,
+    pub failures: Vec<TrialFailure>,
 }
 
 /// Execute one trial under `policy`: inject any planned faults (attempt 0
@@ -341,6 +345,7 @@ where
 {
     let attempts = policy.max_attempts.max(1);
     let mut last = TrialOutcome::NonFinite;
+    let mut failures = Vec::new();
     for attempt in 0..attempts {
         let seed = seed_stream(base_seed, index, attempt as u64);
         let eval = &mut eval;
@@ -366,13 +371,18 @@ where
             return TrialReport {
                 outcome,
                 attempts: attempt + 1,
+                failures,
             };
+        }
+        if let Some(failure) = outcome.failure() {
+            failures.push(failure);
         }
         last = outcome;
     }
     TrialReport {
         outcome: last,
         attempts,
+        failures,
     }
 }
 
@@ -490,7 +500,14 @@ mod tests {
             );
             // Faulted indices needed the retry; clean ones did not.
             assert_eq!(report.attempts, if index == 3 { 1 } else { 2 });
+            assert_eq!(report.failures.len(), report.attempts - 1);
         }
+        let policy = TrialPolicy::default().with_faults(FaultPlan {
+            panic_at: [4u64].into_iter().collect(),
+            ..FaultPlan::none()
+        });
+        let report = run_trial(&policy, 9, 4, |_s, _a| TrialOutcome::from_score(1.0));
+        assert_eq!(report.failures[0].kind, FailureKind::Panicked);
     }
 
     #[test]
@@ -507,6 +524,12 @@ mod tests {
             report.outcome,
             TrialOutcome::Panicked("always fails".into())
         );
+        // Every exhausted attempt left a failure record, in order.
+        assert_eq!(report.failures.len(), 3);
+        assert!(report
+            .failures
+            .iter()
+            .all(|f| f.kind == FailureKind::Panicked));
     }
 
     #[test]

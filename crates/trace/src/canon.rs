@@ -1,0 +1,94 @@
+//! Canonical float bits and their fixed-width hex wire form.
+//!
+//! One law, shared by the trial cache's config fingerprints and the trace
+//! codec: **bit-equality of encodings coincides with `PartialEq` of
+//! values** (modulo NaN, where every payload collapses to one key — the
+//! useful choice: a NaN is the *same broken value* however it is
+//! encoded). Concretely, all NaNs become the standard quiet NaN and
+//! `-0.0` becomes `+0.0`; every other float keeps its exact bits. The
+//! wire form is the canonical bit pattern as 16 lowercase hex digits —
+//! fixed width, locale-free, and lossless, so encode→decode→encode is
+//! byte-stable for any input float.
+
+/// The single bit pattern all NaNs collapse to (the standard quiet NaN).
+pub const CANONICAL_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Canonical bit pattern of a float for keying and tracing: all NaNs
+/// become one quiet NaN, `-0.0` becomes `+0.0`, everything else keeps its
+/// exact bits. Idempotent: re-canonicalizing a canonical pattern is a
+/// no-op, which is what makes round-tripped traces byte-stable.
+pub fn canonical_f64_bits(v: f64) -> u64 {
+    if v.is_nan() {
+        CANONICAL_NAN_BITS
+    } else if v == 0.0 {
+        0 // collapses -0.0 onto +0.0, matching PartialEq
+    } else {
+        v.to_bits()
+    }
+}
+
+/// Wire form: the canonical bits as exactly 16 lowercase hex digits.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", canonical_f64_bits(v))
+}
+
+/// Parse the wire form back to a float. Accepts exactly 16 hex digits
+/// (any case); anything else is `None`. The result re-encodes to the
+/// canonical form of the input.
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    if s.len() != 16 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_payloads_collapse_and_negative_zero_normalizes() {
+        assert_eq!(canonical_f64_bits(f64::NAN), CANONICAL_NAN_BITS);
+        assert_eq!(
+            canonical_f64_bits(f64::from_bits(0x7ff8_0000_0000_0001)),
+            CANONICAL_NAN_BITS
+        );
+        assert_eq!(canonical_f64_bits(-f64::NAN), CANONICAL_NAN_BITS);
+        assert_eq!(canonical_f64_bits(-0.0), 0);
+        assert_eq!(canonical_f64_bits(0.0), 0);
+        assert_eq!(canonical_f64_bits(1.5), 1.5f64.to_bits());
+        assert_eq!(
+            canonical_f64_bits(f64::NEG_INFINITY),
+            f64::NEG_INFINITY.to_bits()
+        );
+    }
+
+    #[test]
+    fn hex_round_trips_canonically() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.5e-300,
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+        ] {
+            let hex = f64_to_hex(v);
+            assert_eq!(hex.len(), 16);
+            let back = f64_from_hex(&hex).expect("wire form parses");
+            assert_eq!(f64_to_hex(back), hex, "re-encode of {v} not byte-stable");
+        }
+    }
+
+    #[test]
+    fn hex_rejects_malformed_input() {
+        assert!(f64_from_hex("").is_none());
+        assert!(f64_from_hex("3ff").is_none());
+        assert!(f64_from_hex("3ff00000000000000").is_none()); // 17 digits
+        assert!(f64_from_hex("3ff000000000000g").is_none());
+        assert!(f64_from_hex("+ff0000000000000").is_none());
+    }
+}

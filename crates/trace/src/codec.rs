@@ -1,0 +1,678 @@
+//! Canonical JSONL wire format for trace records.
+//!
+//! One record per line, one JSON object per record, machine-written in a
+//! single canonical form: fixed key order (`"ev"`, `"t"`, then the
+//! event's own fields in declaration order), no whitespace, strings with
+//! minimal escaping, integers in decimal, and floats as 16-hex-digit
+//! canonical bit patterns ([`crate::canon`]). Canonicality is what lets
+//! golden traces and cross-thread-count traces be compared with a byte
+//! diff.
+//!
+//! The decoder is total: any input either parses to the typed record or
+//! returns a [`CodecError`] — it never panics, whatever the bytes. The
+//! round-trip law (checked exhaustively by the seeded property tests in
+//! `tests/proptest_codec.rs`): for every event `e`,
+//! `encode(decode(encode(e))) == encode(e)` byte-for-byte.
+
+use crate::canon::{f64_from_hex, f64_to_hex};
+use crate::event::TraceEvent;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One trace line: an event stamped with the tracer clock's microseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    pub t_us: u64,
+    pub event: TraceEvent,
+}
+
+/// A decoding failure: the 1-based line number (0 when unknown, e.g. from
+/// [`parse_line`]) and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace codec: {}", self.message)
+        } else {
+            write!(f, "trace codec: line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---- encoding ----
+
+/// Append `s` as a JSON string with minimal canonical escaping: `"`,
+/// `\`, the short control escapes, `\u00xx` for other controls, and raw
+/// UTF-8 for everything else.
+fn push_json_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\u{8}' => buf.push_str("\\b"),
+            '\u{c}' => buf.push_str("\\f"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+fn field_s(buf: &mut String, key: &str, value: &str) {
+    buf.push(',');
+    push_json_string(buf, key);
+    buf.push(':');
+    push_json_string(buf, value);
+}
+
+fn field_n(buf: &mut String, key: &str, value: u64) {
+    buf.push(',');
+    push_json_string(buf, key);
+    let _ = write!(buf, ":{value}");
+}
+
+fn field_f(buf: &mut String, key: &str, value: f64) {
+    field_s(buf, key, &f64_to_hex(value));
+}
+
+/// Encode one record as its canonical single-line JSON form (no trailing
+/// newline).
+pub fn encode_line(record: &TraceRecord) -> String {
+    let mut buf = String::with_capacity(64);
+    buf.push_str("{\"ev\":");
+    push_json_string(&mut buf, record.event.kind());
+    let _ = write!(buf, ",\"t\":{}", record.t_us);
+    match &record.event {
+        TraceEvent::RunStart { optimizer, seed } => {
+            field_s(&mut buf, "optimizer", optimizer);
+            field_n(&mut buf, "seed", *seed);
+        }
+        TraceEvent::RunEnd {
+            optimizer,
+            trials,
+            best,
+        } => {
+            field_s(&mut buf, "optimizer", optimizer);
+            field_n(&mut buf, "trials", *trials);
+            match best {
+                Some(score) => field_f(&mut buf, "best", *score),
+                None => field_s(&mut buf, "best", "-"),
+            }
+        }
+        TraceEvent::StageStart { stage } => field_s(&mut buf, "stage", stage),
+        TraceEvent::StageEnd { stage, detail } => {
+            field_s(&mut buf, "stage", stage);
+            field_s(&mut buf, "detail", detail);
+        }
+        TraceEvent::BatchStart { first_trial, size } => {
+            field_n(&mut buf, "first_trial", *first_trial);
+            field_n(&mut buf, "size", *size);
+        }
+        TraceEvent::BatchEnd {
+            first_trial,
+            evaluated,
+        } => {
+            field_n(&mut buf, "first_trial", *first_trial);
+            field_n(&mut buf, "evaluated", *evaluated);
+        }
+        TraceEvent::TrialStart { trial, config } => {
+            field_n(&mut buf, "trial", *trial);
+            field_s(&mut buf, "config", config);
+        }
+        TraceEvent::TrialEnd {
+            trial,
+            score,
+            attempts,
+            status,
+        } => {
+            field_n(&mut buf, "trial", *trial);
+            field_f(&mut buf, "score", *score);
+            field_n(&mut buf, "attempts", *attempts);
+            field_s(&mut buf, "status", status);
+        }
+        TraceEvent::CacheHit { trial } | TraceEvent::CacheMiss { trial } => {
+            field_n(&mut buf, "trial", *trial);
+        }
+        TraceEvent::Fault {
+            trial,
+            attempt,
+            kind,
+            message,
+        } => {
+            field_n(&mut buf, "trial", *trial);
+            field_n(&mut buf, "attempt", *attempt);
+            field_s(&mut buf, "kind", kind);
+            field_s(&mut buf, "message", message);
+        }
+        TraceEvent::Retry { trial, attempt } => {
+            field_n(&mut buf, "trial", *trial);
+            field_n(&mut buf, "attempt", *attempt);
+        }
+        TraceEvent::Quarantine { trial, config } => {
+            field_n(&mut buf, "trial", *trial);
+            field_s(&mut buf, "config", config);
+        }
+        TraceEvent::QuarantineSkip { trial } => field_n(&mut buf, "trial", *trial),
+        TraceEvent::BudgetExhausted { evals, reason } => {
+            field_n(&mut buf, "evals", *evals);
+            field_s(&mut buf, "reason", reason);
+        }
+    }
+    buf.push('}');
+    buf
+}
+
+/// Encode a record sequence as canonical JSONL (one line per record, each
+/// newline-terminated).
+pub fn encode(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&encode_line(r));
+        out.push('\n');
+    }
+    out
+}
+
+// ---- decoding ----
+
+/// A parsed JSON scalar: the wire format carries only strings and
+/// non-negative integers.
+enum Val {
+    S(String),
+    N(u64),
+}
+
+struct Parser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<char> {
+        self.s.get(self.pos..)?.chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(format!("expected '{want}', found '{c}'")),
+            None => Err(format!("expected '{want}', found end of line")),
+        }
+    }
+
+    /// One `\uXXXX` payload (the four hex digits after `\u`).
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self.bump().ok_or("truncated \\u escape")?;
+            let d = c.to_digit(16).ok_or("non-hex digit in \\u escape")?;
+            code = code * 16 + d;
+        }
+        Ok(code)
+    }
+
+    /// A JSON string (opening quote not yet consumed). Total: every
+    /// malformed escape is an error, every unpaired surrogate decodes to
+    /// U+FFFD — nothing panics.
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            let c = self.bump().ok_or("unterminated string")?;
+            match c {
+                '"' => return Ok(out),
+                '\\' => {
+                    let e = self.bump().ok_or("truncated escape")?;
+                    match e {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'b' => out.push('\u{8}'),
+                        'f' => out.push('\u{c}'),
+                        'n' => out.push('\n'),
+                        'r' => out.push('\r'),
+                        't' => out.push('\t'),
+                        'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xd800..=0xdbff).contains(&hi) {
+                                // High surrogate: pair with a following
+                                // \uDC00..\uDFFF, else replace.
+                                if self.peek() == Some('\\') {
+                                    let save = self.pos;
+                                    self.pos += 1;
+                                    if self.bump() == Some('u') {
+                                        let lo = self.hex4()?;
+                                        if (0xdc00..=0xdfff).contains(&lo) {
+                                            0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00)
+                                        } else {
+                                            // valid escape, not a low
+                                            // surrogate: replace the high
+                                            // one, keep the decoded char
+                                            out.push('\u{fffd}');
+                                            if let Some(c) = char::from_u32(lo) {
+                                                out.push(c);
+                                            } else {
+                                                out.push('\u{fffd}');
+                                            }
+                                            continue;
+                                        }
+                                    } else {
+                                        self.pos = save;
+                                        0xfffd
+                                    }
+                                } else {
+                                    0xfffd
+                                }
+                            } else {
+                                hi
+                            };
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape '\\{other}'")),
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err("raw control character in string".into()),
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// A non-negative decimal integer fitting `u64`.
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        let mut n: u64 = 0;
+        let mut digits = 0usize;
+        while let Some(c) = self.peek() {
+            let Some(d) = c.to_digit(10) else { break };
+            self.pos += 1; // ASCII digit, one byte
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d)))
+                .ok_or("integer overflows u64")?;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err("expected an integer".into());
+        }
+        Ok(n)
+    }
+}
+
+/// The field multiset of one object, consumed key by key so leftovers can
+/// be rejected.
+struct Fields(Vec<(String, Val)>);
+
+impl Fields {
+    fn take(&mut self, key: &str) -> Result<Val, String> {
+        let pos = self
+            .0
+            .iter()
+            .position(|(k, _)| k == key)
+            .ok_or_else(|| format!("missing field \"{key}\""))?;
+        Ok(self.0.remove(pos).1)
+    }
+
+    fn take_s(&mut self, key: &str) -> Result<String, String> {
+        match self.take(key)? {
+            Val::S(s) => Ok(s),
+            Val::N(_) => Err(format!("field \"{key}\" must be a string")),
+        }
+    }
+
+    fn take_n(&mut self, key: &str) -> Result<u64, String> {
+        match self.take(key)? {
+            Val::N(n) => Ok(n),
+            Val::S(_) => Err(format!("field \"{key}\" must be an integer")),
+        }
+    }
+
+    /// A float field in the 16-hex-digit canonical-bits wire form.
+    fn take_f(&mut self, key: &str) -> Result<f64, String> {
+        let s = self.take_s(key)?;
+        f64_from_hex(&s).ok_or_else(|| format!("field \"{key}\" is not 16 hex digits"))
+    }
+
+    /// An optional float: `"-"` is `None`.
+    fn take_opt_f(&mut self, key: &str) -> Result<Option<f64>, String> {
+        let s = self.take_s(key)?;
+        if s == "-" {
+            return Ok(None);
+        }
+        match f64_from_hex(&s) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!(
+                "field \"{key}\" is neither \"-\" nor 16 hex digits"
+            )),
+        }
+    }
+
+    fn finish(self) -> Result<(), String> {
+        match self.0.first() {
+            None => Ok(()),
+            Some((k, _)) => Err(format!("unexpected field \"{k}\"")),
+        }
+    }
+}
+
+fn parse_record(line: &str) -> Result<TraceRecord, String> {
+    let mut p = Parser { s: line, pos: 0 };
+    p.expect('{')?;
+    let mut fields: Vec<(String, Val)> = Vec::new();
+    loop {
+        let key = p.parse_string()?;
+        p.expect(':')?;
+        let val = match p.peek() {
+            Some('"') => Val::S(p.parse_string()?),
+            Some(c) if c.is_ascii_digit() => Val::N(p.parse_u64()?),
+            _ => return Err("expected a string or integer value".into()),
+        };
+        if fields.iter().any(|(k, _)| k == &key) {
+            return Err(format!("duplicate field \"{key}\""));
+        }
+        fields.push((key, val));
+        match p.bump() {
+            Some(',') => continue,
+            Some('}') => break,
+            Some(c) => return Err(format!("expected ',' or '}}', found '{c}'")),
+            None => return Err("expected ',' or '}', found end of line".into()),
+        }
+    }
+    if p.pos != line.len() {
+        return Err("trailing bytes after the object".into());
+    }
+
+    let mut f = Fields(fields);
+    let ev = f.take_s("ev")?;
+    let t_us = f.take_n("t")?;
+    let event = match ev.as_str() {
+        "run_start" => TraceEvent::RunStart {
+            optimizer: f.take_s("optimizer")?,
+            seed: f.take_n("seed")?,
+        },
+        "run_end" => TraceEvent::RunEnd {
+            optimizer: f.take_s("optimizer")?,
+            trials: f.take_n("trials")?,
+            best: f.take_opt_f("best")?,
+        },
+        "stage_start" => TraceEvent::StageStart {
+            stage: f.take_s("stage")?,
+        },
+        "stage_end" => TraceEvent::StageEnd {
+            stage: f.take_s("stage")?,
+            detail: f.take_s("detail")?,
+        },
+        "batch_start" => TraceEvent::BatchStart {
+            first_trial: f.take_n("first_trial")?,
+            size: f.take_n("size")?,
+        },
+        "batch_end" => TraceEvent::BatchEnd {
+            first_trial: f.take_n("first_trial")?,
+            evaluated: f.take_n("evaluated")?,
+        },
+        "trial_start" => TraceEvent::TrialStart {
+            trial: f.take_n("trial")?,
+            config: f.take_s("config")?,
+        },
+        "trial_end" => TraceEvent::TrialEnd {
+            trial: f.take_n("trial")?,
+            score: f.take_f("score")?,
+            attempts: f.take_n("attempts")?,
+            status: f.take_s("status")?,
+        },
+        "cache_hit" => TraceEvent::CacheHit {
+            trial: f.take_n("trial")?,
+        },
+        "cache_miss" => TraceEvent::CacheMiss {
+            trial: f.take_n("trial")?,
+        },
+        "fault" => TraceEvent::Fault {
+            trial: f.take_n("trial")?,
+            attempt: f.take_n("attempt")?,
+            kind: f.take_s("kind")?,
+            message: f.take_s("message")?,
+        },
+        "retry" => TraceEvent::Retry {
+            trial: f.take_n("trial")?,
+            attempt: f.take_n("attempt")?,
+        },
+        "quarantine" => TraceEvent::Quarantine {
+            trial: f.take_n("trial")?,
+            config: f.take_s("config")?,
+        },
+        "quarantine_skip" => TraceEvent::QuarantineSkip {
+            trial: f.take_n("trial")?,
+        },
+        "budget" => TraceEvent::BudgetExhausted {
+            evals: f.take_n("evals")?,
+            reason: f.take_s("reason")?,
+        },
+        other => return Err(format!("unknown event kind \"{other}\"")),
+    };
+    f.finish()?;
+    Ok(TraceRecord { t_us, event })
+}
+
+/// Decode one canonical JSONL line. The error's `line` is 0 (unknown).
+pub fn parse_line(line: &str) -> Result<TraceRecord, CodecError> {
+    parse_record(line).map_err(|message| CodecError { line: 0, message })
+}
+
+/// Decode a whole JSONL document. Blank lines are skipped; any malformed
+/// line fails with its 1-based number.
+pub fn decode(text: &str) -> Result<Vec<TraceRecord>, CodecError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok(r) => out.push(r),
+            Err(message) => {
+                return Err(CodecError {
+                    line: i + 1,
+                    message,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::CANONICAL_NAN_BITS;
+
+    fn roundtrip(record: TraceRecord) {
+        let line = encode_line(&record);
+        let back = parse_line(&line).expect("canonical line decodes");
+        assert_eq!(
+            encode_line(&back),
+            line,
+            "re-encode is not byte-stable for {record:?}"
+        );
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        let events = vec![
+            TraceEvent::RunStart {
+                optimizer: "genetic-algorithm".into(),
+                seed: 97,
+            },
+            TraceEvent::RunEnd {
+                optimizer: "smac-lite".into(),
+                trials: 30,
+                best: Some(-0.25),
+            },
+            TraceEvent::RunEnd {
+                optimizer: "grid-search".into(),
+                trials: 0,
+                best: None,
+            },
+            TraceEvent::stage_start("feature-selection"),
+            TraceEvent::stage_end("feature-selection", "9 of 12 kept"),
+            TraceEvent::BatchStart {
+                first_trial: 10,
+                size: 10,
+            },
+            TraceEvent::BatchEnd {
+                first_trial: 10,
+                evaluated: 7,
+            },
+            TraceEvent::TrialStart {
+                trial: 3,
+                config: "{depth=4, lr=0.1250}".into(),
+            },
+            TraceEvent::TrialEnd {
+                trial: 3,
+                score: -1.0e9,
+                attempts: 2,
+                status: "failed".into(),
+            },
+            TraceEvent::CacheHit { trial: 4 },
+            TraceEvent::CacheMiss { trial: 5 },
+            TraceEvent::Fault {
+                trial: 3,
+                attempt: 0,
+                kind: "panicked".into(),
+                message: "injected fault: panic (trial 3)".into(),
+            },
+            TraceEvent::Retry {
+                trial: 3,
+                attempt: 1,
+            },
+            TraceEvent::Quarantine {
+                trial: 3,
+                config: "{depth=4}".into(),
+            },
+            TraceEvent::QuarantineSkip { trial: 9 },
+            TraceEvent::BudgetExhausted {
+                evals: 120,
+                reason: "evals".into(),
+            },
+        ];
+        for (i, event) in events.into_iter().enumerate() {
+            roundtrip(TraceRecord {
+                t_us: i as u64 * 17,
+                event,
+            });
+        }
+    }
+
+    #[test]
+    fn hostile_strings_round_trip() {
+        for s in [
+            "quote\" backslash\\ slash/ tab\t newline\n cr\r",
+            "\u{8}\u{c}\u{1}\u{1f}",
+            "unicode: λ→∞ 日本語 🦀",
+            "",
+            "ends with backslash \\",
+        ] {
+            roundtrip(TraceRecord {
+                t_us: 0,
+                event: TraceEvent::stage_start(s),
+            });
+        }
+    }
+
+    #[test]
+    fn special_floats_encode_canonically() {
+        let line = encode_line(&TraceRecord {
+            t_us: 0,
+            event: TraceEvent::TrialEnd {
+                trial: 0,
+                score: f64::from_bits(0x7ff8_dead_beef_0001), // NaN payload
+                attempts: 1,
+                status: "ok".into(),
+            },
+        });
+        assert!(
+            line.contains(&format!("{CANONICAL_NAN_BITS:016x}")),
+            "NaN payload did not collapse: {line}"
+        );
+        let neg_zero = encode_line(&TraceRecord {
+            t_us: 0,
+            event: TraceEvent::TrialEnd {
+                trial: 0,
+                score: -0.0,
+                attempts: 1,
+                status: "ok".into(),
+            },
+        });
+        assert!(
+            neg_zero.contains("\"score\":\"0000000000000000\""),
+            "-0.0 did not normalize: {neg_zero}"
+        );
+    }
+
+    #[test]
+    fn surrogate_escapes_decode_without_panicking() {
+        // A valid pair, a lone high surrogate, a lone low surrogate.
+        let line = r#"{"ev":"stage_start","t":0,"stage":"🦀 \ud800 \udc00"}"#;
+        let r = parse_line(line).expect("surrogates decode");
+        match r.event {
+            TraceEvent::StageStart { stage } => {
+                assert_eq!(stage, "🦀 \u{fffd} \u{fffd}");
+            }
+            other => panic!("wrong event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "}",
+            "not json",
+            r#"{"ev":"trial_end","t":0}"#, // missing fields
+            r#"{"ev":"cache_hit","t":0,"trial":1,"x":2}"#, // extra field
+            r#"{"ev":"cache_hit","t":0,"trial":"one"}"#, // wrong type
+            r#"{"ev":"cache_hit","t":0,"trial":1,"trial":1}"#, // duplicate
+            r#"{"ev":"nope","t":0}"#,      // unknown kind
+            r#"{"ev":"cache_hit","t":-1,"trial":1}"#, // negative int
+            r#"{"ev":"cache_hit","t":99999999999999999999999999,"trial":1}"#,
+            r#"{"ev":"cache_hit","t":0,"trial":1} "#, // trailing bytes
+            r#"{"ev":"trial_end","t":0,"trial":1,"score":"xyz","attempts":1,"status":"ok"}"#,
+            "{\"ev\":\"stage_start\",\"t\":0,\"stage\":\"a\nb\"}", // raw control
+            r#"{"ev":"stage_start","t":0,"stage":"\q"}"#,          // bad escape
+            r#"{"ev":"stage_start","t":0,"stage":"\u12"}"#,        // short \u
+        ] {
+            if bad.is_empty() {
+                continue;
+            }
+            assert!(parse_line(bad).is_err(), "accepted malformed line: {bad}");
+        }
+    }
+
+    #[test]
+    fn decode_reports_the_failing_line_number() {
+        let good = encode_line(&TraceRecord {
+            t_us: 0,
+            event: TraceEvent::CacheHit { trial: 1 },
+        });
+        let doc = format!("{good}\n\nbroken\n");
+        let err = decode(&doc).expect_err("broken line must fail");
+        assert_eq!(err.line, 3);
+        assert_eq!(decode(&format!("{good}\n{good}\n")).map(|v| v.len()), Ok(2));
+    }
+}

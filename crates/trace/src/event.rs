@@ -1,0 +1,202 @@
+//! The typed event vocabulary of a pipeline run.
+//!
+//! Events form spans by pairing: `RunStart`/`RunEnd` bracket one
+//! optimizer run, `StageStart`/`StageEnd` one pipeline stage,
+//! `BatchStart`/`BatchEnd` one evaluation batch, `TrialStart`/`TrialEnd`
+//! one trial. Everything trial-scoped (cache hits, faults, retries,
+//! quarantine decisions) is emitted *between* its trial's start and end,
+//! so a decoder can reconstruct the span tree from nesting alone — the
+//! property the conformance oracle in `tests/trace_oracle.rs` asserts.
+//!
+//! All payloads are plain strings and `u64`s; scores travel as canonical
+//! float bits (see [`crate::canon`]) so the wire form never depends on
+//! formatting locale or float printing.
+
+/// One structured trace event. Field names mirror the JSONL wire keys
+/// (see [`crate::codec`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An optimizer run begins (one `Optimizer::optimize*` call).
+    RunStart { optimizer: String, seed: u64 },
+    /// The run ended: how many trials were recorded and the incumbent
+    /// score, if any trial was usable.
+    RunEnd {
+        optimizer: String,
+        trials: u64,
+        best: Option<f64>,
+    },
+    /// A named pipeline stage begins (DMD steps, UDR probe, bench phases).
+    StageStart { stage: String },
+    /// The stage ended; `detail` is a short human-readable result note.
+    StageEnd { stage: String, detail: String },
+    /// An evaluation batch begins: trials `first_trial ..
+    /// first_trial + size` are candidates.
+    BatchStart { first_trial: u64, size: u64 },
+    /// The batch ended having evaluated `evaluated ≤ size` trials (a
+    /// shortfall means the budget tripped mid-batch).
+    BatchEnd { first_trial: u64, evaluated: u64 },
+    /// One trial begins. `config` is the trial's display form.
+    TrialStart { trial: u64, config: String },
+    /// The trial ended. `status` is `"ok"`, `"failed"`, or `"skipped"`
+    /// (quarantined before evaluation); `score` is the recorded score
+    /// (the policy penalty for failures).
+    TrialEnd {
+        trial: u64,
+        score: f64,
+        attempts: u64,
+        status: String,
+    },
+    /// The trial was served from the trial cache (no live evaluation).
+    CacheHit { trial: u64 },
+    /// The trial missed the cache and was evaluated live.
+    CacheMiss { trial: u64 },
+    /// One attempt of the trial failed; `kind` is the `FailureKind`
+    /// display form, `message` the contained failure text.
+    Fault {
+        trial: u64,
+        attempt: u64,
+        kind: String,
+        message: String,
+    },
+    /// The policy granted another attempt after a fault.
+    Retry { trial: u64, attempt: u64 },
+    /// The trial's config was quarantined after exhausting its attempts.
+    Quarantine { trial: u64, config: String },
+    /// The trial was skipped because its config was already quarantined.
+    QuarantineSkip { trial: u64 },
+    /// The budget stopped evaluation early; `reason` is `"evals"`,
+    /// `"time"`, or `"target"`, `evals` the count consumed so far.
+    BudgetExhausted { evals: u64, reason: String },
+}
+
+impl TraceEvent {
+    /// The wire name of this event kind (the `"ev"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "run_start",
+            TraceEvent::RunEnd { .. } => "run_end",
+            TraceEvent::StageStart { .. } => "stage_start",
+            TraceEvent::StageEnd { .. } => "stage_end",
+            TraceEvent::BatchStart { .. } => "batch_start",
+            TraceEvent::BatchEnd { .. } => "batch_end",
+            TraceEvent::TrialStart { .. } => "trial_start",
+            TraceEvent::TrialEnd { .. } => "trial_end",
+            TraceEvent::CacheHit { .. } => "cache_hit",
+            TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::Fault { .. } => "fault",
+            TraceEvent::Retry { .. } => "retry",
+            TraceEvent::Quarantine { .. } => "quarantine",
+            TraceEvent::QuarantineSkip { .. } => "quarantine_skip",
+            TraceEvent::BudgetExhausted { .. } => "budget",
+        }
+    }
+
+    /// Convenience constructor for a stage-start event.
+    pub fn stage_start(stage: impl Into<String>) -> TraceEvent {
+        TraceEvent::StageStart {
+            stage: stage.into(),
+        }
+    }
+
+    /// Convenience constructor for a stage-end event.
+    pub fn stage_end(stage: impl Into<String>, detail: impl Into<String>) -> TraceEvent {
+        TraceEvent::StageEnd {
+            stage: stage.into(),
+            detail: detail.into(),
+        }
+    }
+
+    /// The trial index this event belongs to, if it is trial-scoped.
+    pub fn trial(&self) -> Option<u64> {
+        match self {
+            TraceEvent::TrialStart { trial, .. }
+            | TraceEvent::TrialEnd { trial, .. }
+            | TraceEvent::CacheHit { trial }
+            | TraceEvent::CacheMiss { trial }
+            | TraceEvent::Fault { trial, .. }
+            | TraceEvent::Retry { trial, .. }
+            | TraceEvent::Quarantine { trial, .. }
+            | TraceEvent::QuarantineSkip { trial } => Some(*trial),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_wire_names() {
+        let events = [
+            TraceEvent::RunStart {
+                optimizer: String::new(),
+                seed: 0,
+            },
+            TraceEvent::RunEnd {
+                optimizer: String::new(),
+                trials: 0,
+                best: None,
+            },
+            TraceEvent::stage_start("s"),
+            TraceEvent::stage_end("s", "d"),
+            TraceEvent::BatchStart {
+                first_trial: 0,
+                size: 0,
+            },
+            TraceEvent::BatchEnd {
+                first_trial: 0,
+                evaluated: 0,
+            },
+            TraceEvent::TrialStart {
+                trial: 0,
+                config: String::new(),
+            },
+            TraceEvent::TrialEnd {
+                trial: 0,
+                score: 0.0,
+                attempts: 0,
+                status: "ok".into(),
+            },
+            TraceEvent::CacheHit { trial: 0 },
+            TraceEvent::CacheMiss { trial: 0 },
+            TraceEvent::Fault {
+                trial: 0,
+                attempt: 0,
+                kind: String::new(),
+                message: String::new(),
+            },
+            TraceEvent::Retry {
+                trial: 0,
+                attempt: 0,
+            },
+            TraceEvent::Quarantine {
+                trial: 0,
+                config: String::new(),
+            },
+            TraceEvent::QuarantineSkip { trial: 0 },
+            TraceEvent::BudgetExhausted {
+                evals: 0,
+                reason: String::new(),
+            },
+        ];
+        let mut names: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len(), "duplicate wire names");
+    }
+
+    #[test]
+    fn trial_scoping_matches_the_span_design() {
+        assert_eq!(TraceEvent::CacheHit { trial: 7 }.trial(), Some(7));
+        assert_eq!(TraceEvent::stage_start("x").trial(), None);
+        assert_eq!(
+            TraceEvent::BudgetExhausted {
+                evals: 1,
+                reason: "evals".into()
+            }
+            .trial(),
+            None
+        );
+    }
+}

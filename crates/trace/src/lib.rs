@@ -1,0 +1,53 @@
+//! Deterministic structured tracing for the Auto-Model pipeline.
+//!
+//! CASH systems live or die by per-trial accounting: which configs ran,
+//! which failed, where the budget went. This crate turns that accounting
+//! into a first-class artifact — a stream of typed [`TraceEvent`]s
+//! (run → stage → batch → trial spans, plus cache, fault, retry,
+//! quarantine, and budget events) encoded as canonical JSONL — under the
+//! same determinism contract as the rest of the workspace:
+//!
+//! * **Byte-identical at any thread count.** Per-trial events are built
+//!   inside the worker closures as plain values (no shared state, no
+//!   locks on the hot path) and emitted by the batch reducer in
+//!   trial-index order at the batch boundary. Parallelism can never
+//!   reorder a trace.
+//! * **Trace-on equals trace-off.** The tracer only observes; it never
+//!   feeds back into sampling, scheduling, or scoring, so enabling it
+//!   cannot change results.
+//! * **Reproducible timestamps.** Time comes from the injected [`Clock`].
+//!   The default is a [`ManualClock`] pinned at zero, so traces are
+//!   byte-stable across machines; inject a [`MonotonicClock`] to get real
+//!   latencies (and accept that those bytes vary run to run).
+//! * **Canonical float encoding.** Scores are written as the 16-hex-digit
+//!   [`canonical_f64_bits`] pattern — every NaN collapses to one quiet
+//!   NaN, `-0.0` to `+0.0` — so encode→decode→encode is byte-stable for
+//!   any float, and golden traces diff exactly.
+//!
+//! Because the stream is deterministic, it doubles as a cross-cutting
+//! *oracle*: integration tests decode a run's trace and assert that every
+//! trial appears exactly once, spans nest properly, cache-hit events equal
+//! `CacheStats`, and fault/quarantine events match policy decisions.
+//!
+//! Sinks: `AUTOMODEL_TRACE=<path>` appends JSONL via
+//! [`Tracer::from_env`]; [`ProgressSink`] renders human stage lines to
+//! stderr; the in-memory sink backs the conformance tests; and every
+//! enabled tracer keeps a [`TraceSummary`] counter table for end-of-run
+//! reporting.
+
+pub mod canon;
+pub mod clock;
+pub mod codec;
+pub mod event;
+pub mod sink;
+pub mod tracer;
+
+pub use canon::{canonical_f64_bits, f64_from_hex, f64_to_hex, CANONICAL_NAN_BITS};
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use codec::{decode, encode_line, parse_line, CodecError, TraceRecord};
+pub use event::TraceEvent;
+pub use sink::{JsonlSink, MemoryHandle, ProgressSink, Sink};
+pub use tracer::{TraceSummary, Tracer};
+
+/// Environment variable naming the JSONL trace file ([`Tracer::from_env`]).
+pub const TRACE_ENV: &str = "AUTOMODEL_TRACE";

@@ -1,0 +1,162 @@
+//! Where encoded trace lines go.
+//!
+//! A [`Sink`] receives every record twice over: as the typed
+//! [`TraceRecord`] and as its canonical encoded line, so byte-oriented
+//! sinks ([`JsonlSink`], the in-memory test sink) write without
+//! re-encoding while human-oriented sinks ([`ProgressSink`]) format their
+//! own text. Sinks are infallible by construction — I/O errors are
+//! swallowed, never panicked on: tracing must not be able to take down a
+//! run it is only observing.
+
+use crate::codec::TraceRecord;
+use crate::event::TraceEvent;
+use parking_lot::Mutex;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One destination for trace records.
+pub trait Sink: Send {
+    /// Deliver one record; `line` is its canonical encoding (no newline).
+    fn record(&mut self, record: &TraceRecord, line: &str);
+}
+
+/// Appends canonical JSONL to a file. Opened in append mode so the
+/// sequential stages of a pipeline (each with its own tracer) accumulate
+/// into one chronological file.
+pub struct JsonlSink {
+    file: std::fs::File,
+}
+
+impl JsonlSink {
+    /// `None` if the file cannot be opened — the caller degrades to a
+    /// disabled tracer rather than failing the run.
+    pub fn open(path: &Path) -> Option<JsonlSink> {
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .ok()
+            .map(|file| JsonlSink { file })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&mut self, _record: &TraceRecord, line: &str) {
+        let _ = writeln!(self.file, "{line}");
+    }
+}
+
+/// In-memory JSONL buffer for tests; read it back through the paired
+/// [`MemoryHandle`].
+pub(crate) struct MemorySink {
+    buf: Arc<Mutex<String>>,
+}
+
+/// Reader side of an in-memory trace (see [`crate::Tracer::in_memory`]).
+#[derive(Clone)]
+pub struct MemoryHandle {
+    buf: Arc<Mutex<String>>,
+}
+
+impl MemoryHandle {
+    /// The JSONL captured so far.
+    pub fn contents(&self) -> String {
+        self.buf.lock().clone()
+    }
+}
+
+pub(crate) fn memory_pair() -> (MemorySink, MemoryHandle) {
+    let buf = Arc::new(Mutex::new(String::new()));
+    (MemorySink { buf: buf.clone() }, MemoryHandle { buf })
+}
+
+impl Sink for MemorySink {
+    fn record(&mut self, _record: &TraceRecord, line: &str) {
+        let mut buf = self.buf.lock();
+        buf.push_str(line);
+        buf.push('\n');
+    }
+}
+
+/// Human progress lines on stderr: stage and run boundaries only, so a
+/// bench binary narrates itself without any ad-hoc `eprintln!` at call
+/// sites (lint L9 allows prints only here and in bin mains).
+pub struct ProgressSink {
+    prefix: String,
+}
+
+impl ProgressSink {
+    pub fn new(prefix: impl Into<String>) -> ProgressSink {
+        ProgressSink {
+            prefix: prefix.into(),
+        }
+    }
+}
+
+impl Sink for ProgressSink {
+    fn record(&mut self, record: &TraceRecord, _line: &str) {
+        let msg = match &record.event {
+            TraceEvent::StageStart { stage } => format!("[{}] {stage}...", self.prefix),
+            TraceEvent::StageEnd { stage, detail } => {
+                format!("[{}] {stage}: {detail}", self.prefix)
+            }
+            TraceEvent::RunStart { optimizer, seed } => {
+                format!("[{}] run {optimizer} (seed {seed})", self.prefix)
+            }
+            TraceEvent::RunEnd {
+                optimizer,
+                trials,
+                best,
+            } => {
+                let best = best.map_or("-".to_string(), |b| format!("{b:.4}"));
+                format!(
+                    "[{}] run {optimizer} done: {trials} trial(s), best {best}",
+                    self.prefix
+                )
+            }
+            _ => return,
+        };
+        let mut err = std::io::stderr().lock();
+        let _ = writeln!(err, "{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_accumulates_lines_in_order() {
+        let (mut sink, handle) = memory_pair();
+        let r = TraceRecord {
+            t_us: 0,
+            event: TraceEvent::CacheHit { trial: 0 },
+        };
+        sink.record(&r, "a");
+        sink.record(&r, "b");
+        assert_eq!(handle.contents(), "a\nb\n");
+    }
+
+    #[test]
+    fn jsonl_sink_appends_across_reopens() {
+        let path =
+            std::env::temp_dir().join(format!("automodel_trace_sink_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let r = TraceRecord {
+            t_us: 0,
+            event: TraceEvent::CacheHit { trial: 0 },
+        };
+        {
+            let mut s = JsonlSink::open(&path).expect("temp file opens");
+            s.record(&r, "first");
+        }
+        {
+            let mut s = JsonlSink::open(&path).expect("temp file reopens");
+            s.record(&r, "second");
+        }
+        let text = std::fs::read_to_string(&path).expect("file reads back");
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(text, "first\nsecond\n");
+    }
+}

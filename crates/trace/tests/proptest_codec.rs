@@ -1,0 +1,219 @@
+//! Seeded property tests: canonical JSONL trace-codec laws.
+//!
+//! Whatever the event payload — hostile strings full of quotes,
+//! backslashes, control characters and multi-byte unicode; floats drawn
+//! from *arbitrary bit patterns* (NaN payloads, −0.0, ±∞, subnormals);
+//! huge config names — (1) `encode → decode → encode` is byte-stable,
+//! (2) decoding canonical output always succeeds, and (3) decoding
+//! mutated or garbage input never panics: it returns a typed error or a
+//! record, nothing else.
+//!
+//! Cases are generated from explicit seeds (no proptest: the build is
+//! offline, and deterministic replay is a workspace invariant — every
+//! failure reproduces from the printed case number).
+
+use automodel_trace::{
+    canonical_f64_bits, decode, encode_line, parse_line, TraceEvent, TraceRecord,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a per-case rng: distinct streams per (test, case) pair.
+fn case_rng(test_salt: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test_salt.wrapping_mul(0x9E37_79B9).wrapping_add(case))
+}
+
+/// A string from a hostile alphabet: JSON metacharacters, escapes,
+/// controls, multi-byte unicode, and — occasionally — huge length (the
+/// "config name from hell").
+fn hostile_string(rng: &mut StdRng) -> String {
+    const ALPHABET: [char; 20] = [
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{8}', '\u{c}', '\u{1}', '\u{1f}',
+        '{', '}', ':', 'λ', '日', '🦀',
+    ];
+    let len = if rng.gen_range(0..20usize) == 0 {
+        rng.gen_range(2_000usize..10_000) // huge name
+    } else {
+        rng.gen_range(0usize..40)
+    };
+    (0..len)
+        .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+        .collect()
+}
+
+/// A float from arbitrary bits: every NaN payload, both zeros, both
+/// infinities, subnormals — the full 2^64 space.
+fn hostile_f64(rng: &mut StdRng) -> f64 {
+    f64::from_bits(rng.gen::<u64>())
+}
+
+/// An arbitrary event of any kind.
+fn random_event(rng: &mut StdRng) -> TraceEvent {
+    match rng.gen_range(0..15usize) {
+        0 => TraceEvent::RunStart {
+            optimizer: hostile_string(rng),
+            seed: rng.gen(),
+        },
+        1 => TraceEvent::RunEnd {
+            optimizer: hostile_string(rng),
+            trials: rng.gen(),
+            best: if rng.gen() {
+                Some(hostile_f64(rng))
+            } else {
+                None
+            },
+        },
+        2 => TraceEvent::StageStart {
+            stage: hostile_string(rng),
+        },
+        3 => TraceEvent::StageEnd {
+            stage: hostile_string(rng),
+            detail: hostile_string(rng),
+        },
+        4 => TraceEvent::BatchStart {
+            first_trial: rng.gen(),
+            size: rng.gen(),
+        },
+        5 => TraceEvent::BatchEnd {
+            first_trial: rng.gen(),
+            evaluated: rng.gen(),
+        },
+        6 => TraceEvent::TrialStart {
+            trial: rng.gen(),
+            config: hostile_string(rng),
+        },
+        7 => TraceEvent::TrialEnd {
+            trial: rng.gen(),
+            score: hostile_f64(rng),
+            attempts: rng.gen(),
+            status: hostile_string(rng),
+        },
+        8 => TraceEvent::CacheHit { trial: rng.gen() },
+        9 => TraceEvent::CacheMiss { trial: rng.gen() },
+        10 => TraceEvent::Fault {
+            trial: rng.gen(),
+            attempt: rng.gen(),
+            kind: hostile_string(rng),
+            message: hostile_string(rng),
+        },
+        11 => TraceEvent::Retry {
+            trial: rng.gen(),
+            attempt: rng.gen(),
+        },
+        12 => TraceEvent::Quarantine {
+            trial: rng.gen(),
+            config: hostile_string(rng),
+        },
+        13 => TraceEvent::QuarantineSkip { trial: rng.gen() },
+        _ => TraceEvent::BudgetExhausted {
+            evals: rng.gen(),
+            reason: hostile_string(rng),
+        },
+    }
+}
+
+fn random_record(rng: &mut StdRng) -> TraceRecord {
+    TraceRecord {
+        t_us: rng.gen(),
+        event: random_event(rng),
+    }
+}
+
+#[test]
+fn encode_decode_encode_is_byte_stable() {
+    for case in 0..512u64 {
+        let mut rng = case_rng(21, case);
+        let record = random_record(&mut rng);
+        let line = encode_line(&record);
+        let back = parse_line(&line)
+            .unwrap_or_else(|e| panic!("case {case}: canonical line failed to decode: {e}"));
+        assert_eq!(
+            encode_line(&back),
+            line,
+            "case {case}: re-encode not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn whole_documents_round_trip_byte_stably() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(22, case);
+        let records: Vec<TraceRecord> = (0..rng.gen_range(0usize..20))
+            .map(|_| random_record(&mut rng))
+            .collect();
+        let doc = automodel_trace::codec::encode(&records);
+        let back = decode(&doc).unwrap_or_else(|e| panic!("case {case}: {e}"));
+        assert_eq!(
+            automodel_trace::codec::encode(&back),
+            doc,
+            "case {case}: document re-encode not byte-stable"
+        );
+    }
+}
+
+#[test]
+fn float_wire_form_always_carries_canonical_bits() {
+    // Whatever bits go in, the encoded line carries the canonical
+    // pattern, and a second round trip cannot change it again.
+    for case in 0..256u64 {
+        let mut rng = case_rng(23, case);
+        let score = hostile_f64(&mut rng);
+        let line = encode_line(&TraceRecord {
+            t_us: 0,
+            event: TraceEvent::TrialEnd {
+                trial: 0,
+                score,
+                attempts: 1,
+                status: "ok".into(),
+            },
+        });
+        let want = format!("\"score\":\"{:016x}\"", canonical_f64_bits(score));
+        assert!(line.contains(&want), "case {case}: {line} lacks {want}");
+    }
+}
+
+#[test]
+fn mutated_canonical_lines_never_panic_the_decoder() {
+    for case in 0..512u64 {
+        let mut rng = case_rng(24, case);
+        let line = encode_line(&random_record(&mut rng));
+        // Mutate at char granularity so the input stays valid UTF-8 —
+        // decode input is &str, so UTF-8 validity is the type's contract.
+        let mut chars: Vec<char> = line.chars().collect();
+        for _ in 0..rng.gen_range(1usize..4) {
+            if chars.is_empty() {
+                break;
+            }
+            let at = rng.gen_range(0..chars.len());
+            match rng.gen_range(0..3usize) {
+                0 => {
+                    chars.remove(at);
+                }
+                1 => {
+                    chars[at] =
+                        ['"', '\\', '{', '}', ',', ':', 'x', '\u{0}', '𝕏'][rng.gen_range(0..9usize)]
+                }
+                _ => chars.insert(at, ['"', '\\', ',', '0', '}'][rng.gen_range(0..5usize)]),
+            }
+        }
+        let mutated: String = chars.into_iter().collect();
+        // Either outcome is fine; panicking is not.
+        let _ = parse_line(&mutated);
+    }
+}
+
+#[test]
+fn garbage_input_never_panics_the_decoder() {
+    const ALPHABET: [char; 16] = [
+        '{', '}', '"', '\\', ',', ':', 'e', 'v', 't', '0', '9', ' ', '\u{7f}', 'Ω', '𝄞', '\u{0}',
+    ];
+    for case in 0..512u64 {
+        let mut rng = case_rng(25, case);
+        let garbage: String = (0..rng.gen_range(0usize..120))
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())])
+            .collect();
+        let _ = parse_line(&garbage);
+        let _ = decode(&garbage);
+    }
+}

@@ -60,6 +60,7 @@ fn main() {
             budget: budget.clone(),
             cv_folds: 3,
             seed: 1,
+            ..AutoWekaConfig::fast()
         }
         .solve(&dmd.registry, data)
         .expect("Auto-Weka");

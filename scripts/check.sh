@@ -42,4 +42,23 @@ AUTOMODEL_CACHE=0 cargo test -q
 echo "==> cargo test (AUTOMODEL_CACHE=1 — evaluation cache enabled)"
 AUTOMODEL_CACHE=1 cargo test -q
 
+echo "==> structured-trace gate (byte-identical traces at 1/2/8 threads, trace-on == trace-off)"
+# The binary asserts the full contract itself: enabling the tracer must not
+# change the trial history, and the captured trace must not depend on the
+# worker thread count. Any violation aborts the run.
+cargo run --release -q -p automodel-bench --bin exp_trace_overhead -- --scale tiny
+
+echo "==> AUTOMODEL_TRACE capture (JSONL sink, cross-thread diff)"
+# The file sink must produce byte-identical JSONL regardless of
+# AUTOMODEL_THREADS (the manual clock stamps t=0, so no wall-clock leaks).
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+AUTOMODEL_TRACE="$trace_dir/threads1.jsonl" AUTOMODEL_THREADS=1 \
+    cargo run --release -q -p automodel-bench --bin exp_hpo_choice -- --scale tiny >/dev/null
+AUTOMODEL_TRACE="$trace_dir/threads8.jsonl" AUTOMODEL_THREADS=8 \
+    cargo run --release -q -p automodel-bench --bin exp_hpo_choice -- --scale tiny >/dev/null
+test -s "$trace_dir/threads1.jsonl"
+grep -q '"ev"' "$trace_dir/threads1.jsonl"
+diff "$trace_dir/threads1.jsonl" "$trace_dir/threads8.jsonl"
+
 echo "All checks passed."

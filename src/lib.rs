@@ -39,6 +39,7 @@ pub use automodel_knowledge as knowledge;
 pub use automodel_ml as ml;
 pub use automodel_nn as nn;
 pub use automodel_parallel as parallel;
+pub use automodel_trace as trace;
 
 /// The most common imports for working with Auto-Model.
 pub mod prelude {
@@ -52,4 +53,5 @@ pub mod prelude {
     pub use automodel_knowledge::corpus::CorpusSpec;
     pub use automodel_ml::registry::Registry;
     pub use automodel_parallel::Executor;
+    pub use automodel_trace::{TraceEvent, TraceRecord, Tracer};
 }

@@ -1,7 +1,8 @@
 //! Shared harness for the integration suites (`tests/determinism.rs`,
-//! `tests/fault_injection.rs`): one search space, one fitness function, one
-//! canonical byte serialization and one set of containment assertions, so
-//! the two suites cannot drift apart on what "the same run" means.
+//! `tests/fault_injection.rs`, `tests/trace_oracle.rs`): one search space,
+//! one fitness function, one canonical byte serialization and one set of
+//! containment assertions, so the suites cannot drift apart on what "the
+//! same run" means.
 //!
 //! Each integration-test binary compiles this module independently and uses
 //! a different subset of it.

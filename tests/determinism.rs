@@ -309,6 +309,103 @@ fn golden_run(kind: &str, seed: u64, cache: Arc<TrialCache>) -> String {
     }
 }
 
+// ---- structured traces: byte-stable narration of a byte-stable run ----
+
+use auto_model::trace::Tracer;
+
+/// GA run with an in-memory tracer attached: returns (trial bytes, trace
+/// bytes). Hostile faults, retries and the cache are all on, so the trace
+/// carries the full event vocabulary.
+fn traced_ga_run(threads: usize) -> (String, String) {
+    common::quiet_injected_panics();
+    let space = space();
+    let (tracer, handle) = Tracer::in_memory();
+    let ga = GeneticAlgorithm::with_config(
+        97,
+        GaConfig {
+            population: 10,
+            generations: 100, // bounded by the budget
+            ..GaConfig::default()
+        },
+    )
+    .with_policy(common::hostile_policy())
+    .with_cache(Arc::new(TrialCache::default()))
+    .with_tracer(Arc::new(tracer));
+    let out = ga
+        .optimize_batch(
+            &space,
+            &fitness,
+            &Budget::evals(120),
+            &Executor::new(threads),
+        )
+        .expect("trials recorded");
+    (trial_bytes(&out), handle.contents())
+}
+
+/// Worker buffers merge at batch boundaries in trial-index order, so the
+/// *trace* — not just the trial history — must be byte-identical at any
+/// thread count, even with injected faults, retries, quarantines and
+/// cache hits in play.
+#[test]
+fn ga_trace_bytes_are_identical_at_1_2_and_8_threads() {
+    let (trials_1, trace_1) = traced_ga_run(1);
+    for threads in [2usize, 8] {
+        let (trials_n, trace_n) = traced_ga_run(threads);
+        assert_eq!(
+            trials_1, trials_n,
+            "{threads}-thread traced GA trial history diverged"
+        );
+        assert_eq!(
+            trace_1, trace_n,
+            "{threads}-thread GA trace bytes diverged from 1-thread"
+        );
+    }
+}
+
+/// Golden traces: the full JSONL narration of one GA and one SMAC run is
+/// pinned byte-for-byte (the default manual clock stamps every record
+/// `t_us = 0`, so the bytes carry no wall-clock). Any change to event
+/// vocabulary, codec, emission order, batching, or the runs themselves
+/// shows up as a diff. Regenerate deliberately with `AUTOMODEL_REGOLDEN=1`.
+#[test]
+fn golden_traces_match_for_ga_and_smac() {
+    let ga_trace = {
+        let space = space();
+        let (tracer, handle) = Tracer::in_memory();
+        let ga = GeneticAlgorithm::with_config(
+            97,
+            GaConfig {
+                population: 10,
+                generations: 100,
+                ..GaConfig::default()
+            },
+        )
+        .with_cache(Arc::new(TrialCache::default()))
+        .with_tracer(Arc::new(tracer));
+        ga.optimize_batch(&space, &fitness, &Budget::evals(60), &Executor::new(2))
+            .expect("trials recorded");
+        handle.contents()
+    };
+    assert_matches_golden("trace_ga_seed97.jsonl", &ga_trace);
+
+    let smac_trace = {
+        let space = space();
+        let (tracer, handle) = Tracer::in_memory();
+        let mut smac = SmacLite::new(4242)
+            .with_cache(Arc::new(TrialCache::default()))
+            .with_tracer(Arc::new(tracer));
+        smac.optimize(&space, &mut FnObjective(fitness), &Budget::evals(30))
+            .expect("trials recorded");
+        handle.contents()
+    };
+    assert_matches_golden("trace_smac_seed4242.jsonl", &smac_trace);
+
+    assert!(
+        !common::regolden(),
+        "golden files regenerated; unset AUTOMODEL_REGOLDEN and re-run"
+    );
+}
+
 /// Every (optimizer, seed) run must be byte-identical with the cache on
 /// and off, and match the history checked into `tests/golden/` — so any
 /// change to sampling, breeding, surrogate fitting, containment, or the

@@ -43,6 +43,7 @@ fn auto_model_and_auto_weka_answer_the_same_cash_problem() {
         budget,
         cv_folds: 3,
         seed: 2,
+        ..AutoWekaConfig::fast()
     }
     .solve(&dmd.registry, &dataset)
     .expect("Auto-Weka");

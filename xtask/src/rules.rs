@@ -9,6 +9,7 @@
 //! | L6   | `no-adhoc-threads`  | everything outside `crates/parallel/`    |
 //! | L7   | `no-adhoc-catch-unwind` | everything outside `crates/parallel/` |
 //! | L8   | `no-adhoc-memo`     | everything outside `crates/parallel/`    |
+//! | L9   | `no-adhoc-print`    | library code (bins, tests, examples exempt) |
 //!
 //! (L5, `manifest-hygiene`, lives in [`crate::manifest`] — it checks
 //! `Cargo.toml` files, not Rust sources.)
@@ -44,6 +45,7 @@ pub fn check_file(file: &SourceFile) -> Vec<Diagnostic> {
     no_adhoc_threads(file, &mut out);
     no_adhoc_catch_unwind(file, &mut out);
     no_adhoc_memo(file, &mut out);
+    no_adhoc_print(file, &mut out);
     out
 }
 
@@ -394,6 +396,65 @@ fn no_adhoc_memo(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L9 — `no-adhoc-print`: bare `println!`/`eprintln!`/`print!`/`eprint!` in
+/// library code bypasses the structured tracing layer — the output escapes
+/// trace capture, cannot be replayed, and is invisible to the summary
+/// counters. Narration belongs in `TraceEvent`s emitted through a `Tracer`
+/// (with `ProgressSink` as the one sanctioned stderr writer). Exempt:
+/// binary entry points (`src/bin/`, `src/main.rs` — tables, JSON, and
+/// summary renders are their job), `crates/trace/src/` (the sink layer
+/// itself), `xtask/` (the lint tool's own diagnostics), `examples/`,
+/// `tests/`, `benches/`, and inline `#[cfg(test)]` modules.
+fn no_adhoc_print(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let p = file.path.to_string_lossy().replace('\\', "/");
+    let exempt = p.contains("src/bin/")
+        || p.ends_with("src/main.rs")
+        || p.starts_with("crates/trace/src/")
+        || p.starts_with("xtask/")
+        || p.contains("examples/")
+        || p.contains("tests/")
+        || p.contains("benches/");
+    if exempt {
+        return;
+    }
+    const PATTERNS: [(&str, &str); 4] = [
+        ("println!(", "ad-hoc `println!` in library code"),
+        ("eprintln!(", "ad-hoc `eprintln!` in library code"),
+        ("print!(", "ad-hoc `print!` in library code"),
+        ("eprint!(", "ad-hoc `eprint!` in library code"),
+    ];
+    for (idx, line) in file.clean.iter().enumerate() {
+        if file.in_test[idx] || file.is_allowed(idx, "no-adhoc-print") {
+            continue;
+        }
+        for (pat, msg) in PATTERNS {
+            for (col, len) in find_all(line, pat) {
+                // `eprintln!(` contains `println!(` (and `eprint!(` contains
+                // `print!(`) as a suffix — require a non-identifier char on
+                // the left so each call yields exactly one finding.
+                let preceded_by_ident = col > 0 && {
+                    let b = line.as_bytes()[col - 1];
+                    b.is_ascii_alphanumeric() || b == b'_'
+                };
+                if preceded_by_ident {
+                    continue;
+                }
+                out.push(diag(
+                    file,
+                    idx,
+                    (col, len),
+                    "no-adhoc-print",
+                    "L9",
+                    msg.to_string(),
+                    "emit a `TraceEvent` through the run's `Tracer` (narration reaches stderr \
+                     via `ProgressSink` and capture via the configured sinks), or append \
+                     `// lint:allow(no-adhoc-print): <why tracing cannot serve here>`",
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +546,56 @@ mod tests {
             "// lint:allow(no-adhoc-memo): population bookkeeping, not a result cache\nlet m: HashMap<Config, usize> = HashMap::new();\n",
         );
         assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-memo"));
+    }
+
+    #[test]
+    fn library_print_is_flagged_once_per_call() {
+        // One finding per macro call: `eprintln!(` must not double-count as
+        // `println!(`, nor `eprint!(` as `print!(`.
+        let f = SourceFile::parse(
+            "crates/bench/src/report.rs",
+            "println!(\"a\");\neprintln!(\"b\");\nprint!(\"c\");\neprint!(\"d\");\n",
+        );
+        let d = check_file(&f);
+        assert_eq!(d.iter().filter(|d| d.rule == "no-adhoc-print").count(), 4);
+    }
+
+    #[test]
+    fn bin_main_tests_and_trace_crate_may_print() {
+        for path in [
+            "crates/bench/src/bin/exp_x.rs",
+            "src/main.rs",
+            "src/bin/tool.rs",
+            "crates/trace/src/sink.rs",
+            "xtask/src/diag.rs",
+            "examples/demo.rs",
+            "tests/end_to_end.rs",
+            "crates/hpo/benches/ga.rs",
+        ] {
+            let f = SourceFile::parse(path, "println!(\"ok\");\n");
+            assert!(
+                check_file(&f).iter().all(|d| d.rule != "no-adhoc-print"),
+                "{path} should be exempt from no-adhoc-print"
+            );
+        }
+    }
+
+    #[test]
+    fn print_in_inline_test_module_is_exempt() {
+        let f = lib("#[cfg(test)]\nmod tests {\n    fn t() { println!(\"dbg\"); }\n}\n");
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-print"));
+    }
+
+    #[test]
+    fn print_in_string_or_comment_never_fires() {
+        let f = lib("// println!(\"doc\")\nlet s = \"println!(now)\";\n");
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-print"));
+    }
+
+    #[test]
+    fn adhoc_print_allow_escape_works() {
+        let f = lib("// lint:allow(no-adhoc-print): table rendering is this type's output\nprintln!(\"{t}\");\n");
+        assert!(check_file(&f).iter().all(|d| d.rule != "no-adhoc-print"));
     }
 
     #[test]
