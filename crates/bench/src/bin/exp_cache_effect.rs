@@ -175,6 +175,7 @@ fn main() {
     } else {
         0.0
     };
+    // lint:allow(determinism-taint): wall-clock speedup is the quantity this experiment reports
     tracer.emit(TraceEvent::stage_end(
         format!("cache effect ({scale:?})"),
         format!(

@@ -9,8 +9,30 @@ cd "$(dirname "$0")/.."
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
-echo "==> cargo xtask lint"
-cargo xtask lint
+echo "==> cargo xtask lint --format json (gate on the summary block)"
+# The JSON report is the machine contract (schema automodel-lint/v2):
+# CI archives it, and the gate below fails on any new finding, regressed
+# bucket, or stale baseline bucket — mirroring the lint's own exit code
+# but proving the report itself stays parseable.
+lint_report="$(mktemp)"
+cargo xtask lint --format json > "$lint_report" || true
+python3 - "$lint_report" <<'PY'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+if doc["schema"] != "automodel-lint/v2":
+    sys.exit(f"lint gate: unexpected schema {doc['schema']!r}")
+s = doc["summary"]
+if s["new"] or s["regressed_buckets"] or s["stale_buckets"] or not s["clean"]:
+    for f in doc["findings"]:
+        if not f["baselined"]:
+            print(f"  {f['file']}:{f['line']}:{f['col']}: "
+                  f"[{f['code']}/{f['rule']}] {f['message']}")
+    sys.exit(f"lint gate: {s['new']} new finding(s), "
+             f"{s['regressed_buckets']} regressed / {s['stale_buckets']} stale bucket(s)")
+print(f"lint gate: clean ({s['baselined']} grandfathered, {s['suppressed']} suppressed)")
+PY
+rm -f "$lint_report"
 
 echo "==> cargo clippy --workspace --all-targets (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -1,8 +1,19 @@
 //! Baseline ratchet for grandfathered violations.
 //!
-//! `xtask/lint-baseline.txt` records, per `(rule, file)`, how many
-//! violations existed when the rule landed. The lint run then enforces an
-//! exact match in both directions:
+//! Two on-disk formats are understood:
+//!
+//! * **v2** (written by `--update-baseline`): entries are keyed by the
+//!   finding's stable *fingerprint* — rule + item path + normalized
+//!   snippet, see [`Diagnostic::fingerprint`] — so renaming a file or
+//!   moving a function produces **zero baseline churn**. Format:
+//!   `<rule> <fingerprint16> <count>` under a `# lint-baseline v2`
+//!   header, with a human-readable `#` comment per entry.
+//! * **v1** (legacy): `<rule> <file> <count>` buckets. Still parsed and
+//!   enforced with the old per-file semantics so an old checkout fails
+//!   safe; the runner prints a migration note until the file is
+//!   regenerated.
+//!
+//! Enforcement is an exact two-sided match in both formats:
 //!
 //! * **more** violations than the baseline → the new ones are hard errors;
 //! * **fewer** violations → the fix is real progress, but the run still
@@ -14,11 +25,33 @@ use crate::diag::Diagnostic;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
+/// Header marking the fingerprint-keyed format.
+pub const V2_HEADER: &str = "# lint-baseline v2";
+
+/// Counted buckets. v1 keys are `(rule, file)`; v2 keys are
+/// `(rule, fingerprint)`.
 pub type Counts = BTreeMap<(String, String), usize>;
 
-/// Parse the baseline file format: `<rule> <file> <count>` per line,
-/// `#` comments and blank lines ignored.
-pub fn parse(text: &str) -> Result<Counts, String> {
+/// A parsed baseline file.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Baseline {
+    /// True when the file carried the [`V2_HEADER`].
+    pub v2: bool,
+    pub counts: Counts,
+}
+
+impl Baseline {
+    pub fn empty_v2() -> Baseline {
+        Baseline {
+            v2: true,
+            counts: Counts::new(),
+        }
+    }
+}
+
+/// Parse either baseline format; the v2 header decides which.
+pub fn parse(text: &str) -> Result<Baseline, String> {
+    let v2 = text.lines().next().is_some_and(|l| l.trim() == V2_HEADER);
     let mut counts = Counts::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -26,36 +59,26 @@ pub fn parse(text: &str) -> Result<Counts, String> {
             continue;
         }
         let mut parts = line.split_whitespace();
-        let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next())
+        let (Some(rule), Some(key), Some(count)) = (parts.next(), parts.next(), parts.next())
         else {
             return Err(format!(
-                "baseline line {}: expected `<rule> <file> <count>`",
-                i + 1
+                "baseline line {}: expected `<rule> <{}> <count>`",
+                i + 1,
+                if v2 { "fingerprint" } else { "file" }
             ));
         };
         let count: usize = count
             .parse()
             .map_err(|_| format!("baseline line {}: bad count `{count}`", i + 1))?;
-        counts.insert((rule.to_string(), file.to_string()), count);
+        *counts
+            .entry((rule.to_string(), key.to_string()))
+            .or_insert(0) += count;
     }
-    Ok(counts)
+    Ok(Baseline { v2, counts })
 }
 
-/// Serialize counts back into the on-disk format.
-pub fn render(counts: &Counts) -> String {
-    let mut out = String::from(
-        "# cargo xtask lint — grandfathered violation counts.\n\
-         # Burn these down; regenerate with `cargo xtask lint --update-baseline`.\n\
-         # Format: <rule> <file> <count>\n",
-    );
-    for ((rule, file), count) in counts {
-        let _ = writeln!(out, "{rule} {file} {count}");
-    }
-    out
-}
-
-/// Tally diagnostics into per-(rule, file) counts.
-pub fn tally(diags: &[Diagnostic]) -> Counts {
+/// Tally diagnostics into legacy `(rule, file)` buckets.
+pub fn tally_v1(diags: &[Diagnostic]) -> Counts {
     let mut counts = Counts::new();
     for d in diags {
         *counts.entry(d.baseline_key()).or_insert(0) += 1;
@@ -63,10 +86,57 @@ pub fn tally(diags: &[Diagnostic]) -> Counts {
     counts
 }
 
+/// Tally diagnostics into `(rule, fingerprint)` buckets.
+pub fn tally_v2(diags: &[Diagnostic]) -> Counts {
+    let mut counts = Counts::new();
+    for d in diags {
+        *counts
+            .entry((d.rule.to_string(), d.fingerprint()))
+            .or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Serialize diagnostics as a v2 baseline file, one commented entry per
+/// fingerprint bucket. Comments carry the item path and snippet purely
+/// for humans; only `<rule> <fingerprint> <count>` lines are parsed.
+pub fn render_v2(diags: &[Diagnostic]) -> String {
+    let mut buckets: BTreeMap<(String, String), (usize, &Diagnostic)> = BTreeMap::new();
+    for d in diags {
+        let e = buckets
+            .entry((d.rule.to_string(), d.fingerprint()))
+            .or_insert((0, d));
+        e.0 += 1;
+    }
+    let mut out = format!(
+        "{V2_HEADER}\n\
+         # Grandfathered violations, keyed by stable fingerprint\n\
+         # (rule + item path + normalized snippet — survives file renames\n\
+         # and line churn). Burn these down; regenerate with\n\
+         # `cargo xtask lint --update-baseline`.\n\
+         # Format: <rule> <fingerprint> <count>\n"
+    );
+    for ((rule, fp), (count, d)) in &buckets {
+        let mut snip = d.normalized_snippet();
+        if snip.len() > 60 {
+            snip.truncate(57);
+            snip.push_str("...");
+        }
+        let loc = if d.item.is_empty() {
+            d.file.display().to_string()
+        } else {
+            format!("{} ({})", d.item, d.file.display())
+        };
+        let _ = writeln!(out, "# {loc}: {snip}");
+        let _ = writeln!(out, "{rule} {fp} {count}");
+    }
+    out
+}
+
 /// Outcome of comparing a run against the baseline.
 #[derive(Debug, Default)]
 pub struct Verdict {
-    /// Buckets with more violations than allowed (rule, file, have, allowed).
+    /// Buckets with more violations than allowed (rule, key, have, allowed).
     pub regressed: Vec<(String, String, usize, usize)>,
     /// Buckets that improved but whose baseline entry was not updated.
     pub stale: Vec<(String, String, usize, usize)>,
@@ -78,7 +148,7 @@ impl Verdict {
     }
 }
 
-/// Compare current counts against the baseline.
+/// Compare current counts against baseline counts (same key space).
 pub fn compare(current: &Counts, baseline: &Counts) -> Verdict {
     let mut v = Verdict::default();
     for (key, &have) in current {
@@ -101,33 +171,127 @@ pub fn compare(current: &Counts, baseline: &Counts) -> Verdict {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
-    fn counts(list: &[(&str, &str, usize)]) -> Counts {
-        list.iter()
-            .map(|(r, f, c)| ((r.to_string(), f.to_string()), *c))
-            .collect()
+    fn diag(rule: &'static str, file: &str, line: usize, item: &str, snippet: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            code: "L1",
+            file: PathBuf::from(file),
+            line,
+            col: 1,
+            len: 1,
+            item: item.to_string(),
+            message: String::new(),
+            help: "",
+            snippet: snippet.to_string(),
+        }
     }
 
     #[test]
-    fn roundtrip() {
-        let c = counts(&[("no-panic-lib", "crates/core/src/a.rs", 3)]);
-        assert_eq!(parse(&render(&c)).unwrap(), c);
+    fn v2_roundtrip_preserves_every_bucket() {
+        let diags = vec![
+            diag(
+                "no-panic-lib",
+                "crates/core/src/a.rs",
+                3,
+                "A::f",
+                "x.unwrap();",
+            ),
+            diag(
+                "no-panic-lib",
+                "crates/core/src/a.rs",
+                9,
+                "A::f",
+                "x.unwrap();",
+            ),
+            diag(
+                "determinism",
+                "crates/hpo/src/b.rs",
+                2,
+                "go",
+                "thread_rng()",
+            ),
+        ];
+        let text = render_v2(&diags);
+        let parsed = parse(&text).unwrap();
+        assert!(parsed.v2);
+        assert_eq!(parsed.counts, tally_v2(&diags));
+        assert_eq!(parsed.counts.values().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn v1_files_are_recognized_and_parsed_with_file_keys() {
+        let legacy = "# cargo xtask lint — grandfathered violation counts.\n\
+                      no-panic-lib crates/ml/src/algorithms/bayes.rs 6\n";
+        let parsed = parse(legacy).unwrap();
+        assert!(!parsed.v2);
+        assert_eq!(
+            parsed.counts.get(&(
+                "no-panic-lib".to_string(),
+                "crates/ml/src/algorithms/bayes.rs".to_string()
+            )),
+            Some(&6)
+        );
+    }
+
+    #[test]
+    fn rename_and_move_refactors_produce_zero_v2_churn() {
+        let before = vec![
+            diag(
+                "no-panic-lib",
+                "crates/core/src/old.rs",
+                42,
+                "A::f",
+                "  x.unwrap();",
+            ),
+            diag(
+                "determinism",
+                "crates/hpo/src/b.rs",
+                7,
+                "go",
+                "thread_rng()",
+            ),
+        ];
+        // Same findings after: file renamed, lines shifted, reindented.
+        let after = vec![
+            diag(
+                "no-panic-lib",
+                "crates/core/src/renamed.rs",
+                7,
+                "A::f",
+                "x.unwrap();",
+            ),
+            diag(
+                "determinism",
+                "crates/hpo/src/moved/b.rs",
+                100,
+                "go",
+                "    thread_rng()",
+            ),
+        ];
+        assert_eq!(tally_v2(&before), tally_v2(&after));
+        assert!(compare(&tally_v2(&after), &tally_v2(&before)).is_clean());
+        // The legacy keying would have churned on both entries.
+        assert_ne!(tally_v1(&before), tally_v1(&after));
     }
 
     #[test]
     fn regression_and_staleness_are_both_failures() {
-        let base = counts(&[("r", "a.rs", 2), ("r", "b.rs", 1)]);
-        let now = counts(&[("r", "a.rs", 3)]);
-        let v = compare(&now, &base);
-        assert_eq!(v.regressed, vec![("r".into(), "a.rs".into(), 3, 2)]);
-        assert_eq!(v.stale, vec![("r".into(), "b.rs".into(), 0, 1)]);
-        assert!(!v.is_clean());
-    }
-
-    #[test]
-    fn exact_match_is_clean() {
-        let base = counts(&[("r", "a.rs", 2)]);
-        assert!(compare(&base, &base).is_clean());
-        assert!(compare(&Counts::new(), &Counts::new()).is_clean());
+        let one = vec![diag("r", "a.rs", 1, "f", "bad()")];
+        let two = vec![
+            diag("r", "a.rs", 1, "f", "bad()"),
+            diag("r", "a.rs", 2, "f", "bad()"),
+        ];
+        // More hits on the same fingerprint than recorded → regressed.
+        let v = compare(&tally_v2(&two), &tally_v2(&one));
+        assert_eq!(v.regressed.len(), 1);
+        assert!(v.stale.is_empty());
+        // Fixing one → stale until regenerated.
+        let v = compare(&tally_v2(&one), &tally_v2(&two));
+        assert!(v.regressed.is_empty());
+        assert_eq!(v.stale.len(), 1);
+        // Exact match → clean.
+        assert!(compare(&tally_v2(&two), &tally_v2(&two)).is_clean());
     }
 }

@@ -1,8 +1,6 @@
-//! Rustc-style diagnostic rendering for `cargo xtask lint`.
-//!
-//! Every finding carries a rule id, a workspace-relative location and the
-//! offending source line; [`Diagnostic::render`] formats it the way rustc
-//! does so editors and humans can jump straight to the site.
+//! Diagnostic model for `cargo xtask lint`: rustc-style text rendering,
+//! stable fingerprints for the v2 baseline, and JSON serialization for
+//! `--format json`.
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -23,6 +21,10 @@ pub struct Diagnostic {
     pub col: usize,
     /// Width of the underline (length of the offending token).
     pub len: usize,
+    /// Innermost item path containing the finding (`Type::method`,
+    /// `mod::fn`), or empty for file-level findings. Part of the
+    /// fingerprint, so findings survive line-number churn.
+    pub item: String,
     /// One-line description of what was matched.
     pub message: String,
     /// Actionable suggestion appended as a `= help:` note.
@@ -45,6 +47,9 @@ impl Diagnostic {
             self.line,
             self.col
         );
+        if !self.item.is_empty() {
+            let _ = writeln!(out, "{gutter}    (in `{}`)", self.item);
+        }
         let _ = writeln!(out, "{gutter} |");
         let _ = writeln!(out, "{line_no} | {}", self.snippet.trim_end());
         let _ = writeln!(
@@ -57,9 +62,103 @@ impl Diagnostic {
         out
     }
 
-    /// Key used by the baseline ratchet: one bucket per (rule, file).
+    /// Legacy v1 baseline key: one bucket per (rule, file).
     pub fn baseline_key(&self) -> (String, String) {
         (self.rule.to_string(), self.file.display().to_string())
+    }
+
+    /// Offending source line with whitespace runs collapsed — the part of
+    /// the fingerprint that survives reformatting.
+    pub fn normalized_snippet(&self) -> String {
+        let mut out = String::with_capacity(self.snippet.len());
+        let mut in_ws = true; // leading whitespace dropped
+        for c in self.snippet.chars() {
+            if c.is_whitespace() {
+                if !in_ws {
+                    out.push(' ');
+                    in_ws = true;
+                }
+            } else {
+                out.push(c);
+                in_ws = false;
+            }
+        }
+        out.trim_end().to_string()
+    }
+
+    /// Stable fingerprint: rule + item path + normalized snippet, hashed.
+    /// Deliberately excludes file path and line number so pure
+    /// rename/move refactors produce zero baseline churn.
+    pub fn fingerprint(&self) -> String {
+        let mut h = Fnv64::new();
+        h.write(self.rule.as_bytes());
+        h.write(&[0]);
+        h.write(self.item.as_bytes());
+        h.write(&[0]);
+        h.write(self.normalized_snippet().as_bytes());
+        format!("{:016x}", h.finish())
+    }
+
+    /// One JSON object for `--format json`; `baselined` marks findings
+    /// covered by the fingerprint baseline.
+    pub fn to_json(&self, baselined: bool) -> String {
+        let mut s = String::from("{");
+        let _ = write!(s, "\"code\":{}", json_str(self.code));
+        let _ = write!(s, ",\"rule\":{}", json_str(self.rule));
+        let _ = write!(
+            s,
+            ",\"file\":{}",
+            json_str(&self.file.display().to_string())
+        );
+        let _ = write!(s, ",\"line\":{}", self.line);
+        let _ = write!(s, ",\"col\":{}", self.col);
+        let _ = write!(s, ",\"item\":{}", json_str(&self.item));
+        let _ = write!(s, ",\"message\":{}", json_str(&self.message));
+        let _ = write!(s, ",\"help\":{}", json_str(self.help));
+        let _ = write!(s, ",\"snippet\":{}", json_str(self.snippet.trim_end()));
+        let _ = write!(s, ",\"fingerprint\":{}", json_str(&self.fingerprint()));
+        let _ = write!(s, ",\"baselined\":{baselined}");
+        s.push('}');
+        s
+    }
+}
+
+/// Minimal JSON string escaping (std-only, no serde in xtask).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// FNV-1a 64-bit — tiny, stable, dependency-free.
+struct Fnv64(u64);
+
+impl Fnv64 {
+    fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -67,24 +166,57 @@ impl Diagnostic {
 mod tests {
     use super::*;
 
-    #[test]
-    fn render_is_rustc_shaped() {
-        let d = Diagnostic {
+    fn d() -> Diagnostic {
+        Diagnostic {
             rule: "no-panic-lib",
             code: "L1",
             file: PathBuf::from("crates/core/src/lib.rs"),
             line: 42,
             col: 9,
             len: 9,
+            item: "Dmd::run".to_string(),
             message: "`.unwrap()` in library code".to_string(),
             help: "propagate the error instead",
             snippet: "        x.unwrap();".to_string(),
-        };
-        let r = d.render();
+        }
+    }
+
+    #[test]
+    fn render_is_rustc_shaped() {
+        let r = d().render();
         assert!(r.contains("error[L1/no-panic-lib]"));
         assert!(r.contains("--> crates/core/src/lib.rs:42:9"));
+        assert!(r.contains("(in `Dmd::run`)"));
         assert!(r.contains("42 |         x.unwrap();"));
         assert!(r.contains("^^^^^^^^^"));
         assert!(r.contains("= help:"));
+    }
+
+    #[test]
+    fn fingerprint_ignores_location_but_not_content() {
+        let a = d();
+        let mut moved = d();
+        moved.file = PathBuf::from("crates/core/src/renamed.rs");
+        moved.line = 7;
+        moved.col = 3;
+        assert_eq!(a.fingerprint(), moved.fingerprint());
+        let mut reindented = d();
+        reindented.snippet = "x.unwrap();".to_string();
+        assert_eq!(a.fingerprint(), reindented.fingerprint());
+        let mut other = d();
+        other.item = "Dmd::other".to_string();
+        assert_ne!(a.fingerprint(), other.fingerprint());
+        let mut edited = d();
+        edited.snippet = "        y.unwrap();".to_string();
+        assert_ne!(a.fingerprint(), edited.fingerprint());
+    }
+
+    #[test]
+    fn json_escapes_are_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        let j = d().to_json(true);
+        assert!(j.contains("\"code\":\"L1\""));
+        assert!(j.contains("\"baselined\":true"));
+        assert!(j.contains("\"fingerprint\":\""));
     }
 }

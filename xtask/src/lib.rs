@@ -1,18 +1,21 @@
 //! Workspace automation for `auto-model` (`cargo xtask <command>`).
 //!
-//! The only command so far is `lint`: a static-analysis suite with six
-//! rule families (see [`rules`] and [`manifest`]), rustc-style diagnostics
-//! ([`diag`]), inline `// lint:allow(..)` escapes ([`scan`]) and a
-//! burn-down baseline ([`baseline`]). Std-only by design — it must build
-//! in the offline environment before any vendored dependency does.
+//! The only command so far is `lint`: a semantic static-analysis suite.
+//! Sources are lexed and parsed into a lightweight AST with per-crate
+//! symbol indexes and call graphs ([`sem`]); thirteen rule families run
+//! on top (L1–L13, see [`sem::rules::RULES`]; L5 manifest hygiene lives
+//! in [`manifest`]). Diagnostics are rustc-style ([`diag`]), escapes are
+//! inline `// lint:allow(..)` comments (audited by L13), and
+//! grandfathered findings live in a fingerprint-keyed burn-down baseline
+//! ([`baseline`]). Std-only by design — it must build in the offline
+//! environment before any vendored dependency does.
 
 pub mod baseline;
 pub mod diag;
 pub mod manifest;
-pub mod rules;
-pub mod scan;
+pub mod sem;
 
-use diag::Diagnostic;
+use sem::source::File;
 use std::path::{Path, PathBuf};
 
 /// Directories scanned for Rust sources, relative to the workspace root.
@@ -65,27 +68,37 @@ pub fn member_manifests(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// The full lint pass: scan sources, check manifests, return every finding
-/// (pre-baseline).
-pub fn run_lint(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// Parse every workspace source file under [`SOURCE_ROOTS`].
+pub fn parse_workspace(root: &Path) -> std::io::Result<Vec<File>> {
+    let mut files = Vec::new();
     for sub in SOURCE_ROOTS {
         let dir = root.join(sub);
         if !dir.is_dir() {
             continue;
         }
-        for file in rust_files(&dir)? {
-            let source = scan::SourceFile::read(root, &file)?;
-            diags.extend(rules::check_file(&source));
+        for path in rust_files(&dir)? {
+            files.push(File::read(root, &path)?);
         }
     }
+    Ok(files)
+}
+
+/// The full lint pass: semantic analysis over all sources plus manifest
+/// hygiene. Active findings are pre-baseline; suppressed ones were
+/// silenced by `lint:allow` escapes (all of which L13 verified live).
+pub fn run_lint(root: &Path) -> std::io::Result<sem::Report> {
+    let files = parse_workspace(root)?;
+    let mut report = sem::analyze(&files);
+
     let root_manifest = manifest::read(root, &root.join("Cargo.toml"))?;
     let members: Vec<manifest::Manifest> = member_manifests(root)?
         .iter()
         .map(|p| manifest::read(root, p))
         .collect::<Result<_, _>>()?;
-    diags.extend(manifest::check_workspace(&root_manifest, &members));
-    Ok(diags)
+    report
+        .active
+        .extend(manifest::check_workspace(&root_manifest, &members));
+    Ok(report)
 }
 
 /// Workspace root: parent of the `xtask` crate.

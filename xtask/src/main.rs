@@ -1,107 +1,260 @@
 //! `cargo xtask` — workspace automation entry point.
 //!
 //! ```text
-//! cargo xtask lint                     # run the static-analysis suite
-//! cargo xtask lint --update-baseline   # record current counts as the baseline
+//! cargo xtask lint                     # run the semantic analysis suite
+//! cargo xtask lint --format json       # machine-readable report (schema automodel-lint/v2)
+//! cargo xtask lint --update-baseline   # record current findings as the fingerprint baseline
+//! cargo xtask lint --explain L10       # rule rationale + violating/fixed example pair
 //! ```
 //!
-//! Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+//! Exit codes: 0 clean, 1 findings/regressions/stale baseline, 2 usage or
+//! I/O error.
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use xtask::diag::{json_str, Diagnostic};
+use xtask::sem::rules::{rule_meta, RULES};
 use xtask::{baseline, run_lint, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args[1..].iter().any(|a| a == "--update-baseline")),
+        Some("lint") => {
+            let rest = &args[1..];
+            if let Some(pos) = rest.iter().position(|a| a == "--explain") {
+                let Some(code) = rest.get(pos + 1) else {
+                    eprintln!("usage: cargo xtask lint --explain <code|rule-id>");
+                    return ExitCode::from(2);
+                };
+                return explain(code);
+            }
+            let update = rest.iter().any(|a| a == "--update-baseline");
+            let json = match rest.iter().position(|a| a == "--format") {
+                Some(pos) => match rest.get(pos + 1).map(String::as_str) {
+                    Some("json") => true,
+                    Some("text") => false,
+                    other => {
+                        eprintln!(
+                            "unknown --format `{}`; available: text, json",
+                            other.unwrap_or("")
+                        );
+                        return ExitCode::from(2);
+                    }
+                },
+                None => false,
+            };
+            lint(update, json)
+        }
         Some(other) => {
-            eprintln!("unknown xtask command `{other}`; available: lint [--update-baseline]");
+            eprintln!(
+                "unknown xtask command `{other}`; available: \
+                 lint [--update-baseline] [--format json|text] [--explain <code>]"
+            );
             ExitCode::from(2)
         }
         None => {
-            eprintln!("usage: cargo xtask lint [--update-baseline]");
+            eprintln!("usage: cargo xtask lint [--update-baseline] [--format json|text] [--explain <code>]");
             ExitCode::from(2)
         }
     }
 }
 
-fn lint(update_baseline: bool) -> ExitCode {
+/// `lint --explain`: rationale plus the violating/fixed fixture pair, so
+/// the explanation is backed by code the test suite actually runs.
+fn explain(key: &str) -> ExitCode {
+    let Some(meta) = rule_meta(key) else {
+        eprintln!("unknown rule `{key}`; known rules:");
+        for r in &RULES {
+            eprintln!("  {:4} {:24} {}", r.code, r.id, r.summary);
+        }
+        return ExitCode::from(2);
+    };
+    println!("{}/{} — {}\n", meta.code, meta.id, meta.summary);
+    println!("{}\n", meta.rationale);
+    let dir = workspace_root().join("xtask/tests/fixtures").join(meta.id);
+    let mut shown = false;
+    for (title, name) in [("violates the rule", "violate.rs"), ("fixed", "fix.rs")] {
+        if let Ok(src) = std::fs::read_to_string(dir.join(name)) {
+            println!("--- {title} (tests/fixtures/{}/{name}) ---", meta.id);
+            // The first line is the harness `//@path` directive.
+            for line in src.lines().skip_while(|l| l.starts_with("//@")) {
+                println!("    {line}");
+            }
+            println!();
+            shown = true;
+        }
+    }
+    if !shown {
+        println!("(no fixture examples on disk for this rule)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn lint(update_baseline: bool, json: bool) -> ExitCode {
     let root = workspace_root();
     let baseline_path = root.join("xtask/lint-baseline.txt");
 
-    let diags = match run_lint(&root) {
-        Ok(d) => d,
+    let report = match run_lint(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("xtask lint: I/O error: {e}");
             return ExitCode::from(2);
         }
     };
-    let current = baseline::tally(&diags);
 
     if update_baseline {
-        if let Err(e) = std::fs::write(&baseline_path, baseline::render(&current)) {
+        let text = baseline::render_v2(&report.active);
+        if let Err(e) = std::fs::write(&baseline_path, text) {
             eprintln!("xtask lint: cannot write baseline: {e}");
             return ExitCode::from(2);
         }
         println!(
-            "baseline updated: {} grandfathered violation(s) across {} bucket(s)",
-            current.values().sum::<usize>(),
-            current.len()
+            "baseline updated (v2): {} grandfathered finding(s) across {} fingerprint(s)",
+            report.active.len(),
+            baseline::tally_v2(&report.active).len()
         );
         return ExitCode::SUCCESS;
     }
 
     let allowed = match std::fs::read_to_string(&baseline_path) {
         Ok(text) => match baseline::parse(&text) {
-            Ok(counts) => counts,
+            Ok(b) => b,
             Err(e) => {
                 eprintln!("xtask lint: {e}");
                 return ExitCode::from(2);
             }
         },
-        Err(_) => baseline::Counts::new(),
+        Err(_) => baseline::Baseline::empty_v2(),
     };
-    let verdict = baseline::compare(&current, &allowed);
-
-    // Print full diagnostics for every regressed bucket; grandfathered
-    // buckets stay quiet so the signal is always "what got worse".
-    let mut printed = 0usize;
-    for d in &diags {
-        let key = d.baseline_key();
-        if verdict
-            .regressed
-            .iter()
-            .any(|(r, f, ..)| *r == key.0 && *f == key.1)
-        {
-            print!("{}", d.render());
-            println!();
-            printed += 1;
-        }
-    }
-    for (rule, file, have, allowed) in &verdict.regressed {
-        eprintln!("error: {rule}: {file}: {have} violation(s), baseline allows {allowed}");
-    }
-    for (rule, file, have, allowed) in &verdict.stale {
+    if !allowed.v2 && !json {
         eprintln!(
-            "error: stale baseline: {rule}: {file}: {have} violation(s) left of {allowed} \
-             — run `cargo xtask lint --update-baseline` to record the burn-down"
+            "note: legacy v1 baseline (per-file keys); run \
+             `cargo xtask lint --update-baseline` to migrate to fingerprints"
         );
+    }
+
+    let current = if allowed.v2 {
+        baseline::tally_v2(&report.active)
+    } else {
+        baseline::tally_v1(&report.active)
+    };
+    let verdict = baseline::compare(&current, &allowed.counts);
+
+    // Per-finding baselined flags: within each bucket, the first
+    // `allowed` findings count as grandfathered, the rest are new.
+    let mut used: std::collections::BTreeMap<(String, String), usize> = Default::default();
+    let baselined: Vec<bool> = report
+        .active
+        .iter()
+        .map(|d| {
+            let key = if allowed.v2 {
+                (d.rule.to_string(), d.fingerprint())
+            } else {
+                d.baseline_key()
+            };
+            let cap = allowed.counts.get(&key).copied().unwrap_or(0);
+            let seen = used.entry(key).or_insert(0);
+            *seen += 1;
+            *seen <= cap
+        })
+        .collect();
+    let new_count = baselined.iter().filter(|b| !**b).count();
+
+    if json {
+        print!(
+            "{}",
+            render_json(&report.active, &baselined, &report.suppressed, &verdict)
+        );
+    } else {
+        render_text(&report.active, &baselined, &verdict);
     }
 
     if verdict.is_clean() {
-        let grandfathered = current.values().sum::<usize>();
-        println!(
-            "xtask lint: clean ({} grandfathered violation(s) remaining in baseline)",
-            grandfathered
-        );
+        if !json {
+            println!(
+                "xtask lint: clean ({} grandfathered finding(s) remaining in baseline)",
+                report.active.len() - new_count
+            );
+        }
         ExitCode::SUCCESS
     } else {
-        eprintln!(
-            "xtask lint: {} new diagnostic(s), {} regressed bucket(s), {} stale bucket(s)",
-            printed,
-            verdict.regressed.len(),
-            verdict.stale.len()
-        );
+        if !json {
+            eprintln!(
+                "xtask lint: {} new finding(s), {} regressed bucket(s), {} stale bucket(s)",
+                new_count,
+                verdict.regressed.len(),
+                verdict.stale.len()
+            );
+        }
         ExitCode::FAILURE
     }
+}
+
+fn render_text(active: &[Diagnostic], baselined: &[bool], verdict: &baseline::Verdict) {
+    for (d, &old) in active.iter().zip(baselined) {
+        if !old {
+            print!("{}", d.render());
+            println!();
+        }
+    }
+    for (rule, key, have, allowed) in &verdict.regressed {
+        eprintln!("error: {rule}: {key}: {have} finding(s), baseline allows {allowed}");
+    }
+    for (rule, key, have, allowed) in &verdict.stale {
+        eprintln!(
+            "error: stale baseline: {rule}: {key}: {have} finding(s) left of {allowed} \
+             — run `cargo xtask lint --update-baseline` to record the burn-down"
+        );
+    }
+}
+
+/// The `automodel-lint/v2` JSON document, hand-rolled (xtask is
+/// std-only). Schema documented in DESIGN.md.
+fn render_json(
+    active: &[Diagnostic],
+    baselined: &[bool],
+    suppressed: &[Diagnostic],
+    verdict: &baseline::Verdict,
+) -> String {
+    let mut s = String::from("{\n  \"schema\": \"automodel-lint/v2\",\n  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"code\":{},\"id\":{},\"summary\":{}}}",
+            json_str(r.code),
+            json_str(r.id),
+            json_str(r.summary)
+        );
+    }
+    s.push_str("\n  ],\n  \"findings\": [");
+    for (i, (d, &old)) in active.iter().zip(baselined).enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    {}", d.to_json(old));
+    }
+    s.push_str("\n  ],\n  \"suppressed\": [");
+    for (i, d) in suppressed.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "\n    {}", d.to_json(false));
+    }
+    let new_count = baselined.iter().filter(|b| !**b).count();
+    let _ = write!(
+        s,
+        "\n  ],\n  \"summary\": {{\"total\":{},\"new\":{},\"baselined\":{},\"suppressed\":{},\
+         \"regressed_buckets\":{},\"stale_buckets\":{},\"clean\":{}}}\n}}\n",
+        active.len(),
+        new_count,
+        active.len() - new_count,
+        suppressed.len(),
+        verdict.regressed.len(),
+        verdict.stale.len(),
+        verdict.is_clean()
+    );
+    s
 }

@@ -93,6 +93,7 @@ impl Manifest {
             line: line.max(1),
             col: 1,
             len: snippet.trim_end().len().max(1),
+            item: String::new(),
             message,
             help,
             snippet: snippet.to_string(),

@@ -1,0 +1,129 @@
+//! L13 — `stale-allow`: every `// lint:allow(rule): …` escape must still
+//! suppress at least one live finding of that rule on its governed line.
+//!
+//! The audit runs against the *pre-suppression* finding set, so a
+//! directive that currently silences a finding is live by construction.
+//! A directive naming several rules is audited per rule. Directives
+//! inside `#[cfg(test)]` regions are skipped (most rules do not run
+//! there, so they cannot be distinguished from stale). A stale-allow
+//! finding is anchored at the directive's governed line, which means a
+//! deliberate keeper can itself be escaped with
+//! `// lint:allow(stale-allow): <why the escape must stay>`.
+
+use super::source::File;
+use crate::diag::Diagnostic;
+use std::collections::BTreeSet;
+
+/// Audit every directive in `files` against the pre-suppression
+/// `findings`; returns the stale-allow findings.
+pub fn check(files: &[File], findings: &[Diagnostic]) -> Vec<Diagnostic> {
+    // (path, 0-based line) pairs carrying at least one finding per rule.
+    let live: BTreeSet<(String, usize, &str)> = findings
+        .iter()
+        .map(|d| (d.file.display().to_string(), d.line - 1, d.rule))
+        .collect();
+    let mut out = Vec::new();
+    for file in files {
+        let path = file.path.display().to_string();
+        let code_lines: BTreeSet<usize> = file.toks.iter().map(|t| t.line).collect();
+        for d in &file.directives {
+            let governed = if d.standalone {
+                code_lines
+                    .iter()
+                    .copied()
+                    .find(|&l| l > d.line)
+                    .unwrap_or(d.line)
+            } else {
+                d.line
+            };
+            // Inside a test region the suppressed rules do not run at
+            // all; the directive is unverifiable, not stale.
+            let in_test = file
+                .toks
+                .iter()
+                .enumerate()
+                .any(|(i, t)| t.line == governed && file.in_test[i]);
+            if in_test {
+                continue;
+            }
+            for rule in &d.rules {
+                if rule == "stale-allow" {
+                    continue; // the opt-out itself is never audited
+                }
+                if !live.contains(&(path.clone(), governed, rule.as_str())) {
+                    out.push(Diagnostic {
+                        rule: "stale-allow",
+                        code: "L13",
+                        file: file.path.clone(),
+                        line: governed + 1,
+                        col: d.col + 1,
+                        len: "lint:allow".len(),
+                        item: file
+                            .toks
+                            .iter()
+                            .position(|t| t.line == governed)
+                            .map(|i| file.item_path_of(i))
+                            .unwrap_or_default(),
+                        message: format!(
+                            "stale escape: `lint:allow({rule})` no longer suppresses anything"
+                        ),
+                        help: "the rule no longer fires here — delete the lint:allow (or, to \
+                               keep it deliberately, add \
+                               `// lint:allow(stale-allow): <why it must stay>`)",
+                        snippet: file.raw.get(d.line).cloned().unwrap_or_default(),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sem::rules::check_file;
+
+    fn stale(path: &str, src: &str) -> Vec<String> {
+        let f = File::parse(path, src);
+        let findings = check_file(&f);
+        check(std::slice::from_ref(&f), &findings)
+            .into_iter()
+            .map(|d| d.message)
+            .collect()
+    }
+
+    #[test]
+    fn live_allow_is_not_stale() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-lib): checked above\n";
+        assert!(stale("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_a_finding_is_stale() {
+        let src = "fn f() { x.unwrap_or(3); } // lint:allow(no-panic-lib): obsolete\n";
+        let msgs = stale("crates/core/src/x.rs", src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("no-panic-lib"));
+    }
+
+    #[test]
+    fn each_named_rule_is_audited_separately() {
+        let src = "fn f() { x.unwrap(); } // lint:allow(no-panic-lib, determinism): mixed\n";
+        let msgs = stale("crates/core/src/x.rs", src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("determinism"));
+    }
+
+    #[test]
+    fn standalone_directive_governs_next_code_line() {
+        let src = "// lint:allow(no-panic-lib): init cannot fail\n\nfn f() { x.unwrap(); }\n";
+        assert!(stale("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn directives_in_test_code_are_skipped() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap_or(1); } // lint:allow(no-panic-lib): test\n}\n";
+        assert!(stale("crates/core/src/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,585 @@
+//! Lightweight typed AST over the flat token stream: enough structure for
+//! the semantic rules — functions with bodies and scope paths, impl/trait
+//! scopes, `#[cfg(test)]` regions, and struct fields holding locks.
+//!
+//! This is deliberately not a full Rust grammar. It recognizes item
+//! boundaries precisely (delimiters are matched, generics are skipped as
+//! balanced `<…>` runs) and leaves expression structure to the rule
+//! passes, which walk function-body token ranges with the pair map.
+
+use super::lex::{Kind, Tok};
+
+/// One parsed item of interest.
+#[derive(Debug)]
+pub enum Item {
+    Fn(FnItem),
+    Struct(StructItem),
+    /// Token range (inclusive) covered by a `#[cfg(test)]` item.
+    TestRegion(usize, usize),
+}
+
+/// A function (free, method, or trait default) with its body range.
+#[derive(Debug)]
+pub struct FnItem {
+    /// Simple name.
+    pub name: String,
+    /// Scope-joined path within the file, e.g. `TrialCache::insert`,
+    /// `tests::roundtrip`, or just `free_fn`.
+    pub path: String,
+    /// Enclosing `impl`/`trait` type name, when any.
+    pub self_ty: Option<String>,
+    /// Token index of the `fn` keyword.
+    pub sig_start: usize,
+    /// Token index of the body's closing brace, or of the `;` for
+    /// body-less declarations.
+    pub sig_end: usize,
+    /// `Open`/`Close` token indices of the `{ … }` body, when present.
+    pub body: Option<(usize, usize)>,
+    /// Inside `#[cfg(test)]` or attributed `#[test]`.
+    pub in_test: bool,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+}
+
+impl FnItem {
+    pub fn body_range(&self) -> Option<(usize, usize)> {
+        self.body
+    }
+}
+
+/// A struct and the names of its lock-typed fields (`Mutex<…>` or
+/// `RwLock<…>`, possibly wrapped in `Arc`/`Option`).
+#[derive(Debug)]
+pub struct StructItem {
+    pub name: String,
+    pub lock_fields: Vec<String>,
+    pub line: usize,
+}
+
+/// Parse the whole token stream into items.
+pub fn parse(toks: &[Tok], pair: &[usize]) -> Vec<Item> {
+    let mut items = Vec::new();
+    walk(
+        toks,
+        pair,
+        0,
+        toks.len(),
+        &mut Vec::new(),
+        false,
+        &mut items,
+    );
+    items
+}
+
+/// Build the per-token `#[cfg(test)]` mask from parsed items.
+pub fn test_mask(toks: &[Tok], items: &[Item]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+    for item in items {
+        let (s, e) = match item {
+            Item::TestRegion(s, e) => (*s, *e),
+            Item::Fn(f) if f.in_test => (f.sig_start, f.sig_end),
+            _ => continue,
+        };
+        for m in mask
+            .iter_mut()
+            .take(e.min(toks.len().saturating_sub(1)) + 1)
+            .skip(s)
+        {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// One attribute, flattened to its identifier texts (`#[cfg(test)]` →
+/// `["cfg", "test"]`, `#[test]` → `["test"]`).
+type Attr = Vec<String>;
+
+fn is_cfg_test(attrs: &[Attr]) -> bool {
+    attrs
+        .iter()
+        .any(|a| a.first().is_some_and(|h| h == "cfg") && a.iter().any(|w| w == "test"))
+}
+
+fn is_test_attr(attrs: &[Attr]) -> bool {
+    attrs.iter().any(|a| a.len() == 1 && a[0] == "test")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk(
+    toks: &[Tok],
+    pair: &[usize],
+    start: usize,
+    end: usize,
+    scope: &mut Vec<String>,
+    in_test: bool,
+    out: &mut Vec<Item>,
+) {
+    let mut i = start;
+    let mut attrs: Vec<Attr> = Vec::new();
+    while i < end {
+        let t = &toks[i];
+        // Attribute: `#[…]` or `#![…]`.
+        if t.is_punct("#") {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_punct("!")) {
+                j += 1;
+            }
+            if toks.get(j).is_some_and(|t| t.is_open('[')) {
+                let close = pair[j];
+                if close != usize::MAX {
+                    let flat: Attr = toks[j + 1..close]
+                        .iter()
+                        .filter(|t| t.kind == Kind::Ident)
+                        .map(|t| t.text.clone())
+                        .collect();
+                    attrs.push(flat);
+                    i = close + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "fn" => {
+                let Some(name_tok) = toks.get(i + 1) else {
+                    break;
+                };
+                let name = name_tok.text.clone();
+                let (body, sig_end) = scan_to_body(toks, pair, i + 2, end);
+                let fn_test = in_test || is_test_attr(&attrs) || is_cfg_test(&attrs);
+                let mut path = scope.clone();
+                path.push(name.clone());
+                out.push(Item::Fn(FnItem {
+                    name,
+                    path: path.join("::"),
+                    self_ty: scope.last().cloned(),
+                    sig_start: i,
+                    sig_end,
+                    body,
+                    in_test: fn_test,
+                    line: t.line,
+                }));
+                if is_cfg_test(&attrs) && !in_test {
+                    out.push(Item::TestRegion(i, sig_end));
+                }
+                attrs.clear();
+                i = sig_end + 1;
+            }
+            "impl" | "trait" => {
+                let is_trait = t.text == "trait";
+                let mut j = i + 1;
+                // Skip generic parameters.
+                if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+                    j = skip_angles(toks, j, end);
+                }
+                // `impl Trait for Type` — the self type follows `for`.
+                let mut ty: Option<String> = None;
+                let mut after_for = false;
+                let mut k = j;
+                while k < end {
+                    let tk = &toks[k];
+                    if tk.is_open('{') {
+                        break;
+                    }
+                    if tk.is_punct(";") {
+                        break;
+                    }
+                    if tk.kind == Kind::Ident {
+                        match tk.text.as_str() {
+                            "for" => {
+                                after_for = true;
+                                ty = None;
+                            }
+                            "dyn" | "mut" | "where" | "Send" | "Sync" | "unsafe" => {}
+                            name => {
+                                if ty.is_none() || after_for {
+                                    ty = Some(name.to_string());
+                                    after_for = false;
+                                }
+                                // Skip this path's generics / segments.
+                                if toks.get(k + 1).is_some_and(|t| t.is_punct("<")) {
+                                    k = skip_angles(toks, k + 1, end);
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                    k += 1;
+                }
+                if k < end && toks[k].is_open('{') {
+                    let close = pair[k];
+                    let close = if close == usize::MAX { end - 1 } else { close };
+                    let region_test = in_test || is_cfg_test(&attrs);
+                    if is_cfg_test(&attrs) && !in_test {
+                        out.push(Item::TestRegion(i, close));
+                    }
+                    let label = ty.unwrap_or_else(|| {
+                        if is_trait {
+                            "trait".to_string()
+                        } else {
+                            "impl".to_string()
+                        }
+                    });
+                    scope.push(label);
+                    walk(toks, pair, k + 1, close, scope, region_test, out);
+                    scope.pop();
+                    i = close + 1;
+                } else {
+                    i = k + 1;
+                }
+                attrs.clear();
+            }
+            "mod" => {
+                let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+                let mut j = i + 2;
+                while j < end && !toks[j].is_open('{') && !toks[j].is_punct(";") {
+                    j += 1;
+                }
+                if j < end && toks[j].is_open('{') {
+                    let close = pair[j];
+                    let close = if close == usize::MAX { end - 1 } else { close };
+                    let region_test = in_test || is_cfg_test(&attrs);
+                    if is_cfg_test(&attrs) && !in_test {
+                        out.push(Item::TestRegion(i, close));
+                    }
+                    scope.push(name);
+                    walk(toks, pair, j + 1, close, scope, region_test, out);
+                    scope.pop();
+                    i = close + 1;
+                } else {
+                    if is_cfg_test(&attrs) && !in_test && j < end {
+                        out.push(Item::TestRegion(i, j));
+                    }
+                    i = j + 1;
+                }
+                attrs.clear();
+            }
+            "struct" => {
+                let name = toks.get(i + 1).map(|t| t.text.clone()).unwrap_or_default();
+                let line = t.line;
+                let mut j = i + 2;
+                // Find the brace-group, tuple parens, or `;` ending the item.
+                let mut lock_fields = Vec::new();
+                while j < end {
+                    if toks[j].is_punct("<") {
+                        j = skip_angles(toks, j, end);
+                        continue;
+                    }
+                    if toks[j].is_open('(') || toks[j].is_punct(";") {
+                        // Tuple / unit struct: no named fields.
+                        if toks[j].is_open('(') && pair[j] != usize::MAX {
+                            j = pair[j];
+                        }
+                        break;
+                    }
+                    if toks[j].is_open('{') {
+                        let close = pair[j];
+                        let close = if close == usize::MAX { end - 1 } else { close };
+                        lock_fields = struct_lock_fields(toks, pair, j + 1, close);
+                        j = close;
+                        break;
+                    }
+                    j += 1;
+                }
+                if is_cfg_test(&attrs) && !in_test {
+                    out.push(Item::TestRegion(i, j.min(end - 1)));
+                }
+                out.push(Item::Struct(StructItem {
+                    name,
+                    lock_fields,
+                    line,
+                }));
+                attrs.clear();
+                i = j + 1;
+            }
+            "enum" | "union" => {
+                let mut j = i + 1;
+                while j < end && !toks[j].is_open('{') && !toks[j].is_punct(";") {
+                    if toks[j].is_punct("<") {
+                        j = skip_angles(toks, j, end);
+                    } else {
+                        j += 1;
+                    }
+                }
+                if j < end && toks[j].is_open('{') && pair[j] != usize::MAX {
+                    j = pair[j];
+                }
+                if is_cfg_test(&attrs) && !in_test && j < end {
+                    out.push(Item::TestRegion(i, j));
+                }
+                attrs.clear();
+                i = j + 1;
+            }
+            "use" | "static" | "const" | "type" | "extern" => {
+                // Skip to the terminating `;`, hopping over groups.
+                let mut j = i + 1;
+                while j < end {
+                    if toks[j].kind == Kind::Open {
+                        let close = pair[j];
+                        if toks[j].is_open('{') && toks[j - 1].text != "=" {
+                            // `extern "C" { … }` — treat the block as the end.
+                        }
+                        j = if close == usize::MAX { end } else { close + 1 };
+                        if j > 0 && toks.get(j - 1).is_some_and(|t| t.is_close('}')) {
+                            // A brace group can terminate `extern` blocks and
+                            // `const X: T = { … };` — keep going unless the
+                            // next token is not `;`.
+                            if !toks.get(j).is_some_and(|t| t.is_punct(";")) {
+                                break;
+                            }
+                        }
+                        continue;
+                    }
+                    if toks[j].is_punct(";") {
+                        break;
+                    }
+                    j += 1;
+                }
+                attrs.clear();
+                i = j + 1;
+            }
+            "macro_rules" => {
+                // `macro_rules! name { … }`.
+                let mut j = i + 1;
+                while j < end && toks[j].kind != Kind::Open {
+                    j += 1;
+                }
+                if j < end && pair[j] != usize::MAX {
+                    j = pair[j];
+                }
+                attrs.clear();
+                i = j + 1;
+            }
+            _ => {
+                // `pub`, `unsafe`, `async`, visibility groups, etc. —
+                // modifiers that precede an item keyword; keep attrs.
+                if t.is_ident("pub") && toks.get(i + 1).is_some_and(|t| t.is_open('(')) {
+                    let close = pair[i + 1];
+                    i = if close == usize::MAX {
+                        i + 2
+                    } else {
+                        close + 1
+                    };
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Scan from `from` for the item body `{`, skipping `(…)`/`[…]` groups and
+/// balanced generics; returns (body range, sig_end). A `;` first means a
+/// body-less declaration.
+fn scan_to_body(
+    toks: &[Tok],
+    pair: &[usize],
+    from: usize,
+    end: usize,
+) -> (Option<(usize, usize)>, usize) {
+    let mut j = from;
+    while j < end {
+        let t = &toks[j];
+        if t.is_open('{') {
+            let close = pair[j];
+            let close = if close == usize::MAX { end - 1 } else { close };
+            return (Some((j, close)), close);
+        }
+        if t.is_punct(";") {
+            return (None, j);
+        }
+        if t.kind == Kind::Open {
+            let close = pair[j];
+            j = if close == usize::MAX {
+                j + 1
+            } else {
+                close + 1
+            };
+            continue;
+        }
+        if t.is_punct("<") {
+            j = skip_angles(toks, j, end);
+            continue;
+        }
+        j += 1;
+    }
+    (None, end.saturating_sub(1))
+}
+
+/// At `toks[j] == "<"`: index just past the matching `>`. Conservative:
+/// stops at `{` or `;` so a stray comparison cannot swallow an item.
+fn skip_angles(toks: &[Tok], j: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = j;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if t.is_open('{') || t.is_punct(";") {
+            return k;
+        }
+        k += 1;
+    }
+    end
+}
+
+/// Field names inside a struct body whose type mentions `Mutex`/`RwLock`.
+fn struct_lock_fields(toks: &[Tok], pair: &[usize], start: usize, end: usize) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = start;
+    while i < end {
+        // Field: [attrs] [pub[(…)]] name `:` type `,`?
+        while i < end && toks[i].is_punct("#") {
+            if toks.get(i + 1).is_some_and(|t| t.is_open('[')) && pair[i + 1] != usize::MAX {
+                i = pair[i + 1] + 1;
+            } else {
+                i += 1;
+            }
+        }
+        if i < end && toks[i].is_ident("pub") {
+            i += 1;
+            if i < end && toks[i].is_open('(') && pair[i] != usize::MAX {
+                i = pair[i] + 1;
+            }
+        }
+        if i >= end || toks[i].kind != Kind::Ident {
+            i += 1;
+            continue;
+        }
+        let name = toks[i].text.clone();
+        if !toks.get(i + 1).is_some_and(|t| t.is_punct(":")) {
+            i += 1;
+            continue;
+        }
+        // Type tokens run to the next `,` at this depth.
+        let mut j = i + 2;
+        let mut has_lock = false;
+        while j < end {
+            let t = &toks[j];
+            if t.is_punct(",") {
+                break;
+            }
+            if t.kind == Kind::Open {
+                let close = pair[j];
+                j = if close == usize::MAX {
+                    j + 1
+                } else {
+                    close + 1
+                };
+                continue;
+            }
+            if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                has_lock = true;
+            }
+            j += 1;
+        }
+        if has_lock {
+            fields.push(name);
+        }
+        i = j + 1;
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::source::File;
+    use super::*;
+
+    fn fns(src: &str) -> Vec<(String, bool)> {
+        let f = File::parse("x.rs", src);
+        f.items
+            .iter()
+            .filter_map(|i| match i {
+                Item::Fn(f) => Some((f.path.clone(), f.in_test)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn free_and_method_paths() {
+        let src =
+            "fn a() {}\nimpl Cache { pub fn get(&self) -> u8 { 0 } }\ntrait T { fn d(&self); }\n";
+        assert_eq!(
+            fns(src),
+            vec![
+                ("a".to_string(), false),
+                ("Cache::get".to_string(), false),
+                ("T::d".to_string(), false)
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_mod_marks_everything_inside() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { lib(); }\n}\n";
+        let f = File::parse("x.rs", src);
+        let t_fn = f
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Fn(fi) if fi.name == "t" => Some(fi),
+                _ => None,
+            })
+            .unwrap();
+        assert!(t_fn.in_test);
+        assert_eq!(t_fn.path, "tests::t");
+        // The `use super::*` token inside the mod is masked too.
+        let use_idx = f.toks.iter().position(|t| t.is_ident("super")).unwrap();
+        let mask = test_mask(&f.toks, &f.items);
+        assert!(mask[use_idx]);
+        // The library fn is not.
+        let lib_idx = f.toks.iter().position(|t| t.is_ident("lib")).unwrap();
+        assert!(!mask[lib_idx]);
+    }
+
+    #[test]
+    fn impl_trait_for_type_uses_the_type_name() {
+        let src =
+            "impl<T: Clone> Iterator for Wrapper<T> { fn next(&mut self) -> Option<T> { None } }";
+        assert_eq!(fns(src), vec![("Wrapper::next".to_string(), false)]);
+    }
+
+    #[test]
+    fn struct_lock_fields_are_detected() {
+        let src = "pub struct Tracer {\n    state: Option<Mutex<State>>,\n    name: String,\n    inner: Arc<RwLock<Inner>>,\n}\n";
+        let f = File::parse("x.rs", src);
+        let s = f
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Struct(s) => Some(s),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(s.name, "Tracer");
+        assert_eq!(s.lock_fields, vec!["state", "inner"]);
+    }
+
+    #[test]
+    fn generic_fn_signatures_do_not_confuse_body_detection() {
+        let src = "fn f<F: Fn() -> Vec<u8>>(g: F) -> impl Iterator<Item = u8> where F: Send { g().into_iter() }";
+        let f = File::parse("x.rs", src);
+        let item = f
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Fn(fi) => Some(fi),
+                _ => None,
+            })
+            .unwrap();
+        assert!(item.body.is_some());
+    }
+}

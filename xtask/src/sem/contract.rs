@@ -1,0 +1,210 @@
+//! L12 — `contract-conformance`: the reliability substrate must cover
+//! every optimizer and every executor entry point.
+//!
+//! **Optimizer surface** (crates/hpo): any type with a concrete
+//! `optimize`/`optimize_batch` method must also expose the three builder
+//! hooks `with_policy`, `with_cache`, `with_tracer`. A new optimizer
+//! that forgets one silently runs without fault policy, trial cache or
+//! tracing — the substrate loses coverage with no compile error.
+//! Body-less trait declarations are exempt (the trait itself is not an
+//! optimizer).
+//!
+//! **Executor routing** (crates/hpo, crates/core): a non-test function
+//! that works with the `Executor` and calls `map`/`map_budgeted` must
+//! reach `run_trial`/`contain` (directly or through crate-local calls).
+//! A mapping closure that evaluates configs without `run_trial` bypasses
+//! containment, retry, quarantine, caching and tracing in one stroke.
+
+use super::index::CrateIndex;
+use super::lex::Kind;
+use super::rules::diag_at;
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet};
+
+const BUILDER_HOOKS: [&str; 3] = ["with_policy", "with_cache", "with_tracer"];
+
+/// Run L12 over one crate.
+pub fn check_crate(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
+    if idx.name == "crates/hpo" {
+        optimizer_surface(idx, out);
+    }
+    if idx.name == "crates/hpo" || idx.name == "crates/core" {
+        executor_routing(idx, out);
+    }
+}
+
+fn optimizer_surface(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
+    // Type name → methods defined on it (across the crate's files).
+    let mut methods: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for f in &idx.fns {
+        if let Some(ty) = &f.item.self_ty {
+            methods.entry(ty).or_default().insert(&f.item.name);
+        }
+    }
+    for f in &idx.fns {
+        let is_entry = matches!(f.item.name.as_str(), "optimize" | "optimize_batch");
+        // Body-less = trait declaration; one finding per type is enough,
+        // anchored at `optimize` (every optimizer has it).
+        if !is_entry || f.item.body.is_none() || f.item.in_test || f.item.name != "optimize" {
+            continue;
+        }
+        let Some(ty) = &f.item.self_ty else { continue };
+        let have = methods.get(ty.as_str());
+        let missing: Vec<&str> = BUILDER_HOOKS
+            .iter()
+            .filter(|h| !have.is_some_and(|m| m.contains(**h)))
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            let file = idx.files[f.file];
+            out.push(diag_at(
+                file,
+                f.item.sig_start,
+                "contract-conformance",
+                "L12",
+                format!(
+                    "optimizer `{ty}` is missing builder hook{} {}",
+                    if missing.len() > 1 { "s" } else { "" },
+                    missing
+                        .iter()
+                        .map(|m| format!("`{m}`"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+                "add the missing `with_*` builders so the shared fault policy, trial cache \
+                 and tracer reach this optimizer (see GeneticAlgorithm for the pattern)",
+            ));
+        }
+    }
+}
+
+fn executor_routing(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
+    let eval: BTreeSet<&str> = ["run_trial", "contain"].into();
+    for (fid, f) in idx.fns.iter().enumerate() {
+        if f.item.in_test || f.item.body.is_none() {
+            continue;
+        }
+        let file = idx.files[f.file];
+        let toks = &file.toks;
+        // "Works with the Executor": the ident appears anywhere in the
+        // item (signature included, so `exec: &Executor` params count).
+        let uses_executor = (f.item.sig_start..=f.item.sig_end.min(toks.len() - 1))
+            .any(|i| toks[i].is_ident("Executor"));
+        if !uses_executor {
+            continue;
+        }
+        // Find the mapping call; `.map(` alone is iterator-common, so it
+        // only counts with an Executor in scope (checked above) AND an
+        // executor-looking receiver — `exec.map(..)`, `executor.map(..)`,
+        // `self.executor.map_budgeted(..)` — never `names.iter().map(..)`.
+        let (body_open, body_close) = f.item.body.expect("checked");
+        let map_call = (body_open + 1..body_close).find(|&i| {
+            toks[i].kind == Kind::Ident
+                && (toks[i].text == "map" || toks[i].text == "map_budgeted")
+                && i >= 2
+                && toks[i - 1].is_punct(".")
+                && toks.get(i + 1).is_some_and(|n| n.is_open('('))
+                && toks[i - 2].kind == Kind::Ident
+                && toks[i - 2].text.to_ascii_lowercase().contains("exec")
+        });
+        let Some(map_tok) = map_call else { continue };
+        if !idx.reaches(fid, &eval) {
+            out.push(diag_at(
+                file,
+                map_tok,
+                "contract-conformance",
+                "L12",
+                "executor mapping that never routes through `run_trial`".to_string(),
+                "evaluate configs via `run_trial` (or `contain`) inside the mapped closure \
+                 so panics, retries, quarantine, caching and tracing apply; for non-trial \
+                 numeric work append `// lint:allow(contract-conformance): <what is mapped>`",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::source::File;
+    use super::*;
+
+    fn findings(path: &str, src: &str) -> Vec<String> {
+        let f = File::parse(path, src);
+        let idx = CrateIndex::build(super::super::index::crate_of(path), vec![&f]);
+        let mut out = Vec::new();
+        check_crate(&idx, &mut out);
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    const CONFORMANT: &str = "impl Opt {\n\
+        pub fn with_policy(self) -> Opt { self }\n\
+        pub fn with_cache(self) -> Opt { self }\n\
+        pub fn with_tracer(self) -> Opt { self }\n\
+        pub fn optimize(&self) -> f64 { 0.0 }\n\
+    }\n";
+
+    #[test]
+    fn conformant_optimizer_is_clean() {
+        assert!(findings("crates/hpo/src/opt.rs", CONFORMANT).is_empty());
+    }
+
+    #[test]
+    fn missing_hook_is_named() {
+        let src = "impl Opt {\n\
+            pub fn with_policy(self) -> Opt { self }\n\
+            pub fn optimize(&self) -> f64 { 0.0 }\n\
+        }\n";
+        let msgs = findings("crates/hpo/src/opt.rs", src);
+        assert_eq!(msgs.len(), 1);
+        assert!(msgs[0].contains("`with_cache`"), "{msgs:?}");
+        assert!(msgs[0].contains("`with_tracer`"));
+        assert!(!msgs[0].contains("`with_policy`,"));
+    }
+
+    #[test]
+    fn trait_declaration_is_exempt() {
+        let src = "pub trait Optimizer { fn optimize(&self) -> f64; }\n";
+        assert!(findings("crates/hpo/src/objective.rs", src).is_empty());
+    }
+
+    #[test]
+    fn other_crates_are_out_of_scope() {
+        let src = "impl Opt { pub fn optimize(&self) -> f64 { 0.0 } }\n";
+        assert!(findings("crates/nn/src/opt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn executor_map_without_run_trial_is_flagged() {
+        let src = "pub fn sweep(exec: &Executor, xs: &[f64]) -> Vec<f64> {\n\
+                       exec.map(xs.len(), |i| eval_raw(xs[i]))\n\
+                   }\n";
+        let msgs = findings("crates/hpo/src/sweep.rs", src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("run_trial"));
+    }
+
+    #[test]
+    fn executor_map_through_run_trial_is_clean_even_transitively() {
+        let src = "pub fn sweep(exec: &Executor, xs: &[f64]) -> Vec<f64> {\n\
+                       exec.map_budgeted(xs.len(), |i| one(xs[i]))\n\
+                   }\n\
+                   fn one(x: f64) -> f64 { run_trial(|| x).score() }\n";
+        assert!(findings("crates/hpo/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn iterator_map_with_executor_in_scope_is_not_the_mapping_call() {
+        // Only `exec*.map(..)` receivers count; a plain iterator `.map(..)`
+        // in the same function must neither trigger nor anchor the finding.
+        let src = "pub fn sweep(executor: &Executor, names: &[&str]) -> Vec<String> {\n\
+                       names.iter().map(|s| s.to_string()).collect()\n\
+                   }\n";
+        assert!(findings("crates/hpo/src/sweep.rs", src).is_empty());
+    }
+
+    #[test]
+    fn iterator_map_without_executor_is_ignored() {
+        let src = "pub fn norm(xs: &[f64]) -> Vec<f64> { xs.iter().map(|x| x * 2.0).collect() }\n";
+        assert!(findings("crates/hpo/src/util.rs", src).is_empty());
+    }
+}

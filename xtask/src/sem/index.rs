@@ -1,0 +1,202 @@
+//! Per-crate symbol index: every function with its body range, a
+//! simple-name resolution map, and a call graph with transitive
+//! reachability queries. Resolution is name-based within one crate —
+//! deliberately over-approximate (any same-named function is a candidate
+//! callee), which is the safe direction for the rules built on top:
+//! taint and lock facts may propagate too far, never too little.
+
+use super::ast::{FnItem, Item};
+use super::lex::Kind;
+use super::source::File;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A function inside a [`CrateIndex`].
+pub struct FnRef<'a> {
+    /// Index into [`CrateIndex::files`].
+    pub file: usize,
+    pub item: &'a FnItem,
+}
+
+/// Symbol index over the files of one crate.
+pub struct CrateIndex<'a> {
+    /// Crate id, e.g. `crates/hpo`, `src`, `xtask`.
+    pub name: String,
+    pub files: Vec<&'a File>,
+    pub fns: Vec<FnRef<'a>>,
+    /// Simple fn name → fn ids (cross-file within the crate).
+    by_name: BTreeMap<String, Vec<usize>>,
+    /// fn id → simple names of everything it calls (idents directly
+    /// followed by `(` in its body, methods included).
+    pub calls: Vec<BTreeSet<String>>,
+}
+
+/// Crate id for a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    let parts: Vec<&str> = path.split('/').collect();
+    match parts.first() {
+        Some(&"crates") if parts.len() > 1 => format!("crates/{}", parts[1]),
+        Some(&"xtask") => "xtask".to_string(),
+        Some(&"src") => "src".to_string(),
+        _ => parts.first().unwrap_or(&"").to_string(),
+    }
+}
+
+impl<'a> CrateIndex<'a> {
+    /// Build the index over `files` (all from one crate).
+    pub fn build(name: String, files: Vec<&'a File>) -> CrateIndex<'a> {
+        let mut fns = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, file) in files.iter().enumerate() {
+            for item in &file.items {
+                if let Item::Fn(f) = item {
+                    let id = fns.len();
+                    by_name.entry(f.name.clone()).or_default().push(id);
+                    fns.push(FnRef { file: fi, item: f });
+                }
+            }
+        }
+        let mut calls = Vec::with_capacity(fns.len());
+        for f in &fns {
+            let file = files[f.file];
+            let mut set = BTreeSet::new();
+            if let Some((s, e)) = f.item.body_range() {
+                for i in s..e {
+                    let t = &file.toks[i];
+                    if t.kind == Kind::Ident
+                        && file.toks.get(i + 1).is_some_and(|n| n.is_open('('))
+                        && !is_expr_keyword(&t.text)
+                    {
+                        set.insert(t.text.clone());
+                    }
+                }
+            }
+            calls.push(set);
+        }
+        CrateIndex {
+            name,
+            files,
+            fns,
+            by_name,
+            calls,
+        }
+    }
+
+    /// Fn ids with the given simple name.
+    pub fn resolve(&self, name: &str) -> &[usize] {
+        self.by_name.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Does `fn_id` call (directly or transitively through crate-local
+    /// functions) anything named in `targets`? A called name that matches
+    /// a target counts even when no local definition exists — external
+    /// functions like `run_trial` resolve by name alone.
+    pub fn reaches(&self, fn_id: usize, targets: &BTreeSet<&str>) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([fn_id]);
+        while let Some(id) = queue.pop_front() {
+            if !seen.insert(id) {
+                continue;
+            }
+            for name in &self.calls[id] {
+                if targets.contains(name.as_str()) {
+                    return true;
+                }
+                for &callee in self.resolve(name) {
+                    if !seen.contains(&callee) {
+                        queue.push_back(callee);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Propagate per-fn facts from callees to callers until fixpoint:
+    /// `facts[caller] ⊇ facts[callee]` for every resolvable call edge.
+    pub fn propagate_up<T: Clone + Ord>(&self, facts: &mut [BTreeSet<T>]) {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for caller in 0..self.fns.len() {
+                let mut add: Vec<T> = Vec::new();
+                for name in &self.calls[caller] {
+                    for &callee in self.resolve(name) {
+                        if callee == caller {
+                            continue;
+                        }
+                        for fact in &facts[callee] {
+                            if !facts[caller].contains(fact) {
+                                add.push(fact.clone());
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    facts[caller].extend(add);
+                    changed = true;
+                }
+            }
+        }
+    }
+}
+
+/// Keywords that look like calls when followed by `(`.
+fn is_expr_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "while" | "for" | "match" | "loop" | "return" | "let" | "in" | "as" | "move"
+    )
+}
+
+/// Group parsed files by crate id.
+pub fn group_by_crate(files: &[File]) -> Vec<CrateIndex<'_>> {
+    let mut groups: BTreeMap<String, Vec<&File>> = BTreeMap::new();
+    for f in files {
+        groups.entry(crate_of(&f.path_str())).or_default().push(f);
+    }
+    groups
+        .into_iter()
+        .map(|(name, files)| CrateIndex::build(name, files))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_workspace_layout() {
+        assert_eq!(crate_of("crates/hpo/src/ga.rs"), "crates/hpo");
+        assert_eq!(crate_of("src/lib.rs"), "src");
+        assert_eq!(crate_of("xtask/src/main.rs"), "xtask");
+    }
+
+    #[test]
+    fn reaches_follows_crate_local_calls() {
+        let a = File::parse(
+            "crates/x/src/a.rs",
+            "pub fn entry() { helper(); }\nfn helper() { run_trial(|| 1.0); }\n",
+        );
+        let idx = CrateIndex::build("crates/x".into(), vec![&a]);
+        let entry = idx.fns.iter().position(|f| f.item.name == "entry").unwrap();
+        let targets: BTreeSet<&str> = ["run_trial"].into();
+        assert!(idx.reaches(entry, &targets));
+        let miss: BTreeSet<&str> = ["contain"].into();
+        assert!(!idx.reaches(entry, &miss));
+    }
+
+    #[test]
+    fn propagate_up_reaches_fixpoint_through_chains() {
+        let a = File::parse(
+            "crates/x/src/a.rs",
+            "fn top() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\n",
+        );
+        let idx = CrateIndex::build("crates/x".into(), vec![&a]);
+        let leaf = idx.fns.iter().position(|f| f.item.name == "leaf").unwrap();
+        let top = idx.fns.iter().position(|f| f.item.name == "top").unwrap();
+        let mut facts: Vec<BTreeSet<&str>> = vec![BTreeSet::new(); idx.fns.len()];
+        facts[leaf].insert("L");
+        idx.propagate_up(&mut facts);
+        assert!(facts[top].contains("L"));
+    }
+}

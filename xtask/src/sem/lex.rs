@@ -1,0 +1,526 @@
+//! Rust lexer for the semantic lint engine.
+//!
+//! Produces a flat token stream with precise spans. Comments and literal
+//! *contents* never become matchable tokens — a rule that looks for
+//! `thread_rng` sees an `Ident` token or nothing, so strings and doc
+//! comments are structurally incapable of triggering findings (the old
+//! line-blanking scanner achieved this by overwriting text with spaces;
+//! the lexer makes it a property of the token stream itself).
+//!
+//! `// lint:allow(rule-a, rule-b): note` directives are harvested from
+//! line comments during lexing, together with whether the comment stands
+//! alone on its line (standalone directives govern the next code line).
+
+/// Token kind. Delimiters get their own kinds so downstream passes can
+/// build matched-pair maps without re-classifying punctuation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `HashMap`, `r#type` → `type`).
+    Ident,
+    /// Lifetime (`'a` — without the quote).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char, number.
+    /// The text is a placeholder (`"…"`, `'…'`) or the number itself;
+    /// string/char contents are never exposed.
+    Lit,
+    /// Punctuation. Multi-char for `::`, `->`, `=>`; single char otherwise.
+    Punct,
+    /// Opening delimiter: `(`, `[`, `{`.
+    Open,
+    /// Closing delimiter: `)`, `]`, `}`.
+    Close,
+}
+
+/// One lexed token with its source span.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    /// 0-based source line of the token's first byte.
+    pub line: usize,
+    /// 0-based byte column of the token's first byte within its line.
+    pub col: usize,
+}
+
+impl Tok {
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == Kind::Punct && self.text == s
+    }
+    pub fn is_open(&self, c: char) -> bool {
+        self.kind == Kind::Open && self.text.as_bytes()[0] == c as u8
+    }
+    pub fn is_close(&self, c: char) -> bool {
+        self.kind == Kind::Close && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+/// A `lint:allow` directive found in a line comment.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// 0-based line the comment sits on.
+    pub line: usize,
+    /// 0-based byte column where the `//` begins.
+    pub col: usize,
+    /// True when no code token starts on the same line before the comment
+    /// (the directive then governs the next line that carries code).
+    pub standalone: bool,
+    /// Rule ids named in the parentheses.
+    pub rules: Vec<String>,
+}
+
+/// Lexer output: the token stream plus harvested directives.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub directives: Vec<Directive>,
+}
+
+/// Lex `text` into tokens and directives. Never fails: unknown bytes are
+/// skipped (the real compiler will reject them; the linter stays quiet).
+pub fn lex(text: &str) -> Lexed {
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 0usize;
+    let mut col = 0usize;
+    // Does any already-emitted token sit on the current line?
+    let mut line_has_code = false;
+
+    macro_rules! advance {
+        ($n:expr) => {{
+            for k in 0..$n {
+                if chars[i + k] == '\n' {
+                    line += 1;
+                    col = 0;
+                    line_has_code = false;
+                } else {
+                    col += 1;
+                }
+            }
+            i += $n;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+        // Line comment. Harvest lint:allow — but not from doc comments
+        // (`///`, `//!`): those are documentation, which may *mention*
+        // directives without enacting them.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start_col = col;
+            let standalone = !line_has_code;
+            let is_doc = matches!(chars.get(i + 2), Some('/') | Some('!'));
+            let mut body = String::new();
+            let mut j = i;
+            while j < chars.len() && chars[j] != '\n' {
+                body.push(chars[j]);
+                j += 1;
+            }
+            if !is_doc {
+                harvest_directive(&body, line, start_col, standalone, &mut out.directives);
+            }
+            advance!(j - i);
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1u32;
+            let mut j = i + 2;
+            while j < chars.len() && depth > 0 {
+                if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            advance!(j - i);
+            continue;
+        }
+        // Raw / byte / c-string prefixes and raw identifiers.
+        if (c == 'r' || c == 'b' || c == 'c') && !prev_is_ident(&chars, i) {
+            if let Some(consumed) = try_prefixed_string(&chars, i) {
+                out.toks.push(Tok {
+                    kind: Kind::Lit,
+                    text: "\"…\"".to_string(),
+                    line,
+                    col,
+                });
+                line_has_code = true;
+                advance!(consumed);
+                continue;
+            }
+            if c == 'r' && chars.get(i + 1) == Some(&'#') {
+                // Raw identifier r#type.
+                let mut j = i + 2;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                if j > i + 2 {
+                    out.toks.push(Tok {
+                        kind: Kind::Ident,
+                        text: chars[i + 2..j].iter().collect(),
+                        line,
+                        col,
+                    });
+                    line_has_code = true;
+                    advance!(j - i);
+                    continue;
+                }
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '"' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: Kind::Lit,
+                text: "\"…\"".to_string(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(j.min(chars.len()) - i);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1);
+            let is_lifetime = next.is_some_and(|n| n.is_alphabetic() || *n == '_')
+                && chars.get(i + 2) != Some(&'\'');
+            if is_lifetime {
+                let mut j = i + 1;
+                while j < chars.len() && is_ident_char(chars[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: Kind::Lifetime,
+                    text: chars[i + 1..j].iter().collect(),
+                    line,
+                    col,
+                });
+                line_has_code = true;
+                advance!(j - i);
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() {
+                if chars[j] == '\\' {
+                    j += 2;
+                } else if chars[j] == '\'' {
+                    j += 1;
+                    break;
+                } else {
+                    j += 1;
+                }
+            }
+            out.toks.push(Tok {
+                kind: Kind::Lit,
+                text: "'…'".to_string(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(j.min(chars.len()) - i);
+            continue;
+        }
+        // Identifier / keyword.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < chars.len() && is_ident_char(chars[j]) {
+                j += 1;
+            }
+            out.toks.push(Tok {
+                kind: Kind::Ident,
+                text: chars[i..j].iter().collect(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(j - i);
+            continue;
+        }
+        // Number literal (incl. 0xff, 1_000, 1.5e-3, 1.0f64). A `.` is
+        // consumed only when not starting a `..` range.
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < chars.len() {
+                let d = chars[j];
+                if is_ident_char(d) {
+                    // Exponent sign: 1e-5 / 1E+5.
+                    if (d == 'e' || d == 'E')
+                        && matches!(chars.get(j + 1), Some('+') | Some('-'))
+                        && chars.get(j + 2).is_some_and(|x| x.is_ascii_digit())
+                    {
+                        j += 2;
+                    }
+                    j += 1;
+                } else if d == '.'
+                    && chars.get(j + 1) != Some(&'.')
+                    && chars
+                        .get(j + 1)
+                        .is_none_or(|n| !n.is_alphabetic() || *n == 'e' || *n == 'E' || *n == 'f')
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            out.toks.push(Tok {
+                kind: Kind::Lit,
+                text: chars[i..j].iter().collect(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(j - i);
+            continue;
+        }
+        // Delimiters.
+        if matches!(c, '(' | '[' | '{') {
+            out.toks.push(Tok {
+                kind: Kind::Open,
+                text: c.to_string(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(1);
+            continue;
+        }
+        if matches!(c, ')' | ']' | '}') {
+            out.toks.push(Tok {
+                kind: Kind::Close,
+                text: c.to_string(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(1);
+            continue;
+        }
+        // Multi-char puncts the item parser relies on.
+        let two: Option<&str> = match (c, chars.get(i + 1)) {
+            (':', Some(':')) => Some("::"),
+            ('-', Some('>')) => Some("->"),
+            ('=', Some('>')) => Some("=>"),
+            _ => None,
+        };
+        if let Some(p) = two {
+            out.toks.push(Tok {
+                kind: Kind::Punct,
+                text: p.to_string(),
+                line,
+                col,
+            });
+            line_has_code = true;
+            advance!(2);
+            continue;
+        }
+        // Single-char punct.
+        out.toks.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+        line_has_code = true;
+        advance!(1);
+    }
+    out
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && is_ident_char(chars[i - 1])
+}
+
+/// At `chars[i]` ∈ {r, b, c}: if a (possibly raw, possibly byte/c) string
+/// literal opens here, return the total consumed length.
+fn try_prefixed_string(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    // Up to two prefix letters (br, rb? — rust allows br"" and cr"").
+    let mut prefix = 0;
+    while prefix < 2 && matches!(chars.get(j), Some('r') | Some('b') | Some('c')) {
+        j += 1;
+        prefix += 1;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    // Raw form requires the 'r' to be present when hashes > 0; a plain
+    // b"…" has zero hashes and no 'r'. Either way `j` sits on the quote.
+    let raw = chars[i..j].contains(&'r');
+    j += 1;
+    if raw {
+        while j < chars.len() {
+            if chars[j] == '"' && (1..=hashes).all(|k| chars.get(j + k) == Some(&'#')) {
+                return Some(j + hashes + 1 - i);
+            }
+            j += 1;
+        }
+        Some(chars.len() - i)
+    } else {
+        if hashes > 0 {
+            return None;
+        }
+        while j < chars.len() {
+            if chars[j] == '\\' {
+                j += 2;
+            } else if chars[j] == '"' {
+                return Some(j + 1 - i);
+            } else {
+                j += 1;
+            }
+        }
+        Some(chars.len() - i)
+    }
+}
+
+/// Parse `lint:allow(rule-a, rule-b): note` out of one comment body.
+fn harvest_directive(
+    comment: &str,
+    line: usize,
+    col: usize,
+    standalone: bool,
+    out: &mut Vec<Directive>,
+) {
+    let Some(pos) = comment.find("lint:allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return;
+    };
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if !rules.is_empty() {
+        out.push(Directive {
+            line,
+            col,
+            standalone,
+            rules,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_matchable_idents() {
+        let src = "let a = \"thread_rng()\"; // unwrap() in a comment\nlet b = r#\"panic!()\"#;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(l
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Lifetime && t.text == "a"));
+        assert_eq!(l.toks.iter().filter(|t| t.kind == Kind::Lit).count(), 1);
+    }
+
+    #[test]
+    fn spans_are_line_and_col_accurate() {
+        let l = lex("ab\n  cd(e)");
+        let cd = l.toks.iter().find(|t| t.text == "cd").unwrap();
+        assert_eq!((cd.line, cd.col), (1, 2));
+        let open = l.toks.iter().find(|t| t.kind == Kind::Open).unwrap();
+        assert_eq!((open.line, open.col), (1, 4));
+    }
+
+    #[test]
+    fn directives_track_standalone_and_trailing() {
+        let src = "x.unwrap(); // lint:allow(no-panic-lib): safe\n// lint:allow(determinism, nan-ordering)\ny();";
+        let l = lex(src);
+        assert_eq!(l.directives.len(), 2);
+        assert!(!l.directives[0].standalone);
+        assert_eq!(l.directives[0].rules, vec!["no-panic-lib"]);
+        assert!(l.directives[1].standalone);
+        assert_eq!(l.directives[1].rules, vec!["determinism", "nan-ordering"]);
+    }
+
+    #[test]
+    fn doc_comments_may_mention_directives_without_enacting_them() {
+        let src = "/// Suppress with `// lint:allow(no-panic-lib)` inline.\n\
+                   //! Or `// lint:allow(determinism): note` at file level.\n\
+                   // lint:allow(nan-ordering): this one is real\n\
+                   y();";
+        let l = lex(src);
+        assert_eq!(l.directives.len(), 1, "{:?}", l.directives);
+        assert_eq!(l.directives[0].rules, vec!["nan-ordering"]);
+    }
+
+    #[test]
+    fn double_colon_and_arrows_are_joined() {
+        let l = lex("a::b -> c => d");
+        let puncts: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Punct)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(puncts, vec!["::", "->", "=>"]);
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_exponents() {
+        let l = lex("0..10 1.5e-3 0xff 1_000 v.0");
+        let lits: Vec<String> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == Kind::Lit)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec!["0", "10", "1.5e-3", "0xff", "1_000", "0"]);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_to_their_name() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

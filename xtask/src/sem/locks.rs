@@ -1,0 +1,537 @@
+//! L11 — `lock-order`: the workspace lock-acquisition graph must stay
+//! acyclic, and no lock may be held across a trial evaluation.
+//!
+//! **Lock classes** come from struct fields typed `Mutex<…>`/`RwLock<…>`
+//! (possibly wrapped in `Arc`/`Option`), named `Type.field` — e.g.
+//! `TrialCache.inner`, `Tracer.state`, `SharedBudget.best`,
+//! `MemorySink.buf` — plus function-local `let m = Mutex::new(..)`
+//! bindings.
+//!
+//! **Acquisition sites** are `.lock()` / `.read()` / `.write()` calls
+//! whose receiver resolves to a known class: `self.field.lock()`, a local
+//! borrow of a lock field (`state.lock()` where `state` names a lock
+//! field), or a local mutex. Unresolvable receivers (e.g.
+//! `stderr().lock()`) are ignored. Known lock-backed APIs count as
+//! acquisitions of their internal lock even cross-crate: `.emit(..)` /
+//! `.emit_all(..)` acquire `Tracer.state`; `.get`/`.insert`/`.len`/
+//! `.stats` on a `*cache*` receiver acquire `TrialCache.inner`;
+//! `.observe`/`.best` on a `*budget*` receiver acquire
+//! `SharedBudget.best`.
+//!
+//! **Guard extent**: a let-bound guard lives to the end of its enclosing
+//! block; a temporary guard to the end of its statement. Within an
+//! extent, every further acquisition — direct, via a known API, or
+//! transitively through crate-local calls — adds an edge
+//! `held → acquired`. An edge on a cycle is an error, and a call that
+//! (transitively) reaches `run_trial`/`contain` inside an extent is the
+//! held-across-evaluation error.
+
+use super::ast::Item;
+use super::index::{self, CrateIndex};
+use super::lex::Kind;
+use super::rules::diag_at;
+use super::source::File;
+use crate::diag::Diagnostic;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+const HELP_CYCLE: &str = "acquire locks in one global order (release before taking the next), \
+                          or append `// lint:allow(lock-order): <why this cannot deadlock>`";
+const HELP_EVAL: &str = "drop the guard before evaluating (clone what you need out of the \
+                         critical section), or append \
+                         `// lint:allow(lock-order): <why holding is required and safe>`";
+
+/// Names whose invocation means "a trial is being evaluated".
+const EVAL_TARGETS: [&str; 2] = ["run_trial", "contain"];
+
+/// Run L11 over the whole workspace.
+pub fn check_workspace(files: &[File], out: &mut Vec<Diagnostic>) {
+    // Lock classes: field name → `Type.field`, workspace-wide.
+    let mut field_class: BTreeMap<String, String> = BTreeMap::new();
+    for f in files {
+        for item in &f.items {
+            if let Item::Struct(s) = item {
+                for fld in &s.lock_fields {
+                    field_class
+                        .entry(fld.clone())
+                        .or_insert_with(|| format!("{}.{}", s.name, fld));
+                }
+            }
+        }
+    }
+
+    let mut edges: Vec<(String, String, Diagnostic)> = Vec::new();
+    for idx in index::group_by_crate(files) {
+        if idx.name == "xtask" {
+            continue;
+        }
+        analyze_crate(&idx, &field_class, &mut edges, out);
+    }
+
+    // Cycle detection: an edge (a → b) where b reaches a closes a cycle.
+    let mut adj: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (a, b, _) in &edges {
+        adj.entry(a.clone()).or_default().insert(b.clone());
+    }
+    let reaches = |from: &str, to: &str| -> bool {
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::from([from]);
+        while let Some(n) = queue.pop_front() {
+            if n == to {
+                return true;
+            }
+            if !seen.insert(n) {
+                continue;
+            }
+            if let Some(next) = adj.get(n) {
+                queue.extend(next.iter().map(String::as_str));
+            }
+        }
+        false
+    };
+    let mut reported: BTreeSet<(String, String)> = BTreeSet::new();
+    for (a, b, diag) in edges {
+        if (a == b || reaches(&b, &a)) && reported.insert((a, b)) {
+            out.push(diag);
+        }
+    }
+}
+
+/// One acquisition site inside a function body.
+struct Acq {
+    /// Token index of the `.lock()`/`.read()`/… method name (or of a
+    /// lock-backed API call).
+    tok: usize,
+    class: String,
+    /// Token range (exclusive end) during which the guard is held.
+    /// Zero-length for synthetic (API-internal) acquisitions — those
+    /// locks are released before the call returns.
+    extent: (usize, usize),
+}
+
+fn analyze_crate(
+    idx: &CrateIndex<'_>,
+    field_class: &BTreeMap<String, String>,
+    edges: &mut Vec<(String, String, Diagnostic)>,
+    out: &mut Vec<Diagnostic>,
+) {
+    // Per-fn acquisition sites, and per-fn acquired classes for
+    // caller-ward propagation.
+    let mut sites: Vec<Vec<Acq>> = Vec::with_capacity(idx.fns.len());
+    let mut facts: Vec<BTreeSet<String>> = Vec::with_capacity(idx.fns.len());
+    for f in &idx.fns {
+        let file = idx.files[f.file];
+        let acqs = if f.item.in_test {
+            Vec::new()
+        } else {
+            find_acquisitions(file, f.item.body, field_class, &f.item.path)
+        };
+        facts.push(acqs.iter().map(|a| a.class.clone()).collect());
+        sites.push(acqs);
+    }
+    idx.propagate_up(&mut facts);
+
+    let eval_targets: BTreeSet<&str> = EVAL_TARGETS.into();
+    for (fid, f) in idx.fns.iter().enumerate() {
+        if f.item.in_test {
+            continue;
+        }
+        let file = idx.files[f.file];
+        for (ai, a) in sites[fid].iter().enumerate() {
+            let (s, e) = a.extent;
+            if s >= e {
+                continue; // synthetic acquisition: nothing held here
+            }
+            // Direct nested acquisitions.
+            for (bi, b) in sites[fid].iter().enumerate() {
+                if bi != ai && b.tok >= s && b.tok < e {
+                    edges.push((
+                        a.class.clone(),
+                        b.class.clone(),
+                        diag_at(
+                            file,
+                            b.tok,
+                            "lock-order",
+                            "L11",
+                            format!("lock `{}` acquired while `{}` is held", b.class, a.class),
+                            HELP_CYCLE,
+                        ),
+                    ));
+                }
+            }
+            // Calls inside the extent: propagate crate-local lock facts
+            // and detect evaluation under a lock.
+            let toks = &file.toks;
+            let mut j = s;
+            while j < e.min(toks.len()) {
+                let t = &toks[j];
+                if t.kind == Kind::Ident && toks.get(j + 1).is_some_and(|n| n.is_open('(')) {
+                    let name = t.text.as_str();
+                    let hits_eval = eval_targets.contains(name)
+                        || idx
+                            .resolve(name)
+                            .iter()
+                            .any(|&callee| callee != fid && idx.reaches(callee, &eval_targets));
+                    if hits_eval {
+                        out.push(diag_at(
+                            file,
+                            j,
+                            "lock-order",
+                            "L11",
+                            format!(
+                                "trial evaluation (`{name}`) while lock `{}` is held",
+                                a.class
+                            ),
+                            HELP_EVAL,
+                        ));
+                    }
+                    for &callee in idx.resolve(name) {
+                        if callee == fid {
+                            continue;
+                        }
+                        for cls in &facts[callee] {
+                            if *cls != a.class {
+                                edges.push((
+                                    a.class.clone(),
+                                    cls.clone(),
+                                    diag_at(
+                                        file,
+                                        j,
+                                        "lock-order",
+                                        "L11",
+                                        format!(
+                                            "call to `{name}` acquires lock `{cls}` while `{}` is held",
+                                            a.class
+                                        ),
+                                        HELP_CYCLE,
+                                    ),
+                                ));
+                            }
+                        }
+                    }
+                }
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Scan a function body for acquisition sites.
+fn find_acquisitions(
+    file: &File,
+    body: Option<(usize, usize)>,
+    field_class: &BTreeMap<String, String>,
+    fn_path: &str,
+) -> Vec<Acq> {
+    let Some((open, close)) = body else {
+        return Vec::new();
+    };
+    let toks = &file.toks;
+    // Function-local mutexes: `let NAME = Mutex::new(..)` (or RwLock).
+    let mut local_class: BTreeMap<String, String> = BTreeMap::new();
+    for j in open + 1..close {
+        if toks[j].is_ident("let") {
+            let mut name = None;
+            let mut k = j + 1;
+            while k < close && !toks[k].is_punct("=") && !toks[k].is_punct(";") {
+                if toks[k].kind == Kind::Ident && !matches!(toks[k].text.as_str(), "mut" | "ref") {
+                    name = Some(toks[k].text.clone());
+                    // Type annotation ends the pattern.
+                    if toks.get(k + 1).is_some_and(|n| n.is_punct(":")) {
+                        while k < close && !toks[k].is_punct("=") && !toks[k].is_punct(";") {
+                            k += 1;
+                        }
+                        break;
+                    }
+                }
+                k += 1;
+            }
+            if let Some(name) = name {
+                let rhs_is_mutex = (k..close.min(k + 6)).any(|m| {
+                    (toks[m].is_ident("Mutex") || toks[m].is_ident("RwLock"))
+                        && toks.get(m + 1).is_some_and(|n| n.is_punct("::"))
+                        && toks.get(m + 2).is_some_and(|n| n.is_ident("new"))
+                });
+                if rhs_is_mutex {
+                    local_class.insert(name.clone(), format!("{fn_path}::{name}"));
+                }
+            }
+        }
+    }
+
+    let mut acqs = Vec::new();
+    for j in open + 1..close {
+        let t = &toks[j];
+        if t.kind != Kind::Ident || !toks.get(j + 1).is_some_and(|n| n.is_open('(')) {
+            continue;
+        }
+        let recv = (j >= 2 && toks[j - 1].is_punct("."))
+            .then(|| &toks[j - 2])
+            .filter(|r| r.kind == Kind::Ident);
+        // Real acquisition: `.lock()`/`.read()`/`.write()` with an empty
+        // argument list on a resolvable receiver.
+        if matches!(t.text.as_str(), "lock" | "read" | "write") && file.pair[j + 1] == j + 2 {
+            let Some(recv) = recv else { continue };
+            let class = if recv.text == "self" {
+                None // `self.lock()` — no field, unknown
+            } else {
+                local_class
+                    .get(&recv.text)
+                    .or_else(|| field_class.get(&recv.text))
+                    .cloned()
+            };
+            if let Some(class) = class {
+                let extent = guard_extent(file, j, open, close);
+                acqs.push(Acq {
+                    tok: j,
+                    class,
+                    extent,
+                });
+            }
+            continue;
+        }
+        // Synthetic acquisitions through known lock-backed APIs.
+        let Some(recv) = recv else { continue };
+        let recv_lc = recv.text.to_lowercase();
+        let class = match t.text.as_str() {
+            "emit" | "emit_all" => Some("Tracer.state"),
+            "get" | "insert" | "len" | "stats" if recv_lc.contains("cache") => {
+                Some("TrialCache.inner")
+            }
+            "observe" | "best" if recv_lc.contains("budget") => Some("SharedBudget.best"),
+            _ => None,
+        };
+        if let Some(class) = class {
+            acqs.push(Acq {
+                tok: j,
+                class: class.to_string(),
+                extent: (j, j), // released inside the API before returning
+            });
+        }
+    }
+    acqs
+}
+
+/// Extent of the guard created at acquisition token `site`: end of the
+/// enclosing block when let-bound, end of the statement for temporaries.
+fn guard_extent(file: &File, site: usize, body_open: usize, body_close: usize) -> (usize, usize) {
+    let toks = &file.toks;
+    // Let-bound? Walk back to the statement start looking for `let`.
+    let mut let_bound = false;
+    let mut k = site;
+    while k > body_open {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_punct(";") || t.is_open('{') || t.is_close('}') {
+            break;
+        }
+        if t.is_ident("let") {
+            let_bound = true;
+            break;
+        }
+    }
+    if let_bound && k > body_open && (toks[k - 1].is_ident("if") || toks[k - 1].is_ident("while")) {
+        // `if let` / `while let` scrutinee: the guard is a temporary that
+        // lives through the conditional's blocks (else branches included —
+        // the classic Rust scoping footgun), not the enclosing block.
+        let mut j = site + 1;
+        let mut end = body_close;
+        while j < body_close {
+            if toks[j].is_open('{') && file.pair[j] != usize::MAX {
+                let mut close = file.pair[j];
+                // Extend through `else` / `else if` chains.
+                while toks.get(close + 1).is_some_and(|t| t.is_ident("else")) {
+                    let mut m = close + 2;
+                    let mut next = None;
+                    while m < body_close {
+                        if toks[m].is_open('{') && file.pair[m] != usize::MAX {
+                            next = Some(file.pair[m]);
+                            break;
+                        }
+                        if toks[m].kind == Kind::Open && file.pair[m] != usize::MAX {
+                            m = file.pair[m] + 1;
+                            continue;
+                        }
+                        m += 1;
+                    }
+                    match next {
+                        Some(c) => close = c,
+                        None => break,
+                    }
+                }
+                end = close;
+                break;
+            }
+            if toks[j].kind == Kind::Open && file.pair[j] != usize::MAX {
+                j = file.pair[j] + 1;
+                continue;
+            }
+            j += 1;
+        }
+        return (site + 1, end);
+    }
+    if let_bound {
+        // Innermost `{` still open at `site`.
+        let mut stack = vec![body_open];
+        let mut j = body_open + 1;
+        while j < site {
+            if toks[j].is_open('{') {
+                stack.push(j);
+            } else if toks[j].is_close('}') {
+                stack.pop();
+            }
+            j += 1;
+        }
+        let block_open = *stack.last().unwrap_or(&body_open);
+        let block_close = file.pair[block_open];
+        let end = if block_close == usize::MAX {
+            body_close
+        } else {
+            block_close
+        };
+        (site + 1, end)
+    } else {
+        // Temporary: held to the end of the statement.
+        let mut j = site + 1;
+        while j < body_close {
+            if toks[j].kind == Kind::Open && file.pair[j] != usize::MAX {
+                j = file.pair[j] + 1;
+                continue;
+            }
+            if toks[j].is_punct(";") {
+                return (site + 1, j);
+            }
+            j += 1;
+        }
+        (site + 1, body_close)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn findings(srcs: &[(&str, &str)]) -> Vec<String> {
+        let files: Vec<File> = srcs.iter().map(|(p, s)| File::parse(p, s)).collect();
+        let mut out = Vec::new();
+        check_workspace(&files, &mut out);
+        out.into_iter().map(|d| d.message).collect()
+    }
+
+    const STRUCTS: &str = "pub struct A { a: Mutex<u8> }\npub struct B { b: Mutex<u8> }\n";
+
+    #[test]
+    fn inverted_lock_pair_is_a_cycle() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{ pub fn one(&self, o: &B) {{ let g = self.a.lock(); let h = o.b.lock(); }} }}\n\
+             impl B {{ pub fn two(&self, o: &A) {{ let g = self.b.lock(); let h = o.a.lock(); }} }}\n"
+        );
+        let msgs = findings(&[("crates/x/src/l.rs", &src)]);
+        assert_eq!(msgs.len(), 2, "{msgs:?}");
+        assert!(msgs.iter().all(|m| m.contains("is held")));
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{ pub fn one(&self, o: &B) {{ let g = self.a.lock(); let h = o.b.lock(); }} }}\n\
+             impl B {{ pub fn two(&self, o: &A) {{ let g = o.a.lock(); let h = self.b.lock(); }} }}\n"
+        );
+        assert!(findings(&[("crates/x/src/l.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_does_not_outlive_its_statement() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{ pub fn one(&self, o: &B) {{ self.a.lock().push(1); let h = o.b.lock(); }} }}\n\
+             impl B {{ pub fn two(&self, o: &A) {{ self.b.lock().push(1); let h = o.a.lock(); }} }}\n"
+        );
+        assert!(findings(&[("crates/x/src/l.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn eval_under_lock_is_flagged_even_transitively() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{ pub fn one(&self) {{ let g = self.a.lock(); helper(); }} }}\n\
+             fn helper() {{ run_trial(|| 1.0); }}\n"
+        );
+        let msgs = findings(&[("crates/x/src/l.rs", &src)]);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("trial evaluation"));
+        assert!(msgs[0].contains("A.a"));
+    }
+
+    #[test]
+    fn cycle_through_crate_local_call_is_found() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{ pub fn one(&self, o: &B) {{ let g = self.a.lock(); takes_b(o); }} }}\n\
+             fn takes_b(o: &B) {{ let g = o.b.lock(); }}\n\
+             impl B {{ pub fn two(&self, o: &A) {{ let g = self.b.lock(); let h = o.a.lock(); }} }}\n"
+        );
+        let msgs = findings(&[("crates/x/src/l.rs", &src)]);
+        assert!(!msgs.is_empty());
+    }
+
+    #[test]
+    fn emit_api_counts_as_tracer_lock() {
+        // Holding Tracer.state while calling .emit() elsewhere would need
+        // the tracer struct; here: a struct holding its own lock calls
+        // emit → edge X.m → Tracer.state; and tracer-side code acquiring
+        // X.m while holding state closes the cycle.
+        let a = "pub struct X { m: Mutex<u8> }\n\
+                 impl X { pub fn go(&self, tr: &Tracer) { let g = self.m.lock(); tr.emit(ev()); } }\n";
+        let b = "pub struct Tracer { state: Mutex<u8> }\n\
+                 impl Tracer { pub fn emit(&self, x: &X) { let s = state.lock(); x.lockit(); } }\n\
+                 impl X2 { pub fn lockit(m: &X) { let g = m.lock(); } }\n";
+        let msgs = findings(&[("crates/x/src/a.rs", a), ("crates/trace/src/b.rs", b)]);
+        assert!(!msgs.is_empty(), "{msgs:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = format!(
+            "{STRUCTS}\
+             #[cfg(test)]\nmod tests {{\n  fn t(a: &A, b: &B) {{ let g = a.a.lock(); let h = b.b.lock(); run_trial(|| 1.0); }}\n}}\n"
+        );
+        assert!(findings(&[("crates/x/src/l.rs", &src)]).is_empty());
+    }
+
+    #[test]
+    fn if_let_scrutinee_guard_ends_with_the_conditional() {
+        // Read-through-cache pattern: the `if let` guard is dropped before
+        // the write path re-locks, so no self-cycle.
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{\n\
+               pub fn cached(&self) -> u8 {{\n\
+                 if let Some(v) = self.a.lock().checked_add(0) {{ return v; }}\n\
+                 self.a.lock().wrapping_add(1)\n\
+               }}\n\
+             }}\n"
+        );
+        assert!(
+            findings(&[("crates/x/src/l.rs", &src)]).is_empty(),
+            "{:?}",
+            findings(&[("crates/x/src/l.rs", &src)])
+        );
+    }
+
+    #[test]
+    fn if_let_guard_still_covers_the_else_branch() {
+        let src = format!(
+            "{STRUCTS}\
+             impl A {{\n\
+               pub fn footgun(&self, o: &B) {{\n\
+                 if let Some(_) = self.a.lock().checked_add(0) {{ }} else {{ let h = o.b.lock(); }}\n\
+               }}\n\
+             }}\n\
+             impl B {{ pub fn two(&self, o: &A) {{ let g = self.b.lock(); let h = o.a.lock(); }} }}\n"
+        );
+        let msgs = findings(&[("crates/x/src/l.rs", &src)]);
+        assert_eq!(msgs.len(), 2, "inverted pair via the else branch: {msgs:?}");
+    }
+}

@@ -1,0 +1,129 @@
+//! Semantic lint engine: lexer → matched token stream → lightweight AST
+//! → per-crate symbol index → rule passes.
+//!
+//! The pipeline per `cargo xtask lint` run:
+//!
+//! 1. every workspace source file is lexed and parsed ([`source::File`]);
+//! 2. file-scope rules L1–L4, L6–L9 run on each file ([`rules`]);
+//! 3. files are grouped into per-crate indexes with call graphs
+//!    ([`index`]) and the crate-scope rules run: L10 determinism-taint
+//!    ([`taint`]), L12 contract-conformance ([`contract`]);
+//! 4. the workspace-scope L11 lock-order pass runs over all crates at
+//!    once ([`locks`]);
+//! 5. the pre-suppression finding set feeds the L13 stale-allow audit
+//!    ([`allowaudit`]), then `// lint:allow(..)` directives split
+//!    findings into active and suppressed.
+//!
+//! Everything is std-only: xtask must build before any vendored
+//! dependency compiles, because it is the tool that lints them.
+
+pub mod allowaudit;
+pub mod ast;
+pub mod contract;
+pub mod index;
+pub mod lex;
+pub mod locks;
+pub mod rules;
+pub mod source;
+pub mod taint;
+
+use crate::diag::Diagnostic;
+use source::File;
+use std::collections::BTreeMap;
+
+/// Outcome of a full semantic analysis pass.
+pub struct Report {
+    /// Findings not covered by a `lint:allow` escape, sorted by
+    /// (file, line, col, code).
+    pub active: Vec<Diagnostic>,
+    /// Findings silenced by a `lint:allow` escape (still rendered in
+    /// `--format json` so audits see them).
+    pub suppressed: Vec<Diagnostic>,
+}
+
+/// Run every semantic rule over the parsed `files`.
+pub fn analyze(files: &[File]) -> Report {
+    let mut all: Vec<Diagnostic> = Vec::new();
+    for f in files {
+        all.extend(rules::check_file(f));
+    }
+    for idx in index::group_by_crate(files) {
+        taint::check_crate(&idx, &mut all);
+        contract::check_crate(&idx, &mut all);
+    }
+    locks::check_workspace(files, &mut all);
+    // L13 sees the pre-suppression set: a directive currently silencing
+    // a finding is live by construction.
+    let stale = allowaudit::check(files, &all);
+    all.extend(stale);
+
+    let by_path: BTreeMap<String, &File> = files
+        .iter()
+        .map(|f| (f.path.display().to_string(), f))
+        .collect();
+    let mut active = Vec::new();
+    let mut suppressed = Vec::new();
+    for d in all {
+        let allowed = by_path
+            .get(&d.file.display().to_string())
+            .is_some_and(|f| f.is_allowed_line(d.line - 1, d.rule));
+        if allowed {
+            suppressed.push(d);
+        } else {
+            active.push(d);
+        }
+    }
+    let key = |d: &Diagnostic| {
+        (
+            d.file.display().to_string(),
+            d.line,
+            d.col,
+            d.code,
+            d.message.clone(),
+        )
+    };
+    active.sort_by_key(key);
+    active.dedup();
+    suppressed.sort_by_key(key);
+    suppressed.dedup();
+    Report { active, suppressed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppression_splits_active_from_suppressed() {
+        let f = File::parse(
+            "crates/core/src/x.rs",
+            "fn a() { x.unwrap(); }\nfn b() { y.unwrap(); } // lint:allow(no-panic-lib): bounded\n",
+        );
+        let r = analyze(std::slice::from_ref(&f));
+        assert_eq!(r.active.len(), 1, "{:?}", r.active);
+        assert_eq!(r.suppressed.len(), 1);
+        assert_eq!(r.active[0].item, "a");
+        assert_eq!(r.suppressed[0].item, "b");
+    }
+
+    #[test]
+    fn stale_allow_flows_through_the_report() {
+        let f = File::parse(
+            "crates/core/src/x.rs",
+            "fn a() { x.unwrap_or(1); } // lint:allow(no-panic-lib): obsolete\n",
+        );
+        let r = analyze(std::slice::from_ref(&f));
+        assert_eq!(r.active.len(), 1);
+        assert_eq!(r.active[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn stale_allow_keeper_escape_works() {
+        let f = File::parse(
+            "crates/core/src/x.rs",
+            "fn a() { x.unwrap_or(1); } // lint:allow(no-panic-lib, stale-allow): fixture keeper\n",
+        );
+        let r = analyze(std::slice::from_ref(&f));
+        assert!(r.active.is_empty(), "{:?}", r.active);
+    }
+}

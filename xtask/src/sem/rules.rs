@@ -1,0 +1,673 @@
+//! File-scope rules (L1–L4, L6–L9) ported onto the token stream, plus
+//! the metadata table for every rule the engine knows (L1–L13).
+//!
+//! | code | rule id                 | scope                                     |
+//! |------|-------------------------|-------------------------------------------|
+//! | L1   | `no-panic-lib`          | library code of the seven product crates  |
+//! | L2   | `determinism`           | every workspace source file               |
+//! | L3   | `ordered-iteration`     | the five ordering-sensitive modules       |
+//! | L4   | `nan-ordering`          | every workspace source file               |
+//! | L5   | `manifest-hygiene`      | `Cargo.toml` files ([`crate::manifest`])  |
+//! | L6   | `no-adhoc-threads`      | everything outside `crates/parallel/`     |
+//! | L7   | `no-adhoc-catch-unwind` | everything outside `crates/parallel/`     |
+//! | L8   | `no-adhoc-memo`         | everything outside `crates/parallel/`     |
+//! | L9   | `no-adhoc-print`        | library code (bins/tests/examples exempt) |
+//! | L10  | `determinism-taint`     | crate-level dataflow ([`super::taint`])   |
+//! | L11  | `lock-order`            | crate-level lock graph ([`super::locks`]) |
+//! | L12  | `contract-conformance`  | optimizer/executor surface ([`super::contract`]) |
+//! | L13  | `stale-allow`           | every `lint:allow` escape ([`super::allowaudit`]) |
+//!
+//! Matching happens on lexed tokens, so string literals and comments are
+//! structurally incapable of producing findings. Each hit can be
+//! suppressed with `// lint:allow(rule-id): justification` on the same or
+//! preceding line.
+
+use super::lex::Kind;
+use super::source::File;
+use crate::diag::Diagnostic;
+
+/// Crates whose `src/` trees count as library code for `no-panic-lib`.
+pub const PANIC_FREE_CRATES: [&str; 7] =
+    ["core", "knowledge", "hpo", "ml", "nn", "data", "parallel"];
+
+/// Modules where iteration order is observable in outputs (serialized
+/// artifacts, reports, GA populations) and hash iteration is banned.
+pub const ORDER_SENSITIVE_MODULES: [&str; 5] = [
+    "crates/knowledge/src/graph.rs",
+    "crates/knowledge/src/acquisition.rs",
+    "crates/core/src/dmd.rs",
+    "crates/hpo/src/ga.rs",
+    "crates/bench/src/report.rs",
+];
+
+/// Static description of one rule, shared by `--explain`, the JSON
+/// report's rule table, and the fixture harness.
+pub struct RuleMeta {
+    pub code: &'static str,
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Rationale paragraph printed by `--explain`.
+    pub rationale: &'static str,
+}
+
+/// Every rule the engine knows, in code order.
+pub const RULES: [RuleMeta; 13] = [
+    RuleMeta {
+        code: "L1",
+        id: "no-panic-lib",
+        summary: "no unwrap/expect/panic! family in product-crate library code",
+        rationale: "A panic in library code tears down the whole search instead of joining the \
+                    TrialOutcome fault taxonomy. Library functions return Results; the single \
+                    sanctioned catch_unwind in crates/parallel converts residual panics into \
+                    contained, retryable, quarantinable trial failures.",
+    },
+    RuleMeta {
+        code: "L2",
+        id: "determinism",
+        summary: "no ambient or time-derived randomness anywhere",
+        rationale: "Byte-identical replay is the repo's core contract. thread_rng, rand::random, \
+                    from_entropy, RandomState hashing and clock-derived seeds all smuggle \
+                    process-local entropy into results; every RNG must be seeded from a \
+                    caller-provided value threaded through the call chain.",
+    },
+    RuleMeta {
+        code: "L3",
+        id: "ordered-iteration",
+        summary: "no HashMap/HashSet in ordering-sensitive modules",
+        rationale: "In modules whose outputs are serialized or compared byte-for-byte (graph \
+                    closure, acquisition, DMD, GA populations, reports), hash iteration order \
+                    would leak into artifacts. BTreeMap/BTreeSet give a canonical order for free.",
+    },
+    RuleMeta {
+        code: "L4",
+        id: "nan-ordering",
+        summary: "float orderings must not unwrap partial_cmp",
+        rationale: "partial_cmp(..).unwrap() panics the moment a NaN reaches a sort — exactly \
+                    when a numeric bug needs containment, the comparator kills the process. \
+                    f64::total_cmp (or automodel_invariant::f64_key) is total and deterministic.",
+    },
+    RuleMeta {
+        code: "L5",
+        id: "manifest-hygiene",
+        summary: "workspace manifests stay canonical (MSRV, lint wall, dep table)",
+        rationale: "Every member inherits rust-version and the [workspace.lints] wall; every \
+                    third-party name resolves through [workspace.dependencies]; no dead table \
+                    entries. Keeps the vendored, offline build reproducible.",
+    },
+    RuleMeta {
+        code: "L6",
+        id: "no-adhoc-threads",
+        summary: "no hand-rolled worker pools outside crates/parallel",
+        rationale: "Results must be byte-identical at any thread count. The shared Executor's \
+                    index-ordered claims and ordered reduction guarantee that; an ad-hoc \
+                    thread::spawn or crossbeam::scope pool reintroduces scheduling order into \
+                    results.",
+    },
+    RuleMeta {
+        code: "L7",
+        id: "no-adhoc-catch-unwind",
+        summary: "panic containment only via automodel_parallel::contain",
+        rationale: "Scattered catch_unwind sites each invent their own failure story and lose \
+                    the TrialOutcome taxonomy, retry budget and quarantine. One containment \
+                    point keeps fault handling observable and replayable.",
+    },
+    RuleMeta {
+        code: "L8",
+        id: "no-adhoc-memo",
+        summary: "no Config-keyed maps outside crates/parallel",
+        rationale: "A map keyed on Config re-invents the trial cache without canonical NaN/-0.0 \
+                    handling, inactive-parameter filtering, capacity bounds or telemetry. All \
+                    memoization goes through TrialCache keyed by the canonical fingerprint.",
+    },
+    RuleMeta {
+        code: "L9",
+        id: "no-adhoc-print",
+        summary: "no bare println!/eprintln! in library code",
+        rationale: "Output that bypasses the Tracer escapes capture, cannot be replayed and is \
+                    invisible to trace summaries. Narration is a TraceEvent; ProgressSink is \
+                    the one sanctioned stderr writer.",
+    },
+    RuleMeta {
+        code: "L10",
+        id: "determinism-taint",
+        summary: "no nondeterministic value may reach scores, seeds, traces or cache keys",
+        rationale: "Regex can ban thread_rng; it cannot see a HashMap iteration sum flowing \
+                    into TrialOutcome::from_score three lines later. This rule runs an \
+                    intraprocedural dataflow with call-graph propagation: values derived from \
+                    hash iteration, Instant/SystemTime, thread IDs, pointer addresses or \
+                    unsanctioned env reads are tainted, and a tainted value reaching a trial \
+                    score, RNG seed, trace event or cache key is an error — the determinism \
+                    contract would silently break.",
+    },
+    RuleMeta {
+        code: "L11",
+        id: "lock-order",
+        summary: "workspace lock acquisition graph stays acyclic; no lock across a trial",
+        rationale: "TrialCache, Tracer, SharedBudget and sink buffers each hold a lock. A cycle \
+                    in the acquisition order deadlocks under contention the moment the serving \
+                    layer runs concurrent sessions; a lock held across run_trial/contain \
+                    serializes evaluation and can deadlock against the executor. The rule \
+                    builds the acquired-while-held graph (including through crate-local calls) \
+                    and fails on cycles and on evaluation calls inside a guard's extent.",
+    },
+    RuleMeta {
+        code: "L12",
+        id: "contract-conformance",
+        summary: "optimizers expose with_policy/with_cache/with_tracer; executor work routes through run_trial",
+        rationale: "Every optimizer must accept the shared fault policy, trial cache and tracer \
+                    or the reliability substrate silently loses coverage as new optimizers \
+                    land. Likewise an executor map whose closure evaluates Configs without \
+                    run_trial bypasses containment, retries, quarantine, caching and tracing \
+                    in one stroke.",
+    },
+    RuleMeta {
+        code: "L13",
+        id: "stale-allow",
+        summary: "every lint:allow escape must still suppress a live finding",
+        rationale: "An allow whose rule no longer fires is a hole in the lint wall waiting for \
+                    new code to hide in, and it misrepresents the audit state of the file. \
+                    Stale escapes must be deleted; the baseline stays honest.",
+    },
+];
+
+/// Look up rule metadata by code (`L10`) or id (`determinism-taint`).
+pub fn rule_meta(key: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.code == key || r.id == key)
+}
+
+/// Run every file-scope rule applicable to `file`. Findings are
+/// pre-suppression; the engine applies `lint:allow` afterwards so the
+/// stale-allow audit can see what a directive actually suppressed.
+pub fn check_file(file: &File) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    no_panic_lib(file, &mut out);
+    determinism(file, &mut out);
+    ordered_iteration(file, &mut out);
+    nan_ordering(file, &mut out);
+    no_adhoc_threads(file, &mut out);
+    no_adhoc_catch_unwind(file, &mut out);
+    no_adhoc_memo(file, &mut out);
+    no_adhoc_print(file, &mut out);
+    out
+}
+
+/// Build a diagnostic anchored at token `i`.
+pub fn diag_at(
+    file: &File,
+    i: usize,
+    rule: &'static str,
+    code: &'static str,
+    message: String,
+    help: &'static str,
+) -> Diagnostic {
+    let t = &file.toks[i];
+    Diagnostic {
+        rule,
+        code,
+        file: file.path.clone(),
+        line: t.line + 1,
+        col: t.col + 1,
+        len: t.text.len(),
+        item: file.item_path_of(i),
+        message,
+        help,
+        snippet: file.raw.get(t.line).cloned().unwrap_or_default(),
+    }
+}
+
+fn is_panic_free_lib(file: &File) -> bool {
+    let p = file.path_str();
+    PANIC_FREE_CRATES
+        .iter()
+        .any(|c| p.starts_with(&format!("crates/{c}/src/")))
+}
+
+/// L1 — `no-panic-lib`.
+fn no_panic_lib(file: &File, out: &mut Vec<Diagnostic>) {
+    if !is_panic_free_lib(file) {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `.unwrap()` — empty argument list required.
+        if t.text == "unwrap"
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_open('('))
+            && file.pair[i + 1] == i + 2
+        {
+            out.push(diag_at(
+                file,
+                i,
+                "no-panic-lib",
+                "L1",
+                "`.unwrap()` in library code".to_string(),
+                HELP_L1,
+            ));
+            continue;
+        }
+        // `.expect(..)` — exact method name, so expect_err never matches.
+        if t.text == "expect"
+            && i > 0
+            && toks[i - 1].is_punct(".")
+            && toks.get(i + 1).is_some_and(|n| n.is_open('('))
+        {
+            out.push(diag_at(
+                file,
+                i,
+                "no-panic-lib",
+                "L1",
+                "`.expect(..)` in library code".to_string(),
+                HELP_L1,
+            ));
+            continue;
+        }
+        // Panic-family macros (path-qualified `core::panic!` still ends
+        // with the same ident + `!`).
+        if matches!(
+            t.text.as_str(),
+            "panic" | "unreachable" | "todo" | "unimplemented"
+        ) && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(diag_at(
+                file,
+                i,
+                "no-panic-lib",
+                "L1",
+                format!("`{}!` in library code", t.text),
+                HELP_L1,
+            ));
+        }
+    }
+}
+
+const HELP_L1: &str = "return a Result (see each crate's error type), or append \
+                       `// lint:allow(no-panic-lib): <why it cannot fire>`";
+
+/// L2 — `determinism`.
+fn determinism(file: &File, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let next_is_call = toks.get(i + 1).is_some_and(|n| n.is_open('('));
+        let msg: Option<&str> = if t.text == "thread_rng" && next_is_call {
+            Some("ambient RNG (`thread_rng`) breaks reproducibility")
+        } else if t.text == "rand"
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("::"))
+            && toks.get(i + 2).is_some_and(|n| n.is_ident("random"))
+        {
+            Some("`rand::random` draws from ambient entropy")
+        } else if t.text == "from_entropy" && next_is_call {
+            Some("`from_entropy` seeds from the OS, not the caller")
+        } else if t.text == "RandomState" {
+            Some("`RandomState` hashing is randomized per process")
+        } else {
+            None
+        };
+        if let Some(msg) = msg {
+            out.push(diag_at(
+                file,
+                i,
+                "determinism",
+                "L2",
+                msg.to_string(),
+                "thread an explicit `StdRng::seed_from_u64(seed)` through the call chain",
+            ));
+            continue;
+        }
+        // Clock-derived seed: a clock read inside seed_from_u64's args.
+        if t.text == "seed_from_u64" && next_is_call {
+            let close = file.pair[i + 1];
+            if close != usize::MAX && args_read_clock(file, i + 2, close) {
+                out.push(diag_at(
+                    file,
+                    i,
+                    "determinism",
+                    "L2",
+                    "seed derived from the clock".to_string(),
+                    "accept the seed as a parameter instead of reading a clock",
+                ));
+            }
+        }
+    }
+}
+
+fn args_read_clock(file: &File, start: usize, end: usize) -> bool {
+    let toks = &file.toks;
+    (start..end).any(|j| {
+        let t = &toks[j];
+        (t.is_ident("now") && toks.get(j + 1).is_some_and(|n| n.is_open('(')))
+            || t.is_ident("UNIX_EPOCH")
+            || (t.is_ident("elapsed") && toks.get(j + 1).is_some_and(|n| n.is_open('(')))
+    })
+}
+
+/// L3 — `ordered-iteration`.
+fn ordered_iteration(file: &File, out: &mut Vec<Diagnostic>) {
+    let p = file.path_str();
+    if !ORDER_SENSITIVE_MODULES.iter().any(|m| p == *m) {
+        return;
+    }
+    for (i, t) in file.toks.iter().enumerate() {
+        if t.kind == Kind::Ident && (t.text == "HashMap" || t.text == "HashSet") {
+            out.push(diag_at(
+                file,
+                i,
+                "ordered-iteration",
+                "L3",
+                format!("`{}` in an ordering-sensitive module", t.text),
+                "use BTreeMap/BTreeSet, or collect-and-sort before iterating and \
+                 `// lint:allow(ordered-iteration): <how order is restored>`",
+            ));
+        }
+    }
+}
+
+/// L4 — `nan-ordering`. Follows the method chain after `partial_cmp(..)`
+/// across lines, so `a.partial_cmp(b)\n    .unwrap()` is caught too.
+fn nan_ordering(file: &File, out: &mut Vec<Diagnostic>) {
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("partial_cmp") || !toks.get(i + 1).is_some_and(|n| n.is_open('(')) {
+            continue;
+        }
+        let close = file.pair[i + 1];
+        if close == usize::MAX {
+            continue;
+        }
+        // Walk the chain: .name(..) .name(..) …, flag unwrap/expect.
+        let mut j = close + 1;
+        while toks.get(j).is_some_and(|t| t.is_punct(".")) {
+            let Some(name) = toks.get(j + 1) else { break };
+            if name.is_ident("unwrap") || name.is_ident("expect") {
+                out.push(diag_at(
+                    file,
+                    i,
+                    "nan-ordering",
+                    "L4",
+                    "`partial_cmp(..).unwrap()` panics on NaN".to_string(),
+                    "use `f64::total_cmp` (or `automodel_invariant::f64_key`) for a total order",
+                ));
+                break;
+            }
+            if toks.get(j + 2).is_some_and(|n| n.is_open('(')) && file.pair[j + 2] != usize::MAX {
+                j = file.pair[j + 2] + 1;
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// L6 — `no-adhoc-threads`.
+fn no_adhoc_threads(file: &File, out: &mut Vec<Diagnostic>) {
+    if file.path_str().starts_with("crates/parallel/") {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            continue;
+        }
+        let Some(member) = toks.get(i + 2) else {
+            continue;
+        };
+        let msg = match (t.text.as_str(), member.text.as_str()) {
+            ("crossbeam", "scope") => "ad-hoc `crossbeam::scope` worker pool",
+            ("thread", "spawn") => "ad-hoc `thread::spawn`",
+            ("thread", "scope") => "ad-hoc `thread::scope` worker pool",
+            ("thread", "Builder") => "ad-hoc `thread::Builder` spawn",
+            _ => continue,
+        };
+        out.push(diag_at(
+            file,
+            i,
+            "no-adhoc-threads",
+            "L6",
+            msg.to_string(),
+            "use `automodel_parallel::Executor::map` (or `map_budgeted`) so results \
+             stay deterministic at any thread count, or append \
+             `// lint:allow(no-adhoc-threads): <why the executor cannot serve here>`",
+        ));
+    }
+}
+
+/// L7 — `no-adhoc-catch-unwind`.
+fn no_adhoc_catch_unwind(file: &File, out: &mut Vec<Diagnostic>) {
+    if file.path_str().starts_with("crates/parallel/") {
+        return;
+    }
+    for (i, t) in file.toks.iter().enumerate() {
+        if file.in_test[i] {
+            continue;
+        }
+        if t.is_ident("catch_unwind") {
+            out.push(diag_at(
+                file,
+                i,
+                "no-adhoc-catch-unwind",
+                "L7",
+                "ad-hoc `catch_unwind` outside the containment layer".to_string(),
+                "route the evaluation through `automodel_parallel::contain` (or `run_trial`) \
+                 so the panic joins the TrialOutcome taxonomy, or append \
+                 `// lint:allow(no-adhoc-catch-unwind): <why containment cannot serve here>`",
+            ));
+        }
+    }
+}
+
+/// L8 — `no-adhoc-memo`.
+fn no_adhoc_memo(file: &File, out: &mut Vec<Diagnostic>) {
+    if file.path_str().starts_with("crates/parallel/") {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident || (t.text != "HashMap" && t.text != "BTreeMap") {
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("<")) {
+            continue;
+        }
+        // Key type: optional `&` (+ lifetime), then exactly `Config`.
+        let mut j = i + 2;
+        let mut borrowed = "";
+        if toks.get(j).is_some_and(|n| n.is_punct("&")) {
+            borrowed = "&";
+            j += 1;
+            if toks.get(j).is_some_and(|n| n.kind == Kind::Lifetime) {
+                j += 1;
+            }
+        }
+        if !toks.get(j).is_some_and(|n| n.is_ident("Config")) {
+            continue;
+        }
+        // The key type must end exactly at `Config` (`,` or `>` follows);
+        // `HashMap<ConfigId, _>` is a single ident and never got here.
+        if !toks
+            .get(j + 1)
+            .is_some_and(|n| n.is_punct(",") || n.is_punct(">"))
+        {
+            continue;
+        }
+        out.push(diag_at(
+            file,
+            i,
+            "no-adhoc-memo",
+            "L8",
+            format!(
+                "ad-hoc memoization: `{}` keyed on `{borrowed}Config`",
+                t.text
+            ),
+            "route memoization through `automodel_parallel::TrialCache` keyed by \
+             `Config::cache_key()` (canonical fingerprint, telemetry, capacity bound), \
+             or append `// lint:allow(no-adhoc-memo): <why the shared cache cannot \
+             serve here>`",
+        ));
+    }
+}
+
+/// L9 — `no-adhoc-print`.
+fn no_adhoc_print(file: &File, out: &mut Vec<Diagnostic>) {
+    let p = file.path_str();
+    let exempt = p.contains("src/bin/")
+        || p.ends_with("src/main.rs")
+        || p.starts_with("crates/trace/src/")
+        || p.starts_with("xtask/")
+        || p.contains("examples/")
+        || p.contains("tests/")
+        || p.contains("benches/");
+    if exempt {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind == Kind::Ident
+            && matches!(t.text.as_str(), "println" | "eprintln" | "print" | "eprint")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            out.push(diag_at(
+                file,
+                i,
+                "no-adhoc-print",
+                "L9",
+                format!("ad-hoc `{}!` in library code", t.text),
+                "emit a `TraceEvent` through the run's `Tracer` (narration reaches stderr \
+                 via `ProgressSink` and capture via the configured sinks), or append \
+                 `// lint:allow(no-adhoc-print): <why tracing cannot serve here>`",
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib(src: &str) -> File {
+        File::parse("crates/core/src/x.rs", src)
+    }
+
+    fn count(f: &File, rule: &str) -> usize {
+        check_file(f).iter().filter(|d| d.rule == rule).count()
+    }
+
+    #[test]
+    fn unwrap_variants_are_distinguished() {
+        let f = lib("fn f() { a.unwrap_or_else(|| 3); b.unwrap_or(4); r.expect_err(m); }");
+        assert_eq!(count(&f, "no-panic-lib"), 0);
+        let f = lib("fn f() { a.unwrap(); r.expect(\"m\"); }");
+        assert_eq!(count(&f, "no-panic-lib"), 2);
+    }
+
+    #[test]
+    fn panic_in_string_or_comment_never_fires() {
+        let f = lib("fn f() { let s = \"panic!(no)\"; } // panic!(in comment)");
+        assert_eq!(count(&f, "no-panic-lib"), 0);
+    }
+
+    #[test]
+    fn multiline_partial_cmp_chain_is_caught() {
+        let f = lib(
+            "fn f(v: &mut [f64]) {\n    v.sort_by(|a, b| a.partial_cmp(b)\n        .unwrap());\n}",
+        );
+        assert_eq!(count(&f, "nan-ordering"), 1);
+    }
+
+    #[test]
+    fn partial_cmp_with_safe_fallback_is_fine() {
+        let f = lib(
+            "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap_or(core::cmp::Ordering::Equal); }",
+        );
+        assert_eq!(count(&f, "nan-ordering"), 0);
+    }
+
+    #[test]
+    fn clock_seed_inside_args_is_one_finding() {
+        let f = lib("fn f() { let rng = StdRng::seed_from_u64(SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs()); }");
+        let d = check_file(&f);
+        assert_eq!(d.iter().filter(|d| d.rule == "determinism").count(), 1);
+    }
+
+    #[test]
+    fn seeded_rng_is_clean() {
+        let f = lib("fn run(seed: u64) { let mut rng = StdRng::seed_from_u64(seed); }");
+        assert_eq!(count(&f, "determinism"), 0);
+    }
+
+    #[test]
+    fn config_keyed_maps_fire_and_config_id_does_not() {
+        let f = lib("fn f() { let m: HashMap<Config, f64> = HashMap::new(); }");
+        assert_eq!(count(&f, "no-adhoc-memo"), 1);
+        let f = lib("fn f() { let m: BTreeMap<&Config, T> = BTreeMap::new(); }");
+        assert_eq!(count(&f, "no-adhoc-memo"), 1);
+        let f = lib("fn f() { let m: HashMap<ConfigId, f64> = HashMap::new(); }");
+        assert_eq!(count(&f, "no-adhoc-memo"), 0);
+    }
+
+    #[test]
+    fn print_macros_fire_once_each() {
+        let f = File::parse(
+            "crates/bench/src/report.rs",
+            "fn f() { println!(\"a\"); eprintln!(\"b\"); print!(\"c\"); eprint!(\"d\"); }",
+        );
+        assert_eq!(count(&f, "no-adhoc-print"), 4);
+    }
+
+    #[test]
+    fn test_modules_are_exempt_where_documented() {
+        let f = lib("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); panic!(\"t\"); thread::spawn(f); }\n}");
+        assert_eq!(count(&f, "no-panic-lib"), 0);
+        assert_eq!(count(&f, "no-adhoc-threads"), 0);
+    }
+
+    #[test]
+    fn thread_patterns_fire_outside_parallel() {
+        let f = lib("fn f() { thread::spawn(|| {}); crossbeam::scope(|s| {}); }");
+        assert_eq!(count(&f, "no-adhoc-threads"), 2);
+        let f = File::parse(
+            "crates/parallel/src/executor.rs",
+            "fn f() { thread::spawn(|| {}); }",
+        );
+        assert_eq!(count(&f, "no-adhoc-threads"), 0);
+    }
+
+    #[test]
+    fn catch_unwind_ident_only() {
+        let f = lib("fn f() { let r = std::panic::catch_unwind(|| eval()); }");
+        assert_eq!(count(&f, "no-adhoc-catch-unwind"), 1);
+        // The rule's own snake_case name is a different identifier.
+        let f = lib("fn no_adhoc_catch_unwind_helper() {}");
+        assert_eq!(count(&f, "no-adhoc-catch-unwind"), 0);
+    }
+
+    #[test]
+    fn rule_meta_lookup_by_code_and_id() {
+        assert_eq!(rule_meta("L10").unwrap().id, "determinism-taint");
+        assert_eq!(rule_meta("lock-order").unwrap().code, "L11");
+        assert!(rule_meta("L99").is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Per-file model for the semantic engine: raw lines for diagnostics,
+//! the token stream, a matched-delimiter map, parsed items, and the
+//! resolved `lint:allow` line sets.
+
+use super::ast::{self, Item};
+use super::lex::{self, Directive, Kind, Tok};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// A fully analyzed source file, ready for rule passes.
+#[derive(Debug)]
+pub struct File {
+    /// Workspace-relative path (forward slashes).
+    pub path: PathBuf,
+    /// Original source lines, for snippets.
+    pub raw: Vec<String>,
+    /// Flat token stream.
+    pub toks: Vec<Tok>,
+    /// `pair[i]` — for an `Open` token, index of its matching `Close`;
+    /// for a `Close`, index of its `Open`; `usize::MAX` otherwise
+    /// (including unbalanced delimiters).
+    pub pair: Vec<usize>,
+    /// All parsed items (functions carry token ranges and scope paths).
+    pub items: Vec<Item>,
+    /// `in_test[i]` — token `i` lies inside a `#[cfg(test)]` item or a
+    /// `#[test]` function.
+    pub in_test: Vec<bool>,
+    /// Raw directives, for the stale-allow audit.
+    pub directives: Vec<Directive>,
+    /// `allow[line]` — rule ids suppressed on that 0-based line.
+    pub allow: Vec<BTreeSet<String>>,
+}
+
+impl File {
+    /// Lex + parse `text` as the contents of workspace-relative `path`.
+    pub fn parse(path: impl Into<PathBuf>, text: &str) -> File {
+        let path = path.into();
+        let raw: Vec<String> = text.lines().map(str::to_string).collect();
+        let lex::Lexed { toks, directives } = lex::lex(text);
+        let pair = match_delims(&toks);
+        let items = ast::parse(&toks, &pair);
+        let in_test = ast::test_mask(&toks, &items);
+        let allow = attach_directives(raw.len(), &toks, &directives);
+        File {
+            path,
+            raw,
+            toks,
+            pair,
+            items,
+            in_test,
+            directives,
+            allow,
+        }
+    }
+
+    /// Read and parse a file on disk; the stored path is relative to `root`.
+    pub fn read(root: &Path, abs: &Path) -> std::io::Result<File> {
+        let text = std::fs::read_to_string(abs)?;
+        let rel = abs.strip_prefix(root).unwrap_or(abs);
+        Ok(File::parse(rel, &text))
+    }
+
+    /// Workspace path with forward slashes, for scope predicates.
+    pub fn path_str(&self) -> String {
+        self.path.to_string_lossy().replace('\\', "/")
+    }
+
+    /// Is `rule` suppressed on the line of token `tok_idx`?
+    pub fn is_allowed_tok(&self, tok_idx: usize, rule: &str) -> bool {
+        self.toks
+            .get(tok_idx)
+            .is_some_and(|t| self.is_allowed_line(t.line, rule))
+    }
+
+    /// Is `rule` suppressed on 0-based line `line`?
+    pub fn is_allowed_line(&self, line: usize, rule: &str) -> bool {
+        self.allow.get(line).is_some_and(|s| s.contains(rule))
+    }
+
+    /// The raw source line of token `i` (for snippets).
+    pub fn line_of(&self, i: usize) -> String {
+        self.toks
+            .get(i)
+            .and_then(|t| self.raw.get(t.line))
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Innermost item path (`Type::method`, `mod::fn`, …) containing
+    /// token `i`; empty string for file-level tokens.
+    pub fn item_path_of(&self, i: usize) -> String {
+        let mut best: Option<&Item> = None;
+        for item in &self.items {
+            if let Item::Fn(f) = item {
+                if f.body_range().is_some_and(|(s, e)| s <= i && i <= e)
+                    || (f.sig_start <= i && i <= f.sig_end)
+                {
+                    let better = match best {
+                        Some(Item::Fn(b)) => f.sig_start >= b.sig_start,
+                        _ => true,
+                    };
+                    if better {
+                        best = Some(item);
+                    }
+                }
+            }
+        }
+        match best {
+            Some(Item::Fn(f)) => f.path.clone(),
+            _ => String::new(),
+        }
+    }
+}
+
+/// Compute the matched-delimiter map.
+fn match_delims(toks: &[Tok]) -> Vec<usize> {
+    let mut pair = vec![usize::MAX; toks.len()];
+    let mut stack: Vec<usize> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        match t.kind {
+            Kind::Open => stack.push(i),
+            Kind::Close => {
+                if let Some(open) = stack.pop() {
+                    pair[open] = i;
+                    pair[i] = open;
+                }
+            }
+            _ => {}
+        }
+    }
+    pair
+}
+
+/// Resolve directives to the lines they govern: same line for trailing
+/// comments, the next line carrying a token for standalone comment lines.
+fn attach_directives(
+    n_lines: usize,
+    toks: &[Tok],
+    directives: &[Directive],
+) -> Vec<BTreeSet<String>> {
+    let mut allow = vec![BTreeSet::new(); n_lines];
+    let code_lines: BTreeSet<usize> = toks.iter().map(|t| t.line).collect();
+    for d in directives {
+        let target = if d.standalone {
+            code_lines
+                .iter()
+                .copied()
+                .find(|&l| l > d.line)
+                .unwrap_or(d.line)
+        } else {
+            d.line
+        };
+        if let Some(set) = allow.get_mut(target) {
+            set.extend(d.rules.iter().cloned());
+        }
+    }
+    allow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_map_matches_nested_delims() {
+        let f = File::parse("x.rs", "fn f(a: (u8, u8)) { [1, 2]; }");
+        for (i, t) in f.toks.iter().enumerate() {
+            if t.kind == Kind::Open {
+                let j = f.pair[i];
+                assert!(f.toks[j].kind == Kind::Close);
+                assert_eq!(f.pair[j], i);
+            }
+        }
+    }
+
+    #[test]
+    fn allow_attaches_to_own_or_next_code_line() {
+        let src = "a.unwrap(); // lint:allow(no-panic-lib): safe\n// lint:allow(determinism)\n\nthread_rng();\n";
+        let f = File::parse("x.rs", src);
+        assert!(f.is_allowed_line(0, "no-panic-lib"));
+        assert!(!f.is_allowed_line(0, "determinism"));
+        // Standalone directive skips the blank line to the code line.
+        assert!(f.is_allowed_line(3, "determinism"));
+    }
+
+    #[test]
+    fn item_path_of_finds_innermost_fn() {
+        let src = "impl Cache {\n    fn get(&self) { self.x.unwrap(); }\n}\nfn free() {}\n";
+        let f = File::parse("crates/x/src/lib.rs", src);
+        let unwrap_idx = f.toks.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(f.item_path_of(unwrap_idx), "Cache::get");
+    }
+}

@@ -1,314 +1,283 @@
-//! Fixture tests: one passing and one violating snippet per rule family,
-//! exercised through the same entry points the CLI uses.
+//! Fixture-crate harness: every rule ships on-disk examples under
+//! `xtask/tests/fixtures/<rule-id>/` — `violate.rs` (true positive),
+//! `fix.rs` (true negative) and `allow.rs` (a justified `lint:allow`
+//! escape). This test drives all of them through the full semantic
+//! engine; `cargo xtask lint --explain <code>` prints the same files, so
+//! explanations can never rot away from what the engine actually flags.
+//!
+//! Each fixture's first line is `//@path <workspace-relative path>`,
+//! which decides rule scoping (crate membership, module lists).
 
-use xtask::manifest::{check_workspace, Manifest};
-use xtask::rules::check_file;
-use xtask::scan::SourceFile;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use xtask::sem::rules::RULES;
+use xtask::sem::source::File;
+use xtask::{baseline, manifest, sem};
 
-/// Findings for `src` placed at `path`, filtered to `rule`.
-fn findings(path: &str, src: &str, rule: &str) -> Vec<(usize, usize)> {
-    let file = SourceFile::parse(path, src);
-    check_file(&file)
-        .into_iter()
-        .filter(|d| d.rule == rule)
-        .map(|d| (d.line, d.col))
-        .collect()
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-// ---------------------------------------------------------------- L1 --
-
-#[test]
-fn l1_violation_unwrap_in_library_code() {
-    let hits = findings(
-        "crates/hpo/src/x.rs",
-        "pub fn f(v: Vec<u32>) -> u32 {\n    *v.first().unwrap()\n}\n",
-        "no-panic-lib",
-    );
-    assert_eq!(hits, vec![(2, 15)]);
+/// Load one fixture, honoring its `//@path` scoping directive.
+fn load(dir: &Path, name: &str) -> File {
+    let path = dir.join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let declared = text
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@path "))
+        .unwrap_or_else(|| panic!("{} must start with `//@path <path>`", path.display()));
+    File::parse(declared.trim(), &text)
 }
 
-#[test]
-fn l1_passing_result_test_module_and_allow() {
-    let src = "\
-pub fn f(v: &[u32]) -> Option<u32> {\n\
-    v.first().copied() // lint:allow in a comment is inert text\n\
-}\n\
-pub fn g() -> usize {\n\
-    // lint:allow(no-panic-lib): slice is non-empty by construction\n\
-    [1].iter().max().unwrap().to_owned() as usize\n\
-}\n\
-#[cfg(test)]\n\
-mod tests {\n\
-    #[test]\n\
-    fn t() {\n\
-        super::f(&[1]).unwrap();\n\
-        panic!(\"test code may panic\");\n\
-    }\n\
-}\n";
-    assert!(findings("crates/core/src/x.rs", src, "no-panic-lib").is_empty());
-}
-
-#[test]
-fn l1_only_applies_to_the_seven_product_crates() {
-    let src = "pub fn f() { Vec::<u32>::new().first().unwrap(); }\n";
-    assert_eq!(findings("crates/nn/src/x.rs", src, "no-panic-lib").len(), 1);
-    assert_eq!(
-        findings("crates/parallel/src/x.rs", src, "no-panic-lib").len(),
-        1
-    );
-    // bench, xtask, vendor, integration tests: out of scope.
-    assert!(findings("crates/bench/src/x.rs", src, "no-panic-lib").is_empty());
-    assert!(findings("crates/nn/tests/x.rs", src, "no-panic-lib").is_empty());
-    assert!(findings("xtask/src/x.rs", src, "no-panic-lib").is_empty());
-}
-
-// ---------------------------------------------------------------- L2 --
-
-#[test]
-fn l2_violation_ambient_and_clock_randomness() {
-    let src = "\
-fn a() { let mut rng = rand::thread_rng(); }\n\
-fn b() -> u64 { rand::random() }\n\
-fn c() { let rng = StdRng::seed_from_u64(SystemTime::now().duration_since(UNIX_EPOCH).unwrap().as_secs()); }\n";
-    let hits = findings("crates/bench/src/x.rs", src, "determinism");
-    assert_eq!(hits.len(), 3, "{hits:?}");
-}
-
-#[test]
-fn l2_passing_seeded_rng_everywhere() {
-    let src = "\
-fn run(seed: u64) {\n\
-    let mut rng = StdRng::seed_from_u64(seed);\n\
-    let x: f64 = rng.gen_range(0.0..1.0);\n\
-    // Mentioning thread_rng() in a comment is fine.\n\
-    let s = \"thread_rng()\";\n\
-}\n";
-    assert!(findings("crates/hpo/src/x.rs", src, "determinism").is_empty());
-}
-
-// ---------------------------------------------------------------- L3 --
-
-#[test]
-fn l3_violation_hashmap_in_order_sensitive_module() {
-    let src = "use std::collections::HashMap;\npub fn f(m: &HashMap<String, u32>) {}\n";
-    let hits = findings("crates/knowledge/src/graph.rs", src, "ordered-iteration");
-    assert_eq!(hits.len(), 2);
-}
-
-#[test]
-fn l3_passing_btree_or_other_module_or_allowed() {
-    let btree = "use std::collections::BTreeMap;\npub fn f(m: &BTreeMap<String, u32>) {}\n";
-    assert!(findings("crates/knowledge/src/graph.rs", btree, "ordered-iteration").is_empty());
-    // Same hash code outside the sensitive list is fine.
-    let hash = "use std::collections::HashMap;\n";
-    assert!(findings("crates/ml/src/x.rs", hash, "ordered-iteration").is_empty());
-    // And an allowed site (order restored by sorting) passes.
-    let allowed = "// lint:allow(ordered-iteration): keys sorted before use\nuse std::collections::HashMap;\n";
-    assert!(findings("crates/hpo/src/ga.rs", allowed, "ordered-iteration").is_empty());
-}
-
-// ---------------------------------------------------------------- L4 --
-
-#[test]
-fn l4_violation_partial_cmp_unwrap() {
-    let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
-    assert_eq!(findings("crates/ml/src/x.rs", src, "nan-ordering").len(), 1);
-    let expect =
-        "fn f(a: f64, b: f64) -> std::cmp::Ordering { a.partial_cmp(&b).expect(\"no NaN\") }\n";
-    assert_eq!(
-        findings("crates/ml/src/x.rs", expect, "nan-ordering").len(),
-        1
-    );
-}
-
-#[test]
-fn l4_passing_total_cmp() {
-    let src = "\
-fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n\
-fn g(a: f64, b: f64) -> Option<std::cmp::Ordering> { a.partial_cmp(&b) }\n";
-    assert!(findings("crates/ml/src/x.rs", src, "nan-ordering").is_empty());
-}
-
-// ---------------------------------------------------------------- L6 --
-
-#[test]
-fn l6_violation_adhoc_pools_outside_the_executor_crate() {
-    let src = "\
-fn a() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n\
-fn b() { std::thread::spawn(|| {}); }\n\
-fn c() { std::thread::scope(|s| { s.spawn(|| {}); }); }\n";
-    let hits = findings("crates/core/src/x.rs", src, "no-adhoc-threads");
-    assert_eq!(hits.len(), 3, "{hits:?}");
-    // Bins and the bench harness are in scope too — determinism there is
-    // exactly what the executor exists to protect.
-    assert_eq!(
-        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-threads").len(),
-        3
-    );
-}
-
-#[test]
-fn l6_passing_executor_crate_tests_and_allowed_sites() {
-    let src = "fn a() { crossbeam::scope(|s| { s.spawn(|_| {}); }).unwrap(); }\n";
-    // The executor crate itself owns the one sanctioned pool.
-    assert!(findings("crates/parallel/src/executor.rs", src, "no-adhoc-threads").is_empty());
-    // Inline test modules may spawn threads directly.
-    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
-    assert!(findings("crates/core/src/x.rs", &test_mod, "no-adhoc-threads").is_empty());
-    // And an allowed site passes.
-    let allowed =
-        format!("// lint:allow(no-adhoc-threads): watchdog thread, no result ordering\n{src}");
-    assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-threads").is_empty());
-}
-
-// ---------------------------------------------------------------- L7 --
-
-#[test]
-fn l7_violation_catch_unwind_outside_the_containment_crate() {
-    let src = "\
-fn a() { let _ = std::panic::catch_unwind(|| eval()); }\n\
-fn b() { let _ = panic::catch_unwind(AssertUnwindSafe(|| eval())); }\n";
-    let hits = findings("crates/hpo/src/x.rs", src, "no-adhoc-catch-unwind");
-    assert_eq!(hits.len(), 2, "{hits:?}");
-    // The bench harness and bins are in scope too.
-    assert_eq!(
-        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-catch-unwind").len(),
-        2
-    );
-}
-
-#[test]
-fn l7_passing_containment_crate_tests_and_allowed_sites() {
-    let src = "fn a() { let _ = std::panic::catch_unwind(|| eval()); }\n";
-    // The containment layer owns the one sanctioned catch_unwind.
-    assert!(findings("crates/parallel/src/fault.rs", src, "no-adhoc-catch-unwind").is_empty());
-    // Inline test modules may catch panics directly.
-    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
-    assert!(findings("crates/core/src/x.rs", &test_mod, "no-adhoc-catch-unwind").is_empty());
-    // And an allowed site passes.
-    let allowed = format!("// lint:allow(no-adhoc-catch-unwind): ffi boundary\n{src}");
-    assert!(findings("crates/core/src/x.rs", &allowed, "no-adhoc-catch-unwind").is_empty());
-}
-
-// ---------------------------------------------------------------- L8 --
-
-#[test]
-fn l8_violation_config_keyed_maps_outside_the_cache_crate() {
-    let src = "\
-struct A { memo: HashMap<Config, f64> }\n\
-struct B { memo: BTreeMap<Config, TrialOutcome> }\n\
-fn c(m: &mut HashMap<&Config, f64>) {}\n";
-    let hits = findings("crates/hpo/src/x.rs", src, "no-adhoc-memo");
-    assert_eq!(hits.len(), 3, "{hits:?}");
-    // The bench harness and bins are in scope too.
-    assert_eq!(
-        findings("crates/bench/src/bin/x.rs", src, "no-adhoc-memo").len(),
-        3
-    );
-}
-
-#[test]
-fn l8_passing_cache_crate_other_keys_tests_and_allowed_sites() {
-    let src = "struct A { memo: HashMap<Config, f64> }\n";
-    // The cache module's own crate owns the sanctioned memoization.
-    assert!(findings("crates/parallel/src/cache.rs", src, "no-adhoc-memo").is_empty());
-    // Maps keyed on other types — including Config-prefixed names — pass.
-    let other = "\
-struct B { by_mask: HashMap<Vec<bool>, f64> }\n\
-struct C { by_id: BTreeMap<ConfigId, f64> }\n";
-    assert!(findings("crates/core/src/x.rs", other, "no-adhoc-memo").is_empty());
-    // Inline test modules may build Config-keyed maps to assert on caching.
-    let test_mod = format!("#[cfg(test)]\nmod tests {{\n{src}}}\n");
-    assert!(findings("crates/hpo/src/x.rs", &test_mod, "no-adhoc-memo").is_empty());
-    // And an allowed site passes.
-    let allowed = format!("// lint:allow(no-adhoc-memo): dedup set, not a result cache\n{src}");
-    assert!(findings("crates/hpo/src/x.rs", &allowed, "no-adhoc-memo").is_empty());
-}
-
-// ---------------------------------------------------------------- L5 --
-
-const GOOD_ROOT: &str = "\
-[workspace.package]\n\
-rust-version = \"1.82\"\n\
-repository = \"https://github.com/paper-repo-growth/auto-model\"\n\
-[workspace.dependencies]\n\
-rand = { path = \"vendor/rand\" }\n";
-
-fn member(body: &str) -> Manifest {
-    Manifest::parse(
-        "crates/demo/Cargo.toml",
-        &format!(
-            "[package]\nname = \"demo\"\nrust-version.workspace = true\n[lints]\nworkspace = true\n{body}"
-        ),
+fn counts(report: &sem::Report, rule: &str) -> (usize, usize) {
+    (
+        report.active.iter().filter(|d| d.rule == rule).count(),
+        report.suppressed.iter().filter(|d| d.rule == rule).count(),
     )
 }
 
 #[test]
-fn l5_violation_adhoc_version_placeholder_repo_and_dead_entry() {
-    let root = Manifest::parse(
+fn every_rule_has_a_conforming_fixture_triplet() {
+    for meta in &RULES {
+        if meta.id == "manifest-hygiene" {
+            continue; // TOML fixtures, separate test below
+        }
+        let dir = fixtures_root().join(meta.id);
+
+        let violate = sem::analyze(&[load(&dir, "violate.rs")]);
+        let (active, _) = counts(&violate, meta.id);
+        assert!(
+            active >= 1,
+            "{}: violate.rs must trip the rule, findings: {:?}",
+            meta.id,
+            violate.active
+        );
+
+        let fix = sem::analyze(&[load(&dir, "fix.rs")]);
+        let (active, suppressed) = counts(&fix, meta.id);
+        assert_eq!(
+            (active, suppressed),
+            (0, 0),
+            "{}: fix.rs must be clean of the rule",
+            meta.id
+        );
+
+        let allow = sem::analyze(&[load(&dir, "allow.rs")]);
+        let (active, suppressed) = counts(&allow, meta.id);
+        assert_eq!(
+            active, 0,
+            "{}: allow.rs escape must silence the rule",
+            meta.id
+        );
+        assert!(
+            suppressed >= 1,
+            "{}: allow.rs must still produce a suppressed finding",
+            meta.id
+        );
+        // The escape itself must be live — no stale-allow fallout.
+        let (stale_active, _) = counts(&allow, "stale-allow");
+        assert_eq!(stale_active, 0, "{}: allow.rs escape must be live", meta.id);
+    }
+}
+
+#[test]
+fn manifest_fixtures_conform() {
+    let dir = fixtures_root().join("manifest-hygiene");
+    let root = manifest::Manifest::parse(
         "Cargo.toml",
-        "[workspace.package]\nrepository = \"https://example.com/auto-model\"\n\
-         [workspace.dependencies]\nunused-dep = \"1.0\"\n",
+        "[workspace.package]\n\
+         rust-version = \"1.82\"\n\
+         repository = \"https://git.invalid/auto-model\"\n\
+         [workspace.dependencies]\n\
+         rand = { path = \"vendor/rand\" }\n",
     );
-    let m = member("[dependencies]\nrand = \"0.8\"\n");
-    let msgs: Vec<String> = check_workspace(&root, &[m])
-        .into_iter()
-        .map(|d| d.message)
-        .collect();
-    assert!(msgs.iter().any(|m| m.contains("MSRV")), "{msgs:?}");
-    assert!(msgs.iter().any(|m| m.contains("placeholder")), "{msgs:?}");
-    assert!(msgs.iter().any(|m| m.contains("unused-dep")), "{msgs:?}");
+    let violate = manifest::Manifest::parse(
+        "crates/fixture/Cargo.toml",
+        &std::fs::read_to_string(dir.join("violate.toml")).unwrap(),
+    );
+    let findings = manifest::check_workspace(&root, std::slice::from_ref(&violate));
     assert!(
-        msgs.iter().any(|m| m.contains("bypasses the workspace")),
-        "{msgs:?}"
+        findings.iter().any(|d| d.rule == "manifest-hygiene"),
+        "violate.toml must trip manifest-hygiene: {findings:?}"
     );
+
+    let fix = manifest::Manifest::parse(
+        "crates/fixture/Cargo.toml",
+        &std::fs::read_to_string(dir.join("fix.toml")).unwrap(),
+    );
+    let findings = manifest::check_workspace(&root, std::slice::from_ref(&fix));
+    assert!(findings.is_empty(), "fix.toml must be clean: {findings:?}");
 }
 
 #[test]
-fn l5_passing_workspace_table_and_inherited_msrv() {
-    let root = Manifest::parse("Cargo.toml", GOOD_ROOT);
-    let m =
-        member("[dependencies]\nrand.workspace = true\nautomodel-hpo = { path = \"../hpo\" }\n");
-    let diags = check_workspace(&root, &[m]);
+fn seeded_defect_hash_iteration_score_is_caught() {
+    // The acceptance fixture from the issue: a HashMap-iteration-derived
+    // trial score must be flagged by L10 wherever it hides in hpo code.
+    let f = File::parse(
+        "crates/hpo/src/seeded.rs",
+        "use std::collections::HashMap;\n\
+         pub fn aggregate(folds: &HashMap<u32, f64>) -> TrialOutcome {\n\
+             let mut acc = 0.0;\n\
+             for v in folds.values() {\n\
+                 acc += v;\n\
+             }\n\
+             let adjusted = acc / 5.0;\n\
+             TrialOutcome::from_score(adjusted)\n\
+         }\n",
+    );
+    let r = sem::analyze(std::slice::from_ref(&f));
     assert!(
-        diags.is_empty(),
+        r.active.iter().any(|d| d.rule == "determinism-taint"),
         "{:?}",
-        diags.iter().map(|d| &d.message).collect::<Vec<_>>()
+        r.active
     );
 }
 
 #[test]
-fn l5_violation_member_without_lint_wall() {
-    let root = Manifest::parse("Cargo.toml", GOOD_ROOT);
-    let m = Manifest::parse(
-        "crates/demo/Cargo.toml",
-        "[package]\nname = \"demo\"\nrust-version.workspace = true\n\
-         [dependencies]\nrand.workspace = true\n",
+fn seeded_defect_inverted_lock_pair_is_caught() {
+    let f = load(&fixtures_root().join("lock-order"), "violate.rs");
+    let r = sem::analyze(std::slice::from_ref(&f));
+    let hits: Vec<_> = r.active.iter().filter(|d| d.rule == "lock-order").collect();
+    assert_eq!(
+        hits.len(),
+        2,
+        "both inverted edges must be reported: {hits:?}"
     );
-    let msgs: Vec<String> = check_workspace(&root, &[m])
-        .into_iter()
-        .map(|d| d.message)
-        .collect();
-    assert!(msgs.iter().any(|m| m.contains("lint wall")), "{msgs:?}");
 }
 
-// ------------------------------------------------------- end-to-end --
+// ---------------------------------------------------------------------
+// End-to-end: the shipped binary, the JSON schema, the baseline file.
+// ---------------------------------------------------------------------
 
-/// The repository's own tree must lint clean against its baseline — this is
-/// the same invariant CI (`scripts/check.sh`) enforces, kept here so plain
-/// `cargo test` catches violations too.
+fn run_xtask(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("spawn xtask");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    match v {
+        Value::Object(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .unwrap_or_else(|| panic!("missing field `{key}`")),
+        other => panic!("expected object with `{key}`, got {other:?}"),
+    }
+}
+
 #[test]
-fn workspace_lints_clean_against_baseline() {
-    let root = xtask::workspace_root();
-    let diags = xtask::run_lint(&root).expect("lint pass is infallible on a checked-out tree");
-    let current = xtask::baseline::tally(&diags);
-    let text = std::fs::read_to_string(root.join("xtask/lint-baseline.txt")).unwrap_or_default();
-    let allowed = xtask::baseline::parse(&text).expect("baseline parses");
-    let verdict = xtask::baseline::compare(&current, &allowed);
+fn json_report_validates_against_the_documented_schema() {
+    let (stdout, stderr, code) = run_xtask(&["lint", "--format", "json"]);
+    assert_eq!(
+        code,
+        Some(0),
+        "lint must be clean on the repo\n{stderr}\n{stdout}"
+    );
+    let v: Value = serde_json::from_str(&stdout).expect("--format json must emit valid JSON");
+
+    assert_eq!(
+        field(&v, "schema"),
+        &Value::String("automodel-lint/v2".to_string())
+    );
+    let Value::Array(rules) = field(&v, "rules") else {
+        panic!("rules must be an array")
+    };
+    assert_eq!(rules.len(), 13, "one rule entry per L1–L13");
+    for r in rules {
+        for key in ["code", "id", "summary"] {
+            assert!(matches!(field(r, key), Value::String(_)));
+        }
+    }
+    let Value::Array(findings) = field(&v, "findings") else {
+        panic!("findings must be an array")
+    };
+    for f in findings {
+        for key in ["code", "rule", "file", "item", "message", "help", "snippet"] {
+            assert!(matches!(field(f, key), Value::String(_)), "finding.{key}");
+        }
+        for key in ["line", "col"] {
+            assert!(
+                matches!(field(f, key), Value::U64(_) | Value::I64(_)),
+                "finding.{key}"
+            );
+        }
+        let Value::String(fp) = field(f, "fingerprint") else {
+            panic!("fingerprint must be a string")
+        };
+        assert_eq!(fp.len(), 16, "fingerprints are 16 hex chars");
+        assert!(fp.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(matches!(field(f, "baselined"), Value::Bool(_)));
+    }
+    assert!(matches!(field(&v, "suppressed"), Value::Array(_)));
+    let summary = field(&v, "summary");
+    for key in [
+        "total",
+        "new",
+        "baselined",
+        "suppressed",
+        "regressed_buckets",
+        "stale_buckets",
+    ] {
+        assert!(
+            matches!(field(summary, key), Value::U64(_) | Value::I64(_)),
+            "summary.{key}"
+        );
+    }
+    assert_eq!(field(summary, "clean"), &Value::Bool(true));
+    assert_eq!(
+        field(summary, "new"),
+        &Value::U64(0),
+        "no new findings allowed"
+    );
+}
+
+#[test]
+fn explain_prints_rationale_with_fixture_examples() {
+    let (stdout, _, code) = run_xtask(&["lint", "--explain", "L10"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("determinism-taint"));
+    assert!(
+        stdout.contains("intraprocedural dataflow"),
+        "rationale text"
+    );
+    assert!(stdout.contains("violates the rule"), "violating example");
+    assert!(stdout.contains("--- fixed"), "fixed example");
+    assert!(stdout.contains("from_score"), "example body shown");
+
+    // Lookup by rule id works too.
+    let (by_id, _, code) = run_xtask(&["lint", "--explain", "lock-order"]);
+    assert_eq!(code, Some(0));
+    assert!(by_id.contains("L11"));
+}
+
+#[test]
+fn explain_unknown_rule_lists_the_table_and_fails() {
+    let (_, stderr, code) = run_xtask(&["lint", "--explain", "L99"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("no-panic-lib"), "table listed on stderr");
+}
+
+#[test]
+fn shipped_baseline_is_v2_and_matches_the_tree() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("lint-baseline.txt");
+    let text = std::fs::read_to_string(&path).expect("baseline file present");
+    let parsed = baseline::parse(&text).expect("baseline parses");
+    assert!(parsed.v2, "shipped baseline must use fingerprint keys");
+
+    let report = xtask::run_lint(&xtask::workspace_root()).expect("lint runs");
+    let verdict = baseline::compare(&baseline::tally_v2(&report.active), &parsed.counts);
     assert!(
         verdict.is_clean(),
-        "regressed: {:?}\nstale: {:?}",
-        verdict.regressed,
-        verdict.stale
+        "tree must match baseline exactly: {verdict:?}"
     );
 }

@@ -1,0 +1,7 @@
+//@path crates/hpo/src/fixture.rs
+impl Exhaustive {
+    // Enumerates a finite space with no trials, faults or caching.
+    pub fn optimize(&self, space: &FiniteSpace) -> OptOutcome { // lint:allow(contract-conformance): exhaustive enumeration, no trial substrate
+        space.enumerate_all()
+    }
+}

@@ -1,0 +1,18 @@
+//@path crates/hpo/src/fixture.rs
+impl HillClimb {
+    pub fn with_policy(mut self, policy: TrialPolicy) -> HillClimb {
+        self.policy = policy;
+        self
+    }
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> HillClimb {
+        self.cache = Some(cache);
+        self
+    }
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> HillClimb {
+        self.tracer = Some(tracer);
+        self
+    }
+    pub fn optimize(&self, space: &SearchSpace, budget: &Budget) -> OptOutcome {
+        self.walk(space, budget)
+    }
+}

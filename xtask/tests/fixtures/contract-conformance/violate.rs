@@ -1,0 +1,10 @@
+//@path crates/hpo/src/fixture.rs
+impl HillClimb {
+    pub fn with_policy(mut self, policy: TrialPolicy) -> HillClimb {
+        self.policy = policy;
+        self
+    }
+    pub fn optimize(&self, space: &SearchSpace, budget: &Budget) -> OptOutcome {
+        self.walk(space, budget)
+    }
+}

@@ -1,0 +1,9 @@
+//@path crates/hpo/src/fixture.rs
+use std::collections::HashMap;
+pub fn fold_score(weights: &HashMap<String, f64>) -> TrialOutcome {
+    let mut total = 0.0;
+    for (_name, w) in weights.iter() {
+        total += w;
+    }
+    TrialOutcome::from_score(total)
+}

@@ -1,0 +1,6 @@
+//@path crates/hpo/src/fixture.rs
+pub fn jitter_id() -> u64 {
+    // Used only for a log correlation id, never for results.
+    let mut rng = rand::thread_rng(); // lint:allow(determinism): correlation id only, not in results
+    rng.next_u64()
+}

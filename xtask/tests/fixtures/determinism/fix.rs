@@ -1,0 +1,5 @@
+//@path crates/hpo/src/fixture.rs
+pub fn sample(space: &SearchSpace, seed: u64) -> Config {
+    let mut rng = StdRng::seed_from_u64(seed);
+    space.sample(&mut rng)
+}

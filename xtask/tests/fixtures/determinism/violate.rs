@@ -1,0 +1,5 @@
+//@path crates/hpo/src/fixture.rs
+pub fn sample(space: &SearchSpace) -> Config {
+    let mut rng = rand::thread_rng();
+    space.sample(&mut rng)
+}

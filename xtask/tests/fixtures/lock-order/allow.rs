@@ -1,0 +1,21 @@
+//@path crates/hpo/src/fixture.rs
+pub struct ScoreBoard {
+    board: Mutex<Vec<f64>>,
+}
+pub struct History {
+    log: Mutex<Vec<u64>>,
+}
+impl ScoreBoard {
+    pub fn merge(&self, h: &History) {
+        let b = self.board.lock();
+        let l = h.log.lock(); // lint:allow(lock-order): merge/absorb are never concurrent (single owner)
+        drop((b, l));
+    }
+}
+impl History {
+    pub fn absorb(&self, s: &ScoreBoard) {
+        let l = self.log.lock();
+        let b = s.board.lock(); // lint:allow(lock-order): merge/absorb are never concurrent (single owner)
+        drop((l, b));
+    }
+}

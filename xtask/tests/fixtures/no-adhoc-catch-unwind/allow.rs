@@ -1,0 +1,5 @@
+//@path crates/hpo/src/fixture.rs
+pub fn ffi_guard(f: extern "C" fn()) {
+    // FFI boundary: unwinding across it is UB, containment cannot wrap this.
+    let _ = std::panic::catch_unwind(|| f()); // lint:allow(no-adhoc-catch-unwind): FFI abort guard, not a trial
+}

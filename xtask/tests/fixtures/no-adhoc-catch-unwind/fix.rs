@@ -1,0 +1,4 @@
+//@path crates/hpo/src/fixture.rs
+pub fn guarded_score(c: &Config, policy: &TrialPolicy) -> TrialOutcome {
+    run_trial(policy, || score(c))
+}

@@ -1,0 +1,4 @@
+//@path crates/hpo/src/fixture.rs
+pub fn guarded_score(c: &Config) -> f64 {
+    std::panic::catch_unwind(|| score(c)).unwrap_or(f64::NEG_INFINITY)
+}

@@ -1,0 +1,6 @@
+//@path crates/hpo/src/fixture.rs
+use std::collections::BTreeMap;
+pub struct Audit {
+    // Diagnostic-only ledger, never consulted before evaluation.
+    trail: BTreeMap<Config, u32>, // lint:allow(no-adhoc-memo): audit ledger, not a cache
+}

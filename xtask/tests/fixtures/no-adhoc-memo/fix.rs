@@ -1,0 +1,4 @@
+//@path crates/hpo/src/fixture.rs
+pub struct Memo {
+    cache: Arc<TrialCache>,
+}

@@ -1,0 +1,5 @@
+//@path crates/hpo/src/fixture.rs
+use std::collections::HashMap;
+pub struct Memo {
+    seen: HashMap<Config, f64>,
+}

@@ -1,0 +1,5 @@
+//@path crates/data/src/fixture.rs
+pub fn panic_hook_banner() {
+    // Runs inside the panic hook where no Tracer can exist.
+    eprintln!("data loader aborted"); // lint:allow(no-adhoc-print): panic hook, tracer unavailable
+}

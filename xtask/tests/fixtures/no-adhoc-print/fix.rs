@@ -1,0 +1,5 @@
+//@path crates/data/src/fixture.rs
+pub fn load(path: &str, tracer: &Tracer) -> Dataset {
+    tracer.emit(TraceEvent::stage_start("load", path));
+    Dataset::from_path(path)
+}

@@ -1,0 +1,5 @@
+//@path crates/data/src/fixture.rs
+pub fn load(path: &str) -> Dataset {
+    println!("loading {path}");
+    Dataset::from_path(path)
+}

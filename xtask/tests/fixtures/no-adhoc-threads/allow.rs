@@ -1,0 +1,5 @@
+//@path crates/hpo/src/fixture.rs
+pub fn watchdog() {
+    // One long-lived monitor thread, not a result-producing pool.
+    std::thread::spawn(|| monitor_loop()); // lint:allow(no-adhoc-threads): monitor thread, produces no results
+}

@@ -1,0 +1,4 @@
+//@path crates/hpo/src/fixture.rs
+pub fn evaluate_all(exec: &Executor, configs: &[Config]) -> Vec<TrialOutcome> {
+    exec.map(configs.len(), |i| run_trial(|| score(&configs[i])))
+}

@@ -1,0 +1,8 @@
+//@path crates/hpo/src/fixture.rs
+pub fn evaluate_all(configs: &[Config]) -> Vec<f64> {
+    let handles: Vec<_> = configs
+        .iter()
+        .map(|c| std::thread::spawn(move || score(c)))
+        .collect();
+    handles.into_iter().map(|h| h.join().unwrap_or(f64::NAN)).collect()
+}

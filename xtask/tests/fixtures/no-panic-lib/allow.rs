@@ -1,0 +1,6 @@
+//@path crates/core/src/fixture.rs
+pub fn column_mean(xs: &[f64]) -> f64 {
+    // The slice is validated non-empty by the caller's schema check.
+    let first = xs.first().unwrap(); // lint:allow(no-panic-lib): validated non-empty above
+    first + 0.0
+}

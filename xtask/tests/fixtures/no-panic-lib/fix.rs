@@ -1,0 +1,8 @@
+//@path crates/core/src/fixture.rs
+pub fn parse_rate(raw: &str) -> Result<f64, ModelError> {
+    let rate: f64 = raw.parse().map_err(|_| ModelError::BadRate)?;
+    if rate < 0.0 {
+        return Err(ModelError::BadRate);
+    }
+    Ok(rate)
+}

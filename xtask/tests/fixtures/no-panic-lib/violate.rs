@@ -1,0 +1,8 @@
+//@path crates/core/src/fixture.rs
+pub fn parse_rate(raw: &str) -> f64 {
+    let rate: f64 = raw.parse().unwrap();
+    if rate < 0.0 {
+        panic!("negative rate");
+    }
+    rate
+}

@@ -1,0 +1,11 @@
+//@path crates/hpo/src/ga.rs
+use std::collections::HashMap; // lint:allow(ordered-iteration): drained into a sorted Vec below
+pub fn tally(pop: &[Config]) -> Vec<(String, usize)> {
+    let mut counts = HashMap::new(); // lint:allow(ordered-iteration): drained into a sorted Vec below
+    for c in pop {
+        *counts.entry(c.name().to_string()).or_insert(0) += 1;
+    }
+    let mut out: Vec<_> = counts.into_iter().collect();
+    out.sort();
+    out
+}

@@ -1,0 +1,9 @@
+//@path crates/hpo/src/ga.rs
+use std::collections::BTreeMap;
+pub fn tally(pop: &[Config]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for c in pop {
+        *counts.entry(c.name().to_string()).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,9 @@
+//@path crates/hpo/src/ga.rs
+use std::collections::HashMap;
+pub fn tally(pop: &[Config]) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    for c in pop {
+        *counts.entry(c.name().to_string()).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,5 @@
+//@path crates/core/src/fixture.rs
+pub fn mean(xs: &[f64]) -> f64 {
+    // Escape kept on purpose as reference material for the docs.
+    xs.iter().sum::<f64>() / xs.len() as f64 // lint:allow(no-panic-lib, stale-allow): documentation keeper
+}

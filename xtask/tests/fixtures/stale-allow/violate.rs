@@ -1,0 +1,5 @@
+//@path crates/core/src/fixture.rs
+pub fn mean(xs: &[f64]) -> f64 {
+    // The unwrap this escape once covered was refactored away.
+    xs.iter().sum::<f64>() / xs.len() as f64 // lint:allow(no-panic-lib): checked non-empty
+}
