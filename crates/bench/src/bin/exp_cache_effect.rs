@@ -22,7 +22,7 @@ use automodel_hpo::{
     SearchSpace, TrialCache,
 };
 use automodel_nn::{Activation, MlpConfig, MlpRegressor};
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -79,7 +79,7 @@ fn regression_data(rows: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_cache_effect"));
+    let tracer = automodel_bench::tracer_or_die("exp_cache_effect");
     tracer.emit(TraceEvent::stage_start(format!("cache effect ({scale:?})")));
 
     let (rows, evals, max_iter) = match scale {

@@ -19,7 +19,7 @@ use automodel_core::udr::UdrConfig;
 use automodel_core::AutoWekaConfig;
 use automodel_hpo::Budget;
 use automodel_ml::{cross_val_accuracy, Registry};
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -37,7 +37,7 @@ fn f_t_d(
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_cash_comparison"));
+    let tracer = automodel_bench::tracer_or_die("exp_cash_comparison");
 
     let pipeline = PipelineCache::new(Registry::full(), scale).with_tracer(Arc::clone(&tracer));
     tracer.emit(TraceEvent::stage_start("knowledge base"));

@@ -14,14 +14,13 @@ use automodel_bench::{PipelineCache, Scale};
 use automodel_core::poratio::po_ratio;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions};
 use automodel_ml::Registry;
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_crelations_quality"));
+    let tracer = automodel_bench::tracer_or_die("exp_crelations_quality");
 
     let pipeline = PipelineCache::new(Registry::full(), scale);
     tracer.emit(TraceEvent::stage_start("knowledge base"));

@@ -23,12 +23,11 @@ use automodel_hpo::{
     RandomSearch,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
-use automodel_trace::{TraceEvent, Tracer};
-use std::sync::Arc;
+use automodel_trace::TraceEvent;
 
 fn main() {
     let scale = Scale::from_args();
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_hpo_choice"));
+    let tracer = automodel_bench::tracer_or_die("exp_hpo_choice");
     tracer.emit(TraceEvent::stage_start(format!("hpo choice ({scale:?})")));
     let registry = Registry::full();
     let folds = scale.cv_folds();

@@ -17,9 +17,8 @@ use automodel_bench::report::Table;
 use automodel_bench::Scale;
 use automodel_knowledge::paper::rank_papers;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, CorpusSpec};
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 
 /// Majority-vote extractor.
 fn majority_vote(corpus: &Corpus) -> BTreeMap<String, String> {
@@ -76,7 +75,7 @@ fn accuracy(corpus: &Corpus, extracted: &BTreeMap<String, String>) -> (usize, us
 
 fn main() {
     let scale = Scale::from_args();
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_knowledge_ablation"));
+    let tracer = automodel_bench::tracer_or_die("exp_knowledge_ablation");
     tracer.emit(TraceEvent::stage_start(format!(
         "knowledge ablation ({scale:?})"
     )));

@@ -15,7 +15,7 @@ use automodel_bench::Scale;
 use automodel_data::{SynthFamily, SynthSpec};
 use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome};
 use automodel_ml::{cross_val_accuracy, Registry};
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -33,7 +33,7 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     // Structured narration: stage/run lines on stderr, full JSONL to
     // `AUTOMODEL_TRACE=<path>` when set.
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_parallel_scaling"));
+    let tracer = automodel_bench::tracer_or_die("exp_parallel_scaling");
     tracer.emit(TraceEvent::stage_start(format!("scaling ({scale:?})")));
 
     let (rows, evals) = match scale {

@@ -17,7 +17,7 @@ use automodel_bench::report::{top_k, Table};
 use automodel_bench::{PipelineCache, Scale};
 use automodel_core::poratio::{po_ratio, EvalContext};
 use automodel_ml::Registry;
-use automodel_trace::{TraceEvent, Tracer};
+use automodel_trace::TraceEvent;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -26,7 +26,7 @@ fn main() {
     let json = std::env::args().any(|a| a == "--json");
     let ablate_features = std::env::args().any(|a| a == "--ablate-features");
     let ablate_arch = std::env::args().any(|a| a == "--ablate-arch");
-    let tracer = Arc::new(Tracer::from_env().with_progress("exp_sna_effectiveness"));
+    let tracer = automodel_bench::tracer_or_die("exp_sna_effectiveness");
 
     let pipeline = PipelineCache::new(Registry::full(), scale).with_tracer(Arc::clone(&tracer));
     tracer.emit(TraceEvent::stage_start("knowledge base"));
@@ -62,6 +62,7 @@ fn main() {
             architecture_override: ablate_arch.then(automodel_core::table2::default_mlp_point),
             seed: 17,
             tracer: Arc::clone(&tracer),
+            cache: Arc::new(automodel_parallel::TrialCache::from_env_or_disabled()),
         };
         config.run(&input).expect("ablated DMD")
     } else {

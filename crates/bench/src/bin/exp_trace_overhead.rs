@@ -39,7 +39,7 @@ fn fingerprint(out: &OptOutcome) -> String {
 fn main() {
     let scale = Scale::from_args();
     let json = std::env::args().any(|a| a == "--json");
-    let narrator = Arc::new(Tracer::from_env().with_progress("exp_trace_overhead"));
+    let narrator = automodel_bench::tracer_or_die("exp_trace_overhead");
 
     let (rows, evals, reps) = match scale {
         Scale::Tiny => (200, 60, 3),

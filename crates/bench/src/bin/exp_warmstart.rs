@@ -1,0 +1,287 @@
+//! Warm-start effect: GA architecture search cold vs warm-started from a
+//! persisted artifact, with the identity contract checked at 1/2/8
+//! threads.
+//!
+//! The `dmd build` / `dmd load` split only pays off if a warm-started
+//! rebuild (a) reproduces the cold run's trial history byte for byte and
+//! (b) is substantially faster. This experiment measures both on the
+//! `exp_cache_effect` workload — a GA over a 24-point architecture grid
+//! whose fitness trains a real `MlpRegressor`:
+//!
+//! 1. run cold (fresh cache), fingerprint the trial history;
+//! 2. snapshot the cache and round-trip it through a real `AMSTORE`
+//!    artifact file (write, digest-verify, read back) — the exact bytes
+//!    `dmd build` persists;
+//! 3. run warm-started from the restored snapshot at 1, 2 and 8 threads,
+//!    asserting every history is byte-identical to the cold run;
+//! 4. record the wall-clock speedup into `BENCH_warmstart.json`
+//!    (EXPERIMENTS.md floor: ≥ 1.5×).
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_warmstart
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_hpo::{
+    Budget, CacheSnapshot, Config, Domain, Executor, GaConfig, GeneticAlgorithm, OptOutcome,
+    ParamSpec, SearchSpace, TrialCache,
+};
+use automodel_nn::{Activation, MlpConfig, MlpRegressor};
+use automodel_store::{StoreReader, StoreWriter};
+use automodel_trace::TraceEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+/// The discrete architecture grid shared with `exp_cache_effect`:
+/// 2 depths × 3 widths × 4 activations = 24 distinct genomes.
+fn arch_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        ParamSpec {
+            name: "hidden_layers".into(),
+            domain: Domain::int(1, 2),
+            condition: None,
+        },
+        ParamSpec {
+            name: "hidden_size".into(),
+            domain: Domain::cat(&["8", "16", "32"]),
+            condition: None,
+        },
+        ParamSpec {
+            name: "activation".into(),
+            domain: Domain::cat(&["relu", "tanh", "logistic", "identity"]),
+            condition: None,
+        },
+    ])
+    .expect("static space is valid")
+}
+
+/// Seeded synthetic regression set: mildly nonlinear, 4 features.
+fn regression_data(rows: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(rows);
+    let mut ys = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let noise: f64 = rng.gen_range(-0.05..0.05);
+        let y = (1.5 * x[0] - x[1] + 0.5 * x[2] * x[3]).tanh() + noise;
+        xs.push(x);
+        ys.push(vec![y]);
+    }
+    (xs, ys)
+}
+
+/// Round-trip a cache snapshot through a real artifact file: the bytes on
+/// disk are a minimal `AMSTORE` container holding just the `TCHS`
+/// section, written, reopened, digest-verified and decoded — so the
+/// warm runs below are seeded from *persisted* state, not from memory.
+fn persist_and_restore(snapshot: &CacheSnapshot, path: &std::path::Path) -> CacheSnapshot {
+    let mut writer = StoreWriter::new();
+    writer
+        .section(
+            automodel_store::TAG_TRIAL_CACHE,
+            automodel_store::artifact::encode_cache_snapshot(snapshot),
+        )
+        .expect("single section cannot duplicate");
+    writer.write_to(path).expect("artifact write");
+    let reader = StoreReader::open(path).expect("artifact reopen");
+    reader.verify_all().expect("artifact digests");
+    automodel_store::artifact::decode_cache_snapshot(
+        reader
+            .section(automodel_store::TAG_TRIAL_CACHE)
+            .expect("TCHS section"),
+    )
+    .expect("TCHS decode")
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let tracer = automodel_bench::tracer_or_die("exp_warmstart");
+    tracer.emit(TraceEvent::stage_start(format!("warm start ({scale:?})")));
+
+    let (rows, evals, max_iter) = match scale {
+        Scale::Tiny => (96, 120, 30),
+        Scale::Small => (160, 240, 40),
+        Scale::Paper => (240, 720, 60),
+    };
+    let (xs, ys) = regression_data(rows, 4051);
+    let split = rows * 3 / 4;
+    let (train_x, test_x) = xs.split_at(split);
+    let (train_y, test_y) = ys.split_at(split);
+
+    let space = arch_space();
+    let objective = |config: &Config| {
+        let mlp = MlpConfig {
+            hidden_layers: config.int_or("hidden_layers", 1) as usize,
+            hidden_size: 8usize << config.cat_or("hidden_size", 0),
+            activation: Activation::ALL[config.cat_or("activation", 0)],
+            max_iter,
+            seed: 7,
+            ..MlpConfig::default()
+        };
+        let mut reg = MlpRegressor::new(mlp);
+        let report = reg.fit(train_x, train_y);
+        if report.diverged {
+            return -1.0e9;
+        }
+        let mse = reg.mse(test_x, test_y);
+        if mse.is_finite() {
+            -mse
+        } else {
+            -1.0e9
+        }
+    };
+
+    let ga_config = GaConfig {
+        population: 16,
+        generations: 1000, // bounded by the eval budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(evals);
+
+    let run = |label: &str, threads: usize, cache: Arc<TrialCache>| {
+        tracer.emit(TraceEvent::stage_start(format!("run {label}")));
+        let executor = Executor::new(threads);
+        let ga = GeneticAlgorithm::with_config(42, ga_config.clone())
+            .with_cache(Arc::clone(&cache))
+            .with_tracer(Arc::clone(&tracer));
+        let start = Instant::now();
+        let out = ga
+            .optimize_batch(&space, &objective, &budget, &executor)
+            .expect("eval budget > 0 always yields an outcome");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        tracer.emit(TraceEvent::stage_end(
+            format!("run {label}"),
+            format!(
+                "{ms:.1} ms, best {:.4}, {} warm of {} hit(s)",
+                out.best_score, out.cache.warm_hits, out.cache.hits
+            ),
+        ));
+        (out, ms)
+    };
+
+    // 1. Cold run, cache accumulating from nothing.
+    let cold_cache = Arc::new(TrialCache::default());
+    let (cold, cold_ms) = run("cold", 1, Arc::clone(&cold_cache));
+    let cold_fp = fingerprint(&cold);
+
+    // 2. Persist the snapshot through a real artifact file.
+    let path = std::env::temp_dir().join(format!("exp_warmstart_{}.store", std::process::id()));
+    let snapshot = cold_cache.snapshot();
+    let restored = persist_and_restore(&snapshot, &path);
+    let artifact_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&path);
+    tracer.emit(TraceEvent::ArtifactLoad {
+        path: path.display().to_string(),
+        sections: 1,
+        bytes: artifact_bytes,
+    });
+
+    // 3. Warm runs at 1/2/8 threads — byte-identical histories required.
+    let mut warm_ms_by_threads = Vec::new();
+    let mut warm_stats = None;
+    for threads in [1usize, 2, 8] {
+        let cache = Arc::new(TrialCache::default());
+        assert_eq!(
+            cache.restore(&restored),
+            snapshot.len(),
+            "restore dropped persisted entries"
+        );
+        let (warm, ms) = run(&format!("warm x{threads}"), threads, cache);
+        assert_eq!(
+            fingerprint(&warm),
+            cold_fp,
+            "warm-start identity violation: {threads}-thread history diverged from cold"
+        );
+        assert!(
+            warm.cache.warm_hits > 0,
+            "warm run never hit a restored entry"
+        );
+        warm_ms_by_threads.push((threads, ms));
+        if threads == 1 {
+            warm_stats = Some(warm.cache);
+        }
+    }
+    let warm_ms = warm_ms_by_threads[0].1;
+    let warm = warm_stats.expect("1-thread warm run recorded");
+
+    let speedup = cold_ms / warm_ms.max(1e-9);
+    // lint:allow(determinism-taint): wall-clock speedup is the quantity this experiment reports
+    tracer.emit(TraceEvent::stage_end(
+        format!("warm start ({scale:?})"),
+        format!(
+            "speedup {speedup:.2}x, {} restored, {} warm hit(s)",
+            warm.restored, warm.warm_hits
+        ),
+    ));
+
+    let mut table = Table::new(
+        "GA architecture search — persisted warm start",
+        &[
+            "run",
+            "threads",
+            "wall ms",
+            "warm hits",
+            "hits",
+            "identical",
+        ],
+    );
+    table.row(vec![
+        "cold".into(),
+        "1".into(),
+        format!("{cold_ms:.1}"),
+        "0".into(),
+        cold.cache.hits.to_string(),
+        "-".into(),
+    ]);
+    for (threads, ms) in &warm_ms_by_threads {
+        table.row(vec![
+            "warm".into(),
+            threads.to_string(),
+            format!("{ms:.1}"),
+            warm.warm_hits.to_string(),
+            warm.hits.to_string(),
+            "yes".into(),
+        ]);
+    }
+    table.print();
+
+    let report = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "evals": evals,
+        "snapshot_entries": snapshot.len(),
+        "artifact_bytes": artifact_bytes,
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "speedup": speedup,
+        "warm_hits": warm.warm_hits,
+        "restored": warm.restored,
+        "identical_history": true,
+        "thread_counts_checked": [1, 2, 8],
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    match std::fs::write("BENCH_warmstart.json", &pretty) {
+        Err(e) => tracer.emit(TraceEvent::stage_end(
+            "BENCH_warmstart.json",
+            format!("write failed: {e}"),
+        )),
+        Ok(()) => tracer.emit(TraceEvent::stage_end("BENCH_warmstart.json", "written")),
+    }
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
+    if json {
+        println!("{pretty}");
+    }
+}

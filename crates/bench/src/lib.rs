@@ -35,3 +35,21 @@ pub mod scale;
 pub use pipeline::{KnowledgeBase, PipelineCache};
 pub use report::Table;
 pub use scale::Scale;
+
+use automodel_trace::Tracer;
+use std::sync::Arc;
+
+/// Standard experiment-binary startup: strictly validate every
+/// `AUTOMODEL_*` variable (a typo'd knob must abort the experiment, not
+/// silently reconfigure it) and build the shared tracer with a progress
+/// narrator. Panics with the offending variable's name and value — these
+/// are fail-fast binaries, not a library surface.
+pub fn tracer_or_die(progress_label: &str) -> Arc<Tracer> {
+    if let Err(e) = automodel_parallel::validate_env() {
+        panic!("{e}");
+    }
+    match Tracer::from_env() {
+        Ok(tracer) => Arc::new(tracer.with_progress(progress_label)),
+        Err(e) => panic!("{e}"),
+    }
+}

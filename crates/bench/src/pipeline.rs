@@ -152,6 +152,7 @@ impl PipelineCache {
             architecture_override: None,
             seed: self.seed,
             tracer: Arc::clone(&self.tracer),
+            cache: Arc::new(automodel_parallel::TrialCache::from_env_or_disabled()),
         };
         config.run(&DmdInput {
             experiences: kb.corpus.experiences.clone(),

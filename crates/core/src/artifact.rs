@@ -53,6 +53,40 @@ impl Dmd {
 }
 
 impl DmdArtifact {
+    /// Pair with a trial-cache snapshot into the binary, integrity-hashed
+    /// store format (see `automodel-store`). The snapshot is what lets a
+    /// later `dmd build` warm-start: restored entries replay as warm hits,
+    /// reproducing the cold run's trial history byte for byte.
+    pub fn into_store(self, cache: automodel_hpo::CacheSnapshot) -> automodel_store::StoreArtifact {
+        automodel_store::StoreArtifact {
+            algorithms: self.algorithms,
+            key_features: self.key_features,
+            standardizer: self.standardizer,
+            sna: self.sna,
+            architecture: self.architecture,
+            crelations: self.crelations,
+            cache,
+        }
+    }
+
+    /// Split a loaded store artifact back into the serving parts and the
+    /// warm-start snapshot.
+    pub fn from_store(
+        artifact: automodel_store::StoreArtifact,
+    ) -> (DmdArtifact, automodel_hpo::CacheSnapshot) {
+        (
+            DmdArtifact {
+                algorithms: artifact.algorithms,
+                key_features: artifact.key_features,
+                standardizer: artifact.standardizer,
+                sna: artifact.sna,
+                architecture: artifact.architecture,
+                crelations: artifact.crelations,
+            },
+            artifact.cache,
+        )
+    }
+
     /// Serialize to JSON.
     pub fn to_json(&self) -> serde_json::Result<String> {
         serde_json::to_string(self)

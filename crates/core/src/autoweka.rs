@@ -138,11 +138,12 @@ impl AutoWekaConfig {
             seed: self.seed,
         };
         let traced = self.tracer.is_enabled();
+        let policy = TrialPolicy::from_env()?;
         if traced {
             self.tracer.emit(TraceEvent::stage_start("autoweka.cash"));
         }
         let mut smac = SmacLite::new(self.seed)
-            .with_policy(TrialPolicy::from_env())
+            .with_policy(policy)
             .with_tracer(Arc::clone(&self.tracer));
         let outcome = smac.optimize(&space, &mut objective, &self.budget);
         if traced {

@@ -21,8 +21,8 @@ use automodel_data::encoding::VecStandardizer;
 use automodel_data::features::{meta_features, select_features, FEATURE_COUNT};
 use automodel_data::{Dataset, SynthFamily, SynthSpec};
 use automodel_hpo::{
-    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Objective, Optimizer, SearchSpace,
-    TrialOutcome, TrialPolicy,
+    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Objective, OptOutcome, Optimizer,
+    SearchSpace, TrialCache, TrialOutcome, TrialPolicy,
 };
 use automodel_invariant::debug_invariant;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper};
@@ -119,6 +119,12 @@ pub struct DmdConfig {
     /// Structured tracer: stage spans around Algorithm 4's four steps, plus
     /// the inner GA runs' full event streams (default: disabled).
     pub tracer: Arc<Tracer>,
+    /// Trial cache shared by the Algorithm 2/3 genetic algorithms. The
+    /// two searches use disjoint parameter spaces, so their canonical
+    /// fingerprints never collide; sharing one cache lets a warm start
+    /// (`TrialCache::restore` from a persisted artifact) pre-seed both
+    /// stages at once. Default: `AUTOMODEL_CACHE` semantics.
+    pub cache: Arc<TrialCache>,
 }
 
 impl DmdConfig {
@@ -138,6 +144,7 @@ impl DmdConfig {
             architecture_override: None,
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
         }
     }
 
@@ -158,6 +165,7 @@ impl DmdConfig {
             architecture_override: None,
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
         }
     }
 
@@ -177,9 +185,19 @@ impl DmdConfig {
         self
     }
 
+    /// Replace the shared trial cache — a cache pre-seeded via
+    /// [`TrialCache::restore`] warm-starts both meta searches.
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> DmdConfig {
+        self.cache = cache;
+        self
+    }
+
     /// Run Algorithm 4 end to end.
     pub fn run(&self, input: &DmdInput) -> Result<Dmd, CoreError> {
         let traced = self.tracer.is_enabled();
+        // One strict env read up front: a malformed AUTOMODEL_FAULTS spec
+        // aborts the run here instead of silently drilling nothing.
+        let policy = TrialPolicy::from_env()?;
         // ---- Step 1: knowledge acquisition (Algorithm 1).
         if traced {
             self.tracer.emit(TraceEvent::stage_start("dmd.knowledge"));
@@ -244,10 +262,15 @@ impl DmdConfig {
             self.tracer
                 .emit(TraceEvent::stage_start("dmd.feature-selection"));
         }
+        let mut meta_trials = Vec::new();
         let key_features = match self.feature_mask_override {
             Some(mask) if mask.iter().any(|&b| b) => mask,
             Some(_) => [true; FEATURE_COUNT],
-            None => self.select_features(&records),
+            None => {
+                let (mask, trials) = self.select_features(&records, &policy);
+                meta_trials.extend(trials);
+                mask
+            }
         };
         if traced {
             let kept = key_features.iter().filter(|&&b| b).count();
@@ -266,7 +289,11 @@ impl DmdConfig {
         let targets: Vec<Vec<f64>> = records.iter().map(|r| r.target.clone()).collect();
         let arch = match &self.architecture_override {
             Some(point) => point.clone(),
-            None => self.search_architecture(&xs, &targets),
+            None => {
+                let (arch, trials) = self.search_architecture(&xs, &targets, &policy);
+                meta_trials.extend(trials);
+                arch
+            }
         };
         if traced {
             self.tracer.emit(TraceEvent::stage_end(
@@ -319,11 +346,16 @@ impl DmdConfig {
             standardizer,
             records,
             architecture: arch,
+            meta_trials,
         })
     }
 
     /// Algorithm 2: GA over boolean feature masks.
-    fn select_features(&self, records: &[KnowledgeRecord]) -> [bool; FEATURE_COUNT] {
+    fn select_features(
+        &self,
+        records: &[KnowledgeRecord],
+        policy: &TrialPolicy,
+    ) -> ([bool; FEATURE_COUNT], Vec<MetaTrial>) {
         let space = {
             let mut b = SearchSpace::builder();
             for name in automodel_data::FEATURE_NAMES {
@@ -373,14 +405,17 @@ impl DmdConfig {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env())
+        .with_policy(policy.clone())
+        .with_cache(Arc::clone(&self.cache))
         .with_tracer(Arc::clone(&self.tracer));
         let mut mask = [false; FEATURE_COUNT];
+        let mut trials = Vec::new();
         match ga.optimize(&space, &mut objective, &budget) {
             Some(outcome) => {
                 for (i, name) in automodel_data::FEATURE_NAMES.iter().enumerate() {
                     mask[i] = outcome.best_config.bool_or(name, false);
                 }
+                trials = MetaTrial::from_outcome("feature-selection", &outcome);
             }
             // Every trial failed (possible only under fault injection):
             // degrade to the full feature set rather than abort DMD.
@@ -393,11 +428,16 @@ impl DmdConfig {
             mask.iter().any(|&b| b),
             "feature selection produced an empty key-feature mask"
         );
-        mask
+        (mask, trials)
     }
 
     /// Algorithm 3: GA over the Table II space, stopping at `precision`.
-    fn search_architecture(&self, xs: &[Vec<f64>], targets: &[Vec<f64>]) -> automodel_hpo::Config {
+    fn search_architecture(
+        &self,
+        xs: &[Vec<f64>],
+        targets: &[Vec<f64>],
+        policy: &TrialPolicy,
+    ) -> (automodel_hpo::Config, Vec<MetaTrial>) {
         let space = mlp_space();
         let folds = meta_folds(xs.len(), self.meta_cv_folds, self.seed ^ 0xA2);
         let mut objective = ArchObjective {
@@ -417,11 +457,49 @@ impl DmdConfig {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env())
+        .with_policy(policy.clone())
+        .with_cache(Arc::clone(&self.cache))
         .with_tracer(Arc::clone(&self.tracer));
-        ga.optimize(&space, &mut objective, &budget)
-            .map(|o| o.best_config)
-            .unwrap_or_else(default_mlp_point)
+        match ga.optimize(&space, &mut objective, &budget) {
+            Some(outcome) => {
+                let trials = MetaTrial::from_outcome("architecture", &outcome);
+                (outcome.best_config, trials)
+            }
+            None => (default_mlp_point(), Vec::new()),
+        }
+    }
+}
+
+/// One trial of a DMD meta search, reduced to its byte-diffable essence:
+/// which stage proposed it, its in-stage index, the config's display form,
+/// and the exact recorded score bits. The sequence of these is the "trial
+/// history" the warm-start identity contract talks about: a warm-started
+/// rebuild must reproduce it byte for byte.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetaTrial {
+    /// `"feature-selection"` (Algorithm 2) or `"architecture"`
+    /// (Algorithm 3).
+    pub stage: &'static str,
+    /// Trial index within its stage's GA run.
+    pub index: usize,
+    /// The trial config's canonical display form.
+    pub config: String,
+    /// The recorded score (penalties included), compared as exact bits.
+    pub score: f64,
+}
+
+impl MetaTrial {
+    fn from_outcome(stage: &'static str, outcome: &OptOutcome) -> Vec<MetaTrial> {
+        outcome
+            .trials
+            .iter()
+            .map(|t| MetaTrial {
+                stage,
+                index: t.index,
+                config: t.config.to_string(),
+                score: t.score,
+            })
+            .collect()
     }
 }
 
@@ -486,6 +564,9 @@ pub struct Dmd {
     pub records: Vec<KnowledgeRecord>,
     /// The winning Table II configuration.
     pub architecture: automodel_hpo::Config,
+    /// Byte-diffable history of every meta-search trial that built this
+    /// model (empty when the model was reassembled from persisted parts).
+    pub meta_trials: Vec<MetaTrial>,
 }
 
 impl Dmd {
@@ -505,7 +586,27 @@ impl Dmd {
             standardizer,
             records,
             architecture,
+            meta_trials: Vec::new(),
         }
+    }
+
+    /// The meta-search trial history in its canonical line form, one
+    /// trial per line: `stage|index|config#score_bits`. Two runs built
+    /// the same way (same seeds, any thread count, warm or cold cache)
+    /// must render identical bytes here — this is what the warm-start
+    /// identity gate diffs.
+    pub fn trial_history(&self) -> String {
+        let mut out = String::new();
+        for t in &self.meta_trials {
+            out.push_str(&format!(
+                "{}|{}|{}#{:016x}\n",
+                t.stage,
+                t.index,
+                t.config,
+                t.score.to_bits()
+            ));
+        }
+        out
     }
 
     /// Clone of the internal feature standardizer (for persistence).

@@ -1,6 +1,7 @@
 //! Error type for the Auto-Model pipeline.
 
 use automodel_hpo::{TrialFailure, TrialOutcome};
+use automodel_trace::EnvError;
 use std::fmt;
 
 /// Errors raised by DMD, UDR or the baseline.
@@ -20,6 +21,8 @@ pub enum CoreError {
     Trial(TrialFailure),
     /// Wrapped classification-substrate error.
     Ml(automodel_ml::MlError),
+    /// A malformed `AUTOMODEL_*` environment variable.
+    Env(EnvError),
 }
 
 impl CoreError {
@@ -44,6 +47,7 @@ impl fmt::Display for CoreError {
             CoreError::EmptySearch => write!(f, "optimizer returned no trials (budget too small?)"),
             CoreError::Trial(e) => write!(f, "every trial failed; last failure: {e}"),
             CoreError::Ml(e) => write!(f, "classification substrate: {e}"),
+            CoreError::Env(e) => write!(f, "environment: {e}"),
         }
     }
 }
@@ -53,6 +57,7 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Ml(e) => Some(e),
             CoreError::Trial(e) => Some(e),
+            CoreError::Env(e) => Some(e),
             _ => None,
         }
     }
@@ -73,6 +78,12 @@ impl From<automodel_ml::MlError> for CoreError {
 impl From<automodel_data::DataError> for CoreError {
     fn from(e: automodel_data::DataError) -> Self {
         CoreError::Ml(automodel_ml::MlError::Data(e))
+    }
+}
+
+impl From<EnvError> for CoreError {
+    fn from(e: EnvError) -> Self {
+        CoreError::Env(e)
     }
 }
 
@@ -102,6 +113,10 @@ mod tests {
                 CoreError::Ml(automodel_ml::MlError::EmptyTrainingSet),
                 "empty training set",
             ),
+            (
+                CoreError::Env(EnvError::new("AUTOMODEL_CACHE", "65k", "a capacity")),
+                "AUTOMODEL_CACHE",
+            ),
         ];
         for (err, needle) in cases {
             let text = err.to_string();
@@ -123,6 +138,8 @@ mod tests {
             ml.source().unwrap().to_string(),
             "classifier used before fit"
         );
+        let env = CoreError::Env(EnvError::new("AUTOMODEL_THREADS", "two", "a count"));
+        assert!(env.source().unwrap().to_string().contains("two"));
     }
 
     #[test]

@@ -107,7 +107,10 @@ impl EvalContext {
                 ..GaConfig::default()
             },
         )
-        .with_policy(TrialPolicy::from_env())
+        // Fail-closed on a malformed AUTOMODEL_FAULTS spec: `measure`
+        // returns Option, and validate_env() at run entry points already
+        // rejects the spec strictly before this fallback can fire.
+        .with_policy(TrialPolicy::from_env_or_default())
         .with_tracer(Arc::clone(&self.tracer));
         ga.optimize(&space, &mut objective, &self.tuning_budget)
             .map(|o| o.best_score)

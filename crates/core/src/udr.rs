@@ -204,7 +204,7 @@ impl UdrConfig {
             last_failure: None,
         };
 
-        let policy = TrialPolicy::from_env();
+        let policy = TrialPolicy::from_env()?;
         if traced {
             self.tracer.emit(TraceEvent::stage_start("udr.tune"));
         }

@@ -28,7 +28,36 @@
 //! is for callers fingerprinting raw, unrepaired configs.
 
 use crate::space::{Config, ParamValue, SearchSpace};
+use std::fmt;
 use std::fmt::Write as _;
+
+/// A config could not be fingerprinted against a search space.
+///
+/// Raised by [`SearchSpace::cache_key`] when the config carries a
+/// parameter the space has never declared. Silently dropping such a
+/// parameter (the old behaviour) would merge the fingerprints of two
+/// configs that may evaluate differently — a cache collision serving one
+/// config's score for the other, the exact corruption fingerprints exist
+/// to prevent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FingerprintError {
+    /// Name of the config parameter the space does not declare.
+    pub param: String,
+}
+
+impl fmt::Display for FingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config parameter '{}' is unknown to the search space; \
+             refusing to fingerprint (dropping it could collide two \
+             behaviourally different configs)",
+            self.param
+        )
+    }
+}
+
+impl std::error::Error for FingerprintError {}
 
 // One canonicalization law for the whole workspace: the trial cache's
 // fingerprints and the trace codec's float wire form share the exact
@@ -82,10 +111,19 @@ impl SearchSpace {
     /// Space-aware canonical fingerprint: like [`Config::cache_key`], but
     /// only *active* parameters contribute. Activity is resolved in one
     /// forward pass over the space (parents are declared before children),
-    /// so a stale value behind an inactive condition — or a parameter
-    /// unknown to the space — never distinguishes two behaviourally equal
-    /// configs.
-    pub fn cache_key(&self, config: &Config) -> String {
+    /// so a stale value behind an inactive condition never distinguishes
+    /// two behaviourally equal configs. A parameter the space has never
+    /// declared is a [`FingerprintError`], not a silent drop: the space
+    /// cannot vouch that such a parameter is inert, so merging keys over
+    /// it risks serving one config's cached score for another.
+    pub fn cache_key(&self, config: &Config) -> Result<String, FingerprintError> {
+        for (name, _) in config.iter() {
+            if !self.params().iter().any(|spec| spec.name == *name) {
+                return Err(FingerprintError {
+                    param: name.clone(),
+                });
+            }
+        }
         let mut active = Config::new();
         for spec in self.params() {
             if self.is_active(spec, &active) {
@@ -94,7 +132,7 @@ impl SearchSpace {
                 }
             }
         }
-        encode(&active)
+        Ok(encode(&active))
     }
 }
 
@@ -182,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn space_key_ignores_inactive_and_unknown_params() {
+    fn space_key_ignores_inactive_and_rejects_unknown_params() {
         let space = SearchSpace::builder()
             .add("solver", Domain::cat(&["adam", "sgd"]))
             .add_if(
@@ -193,14 +231,26 @@ mod tests {
             .build()
             .unwrap();
         // solver=adam ⇒ momentum is inactive; a stale value must not split
-        // the key, nor may a parameter the space does not know.
+        // the key.
         let clean = config(&[("solver", ParamValue::Cat(0))]);
         let stale = config(&[
             ("solver", ParamValue::Cat(0)),
             ("momentum", ParamValue::Float(0.9)),
+        ]);
+        assert_eq!(
+            space.cache_key(&clean).unwrap(),
+            space.cache_key(&stale).unwrap()
+        );
+        // A parameter the space has never declared is an error, never a
+        // silent drop (it could collide two behaviourally different
+        // configs).
+        let alien = config(&[
+            ("solver", ParamValue::Cat(0)),
             ("debris", ParamValue::Int(7)),
         ]);
-        assert_eq!(space.cache_key(&clean), space.cache_key(&stale));
+        let err = space.cache_key(&alien).unwrap_err();
+        assert_eq!(err.param, "debris");
+        assert!(err.to_string().contains("'debris'"), "{err}");
         // With solver=sgd the momentum is active and must distinguish.
         let sgd_a = config(&[
             ("solver", ParamValue::Cat(1)),
@@ -210,9 +260,12 @@ mod tests {
             ("solver", ParamValue::Cat(1)),
             ("momentum", ParamValue::Float(0.5)),
         ]);
-        assert_ne!(space.cache_key(&sgd_a), space.cache_key(&sgd_b));
+        assert_ne!(
+            space.cache_key(&sgd_a).unwrap(),
+            space.cache_key(&sgd_b).unwrap()
+        );
         // On a fully-active config the two forms agree.
-        assert_eq!(space.cache_key(&sgd_a), sgd_a.cache_key());
+        assert_eq!(space.cache_key(&sgd_a).unwrap(), sgd_a.cache_key());
     }
 
     #[test]

@@ -15,7 +15,7 @@ use crate::objective::{
 };
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
-use automodel_parallel::{Executor, TrialCache, TrialPolicy};
+use automodel_parallel::{CacheSnapshot, Executor, TrialCache, TrialPolicy};
 use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -103,7 +103,7 @@ impl GeneticAlgorithm {
             config: GaConfig::default(),
             seed,
             policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
             tracer: Arc::new(Tracer::disabled()),
         }
     }
@@ -122,10 +122,20 @@ impl GeneticAlgorithm {
         self
     }
 
-    /// Replace the trial cache (default: [`TrialCache::from_env`]). Sharing
+    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]). Sharing
     /// one `Arc` across runs lets later searches reuse earlier results.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GeneticAlgorithm {
         self.cache = cache;
+        self
+    }
+
+    /// Seed the trial cache from a persisted snapshot (see
+    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
+    /// warm hits, so a warm-started search skips every evaluation a prior
+    /// run already paid for while recording a byte-identical trial
+    /// history. No-op when the cache is disabled.
+    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> GeneticAlgorithm {
+        self.cache.restore(snapshot);
         self
     }
 

@@ -13,7 +13,7 @@ use crate::objective::{
     OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{Executor, TrialCache, TrialPolicy};
+use automodel_parallel::{CacheSnapshot, Executor, TrialCache, TrialPolicy};
 use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,7 +38,7 @@ impl GridSearch {
             levels,
             max_points: 100_000,
             policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
             tracer: Arc::new(Tracer::disabled()),
         }
     }
@@ -50,11 +50,21 @@ impl GridSearch {
         self
     }
 
-    /// Replace the trial cache (default: [`TrialCache::from_env`]). The
+    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]). The
     /// enumeration already dedups within one run, so the cache only pays
     /// off when an `Arc` is shared across runs.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GridSearch {
         self.cache = cache;
+        self
+    }
+
+    /// Seed the trial cache from a persisted snapshot (see
+    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
+    /// warm hits, so a warm-started search skips every evaluation a prior
+    /// run already paid for while recording a byte-identical trial
+    /// history. No-op when the cache is disabled.
+    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> GridSearch {
+        self.cache.restore(snapshot);
         self
     }
 

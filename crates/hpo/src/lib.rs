@@ -43,7 +43,7 @@ pub mod testfns;
 
 pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
-pub use fingerprint::canonical_f64_bits;
+pub use fingerprint::{canonical_f64_bits, FingerprintError};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;
 pub use objective::{
@@ -58,8 +58,8 @@ pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
 // fault-containment vocabulary every optimizer speaks — re-exported so
 // callers need not depend on `automodel-parallel` directly.
 pub use automodel_parallel::{
-    seed_stream, CacheStats, CachedTrial, Clock, Executor, FailureKind, FaultPlan, ManualClock,
-    MonotonicClock, TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
+    seed_stream, CacheSnapshot, CacheStats, CachedTrial, Clock, Executor, FailureKind, FaultPlan,
+    ManualClock, MonotonicClock, TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
 };
 
 // The structured-tracing vocabulary (see `automodel-trace`): every optimizer

@@ -251,10 +251,17 @@ pub(crate) fn run_contained(
     }
     let cache_key = cache.is_enabled().then(|| config.cache_key());
     if let Some(key) = &cache_key {
-        if let Some(hit) = cache.get(key) {
+        if let Some((hit, warm)) = cache.get_provenance(key) {
             let mut ev = replay_cached(hit, policy);
             if traced {
-                events.push(TraceEvent::CacheHit { trial });
+                // A hit on an entry restored from a persisted artifact
+                // narrates as `warm_hit` so traces attribute the skipped
+                // work to the warm start; it still counts as a cache hit.
+                events.push(if warm {
+                    TraceEvent::WarmHit { trial }
+                } else {
+                    TraceEvent::CacheHit { trial }
+                });
                 ev.events = events;
             }
             return ev;

@@ -9,7 +9,7 @@ use crate::objective::{
     OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{seed_stream, Executor, TrialCache, TrialPolicy};
+use automodel_parallel::{seed_stream, CacheSnapshot, Executor, TrialCache, TrialPolicy};
 use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,7 @@ impl RandomSearch {
         RandomSearch {
             seed,
             policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
             tracer: Arc::new(Tracer::disabled()),
         }
     }
@@ -41,9 +41,19 @@ impl RandomSearch {
         self
     }
 
-    /// Replace the trial cache (default: [`TrialCache::from_env`]).
+    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]).
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> RandomSearch {
         self.cache = cache;
+        self
+    }
+
+    /// Seed the trial cache from a persisted snapshot (see
+    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
+    /// warm hits, so a warm-started search skips every evaluation a prior
+    /// run already paid for while recording a byte-identical trial
+    /// history. No-op when the cache is disabled.
+    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> RandomSearch {
+        self.cache.restore(snapshot);
         self
     }
 

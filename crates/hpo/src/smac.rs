@@ -19,7 +19,7 @@ use crate::objective::{
     Trial,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{TrialCache, TrialPolicy};
+use automodel_parallel::{CacheSnapshot, TrialCache, TrialPolicy};
 use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -193,7 +193,7 @@ impl SmacLite {
             candidates: 256,
             local_candidates: 64,
             policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
             tracer: Arc::new(Tracer::disabled()),
         }
     }
@@ -205,9 +205,19 @@ impl SmacLite {
         self
     }
 
-    /// Replace the trial cache (default: [`TrialCache::from_env`]).
+    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]).
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> SmacLite {
         self.cache = cache;
+        self
+    }
+
+    /// Seed the trial cache from a persisted snapshot (see
+    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
+    /// warm hits, so a warm-started search skips every evaluation a prior
+    /// run already paid for while recording a byte-identical trial
+    /// history. No-op when the cache is disabled.
+    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> SmacLite {
+        self.cache.restore(snapshot);
         self
     }
 

@@ -189,12 +189,18 @@ fn inactive_params_never_split_space_keys() {
         clean.set("root", ParamValue::Cat(inactive_root));
         let mut stale = clean.clone();
         stale.set("child", ParamValue::Float(rng.gen_range(0.0..1.0)));
-        stale.set("debris", random_value(&mut rng));
         assert_eq!(
-            space.cache_key(&clean),
-            space.cache_key(&stale),
+            space.cache_key(&clean).unwrap(),
+            space.cache_key(&stale).unwrap(),
             "case {case}: inactive params split the key"
         );
+        // An undeclared parameter is a typed error, never a silent merge.
+        let mut alien = stale.clone();
+        alien.set("debris", random_value(&mut rng));
+        let err = space
+            .cache_key(&alien)
+            .expect_err("unknown params must fail fingerprinting");
+        assert_eq!(err.param, "debris", "case {case}");
         // With the gate open, the child value must distinguish.
         let mut active_a = Config::new();
         active_a.set("root", ParamValue::Cat(0));
@@ -202,8 +208,8 @@ fn inactive_params_never_split_space_keys() {
         let mut active_b = active_a.clone();
         active_b.set("child", ParamValue::Float(0.75));
         assert_ne!(
-            space.cache_key(&active_a),
-            space.cache_key(&active_b),
+            space.cache_key(&active_a).unwrap(),
+            space.cache_key(&active_b).unwrap(),
             "case {case}"
         );
     }

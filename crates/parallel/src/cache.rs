@@ -22,9 +22,18 @@
 //!   First-completion-wins races therefore cannot exist, FIFO eviction
 //!   order is a pure function of the trial history, and cache-on results
 //!   are byte-identical to cache-off results at any thread count.
-//! * **Telemetry.** Hits, misses, insertions, evictions and approximate
-//!   resident bytes are counted ([`CacheStats`]) and surfaced by the
-//!   Table X harness and the `exp_cache_effect` bench.
+//! * **Telemetry.** Hits, misses, warm-start hits, insertions, restored
+//!   entries, evictions and exact resident bytes are counted
+//!   ([`CacheStats`]) and surfaced by the Table X harness and the
+//!   `exp_cache_effect` / `exp_warmstart` benches.
+//!
+//! The cache is also the warm-start substrate: [`TrialCache::snapshot`]
+//! captures the resident entries in FIFO order and
+//! [`TrialCache::restore`] replays a snapshot into a fresh cache, marking
+//! the entries *warm* so hits against persisted history are
+//! distinguishable (in telemetry only — a warm hit replays exactly like a
+//! cold one, which is what makes warm-started runs byte-identical to the
+//! runs that produced the history).
 //!
 //! Keys are canonical `Config` fingerprints built by the HPO layer (this
 //! crate is below the `Config` type, so it stores opaque strings); see
@@ -32,8 +41,11 @@
 //! toggled and bounded by the `AUTOMODEL_CACHE` environment variable:
 //! `0`/`off`/`false` disables it, `1`/`on`/`true` (or unset) enables it at
 //! the default capacity, and a number ≥ 2 sets the capacity directly.
+//! Anything else is an [`EnvError`] naming the variable and value.
 
 use crate::fault::TrialOutcome;
+use automodel_invariant::debug_invariant;
+use automodel_trace::EnvError;
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
@@ -59,13 +71,34 @@ pub struct CachedTrial {
 }
 
 impl CachedTrial {
-    /// Approximate resident bytes of this entry under `key`.
-    fn approx_bytes(&self, key: &str) -> u64 {
+    /// Resident bytes of this entry under `key`, computed once at insert
+    /// time and stored with the entry so eviction accounting is exact.
+    fn entry_bytes(&self, key: &str) -> u64 {
         let payload = match &self.outcome {
             TrialOutcome::Panicked(m) | TrialOutcome::Diverged(m) => m.len() as u64,
             _ => 0,
         };
         key.len() as u64 + payload + ENTRY_OVERHEAD_BYTES
+    }
+}
+
+/// A point-in-time copy of a cache's resident entries, in FIFO insertion
+/// order — the unit of persistence for warm starts. Produced by
+/// [`TrialCache::snapshot`], replayed by [`TrialCache::restore`], and
+/// serialized by `automodel-store`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// `(canonical key, memoized trial)` pairs, oldest first.
+    pub entries: Vec<(String, CachedTrial)>,
+}
+
+impl CacheSnapshot {
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -76,13 +109,17 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that fell through to a live evaluation.
     pub misses: u64,
-    /// Distinct keys inserted.
+    /// The subset of `hits` served from restored (warm-start) entries.
+    pub warm_hits: u64,
+    /// Distinct keys inserted by live evaluations.
     pub insertions: u64,
+    /// Entries restored from a snapshot ([`TrialCache::restore`]).
+    pub restored: u64,
     /// Entries displaced by the capacity bound (FIFO order).
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// Approximate resident bytes (keys + failure messages + overhead).
+    /// Exact resident bytes (keys + failure messages + overhead).
     pub bytes: u64,
     /// Was the cache enabled at all?
     pub enabled: bool,
@@ -105,7 +142,9 @@ impl CacheStats {
     pub fn absorb(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.warm_hits += other.warm_hits;
         self.insertions += other.insertions;
+        self.restored += other.restored;
         self.evictions += other.evictions;
         self.entries += other.entries;
         self.bytes += other.bytes;
@@ -113,13 +152,35 @@ impl CacheStats {
     }
 }
 
+/// One resident entry: the memoized trial, its insert-time size (so
+/// eviction subtracts exactly what insertion added), and whether it was
+/// restored from a snapshot rather than produced by this run.
+#[derive(Debug)]
+struct Entry {
+    trial: CachedTrial,
+    bytes: u64,
+    warm: bool,
+}
+
 /// Keyed store + FIFO insertion order, guarded by one lock so eviction
 /// decisions are atomic with insertions.
 #[derive(Debug, Default)]
 struct CacheInner {
-    map: BTreeMap<String, CachedTrial>,
+    map: BTreeMap<String, Entry>,
     order: VecDeque<String>,
     bytes: u64,
+}
+
+impl CacheInner {
+    /// The byte ledger must equal the sum of the resident entries' stored
+    /// sizes at every quiescent point — the invariant that insert-time
+    /// sizing exists to guarantee.
+    fn check_bytes(&self) {
+        debug_invariant!(
+            self.bytes == self.map.values().map(|e| e.bytes).sum::<u64>(),
+            "cache byte ledger drifted from the per-entry sum"
+        );
+    }
 }
 
 /// Thread-safe, deterministic trial-result cache.
@@ -136,7 +197,9 @@ pub struct TrialCache {
     inner: RwLock<CacheInner>,
     hits: AtomicU64,
     misses: AtomicU64,
+    warm_hits: AtomicU64,
     insertions: AtomicU64,
+    restored: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -155,7 +218,9 @@ impl TrialCache {
             inner: RwLock::new(CacheInner::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
             insertions: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -170,26 +235,40 @@ impl TrialCache {
     }
 
     /// Build from the `AUTOMODEL_CACHE` environment variable; unset means
-    /// enabled at the default capacity.
-    pub fn from_env() -> TrialCache {
-        TrialCache::from_spec(std::env::var("AUTOMODEL_CACHE").ok().as_deref())
+    /// enabled at the default capacity, malformed is an [`EnvError`].
+    pub fn from_env() -> Result<TrialCache, EnvError> {
+        TrialCache::from_spec(std::env::var(crate::env::CACHE_ENV).ok().as_deref())
+    }
+
+    /// [`TrialCache::from_env`] for infallible construction sites (the
+    /// optimizer constructors): a malformed value yields a *disabled*
+    /// cache. Fail-closed is safe because cache-on results are
+    /// byte-identical to cache-off results; the strict error surfaces at
+    /// every run entry point via [`crate::env::validate_env`], so a typo
+    /// still stops the run instead of silently configuring a cache.
+    pub fn from_env_or_disabled() -> TrialCache {
+        TrialCache::from_env().unwrap_or_else(|_| TrialCache::disabled())
     }
 
     /// Parse an `AUTOMODEL_CACHE` value: `0`/`off`/`false` ⇒ disabled;
     /// `1`/`on`/`true`/empty/`None` ⇒ enabled at the default capacity; a
-    /// number ≥ 2 ⇒ enabled at that capacity. Anything malformed falls
-    /// back to the enabled default (a cache toggle must never abort a
-    /// run).
-    pub fn from_spec(spec: Option<&str>) -> TrialCache {
+    /// number ≥ 2 ⇒ enabled at that capacity. Anything else (`65k`, a
+    /// negative number, stray words) is an [`EnvError`] naming the
+    /// variable and the offending value.
+    pub fn from_spec(spec: Option<&str>) -> Result<TrialCache, EnvError> {
         let Some(spec) = spec else {
-            return TrialCache::default();
+            return Ok(TrialCache::default());
         };
         match spec.trim().to_ascii_lowercase().as_str() {
-            "0" | "off" | "false" => TrialCache::disabled(),
-            "" | "1" | "on" | "true" => TrialCache::default(),
+            "0" | "off" | "false" => Ok(TrialCache::disabled()),
+            "" | "1" | "on" | "true" => Ok(TrialCache::default()),
             other => match other.parse::<usize>() {
-                Ok(n) => TrialCache::new(n),
-                Err(_) => TrialCache::default(),
+                Ok(n) => Ok(TrialCache::new(n)),
+                Err(_) => Err(EnvError::new(
+                    crate::env::CACHE_ENV,
+                    spec,
+                    "0/off/false, 1/on/true, or a decimal entry capacity",
+                )),
             },
         }
     }
@@ -216,14 +295,29 @@ impl TrialCache {
     /// Look up a canonical key. Counts a hit or a miss (disabled caches
     /// return `None` without counting — there was no lookup to account).
     pub fn get(&self, key: &str) -> Option<CachedTrial> {
+        self.get_provenance(key).map(|(trial, _)| trial)
+    }
+
+    /// Like [`TrialCache::get`], but also reports whether the entry was
+    /// restored from a snapshot (`true` = warm) — the trace layer uses
+    /// this to emit `warm_hit` instead of `cache_hit`.
+    pub fn get_provenance(&self, key: &str) -> Option<(CachedTrial, bool)> {
         if !self.enabled {
             return None;
         }
-        let found = self.inner.read().map.get(key).cloned();
+        let found = self
+            .inner
+            .read()
+            .map
+            .get(key)
+            .map(|e| (e.trial.clone(), e.warm));
         match found {
-            Some(hit) => {
+            Some((trial, warm)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(hit)
+                if warm {
+                    self.warm_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                Some((trial, warm))
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -238,26 +332,70 @@ impl TrialCache {
     /// so eviction order is too). Re-inserting an existing key is a no-op:
     /// under the determinism contract the value could only be identical.
     pub fn insert(&self, key: String, value: CachedTrial) {
+        if self.insert_inner(key, value, false) {
+            self.insertions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Replay a snapshot into this cache, marking every entry warm.
+    /// Entries land in snapshot (FIFO) order, so capacity bounds evict
+    /// exactly as they would have in the producing run. Existing keys are
+    /// kept (this run's own entries win); disabled caches restore
+    /// nothing. Returns the number of entries actually restored.
+    pub fn restore(&self, snapshot: &CacheSnapshot) -> usize {
+        let mut n = 0usize;
+        for (key, trial) in &snapshot.entries {
+            if self.insert_inner(key.clone(), trial.clone(), true) {
+                n += 1;
+            }
+        }
+        self.restored.fetch_add(n as u64, Ordering::Relaxed);
+        n
+    }
+
+    /// Capture the resident entries in FIFO order. The snapshot of a
+    /// disabled cache is empty.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let inner = self.inner.read();
+        let entries = inner
+            .order
+            .iter()
+            .filter_map(|key| inner.map.get(key).map(|e| (key.clone(), e.trial.clone())))
+            .collect();
+        CacheSnapshot { entries }
+    }
+
+    /// Shared insert path; returns whether a new entry was stored.
+    fn insert_inner(&self, key: String, value: CachedTrial, warm: bool) -> bool {
         if !self.enabled {
-            return;
+            return false;
         }
         let mut inner = self.inner.write();
         if inner.map.contains_key(&key) {
-            return;
+            return false;
         }
-        inner.bytes += value.approx_bytes(&key);
+        let bytes = value.entry_bytes(&key);
+        inner.bytes += bytes;
         inner.order.push_back(key.clone());
-        inner.map.insert(key, value);
-        self.insertions.fetch_add(1, Ordering::Relaxed);
+        inner.map.insert(
+            key,
+            Entry {
+                trial: value,
+                bytes,
+                warm,
+            },
+        );
         while inner.map.len() > self.capacity {
             let Some(oldest) = inner.order.pop_front() else {
                 break;
             };
             if let Some(evicted) = inner.map.remove(&oldest) {
-                inner.bytes = inner.bytes.saturating_sub(evicted.approx_bytes(&oldest));
+                inner.bytes -= evicted.bytes;
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
+        inner.check_bytes();
+        true
     }
 
     /// Snapshot the counters.
@@ -266,7 +404,9 @@ impl TrialCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
             insertions: self.insertions.load(Ordering::Relaxed),
+            restored: self.restored.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries: inner.map.len(),
             bytes: inner.bytes,
@@ -307,6 +447,7 @@ mod tests {
         assert_eq!(stats.entries, 2);
         assert!(stats.bytes > 0);
         assert!(stats.enabled);
+        assert_eq!(stats.warm_hits, 0, "live inserts are not warm");
     }
 
     #[test]
@@ -346,21 +487,49 @@ mod tests {
 
     #[test]
     fn from_spec_parses_the_env_grammar() {
-        assert!(!TrialCache::from_spec(Some("0")).is_enabled());
-        assert!(!TrialCache::from_spec(Some("off")).is_enabled());
-        assert!(!TrialCache::from_spec(Some("FALSE")).is_enabled());
+        assert!(!TrialCache::from_spec(Some("0")).unwrap().is_enabled());
+        assert!(!TrialCache::from_spec(Some("off")).unwrap().is_enabled());
+        assert!(!TrialCache::from_spec(Some("FALSE")).unwrap().is_enabled());
         for spec in [None, Some(""), Some("1"), Some("on"), Some("true")] {
-            let cache = TrialCache::from_spec(spec);
+            let cache = TrialCache::from_spec(spec).unwrap();
             assert!(cache.is_enabled(), "spec {spec:?}");
             assert_eq!(cache.capacity(), DEFAULT_CACHE_CAPACITY, "spec {spec:?}");
         }
-        let sized = TrialCache::from_spec(Some("128"));
+        let sized = TrialCache::from_spec(Some("128")).unwrap();
         assert!(sized.is_enabled());
         assert_eq!(sized.capacity(), 128);
-        // Malformed values fall back to the enabled default, never abort.
-        let sloppy = TrialCache::from_spec(Some("plenty"));
-        assert!(sloppy.is_enabled());
-        assert_eq!(sloppy.capacity(), DEFAULT_CACHE_CAPACITY);
+    }
+
+    #[test]
+    fn from_spec_rejects_malformed_values_by_name() {
+        for bad in ["plenty", "65k", "-3", "1.5", "on off"] {
+            let err = TrialCache::from_spec(Some(bad))
+                .expect_err("malformed AUTOMODEL_CACHE must be rejected");
+            assert_eq!(err.var, "AUTOMODEL_CACHE");
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("AUTOMODEL_CACHE"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
+    }
+
+    #[test]
+    fn byte_ledger_is_exactly_the_sum_of_entry_sizes() {
+        let cache = TrialCache::new(2);
+        cache.insert("ab".into(), ok(0.0)); // 2 + 96
+        cache.insert(
+            "cdef".into(),
+            CachedTrial {
+                outcome: TrialOutcome::Panicked("boom".into()), // 4 + 4 + 96
+                attempts: 2,
+            },
+        );
+        assert_eq!(cache.stats().bytes, (2 + 96) + (4 + 4 + 96));
+        // Evicting "ab" must subtract exactly its insert-time size.
+        cache.insert("g".into(), ok(1.0)); // 1 + 96
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.bytes, (4 + 4 + 96) + (1 + 96));
     }
 
     #[test]
@@ -372,8 +541,76 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 1);
         assert_eq!(stats.evictions, 9);
-        assert!(stats.bytes >= ENTRY_OVERHEAD_BYTES);
-        assert!(stats.bytes < 2 * (ENTRY_OVERHEAD_BYTES + 16));
+        assert_eq!(stats.bytes, "key-9".len() as u64 + ENTRY_OVERHEAD_BYTES);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_in_fifo_order() {
+        let cache = TrialCache::new(8);
+        cache.insert("first".into(), ok(0.1));
+        cache.insert(
+            "second".into(),
+            CachedTrial {
+                outcome: TrialOutcome::Diverged("nan loss".into()),
+                attempts: 2,
+            },
+        );
+        cache.insert("third".into(), ok(0.3));
+        let snap = cache.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(
+            snap.entries
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            ["first", "second", "third"],
+            "snapshot must preserve FIFO order"
+        );
+
+        let warm = TrialCache::new(8);
+        assert_eq!(warm.restore(&snap), 3);
+        let stats = warm.stats();
+        assert_eq!(stats.restored, 3);
+        assert_eq!(stats.insertions, 0, "restore is not a live insertion");
+        assert_eq!(stats.bytes, cache.stats().bytes, "restore preserves sizes");
+        // Warm hits replay the exact memoized trial and count as warm.
+        let (trial, warm_flag) = warm.get_provenance("second").unwrap();
+        assert!(warm_flag);
+        assert_eq!(trial.outcome, TrialOutcome::Diverged("nan loss".into()));
+        assert_eq!(warm.stats().warm_hits, 1);
+        assert_eq!(warm.stats().hits, 1);
+        // Re-snapshotting the restored cache reproduces the original.
+        assert_eq!(warm.snapshot(), snap);
+    }
+
+    #[test]
+    fn restore_respects_capacity_and_existing_keys() {
+        let producer = TrialCache::new(8);
+        for i in 0..4 {
+            producer.insert(format!("k{i}"), ok(i as f64));
+        }
+        let snap = producer.snapshot();
+
+        // A smaller consumer evicts the oldest snapshot entries, exactly
+        // as the producing run would have at that capacity.
+        let small = TrialCache::new(2);
+        small.restore(&snap);
+        assert_eq!(small.len(), 2);
+        assert!(small.get("k0").is_none() && small.get("k1").is_none());
+        assert!(small.get("k2").is_some() && small.get("k3").is_some());
+
+        // A consumer that already holds a key keeps its own entry.
+        let occupied = TrialCache::new(8);
+        occupied.insert("k1".into(), ok(99.0));
+        assert_eq!(occupied.restore(&snap), 3);
+        let (trial, warm_flag) = occupied.get_provenance("k1").unwrap();
+        assert_eq!(trial, ok(99.0));
+        assert!(!warm_flag, "this run's own entry is not warm");
+
+        // Disabled caches restore nothing.
+        let off = TrialCache::disabled();
+        assert_eq!(off.restore(&snap), 0);
+        assert_eq!(off.snapshot(), CacheSnapshot::default());
     }
 
     #[test]
@@ -383,9 +620,12 @@ mod tests {
         a.get("x");
         let b = TrialCache::new(4);
         b.get("y");
+        b.restore(&a.snapshot());
+        b.get("x");
         let mut total = a.stats();
         total.absorb(&b.stats());
-        assert_eq!((total.hits, total.misses, total.insertions), (1, 1, 1));
+        assert_eq!((total.hits, total.misses, total.insertions), (2, 1, 1));
+        assert_eq!((total.warm_hits, total.restored), (1, 1));
         assert!(total.enabled);
     }
 

@@ -1,0 +1,90 @@
+//! The workspace's `AUTOMODEL_*` runtime knobs, parsed strictly.
+//!
+//! One rule for every reader: unset selects the documented default,
+//! malformed is a hard [`EnvError`] naming the variable and the offending
+//! value — a typo must stop the run, never silently reconfigure it. The
+//! individual readers live next to the types they build
+//! ([`TrialCache::from_env`], [`FaultPlan::from_env`],
+//! [`TrialPolicy::from_env`]); this module holds the shared variable
+//! names, the [`threads_from_env`] reader, and [`validate_env`], which
+//! run entry points (bench binaries, the CLI) call once at startup so a
+//! malformed variable fails fast with one clear message.
+//!
+//! [`TrialCache::from_env`]: crate::TrialCache::from_env
+//! [`FaultPlan::from_env`]: crate::FaultPlan::from_env
+//! [`TrialPolicy::from_env`]: crate::TrialPolicy::from_env
+
+use crate::cache::TrialCache;
+use crate::fault::FaultPlan;
+use automodel_trace::EnvError;
+
+/// Toggles and bounds the trial cache ([`TrialCache::from_env`]).
+pub const CACHE_ENV: &str = "AUTOMODEL_CACHE";
+
+/// Configures deterministic fault injection ([`FaultPlan::from_env`]).
+pub const FAULTS_ENV: &str = "AUTOMODEL_FAULTS";
+
+/// Overrides the worker thread count ([`threads_from_env`]).
+pub const THREADS_ENV: &str = "AUTOMODEL_THREADS";
+
+/// Read `AUTOMODEL_THREADS`: `None` when unset or empty (callers use
+/// their own default, usually the detected parallelism), `Some(n)` for a
+/// decimal `n ≥ 1`, and an [`EnvError`] for anything else — including
+/// `0`, which would deadlock a pool that needs at least one worker.
+pub fn threads_from_env() -> Result<Option<usize>, EnvError> {
+    let Ok(raw) = std::env::var(THREADS_ENV) else {
+        return Ok(None);
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(Some(n)),
+        _ => Err(EnvError::new(
+            THREADS_ENV,
+            raw,
+            "a decimal worker count >= 1",
+        )),
+    }
+}
+
+/// Parse every `AUTOMODEL_*` variable this crate owns, returning the
+/// first failure. Run entry points call this once before doing any work,
+/// so a malformed variable aborts with a message naming it instead of a
+/// library silently falling back to a default mid-run.
+pub fn validate_env() -> Result<(), EnvError> {
+    TrialCache::from_env()?;
+    FaultPlan::from_env()?;
+    threads_from_env()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Env mutation is process-global; one test owns the variable to keep
+    // the suite race-free under the default parallel test runner.
+    #[test]
+    fn threads_reader_is_strict() {
+        let run = |value: Option<&str>| {
+            match value {
+                Some(v) => std::env::set_var(THREADS_ENV, v),
+                None => std::env::remove_var(THREADS_ENV),
+            }
+            let out = threads_from_env();
+            std::env::remove_var(THREADS_ENV);
+            out
+        };
+        assert_eq!(run(None), Ok(None));
+        assert_eq!(run(Some("")), Ok(None));
+        assert_eq!(run(Some("4")), Ok(Some(4)));
+        assert_eq!(run(Some(" 8 ")), Ok(Some(8)));
+        for bad in ["0", "-1", "two", "4x"] {
+            let err = run(Some(bad)).expect_err("malformed thread count must be rejected");
+            assert_eq!(err.var, THREADS_ENV);
+            assert_eq!(err.value, bad);
+        }
+    }
+}

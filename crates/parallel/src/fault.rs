@@ -30,6 +30,7 @@
 //! byte-identical at 1, 2 or 8 workers.
 
 use crate::seed::seed_stream;
+use automodel_trace::EnvError;
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Duration;
@@ -240,17 +241,22 @@ impl FaultPlan {
 
     /// Parse the `AUTOMODEL_FAULTS` environment variable:
     /// `seed=3,panic=0.1,nan=0.1,delay=0.05`. Unknown keys and malformed
-    /// values are ignored (an injection drill must never abort the run it
-    /// is drilling); an unset or empty variable yields an empty plan.
-    pub fn from_env() -> FaultPlan {
-        match std::env::var("AUTOMODEL_FAULTS") {
+    /// values are an [`EnvError`] — a mistyped drill spec must stop the
+    /// run, not silently drill nothing; an unset or empty variable yields
+    /// an empty plan.
+    pub fn from_env() -> Result<FaultPlan, EnvError> {
+        match std::env::var(crate::env::FAULTS_ENV) {
             Ok(spec) => FaultPlan::parse(&spec),
-            Err(_) => FaultPlan::none(),
+            Err(_) => Ok(FaultPlan::none()),
         }
     }
 
     /// Parse a `key=value` comma list (the `AUTOMODEL_FAULTS` format).
-    pub fn parse(spec: &str) -> FaultPlan {
+    /// Keys are `seed` (u64), `panic`/`nan`/`delay` (rates in `[0, 1]`);
+    /// anything else — an unknown key, a bare word, a missing or
+    /// unparsable value — is an [`EnvError`] quoting the whole spec.
+    pub fn parse(spec: &str) -> Result<FaultPlan, EnvError> {
+        let bad = |expected: &'static str| EnvError::new(crate::env::FAULTS_ENV, spec, expected);
         let mut plan = FaultPlan::none();
         for part in spec.split(',') {
             let part = part.trim();
@@ -258,17 +264,27 @@ impl FaultPlan {
                 continue;
             }
             let Some((key, value)) = part.split_once('=') else {
-                continue;
+                return Err(bad("comma-separated key=value pairs"));
             };
-            match (key.trim(), value.trim()) {
-                ("seed", v) => plan.seed = v.parse().unwrap_or(0),
-                ("panic", v) => plan.panic_rate = v.parse().unwrap_or(0.0),
-                ("nan", v) => plan.nan_rate = v.parse().unwrap_or(0.0),
-                ("delay", v) => plan.delay_rate = v.parse().unwrap_or(0.0),
-                _ => {}
+            let value = value.trim();
+            let rate = |field: &'static str| {
+                value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| (0.0..=1.0).contains(r))
+                    .ok_or_else(|| bad(field))
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value.parse().map_err(|_| bad("seed=<u64>"))?;
+                }
+                "panic" => plan.panic_rate = rate("panic=<rate in [0,1]>")?,
+                "nan" => plan.nan_rate = rate("nan=<rate in [0,1]>")?,
+                "delay" => plan.delay_rate = rate("delay=<rate in [0,1]>")?,
+                _ => return Err(bad("keys seed, panic, nan, delay")),
             }
         }
-        plan
+        Ok(plan)
     }
 }
 
@@ -297,12 +313,23 @@ impl Default for TrialPolicy {
 
 impl TrialPolicy {
     /// The default policy carrying the [`FaultPlan`] from the
-    /// `AUTOMODEL_FAULTS` environment variable (empty when unset).
-    pub fn from_env() -> TrialPolicy {
-        TrialPolicy {
-            faults: FaultPlan::from_env(),
+    /// `AUTOMODEL_FAULTS` environment variable (empty when unset,
+    /// [`EnvError`] when malformed).
+    pub fn from_env() -> Result<TrialPolicy, EnvError> {
+        Ok(TrialPolicy {
+            faults: FaultPlan::from_env()?,
             ..TrialPolicy::default()
-        }
+        })
+    }
+
+    /// Like [`TrialPolicy::from_env`], but fail-closed: a malformed
+    /// `AUTOMODEL_FAULTS` spec yields the default policy (no injected
+    /// faults) instead of an error. For construction sites that cannot
+    /// return `Result`; strictness is still enforced at run entry points
+    /// via [`crate::env::validate_env`], which surfaces the same parse
+    /// failure before any of these fallbacks can fire.
+    pub fn from_env_or_default() -> TrialPolicy {
+        TrialPolicy::from_env().unwrap_or_default()
     }
 
     pub fn with_faults(mut self, faults: FaultPlan) -> TrialPolicy {
@@ -467,17 +494,35 @@ mod tests {
 
     #[test]
     fn parse_reads_the_env_format() {
-        let plan = FaultPlan::parse("seed=3, panic=0.1, nan=0.2, delay=0.05");
+        let plan = FaultPlan::parse("seed=3, panic=0.1, nan=0.2, delay=0.05").unwrap();
         assert_eq!(plan.seed, 3);
         assert_eq!(plan.panic_rate, 0.1);
         assert_eq!(plan.nan_rate, 0.2);
         assert_eq!(plan.delay_rate, 0.05);
-        // Malformed pieces are ignored, never fatal.
-        let plan = FaultPlan::parse("seed=x,bogus,panic=,=1,nan=0.5");
-        assert_eq!(plan.seed, 0);
-        assert_eq!(plan.panic_rate, 0.0);
-        assert_eq!(plan.nan_rate, 0.5);
-        assert!(FaultPlan::parse("").is_empty());
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+        assert!(FaultPlan::parse(" , ,").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs_by_name() {
+        for bad in [
+            "seed=x",            // unparsable seed
+            "bogus",             // bare word, no '='
+            "panic=",            // missing value
+            "=1",                // missing key
+            "typo=0.5",          // unknown key
+            "panic=2.0",         // rate out of range
+            "nan=-0.1",          // negative rate
+            "seed=3,panic=0.1x", // one bad piece poisons the spec
+        ] {
+            let err =
+                FaultPlan::parse(bad).expect_err("malformed AUTOMODEL_FAULTS must be rejected");
+            assert_eq!(err.var, "AUTOMODEL_FAULTS");
+            assert_eq!(err.value, bad);
+            let msg = err.to_string();
+            assert!(msg.contains("AUTOMODEL_FAULTS"), "{msg}");
+            assert!(msg.contains(bad), "{msg}");
+        }
     }
 
     #[test]

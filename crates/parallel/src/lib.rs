@@ -42,13 +42,15 @@
 mod budget;
 pub mod cache;
 mod clock;
+pub mod env;
 mod executor;
 pub mod fault;
 mod seed;
 
 pub use budget::{BudgetSpec, SharedBudget};
-pub use cache::{CacheStats, CachedTrial, TrialCache};
+pub use cache::{CacheSnapshot, CacheStats, CachedTrial, TrialCache};
 pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use env::{threads_from_env, validate_env};
 pub use executor::Executor;
 pub use fault::{
     contain, run_trial, FailureKind, FaultPlan, TrialFailure, TrialOutcome, TrialPolicy,

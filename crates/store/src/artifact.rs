@@ -1,0 +1,318 @@
+//! The typed content of a DMD artifact, mapped onto container sections.
+//!
+//! | tag    | payload |
+//! |--------|---------|
+//! | `ALGS` | registry algorithm names at training time, OneHot' order |
+//! | `MASK` | the Algorithm 2 key-feature mask, one byte per feature |
+//! | `STDZ` | the feature standardizer, JSON |
+//! | `SNAW` | the trained SNA regressor (weights), JSON |
+//! | `ARCH` | the winning Table II configuration, binary typed values |
+//! | `CREL` | `(instance, algorithm)` CRelations provenance pairs |
+//! | `TCHS` | the trial-cache snapshot, FIFO order |
+//!
+//! `ARCH` floats are stored as [`canonical_f64_bits`] — the same
+//! canonicalization the trial cache's fingerprints use, so an
+//! architecture read back from disk fingerprints identically to the one
+//! that was written. `TCHS` scores are stored as *raw* `f64` bits: a
+//! replayed cached score must be bit-exact (the warm-start identity
+//! contract diffs trial histories by bits, and canonicalizing `-0.0`
+//! would change them).
+//!
+//! JSON sections (`STDZ`, `SNAW`) are digest-protected byte-for-byte
+//! like every other section; their float *text* is serde_json's, which
+//! round-trips within one ulp — fine for serving scores, which is all
+//! the weights are used for.
+
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::StoreError;
+use crate::format::{StoreReader, StoreWriter};
+use automodel_data::encoding::VecStandardizer;
+use automodel_hpo::{Config, ParamValue};
+use automodel_nn::MlpRegressor;
+use automodel_parallel::{CacheSnapshot, CachedTrial, TrialOutcome};
+use automodel_trace::canonical_f64_bits;
+use std::path::Path;
+
+pub const TAG_ALGORITHMS: [u8; 4] = *b"ALGS";
+pub const TAG_MASK: [u8; 4] = *b"MASK";
+pub const TAG_STANDARDIZER: [u8; 4] = *b"STDZ";
+pub const TAG_SNA_WEIGHTS: [u8; 4] = *b"SNAW";
+pub const TAG_ARCHITECTURE: [u8; 4] = *b"ARCH";
+pub const TAG_CRELATIONS: [u8; 4] = *b"CREL";
+pub const TAG_TRIAL_CACHE: [u8; 4] = *b"TCHS";
+
+/// Everything a deployment needs to serve a trained DMD — plus the
+/// trial-cache snapshot that lets a rebuild warm-start its meta search.
+#[derive(Debug, Clone)]
+pub struct StoreArtifact {
+    /// Registry algorithm names at training time, in OneHot' order.
+    pub algorithms: Vec<String>,
+    /// The Algorithm 2 key-feature mask.
+    pub key_features: Vec<bool>,
+    /// The feature standardizer fitted on the training CRelations.
+    pub standardizer: VecStandardizer,
+    /// The trained SNA regressor.
+    pub sna: MlpRegressor,
+    /// The winning Table II architecture.
+    pub architecture: Config,
+    /// `(instance, algorithm)` provenance of the training knowledge.
+    pub crelations: Vec<(String, String)>,
+    /// Trial-cache snapshot taken after training (warm-start seed).
+    pub cache: CacheSnapshot,
+}
+
+fn encode_strings(items: impl ExactSizeIterator<Item = impl AsRef<str>>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(items.len() as u64);
+    for s in items {
+        w.put_str(s.as_ref());
+    }
+    w.into_bytes()
+}
+
+fn encode_mask(mask: &[bool]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(mask.len() as u64);
+    for &b in mask {
+        w.put_u8(u8::from(b));
+    }
+    w.into_bytes()
+}
+
+fn encode_config(config: &Config) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(config.len() as u64);
+    for (name, value) in config.iter() {
+        w.put_str(name);
+        match value {
+            ParamValue::Int(i) => {
+                w.put_u8(0);
+                w.put_i64(*i);
+            }
+            ParamValue::Float(x) => {
+                w.put_u8(1);
+                w.put_u64(canonical_f64_bits(*x));
+            }
+            ParamValue::Cat(c) => {
+                w.put_u8(2);
+                w.put_u64(*c as u64);
+            }
+            ParamValue::Bool(b) => {
+                w.put_u8(3);
+                w.put_u8(u8::from(*b));
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+fn encode_crelations(pairs: &[(String, String)]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(pairs.len() as u64);
+    for (instance, algorithm) in pairs {
+        w.put_str(instance);
+        w.put_str(algorithm);
+    }
+    w.into_bytes()
+}
+
+fn encode_cache(snapshot: &CacheSnapshot) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(snapshot.entries.len() as u64);
+    for (key, trial) in &snapshot.entries {
+        w.put_str(key);
+        w.put_u64(trial.attempts as u64);
+        match &trial.outcome {
+            TrialOutcome::Ok(score) => {
+                w.put_u8(0);
+                // Raw bits: a replayed score must be bit-exact, so -0.0
+                // and any other representable value survive unchanged.
+                w.put_u64(score.to_bits());
+            }
+            TrialOutcome::Panicked(msg) => {
+                w.put_u8(1);
+                w.put_str(msg);
+            }
+            TrialOutcome::Diverged(msg) => {
+                w.put_u8(2);
+                w.put_str(msg);
+            }
+            TrialOutcome::NonFinite => w.put_u8(3),
+            TrialOutcome::TimedOut => w.put_u8(4),
+        }
+    }
+    w.into_bytes()
+}
+
+fn decode_strings(bytes: &[u8], what: &'static str) -> Result<Vec<String>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len(what)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.get_str(what)?);
+    }
+    r.expect_end(what)?;
+    Ok(out)
+}
+
+fn decode_mask(bytes: &[u8]) -> Result<Vec<bool>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len("feature mask")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match r.get_u8("feature mask")? {
+            0 => out.push(false),
+            1 => out.push(true),
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "feature mask: flag byte {other}"
+                )))
+            }
+        }
+    }
+    r.expect_end("feature mask")?;
+    Ok(out)
+}
+
+fn decode_config(bytes: &[u8]) -> Result<Config, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len("architecture")?;
+    let mut config = Config::new();
+    for _ in 0..n {
+        let name = r.get_str("architecture param name")?;
+        let value = match r.get_u8("architecture type tag")? {
+            0 => ParamValue::Int(r.get_i64("architecture int")?),
+            1 => ParamValue::Float(f64::from_bits(r.get_u64("architecture float")?)),
+            2 => ParamValue::Cat(r.get_u64("architecture cat")? as usize),
+            3 => match r.get_u8("architecture bool")? {
+                0 => ParamValue::Bool(false),
+                1 => ParamValue::Bool(true),
+                other => {
+                    return Err(StoreError::Malformed(format!(
+                        "architecture: bool byte {other}"
+                    )))
+                }
+            },
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "architecture: type tag {other}"
+                )))
+            }
+        };
+        config.set(name, value);
+    }
+    r.expect_end("architecture")?;
+    Ok(config)
+}
+
+fn decode_crelations(bytes: &[u8]) -> Result<Vec<(String, String)>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len("crelations")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let instance = r.get_str("crelations instance")?;
+        let algorithm = r.get_str("crelations algorithm")?;
+        out.push((instance, algorithm));
+    }
+    r.expect_end("crelations")?;
+    Ok(out)
+}
+
+/// Encode a cache snapshot as `TCHS` payload bytes. Public so harnesses
+/// (e.g. `exp_warmstart`) can persist a snapshot standalone without a
+/// full trained artifact.
+pub fn encode_cache_snapshot(snapshot: &CacheSnapshot) -> Vec<u8> {
+    encode_cache(snapshot)
+}
+
+/// Decode `TCHS` payload bytes back into a cache snapshot.
+pub fn decode_cache_snapshot(bytes: &[u8]) -> Result<CacheSnapshot, StoreError> {
+    decode_cache(bytes)
+}
+
+fn decode_cache(bytes: &[u8]) -> Result<CacheSnapshot, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len("trial cache")?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.get_str("trial cache key")?;
+        let attempts = r.get_u64("trial cache attempts")? as usize;
+        let outcome = match r.get_u8("trial cache outcome tag")? {
+            0 => TrialOutcome::Ok(f64::from_bits(r.get_u64("trial cache score")?)),
+            1 => TrialOutcome::Panicked(r.get_str("trial cache message")?),
+            2 => TrialOutcome::Diverged(r.get_str("trial cache message")?),
+            3 => TrialOutcome::NonFinite,
+            4 => TrialOutcome::TimedOut,
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "trial cache: outcome tag {other}"
+                )))
+            }
+        };
+        entries.push((key, CachedTrial { outcome, attempts }));
+    }
+    r.expect_end("trial cache")?;
+    Ok(CacheSnapshot { entries })
+}
+
+impl StoreArtifact {
+    /// Serialize into the container format.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let mut w = StoreWriter::new();
+        w.section(TAG_ALGORITHMS, encode_strings(self.algorithms.iter()))?;
+        w.section(TAG_MASK, encode_mask(&self.key_features))?;
+        let stdz = serde_json::to_string(&self.standardizer)
+            .map_err(|e| StoreError::Json(e.to_string()))?;
+        w.section(TAG_STANDARDIZER, stdz.into_bytes())?;
+        let sna = serde_json::to_string(&self.sna).map_err(|e| StoreError::Json(e.to_string()))?;
+        w.section(TAG_SNA_WEIGHTS, sna.into_bytes())?;
+        w.section(TAG_ARCHITECTURE, encode_config(&self.architecture))?;
+        w.section(TAG_CRELATIONS, encode_crelations(&self.crelations))?;
+        w.section(TAG_TRIAL_CACHE, encode_cache(&self.cache))?;
+        Ok(w.finish())
+    }
+
+    /// Write to `path`.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        Ok(std::fs::write(path, self.to_bytes()?)?)
+    }
+
+    /// Decode from a verified [`StoreReader`] (each section is
+    /// digest-checked as it is pulled).
+    pub fn from_reader(reader: &StoreReader) -> Result<StoreArtifact, StoreError> {
+        let algorithms = decode_strings(reader.section(TAG_ALGORITHMS)?, "algorithms")?;
+        let key_features = decode_mask(reader.section(TAG_MASK)?)?;
+        let stdz_bytes = reader.section(TAG_STANDARDIZER)?;
+        let stdz_text = std::str::from_utf8(stdz_bytes)
+            .map_err(|_| StoreError::Malformed("standardizer: invalid utf-8".into()))?;
+        let standardizer: VecStandardizer =
+            serde_json::from_str(stdz_text).map_err(|e| StoreError::Json(e.to_string()))?;
+        let sna_bytes = reader.section(TAG_SNA_WEIGHTS)?;
+        let sna_text = std::str::from_utf8(sna_bytes)
+            .map_err(|_| StoreError::Malformed("sna weights: invalid utf-8".into()))?;
+        let sna: MlpRegressor =
+            serde_json::from_str(sna_text).map_err(|e| StoreError::Json(e.to_string()))?;
+        let architecture = decode_config(reader.section(TAG_ARCHITECTURE)?)?;
+        let crelations = decode_crelations(reader.section(TAG_CRELATIONS)?)?;
+        let cache = decode_cache(reader.section(TAG_TRIAL_CACHE)?)?;
+        Ok(StoreArtifact {
+            algorithms,
+            key_features,
+            standardizer,
+            sna,
+            architecture,
+            crelations,
+            cache,
+        })
+    }
+
+    /// Decode from raw bytes (header + all used sections verified).
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<StoreArtifact, StoreError> {
+        StoreArtifact::from_reader(&StoreReader::open_bytes(bytes)?)
+    }
+
+    /// Read and decode the artifact at `path`.
+    pub fn load(path: &Path) -> Result<StoreArtifact, StoreError> {
+        StoreArtifact::from_bytes(std::fs::read(path)?)
+    }
+}

@@ -1,0 +1,234 @@
+//! Byte-level primitives of the artifact format.
+//!
+//! Everything in an artifact reduces to four shapes, all little-endian:
+//! fixed-width integers, length-prefixed UTF-8 strings, raw byte runs,
+//! and FNV-1a 64 digests over byte runs. The writer is infallible (it
+//! appends to a growable buffer); the reader returns
+//! [`StoreError::Truncated`] or [`StoreError::Malformed`] instead of ever
+//! indexing out of bounds — hostile bytes must produce errors, not
+//! panics.
+
+use crate::error::StoreError;
+
+/// FNV-1a 64-bit over a byte run — tiny, stable, dependency-free; the
+/// same construction the workspace diagnostics use. Artifact digests are
+/// integrity checks against truncation and bit rot, not authentication.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Append-only encoder over a `Vec<u8>`.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub fn new() -> ByteWriter {
+        ByteWriter::default()
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// `u64` length prefix + UTF-8 bytes.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over a byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub fn new(bytes: &'a [u8]) -> ByteReader<'a> {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Every payload decoder ends with this: leftover bytes mean the
+    /// declared counts did not cover the section, i.e. corruption the
+    /// digest could not catch (it was computed over the same bad bytes).
+    pub fn expect_end(&self, what: &'static str) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::Malformed(format!(
+                "{what}: {} trailing byte(s)",
+                self.remaining()
+            )))
+        }
+    }
+
+    pub fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], StoreError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(StoreError::Truncated(what))?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self, what: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub fn get_u32(&mut self, what: &'static str) -> Result<u32, StoreError> {
+        let b = self.take(4, what)?;
+        // lint:allow(no-panic-lib): take(4) returned exactly 4 bytes
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub fn get_u64(&mut self, what: &'static str) -> Result<u64, StoreError> {
+        let b = self.take(8, what)?;
+        // lint:allow(no-panic-lib): take(8) returned exactly 8 bytes
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub fn get_i64(&mut self, what: &'static str) -> Result<i64, StoreError> {
+        let b = self.take(8, what)?;
+        // lint:allow(no-panic-lib): take(8) returned exactly 8 bytes
+        Ok(i64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    /// A length the payload must actually contain. Guards the "4 GiB
+    /// count in a 40-byte file" class of hostile input before any
+    /// allocation sized by it.
+    pub fn get_len(&mut self, what: &'static str) -> Result<usize, StoreError> {
+        let n = self.get_u64(what)?;
+        if n > self.remaining() as u64 {
+            return Err(StoreError::Truncated(what));
+        }
+        Ok(n as usize)
+    }
+
+    pub fn get_str(&mut self, what: &'static str) -> Result<String, StoreError> {
+        let n = self.get_len(what)?;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::Malformed(format!("{what}: invalid utf-8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_str("héllo");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8("a").unwrap(), 7);
+        assert_eq!(r.get_u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.get_u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64("d").unwrap(), -42);
+        assert_eq!(r.get_str("e").unwrap(), "héllo");
+        assert!(r.expect_end("buffer").is_ok());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_u64(9); // declares 9 bytes of string that never follow
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_str("s").unwrap_err(), StoreError::Truncated("s"));
+
+        let mut r = ByteReader::new(&[1, 2]);
+        assert!(matches!(
+            r.get_u32("int"),
+            Err(StoreError::Truncated("int"))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX); // a length no file could hold
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(
+            r.get_len("len"),
+            Err(StoreError::Truncated("len"))
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_malformed() {
+        let mut w = ByteWriter::new();
+        w.put_u64(2);
+        w.put_bytes(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_str("s"), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn trailing_bytes_are_malformed() {
+        let mut r = ByteReader::new(&[0u8; 3]);
+        let _ = r.get_u8("x").unwrap();
+        assert!(matches!(
+            r.expect_end("payload"),
+            Err(StoreError::Malformed(_))
+        ));
+    }
+}

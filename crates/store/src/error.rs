@@ -1,0 +1,110 @@
+//! Typed failures of the artifact store.
+//!
+//! Every way a persisted artifact can be wrong — truncated file, flipped
+//! digest bit, unknown format version, garbage payload — maps to a
+//! distinct [`StoreError`] variant. The reader never panics on hostile
+//! bytes: corruption is a value, not a crash.
+
+use std::fmt;
+
+/// A persisted artifact could not be written, read, or verified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An OS-level read/write failure (the `io::ErrorKind` plus message;
+    /// `io::Error` itself is neither `Clone` nor `PartialEq`).
+    Io(String),
+    /// The file does not start with the `AMSTORE\0` magic — not an
+    /// artifact at all.
+    BadMagic,
+    /// The artifact declares a format version this build cannot decode.
+    UnsupportedVersion(u32),
+    /// The file ends before the named structure is complete.
+    Truncated(&'static str),
+    /// The header digest does not match the header bytes: the section
+    /// table itself cannot be trusted.
+    HeaderDigest,
+    /// A section's payload digest does not match its stored bytes.
+    SectionDigest([u8; 4]),
+    /// A section the decoder requires is absent from the table.
+    MissingSection([u8; 4]),
+    /// The same section tag appears twice in the table.
+    DuplicateSection([u8; 4]),
+    /// A digest-valid payload failed structural decoding (bad UTF-8, an
+    /// unknown type tag, an impossible length).
+    Malformed(String),
+    /// A JSON-encoded section failed to parse back into its type.
+    Json(String),
+}
+
+/// Render a section tag: ASCII where possible, hex otherwise.
+fn tag_str(tag: &[u8; 4]) -> String {
+    if tag.iter().all(|b| b.is_ascii_graphic()) {
+        tag.iter().map(|&b| b as char).collect()
+    } else {
+        format!("{:02x}{:02x}{:02x}{:02x}", tag[0], tag[1], tag[2], tag[3])
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "artifact i/o: {e}"),
+            StoreError::BadMagic => write!(f, "not an AMSTORE artifact (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported artifact format version {v}")
+            }
+            StoreError::Truncated(what) => write!(f, "artifact truncated reading {what}"),
+            StoreError::HeaderDigest => write!(f, "artifact header digest mismatch"),
+            StoreError::SectionDigest(tag) => {
+                write!(f, "section '{}' digest mismatch", tag_str(tag))
+            }
+            StoreError::MissingSection(tag) => {
+                write!(f, "required section '{}' missing", tag_str(tag))
+            }
+            StoreError::DuplicateSection(tag) => {
+                write!(f, "section '{}' appears twice", tag_str(tag))
+            }
+            StoreError::Malformed(what) => write!(f, "malformed artifact payload: {what}"),
+            StoreError::Json(e) => write!(f, "artifact json payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(format!("{} ({:?})", e, e.kind()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure_site() {
+        let cases: Vec<(StoreError, &str)> = vec![
+            (StoreError::Io("denied".into()), "denied"),
+            (StoreError::BadMagic, "magic"),
+            (StoreError::UnsupportedVersion(9), "version 9"),
+            (StoreError::Truncated("section table"), "section table"),
+            (StoreError::HeaderDigest, "header digest"),
+            (StoreError::SectionDigest(*b"SNAW"), "'SNAW'"),
+            (StoreError::MissingSection(*b"ARCH"), "'ARCH'"),
+            (StoreError::DuplicateSection(*b"MASK"), "'MASK'"),
+            (StoreError::Malformed("bad tag".into()), "bad tag"),
+            (StoreError::Json("eof".into()), "eof"),
+        ];
+        for (err, needle) in cases {
+            let text = err.to_string();
+            assert!(text.contains(needle), "{text:?} missing {needle:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_tags_render_as_hex() {
+        let err = StoreError::MissingSection([0x00, 0xff, 0x41, 0x42]);
+        assert!(err.to_string().contains("00ff4142"), "{err}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # automodel-store
+//!
+//! Versioned, integrity-hashed, seekable on-disk persistence for trained
+//! Auto-Model decision models — and the trial-cache snapshots that let a
+//! rebuild *warm-start* its meta search.
+//!
+//! Training DMD (Algorithms 2–4) is the expensive offline phase. This
+//! crate makes its outputs durable: one artifact file holds the trained
+//! SNA weights, the selected key-feature mask, the winning Table II
+//! architecture, the CRelations provenance, and a snapshot of the trial
+//! cache accumulated during the meta searches. `dmd build` writes it;
+//! `dmd load` verifies and serves from it; a warm-started rebuild
+//! restores the cache snapshot so every trial a prior run already paid
+//! for replays as a warm hit — with a trial history byte-identical to
+//! the cold run at any thread count.
+//!
+//! Layers, bottom up:
+//!
+//! * [`codec`] — little-endian primitives, length-prefixed strings, and
+//!   the FNV-1a 64 digest; the reader side is bounds-checked and returns
+//!   typed errors instead of ever panicking on hostile bytes.
+//! * [`format`] — the container: `AMSTORE\0` magic, format version,
+//!   section table (tag/offset/length/digest per section), header
+//!   digest, packed payloads. Seekable by design; verified on open.
+//! * [`artifact`] — the typed content ([`StoreArtifact`]) mapped onto
+//!   sections, with canonical float bits for the architecture (matching
+//!   the cache-fingerprint canonicalization) and raw float bits for
+//!   cached scores (bit-exact replay).
+//!
+//! This crate is the workspace's **only** legal artifact-persistence
+//! site (lint L14 `no-adhoc-persistence`): every other crate goes
+//! through [`StoreArtifact::save`]/[`StoreArtifact::load`] instead of
+//! scattering `fs::write` calls and ad-hoc formats.
+
+pub mod artifact;
+pub mod codec;
+pub mod error;
+pub mod format;
+
+pub use artifact::{
+    StoreArtifact, TAG_ALGORITHMS, TAG_ARCHITECTURE, TAG_CRELATIONS, TAG_MASK, TAG_SNA_WEIGHTS,
+    TAG_STANDARDIZER, TAG_TRIAL_CACHE,
+};
+pub use error::StoreError;
+pub use format::{StoreReader, StoreWriter, FORMAT_VERSION, MAGIC};

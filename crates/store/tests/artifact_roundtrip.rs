@@ -1,0 +1,304 @@
+//! Full-artifact round-trip and corruption tests: a realistic
+//! [`StoreArtifact`] — trained MLP weights, fitted standardizer, mixed
+//! typed architecture, failure-carrying cache snapshot — must survive
+//! encode → decode bit-for-bit, and every way of damaging the bytes must
+//! come back as a typed [`StoreError`], never a panic. The in-crate
+//! `format` tests cover the container with toy payloads; these cover the
+//! typed layer with real content.
+
+use automodel_data::encoding::VecStandardizer;
+use automodel_hpo::{Config, ParamValue};
+use automodel_nn::{MlpConfig, MlpRegressor};
+use automodel_parallel::{CacheSnapshot, CachedTrial, TrialOutcome};
+use automodel_store::{StoreArtifact, StoreError, StoreReader, FORMAT_VERSION};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small but real artifact: the MLP is actually trained (non-trivial
+/// weights), the standardizer actually fitted, and the cache snapshot
+/// carries every [`TrialOutcome`] variant plus awkward float values.
+fn realistic_artifact(seed: u64) -> StoreArtifact {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xs: Vec<Vec<f64>> = (0..40)
+        .map(|_| (0..3).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let ys: Vec<Vec<f64>> = xs.iter().map(|x| vec![(x[0] - x[2]).tanh()]).collect();
+    let mut sna = MlpRegressor::new(MlpConfig {
+        hidden_layers: 1,
+        hidden_size: 4,
+        max_iter: 10,
+        seed: seed.wrapping_add(7),
+        ..MlpConfig::default()
+    });
+    sna.fit(&xs, &ys);
+
+    let mut architecture = Config::new();
+    architecture.set("hidden_layers".to_string(), ParamValue::Int(2));
+    architecture.set("hidden_size".to_string(), ParamValue::Cat(1));
+    architecture.set("momentum".to_string(), ParamValue::Float(0.9));
+    architecture.set("nesterov".to_string(), ParamValue::Bool(true));
+
+    let cache = CacheSnapshot {
+        entries: vec![
+            (
+                "a=1;b=relu".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::Ok(-0.0),
+                    attempts: 1,
+                },
+            ),
+            (
+                "a=2;b=tanh".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::Ok(f64::MIN_POSITIVE),
+                    attempts: 1,
+                },
+            ),
+            (
+                "a=3;b=識別".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::Panicked("boom \u{0} bytes".to_string()),
+                    attempts: 3,
+                },
+            ),
+            (
+                "a=4".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::Diverged("nan loss".to_string()),
+                    attempts: 2,
+                },
+            ),
+            (
+                "a=5".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::NonFinite,
+                    attempts: 1,
+                },
+            ),
+            (
+                "a=6".to_string(),
+                CachedTrial {
+                    outcome: TrialOutcome::TimedOut,
+                    attempts: 4,
+                },
+            ),
+        ],
+    };
+
+    StoreArtifact {
+        algorithms: vec![
+            "J48".to_string(),
+            "NaiveBayes".to_string(),
+            "RandomForest".to_string(),
+        ],
+        key_features: (0..23).map(|i| i % 3 != 0).collect(),
+        standardizer: VecStandardizer::fit(&xs),
+        sna,
+        architecture,
+        crelations: vec![
+            ("wine".to_string(), "J48".to_string()),
+            ("iris-拡張".to_string(), "NaiveBayes".to_string()),
+        ],
+        cache,
+    }
+}
+
+fn assert_artifacts_equal(a: &StoreArtifact, b: &StoreArtifact) {
+    assert_eq!(a.algorithms, b.algorithms);
+    assert_eq!(a.key_features, b.key_features);
+    assert_eq!(a.crelations, b.crelations);
+    assert_eq!(a.cache, b.cache, "cache snapshot must be bit-exact");
+    // Config equality must hold down to float bits (−0.0 ≠ 0.0 here is
+    // fine as long as the round trip preserves what was written).
+    assert_eq!(
+        format!("{:?}", a.architecture),
+        format!("{:?}", b.architecture)
+    );
+    // Weights travel as JSON; the decoded regressor must predict
+    // identically to within JSON float-text round-off (≤ 1 ulp).
+    let probe: Vec<f64> = vec![0.3, -0.4, 0.1];
+    for (ya, yb) in a.sna.predict(&probe).iter().zip(b.sna.predict(&probe)) {
+        assert!((ya - yb).abs() < 1e-12, "{ya} vs {yb}");
+    }
+    let ta = a.standardizer.transform(&probe);
+    let tb = b.standardizer.transform(&probe);
+    for (va, vb) in ta.iter().zip(&tb) {
+        assert!((va - vb).abs() < 1e-12, "{va} vs {vb}");
+    }
+}
+
+#[test]
+fn realistic_artifacts_round_trip_for_several_seeds() {
+    for seed in [3u64, 17, 4051] {
+        let artifact = realistic_artifact(seed);
+        let bytes = artifact.to_bytes().expect("encodes");
+        let restored = StoreArtifact::from_bytes(bytes).expect("decodes");
+        assert_artifacts_equal(&artifact, &restored);
+    }
+}
+
+/// `ARCH` floats travel as canonical bits — the same canonicalization
+/// the cache fingerprints use — so `-0.0` reads back as `0.0` and the
+/// restored architecture fingerprints identically to the written one.
+/// (`TCHS` scores, by contrast, travel raw: the round-trip tests above
+/// include an `Ok(-0.0)` cache entry that must survive bit-exact.)
+#[test]
+fn architecture_floats_are_canonicalized_on_write() {
+    let mut artifact = realistic_artifact(13);
+    artifact
+        .architecture
+        .set("zero".to_string(), ParamValue::Float(-0.0));
+    let restored =
+        StoreArtifact::from_bytes(artifact.to_bytes().expect("encodes")).expect("decodes");
+    let rendered = format!("{:?}", restored.architecture);
+    assert!(
+        rendered.contains("\"zero\": Float(0.0)") && !rendered.contains("-0.0"),
+        "ARCH must store canonical float bits: {rendered}"
+    );
+}
+
+#[test]
+fn encoding_is_deterministic() {
+    let a = realistic_artifact(11).to_bytes().expect("encodes");
+    let b = realistic_artifact(11).to_bytes().expect("encodes");
+    assert_eq!(a, b, "same artifact must serialize to the same bytes");
+}
+
+#[test]
+fn save_load_round_trips_through_a_file() {
+    let artifact = realistic_artifact(29);
+    let path = std::env::temp_dir().join(format!("amstore_rt_{}.store", std::process::id()));
+    artifact.save(&path).expect("saves");
+    let restored = StoreArtifact::load(&path).expect("loads");
+    let _ = std::fs::remove_file(&path);
+    assert_artifacts_equal(&artifact, &restored);
+}
+
+#[test]
+fn every_truncation_of_a_real_artifact_is_a_typed_error() {
+    let bytes = realistic_artifact(5).to_bytes().expect("encodes");
+    for len in 0..bytes.len() {
+        let result = StoreArtifact::from_bytes(bytes[..len].to_vec());
+        assert!(
+            result.is_err(),
+            "prefix of {len}/{} bytes decoded successfully",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_bit_flip_of_a_real_artifact_is_a_typed_error() {
+    let bytes = realistic_artifact(5).to_bytes().expect("encodes");
+    // One flipped bit per byte position: either a digest catches it or a
+    // typed decode error does — an `Ok` would mean silent corruption.
+    for i in 0..bytes.len() {
+        let mut damaged = bytes.clone();
+        damaged[i] ^= 0x01;
+        let result = StoreArtifact::from_bytes(damaged);
+        assert!(result.is_err(), "flipping byte {i} went undetected");
+    }
+}
+
+#[test]
+fn wrong_version_and_magic_fail_with_the_specific_variant() {
+    let bytes = realistic_artifact(5).to_bytes().expect("encodes");
+
+    let mut wrong_magic = bytes.clone();
+    wrong_magic[0] = b'X';
+    assert!(matches!(
+        StoreArtifact::from_bytes(wrong_magic),
+        Err(StoreError::BadMagic)
+    ));
+
+    let mut wrong_version = bytes;
+    let future = (FORMAT_VERSION + 1).to_le_bytes();
+    wrong_version[8..12].copy_from_slice(&future);
+    assert!(matches!(
+        StoreArtifact::from_bytes(wrong_version),
+        Err(StoreError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+    ));
+}
+
+#[test]
+fn missing_section_reports_its_tag() {
+    // A valid container that simply lacks the SNAW section: the typed
+    // layer must name the missing tag rather than index out of bounds.
+    let artifact = realistic_artifact(5);
+    let mut writer = automodel_store::StoreWriter::new();
+    writer
+        .section(
+            automodel_store::TAG_TRIAL_CACHE,
+            automodel_store::artifact::encode_cache_snapshot(&artifact.cache),
+        )
+        .expect("fresh writer accepts the tag");
+    let bytes = writer.finish();
+    let reader = StoreReader::open_bytes(bytes).expect("container itself is valid");
+    let err = StoreArtifact::from_reader(&reader).expect_err("artifact is incomplete");
+    assert!(
+        matches!(err, StoreError::MissingSection(tag) if tag == automodel_store::TAG_ALGORITHMS)
+    );
+}
+
+#[test]
+fn garbage_inside_a_digest_valid_section_is_a_typed_error() {
+    // Corruption *before* hashing: the digests all verify, so the typed
+    // decoders are the last line of defense and must error, not panic.
+    let artifact = realistic_artifact(5);
+    let mut writer = automodel_store::StoreWriter::new();
+    writer
+        .section(automodel_store::TAG_ALGORITHMS, vec![0xFF; 12])
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(automodel_store::TAG_MASK, b"not a mask".to_vec())
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(automodel_store::TAG_STANDARDIZER, b"{broken json".to_vec())
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(automodel_store::TAG_SNA_WEIGHTS, vec![0xC0, 0xAF])
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(automodel_store::TAG_ARCHITECTURE, vec![9; 30])
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(automodel_store::TAG_CRELATIONS, vec![1])
+        .expect("fresh writer accepts the tag");
+    writer
+        .section(
+            automodel_store::TAG_TRIAL_CACHE,
+            automodel_store::artifact::encode_cache_snapshot(&artifact.cache),
+        )
+        .expect("fresh writer accepts the tag");
+    let bytes = writer.finish();
+    let reader = StoreReader::open_bytes(bytes).expect("digests are internally consistent");
+    assert!(reader.verify_all().is_ok(), "payloads were hashed as-is");
+    assert!(
+        StoreArtifact::from_reader(&reader).is_err(),
+        "garbage payloads must fail typed decoding"
+    );
+}
+
+#[test]
+fn oversized_length_prefixes_do_not_allocate() {
+    // A TCHS section claiming u64::MAX entries: the length guard must
+    // reject it before `Vec::with_capacity` can be asked for it.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&u64::MAX.to_le_bytes());
+    let mut writer = automodel_store::StoreWriter::new();
+    writer
+        .section(automodel_store::TAG_TRIAL_CACHE, payload)
+        .expect("fresh writer accepts the tag");
+    let bytes = writer.finish();
+    let reader = StoreReader::open_bytes(bytes).expect("container is valid");
+    let err = automodel_store::artifact::decode_cache_snapshot(
+        reader
+            .section(automodel_store::TAG_TRIAL_CACHE)
+            .expect("section present"),
+    )
+    .expect_err("absurd count must be rejected");
+    assert!(
+        matches!(err, StoreError::Truncated(_) | StoreError::Malformed(_)),
+        "unexpected variant: {err:?}"
+    );
+}

@@ -143,7 +143,9 @@ pub fn encode_line(record: &TraceRecord) -> String {
             field_n(&mut buf, "attempts", *attempts);
             field_s(&mut buf, "status", status);
         }
-        TraceEvent::CacheHit { trial } | TraceEvent::CacheMiss { trial } => {
+        TraceEvent::CacheHit { trial }
+        | TraceEvent::CacheMiss { trial }
+        | TraceEvent::WarmHit { trial } => {
             field_n(&mut buf, "trial", *trial);
         }
         TraceEvent::Fault {
@@ -169,6 +171,15 @@ pub fn encode_line(record: &TraceRecord) -> String {
         TraceEvent::BudgetExhausted { evals, reason } => {
             field_n(&mut buf, "evals", *evals);
             field_s(&mut buf, "reason", reason);
+        }
+        TraceEvent::ArtifactLoad {
+            path,
+            sections,
+            bytes,
+        } => {
+            field_s(&mut buf, "path", path);
+            field_n(&mut buf, "sections", *sections);
+            field_n(&mut buf, "bytes", *bytes);
         }
     }
     buf.push('}');
@@ -443,6 +454,9 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "cache_miss" => TraceEvent::CacheMiss {
             trial: f.take_n("trial")?,
         },
+        "warm_hit" => TraceEvent::WarmHit {
+            trial: f.take_n("trial")?,
+        },
         "fault" => TraceEvent::Fault {
             trial: f.take_n("trial")?,
             attempt: f.take_n("attempt")?,
@@ -463,6 +477,11 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
         "budget" => TraceEvent::BudgetExhausted {
             evals: f.take_n("evals")?,
             reason: f.take_s("reason")?,
+        },
+        "artifact_load" => TraceEvent::ArtifactLoad {
+            path: f.take_s("path")?,
+            sections: f.take_n("sections")?,
+            bytes: f.take_n("bytes")?,
         },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
@@ -550,6 +569,7 @@ mod tests {
             },
             TraceEvent::CacheHit { trial: 4 },
             TraceEvent::CacheMiss { trial: 5 },
+            TraceEvent::WarmHit { trial: 6 },
             TraceEvent::Fault {
                 trial: 3,
                 attempt: 0,
@@ -568,6 +588,11 @@ mod tests {
             TraceEvent::BudgetExhausted {
                 evals: 120,
                 reason: "evals".into(),
+            },
+            TraceEvent::ArtifactLoad {
+                path: "dmd.store".into(),
+                sections: 7,
+                bytes: 40_960,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

@@ -1,0 +1,60 @@
+//! Strict environment-variable parsing support.
+//!
+//! Every `AUTOMODEL_*` reader in the workspace follows one rule: an unset
+//! variable selects the documented default, but a *malformed* value is a
+//! hard error naming the variable and the offending text — never a silent
+//! fallback. A typo like `AUTOMODEL_CACHE=65k` must stop the run, not
+//! quietly run with a default-capacity cache. [`EnvError`] is the shared
+//! error type for that contract; it lives here because `automodel-trace`
+//! sits at the bottom of the dependency graph, so every crate with an
+//! env reader can use it.
+
+use std::fmt;
+
+/// A malformed environment variable: which variable, what it held, and
+/// the grammar it was expected to follow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable name, e.g. `AUTOMODEL_CACHE`.
+    pub var: &'static str,
+    /// The offending value, verbatim.
+    pub value: String,
+    /// A short description of the accepted grammar.
+    pub expected: &'static str,
+}
+
+impl EnvError {
+    pub fn new(var: &'static str, value: impl Into<String>, expected: &'static str) -> EnvError {
+        EnvError {
+            var,
+            value: value.into(),
+            expected,
+        }
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: malformed value {:?} (expected {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_variable_and_value() {
+        let e = EnvError::new("AUTOMODEL_CACHE", "65k", "0/1/off/on or a capacity >= 2");
+        let msg = e.to_string();
+        assert!(msg.contains("AUTOMODEL_CACHE"), "{msg}");
+        assert!(msg.contains("65k"), "{msg}");
+        assert!(msg.contains("capacity"), "{msg}");
+    }
+}

@@ -50,6 +50,10 @@ pub enum TraceEvent {
     CacheHit { trial: u64 },
     /// The trial missed the cache and was evaluated live.
     CacheMiss { trial: u64 },
+    /// The trial was served from a cache entry restored out of a
+    /// persisted artifact — a cache hit whose provenance is warm-start
+    /// history rather than this run's own evaluations.
+    WarmHit { trial: u64 },
     /// One attempt of the trial failed; `kind` is the `FailureKind`
     /// display form, `message` the contained failure text.
     Fault {
@@ -67,6 +71,13 @@ pub enum TraceEvent {
     /// The budget stopped evaluation early; `reason` is `"evals"`,
     /// `"time"`, or `"target"`, `evals` the count consumed so far.
     BudgetExhausted { evals: u64, reason: String },
+    /// A persisted artifact was opened and its digests verified: where it
+    /// came from, how many sections it carries, and its total size.
+    ArtifactLoad {
+        path: String,
+        sections: u64,
+        bytes: u64,
+    },
 }
 
 impl TraceEvent {
@@ -83,11 +94,13 @@ impl TraceEvent {
             TraceEvent::TrialEnd { .. } => "trial_end",
             TraceEvent::CacheHit { .. } => "cache_hit",
             TraceEvent::CacheMiss { .. } => "cache_miss",
+            TraceEvent::WarmHit { .. } => "warm_hit",
             TraceEvent::Fault { .. } => "fault",
             TraceEvent::Retry { .. } => "retry",
             TraceEvent::Quarantine { .. } => "quarantine",
             TraceEvent::QuarantineSkip { .. } => "quarantine_skip",
             TraceEvent::BudgetExhausted { .. } => "budget",
+            TraceEvent::ArtifactLoad { .. } => "artifact_load",
         }
     }
 
@@ -113,6 +126,7 @@ impl TraceEvent {
             | TraceEvent::TrialEnd { trial, .. }
             | TraceEvent::CacheHit { trial }
             | TraceEvent::CacheMiss { trial }
+            | TraceEvent::WarmHit { trial }
             | TraceEvent::Fault { trial, .. }
             | TraceEvent::Retry { trial, .. }
             | TraceEvent::Quarantine { trial, .. }
@@ -160,6 +174,7 @@ mod tests {
             },
             TraceEvent::CacheHit { trial: 0 },
             TraceEvent::CacheMiss { trial: 0 },
+            TraceEvent::WarmHit { trial: 0 },
             TraceEvent::Fault {
                 trial: 0,
                 attempt: 0,
@@ -179,6 +194,11 @@ mod tests {
                 evals: 0,
                 reason: String::new(),
             },
+            TraceEvent::ArtifactLoad {
+                path: String::new(),
+                sections: 0,
+                bytes: 0,
+            },
         ];
         let mut names: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         names.sort_unstable();
@@ -189,7 +209,17 @@ mod tests {
     #[test]
     fn trial_scoping_matches_the_span_design() {
         assert_eq!(TraceEvent::CacheHit { trial: 7 }.trial(), Some(7));
+        assert_eq!(TraceEvent::WarmHit { trial: 7 }.trial(), Some(7));
         assert_eq!(TraceEvent::stage_start("x").trial(), None);
+        assert_eq!(
+            TraceEvent::ArtifactLoad {
+                path: "a.store".into(),
+                sections: 7,
+                bytes: 1024
+            }
+            .trial(),
+            None
+        );
         assert_eq!(
             TraceEvent::BudgetExhausted {
                 evals: 1,

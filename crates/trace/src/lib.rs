@@ -38,6 +38,7 @@
 pub mod canon;
 pub mod clock;
 pub mod codec;
+pub mod env;
 pub mod event;
 pub mod sink;
 pub mod tracer;
@@ -45,6 +46,7 @@ pub mod tracer;
 pub use canon::{canonical_f64_bits, f64_from_hex, f64_to_hex, CANONICAL_NAN_BITS};
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use codec::{decode, encode_line, parse_line, CodecError, TraceRecord};
+pub use env::EnvError;
 pub use event::TraceEvent;
 pub use sink::{JsonlSink, MemoryHandle, ProgressSink, Sink};
 pub use tracer::{TraceSummary, Tracer};

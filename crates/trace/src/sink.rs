@@ -32,6 +32,7 @@ impl JsonlSink {
     /// `None` if the file cannot be opened — the caller degrades to a
     /// disabled tracer rather than failing the run.
     pub fn open(path: &Path) -> Option<JsonlSink> {
+        // lint:allow(no-adhoc-persistence): append-only JSONL trace stream, not a loadable artifact
         std::fs::OpenOptions::new()
             .create(true)
             .append(true)

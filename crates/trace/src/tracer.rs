@@ -14,6 +14,7 @@
 
 use crate::clock::{Clock, ManualClock};
 use crate::codec::{encode_line, TraceRecord};
+use crate::env::EnvError;
 use crate::event::TraceEvent;
 use crate::sink::{memory_pair, JsonlSink, MemoryHandle, ProgressSink, Sink};
 use parking_lot::Mutex;
@@ -35,6 +36,10 @@ pub struct TraceSummary {
     pub skipped: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Warm-start hits — also counted into `cache_hits`, since a warm hit
+    /// is a cache hit whose entry came from a persisted artifact.
+    pub warm_hits: u64,
+    pub artifact_loads: u64,
     pub faults: u64,
     pub retries: u64,
     pub quarantined: u64,
@@ -59,6 +64,11 @@ impl TraceSummary {
             }
             TraceEvent::CacheHit { .. } => self.cache_hits += 1,
             TraceEvent::CacheMiss { .. } => self.cache_misses += 1,
+            TraceEvent::WarmHit { .. } => {
+                self.cache_hits += 1;
+                self.warm_hits += 1;
+            }
+            TraceEvent::ArtifactLoad { .. } => self.artifact_loads += 1,
             TraceEvent::Fault { .. } => self.faults += 1,
             TraceEvent::Retry { .. } => self.retries += 1,
             TraceEvent::Quarantine { .. } => self.quarantined += 1,
@@ -72,8 +82,14 @@ impl TraceSummary {
         let mut s = String::new();
         let _ = write!(
             s,
-            "trace: {} trial(s) ({} ok, {} failed, {} skipped) | cache {} hit(s) / {} miss(es)",
-            self.trials, self.ok, self.failed, self.skipped, self.cache_hits, self.cache_misses
+            "trace: {} trial(s) ({} ok, {} failed, {} skipped) | cache {} hit(s) ({} warm) / {} miss(es)",
+            self.trials,
+            self.ok,
+            self.failed,
+            self.skipped,
+            self.cache_hits,
+            self.warm_hits,
+            self.cache_misses
         );
         let _ = write!(
             s,
@@ -133,14 +149,21 @@ impl Tracer {
     }
 
     /// Honor `AUTOMODEL_TRACE=<path>`: enabled with an appending JSONL
-    /// sink when set (and the file opens), disabled otherwise.
-    pub fn from_env() -> Tracer {
+    /// sink when the variable is set, disabled when unset or empty. A
+    /// path that cannot be opened for appending is a hard [`EnvError`]
+    /// naming the variable and the path — tracing must never be silently
+    /// dropped when the user asked for it.
+    pub fn from_env() -> Result<Tracer, EnvError> {
         match std::env::var(crate::TRACE_ENV) {
             Ok(path) if !path.is_empty() => match JsonlSink::open(Path::new(&path)) {
-                Some(sink) => Tracer::enabled_with(vec![Box::new(sink)]),
-                None => Tracer::disabled(),
+                Some(sink) => Ok(Tracer::enabled_with(vec![Box::new(sink)])),
+                None => Err(EnvError::new(
+                    crate::TRACE_ENV,
+                    path,
+                    "a JSONL file path openable for appending",
+                )),
             },
-            _ => Tracer::disabled(),
+            _ => Ok(Tracer::disabled()),
         }
     }
 

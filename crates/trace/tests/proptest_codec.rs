@@ -49,7 +49,7 @@ fn hostile_f64(rng: &mut StdRng) -> f64 {
 
 /// An arbitrary event of any kind.
 fn random_event(rng: &mut StdRng) -> TraceEvent {
-    match rng.gen_range(0..15usize) {
+    match rng.gen_range(0..17usize) {
         0 => TraceEvent::RunStart {
             optimizer: hostile_string(rng),
             seed: rng.gen(),
@@ -105,6 +105,12 @@ fn random_event(rng: &mut StdRng) -> TraceEvent {
             config: hostile_string(rng),
         },
         13 => TraceEvent::QuarantineSkip { trial: rng.gen() },
+        14 => TraceEvent::WarmHit { trial: rng.gen() },
+        15 => TraceEvent::ArtifactLoad {
+            path: hostile_string(rng),
+            sections: rng.gen(),
+            bytes: rng.gen(),
+        },
         _ => TraceEvent::BudgetExhausted {
             evals: rng.gen(),
             reason: hostile_string(rng),

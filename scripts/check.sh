@@ -83,4 +83,33 @@ test -s "$trace_dir/threads1.jsonl"
 grep -q '"ev"' "$trace_dir/threads1.jsonl"
 diff "$trace_dir/threads1.jsonl" "$trace_dir/threads8.jsonl"
 
+echo "==> warm-start gate (dmd build -> dmd load --rerun, byte-identical histories)"
+# The persisted artifact must verify, and a rebuild warm-started from its
+# trial-cache snapshot must reproduce the cold run's trial history byte
+# for byte.
+store_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$store_dir"' EXIT
+cargo run --release -q -- dmd build --out "$store_dir/dmd.store" \
+    --history "$store_dir/cold.txt" >/dev/null
+cargo run --release -q -- dmd load --artifact "$store_dir/dmd.store" --rerun \
+    --history "$store_dir/warm.txt" >/dev/null
+test -s "$store_dir/cold.txt"
+diff "$store_dir/cold.txt" "$store_dir/warm.txt"
+
+echo "==> warm-start speedup gate (exp_warmstart, floor 1.5x)"
+# The binary itself asserts history identity at 1/2/8 threads and that
+# restored entries are consumed; the floor check below gates the speedup
+# recorded in BENCH_warmstart.json.
+cargo run --release -q -p automodel-bench --bin exp_warmstart -- --scale tiny >/dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_warmstart.json"))
+if not doc["identical_history"]:
+    raise SystemExit("warm-start gate: history diverged")
+if doc["speedup"] < 1.5:
+    raise SystemExit(f"warm-start gate: speedup {doc['speedup']:.2f}x below the 1.5x floor")
+print(f"warm-start gate: {doc['speedup']:.2f}x, {doc['warm_hits']} warm hit(s) "
+      f"of {doc['restored']} restored entr(ies)")
+PY
+
 echo "All checks passed."

@@ -3,7 +3,13 @@
 //! ```text
 //! auto-model algorithms                      list the registry (Table IV)
 //! auto-model inspect   --csv data.csv        dataset shape + Table III features
-//! auto-model train-dmd --out dmd.json        train a decision model, save it
+//! auto-model train-dmd --out dmd.json        train a decision model, save it (JSON)
+//! auto-model dmd build --out dmd.store       derive + persist a binary artifact
+//!                      [--history hist.txt]  (weights, mask, architecture,
+//!                                            CRelations, trial-cache snapshot)
+//! auto-model dmd load  --artifact dmd.store  verify digests, load, serve — or
+//!                      [--rerun]             warm-start a rebuild from the
+//!                      [--history hist.txt]  persisted trial history
 //! auto-model solve     --csv data.csv        solve the CASH problem for a dataset
 //!                      [--artifact dmd.json] [--budget N] [--folds K]
 //! ```
@@ -17,9 +23,13 @@ use auto_model::data::csv::read_csv;
 use auto_model::data::{meta_features, Dataset, FEATURE_NAMES};
 use auto_model::hpo::Budget;
 use auto_model::ml::Registry;
+use auto_model::parallel::TrialCache;
 use auto_model::prelude::*;
+use auto_model::store::{StoreArtifact, StoreReader};
 use std::io::BufReader;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -108,6 +118,105 @@ fn cmd_train_dmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The demo training setup `dmd build`/`dmd load --rerun` share. Cold and
+/// warm runs must be configured identically — same corpus, same seeds,
+/// same cache capacity — for the warm-start identity contract (byte-equal
+/// trial histories) to be checkable.
+fn demo_build_parts(registry: Registry) -> (DmdInput, DmdConfig, Arc<TrialCache>) {
+    let corpus = CorpusSpec::small().build();
+    let input = DmdInput::synthetic_from_corpus(&corpus, 80, 5);
+    let cache = Arc::new(TrialCache::default());
+    let config = DmdConfig::fast_with(registry).with_cache(Arc::clone(&cache));
+    (input, config, cache)
+}
+
+fn write_history(args: &[String], dmd: &Dmd) -> Result<(), String> {
+    if let Some(path) = arg_value(args, "--history") {
+        std::fs::write(&path, dmd.trial_history()).map_err(|e| format!("write {path}: {e}"))?;
+        println!("trial history  : {path} ({} trials)", dmd.meta_trials.len());
+    }
+    Ok(())
+}
+
+fn cmd_dmd_build(args: &[String]) -> Result<(), String> {
+    let out = arg_value(args, "--out").unwrap_or_else(|| "dmd.store".to_string());
+    eprintln!("training a demo decision model (synthetic corpus)...");
+    let (input, config, cache) = demo_build_parts(Registry::full());
+    let dmd = config.run(&input).map_err(|e| format!("DMD failed: {e}"))?;
+    let snapshot = cache.snapshot();
+    let cached = snapshot.len();
+    let artifact = dmd.to_artifact().into_store(snapshot);
+    artifact
+        .save(Path::new(&out))
+        .map_err(|e| format!("save {out}: {e}"))?;
+    println!(
+        "saved {out}: {} CRelations pairs, {}/23 key features, {cached} cached trial(s)",
+        dmd.records.len(),
+        dmd.n_key_features()
+    );
+    write_history(args, &dmd)
+}
+
+fn cmd_dmd_load(args: &[String]) -> Result<(), String> {
+    let path = arg_value(args, "--artifact").ok_or("missing --artifact <file>")?;
+    let reader = StoreReader::open(Path::new(&path)).map_err(|e| format!("open {path}: {e}"))?;
+    reader
+        .verify_all()
+        .map_err(|e| format!("verify {path}: {e}"))?;
+    let sections = reader.tags().len() as u64;
+    let bytes = reader.payload_bytes();
+    let artifact =
+        StoreArtifact::from_reader(&reader).map_err(|e| format!("decode {path}: {e}"))?;
+    let tracer = Tracer::from_env().map_err(|e| e.to_string())?;
+    if tracer.is_enabled() {
+        tracer.emit(TraceEvent::ArtifactLoad {
+            path: path.clone(),
+            sections,
+            bytes,
+        });
+    }
+    println!("verified {path}: {sections} section(s), {bytes} payload byte(s)");
+    let (dmd_artifact, snapshot) = DmdArtifact::from_store(artifact);
+    if args.iter().any(|a| a == "--rerun") {
+        // Warm-start a rebuild: seed the trial cache from the persisted
+        // snapshot, then re-run the exact cold configuration. The trial
+        // history must come out byte-identical (diffable via --history).
+        eprintln!(
+            "re-deriving with a warm cache ({} restored trial(s))...",
+            snapshot.len()
+        );
+        let (input, config, cache) = demo_build_parts(Registry::full());
+        let restored = cache.restore(&snapshot);
+        let dmd = config.run(&input).map_err(|e| format!("DMD failed: {e}"))?;
+        let stats = cache.stats();
+        println!(
+            "warm rerun     : {restored} restored, {} warm hit(s) of {} hit(s)",
+            stats.warm_hits, stats.hits
+        );
+        write_history(args, &dmd)
+    } else {
+        let dmd = dmd_artifact
+            .into_dmd(Registry::full())
+            .map_err(|e| format!("load artifact: {e}"))?;
+        println!(
+            "loaded model   : {} algorithm(s), {}/23 key features, architecture {}",
+            dmd.registry.len(),
+            dmd.n_key_features(),
+            dmd.architecture
+        );
+        println!("cache snapshot : {} persisted trial(s)", snapshot.len());
+        Ok(())
+    }
+}
+
+fn cmd_dmd(args: &[String]) -> Result<(), String> {
+    match args.get(1).map(String::as_str) {
+        Some("build") => cmd_dmd_build(args),
+        Some("load") => cmd_dmd_load(args),
+        _ => Err("usage: auto-model dmd <build|load> [options]".to_string()),
+    }
+}
+
 fn cmd_solve(args: &[String]) -> Result<(), String> {
     let data = load_csv(args)?;
     let budget: usize = arg_value(args, "--budget")
@@ -148,16 +257,28 @@ fn usage() -> &'static str {
      commands:\n\
        algorithms                          list the registered classifiers\n\
        inspect   --csv <file>              dataset shape + Table III features\n\
-       train-dmd [--out dmd.json]          train & save a decision model\n\
+       train-dmd [--out dmd.json]          train & save a decision model (JSON)\n\
+       dmd build [--out dmd.store] [--history h.txt]\n\
+                                           derive + persist a binary artifact\n\
+       dmd load  --artifact dmd.store [--rerun] [--history h.txt]\n\
+                                           verify, load & serve — or warm-start\n\
        solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]"
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Strict env validation up front: a malformed AUTOMODEL_* variable
+    // aborts with one clear message instead of silently reconfiguring
+    // the run somewhere down the pipeline.
+    if let Err(e) = auto_model::parallel::validate_env() {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match args.first().map(String::as_str) {
         Some("algorithms") => cmd_algorithms(),
         Some("inspect") => cmd_inspect(&args),
         Some("train-dmd") => cmd_train_dmd(&args),
+        Some("dmd") => cmd_dmd(&args),
         Some("solve") => cmd_solve(&args),
         _ => {
             eprintln!("{}", usage());

@@ -165,14 +165,23 @@ fn default_retry_makes_fault_injection_invisible_in_results() {
 
 #[test]
 fn automodel_faults_env_format_parses() {
-    let plan = FaultPlan::parse("seed=3,panic=0.1,nan=0.1,delay=0.05");
+    let plan = FaultPlan::parse("seed=3,panic=0.1,nan=0.1,delay=0.05").expect("well-formed spec");
     assert_eq!(plan, FaultPlan::with_rates(3, 0.1, 0.1, 0.05));
-    // Malformed pieces are ignored — a drill must never abort the run.
-    let sloppy = FaultPlan::parse(" seed=3 , panic=0.1, nan=oops, bogus=1, delay ");
-    assert_eq!(sloppy.seed, 3);
-    assert_eq!(sloppy.panic_rate, 0.1);
-    assert_eq!(sloppy.nan_rate, 0.0);
-    assert!(FaultPlan::parse("").is_empty());
+    // Whitespace around pairs is tolerated; an empty spec injects nothing.
+    let spaced = FaultPlan::parse(" seed=3 , panic=0.1 ").expect("spaces are fine");
+    assert_eq!(spaced.seed, 3);
+    assert_eq!(spaced.panic_rate, 0.1);
+    assert!(FaultPlan::parse("")
+        .expect("empty spec is a no-op plan")
+        .is_empty());
+    // Malformed pieces are rejected with a typed error, not silently
+    // dropped — a drill that half-applies is worse than one that aborts.
+    for bad in ["nan=oops", "bogus=1", "delay", "panic=1.5", "seed=-1"] {
+        assert!(
+            FaultPlan::parse(bad).is_err(),
+            "malformed spec {bad:?} must be rejected"
+        );
+    }
 }
 
 #[test]

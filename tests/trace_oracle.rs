@@ -226,9 +226,11 @@ fn assert_conforms(
             .iter()
             .filter(|e| matches!(e, TraceEvent::Retry { .. }))
             .count() as u64;
+        // A warm hit is a cache hit served from a restored snapshot; the
+        // telemetry counts it in `hits` like any other.
         let hit = events
             .iter()
-            .any(|e| matches!(e, TraceEvent::CacheHit { .. }));
+            .any(|e| matches!(e, TraceEvent::CacheHit { .. } | TraceEvent::WarmHit { .. }));
         let miss = events
             .iter()
             .any(|e| matches!(e, TraceEvent::CacheMiss { .. }));
@@ -482,7 +484,11 @@ fn summary_counters_match_the_decoded_stream() {
     assert_eq!(summary.trials, out.trials.len() as u64);
     assert_eq!(
         summary.cache_hits,
-        count(|e| matches!(e, TraceEvent::CacheHit { .. }))
+        count(|e| matches!(e, TraceEvent::CacheHit { .. } | TraceEvent::WarmHit { .. }))
+    );
+    assert_eq!(
+        summary.warm_hits,
+        count(|e| matches!(e, TraceEvent::WarmHit { .. }))
     );
     assert_eq!(
         summary.cache_misses,

@@ -1,0 +1,216 @@
+//! Warm-start identity, across every optimizer: restoring a persisted
+//! trial-cache snapshot must leave trial histories byte-identical to the
+//! cold run that produced the snapshot — the cache contract of
+//! `tests/determinism.rs` extended across process boundaries.
+//!
+//! Every snapshot in these tests is round-tripped through the
+//! `automodel-store` wire encoding (the `TCHS` section payload) before it
+//! is restored, so what gets checked is the *persisted* form — exactly
+//! what `dmd build` writes and `dmd load --rerun` restores — not an
+//! in-memory clone.
+
+mod common;
+
+use auto_model::hpo::{
+    BayesianOptimization, Budget, CacheSnapshot, Executor, FnObjective, GaConfig, GeneticAlgorithm,
+    GridSearch, OptOutcome, Optimizer, RandomSearch, SmacLite, TrialCache,
+};
+use auto_model::store::artifact::{decode_cache_snapshot, encode_cache_snapshot};
+use common::{fitness, space, trial_bytes};
+use std::sync::Arc;
+
+/// Round-trip a snapshot through the store wire format; any encoding
+/// asymmetry (lost entries, reordered FIFO, perturbed score bits) would
+/// break the byte-identity assertions downstream.
+fn persist(snapshot: &CacheSnapshot) -> CacheSnapshot {
+    let restored =
+        decode_cache_snapshot(&encode_cache_snapshot(snapshot)).expect("own encoding decodes");
+    assert_eq!(&restored, snapshot, "wire round-trip must be lossless");
+    restored
+}
+
+/// Assert `warm` (run seeded from `snapshot` via the given cache) matches
+/// the cold history and actually consumed restored entries.
+fn assert_warm_identical(
+    label: &str,
+    cold: &OptOutcome,
+    warm: &OptOutcome,
+    warm_cache: &TrialCache,
+) {
+    assert_eq!(
+        trial_bytes(cold),
+        trial_bytes(warm),
+        "{label}: warm-started trial history diverged from cold"
+    );
+    let stats = warm_cache.stats();
+    assert!(
+        stats.warm_hits > 0,
+        "{label}: warm run never hit a restored entry (restored {})",
+        stats.restored
+    );
+    assert_eq!(
+        warm.cache.warm_hits, stats.warm_hits,
+        "{label}: outcome stats disagree with the cache's own counters"
+    );
+}
+
+#[test]
+fn ga_warm_start_is_byte_identical_to_cold_at_1_2_and_8_threads() {
+    let space = space();
+    let config = GaConfig {
+        population: 10,
+        generations: 100, // bounded by the budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(120);
+
+    let cold_cache = Arc::new(TrialCache::default());
+    let cold = GeneticAlgorithm::with_config(97, config.clone())
+        .with_cache(Arc::clone(&cold_cache))
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+    let snapshot = persist(&cold_cache.snapshot());
+    assert!(!snapshot.is_empty(), "cold GA run populated no cache");
+
+    for threads in [1usize, 2, 8] {
+        let warm_cache = Arc::new(TrialCache::default());
+        let warm = GeneticAlgorithm::with_config(97, config.clone())
+            .with_cache(Arc::clone(&warm_cache))
+            .with_warm_start(&snapshot)
+            .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        assert_warm_identical(&format!("GA x{threads}"), &cold, &warm, &warm_cache);
+    }
+}
+
+#[test]
+fn grid_warm_start_is_byte_identical_to_cold_at_1_2_and_8_threads() {
+    let space = space();
+    let budget = Budget::evals(40);
+
+    let cold_cache = Arc::new(TrialCache::default());
+    let cold = GridSearch::new(3)
+        .with_cache(Arc::clone(&cold_cache))
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+    let snapshot = persist(&cold_cache.snapshot());
+    assert!(!snapshot.is_empty(), "cold grid run populated no cache");
+
+    for threads in [1usize, 2, 8] {
+        let warm_cache = Arc::new(TrialCache::default());
+        let warm = GridSearch::new(3)
+            .with_cache(Arc::clone(&warm_cache))
+            .with_warm_start(&snapshot)
+            .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        assert_warm_identical(&format!("grid x{threads}"), &cold, &warm, &warm_cache);
+    }
+}
+
+#[test]
+fn random_warm_start_is_byte_identical_to_cold_at_1_2_and_8_threads() {
+    let space = space();
+    let budget = Budget::evals(60);
+
+    let cold_cache = Arc::new(TrialCache::default());
+    let cold = RandomSearch::new(4242)
+        .with_cache(Arc::clone(&cold_cache))
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+    let snapshot = persist(&cold_cache.snapshot());
+    assert!(!snapshot.is_empty(), "cold random run populated no cache");
+
+    for threads in [1usize, 2, 8] {
+        let warm_cache = Arc::new(TrialCache::default());
+        let warm = RandomSearch::new(4242)
+            .with_cache(Arc::clone(&warm_cache))
+            .with_warm_start(&snapshot)
+            .optimize_batch(&space, &fitness, &budget, &Executor::new(threads))
+            .expect("trials recorded");
+        assert_warm_identical(&format!("random x{threads}"), &cold, &warm, &warm_cache);
+    }
+}
+
+#[test]
+fn bo_warm_start_is_byte_identical_to_cold() {
+    let space = space();
+    let budget = Budget::evals(25);
+
+    let cold_cache = Arc::new(TrialCache::default());
+    let mut bo = BayesianOptimization::new(97).with_cache(Arc::clone(&cold_cache));
+    let cold = bo
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("trials recorded");
+    let snapshot = persist(&cold_cache.snapshot());
+    assert!(!snapshot.is_empty(), "cold BO run populated no cache");
+
+    let warm_cache = Arc::new(TrialCache::default());
+    let mut warm_bo = BayesianOptimization::new(97)
+        .with_cache(Arc::clone(&warm_cache))
+        .with_warm_start(&snapshot);
+    let warm = warm_bo
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("trials recorded");
+    assert_warm_identical("BO", &cold, &warm, &warm_cache);
+}
+
+#[test]
+fn smac_warm_start_is_byte_identical_to_cold() {
+    let space = space();
+    let budget = Budget::evals(30);
+
+    let cold_cache = Arc::new(TrialCache::default());
+    let mut smac = SmacLite::new(4242).with_cache(Arc::clone(&cold_cache));
+    let cold = smac
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("trials recorded");
+    let snapshot = persist(&cold_cache.snapshot());
+    assert!(!snapshot.is_empty(), "cold SMAC run populated no cache");
+
+    let warm_cache = Arc::new(TrialCache::default());
+    let mut warm_smac = SmacLite::new(4242)
+        .with_cache(Arc::clone(&warm_cache))
+        .with_warm_start(&snapshot);
+    let warm = warm_smac
+        .optimize(&space, &mut FnObjective(fitness), &budget)
+        .expect("trials recorded");
+    assert_warm_identical("SMAC", &cold, &warm, &warm_cache);
+}
+
+/// A warm start under a *different* seed is still a legal run (warm hits
+/// just replay whatever overlaps); it must match that seed's own cold
+/// history, not the snapshot producer's.
+#[test]
+fn warm_start_under_a_different_seed_matches_that_seeds_cold_history() {
+    let space = space();
+    let config = GaConfig {
+        population: 10,
+        generations: 100,
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(120);
+
+    let producer_cache = Arc::new(TrialCache::default());
+    GeneticAlgorithm::with_config(97, config.clone())
+        .with_cache(Arc::clone(&producer_cache))
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+    let snapshot = persist(&producer_cache.snapshot());
+
+    let cold_98 = GeneticAlgorithm::with_config(98, config.clone())
+        .with_cache(Arc::new(TrialCache::default()))
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+
+    let warm_cache = Arc::new(TrialCache::default());
+    let warm_98 = GeneticAlgorithm::with_config(98, config)
+        .with_cache(Arc::clone(&warm_cache))
+        .with_warm_start(&snapshot)
+        .optimize_batch(&space, &fitness, &budget, &Executor::new(1))
+        .expect("trials recorded");
+    assert_eq!(
+        trial_bytes(&cold_98),
+        trial_bytes(&warm_98),
+        "seed-98 history must not be perturbed by seed-97's snapshot"
+    );
+}

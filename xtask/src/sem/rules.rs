@@ -1,5 +1,5 @@
-//! File-scope rules (L1–L4, L6–L9) ported onto the token stream, plus
-//! the metadata table for every rule the engine knows (L1–L13).
+//! File-scope rules (L1–L4, L6–L9, L14) ported onto the token stream,
+//! plus the metadata table for every rule the engine knows (L1–L14).
 //!
 //! | code | rule id                 | scope                                     |
 //! |------|-------------------------|-------------------------------------------|
@@ -16,6 +16,7 @@
 //! | L11  | `lock-order`            | crate-level lock graph ([`super::locks`]) |
 //! | L12  | `contract-conformance`  | optimizer/executor surface ([`super::contract`]) |
 //! | L13  | `stale-allow`           | every `lint:allow` escape ([`super::allowaudit`]) |
+//! | L14  | `no-adhoc-persistence`  | crate library code outside `crates/store/`  |
 //!
 //! Matching happens on lexed tokens, so string literals and comments are
 //! structurally incapable of producing findings. Each hit can be
@@ -27,8 +28,16 @@ use super::source::File;
 use crate::diag::Diagnostic;
 
 /// Crates whose `src/` trees count as library code for `no-panic-lib`.
-pub const PANIC_FREE_CRATES: [&str; 7] =
-    ["core", "knowledge", "hpo", "ml", "nn", "data", "parallel"];
+pub const PANIC_FREE_CRATES: [&str; 8] = [
+    "core",
+    "knowledge",
+    "hpo",
+    "ml",
+    "nn",
+    "data",
+    "parallel",
+    "store",
+];
 
 /// Modules where iteration order is observable in outputs (serialized
 /// artifacts, reports, GA populations) and hash iteration is banned.
@@ -52,7 +61,7 @@ pub struct RuleMeta {
 }
 
 /// Every rule the engine knows, in code order.
-pub const RULES: [RuleMeta; 13] = [
+pub const RULES: [RuleMeta; 14] = [
     RuleMeta {
         code: "L1",
         id: "no-panic-lib",
@@ -169,6 +178,18 @@ pub const RULES: [RuleMeta; 13] = [
                     new code to hide in, and it misrepresents the audit state of the file. \
                     Stale escapes must be deleted; the baseline stays honest.",
     },
+    RuleMeta {
+        code: "L14",
+        id: "no-adhoc-persistence",
+        summary: "no ad-hoc file writes in crate library code outside crates/store",
+        rationale: "Artifacts persisted through scattered fs::write/File::create sites have no \
+                    magic, no format version, no integrity digests and no typed decode errors — \
+                    a truncated or bit-rotted file round-trips as garbage. crates/store is the \
+                    one sanctioned persistence layer: StoreArtifact::save/load carries every \
+                    durable byte through the versioned, digest-verified AMSTORE container. \
+                    Binaries, tests and the xtask tooling keep their writes (reports, goldens, \
+                    fixtures are not model artifacts).",
+    },
 ];
 
 /// Look up rule metadata by code (`L10`) or id (`determinism-taint`).
@@ -189,6 +210,7 @@ pub fn check_file(file: &File) -> Vec<Diagnostic> {
     no_adhoc_catch_unwind(file, &mut out);
     no_adhoc_memo(file, &mut out);
     no_adhoc_print(file, &mut out);
+    no_adhoc_persistence(file, &mut out);
     out
 }
 
@@ -563,6 +585,56 @@ fn no_adhoc_print(file: &File, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L14 — `no-adhoc-persistence`. Durable bytes go through the store
+/// crate's versioned, digest-verified container; library code elsewhere
+/// must not open files for writing. Binaries, tests and benches write
+/// reports and goldens, which are not model artifacts — exempt.
+fn no_adhoc_persistence(file: &File, out: &mut Vec<Diagnostic>) {
+    let p = file.path_str();
+    let in_crate_lib = p.starts_with("crates/") && p.contains("/src/");
+    let exempt = !in_crate_lib
+        || p.starts_with("crates/store/")
+        || p.contains("src/bin/")
+        || p.ends_with("src/main.rs")
+        || p.contains("tests/")
+        || p.contains("benches/");
+    if exempt {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            continue;
+        }
+        let Some(member) = toks.get(i + 2) else {
+            continue;
+        };
+        if !toks.get(i + 3).is_some_and(|n| n.is_open('(')) {
+            continue;
+        }
+        let msg = match (t.text.as_str(), member.text.as_str()) {
+            ("fs", "write") => "ad-hoc persistence: `fs::write` in library code",
+            ("File", "create") => "ad-hoc persistence: `File::create` in library code",
+            ("OpenOptions", "new") => "ad-hoc persistence: `OpenOptions` open in library code",
+            _ => continue,
+        };
+        out.push(diag_at(
+            file,
+            i,
+            "no-adhoc-persistence",
+            "L14",
+            msg.to_string(),
+            "persist through `automodel_store::StoreArtifact::save`/`load` (versioned, \
+             digest-verified container with typed decode errors), or append \
+             `// lint:allow(no-adhoc-persistence): <why the store cannot serve here>`",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -662,6 +734,31 @@ mod tests {
         // The rule's own snake_case name is a different identifier.
         let f = lib("fn no_adhoc_catch_unwind_helper() {}");
         assert_eq!(count(&f, "no-adhoc-catch-unwind"), 0);
+    }
+
+    #[test]
+    fn persistence_fires_in_crate_lib_code_only() {
+        let src = "fn f() { std::fs::write(p, b); let f = File::create(p); OpenOptions::new().append(true); }";
+        let f = lib(src); // crates/core/src/x.rs
+        assert_eq!(count(&f, "no-adhoc-persistence"), 3);
+        for path in [
+            "crates/store/src/format.rs",
+            "crates/bench/src/bin/exp_x.rs",
+            "src/main.rs",
+            "tests/warmstart.rs",
+            "xtask/src/baseline.rs",
+        ] {
+            let f = File::parse(path, src);
+            assert_eq!(count(&f, "no-adhoc-persistence"), 0, "{path} is exempt");
+        }
+    }
+
+    #[test]
+    fn persistence_ignores_reads_and_test_modules() {
+        let f = lib("fn f() { let b = std::fs::read(p); let s = fs::read_to_string(p); }");
+        assert_eq!(count(&f, "no-adhoc-persistence"), 0);
+        let f = lib("#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(p, b).unwrap(); }\n}");
+        assert_eq!(count(&f, "no-adhoc-persistence"), 0);
     }
 
     #[test]

@@ -1,0 +1,6 @@
+//@path crates/core/src/fixture.rs
+pub fn write_crash_report(path: &Path, report: &str) {
+    // Best-effort diagnostics on the abort path: the process is dying and
+    // the bytes are for a human, not a future load.
+    let _ = std::fs::write(path, report); // lint:allow(no-adhoc-persistence): crash diagnostics, not a model artifact
+}

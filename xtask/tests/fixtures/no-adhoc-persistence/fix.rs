@@ -1,0 +1,7 @@
+//@path crates/core/src/fixture.rs
+pub fn save_model(model: &Dmd, cache: &TrialCache, path: &Path) -> Result<(), StoreError> {
+    // The store container carries magic, format version and per-section
+    // digests; corruption comes back as a typed StoreError.
+    let artifact = model.to_artifact().into_store(cache.snapshot());
+    artifact.save(path)
+}

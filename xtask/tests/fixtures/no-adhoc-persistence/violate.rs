@@ -1,0 +1,8 @@
+//@path crates/core/src/fixture.rs
+pub fn save_model(model: &Dmd, path: &Path) -> Result<(), CoreError> {
+    // Raw bytes with no magic, no version, no digests: a truncated file
+    // reads back as garbage instead of a typed error.
+    let bytes = serialize(model);
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
