@@ -17,6 +17,7 @@
 
 use automodel_bench::report::Table;
 use automodel_bench::Scale;
+use automodel_hpo::OptimizerBuilder;
 use automodel_hpo::{
     Budget, Config, Domain, Executor, GaConfig, GeneticAlgorithm, OptOutcome, ParamSpec,
     SearchSpace, TrialCache,

@@ -1,0 +1,187 @@
+//! Checkpoint-overhead measurement: the durability tax of crash-safe
+//! runs.
+//!
+//! One GA run per configuration, identical seed and budget, over a real
+//! objective (J48 cross-validation accuracy on a synthetic dataset):
+//!
+//! * **baseline** — no checkpoint sink (the default everywhere);
+//! * **checkpointed** — a [`Checkpointer`] writing a rotated, digest-
+//!   verified `AMSTORE` generation file at every batch boundary, exactly
+//!   what `dmd build --checkpoint` wires up.
+//!
+//! The crash-safety contract says periodic checkpointing must not change
+//! results and must cost almost nothing: this binary asserts the trial
+//! fingerprints are byte-identical, asserts every checkpoint write
+//! succeeded, and records the wall-clock overhead into
+//! `BENCH_checkpoint.json` (EXPERIMENTS.md floor: < 5%, gated by
+//! `scripts/check.sh`). Checkpoint generations go to the bench scratch
+//! directory, not cwd.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin
+//! exp_checkpoint_overhead [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_data::{SynthFamily, SynthSpec};
+use automodel_hpo::{
+    Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome, OptimizerBuilder, TrialCache,
+};
+use automodel_ml::{cross_val_accuracy, Registry};
+use automodel_store::Checkpointer;
+use automodel_trace::TraceEvent;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let tracer = automodel_bench::tracer_or_die("exp_checkpoint_overhead");
+
+    let (rows, evals, reps) = match scale {
+        Scale::Tiny => (200, 60, 3),
+        Scale::Small => (400, 200, 3),
+        Scale::Paper => (1000, 600, 5),
+    };
+    let data = SynthSpec::new(
+        "checkpoint",
+        rows,
+        5,
+        1,
+        3,
+        SynthFamily::GaussianBlobs { spread: 0.9 },
+        91,
+    )
+    .generate();
+
+    let registry = Registry::fast();
+    let spec = registry.get("J48").expect("fast registry carries J48");
+    let space = spec.param_space();
+    let objective =
+        |config: &Config| cross_val_accuracy(|| spec.build(config, 7), &data, 5, 7).unwrap_or(0.0);
+    let ga_config = GaConfig {
+        population: 16,
+        generations: 1000, // bounded by the eval budget
+        ..GaConfig::default()
+    };
+    let budget = Budget::evals(evals);
+
+    // Best-of-`reps` wall clock on a serial executor, so the measurement
+    // is durability cost, not scheduler noise. Cache disabled: a shared
+    // cache would make every repeat a free replay and hide the real
+    // per-batch work the checkpoint piggybacks on. A fresh Checkpointer
+    // (fresh generation base) per repetition keeps every rep's write
+    // pattern identical.
+    let executor = Executor::new(1);
+    let timed = |make_sink: &dyn Fn(usize) -> Option<Arc<Checkpointer>>| {
+        let mut best_ms = f64::INFINITY;
+        let mut out = None;
+        let mut written = 0u64;
+        for rep in 0..reps {
+            let mut ga = GeneticAlgorithm::with_config(42, ga_config.clone())
+                .with_cache(Arc::new(TrialCache::disabled()));
+            let sink = make_sink(rep);
+            if let Some(ck) = &sink {
+                ga = ga.with_checkpoint(Arc::clone(ck) as _);
+            }
+            let start = Instant::now();
+            let run = ga
+                .optimize_batch(&space, &objective, &budget, &executor)
+                .expect("eval budget > 0 always yields an outcome");
+            best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            if let Some(ck) = &sink {
+                assert!(
+                    ck.last_error().is_none(),
+                    "checkpoint write failed during overhead run: {:?}",
+                    ck.last_error()
+                );
+                written = ck.written();
+            }
+            out = Some(run);
+        }
+        (out.expect("reps >= 1"), best_ms, written)
+    };
+
+    tracer.emit(TraceEvent::stage_start("overhead"));
+    let (base, base_ms, _) = timed(&|_| None);
+    let (ck, ck_ms, written) = timed(&|rep| {
+        Some(Arc::new(Checkpointer::new(automodel_bench::scratch_path(
+            &format!("exp_checkpoint_r{rep}.ckpt"),
+        ))))
+    });
+    let overhead = (ck_ms - base_ms) / base_ms.max(1e-9) * 100.0;
+    let identical = fingerprint(&base) == fingerprint(&ck);
+    assert!(
+        identical,
+        "checkpointing changed the trial history (checkpointed must equal baseline)"
+    );
+    assert!(written > 0, "the checkpointed run must actually checkpoint");
+    tracer.emit(TraceEvent::stage_end(
+        "overhead",
+        format!(
+            "baseline {base_ms:.1} ms, checkpointed {ck_ms:.1} ms ({written} write(s)), \
+             overhead {overhead:+.2}%"
+        ),
+    ));
+
+    let mut table = Table::new(
+        "Crash-safe checkpointing — overhead",
+        &[
+            "mode",
+            "wall ms",
+            "overhead %",
+            "ckpt writes",
+            "best",
+            "trials",
+        ],
+    );
+    table.row(vec![
+        "baseline".into(),
+        format!("{base_ms:.1}"),
+        "-".into(),
+        "0".into(),
+        format!("{:.4}", base.best_score),
+        base.trials.len().to_string(),
+    ]);
+    table.row(vec![
+        "checkpointed".into(),
+        format!("{ck_ms:.1}"),
+        format!("{overhead:+.2}"),
+        written.to_string(),
+        format!("{:.4}", ck.best_score),
+        ck.trials.len().to_string(),
+    ]);
+    table.print();
+
+    let report = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "evals": evals,
+        "baseline_ms": base_ms,
+        "checkpoint_ms": ck_ms,
+        "overhead_pct": overhead,
+        "checkpoints_written": written,
+        "identical_history": identical,
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    match std::fs::write("BENCH_checkpoint.json", &pretty) {
+        Err(e) => tracer.emit(TraceEvent::stage_end(
+            "BENCH_checkpoint.json",
+            format!("write failed: {e}"),
+        )),
+        Ok(()) => tracer.emit(TraceEvent::stage_end("BENCH_checkpoint.json", "written")),
+    }
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
+    if json {
+        println!("{pretty}");
+    }
+}

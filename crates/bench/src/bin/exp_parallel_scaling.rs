@@ -13,7 +13,9 @@
 use automodel_bench::report::Table;
 use automodel_bench::Scale;
 use automodel_data::{SynthFamily, SynthSpec};
-use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome};
+use automodel_hpo::{
+    Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome, OptimizerBuilder,
+};
 use automodel_ml::{cross_val_accuracy, Registry};
 use automodel_trace::TraceEvent;
 use std::sync::Arc;

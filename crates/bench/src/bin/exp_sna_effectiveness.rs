@@ -63,6 +63,7 @@ fn main() {
             seed: 17,
             tracer: Arc::clone(&tracer),
             cache: Arc::new(automodel_parallel::TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         };
         config.run(&input).expect("ablated DMD")
     } else {

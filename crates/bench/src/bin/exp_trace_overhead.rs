@@ -21,7 +21,9 @@
 use automodel_bench::report::Table;
 use automodel_bench::Scale;
 use automodel_data::{SynthFamily, SynthSpec};
-use automodel_hpo::{Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome, TrialCache};
+use automodel_hpo::{
+    Budget, Config, Executor, GaConfig, GeneticAlgorithm, OptOutcome, OptimizerBuilder, TrialCache,
+};
 use automodel_ml::{cross_val_accuracy, Registry};
 use automodel_trace::{TraceEvent, Tracer};
 use std::sync::Arc;

@@ -22,6 +22,7 @@
 
 use automodel_bench::report::Table;
 use automodel_bench::Scale;
+use automodel_hpo::OptimizerBuilder;
 use automodel_hpo::{
     Budget, CacheSnapshot, Config, Domain, Executor, GaConfig, GeneticAlgorithm, OptOutcome,
     ParamSpec, SearchSpace, TrialCache,
@@ -177,7 +178,7 @@ fn main() {
     let cold_fp = fingerprint(&cold);
 
     // 2. Persist the snapshot through a real artifact file.
-    let path = std::env::temp_dir().join(format!("exp_warmstart_{}.store", std::process::id()));
+    let path = automodel_bench::scratch_path("exp_warmstart.store");
     let snapshot = cold_cache.snapshot();
     let restored = persist_and_restore(&snapshot, &path);
     let artifact_bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);

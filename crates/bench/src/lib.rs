@@ -53,3 +53,18 @@ pub fn tracer_or_die(progress_label: &str) -> Arc<Tracer> {
         Err(e) => panic!("{e}"),
     }
 }
+
+/// A per-process scratch path for intermediate experiment artifacts
+/// (store round-trips, checkpoint generations, crash drills). Lives
+/// under the system temp directory in a pid-suffixed folder so
+/// concurrent bench runs never collide and nothing litters the working
+/// directory — deliverables (`BENCH_*.json`, `--out` artifacts) stay in
+/// cwd by design. The folder is created on first use; like the rest of
+/// the harness this panics on failure rather than limping on.
+pub fn scratch_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("automodel-bench-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        panic!("failed to create bench scratch dir {}: {e}", dir.display());
+    }
+    dir.join(name)
+}

@@ -153,6 +153,7 @@ impl PipelineCache {
             seed: self.seed,
             tracer: Arc::clone(&self.tracer),
             cache: Arc::new(automodel_parallel::TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         };
         config.run(&DmdInput {
             experiences: kb.corpus.experiences.clone(),

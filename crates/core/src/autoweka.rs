@@ -12,8 +12,8 @@ use crate::error::CoreError;
 use crate::udr::Solution;
 use automodel_data::Dataset;
 use automodel_hpo::{
-    Budget, Config, Objective, Optimizer, ParamSpec, SearchSpace, SmacLite, TrialOutcome,
-    TrialPolicy,
+    Budget, Config, Objective, Optimizer, OptimizerBuilder, ParamSpec, SearchSpace, SmacLite,
+    TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
 use automodel_trace::{TraceEvent, Tracer};

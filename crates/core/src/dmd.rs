@@ -21,8 +21,8 @@ use automodel_data::encoding::VecStandardizer;
 use automodel_data::features::{meta_features, select_features, FEATURE_COUNT};
 use automodel_data::{Dataset, SynthFamily, SynthSpec};
 use automodel_hpo::{
-    Budget, Domain, FnObjective, GaConfig, GeneticAlgorithm, Objective, OptOutcome, Optimizer,
-    SearchSpace, TrialCache, TrialOutcome, TrialPolicy,
+    Budget, CheckpointSink, Domain, FnObjective, GaConfig, GeneticAlgorithm, Objective, OptOutcome,
+    Optimizer, OptimizerBuilder, SearchSpace, TrialCache, TrialOutcome, TrialPolicy,
 };
 use automodel_invariant::debug_invariant;
 use automodel_knowledge::{knowledge_acquisition, AcquisitionOptions, Corpus, Experience, Paper};
@@ -125,6 +125,10 @@ pub struct DmdConfig {
     /// (`TrialCache::restore` from a persisted artifact) pre-seed both
     /// stages at once. Default: `AUTOMODEL_CACHE` semantics.
     pub cache: Arc<TrialCache>,
+    /// Crash-recovery checkpoint sink, forwarded to the Algorithm 2/3
+    /// genetic algorithms so every meta-search batch boundary is
+    /// durably checkpointed (default: none).
+    pub checkpoint: Option<Arc<dyn CheckpointSink>>,
 }
 
 impl DmdConfig {
@@ -145,6 +149,7 @@ impl DmdConfig {
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
             cache: Arc::new(TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         }
     }
 
@@ -166,6 +171,7 @@ impl DmdConfig {
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
             cache: Arc::new(TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         }
     }
 
@@ -189,6 +195,15 @@ impl DmdConfig {
     /// [`TrialCache::restore`] warm-starts both meta searches.
     pub fn with_cache(mut self, cache: Arc<TrialCache>) -> DmdConfig {
         self.cache = cache;
+        self
+    }
+
+    /// Attach a crash-recovery checkpoint sink (e.g.
+    /// `automodel_store::Checkpointer`): both meta-search GAs then
+    /// persist their committed state at every batch boundary, so a
+    /// killed build can resume via warm replay.
+    pub fn with_checkpoint(mut self, sink: Arc<dyn CheckpointSink>) -> DmdConfig {
+        self.checkpoint = Some(sink);
         self
     }
 
@@ -408,6 +423,9 @@ impl DmdConfig {
         .with_policy(policy.clone())
         .with_cache(Arc::clone(&self.cache))
         .with_tracer(Arc::clone(&self.tracer));
+        if let Some(sink) = &self.checkpoint {
+            ga = ga.with_checkpoint(Arc::clone(sink));
+        }
         let mut mask = [false; FEATURE_COUNT];
         let mut trials = Vec::new();
         match ga.optimize(&space, &mut objective, &budget) {
@@ -460,6 +478,9 @@ impl DmdConfig {
         .with_policy(policy.clone())
         .with_cache(Arc::clone(&self.cache))
         .with_tracer(Arc::clone(&self.tracer));
+        if let Some(sink) = &self.checkpoint {
+            ga = ga.with_checkpoint(Arc::clone(sink));
+        }
         match ga.optimize(&space, &mut objective, &budget) {
             Some(outcome) => {
                 let trials = MetaTrial::from_outcome("architecture", &outcome);

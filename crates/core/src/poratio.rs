@@ -15,7 +15,8 @@
 
 use automodel_data::Dataset;
 use automodel_hpo::{
-    Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, TrialPolicy,
+    Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer, OptimizerBuilder,
+    TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
 use automodel_trace::Tracer;

@@ -11,8 +11,9 @@ use crate::dmd::Dmd;
 use crate::error::CoreError;
 use automodel_data::Dataset;
 use automodel_hpo::{
-    BayesianOptimization, Budget, Clock, Config, GaConfig, GeneticAlgorithm, MonotonicClock,
-    Objective, Optimizer, TrialFailure, TrialOutcome, TrialPolicy,
+    BayesianOptimization, Budget, CheckpointSink, Clock, Config, GaConfig, GeneticAlgorithm,
+    MonotonicClock, Objective, Optimizer, OptimizerBuilder, TrialCache, TrialFailure, TrialOutcome,
+    TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
 use automodel_trace::{TraceEvent, Tracer};
@@ -93,6 +94,13 @@ pub struct UdrConfig {
     /// Structured tracer: stage spans around the probe and the tuning run,
     /// plus the chosen optimizer's full event stream (default: disabled).
     pub tracer: Arc<Tracer>,
+    /// Trial cache for the tuning search. A cache pre-seeded via
+    /// `TrialCache::restore` warm-replays a prior (e.g. interrupted)
+    /// tuning run. Default: `AUTOMODEL_CACHE` semantics.
+    pub cache: Arc<TrialCache>,
+    /// Crash-recovery checkpoint sink forwarded to the tuning optimizer
+    /// (default: none).
+    pub checkpoint: Option<Arc<dyn CheckpointSink>>,
 }
 
 impl std::fmt::Debug for UdrConfig {
@@ -119,6 +127,8 @@ impl UdrConfig {
             seed: 0,
             probe_clock: Arc::new(MonotonicClock::new()),
             tracer: Arc::new(Tracer::disabled()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         }
     }
 
@@ -133,12 +143,29 @@ impl UdrConfig {
             seed: 0,
             probe_clock: Arc::new(MonotonicClock::new()),
             tracer: Arc::new(Tracer::disabled()),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
+            checkpoint: None,
         }
     }
 
     /// Attach a tracer (default: disabled).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> UdrConfig {
         self.tracer = tracer;
+        self
+    }
+
+    /// Replace the tuning trial cache (restore a checkpoint snapshot
+    /// into it to warm-replay an interrupted tuning run).
+    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> UdrConfig {
+        self.cache = cache;
+        self
+    }
+
+    /// Attach a crash-recovery checkpoint sink: the tuning optimizer
+    /// (GA or BO, whichever the probe routes to) then persists its
+    /// committed state at every batch boundary.
+    pub fn with_checkpoint(mut self, sink: Arc<dyn CheckpointSink>) -> UdrConfig {
+        self.checkpoint = Some(sink);
         self
     }
 
@@ -218,12 +245,20 @@ impl UdrConfig {
                 },
             )
             .with_policy(policy)
+            .with_cache(Arc::clone(&self.cache))
             .with_tracer(Arc::clone(&self.tracer));
+            if let Some(sink) = &self.checkpoint {
+                ga = ga.with_checkpoint(Arc::clone(sink));
+            }
             ga.optimize(&space, &mut objective, &self.tuning_budget)
         } else {
             let mut bo = BayesianOptimization::new(seed)
                 .with_policy(policy)
+                .with_cache(Arc::clone(&self.cache))
                 .with_tracer(Arc::clone(&self.tracer));
+            if let Some(sink) = &self.checkpoint {
+                bo = bo.with_checkpoint(Arc::clone(sink));
+            }
             bo.optimize(&space, &mut objective, &self.tuning_budget)
         };
         if traced {

@@ -14,22 +14,19 @@
 //! invalid configuration even on conditional spaces.
 
 use crate::budget::Budget;
+use crate::builder::{OptimizerBuilder, OptimizerCore};
 use crate::linalg::{cholesky, sq_dist, Cholesky, SquareMatrix};
 use crate::objective::{
     eval_batch_serial, finish_run, trace_run_start, Objective, OptOutcome, Optimizer, Quarantine,
     Trial,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{CacheSnapshot, TrialCache, TrialPolicy};
-use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
 /// GP-based Bayesian optimizer.
 #[derive(Debug, Clone)]
 pub struct BayesianOptimization {
-    seed: u64,
     /// Random initial-design size before the model kicks in.
     pub init_design: usize,
     /// Acquisition candidate pool: random samples per iteration.
@@ -40,53 +37,29 @@ pub struct BayesianOptimization {
     pub noise: f64,
     /// Cap on observations used to fit the GP (best + most recent survive).
     pub max_gp_points: usize,
-    policy: TrialPolicy,
-    cache: Arc<TrialCache>,
-    tracer: Arc<Tracer>,
+    core: OptimizerCore,
+}
+
+impl OptimizerBuilder for BayesianOptimization {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
 }
 
 impl BayesianOptimization {
     pub fn new(seed: u64) -> BayesianOptimization {
         BayesianOptimization {
-            seed,
             init_design: 8,
             random_candidates: 256,
             local_candidates: 64,
             noise: 1e-6,
             max_gp_points: 200,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env_or_disabled()),
-            tracer: Arc::new(Tracer::disabled()),
+            core: OptimizerCore::new("bayesian-optimization", seed),
         }
-    }
-
-    /// Replace the trial fault-handling policy (retries, penalty, injected
-    /// faults).
-    pub fn with_policy(mut self, policy: TrialPolicy) -> BayesianOptimization {
-        self.policy = policy;
-        self
-    }
-
-    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]).
-    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> BayesianOptimization {
-        self.cache = cache;
-        self
-    }
-
-    /// Seed the trial cache from a persisted snapshot (see
-    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
-    /// warm hits, so a warm-started search skips every evaluation a prior
-    /// run already paid for while recording a byte-identical trial
-    /// history. No-op when the cache is disabled.
-    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> BayesianOptimization {
-        self.cache.restore(snapshot);
-        self
-    }
-
-    /// Attach a tracer (default: disabled).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> BayesianOptimization {
-        self.tracer = tracer;
-        self
     }
 }
 
@@ -207,7 +180,7 @@ impl Optimizer for BayesianOptimization {
         objective: &mut dyn Objective,
         budget: &Budget,
     ) -> Option<OptOutcome> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.core.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
         let mut quarantine = Quarantine::new();
@@ -219,10 +192,8 @@ impl Optimizer for BayesianOptimization {
         // finite penalty (keeping the GP's training targets finite) and
         // repeat offenders are quarantined so the surrogate never revisits
         // them.
-        trace_run_start(&self.tracer, "bayesian-optimization", self.seed);
-        let policy = self.policy.clone();
-        let cache = Arc::clone(&self.cache);
-        let tracer = Arc::clone(&self.tracer);
+        trace_run_start(&self.core);
+        let core = self.core.clone();
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -230,16 +201,8 @@ impl Optimizer for BayesianOptimization {
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let scored = eval_batch_serial(
-                vec![config],
-                objective,
-                tracker,
-                trials,
-                &policy,
-                quarantine,
-                &cache,
-                &tracer,
-            );
+            let scored =
+                eval_batch_serial(vec![config], objective, tracker, trials, quarantine, &core);
             for (config, score) in scored {
                 xs.push(space.encode(&config));
                 ys.push(score);
@@ -335,14 +298,7 @@ impl Optimizer for BayesianOptimization {
                 objective,
             );
         }
-        finish_run(
-            &self.tracer,
-            "bayesian-optimization",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 
     fn name(&self) -> &'static str {
@@ -357,6 +313,8 @@ mod tests {
     use crate::random::RandomSearch;
     use crate::space::{Condition, Domain};
     use crate::testfns::branin;
+    use automodel_parallel::TrialCache;
+    use std::sync::Arc;
 
     fn branin_space() -> SearchSpace {
         SearchSpace::builder()

@@ -1,0 +1,233 @@
+//! Shared optimizer plumbing: the state bundle every optimizer embeds
+//! ([`OptimizerCore`]), the builder hooks defined once for all of them
+//! ([`OptimizerBuilder`]), and the crash-recovery checkpoint hook
+//! ([`CheckpointSink`]).
+//!
+//! Before this module existed, each of the five optimizers carried its
+//! own `policy`/`cache`/`tracer` fields and duplicated the four
+//! `with_*` builder methods verbatim. Now they embed one
+//! [`OptimizerCore`] and implement the two-accessor
+//! [`OptimizerBuilder`] trait; the builder methods — including the new
+//! [`with_checkpoint`](OptimizerBuilder::with_checkpoint) — are trait
+//! defaults, written exactly once (checked by lint L12
+//! `optimizer-contract`).
+//!
+//! ## Checkpointing
+//!
+//! A [`CheckpointSink`] observes the run at every batch boundary — the
+//! only points where the trial history, quarantine, and cache are in a
+//! committed, thread-count-invariant state. The sink (in practice
+//! `automodel_store`'s `Checkpointer`) persists a [`RunCheckpoint`]
+//! view durably and may return a `TraceEvent::Checkpoint` for the
+//! tracer. Checkpointing is pure observation: it must never feed back
+//! into proposals, so a checkpointed run's trial history is
+//! byte-identical to an uncheckpointed one.
+
+use crate::objective::{Quarantine, Trial};
+use automodel_parallel::{CacheSnapshot, TrialCache, TrialPolicy};
+use automodel_trace::{TraceEvent, Tracer};
+use std::fmt;
+use std::sync::Arc;
+
+/// A read-only view of one optimizer run's committed state at a batch
+/// boundary, handed to the [`CheckpointSink`].
+pub struct RunCheckpoint<'a> {
+    /// The optimizer's wire name (`"genetic-algorithm"`, …).
+    pub optimizer: &'a str,
+    /// The optimizer's RNG seed (0 for the seedless grid search).
+    pub seed: u64,
+    /// The fault plan's seed — the base of the trial retry seed stream.
+    pub fault_seed: u64,
+    /// The trial history so far; `trials.len()` is the next trial index.
+    pub trials: &'a [Trial],
+    /// Configs quarantined so far.
+    pub quarantine: &'a Quarantine,
+    /// The live trial cache (snapshot it to persist).
+    pub cache: &'a TrialCache,
+    /// Budget consumed so far (recorded evaluations).
+    pub evals: u64,
+}
+
+/// Receives the run state at every batch boundary and persists it.
+///
+/// `on_batch` returns the trace event describing a successful write
+/// (`TraceEvent::Checkpoint`), or `None` when nothing was written —
+/// either by policy (e.g. interval skipping) or because the write
+/// failed; persistence failures must be *recorded by the sink*, never
+/// panicked, so checkpointing can never take down the run it protects.
+pub trait CheckpointSink: Send + Sync + fmt::Debug {
+    fn on_batch(&self, state: &RunCheckpoint<'_>) -> Option<TraceEvent>;
+}
+
+/// The state every optimizer in this crate shares: its wire name and
+/// seed, the trial fault policy, the deterministic trial cache, the
+/// tracer, and the optional checkpoint sink.
+#[derive(Debug, Clone)]
+pub struct OptimizerCore {
+    /// Wire name used in run events and experiment reports.
+    pub name: &'static str,
+    /// RNG seed (0 for the seedless grid search).
+    pub seed: u64,
+    /// Trial fault-handling policy (retries, penalty, injected faults).
+    pub policy: TrialPolicy,
+    /// Deterministic trial cache.
+    pub cache: Arc<TrialCache>,
+    /// Structured-event tracer (disabled by default).
+    pub tracer: Arc<Tracer>,
+    /// Crash-recovery checkpoint sink (absent by default).
+    pub checkpoint: Option<Arc<dyn CheckpointSink>>,
+}
+
+impl OptimizerCore {
+    /// The defaults every optimizer constructor starts from: env-gated
+    /// cache, disabled tracer, no checkpointing.
+    pub fn new(name: &'static str, seed: u64) -> OptimizerCore {
+        OptimizerCore {
+            name,
+            seed,
+            policy: TrialPolicy::default(),
+            cache: Arc::new(TrialCache::from_env_or_disabled()),
+            tracer: Arc::new(Tracer::disabled()),
+            checkpoint: None,
+        }
+    }
+}
+
+/// The builder surface shared by all optimizers. Implementors provide
+/// the two accessors; every `with_*` hook is a trait default, so the
+/// builder vocabulary exists in exactly one place.
+pub trait OptimizerBuilder: Sized {
+    fn core(&self) -> &OptimizerCore;
+    fn core_mut(&mut self) -> &mut OptimizerCore;
+
+    /// Replace the trial fault-handling policy (retries, penalty,
+    /// injected faults).
+    fn with_policy(mut self, policy: TrialPolicy) -> Self {
+        self.core_mut().policy = policy;
+        self
+    }
+
+    /// Replace the trial cache (default:
+    /// [`TrialCache::from_env_or_disabled`]). Sharing one `Arc` across
+    /// runs lets later searches reuse earlier results.
+    fn with_cache(mut self, cache: Arc<TrialCache>) -> Self {
+        self.core_mut().cache = cache;
+        self
+    }
+
+    /// Seed the trial cache from a persisted snapshot (see
+    /// [`CacheSnapshot`]): restored entries replay as warm hits, so a
+    /// warm-started search skips every evaluation a prior run already
+    /// paid for while recording a byte-identical trial history. No-op
+    /// when the cache is disabled.
+    fn with_warm_start(self, snapshot: &CacheSnapshot) -> Self {
+        self.core().cache.restore(snapshot);
+        self
+    }
+
+    /// Attach a tracer (default: disabled). The run then narrates
+    /// itself as structured events without perturbing any result byte.
+    fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.core_mut().tracer = tracer;
+        self
+    }
+
+    /// Attach a crash-recovery checkpoint sink, invoked at every batch
+    /// boundary with the committed run state. Observation only — the
+    /// trial history stays byte-identical with or without it.
+    fn with_checkpoint(mut self, sink: Arc<dyn CheckpointSink>) -> Self {
+        self.core_mut().checkpoint = Some(sink);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ga::GeneticAlgorithm;
+    use crate::objective::Optimizer;
+    use automodel_parallel::FaultPlan;
+    use std::sync::Mutex;
+
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        calls: Mutex<Vec<(u64, u64)>>,
+    }
+
+    impl CheckpointSink for CountingSink {
+        fn on_batch(&self, state: &RunCheckpoint<'_>) -> Option<TraceEvent> {
+            self.calls
+                .lock()
+                .unwrap()
+                .push((state.trials.len() as u64, state.evals));
+            None
+        }
+    }
+
+    #[test]
+    fn builder_hooks_land_in_the_core() {
+        let sink: Arc<CountingSink> = Arc::default();
+        let ga = GeneticAlgorithm::new(7)
+            .with_policy(
+                TrialPolicy::default().with_faults(FaultPlan::with_rates(3, 0.0, 0.1, 0.0)),
+            )
+            .with_cache(Arc::new(TrialCache::disabled()))
+            .with_tracer(Arc::new(Tracer::disabled()))
+            .with_checkpoint(sink.clone());
+        assert_eq!(ga.core().name, "genetic-algorithm");
+        assert_eq!(ga.core().seed, 7);
+        assert_eq!(ga.core().policy.faults.seed, 3);
+        assert!(!ga.core().cache.is_enabled());
+        assert!(ga.core().checkpoint.is_some());
+    }
+
+    #[test]
+    fn checkpoint_sink_sees_every_batch_boundary() {
+        use crate::budget::Budget;
+        use crate::objective::FnObjective;
+        use crate::space::{Config, Domain, SearchSpace};
+        let space = SearchSpace::builder()
+            .add("x", Domain::float(-1.0, 1.0))
+            .build()
+            .unwrap();
+        let sink: Arc<CountingSink> = Arc::default();
+        let mut obj = FnObjective(|c: &Config| -c.float_or("x", 0.0).abs());
+        let out = crate::random::RandomSearch::new(5)
+            .with_checkpoint(sink.clone())
+            .optimize(&space, &mut obj, &Budget::evals(10))
+            .unwrap();
+        let calls = sink.calls.lock().unwrap();
+        // Serial random search runs one-config batches: one boundary per
+        // trial, trial counts strictly increasing, final count = total.
+        assert_eq!(calls.len(), 10);
+        assert!(calls.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(calls.last().unwrap().0, out.trials.len() as u64);
+    }
+
+    #[test]
+    fn checkpointing_does_not_change_the_trial_history() {
+        use crate::budget::Budget;
+        use crate::objective::FnObjective;
+        use crate::space::{Config, Domain, SearchSpace};
+        let space = SearchSpace::builder()
+            .add("x", Domain::float(-2.0, 2.0))
+            .build()
+            .unwrap();
+        let run = |sink: Option<Arc<dyn CheckpointSink>>| {
+            let mut obj = FnObjective(|c: &Config| -c.float_or("x", 0.0).abs());
+            let mut ga = GeneticAlgorithm::small(4);
+            if let Some(sink) = sink {
+                ga = ga.with_checkpoint(sink);
+            }
+            ga.optimize(&space, &mut obj, &Budget::evals(60))
+                .unwrap()
+                .trials
+                .iter()
+                .map(|t| format!("{}|{}#{:016x}\n", t.index, t.config, t.score.to_bits()))
+                .collect::<String>()
+        };
+        let plain = run(None);
+        let checked = run(Some(Arc::<CountingSink>::default()));
+        assert_eq!(plain, checked, "checkpointing must be pure observation");
+    }
+}

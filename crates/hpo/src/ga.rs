@@ -9,17 +9,16 @@
 //! structure survives), bounded mutation, and elitism.
 
 use crate::budget::{Budget, BudgetTracker};
+use crate::builder::{OptimizerBuilder, OptimizerCore};
 use crate::objective::{
     eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
     OptOutcome, Optimizer, Quarantine, Trial,
 };
 use crate::space::{Config, SearchSpace};
 use automodel_invariant::debug_invariant;
-use automodel_parallel::{CacheSnapshot, Executor, TrialCache, TrialPolicy};
-use automodel_trace::Tracer;
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 /// How one generation's candidates get scored: through the classic serial
 /// [`Objective`], or fanned out over an [`Executor`]. Candidate *breeding*
@@ -32,23 +31,20 @@ enum Evaluation<'a> {
 }
 
 impl Evaluation<'_> {
-    #[allow(clippy::too_many_arguments)] // the shared eval_batch_* signature, dispatched
     fn eval_batch(
         &mut self,
         configs: Vec<Config>,
         tracker: &mut BudgetTracker,
         trials: &mut Vec<Trial>,
-        policy: &TrialPolicy,
         quarantine: &mut Quarantine,
-        cache: &TrialCache,
-        tracer: &Tracer,
+        core: &OptimizerCore,
     ) -> Vec<(Config, f64)> {
         match self {
-            Evaluation::Serial(objective) => eval_batch_serial(
-                configs, *objective, tracker, trials, policy, quarantine, cache, tracer,
-            ),
+            Evaluation::Serial(objective) => {
+                eval_batch_serial(configs, *objective, tracker, trials, quarantine, core)
+            }
             Evaluation::Parallel(objective, executor) => eval_batch_parallel(
-                configs, *objective, executor, tracker, trials, policy, quarantine, cache, tracer,
+                configs, *objective, executor, tracker, trials, quarantine, core,
             ),
         }
     }
@@ -91,20 +87,24 @@ impl Default for GaConfig {
 #[derive(Debug, Clone)]
 pub struct GeneticAlgorithm {
     pub config: GaConfig,
-    seed: u64,
-    policy: TrialPolicy,
-    cache: Arc<TrialCache>,
-    tracer: Arc<Tracer>,
+    core: OptimizerCore,
+}
+
+impl OptimizerBuilder for GeneticAlgorithm {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
 }
 
 impl GeneticAlgorithm {
     pub fn new(seed: u64) -> GeneticAlgorithm {
         GeneticAlgorithm {
             config: GaConfig::default(),
-            seed,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env_or_disabled()),
-            tracer: Arc::new(Tracer::disabled()),
+            core: OptimizerCore::new("genetic-algorithm", seed),
         }
     }
 
@@ -113,37 +113,6 @@ impl GeneticAlgorithm {
             config,
             ..GeneticAlgorithm::new(seed)
         }
-    }
-
-    /// Replace the trial fault-handling policy (retries, penalty, injected
-    /// faults).
-    pub fn with_policy(mut self, policy: TrialPolicy) -> GeneticAlgorithm {
-        self.policy = policy;
-        self
-    }
-
-    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]). Sharing
-    /// one `Arc` across runs lets later searches reuse earlier results.
-    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GeneticAlgorithm {
-        self.cache = cache;
-        self
-    }
-
-    /// Seed the trial cache from a persisted snapshot (see
-    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
-    /// warm hits, so a warm-started search skips every evaluation a prior
-    /// run already paid for while recording a byte-identical trial
-    /// history. No-op when the cache is disabled.
-    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> GeneticAlgorithm {
-        self.cache.restore(snapshot);
-        self
-    }
-
-    /// Attach a tracer (default: disabled). The run then narrates itself as
-    /// structured events without perturbing any result byte.
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> GeneticAlgorithm {
-        self.tracer = tracer;
-        self
     }
 
     /// Small-budget preset used throughout the scaled-down experiments.
@@ -215,11 +184,11 @@ impl GeneticAlgorithm {
         mut eval: Evaluation<'_>,
         budget: &Budget,
     ) -> Option<OptOutcome> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.core.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
         let mut quarantine = Quarantine::new();
-        trace_run_start(&self.tracer, "genetic-algorithm", self.seed);
+        trace_run_start(&self.core);
 
         // Initial population: sample the whole generation first (the RNG
         // stream never depends on evaluation progress), then score it as
@@ -230,20 +199,11 @@ impl GeneticAlgorithm {
             candidates,
             &mut tracker,
             &mut trials,
-            &self.policy,
             &mut quarantine,
-            &self.cache,
-            &self.tracer,
+            &self.core,
         );
         if population.is_empty() {
-            return finish_run(
-                &self.tracer,
-                "genetic-algorithm",
-                &tracker,
-                trials,
-                quarantine,
-                &self.cache,
-            );
+            return finish_run(&self.core, &tracker, trials, quarantine);
         }
 
         for _generation in 0..self.config.generations {
@@ -277,10 +237,8 @@ impl GeneticAlgorithm {
                 children,
                 &mut tracker,
                 &mut trials,
-                &self.policy,
                 &mut quarantine,
-                &self.cache,
-                &self.tracer,
+                &self.core,
             ));
             if next.is_empty() {
                 break;
@@ -305,14 +263,7 @@ impl GeneticAlgorithm {
                 "a genome violates its search-space bounds"
             );
         }
-        finish_run(
-            &self.tracer,
-            "genetic-algorithm",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 }
 
@@ -337,6 +288,8 @@ mod tests {
     use crate::objective::FnObjective;
     use crate::space::{Condition, Domain};
     use crate::testfns::{rastrigin, sphere};
+    use automodel_parallel::TrialCache;
+    use std::sync::Arc;
 
     fn float_space(dim: usize) -> SearchSpace {
         let mut b = SearchSpace::builder();

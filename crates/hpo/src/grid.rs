@@ -8,17 +8,16 @@
 //! parent-only configuration).
 
 use crate::budget::Budget;
+use crate::builder::{OptimizerBuilder, OptimizerCore};
 use crate::objective::{
     eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
     OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{CacheSnapshot, Executor, TrialCache, TrialPolicy};
-use automodel_trace::Tracer;
+use automodel_parallel::Executor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashSet;
-use std::sync::Arc;
 
 /// Exhaustive grid search.
 #[derive(Debug, Clone)]
@@ -27,9 +26,17 @@ pub struct GridSearch {
     pub levels: usize,
     /// Hard cap on enumerated points (explosion guard).
     pub max_points: usize,
-    policy: TrialPolicy,
-    cache: Arc<TrialCache>,
-    tracer: Arc<Tracer>,
+    core: OptimizerCore,
+}
+
+impl OptimizerBuilder for GridSearch {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
 }
 
 impl GridSearch {
@@ -37,41 +44,9 @@ impl GridSearch {
         GridSearch {
             levels,
             max_points: 100_000,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env_or_disabled()),
-            tracer: Arc::new(Tracer::disabled()),
+            // Grid search is seedless; the run event records seed 0.
+            core: OptimizerCore::new("grid-search", 0),
         }
-    }
-
-    /// Replace the trial fault-handling policy (retries, penalty, injected
-    /// faults).
-    pub fn with_policy(mut self, policy: TrialPolicy) -> GridSearch {
-        self.policy = policy;
-        self
-    }
-
-    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]). The
-    /// enumeration already dedups within one run, so the cache only pays
-    /// off when an `Arc` is shared across runs.
-    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> GridSearch {
-        self.cache = cache;
-        self
-    }
-
-    /// Seed the trial cache from a persisted snapshot (see
-    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
-    /// warm hits, so a warm-started search skips every evaluation a prior
-    /// run already paid for while recording a byte-identical trial
-    /// history. No-op when the cache is disabled.
-    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> GridSearch {
-        self.cache.restore(snapshot);
-        self
-    }
-
-    /// Attach a tracer (default: disabled).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> GridSearch {
-        self.tracer = tracer;
-        self
     }
 
     /// Enumerate (and dedup) grid points in odometer order; `None` once the
@@ -108,8 +83,7 @@ impl GridSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
-        // Grid search is seedless; the run event records seed 0.
-        trace_run_start(&self.tracer, "grid-search", 0);
+        trace_run_start(&self.core);
         let mut points = self.enumeration(space);
         let batch = (executor.threads() * 8).max(8);
         while !tracker.exhausted() {
@@ -123,20 +97,11 @@ impl GridSearch {
                 executor,
                 &mut tracker,
                 &mut trials,
-                &self.policy,
                 &mut quarantine,
-                &self.cache,
-                &self.tracer,
+                &self.core,
             );
         }
-        finish_run(
-            &self.tracer,
-            "grid-search",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 }
 
@@ -190,7 +155,7 @@ impl Optimizer for GridSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
-        trace_run_start(&self.tracer, "grid-search", 0);
+        trace_run_start(&self.core);
         let mut points = self.enumeration(space);
         while !tracker.exhausted() {
             let Some(config) = points.next_point(space) else {
@@ -201,20 +166,11 @@ impl Optimizer for GridSearch {
                 objective,
                 &mut tracker,
                 &mut trials,
-                &self.policy,
                 &mut quarantine,
-                &self.cache,
-                &self.tracer,
+                &self.core,
             );
         }
-        finish_run(
-            &self.tracer,
-            "grid-search",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 
     fn name(&self) -> &'static str {

@@ -31,6 +31,7 @@
 
 pub mod bo;
 pub mod budget;
+pub mod builder;
 pub mod fingerprint;
 pub mod ga;
 pub mod grid;
@@ -43,6 +44,7 @@ pub mod testfns;
 
 pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
+pub use builder::{CheckpointSink, OptimizerBuilder, OptimizerCore, RunCheckpoint};
 pub use fingerprint::{canonical_f64_bits, FingerprintError};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;

@@ -48,6 +48,7 @@
 //! costs one branch per trial.
 
 use crate::budget::{Budget, BudgetTracker};
+use crate::builder::{OptimizerCore, RunCheckpoint};
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{
     run_trial, CacheStats, CachedTrial, Executor, TrialCache, TrialFailure, TrialOutcome,
@@ -395,23 +396,21 @@ fn record_batch(
     out
 }
 
-/// Evaluate `configs` one by one under `policy`, recording each into
+/// Evaluate `configs` one by one under `core`'s policy, recording each into
 /// `tracker` and `trials`, stopping as soon as the budget trips. Returns the
 /// evaluated `(config, score)` prefix. The quarantine is consulted as a
 /// batch-start snapshot and updated only at the batch end — the same
 /// discipline as [`eval_batch_parallel`], so the two paths always agree.
-#[allow(clippy::too_many_arguments)] // mirrors eval_batch_parallel; bundling would obscure the shared signature
 pub(crate) fn eval_batch_serial(
     configs: Vec<Config>,
     objective: &mut dyn Objective,
     tracker: &mut BudgetTracker,
     trials: &mut Vec<Trial>,
-    policy: &TrialPolicy,
     quarantine: &mut Quarantine,
-    cache: &TrialCache,
-    tracer: &Tracer,
+    core: &OptimizerCore,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
+    let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
     if traced {
         tracer.emit(TraceEvent::BatchStart {
@@ -427,9 +426,9 @@ pub(crate) fn eval_batch_serial(
         let ev = run_contained(
             config,
             base + i,
-            policy,
+            &core.policy,
             quarantine,
-            cache,
+            &core.cache,
             traced,
             &mut |c| objective.evaluate_outcome(c),
         );
@@ -437,36 +436,35 @@ pub(crate) fn eval_batch_serial(
         evals.push(ev);
     }
     let evaluated = evals.len() as u64;
-    let out = record_batch(configs, evals, trials, quarantine, cache, tracer);
+    let out = record_batch(configs, evals, trials, quarantine, &core.cache, tracer);
     if traced {
         tracer.emit(TraceEvent::BatchEnd {
             first_trial: base as u64,
             evaluated,
         });
     }
+    maybe_checkpoint(core, trials, quarantine, tracker);
     out
 }
 
-/// Evaluate `configs` on `executor` under `policy`, recording each into
-/// `tracker` and `trials`, with the budget consulted before every
+/// Evaluate `configs` on `executor` under `core`'s policy, recording each
+/// into `tracker` and `trials`, with the budget consulted before every
 /// evaluation. Containment (catch, classify, retry) runs inside the worker
 /// closure, so a panicking objective costs one trial, never the batch.
 /// Results (and the trial history) come back in proposal order regardless
 /// of thread count; under a pure evaluation-count budget the evaluated
 /// prefix is byte-identical to [`eval_batch_serial`].
-#[allow(clippy::too_many_arguments)] // mirrors eval_batch_serial; bundling would obscure the shared signature
 pub(crate) fn eval_batch_parallel(
     configs: Vec<Config>,
     objective: &dyn BatchObjective,
     executor: &Executor,
     tracker: &mut BudgetTracker,
     trials: &mut Vec<Trial>,
-    policy: &TrialPolicy,
     quarantine: &mut Quarantine,
-    cache: &TrialCache,
-    tracer: &Tracer,
+    core: &OptimizerCore,
 ) -> Vec<(Config, f64)> {
     let base = trials.len();
+    let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
     if traced {
         tracer.emit(TraceEvent::BatchStart {
@@ -485,9 +483,9 @@ pub(crate) fn eval_batch_parallel(
             let ev = run_contained(
                 &configs[i],
                 base + i,
-                policy,
+                &core.policy,
                 snapshot,
-                cache,
+                &core.cache,
                 traced,
                 &mut |c| objective.evaluate_outcome(c),
             );
@@ -497,23 +495,54 @@ pub(crate) fn eval_batch_parallel(
     };
     tracker.absorb(&shared);
     let evaluated = evals.len() as u64;
-    let out = record_batch(configs, evals, trials, quarantine, cache, tracer);
+    let out = record_batch(configs, evals, trials, quarantine, &core.cache, tracer);
     if traced {
         tracer.emit(TraceEvent::BatchEnd {
             first_trial: base as u64,
             evaluated,
         });
     }
+    maybe_checkpoint(core, trials, quarantine, tracker);
     out
+}
+
+/// Hand the committed batch-boundary state to the run's checkpoint sink,
+/// if one is attached, and trace a successful write. Runs *after*
+/// `record_batch` and `BatchEnd`: everything the checkpoint captures —
+/// history, quarantine, cache — is in its index-ordered committed state,
+/// so a resume from this point is thread-count invariant.
+fn maybe_checkpoint(
+    core: &OptimizerCore,
+    trials: &[Trial],
+    quarantine: &Quarantine,
+    tracker: &BudgetTracker,
+) {
+    let Some(sink) = &core.checkpoint else {
+        return;
+    };
+    let state = RunCheckpoint {
+        optimizer: core.name,
+        seed: core.seed,
+        fault_seed: core.policy.faults.seed,
+        trials,
+        quarantine,
+        cache: &core.cache,
+        evals: tracker.evals() as u64,
+    };
+    if let Some(event) = sink.on_batch(&state) {
+        if core.tracer.is_enabled() {
+            core.tracer.emit(event);
+        }
+    }
 }
 
 /// Emit a run-start event; a no-op (not even an allocation) when tracing
 /// is off.
-pub(crate) fn trace_run_start(tracer: &Tracer, name: &str, seed: u64) {
-    if tracer.is_enabled() {
-        tracer.emit(TraceEvent::RunStart {
-            optimizer: name.into(),
-            seed,
+pub(crate) fn trace_run_start(core: &OptimizerCore) {
+    if core.tracer.is_enabled() {
+        core.tracer.emit(TraceEvent::RunStart {
+            optimizer: core.name.into(),
+            seed: core.seed,
         });
     }
 }
@@ -523,13 +552,12 @@ pub(crate) fn trace_run_start(tracer: &Tracer, name: &str, seed: u64) {
 /// [`OptOutcome`] (quarantine log and cache telemetry attached), and emit
 /// the run-end event carrying the trial count and incumbent score.
 pub(crate) fn finish_run(
-    tracer: &Tracer,
-    name: &str,
+    core: &OptimizerCore,
     tracker: &BudgetTracker,
     trials: Vec<Trial>,
     quarantine: Quarantine,
-    cache: &TrialCache,
 ) -> Option<OptOutcome> {
+    let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
     if traced {
         if let Some(reason) = tracker.exhausted_reason() {
@@ -542,11 +570,11 @@ pub(crate) fn finish_run(
     let recorded = trials.len() as u64;
     let out = OptOutcome::from_trials(trials).map(|o| {
         o.with_quarantine(quarantine.into_records())
-            .with_cache_stats(cache.stats())
+            .with_cache_stats(core.cache.stats())
     });
     if traced {
         tracer.emit(TraceEvent::RunEnd {
-            optimizer: name.into(),
+            optimizer: core.name.into(),
             trials: recorded,
             best: out.as_ref().map(|o| o.best_score),
         });

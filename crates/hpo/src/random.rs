@@ -4,63 +4,37 @@
 //! the interleave component of [`crate::smac::SmacLite`].
 
 use crate::budget::Budget;
+use crate::builder::{OptimizerBuilder, OptimizerCore};
 use crate::objective::{
     eval_batch_parallel, eval_batch_serial, finish_run, trace_run_start, BatchObjective, Objective,
     OptOutcome, Optimizer, Quarantine,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{seed_stream, CacheSnapshot, Executor, TrialCache, TrialPolicy};
-use automodel_trace::Tracer;
+use automodel_parallel::{seed_stream, Executor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::Arc;
 
 /// Uniform random search.
 #[derive(Debug, Clone)]
 pub struct RandomSearch {
-    seed: u64,
-    policy: TrialPolicy,
-    cache: Arc<TrialCache>,
-    tracer: Arc<Tracer>,
+    core: OptimizerCore,
+}
+
+impl OptimizerBuilder for RandomSearch {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
 }
 
 impl RandomSearch {
     pub fn new(seed: u64) -> RandomSearch {
         RandomSearch {
-            seed,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env_or_disabled()),
-            tracer: Arc::new(Tracer::disabled()),
+            core: OptimizerCore::new("random-search", seed),
         }
-    }
-
-    /// Replace the trial fault-handling policy (retries, penalty, injected
-    /// faults).
-    pub fn with_policy(mut self, policy: TrialPolicy) -> RandomSearch {
-        self.policy = policy;
-        self
-    }
-
-    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]).
-    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> RandomSearch {
-        self.cache = cache;
-        self
-    }
-
-    /// Seed the trial cache from a persisted snapshot (see
-    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
-    /// warm hits, so a warm-started search skips every evaluation a prior
-    /// run already paid for while recording a byte-identical trial
-    /// history. No-op when the cache is disabled.
-    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> RandomSearch {
-        self.cache.restore(snapshot);
-        self
-    }
-
-    /// Attach a tracer (default: disabled).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> RandomSearch {
-        self.tracer = tracer;
-        self
     }
 
     /// Parallel entry point: propose batches of configurations and score
@@ -84,14 +58,14 @@ impl RandomSearch {
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
-        trace_run_start(&self.tracer, "random-search", self.seed);
+        trace_run_start(&self.core);
         let batch = (executor.threads() * 8).max(8);
         let mut proposed = 0u64;
         while !tracker.exhausted() {
             let configs: Vec<Config> = (0..batch)
                 .map(|k| {
                     let mut rng =
-                        StdRng::seed_from_u64(seed_stream(self.seed, proposed + k as u64, 0));
+                        StdRng::seed_from_u64(seed_stream(self.core.seed, proposed + k as u64, 0));
                     space.sample(&mut rng)
                 })
                 .collect();
@@ -102,23 +76,14 @@ impl RandomSearch {
                 executor,
                 &mut tracker,
                 &mut trials,
-                &self.policy,
                 &mut quarantine,
-                &self.cache,
-                &self.tracer,
+                &self.core,
             );
             if scored.is_empty() {
                 break;
             }
         }
-        finish_run(
-            &self.tracer,
-            "random-search",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 }
 
@@ -129,11 +94,11 @@ impl Optimizer for RandomSearch {
         objective: &mut dyn Objective,
         budget: &Budget,
     ) -> Option<OptOutcome> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.core.seed);
         let mut tracker = budget.start();
         let mut trials = Vec::new();
         let mut quarantine = Quarantine::new();
-        trace_run_start(&self.tracer, "random-search", self.seed);
+        trace_run_start(&self.core);
         while !tracker.exhausted() {
             let config = space.sample(&mut rng);
             eval_batch_serial(
@@ -141,20 +106,11 @@ impl Optimizer for RandomSearch {
                 objective,
                 &mut tracker,
                 &mut trials,
-                &self.policy,
                 &mut quarantine,
-                &self.cache,
-                &self.tracer,
+                &self.core,
             );
         }
-        finish_run(
-            &self.tracer,
-            "random-search",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 
     fn name(&self) -> &'static str {

@@ -14,16 +14,14 @@
 //! Used as the search engine of the Auto-Weka baseline in `automodel-core`.
 
 use crate::budget::Budget;
+use crate::builder::{OptimizerBuilder, OptimizerCore};
 use crate::objective::{
     eval_batch_serial, finish_run, trace_run_start, Objective, OptOutcome, Optimizer, Quarantine,
     Trial,
 };
 use crate::space::{Config, SearchSpace};
-use automodel_parallel::{CacheSnapshot, TrialCache, TrialPolicy};
-use automodel_trace::Tracer;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 /// Regression tree node over dense encoded vectors.
 enum Node {
@@ -170,7 +168,6 @@ impl Forest {
 /// SMAC-lite optimizer.
 #[derive(Debug, Clone)]
 pub struct SmacLite {
-    seed: u64,
     /// Random initial design size.
     pub init_design: usize,
     /// Trees in the surrogate forest.
@@ -179,52 +176,28 @@ pub struct SmacLite {
     pub candidates: usize,
     /// Local perturbations of the incumbent added to the pool.
     pub local_candidates: usize,
-    policy: TrialPolicy,
-    cache: Arc<TrialCache>,
-    tracer: Arc<Tracer>,
+    core: OptimizerCore,
+}
+
+impl OptimizerBuilder for SmacLite {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
 }
 
 impl SmacLite {
     pub fn new(seed: u64) -> SmacLite {
         SmacLite {
-            seed,
             init_design: 8,
             n_trees: 24,
             candidates: 256,
             local_candidates: 64,
-            policy: TrialPolicy::default(),
-            cache: Arc::new(TrialCache::from_env_or_disabled()),
-            tracer: Arc::new(Tracer::disabled()),
+            core: OptimizerCore::new("smac-lite", seed),
         }
-    }
-
-    /// Replace the trial fault-handling policy (retries, penalty, injected
-    /// faults).
-    pub fn with_policy(mut self, policy: TrialPolicy) -> SmacLite {
-        self.policy = policy;
-        self
-    }
-
-    /// Replace the trial cache (default: [`TrialCache::from_env_or_disabled`]).
-    pub fn with_cache(mut self, cache: Arc<TrialCache>) -> SmacLite {
-        self.cache = cache;
-        self
-    }
-
-    /// Seed the trial cache from a persisted snapshot (see
-    /// `automodel_parallel::CacheSnapshot`): restored entries replay as
-    /// warm hits, so a warm-started search skips every evaluation a prior
-    /// run already paid for while recording a byte-identical trial
-    /// history. No-op when the cache is disabled.
-    pub fn with_warm_start(self, snapshot: &CacheSnapshot) -> SmacLite {
-        self.cache.restore(snapshot);
-        self
-    }
-
-    /// Attach a tracer (default: disabled).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> SmacLite {
-        self.tracer = tracer;
-        self
     }
 }
 
@@ -260,7 +233,7 @@ impl Optimizer for SmacLite {
         objective: &mut dyn Objective,
         budget: &Budget,
     ) -> Option<OptOutcome> {
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = StdRng::seed_from_u64(self.core.seed);
         let mut tracker = budget.start();
         let mut trials: Vec<Trial> = Vec::new();
         let mut quarantine = Quarantine::new();
@@ -272,10 +245,8 @@ impl Optimizer for SmacLite {
         // finite penalty (keeping the forest's training targets finite) and
         // repeat offenders are quarantined so the surrogate never revisits
         // them.
-        trace_run_start(&self.tracer, "smac-lite", self.seed);
-        let policy = self.policy.clone();
-        let cache = Arc::clone(&self.cache);
-        let tracer = Arc::clone(&self.tracer);
+        trace_run_start(&self.core);
+        let core = self.core.clone();
         let evaluate = |config: Config,
                         trials: &mut Vec<Trial>,
                         quarantine: &mut Quarantine,
@@ -283,16 +254,8 @@ impl Optimizer for SmacLite {
                         ys: &mut Vec<f64>,
                         tracker: &mut crate::budget::BudgetTracker,
                         objective: &mut dyn Objective| {
-            let scored = eval_batch_serial(
-                vec![config],
-                objective,
-                tracker,
-                trials,
-                &policy,
-                quarantine,
-                &cache,
-                &tracer,
-            );
+            let scored =
+                eval_batch_serial(vec![config], objective, tracker, trials, quarantine, &core);
             for (config, score) in scored {
                 xs.push(space.encode(&config));
                 ys.push(score);
@@ -363,14 +326,7 @@ impl Optimizer for SmacLite {
                 objective,
             );
         }
-        finish_run(
-            &self.tracer,
-            "smac-lite",
-            &tracker,
-            trials,
-            quarantine,
-            &self.cache,
-        )
+        finish_run(&self.core, &tracker, trials, quarantine)
     }
 
     fn name(&self) -> &'static str {
@@ -384,6 +340,8 @@ mod tests {
     use crate::objective::FnObjective;
     use crate::space::{Condition, Domain};
     use crate::testfns::sphere;
+    use automodel_parallel::TrialCache;
+    use std::sync::Arc;
 
     #[test]
     fn forest_fits_a_step_function() {

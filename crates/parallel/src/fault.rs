@@ -150,11 +150,14 @@ pub fn contain<F: FnOnce() -> TrialOutcome>(f: F) -> TrialOutcome {
     }
 }
 
-/// Salt separating the three fault draws so one trial index can carry a
-/// panic, a NaN and a delay independently.
+/// Salt separating the fault draws so one trial index (or IO operation
+/// index) can carry each fault class independently.
 const PANIC_SALT: u64 = 0x70_61_6E_69; // "pani"
 const NAN_SALT: u64 = 0x6E_61_6E_00; // "nan"
 const DELAY_SALT: u64 = 0x64_6C_61_79; // "dlay"
+const TORN_SALT: u64 = 0x74_6F_72_6E; // "torn"
+const SHORT_SALT: u64 = 0x73_68_72_74; // "shrt"
+const ENOSPC_SALT: u64 = 0x6E_6F_73_70; // "nosp"
 
 /// A seeded plan of faults to inject into trial evaluations.
 ///
@@ -174,6 +177,15 @@ pub struct FaultPlan {
     /// Probability that a trial's first attempt sleeps briefly first
     /// (perturbs scheduling; must not perturb results).
     pub delay_rate: f64,
+    /// Probability that a store write is torn (a partial prefix lands,
+    /// then the write errors). Consumed by the store's fault-injecting
+    /// VFS, keyed by IO-operation index, not trial index.
+    pub torn_rate: f64,
+    /// Probability that a store read returns truncated bytes.
+    pub short_read_rate: f64,
+    /// Probability that a store write fails up front as if the device
+    /// were full.
+    pub enospc_rate: f64,
     /// Trial indices whose first attempt panics.
     pub panic_at: BTreeSet<u64>,
     /// Trial indices whose first attempt scores NaN.
@@ -208,10 +220,17 @@ impl FaultPlan {
         self.panic_rate <= 0.0
             && self.nan_rate <= 0.0
             && self.delay_rate <= 0.0
+            && !self.has_io_faults()
             && self.panic_at.is_empty()
             && self.nan_at.is_empty()
             && self.delay_at.is_empty()
             && self.timeout_at.is_empty()
+    }
+
+    /// Does this plan inject any store IO faults? (Decides whether the
+    /// store wraps its VFS in the fault-injecting layer.)
+    pub fn has_io_faults(&self) -> bool {
+        self.torn_rate > 0.0 || self.short_read_rate > 0.0 || self.enospc_rate > 0.0
     }
 
     /// Uniform fraction in `[0, 1)` for `(seed ⊕ salt, index)`.
@@ -239,6 +258,22 @@ impl FaultPlan {
         self.timeout_at.contains(&index)
     }
 
+    /// Should store IO operation `op` tear its write? (`op` counts VFS
+    /// operations, not trials.)
+    pub fn injects_torn_write(&self, op: u64) -> bool {
+        self.torn_rate > 0.0 && self.draw(TORN_SALT, op) < self.torn_rate
+    }
+
+    /// Should store IO operation `op` return a short read?
+    pub fn injects_short_read(&self, op: u64) -> bool {
+        self.short_read_rate > 0.0 && self.draw(SHORT_SALT, op) < self.short_read_rate
+    }
+
+    /// Should store IO operation `op` fail as if the device were full?
+    pub fn injects_enospc(&self, op: u64) -> bool {
+        self.enospc_rate > 0.0 && self.draw(ENOSPC_SALT, op) < self.enospc_rate
+    }
+
     /// Parse the `AUTOMODEL_FAULTS` environment variable:
     /// `seed=3,panic=0.1,nan=0.1,delay=0.05`. Unknown keys and malformed
     /// values are an [`EnvError`] — a mistyped drill spec must stop the
@@ -252,9 +287,11 @@ impl FaultPlan {
     }
 
     /// Parse a `key=value` comma list (the `AUTOMODEL_FAULTS` format).
-    /// Keys are `seed` (u64), `panic`/`nan`/`delay` (rates in `[0, 1]`);
-    /// anything else — an unknown key, a bare word, a missing or
-    /// unparsable value — is an [`EnvError`] quoting the whole spec.
+    /// Keys are `seed` (u64) and the rates in `[0, 1]`:
+    /// `panic`/`nan`/`delay` for trial faults, `torn`/`short_read`/
+    /// `enospc` for store IO faults; anything else — an unknown key, a
+    /// bare word, a missing or unparsable value — is an [`EnvError`]
+    /// quoting the whole spec.
     pub fn parse(spec: &str) -> Result<FaultPlan, EnvError> {
         let bad = |expected: &'static str| EnvError::new(crate::env::FAULTS_ENV, spec, expected);
         let mut plan = FaultPlan::none();
@@ -281,7 +318,14 @@ impl FaultPlan {
                 "panic" => plan.panic_rate = rate("panic=<rate in [0,1]>")?,
                 "nan" => plan.nan_rate = rate("nan=<rate in [0,1]>")?,
                 "delay" => plan.delay_rate = rate("delay=<rate in [0,1]>")?,
-                _ => return Err(bad("keys seed, panic, nan, delay")),
+                "torn" => plan.torn_rate = rate("torn=<rate in [0,1]>")?,
+                "short_read" => plan.short_read_rate = rate("short_read=<rate in [0,1]>")?,
+                "enospc" => plan.enospc_rate = rate("enospc=<rate in [0,1]>")?,
+                _ => {
+                    return Err(bad(
+                        "keys seed, panic, nan, delay, torn, short_read, enospc",
+                    ))
+                }
             }
         }
         Ok(plan)
@@ -501,6 +545,51 @@ mod tests {
         assert_eq!(plan.delay_rate, 0.05);
         assert!(FaultPlan::parse("").unwrap().is_empty());
         assert!(FaultPlan::parse(" , ,").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_reads_io_fault_keys() {
+        let plan = FaultPlan::parse("seed=5,torn=0.3,short_read=0.2,enospc=0.1").unwrap();
+        assert_eq!(plan.seed, 5);
+        assert_eq!(plan.torn_rate, 0.3);
+        assert_eq!(plan.short_read_rate, 0.2);
+        assert_eq!(plan.enospc_rate, 0.1);
+        assert!(plan.has_io_faults());
+        assert!(!plan.is_empty());
+        assert!(!FaultPlan::parse("seed=5,panic=0.1")
+            .unwrap()
+            .has_io_faults());
+    }
+
+    #[test]
+    fn io_faults_are_deterministic_per_operation_index() {
+        let plan = FaultPlan::parse("seed=5,torn=0.3,short_read=0.3,enospc=0.2").unwrap();
+        let fired: Vec<(bool, bool, bool)> = (0..200)
+            .map(|op| {
+                (
+                    plan.injects_torn_write(op),
+                    plan.injects_short_read(op),
+                    plan.injects_enospc(op),
+                )
+            })
+            .collect();
+        let again: Vec<(bool, bool, bool)> = (0..200)
+            .map(|op| {
+                (
+                    plan.injects_torn_write(op),
+                    plan.injects_short_read(op),
+                    plan.injects_enospc(op),
+                )
+            })
+            .collect();
+        assert_eq!(fired, again);
+        let torn = fired.iter().filter(|f| f.0).count();
+        assert!(torn > 20 && torn < 120, "torn rate off: {torn}/200");
+        // Trial faults and IO faults draw from salted, independent streams.
+        let trial_plan = FaultPlan::with_rates(5, 0.3, 0.0, 0.0);
+        let panics: Vec<bool> = (0..200).map(|i| trial_plan.injects_panic(i)).collect();
+        let torn_bools: Vec<bool> = fired.iter().map(|f| f.0).collect();
+        assert_ne!(panics, torn_bools, "salts failed to separate the streams");
     }
 
     #[test]

@@ -272,9 +272,16 @@ impl StoreArtifact {
         Ok(w.finish())
     }
 
-    /// Write to `path`.
+    /// Durably write to `path` via [`crate::vfs::atomic_write`]: a crash
+    /// mid-save leaves either the previous artifact or the new one,
+    /// never a torn hybrid.
     pub fn save(&self, path: &Path) -> Result<(), StoreError> {
-        Ok(std::fs::write(path, self.to_bytes()?)?)
+        let bytes = self.to_bytes()?;
+        Ok(crate::vfs::atomic_write(
+            crate::vfs::default_vfs().as_ref(),
+            path,
+            &bytes,
+        )?)
     }
 
     /// Decode from a verified [`StoreReader`] (each section is
@@ -311,8 +318,12 @@ impl StoreArtifact {
         StoreArtifact::from_reader(&StoreReader::open_bytes(bytes)?)
     }
 
-    /// Read and decode the artifact at `path`.
+    /// Read and decode the artifact at `path` (transient-retrying read;
+    /// see [`crate::vfs::read_durable`]).
     pub fn load(path: &Path) -> Result<StoreArtifact, StoreError> {
-        StoreArtifact::from_bytes(std::fs::read(path)?)
+        StoreArtifact::from_bytes(crate::vfs::read_durable(
+            crate::vfs::default_vfs().as_ref(),
+            path,
+        )?)
     }
 }

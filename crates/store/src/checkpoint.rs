@@ -1,0 +1,563 @@
+//! Crash-recovery run checkpoints: periodic durable snapshots of an
+//! optimizer run, written at batch boundaries, survivable across
+//! `kill -9`.
+//!
+//! A [`Checkpointer`] implements `automodel_hpo`'s `CheckpointSink`: at
+//! every batch boundary it packs the committed run state into an
+//! `AMSTORE` container (sections below) and atomically replaces the
+//! oldest of `keep` rotating *generation* files (`<base>.g0`,
+//! `<base>.g1`, …). Because each write goes through
+//! [`crate::vfs::atomic_write`] and the previous generation is left
+//! untouched, a crash at *any* byte leaves at least one fully
+//! verifiable checkpoint on disk.
+//!
+//! ```text
+//! tag   payload
+//! RMET  optimizer name, optimizer seed, checkpoint seq, trial count,
+//!       recorded evals
+//! RHIS  trial-history fingerprint: one "{index}|{config}#{score_bits}"
+//!       line per trial (the byte-identity witness)
+//! RQUA  quarantined configs: key, failure kind, message, trial index,
+//!       attempts
+//! TCHS  trial-cache snapshot (same payload as the trained artifact)
+//! RCUR  fault-plan seed and next trial index — the deterministic
+//!       seed-stream cursor
+//! ```
+//!
+//! [`load_latest`] walks the generations, digest-verifies each, and
+//! returns the one with the highest sequence number; corruption is a
+//! typed [`RecoveryError`], never a panic. Resume is *replay-based*:
+//! the caller restores the `TCHS` snapshot into the trial cache and
+//! re-runs the search from the start — completed trials replay as warm
+//! hits (paying no evaluation cost) and the cache-identity contract
+//! makes the resumed history byte-identical to the uninterrupted run.
+//!
+//! Checkpoint writes must never take down the run they protect: write
+//! failures are latched in [`Checkpointer::last_error`] and `on_batch`
+//! returns `None`. The `AUTOMODEL_CRASH_AFTER=n` environment variable
+//! aborts the process immediately after the `n`-th *successful*
+//! checkpoint write — the kill-drill in `tests/crash_recovery.rs` uses
+//! it to simulate `kill -9` at exact batch boundaries.
+
+use crate::artifact::{decode_cache_snapshot, encode_cache_snapshot};
+use crate::codec::{ByteReader, ByteWriter};
+use crate::error::StoreError;
+use crate::format::{StoreReader, StoreWriter};
+use crate::vfs::{atomic_write, default_vfs, read_durable, Vfs};
+use automodel_hpo::{CheckpointSink, RunCheckpoint};
+use automodel_parallel::{CacheSnapshot, FailureKind};
+use automodel_trace::TraceEvent;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Run-checkpoint metadata section.
+pub const TAG_RUN_META: [u8; 4] = *b"RMET";
+/// Trial-history fingerprint section.
+pub const TAG_RUN_HISTORY: [u8; 4] = *b"RHIS";
+/// Quarantine-state section.
+pub const TAG_RUN_QUARANTINE: [u8; 4] = *b"RQUA";
+/// Seed-stream cursor section.
+pub const TAG_RUN_CURSOR: [u8; 4] = *b"RCUR";
+
+/// Generations retained on disk. Two suffices: the write in flight can
+/// destroy at most one, leaving the other verifiable.
+pub const DEFAULT_KEEP: usize = 2;
+
+/// Recovery could not produce a usable checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecoveryError {
+    /// No generation file exists at all — nothing was ever checkpointed
+    /// (or the base path is wrong). Callers cold-start.
+    NoCheckpoint(PathBuf),
+    /// Generation files exist but none verified; each failure is
+    /// recorded per path. Callers cold-start — and should say why.
+    AllCorrupt(Vec<(PathBuf, StoreError)>),
+    /// A checkpoint write failed (latched by the sink, surfaced at run
+    /// end).
+    Write(StoreError),
+}
+
+impl fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryError::NoCheckpoint(base) => {
+                write!(f, "no checkpoint found at {}", base.display())
+            }
+            RecoveryError::AllCorrupt(failures) => {
+                write!(f, "all {} checkpoint generations corrupt:", failures.len())?;
+                for (path, err) in failures {
+                    write!(f, " [{}: {}]", path.display(), err)?;
+                }
+                Ok(())
+            }
+            RecoveryError::Write(e) => write!(f, "checkpoint write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// One quarantined config as persisted in `RQUA`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuarantineEntry {
+    /// Display form of the config (the quarantine key).
+    pub key: String,
+    /// The failure class that exhausted the retries.
+    pub kind: FailureKind,
+    /// Human-readable failure detail.
+    pub message: String,
+    /// Trial index at which the config was quarantined.
+    pub trial_index: u64,
+    /// Attempts spent before giving up.
+    pub attempts: u64,
+}
+
+/// A decoded, digest-verified run checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointState {
+    /// Wire name of the optimizer that wrote it.
+    pub optimizer: String,
+    /// The optimizer's RNG seed.
+    pub seed: u64,
+    /// The fault plan's seed (base of the trial retry seed stream).
+    pub fault_seed: u64,
+    /// Monotonic checkpoint sequence number (0-based).
+    pub seq: u64,
+    /// Trials recorded at the boundary.
+    pub trials: u64,
+    /// Budget consumed at the boundary.
+    pub evals: u64,
+    /// Next trial index the run would have assigned.
+    pub next_index: u64,
+    /// Trial-history fingerprint, one line per trial.
+    pub history: String,
+    /// Quarantined configs at the boundary.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Trial-cache snapshot — restore it to warm-replay the run.
+    pub cache: CacheSnapshot,
+}
+
+/// Render the trial history as the canonical fingerprint: one
+/// `"{index}|{config}#{score_bits:016x}"` line per trial. This is the
+/// same shape the determinism tests compare, so checkpoint identity is
+/// literally test identity.
+pub fn history_fingerprint(trials: &[automodel_hpo::Trial]) -> String {
+    trials
+        .iter()
+        .map(|t| format!("{}|{}#{:016x}\n", t.index, t.config, t.score.to_bits()))
+        .collect()
+}
+
+/// Path of generation `g` under `base` (`<base>.g0`, `<base>.g1`, …).
+fn generation_path(base: &Path, g: usize) -> PathBuf {
+    let mut name = base
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "checkpoint".to_string());
+    name.push_str(&format!(".g{g}"));
+    base.with_file_name(name)
+}
+
+fn encode_quarantine(records: &[automodel_hpo::QuarantineRecord]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(records.len() as u64);
+    for r in records {
+        w.put_str(&r.key);
+        w.put_u8(match r.failure.kind {
+            FailureKind::Panicked => 0,
+            FailureKind::Diverged => 1,
+            FailureKind::NonFinite => 2,
+            FailureKind::TimedOut => 3,
+        });
+        w.put_str(&r.failure.message);
+        w.put_u64(r.trial_index as u64);
+        w.put_u64(r.attempts as u64);
+    }
+    w.into_bytes()
+}
+
+fn decode_quarantine(bytes: &[u8]) -> Result<Vec<QuarantineEntry>, StoreError> {
+    let mut r = ByteReader::new(bytes);
+    let n = r.get_len("quarantine")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let key = r.get_str("quarantine key")?;
+        let kind = match r.get_u8("quarantine kind")? {
+            0 => FailureKind::Panicked,
+            1 => FailureKind::Diverged,
+            2 => FailureKind::NonFinite,
+            3 => FailureKind::TimedOut,
+            other => {
+                return Err(StoreError::Malformed(format!(
+                    "quarantine: failure kind {other}"
+                )))
+            }
+        };
+        let message = r.get_str("quarantine message")?;
+        let trial_index = r.get_u64("quarantine trial index")?;
+        let attempts = r.get_u64("quarantine attempts")?;
+        out.push(QuarantineEntry {
+            key,
+            kind,
+            message,
+            trial_index,
+            attempts,
+        });
+    }
+    r.expect_end("quarantine")?;
+    Ok(out)
+}
+
+/// Serialize one batch-boundary state into checkpoint container bytes.
+fn encode_checkpoint(state: &RunCheckpoint<'_>, seq: u64) -> Result<Vec<u8>, StoreError> {
+    let mut meta = ByteWriter::new();
+    meta.put_str(state.optimizer);
+    meta.put_u64(state.seed);
+    meta.put_u64(seq);
+    meta.put_u64(state.trials.len() as u64);
+    meta.put_u64(state.evals);
+    let mut cursor = ByteWriter::new();
+    cursor.put_u64(state.fault_seed);
+    cursor.put_u64(state.trials.len() as u64);
+    let mut w = StoreWriter::new();
+    w.section(TAG_RUN_META, meta.into_bytes())?;
+    w.section(
+        TAG_RUN_HISTORY,
+        history_fingerprint(state.trials).into_bytes(),
+    )?;
+    w.section(
+        TAG_RUN_QUARANTINE,
+        encode_quarantine(state.quarantine.records()),
+    )?;
+    w.section(
+        crate::artifact::TAG_TRIAL_CACHE,
+        encode_cache_snapshot(&state.cache.snapshot()),
+    )?;
+    w.section(TAG_RUN_CURSOR, cursor.into_bytes())?;
+    Ok(w.finish())
+}
+
+/// Decode a digest-verified checkpoint container.
+fn decode_checkpoint(reader: &StoreReader) -> Result<CheckpointState, StoreError> {
+    let mut meta = ByteReader::new(reader.section(TAG_RUN_META)?);
+    let optimizer = meta.get_str("checkpoint optimizer")?;
+    let seed = meta.get_u64("checkpoint seed")?;
+    let seq = meta.get_u64("checkpoint seq")?;
+    let trials = meta.get_u64("checkpoint trials")?;
+    let evals = meta.get_u64("checkpoint evals")?;
+    meta.expect_end("checkpoint meta")?;
+    let history_bytes = reader.section(TAG_RUN_HISTORY)?;
+    let history = std::str::from_utf8(history_bytes)
+        .map_err(|_| StoreError::Malformed("checkpoint history: invalid utf-8".into()))?
+        .to_string();
+    let quarantine = decode_quarantine(reader.section(TAG_RUN_QUARANTINE)?)?;
+    let cache = decode_cache_snapshot(reader.section(crate::artifact::TAG_TRIAL_CACHE)?)?;
+    let mut cursor = ByteReader::new(reader.section(TAG_RUN_CURSOR)?);
+    let fault_seed = cursor.get_u64("checkpoint fault seed")?;
+    let next_index = cursor.get_u64("checkpoint next index")?;
+    cursor.expect_end("checkpoint cursor")?;
+    Ok(CheckpointState {
+        optimizer,
+        seed,
+        fault_seed,
+        seq,
+        trials,
+        evals,
+        next_index,
+        history,
+        quarantine,
+        cache,
+    })
+}
+
+/// Load the newest verifiable checkpoint under `base`, trying all
+/// `keep` generations. Returns [`RecoveryError::NoCheckpoint`] when no
+/// generation file exists, [`RecoveryError::AllCorrupt`] when files
+/// exist but none survives digest verification — never panics, however
+/// hostile the bytes.
+pub fn load_latest(base: &Path, keep: usize) -> Result<CheckpointState, RecoveryError> {
+    let vfs = default_vfs();
+    let mut best: Option<CheckpointState> = None;
+    let mut failures: Vec<(PathBuf, StoreError)> = Vec::new();
+    let mut present = 0usize;
+    for g in 0..keep.max(1) {
+        let path = generation_path(base, g);
+        let bytes = match read_durable(vfs.as_ref(), &path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => {
+                present += 1;
+                failures.push((path, StoreError::from(e)));
+                continue;
+            }
+        };
+        present += 1;
+        let decoded = StoreReader::open_bytes(bytes)
+            .and_then(|r| r.verify_all().map(|()| r))
+            .and_then(|r| decode_checkpoint(&r));
+        match decoded {
+            Ok(state) => {
+                if best.as_ref().is_none_or(|b| state.seq > b.seq) {
+                    best = Some(state);
+                }
+            }
+            Err(e) => failures.push((path, e)),
+        }
+    }
+    match best {
+        Some(state) => Ok(state),
+        None if present == 0 => Err(RecoveryError::NoCheckpoint(base.to_path_buf())),
+        None => Err(RecoveryError::AllCorrupt(failures)),
+    }
+}
+
+/// The durable checkpoint sink: rotates `keep` generation files under a
+/// base path, writing each atomically. Cloneable into `Arc<dyn
+/// CheckpointSink>`; all state is interior so `on_batch` takes `&self`.
+#[derive(Debug)]
+pub struct Checkpointer {
+    base: PathBuf,
+    keep: usize,
+    vfs: Arc<dyn Vfs>,
+    /// Next sequence number to assign.
+    seq: AtomicU64,
+    /// Successful writes so far (the crash-drill counter).
+    written: AtomicU64,
+    /// Abort the process after this many successful writes
+    /// (`AUTOMODEL_CRASH_AFTER`); absent in normal operation.
+    crash_after: Option<u64>,
+    last_error: Mutex<Option<RecoveryError>>,
+}
+
+impl Checkpointer {
+    /// A checkpointer writing `<base>.g0` / `<base>.g1` with the
+    /// default retention, honouring `AUTOMODEL_CRASH_AFTER`.
+    pub fn new(base: impl Into<PathBuf>) -> Checkpointer {
+        let crash_after = std::env::var("AUTOMODEL_CRASH_AFTER")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0);
+        Checkpointer {
+            base: base.into(),
+            keep: DEFAULT_KEEP,
+            vfs: default_vfs(),
+            seq: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+            crash_after,
+            last_error: Mutex::new(None),
+        }
+    }
+
+    /// Override the number of retained generations (min 1).
+    pub fn with_keep(mut self, keep: usize) -> Checkpointer {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// The base path this checkpointer rotates under.
+    pub fn base(&self) -> &Path {
+        &self.base
+    }
+
+    /// Successful checkpoint writes so far.
+    pub fn written(&self) -> u64 {
+        self.written.load(Ordering::SeqCst)
+    }
+
+    /// The latched write failure, if any checkpoint write failed.
+    /// Checkpointing never aborts the run it protects; callers inspect
+    /// this at run end to surface degraded durability.
+    pub fn last_error(&self) -> Option<RecoveryError> {
+        // lint:allow(no-panic-lib): mutex poisoning requires a prior
+        // panic while latching, which this module never does.
+        self.last_error.lock().unwrap().clone()
+    }
+}
+
+impl CheckpointSink for Checkpointer {
+    fn on_batch(&self, state: &RunCheckpoint<'_>) -> Option<TraceEvent> {
+        let seq = self.seq.fetch_add(1, Ordering::SeqCst);
+        let bytes = match encode_checkpoint(state, seq) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                // lint:allow(no-panic-lib): see last_error.
+                *self.last_error.lock().unwrap() = Some(RecoveryError::Write(e));
+                return None;
+            }
+        };
+        let path = generation_path(&self.base, (seq as usize) % self.keep);
+        if let Err(e) = atomic_write(self.vfs.as_ref(), &path, &bytes) {
+            // lint:allow(no-panic-lib): see last_error.
+            *self.last_error.lock().unwrap() = Some(RecoveryError::Write(StoreError::from(e)));
+            return None;
+        }
+        let written = self.written.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.crash_after == Some(written) {
+            // The kill-drill's simulated `kill -9`: no unwinding, no
+            // destructors, no flushes — the process just stops.
+            // lint:allow(no-adhoc-print): the process aborts on the next line; a TraceEvent would die in a buffer
+            eprintln!("AUTOMODEL_CRASH_AFTER: aborting after checkpoint {written}");
+            std::process::abort();
+        }
+        Some(TraceEvent::Checkpoint {
+            seq,
+            trials: state.trials.len() as u64,
+            bytes: bytes.len() as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_hpo::{
+        Budget, Config, Domain, FnObjective, Optimizer, OptimizerBuilder, RandomSearch, SearchSpace,
+    };
+
+    fn space1d() -> SearchSpace {
+        SearchSpace::builder()
+            .add("x", Domain::float(-1.0, 1.0))
+            .build()
+            .unwrap()
+    }
+
+    fn run_with_checkpointer(dir: &Path, evals: usize) -> (String, PathBuf) {
+        let base = dir.join("run.ckpt");
+        let sink = Arc::new(Checkpointer::new(&base));
+        let mut obj = FnObjective(|c: &Config| -c.float_or("x", 0.0).abs());
+        let out = RandomSearch::new(11)
+            .with_checkpoint(sink.clone())
+            .optimize(&space1d(), &mut obj, &Budget::evals(evals))
+            .unwrap();
+        assert!(sink.last_error().is_none());
+        assert_eq!(sink.written(), evals as u64);
+        (history_fingerprint(&out.trials), base)
+    }
+
+    #[test]
+    fn checkpoint_round_trips_the_run_state() {
+        let dir = std::env::temp_dir().join(format!("amckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (history, base) = run_with_checkpointer(&dir, 7);
+        let state = load_latest(&base, DEFAULT_KEEP).unwrap();
+        assert_eq!(state.optimizer, "random-search");
+        assert_eq!(state.seed, 11);
+        assert_eq!(state.seq, 6);
+        assert_eq!(state.trials, 7);
+        assert_eq!(state.next_index, 7);
+        assert_eq!(state.history, history);
+        assert!(state.quarantine.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generations_rotate_and_newest_wins() {
+        let dir = std::env::temp_dir().join(format!("amckpt-rot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, base) = run_with_checkpointer(&dir, 5);
+        // 5 writes over 2 generations: g0 holds seq 4, g1 holds seq 3.
+        assert!(generation_path(&base, 0).exists());
+        assert!(generation_path(&base, 1).exists());
+        assert_eq!(load_latest(&base, DEFAULT_KEEP).unwrap().seq, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupting_newest_falls_back_to_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("amckpt-fall-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, base) = run_with_checkpointer(&dir, 5);
+        let newest = generation_path(&base, 0);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&newest, &bytes).unwrap();
+        let state = load_latest(&base, DEFAULT_KEEP).unwrap();
+        assert_eq!(state.seq, 3, "fallback must pick the surviving generation");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_and_corrupt_checkpoints_are_typed_never_panic() {
+        let dir = std::env::temp_dir().join(format!("amckpt-err-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("nothing.ckpt");
+        assert!(matches!(
+            load_latest(&base, DEFAULT_KEEP),
+            Err(RecoveryError::NoCheckpoint(_))
+        ));
+        // Both generations garbage → AllCorrupt with one failure each.
+        std::fs::write(generation_path(&base, 0), b"garbage").unwrap();
+        std::fs::write(generation_path(&base, 1), b"more garbage").unwrap();
+        match load_latest(&base, DEFAULT_KEEP) {
+            Err(RecoveryError::AllCorrupt(failures)) => assert_eq!(failures.len(), 2),
+            other => panic!("expected AllCorrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_truncation_and_bitflip_of_a_checkpoint_is_survivable() {
+        // The crown-jewel corruption sweep at checkpoint scope: whatever
+        // a torn write leaves in the newest generation, recovery either
+        // falls back to the previous generation or fails typed.
+        let dir = std::env::temp_dir().join(format!("amckpt-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (_, base) = run_with_checkpointer(&dir, 5);
+        let newest = generation_path(&base, 0);
+        let good = std::fs::read(&newest).unwrap();
+        for len in (0..good.len()).step_by(7) {
+            std::fs::write(&newest, &good[..len]).unwrap();
+            let state = load_latest(&base, DEFAULT_KEEP).unwrap();
+            assert_eq!(state.seq, 3, "truncation at {len} must fall back");
+        }
+        for i in (0..good.len()).step_by(5) {
+            let mut corrupt = good.clone();
+            corrupt[i] ^= 0x01;
+            std::fs::write(&newest, &corrupt).unwrap();
+            let state = load_latest(&base, DEFAULT_KEEP).unwrap();
+            assert_eq!(state.seq, 3, "bit flip at {i} must fall back");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn resume_replays_to_an_identical_history() {
+        use automodel_parallel::TrialCache;
+        let dir = std::env::temp_dir().join(format!("amckpt-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let space = space1d();
+        let obj = |c: &Config| -c.float_or("x", 0.0).abs();
+        let base = dir.join("run.ckpt");
+        // "Interrupted" run: checkpoint every batch, stop caring at 9.
+        let sink = Arc::new(Checkpointer::new(&base));
+        let full = {
+            let mut o = FnObjective(obj);
+            RandomSearch::new(3)
+                .with_cache(Arc::new(TrialCache::default()))
+                .with_checkpoint(sink)
+                .optimize(&space, &mut o, &Budget::evals(9))
+                .unwrap()
+        };
+        // Resume path: restore the snapshot, re-run from the start.
+        let state = load_latest(&base, DEFAULT_KEEP).unwrap();
+        let cache = Arc::new(TrialCache::default());
+        cache.restore(&state.cache);
+        let resumed = {
+            let mut o = FnObjective(|_c: &Config| panic!("must replay from cache"));
+            RandomSearch::new(3)
+                .with_cache(cache)
+                .with_policy(automodel_hpo::TrialPolicy::default())
+                .optimize(&space, &mut o, &Budget::evals(9))
+                .unwrap()
+        };
+        assert_eq!(
+            history_fingerprint(&full.trials),
+            history_fingerprint(&resumed.trials),
+            "warm replay must be byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -92,10 +92,17 @@ impl StoreWriter {
         out
     }
 
-    /// Serialize and write to `path` (the workspace's single legal
-    /// artifact-persistence site; see lint L14 `no-adhoc-persistence`).
+    /// Serialize and durably write to `path` (the workspace's single
+    /// legal artifact-persistence site; see lint L14
+    /// `no-adhoc-persistence`). Goes through [`crate::vfs::atomic_write`]
+    /// — temp file, fsync, rename — so a crash mid-write can never leave
+    /// a half-written container behind (lint L15 `durable-write`).
     pub fn write_to(self, path: &Path) -> Result<(), StoreError> {
-        Ok(std::fs::write(path, self.finish())?)
+        Ok(crate::vfs::atomic_write(
+            crate::vfs::default_vfs().as_ref(),
+            path,
+            &self.finish(),
+        )?)
     }
 }
 
@@ -158,9 +165,15 @@ impl StoreReader {
         Ok(StoreReader { bytes, rows })
     }
 
-    /// Read and verify the artifact at `path`.
+    /// Read and verify the artifact at `path`. Reads through
+    /// [`crate::vfs::read_durable`], which retries transient IO errors;
+    /// anything that still comes back wrong (e.g. an injected short
+    /// read) fails digest verification below.
     pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
-        StoreReader::open_bytes(std::fs::read(path)?)
+        StoreReader::open_bytes(crate::vfs::read_durable(
+            crate::vfs::default_vfs().as_ref(),
+            path,
+        )?)
     }
 
     /// Tags present, in table order.

@@ -33,13 +33,20 @@
 //! scattering `fs::write` calls and ad-hoc formats.
 
 pub mod artifact;
+pub mod checkpoint;
 pub mod codec;
 pub mod error;
 pub mod format;
+pub mod vfs;
 
 pub use artifact::{
     StoreArtifact, TAG_ALGORITHMS, TAG_ARCHITECTURE, TAG_CRELATIONS, TAG_MASK, TAG_SNA_WEIGHTS,
     TAG_STANDARDIZER, TAG_TRIAL_CACHE,
 };
+pub use checkpoint::{
+    history_fingerprint, load_latest, CheckpointState, Checkpointer, QuarantineEntry,
+    RecoveryError, DEFAULT_KEEP, TAG_RUN_CURSOR, TAG_RUN_HISTORY, TAG_RUN_META, TAG_RUN_QUARANTINE,
+};
 pub use error::StoreError;
 pub use format::{StoreReader, StoreWriter, FORMAT_VERSION, MAGIC};
+pub use vfs::{atomic_write, default_vfs, read_durable, FaultVfs, StdVfs, Vfs, WRITE_ATTEMPTS};

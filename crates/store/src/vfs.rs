@@ -1,0 +1,353 @@
+//! The store's injectable filesystem — every byte the crate persists or
+//! reads back flows through a [`Vfs`].
+//!
+//! Two implementations:
+//!
+//! * [`StdVfs`] — the real filesystem with *durable* semantics: writes
+//!   are `fsync`ed before they count, renames are followed by a
+//!   best-effort directory sync so the new name survives a crash.
+//! * [`FaultVfs`] — wraps `StdVfs` and injects seeded IO faults (torn
+//!   writes, short reads, ENOSPC) from the same [`FaultPlan`] hash
+//!   stream that drives trial-level fault injection, keyed by a
+//!   per-instance operation counter. Deterministic per seed; a guard
+//!   bit keeps two consecutive operations from both faulting, so the
+//!   bounded retry below always converges.
+//!
+//! On top of the trait sit the two durability helpers the rest of the
+//! crate uses instead of raw `fs` calls (enforced by lint L15
+//! `durable-write`):
+//!
+//! * [`atomic_write`] — write-to-temp + fsync + rename, with up to
+//!   [`WRITE_ATTEMPTS`] deterministic retries on transient errors. A
+//!   reader can never observe a half-written file: it sees the old
+//!   bytes or the new bytes, nothing in between.
+//! * [`read_durable`] — a read with the same bounded retry on
+//!   transient errors. Short reads are *not* retried here: they return
+//!   `Ok` with truncated bytes and are caught downstream by the
+//!   container's digest verification (and, for checkpoints, by
+//!   generation fallback).
+
+use automodel_parallel::FaultPlan;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maximum attempts for one logical durable operation (first try plus
+/// retries on transient errors).
+pub const WRITE_ATTEMPTS: u32 = 3;
+
+/// The filesystem surface the store needs. Implementations must be
+/// usable from multiple threads (the checkpointer is shared behind an
+/// `Arc`).
+pub trait Vfs: Send + Sync + fmt::Debug {
+    /// Read the full contents of `path`.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Create/truncate `path` with `bytes` and make the *data* durable
+    /// (`fsync`) before returning.
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Atomically replace `to` with `from`, then make the *name* durable
+    /// (directory sync, best effort).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Delete `path`.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem, with fsync-on-write durability.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        // lint:allow(durable-write): this is the atomic-write primitive itself
+        let mut file = fs::File::create(path)?;
+        file.write_all(bytes)?;
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)?;
+        // Make the rename itself durable. Directory fsync is not
+        // supported everywhere (and never on Windows); failing to sync
+        // the directory weakens crash safety but does not corrupt data,
+        // so it stays best-effort.
+        if let Some(parent) = to.parent() {
+            if let Ok(dir) = fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+}
+
+/// Marker prefix on injected fault messages; [`is_transient`] treats
+/// these as retryable, mirroring how a real transient IO error would be.
+const INJECTED_PREFIX: &str = "injected ";
+
+/// A [`StdVfs`] that injects seeded IO faults per [`FaultPlan`].
+///
+/// Each read/write operation draws from the plan's hash stream keyed by
+/// this instance's operation counter, so a given seed produces the same
+/// fault schedule every run. The `last_faulted` guard clears after one
+/// injection, guaranteeing the *next* operation is clean — bounded
+/// retry ([`WRITE_ATTEMPTS`]) therefore always recovers.
+#[derive(Debug)]
+pub struct FaultVfs {
+    inner: StdVfs,
+    plan: FaultPlan,
+    ops: AtomicU64,
+    last_faulted: AtomicBool,
+}
+
+impl FaultVfs {
+    pub fn new(plan: FaultPlan) -> FaultVfs {
+        FaultVfs {
+            inner: StdVfs,
+            plan,
+            ops: AtomicU64::new(0),
+            last_faulted: AtomicBool::new(false),
+        }
+    }
+
+    /// Claim the next operation index and decide whether it may fault.
+    /// Returns `None` when the previous operation already faulted (the
+    /// guard guarantees forward progress under retry).
+    fn next_op(&self) -> Option<u64> {
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        if self.last_faulted.swap(false, Ordering::Relaxed) {
+            None
+        } else {
+            Some(op)
+        }
+    }
+
+    fn arm(&self) {
+        self.last_faulted.store(true, Ordering::Relaxed);
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        let bytes = self.inner.read(path)?;
+        if let Some(op) = self.next_op() {
+            if self.plan.injects_short_read(op) && bytes.len() > 1 {
+                // A short read is not an error at the syscall layer: the
+                // caller gets truncated bytes and the container digests
+                // catch it. Truncate to roughly half.
+                self.arm();
+                let keep = bytes.len() / 2;
+                return Ok(bytes[..keep].to_vec());
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(op) = self.next_op() {
+            if self.plan.injects_enospc(op) {
+                self.arm();
+                return Err(io::Error::other(format!(
+                    "{INJECTED_PREFIX}enospc at io op {op}"
+                )));
+            }
+            if self.plan.injects_torn_write(op) && !bytes.is_empty() {
+                // Land a partial prefix, then fail — the classic torn
+                // write. The caller's retry overwrites the torn bytes.
+                self.arm();
+                let keep = bytes.len() / 2;
+                let _ = self.inner.write(path, &bytes[..keep]);
+                return Err(io::Error::other(format!(
+                    "{INJECTED_PREFIX}torn write at io op {op}"
+                )));
+            }
+        }
+        self.inner.write(path, bytes)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+}
+
+/// Whether an IO error is worth retrying: OS-transient kinds, plus the
+/// injected faults (which model transient conditions).
+pub fn is_transient(err: &io::Error) -> bool {
+    matches!(
+        err.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    ) || err.to_string().contains(INJECTED_PREFIX)
+}
+
+/// Deterministic backoff before retry `attempt` (1-based): 2^attempt ms.
+fn backoff(attempt: u32) {
+    std::thread::sleep(std::time::Duration::from_millis(1 << attempt));
+}
+
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map_or_else(|| "store".into(), |n| n.to_os_string());
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Durably replace `path` with `bytes`: write a sibling `.tmp` file,
+/// fsync it, rename it over `path`. Transient failures (including
+/// injected torn writes and ENOSPC) are retried up to
+/// [`WRITE_ATTEMPTS`] times with deterministic backoff; on final
+/// failure the temp file is cleaned up and the previous contents of
+/// `path` are untouched.
+pub fn atomic_write(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = temp_path(path);
+    let mut last = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            backoff(attempt);
+        }
+        match vfs.write(&tmp, bytes).and_then(|()| vfs.rename(&tmp, path)) {
+            Ok(()) => return Ok(()),
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => {
+                let _ = vfs.remove(&tmp);
+                return Err(e);
+            }
+        }
+    }
+    let _ = vfs.remove(&tmp);
+    Err(last.unwrap_or_else(|| io::Error::other("atomic write failed")))
+}
+
+/// Read `path`, retrying transient errors up to [`WRITE_ATTEMPTS`]
+/// times. Short reads come back `Ok` (see module docs) — integrity is
+/// the container verifier's job, not this layer's.
+pub fn read_durable(vfs: &dyn Vfs, path: &Path) -> io::Result<Vec<u8>> {
+    let mut last = None;
+    for attempt in 0..WRITE_ATTEMPTS {
+        if attempt > 0 {
+            backoff(attempt);
+        }
+        match vfs.read(path) {
+            Ok(bytes) => return Ok(bytes),
+            Err(e) if is_transient(&e) => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.unwrap_or_else(|| io::Error::other("durable read failed")))
+}
+
+/// The process-wide default VFS: a [`FaultVfs`] when `AUTOMODEL_FAULTS`
+/// carries IO-fault rates, a plain [`StdVfs`] otherwise (including when
+/// the variable is malformed — entry points validate it separately).
+pub fn default_vfs() -> Arc<dyn Vfs> {
+    match FaultPlan::from_env() {
+        Ok(plan) if plan.has_io_faults() => Arc::new(FaultVfs::new(plan)),
+        _ => Arc::new(StdVfs),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(label: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("automodel_vfs_{label}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn std_vfs_round_trips_bytes() {
+        let path = scratch("roundtrip");
+        let vfs = StdVfs;
+        vfs.write(&path, b"hello").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"hello");
+        vfs.remove(&path).unwrap();
+        assert!(vfs.read(&path).is_err());
+    }
+
+    #[test]
+    fn atomic_write_replaces_contents_and_leaves_no_temp() {
+        let path = scratch("atomic");
+        let vfs = StdVfs;
+        atomic_write(&vfs, &path, b"one").unwrap();
+        atomic_write(&vfs, &path, b"two").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"two");
+        assert!(
+            !temp_path(&path).exists(),
+            "temp file must not survive a successful write"
+        );
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_vfs_torn_write_is_recovered_by_atomic_write() {
+        let path = scratch("torn");
+        let _ = fs::remove_file(&path);
+        // torn=1.0 faults every write op the guard allows: the first
+        // attempt tears, the guarded retry lands the full payload.
+        let plan = FaultPlan::parse("seed=7,torn=1.0").unwrap();
+        let vfs = FaultVfs::new(plan);
+        atomic_write(&vfs, &path, b"payload-bytes").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"payload-bytes");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_vfs_enospc_is_recovered_by_atomic_write() {
+        let path = scratch("enospc");
+        let _ = fs::remove_file(&path);
+        let plan = FaultPlan::parse("seed=9,enospc=1.0").unwrap();
+        let vfs = FaultVfs::new(plan);
+        atomic_write(&vfs, &path, b"still lands").unwrap();
+        assert_eq!(vfs.read(&path).unwrap(), b"still lands");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_vfs_short_read_returns_truncated_ok() {
+        let path = scratch("short");
+        let vfs = StdVfs;
+        vfs.write(&path, b"0123456789").unwrap();
+        let plan = FaultPlan::parse("seed=3,short_read=1.0").unwrap();
+        let faulty = FaultVfs::new(plan);
+        let first = faulty.read(&path).unwrap();
+        assert_eq!(first, b"01234", "short read truncates to half");
+        // The guard makes the very next read clean.
+        let second = faulty.read(&path).unwrap();
+        assert_eq!(second, b"0123456789");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        let plan = FaultPlan::parse("seed=5,torn=0.3,short_read=0.3,enospc=0.2").unwrap();
+        let a: Vec<bool> = (0..64).map(|op| plan.injects_torn_write(op)).collect();
+        let b: Vec<bool> = (0..64).map(|op| plan.injects_torn_write(op)).collect();
+        assert_eq!(a, b);
+        assert!(a.iter().any(|&x| x), "rate 0.3 over 64 ops should fire");
+    }
+
+    #[test]
+    fn injected_errors_are_transient_real_missing_file_is_not() {
+        assert!(is_transient(&io::Error::other(
+            "injected enospc at io op 3"
+        )));
+        assert!(is_transient(&io::Error::from(io::ErrorKind::Interrupted)));
+        assert!(!is_transient(&io::Error::from(io::ErrorKind::NotFound)));
+    }
+}

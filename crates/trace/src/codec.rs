@@ -181,6 +181,20 @@ pub fn encode_line(record: &TraceRecord) -> String {
             field_n(&mut buf, "sections", *sections);
             field_n(&mut buf, "bytes", *bytes);
         }
+        TraceEvent::Checkpoint { seq, trials, bytes } => {
+            field_n(&mut buf, "seq", *seq);
+            field_n(&mut buf, "trials", *trials);
+            field_n(&mut buf, "bytes", *bytes);
+        }
+        TraceEvent::Recovery {
+            seq,
+            trials,
+            restored,
+        } => {
+            field_n(&mut buf, "seq", *seq);
+            field_n(&mut buf, "trials", *trials);
+            field_n(&mut buf, "restored", *restored);
+        }
     }
     buf.push('}');
     buf
@@ -483,6 +497,16 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
             sections: f.take_n("sections")?,
             bytes: f.take_n("bytes")?,
         },
+        "checkpoint" => TraceEvent::Checkpoint {
+            seq: f.take_n("seq")?,
+            trials: f.take_n("trials")?,
+            bytes: f.take_n("bytes")?,
+        },
+        "recovery" => TraceEvent::Recovery {
+            seq: f.take_n("seq")?,
+            trials: f.take_n("trials")?,
+            restored: f.take_n("restored")?,
+        },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     f.finish()?;
@@ -593,6 +617,16 @@ mod tests {
                 path: "dmd.store".into(),
                 sections: 7,
                 bytes: 40_960,
+            },
+            TraceEvent::Checkpoint {
+                seq: 3,
+                trials: 96,
+                bytes: 8_192,
+            },
+            TraceEvent::Recovery {
+                seq: 3,
+                trials: 96,
+                restored: 96,
             },
         ];
         for (i, event) in events.into_iter().enumerate() {

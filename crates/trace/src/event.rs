@@ -78,6 +78,17 @@ pub enum TraceEvent {
         sections: u64,
         bytes: u64,
     },
+    /// A run checkpoint was durably written at a batch boundary: its
+    /// generation sequence number, the trials it covers, and its size.
+    Checkpoint { seq: u64, trials: u64, bytes: u64 },
+    /// A run state was recovered from a persisted checkpoint: the
+    /// generation it came from, the trials it covered, and how many cache
+    /// entries were restored from it.
+    Recovery {
+        seq: u64,
+        trials: u64,
+        restored: u64,
+    },
 }
 
 impl TraceEvent {
@@ -101,6 +112,8 @@ impl TraceEvent {
             TraceEvent::QuarantineSkip { .. } => "quarantine_skip",
             TraceEvent::BudgetExhausted { .. } => "budget",
             TraceEvent::ArtifactLoad { .. } => "artifact_load",
+            TraceEvent::Checkpoint { .. } => "checkpoint",
+            TraceEvent::Recovery { .. } => "recovery",
         }
     }
 
@@ -199,6 +212,16 @@ mod tests {
                 sections: 0,
                 bytes: 0,
             },
+            TraceEvent::Checkpoint {
+                seq: 0,
+                trials: 0,
+                bytes: 0,
+            },
+            TraceEvent::Recovery {
+                seq: 0,
+                trials: 0,
+                restored: 0,
+            },
         ];
         let mut names: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         names.sort_unstable();
@@ -224,6 +247,24 @@ mod tests {
             TraceEvent::BudgetExhausted {
                 evals: 1,
                 reason: "evals".into()
+            }
+            .trial(),
+            None
+        );
+        assert_eq!(
+            TraceEvent::Checkpoint {
+                seq: 1,
+                trials: 40,
+                bytes: 2048
+            }
+            .trial(),
+            None
+        );
+        assert_eq!(
+            TraceEvent::Recovery {
+                seq: 1,
+                trials: 40,
+                restored: 40
             }
             .trial(),
             None

@@ -48,7 +48,7 @@ pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use codec::{decode, encode_line, parse_line, CodecError, TraceRecord};
 pub use env::EnvError;
 pub use event::TraceEvent;
-pub use sink::{JsonlSink, MemoryHandle, ProgressSink, Sink};
+pub use sink::{JsonlSink, MemoryHandle, ProgressSink, Sink, TraceError};
 pub use tracer::{TraceSummary, Tracer};
 
 /// Environment variable naming the JSONL trace file ([`Tracer::from_env`]).

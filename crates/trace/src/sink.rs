@@ -4,28 +4,69 @@
 //! [`TraceRecord`] and as its canonical encoded line, so byte-oriented
 //! sinks ([`JsonlSink`], the in-memory test sink) write without
 //! re-encoding while human-oriented sinks ([`ProgressSink`]) format their
-//! own text. Sinks are infallible by construction — I/O errors are
-//! swallowed, never panicked on: tracing must not be able to take down a
-//! run it is only observing.
+//! own text. Sink I/O failures are *typed*, never panicked on: `record`
+//! and `flush` return a [`TraceError`], the tracer latches the first one
+//! (see `Tracer::io_error`), and the run keeps going — tracing must not
+//! be able to take down a run it is only observing, but a caller who
+//! asked for a trace file can check at exit that every line landed.
+//! [`JsonlSink`] buffers writes and is flushed by the tracer at every
+//! record batch, so an abrupt process exit loses at most the batch in
+//! flight, never silently-buffered history.
 
 use crate::codec::TraceRecord;
 use crate::event::TraceEvent;
 use parking_lot::Mutex;
-use std::io::Write as _;
+use std::fmt;
+use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::Arc;
+
+/// A trace-sink I/O failure: which sink failed and the underlying error
+/// text. Carried out of `record`/`flush` instead of being swallowed;
+/// the tracer keeps the first one for end-of-run surfacing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Short sink name (`"jsonl"`, …).
+    pub sink: &'static str,
+    pub message: String,
+}
+
+impl TraceError {
+    pub fn new(sink: &'static str, message: impl Into<String>) -> TraceError {
+        TraceError {
+            sink,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace sink {}: {}", self.sink, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
 
 /// One destination for trace records.
 pub trait Sink: Send {
     /// Deliver one record; `line` is its canonical encoding (no newline).
-    fn record(&mut self, record: &TraceRecord, line: &str);
+    fn record(&mut self, record: &TraceRecord, line: &str) -> Result<(), TraceError>;
+
+    /// Push buffered records to durable storage. Called by the tracer at
+    /// every record batch; sinks without buffering keep the default no-op.
+    fn flush(&mut self) -> Result<(), TraceError> {
+        Ok(())
+    }
 }
 
 /// Appends canonical JSONL to a file. Opened in append mode so the
 /// sequential stages of a pipeline (each with its own tracer) accumulate
-/// into one chronological file.
+/// into one chronological file. Writes are buffered; the tracer flushes
+/// after every record batch so an abrupt exit cannot lose earlier
+/// batches' lines.
 pub struct JsonlSink {
-    file: std::fs::File,
+    file: BufWriter<std::fs::File>,
 }
 
 impl JsonlSink {
@@ -33,18 +74,27 @@ impl JsonlSink {
     /// disabled tracer rather than failing the run.
     pub fn open(path: &Path) -> Option<JsonlSink> {
         // lint:allow(no-adhoc-persistence): append-only JSONL trace stream, not a loadable artifact
+        // lint:allow(durable-write): append-only JSONL trace stream, not a loadable artifact
         std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .ok()
-            .map(|file| JsonlSink { file })
+            .map(|file| JsonlSink {
+                file: BufWriter::new(file),
+            })
     }
 }
 
 impl Sink for JsonlSink {
-    fn record(&mut self, _record: &TraceRecord, line: &str) {
-        let _ = writeln!(self.file, "{line}");
+    fn record(&mut self, _record: &TraceRecord, line: &str) -> Result<(), TraceError> {
+        writeln!(self.file, "{line}").map_err(|e| TraceError::new("jsonl", e.to_string()))
+    }
+
+    fn flush(&mut self) -> Result<(), TraceError> {
+        self.file
+            .flush()
+            .map_err(|e| TraceError::new("jsonl", e.to_string()))
     }
 }
 
@@ -73,16 +123,19 @@ pub(crate) fn memory_pair() -> (MemorySink, MemoryHandle) {
 }
 
 impl Sink for MemorySink {
-    fn record(&mut self, _record: &TraceRecord, line: &str) {
+    fn record(&mut self, _record: &TraceRecord, line: &str) -> Result<(), TraceError> {
         let mut buf = self.buf.lock();
         buf.push_str(line);
         buf.push('\n');
+        Ok(())
     }
 }
 
 /// Human progress lines on stderr: stage and run boundaries only, so a
 /// bench binary narrates itself without any ad-hoc `eprintln!` at call
-/// sites (lint L9 allows prints only here and in bin mains).
+/// sites (lint L9 allows prints only here and in bin mains). Stderr is
+/// best-effort narration, not an artifact — a failed write is not a
+/// [`TraceError`].
 pub struct ProgressSink {
     prefix: String,
 }
@@ -96,7 +149,7 @@ impl ProgressSink {
 }
 
 impl Sink for ProgressSink {
-    fn record(&mut self, record: &TraceRecord, _line: &str) {
+    fn record(&mut self, record: &TraceRecord, _line: &str) -> Result<(), TraceError> {
         let msg = match &record.event {
             TraceEvent::StageStart { stage } => format!("[{}] {stage}...", self.prefix),
             TraceEvent::StageEnd { stage, detail } => {
@@ -116,10 +169,11 @@ impl Sink for ProgressSink {
                     self.prefix
                 )
             }
-            _ => return,
+            _ => return Ok(()),
         };
         let mut err = std::io::stderr().lock();
         let _ = writeln!(err, "{msg}");
+        Ok(())
     }
 }
 
@@ -134,8 +188,8 @@ mod tests {
             t_us: 0,
             event: TraceEvent::CacheHit { trial: 0 },
         };
-        sink.record(&r, "a");
-        sink.record(&r, "b");
+        sink.record(&r, "a").unwrap();
+        sink.record(&r, "b").unwrap();
         assert_eq!(handle.contents(), "a\nb\n");
     }
 
@@ -150,14 +204,37 @@ mod tests {
         };
         {
             let mut s = JsonlSink::open(&path).expect("temp file opens");
-            s.record(&r, "first");
+            s.record(&r, "first").unwrap();
+            s.flush().unwrap();
         }
         {
             let mut s = JsonlSink::open(&path).expect("temp file reopens");
-            s.record(&r, "second");
+            s.record(&r, "second").unwrap();
+            s.flush().unwrap();
         }
         let text = std::fs::read_to_string(&path).expect("file reads back");
         let _ = std::fs::remove_file(&path);
         assert_eq!(text, "first\nsecond\n");
+    }
+
+    #[test]
+    fn jsonl_sink_flush_lands_lines_before_drop() {
+        // The crash-safety contract of the tracer's per-batch flush: once
+        // flush returns, the line is in the file even if the process dies
+        // before the sink is dropped.
+        let path =
+            std::env::temp_dir().join(format!("automodel_trace_flush_{}", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let r = TraceRecord {
+            t_us: 0,
+            event: TraceEvent::CacheHit { trial: 0 },
+        };
+        let mut s = JsonlSink::open(&path).expect("temp file opens");
+        s.record(&r, "durable").unwrap();
+        s.flush().unwrap();
+        let text = std::fs::read_to_string(&path).expect("file reads back");
+        assert_eq!(text, "durable\n", "flushed line must be on disk");
+        drop(s);
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -16,7 +16,7 @@ use crate::clock::{Clock, ManualClock};
 use crate::codec::{encode_line, TraceRecord};
 use crate::env::EnvError;
 use crate::event::TraceEvent;
-use crate::sink::{memory_pair, JsonlSink, MemoryHandle, ProgressSink, Sink};
+use crate::sink::{memory_pair, JsonlSink, MemoryHandle, ProgressSink, Sink, TraceError};
 use parking_lot::Mutex;
 use std::fmt;
 use std::fmt::Write as _;
@@ -44,6 +44,8 @@ pub struct TraceSummary {
     pub retries: u64,
     pub quarantined: u64,
     pub budget_trips: u64,
+    pub checkpoints: u64,
+    pub recoveries: u64,
 }
 
 impl TraceSummary {
@@ -73,6 +75,8 @@ impl TraceSummary {
             TraceEvent::Retry { .. } => self.retries += 1,
             TraceEvent::Quarantine { .. } => self.quarantined += 1,
             TraceEvent::BudgetExhausted { .. } => self.budget_trips += 1,
+            TraceEvent::Checkpoint { .. } => self.checkpoints += 1,
+            TraceEvent::Recovery { .. } => self.recoveries += 1,
             _ => {}
         }
     }
@@ -110,6 +114,9 @@ struct State {
     clock: Arc<dyn Clock>,
     sinks: Vec<Box<dyn Sink>>,
     summary: TraceSummary,
+    /// First sink I/O failure observed, latched for end-of-run surfacing
+    /// (see [`Tracer::io_error`]).
+    error: Option<TraceError>,
 }
 
 /// Structured-event intake. Cheap to share (`Arc<Tracer>`), cheap when
@@ -144,6 +151,7 @@ impl Tracer {
                 clock: Arc::new(ManualClock::new()),
                 sinks,
                 summary: TraceSummary::default(),
+                error: None,
             })),
         }
     }
@@ -210,7 +218,10 @@ impl Tracer {
     }
 
     /// Record a pre-built event sequence under one lock acquisition — the
-    /// batch-boundary merge path.
+    /// batch-boundary merge path. Sinks are flushed once at the end of
+    /// the batch, so an abrupt process exit loses at most the batch in
+    /// flight; the first sink failure is latched (see
+    /// [`Tracer::io_error`]), never panicked on.
     pub fn emit_all<I>(&self, events: I)
     where
         I: IntoIterator<Item = TraceEvent>,
@@ -222,8 +233,17 @@ impl Tracer {
             s.summary.observe(&event);
             let record = TraceRecord { t_us, event };
             let line = encode_line(&record);
-            for sink in &mut s.sinks {
-                sink.record(&record, &line);
+            let State { sinks, error, .. } = &mut *s;
+            for sink in sinks {
+                if let Err(e) = sink.record(&record, &line) {
+                    error.get_or_insert(e);
+                }
+            }
+        }
+        let State { sinks, error, .. } = &mut *s;
+        for sink in sinks {
+            if let Err(e) = sink.flush() {
+                error.get_or_insert(e);
             }
         }
     }
@@ -231,6 +251,13 @@ impl Tracer {
     /// Snapshot of the counters; `None` when disabled.
     pub fn summary(&self) -> Option<TraceSummary> {
         self.state.as_ref().map(|s| s.lock().summary.clone())
+    }
+
+    /// The first sink I/O failure observed, if any. Entry points check
+    /// this at end of run so a trace the user asked for can never be
+    /// silently incomplete.
+    pub fn io_error(&self) -> Option<TraceError> {
+        self.state.as_ref().and_then(|s| s.lock().error.clone())
     }
 }
 
@@ -291,6 +318,51 @@ mod tests {
         let records = decode(&handle.contents()).expect("trace decodes");
         assert_eq!(records[0].t_us, 0);
         assert_eq!(records[1].t_us, 250);
+    }
+
+    #[test]
+    fn first_sink_error_is_latched_not_panicked() {
+        struct FailingSink(u32);
+        impl Sink for FailingSink {
+            fn record(&mut self, _r: &TraceRecord, _l: &str) -> Result<(), TraceError> {
+                self.0 += 1;
+                Err(TraceError::new("test", format!("boom {}", self.0)))
+            }
+        }
+        let t = Tracer {
+            state: Some(Mutex::new(State {
+                clock: Arc::new(ManualClock::new()),
+                sinks: vec![Box::new(FailingSink(0))],
+                summary: TraceSummary::default(),
+                error: None,
+            })),
+        };
+        assert_eq!(t.io_error(), None);
+        t.emit(TraceEvent::CacheHit { trial: 0 });
+        t.emit(TraceEvent::CacheHit { trial: 1 });
+        // The first failure wins; later ones don't overwrite it.
+        assert_eq!(t.io_error(), Some(TraceError::new("test", "boom 1")));
+    }
+
+    #[test]
+    fn summary_counts_checkpoints_and_recoveries() {
+        let mut s = TraceSummary::default();
+        s.observe(&TraceEvent::Checkpoint {
+            seq: 0,
+            trials: 10,
+            bytes: 100,
+        });
+        s.observe(&TraceEvent::Checkpoint {
+            seq: 1,
+            trials: 20,
+            bytes: 200,
+        });
+        s.observe(&TraceEvent::Recovery {
+            seq: 1,
+            trials: 20,
+            restored: 20,
+        });
+        assert_eq!((s.checkpoints, s.recoveries), (2, 1));
     }
 
     #[test]

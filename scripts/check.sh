@@ -112,4 +112,29 @@ print(f"warm-start gate: {doc['speedup']:.2f}x, {doc['warm_hits']} warm hit(s) "
       f"of {doc['restored']} restored entr(ies)")
 PY
 
+echo "==> crash-recovery kill-drill (abort at a batch boundary, resume byte-identical)"
+# tests/crash_recovery.rs spawns the CLI, kills it with process::abort
+# after the third checkpoint write (AUTOMODEL_CRASH_AFTER), resumes with
+# --resume and asserts the trial history is byte-identical to the
+# uninterrupted run at 1/2/8 threads — with and without injected IO
+# faults — plus the every-byte-offset corruption sweep over a
+# checkpoint generation. The tests scrub inherited AUTOMODEL_* vars.
+cargo test -q --test crash_recovery
+
+echo "==> checkpoint overhead gate (exp_checkpoint_overhead, ceiling 5%)"
+# The binary asserts the checkpointed history is byte-identical to the
+# baseline; the ceiling check below gates the durability tax recorded in
+# BENCH_checkpoint.json. Small scale: tiny batches make fsync cost look
+# artificially large relative to the work it protects.
+cargo run --release -q -p automodel-bench --bin exp_checkpoint_overhead -- --scale small >/dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_checkpoint.json"))
+if not doc["identical_history"]:
+    raise SystemExit("checkpoint gate: history diverged")
+if doc["overhead_pct"] >= 5.0:
+    raise SystemExit(f"checkpoint gate: overhead {doc['overhead_pct']:.2f}% at or above the 5% ceiling")
+print(f"checkpoint gate: {doc['overhead_pct']:+.2f}% over {doc['checkpoints_written']} write(s)")
+PY
+
 echo "All checks passed."

@@ -6,7 +6,10 @@
 //! auto-model train-dmd --out dmd.json        train a decision model, save it (JSON)
 //! auto-model dmd build --out dmd.store       derive + persist a binary artifact
 //!                      [--history hist.txt]  (weights, mask, architecture,
-//!                                            CRelations, trial-cache snapshot)
+//!                      [--checkpoint c.ckpt] CRelations, trial-cache snapshot);
+//!                      [--resume]            --checkpoint durably snapshots
+//!                                            every batch boundary, --resume
+//!                                            warm-replays a killed run
 //! auto-model dmd load  --artifact dmd.store  verify digests, load, serve — or
 //!                      [--rerun]             warm-start a rebuild from the
 //!                      [--history hist.txt]  persisted trial history
@@ -25,7 +28,9 @@ use auto_model::hpo::Budget;
 use auto_model::ml::Registry;
 use auto_model::parallel::TrialCache;
 use auto_model::prelude::*;
-use auto_model::store::{StoreArtifact, StoreReader};
+use auto_model::store::{
+    load_latest, Checkpointer, RecoveryError, StoreArtifact, StoreReader, DEFAULT_KEEP,
+};
 use std::io::BufReader;
 use std::path::Path;
 use std::process::ExitCode;
@@ -138,11 +143,85 @@ fn write_history(args: &[String], dmd: &Dmd) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse `--checkpoint <path>` / `--resume` and configure recovery: on
+/// `--resume`, restore the newest verifiable checkpoint's cache snapshot
+/// into `cache` (cold-starting with a warning when there is none, or
+/// none survives verification); with `--checkpoint`, return the durable
+/// sink to attach. Never fails the run: recovery degradation is
+/// reported, not fatal.
+fn recovery_setup(
+    args: &[String],
+    cache: &Arc<TrialCache>,
+    tracer: &Tracer,
+) -> Result<Option<Arc<Checkpointer>>, String> {
+    let base = arg_value(args, "--checkpoint");
+    let resume = args.iter().any(|a| a == "--resume");
+    let Some(base) = base else {
+        if resume {
+            return Err("--resume requires --checkpoint <path>".to_string());
+        }
+        return Ok(None);
+    };
+    if resume {
+        match load_latest(Path::new(&base), DEFAULT_KEEP) {
+            Ok(state) => {
+                let restored = cache.restore(&state.cache);
+                if tracer.is_enabled() {
+                    tracer.emit(TraceEvent::Recovery {
+                        seq: state.seq,
+                        trials: state.trials,
+                        restored: restored as u64,
+                    });
+                }
+                eprintln!(
+                    "resuming from checkpoint seq {} ({} of {} trial(s) restored; warm replay)",
+                    state.seq,
+                    restored,
+                    state.cache.len()
+                );
+            }
+            Err(e @ RecoveryError::NoCheckpoint(_)) => {
+                eprintln!("{e}; cold-starting");
+            }
+            Err(e) => {
+                eprintln!("checkpoint recovery failed ({e}); cold-starting");
+            }
+        }
+    }
+    Ok(Some(Arc::new(Checkpointer::new(&base))))
+}
+
+/// Surface degraded durability after a checkpointed run: a latched
+/// write failure is a warning (the run itself succeeded), a clean run
+/// reports how many checkpoints were written.
+fn report_checkpoints(sink: &Option<Arc<Checkpointer>>) {
+    if let Some(ck) = sink {
+        match ck.last_error() {
+            Some(err) => eprintln!("warning: checkpointing degraded: {err}"),
+            None => println!(
+                "checkpoints    : {} written under {}",
+                ck.written(),
+                ck.base().display()
+            ),
+        }
+    }
+}
+
 fn cmd_dmd_build(args: &[String]) -> Result<(), String> {
     let out = arg_value(args, "--out").unwrap_or_else(|| "dmd.store".to_string());
     eprintln!("training a demo decision model (synthetic corpus)...");
-    let (input, config, cache) = demo_build_parts(Registry::full());
+    let (input, mut config, cache) = demo_build_parts(Registry::full());
+    let tracer = Arc::new(Tracer::from_env().map_err(|e| e.to_string())?);
+    config = config.with_tracer(Arc::clone(&tracer));
+    let sink = recovery_setup(args, &cache, &tracer)?;
+    if let Some(ck) = &sink {
+        config = config.with_checkpoint(Arc::clone(ck) as _);
+    }
     let dmd = config.run(&input).map_err(|e| format!("DMD failed: {e}"))?;
+    report_checkpoints(&sink);
+    if let Some(e) = tracer.io_error() {
+        eprintln!("warning: trace sink degraded: {e}");
+    }
     let snapshot = cache.snapshot();
     let cached = snapshot.len();
     let artifact = dmd.to_artifact().into_store(snapshot);
@@ -243,7 +322,16 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
     let mut udr = UdrConfig::fast();
     udr.tuning_budget = Budget::evals(budget);
     udr.cv_folds = folds;
+    let tracer = Arc::new(Tracer::from_env().map_err(|e| e.to_string())?);
+    udr = udr.with_tracer(Arc::clone(&tracer));
+    let cache = Arc::new(TrialCache::default());
+    udr = udr.with_cache(Arc::clone(&cache));
+    let sink = recovery_setup(args, &cache, &tracer)?;
+    if let Some(ck) = &sink {
+        udr = udr.with_checkpoint(Arc::clone(ck) as _);
+    }
     let solution = udr.solve(&dmd, &data).map_err(|e| format!("solve: {e}"))?;
+    report_checkpoints(&sink);
     println!("algorithm      : {}", solution.algorithm);
     println!("configuration  : {}", solution.config);
     println!("CV accuracy    : {:.4} ({folds}-fold)", solution.score);
@@ -259,10 +347,13 @@ fn usage() -> &'static str {
        inspect   --csv <file>              dataset shape + Table III features\n\
        train-dmd [--out dmd.json]          train & save a decision model (JSON)\n\
        dmd build [--out dmd.store] [--history h.txt]\n\
-                                           derive + persist a binary artifact\n\
+                 [--checkpoint c.ckpt] [--resume]\n\
+                                           derive + persist a binary artifact,\n\
+                                           checkpointing every batch boundary\n\
        dmd load  --artifact dmd.store [--rerun] [--history h.txt]\n\
                                            verify, load & serve — or warm-start\n\
-       solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]"
+       solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]\n\
+                 [--checkpoint c.ckpt] [--resume]"
 }
 
 fn main() -> ExitCode {

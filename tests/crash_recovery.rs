@@ -1,0 +1,363 @@
+//! Crash-recovery kill-drill (tier-1 robustness gate).
+//!
+//! The contract under test: a run killed without warning at any batch
+//! boundary (`std::process::abort` — no unwinding, no destructors, the
+//! moral equivalent of `kill -9`) and then resumed from its checkpoint
+//! produces a trial history **byte-identical** to the uninterrupted
+//! run, and a trace identical modulo provenance events, at 1, 2 and 8
+//! threads — with and without injected IO faults on the checkpoint
+//! files themselves.
+//!
+//! Three-phase drill, each phase a real spawned CLI process:
+//!
+//! 1. `dmd build --checkpoint` uninterrupted → reference history/trace.
+//! 2. Same run with `AUTOMODEL_CRASH_AFTER=3` → aborts after the third
+//!    checkpoint write, leaving only the rotated generation files.
+//! 3. `dmd build --checkpoint --resume` → restores the trial-cache
+//!    snapshot from the newest verifiable generation and replays; every
+//!    already-paid trial comes back as a warm hit.
+//!
+//! Identity holds because resume is replay-based: the optimizer re-runs
+//! the identical seeded schedule and the restored cache answers for the
+//! completed prefix, so scores (raw bits), ordering and formatting all
+//! come from the same code path as the cold run.
+//!
+//! A final property test damages a checkpoint generation at **every**
+//! byte offset (truncation at every length, a bit flip at every byte)
+//! and asserts recovery falls back to the previous generation — and
+//! that with every generation damaged the result is a typed
+//! [`RecoveryError`], never a panic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use auto_model::hpo::{
+    Budget, Config, Domain, FnObjective, Optimizer, OptimizerBuilder, RandomSearch, SearchSpace,
+};
+use auto_model::store::{load_latest, Checkpointer, RecoveryError, DEFAULT_KEEP};
+
+const BIN: &str = env!("CARGO_BIN_EXE_auto-model");
+
+/// Deterministic IO-fault spec for the fault-injected drills: seeded
+/// torn writes, short reads and ENOSPC on the VFS layer. No trial-level
+/// fault rates, so the search itself is undisturbed; only the
+/// durability path is under attack.
+const IO_FAULTS: &str = "seed=5,torn=0.3,short_read=0.3,enospc=0.2";
+
+/// Trace kinds that record *provenance* — how a value was obtained
+/// (cache, warm replay, artifact, checkpoint, recovery) — rather than
+/// *what* the run computed. Cold and resumed runs legitimately differ
+/// in these; every other event must match exactly.
+const PROVENANCE: &[&str] = &[
+    "cache_hit",
+    "cache_miss",
+    "warm_hit",
+    "artifact_load",
+    "checkpoint",
+    "recovery",
+];
+
+/// Env vars the drill controls per child; anything inherited from the
+/// surrounding shell (check.sh exports some of these in other stages)
+/// must not leak in.
+const CONTROLLED_ENV: &[&str] = &[
+    "AUTOMODEL_CACHE",
+    "AUTOMODEL_FAULTS",
+    "AUTOMODEL_TRACE",
+    "AUTOMODEL_THREADS",
+    "AUTOMODEL_REGOLDEN",
+    "AUTOMODEL_CRASH_AFTER",
+];
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("automodel-crash-{}-{tag}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).unwrap();
+    }
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cli(
+    dir: &Path,
+    threads: &str,
+    trace: Option<&Path>,
+    env: &[(&str, String)],
+    args: &[&str],
+) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(dir).args(args);
+    for var in CONTROLLED_ENV {
+        cmd.env_remove(var);
+    }
+    cmd.env("AUTOMODEL_THREADS", threads);
+    if let Some(path) = trace {
+        cmd.env("AUTOMODEL_TRACE", path);
+    }
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    cmd.output().expect("failed to spawn auto-model binary")
+}
+
+fn filtered_trace(path: &Path) -> Vec<String> {
+    let text = fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    text.lines()
+        .filter(|line| {
+            let kind = line
+                .split("\"ev\":\"")
+                .nth(1)
+                .and_then(|rest| rest.split('"').next())
+                .unwrap_or("");
+            !PROVENANCE.contains(&kind)
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// The three-phase drill at a given thread count, optionally with IO
+/// faults injected into every child.
+fn kill_drill(threads: &str, faults: Option<&str>) {
+    let tag = format!(
+        "drill{threads}{}",
+        if faults.is_some() { "-faults" } else { "" }
+    );
+    let dir = scratch(&tag);
+    let base_env: Vec<(&str, String)> = faults
+        .iter()
+        .map(|spec| ("AUTOMODEL_FAULTS", spec.to_string()))
+        .collect();
+
+    // Phase 1: the uninterrupted reference run.
+    let cold_trace = dir.join("cold.trace");
+    let out = cli(
+        &dir,
+        threads,
+        Some(&cold_trace),
+        &base_env,
+        &[
+            "dmd",
+            "build",
+            "--out",
+            "cold.store",
+            "--history",
+            "cold.txt",
+            "--checkpoint",
+            "cold.ckpt",
+        ],
+    );
+    assert!(
+        out.status.success(),
+        "cold run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Phase 2: the same run, killed after the third checkpoint write.
+    let mut crash_env = base_env.clone();
+    crash_env.push(("AUTOMODEL_CRASH_AFTER", "3".to_string()));
+    let out = cli(
+        &dir,
+        threads,
+        None,
+        &crash_env,
+        &[
+            "dmd",
+            "build",
+            "--out",
+            "crash.store",
+            "--history",
+            "crash.txt",
+            "--checkpoint",
+            "run.ckpt",
+        ],
+    );
+    assert!(
+        !out.status.success(),
+        "crash run should have aborted mid-flight"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("aborting after checkpoint 3"),
+        "crash run must die at the drilled checkpoint"
+    );
+    assert!(
+        !dir.join("crash.txt").exists() && !dir.join("crash.store").exists(),
+        "an aborted run must leave no final outputs"
+    );
+
+    // Phase 3: resume from the surviving generation files.
+    let resumed_trace = dir.join("resumed.trace");
+    let out = cli(
+        &dir,
+        threads,
+        Some(&resumed_trace),
+        &base_env,
+        &[
+            "dmd",
+            "build",
+            "--out",
+            "resumed.store",
+            "--history",
+            "resumed.txt",
+            "--checkpoint",
+            "run.ckpt",
+            "--resume",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "resume run failed: {stderr}");
+    assert!(
+        stderr.contains("resuming from checkpoint"),
+        "resume must report the recovered generation, got: {stderr}"
+    );
+
+    let cold = fs::read(dir.join("cold.txt")).unwrap();
+    let resumed = fs::read(dir.join("resumed.txt")).unwrap();
+    assert!(
+        !cold.is_empty(),
+        "reference history must not be empty (drill would be vacuous)"
+    );
+    assert_eq!(
+        cold, resumed,
+        "trial history must be byte-identical after crash + resume (threads={threads})"
+    );
+    assert_eq!(
+        filtered_trace(&cold_trace),
+        filtered_trace(&resumed_trace),
+        "traces must agree modulo provenance events (threads={threads})"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn kill_drill_single_thread() {
+    kill_drill("1", None);
+}
+
+#[test]
+fn kill_drill_two_threads() {
+    kill_drill("2", None);
+}
+
+#[test]
+fn kill_drill_eight_threads() {
+    kill_drill("8", None);
+}
+
+#[test]
+fn kill_drill_single_thread_under_io_faults() {
+    kill_drill("1", Some(IO_FAULTS));
+}
+
+#[test]
+fn kill_drill_two_threads_under_io_faults() {
+    kill_drill("2", Some(IO_FAULTS));
+}
+
+#[test]
+fn kill_drill_eight_threads_under_io_faults() {
+    kill_drill("8", Some(IO_FAULTS));
+}
+
+/// `--resume` against a base with no generation files must cold-start
+/// and still finish with the reference history, not error out.
+#[test]
+fn resume_without_checkpoint_cold_starts() {
+    let dir = scratch("coldstart");
+    let out = cli(
+        &dir,
+        "2",
+        None,
+        &[],
+        &[
+            "dmd",
+            "build",
+            "--out",
+            "a.store",
+            "--history",
+            "a.txt",
+            "--checkpoint",
+            "absent.ckpt",
+            "--resume",
+        ],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "cold-start resume failed: {stderr}");
+    assert!(
+        stderr.contains("cold-starting"),
+        "missing checkpoint must be reported as a cold start, got: {stderr}"
+    );
+    assert!(dir.join("a.txt").exists());
+    fs::remove_dir_all(&dir).ok();
+}
+
+fn generation(base: &Path, g: usize) -> PathBuf {
+    let name = format!("{}.g{g}", base.file_name().unwrap().to_string_lossy());
+    base.with_file_name(name)
+}
+
+/// Satellite property test: damage the newest checkpoint generation at
+/// every possible byte offset — truncation at every length, then a bit
+/// flip at every byte — and assert recovery always falls back to the
+/// previous generation. With both generations damaged, the failure is a
+/// typed [`RecoveryError::AllCorrupt`]; nothing in the sweep may panic.
+#[test]
+fn every_offset_corruption_falls_back_or_errors_typed() {
+    // The in-process Checkpointer honours these env vars; scrub any
+    // leakage from the surrounding shell before constructing it.
+    std::env::remove_var("AUTOMODEL_CRASH_AFTER");
+    std::env::remove_var("AUTOMODEL_FAULTS");
+
+    let dir = scratch("sweep");
+    let base = dir.join("sweep.ckpt");
+    let sink = Arc::new(Checkpointer::new(&base));
+    let space = SearchSpace::builder()
+        .add("x", Domain::float(-1.0, 1.0))
+        .build()
+        .unwrap();
+    let mut objective = FnObjective(|c: &Config| -c.float_or("x", 0.0).abs());
+    RandomSearch::new(7)
+        .with_checkpoint(Arc::clone(&sink) as _)
+        .optimize(&space, &mut objective, &Budget::evals(5))
+        .unwrap();
+    assert_eq!(sink.written(), 5);
+    // Five writes over two generations: g0 holds seq 4 (newest), g1
+    // holds seq 3 (the fallback the sweep must land on).
+    let newest = generation(&base, 0);
+    let pristine = fs::read(&newest).unwrap();
+    assert_eq!(load_latest(&base, DEFAULT_KEEP).unwrap().seq, 4);
+
+    for len in 0..pristine.len() {
+        fs::write(&newest, &pristine[..len]).unwrap();
+        let state = load_latest(&base, DEFAULT_KEEP)
+            .unwrap_or_else(|e| panic!("truncation to {len} bytes must fall back, got: {e}"));
+        assert_eq!(
+            state.seq, 3,
+            "truncation to {len} bytes must fall back to g1"
+        );
+    }
+
+    for offset in 0..pristine.len() {
+        let mut damaged = pristine.clone();
+        damaged[offset] ^= 1u8 << (offset % 8);
+        fs::write(&newest, &damaged).unwrap();
+        let state = load_latest(&base, DEFAULT_KEEP)
+            .unwrap_or_else(|e| panic!("bit flip at offset {offset} must fall back, got: {e}"));
+        assert_eq!(
+            state.seq, 3,
+            "bit flip at offset {offset} must fall back to g1"
+        );
+    }
+
+    // Every generation damaged → typed error carrying both failures.
+    fs::write(&newest, &pristine[..pristine.len() / 2]).unwrap();
+    let oldest = generation(&base, 1);
+    let old = fs::read(&oldest).unwrap();
+    fs::write(&oldest, &old[..old.len() / 2]).unwrap();
+    match load_latest(&base, DEFAULT_KEEP) {
+        Err(RecoveryError::AllCorrupt(failures)) => assert_eq!(failures.len(), 2),
+        other => panic!("expected AllCorrupt with both generations listed, got: {other:?}"),
+    }
+    fs::remove_dir_all(&dir).ok();
+}

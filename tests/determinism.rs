@@ -10,7 +10,7 @@ mod common;
 
 use auto_model::hpo::{
     BayesianOptimization, Budget, Executor, FnObjective, GaConfig, GeneticAlgorithm, Optimizer,
-    SmacLite, TrialCache,
+    OptimizerBuilder, SmacLite, TrialCache,
 };
 use auto_model::knowledge::acquisition::build_network;
 use auto_model::knowledge::experience::Experience;

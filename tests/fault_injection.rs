@@ -11,7 +11,7 @@ mod common;
 
 use auto_model::hpo::{
     BayesianOptimization, Budget, Config, Executor, FaultPlan, FnObjective, GaConfig,
-    GeneticAlgorithm, Optimizer, SmacLite, TrialCache, TrialPolicy,
+    GeneticAlgorithm, Optimizer, OptimizerBuilder, SmacLite, TrialCache, TrialPolicy,
 };
 use common::{
     assert_contained, fitness, hostile_policy, quiet_injected_panics, space, trial_bytes,

@@ -14,7 +14,7 @@ mod common;
 
 use auto_model::hpo::{
     BayesianOptimization, Budget, Executor, FaultPlan, FnObjective, GaConfig, GeneticAlgorithm,
-    Optimizer, SmacLite, TrialCache, TrialPolicy,
+    Optimizer, OptimizerBuilder, SmacLite, TrialCache, TrialPolicy,
 };
 use auto_model::trace::{decode, TraceEvent, TraceRecord, Tracer};
 use common::{fitness, hostile_policy, quiet_injected_panics, space, trial_bytes};

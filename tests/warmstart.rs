@@ -13,7 +13,7 @@ mod common;
 
 use auto_model::hpo::{
     BayesianOptimization, Budget, CacheSnapshot, Executor, FnObjective, GaConfig, GeneticAlgorithm,
-    GridSearch, OptOutcome, Optimizer, RandomSearch, SmacLite, TrialCache,
+    GridSearch, OptOutcome, Optimizer, OptimizerBuilder, RandomSearch, SmacLite, TrialCache,
 };
 use auto_model::store::artifact::{decode_cache_snapshot, encode_cache_snapshot};
 use common::{fitness, space, trial_bytes};

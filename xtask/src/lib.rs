@@ -2,8 +2,8 @@
 //!
 //! The only command so far is `lint`: a semantic static-analysis suite.
 //! Sources are lexed and parsed into a lightweight AST with per-crate
-//! symbol indexes and call graphs ([`sem`]); thirteen rule families run
-//! on top (L1–L13, see [`sem::rules::RULES`]; L5 manifest hygiene lives
+//! symbol indexes and call graphs ([`sem`]); fifteen rule families run
+//! on top (L1–L15, see [`sem::rules::RULES`]; L5 manifest hygiene lives
 //! in [`manifest`]). Diagnostics are rustc-style ([`diag`]), escapes are
 //! inline `// lint:allow(..)` comments (audited by L13), and
 //! grandfathered findings live in a fingerprint-keyed burn-down baseline

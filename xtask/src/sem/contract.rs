@@ -2,12 +2,14 @@
 //! every optimizer and every executor entry point.
 //!
 //! **Optimizer surface** (crates/hpo): any type with a concrete
-//! `optimize`/`optimize_batch` method must also expose the three builder
-//! hooks `with_policy`, `with_cache`, `with_tracer`. A new optimizer
-//! that forgets one silently runs without fault policy, trial cache or
-//! tracing — the substrate loses coverage with no compile error.
-//! Body-less trait declarations are exempt (the trait itself is not an
-//! optimizer).
+//! `optimize`/`optimize_batch` method must reach the three builder
+//! hooks `with_policy`, `with_cache`, `with_tracer` — either by
+//! implementing `OptimizerBuilder` (a `core`/`core_mut` pair over an
+//! embedded `OptimizerCore`, which supplies every hook as a default
+//! method) or by defining all three directly. A new optimizer that
+//! forgets silently runs without fault policy, trial cache or tracing —
+//! the substrate loses coverage with no compile error. Body-less trait
+//! declarations are exempt (the trait itself is not an optimizer).
 //!
 //! **Executor routing** (crates/hpo, crates/core): a non-test function
 //! that works with the `Executor` and calls `map`/`map_budgeted` must
@@ -50,12 +52,15 @@ fn optimizer_surface(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
         }
         let Some(ty) = &f.item.self_ty else { continue };
         let have = methods.get(ty.as_str());
+        // An OptimizerBuilder impl (core + core_mut over an embedded
+        // OptimizerCore) inherits every hook as a default method.
+        let via_builder = have.is_some_and(|m| m.contains("core") && m.contains("core_mut"));
         let missing: Vec<&str> = BUILDER_HOOKS
             .iter()
             .filter(|h| !have.is_some_and(|m| m.contains(**h)))
             .copied()
             .collect();
-        if !missing.is_empty() {
+        if !missing.is_empty() && !via_builder {
             let file = idx.files[f.file];
             out.push(diag_at(
                 file,
@@ -71,8 +76,10 @@ fn optimizer_surface(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
                         .collect::<Vec<_>>()
                         .join(", ")
                 ),
-                "add the missing `with_*` builders so the shared fault policy, trial cache \
-                 and tracer reach this optimizer (see GeneticAlgorithm for the pattern)",
+                "implement `OptimizerBuilder` (embed an `OptimizerCore` and define \
+                 `core`/`core_mut`, see GeneticAlgorithm) so the shared fault policy, \
+                 trial cache and tracer reach this optimizer as default hooks, or add \
+                 the missing `with_*` builders directly",
             ));
         }
     }
@@ -159,6 +166,28 @@ mod tests {
         assert!(msgs[0].contains("`with_cache`"), "{msgs:?}");
         assert!(msgs[0].contains("`with_tracer`"));
         assert!(!msgs[0].contains("`with_policy`,"));
+    }
+
+    #[test]
+    fn optimizer_builder_impl_counts_as_conformant() {
+        let src = "impl OptimizerBuilder for Opt {\n\
+            fn core(&self) -> &OptimizerCore { &self.core }\n\
+            fn core_mut(&mut self) -> &mut OptimizerCore { &mut self.core }\n\
+        }\n\
+        impl Opt {\n\
+            pub fn optimize(&self) -> f64 { 0.0 }\n\
+        }\n";
+        assert!(findings("crates/hpo/src/opt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn core_without_core_mut_is_not_enough() {
+        let src = "impl Opt {\n\
+            fn core(&self) -> &OptimizerCore { &self.core }\n\
+            pub fn optimize(&self) -> f64 { 0.0 }\n\
+        }\n";
+        let msgs = findings("crates/hpo/src/opt.rs", src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! The pipeline per `cargo xtask lint` run:
 //!
 //! 1. every workspace source file is lexed and parsed ([`source::File`]);
-//! 2. file-scope rules L1–L4, L6–L9 run on each file ([`rules`]);
+//! 2. file-scope rules L1–L4, L6–L9, L14–L15 run on each file
+//!    ([`rules`]);
 //! 3. files are grouped into per-crate indexes with call graphs
 //!    ([`index`]) and the crate-scope rules run: L10 determinism-taint
 //!    ([`taint`]), L12 contract-conformance ([`contract`]);

@@ -1,5 +1,6 @@
-//! File-scope rules (L1–L4, L6–L9, L14) ported onto the token stream,
-//! plus the metadata table for every rule the engine knows (L1–L14).
+//! File-scope rules (L1–L4, L6–L9, L14–L15) ported onto the token
+//! stream, plus the metadata table for every rule the engine knows
+//! (L1–L15).
 //!
 //! | code | rule id                 | scope                                     |
 //! |------|-------------------------|-------------------------------------------|
@@ -17,6 +18,7 @@
 //! | L12  | `contract-conformance`  | optimizer/executor surface ([`super::contract`]) |
 //! | L13  | `stale-allow`           | every `lint:allow` escape ([`super::allowaudit`]) |
 //! | L14  | `no-adhoc-persistence`  | crate library code outside `crates/store/`  |
+//! | L15  | `durable-write`         | inside `crates/store/` and `crates/trace/`  |
 //!
 //! Matching happens on lexed tokens, so string literals and comments are
 //! structurally incapable of producing findings. Each hit can be
@@ -61,7 +63,7 @@ pub struct RuleMeta {
 }
 
 /// Every rule the engine knows, in code order.
-pub const RULES: [RuleMeta; 14] = [
+pub const RULES: [RuleMeta; 15] = [
     RuleMeta {
         code: "L1",
         id: "no-panic-lib",
@@ -190,6 +192,18 @@ pub const RULES: [RuleMeta; 14] = [
                     Binaries, tests and the xtask tooling keep their writes (reports, goldens, \
                     fixtures are not model artifacts).",
     },
+    RuleMeta {
+        code: "L15",
+        id: "durable-write",
+        summary: "store/trace crate writes go through the VFS durability layer",
+        rationale: "crates/store promises crash safety: every persisted byte is fsynced and \
+                    lands via write-temp + rename, so a reader sees old bytes or new bytes, \
+                    never a torn file — and the same VFS is where seeded IO faults inject. \
+                    A raw fs::write/File::create inside the store (or the trace sinks that \
+                    share its durability story) silently opts out of fsync, atomicity, \
+                    bounded retry and fault coverage in the exact code that promises them. \
+                    Route writes through vfs::atomic_write (or Vfs::write for a primitive).",
+    },
 ];
 
 /// Look up rule metadata by code (`L10`) or id (`determinism-taint`).
@@ -211,6 +225,7 @@ pub fn check_file(file: &File) -> Vec<Diagnostic> {
     no_adhoc_memo(file, &mut out);
     no_adhoc_print(file, &mut out);
     no_adhoc_persistence(file, &mut out);
+    durable_write(file, &mut out);
     out
 }
 
@@ -635,6 +650,52 @@ fn no_adhoc_persistence(file: &File, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L15 — `durable-write`. Inside the store crate (and the trace sinks
+/// that share its durability story) every byte reaching disk flows
+/// through the VFS layer — fsync-on-write, write-temp + rename
+/// atomicity, bounded retry, seeded fault injection. A raw write call
+/// here opts out of crash safety in the exact code that promises it.
+/// The one sanctioned primitive (`StdVfs::write`) carries its own
+/// `lint:allow`.
+fn durable_write(file: &File, out: &mut Vec<Diagnostic>) {
+    let p = file.path_str();
+    if !p.starts_with("crates/store/src/") && !p.starts_with("crates/trace/src/") {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident || !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            continue;
+        }
+        let Some(member) = toks.get(i + 2) else {
+            continue;
+        };
+        if !toks.get(i + 3).is_some_and(|n| n.is_open('(')) {
+            continue;
+        }
+        let msg = match (t.text.as_str(), member.text.as_str()) {
+            ("fs", "write") => "`fs::write` bypasses the durable VFS layer",
+            ("File", "create") => "`File::create` bypasses the durable VFS layer",
+            ("OpenOptions", "new") => "`OpenOptions` open bypasses the durable VFS layer",
+            _ => continue,
+        };
+        out.push(diag_at(
+            file,
+            i,
+            "durable-write",
+            "L15",
+            msg.to_string(),
+            "route the bytes through `vfs::atomic_write` (write-temp + fsync + rename with \
+             bounded retry) or a `Vfs` method, or append \
+             `// lint:allow(durable-write): <why raw IO is sound here>`",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -759,6 +820,36 @@ mod tests {
         assert_eq!(count(&f, "no-adhoc-persistence"), 0);
         let f = lib("#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(p, b).unwrap(); }\n}");
         assert_eq!(count(&f, "no-adhoc-persistence"), 0);
+    }
+
+    #[test]
+    fn durable_write_fires_inside_store_and_trace_only() {
+        let src = "fn f() { std::fs::write(p, b); let f = fs::File::create(p); OpenOptions::new().append(true); }";
+        for path in ["crates/store/src/format.rs", "crates/trace/src/sink.rs"] {
+            let f = File::parse(path, src);
+            assert_eq!(count(&f, "durable-write"), 3, "{path} is in scope");
+        }
+        for path in [
+            "crates/core/src/dmd.rs",
+            "crates/bench/src/bin/exp_x.rs",
+            "src/main.rs",
+            "xtask/src/baseline.rs",
+        ] {
+            let f = File::parse(path, src);
+            assert_eq!(count(&f, "durable-write"), 0, "{path} is out of scope");
+        }
+    }
+
+    #[test]
+    fn durable_write_ignores_reads_vfs_calls_and_test_modules() {
+        let clean = "fn f(vfs: &dyn Vfs) { let b = fs::read(p); atomic_write(vfs, p, &b); vfs.write(p, &b); }";
+        let f = File::parse("crates/store/src/checkpoint.rs", clean);
+        assert_eq!(count(&f, "durable-write"), 0);
+        let f = File::parse(
+            "crates/store/src/checkpoint.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { std::fs::write(p, b).unwrap(); }\n}",
+        );
+        assert_eq!(count(&f, "durable-write"), 0);
     }
 
     #[test]

@@ -1,0 +1,9 @@
+//@path crates/store/src/fixture.rs
+pub fn probe_writable(dir: &Path) -> bool {
+    // A capability probe: the byte is deleted immediately and never read
+    // back, so durability guarantees are irrelevant here.
+    let p = dir.join(".probe");
+    let ok = std::fs::write(&p, b"w").is_ok(); // lint:allow(durable-write): capability probe, bytes never read back
+    let _ = std::fs::remove_file(&p);
+    ok
+}

@@ -1,0 +1,7 @@
+//@path crates/store/src/fixture.rs
+pub fn persist_generation(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Write-temp + fsync + rename with bounded deterministic retry: a
+    // reader observes the old bytes or the new bytes, never a torn
+    // file, and seeded IO faults inject here for the kill-drill.
+    atomic_write(vfs, path, bytes)
+}

@@ -1,0 +1,7 @@
+//@path crates/store/src/fixture.rs
+pub fn persist_generation(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    // Raw create + write: no fsync, no temp + rename, no fault
+    // injection — a crash mid-call leaves a torn generation file that
+    // the store promised could never exist.
+    std::fs::write(path, bytes)
+}
