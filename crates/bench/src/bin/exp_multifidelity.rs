@@ -1,0 +1,285 @@
+//! Multi-fidelity search: successive halving vs full-fidelity random
+//! search at a fixed evaluation-cost budget.
+//!
+//! A full-fidelity evaluation costs 1 budget unit (all rows, all
+//! epochs). A fidelity-`num/den` evaluation costs `num/den` units — the
+//! MLP trains on the first `num/den` of the training rows with its epoch
+//! count scaled down by the same fraction, so the cost model mirrors the
+//! actual work. One successive-halving bracket (η=3, R=27) spends its
+//! budget geometrically: 27 trials at 1/27 ≈ 1 unit, 9 at 1/9 ≈ 1 unit,
+//! 3 at 1/3 ≈ 1 unit, 1 at full ≈ 1 unit — 40 configurations explored
+//! for ~4 units, where full-fidelity random search explores 4. This
+//! binary runs both at the same unit budget, asserts the scheduler's
+//! byte-identical-history contract at 1/2/8 threads, gates the
+//! trials-explored-per-unit ratio at ≥ 1.5× (the observed ratio is ~10×)
+//! and records the result into `BENCH_multifidelity.json`.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_multifidelity
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::report::Table;
+use automodel_bench::Scale;
+use automodel_hpo::{
+    Budget, Config, Domain, Executor, Fidelity, OptOutcome, ParamSpec, RandomSearch, SearchSpace,
+    SuccessiveHalving,
+};
+use automodel_nn::{Activation, MlpConfig, MlpRegressor};
+use automodel_trace::TraceEvent;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The gated floor: configurations explored per budget unit, SHA over
+/// full-fidelity random search.
+const THROUGHPUT_FLOOR: f64 = 1.5;
+
+/// Cost denominator: every fidelity fraction in the default η=3, R=27
+/// bracket has a denominator dividing 27, so costs stay exact integers
+/// in units of 1/27.
+const COST_DEN: u64 = 27;
+
+fn fingerprint(out: &OptOutcome) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    for t in &out.trials {
+        let _ = writeln!(s, "{}|{}#{:016x}", t.index, t.config, t.score.to_bits());
+    }
+    s
+}
+
+/// The discrete MLP architecture grid of `exp_cache_effect`, reused here
+/// so low-fidelity scores stay informative about full-fidelity ranks.
+fn arch_space() -> SearchSpace {
+    SearchSpace::new(vec![
+        ParamSpec {
+            name: "hidden_layers".into(),
+            domain: Domain::int(1, 2),
+            condition: None,
+        },
+        ParamSpec {
+            name: "hidden_size".into(),
+            domain: Domain::cat(&["8", "16", "32"]),
+            condition: None,
+        },
+        ParamSpec {
+            name: "activation".into(),
+            domain: Domain::cat(&["relu", "tanh", "logistic", "identity"]),
+            condition: None,
+        },
+    ])
+    .expect("static space is valid")
+}
+
+/// Seeded synthetic regression set: mildly nonlinear, 4 features.
+fn regression_data(rows: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(rows);
+    let mut ys = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let noise: f64 = rng.gen_range(-0.05..0.05);
+        let y = (1.5 * x[0] - x[1] + 0.5 * x[2] * x[3]).tanh() + noise;
+        xs.push(x);
+        ys.push(vec![y]);
+    }
+    (xs, ys)
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let tracer = automodel_bench::tracer_or_die("exp_multifidelity");
+    tracer.emit(TraceEvent::stage_start(format!(
+        "multifidelity ({scale:?})"
+    )));
+
+    let (rows, max_iter) = match scale {
+        Scale::Tiny => (96, 30),
+        Scale::Small => (160, 40),
+        Scale::Paper => (240, 60),
+    };
+    let (xs, ys) = regression_data(rows, 4051);
+    let split = rows * 3 / 4;
+    let (train_x, test_x) = xs.split_at(split);
+    let (train_y, test_y) = ys.split_at(split);
+
+    let space = arch_space();
+    // Fitness = −test MSE of an MLP trained at the trial's fidelity: the
+    // first `num/den` training rows (a prefix is trivially nested across
+    // rungs) and an epoch count scaled by the same fraction. Spent cost
+    // is accumulated in exact 1/27 units; the sum is commutative, so the
+    // tally is thread-order-independent.
+    let spent = AtomicU64::new(0);
+    let objective = |config: &Config, fid: &Fidelity| -> f64 {
+        spent.fetch_add(
+            fid.num() as u64 * COST_DEN / fid.den() as u64,
+            Ordering::Relaxed,
+        );
+        let n = fid.scale(train_x.len());
+        let mlp = MlpConfig {
+            hidden_layers: config.int_or("hidden_layers", 1) as usize,
+            hidden_size: 8usize << config.cat_or("hidden_size", 0),
+            activation: Activation::ALL[config.cat_or("activation", 0)],
+            max_iter: fid.scale(max_iter),
+            seed: 7,
+            ..MlpConfig::default()
+        };
+        let mut reg = MlpRegressor::new(mlp);
+        let report = reg.fit(&train_x[..n], &train_y[..n]);
+        if report.diverged {
+            return -1.0e9;
+        }
+        let mse = reg.mse(test_x, test_y);
+        if mse.is_finite() {
+            -mse
+        } else {
+            -1.0e9
+        }
+    };
+
+    // One full bracket: 27 + 9 + 3 + 1 = 40 evaluations.
+    let sha_budget = Budget::evals(40);
+    let run_sha = |threads: usize| {
+        tracer.emit(TraceEvent::stage_start(format!("sha {threads}t")));
+        let sha = SuccessiveHalving::new(42);
+        let executor = Executor::new(threads);
+        let before = spent.load(Ordering::Relaxed);
+        let start = Instant::now();
+        let out = sha
+            .optimize_fidelity_batch(&space, &objective, &sha_budget, &executor)
+            .expect("eval budget > 0 always yields an outcome");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let cost = spent.load(Ordering::Relaxed) - before;
+        // lint:allow(determinism-taint): wall-clock milliseconds are reported, not gated
+        tracer.emit(TraceEvent::stage_end(
+            format!("sha {threads}t"),
+            format!(
+                "{ms:.1} ms, best {:.4}, {} trials for {cost}/{COST_DEN} units",
+                out.best_score,
+                out.trials.len()
+            ),
+        ));
+        (out, cost, ms)
+    };
+
+    let (sha, sha_cost, sha_ms) = run_sha(1);
+    let sha_fp = fingerprint(&sha);
+    for threads in [2, 8] {
+        let (out, cost, _) = run_sha(threads);
+        assert_eq!(
+            fingerprint(&out),
+            sha_fp,
+            "multi-fidelity determinism violation: {threads}-thread SHA history diverged"
+        );
+        assert_eq!(
+            cost, sha_cost,
+            "{threads}-thread SHA spent a different budget"
+        );
+    }
+
+    // Full-fidelity random search at the same unit budget: one unit per
+    // trial, so it affords floor(sha_cost / 27) configurations.
+    let random_trials = (sha_cost / COST_DEN).max(1);
+    tracer.emit(TraceEvent::stage_start("random full-fidelity"));
+    let full_objective = |config: &Config| objective(config, &Fidelity::full());
+    let random = RandomSearch::new(42);
+    let executor = Executor::new(1);
+    let random_before = spent.load(Ordering::Relaxed);
+    let random_start = Instant::now();
+    let random_out = random
+        .optimize_batch(
+            &space,
+            &full_objective,
+            &Budget::evals(random_trials as usize),
+            &executor,
+        )
+        .expect("eval budget > 0 always yields an outcome");
+    let random_ms = random_start.elapsed().as_secs_f64() * 1e3;
+    let random_cost = spent.load(Ordering::Relaxed) - random_before;
+    // lint:allow(determinism-taint): wall-clock milliseconds are reported, not gated
+    tracer.emit(TraceEvent::stage_end(
+        "random full-fidelity",
+        format!(
+            "{random_ms:.1} ms, best {:.4}, {} trials for {random_cost}/{COST_DEN} units",
+            random_out.best_score,
+            random_out.trials.len()
+        ),
+    ));
+
+    // Trials explored per budget unit, both searches at the same spend.
+    let sha_throughput = sha.trials.len() as f64 / (sha_cost as f64 / COST_DEN as f64);
+    let random_throughput = random_out.trials.len() as f64 / (random_cost as f64 / COST_DEN as f64);
+    let throughput_ratio = sha_throughput / random_throughput;
+    assert!(
+        throughput_ratio >= THROUGHPUT_FLOOR,
+        "multi-fidelity throughput regression: {throughput_ratio:.2}x < {THROUGHPUT_FLOOR}x floor"
+    );
+
+    let mut table = Table::new(
+        "MLP architecture search — trials explored at a fixed budget",
+        &[
+            "search",
+            "trials",
+            "budget units",
+            "trials/unit",
+            "best",
+            "wall ms",
+        ],
+    );
+    table.row(vec![
+        "successive-halving".into(),
+        sha.trials.len().to_string(),
+        format!("{:.2}", sha_cost as f64 / COST_DEN as f64),
+        format!("{sha_throughput:.2}"),
+        format!("{:.4}", sha.best_score),
+        format!("{sha_ms:.1}"),
+    ]);
+    table.row(vec![
+        "random (full fidelity)".into(),
+        random_out.trials.len().to_string(),
+        format!("{:.2}", random_cost as f64 / COST_DEN as f64),
+        format!("{random_throughput:.2}"),
+        format!("{:.4}", random_out.best_score),
+        format!("{random_ms:.1}"),
+    ]);
+    table.print();
+
+    // lint:allow(determinism-taint): wall-clock milliseconds are reported, not gated
+    tracer.emit(TraceEvent::stage_end(
+        format!("multifidelity ({scale:?})"),
+        format!(
+            "throughput {throughput_ratio:.2}x (floor {THROUGHPUT_FLOOR}x), sha best {:.4} vs random best {:.4}",
+            sha.best_score, random_out.best_score
+        ),
+    ));
+
+    let report = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "sha_trials": sha.trials.len(),
+        "sha_budget_units": sha_cost as f64 / COST_DEN as f64,
+        "sha_best": sha.best_score,
+        "sha_ms": sha_ms,
+        "random_trials": random_out.trials.len(),
+        "random_budget_units": random_cost as f64 / COST_DEN as f64,
+        "random_best": random_out.best_score,
+        "random_ms": random_ms,
+        "throughput_ratio": throughput_ratio,
+        "throughput_floor": THROUGHPUT_FLOOR,
+        "identical_history": true,
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    match std::fs::write("BENCH_multifidelity.json", &pretty) {
+        Err(e) => tracer.emit(TraceEvent::stage_end(
+            "BENCH_multifidelity.json",
+            format!("write failed: {e}"),
+        )),
+        Ok(()) => tracer.emit(TraceEvent::stage_end("BENCH_multifidelity.json", "written")),
+    }
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
+    if json {
+        println!("{pretty}");
+    }
+}

@@ -9,11 +9,12 @@
 //! [`AutoWekaConfig::solve`] searches it with SMAC-lite.
 
 use crate::error::CoreError;
+use crate::fidelity::{FidelityCashObjective, InnerOptimizer};
 use crate::udr::Solution;
 use automodel_data::Dataset;
 use automodel_hpo::{
-    Budget, Config, Objective, Optimizer, OptimizerBuilder, ParamSpec, SearchSpace, SmacLite,
-    TrialOutcome, TrialPolicy,
+    Budget, Config, Hyperband, Objective, Optimizer, OptimizerBuilder, ParamSpec, SearchSpace,
+    SmacLite, SuccessiveHalving, TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, Registry};
 use automodel_trace::{TraceEvent, Tracer};
@@ -28,6 +29,11 @@ pub struct AutoWekaConfig {
     /// Structured tracer: a stage span around the hierarchical search plus
     /// the SMAC run's full event stream (default: disabled).
     pub tracer: Arc<Tracer>,
+    /// Which optimizer searches the hierarchical space.
+    /// [`InnerOptimizer::Auto`] (the default) is SMAC-lite; `Sha` and
+    /// `Hyperband` run the multi-fidelity schedulers over row/fold/
+    /// iteration-reduced evaluations instead.
+    pub optimizer: InnerOptimizer,
 }
 
 impl AutoWekaConfig {
@@ -37,6 +43,7 @@ impl AutoWekaConfig {
             cv_folds: 10,
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
+            optimizer: InnerOptimizer::Auto,
         }
     }
 
@@ -47,12 +54,20 @@ impl AutoWekaConfig {
             cv_folds: 3,
             seed: 0,
             tracer: Arc::new(Tracer::disabled()),
+            optimizer: InnerOptimizer::Auto,
         }
     }
 
     /// Attach a tracer (default: disabled).
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> AutoWekaConfig {
         self.tracer = tracer;
+        self
+    }
+
+    /// Select the CASH optimizer explicitly (`sha` / `hyperband` replace
+    /// SMAC-lite with a multi-fidelity scheduler).
+    pub fn with_optimizer(mut self, optimizer: InnerOptimizer) -> AutoWekaConfig {
+        self.optimizer = optimizer;
         self
     }
 
@@ -128,24 +143,46 @@ impl AutoWekaConfig {
         Some((name, sub))
     }
 
-    /// Solve the CASH problem over the full registry with SMAC-lite.
+    /// Solve the CASH problem over the full registry — with SMAC-lite
+    /// (the default), or the `sha`/`hyperband` multi-fidelity schedulers
+    /// when selected via [`AutoWekaConfig::with_optimizer`].
     pub fn solve(&self, registry: &Registry, data: &Dataset) -> Result<Solution, CoreError> {
         let space = Self::cash_space(registry, data)?;
-        let mut objective = CashObjective {
-            registry,
-            data,
-            folds: self.cv_folds,
-            seed: self.seed,
-        };
         let traced = self.tracer.is_enabled();
         let policy = TrialPolicy::from_env()?;
         if traced {
             self.tracer.emit(TraceEvent::stage_start("autoweka.cash"));
         }
-        let mut smac = SmacLite::new(self.seed)
-            .with_policy(policy)
-            .with_tracer(Arc::clone(&self.tracer));
-        let outcome = smac.optimize(&space, &mut objective, &self.budget);
+        let outcome = match self.optimizer {
+            InnerOptimizer::Auto => {
+                let mut objective = CashObjective {
+                    registry,
+                    data,
+                    folds: self.cv_folds,
+                    seed: self.seed,
+                };
+                let mut smac = SmacLite::new(self.seed)
+                    .with_policy(policy)
+                    .with_tracer(Arc::clone(&self.tracer));
+                smac.optimize(&space, &mut objective, &self.budget)
+            }
+            InnerOptimizer::Sha => {
+                let mut objective =
+                    FidelityCashObjective::new(registry, data, self.cv_folds, self.seed);
+                let sha = SuccessiveHalving::new(self.seed)
+                    .with_policy(policy)
+                    .with_tracer(Arc::clone(&self.tracer));
+                sha.optimize_fidelity(&space, &mut objective, &self.budget)
+            }
+            InnerOptimizer::Hyperband => {
+                let mut objective =
+                    FidelityCashObjective::new(registry, data, self.cv_folds, self.seed);
+                let hb = Hyperband::new(self.seed)
+                    .with_policy(policy)
+                    .with_tracer(Arc::clone(&self.tracer));
+                hb.optimize_fidelity(&space, &mut objective, &self.budget)
+            }
+        };
         if traced {
             let detail = match &outcome {
                 Some(o) => format!("{} trials over {} params", o.trials.len(), space.len()),
@@ -158,11 +195,15 @@ impl AutoWekaConfig {
         let (algorithm, sub) = Self::split_config(registry, data, &outcome.best_config)
             // lint:allow(no-panic-lib): the optimizer only returns configs it sampled
             .expect("best config came from the CASH space");
+        let technique = match self.optimizer {
+            InnerOptimizer::Auto => "smac-lite".to_string(),
+            inner => inner.to_string(),
+        };
         Ok(Solution {
             algorithm,
             config: sub,
             score: outcome.best_score,
-            technique: "smac-lite".into(),
+            technique,
             trials: outcome.trials.len(),
             quarantined: outcome.quarantine.len(),
             cache_hits: outcome.cache.hits,
@@ -270,6 +311,31 @@ mod tests {
         // The returned sub-config round-trips into the algorithm's space.
         let spec = registry.get(&solution.algorithm).unwrap();
         spec.param_space().validate(&solution.config).unwrap();
+    }
+
+    #[test]
+    fn autoweka_sha_path_solves_deterministically() {
+        let registry = Registry::fast();
+        let data = SynthSpec::new(
+            "mf",
+            120,
+            3,
+            1,
+            2,
+            SynthFamily::GaussianBlobs { spread: 0.8 },
+            6,
+        )
+        .generate();
+        let cfg = AutoWekaConfig::fast().with_optimizer(InnerOptimizer::Sha);
+        let a = cfg.solve(&registry, &data).unwrap();
+        let b = cfg.solve(&registry, &data).unwrap();
+        assert_eq!(a.technique, "successive-halving");
+        assert_eq!(a.algorithm, b.algorithm);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        // The returned sub-config round-trips into the algorithm's space.
+        let spec = registry.get(&a.algorithm).unwrap();
+        spec.param_space().validate(&a.config).unwrap();
     }
 
     #[test]

@@ -1,0 +1,352 @@
+//! Multi-fidelity evaluation for the CASH pipelines: CV objectives that
+//! actually get cheaper at low fidelity, and the inner-optimizer switch
+//! that routes UDR / Auto-Weka onto successive halving or Hyperband.
+//!
+//! A [`Fidelity`] maps onto three cost levers here:
+//!
+//! * **rows** — the dataset is replaced by its seeded stratified nested
+//!   subset ([`stratified_nested_rows`]) at the rung's row fraction;
+//!   subsets are memoized per fraction, so every trial of a rung (and
+//!   every revisit of the fraction) sees the identical rows;
+//! * **folds** — CV folds scale with the fraction (never below 2), or
+//!   follow the fidelity's explicit override;
+//! * **iterations** — when the algorithm advertises an
+//!   [`iteration_param`](automodel_ml::AlgorithmSpec::iteration_param),
+//!   its configured value is scaled by the row fraction (and clipped by
+//!   the fidelity's explicit cap, when one is set) before the model is
+//!   built.
+//!
+//! All three are pure functions of `(dataset, config, fidelity, seed)` —
+//! no wall clock, no thread state — so multi-fidelity runs inherit the
+//! workspace's byte-identical replay guarantees unchanged.
+
+use crate::autoweka::AutoWekaConfig;
+use automodel_data::{stratified_nested_rows, DataError, Dataset};
+use automodel_hpo::{Config, Fidelity, FidelityObjective, ParamValue, TrialFailure, TrialOutcome};
+use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Which optimizer drives the hyperparameter search inside UDR and the
+/// Auto-Weka baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InnerOptimizer {
+    /// The paper's routing: probe evaluation cost, then GA or BO (UDR);
+    /// SMAC-lite (Auto-Weka).
+    #[default]
+    Auto,
+    /// One deterministic successive-halving bracket over the fidelity
+    /// ladder.
+    Sha,
+    /// The full Hyperband bracket grid.
+    Hyperband,
+}
+
+impl InnerOptimizer {
+    /// Parse a CLI-style name (`auto`, `sha`, `successive-halving`,
+    /// `hyperband`).
+    pub fn parse(name: &str) -> Option<InnerOptimizer> {
+        match name {
+            "auto" => Some(InnerOptimizer::Auto),
+            "sha" | "successive-halving" => Some(InnerOptimizer::Sha),
+            "hyperband" => Some(InnerOptimizer::Hyperband),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for InnerOptimizer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            InnerOptimizer::Auto => "auto",
+            InnerOptimizer::Sha => "successive-halving",
+            InnerOptimizer::Hyperband => "hyperband",
+        })
+    }
+}
+
+/// Salt for the subset-sampling seed stream, so row subsets never reuse
+/// the probe or CV RNG streams.
+const SUBSET_SALT: u64 = 0x51D;
+
+/// Memoized fidelity subsets of one dataset. Keyed by the reduced row
+/// fraction, so every evaluation at a fraction — across rungs, brackets
+/// and optimizers — sees the identical rows.
+struct SubsetMemo {
+    subsets: BTreeMap<(u32, u32), Dataset>,
+}
+
+impl SubsetMemo {
+    fn new() -> SubsetMemo {
+        SubsetMemo {
+            subsets: BTreeMap::new(),
+        }
+    }
+
+    /// The dataset to evaluate on at `fidelity` (`data` itself at the
+    /// full row fraction).
+    fn at<'a>(
+        &'a mut self,
+        data: &'a Dataset,
+        fidelity: &Fidelity,
+        seed: u64,
+    ) -> Result<&'a Dataset, DataError> {
+        if fidelity.num() == fidelity.den() {
+            return Ok(data);
+        }
+        let key = (fidelity.num(), fidelity.den());
+        match self.subsets.entry(key) {
+            std::collections::btree_map::Entry::Occupied(e) => Ok(e.into_mut()),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let rows = stratified_nested_rows(data, key.0, key.1, seed ^ SUBSET_SALT);
+                Ok(e.insert(data.subset(&rows)?))
+            }
+        }
+    }
+}
+
+/// CV fold count at a fidelity: the explicit override when set, else the
+/// base fold count scaled by the row fraction, floored at 2 (a 1-fold
+/// "CV" is not a cross-validation).
+fn folds_at(base: usize, fidelity: &Fidelity) -> usize {
+    if fidelity.cv_folds > 0 {
+        fidelity.cv_folds as usize
+    } else {
+        fidelity.scale(base).clamp(2, base.max(2))
+    }
+}
+
+/// Scale the spec's iteration parameter (when it has one) down to the
+/// fidelity: the configured value is multiplied by the row fraction
+/// (ceil, min 1), then clipped by the explicit epoch cap when set.
+fn capped_config(spec: &dyn AlgorithmSpec, config: &Config, fidelity: &Fidelity) -> Config {
+    let Some(param) = spec.iteration_param() else {
+        return config.clone();
+    };
+    let Some(ParamValue::Int(v)) = config.get(param) else {
+        return config.clone();
+    };
+    let mut iters = *v;
+    if fidelity.num() < fidelity.den() && iters > 0 {
+        iters = fidelity.scale(iters as usize) as i64;
+    }
+    if fidelity.epoch_cap > 0 {
+        iters = iters.min(fidelity.epoch_cap as i64).max(1);
+    }
+    if iters == *v {
+        return config.clone();
+    }
+    config.clone().with(param, ParamValue::Int(iters))
+}
+
+/// The single-algorithm tuning objective `f(λ, SA, I)` *at a fidelity*:
+/// UDR's [`CvObjective`](crate::udr) with the three cost levers applied.
+/// Evaluation errors become failed [`TrialOutcome`]s; the last failure is
+/// kept so an all-failed search can explain itself.
+pub struct FidelityCvObjective<'a> {
+    spec: &'a Arc<dyn AlgorithmSpec>,
+    data: &'a Dataset,
+    folds: usize,
+    seed: u64,
+    memo: SubsetMemo,
+    /// Most recent evaluation failure (for error reporting upstream).
+    pub last_failure: Option<TrialFailure>,
+}
+
+impl<'a> FidelityCvObjective<'a> {
+    pub fn new(
+        spec: &'a Arc<dyn AlgorithmSpec>,
+        data: &'a Dataset,
+        folds: usize,
+        seed: u64,
+    ) -> FidelityCvObjective<'a> {
+        FidelityCvObjective {
+            spec,
+            data,
+            folds,
+            seed,
+            memo: SubsetMemo::new(),
+            last_failure: None,
+        }
+    }
+}
+
+impl FidelityObjective for FidelityCvObjective<'_> {
+    fn evaluate_at(&mut self, config: &Config, fidelity: &Fidelity) -> TrialOutcome {
+        let spec = self.spec;
+        let seed = self.seed;
+        let subset = match self.memo.at(self.data, fidelity, seed) {
+            Ok(d) => d,
+            Err(e) => {
+                let outcome = TrialOutcome::Diverged(e.to_string());
+                self.last_failure = outcome.failure();
+                return outcome;
+            }
+        };
+        let folds = folds_at(self.folds, fidelity);
+        let tuned = capped_config(spec.as_ref(), config, fidelity);
+        match cross_val_accuracy(|| spec.build(&tuned, seed), subset, folds, seed) {
+            Ok(score) => TrialOutcome::from_score(score),
+            Err(e) => {
+                let outcome = TrialOutcome::Diverged(e.to_string());
+                self.last_failure = outcome.failure();
+                outcome
+            }
+        }
+    }
+}
+
+/// The hierarchical CASH objective *at a fidelity* — the Auto-Weka
+/// baseline's objective with the same three cost levers.
+pub struct FidelityCashObjective<'a> {
+    registry: &'a Registry,
+    data: &'a Dataset,
+    folds: usize,
+    seed: u64,
+    memo: SubsetMemo,
+    /// Most recent evaluation failure (for error reporting upstream).
+    pub last_failure: Option<TrialFailure>,
+}
+
+impl<'a> FidelityCashObjective<'a> {
+    pub fn new(
+        registry: &'a Registry,
+        data: &'a Dataset,
+        folds: usize,
+        seed: u64,
+    ) -> FidelityCashObjective<'a> {
+        FidelityCashObjective {
+            registry,
+            data,
+            folds,
+            seed,
+            memo: SubsetMemo::new(),
+            last_failure: None,
+        }
+    }
+}
+
+impl FidelityObjective for FidelityCashObjective<'_> {
+    fn evaluate_at(&mut self, config: &Config, fidelity: &Fidelity) -> TrialOutcome {
+        let Some((name, sub)) = AutoWekaConfig::split_config(self.registry, self.data, config)
+        else {
+            let outcome = TrialOutcome::Diverged("config names no applicable algorithm".into());
+            self.last_failure = outcome.failure();
+            return outcome;
+        };
+        let Some(spec) = self.registry.get(&name) else {
+            let outcome = TrialOutcome::Diverged(format!("algorithm '{name}' is not registered"));
+            self.last_failure = outcome.failure();
+            return outcome;
+        };
+        let seed = self.seed;
+        let subset = match self.memo.at(self.data, fidelity, seed) {
+            Ok(d) => d,
+            Err(e) => {
+                let outcome = TrialOutcome::Diverged(e.to_string());
+                self.last_failure = outcome.failure();
+                return outcome;
+            }
+        };
+        let folds = folds_at(self.folds, fidelity);
+        let tuned = capped_config(spec.as_ref(), &sub, fidelity);
+        match cross_val_accuracy(|| spec.build(&tuned, seed), subset, folds, seed) {
+            Ok(score) => TrialOutcome::from_score(score),
+            Err(e) => {
+                let outcome = TrialOutcome::Diverged(e.to_string());
+                self.last_failure = outcome.failure();
+                outcome
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automodel_data::{SynthFamily, SynthSpec};
+
+    #[test]
+    fn inner_optimizer_parses_cli_names() {
+        assert_eq!(InnerOptimizer::parse("auto"), Some(InnerOptimizer::Auto));
+        assert_eq!(InnerOptimizer::parse("sha"), Some(InnerOptimizer::Sha));
+        assert_eq!(
+            InnerOptimizer::parse("successive-halving"),
+            Some(InnerOptimizer::Sha)
+        );
+        assert_eq!(
+            InnerOptimizer::parse("hyperband"),
+            Some(InnerOptimizer::Hyperband)
+        );
+        assert_eq!(InnerOptimizer::parse("smac"), None);
+        assert_eq!(InnerOptimizer::Sha.to_string(), "successive-halving");
+    }
+
+    #[test]
+    fn folds_scale_with_fidelity_but_never_below_two() {
+        assert_eq!(folds_at(10, &Fidelity::full()), 10);
+        assert_eq!(folds_at(10, &Fidelity::fraction(1, 3)), 4); // ceil(10/3)
+        assert_eq!(folds_at(10, &Fidelity::fraction(1, 27)), 2);
+        assert_eq!(folds_at(3, &Fidelity::fraction(1, 9)), 2);
+        // Explicit override wins.
+        assert_eq!(folds_at(10, &Fidelity::fraction(1, 3).with_cv_folds(7)), 7);
+    }
+
+    #[test]
+    fn iteration_caps_scale_the_advertised_parameter_only() {
+        let registry = Registry::full();
+        let mlp = registry.require("MultilayerPerceptron").unwrap();
+        let config = mlp.default_config(); // epochs = 150
+        let third = capped_config(mlp.as_ref(), &config, &Fidelity::fraction(1, 3));
+        assert_eq!(third.int_or("epochs", 0), 50);
+        let capped = capped_config(
+            mlp.as_ref(),
+            &config,
+            &Fidelity::fraction(1, 3).with_epoch_cap(20),
+        );
+        assert_eq!(capped.int_or("epochs", 0), 20);
+        // Full fidelity, no cap: untouched.
+        let full = capped_config(mlp.as_ref(), &config, &Fidelity::full());
+        assert_eq!(full, config);
+        // A spec without an iteration knob passes through verbatim.
+        let ibk = registry.require("IBk").unwrap();
+        let c = ibk.default_config();
+        assert_eq!(
+            capped_config(ibk.as_ref(), &c, &Fidelity::fraction(1, 9)),
+            c
+        );
+    }
+
+    #[test]
+    fn subset_memo_is_stable_and_keeps_full_data_untouched() {
+        let data = SynthSpec::new("m", 90, 3, 0, 2, SynthFamily::Hyperplane, 8).generate();
+        let mut memo = SubsetMemo::new();
+        let full = memo.at(&data, &Fidelity::full(), 7).unwrap();
+        assert_eq!(full.n_rows(), 90);
+        let n_third = memo
+            .at(&data, &Fidelity::fraction(1, 3), 7)
+            .unwrap()
+            .n_rows();
+        assert!((30..90).contains(&n_third), "n = {n_third}");
+        // Memoized: the same fraction returns the identical subset.
+        let again = memo
+            .at(&data, &Fidelity::fraction(1, 3), 7)
+            .unwrap()
+            .n_rows();
+        assert_eq!(n_third, again);
+    }
+
+    #[test]
+    fn fidelity_cv_objective_scores_cheap_rungs() {
+        let registry = Registry::fast();
+        let spec = registry.require("IBk").unwrap().clone();
+        let data = SynthSpec::new("f", 120, 3, 0, 2, SynthFamily::Hyperplane, 5).generate();
+        let mut obj = FidelityCvObjective::new(&spec, &data, 3, 0);
+        let config = spec.default_config();
+        let low = obj.evaluate_at(&config, &Fidelity::fraction(1, 9));
+        let full = obj.evaluate_at(&config, &Fidelity::full());
+        assert!(low.score().is_some(), "low-fidelity eval failed: {low:?}");
+        assert!(full.score().is_some(), "full eval failed: {full:?}");
+    }
+}

@@ -25,6 +25,7 @@ pub mod artifact;
 pub mod autoweka;
 pub mod dmd;
 pub mod error;
+pub mod fidelity;
 pub mod poratio;
 pub mod table2;
 pub mod udr;
@@ -33,6 +34,7 @@ pub use artifact::DmdArtifact;
 pub use autoweka::AutoWekaConfig;
 pub use dmd::{Dmd, DmdConfig, DmdInput};
 pub use error::CoreError;
+pub use fidelity::{FidelityCashObjective, FidelityCvObjective, InnerOptimizer};
 pub use poratio::{po_ratio, EvalContext};
 pub use table2::{mlp_config_from, mlp_space};
 pub use udr::{Solution, UdrConfig};

@@ -9,11 +9,12 @@
 
 use crate::dmd::Dmd;
 use crate::error::CoreError;
+use crate::fidelity::{FidelityCvObjective, InnerOptimizer};
 use automodel_data::Dataset;
 use automodel_hpo::{
     BayesianOptimization, Budget, CheckpointSink, Clock, Config, GaConfig, GeneticAlgorithm,
-    MonotonicClock, Objective, Optimizer, OptimizerBuilder, TrialCache, TrialFailure, TrialOutcome,
-    TrialPolicy,
+    Hyperband, MonotonicClock, Objective, Optimizer, OptimizerBuilder, SuccessiveHalving,
+    TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
 use automodel_trace::{TraceEvent, Tracer};
@@ -101,6 +102,11 @@ pub struct UdrConfig {
     /// Crash-recovery checkpoint sink forwarded to the tuning optimizer
     /// (default: none).
     pub checkpoint: Option<Arc<dyn CheckpointSink>>,
+    /// Which optimizer runs the tuning search. [`InnerOptimizer::Auto`]
+    /// (the default) is the paper's probe-routed GA/BO; `Sha` and
+    /// `Hyperband` skip the probe and run the multi-fidelity schedulers
+    /// over row/fold/iteration-reduced evaluations instead.
+    pub optimizer: InnerOptimizer,
 }
 
 impl std::fmt::Debug for UdrConfig {
@@ -129,6 +135,7 @@ impl UdrConfig {
             tracer: Arc::new(Tracer::disabled()),
             cache: Arc::new(TrialCache::from_env_or_disabled()),
             checkpoint: None,
+            optimizer: InnerOptimizer::Auto,
         }
     }
 
@@ -145,6 +152,7 @@ impl UdrConfig {
             tracer: Arc::new(Tracer::disabled()),
             cache: Arc::new(TrialCache::from_env_or_disabled()),
             checkpoint: None,
+            optimizer: InnerOptimizer::Auto,
         }
     }
 
@@ -169,6 +177,13 @@ impl UdrConfig {
         self
     }
 
+    /// Select the tuning optimizer explicitly (`sha` / `hyperband`
+    /// replace the probe-routed GA/BO with a multi-fidelity scheduler).
+    pub fn with_optimizer(mut self, optimizer: InnerOptimizer) -> UdrConfig {
+        self.optimizer = optimizer;
+        self
+    }
+
     /// Algorithm 5 end to end.
     pub fn solve(&self, dmd: &Dmd, data: &Dataset) -> Result<Solution, CoreError> {
         let algorithm = dmd.select_algorithm(data)?;
@@ -187,6 +202,10 @@ impl UdrConfig {
         spec.check_applicable(data)?;
         let space = spec.param_space();
         let seed = self.seed;
+
+        if self.optimizer != InnerOptimizer::Auto {
+            return self.tune_multifidelity(&spec, algorithm, &space, data);
+        }
 
         let traced = self.tracer.is_enabled();
         // Probe: time one default-config evaluation on a small sample. The
@@ -306,6 +325,89 @@ impl UdrConfig {
             cache_misses: outcome.cache.misses,
         })
     }
+
+    /// The `sha`/`hyperband` tuning path: no evaluation-cost probe — the
+    /// scheduler's fidelity ladder is the cost control — and the CV
+    /// objective runs on seeded nested row subsets with scaled folds and
+    /// iteration caps.
+    fn tune_multifidelity(
+        &self,
+        spec: &Arc<dyn AlgorithmSpec>,
+        algorithm: &str,
+        space: &automodel_hpo::SearchSpace,
+        data: &Dataset,
+    ) -> Result<Solution, CoreError> {
+        let seed = self.seed;
+        let folds = self.cv_folds;
+        let mut objective = FidelityCvObjective::new(spec, data, folds, seed);
+        let policy = TrialPolicy::from_env()?;
+        let traced = self.tracer.is_enabled();
+        if traced {
+            self.tracer.emit(TraceEvent::stage_start("udr.tune"));
+        }
+        let outcome = match self.optimizer {
+            InnerOptimizer::Sha => {
+                let mut sha = SuccessiveHalving::new(seed)
+                    .with_policy(policy)
+                    .with_cache(Arc::clone(&self.cache))
+                    .with_tracer(Arc::clone(&self.tracer));
+                if let Some(sink) = &self.checkpoint {
+                    sha = sha.with_checkpoint(Arc::clone(sink));
+                }
+                sha.optimize_fidelity(space, &mut objective, &self.tuning_budget)
+            }
+            InnerOptimizer::Hyperband => {
+                let mut hb = Hyperband::new(seed)
+                    .with_policy(policy)
+                    .with_cache(Arc::clone(&self.cache))
+                    .with_tracer(Arc::clone(&self.tracer));
+                if let Some(sink) = &self.checkpoint {
+                    hb = hb.with_checkpoint(Arc::clone(sink));
+                }
+                hb.optimize_fidelity(space, &mut objective, &self.tuning_budget)
+            }
+            // tune() already dispatched Auto to the probe-routed path.
+            // lint:allow(no-panic-lib): `tune` only dispatches here when optimizer != Auto
+            InnerOptimizer::Auto => unreachable!("auto never reaches tune_multifidelity"),
+        };
+        if traced {
+            let detail = match &outcome {
+                Some(o) => format!("{algorithm} tuned over {} trials", o.trials.len()),
+                None => format!("{algorithm} search returned nothing"),
+            };
+            self.tracer.emit(TraceEvent::stage_end("udr.tune", detail));
+        }
+        let Some(outcome) = outcome else {
+            if space.is_empty() {
+                let config = spec.default_config();
+                let score = cross_val_accuracy(|| spec.build(&config, seed), data, folds, seed)?;
+                return Ok(Solution {
+                    algorithm: algorithm.to_string(),
+                    config,
+                    score,
+                    technique: "default".into(),
+                    trials: 1,
+                    quarantined: 0,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                });
+            }
+            return Err(match objective.last_failure.take() {
+                Some(failure) => CoreError::Trial(failure),
+                None => CoreError::EmptySearch,
+            });
+        };
+        Ok(Solution {
+            algorithm: algorithm.to_string(),
+            config: outcome.best_config,
+            score: outcome.best_score,
+            technique: self.optimizer.to_string(),
+            trials: outcome.trials.len(),
+            quarantined: outcome.quarantine.len(),
+            cache_hits: outcome.cache.hits,
+            cache_misses: outcome.cache.misses,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -384,6 +486,34 @@ mod tests {
         let solution = udr.tune(&registry, "ZeroR", &data).unwrap();
         assert_eq!(solution.algorithm, "ZeroR");
         assert!(solution.score > 0.0);
+    }
+
+    #[test]
+    fn sha_path_tunes_deterministically() {
+        let registry = automodel_ml::Registry::fast();
+        let data = SynthSpec::new("mf", 130, 3, 0, 2, SynthFamily::Hyperplane, 11).generate();
+        let udr = UdrConfig::fast().with_optimizer(InnerOptimizer::Sha);
+        let a = udr.tune(&registry, "IBk", &data).unwrap();
+        let b = udr.tune(&registry, "IBk", &data).unwrap();
+        assert_eq!(a.technique, "successive-halving");
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert!(a.trials <= 40, "trials = {}", a.trials);
+        assert!(a.score > 0.5, "score = {}", a.score);
+    }
+
+    #[test]
+    fn hyperband_path_tunes_deterministically() {
+        let registry = automodel_ml::Registry::fast();
+        let data = SynthSpec::new("hb", 130, 3, 0, 2, SynthFamily::Hyperplane, 12).generate();
+        let mut udr = UdrConfig::fast().with_optimizer(InnerOptimizer::Hyperband);
+        udr.tuning_budget = Budget::evals(69); // the full bracket grid
+        let a = udr.tune(&registry, "IBk", &data).unwrap();
+        let b = udr.tune(&registry, "IBk", &data).unwrap();
+        assert_eq!(a.technique, "hyperband");
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.trials, 69);
     }
 
     #[test]

@@ -29,6 +29,18 @@ pub enum DataError {
         field: Option<String>,
         message: String,
     },
+    /// A present class has too few rows for every CV training fold to
+    /// contain it: with a single row, the fold holding that row as test
+    /// data trains on zero examples of the class. Raised by
+    /// [`check_class_support`](crate::folds::check_class_support) before
+    /// fold construction, so tiny (e.g. aggressively subsampled) datasets
+    /// fail with a diagnosis instead of silently training lopsided models.
+    ClassStarvation {
+        /// Class label index with insufficient support.
+        class: usize,
+        /// Rows of that class present in the dataset.
+        rows: usize,
+    },
     /// Underlying I/O failure (message only, to keep the error cloneable).
     Io(String),
 }
@@ -70,6 +82,11 @@ impl fmt::Display for DataError {
                 }
                 None => write!(f, "parse error at line {line}: {message}"),
             },
+            DataError::ClassStarvation { class, rows } => write!(
+                f,
+                "class {class} has only {rows} row(s): every CV split would \
+                 train some fold on zero examples of it"
+            ),
             DataError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }

@@ -85,6 +85,44 @@ pub fn stratified_kfold<R: Rng>(
     Ok(FoldPlan { folds, n_rows: n })
 }
 
+/// Verify every *present* class has enough rows to survive k-fold CV.
+///
+/// Round-robin dealing spreads a class's `c` rows over `min(c, k)` folds,
+/// so a training fold can only lose a class entirely when `c = 1`: the
+/// lone row sits in exactly one test fold, whose training side then holds
+/// zero examples of the class. That is the failure mode aggressive row
+/// subsampling (low-fidelity rungs) can create — the subsample keeps ≥ 2
+/// rows per present class precisely to avoid it, and this check turns any
+/// remaining starvation into a typed [`DataError::ClassStarvation`]
+/// instead of a silently lopsided model. Classes with zero rows are fine:
+/// they are absent, not starved.
+pub fn check_class_support(data: &Dataset) -> Result<(), DataError> {
+    let mut counts = vec![0usize; data.n_classes()];
+    for row in 0..data.n_rows() {
+        counts[data.label(row)] += 1;
+    }
+    for (class, &rows) in counts.iter().enumerate() {
+        if rows == 1 {
+            return Err(DataError::ClassStarvation { class, rows });
+        }
+    }
+    Ok(())
+}
+
+/// [`stratified_kfold`] with the class-support audit up front: starved
+/// classes become a typed error *before* any fold is built (and before
+/// the rng is touched, so a recovered caller replays identically). `k`
+/// is still clamped deterministically to `[2, n_rows]` as in the
+/// unchecked form.
+pub fn stratified_kfold_checked<R: Rng>(
+    data: &Dataset,
+    k: usize,
+    rng: &mut R,
+) -> Result<FoldPlan, DataError> {
+    check_class_support(data)?;
+    stratified_kfold(data, k, rng)
+}
+
 /// Stratified train/test split; `test_fraction` in `(0, 1)`. Returns
 /// `(train_rows, test_rows)`. Each observed class contributes at least one
 /// row to the training set when it has any rows at all.
@@ -220,6 +258,36 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let err = stratified_kfold(&d, 5, &mut rng).unwrap_err();
         assert!(matches!(err, DataError::Empty(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn single_row_class_is_a_typed_starvation_error() {
+        // Regression (low-fidelity rungs): a class reduced to one row by
+        // subsampling used to sail through fold construction and train
+        // some folds on zero examples of it.
+        let d = labeled(&[1, 99]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let err = stratified_kfold_checked(&d, 5, &mut rng).unwrap_err();
+        assert_eq!(err, DataError::ClassStarvation { class: 0, rows: 1 });
+        assert!(err.to_string().contains("class 0"), "{err}");
+        // The unchecked form still builds the plan (byte-identical legacy
+        // behaviour); only the checked entry point refuses.
+        assert!(stratified_kfold(&d, 5, &mut StdRng::seed_from_u64(0)).is_ok());
+    }
+
+    #[test]
+    fn checked_fold_accepts_absent_and_two_row_classes() {
+        // Zero rows = absent (fine); two rows = minimum viable support.
+        let d = labeled(&[2, 0, 50]);
+        assert!(check_class_support(&d).is_ok());
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = stratified_kfold_checked(&d, 4, &mut rng).unwrap();
+        assert_eq!(plan.k(), 4);
+        // And it is the same plan the unchecked form builds.
+        let plain = stratified_kfold(&d, 4, &mut StdRng::seed_from_u64(1)).unwrap();
+        for i in 0..plan.k() {
+            assert_eq!(plan.test(i), plain.test(i));
+        }
     }
 
     #[test]

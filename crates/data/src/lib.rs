@@ -25,11 +25,15 @@ pub mod encoding;
 pub mod error;
 pub mod features;
 pub mod folds;
+pub mod subsample;
 pub mod suites;
 pub mod synth;
 
 pub use dataset::{ClassId, Column, Dataset, DatasetBuilder, Target};
 pub use error::DataError;
 pub use features::{meta_features, FeatureVector, FEATURE_COUNT, FEATURE_NAMES};
-pub use folds::{stratified_kfold, train_test_split, FoldPlan};
+pub use folds::{
+    check_class_support, stratified_kfold, stratified_kfold_checked, train_test_split, FoldPlan,
+};
+pub use subsample::stratified_nested_rows;
 pub use synth::{SynthFamily, SynthSpec};

@@ -1,0 +1,152 @@
+//! Seeded, stratified, *nested* row subsampling for multi-fidelity
+//! evaluation.
+//!
+//! A successive-halving rung at row fraction `num/den` must see a subset
+//! that is:
+//!
+//! * **deterministic** — a pure function of `(dataset, fraction, seed)`,
+//!   so every thread count, process and resume replays the same rows;
+//! * **stratified** — each class contributes `⌈c·num/den⌉` of its `c`
+//!   rows (clamped to `[min(c,2), c]`), so rare classes survive cheap
+//!   rungs and the class-support audit in [`crate::folds`] stays green;
+//! * **nested** — the rows at fraction `a` are a subset of the rows at
+//!   any fraction `b ≥ a`, so promoting a config to a higher rung only
+//!   *adds* data, never swaps it (the score trajectory across rungs
+//!   measures more-of-the-same, not a different draw).
+//!
+//! Nesting falls out of the construction: each class's rows are shuffled
+//! once by an RNG seeded from `(seed, class)` — never from the fraction —
+//! and a rung takes a *prefix* of that fixed permutation. Prefix lengths
+//! are monotone in the fraction, and prefixes of one permutation are
+//! nested by definition.
+
+use crate::dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The stratified row subset for fraction `num/den` of `data`, sorted
+/// ascending. `num = den` returns every row. See the module docs for the
+/// determinism/stratification/nesting contract.
+///
+/// # Panics
+/// If `num == 0`, `den == 0` or `num > den` (fractions come from static
+/// rung geometry, so a bad one is a programming error).
+pub fn stratified_nested_rows(data: &Dataset, num: u32, den: u32, seed: u64) -> Vec<usize> {
+    assert!(num > 0 && den > 0, "subsample fraction parts must be > 0");
+    assert!(num <= den, "subsample fraction must be ≤ 1 ({num}/{den})");
+    if num == den {
+        return (0..data.n_rows()).collect();
+    }
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes()];
+    for row in 0..data.n_rows() {
+        per_class[data.label(row)].push(row);
+    }
+    let mut keep = Vec::new();
+    for (class, rows) in per_class.iter_mut().enumerate() {
+        let c = rows.len();
+        if c == 0 {
+            continue;
+        }
+        // The permutation depends on (seed, class) only — NOT the
+        // fraction — so different fractions take prefixes of the same
+        // order and the subsets nest.
+        let mut rng = StdRng::seed_from_u64(mix(seed, class as u64));
+        rows.shuffle(&mut rng);
+        // ⌈c·num/den⌉, floored at 2 rows per present class (when the
+        // class has them) so no rung starves a class down to one row.
+        let take = ((c as u64 * num as u64).div_ceil(den as u64) as usize)
+            .max(c.min(2))
+            .min(c);
+        keep.extend(rows.iter().take(take).copied());
+    }
+    keep.sort_unstable();
+    keep
+}
+
+/// SplitMix64 finalizer over the (seed, stream) pair: decorrelates the
+/// per-class RNG streams without pulling in the workspace's seed-stream
+/// helper (this crate sits below `automodel-parallel`).
+fn mix(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{default_class_names, Dataset};
+
+    fn labeled(counts: &[usize]) -> Dataset {
+        let mut labels = Vec::new();
+        for (c, &n) in counts.iter().enumerate() {
+            labels.extend(std::iter::repeat_n(c, n));
+        }
+        let m = labels.len();
+        Dataset::builder("d")
+            .numeric("x", (0..m).map(|i| i as f64).collect())
+            .target("y", labels, default_class_names(counts.len()))
+            .unwrap()
+    }
+
+    #[test]
+    fn full_fraction_is_every_row_and_subsets_are_deterministic() {
+        let d = labeled(&[30, 20, 10]);
+        assert_eq!(stratified_nested_rows(&d, 3, 3, 9).len(), 60);
+        let a = stratified_nested_rows(&d, 1, 3, 9);
+        assert_eq!(a, stratified_nested_rows(&d, 1, 3, 9));
+        assert_ne!(a, stratified_nested_rows(&d, 1, 3, 10), "seed must matter");
+    }
+
+    #[test]
+    fn subsets_are_stratified_with_a_two_row_floor() {
+        let d = labeled(&[27, 9, 3]);
+        let rows = stratified_nested_rows(&d, 1, 9, 4);
+        let count = |class| rows.iter().filter(|&&r| d.label(r) == class).count();
+        assert_eq!(count(0), 3); // ceil(27/9)
+        assert_eq!(count(1), 2); // ceil(9/9) = 1, floored to 2
+        assert_eq!(count(2), 2); // ceil(3/9) = 1, floored to 2
+    }
+
+    #[test]
+    fn one_row_classes_survive_without_invention() {
+        let d = labeled(&[1, 50]);
+        let rows = stratified_nested_rows(&d, 1, 27, 0);
+        assert!(rows.contains(&0), "the lone class-0 row must be kept");
+    }
+
+    #[test]
+    fn fractions_nest_along_the_rung_ladder() {
+        let d = labeled(&[40, 25, 13, 2]);
+        for seed in [0, 97, 4242] {
+            let ladder: Vec<Vec<usize>> = [(1u32, 27u32), (1, 9), (1, 3), (1, 1)]
+                .iter()
+                .map(|&(n, de)| stratified_nested_rows(&d, n, de, seed))
+                .collect();
+            for w in ladder.windows(2) {
+                assert!(
+                    w[0].iter().all(|r| w[1].contains(r)),
+                    "seed {seed}: lower rung not nested in higher"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_is_sorted_and_duplicate_free() {
+        let d = labeled(&[10, 10]);
+        let rows = stratified_nested_rows(&d, 1, 2, 7);
+        assert!(rows.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≤ 1")]
+    fn oversized_fraction_panics() {
+        let d = labeled(&[4]);
+        let _ = stratified_nested_rows(&d, 3, 2, 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The fidelity axis of a trial: *how much* of the data/training budget
+//! an evaluation sees.
+//!
+//! Multi-fidelity optimizers (successive halving, Hyperband) evaluate
+//! many configurations cheaply — on a stratified row subset, with fewer
+//! CV folds, with capped training iterations — and promote only the
+//! strongest survivors to the full budget. A low-fidelity score is *not*
+//! the same measurement as a full-fidelity score of the same config, so
+//! fidelity must be part of the trial fingerprint: the `TrialCache`,
+//! warm-start store and checkpoint TCHS sections all key on
+//! [`Config::cache_key_at`](crate::space::Config), which appends a
+//! canonical fidelity suffix for any non-full fidelity and stays exactly
+//! the legacy `cache_key` at full fidelity (so existing caches,
+//! checkpoints and warm-start artifacts keep working unchanged).
+//!
+//! A [`Fidelity`] is a gcd-reduced row fraction `num/den` plus two
+//! optional training knobs (CV fold override, iteration cap). Reduction
+//! makes the representation — and therefore the fingerprint — canonical:
+//! `fraction(2, 6)` and `fraction(1, 3)` are the same fidelity and must
+//! key the same cache slot.
+
+use std::fmt;
+
+/// How much of the evaluation budget one trial sees. Construct via
+/// [`Fidelity::full`] or [`Fidelity::fraction`]; the row fraction is
+/// always stored gcd-reduced so equal fractions compare and fingerprint
+/// equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fidelity {
+    num: u32,
+    den: u32,
+    /// CV fold override; `0` means "use the caller's default fold count"
+    /// (possibly scaled by the row fraction — the objective decides).
+    pub cv_folds: u32,
+    /// Training-iteration cap for iterative learners; `0` means uncapped
+    /// (the objective may still scale iterations by the row fraction).
+    pub epoch_cap: u32,
+}
+
+impl Fidelity {
+    /// Full fidelity: all rows, default folds, uncapped training. The
+    /// fingerprint of a full-fidelity trial is exactly the legacy
+    /// config fingerprint.
+    pub fn full() -> Fidelity {
+        Fidelity {
+            num: 1,
+            den: 1,
+            cv_folds: 0,
+            epoch_cap: 0,
+        }
+    }
+
+    /// A row-fraction fidelity `num/den` (stored gcd-reduced). Both parts
+    /// must be non-zero and `num ≤ den` — a fidelity never sees *more*
+    /// than the full data.
+    ///
+    /// # Panics
+    /// If `num == 0`, `den == 0` or `num > den`; fractions come from the
+    /// static rung geometry, so a bad one is a programming error.
+    pub fn fraction(num: u32, den: u32) -> Fidelity {
+        assert!(num > 0 && den > 0, "fidelity fraction parts must be > 0");
+        assert!(num <= den, "fidelity fraction must be ≤ 1 ({num}/{den})");
+        let g = gcd(num, den);
+        Fidelity {
+            num: num / g,
+            den: den / g,
+            cv_folds: 0,
+            epoch_cap: 0,
+        }
+    }
+
+    /// Override the CV fold count at this fidelity (0 = caller default).
+    pub fn with_cv_folds(mut self, folds: u32) -> Fidelity {
+        self.cv_folds = folds;
+        self
+    }
+
+    /// Cap training iterations at this fidelity (0 = uncapped).
+    pub fn with_epoch_cap(mut self, cap: u32) -> Fidelity {
+        self.epoch_cap = cap;
+        self
+    }
+
+    /// Numerator of the gcd-reduced row fraction.
+    pub fn num(&self) -> u32 {
+        self.num
+    }
+
+    /// Denominator of the gcd-reduced row fraction.
+    pub fn den(&self) -> u32 {
+        self.den
+    }
+
+    /// Whether this is the full-budget fidelity (all rows, no overrides).
+    /// Full-fidelity trials fingerprint exactly like legacy single-fidelity
+    /// trials, so caches and artifacts interoperate across the two worlds.
+    pub fn is_full(&self) -> bool {
+        self.num == self.den && self.cv_folds == 0 && self.epoch_cap == 0
+    }
+
+    /// Scale an iteration/row count by the row fraction, rounding up and
+    /// never below 1 (`⌈n·num/den⌉`). Integer arithmetic only, so the
+    /// result is identical on every platform and thread count.
+    pub fn scale(&self, n: usize) -> usize {
+        let num = self.num as u128;
+        let den = self.den as u128;
+        let scaled = (n as u128 * num).div_ceil(den);
+        (scaled.min(n as u128) as usize).max(1)
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.num, self.den)?;
+        if self.cv_folds != 0 {
+            write!(f, " k={}", self.cv_folds)?;
+        }
+        if self.epoch_cap != 0 {
+            write!(f, " e≤{}", self.epoch_cap)?;
+        }
+        Ok(())
+    }
+}
+
+fn gcd(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+/// A serial objective that evaluates a configuration *at a fidelity*.
+/// The full-fidelity world's [`Objective`](crate::objective::Objective)
+/// is the special case that always receives [`Fidelity::full`].
+pub trait FidelityObjective {
+    /// Evaluate `config` at `fidelity`, reporting faults as outcomes.
+    fn evaluate_at(
+        &mut self,
+        config: &crate::space::Config,
+        fidelity: &Fidelity,
+    ) -> automodel_parallel::TrialOutcome;
+}
+
+impl<F> FidelityObjective for F
+where
+    F: FnMut(&crate::space::Config, &Fidelity) -> f64,
+{
+    fn evaluate_at(
+        &mut self,
+        config: &crate::space::Config,
+        fidelity: &Fidelity,
+    ) -> automodel_parallel::TrialOutcome {
+        automodel_parallel::TrialOutcome::from_score(self(config, fidelity))
+    }
+}
+
+/// The thread-shareable twin of [`FidelityObjective`] for the parallel
+/// executor path (`&self`, `Sync` — workers call it concurrently; the
+/// batch layer commits results in trial-index order regardless).
+pub trait BatchFidelityObjective: Sync {
+    /// Evaluate `config` at `fidelity` from any worker thread.
+    fn evaluate_at(
+        &self,
+        config: &crate::space::Config,
+        fidelity: &Fidelity,
+    ) -> automodel_parallel::TrialOutcome;
+}
+
+impl<F> BatchFidelityObjective for F
+where
+    F: Fn(&crate::space::Config, &Fidelity) -> f64 + Sync,
+{
+    fn evaluate_at(
+        &self,
+        config: &crate::space::Config,
+        fidelity: &Fidelity,
+    ) -> automodel_parallel::TrialOutcome {
+        automodel_parallel::TrialOutcome::from_score(self(config, fidelity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions_reduce_to_canonical_form() {
+        assert_eq!(Fidelity::fraction(2, 6), Fidelity::fraction(1, 3));
+        assert_eq!(Fidelity::fraction(9, 27), Fidelity::fraction(1, 3));
+        assert_eq!(Fidelity::fraction(27, 27), Fidelity::fraction(1, 1));
+        let f = Fidelity::fraction(6, 8);
+        assert_eq!((f.num(), f.den()), (3, 4));
+    }
+
+    #[test]
+    fn full_is_the_identity_fidelity() {
+        assert!(Fidelity::full().is_full());
+        assert!(Fidelity::fraction(3, 3).is_full());
+        assert!(!Fidelity::fraction(1, 3).is_full());
+        assert!(!Fidelity::full().with_cv_folds(2).is_full());
+        assert!(!Fidelity::full().with_epoch_cap(10).is_full());
+    }
+
+    #[test]
+    fn scale_rounds_up_clamps_and_never_hits_zero() {
+        let third = Fidelity::fraction(1, 3);
+        assert_eq!(third.scale(9), 3);
+        assert_eq!(third.scale(10), 4); // ceil(10/3)
+        assert_eq!(third.scale(1), 1); // never 0
+        assert_eq!(Fidelity::full().scale(7), 7);
+        assert_eq!(Fidelity::fraction(1, 100).scale(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ≤ 1")]
+    fn oversized_fraction_panics() {
+        let _ = Fidelity::fraction(4, 3);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Fidelity::fraction(1, 3).to_string(), "1/3");
+        assert_eq!(
+            Fidelity::fraction(1, 9)
+                .with_cv_folds(2)
+                .with_epoch_cap(40)
+                .to_string(),
+            "1/9 k=2 e≤40"
+        );
+    }
+}

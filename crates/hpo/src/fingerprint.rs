@@ -27,6 +27,7 @@
 //! optimizers use the cheaper [`Config::cache_key`]; the space-aware form
 //! is for callers fingerprinting raw, unrepaired configs.
 
+use crate::fidelity::Fidelity;
 use crate::space::{Config, ParamValue, SearchSpace};
 use std::fmt;
 use std::fmt::Write as _;
@@ -104,6 +105,34 @@ impl Config {
     /// the config may carry values for *inactive* conditional parameters.
     pub fn cache_key(&self) -> String {
         encode(self)
+    }
+
+    /// Canonical fingerprint of this configuration *evaluated at a
+    /// fidelity*. A low-fidelity score is a different measurement than a
+    /// full-fidelity score of the same config, so the trial cache,
+    /// warm-start store and checkpoint sections must key them apart.
+    ///
+    /// At [`Fidelity::full`] this is exactly [`Config::cache_key`] — the
+    /// legacy single-fidelity world and full-fidelity rungs share cache
+    /// slots, checkpoints and warm-start artifacts. Any other fidelity
+    /// appends a `@f:{num}/{den};k{folds};e{cap}` suffix. Injectivity
+    /// holds because the config encoding is uniquely decodable (count-
+    /// prefixed, length-prefixed names), so no config encoding can end in
+    /// a valid fidelity suffix of another key, and the fidelity itself is
+    /// stored gcd-reduced (canonical).
+    pub fn cache_key_at(&self, fidelity: &Fidelity) -> String {
+        let mut key = encode(self);
+        if !fidelity.is_full() {
+            let _ = write!(
+                key,
+                "@f:{}/{};k{};e{}",
+                fidelity.num(),
+                fidelity.den(),
+                fidelity.cv_folds,
+                fidelity.epoch_cap
+            );
+        }
+        key
     }
 }
 
@@ -266,6 +295,34 @@ mod tests {
         );
         // On a fully-active config the two forms agree.
         assert_eq!(space.cache_key(&sgd_a).unwrap(), sgd_a.cache_key());
+    }
+
+    #[test]
+    fn full_fidelity_key_is_the_legacy_key() {
+        let c = config(&[("lr", ParamValue::Float(0.125))]);
+        assert_eq!(c.cache_key_at(&Fidelity::full()), c.cache_key());
+        // An unreduced full fraction is still the identity.
+        assert_eq!(c.cache_key_at(&Fidelity::fraction(27, 27)), c.cache_key());
+    }
+
+    #[test]
+    fn fidelities_split_keys_and_reduced_fractions_merge_them() {
+        let c = config(&[("depth", ParamValue::Int(4))]);
+        let third = c.cache_key_at(&Fidelity::fraction(1, 3));
+        let ninth = c.cache_key_at(&Fidelity::fraction(1, 9));
+        assert_ne!(third, ninth);
+        assert_ne!(third, c.cache_key());
+        // 9/27 reduces to 1/3: same measurement, same key.
+        assert_eq!(c.cache_key_at(&Fidelity::fraction(9, 27)), third);
+        // Fold/epoch overrides are part of the measurement too.
+        assert_ne!(
+            c.cache_key_at(&Fidelity::fraction(1, 3).with_cv_folds(2)),
+            third
+        );
+        assert_ne!(
+            c.cache_key_at(&Fidelity::fraction(1, 3).with_epoch_cap(40)),
+            third
+        );
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Hyperband: a grid of successive-halving brackets trading off
+//! exploration breadth against starting fidelity.
+//!
+//! Plain SHA commits to one answer to "how aggressively may a cheap
+//! measurement eliminate?" — Hyperband hedges by running every answer:
+//! bracket `s` starts `n_s = ⌈(s_max+1)/(s+1) · eta^s⌉` candidates at
+//! resource `r_max / eta^s` and halves its way up. The most aggressive
+//! bracket (the full SHA ladder) runs first; the last bracket evaluates a
+//! handful of configs straight at full fidelity (pure random search).
+//! With the default geometry (`eta=3`, `r=1..27`) the four brackets cost
+//! 40 + 17 + 8 + 4 = 69 evaluations.
+//!
+//! Determinism is inherited wholesale from [`run_bracket`]: brackets run
+//! in a fixed order, bracket `b`'s candidates draw from proposal streams
+//! offset by the total proposed before it, and every rung follows the
+//! canonical-bits promotion rule — so the full Hyperband history and
+//! trace are byte-identical at any thread count. Trace `RungStart`
+//! events carry the bracket number (`0` = most aggressive), so one trace
+//! stream narrates the whole grid unambiguously.
+//!
+//! The returned incumbent prefers *deeper-fidelity* winners across
+//! brackets: a bracket's best measured at `1/3` of the rows never beats
+//! another's measured at full fidelity, whatever the raw scores; equal
+//! fidelities fall back to canonical score bits, then the lower trial
+//! index.
+//!
+//! [`run_bracket`]: crate::sha::run_bracket
+
+use crate::budget::Budget;
+use crate::builder::{OptimizerBuilder, OptimizerCore};
+use crate::fidelity::{BatchFidelityObjective, Fidelity, FidelityObjective};
+use crate::fingerprint::canonical_f64_bits;
+use crate::objective::{
+    finish_run_with_best, trace_run_start, BatchObjective, Objective, OptOutcome, Optimizer,
+    Quarantine,
+};
+use crate::sha::{run_bracket, BracketBest, BracketSpec, FidelityEval, ShaConfig};
+use crate::space::{Config, SearchSpace};
+use automodel_parallel::{Executor, TrialOutcome};
+
+/// Hyperband over the shared rung geometry (see the module docs).
+#[derive(Debug, Clone)]
+pub struct Hyperband {
+    core: OptimizerCore,
+    cfg: ShaConfig,
+}
+
+impl OptimizerBuilder for Hyperband {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
+}
+
+impl Hyperband {
+    /// Hyperband with the default geometry (`eta=3`, `r=1..27`: four
+    /// brackets, 69 evaluations).
+    pub fn new(seed: u64) -> Hyperband {
+        Hyperband::with_geometry(seed, ShaConfig::default())
+    }
+
+    /// Hyperband with an explicit rung geometry. `candidates` is ignored
+    /// (each bracket derives its own `n_s`).
+    ///
+    /// # Panics
+    /// If the geometry is incoherent (see [`ShaConfig`]).
+    pub fn with_geometry(seed: u64, cfg: ShaConfig) -> Hyperband {
+        cfg.validate();
+        Hyperband {
+            core: OptimizerCore::new("hyperband", seed),
+            cfg,
+        }
+    }
+
+    /// The configured rung geometry.
+    pub fn geometry(&self) -> &ShaConfig {
+        &self.cfg
+    }
+
+    /// `s_max`: how many times `eta` divides `r_max / r_min`.
+    fn s_max(&self) -> u32 {
+        let mut s = 0;
+        let mut r = self.cfg.r_min;
+        while r < self.cfg.r_max {
+            r *= self.cfg.eta;
+            s += 1;
+        }
+        s
+    }
+
+    /// The bracket plan, in execution order: `(bracket, n_start, r_start)`.
+    pub fn brackets(&self) -> Vec<(u64, u32, u32)> {
+        let s_max = self.s_max();
+        (0..=s_max)
+            .rev()
+            .enumerate()
+            .map(|(b, s)| {
+                let pow = self.cfg.eta.pow(s);
+                // n_s = ⌈(s_max+1)/(s+1) · eta^s⌉, in exact integer form.
+                let n = ((s_max as u64 + 1) * pow as u64).div_ceil(s as u64 + 1) as u32;
+                let r = self.cfg.r_max / pow;
+                (b as u64, n, r)
+            })
+            .collect()
+    }
+
+    /// Serial fidelity-aware entry point.
+    pub fn optimize_fidelity(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn FidelityObjective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        self.run(space, &mut FidelityEval::Serial(objective), budget)
+    }
+
+    /// Parallel fidelity-aware entry point; byte-identical to the serial
+    /// one at any thread count.
+    pub fn optimize_fidelity_batch(
+        &self,
+        space: &SearchSpace,
+        objective: &dyn BatchFidelityObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        self.run(space, &mut FidelityEval::Batch(objective, executor), budget)
+    }
+
+    /// Parallel entry point for fidelity-oblivious objectives.
+    pub fn optimize_batch(
+        &self,
+        space: &SearchSpace,
+        objective: &dyn BatchObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        let adapter = IgnoreFidelityBatch(objective);
+        self.run(space, &mut FidelityEval::Batch(&adapter, executor), budget)
+    }
+
+    fn run(
+        &self,
+        space: &SearchSpace,
+        eval: &mut FidelityEval<'_>,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut tracker = budget.start();
+        let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
+        trace_run_start(&self.core);
+        let mut proposed = 0u64;
+        let mut best: Option<BracketBest> = None;
+        for (bracket, n_start, r_start) in self.brackets() {
+            if tracker.exhausted() {
+                break;
+            }
+            let spec = BracketSpec {
+                cfg: &self.cfg,
+                bracket,
+                n_start,
+                r_start,
+                seed_base: proposed,
+            };
+            proposed += n_start as u64;
+            let bracket_best = run_bracket(
+                &self.core,
+                &spec,
+                space,
+                eval,
+                &mut tracker,
+                &mut trials,
+                &mut quarantine,
+            );
+            best = match (best, bracket_best) {
+                (None, b) => b,
+                (b, None) => b,
+                (Some(a), Some(b)) => Some(if deeper_then_better(&b, &a) { b } else { a }),
+            };
+        }
+        finish_run_with_best(
+            &self.core,
+            &tracker,
+            trials,
+            quarantine,
+            best.map(|b| b.index),
+        )
+    }
+}
+
+/// Does challenger `b` beat incumbent `a`? Deeper fidelity first (exact
+/// integer cross-multiplication — no float division), then canonical
+/// score bits, then the earlier trial. Strict: on a complete tie the
+/// incumbent (earlier bracket) stands.
+fn deeper_then_better(b: &BracketBest, a: &BracketBest) -> bool {
+    let depth_b = b.num as u64 * a.den as u64;
+    let depth_a = a.num as u64 * b.den as u64;
+    if depth_b != depth_a {
+        return depth_b > depth_a;
+    }
+    let sb = f64::from_bits(canonical_f64_bits(b.score));
+    let sa = f64::from_bits(canonical_f64_bits(a.score));
+    match sb.total_cmp(&sa) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => b.index < a.index,
+    }
+}
+
+/// Adapter: a fidelity-oblivious [`BatchObjective`] under the Hyperband
+/// schedule.
+struct IgnoreFidelityBatch<'a>(&'a dyn BatchObjective);
+
+impl BatchFidelityObjective for IgnoreFidelityBatch<'_> {
+    fn evaluate_at(&self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
+/// Adapter: a fidelity-oblivious serial [`Objective`] under the schedule.
+struct IgnoreFidelity<'a>(&'a mut dyn Objective);
+
+impl FidelityObjective for IgnoreFidelity<'_> {
+    fn evaluate_at(&mut self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
+impl Optimizer for Hyperband {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut adapter = IgnoreFidelity(objective);
+        self.run(space, &mut FidelityEval::Serial(&mut adapter), budget)
+    }
+
+    fn name(&self) -> &'static str {
+        "hyperband"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::Domain;
+
+    fn space1d() -> SearchSpace {
+        SearchSpace::builder()
+            .add("x", Domain::float(-5.0, 5.0))
+            .build()
+            .unwrap()
+    }
+
+    fn history(out: &OptOutcome) -> String {
+        out.trials
+            .iter()
+            .map(|t| format!("{}|{}#{:016x};", t.index, t.config, t.score.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn default_bracket_plan_matches_the_hyperband_grid() {
+        let hb = Hyperband::new(1);
+        assert_eq!(
+            hb.brackets(),
+            vec![(0, 27, 1), (1, 12, 3), (2, 6, 9), (3, 4, 27)]
+        );
+        // Total evaluations: 40 + 17 + 8 + 4.
+        let obj = |c: &Config, _f: &Fidelity| -c.float_or("x", 0.0).abs();
+        let out = hb
+            .optimize_fidelity_batch(&space1d(), &obj, &Budget::evals(1000), &Executor::new(1))
+            .unwrap();
+        assert_eq!(out.trials.len(), 69);
+    }
+
+    #[test]
+    fn histories_are_thread_count_invariant() {
+        let space = space1d();
+        let obj =
+            |c: &Config, f: &Fidelity| -c.float_or("x", 0.0).abs() * (1.0 + f.den() as f64 / 27.0);
+        let hb = Hyperband::new(97);
+        let one = hb
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(1000), &Executor::new(1))
+            .unwrap();
+        for threads in [2, 8] {
+            let par = hb
+                .optimize_fidelity_batch(
+                    &space,
+                    &obj,
+                    &Budget::evals(1000),
+                    &Executor::new(threads),
+                )
+                .unwrap();
+            assert_eq!(history(&one), history(&par), "threads={threads}");
+        }
+        let serial = {
+            let mut o = |c: &Config, f: &Fidelity| obj(c, f);
+            hb.optimize_fidelity(&space, &mut o, &Budget::evals(1000))
+                .unwrap()
+        };
+        assert_eq!(history(&one), history(&serial));
+    }
+
+    #[test]
+    fn incumbent_prefers_deeper_fidelity_across_brackets() {
+        // Cheap rungs report wildly inflated scores; the winner must be a
+        // full-fidelity measurement regardless.
+        let space = space1d();
+        let obj = |c: &Config, f: &Fidelity| {
+            let base = -c.float_or("x", 0.0).abs();
+            if f.is_full() {
+                base
+            } else {
+                base + 1000.0
+            }
+        };
+        let out = Hyperband::new(5)
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(1000), &Executor::new(2))
+            .unwrap();
+        assert!(out.best_score <= 0.0, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn budget_cuts_the_bracket_sequence_deterministically() {
+        let space = space1d();
+        let obj = |c: &Config, _f: &Fidelity| -c.float_or("x", 0.0).abs();
+        let hb = Hyperband::new(11);
+        // 50 evals: bracket 0 (40 evals) completes, bracket 1 is cut.
+        let a = hb
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(50), &Executor::new(1))
+            .unwrap();
+        let b = hb
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(50), &Executor::new(8))
+            .unwrap();
+        assert_eq!(a.trials.len(), 50);
+        assert_eq!(history(&a), history(&b));
+    }
+}

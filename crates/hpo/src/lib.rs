@@ -32,12 +32,15 @@
 pub mod bo;
 pub mod budget;
 pub mod builder;
+pub mod fidelity;
 pub mod fingerprint;
 pub mod ga;
 pub mod grid;
+pub mod hyperband;
 pub mod linalg;
 pub mod objective;
 pub mod random;
+pub mod sha;
 pub mod smac;
 pub mod space;
 pub mod testfns;
@@ -45,14 +48,17 @@ pub mod testfns;
 pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
 pub use builder::{CheckpointSink, OptimizerBuilder, OptimizerCore, RunCheckpoint};
+pub use fidelity::{BatchFidelityObjective, Fidelity, FidelityObjective};
 pub use fingerprint::{canonical_f64_bits, FingerprintError};
 pub use ga::{GaConfig, GeneticAlgorithm};
 pub use grid::GridSearch;
+pub use hyperband::Hyperband;
 pub use objective::{
     BatchObjective, FnObjective, Objective, OptOutcome, Optimizer, Quarantine, QuarantineRecord,
     Trial,
 };
 pub use random::RandomSearch;
+pub use sha::{ShaConfig, SuccessiveHalving};
 pub use smac::SmacLite;
 pub use space::{Condition, Config, Domain, ParamSpec, ParamValue, SearchSpace};
 
@@ -77,6 +83,8 @@ pub mod optimizers {
     pub use crate::bo::BayesianOptimization;
     pub use crate::ga::GeneticAlgorithm;
     pub use crate::grid::GridSearch;
+    pub use crate::hyperband::Hyperband;
     pub use crate::random::RandomSearch;
+    pub use crate::sha::SuccessiveHalving;
     pub use crate::smac::SmacLite;
 }

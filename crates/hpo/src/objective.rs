@@ -49,6 +49,7 @@
 
 use crate::budget::{Budget, BudgetTracker};
 use crate::builder::{OptimizerCore, RunCheckpoint};
+use crate::fidelity::{BatchFidelityObjective, Fidelity, FidelityObjective};
 use crate::space::{Config, SearchSpace};
 use automodel_parallel::{
     run_trial, CacheStats, CachedTrial, Executor, TrialCache, TrialFailure, TrialOutcome,
@@ -217,9 +218,11 @@ fn replay_cached(hit: CachedTrial, policy: &TrialPolicy) -> TrialEval {
 /// outcome becomes this eval's pending cache insertion). Pure in
 /// `(config, index, policy, quarantine, cache contents, eval)` —
 /// thread-count invariant.
+#[allow(clippy::too_many_arguments)] // the full purity tuple is the point: every input is explicit
 pub(crate) fn run_contained(
     config: &Config,
     index: usize,
+    fidelity: &Fidelity,
     policy: &TrialPolicy,
     quarantine: &Quarantine,
     cache: &TrialCache,
@@ -250,7 +253,10 @@ pub(crate) fn run_contained(
             events,
         };
     }
-    let cache_key = cache.is_enabled().then(|| config.cache_key());
+    // Fidelity is part of the measurement: low- and full-fidelity scores
+    // of the same config key separate cache slots (`cache_key_at` is the
+    // plain `cache_key` at full fidelity).
+    let cache_key = cache.is_enabled().then(|| config.cache_key_at(fidelity));
     if let Some(key) = &cache_key {
         if let Some((hit, warm)) = cache.get_provenance(key) {
             let mut ev = replay_cached(hit, policy);
@@ -396,6 +402,26 @@ fn record_batch(
     out
 }
 
+/// Adapter: a classic [`Objective`] viewed as a [`FidelityObjective`] that
+/// ignores the fidelity (it is always [`Fidelity::full`] on this path).
+struct FullFidelity<'a>(&'a mut dyn Objective);
+
+impl FidelityObjective for FullFidelity<'_> {
+    fn evaluate_at(&mut self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
+/// Adapter: a classic [`BatchObjective`] viewed as a
+/// [`BatchFidelityObjective`] that ignores the fidelity.
+struct FullFidelityBatch<'a>(&'a dyn BatchObjective);
+
+impl BatchFidelityObjective for FullFidelityBatch<'_> {
+    fn evaluate_at(&self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
 /// Evaluate `configs` one by one under `core`'s policy, recording each into
 /// `tracker` and `trials`, stopping as soon as the budget trips. Returns the
 /// evaluated `(config, score)` prefix. The quarantine is consulted as a
@@ -404,6 +430,29 @@ fn record_batch(
 pub(crate) fn eval_batch_serial(
     configs: Vec<Config>,
     objective: &mut dyn Objective,
+    tracker: &mut BudgetTracker,
+    trials: &mut Vec<Trial>,
+    quarantine: &mut Quarantine,
+    core: &OptimizerCore,
+) -> Vec<(Config, f64)> {
+    eval_batch_serial_at(
+        configs,
+        &Fidelity::full(),
+        &mut FullFidelity(objective),
+        tracker,
+        trials,
+        quarantine,
+        core,
+    )
+}
+
+/// Fidelity-aware twin of [`eval_batch_serial`]: every trial in the batch
+/// is evaluated — and fingerprinted — at `fidelity`. The single-fidelity
+/// entry points delegate here with [`Fidelity::full`].
+pub(crate) fn eval_batch_serial_at(
+    configs: Vec<Config>,
+    fidelity: &Fidelity,
+    objective: &mut dyn FidelityObjective,
     tracker: &mut BudgetTracker,
     trials: &mut Vec<Trial>,
     quarantine: &mut Quarantine,
@@ -426,11 +475,12 @@ pub(crate) fn eval_batch_serial(
         let ev = run_contained(
             config,
             base + i,
+            fidelity,
             &core.policy,
             quarantine,
             &core.cache,
             traced,
-            &mut |c| objective.evaluate_outcome(c),
+            &mut |c| objective.evaluate_at(c, fidelity),
         );
         tracker.record(ev.score);
         evals.push(ev);
@@ -463,6 +513,32 @@ pub(crate) fn eval_batch_parallel(
     quarantine: &mut Quarantine,
     core: &OptimizerCore,
 ) -> Vec<(Config, f64)> {
+    eval_batch_parallel_at(
+        configs,
+        &Fidelity::full(),
+        &FullFidelityBatch(objective),
+        executor,
+        tracker,
+        trials,
+        quarantine,
+        core,
+    )
+}
+
+/// Fidelity-aware twin of [`eval_batch_parallel`]: the whole batch runs at
+/// `fidelity`, fingerprinted accordingly. Delegated to with
+/// [`Fidelity::full`] by the single-fidelity entry point.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn eval_batch_parallel_at(
+    configs: Vec<Config>,
+    fidelity: &Fidelity,
+    objective: &dyn BatchFidelityObjective,
+    executor: &Executor,
+    tracker: &mut BudgetTracker,
+    trials: &mut Vec<Trial>,
+    quarantine: &mut Quarantine,
+    core: &OptimizerCore,
+) -> Vec<(Config, f64)> {
     let base = trials.len();
     let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
@@ -483,11 +559,12 @@ pub(crate) fn eval_batch_parallel(
             let ev = run_contained(
                 &configs[i],
                 base + i,
+                fidelity,
                 &core.policy,
                 snapshot,
                 &core.cache,
                 traced,
-                &mut |c| objective.evaluate_outcome(c),
+                &mut |c| objective.evaluate_at(c, fidelity),
             );
             shared.record(ev.score);
             ev
@@ -557,6 +634,22 @@ pub(crate) fn finish_run(
     trials: Vec<Trial>,
     quarantine: Quarantine,
 ) -> Option<OptOutcome> {
+    finish_run_with_best(core, tracker, trials, quarantine, None)
+}
+
+/// [`finish_run`] with an explicit incumbent override. Multi-fidelity
+/// optimizers mix scores measured at different fidelities in one history,
+/// where the global maximum is meaningless (a lucky low-fidelity score
+/// must not beat the full-budget winner); they pass the index of the
+/// deepest-rung best instead. `None` — or an unusable override — falls
+/// back to [`OptOutcome::from_trials`]'s best-usable rule.
+pub(crate) fn finish_run_with_best(
+    core: &OptimizerCore,
+    tracker: &BudgetTracker,
+    trials: Vec<Trial>,
+    quarantine: Quarantine,
+    best: Option<usize>,
+) -> Option<OptOutcome> {
     let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
     if traced {
@@ -568,7 +661,18 @@ pub(crate) fn finish_run(
         }
     }
     let recorded = trials.len() as u64;
-    let out = OptOutcome::from_trials(trials).map(|o| {
+    let chosen = best.filter(|&i| trials.get(i).is_some_and(Trial::is_usable));
+    let out = match chosen {
+        Some(i) => Some(OptOutcome {
+            best_config: trials[i].config.clone(),
+            best_score: trials[i].score,
+            trials,
+            quarantine: Vec::new(),
+            cache: CacheStats::default(),
+        }),
+        None => OptOutcome::from_trials(trials),
+    }
+    .map(|o| {
         o.with_quarantine(quarantine.into_records())
             .with_cache_stats(core.cache.stats())
     });

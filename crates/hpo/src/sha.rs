@@ -1,0 +1,565 @@
+//! Deterministic successive halving (SHA) over the fidelity axis.
+//!
+//! Successive halving spends a budget the way a tournament does: sample
+//! `n0` configurations, evaluate all of them *cheaply* (a small seeded
+//! row fraction), keep the top `1/eta` by score, and re-evaluate the
+//! survivors at `eta`× the fidelity — repeating until the last rung runs
+//! the remaining finalists at full fidelity. With the default geometry
+//! (`eta = 3`, `r = 1..27`, `n0 = 27`) one bracket explores 27
+//! configurations for 40 evaluations, most of them at 1/27th or 1/9th of
+//! the data — the bandit-elimination shape of the mindware lineage's
+//! `CashpOptimizer` and of Hyperband's inner loop.
+//!
+//! ## Determinism contract
+//!
+//! Elimination is byte-identical at any thread count:
+//!
+//! * candidate `k` of a bracket is sampled from its own RNG seeded with
+//!   `seed_stream(seed, base + k, 0)` — independent of batch size and
+//!   thread count (the same discipline as [`RandomSearch`]'s batch path);
+//! * both the serial and the parallel entry points evaluate each rung in
+//!   fixed-size chunks ([`ShaConfig::batch`]) through the shared
+//!   batch-boundary machinery, so batch boundaries — and therefore trace
+//!   streams and checkpoint points — are identical on the two paths;
+//! * rung promotion compares *canonical* score bits
+//!   ([`canonical_f64_bits`]) with lower-trial-index tie-breaks, so the
+//!   promotion set is a pure function of the recorded history;
+//! * `RungStart`/`Promote`/`Eliminate` trace events narrate the schedule
+//!   at rung boundaries, in promotion-rank order, making every
+//!   elimination re-derivable (and oracle-checkable) from the trace alone.
+//!
+//! A rung the budget interrupts is *incomplete*: it emits no promotion
+//! events and ends the bracket — a partial rung must never eliminate a
+//! config that its unevaluated peers might have lost to.
+//!
+//! [`RandomSearch`]: crate::random::RandomSearch
+
+use crate::budget::{Budget, BudgetTracker};
+use crate::builder::{OptimizerBuilder, OptimizerCore};
+use crate::fidelity::{BatchFidelityObjective, Fidelity, FidelityObjective};
+use crate::fingerprint::canonical_f64_bits;
+use crate::objective::{
+    eval_batch_parallel_at, eval_batch_serial_at, finish_run_with_best, trace_run_start,
+    BatchObjective, Objective, OptOutcome, Optimizer, Quarantine, Trial,
+};
+use crate::space::{Config, SearchSpace};
+use automodel_parallel::{seed_stream, Executor, TrialOutcome};
+use automodel_trace::TraceEvent;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The rung geometry of a successive-halving bracket.
+///
+/// Fidelity at resource level `r` is the row fraction `r / r_max`
+/// (exactly [`Fidelity::full`] at `r = r_max`, so final-rung evaluations
+/// share cache slots and artifacts with full-fidelity optimizers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShaConfig {
+    /// Elimination factor: each rung keeps `⌊n/eta⌋` survivors (min 1)
+    /// and multiplies the resource by `eta`.
+    pub eta: u32,
+    /// Resource level of the first (cheapest) rung.
+    pub r_min: u32,
+    /// Resource level of the last rung (full fidelity). Must be
+    /// `r_min · eta^k` for some integer `k ≥ 0`.
+    pub r_max: u32,
+    /// Number of configurations sampled into the first rung.
+    pub candidates: u32,
+    /// Fixed evaluation-chunk size. Both the serial and the parallel path
+    /// chunk every rung into batches of this size, so batch boundaries —
+    /// and the checkpoints and trace events hung on them — are identical
+    /// everywhere.
+    pub batch: usize,
+}
+
+impl Default for ShaConfig {
+    fn default() -> ShaConfig {
+        ShaConfig {
+            eta: 3,
+            r_min: 1,
+            r_max: 27,
+            candidates: 27,
+            batch: 8,
+        }
+    }
+}
+
+impl ShaConfig {
+    /// Panic unless the geometry is coherent (`eta ≥ 2`, rung ladder
+    /// exact). Geometry is static configuration, so an invalid one is a
+    /// programming error, not a runtime condition.
+    pub(crate) fn validate(&self) {
+        assert!(self.eta >= 2, "SHA eta must be ≥ 2, got {}", self.eta);
+        assert!(self.r_min >= 1, "SHA r_min must be ≥ 1");
+        assert!(self.candidates >= 1, "SHA needs at least one candidate");
+        assert!(self.batch >= 1, "SHA batch size must be ≥ 1");
+        let mut r = self.r_min;
+        while r < self.r_max {
+            r = r.saturating_mul(self.eta);
+        }
+        assert!(
+            r == self.r_max,
+            "SHA r_max ({}) must be r_min ({}) times a power of eta ({})",
+            self.r_max,
+            self.r_min,
+            self.eta
+        );
+    }
+
+    /// The fidelity of resource level `r`: the row fraction `r/r_max`,
+    /// which is exactly full fidelity at the top rung.
+    pub fn fidelity_at(&self, r: u32) -> Fidelity {
+        Fidelity::fraction(r, self.r_max)
+    }
+
+    /// Number of rungs a bracket starting at `r_start` climbs through.
+    pub fn rungs_from(&self, r_start: u32) -> u32 {
+        let mut rungs = 1;
+        let mut r = r_start;
+        while r < self.r_max {
+            r *= self.eta;
+            rungs += 1;
+        }
+        rungs
+    }
+}
+
+/// The winner a bracket reports: the best *usable* trial of its deepest
+/// evaluated rung, with the fidelity fraction it was measured at (so
+/// Hyperband can prefer deeper-fidelity winners across brackets).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BracketBest {
+    pub(crate) index: usize,
+    pub(crate) score: f64,
+    pub(crate) num: u32,
+    pub(crate) den: u32,
+}
+
+/// The evaluation backend a bracket runs on: the serial objective path or
+/// the parallel executor path. Both chunk identically, so they produce
+/// the same history bytes.
+pub(crate) enum FidelityEval<'a> {
+    Serial(&'a mut dyn FidelityObjective),
+    Batch(&'a dyn BatchFidelityObjective, &'a Executor),
+}
+
+/// Everything one bracket needs besides the evaluation state. Bundled so
+/// [`run_bracket`] stays callable from both SHA and Hyperband without an
+/// argument avalanche.
+pub(crate) struct BracketSpec<'a> {
+    pub(crate) cfg: &'a ShaConfig,
+    /// Bracket number for trace events (plain SHA always runs bracket 0).
+    pub(crate) bracket: u64,
+    /// Configurations sampled into the first rung.
+    pub(crate) n_start: u32,
+    /// Resource level of the first rung (`cfg.r_min` for plain SHA;
+    /// Hyperband's later brackets start higher).
+    pub(crate) r_start: u32,
+    /// Global proposal offset: candidate `k` draws from
+    /// `seed_stream(seed, seed_base + k, 0)`, so brackets never share
+    /// proposal streams.
+    pub(crate) seed_base: u64,
+}
+
+/// Run one successive-halving bracket. Returns the deepest-rung best
+/// (see [`BracketBest`]); `None` when no rung produced a usable trial.
+pub(crate) fn run_bracket(
+    core: &OptimizerCore,
+    spec: &BracketSpec<'_>,
+    space: &SearchSpace,
+    eval: &mut FidelityEval<'_>,
+    tracker: &mut BudgetTracker,
+    trials: &mut Vec<Trial>,
+    quarantine: &mut Quarantine,
+) -> Option<BracketBest> {
+    let cfg = spec.cfg;
+    let traced = core.tracer.is_enabled();
+    // Candidate k's config is a pure function of (seed, seed_base + k):
+    // independent of batch size, thread count and bracket interleaving.
+    let mut current: Vec<(u64, Config)> = (0..spec.n_start as u64)
+        .map(|k| {
+            let mut rng = StdRng::seed_from_u64(seed_stream(core.seed, spec.seed_base + k, 0));
+            (k, space.sample(&mut rng))
+        })
+        .collect();
+    let mut best: Option<BracketBest> = None;
+    let mut r = spec.r_start;
+    let mut rung = 0u64;
+    loop {
+        if tracker.exhausted() || current.is_empty() {
+            break;
+        }
+        let fidelity = cfg.fidelity_at(r);
+        if traced {
+            core.tracer.emit(TraceEvent::RungStart {
+                bracket: spec.bracket,
+                rung,
+                candidates: current.len() as u64,
+                num: fidelity.num() as u64,
+                den: fidelity.den() as u64,
+            });
+        }
+        let rung_base = trials.len();
+        let mut evaluated = 0usize;
+        // Fixed-size chunks on BOTH paths: identical batch boundaries ⇒
+        // identical traces and checkpoint points, serial or parallel.
+        for chunk in current.chunks(cfg.batch) {
+            let configs: Vec<Config> = chunk.iter().map(|(_, c)| c.clone()).collect();
+            let want = configs.len();
+            let scored = match eval {
+                FidelityEval::Serial(objective) => eval_batch_serial_at(
+                    configs, &fidelity, *objective, tracker, trials, quarantine, core,
+                ),
+                FidelityEval::Batch(objective, executor) => eval_batch_parallel_at(
+                    configs, &fidelity, *objective, executor, tracker, trials, quarantine, core,
+                ),
+            };
+            evaluated += scored.len();
+            if scored.len() < want {
+                break;
+            }
+        }
+        // Deepest-rung incumbent: the best usable trial of this rung
+        // (canonical bits, earliest index on ties) replaces any
+        // shallower-rung best — a full-budget measurement always outranks
+        // a cheap one, whatever the raw scores say.
+        let rung_best = (rung_base..rung_base + evaluated)
+            .filter(|&i| trials[i].is_usable())
+            .max_by(|&a, &b| {
+                canon(trials[a].score)
+                    .total_cmp(&canon(trials[b].score))
+                    .then(b.cmp(&a))
+            });
+        if let Some(i) = rung_best {
+            best = Some(BracketBest {
+                index: i,
+                score: trials[i].score,
+                num: fidelity.num(),
+                den: fidelity.den(),
+            });
+        }
+        if evaluated < current.len() {
+            // Budget tripped mid-rung: an incomplete rung must not
+            // eliminate anyone (unevaluated peers never got their score).
+            break;
+        }
+        if r >= cfg.r_max {
+            break; // final rung: nothing left to promote into
+        }
+        // Promotion: rank every candidate of the completed rung by
+        // canonical score bits, descending, lower trial index on ties.
+        // The top ⌊n/eta⌋ (min 1) survive.
+        let n = current.len();
+        let mut ranked: Vec<usize> = (0..n).collect();
+        ranked.sort_by(|&a, &b| {
+            canon(trials[rung_base + a].score)
+                .total_cmp(&canon(trials[rung_base + b].score))
+                .reverse()
+                .then((rung_base + a).cmp(&(rung_base + b)))
+        });
+        let keep = (n / cfg.eta as usize).max(1);
+        if traced {
+            let mut events = Vec::with_capacity(n);
+            for (pos, &slot) in ranked.iter().enumerate() {
+                let trial = (rung_base + slot) as u64;
+                events.push(if pos < keep {
+                    TraceEvent::Promote { trial, rung }
+                } else {
+                    TraceEvent::Eliminate { trial, rung }
+                });
+            }
+            core.tracer.emit_all(events);
+        }
+        // Survivors re-enter the next rung in candidate order, so the
+        // next rung's trial sequence is again index-sorted and the
+        // proposal stream stays oblivious to ranking details.
+        let mut survivors: Vec<(u64, Config)> = ranked[..keep]
+            .iter()
+            .map(|&slot| current[slot].clone())
+            .collect();
+        survivors.sort_by_key(|(k, _)| *k);
+        current = survivors;
+        r *= cfg.eta;
+        rung += 1;
+    }
+    best
+}
+
+/// Canonicalize a score for comparison: NaN payloads collapse, `-0.0`
+/// becomes `+0.0` — the same bits the fingerprints and traces carry.
+fn canon(score: f64) -> f64 {
+    f64::from_bits(canonical_f64_bits(score))
+}
+
+/// Deterministic successive halving: one elimination bracket over the
+/// fidelity ladder (see the module docs for the contract).
+#[derive(Debug, Clone)]
+pub struct SuccessiveHalving {
+    core: OptimizerCore,
+    cfg: ShaConfig,
+}
+
+impl OptimizerBuilder for SuccessiveHalving {
+    fn core(&self) -> &OptimizerCore {
+        &self.core
+    }
+
+    fn core_mut(&mut self) -> &mut OptimizerCore {
+        &mut self.core
+    }
+}
+
+impl SuccessiveHalving {
+    /// SHA with the default geometry (`eta=3`, `r=1..27`, 27 candidates:
+    /// one 40-evaluation bracket).
+    pub fn new(seed: u64) -> SuccessiveHalving {
+        SuccessiveHalving::with_geometry(seed, ShaConfig::default())
+    }
+
+    /// SHA with an explicit rung geometry.
+    ///
+    /// # Panics
+    /// If the geometry is incoherent (see [`ShaConfig`]).
+    pub fn with_geometry(seed: u64, cfg: ShaConfig) -> SuccessiveHalving {
+        cfg.validate();
+        SuccessiveHalving {
+            core: OptimizerCore::new("successive-halving", seed),
+            cfg,
+        }
+    }
+
+    /// The configured rung geometry.
+    pub fn geometry(&self) -> &ShaConfig {
+        &self.cfg
+    }
+
+    /// Serial fidelity-aware entry point: the objective sees each trial's
+    /// fidelity and is expected to evaluate cheaper at lower fractions.
+    pub fn optimize_fidelity(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn FidelityObjective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        self.run(space, &mut FidelityEval::Serial(objective), budget)
+    }
+
+    /// Parallel fidelity-aware entry point: rung chunks are scored
+    /// concurrently on `executor`; the history is byte-identical to
+    /// [`SuccessiveHalving::optimize_fidelity`] at any thread count.
+    pub fn optimize_fidelity_batch(
+        &self,
+        space: &SearchSpace,
+        objective: &dyn BatchFidelityObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        self.run(space, &mut FidelityEval::Batch(objective, executor), budget)
+    }
+
+    /// Parallel entry point for fidelity-oblivious objectives (the
+    /// elimination schedule still runs; every rung just costs the same).
+    pub fn optimize_batch(
+        &self,
+        space: &SearchSpace,
+        objective: &dyn BatchObjective,
+        budget: &Budget,
+        executor: &Executor,
+    ) -> Option<OptOutcome> {
+        let adapter = IgnoreFidelityBatch(objective);
+        self.run(space, &mut FidelityEval::Batch(&adapter, executor), budget)
+    }
+
+    fn run(
+        &self,
+        space: &SearchSpace,
+        eval: &mut FidelityEval<'_>,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut tracker = budget.start();
+        let mut trials = Vec::new();
+        let mut quarantine = Quarantine::new();
+        trace_run_start(&self.core);
+        let spec = BracketSpec {
+            cfg: &self.cfg,
+            bracket: 0,
+            n_start: self.cfg.candidates,
+            r_start: self.cfg.r_min,
+            seed_base: 0,
+        };
+        let best = run_bracket(
+            &self.core,
+            &spec,
+            space,
+            eval,
+            &mut tracker,
+            &mut trials,
+            &mut quarantine,
+        );
+        finish_run_with_best(
+            &self.core,
+            &tracker,
+            trials,
+            quarantine,
+            best.map(|b| b.index),
+        )
+    }
+}
+
+/// Adapter: a fidelity-oblivious [`Objective`] driven by a fidelity
+/// scheduler (the schedule eliminates as usual; evaluations just don't
+/// get cheaper).
+struct IgnoreFidelity<'a>(&'a mut dyn Objective);
+
+impl FidelityObjective for IgnoreFidelity<'_> {
+    fn evaluate_at(&mut self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
+/// Batch twin of [`IgnoreFidelity`].
+struct IgnoreFidelityBatch<'a>(&'a dyn BatchObjective);
+
+impl BatchFidelityObjective for IgnoreFidelityBatch<'_> {
+    fn evaluate_at(&self, config: &Config, _fidelity: &Fidelity) -> TrialOutcome {
+        self.0.evaluate_outcome(config)
+    }
+}
+
+impl Optimizer for SuccessiveHalving {
+    fn optimize(
+        &mut self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        budget: &Budget,
+    ) -> Option<OptOutcome> {
+        let mut adapter = IgnoreFidelity(objective);
+        self.run(space, &mut FidelityEval::Serial(&mut adapter), budget)
+    }
+
+    fn name(&self) -> &'static str {
+        "successive-halving"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::Fidelity;
+    use crate::space::{Config, Domain};
+
+    fn space1d() -> SearchSpace {
+        SearchSpace::builder()
+            .add("x", Domain::float(-5.0, 5.0))
+            .build()
+            .unwrap()
+    }
+
+    fn history(out: &OptOutcome) -> String {
+        out.trials
+            .iter()
+            .map(|t| format!("{}|{}#{:016x};", t.index, t.config, t.score.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn default_geometry_spends_forty_evals() {
+        // 27 + 9 + 3 + 1 = 40 trials, fractions 1/27, 1/9, 1/3, 1/1.
+        let space = space1d();
+        let obj = |c: &Config, _f: &Fidelity| -c.float_or("x", 0.0).abs();
+        let out = SuccessiveHalving::new(7)
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(1000), &Executor::new(1))
+            .unwrap();
+        assert_eq!(out.trials.len(), 40);
+    }
+
+    #[test]
+    fn serial_and_parallel_histories_are_byte_identical() {
+        let space = space1d();
+        let obj = |c: &Config, f: &Fidelity| {
+            // Fidelity-dependent score: low rungs measure a noisier proxy.
+            -c.float_or("x", 0.0).abs() * (1.0 + 1.0 / f.num().max(1) as f64)
+        };
+        let sha = SuccessiveHalving::new(42);
+        let serial = {
+            let mut o = |c: &Config, f: &Fidelity| obj(c, f);
+            sha.optimize_fidelity(&space, &mut o, &Budget::evals(1000))
+                .unwrap()
+        };
+        for threads in [1, 2, 8] {
+            let par = sha
+                .optimize_fidelity_batch(
+                    &space,
+                    &obj,
+                    &Budget::evals(1000),
+                    &Executor::new(threads),
+                )
+                .unwrap();
+            assert_eq!(history(&serial), history(&par), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn incumbent_comes_from_the_deepest_rung() {
+        // Low-fidelity scores are inflated; the returned best must still
+        // be the full-fidelity finalist, not a lucky cheap measurement.
+        let space = space1d();
+        let obj = |c: &Config, f: &Fidelity| {
+            let base = -c.float_or("x", 0.0).abs();
+            if f.is_full() {
+                base
+            } else {
+                base + 100.0 * f.den() as f64
+            }
+        };
+        let out = SuccessiveHalving::new(3)
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(1000), &Executor::new(2))
+            .unwrap();
+        assert_eq!(out.best_config, out.trials[39].config);
+        assert!(out.best_score <= 0.0, "best = {}", out.best_score);
+    }
+
+    #[test]
+    fn budget_trips_mid_rung_without_promotions() {
+        let space = space1d();
+        let obj = |c: &Config, _f: &Fidelity| -c.float_or("x", 0.0).abs();
+        // 30 evals: rung 0 (27) completes, rung 1 stops after 3 of 9.
+        let out = SuccessiveHalving::new(9)
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(30), &Executor::new(4))
+            .unwrap();
+        assert_eq!(out.trials.len(), 30);
+    }
+
+    #[test]
+    fn zero_budget_yields_none() {
+        let space = space1d();
+        let obj = |_c: &Config, _f: &Fidelity| 0.0;
+        assert!(SuccessiveHalving::new(1)
+            .optimize_fidelity_batch(&space, &obj, &Budget::evals(0), &Executor::new(1))
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "r_max")]
+    fn incoherent_geometry_panics() {
+        let _ = SuccessiveHalving::with_geometry(
+            1,
+            ShaConfig {
+                eta: 3,
+                r_min: 1,
+                r_max: 10, // not a power of 3
+                candidates: 9,
+                batch: 8,
+            },
+        );
+    }
+
+    #[test]
+    fn rung_geometry_helpers_agree_with_the_ladder() {
+        let cfg = ShaConfig::default();
+        assert_eq!(cfg.rungs_from(1), 4);
+        assert_eq!(cfg.rungs_from(27), 1);
+        assert!(cfg.fidelity_at(27).is_full());
+        assert_eq!(cfg.fidelity_at(9), Fidelity::fraction(1, 3));
+    }
+}

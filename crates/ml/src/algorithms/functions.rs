@@ -115,6 +115,9 @@ impl AlgorithmSpec for SimpleLogisticSpec {
     fn name(&self) -> &'static str {
         "SimpleLogistic"
     }
+    fn iteration_param(&self) -> Option<&'static str> {
+        Some("max_iter")
+    }
     fn family(&self) -> Family {
         Family::Functions
     }
@@ -185,6 +188,9 @@ pub struct MultilayerPerceptronSpec;
 impl AlgorithmSpec for MultilayerPerceptronSpec {
     fn name(&self) -> &'static str {
         "MultilayerPerceptron"
+    }
+    fn iteration_param(&self) -> Option<&'static str> {
+        Some("epochs")
     }
     fn family(&self) -> Family {
         Family::Functions
@@ -345,6 +351,9 @@ impl AlgorithmSpec for SmoSpec {
     fn name(&self) -> &'static str {
         "SMO"
     }
+    fn iteration_param(&self) -> Option<&'static str> {
+        Some("epochs")
+    }
     fn family(&self) -> Family {
         Family::Functions
     }
@@ -481,6 +490,9 @@ pub struct LibSvmSpec;
 impl AlgorithmSpec for LibSvmSpec {
     fn name(&self) -> &'static str {
         "LibSVM"
+    }
+    fn iteration_param(&self) -> Option<&'static str> {
+        Some("epochs")
     }
     fn family(&self) -> Family {
         Family::Functions

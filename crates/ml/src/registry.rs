@@ -67,6 +67,15 @@ pub trait AlgorithmSpec: Send + Sync {
     fn expensive(&self) -> bool {
         false
     }
+
+    /// Name of the hyperparameter that counts training iterations
+    /// (epochs, boosting rounds, optimizer steps), when the algorithm has
+    /// one. Multi-fidelity schedulers scale or cap this parameter at
+    /// cheap rungs; `None` (the default) means training cost is not
+    /// iteration-shaped and only row subsampling applies.
+    fn iteration_param(&self) -> Option<&'static str> {
+        None
+    }
 }
 
 /// The `CAList`: an ordered, name-addressable set of algorithms.
@@ -208,6 +217,29 @@ mod tests {
             space
                 .validate(&config)
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name()));
+        }
+    }
+
+    #[test]
+    fn iteration_params_name_declared_int_parameters() {
+        // A fidelity scheduler scales the named parameter, so it must
+        // exist in the spec's own space (and the known iterative
+        // learners must advertise one).
+        let r = Registry::full();
+        let mut advertised = Vec::new();
+        for spec in r.iter() {
+            if let Some(param) = spec.iteration_param() {
+                let space = spec.param_space();
+                assert!(
+                    space.params().iter().any(|p| p.name == param),
+                    "{}: iteration_param '{param}' not in its space",
+                    spec.name()
+                );
+                advertised.push(spec.name());
+            }
+        }
+        for expected in ["SimpleLogistic", "MultilayerPerceptron", "SMO", "LibSVM"] {
+            assert!(advertised.contains(&expected), "{expected} lost its knob");
         }
     }
 

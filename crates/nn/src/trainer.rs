@@ -117,6 +117,21 @@ impl Default for MlpConfig {
     }
 }
 
+impl MlpConfig {
+    /// Cap the training epochs at `cap` (a no-op for `cap == 0` or a cap
+    /// already above `max_iter`). Multi-fidelity rungs use this to train
+    /// the MLP for a fraction of its configured epochs without otherwise
+    /// touching the hyperparameters — the capped config is a *different
+    /// measurement*, which is why fidelity participates in the trial
+    /// fingerprint upstream.
+    pub fn with_iteration_cap(mut self, cap: usize) -> MlpConfig {
+        if cap > 0 {
+            self.max_iter = self.max_iter.min(cap).max(1);
+        }
+        self
+    }
+}
+
 /// Outcome of a training run.
 #[derive(Debug, Clone)]
 pub struct TrainReport {

@@ -195,6 +195,27 @@ pub fn encode_line(record: &TraceRecord) -> String {
             field_n(&mut buf, "trials", *trials);
             field_n(&mut buf, "restored", *restored);
         }
+        TraceEvent::RungStart {
+            bracket,
+            rung,
+            candidates,
+            num,
+            den,
+        } => {
+            field_n(&mut buf, "bracket", *bracket);
+            field_n(&mut buf, "rung", *rung);
+            field_n(&mut buf, "candidates", *candidates);
+            field_n(&mut buf, "num", *num);
+            field_n(&mut buf, "den", *den);
+        }
+        TraceEvent::Promote { trial, rung } => {
+            field_n(&mut buf, "trial", *trial);
+            field_n(&mut buf, "rung", *rung);
+        }
+        TraceEvent::Eliminate { trial, rung } => {
+            field_n(&mut buf, "trial", *trial);
+            field_n(&mut buf, "rung", *rung);
+        }
     }
     buf.push('}');
     buf
@@ -507,6 +528,21 @@ fn parse_record(line: &str) -> Result<TraceRecord, String> {
             trials: f.take_n("trials")?,
             restored: f.take_n("restored")?,
         },
+        "rung_start" => TraceEvent::RungStart {
+            bracket: f.take_n("bracket")?,
+            rung: f.take_n("rung")?,
+            candidates: f.take_n("candidates")?,
+            num: f.take_n("num")?,
+            den: f.take_n("den")?,
+        },
+        "promote" => TraceEvent::Promote {
+            trial: f.take_n("trial")?,
+            rung: f.take_n("rung")?,
+        },
+        "eliminate" => TraceEvent::Eliminate {
+            trial: f.take_n("trial")?,
+            rung: f.take_n("rung")?,
+        },
         other => return Err(format!("unknown event kind \"{other}\"")),
     };
     f.finish()?;
@@ -628,6 +664,15 @@ mod tests {
                 trials: 96,
                 restored: 96,
             },
+            TraceEvent::RungStart {
+                bracket: 1,
+                rung: 2,
+                candidates: 9,
+                num: 1,
+                den: 3,
+            },
+            TraceEvent::Promote { trial: 12, rung: 2 },
+            TraceEvent::Eliminate { trial: 15, rung: 2 },
         ];
         for (i, event) in events.into_iter().enumerate() {
             roundtrip(TraceRecord {

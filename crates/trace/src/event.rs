@@ -89,6 +89,24 @@ pub enum TraceEvent {
         trials: u64,
         restored: u64,
     },
+    /// A successive-halving rung begins: `candidates` configurations will
+    /// be evaluated at the row fraction `num/den` (Hyperband brackets
+    /// number their rungs independently; plain SHA uses bracket 0).
+    RungStart {
+        bracket: u64,
+        rung: u64,
+        candidates: u64,
+        num: u64,
+        den: u64,
+    },
+    /// The trial's configuration survived the rung's elimination and is
+    /// promoted to the next (higher-fidelity) rung. Emitted at the rung
+    /// boundary in promotion-rank order, so the promotion set is
+    /// re-derivable from the preceding `trial_end` scores alone.
+    Promote { trial: u64, rung: u64 },
+    /// The trial's configuration was eliminated at the rung boundary and
+    /// will not be evaluated at any higher fidelity.
+    Eliminate { trial: u64, rung: u64 },
 }
 
 impl TraceEvent {
@@ -114,6 +132,9 @@ impl TraceEvent {
             TraceEvent::ArtifactLoad { .. } => "artifact_load",
             TraceEvent::Checkpoint { .. } => "checkpoint",
             TraceEvent::Recovery { .. } => "recovery",
+            TraceEvent::RungStart { .. } => "rung_start",
+            TraceEvent::Promote { .. } => "promote",
+            TraceEvent::Eliminate { .. } => "eliminate",
         }
     }
 
@@ -133,6 +154,10 @@ impl TraceEvent {
     }
 
     /// The trial index this event belongs to, if it is trial-scoped.
+    ///
+    /// `Promote`/`Eliminate` *reference* a trial in their payload but are
+    /// not trial-scoped: they are emitted at the rung boundary, outside
+    /// any `trial_start`/`trial_end` span, so they return `None` here.
     pub fn trial(&self) -> Option<u64> {
         match self {
             TraceEvent::TrialStart { trial, .. }
@@ -222,6 +247,15 @@ mod tests {
                 trials: 0,
                 restored: 0,
             },
+            TraceEvent::RungStart {
+                bracket: 0,
+                rung: 0,
+                candidates: 0,
+                num: 0,
+                den: 0,
+            },
+            TraceEvent::Promote { trial: 0, rung: 0 },
+            TraceEvent::Eliminate { trial: 0, rung: 0 },
         ];
         let mut names: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         names.sort_unstable();
@@ -269,5 +303,20 @@ mod tests {
             .trial(),
             None
         );
+        // Rung events reference trials but live at the rung boundary,
+        // outside any trial span — they must not claim trial scope.
+        assert_eq!(
+            TraceEvent::RungStart {
+                bracket: 0,
+                rung: 1,
+                candidates: 9,
+                num: 1,
+                den: 9
+            }
+            .trial(),
+            None
+        );
+        assert_eq!(TraceEvent::Promote { trial: 4, rung: 1 }.trial(), None);
+        assert_eq!(TraceEvent::Eliminate { trial: 5, rung: 1 }.trial(), None);
     }
 }

@@ -49,7 +49,7 @@ fn hostile_f64(rng: &mut StdRng) -> f64 {
 
 /// An arbitrary event of any kind.
 fn random_event(rng: &mut StdRng) -> TraceEvent {
-    match rng.gen_range(0..17usize) {
+    match rng.gen_range(0..22usize) {
         0 => TraceEvent::RunStart {
             optimizer: hostile_string(rng),
             seed: rng.gen(),
@@ -110,6 +110,31 @@ fn random_event(rng: &mut StdRng) -> TraceEvent {
             path: hostile_string(rng),
             sections: rng.gen(),
             bytes: rng.gen(),
+        },
+        16 => TraceEvent::Checkpoint {
+            seq: rng.gen(),
+            trials: rng.gen(),
+            bytes: rng.gen(),
+        },
+        17 => TraceEvent::Recovery {
+            seq: rng.gen(),
+            trials: rng.gen(),
+            restored: rng.gen(),
+        },
+        18 => TraceEvent::RungStart {
+            bracket: rng.gen(),
+            rung: rng.gen(),
+            candidates: rng.gen(),
+            num: rng.gen(),
+            den: rng.gen(),
+        },
+        19 => TraceEvent::Promote {
+            trial: rng.gen(),
+            rung: rng.gen(),
+        },
+        20 => TraceEvent::Eliminate {
+            trial: rng.gen(),
+            rung: rng.gen(),
         },
         _ => TraceEvent::BudgetExhausted {
             evals: rng.gen(),

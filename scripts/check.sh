@@ -137,4 +137,31 @@ if doc["overhead_pct"] >= 5.0:
 print(f"checkpoint gate: {doc['overhead_pct']:+.2f}% over {doc['checkpoints_written']} write(s)")
 PY
 
+echo "==> multi-fidelity promotion oracle (schedule re-derived from the trace)"
+# tests/multifidelity_oracle.rs replays SHA/Hyperband traces, re-derives
+# every promotion/elimination from recorded score bits, and asserts
+# byte-identical histories AND traces at 1/2/8 threads under faults,
+# trace-on == trace-off, cache-on == cache-off, plus golden histories
+# for two seeds. The suite also runs under the env matrices above; this
+# stage pins it in the default environment by name.
+cargo test -q --test multifidelity_oracle
+
+echo "==> multi-fidelity throughput gate (exp_multifidelity, floor 1.5x)"
+# The binary asserts byte-identical SHA histories and identical unit
+# spend at 1/2/8 threads; the floor check below gates configurations
+# explored per budget unit vs full-fidelity random search as recorded
+# in BENCH_multifidelity.json.
+cargo run --release -q -p automodel-bench --bin exp_multifidelity -- --scale small >/dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_multifidelity.json"))
+if not doc["identical_history"]:
+    raise SystemExit("multi-fidelity gate: history diverged")
+if doc["throughput_ratio"] < doc["throughput_floor"]:
+    raise SystemExit(f"multi-fidelity gate: {doc['throughput_ratio']:.2f}x below "
+                     f"the {doc['throughput_floor']}x floor")
+print(f"multi-fidelity gate: {doc['throughput_ratio']:.2f}x "
+      f"({doc['sha_trials']} SHA trials vs {doc['random_trials']} random at the same spend)")
+PY
+
 echo "All checks passed."

@@ -15,13 +15,14 @@
 //!                      [--history hist.txt]  persisted trial history
 //! auto-model solve     --csv data.csv        solve the CASH problem for a dataset
 //!                      [--artifact dmd.json] [--budget N] [--folds K]
+//!                      [--optimizer auto|sha|hyperband]
 //! ```
 //!
 //! The CSV format is the typed one of `automodel_data::csv`: header cells
 //! are `num:<name>` / `cat:<name>`, the last column `class:<name>`; missing
 //! cells are empty strings.
 
-use auto_model::core::DmdArtifact;
+use auto_model::core::{DmdArtifact, InnerOptimizer};
 use auto_model::data::csv::read_csv;
 use auto_model::data::{meta_features, Dataset, FEATURE_NAMES};
 use auto_model::hpo::Budget;
@@ -306,6 +307,12 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse().map_err(|e| format!("--folds: {e}")))
         .transpose()?
         .unwrap_or(5);
+    let optimizer = match arg_value(args, "--optimizer") {
+        Some(name) => InnerOptimizer::parse(&name).ok_or_else(|| {
+            format!("--optimizer: unknown optimizer '{name}' (expected auto, sha or hyperband)")
+        })?,
+        None => InnerOptimizer::Auto,
+    };
 
     let registry = Registry::full();
     let dmd = match arg_value(args, "--artifact") {
@@ -319,7 +326,7 @@ fn cmd_solve(args: &[String]) -> Result<(), String> {
         None => demo_dmd(registry)?,
     };
 
-    let mut udr = UdrConfig::fast();
+    let mut udr = UdrConfig::fast().with_optimizer(optimizer);
     udr.tuning_budget = Budget::evals(budget);
     udr.cv_folds = folds;
     let tracer = Arc::new(Tracer::from_env().map_err(|e| e.to_string())?);
@@ -353,7 +360,7 @@ fn usage() -> &'static str {
        dmd load  --artifact dmd.store [--rerun] [--history h.txt]\n\
                                            verify, load & serve — or warm-start\n\
        solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]\n\
-                 [--checkpoint c.ckpt] [--resume]"
+                 [--optimizer auto|sha|hyperband] [--checkpoint c.ckpt] [--resume]"
 }
 
 fn main() -> ExitCode {

@@ -260,6 +260,162 @@ fn kill_drill_eight_threads_under_io_faults() {
     kill_drill("8", Some(IO_FAULTS));
 }
 
+/// A small typed CSV (the `automodel_data::csv` format) for the solve
+/// drills, generated from a fixed LCG so every run sees identical bytes.
+fn write_demo_csv(dir: &Path) -> PathBuf {
+    use std::fmt::Write as _;
+    let path = dir.join("drill.csv");
+    let mut text = String::from("num:a,num:b,num:c,class:y\n");
+    let mut state = 9u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    for _ in 0..72 {
+        let (a, b, c) = (next(), next(), next());
+        let y = if a + 0.5 * b - c > 0.4 { "pos" } else { "neg" };
+        writeln!(text, "{a:.6},{b:.6},{c:.6},{y}").unwrap();
+    }
+    fs::write(&path, text).unwrap();
+    path
+}
+
+/// The solution lines of a `solve` run's stdout (algorithm, config,
+/// score, technique, trial count) — the checkpoint bookkeeping line is
+/// provenance and excluded.
+fn solution_lines(stdout: &[u8]) -> Vec<String> {
+    String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| {
+            [
+                "algorithm",
+                "configuration",
+                "CV accuracy",
+                "HPO technique",
+                "evaluations",
+            ]
+            .iter()
+            .any(|p| l.starts_with(p))
+        })
+        .map(str::to_string)
+        .collect()
+}
+
+/// Multi-fidelity kill-drill: `solve --optimizer sha` killed **mid-rung**
+/// and resumed must reproduce the uninterrupted elimination sequence
+/// byte-for-byte. The default SHA bracket chunks rung 0 (27 trials) into
+/// four 8-trial batches, each ending in a checkpoint;
+/// `AUTOMODEL_CRASH_AFTER=2` therefore aborts with rung 0 only partially
+/// evaluated. The filtered traces carry every `rung_start` / `promote` /
+/// `eliminate` event and every trial's exact score bits, so equality here
+/// *is* equality of the elimination schedule.
+fn sha_kill_drill(threads: &str) {
+    let dir = scratch(&format!("sha-drill{threads}"));
+    let csv = write_demo_csv(&dir);
+    let csv = csv.to_string_lossy().into_owned();
+
+    // One decision-model artifact, shared by every phase: the drill
+    // targets the tuner's recovery, not DMD training.
+    let out = cli(
+        &dir,
+        threads,
+        None,
+        &[],
+        &["train-dmd", "--out", "dmd.json"],
+    );
+    assert!(
+        out.status.success(),
+        "train-dmd failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let solve = |trace: Option<&Path>, env: &[(&str, String)], extra: &[&str]| {
+        let args: Vec<&str> = [
+            "solve",
+            "--csv",
+            csv.as_str(),
+            "--artifact",
+            "dmd.json",
+            "--optimizer",
+            "sha",
+        ]
+        .into_iter()
+        .chain(extra.iter().copied())
+        .collect();
+        cli(&dir, threads, trace, env, &args)
+    };
+
+    // Phase 1: the uninterrupted reference run.
+    let cold_trace = dir.join("cold.trace");
+    let out = solve(Some(&cold_trace), &[], &["--checkpoint", "cold.ckpt"]);
+    assert!(
+        out.status.success(),
+        "cold solve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let cold_solution = solution_lines(&out.stdout);
+    assert!(
+        cold_solution
+            .iter()
+            .any(|l| l.contains("successive-halving")),
+        "solve --optimizer sha must report the SHA technique: {cold_solution:?}"
+    );
+
+    // Phase 2: the same run, killed after the second checkpoint — two
+    // batches into rung 0, with 11 of its 27 trials still unevaluated.
+    let out = solve(
+        None,
+        &[("AUTOMODEL_CRASH_AFTER", "2".to_string())],
+        &["--checkpoint", "run.ckpt"],
+    );
+    assert!(
+        !out.status.success(),
+        "crash run should have aborted mid-rung"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("aborting after checkpoint 2"),
+        "crash run must die at the drilled checkpoint"
+    );
+
+    // Phase 3: resume — the restored cache warm-replays the paid prefix
+    // and the elimination schedule must come out identical.
+    let resumed_trace = dir.join("resumed.trace");
+    let out = solve(
+        Some(&resumed_trace),
+        &[],
+        &["--checkpoint", "run.ckpt", "--resume"],
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "resumed solve failed: {stderr}");
+    assert!(
+        stderr.contains("resuming from checkpoint"),
+        "resume must report the recovered generation, got: {stderr}"
+    );
+    assert_eq!(
+        cold_solution,
+        solution_lines(&out.stdout),
+        "resumed solution diverged from the cold run (threads={threads})"
+    );
+    let cold = filtered_trace(&cold_trace);
+    assert!(
+        cold.iter().any(|l| l.contains("\"ev\":\"promote\"")),
+        "reference trace must narrate promotions (drill would be vacuous)"
+    );
+    assert_eq!(
+        cold,
+        filtered_trace(&resumed_trace),
+        "elimination sequence must be byte-identical after crash + resume (threads={threads})"
+    );
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sha_kill_drill_mid_rung_two_threads() {
+    sha_kill_drill("2");
+}
+
 /// `--resume` against a base with no generation files must cold-start
 /// and still finish with the reference history, not error out.
 #[test]

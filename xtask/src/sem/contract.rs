@@ -2,8 +2,9 @@
 //! every optimizer and every executor entry point.
 //!
 //! **Optimizer surface** (crates/hpo): any type with a concrete
-//! `optimize`/`optimize_batch` method must reach the three builder
-//! hooks `with_policy`, `with_cache`, `with_tracer` — either by
+//! `optimize`/`optimize_batch` — or multi-fidelity
+//! `optimize_fidelity`/`optimize_fidelity_batch` — method must reach the
+//! three builder hooks `with_policy`, `with_cache`, `with_tracer` — either by
 //! implementing `OptimizerBuilder` (a `core`/`core_mut` pair over an
 //! embedded `OptimizerCore`, which supplies every hook as a default
 //! method) or by defining all three directly. A new optimizer that
@@ -25,6 +26,17 @@ use std::collections::{BTreeMap, BTreeSet};
 
 const BUILDER_HOOKS: [&str; 3] = ["with_policy", "with_cache", "with_tracer"];
 
+/// The optimizer entry points that put a type on the contract surface.
+/// The fidelity pair matters: a rung scheduler like `SuccessiveHalving`
+/// defines no plain `optimize`, and anchoring only on that name would
+/// let every multi-fidelity optimizer slip past the lint.
+const ENTRY_POINTS: [&str; 4] = [
+    "optimize",
+    "optimize_batch",
+    "optimize_fidelity",
+    "optimize_fidelity_batch",
+];
+
 /// Run L12 over one crate.
 pub fn check_crate(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
     if idx.name == "crates/hpo" {
@@ -43,14 +55,18 @@ fn optimizer_surface(idx: &CrateIndex<'_>, out: &mut Vec<Diagnostic>) {
             methods.entry(ty).or_default().insert(&f.item.name);
         }
     }
+    let mut anchored: BTreeSet<&str> = BTreeSet::new();
     for f in &idx.fns {
-        let is_entry = matches!(f.item.name.as_str(), "optimize" | "optimize_batch");
+        let is_entry = ENTRY_POINTS.contains(&f.item.name.as_str());
         // Body-less = trait declaration; one finding per type is enough,
-        // anchored at `optimize` (every optimizer has it).
-        if !is_entry || f.item.body.is_none() || f.item.in_test || f.item.name != "optimize" {
+        // anchored at its lexically first concrete entry point.
+        if !is_entry || f.item.body.is_none() || f.item.in_test {
             continue;
         }
         let Some(ty) = &f.item.self_ty else { continue };
+        if !anchored.insert(ty.as_str()) {
+            continue;
+        }
         let have = methods.get(ty.as_str());
         // An OptimizerBuilder impl (core + core_mut over an embedded
         // OptimizerCore) inherits every hook as a default method.
@@ -185,6 +201,42 @@ mod tests {
         let src = "impl Opt {\n\
             fn core(&self) -> &OptimizerCore { &self.core }\n\
             pub fn optimize(&self) -> f64 { 0.0 }\n\
+        }\n";
+        let msgs = findings("crates/hpo/src/opt.rs", src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+    }
+
+    #[test]
+    fn fidelity_only_optimizer_is_on_the_surface() {
+        // A rung scheduler with no plain `optimize` must still be held
+        // to the builder-hook contract.
+        let src = "impl Sha {\n\
+            pub fn optimize_fidelity(&self) -> f64 { 0.0 }\n\
+            pub fn optimize_fidelity_batch(&self) -> f64 { 0.0 }\n\
+        }\n";
+        let msgs = findings("crates/hpo/src/sha.rs", src);
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("`with_policy`"), "{msgs:?}");
+    }
+
+    #[test]
+    fn fidelity_optimizer_via_builder_is_clean() {
+        let src = "impl OptimizerBuilder for Sha {\n\
+            fn core(&self) -> &OptimizerCore { &self.core }\n\
+            fn core_mut(&mut self) -> &mut OptimizerCore { &mut self.core }\n\
+        }\n\
+        impl Sha {\n\
+            pub fn optimize_fidelity(&self) -> f64 { 0.0 }\n\
+        }\n";
+        assert!(findings("crates/hpo/src/sha.rs", src).is_empty());
+    }
+
+    #[test]
+    fn multiple_entry_points_yield_one_finding() {
+        let src = "impl Opt {\n\
+            pub fn optimize(&self) -> f64 { 0.0 }\n\
+            pub fn optimize_batch(&self) -> f64 { 0.0 }\n\
+            pub fn optimize_fidelity(&self) -> f64 { 0.0 }\n\
         }\n";
         let msgs = findings("crates/hpo/src/opt.rs", src);
         assert_eq!(msgs.len(), 1, "{msgs:?}");
