@@ -1,0 +1,161 @@
+//! Serving throughput: warm sessions vs cold sessions on one server.
+//!
+//! A cold session pays every trial evaluation live; a warm session with
+//! an identical context (same dataset, seed, folds, optimizer, fault
+//! plan) replays the shared context-keyed trial-cache pool and skips
+//! the classifier training entirely. This binary builds a DMD, stands
+//! up an in-process [`Server`], drives one cold pass and one warm pass
+//! over the same batch of session requests, checks the cache-sharing
+//! identity contract (warm history byte-identical to cold, warm hits
+//! actually recorded), gates the warm/cold sessions-per-second ratio at
+//! ≥ 2× and records the result into `BENCH_serve.json`.
+//!
+//! Run: `cargo run --release -p automodel-bench --bin exp_serve
+//! [--scale tiny|small|paper] [--json]`
+
+use automodel_bench::Scale;
+use automodel_bench::Table;
+use automodel_core::dmd::{DmdConfig, DmdInput};
+use automodel_knowledge::corpus::CorpusSpec;
+use automodel_parallel::TrialCache;
+use automodel_serve::{Server, ServerConfig, SessionResult};
+use automodel_trace::TraceEvent;
+use std::time::Instant;
+
+/// The gated floor: warm sessions per second over cold sessions per
+/// second. Warm sessions replay cached trials instead of training
+/// classifiers, so the real ratio is far above this.
+const WARM_SPEEDUP_FLOOR: f64 = 2.0;
+
+fn request(id: &str, seed: u64) -> String {
+    format!(
+        concat!(
+            "{{\"id\":\"{}\",\"seed\":{},\"budget\":8,\"folds\":3,",
+            "\"algorithm\":\"IBk\",\"dataset\":{{\"synth\":{{\"rows\":240,",
+            "\"numeric\":3,\"categorical\":1,\"classes\":2,",
+            "\"family\":\"hyperplane\",\"seed\":11}}}}}}"
+        ),
+        id, seed
+    )
+}
+
+/// Drive one pass of every request through the server, returning the
+/// elapsed seconds and the per-session results (panics on a failed
+/// session: the bench's requests are all valid by construction).
+fn pass(server: &Server, tag: &str, seeds: &[u64]) -> (f64, Vec<SessionResult>) {
+    let start = Instant::now();
+    let results: Vec<SessionResult> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, seed)| server.handle_line(&request(&format!("{tag}-{i}"), *seed)))
+        .collect();
+    let elapsed = start.elapsed().as_secs_f64();
+    for result in &results {
+        assert!(
+            result.outcome.is_ok(),
+            "bench session failed: {}",
+            result.to_line()
+        );
+    }
+    (elapsed, results)
+}
+
+/// The identity a session's bytes are compared under: the filtered
+/// history plus the raw score bits.
+fn identity(result: &SessionResult) -> (Vec<String>, u64) {
+    let solution = result.outcome.as_ref().expect("checked by pass()");
+    (solution.history.clone(), solution.score.to_bits())
+}
+
+fn warm_hits(result: &SessionResult) -> u64 {
+    let solution = result.outcome.as_ref().expect("checked by pass()");
+    solution.cache_hits + solution.warm_hits
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let json = std::env::args().any(|a| a == "--json");
+    let tracer = automodel_bench::tracer_or_die("exp_serve");
+    tracer.emit(TraceEvent::stage_start(format!("serve ({scale:?})")));
+
+    let sessions = match scale {
+        Scale::Tiny => 4,
+        Scale::Small => 8,
+        Scale::Paper => 16,
+    };
+    // Distinct seeds: each session is a distinct cache context, so the
+    // warm pass exercises the pool lookup per context, not one entry.
+    let seeds: Vec<u64> = (0..sessions).map(|i| 9000 + i as u64).collect();
+
+    let corpus = CorpusSpec::small().build();
+    let input = DmdInput::synthetic_from_corpus(&corpus, 60, 5);
+    let dmd = DmdConfig::fast().run(&input).expect("dmd build");
+    let server = Server::new(dmd, &TrialCache::new(1).snapshot(), ServerConfig::default());
+
+    let (cold_s, cold) = pass(&server, "cold", &seeds);
+    let (warm_s, warm) = pass(&server, "warm", &seeds);
+
+    // Cache-sharing identity contract: the warm pass replays the cold
+    // pass byte-for-byte and really comes from the shared pools.
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(identity(c), identity(w), "warm session diverged from cold");
+        assert!(warm_hits(w) > 0, "warm session never touched its pool");
+    }
+
+    let cold_rate = sessions as f64 / cold_s;
+    let warm_rate = sessions as f64 / warm_s;
+    let speedup = warm_rate / cold_rate;
+    assert!(
+        speedup >= WARM_SPEEDUP_FLOOR,
+        "serve warm-path regression: {speedup:.2}x < {WARM_SPEEDUP_FLOOR}x floor"
+    );
+
+    let mut table = Table::new(
+        "serve — sessions per second, cold vs warm",
+        &["pass", "sessions", "wall s", "sessions/s"],
+    );
+    table.row(vec![
+        "cold".into(),
+        sessions.to_string(),
+        format!("{cold_s:.3}"),
+        format!("{cold_rate:.2}"),
+    ]);
+    table.row(vec![
+        "warm".into(),
+        sessions.to_string(),
+        format!("{warm_s:.3}"),
+        format!("{warm_rate:.2}"),
+    ]);
+    table.print();
+
+    tracer.emit(TraceEvent::stage_end(
+        format!("serve ({scale:?})"),
+        format!("warm {speedup:.1}x cold (floor {WARM_SPEEDUP_FLOOR}x)"),
+    ));
+
+    let report = serde_json::json!({
+        "scale": format!("{scale:?}"),
+        "sessions": sessions,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_sessions_per_s": cold_rate,
+        "warm_sessions_per_s": warm_rate,
+        "warm_speedup": speedup,
+        "speedup_floor": WARM_SPEEDUP_FLOOR,
+        "identical_history": true,
+    });
+    let pretty = serde_json::to_string_pretty(&report).unwrap();
+    match std::fs::write("BENCH_serve.json", &pretty) {
+        Err(e) => tracer.emit(TraceEvent::stage_end(
+            "BENCH_serve.json",
+            format!("write failed: {e}"),
+        )),
+        Ok(()) => tracer.emit(TraceEvent::stage_end("BENCH_serve.json", "written")),
+    }
+    if let Some(summary) = tracer.summary() {
+        eprintln!("{}", summary.render());
+    }
+    if json {
+        println!("{pretty}");
+    }
+}

@@ -12,9 +12,9 @@ use crate::error::CoreError;
 use crate::fidelity::{FidelityCvObjective, InnerOptimizer};
 use automodel_data::Dataset;
 use automodel_hpo::{
-    BayesianOptimization, Budget, CheckpointSink, Clock, Config, GaConfig, GeneticAlgorithm,
-    Hyperband, MonotonicClock, Objective, Optimizer, OptimizerBuilder, SuccessiveHalving,
-    TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
+    BatchGate, BayesianOptimization, Budget, CheckpointSink, Clock, Config, GaConfig,
+    GeneticAlgorithm, Hyperband, MonotonicClock, Objective, Optimizer, OptimizerBuilder,
+    SuccessiveHalving, TrialCache, TrialFailure, TrialOutcome, TrialPolicy,
 };
 use automodel_ml::{cross_val_accuracy, AlgorithmSpec, Registry};
 use automodel_trace::{TraceEvent, Tracer};
@@ -107,6 +107,15 @@ pub struct UdrConfig {
     /// `Hyperband` skip the probe and run the multi-fidelity schedulers
     /// over row/fold/iteration-reduced evaluations instead.
     pub optimizer: InnerOptimizer,
+    /// Trial fault-handling policy for the tuning optimizer. `None` (the
+    /// default) reads `AUTOMODEL_FAULTS` from the environment at tune
+    /// time; a server hosting many sessions in one process sets an
+    /// explicit per-session policy here instead, since the environment is
+    /// process-global.
+    pub policy: Option<TrialPolicy>,
+    /// Pre-batch admission gate forwarded to the tuning optimizer
+    /// (default: none). Timing only — see [`BatchGate`].
+    pub gate: Option<Arc<dyn BatchGate>>,
 }
 
 impl std::fmt::Debug for UdrConfig {
@@ -136,6 +145,8 @@ impl UdrConfig {
             cache: Arc::new(TrialCache::from_env_or_disabled()),
             checkpoint: None,
             optimizer: InnerOptimizer::Auto,
+            policy: None,
+            gate: None,
         }
     }
 
@@ -153,6 +164,8 @@ impl UdrConfig {
             cache: Arc::new(TrialCache::from_env_or_disabled()),
             checkpoint: None,
             optimizer: InnerOptimizer::Auto,
+            policy: None,
+            gate: None,
         }
     }
 
@@ -182,6 +195,29 @@ impl UdrConfig {
     pub fn with_optimizer(mut self, optimizer: InnerOptimizer) -> UdrConfig {
         self.optimizer = optimizer;
         self
+    }
+
+    /// Set an explicit trial fault-handling policy instead of reading
+    /// `AUTOMODEL_FAULTS` at tune time (the server's per-session path).
+    pub fn with_policy(mut self, policy: TrialPolicy) -> UdrConfig {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attach a pre-batch admission gate forwarded to the tuning
+    /// optimizer (timing only; see [`BatchGate`]).
+    pub fn with_gate(mut self, gate: Arc<dyn BatchGate>) -> UdrConfig {
+        self.gate = Some(gate);
+        self
+    }
+
+    /// The effective trial policy: the explicit override when set, the
+    /// `AUTOMODEL_FAULTS` environment otherwise.
+    fn effective_policy(&self) -> Result<TrialPolicy, CoreError> {
+        match &self.policy {
+            Some(policy) => Ok(policy.clone()),
+            None => Ok(TrialPolicy::from_env()?),
+        }
     }
 
     /// Algorithm 5 end to end.
@@ -250,7 +286,7 @@ impl UdrConfig {
             last_failure: None,
         };
 
-        let policy = TrialPolicy::from_env()?;
+        let policy = self.effective_policy()?;
         if traced {
             self.tracer.emit(TraceEvent::stage_start("udr.tune"));
         }
@@ -269,6 +305,9 @@ impl UdrConfig {
             if let Some(sink) = &self.checkpoint {
                 ga = ga.with_checkpoint(Arc::clone(sink));
             }
+            if let Some(gate) = &self.gate {
+                ga = ga.with_gate(Arc::clone(gate));
+            }
             ga.optimize(&space, &mut objective, &self.tuning_budget)
         } else {
             let mut bo = BayesianOptimization::new(seed)
@@ -277,6 +316,9 @@ impl UdrConfig {
                 .with_tracer(Arc::clone(&self.tracer));
             if let Some(sink) = &self.checkpoint {
                 bo = bo.with_checkpoint(Arc::clone(sink));
+            }
+            if let Some(gate) = &self.gate {
+                bo = bo.with_gate(Arc::clone(gate));
             }
             bo.optimize(&space, &mut objective, &self.tuning_budget)
         };
@@ -340,7 +382,7 @@ impl UdrConfig {
         let seed = self.seed;
         let folds = self.cv_folds;
         let mut objective = FidelityCvObjective::new(spec, data, folds, seed);
-        let policy = TrialPolicy::from_env()?;
+        let policy = self.effective_policy()?;
         let traced = self.tracer.is_enabled();
         if traced {
             self.tracer.emit(TraceEvent::stage_start("udr.tune"));
@@ -354,6 +396,9 @@ impl UdrConfig {
                 if let Some(sink) = &self.checkpoint {
                     sha = sha.with_checkpoint(Arc::clone(sink));
                 }
+                if let Some(gate) = &self.gate {
+                    sha = sha.with_gate(Arc::clone(gate));
+                }
                 sha.optimize_fidelity(space, &mut objective, &self.tuning_budget)
             }
             InnerOptimizer::Hyperband => {
@@ -363,6 +408,9 @@ impl UdrConfig {
                     .with_tracer(Arc::clone(&self.tracer));
                 if let Some(sink) = &self.checkpoint {
                     hb = hb.with_checkpoint(Arc::clone(sink));
+                }
+                if let Some(gate) = &self.gate {
+                    hb = hb.with_gate(Arc::clone(gate));
                 }
                 hb.optimize_fidelity(space, &mut objective, &self.tuning_budget)
             }

@@ -36,7 +36,7 @@ pub enum SynthFamily {
 }
 
 /// Specification of a synthetic dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SynthSpec {
     pub name: String,
     pub rows: usize,

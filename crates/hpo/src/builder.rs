@@ -59,6 +59,22 @@ pub trait CheckpointSink: Send + Sync + fmt::Debug {
     fn on_batch(&self, state: &RunCheckpoint<'_>) -> Option<TraceEvent>;
 }
 
+/// An admission gate consulted immediately before every trial batch is
+/// evaluated.
+///
+/// `before_batch` may *block* — that is its whole purpose: a server
+/// scheduling many concurrent runs installs a gate that parks each run
+/// until its turn comes, yielding fair round-robin interleaving of
+/// batches across sessions. It receives no run state and returns
+/// nothing, so it is structurally incapable of feeding information back
+/// into proposals: a gated run's trial history is byte-identical to an
+/// ungated one (the same purity contract [`CheckpointSink`] carries,
+/// enforced here by the narrower signature rather than by convention).
+/// Implementations must never panic.
+pub trait BatchGate: Send + Sync + fmt::Debug {
+    fn before_batch(&self);
+}
+
 /// The state every optimizer in this crate shares: its wire name and
 /// seed, the trial fault policy, the deterministic trial cache, the
 /// tracer, and the optional checkpoint sink.
@@ -76,6 +92,8 @@ pub struct OptimizerCore {
     pub tracer: Arc<Tracer>,
     /// Crash-recovery checkpoint sink (absent by default).
     pub checkpoint: Option<Arc<dyn CheckpointSink>>,
+    /// Pre-batch admission gate (absent by default; timing only).
+    pub gate: Option<Arc<dyn BatchGate>>,
 }
 
 impl OptimizerCore {
@@ -89,6 +107,7 @@ impl OptimizerCore {
             cache: Arc::new(TrialCache::from_env_or_disabled()),
             tracer: Arc::new(Tracer::disabled()),
             checkpoint: None,
+            gate: None,
         }
     }
 }
@@ -137,6 +156,14 @@ pub trait OptimizerBuilder: Sized {
     /// trial history stays byte-identical with or without it.
     fn with_checkpoint(mut self, sink: Arc<dyn CheckpointSink>) -> Self {
         self.core_mut().checkpoint = Some(sink);
+        self
+    }
+
+    /// Attach a pre-batch admission gate, invoked (and possibly blocked
+    /// in) before every batch is evaluated. Timing only — the trial
+    /// history stays byte-identical with or without it.
+    fn with_gate(mut self, gate: Arc<dyn BatchGate>) -> Self {
+        self.core_mut().gate = Some(gate);
         self
     }
 }
@@ -229,5 +256,48 @@ mod tests {
         let plain = run(None);
         let checked = run(Some(Arc::<CountingSink>::default()));
         assert_eq!(plain, checked, "checkpointing must be pure observation");
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingGate {
+        batches: std::sync::atomic::AtomicU64,
+    }
+
+    impl BatchGate for CountingGate {
+        fn before_batch(&self) {
+            self.batches
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn gating_does_not_change_the_trial_history() {
+        use crate::budget::Budget;
+        use crate::objective::FnObjective;
+        use crate::space::{Config, Domain, SearchSpace};
+        let space = SearchSpace::builder()
+            .add("x", Domain::float(-2.0, 2.0))
+            .build()
+            .unwrap();
+        let run = |gate: Option<Arc<CountingGate>>| {
+            let mut obj = FnObjective(|c: &Config| -c.float_or("x", 0.0).abs());
+            let mut ga = GeneticAlgorithm::small(4);
+            if let Some(gate) = &gate {
+                ga = ga.with_gate(gate.clone());
+            }
+            let history = ga
+                .optimize(&space, &mut obj, &Budget::evals(60))
+                .unwrap()
+                .trials
+                .iter()
+                .map(|t| format!("{}|{}#{:016x}\n", t.index, t.config, t.score.to_bits()))
+                .collect::<String>();
+            let batches = gate.map_or(0, |g| g.batches.load(std::sync::atomic::Ordering::Relaxed));
+            (history, batches)
+        };
+        let (plain, _) = run(None);
+        let (gated, batches) = run(Some(Arc::default()));
+        assert_eq!(plain, gated, "gating must be timing-only");
+        assert!(batches > 0, "the gate must see every batch boundary");
     }
 }

@@ -47,7 +47,7 @@ pub mod testfns;
 
 pub use bo::BayesianOptimization;
 pub use budget::{Budget, BudgetTracker};
-pub use builder::{CheckpointSink, OptimizerBuilder, OptimizerCore, RunCheckpoint};
+pub use builder::{BatchGate, CheckpointSink, OptimizerBuilder, OptimizerCore, RunCheckpoint};
 pub use fidelity::{BatchFidelityObjective, Fidelity, FidelityObjective};
 pub use fingerprint::{canonical_f64_bits, FingerprintError};
 pub use ga::{GaConfig, GeneticAlgorithm};

@@ -458,6 +458,9 @@ pub(crate) fn eval_batch_serial_at(
     quarantine: &mut Quarantine,
     core: &OptimizerCore,
 ) -> Vec<(Config, f64)> {
+    if let Some(gate) = &core.gate {
+        gate.before_batch();
+    }
     let base = trials.len();
     let tracer = &*core.tracer;
     let traced = tracer.is_enabled();
@@ -539,6 +542,9 @@ pub(crate) fn eval_batch_parallel_at(
     quarantine: &mut Quarantine,
     core: &OptimizerCore,
 ) -> Vec<(Config, f64)> {
+    if let Some(gate) = &core.gate {
+        gate.before_batch();
+    }
     let base = trials.len();
     let tracer = &*core.tracer;
     let traced = tracer.is_enabled();

@@ -342,11 +342,23 @@ impl TrialCache {
     /// exactly as they would have in the producing run. Existing keys are
     /// kept (this run's own entries win); disabled caches restore
     /// nothing. Returns the number of entries actually restored.
+    ///
+    /// The whole replay happens under a single write-lock acquisition, so
+    /// concurrent readers and [`TrialCache::snapshot`] callers observe the
+    /// restore all-or-nothing — never a torn prefix of a warm artifact —
+    /// and concurrent restores serialize instead of interleaving their
+    /// FIFO order.
     pub fn restore(&self, snapshot: &CacheSnapshot) -> usize {
+        if !self.enabled {
+            return 0;
+        }
         let mut n = 0usize;
-        for (key, trial) in &snapshot.entries {
-            if self.insert_inner(key.clone(), trial.clone(), true) {
-                n += 1;
+        {
+            let mut inner = self.inner.write();
+            for (key, trial) in &snapshot.entries {
+                if self.insert_locked(&mut inner, key.clone(), trial.clone(), true) {
+                    n += 1;
+                }
             }
         }
         self.restored.fetch_add(n as u64, Ordering::Relaxed);
@@ -371,6 +383,20 @@ impl TrialCache {
             return false;
         }
         let mut inner = self.inner.write();
+        self.insert_locked(&mut inner, key, value, warm)
+    }
+
+    /// The locked insert body, factored out so [`TrialCache::restore`] can
+    /// replay a whole snapshot under one write guard (atomic with respect
+    /// to concurrent inserts and snapshots) while [`TrialCache::insert`]
+    /// keeps its one-acquisition-per-entry path.
+    fn insert_locked(
+        &self,
+        inner: &mut CacheInner,
+        key: String,
+        value: CachedTrial,
+        warm: bool,
+    ) -> bool {
         if inner.map.contains_key(&key) {
             return false;
         }
@@ -655,5 +681,133 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.hits, 4 * 5);
         assert_eq!(stats.misses, 4 * 20);
+    }
+
+    #[test]
+    fn concurrent_restore_is_atomic_and_loses_nothing() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // A warm artifact to replay mid-flight.
+        let producer = TrialCache::new(64);
+        for i in 0..32 {
+            producer.insert(format!("warm-{i:02}"), ok(i as f64));
+        }
+        let snap = producer.snapshot();
+
+        // Ample capacity: nothing may evict, so "no lost entries" is exact.
+        let cache = Arc::new(TrialCache::new(4096));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut writers = Vec::new();
+        let mut observers = Vec::new();
+        // Seeded writers over disjoint key ranges, reading back each insert.
+        for t in 0..4u64 {
+            let cache = Arc::clone(&cache);
+            writers.push(std::thread::spawn(move || {
+                let mut x = 0x9E37_79B9_7F4A_7C15u64 ^ t;
+                for i in 0..64 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = format!("t{t}-{i:02}");
+                    cache.insert(key.clone(), ok((x >> 11) as f64));
+                    assert!(cache.get(&key).is_some(), "just-inserted key vanished");
+                }
+            }));
+        }
+        // Observers: every snapshot taken during the churn must be
+        // duplicate-free, byte-consistent, and must see the concurrent
+        // restore all-or-nothing — the torn-prefix case the per-entry
+        // locking of the old restore path allowed.
+        for _ in 0..2 {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            let warm_keys: Vec<String> = snap.entries.iter().map(|(k, _)| k.clone()).collect();
+            observers.push(std::thread::spawn(move || loop {
+                let s = cache.snapshot();
+                let mut seen = std::collections::BTreeSet::new();
+                for (k, _) in &s.entries {
+                    assert!(seen.insert(k.as_str()), "snapshot holds duplicate key {k}");
+                }
+                let warm_seen = warm_keys
+                    .iter()
+                    .filter(|k| seen.contains(k.as_str()))
+                    .count();
+                assert!(
+                    warm_seen == 0 || warm_seen == warm_keys.len(),
+                    "snapshot observed a torn restore: {warm_seen}/{} warm keys",
+                    warm_keys.len()
+                );
+                let replay = TrialCache::new(4096);
+                assert_eq!(replay.restore(&s), s.len());
+                let expect: u64 = s.entries.iter().map(|(k, t)| t.entry_bytes(k)).sum();
+                assert_eq!(replay.stats().bytes, expect, "byte ledger drifted");
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+            }));
+        }
+        // The restore races the writers and the observers.
+        let restorer = {
+            let cache = Arc::clone(&cache);
+            let snap = snap.clone();
+            std::thread::spawn(move || cache.restore(&snap))
+        };
+        assert_eq!(restorer.join().unwrap(), 32);
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        for o in observers {
+            o.join().unwrap();
+        }
+        // No lost entries, exact ledger.
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 4 * 64 + 32);
+        assert_eq!(stats.insertions, 4 * 64);
+        assert_eq!(stats.restored, 32);
+        assert_eq!(stats.evictions, 0);
+        let final_snap = cache.snapshot();
+        let expect: u64 = final_snap
+            .entries
+            .iter()
+            .map(|(k, t)| t.entry_bytes(k))
+            .sum();
+        assert_eq!(stats.bytes, expect);
+        for t in 0..4 {
+            for i in 0..64 {
+                let key = format!("t{t}-{i:02}");
+                assert!(cache.get(&key).is_some(), "lost entry {key}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicate_restores_insert_each_entry_once() {
+        use std::sync::Arc;
+        let producer = TrialCache::new(64);
+        for i in 0..16 {
+            producer.insert(format!("k{i:02}"), ok(i as f64));
+        }
+        let snap = producer.snapshot();
+        let cache = Arc::new(TrialCache::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let snap = snap.clone();
+                std::thread::spawn(move || cache.restore(&snap))
+            })
+            .collect();
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 16, "each snapshot entry restores exactly once");
+        let stats = cache.stats();
+        assert_eq!(
+            (stats.restored, stats.entries, stats.evictions),
+            (16, 16, 0)
+        );
+        assert_eq!(
+            cache.snapshot(),
+            snap,
+            "FIFO order survives racing restores"
+        );
     }
 }

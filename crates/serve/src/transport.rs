@@ -1,0 +1,113 @@
+//! The server's transports — and its only raw-I/O site.
+//!
+//! Lint L16 (`no-adhoc-io`) pins raw socket and stdin access for the
+//! whole workspace's library code to this module, so every byte that
+//! enters or leaves the service crosses one auditable seam. Both
+//! transports speak the same protocol: one JSONL request per line in,
+//! one JSONL response per line out (see [`crate::protocol`]).
+//!
+//! * **TCP** ([`serve_tcp`]): requests on one connection run
+//!   sequentially, in order; concurrent sessions are concurrent
+//!   connections. The bound address is announced on stdout as
+//!   `listening on <addr>` so callers can bind port 0 and discover the
+//!   ephemeral port.
+//! * **stdio** ([`serve_stdio`]): every input line becomes a
+//!   concurrently running session; responses are written in completion
+//!   order. Returns after EOF once every in-flight session has
+//!   answered — the shape batch drivers and the crash kill-drill use.
+//!
+//! Fairness across the concurrent sessions of either transport comes
+//! from the server's shared round-robin batch gate, not from the
+//! transport threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::session::Server;
+
+/// Serve over TCP. Binds `addr` (use port `0` for an ephemeral port),
+/// prints `listening on <addr>` to stdout, then accepts connections
+/// until the process exits. Never panics; per-connection I/O errors
+/// drop that connection only.
+pub fn serve_tcp(server: Arc<Server>, addr: &str) -> Result<(), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("local addr: {e}"))?;
+    // lint:allow(no-adhoc-print): the banner IS the protocol handshake — clients bind port 0 and parse this line to discover the ephemeral port
+    println!("listening on {local}");
+    for conn in listener.incoming() {
+        match conn {
+            Ok(stream) => {
+                let server = Arc::clone(&server);
+                // lint:allow(no-adhoc-threads): transport thread per connection; trial work stays on the deterministic executor in crates/parallel, and batch admission is scheduled by the round-robin gate
+                std::thread::spawn(move || handle_connection(server, stream));
+            }
+            // lint:allow(no-adhoc-print): accept errors predate any session, so there is no session tracer to carry them
+            Err(e) => eprintln!("accept failed: {e}"),
+        }
+    }
+    Ok(())
+}
+
+fn handle_connection(server: Arc<Server>, stream: TcpStream) {
+    let reader = match stream.try_clone() {
+        Ok(clone) => BufReader::new(clone),
+        Err(e) => {
+            // lint:allow(no-adhoc-print): the connection died before a session existed; no tracer is in scope
+            eprintln!("clone connection: {e}");
+            return;
+        }
+    };
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => return, // peer went away mid-line
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut response = server.handle_line(&line).to_line();
+        response.push('\n');
+        let sent = writer
+            .write_all(response.as_bytes())
+            .and_then(|()| writer.flush());
+        if sent.is_err() {
+            return;
+        }
+    }
+}
+
+/// Serve over stdin/stdout: each input line spawns a session that runs
+/// concurrently with the others; each response is one output line,
+/// written under a shared stdout lock in completion order. Returns
+/// after EOF once every in-flight session has answered.
+pub fn serve_stdio(server: Arc<Server>) -> Result<(), String> {
+    let stdout = Arc::new(Mutex::new(std::io::stdout()));
+    let mut workers = Vec::new();
+    for line in std::io::stdin().lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let server = Arc::clone(&server);
+        let stdout = Arc::clone(&stdout);
+        // lint:allow(no-adhoc-threads): session thread per request line; trial work stays on the deterministic executor in crates/parallel, and batch admission is scheduled by the round-robin gate
+        workers.push(std::thread::spawn(move || {
+            let mut response = server.handle_line(&line).to_line();
+            response.push('\n');
+            let mut out = stdout.lock();
+            let _ = out
+                .write_all(response.as_bytes())
+                .and_then(|()| out.flush());
+        }));
+    }
+    for worker in workers {
+        let _ = worker.join();
+    }
+    Ok(())
+}

@@ -1,0 +1,194 @@
+//! Fuzz-style protocol robustness: seeded random mutations of valid
+//! request lines must always yield a typed `ProtocolError` or a
+//! well-formed `SessionRequest` — never a panic, and deterministically.
+
+use automodel_serve::{parse_request, ErrorKind, SessionResult, MAX_LINE_BYTES};
+
+const MAX_BUDGET: usize = 64;
+
+/// Deterministic LCG (same constants as the workspace's seeded tests).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+fn valid_line(rng: &mut Lcg) -> String {
+    let family = ["hyperplane", "ring", "mixed", "blobs", "xor"][rng.below(5)];
+    let optimizer = ["auto", "sha", "hyperband"][rng.below(3)];
+    format!(
+        concat!(
+            "{{\"id\":\"fz-{}\",\"seed\":{},\"budget\":{},\"folds\":{},",
+            "\"optimizer\":\"{}\",\"dataset\":{{\"synth\":{{\"rows\":{},",
+            "\"numeric\":{},\"categorical\":1,\"classes\":2,",
+            "\"family\":\"{}\",\"seed\":{}}}}}}}"
+        ),
+        rng.below(1000),
+        rng.next(),
+        1 + rng.below(MAX_BUDGET),
+        2 + rng.below(15),
+        optimizer,
+        20 + rng.below(200),
+        1 + rng.below(6),
+        family,
+        rng.next(),
+    )
+}
+
+/// Apply one seeded malformation to a valid line.
+fn mutate(line: &str, rng: &mut Lcg) -> String {
+    let mut bytes = line.as_bytes().to_vec();
+    match rng.below(8) {
+        // Truncate at a random byte boundary.
+        0 => {
+            bytes.truncate(rng.below(bytes.len().max(1)));
+        }
+        // Flip one byte to a random printable character.
+        1 => {
+            let at = rng.below(bytes.len());
+            bytes[at] = b' ' + (rng.below(94) as u8);
+        }
+        // Insert a random printable character.
+        2 => {
+            let at = rng.below(bytes.len() + 1);
+            bytes.insert(at, b' ' + (rng.below(94) as u8));
+        }
+        // Duplicate a field (top-level or nested).
+        3 => {
+            let dup = [
+                "\"seed\":7,",
+                "\"budget\":3,",
+                "\"rows\":50,",
+                "\"id\":\"dup\",",
+            ][rng.below(4)];
+            if let Some(brace) = line.find('{') {
+                let mut s = line.to_string();
+                s.insert_str(brace + 1, dup);
+                return s;
+            }
+        }
+        // Hostile floats where integers belong.
+        4 => {
+            let needle = ["\"seed\":", "\"budget\":", "\"folds\":", "\"rows\":"][rng.below(4)];
+            let payload = ["1e999", "-1", "3.5", "1e-310", "-0.0"][rng.below(5)];
+            if let Some(at) = line.find(needle) {
+                let tail = &line[at + needle.len()..];
+                let digits = tail.bytes().take_while(|b| b.is_ascii_digit()).count();
+                let mut s = line.to_string();
+                s.replace_range(at + needle.len()..at + needle.len() + digits, payload);
+                return s;
+            }
+        }
+        // Unknown field injection.
+        5 => {
+            if let Some(brace) = line.find('{') {
+                let mut s = line.to_string();
+                s.insert_str(brace + 1, "\"exploit\":true,");
+                return s;
+            }
+        }
+        // Type confusion: quote a number or unquote a string.
+        6 => {
+            return line.replacen("\"optimizer\":\"", "\"optimizer\":[\"", 1);
+        }
+        // Oversize the line past the admission cap.
+        _ => {
+            let mut s = line.to_string();
+            let pad = "x".repeat(MAX_LINE_BYTES);
+            s.insert_str(s.len() - 1, &pad);
+            return s;
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+#[test]
+fn mutated_requests_never_panic_and_errors_are_deterministic() {
+    let mut rng = Lcg(0xF0CC_ED01);
+    for round in 0..2000 {
+        let line = valid_line(&mut rng);
+        let mutated = mutate(&line, &mut rng);
+        let first = parse_request(&mutated, MAX_BUDGET);
+        let second = parse_request(&mutated, MAX_BUDGET);
+        assert_eq!(first, second, "round {round}: nondeterministic parse");
+        if let Ok(request) = first {
+            // Survivors must still satisfy every admission invariant.
+            assert!((1..=MAX_BUDGET).contains(&request.budget), "round {round}");
+            assert!((2..=16).contains(&request.folds), "round {round}");
+            assert!(
+                !request.id.is_empty()
+                    && request.id.len() <= 64
+                    && request
+                        .id
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || b"._-".contains(&b)),
+                "round {round}: admitted hostile id {:?}",
+                request.id
+            );
+        }
+    }
+}
+
+#[test]
+fn valid_lines_always_parse() {
+    let mut rng = Lcg(42);
+    for round in 0..500 {
+        let line = valid_line(&mut rng);
+        let parsed = parse_request(&line, MAX_BUDGET);
+        assert!(parsed.is_ok(), "round {round}: {line} -> {parsed:?}");
+    }
+}
+
+#[test]
+fn truncations_of_a_valid_line_all_yield_typed_errors() {
+    let mut rng = Lcg(7);
+    let line = valid_line(&mut rng);
+    for cut in 1..line.len() {
+        let result = parse_request(&line[..cut], MAX_BUDGET);
+        let error = result.expect_err("every strict prefix is malformed");
+        assert!(
+            matches!(
+                error.kind,
+                ErrorKind::InvalidJson | ErrorKind::MissingField | ErrorKind::NotObject
+            ),
+            "cut {cut}: unexpected kind {:?}",
+            error.kind
+        );
+    }
+}
+
+#[test]
+fn oversized_lines_are_rejected_before_parsing() {
+    let huge = format!("{{\"id\":\"a\",\"x\":\"{}\"}}", "y".repeat(MAX_LINE_BYTES));
+    let error = parse_request(&huge, MAX_BUDGET).expect_err("oversized");
+    assert_eq!(error.kind, ErrorKind::Oversized);
+}
+
+#[test]
+fn error_responses_are_valid_single_line_json() {
+    let mut rng = Lcg(0xBEEF);
+    for _ in 0..200 {
+        let mutated = mutate(&valid_line(&mut rng), &mut rng);
+        if let Err(error) = parse_request(&mutated, MAX_BUDGET) {
+            let line = SessionResult::failure("x", error).to_line();
+            assert!(!line.contains('\n'), "response must stay one line");
+            let value: serde_json::Value =
+                serde_json::from_str(&line).expect("error responses must round-trip as JSON");
+            assert!(matches!(
+                value.get("ok"),
+                Some(serde_json::Value::Bool(false))
+            ));
+            assert!(value.get("error").is_some());
+        }
+    }
+}

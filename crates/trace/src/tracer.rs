@@ -182,6 +182,23 @@ impl Tracer {
         (Tracer::enabled_with(vec![Box::new(sink)]), handle)
     }
 
+    /// Add an appending JSONL sink at an explicit path, enabling the
+    /// tracer if it was disabled — the server keys one trace file per
+    /// session this way. Returns `None` when the path cannot be opened
+    /// for appending (callers surface that, same as [`Tracer::from_env`]).
+    pub fn with_jsonl(self, path: &Path) -> Option<Tracer> {
+        let sink: Box<dyn Sink> = Box::new(JsonlSink::open(path)?);
+        Some(match self.state {
+            Some(state) => {
+                {
+                    state.lock().sinks.push(sink);
+                }
+                Tracer { state: Some(state) }
+            }
+            None => Tracer::enabled_with(vec![sink]),
+        })
+    }
+
     /// Replace the timestamp source (no-op on a disabled tracer). The
     /// default [`ManualClock`] pins every timestamp to zero; inject a
     /// shared clock to correlate trace time with budget time.

@@ -164,4 +164,32 @@ print(f"multi-fidelity gate: {doc['throughput_ratio']:.2f}x "
       f"({doc['sha_trials']} SHA trials vs {doc['random_trials']} random at the same spend)")
 PY
 
+echo "==> session-oracle conformance suite (spawned server, real protocol)"
+# tests/serve_oracle.rs drives a spawned `serve` over TCP: four
+# concurrent sessions (one under injected faults) byte-identical to the
+# same sessions run alone at 1/2/8 executor threads, warm replays
+# bit-exact with cold, per-session budget ceilings enforced, malformed
+# lines answered with typed errors on a surviving connection. The serve
+# kill-drill in crash_recovery (already run above) covers checkpointed
+# session resume.
+cargo test -q --test serve_oracle
+
+echo "==> serve throughput gate (exp_serve, warm/cold floor 2x)"
+# The binary asserts warm sessions byte-identical to cold and that warm
+# sessions actually consume the shared context pools; the floor check
+# below gates the warm/cold sessions-per-second ratio recorded in
+# BENCH_serve.json.
+cargo run --release -q -p automodel-bench --bin exp_serve -- --scale small >/dev/null
+python3 - <<'PY'
+import json
+doc = json.load(open("BENCH_serve.json"))
+if not doc["identical_history"]:
+    raise SystemExit("serve gate: warm history diverged from cold")
+if doc["warm_speedup"] < doc["speedup_floor"]:
+    raise SystemExit(f"serve gate: warm speedup {doc['warm_speedup']:.2f}x below "
+                     f"the {doc['speedup_floor']}x floor")
+print(f"serve gate: {doc['warm_speedup']:.2f}x warm over cold "
+      f"({doc['cold_sessions_per_s']:.1f} -> {doc['warm_sessions_per_s']:.1f} sessions/s)")
+PY
+
 echo "All checks passed."

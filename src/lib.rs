@@ -39,6 +39,7 @@ pub use automodel_knowledge as knowledge;
 pub use automodel_ml as ml;
 pub use automodel_nn as nn;
 pub use automodel_parallel as parallel;
+pub use automodel_serve as serve;
 pub use automodel_store as store;
 pub use automodel_trace as trace;
 

@@ -16,6 +16,11 @@
 //! auto-model solve     --csv data.csv        solve the CASH problem for a dataset
 //!                      [--artifact dmd.json] [--budget N] [--folds K]
 //!                      [--optimizer auto|sha|hyperband]
+//! auto-model serve     [--artifact dmd.store] long-running multi-session JSONL
+//!                      [--listen host:port]   service; sessions share the loaded
+//!                      [--max-budget N]       artifact and a warm trial cache.
+//!                      [--trace-dir DIR]      With no --listen, requests are
+//!                      [--checkpoint-dir DIR] read line-by-line from stdin
 //! ```
 //!
 //! The CSV format is the typed one of `automodel_data::csv`: header cells
@@ -289,6 +294,48 @@ fn cmd_dmd_load(args: &[String]) -> Result<(), String> {
     }
 }
 
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let max_budget: usize = arg_value(args, "--max-budget")
+        .map(|v| v.parse().map_err(|e| format!("--max-budget: {e}")))
+        .transpose()?
+        .unwrap_or(512);
+    let config = auto_model::serve::ServerConfig {
+        max_budget,
+        trace_dir: arg_value(args, "--trace-dir").map(Into::into),
+        checkpoint_dir: arg_value(args, "--checkpoint-dir").map(Into::into),
+    };
+    if let Some(dir) = &config.trace_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    if let Some(dir) = &config.checkpoint_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    }
+    let server = match arg_value(args, "--artifact") {
+        Some(path) => {
+            let server = auto_model::serve::Server::from_artifact(
+                Path::new(&path),
+                Registry::full(),
+                config,
+            )?;
+            eprintln!(
+                "loaded {path}: {} warm trial(s) restored into the shared cache",
+                server.warm_entries()
+            );
+            server
+        }
+        None => {
+            let dmd = demo_dmd(Registry::full())?;
+            let snapshot = TrialCache::new(1).snapshot();
+            auto_model::serve::Server::new(dmd, &snapshot, config)
+        }
+    };
+    let server = Arc::new(server);
+    match arg_value(args, "--listen") {
+        Some(addr) => auto_model::serve::serve_tcp(server, &addr),
+        None => auto_model::serve::serve_stdio(server),
+    }
+}
+
 fn cmd_dmd(args: &[String]) -> Result<(), String> {
     match args.get(1).map(String::as_str) {
         Some("build") => cmd_dmd_build(args),
@@ -360,7 +407,11 @@ fn usage() -> &'static str {
        dmd load  --artifact dmd.store [--rerun] [--history h.txt]\n\
                                            verify, load & serve — or warm-start\n\
        solve     --csv <file> [--artifact dmd.json] [--budget N] [--folds K]\n\
-                 [--optimizer auto|sha|hyperband] [--checkpoint c.ckpt] [--resume]"
+                 [--optimizer auto|sha|hyperband] [--checkpoint c.ckpt] [--resume]\n\
+       serve     [--artifact dmd.store] [--listen host:port]\n\
+                 [--max-budget N] [--trace-dir DIR] [--checkpoint-dir DIR]\n\
+                                           long-running JSONL session service;\n\
+                                           no --listen reads requests on stdin"
 }
 
 fn main() -> ExitCode {
@@ -378,6 +429,7 @@ fn main() -> ExitCode {
         Some("train-dmd") => cmd_train_dmd(&args),
         Some("dmd") => cmd_dmd(&args),
         Some("solve") => cmd_solve(&args),
+        Some("serve") => cmd_serve(&args),
         _ => {
             eprintln!("{}", usage());
             return ExitCode::from(2);

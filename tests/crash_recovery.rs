@@ -517,3 +517,161 @@ fn every_offset_corruption_falls_back_or_errors_typed() {
     }
     fs::remove_dir_all(&dir).ok();
 }
+
+// ---------------------------------------------------------------------------
+// Serve kill-drill: the same crash contract, but for a server session.
+// ---------------------------------------------------------------------------
+
+/// Spawn `serve` in stdio mode against a prebuilt artifact, feed it one
+/// request line, close stdin and collect the process output. The server
+/// exits after draining stdin, so `wait_with_output` terminates — unless
+/// the checkpointer aborted the process first.
+fn serve_session(
+    dir: &Path,
+    checkpoint_dir: &str,
+    env: &[(&str, String)],
+    request: &str,
+) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut cmd = Command::new(BIN);
+    cmd.current_dir(dir)
+        .args([
+            "serve",
+            "--artifact",
+            "dmd.store",
+            "--checkpoint-dir",
+            checkpoint_dir,
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    for var in CONTROLLED_ENV {
+        cmd.env_remove(var);
+    }
+    cmd.env("AUTOMODEL_THREADS", "2");
+    for (key, value) in env {
+        cmd.env(key, value);
+    }
+    let mut child = cmd.spawn().expect("spawn auto-model serve");
+    child
+        .stdin
+        .take()
+        .expect("serve stdin")
+        .write_all(format!("{request}\n").as_bytes())
+        .expect("write session request");
+    child.wait_with_output().expect("collect serve output")
+}
+
+/// Pull the determinism identity (filtered history lines) out of a
+/// successful session response line.
+fn session_history(stdout: &[u8]) -> Vec<String> {
+    let line = String::from_utf8_lossy(stdout);
+    let line = line.trim();
+    let value: serde_json::Value =
+        serde_json::from_str(line).unwrap_or_else(|e| panic!("bad response {line:?}: {e}"));
+    assert!(
+        matches!(value.get("ok"), Some(serde_json::Value::Bool(true))),
+        "session failed: {line}"
+    );
+    match value.get("history") {
+        Some(serde_json::Value::Array(items)) => items
+            .iter()
+            .map(|v| v.as_str().expect("history lines are strings").to_string())
+            .collect(),
+        other => panic!("missing history in {line}: {other:?}"),
+    }
+}
+
+/// Serve kill-drill (tentpole satellite): a checkpointing server session
+/// killed mid-run by `AUTOMODEL_CRASH_AFTER` (process abort inside the
+/// checkpoint writer — no response line ever leaves the server), then
+/// resumed under the same session id, replays a trial history
+/// byte-identical to the uninterrupted reference session.
+#[test]
+fn serve_session_resumes_byte_identical_after_kill() {
+    let dir = scratch("serve");
+    let build = cli(
+        &dir,
+        "2",
+        None,
+        &[],
+        &["dmd", "build", "--out", "dmd.store"],
+    );
+    assert!(
+        build.status.success(),
+        "dmd build failed: {}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    // Budget 24 with a 12-wide GA generation gives the session at least
+    // two batch boundaries, i.e. at least two checkpoint writes.
+    let request = |resume: bool| {
+        format!(
+            concat!(
+                "{{\"id\":\"drill\",\"seed\":41,\"budget\":24,\"folds\":3,",
+                "\"algorithm\":\"IBk\",\"checkpoint\":true,\"resume\":{},",
+                "\"dataset\":{{\"synth\":{{\"rows\":80,\"numeric\":3,\"categorical\":1,",
+                "\"classes\":2,\"family\":\"hyperplane\",\"seed\":11}}}}}}"
+            ),
+            resume
+        )
+    };
+
+    // Phase 1: uninterrupted reference session.
+    let reference = serve_session(&dir, "ck-ref", &[], &request(false));
+    assert!(
+        reference.status.success(),
+        "reference serve failed: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+    let expected = session_history(&reference.stdout);
+    assert!(
+        !expected.is_empty(),
+        "reference session produced no history"
+    );
+
+    // Phase 2: same session, aborted inside the first checkpoint write's
+    // successor — the durable generation survives, the response does not.
+    let crashed = serve_session(
+        &dir,
+        "ck-crash",
+        &[("AUTOMODEL_CRASH_AFTER", "1".to_string())],
+        &request(false),
+    );
+    assert!(
+        !crashed.status.success(),
+        "crash run exited cleanly; AUTOMODEL_CRASH_AFTER never fired"
+    );
+    assert!(
+        crashed.stdout.is_empty(),
+        "aborted session must not answer, got: {}",
+        String::from_utf8_lossy(&crashed.stdout)
+    );
+    assert!(
+        String::from_utf8_lossy(&crashed.stderr).contains("AUTOMODEL_CRASH_AFTER"),
+        "abort must come from the checkpoint writer"
+    );
+
+    // Phase 3: resume under the same id and checkpoint dir. The restored
+    // cache snapshot warm-replays the already-paid prefix and the session
+    // finishes with the reference's exact bytes.
+    let resumed = serve_session(&dir, "ck-crash", &[], &request(true));
+    assert!(
+        resumed.status.success(),
+        "resumed serve failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let got = session_history(&resumed.stdout);
+    assert_eq!(expected, got, "resumed session diverged from reference");
+    let line = String::from_utf8_lossy(&resumed.stdout);
+    let value: serde_json::Value = serde_json::from_str(line.trim()).unwrap();
+    let warm = value
+        .get("warm_hits")
+        .and_then(|v| v.as_f64())
+        .expect("warm_hits");
+    assert!(
+        warm > 0.0,
+        "resume never touched the restored checkpoint cache"
+    );
+    fs::remove_dir_all(&dir).ok();
+}

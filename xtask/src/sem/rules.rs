@@ -1,6 +1,6 @@
-//! File-scope rules (L1–L4, L6–L9, L14–L15) ported onto the token
+//! File-scope rules (L1–L4, L6–L9, L14–L16) ported onto the token
 //! stream, plus the metadata table for every rule the engine knows
-//! (L1–L15).
+//! (L1–L16).
 //!
 //! | code | rule id                 | scope                                     |
 //! |------|-------------------------|-------------------------------------------|
@@ -19,6 +19,7 @@
 //! | L13  | `stale-allow`           | every `lint:allow` escape ([`super::allowaudit`]) |
 //! | L14  | `no-adhoc-persistence`  | crate library code outside `crates/store/`  |
 //! | L15  | `durable-write`         | inside `crates/store/` and `crates/trace/`  |
+//! | L16  | `no-adhoc-io`           | crate library code outside `crates/serve/src/transport.rs` |
 //!
 //! Matching happens on lexed tokens, so string literals and comments are
 //! structurally incapable of producing findings. Each hit can be
@@ -30,7 +31,7 @@ use super::source::File;
 use crate::diag::Diagnostic;
 
 /// Crates whose `src/` trees count as library code for `no-panic-lib`.
-pub const PANIC_FREE_CRATES: [&str; 8] = [
+pub const PANIC_FREE_CRATES: [&str; 9] = [
     "core",
     "knowledge",
     "hpo",
@@ -39,6 +40,7 @@ pub const PANIC_FREE_CRATES: [&str; 8] = [
     "data",
     "parallel",
     "store",
+    "serve",
 ];
 
 /// Modules where iteration order is observable in outputs (serialized
@@ -63,7 +65,7 @@ pub struct RuleMeta {
 }
 
 /// Every rule the engine knows, in code order.
-pub const RULES: [RuleMeta; 15] = [
+pub const RULES: [RuleMeta; 16] = [
     RuleMeta {
         code: "L1",
         id: "no-panic-lib",
@@ -204,6 +206,20 @@ pub const RULES: [RuleMeta; 15] = [
                     bounded retry and fault coverage in the exact code that promises them. \
                     Route writes through vfs::atomic_write (or Vfs::write for a primitive).",
     },
+    RuleMeta {
+        code: "L16",
+        id: "no-adhoc-io",
+        summary: "raw socket/stdin access confined to crates/serve/src/transport.rs",
+        rationale: "Every byte that enters the long-running service crosses a trust boundary: \
+                    it must be length-capped, parsed into the typed session protocol and \
+                    answered with a typed error — never a panic — and the serve oracle drives \
+                    exactly that seam. A TcpListener::bind, TcpStream::connect or stdin read \
+                    scattered elsewhere in library code is an unaudited ingress that bypasses \
+                    the protocol validation pipeline, the per-session budget ceiling and the \
+                    round-robin admission gate. crates/serve/src/transport.rs is the one \
+                    sanctioned raw-I/O site; binaries, tests and benches keep their sockets \
+                    (harnesses and drills are the clients, not the service).",
+    },
 ];
 
 /// Look up rule metadata by code (`L10`) or id (`determinism-taint`).
@@ -226,6 +242,7 @@ pub fn check_file(file: &File) -> Vec<Diagnostic> {
     no_adhoc_print(file, &mut out);
     no_adhoc_persistence(file, &mut out);
     durable_write(file, &mut out);
+    no_adhoc_io(file, &mut out);
     out
 }
 
@@ -696,6 +713,78 @@ fn durable_write(file: &File, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// L16 — `no-adhoc-io`. Raw socket and stdin access in crate library
+/// code is confined to `crates/serve/src/transport.rs`, the one seam
+/// where bytes from the outside world enter the service and where the
+/// protocol's length cap, typed rejection and admission gating are
+/// known to apply. Binaries, tests and benches act as *clients* of the
+/// service and keep their sockets — they are not unaudited ingress.
+fn no_adhoc_io(file: &File, out: &mut Vec<Diagnostic>) {
+    let p = file.path_str();
+    let in_crate_lib = p.starts_with("crates/") && p.contains("/src/");
+    let exempt = !in_crate_lib
+        || p == "crates/serve/src/transport.rs"
+        || p.contains("src/bin/")
+        || p.ends_with("src/main.rs")
+        || p.contains("tests/")
+        || p.contains("benches/");
+    if exempt {
+        return;
+    }
+    let toks = &file.toks;
+    for i in 0..toks.len() {
+        if file.in_test[i] {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // `stdin()` — a call, not the `child.stdin` field of a spawned
+        // process handle.
+        if t.text == "stdin" && toks.get(i + 1).is_some_and(|n| n.is_open('(')) {
+            out.push(diag_at(
+                file,
+                i,
+                "no-adhoc-io",
+                "L16",
+                "ad-hoc IO: raw stdin access in library code".to_string(),
+                "route external bytes through the serve transport layer \
+                 (`crates/serve/src/transport.rs` — length-capped, typed-rejected, \
+                 admission-gated), or append \
+                 `// lint:allow(no-adhoc-io): <why this ingress is audited here>`",
+            ));
+            continue;
+        }
+        if !toks.get(i + 1).is_some_and(|n| n.is_punct("::")) {
+            continue;
+        }
+        let Some(member) = toks.get(i + 2) else {
+            continue;
+        };
+        if !toks.get(i + 3).is_some_and(|n| n.is_open('(')) {
+            continue;
+        }
+        let msg = match (t.text.as_str(), member.text.as_str()) {
+            ("TcpListener", "bind") => "ad-hoc IO: `TcpListener::bind` in library code",
+            ("TcpStream", "connect") => "ad-hoc IO: `TcpStream::connect` in library code",
+            ("UdpSocket", "bind") => "ad-hoc IO: `UdpSocket::bind` in library code",
+            _ => continue,
+        };
+        out.push(diag_at(
+            file,
+            i,
+            "no-adhoc-io",
+            "L16",
+            msg.to_string(),
+            "route external bytes through the serve transport layer \
+             (`crates/serve/src/transport.rs` — length-capped, typed-rejected, \
+             admission-gated), or append \
+             `// lint:allow(no-adhoc-io): <why this ingress is audited here>`",
+        ));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,6 +901,37 @@ mod tests {
             let f = File::parse(path, src);
             assert_eq!(count(&f, "no-adhoc-persistence"), 0, "{path} is exempt");
         }
+    }
+
+    #[test]
+    fn adhoc_io_fires_in_crate_lib_code_only() {
+        let src = "fn f() { let l = TcpListener::bind(a); \
+                   let s = std::net::TcpStream::connect(a); \
+                   for line in std::io::stdin().lines() {} }";
+        let f = lib(src); // crates/core/src/x.rs
+        assert_eq!(count(&f, "no-adhoc-io"), 3);
+        for path in [
+            "crates/serve/src/transport.rs",
+            "crates/bench/src/bin/exp_serve.rs",
+            "src/main.rs",
+            "tests/serve_oracle.rs",
+            "xtask/src/baseline.rs",
+        ] {
+            let f = File::parse(path, src);
+            assert_eq!(count(&f, "no-adhoc-io"), 0, "{path} is exempt");
+        }
+    }
+
+    #[test]
+    fn adhoc_io_ignores_child_stdin_fields_and_test_modules() {
+        // `child.stdin` is a pipe handle on a spawned process, not an
+        // ingress; only the `stdin()` call form is flagged.
+        let f = lib("fn f(child: &mut Child) { let pipe = child.stdin.take(); }");
+        assert_eq!(count(&f, "no-adhoc-io"), 0);
+        let f = lib(
+            "#[cfg(test)]\nmod tests {\n    fn t() { let l = TcpListener::bind(a).unwrap(); }\n}",
+        );
+        assert_eq!(count(&f, "no-adhoc-io"), 0);
     }
 
     #[test]

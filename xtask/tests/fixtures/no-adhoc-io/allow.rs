@@ -1,0 +1,6 @@
+//@path crates/core/src/fixture.rs
+pub fn probe_port_free(addr: &str) -> bool {
+    // Bind-and-drop availability probe: no request bytes are ever read,
+    // so the protocol validation pipeline has nothing to validate.
+    TcpListener::bind(addr).is_ok() // lint:allow(no-adhoc-io): availability probe, no ingress bytes are read
+}

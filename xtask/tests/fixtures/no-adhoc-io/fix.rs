@@ -1,0 +1,7 @@
+//@path crates/core/src/fixture.rs
+pub fn tune_remote(server: &Arc<Server>, line: &str) -> SessionResult {
+    // External bytes enter through the serve transport seam, where the
+    // protocol's length cap, typed errors and round-robin admission
+    // gate all apply before any trial runs.
+    server.handle_line(line)
+}

@@ -1,0 +1,7 @@
+//@path crates/core/src/fixture.rs
+pub fn fetch_remote_corpus(addr: &str) -> Result<Corpus, CoreError> {
+    // An unaudited ingress: bytes arrive with no length cap, no typed
+    // rejection and no admission gating.
+    let stream = TcpStream::connect(addr)?;
+    decode_corpus(stream)
+}
